@@ -1,0 +1,141 @@
+// Experiment A1 (DESIGN.md): ablation of the policy-combination design —
+// decision cost versus the number of combined sources, deny-overrides
+// short-circuiting, and open versus strict unmentioned-attribute
+// matching. Prints the access-set comparison for strict vs open mode,
+// then benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/source.h"
+
+using namespace gridauthz;
+
+namespace {
+
+std::shared_ptr<core::CombiningPdp> MakeCombined(int n_sources) {
+  auto combined = std::make_shared<core::CombiningPdp>();
+  for (int i = 0; i < n_sources; ++i) {
+    combined->AddSource(std::make_shared<core::StaticPolicySource>(
+        "source" + std::to_string(i),
+        core::PolicyDocument::Parse(
+            "/:\n&(action = start)(executable = allowed)(count < " +
+            std::to_string(16 - i) + ")\n")
+            .value()));
+  }
+  return combined;
+}
+
+void PrintStrictVsOpenTable() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Ablation: open vs strict unmentioned-attribute matching\n";
+  std::cout << "policy: /: &(action = start)(executable = allowed)\n";
+  std::cout << "----------------------------------------------------------\n";
+  const char* policy = "/:\n&(action = start)(executable = allowed)\n";
+  core::PolicyEvaluator open{core::PolicyDocument::Parse(policy).value()};
+  core::EvaluatorOptions strict_options;
+  strict_options.strict_attributes = true;
+  core::PolicyEvaluator strict{core::PolicyDocument::Parse(policy).value(),
+                               strict_options};
+
+  struct Probe {
+    const char* label;
+    const char* rsl;
+  };
+  const Probe probes[] = {
+      {"executable only              ", "&(executable=allowed)"},
+      {"+ stdout (operational)       ", "&(executable=allowed)(stdout=/tmp/o)"},
+      {"+ queue (unmentioned!)       ", "&(executable=allowed)(queue=express)"},
+      {"+ count (unmentioned!)       ", "&(executable=allowed)(count=64)"},
+  };
+  std::cout << "  request                        open     strict\n";
+  for (const Probe& probe : probes) {
+    auto open_decision =
+        open.Evaluate(bench::StartRequest("/O=Grid/CN=x", probe.rsl));
+    auto strict_decision =
+        strict.Evaluate(bench::StartRequest("/O=Grid/CN=x", probe.rsl));
+    std::cout << "  " << probe.label << "  "
+              << (open_decision.permitted() ? "PERMIT" : "deny  ") << "   "
+              << (strict_decision.permitted() ? "PERMIT" : "deny  ") << "\n";
+  }
+  std::cout << "\nStrict mode closes the loophole where a request smuggles\n"
+               "unconstrained attributes (e.g. a reserved queue) past a\n"
+               "permission that never mentions them.\n";
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void BM_CombinedDecisionVsSources(benchmark::State& state) {
+  auto combined = MakeCombined(static_cast<int>(state.range(0)));
+  auto request =
+      bench::StartRequest("/O=Grid/CN=x", "&(executable=allowed)(count=2)");
+  for (auto _ : state) {
+    auto decision = combined->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sources"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CombinedDecisionVsSources)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DenyOverridesShortCircuits(benchmark::State& state) {
+  // First source denies: later sources are never consulted, so cost is
+  // flat in the number of sources.
+  auto combined = std::make_shared<core::CombiningPdp>();
+  combined->AddSource(std::make_shared<core::StaticPolicySource>(
+      "denier",
+      core::PolicyDocument::Parse("/:\n&(action = cancel)\n").value()));
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    combined->AddSource(std::make_shared<core::StaticPolicySource>(
+        "permitter" + std::to_string(i),
+        core::PolicyDocument::Parse("/:\n&(action = start)\n").value()));
+  }
+  auto request = bench::StartRequest("/O=Grid/CN=x", "&(executable=a)");
+  for (auto _ : state) {
+    auto decision = combined->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenyOverridesShortCircuits)->Arg(1)->Arg(8);
+
+void BM_StrictVsOpenMatching(benchmark::State& state) {
+  const bool strict = state.range(0) != 0;
+  core::EvaluatorOptions options;
+  options.strict_attributes = strict;
+  core::PolicyEvaluator evaluator{
+      bench::SyntheticPolicy(50, 4, "/O=Grid/O=Synth/CN=target"), options};
+  auto request = bench::StartRequest("/O=Grid/O=Synth/CN=target",
+                                     "&(executable=exe3)(count=2)");
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(strict ? "strict" : "open");
+}
+BENCHMARK(BM_StrictVsOpenMatching)->Arg(0)->Arg(1);
+
+void BM_DynamicPolicyReplace(benchmark::State& state) {
+  // Cost of a VO policy push (the dynamic-policy mechanism).
+  const int n_users = static_cast<int>(state.range(0));
+  core::StaticPolicySource source{
+      "vo", bench::SyntheticPolicy(n_users, 2, "/O=Grid/O=Synth/CN=target")};
+  auto replacement = bench::SyntheticPolicy(n_users, 2,
+                                            "/O=Grid/O=Synth/CN=target");
+  for (auto _ : state) {
+    source.Replace(replacement);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicPolicyReplace)->Arg(10)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStrictVsOpenTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Experiment A3 (DESIGN.md): policy-language ablation — the paper keeps
+// its RSL-based language for easy comparison with job descriptions but
+// flags XACML as the likely replacement (section 6.3). This bench checks
+// the two engines agree on the Figure 3 policy and measures what the
+// richer language costs: decision latency (RSL-native vs XACML evaluation
+// vs XACML parsed-from-XML), translation cost, and policy-size scaling.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "xacml/xacml.h"
+
+using namespace gridauthz;
+
+namespace {
+
+core::PolicyDocument Figure3Document() {
+  return core::PolicyDocument::Parse(bench::kFigure3).value();
+}
+
+void PrintAgreementAndSize() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Policy-language ablation: RSL-native vs XACML translation\n";
+  std::cout << "----------------------------------------------------------\n";
+  auto document = Figure3Document();
+  core::PolicyEvaluator rsl_evaluator{document};
+  xacml::Policy policy = xacml::TranslateRslPolicy(document).value();
+  std::string xml_text = WriteXml(ToXml(policy));
+
+  struct Probe {
+    const char* label;
+    const char* subject;
+    const char* action;
+    const char* rsl;
+  };
+  const Probe probes[] = {
+      {"Bo Liu start test1/ADS/2 ", bench::kBoLiu, "start",
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"},
+      {"Bo Liu start test1 cnt=4 ", bench::kBoLiu, "start",
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)"},
+      {"Kate cancel NFC job      ", bench::kKate, "cancel",
+       "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"},
+      {"Kate start untagged      ", bench::kKate, "start",
+       "&(executable=TRANSP)(directory=/sandbox/test)(count=1)"},
+  };
+  int agreements = 0;
+  std::cout << "  request                     rsl      xacml\n";
+  for (const Probe& probe : probes) {
+    core::AuthorizationRequest request;
+    request.subject = probe.subject;
+    request.action = probe.action;
+    request.job_owner = probe.action == std::string{"start"}
+                            ? probe.subject
+                            : bench::kBoLiu;
+    request.job_rsl = rsl::ParseConjunction(probe.rsl).value();
+    bool rsl_permit = rsl_evaluator.Evaluate(request).permitted();
+    bool xacml_permit =
+        EvaluatePolicy(policy, xacml::ContextFromRequest(request)) ==
+        xacml::XacmlDecision::kPermit;
+    if (rsl_permit == xacml_permit) ++agreements;
+    std::cout << "  " << probe.label << "  "
+              << (rsl_permit ? "PERMIT" : "deny  ") << "   "
+              << (xacml_permit ? "PERMIT" : "deny  ") << "\n";
+  }
+  std::cout << "\n  agreement: " << agreements << "/4\n";
+  std::cout << "  policy sizes: RSL text " << std::string{bench::kFigure3}.size()
+            << " bytes -> XACML XML " << xml_text.size() << " bytes ("
+            << xml_text.size() / std::string{bench::kFigure3}.size()
+            << "x)\n";
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+core::AuthorizationRequest PermittedRequest() {
+  core::AuthorizationRequest request;
+  request.subject = bench::kBoLiu;
+  request.action = "start";
+  request.job_owner = bench::kBoLiu;
+  request.job_rsl =
+      rsl::ParseConjunction(
+          "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)")
+          .value();
+  return request;
+}
+
+void BM_RslNativeDecision(benchmark::State& state) {
+  core::PolicyEvaluator evaluator{Figure3Document()};
+  auto request = PermittedRequest();
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RslNativeDecision);
+
+void BM_XacmlDecision(benchmark::State& state) {
+  xacml::Policy policy = xacml::TranslateRslPolicy(Figure3Document()).value();
+  auto request = PermittedRequest();
+  for (auto _ : state) {
+    xacml::RequestContext context = xacml::ContextFromRequest(request);
+    auto decision = EvaluatePolicy(policy, context);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XacmlDecision);
+
+void BM_XacmlDecisionPreBuiltContext(benchmark::State& state) {
+  xacml::Policy policy = xacml::TranslateRslPolicy(Figure3Document()).value();
+  xacml::RequestContext context =
+      xacml::ContextFromRequest(PermittedRequest());
+  for (auto _ : state) {
+    auto decision = EvaluatePolicy(policy, context);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XacmlDecisionPreBuiltContext);
+
+void BM_TranslationCost(benchmark::State& state) {
+  auto document = Figure3Document();
+  for (auto _ : state) {
+    auto policy = xacml::TranslateRslPolicy(document);
+    benchmark::DoNotOptimize(policy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslationCost);
+
+void BM_XacmlXmlParse(benchmark::State& state) {
+  xacml::Policy policy = xacml::TranslateRslPolicy(Figure3Document()).value();
+  std::string xml_text = WriteXml(ToXml(policy));
+  for (auto _ : state) {
+    auto parsed = xacml::ParsePolicy(xml_text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * xml_text.size());
+}
+BENCHMARK(BM_XacmlXmlParse);
+
+void BM_XacmlDecisionVsPolicySize(benchmark::State& state) {
+  const int n_users = static_cast<int>(state.range(0));
+  auto document =
+      bench::SyntheticPolicy(n_users, 2, "/O=Grid/O=Synth/CN=target");
+  xacml::Policy policy = xacml::TranslateRslPolicy(document).value();
+  auto request = bench::StartRequest("/O=Grid/O=Synth/CN=target",
+                                     "&(executable=exe0)(count=2)");
+  xacml::RequestContext context = xacml::ContextFromRequest(request);
+  for (auto _ : state) {
+    auto decision = EvaluatePolicy(policy, context);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] = static_cast<double>(policy.rules.size());
+}
+BENCHMARK(BM_XacmlDecisionVsPolicySize)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAgreementAndSize();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

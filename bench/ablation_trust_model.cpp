@@ -1,0 +1,190 @@
+// Experiment A4 (DESIGN.md): trust-model ablation — the GT2 Job Manager
+// (runs with the job initiator's delegated credential) versus the
+// GT3-style trusted Managed Job Service (runs with its own). Prints the
+// section 6.2 capability matrix — which VO-authorized management actions
+// each architecture can actually carry out — then benchmarks both paths.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gram3/managed_job_service.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kOwner = "/O=Grid/O=NFC/CN=Owner";
+constexpr const char* kAdmin = "/O=Grid/O=NFC/CN=Admin";
+
+constexpr const char* kVoPolicy = R"(
+/O=Grid/O=NFC/CN=Owner:
+&(action = start)(executable = sim)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=NFC/CN=Admin:
+&(action = cancel)
+&(action = signal)
+&(action = information)
+)";
+
+struct TrustEnv {
+  TrustEnv() {
+    os::ResourceLimits owner_limits;
+    owner_limits.max_priority = 0;  // ordinary user rights
+    (void)site.AddAccount("owner", {}, owner_limits);
+    owner = site.CreateUser(kOwner).value();
+    admin = site.CreateUser(kAdmin).value();
+    (void)site.MapUser(owner, "owner");
+    site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kVoPolicy).value()));
+
+    service_credential = IssueCredential(
+        site.ca(),
+        gsi::DistinguishedName::Parse("/O=Grid/OU=services/CN=mjs").value(),
+        site.clock().Now());
+    gram3::ManagedJobService::Params params;
+    params.service_credential = service_credential;
+    params.trust = &site.trust();
+    params.scheduler = &site.scheduler();
+    params.accounts = &site.accounts();
+    params.clock = &site.clock();
+    params.callouts = &site.callouts();
+    params.gridmap = &site.gridmap();
+    service = std::make_unique<gram3::ManagedJobService>(std::move(params));
+  }
+
+  gram::SimulatedSite site{[] {
+    gram::SiteOptions options;
+    options.cpu_slots = 1 << 20;
+    return options;
+  }()};
+  gsi::Credential owner;
+  gsi::Credential admin;
+  gsi::Credential service_credential;
+  std::unique_ptr<gram3::ManagedJobService> service;
+};
+
+void PrintCapabilityMatrix() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Trust-model ablation (section 6.2): VO admin manages a\n";
+  std::cout << "member's job; admin holds cancel/signal rights by policy\n";
+  std::cout << "----------------------------------------------------------\n";
+  TrustEnv env;
+
+  gram::GramClient owner_client = env.site.MakeClient(env.owner);
+  gram::GramClient admin_client = env.site.MakeClient(env.admin);
+  auto gt2 = owner_client.Submit(env.site.gatekeeper(),
+                                 "&(executable=sim)(simduration=100000)");
+  auto gt3 =
+      env.service->CreateJob(env.owner, "&(executable=sim)(simduration=100000)");
+
+  auto render = [](const Expected<void>& r) {
+    return r.ok() ? std::string{"OK            "}
+                  : std::string{to_string(r.error().code())}.substr(0, 14);
+  };
+
+  std::cout << "  action                      GT2 JM (user cred)  GT3 "
+               "service (trusted)\n";
+  {
+    auto gt2_suspend = admin_client.Signal(
+        env.site.jmis(), *gt2, {gram::SignalKind::kSuspend, 0},
+        {.expected_job_owner = kOwner});
+    auto gt3_suspend = env.service->Signal(
+        env.admin, *gt3, {gram::SignalKind::kSuspend, 0});
+    std::cout << "  suspend member's job        " << render(gt2_suspend)
+              << "      " << render(gt3_suspend) << "\n";
+    (void)admin_client.Signal(env.site.jmis(), *gt2,
+                              {gram::SignalKind::kResume, 0},
+                              {.expected_job_owner = kOwner});
+    (void)env.service->Signal(env.admin, *gt3,
+                              {gram::SignalKind::kResume, 0});
+  }
+  {
+    auto gt2_raise = admin_client.Signal(
+        env.site.jmis(), *gt2, {gram::SignalKind::kPriority, 9},
+        {.expected_job_owner = kOwner});
+    auto gt3_raise = env.service->Signal(
+        env.admin, *gt3, {gram::SignalKind::kPriority, 9});
+    std::cout << "  raise priority to 9         " << render(gt2_raise)
+              << "      " << render(gt3_raise) << "\n";
+  }
+  {
+    auto gt2_cancel = admin_client.Cancel(env.site.jmis(), *gt2,
+                                          {.expected_job_owner = kOwner});
+    auto gt3_cancel = env.service->Cancel(env.admin, *gt3);
+    std::cout << "  cancel member's job         " << render(gt2_cancel)
+              << "      " << render(gt3_cancel) << "\n";
+  }
+  std::cout
+      << "\nBoth architectures AUTHORIZE the admin (VO policy); only the\n"
+         "trusted service can APPLY rights exceeding the job initiator's\n"
+         "local account (the priority row) — the paper's 6.2 example.\n";
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void BM_Gt2SubmitManage(benchmark::State& state) {
+  TrustEnv env;
+  gram::GramClient owner_client = env.site.MakeClient(env.owner);
+  gram::GramClient admin_client = env.site.MakeClient(env.admin);
+  for (auto _ : state) {
+    auto contact = owner_client.Submit(
+        env.site.gatekeeper(), "&(executable=sim)(simduration=100000)");
+    if (!contact.ok()) state.SkipWithError("submit failed");
+    auto cancelled = admin_client.Cancel(env.site.jmis(), *contact,
+                                         {.expected_job_owner = kOwner});
+    if (!cancelled.ok()) state.SkipWithError("cancel failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gt2SubmitManage)->Iterations(1000);
+
+void BM_Gt3SubmitManage(benchmark::State& state) {
+  TrustEnv env;
+  for (auto _ : state) {
+    auto handle = env.service->CreateJob(env.owner,
+                                         "&(executable=sim)(simduration=100000)");
+    if (!handle.ok()) state.SkipWithError("create failed");
+    auto cancelled = env.service->Cancel(env.admin, *handle);
+    if (!cancelled.ok()) state.SkipWithError("cancel failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gt3SubmitManage)->Iterations(1000);
+
+void BM_Gt3CreateWithDynamicAccount(benchmark::State& state) {
+  // Creation including dynamic-account lease + configure + recycle.
+  TrustEnv env;
+  sandbox::DynamicAccountPool pool{&env.site.accounts(), "dynbench", 4};
+  gram3::ManagedJobService::Params params;
+  params.service_credential = env.service_credential;
+  params.trust = &env.site.trust();
+  params.scheduler = &env.site.scheduler();
+  params.accounts = &env.site.accounts();
+  params.clock = &env.site.clock();
+  params.callouts = &env.site.callouts();
+  params.gridmap = nullptr;  // force dynamic accounts
+  params.account_pool = &pool;
+  gram3::ManagedJobService service{std::move(params)};
+
+  for (auto _ : state) {
+    auto handle = service.CreateJob(env.owner,
+                                    "&(executable=sim)(simduration=100000)");
+    if (!handle.ok()) state.SkipWithError(handle.error().message().c_str());
+    if (!service.Cancel(env.admin, *handle).ok()) {
+      state.SkipWithError("cancel failed");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gt3CreateWithDynamicAccount)->Iterations(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCapabilityMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment T1 (DESIGN.md): authorization decision cost as a function of
+// policy size — number of statements (users), assertion sets per
+// statement, and position of the matching statement. The paper reports no
+// numbers; the expected shape is linear growth in the number of scanned
+// statements and near-flat cost in non-matching sets.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/source.h"
+
+using namespace gridauthz;
+
+namespace {
+
+void BM_DecisionVsUserCount(benchmark::State& state) {
+  const int n_users = static_cast<int>(state.range(0));
+  const std::string target = "/O=Grid/O=Synth/CN=target";
+  core::PolicyEvaluator evaluator{bench::SyntheticPolicy(n_users, 2, target)};
+  auto request = bench::StartRequest(target, "&(executable=exe0)(count=2)");
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["statements"] = n_users + 1;
+}
+BENCHMARK(BM_DecisionVsUserCount)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DecisionVsSetsPerStatement(benchmark::State& state) {
+  const int sets = static_cast<int>(state.range(0));
+  const std::string target = "/O=Grid/O=Synth/CN=target";
+  core::PolicyEvaluator evaluator{bench::SyntheticPolicy(0, sets, target)};
+  // Match the LAST set: worst case within the statement.
+  auto request = bench::StartRequest(
+      target, "&(executable=exe" + std::to_string(sets - 1) + ")(count=2)");
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sets"] = sets;
+}
+BENCHMARK(BM_DecisionVsSetsPerStatement)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DenialVsUserCount(benchmark::State& state) {
+  // Denials scan every applicable statement: the full-policy worst case.
+  const int n_users = static_cast<int>(state.range(0));
+  const std::string target = "/O=Grid/O=Synth/CN=target";
+  core::PolicyEvaluator evaluator{bench::SyntheticPolicy(n_users, 2, target)};
+  auto request =
+      bench::StartRequest(target, "&(executable=not_allowed)(count=2)");
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenialVsUserCount)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DecisionVsRslWidth(benchmark::State& state) {
+  // Cost versus the size of the job description itself.
+  const int width = static_cast<int>(state.range(0));
+  std::string rsl = "&(executable=exe0)(count=2)";
+  for (int i = 0; i < width; ++i) {
+    rsl += "(attr" + std::to_string(i) + "=value" + std::to_string(i) + ")";
+  }
+  const std::string target = "/O=Grid/O=Synth/CN=target";
+  core::PolicyEvaluator evaluator{bench::SyntheticPolicy(0, 2, target)};
+  auto request = bench::StartRequest(target, rsl);
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rsl_attrs"] = width + 2;
+}
+BENCHMARK(BM_DecisionVsRslWidth)->Arg(0)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PolicyParseVsSize(benchmark::State& state) {
+  const int n_users = static_cast<int>(state.range(0));
+  std::string text;
+  for (int u = 0; u < n_users; ++u) {
+    text += "/O=Grid/O=Synth/CN=user" + std::to_string(u) + ":\n";
+    text += "&(action = start)(executable = exe)(count < 4)\n";
+  }
+  for (auto _ : state) {
+    auto document = core::PolicyDocument::Parse(text);
+    benchmark::DoNotOptimize(document);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_PolicyParseVsSize)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RslParse(benchmark::State& state) {
+  const std::string rsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count<4)"
+      "(maxtime<=600)(queue=batch)";
+  for (auto _ : state) {
+    auto conj = rsl::ParseConjunction(rsl);
+    benchmark::DoNotOptimize(conj);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * rsl.size());
+}
+BENCHMARK(BM_RslParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+// Experiment T1b (DESIGN.md): the same VO rule evaluated through the
+// three authorization backends the paper discusses — plain-file PDP,
+// Akenti (certificate gathering + signature checks per decision), and CAS
+// (policy evaluation pushed to credential issuance, cheap resource-side
+// checks). Prints a decision-agreement table, then benchmarks each
+// backend's decision path and CAS issuance.
+//
+// Expected shape: file < CAS < Akenti for per-decision cost (Akenti
+// verifies certificate signatures on every decision; CAS parses the
+// embedded policy but needs no certificate search); CAS pays instead at
+// issuance time.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "akenti/akenti.h"
+#include "bench_util.h"
+#include "cas/cas.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kResource = "gram/fusion.anl.gov";
+constexpr const char* kRule = "&(executable = TRANSP)(count < 4)";
+
+gsi::DistinguishedName Dn(const std::string& text) {
+  return gsi::DistinguishedName::Parse(text).value();
+}
+
+struct Backends {
+  Backends()
+      : clock(1'000'000),
+        ca(Dn("/O=Grid/CN=CA"), clock.Now()),
+        stakeholder(IssueCredential(ca, Dn("/O=Grid/O=NFC/CN=Stakeholder"),
+                                    clock.Now())),
+        authority(IssueCredential(ca, Dn("/O=Grid/O=NFC/CN=AA"), clock.Now())),
+        community(IssueCredential(ca, Dn("/O=Grid/O=NFC/CN=Community"),
+                                  clock.Now())),
+        member(IssueCredential(ca, Dn(bench::kBoLiu), clock.Now())),
+        cas_server(community, &clock) {
+    // File backend.
+    file_source = std::make_shared<core::StaticPolicySource>(
+        "file", core::PolicyDocument::Parse(
+                    std::string{bench::kBoLiu} + ":\n&(action = start)" +
+                    "(executable = TRANSP)(count < 4)\n")
+                    .value());
+
+    // Akenti backend.
+    engine = std::make_shared<akenti::AkentiEngine>(kResource, &clock);
+    engine->TrustStakeholder(stakeholder.identity());
+    akenti::UseConditionBuilder builder{kResource, stakeholder};
+    builder.GrantAction("start")
+        .RequireAttribute({"group", "NFC"})
+        .TrustIssuer(authority.identity())
+        .WithConstraints(rsl::ParseConjunction(kRule).value());
+    (void)engine->AddUseCondition(builder.Sign());
+    engine->AddAttributeCertificate(akenti::IssueAttributeCertificate(
+        authority, Dn(bench::kBoLiu), {"group", "NFC"}, clock.Now()));
+    akenti_source = std::make_shared<akenti::AkentiPolicySource>(engine);
+
+    // CAS backend.
+    cas_server.AddMember(bench::kBoLiu);
+    cas::CasGrant grant;
+    grant.subject = bench::kBoLiu;
+    grant.resource = kResource;
+    grant.actions = {"start"};
+    grant.constraints.push_back(rsl::ParseConjunction(kRule).value());
+    cas_server.AddGrant(grant);
+    cas_credential = cas_server.IssueCredential(member, kResource).value();
+    cas_source = std::make_shared<cas::CasPolicySource>();
+  }
+
+  core::AuthorizationRequest FileRequest(const std::string& rsl) const {
+    return bench::StartRequest(bench::kBoLiu, rsl);
+  }
+  core::AuthorizationRequest CasRequest(const std::string& rsl) const {
+    core::AuthorizationRequest request =
+        bench::StartRequest(community.identity().str(), rsl);
+    request.restriction_policy = cas_credential.RestrictionPolicy();
+    return request;
+  }
+
+  SimClock clock;
+  gsi::CertificateAuthority ca;
+  gsi::Credential stakeholder, authority, community, member;
+  cas::CasServer cas_server;
+  gsi::Credential cas_credential;
+  std::shared_ptr<core::StaticPolicySource> file_source;
+  std::shared_ptr<akenti::AkentiEngine> engine;
+  std::shared_ptr<akenti::AkentiPolicySource> akenti_source;
+  std::shared_ptr<cas::CasPolicySource> cas_source;
+};
+
+Backends& Env() {
+  static Backends env;
+  return env;
+}
+
+void PrintAgreementTable() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Backend agreement: rule 'Bo Liu may start TRANSP, count<4'\n";
+  std::cout << "----------------------------------------------------------\n";
+  struct Probe {
+    const char* label;
+    const char* rsl;
+  };
+  const Probe probes[] = {
+      {"TRANSP count=2 ", "&(executable=TRANSP)(count=2)"},
+      {"TRANSP count=4 ", "&(executable=TRANSP)(count=4)"},
+      {"other executable", "&(executable=rm)(count=1)"},
+  };
+  std::cout << "  request           file    akenti  cas\n";
+  for (const Probe& probe : probes) {
+    auto file = Env().file_source->Authorize(Env().FileRequest(probe.rsl));
+    auto akenti = Env().akenti_source->Authorize(Env().FileRequest(probe.rsl));
+    auto cas = Env().cas_source->Authorize(Env().CasRequest(probe.rsl));
+    auto render = [](const Expected<core::Decision>& d) {
+      return d.ok() ? (d->permitted() ? "PERMIT" : "deny  ") : "ERROR ";
+    };
+    std::cout << "  " << probe.label << "  " << render(file) << "  "
+              << render(akenti) << "  " << render(cas) << "\n";
+  }
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void BM_FileBackendDecision(benchmark::State& state) {
+  auto request = Env().FileRequest("&(executable=TRANSP)(count=2)");
+  for (auto _ : state) {
+    auto decision = Env().file_source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileBackendDecision);
+
+void BM_AkentiBackendDecision(benchmark::State& state) {
+  auto request = Env().FileRequest("&(executable=TRANSP)(count=2)");
+  for (auto _ : state) {
+    auto decision = Env().akenti_source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AkentiBackendDecision);
+
+void BM_AkentiDecisionVsCertCount(benchmark::State& state) {
+  // Akenti's certificate search scales with the installed attribute
+  // certificates.
+  const int n_certs = static_cast<int>(state.range(0));
+  Backends local;
+  for (int i = 0; i < n_certs; ++i) {
+    local.engine->AddAttributeCertificate(akenti::IssueAttributeCertificate(
+        local.authority, Dn("/O=Grid/O=Synth/CN=user" + std::to_string(i)),
+        {"group", "NFC"}, local.clock.Now()));
+  }
+  auto request = local.FileRequest("&(executable=TRANSP)(count=2)");
+  for (auto _ : state) {
+    auto decision = local.akenti_source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["certs"] = static_cast<double>(
+      local.engine->attribute_certificate_count());
+}
+BENCHMARK(BM_AkentiDecisionVsCertCount)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CasBackendDecision(benchmark::State& state) {
+  auto request = Env().CasRequest("&(executable=TRANSP)(count=2)");
+  for (auto _ : state) {
+    auto decision = Env().cas_source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CasBackendDecision);
+
+void BM_CasCredentialIssuance(benchmark::State& state) {
+  // CAS's cost center: issuing the restricted proxy (policy rendering +
+  // proxy signing) happens once per session, not per decision.
+  for (auto _ : state) {
+    auto credential = Env().cas_server.IssueCredential(Env().member, kResource);
+    benchmark::DoNotOptimize(credential);
+    if (!credential.ok()) state.SkipWithError("issuance failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CasCredentialIssuance)->Iterations(2000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAgreementTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

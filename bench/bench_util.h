@@ -1,0 +1,85 @@
+// Shared scaffolding for the benchmark binaries: canonical identities,
+// the Figure 3 policy text, site builders, and policy generators for the
+// scaling sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gram/site.h"
+
+namespace gridauthz::bench {
+
+inline constexpr const char* kBoLiu =
+    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+inline constexpr const char* kKate =
+    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+inline constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+// A site with `boliu`/`keahey` accounts and both users mapped. Plenty of
+// CPU slots so submission benches never queue.
+struct BenchSite {
+  explicit BenchSite(int cpu_slots = 1 << 20) : site(MakeOptions(cpu_slots)) {
+    (void)site.AddAccount("boliu");
+    (void)site.AddAccount("keahey");
+    boliu = site.CreateUser(kBoLiu).value();
+    kate = site.CreateUser(kKate).value();
+    (void)site.MapUser(boliu, "boliu");
+    (void)site.MapUser(kate, "keahey");
+  }
+
+  static gram::SiteOptions MakeOptions(int cpu_slots) {
+    gram::SiteOptions options;
+    options.cpu_slots = cpu_slots;
+    return options;
+  }
+
+  gram::SimulatedSite site;
+  gsi::Credential boliu;
+  gsi::Credential kate;
+};
+
+// Generates a policy with `n_users` permission statements (each with
+// `sets_per_user` assertion sets), plus one target user appended last —
+// the worst case for lookup, since statements are scanned in order.
+inline core::PolicyDocument SyntheticPolicy(int n_users, int sets_per_user,
+                                            const std::string& target_user) {
+  std::string text;
+  for (int u = 0; u < n_users; ++u) {
+    text += "/O=Grid/O=Synth/CN=user" + std::to_string(u) + ":\n";
+    for (int s = 0; s < sets_per_user; ++s) {
+      text += "&(action = start)(executable = exe" + std::to_string(s) +
+              ")(count < " + std::to_string(4 + s) + ")\n";
+    }
+  }
+  text += target_user + ":\n";
+  for (int s = 0; s < sets_per_user; ++s) {
+    text += "&(action = start)(executable = exe" + std::to_string(s) +
+            ")(count < " + std::to_string(4 + s) + ")\n";
+  }
+  auto document = core::PolicyDocument::Parse(text);
+  return std::move(document).value();
+}
+
+inline core::AuthorizationRequest StartRequest(const std::string& subject,
+                                               const std::string& rsl) {
+  core::AuthorizationRequest request;
+  request.subject = subject;
+  request.action = "start";
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+}  // namespace gridauthz::bench

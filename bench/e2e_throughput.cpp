@@ -1,0 +1,190 @@
+// Experiment T2 (DESIGN.md): end-to-end GRAM throughput — job
+// submissions and management operations per second — for stock GT2
+// versus the extended (PEP-in-JM) architecture, and versus the combined
+// local+VO two-source PDP. Prints a summary table from a fixed-work run,
+// then registers per-operation benchmarks.
+//
+// Expected shape: the PEP adds a small constant per-operation cost; with
+// two policy sources the cost roughly doubles for the authorization
+// component but stays small relative to the full GRAM path (handshake +
+// delegation dominate).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace gridauthz;
+using bench::BenchSite;
+
+namespace {
+
+std::shared_ptr<core::PolicySource> VoSource() {
+  return std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(bench::kFigure3).value());
+}
+
+std::shared_ptr<core::PolicySource> CombinedSource(int n_sources) {
+  auto combined = std::make_shared<core::CombiningPdp>();
+  combined->AddSource(std::make_shared<core::StaticPolicySource>(
+      "local", core::PolicyDocument::Parse(
+                   "/:\n&(action = start)(count <= 8)\n&(action = cancel)\n"
+                   "&(action = information)\n&(action = signal)\n")
+                   .value()));
+  for (int i = 1; i < n_sources; ++i) {
+    combined->AddSource(VoSource());
+  }
+  return combined;
+}
+
+double MeasureSubmitsPerSecond(bool with_pep, int n_sources, int n_jobs) {
+  BenchSite env;
+  if (with_pep) {
+    env.site.UseJobManagerPep(n_sources <= 1 ? VoSource()
+                                             : CombinedSource(n_sources));
+  }
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  const std::string rsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=1)";
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n_jobs; ++i) {
+    auto contact = client.Submit(env.site.gatekeeper(), rsl);
+    if (!contact.ok()) return -1;
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return n_jobs / elapsed;
+}
+
+void PrintThroughputTable() {
+  constexpr int kJobs = 1500;
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "End-to-end GRAM submission throughput (" << kJobs
+            << " jobs each)\n";
+  std::cout << "----------------------------------------------------------\n";
+  struct Row {
+    const char* label;
+    bool pep;
+    int sources;
+  };
+  const Row rows[] = {
+      {"stock GT2 (gridmap only)      ", false, 0},
+      {"extended GRAM, VO PEP         ", true, 1},
+      {"extended GRAM, local+VO PDP   ", true, 2},
+  };
+  double baseline = 0;
+  for (const Row& row : rows) {
+    double rate = MeasureSubmitsPerSecond(row.pep, row.sources, kJobs);
+    if (baseline == 0) baseline = rate;
+    std::cout << "  " << row.label << std::setw(10) << std::fixed
+              << std::setprecision(0) << rate << " jobs/s";
+    if (baseline > 0) {
+      std::cout << "  (" << std::setprecision(1) << 100.0 * rate / baseline
+                << "% of baseline)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void SubmitBench(benchmark::State& state, bool with_pep, int n_sources) {
+  BenchSite env;
+  if (with_pep) {
+    env.site.UseJobManagerPep(n_sources <= 1 ? VoSource()
+                                             : CombinedSource(n_sources));
+  }
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  const std::string rsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=1)";
+  for (auto _ : state) {
+    auto contact = client.Submit(env.site.gatekeeper(), rsl);
+    if (!contact.ok()) state.SkipWithError("submit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SubmitStock(benchmark::State& state) { SubmitBench(state, false, 0); }
+BENCHMARK(BM_SubmitStock)->Iterations(2000);
+
+void BM_SubmitVoPep(benchmark::State& state) { SubmitBench(state, true, 1); }
+BENCHMARK(BM_SubmitVoPep)->Iterations(2000);
+
+void BM_SubmitCombinedPdp(benchmark::State& state) {
+  SubmitBench(state, true, 2);
+}
+BENCHMARK(BM_SubmitCombinedPdp)->Iterations(2000);
+
+void ManagementBench(benchmark::State& state, bool with_pep) {
+  BenchSite env;
+  if (with_pep) {
+    env.site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(
+                  std::string{bench::kFigure3} +
+                  "\n/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:\n"
+                  "&(action = information)(jobowner = self)\n")
+                  .value()));
+  }
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  auto contact = client.Submit(
+      env.site.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=1000000)");
+  if (!contact.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto status = client.Status(env.site.jmis(), *contact);
+    if (!status.ok()) state.SkipWithError("status failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StatusStock(benchmark::State& state) {
+  ManagementBench(state, false);
+}
+BENCHMARK(BM_StatusStock)->Iterations(5000);
+
+void BM_StatusWithPep(benchmark::State& state) {
+  ManagementBench(state, true);
+}
+BENCHMARK(BM_StatusWithPep)->Iterations(5000);
+
+void BM_SchedulerDrainThroughput(benchmark::State& state) {
+  // How fast the simulated LRM chews through work, independent of GRAM.
+  const int n_jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    os::AccountRegistry accounts;
+    (void)accounts.Add("u");
+    os::SchedulerConfig config;
+    config.total_cpu_slots = 64;
+    os::SimScheduler scheduler{config, &accounts, 0};
+    for (int i = 0; i < n_jobs; ++i) {
+      os::JobSpec spec;
+      spec.executable = "load";
+      spec.count = 1 + i % 4;
+      spec.wall_duration = 1 + i % 17;
+      (void)scheduler.Submit("u", spec);
+    }
+    state.ResumeTiming();
+    scheduler.DrainAll(1'000'000);
+  }
+  state.SetItemsProcessed(state.iterations() * n_jobs);
+}
+BENCHMARK(BM_SchedulerDrainThroughput)->Arg(100)->Arg(1000)->Iterations(20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintThroughputTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment F1 (DESIGN.md): regenerates Figure 1 — the interaction of
+// the stock GT2 GRAM components — as a live trace of the component log,
+// then benchmarks the baseline (no-PEP) submission and management path.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+using namespace gridauthz;
+using bench::BenchSite;
+
+namespace {
+
+void PrintFigure1Trace() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Figure 1: interaction of the main components of GRAM\n";
+  std::cout << "(stock GT2: gridmap authorization, no PEP callout)\n";
+  std::cout << "----------------------------------------------------------\n";
+
+  log::Logger::Instance().set_level(log::Level::kDebug);
+  log::CaptureSink sink;
+
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  auto contact = client.Submit(env.site.gatekeeper(),
+                               "&(executable=test1)(simduration=10)");
+  if (contact.ok()) {
+    (void)client.Status(env.site.jmis(), *contact);
+    env.site.Advance(10);
+    (void)client.Status(env.site.jmis(), *contact);
+  }
+  log::Logger::Instance().set_level(log::Level::kWarn);
+
+  for (const auto& record : sink.records()) {
+    std::cout << "  [" << record.component << "] " << record.message << "\n";
+  }
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void BM_BaselineSubmit(benchmark::State& state) {
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(env.site.gatekeeper(),
+                                 "&(executable=test1)(simduration=1)");
+    benchmark::DoNotOptimize(contact);
+    if (!contact.ok()) state.SkipWithError("submit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineSubmit)->Iterations(2000);
+
+void BM_BaselineStatus(benchmark::State& state) {
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  auto contact = client.Submit(env.site.gatekeeper(),
+                               "&(executable=test1)(simduration=1000000)");
+  for (auto _ : state) {
+    auto status = client.Status(env.site.jmis(), *contact);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineStatus)->Iterations(5000);
+
+void BM_BaselineCancelDeniedForOtherUser(benchmark::State& state) {
+  // The stock identity-match denial path (shortcoming 2 of section 4.3).
+  BenchSite env;
+  gram::GramClient owner = env.site.MakeClient(env.boliu);
+  gram::GramClient other = env.site.MakeClient(env.kate);
+  auto contact = owner.Submit(env.site.gatekeeper(),
+                              "&(executable=test1)(simduration=1000000)");
+  for (auto _ : state) {
+    auto cancel = other.Cancel(env.site.jmis(), *contact,
+                               {.expected_job_owner = bench::kBoLiu});
+    benchmark::DoNotOptimize(cancel);
+    if (cancel.ok()) state.SkipWithError("unexpected permit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineCancelDeniedForOtherUser)->Iterations(5000);
+
+void BM_GsiHandshake(benchmark::State& state) {
+  // The per-request authentication cost underlying every GRAM exchange.
+  BenchSite env;
+  for (auto _ : state) {
+    auto handshake = gsi::EstablishSecurityContext(
+        env.boliu, env.kate, env.site.trust(), env.site.clock().Now());
+    benchmark::DoNotOptimize(handshake);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsiHandshake)->Iterations(5000);
+
+void BM_GridmapLookup(benchmark::State& state) {
+  BenchSite env;
+  auto dn = gsi::DistinguishedName::Parse(bench::kBoLiu).value();
+  for (auto _ : state) {
+    auto account = env.site.gridmap().DefaultAccount(dn);
+    benchmark::DoNotOptimize(account);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridmapLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1Trace();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

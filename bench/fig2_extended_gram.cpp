@@ -1,0 +1,203 @@
+// Experiment F2 (DESIGN.md): regenerates Figure 2 — GRAM with the
+// authorization callout in the Job Manager — as a live trace showing the
+// PEP invocations, then measures the cost the callout adds to submission
+// and management relative to the Figure 1 baseline.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+using namespace gridauthz;
+using bench::BenchSite;
+
+namespace {
+
+std::shared_ptr<core::StaticPolicySource> Figure3Source() {
+  return std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(bench::kFigure3).value());
+}
+
+void PrintFigure2Trace() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Figure 2: changes to GRAM - the Job Manager hosts a PEP\n";
+  std::cout << "invoking the authorization callout before start/cancel/\n";
+  std::cout << "information/signal (watch for [pep] and [job-manager] lines)\n";
+  std::cout << "----------------------------------------------------------\n";
+
+  log::Logger::Instance().set_level(log::Level::kDebug);
+  log::CaptureSink sink;
+
+  BenchSite env;
+  env.site.UseJobManagerPep(Figure3Source());
+  gram::GramClient boliu = env.site.MakeClient(env.boliu);
+  gram::GramClient kate = env.site.MakeClient(env.kate);
+  auto contact = boliu.Submit(
+      env.site.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+      "(simduration=100)");
+  if (contact.ok()) {
+    (void)kate.Cancel(env.site.jmis(), *contact,
+                      {.expected_job_owner = bench::kBoLiu});
+  }
+  log::Logger::Instance().set_level(log::Level::kWarn);
+
+  for (const auto& record : sink.records()) {
+    std::cout << "  [" << record.component << "] " << record.message << "\n";
+  }
+  std::cout << "  callout invocations: "
+            << env.site.callouts().invocation_count() << "\n";
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+// Paired benchmarks: identical request with and without the PEP. The
+// difference is the authorization overhead the paper's extension adds.
+
+void BM_SubmitNoPep(benchmark::State& state) {
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(
+        env.site.gatekeeper(),
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+        "(simduration=1)");
+    if (!contact.ok()) state.SkipWithError("submit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitNoPep)->Iterations(2000);
+
+void BM_SubmitWithPep(benchmark::State& state) {
+  BenchSite env;
+  env.site.UseJobManagerPep(Figure3Source());
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(
+        env.site.gatekeeper(),
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+        "(simduration=1)");
+    if (!contact.ok()) state.SkipWithError(contact.error().message().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["callouts"] = static_cast<double>(
+      env.site.callouts().invocation_count());
+}
+BENCHMARK(BM_SubmitWithPep)->Iterations(2000);
+
+void BM_SubmitWithPepDenied(benchmark::State& state) {
+  // Denials are cheaper than permits end-to-end (no scheduler work), but
+  // exercise the full policy evaluation.
+  BenchSite env;
+  env.site.UseJobManagerPep(Figure3Source());
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(
+        env.site.gatekeeper(),
+        "&(executable=forbidden)(directory=/sandbox/test)(jobtag=ADS)(count=2)");
+    if (contact.ok()) state.SkipWithError("unexpected permit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitWithPepDenied)->Iterations(2000);
+
+void BM_CalloutAlone(benchmark::State& state) {
+  // The pure callout dispatch + policy evaluation, isolated from GRAM.
+  gram::CalloutDispatcher dispatcher;
+  dispatcher.BindDirect(std::string{gram::kJobManagerAuthzType},
+                        gram::MakePdpCallout(Figure3Source()));
+  gram::CalloutData data;
+  data.requester_identity = bench::kBoLiu;
+  data.job_owner_identity = bench::kBoLiu;
+  data.action = "start";
+  data.rsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)";
+  for (auto _ : state) {
+    auto result = dispatcher.Invoke(gram::kJobManagerAuthzType, data);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalloutAlone);
+
+void BM_DenyAtGatekeeperPep(benchmark::State& state) {
+  // PEP placement ablation (section 5.2 discusses multiple decision
+  // domains): an identity-level denial at the Gatekeeper happens before
+  // the gridmap lookup and JMI creation...
+  gram::SiteOptions options;
+  options.enable_gatekeeper_callout = true;
+  gram::SimulatedSite site{options};
+  (void)site.AddAccount("boliu");
+  auto boliu = site.CreateUser(bench::kBoLiu).value();
+  (void)site.MapUser(boliu, "boliu");
+  site.callouts().BindDirect(
+      std::string{gram::kGatekeeperAuthzType},
+      [](const gram::CalloutData&) -> Expected<void> {
+        return Error{ErrCode::kAuthorizationDenied, "identity not in the VO"};
+      });
+  gram::GramClient client = site.MakeClient(boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(
+        site.gatekeeper(),
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)");
+    if (contact.ok()) state.SkipWithError("unexpected permit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenyAtGatekeeperPep)->Iterations(2000);
+
+void BM_DenyAtJobManagerPep(benchmark::State& state) {
+  // ...while the RSL-aware denial in the Job Manager pays for the JMI and
+  // RSL parsing first. The gap is the cost of fine-grain placement.
+  BenchSite env;
+  env.site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse("/:\n&(action = cancel)\n").value()));
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(
+        env.site.gatekeeper(),
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)");
+    if (contact.ok()) state.SkipWithError("unexpected permit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenyAtJobManagerPep)->Iterations(2000);
+
+void BM_ManagementWithPep(benchmark::State& state) {
+  // VO-wide management: Kate querying Bo Liu's job through the PEP.
+  BenchSite env;
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                std::string{bench::kFigure3} +
+                "\n/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:\n"
+                "&(action = information)(jobtag = NFC)\n")
+                .value());
+  env.site.UseJobManagerPep(source);
+  gram::GramClient boliu = env.site.MakeClient(env.boliu);
+  gram::GramClient kate = env.site.MakeClient(env.kate);
+  auto contact = boliu.Submit(
+      env.site.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+      "(simduration=1000000)");
+  if (!contact.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto status = kate.Status(env.site.jmis(), *contact,
+                              {.expected_job_owner = bench::kBoLiu});
+    if (!status.ok()) state.SkipWithError("status failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ManagementWithPep)->Iterations(5000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure2Trace();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Experiment F3 (DESIGN.md): regenerates Figure 3 — the paper's example
+// VO policy — by printing the verbatim policy and the decision matrix for
+// every case the paper discusses, then benchmarking decision latency on
+// this exact policy.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/source.h"
+
+using namespace gridauthz;
+
+namespace {
+
+struct Case {
+  const char* description;
+  const char* subject;
+  const char* action;
+  const char* owner;  // nullptr = subject
+  const char* rsl;
+  bool expected_permit;
+};
+
+const std::vector<Case>& PaperCases() {
+  static const std::vector<Case> cases = {
+      {"Bo Liu: start test1 (ADS, count=2) in /sandbox/test",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+       true},
+      {"Bo Liu: start test2 (NFC, count=3) in /sandbox/test",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)",
+       true},
+      {"Bo Liu: start test1 with count=4 (violates count<4)",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)",
+       false},
+      {"Bo Liu: start TRANSP (not in her executable set)",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)",
+       false},
+      {"Bo Liu: start test1 without a jobtag (group requirement)",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=test1)(directory=/sandbox/test)(count=1)", false},
+      {"Bo Liu: start test1 from the wrong directory",
+       bench::kBoLiu, "start", nullptr,
+       "&(executable=test1)(directory=/home/boliu)(jobtag=ADS)(count=1)",
+       false},
+      {"Kate Keahey: start TRANSP (NFC) in /sandbox/test",
+       bench::kKate, "start", nullptr,
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)",
+       true},
+      {"Kate Keahey: start TRANSP without a jobtag",
+       bench::kKate, "start", nullptr,
+       "&(executable=TRANSP)(directory=/sandbox/test)(count=1)", false},
+      {"Kate Keahey: cancel Bo Liu's NFC job (the paper's example)",
+       bench::kKate, "cancel", bench::kBoLiu,
+       "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)",
+       true},
+      {"Kate Keahey: cancel Bo Liu's ADS job (wrong jobtag)",
+       bench::kKate, "cancel", bench::kBoLiu,
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+       false},
+      {"Bo Liu: cancel her own ADS job (no cancel permission at all)",
+       bench::kBoLiu, "cancel", nullptr,
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+       false},
+      {"Outsider: start test1 (no applicable statement)",
+       "/O=Grid/O=Other/CN=Outsider", "start", nullptr,
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)",
+       false},
+  };
+  return cases;
+}
+
+core::AuthorizationRequest ToRequest(const Case& c) {
+  core::AuthorizationRequest request;
+  request.subject = c.subject;
+  request.action = c.action;
+  request.job_owner = c.owner == nullptr ? c.subject : c.owner;
+  request.job_rsl = rsl::ParseConjunction(c.rsl).value();
+  return request;
+}
+
+int PrintDecisionMatrix() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Figure 3: simple VO-wide policy for job management\n";
+  std::cout << "----------------------------------------------------------";
+  std::cout << bench::kFigure3;
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Decision matrix (expected = the paper's discussion):\n\n";
+
+  core::PolicyEvaluator evaluator{
+      core::PolicyDocument::Parse(bench::kFigure3).value()};
+  int mismatches = 0;
+  for (const Case& c : PaperCases()) {
+    core::Decision decision = evaluator.Evaluate(ToRequest(c));
+    const bool match = decision.permitted() == c.expected_permit;
+    if (!match) ++mismatches;
+    std::cout << "  " << (decision.permitted() ? "PERMIT" : "DENY  ") << " "
+              << (match ? "[as expected]" : "[MISMATCH!]") << " "
+              << c.description << "\n";
+    if (!decision.permitted()) {
+      std::cout << "         reason: " << decision.reason << "\n";
+    }
+  }
+  std::cout << "\n" << PaperCases().size() - mismatches << "/"
+            << PaperCases().size() << " decisions match the paper.\n";
+  std::cout << "----------------------------------------------------------\n\n";
+  return mismatches;
+}
+
+void BM_Figure3Decision(benchmark::State& state) {
+  core::PolicyEvaluator evaluator{
+      core::PolicyDocument::Parse(bench::kFigure3).value()};
+  const auto& cases = PaperCases();
+  std::vector<core::AuthorizationRequest> requests;
+  requests.reserve(cases.size());
+  for (const Case& c : cases) requests.push_back(ToRequest(c));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    core::Decision decision = evaluator.Evaluate(requests[i]);
+    benchmark::DoNotOptimize(decision);
+    i = (i + 1) % requests.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Figure3Decision);
+
+void BM_Figure3Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto document = core::PolicyDocument::Parse(bench::kFigure3);
+    benchmark::DoNotOptimize(document);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Figure3Parse);
+
+void BM_EffectiveRslConstruction(benchmark::State& state) {
+  auto request = ToRequest(PaperCases().front());
+  for (auto _ : state) {
+    rsl::Conjunction effective = request.ToEffectiveRsl();
+    benchmark::DoNotOptimize(effective);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EffectiveRslConstruction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mismatches = PrintDecisionMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+// Experiment A5 (DESIGN.md): pluggable authorization on the storage path
+// — the conclusion's claim quantified. Prints a decision table for the
+// transfer PEP, then measures transfer-operation cost with and without
+// the PEP, versus pure local (quota/ownership) enforcement, and policy
+// scaling over subtree rules.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gram/pdp_callout.h"
+#include "gridftp/transfer_service.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kAnalyst = "/O=Grid/O=NFC/CN=Analyst";
+
+struct FtpEnv {
+  explicit FtpEnv(bool with_pep) : storage(1 << 30, &site.site.clock()) {
+    (void)site.site.AddAccount("analyst");
+    analyst = site.site.CreateUser(kAnalyst).value();
+    (void)site.site.MapUser(analyst, "analyst");
+    if (with_pep) {
+      site.site.callouts().BindDirect(
+          std::string{gridftp::kGridFtpAuthzType},
+          gram::MakePdpCallout(std::make_shared<core::StaticPolicySource>(
+              "vo", core::PolicyDocument::Parse(
+                        std::string{kAnalyst} +
+                        ":\n&(action = put)(path = /volumes/nfc/*)"
+                        "(size <= 500)\n&(action = get)(path = "
+                        "/volumes/nfc/*)\n")
+                        .value())));
+    }
+    gridftp::FileTransferService::Params params;
+    params.host = site.site.host();
+    params.host_credential = IssueCredential(
+        site.site.ca(),
+        gsi::DistinguishedName::Parse("/O=Grid/OU=services/CN=gridftp")
+            .value(),
+        site.site.clock().Now());
+    params.trust = &site.site.trust();
+    params.gridmap = &site.site.gridmap();
+    params.storage = &storage;
+    params.clock = &site.site.clock();
+    params.callouts = &site.site.callouts();
+    service =
+        std::make_unique<gridftp::FileTransferService>(std::move(params));
+  }
+
+  bench::BenchSite site;
+  gridftp::SimStorage storage;
+  gsi::Credential analyst;
+  std::unique_ptr<gridftp::FileTransferService> service;
+};
+
+void PrintDecisionTable() {
+  std::cout << "----------------------------------------------------------\n";
+  std::cout << "Transfer PEP decisions (policy: put under /volumes/nfc/,\n";
+  std::cout << "size <= 500 MB; get under /volumes/nfc/)\n";
+  std::cout << "----------------------------------------------------------\n";
+  FtpEnv env{/*with_pep=*/true};
+  struct Probe {
+    const char* label;
+    const char* path;
+    std::int64_t size;
+  };
+  const Probe probes[] = {
+      {"put 100 MB inside subtree  ", "/volumes/nfc/a.dat", 100},
+      {"put 800 MB inside subtree  ", "/volumes/nfc/b.dat", 800},
+      {"put 1 MB outside subtree   ", "/volumes/other/c.dat", 1},
+  };
+  for (const Probe& probe : probes) {
+    auto result = env.service->Put(env.analyst, probe.path, probe.size);
+    std::cout << "  " << probe.label << "  "
+              << (result.ok() ? "PERMIT"
+                              : std::string{to_string(result.error().code())})
+              << "\n";
+  }
+  std::cout << "----------------------------------------------------------\n\n";
+}
+
+void BM_PutNoPep(benchmark::State& state) {
+  FtpEnv env{/*with_pep=*/false};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto result = env.service->Put(
+        env.analyst, "/volumes/nfc/f" + std::to_string(i++) + ".dat", 1);
+    if (!result.ok()) state.SkipWithError("put failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutNoPep)->Iterations(2000);
+
+void BM_PutWithPep(benchmark::State& state) {
+  FtpEnv env{/*with_pep=*/true};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto result = env.service->Put(
+        env.analyst, "/volumes/nfc/f" + std::to_string(i++) + ".dat", 1);
+    if (!result.ok()) state.SkipWithError("put failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutWithPep)->Iterations(2000);
+
+void BM_GetWithPep(benchmark::State& state) {
+  FtpEnv env{/*with_pep=*/true};
+  if (!env.service->Put(env.analyst, "/volumes/nfc/data.dat", 10).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = env.service->Get(env.analyst, "/volumes/nfc/data.dat");
+    if (!result.ok()) state.SkipWithError("get failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetWithPep)->Iterations(5000);
+
+void BM_TransferDecisionVsSubtreeRules(benchmark::State& state) {
+  // Policy-side scaling: many subtree rules, the matching one last.
+  const int n_rules = static_cast<int>(state.range(0));
+  std::string policy_text = std::string{kAnalyst} + ":\n";
+  for (int i = 0; i < n_rules; ++i) {
+    policy_text += "&(action = put)(path = /volumes/vol" + std::to_string(i) +
+                   "/*)\n";
+  }
+  policy_text += "&(action = put)(path = /volumes/nfc/*)\n";
+  core::PolicyEvaluator evaluator{
+      core::PolicyDocument::Parse(policy_text).value()};
+  auto request = gridftp::MakeTransferRequest(kAnalyst, gridftp::kActionPut,
+                                              "/volumes/nfc/a.dat", 10);
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] = n_rules + 1;
+}
+BENCHMARK(BM_TransferDecisionVsSubtreeRules)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_StoragePutRaw(benchmark::State& state) {
+  // The local-enforcement floor: storage operation without any GSI/PEP.
+  SimClock clock;
+  gridftp::SimStorage storage{1 << 30, &clock};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        storage.Put("/volumes/f" + std::to_string(i++) + ".dat", 1, "a");
+    if (!result.ok()) state.SkipWithError("put failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoragePutRaw);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDecisionTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Wire-protocol overhead: frame encode/decode, typed message round
+// trips, signed-envelope protection, credential persistence, and the
+// frame-level submission path versus the in-process call path. The
+// paper's protocol extension (error codes + reasons) must be cheap
+// enough to leave the authorization costs (fig2/T2) as the story.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "gram/recovery.h"
+#include "gram/secure_frame.h"
+#include "gram/wire_service.h"
+
+using namespace gridauthz;
+using bench::BenchSite;
+
+namespace {
+
+void BM_FrameSerializeParse(benchmark::State& state) {
+  gram::wire::JobRequest request;
+  request.rsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)";
+  request.callback_url = "https://client.example:7512/callback/1";
+  for (auto _ : state) {
+    std::string text = request.Encode().Serialize();
+    auto parsed = gram::wire::Message::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameSerializeParse);
+
+void BM_TypedReplyRoundTrip(benchmark::State& state) {
+  gram::wire::ManagementReply reply;
+  reply.code = gram::GramErrorCode::kAuthorizationDenied;
+  reply.status = gram::JobStatus::kActive;
+  reply.job_owner = bench::kBoLiu;
+  reply.jobtag = "NFC";
+  reply.reason =
+      "requirement for '/O=Grid/O=Globus/OU=mcs.anl.gov' violated at "
+      "relation (jobtag != NULL)";
+  for (auto _ : state) {
+    auto decoded = gram::wire::ManagementReply::Decode(
+        gram::wire::Message::Parse(reply.Encode().Serialize()).value());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TypedReplyRoundTrip);
+
+void BM_WireSubmitEndToEnd(benchmark::State& state) {
+  BenchSite env;
+  gram::wire::WireEndpoint endpoint{&env.site.gatekeeper(), &env.site.jmis(),
+                                    &env.site.trust(), &env.site.clock()};
+  gram::wire::WireClient client{env.boliu, &endpoint};
+  for (auto _ : state) {
+    auto contact = client.Submit("&(executable=test1)(simduration=1)");
+    if (!contact.ok()) state.SkipWithError("submit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSubmitEndToEnd)->Iterations(2000);
+
+void BM_InProcessSubmitForComparison(benchmark::State& state) {
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (auto _ : state) {
+    auto contact = client.Submit(env.site.gatekeeper(),
+                                 "&(executable=test1)(simduration=1)");
+    if (!contact.ok()) state.SkipWithError("submit failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InProcessSubmitForComparison)->Iterations(2000);
+
+void BM_SignFrame(benchmark::State& state) {
+  BenchSite env;
+  const std::string frame =
+      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt}
+          .Encode()
+          .Serialize();
+  for (auto _ : state) {
+    std::string envelope =
+        gram::SignFrame(env.boliu, frame, env.site.clock().Now());
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignFrame);
+
+void BM_VerifyFrame(benchmark::State& state) {
+  BenchSite env;
+  const std::string frame =
+      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt}
+          .Encode()
+          .Serialize();
+  std::string envelope =
+      gram::SignFrame(env.boliu, frame, env.site.clock().Now());
+  for (auto _ : state) {
+    auto verified = gram::VerifyFrame(envelope, env.site.trust(),
+                                      env.site.clock().Now());
+    if (!verified.ok()) state.SkipWithError("verify failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VerifyFrame);
+
+void BM_CredentialPersistRoundTrip(benchmark::State& state) {
+  BenchSite env;
+  auto proxy = env.boliu.GenerateProxy(env.site.clock().Now(), 3600).value();
+  for (auto _ : state) {
+    auto decoded = gram::DecodeCredential(gram::EncodeCredential(proxy));
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CredentialPersistRoundTrip);
+
+void BM_SaveRestoreRegistry(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  BenchSite env;
+  gram::GramClient client = env.site.MakeClient(env.boliu);
+  for (int i = 0; i < jobs; ++i) {
+    auto contact = client.Submit(env.site.gatekeeper(),
+                                 "&(executable=test1)(simduration=100000)");
+    if (!contact.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  gram::RestoreEnvironment environment;
+  environment.scheduler = &env.site.scheduler();
+  environment.clock = &env.site.clock();
+  environment.callouts = &env.site.callouts();
+  for (auto _ : state) {
+    std::string saved = gram::SaveJobManagerState(env.site.jmis());
+    gram::JobManagerRegistry restored;
+    auto count = gram::RestoreJobManagerState(saved, restored, environment);
+    if (!count.ok() || *count != jobs) state.SkipWithError("restore failed");
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_SaveRestoreRegistry)->Arg(10)->Arg(100)->Iterations(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

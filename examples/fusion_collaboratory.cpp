@@ -1,0 +1,137 @@
+// The National Fusion Collaboratory scenario with the VERBATIM Figure 3
+// policy from the paper: Bo Liu starts a `test1` job in the ADS group and
+// a `test2` job in the NFC group; Kate Keahey runs TRANSP and — the
+// paper's headline capability — cancels Bo Liu's NFC job via the jobtag,
+// something stock GT2 can never authorize.
+#include <iomanip>
+#include <iostream>
+
+#include "gram/site.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+// Figure 3, verbatim.
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+void Report(const std::string& what, const Expected<std::string>& result) {
+  if (result.ok()) {
+    std::cout << "  [PERMITTED] " << what << "\n              -> " << *result
+              << "\n";
+  } else {
+    std::cout << "  [DENIED]    " << what << "\n              -> "
+              << gram::to_string(gram::ToProtocolCode(result.error())) << ": "
+              << result.error().message() << "\n";
+  }
+}
+
+void ReportVoid(const std::string& what, const Expected<void>& result) {
+  if (result.ok()) {
+    std::cout << "  [PERMITTED] " << what << "\n";
+  } else {
+    std::cout << "  [DENIED]    " << what << "\n              -> "
+              << gram::to_string(gram::ToProtocolCode(result.error())) << ": "
+              << result.error().message() << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== National Fusion Collaboratory: Figure 3 policy ===\n";
+  std::cout << kFigure3 << "\n";
+
+  gram::SimulatedSite site;
+  (void)site.AddAccount("boliu");
+  (void)site.AddAccount("keahey");
+  auto boliu = site.CreateUser(kBoLiu).value();
+  auto kate = site.CreateUser(kKate).value();
+  (void)site.MapUser(boliu, "boliu");
+  (void)site.MapUser(kate, "keahey");
+
+  site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(kFigure3).value()));
+
+  gram::GramClient boliu_client = site.MakeClient(boliu);
+  gram::GramClient kate_client = site.MakeClient(kate);
+
+  std::cout << "--- Bo Liu's submissions ---\n";
+  auto ads_job = boliu_client.Submit(
+      site.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=500)");
+  Report("start test1, jobtag=ADS, count=2", ads_job);
+
+  auto nfc_job = boliu_client.Submit(
+      site.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)"
+      "(simduration=500)");
+  Report("start test2, jobtag=NFC, count=3", nfc_job);
+
+  Report("start test1 with count=4 (violates count<4)",
+         boliu_client.Submit(
+             site.gatekeeper(),
+             "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)"));
+  Report("start TRANSP (not in her executable set)",
+         boliu_client.Submit(
+             site.gatekeeper(),
+             "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"));
+  Report("start test1 without a jobtag (violates the VO requirement)",
+         boliu_client.Submit(
+             site.gatekeeper(),
+             "&(executable=test1)(directory=/sandbox/test)(count=1)"));
+
+  std::cout << "--- Kate Keahey's submissions ---\n";
+  auto transp = kate_client.Submit(
+      site.gatekeeper(),
+      "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+      "(simduration=100)");
+  Report("start TRANSP, jobtag=NFC", transp);
+
+  std::cout << "--- VO-wide job management via jobtag ---\n";
+  if (nfc_job.ok()) {
+    ReportVoid(
+        "Kate cancels Bo Liu's NFC job (impossible in stock GT2)",
+        kate_client.Cancel(site.jmis(), *nfc_job,
+                           {.expected_job_owner = kBoLiu}));
+    auto status = boliu_client.Status(site.jmis(), *nfc_job);
+    if (!status.ok()) {
+      // Bo Liu has no information permission under Figure 3.
+      std::cout << "  (Bo Liu can no longer query it: "
+                << status.error().message() << ")\n";
+    } else {
+      std::cout << "  Bo Liu's NFC job is now: "
+                << gram::to_string(status->status) << "\n";
+    }
+  }
+  if (ads_job.ok()) {
+    ReportVoid("Kate tries to cancel Bo Liu's ADS job (wrong jobtag)",
+               kate_client.Cancel(site.jmis(), *ads_job,
+                                  {.expected_job_owner = kBoLiu}));
+  }
+
+  std::cout << "\n--- resource accounting ---\n";
+  site.Advance(600);
+  for (const char* account : {"boliu", "keahey"}) {
+    auto usage = site.scheduler().Usage(account);
+    std::cout << "  " << std::setw(8) << account << ": submitted "
+              << usage.jobs_submitted << ", completed " << usage.jobs_completed
+              << ", cpu-seconds " << usage.cpu_seconds << "\n";
+  }
+  std::cout << "\nscenario complete.\n";
+  return 0;
+}

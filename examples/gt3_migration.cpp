@@ -1,0 +1,132 @@
+// The migration path from the paper's conclusion: the same VO workload
+// run through (a) the extended GT2 GRAM (PEP in the user-credentialed Job
+// Manager) and (b) a GT3-style trusted Managed Job Service — showing what
+// the new architecture fixes: the admin can apply rights beyond the job
+// initiator's account, and users without static accounts get dynamic
+// accounts configured from the job description.
+#include <iostream>
+
+#include "gram3/managed_job_service.h"
+#include "gram/site.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kOwner = "/O=Grid/O=NFC/CN=Scientist";
+constexpr const char* kAdmin = "/O=Grid/O=NFC/CN=VO Admin";
+constexpr const char* kVisitor = "/O=Grid/O=NFC/CN=Visiting Member";
+
+constexpr const char* kVoPolicy = R"(
+/O=Grid/O=NFC/CN=Scientist:
+&(action = start)(executable = sim)(count < 8)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=NFC/CN=Visiting Member:
+&(action = start)(executable = sim)(count < 4)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=NFC/CN=VO Admin:
+&(action = cancel)
+&(action = signal)
+&(action = information)
+)";
+
+void Show(const char* label, const Expected<void>& result) {
+  std::cout << "  " << label << ": "
+            << (result.ok() ? "OK" : result.error().to_string()) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== GT2 extended GRAM vs GT3 trusted service ===\n\n";
+
+  gram::SimulatedSite site;
+  os::ResourceLimits owner_limits;
+  owner_limits.max_priority = 0;
+  (void)site.AddAccount("scientist", {}, owner_limits);
+  auto owner = site.CreateUser(kOwner).value();
+  auto admin = site.CreateUser(kAdmin).value();
+  auto visitor = site.CreateUser(kVisitor).value();
+  (void)site.MapUser(owner, "scientist");
+  site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(kVoPolicy).value()));
+
+  // ------------------------------------------------------------------
+  std::cout << "[GT2] PEP in the Job Manager, which runs as the user\n";
+  gram::GramClient owner_client = site.MakeClient(owner);
+  gram::GramClient admin_client = site.MakeClient(admin);
+  auto gt2_job = owner_client.Submit(
+      site.gatekeeper(), "&(executable=sim)(count=2)(simduration=100000)");
+  if (!gt2_job.ok()) {
+    std::cerr << "GT2 submit failed: " << gt2_job.error() << "\n";
+    return 1;
+  }
+  Show("admin cancels member's job (VO policy)  ",
+       admin_client.Cancel(site.jmis(), *gt2_job,
+                           {.expected_job_owner = kOwner}));
+  auto gt2_job2 = owner_client.Submit(
+      site.gatekeeper(), "&(executable=sim)(count=2)(simduration=100000)");
+  Show("admin raises priority to 9              ",
+       admin_client.Signal(site.jmis(), *gt2_job2,
+                           {gram::SignalKind::kPriority, 9},
+                           {.expected_job_owner = kOwner}));
+  gram::GramClient visitor_client = site.MakeClient(visitor);
+  auto gt2_visitor =
+      visitor_client.Submit(site.gatekeeper(), "&(executable=sim)(count=1)");
+  std::cout << "  visitor without a local account submits : "
+            << (gt2_visitor.ok() ? "OK" : gt2_visitor.error().to_string())
+            << "\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "\n[GT3] trusted Managed Job Service with a dynamic pool\n";
+  sandbox::DynamicAccountPool pool{&site.accounts(), "dyn", 4};
+  auto service_credential = IssueCredential(
+      site.ca(),
+      gsi::DistinguishedName::Parse("/O=Grid/OU=services/CN=mjs").value(),
+      site.clock().Now());
+  gram3::ManagedJobService::Params params;
+  params.service_credential = service_credential;
+  params.trust = &site.trust();
+  params.scheduler = &site.scheduler();
+  params.accounts = &site.accounts();
+  params.clock = &site.clock();
+  params.callouts = &site.callouts();
+  params.gridmap = &site.gridmap();
+  params.account_pool = &pool;
+  gram3::ManagedJobService service{std::move(params)};
+
+  auto gt3_job = service.CreateJob(
+      owner, "&(executable=sim)(count=2)(simduration=100000)");
+  if (!gt3_job.ok()) {
+    std::cerr << "GT3 create failed: " << gt3_job.error() << "\n";
+    return 1;
+  }
+  Show("admin cancels member's job (VO policy)  ",
+       service.Cancel(admin, *gt3_job));
+  auto gt3_job2 = service.CreateJob(
+      owner, "&(executable=sim)(count=2)(simduration=100000)");
+  Show("admin raises priority to 9              ",
+       service.Signal(admin, *gt3_job2, {gram::SignalKind::kPriority, 9}));
+
+  auto gt3_visitor =
+      service.CreateJob(visitor, "&(executable=sim)(count=1)(simduration=10)");
+  std::cout << "  visitor without a local account submits : "
+            << (gt3_visitor.ok() ? "OK (dynamic account, " +
+                                       std::to_string(pool.in_use()) +
+                                       " leased)"
+                                 : gt3_visitor.error().to_string())
+            << "\n";
+  site.Advance(10);
+  (void)service.Status(visitor, *gt3_visitor);  // housekeeping recycles
+  std::cout << "  after the job finishes, pool in use     : "
+            << pool.in_use() << " (account recycled)\n";
+
+  std::cout << "\nSummary: identical VO policy and decisions in both\n"
+               "architectures; the trusted service additionally applies\n"
+               "rights beyond the initiator's account (priority) and\n"
+               "integrates dynamic accounts at creation time — the paper's\n"
+               "conclusion about GT3.\n";
+  return 0;
+}

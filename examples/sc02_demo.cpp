@@ -1,0 +1,137 @@
+// The SC02-style generality demo: the SAME VO rule ("Bo Liu may start
+// TRANSP on fewer than 4 cpus, and VO admins may cancel NFC jobs")
+// enforced through three different authorization systems behind the one
+// GRAM callout API:
+//   1. the prototype's plain-text policy file,
+//   2. the Akenti certificate-based engine,
+//   3. CAS capability credentials (restricted proxies).
+#include <iostream>
+
+#include "akenti/akenti.h"
+#include "cas/cas.h"
+#include "common/config.h"
+#include "gram/site.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kResource = "gram/fusion.anl.gov";
+
+void Try(gram::SimulatedSite& site, gram::GramClient& client,
+         const std::string& label, const std::string& rsl) {
+  auto contact = client.Submit(site.gatekeeper(), rsl);
+  std::cout << "    " << label << ": "
+            << (contact.ok()
+                    ? "PERMITTED"
+                    : std::string{gram::to_string(
+                          gram::ToProtocolCode(contact.error()))})
+            << "\n";
+}
+
+gsi::DistinguishedName Dn(const std::string& text) {
+  return gsi::DistinguishedName::Parse(text).value();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== one VO rule, three authorization systems ===\n\n";
+
+  // ------------------------------------------------------------------
+  std::cout << "[1] plain-text policy file (the paper's prototype)\n";
+  {
+    gram::SimulatedSite site;
+    (void)site.AddAccount("boliu");
+    auto boliu = site.CreateUser(kBoLiu).value();
+    (void)site.MapUser(boliu, "boliu");
+
+    const std::string path = "/tmp/gridauthz_sc02_policy.txt";
+    (void)WriteFile(path,
+                    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:\n"
+                    "&(action = start)(executable = TRANSP)(count < 4)\n");
+    site.UseJobManagerPep(
+        std::make_shared<core::FilePolicySource>("vo-file", path));
+
+    gram::GramClient client = site.MakeClient(boliu);
+    Try(site, client, "TRANSP count=2", "&(executable=TRANSP)(count=2)");
+    Try(site, client, "TRANSP count=8", "&(executable=TRANSP)(count=8)");
+    Try(site, client, "other executable", "&(executable=rm)(count=1)");
+  }
+
+  // ------------------------------------------------------------------
+  std::cout << "\n[2] Akenti: stakeholder use-conditions + attribute certs\n";
+  {
+    gram::SimulatedSite site;
+    (void)site.AddAccount("boliu");
+    auto boliu = site.CreateUser(kBoLiu).value();
+    (void)site.MapUser(boliu, "boliu");
+
+    auto stakeholder = IssueCredential(
+        site.ca(), Dn("/O=Grid/O=NFC/CN=VO Stakeholder"), site.clock().Now());
+    auto attribute_authority = IssueCredential(
+        site.ca(), Dn("/O=Grid/O=NFC/CN=Attribute Authority"),
+        site.clock().Now());
+
+    auto engine = std::make_shared<akenti::AkentiEngine>(kResource,
+                                                         &site.clock());
+    engine->TrustStakeholder(stakeholder.identity());
+    akenti::UseConditionBuilder builder{kResource, stakeholder};
+    builder.GrantAction("start")
+        .RequireAttribute({"group", "NFC-analysts"})
+        .TrustIssuer(attribute_authority.identity())
+        .WithConstraints(
+            rsl::ParseConjunction("&(executable = TRANSP)(count < 4)").value());
+    (void)engine->AddUseCondition(builder.Sign());
+    engine->AddAttributeCertificate(akenti::IssueAttributeCertificate(
+        attribute_authority, Dn(kBoLiu), {"group", "NFC-analysts"},
+        site.clock().Now()));
+
+    site.UseJobManagerPep(std::make_shared<akenti::AkentiPolicySource>(engine));
+    gram::GramClient client = site.MakeClient(boliu);
+    Try(site, client, "TRANSP count=2", "&(executable=TRANSP)(count=2)");
+    Try(site, client, "TRANSP count=8", "&(executable=TRANSP)(count=8)");
+    Try(site, client, "other executable", "&(executable=rm)(count=1)");
+  }
+
+  // ------------------------------------------------------------------
+  std::cout << "\n[3] CAS: VO-issued restricted proxy carrying the policy\n";
+  {
+    gram::SimulatedSite site;
+    (void)site.AddAccount("nfc_community");
+    auto community = IssueCredential(
+        site.ca(), Dn("/O=Grid/O=NFC/CN=NFC Community"), site.clock().Now());
+    (void)site.gridmap().Add(community.identity(), {"nfc_community"});
+
+    cas::CasServer server{community, &site.clock()};
+    server.AddMember(kBoLiu);
+    cas::CasGrant grant;
+    grant.subject = kBoLiu;
+    grant.resource = kResource;
+    grant.actions = {"start"};
+    grant.constraints.push_back(
+        rsl::ParseConjunction("&(executable = TRANSP)(count < 4)").value());
+    server.AddGrant(grant);
+
+    site.UseJobManagerPep(std::make_shared<cas::CasPolicySource>());
+
+    auto member = IssueCredential(site.ca(), Dn(kBoLiu), site.clock().Now());
+    auto credential = server.IssueCredential(member, kResource);
+    if (!credential.ok()) {
+      std::cerr << "CAS issuance failed: " << credential.error() << "\n";
+      return 1;
+    }
+    std::cout << "    CAS credential identity: " << credential->identity()
+              << " (restricted proxy)\n";
+
+    gram::GramClient client = site.MakeClient(*credential);
+    Try(site, client, "TRANSP count=2", "&(executable=TRANSP)(count=2)");
+    Try(site, client, "TRANSP count=8", "&(executable=TRANSP)(count=8)");
+    Try(site, client, "other executable", "&(executable=rm)(count=1)");
+  }
+
+  std::cout << "\nSame decisions from all three backends: the callout API "
+               "is policy-system agnostic.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Dynamic VO policy and priority management (section 2's use case): an
+// analyst's week-long TRANSP run occupies the machine; a funding-agency
+// demo arrives on short notice; a VO administrator — authorized purely by
+// jobtag policy, not job ownership — suspends the long run, the demo
+// executes immediately, and the long run resumes. Afterwards, the VO
+// tightens policy as a deadline approaches.
+#include <iostream>
+
+#include "gram/site.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kAnalyst = "/O=Grid/O=NFC/OU=science/CN=Analyst";
+constexpr const char* kAdmin = "/O=Grid/O=NFC/OU=ops/CN=Administrator";
+
+constexpr const char* kPolicy = R"(
+&/O=Grid/O=NFC: (action = start)(jobtag != NULL)
+
+/O=Grid/O=NFC/OU=science/CN=Analyst:
+&(action = start)(executable = TRANSP)(count <= 8)(jobtag = NFC)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=NFC/OU=ops/CN=Administrator:
+&(action = start)(executable = demo)(jobtag = NFC)
+&(action = cancel)(jobtag = NFC)
+&(action = signal)(jobtag = NFC)
+&(action = information)(jobtag = NFC)
+)";
+
+void Show(gram::SimulatedSite& site, gram::GramClient& client,
+          const std::string& contact, const std::string& owner,
+          const std::string& label) {
+  auto status = client.Status(site.jmis(), contact,
+                              {.expected_job_owner = owner});
+  if (status.ok()) {
+    std::cout << "  " << label << ": " << gram::to_string(status->status)
+              << "\n";
+  } else {
+    std::cout << "  " << label << ": <" << status.error().message() << ">\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== short-notice high-priority demo (section 2) ===\n";
+
+  gram::SiteOptions options;
+  options.cpu_slots = 8;
+  gram::SimulatedSite site{options};
+  (void)site.AddAccount("analyst");
+  (void)site.AddAccount("voadmin");
+  auto analyst = site.CreateUser(kAnalyst).value();
+  auto admin = site.CreateUser(kAdmin).value();
+  (void)site.MapUser(analyst, "analyst");
+  (void)site.MapUser(admin, "voadmin");
+
+  auto vo_source = std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(kPolicy).value());
+  site.UseJobManagerPep(vo_source);
+
+  gram::GramClient analyst_client = site.MakeClient(analyst);
+  gram::GramClient admin_client = site.MakeClient(admin);
+
+  // The analyst fills the machine with a long simulation.
+  auto long_run = analyst_client.Submit(
+      site.gatekeeper(),
+      "&(executable=TRANSP)(count=8)(jobtag=NFC)(simduration=604800)");
+  if (!long_run.ok()) {
+    std::cerr << "long run submit failed: " << long_run.error() << "\n";
+    return 1;
+  }
+  site.Advance(3600);
+  std::cout << "t+1h: machine full, " << site.scheduler().free_slots()
+            << " slots free\n";
+  Show(site, analyst_client, *long_run, kAnalyst, "TRANSP long run");
+
+  // A demo for a funding agency must run NOW. The admin never started the
+  // long run, but the VO policy grants signal rights over jobtag NFC.
+  std::cout << "\nt+1h: demo arrives; admin suspends the long run...\n";
+  auto suspended = admin_client.Signal(
+      site.jmis(), *long_run, {gram::SignalKind::kSuspend, 0},
+      {.expected_job_owner = kAnalyst});
+  if (!suspended.ok()) {
+    std::cerr << "suspend failed: " << suspended.error() << "\n";
+    return 1;
+  }
+  Show(site, admin_client, *long_run, kAnalyst, "TRANSP long run");
+
+  auto demo = admin_client.Submit(
+      site.gatekeeper(),
+      "&(executable=demo)(count=8)(jobtag=NFC)(simduration=1800)");
+  if (!demo.ok()) {
+    std::cerr << "demo submit failed: " << demo.error() << "\n";
+    return 1;
+  }
+  Show(site, admin_client, *demo, kAdmin, "funding demo  ");
+
+  site.Advance(1800);
+  std::cout << "\nt+1.5h: demo finished; admin resumes the long run\n";
+  Show(site, admin_client, *demo, kAdmin, "funding demo  ");
+  (void)admin_client.Signal(site.jmis(), *long_run,
+                            {gram::SignalKind::kResume, 0},
+                            {.expected_job_owner = kAnalyst});
+  site.Advance(60);
+  Show(site, analyst_client, *long_run, kAnalyst, "TRANSP long run");
+
+  // The analyst cannot reciprocate: no signal permission.
+  auto forbidden = analyst_client.Signal(
+      site.jmis(), *demo, {gram::SignalKind::kSuspend, 0},
+      {.expected_job_owner = kAdmin});
+  std::cout << "\nanalyst tries to suspend an admin job: "
+            << (forbidden.ok() ? "PERMITTED (bug!)" : "DENIED") << "\n";
+
+  // Deadline crunch: the VO swaps in a policy that stops new analyst
+  // submissions entirely.
+  std::cout << "\n=== dynamic policy update: deadline freeze ===\n";
+  vo_source->Replace(core::PolicyDocument::Parse(R"(
+&/O=Grid/O=NFC: (action = start)(jobtag != NULL)
+
+/O=Grid/O=NFC/OU=ops/CN=Administrator:
+&(action = start)(executable = demo)(jobtag = NFC)
+&(action = cancel)(jobtag = NFC)
+&(action = signal)(jobtag = NFC)
+)")
+                         .value());
+  auto frozen = analyst_client.Submit(
+      site.gatekeeper(), "&(executable=TRANSP)(count=1)(jobtag=NFC)");
+  std::cout << "analyst submission after freeze: "
+            << (frozen.ok() ? "PERMITTED (bug!)" : "DENIED") << "\n";
+  std::cout << "  reason: " << frozen.error().message() << "\n";
+
+  std::cout << "\nscenario complete.\n";
+  return 0;
+}

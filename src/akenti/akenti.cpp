@@ -1,0 +1,212 @@
+#include "akenti/akenti.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/evaluator.h"
+
+namespace gridauthz::akenti {
+
+std::string AttributeCertificate::CanonicalEncoding() const {
+  return "akenti-attr;subject=" + subject.str() +
+         ";attr=" + attribute.ToString() + ";issuer=" + issuer.str() +
+         ";key=" + issuer_key.fingerprint + ";nb=" + std::to_string(not_before) +
+         ";na=" + std::to_string(not_after);
+}
+
+bool AttributeCertificate::VerifySignature() const {
+  return gsi::VerifySignature(issuer_key, CanonicalEncoding(), signature);
+}
+
+AttributeCertificate IssueAttributeCertificate(
+    const gsi::Credential& authority, const gsi::DistinguishedName& subject,
+    AttributeAssertion attribute, TimePoint now, Duration lifetime) {
+  AttributeCertificate cert;
+  cert.subject = subject;
+  cert.attribute = std::move(attribute);
+  cert.issuer = authority.identity();
+  cert.issuer_key = authority.leaf().subject_key;
+  cert.not_before = now;
+  cert.not_after = now + lifetime;
+  cert.signature = authority.Sign(cert.CanonicalEncoding());
+  return cert;
+}
+
+std::string UseCondition::CanonicalEncoding() const {
+  std::string issuers;
+  for (const auto& dn : trusted_issuers) issuers += dn.str() + "|";
+  return "akenti-uc;resource=" + resource +
+         ";actions=" + strings::Join(actions, ",") +
+         ";attr=" + required_attribute.ToString() + ";issuers=" + issuers +
+         ";constraints=" + (constraints ? constraints->ToString() : "") +
+         ";stakeholder=" + stakeholder.str() +
+         ";key=" + stakeholder_key.fingerprint +
+         ";nb=" + std::to_string(not_before) + ";na=" + std::to_string(not_after);
+}
+
+bool UseCondition::VerifySignature() const {
+  return gsi::VerifySignature(stakeholder_key, CanonicalEncoding(), signature);
+}
+
+UseConditionBuilder::UseConditionBuilder(std::string resource,
+                                         const gsi::Credential& stakeholder)
+    : stakeholder_(&stakeholder) {
+  condition_.resource = std::move(resource);
+  condition_.stakeholder = stakeholder.identity();
+  condition_.stakeholder_key = stakeholder.leaf().subject_key;
+  condition_.not_before = 0;
+  condition_.not_after = std::numeric_limits<TimePoint>::max();
+}
+
+UseConditionBuilder& UseConditionBuilder::GrantAction(std::string action) {
+  condition_.actions.push_back(std::move(action));
+  return *this;
+}
+
+UseConditionBuilder& UseConditionBuilder::RequireAttribute(
+    AttributeAssertion attribute) {
+  condition_.required_attribute = std::move(attribute);
+  return *this;
+}
+
+UseConditionBuilder& UseConditionBuilder::TrustIssuer(
+    gsi::DistinguishedName issuer) {
+  condition_.trusted_issuers.push_back(std::move(issuer));
+  return *this;
+}
+
+UseConditionBuilder& UseConditionBuilder::WithConstraints(
+    rsl::Conjunction constraints) {
+  condition_.constraints = std::move(constraints);
+  return *this;
+}
+
+UseConditionBuilder& UseConditionBuilder::Validity(TimePoint not_before,
+                                                   TimePoint not_after) {
+  condition_.not_before = not_before;
+  condition_.not_after = not_after;
+  return *this;
+}
+
+UseCondition UseConditionBuilder::Sign() const {
+  UseCondition signed_condition = condition_;
+  signed_condition.signature =
+      stakeholder_->Sign(signed_condition.CanonicalEncoding());
+  return signed_condition;
+}
+
+AkentiEngine::AkentiEngine(std::string resource, const Clock* clock)
+    : resource_(std::move(resource)), clock_(clock) {}
+
+void AkentiEngine::TrustStakeholder(const gsi::DistinguishedName& dn) {
+  stakeholders_.push_back(dn);
+}
+
+Expected<void> AkentiEngine::AddUseCondition(UseCondition condition) {
+  if (condition.resource != resource_) {
+    return Error{ErrCode::kInvalidArgument,
+                 "use condition for resource '" + condition.resource +
+                     "' installed on engine for '" + resource_ + "'"};
+  }
+  const bool trusted =
+      std::any_of(stakeholders_.begin(), stakeholders_.end(),
+                  [&](const gsi::DistinguishedName& dn) {
+                    return dn == condition.stakeholder;
+                  });
+  if (!trusted) {
+    return Error{ErrCode::kPermissionDenied,
+                 "use condition signed by untrusted stakeholder " +
+                     condition.stakeholder.str()};
+  }
+  if (!condition.VerifySignature()) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "bad signature on use condition from " +
+                     condition.stakeholder.str()};
+  }
+  use_conditions_.push_back(std::move(condition));
+  return Ok();
+}
+
+void AkentiEngine::AddAttributeCertificate(AttributeCertificate certificate) {
+  attribute_certs_.push_back(std::move(certificate));
+}
+
+bool AkentiEngine::SubjectHoldsAttribute(
+    std::string_view subject, const AttributeAssertion& attribute,
+    const std::vector<gsi::DistinguishedName>& trusted_issuers) const {
+  const TimePoint now = clock_->Now();
+  for (const AttributeCertificate& cert : attribute_certs_) {
+    if (cert.subject.str() != subject) continue;
+    if (!(cert.attribute == attribute)) continue;
+    if (!cert.ValidAt(now)) continue;
+    if (!cert.VerifySignature()) continue;
+    const bool issuer_trusted = std::any_of(
+        trusted_issuers.begin(), trusted_issuers.end(),
+        [&](const gsi::DistinguishedName& dn) { return dn == cert.issuer; });
+    if (issuer_trusted) return true;
+  }
+  return false;
+}
+
+core::Decision AkentiEngine::Evaluate(
+    const core::AuthorizationRequest& request) const {
+  const TimePoint now = clock_->Now();
+  const rsl::Conjunction effective = request.ToEffectiveRsl();
+  bool any_action_grant = false;
+
+  for (const UseCondition& condition : use_conditions_) {
+    if (!condition.ValidAt(now)) continue;
+    const bool grants_action =
+        std::find(condition.actions.begin(), condition.actions.end(),
+                  request.action) != condition.actions.end();
+    if (!grants_action) continue;
+    any_action_grant = true;
+    if (!SubjectHoldsAttribute(request.subject, condition.required_attribute,
+                               condition.trusted_issuers)) {
+      continue;
+    }
+    if (condition.constraints) {
+      std::string failed;
+      if (!core::PolicyEvaluator::SetSatisfied(*condition.constraints,
+                                               effective, request.subject,
+                                               &failed)) {
+        GA_LOG(kDebug, "akenti")
+            << "use condition constraint failed for " << request.subject
+            << ": " << failed;
+        continue;
+      }
+    }
+    return core::Decision::Permit(
+        "akenti: use condition from " + condition.stakeholder.str() +
+        " grants '" + request.action + "' via attribute " +
+        condition.required_attribute.ToString());
+  }
+
+  if (!any_action_grant) {
+    return core::Decision::Deny(
+        core::DecisionCode::kDenyNoApplicableStatement,
+        "akenti: no use condition grants action '" + request.action +
+            "' on resource " + resource_);
+  }
+  return core::Decision::Deny(
+      core::DecisionCode::kDenyNoPermission,
+      "akenti: " + request.subject + " satisfies no use condition for '" +
+          request.action + "'");
+}
+
+AkentiPolicySource::AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
+                                       std::string name)
+    : engine_(std::move(engine)), name_(std::move(name)) {}
+
+Expected<core::Decision> AkentiPolicySource::Authorize(
+    const core::AuthorizationRequest& request) {
+  if (engine_ == nullptr) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "akenti engine not configured"};
+  }
+  return engine_->Evaluate(request);
+}
+
+}  // namespace gridauthz::akenti

@@ -1,0 +1,160 @@
+// A certificate-based authorization engine modelled on Akenti (Thompson
+// et al., USENIX Security '99), which the paper integrated to represent
+// "the same policies as described here" (section 5).
+//
+// Model:
+//  * STAKEHOLDERS (resource owners, the VO) issue signed USE-CONDITION
+//    certificates: "for resource R, these ACTIONS are granted to subjects
+//    holding ATTRIBUTE a=v issued by one of TRUSTED ISSUERS, subject to
+//    optional RSL CONSTRAINTS".
+//  * ATTRIBUTE AUTHORITIES issue signed ATTRIBUTE certificates binding a
+//    user DN to an attribute ("group=NFC", "role=developer").
+//  * The engine gathers the use conditions for a resource, verifies
+//    signatures and validity windows, matches the subject's attribute
+//    certificates, and computes the subject's allowed actions. Fine-grain
+//    job constraints reuse the core RSL assertion semantics, so the same
+//    Figure 3 policies are expressible.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "core/source.h"
+#include "gsi/credential.h"
+#include "rsl/rsl.h"
+
+namespace gridauthz::akenti {
+
+struct AttributeAssertion {
+  std::string name;
+  std::string value;
+
+  std::string ToString() const { return name + "=" + value; }
+  friend bool operator==(const AttributeAssertion&,
+                         const AttributeAssertion&) = default;
+};
+
+// A signed binding of `subject` to `attribute`, issued by an attribute
+// authority.
+struct AttributeCertificate {
+  gsi::DistinguishedName subject;
+  AttributeAssertion attribute;
+  gsi::DistinguishedName issuer;
+  gsi::PublicKey issuer_key;
+  TimePoint not_before = 0;
+  TimePoint not_after = 0;
+  std::string signature;
+
+  std::string CanonicalEncoding() const;
+  bool VerifySignature() const;
+  bool ValidAt(TimePoint now) const {
+    return now >= not_before && now <= not_after;
+  }
+};
+
+// Issues an attribute certificate signed by `authority`.
+AttributeCertificate IssueAttributeCertificate(
+    const gsi::Credential& authority, const gsi::DistinguishedName& subject,
+    AttributeAssertion attribute, TimePoint now,
+    Duration lifetime = 30L * 24 * 3600);
+
+// A signed use condition for a resource.
+struct UseCondition {
+  std::string resource;                   // e.g. "gram/fusion.anl.gov"
+  std::vector<std::string> actions;       // granted actions
+  AttributeAssertion required_attribute;  // what the subject must hold
+  // Attribute authorities trusted to assert required_attribute.
+  std::vector<gsi::DistinguishedName> trusted_issuers;
+  // Optional fine-grain constraints on the request's effective RSL,
+  // evaluated with the core assertion semantics (self/NULL included).
+  std::optional<rsl::Conjunction> constraints;
+
+  gsi::DistinguishedName stakeholder;
+  gsi::PublicKey stakeholder_key;
+  TimePoint not_before = 0;
+  TimePoint not_after = 0;
+  std::string signature;
+
+  std::string CanonicalEncoding() const;
+  bool VerifySignature() const;
+  bool ValidAt(TimePoint now) const {
+    return now >= not_before && now <= not_after;
+  }
+};
+
+// Builder for signed use conditions.
+class UseConditionBuilder {
+ public:
+  UseConditionBuilder(std::string resource, const gsi::Credential& stakeholder);
+
+  UseConditionBuilder& GrantAction(std::string action);
+  UseConditionBuilder& RequireAttribute(AttributeAssertion attribute);
+  UseConditionBuilder& TrustIssuer(gsi::DistinguishedName issuer);
+  UseConditionBuilder& WithConstraints(rsl::Conjunction constraints);
+  UseConditionBuilder& Validity(TimePoint not_before, TimePoint not_after);
+
+  UseCondition Sign() const;
+
+ private:
+  UseCondition condition_;
+  const gsi::Credential* stakeholder_;
+};
+
+// The Akenti policy engine for one resource.
+class AkentiEngine {
+ public:
+  AkentiEngine(std::string resource, const Clock* clock);
+
+  // Stakeholders whose use conditions are honored.
+  void TrustStakeholder(const gsi::DistinguishedName& dn);
+
+  // Installs certificates (gathered, in real Akenti, from directories).
+  Expected<void> AddUseCondition(UseCondition condition);
+  void AddAttributeCertificate(AttributeCertificate certificate);
+
+  // Computes the decision for a request: the action must be granted by at
+  // least one valid use condition whose required attribute the subject
+  // holds (from a trusted issuer) and whose constraints the request
+  // satisfies. Default deny.
+  core::Decision Evaluate(const core::AuthorizationRequest& request) const;
+
+  std::size_t use_condition_count() const { return use_conditions_.size(); }
+  std::size_t attribute_certificate_count() const {
+    return attribute_certs_.size();
+  }
+
+ private:
+  // Valid attribute certs binding `subject` to `attribute`, restricted to
+  // `trusted_issuers`.
+  bool SubjectHoldsAttribute(
+      std::string_view subject, const AttributeAssertion& attribute,
+      const std::vector<gsi::DistinguishedName>& trusted_issuers) const;
+
+  std::string resource_;
+  const Clock* clock_;
+  std::vector<gsi::DistinguishedName> stakeholders_;
+  std::vector<UseCondition> use_conditions_;
+  std::vector<AttributeCertificate> attribute_certs_;
+};
+
+// Adapts the engine to the core::PolicySource interface so it can sit
+// behind the GRAM callout exactly like the file-based PDP.
+class AkentiPolicySource final : public core::PolicySource {
+ public:
+  explicit AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
+                              std::string name = "akenti");
+
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest& request) override;
+
+ private:
+  std::shared_ptr<AkentiEngine> engine_;
+  std::string name_;
+};
+
+}  // namespace gridauthz::akenti

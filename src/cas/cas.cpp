@@ -1,0 +1,93 @@
+#include "cas/cas.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/policy.h"
+
+namespace gridauthz::cas {
+
+CasServer::CasServer(gsi::Credential community_credential, const Clock* clock)
+    : community_credential_(std::move(community_credential)), clock_(clock) {}
+
+void CasServer::AddMember(const std::string& dn) {
+  if (!IsMember(dn)) members_.push_back(dn);
+}
+
+bool CasServer::IsMember(const std::string& dn) const {
+  return std::find(members_.begin(), members_.end(), dn) != members_.end();
+}
+
+void CasServer::AddGrant(CasGrant grant) { grants_.push_back(std::move(grant)); }
+
+Expected<std::string> CasServer::EmbeddedPolicyFor(
+    const std::string& member_dn, const std::string& resource) const {
+  core::PolicyDocument document;
+  for (const CasGrant& grant : grants_) {
+    if (grant.subject != member_dn || grant.resource != resource) continue;
+    core::PolicyStatement statement;
+    statement.kind = core::StatementKind::kPermission;
+    // "/" applies to the bearer, whoever presents the credential.
+    statement.subject_prefix = "/";
+    for (const std::string& action : grant.actions) {
+      if (grant.constraints.empty()) {
+        rsl::Conjunction set;
+        set.Add("action", rsl::RelOp::kEq, action);
+        statement.assertion_sets.push_back(std::move(set));
+      } else {
+        for (const rsl::Conjunction& constraint : grant.constraints) {
+          rsl::Conjunction set = constraint;
+          set.Remove("action");
+          set.Add("action", rsl::RelOp::kEq, action);
+          statement.assertion_sets.push_back(std::move(set));
+        }
+      }
+    }
+    document.Add(std::move(statement));
+  }
+  if (document.empty()) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "CAS has no grants for " + member_dn + " on " + resource};
+  }
+  return document.ToString();
+}
+
+Expected<gsi::Credential> CasServer::IssueCredential(
+    const gsi::Credential& member, const std::string& resource,
+    Duration lifetime) {
+  const std::string member_dn = member.identity().str();
+  if (!IsMember(member_dn)) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 member_dn + " is not a member of community " +
+                     community_identity().str()};
+  }
+  GA_TRY(std::string policy, EmbeddedPolicyFor(member_dn, resource));
+  GA_LOG(kInfo, "cas") << "issuing restricted proxy to " << member_dn
+                       << " for resource " << resource;
+  return community_credential_.GenerateProxy(clock_->Now(), lifetime,
+                                             gsi::CertType::kRestrictedProxy,
+                                             std::move(policy));
+}
+
+CasPolicySource::CasPolicySource(std::string name) : name_(std::move(name)) {}
+
+Expected<core::Decision> CasPolicySource::Authorize(
+    const core::AuthorizationRequest& request) {
+  if (!request.restriction_policy) {
+    return core::Decision::Deny(
+        core::DecisionCode::kDenyNoApplicableStatement,
+        "cas: request carries no CAS restricted-proxy policy");
+  }
+  auto document = core::PolicyDocument::Parse(*request.restriction_policy);
+  if (!document.ok()) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "cas: embedded policy unparsable: " +
+                     document.error().message()};
+  }
+  core::PolicyEvaluator evaluator{std::move(document).value()};
+  core::Decision decision = evaluator.Evaluate(request);
+  decision.reason = "cas: " + decision.reason;
+  return decision;
+}
+
+}  // namespace gridauthz::cas

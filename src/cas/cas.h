@@ -1,0 +1,90 @@
+// A Community Authorization Service modelled on CAS (Pearlman et al.,
+// POLICY 2002), the second third-party authorization system the paper
+// integrates "in order to show generality of our approach" (section 5).
+//
+// CAS shifts policy evaluation to credential issuance: the VO runs a CAS
+// server holding the community's policy database; a member asks the
+// server for a credential, and the server answers with a RESTRICTED PROXY
+// derived from the community's own credential, embedding exactly the
+// rights granted to that member. At the resource, the bearer authenticates
+// as the community identity, and the PEP enforces the policy carried in
+// the credential (intersected with local policy via the combining PDP) —
+// the resource never needs the VO's member list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "core/source.h"
+#include "gsi/credential.h"
+#include "rsl/rsl.h"
+
+namespace gridauthz::cas {
+
+// One policy entry in the CAS database: `subject` may perform `actions`
+// on `resource`, optionally restricted by RSL constraints.
+struct CasGrant {
+  std::string subject;   // member DN
+  std::string resource;  // e.g. "gram/fusion.anl.gov"
+  std::vector<std::string> actions;
+  std::vector<rsl::Conjunction> constraints;  // alternatives; may be empty
+};
+
+class CasServer {
+ public:
+  // `community_credential` is the VO's own identity; issued credentials
+  // are restricted proxies of it.
+  CasServer(gsi::Credential community_credential, const Clock* clock);
+
+  const gsi::DistinguishedName& community_identity() const {
+    return community_credential_.identity();
+  }
+
+  // Membership management.
+  void AddMember(const std::string& dn);
+  bool IsMember(const std::string& dn) const;
+
+  // Policy management.
+  void AddGrant(CasGrant grant);
+  std::size_t grant_count() const { return grants_.size(); }
+
+  // Issues a restricted proxy for `member` scoped to `resource`,
+  // embedding the member's grants as a policy document. Fails with
+  // kAuthorizationDenied if the user is not a member or holds no grants
+  // for the resource.
+  Expected<gsi::Credential> IssueCredential(const gsi::Credential& member,
+                                            const std::string& resource,
+                                            Duration lifetime = 12 * 3600);
+
+  // Renders the policy document embedded for (member, resource); exposed
+  // for tests and the resource-side evaluator.
+  Expected<std::string> EmbeddedPolicyFor(const std::string& member_dn,
+                                          const std::string& resource) const;
+
+ private:
+  gsi::Credential community_credential_;
+  const Clock* clock_;
+  std::vector<std::string> members_;
+  std::vector<CasGrant> grants_;
+};
+
+// Resource-side evaluator: enforces the policy embedded in the bearer's
+// restricted proxy. A request without an embedded CAS policy is denied
+// (the bearer did not come through CAS); a malformed embedded policy is
+// an authorization system failure.
+class CasPolicySource final : public core::PolicySource {
+ public:
+  explicit CasPolicySource(std::string name = "cas");
+
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest& request) override;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gridauthz::cas

@@ -1,0 +1,46 @@
+// Clock abstraction: credentials carry validity windows and the simulated
+// scheduler advances time deterministically, so all time flows through a
+// Clock interface. Production code would use SystemClock; tests and the
+// simulator use SimClock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace gridauthz {
+
+// Seconds since epoch; enough resolution for certificate validity and
+// scheduler accounting.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() const override {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// Deterministic, manually-advanced clock.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimePoint start = 1'000'000) : now_(start) {}
+
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration seconds) { now_ += seconds; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace gridauthz

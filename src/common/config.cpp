@@ -1,0 +1,52 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace gridauthz {
+
+Expected<std::vector<ConfigEntry>> ParseConfig(std::string_view text,
+                                               std::size_t min_tokens) {
+  std::vector<ConfigEntry> entries;
+  int line_number = 0;
+  for (const std::string& raw : strings::Lines(text)) {
+    ++line_number;
+    std::string_view line = strings::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    ConfigEntry entry;
+    entry.line_number = line_number;
+    std::istringstream iss{std::string{line}};
+    std::string token;
+    while (iss >> token) entry.tokens.push_back(token);
+    if (entry.tokens.size() < min_tokens) {
+      return Error{ErrCode::kParseError,
+                   "config line " + std::to_string(line_number) + ": expected at least " +
+                       std::to_string(min_tokens) + " fields"};
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Expected<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrCode::kNotFound, "cannot open file: " + path};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Expected<void> WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error{ErrCode::kUnavailable, "cannot write file: " + path};
+  }
+  out << content;
+  return Ok();
+}
+
+}  // namespace gridauthz

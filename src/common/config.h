@@ -1,0 +1,36 @@
+// Line-oriented configuration parsing used by the GRAM callout
+// configuration (section 5.2: callouts configured "through a configuration
+// file or an API call"). Format mirrors GT2's callout config:
+//
+//   # comment
+//   abstract_type  library_name  symbol_name
+//
+// plus generic "key value" files for component settings.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz {
+
+struct ConfigEntry {
+  std::vector<std::string> tokens;  // whitespace-separated fields
+  int line_number = 0;
+};
+
+// Parses `text` into entries, skipping blank lines and '#' comments.
+// Fails with kParseError if a line has fewer than `min_tokens` fields.
+Expected<std::vector<ConfigEntry>> ParseConfig(std::string_view text,
+                                               std::size_t min_tokens = 1);
+
+// Reads an entire file; kNotFound if it cannot be opened.
+Expected<std::string> ReadFile(const std::string& path);
+
+// Writes `content` to `path` (used by examples to materialize policy and
+// configuration files).
+Expected<void> WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace gridauthz

@@ -1,0 +1,48 @@
+#include "common/error.h"
+
+namespace gridauthz {
+
+std::string_view to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrCode::kNotFound:
+      return "not_found";
+    case ErrCode::kAlreadyExists:
+      return "already_exists";
+    case ErrCode::kParseError:
+      return "parse_error";
+    case ErrCode::kAuthenticationFailed:
+      return "authentication_failed";
+    case ErrCode::kAuthorizationDenied:
+      return "authorization_denied";
+    case ErrCode::kAuthorizationSystemFailure:
+      return "authorization_system_failure";
+    case ErrCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrCode::kOutOfRange:
+      return "out_of_range";
+    case ErrCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrCode::kUnavailable:
+      return "unavailable";
+    case ErrCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{gridauthz::to_string(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Error& e) {
+  return os << e.to_string();
+}
+
+}  // namespace gridauthz

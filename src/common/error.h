@@ -1,0 +1,151 @@
+// Error type and Expected<T> result carrier used across all gridauthz
+// libraries. The design mirrors std::expected (not yet available in the
+// toolchain's C++20 library): fallible operations return
+// Expected<T>, and callers either branch on ok() or propagate with GA_TRY.
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gridauthz {
+
+// Coarse error taxonomy. AuthorizationDenied vs AuthorizationSystemFailure
+// is load-bearing: the paper extends the GRAM protocol to distinguish
+// "your request is denied by policy" from "the authorization system itself
+// failed" (section 5.2, "Errors").
+enum class ErrCode {
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kAuthenticationFailed,
+  kAuthorizationDenied,
+  kAuthorizationSystemFailure,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+std::string_view to_string(ErrCode code);
+
+// A value type describing a failure: a code from the taxonomy above and a
+// human-readable message that is surfaced through the GRAM protocol.
+class Error {
+ public:
+  Error(ErrCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "code: message" for logs and protocol replies.
+  std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Error& e);
+
+// Expected<T>: holds either a T or an Error. Expected<void> is supported
+// via an internal empty struct.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+namespace detail {
+struct Unit {
+  friend bool operator==(Unit, Unit) { return true; }
+};
+}  // namespace detail
+
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() : state_(detail::Unit{}) {}
+  Expected(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<detail::Unit>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<detail::Unit, Error> state_;
+};
+
+inline Expected<void> Ok() { return Expected<void>{}; }
+
+// Propagates the error from a fallible expression, binding the value
+// otherwise. Usage: GA_TRY(auto cert, registry.Lookup(name));
+#define GA_CONCAT_INNER(a, b) a##b
+#define GA_CONCAT(a, b) GA_CONCAT_INNER(a, b)
+#define GA_TRY_IMPL(tmp, decl, expr) \
+  auto&& tmp = (expr);               \
+  if (!tmp.ok()) {                   \
+    return tmp.error();              \
+  }                                  \
+  decl = std::move(tmp).value()
+#define GA_TRY(decl, expr) \
+  GA_TRY_IMPL(GA_CONCAT(ga_try_tmp_, __LINE__), decl, expr)
+
+// Propagates the error from an Expected<void> expression.
+#define GA_TRY_VOID(expr)                       \
+  do {                                          \
+    auto&& ga_tryv_tmp = (expr);                \
+    if (!ga_tryv_tmp.ok()) {                    \
+      return ga_tryv_tmp.error();               \
+    }                                           \
+  } while (false)
+
+}  // namespace gridauthz

@@ -1,0 +1,95 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace gridauthz::log {
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger instance;
+  return instance;
+}
+
+Logger::Logger() { UseStderr(); }
+
+void Logger::set_level(Level level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+Level Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+int Logger::AddSink(Sink sink) {
+  std::lock_guard lock(mu_);
+  int id = next_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Logger::RemoveSink(int id) {
+  std::lock_guard lock(mu_);
+  std::erase_if(sinks_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Logger::ClearSinks() {
+  std::lock_guard lock(mu_);
+  sinks_.clear();
+}
+
+void Logger::UseStderr() {
+  AddSink([](const Record& r) {
+    std::cerr << "[" << to_string(r.level) << "] " << r.component << ": "
+              << r.message << "\n";
+  });
+}
+
+void Logger::Log(Level level, std::string_view component, std::string message) {
+  std::lock_guard lock(mu_);
+  if (level < level_) return;
+  Record record{level, std::string{component}, std::move(message)};
+  for (auto& [id, sink] : sinks_) sink(record);
+}
+
+CaptureSink::CaptureSink() {
+  id_ = Logger::Instance().AddSink([this](const Record& r) {
+    std::lock_guard lock(mu_);
+    records_.push_back(r);
+  });
+}
+
+CaptureSink::~CaptureSink() { Logger::Instance().RemoveSink(id_); }
+
+std::vector<Record> CaptureSink::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+bool CaptureSink::Contains(std::string_view component,
+                           std::string_view substring) const {
+  std::lock_guard lock(mu_);
+  for (const auto& r : records_) {
+    if (r.component == component &&
+        r.message.find(substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gridauthz::log

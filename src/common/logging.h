@@ -1,0 +1,97 @@
+// Minimal leveled logger. The GRAM components use it to emit the
+// interaction traces that regenerate the paper's Figures 1 and 2; tests
+// capture log records through a sink to assert on component interactions.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gridauthz::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view to_string(Level level);
+
+struct Record {
+  Level level;
+  std::string component;  // e.g. "gatekeeper", "job-manager", "pep"
+  std::string message;
+};
+
+// A sink receives every record at or above the configured level.
+using Sink = std::function<void(const Record&)>;
+
+// Process-wide logger. Thread-safe; sinks are invoked under the lock, so
+// they must not log recursively.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(Level level);
+  Level level() const;
+
+  // Adds a sink and returns its id for later removal.
+  int AddSink(Sink sink);
+  void RemoveSink(int id);
+  // Removes every sink (including the default stderr sink).
+  void ClearSinks();
+  // Restores the default stderr sink.
+  void UseStderr();
+
+  void Log(Level level, std::string_view component, std::string message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  Level level_ = Level::kWarn;
+  int next_id_ = 0;
+  std::vector<std::pair<int, Sink>> sinks_;
+};
+
+// Collects records for test assertions; registers on construction and
+// unregisters on destruction.
+class CaptureSink {
+ public:
+  CaptureSink();
+  ~CaptureSink();
+  CaptureSink(const CaptureSink&) = delete;
+  CaptureSink& operator=(const CaptureSink&) = delete;
+
+  std::vector<Record> records() const;
+  bool Contains(std::string_view component, std::string_view substring) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  int id_;
+};
+
+namespace detail {
+class Message {
+ public:
+  Message(Level level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~Message() {
+    Logger::Instance().Log(level_, component_, stream_.str());
+  }
+  template <typename T>
+  Message& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace gridauthz::log
+
+#define GA_LOG(level, component) \
+  ::gridauthz::log::detail::Message(::gridauthz::log::Level::level, component)

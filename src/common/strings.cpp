@@ -1,0 +1,91 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gridauthz::strings {
+
+namespace {
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && IsSpace(s.front())) s.remove_prefix(1);
+  while (!s.empty() && IsSpace(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep, bool trim,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    std::string_view piece = s.substr(start, end - start);
+    if (trim) piece = Trim(piece);
+    if (!piece.empty() || keep_empty) out.emplace_back(piece);
+    if (end == s.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Lines(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find('\n', start);
+    if (end == std::string_view::npos) end = s.size();
+    std::string_view line = s.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.emplace_back(line);
+    if (end == s.size()) break;
+    start = end + 1;
+  }
+  if (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace gridauthz::strings

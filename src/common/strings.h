@@ -1,0 +1,33 @@
+// Small string helpers shared across the parsers (RSL, policy files,
+// grid-mapfiles, callout configuration).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridauthz::strings {
+
+// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Splits on `sep`, optionally trimming each piece and dropping empties.
+std::vector<std::string> Split(std::string_view s, char sep,
+                               bool trim = true, bool keep_empty = false);
+
+// Splits into lines, handling both \n and \r\n.
+std::vector<std::string> Lines(std::string_view s);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if every char of `s` is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+}  // namespace gridauthz::strings

@@ -1,0 +1,100 @@
+#include "core/audit.h"
+
+namespace gridauthz::core {
+
+std::string_view to_string(AuditOutcome outcome) {
+  switch (outcome) {
+    case AuditOutcome::kPermit:
+      return "PERMIT";
+    case AuditOutcome::kDeny:
+      return "DENY";
+    case AuditOutcome::kSystemFailure:
+      return "SYSTEM-FAILURE";
+  }
+  return "?";
+}
+
+std::string AuditRecord::ToLine() const {
+  std::string out = "t=" + std::to_string(time);
+  out += " outcome=" + std::string{to_string(outcome)};
+  out += " source=" + source;
+  out += " subject=\"" + subject + "\"";
+  out += " action=" + action;
+  if (!job_owner.empty() && job_owner != subject) {
+    out += " jobowner=\"" + job_owner + "\"";
+  }
+  if (!job_id.empty()) out += " job=" + job_id;
+  if (!reason.empty()) out += " reason=\"" + reason + "\"";
+  return out;
+}
+
+void AuditLog::Append(AuditRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::vector<AuditRecord> AuditLog::Query(
+    const std::optional<std::string>& subject,
+    const std::optional<std::string>& action,
+    const std::optional<AuditOutcome>& outcome) const {
+  std::vector<AuditRecord> out;
+  for (const AuditRecord& record : records_) {
+    if (subject && record.subject != *subject) continue;
+    if (action && record.action != *action) continue;
+    if (outcome && record.outcome != *outcome) continue;
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<AuditRecord> AuditLog::FailuresFor(
+    const std::string& subject) const {
+  std::vector<AuditRecord> out;
+  for (const AuditRecord& record : records_) {
+    if (record.subject == subject && record.outcome != AuditOutcome::kPermit) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::string AuditLog::ToText() const {
+  std::string out;
+  for (const AuditRecord& record : records_) {
+    out += record.ToLine();
+    out += '\n';
+  }
+  return out;
+}
+
+AuditingPolicySource::AuditingPolicySource(std::shared_ptr<PolicySource> inner,
+                                           std::shared_ptr<AuditLog> log,
+                                           const Clock* clock)
+    : inner_(std::move(inner)), log_(std::move(log)), clock_(clock) {}
+
+Expected<Decision> AuditingPolicySource::Authorize(
+    const AuthorizationRequest& request) {
+  AuditRecord record;
+  record.time = clock_->Now();
+  record.source = inner_->name();
+  record.subject = request.subject;
+  record.action = request.action;
+  record.job_owner = request.job_owner;
+  record.job_id = request.job_id;
+  record.rsl = request.job_rsl.empty() ? "" : request.job_rsl.ToString();
+
+  Expected<Decision> decision = inner_->Authorize(request);
+  if (!decision.ok()) {
+    record.outcome = AuditOutcome::kSystemFailure;
+    record.reason = decision.error().to_string();
+  } else if (decision->permitted()) {
+    record.outcome = AuditOutcome::kPermit;
+    record.reason = decision->reason;
+  } else {
+    record.outcome = AuditOutcome::kDeny;
+    record.reason = decision->reason;
+  }
+  log_->Append(std::move(record));
+  return decision;
+}
+
+}  // namespace gridauthz::core

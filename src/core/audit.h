@@ -1,0 +1,80 @@
+// Authorization audit trail. The paper notes that workarounds like shared
+// accounts introduce "many security, audit, accounting and other
+// problems" (section 4.3); a PEP-centered design fixes this by making
+// every decision observable at one point. AuditingPolicySource decorates
+// any PolicySource and records every request, decision, and system
+// failure with the requesting Grid identity — accountability that
+// survives even when jobs share a community account (CAS).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/source.h"
+
+namespace gridauthz::core {
+
+enum class AuditOutcome { kPermit, kDeny, kSystemFailure };
+
+std::string_view to_string(AuditOutcome outcome);
+
+struct AuditRecord {
+  TimePoint time = 0;
+  std::string source;   // which PolicySource decided
+  std::string subject;  // requesting Grid identity
+  std::string action;
+  std::string job_owner;
+  std::string job_id;
+  std::string rsl;
+  AuditOutcome outcome = AuditOutcome::kDeny;
+  std::string reason;
+
+  // One-line rendering, suitable for an append-only log file.
+  std::string ToLine() const;
+};
+
+// Append-only in-memory audit log with simple filtering.
+class AuditLog {
+ public:
+  void Append(AuditRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<AuditRecord>& records() const { return records_; }
+
+  // Records matching every provided filter (unset = wildcard).
+  std::vector<AuditRecord> Query(
+      const std::optional<std::string>& subject = std::nullopt,
+      const std::optional<std::string>& action = std::nullopt,
+      const std::optional<AuditOutcome>& outcome = std::nullopt) const;
+
+  // Denials and system failures for an identity — the review an operator
+  // runs after an incident.
+  std::vector<AuditRecord> FailuresFor(const std::string& subject) const;
+
+  // Full log rendered one record per line.
+  std::string ToText() const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+// Decorator: forwards to `inner` and records the outcome.
+class AuditingPolicySource final : public PolicySource {
+ public:
+  AuditingPolicySource(std::shared_ptr<PolicySource> inner,
+                       std::shared_ptr<AuditLog> log, const Clock* clock);
+
+  const std::string& name() const override { return inner_->name(); }
+  Expected<Decision> Authorize(const AuthorizationRequest& request) override;
+
+ private:
+  std::shared_ptr<PolicySource> inner_;
+  std::shared_ptr<AuditLog> log_;
+  const Clock* clock_;
+};
+
+}  // namespace gridauthz::core

@@ -1,0 +1,283 @@
+#include "core/evaluator.h"
+
+#include <charconv>
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace gridauthz::core {
+
+bool IsKnownAction(std::string_view action) {
+  return action == kActionStart || action == kActionCancel ||
+         action == kActionInformation || action == kActionSignal;
+}
+
+std::string_view to_string(DecisionCode code) {
+  switch (code) {
+    case DecisionCode::kPermit:
+      return "permit";
+    case DecisionCode::kDenyNoApplicableStatement:
+      return "deny (no applicable statement)";
+    case DecisionCode::kDenyNoPermission:
+      return "deny (no permission covers request)";
+    case DecisionCode::kDenyRequirementViolated:
+      return "deny (requirement violated)";
+  }
+  return "?";
+}
+
+rsl::Conjunction AuthorizationRequest::ToEffectiveRsl() const {
+  rsl::Conjunction effective = job_rsl;
+  effective.Remove("action");
+  effective.Add("action", rsl::RelOp::kEq, action);
+  effective.Remove("jobowner");
+  effective.Add("jobowner", rsl::RelOp::kEq,
+                job_owner.empty() ? subject : job_owner);
+  return effective;
+}
+
+namespace {
+
+// Values the request carries for `attribute` (its '=' relations).
+std::vector<std::string> RequestValues(const rsl::Conjunction& request,
+                                       std::string_view attribute) {
+  std::vector<std::string> out;
+  for (const rsl::Relation* r : request.FindAll(attribute)) {
+    if (r->op != rsl::RelOp::kEq) continue;
+    for (const std::string& v : r->values) {
+      if (!v.empty()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> ParseInt(std::string_view s) {
+  std::int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+// Resolves the paper's `self` pseudo-value to the requesting identity.
+std::string ResolveValue(const std::string& value, std::string_view subject) {
+  if (value == kSelfValue) return std::string{subject};
+  return value;
+}
+
+// A policy value ending in '*' is a prefix pattern: "(path =
+// /volumes/nfc/*)" permits any path under that directory. Exact values
+// match exactly.
+bool ValueMatchesPattern(const std::string& actual,
+                         const std::string& pattern) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return actual.compare(0, pattern.size() - 1, pattern, 0,
+                          pattern.size() - 1) == 0;
+  }
+  return actual == pattern;
+}
+
+bool NumericSatisfied(rsl::RelOp op, std::int64_t request_value,
+                      std::int64_t bound) {
+  switch (op) {
+    case rsl::RelOp::kLt:
+      return request_value < bound;
+    case rsl::RelOp::kGt:
+      return request_value > bound;
+    case rsl::RelOp::kLe:
+      return request_value <= bound;
+    case rsl::RelOp::kGe:
+      return request_value >= bound;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool PolicyEvaluator::SetSatisfied(const rsl::Conjunction& set,
+                                   const rsl::Conjunction& effective,
+                                   std::string_view subject,
+                                   std::string* failed_relation) {
+  auto fail = [&](const rsl::Relation& r) {
+    if (failed_relation != nullptr) *failed_relation = r.ToString();
+    return false;
+  };
+
+  // '=' relations on the same attribute within one set are alternatives:
+  // "(executable = test1)(executable = test2)" permits either. Gather the
+  // allowed-value sets first.
+  std::set<std::string> eq_attributes;
+  for (const rsl::Relation& r : set.relations()) {
+    if (r.op == rsl::RelOp::kEq) eq_attributes.insert(r.attribute);
+  }
+
+  for (const std::string& attribute : eq_attributes) {
+    bool allows_absent = false;
+    std::vector<std::string> allowed;  // exact values or '*'-patterns
+    const rsl::Relation* representative = nullptr;
+    for (const rsl::Relation* r : set.FindAll(attribute)) {
+      if (r->op != rsl::RelOp::kEq) continue;
+      representative = r;
+      for (const std::string& v : r->values) {
+        if (v == kNullValue) {
+          allows_absent = true;
+        } else {
+          allowed.push_back(ResolveValue(v, subject));
+        }
+      }
+    }
+    std::vector<std::string> actual = RequestValues(effective, attribute);
+    if (actual.empty()) {
+      if (!allows_absent) return fail(*representative);
+      continue;
+    }
+    for (const std::string& v : actual) {
+      bool matched = false;
+      for (const std::string& pattern : allowed) {
+        if (ValueMatchesPattern(v, pattern)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return fail(*representative);
+    }
+  }
+
+  for (const rsl::Relation& r : set.relations()) {
+    std::vector<std::string> actual = RequestValues(effective, r.attribute);
+    switch (r.op) {
+      case rsl::RelOp::kEq:
+        break;  // handled above
+      case rsl::RelOp::kNeq: {
+        for (const std::string& raw : r.values) {
+          if (raw == kNullValue) {
+            // "(jobtag != NULL)": the attribute is required to be present
+            // with a non-empty value.
+            if (actual.empty()) return fail(r);
+          } else {
+            const std::string forbidden = ResolveValue(raw, subject);
+            for (const std::string& v : actual) {
+              if (v == forbidden) return fail(r);
+            }
+          }
+        }
+        break;
+      }
+      case rsl::RelOp::kLt:
+      case rsl::RelOp::kGt:
+      case rsl::RelOp::kLe:
+      case rsl::RelOp::kGe: {
+        if (actual.empty()) return fail(r);
+        auto bound_value = r.single_value();
+        if (!bound_value) return fail(r);
+        auto bound = ParseInt(*bound_value);
+        if (!bound) return fail(r);
+        for (const std::string& v : actual) {
+          auto request_value = ParseInt(v);
+          if (!request_value ||
+              !NumericSatisfied(r.op, *request_value, *bound)) {
+            return fail(r);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+PolicyEvaluator::PolicyEvaluator(PolicyDocument document,
+                                 EvaluatorOptions options)
+    : document_(std::move(document)), options_(options) {}
+
+namespace {
+
+// Attributes a strict-mode permission set need not mention: operational
+// job attributes plus the synthesized ones.
+bool IsOperationalAttribute(const std::string& attribute) {
+  static const std::set<std::string> kOperational = {
+      "action",  "jobowner", "stdout",      "stderr",   "stdin",
+      "arguments", "environment", "jobtype", "grammyjob", "savestate",
+  };
+  return kOperational.contains(attribute);
+}
+
+// True when the set's `action` relations accept the request (requirement
+// applicability). A set with no action relation applies to every action.
+bool ActionPartMatches(const rsl::Conjunction& set,
+                       const rsl::Conjunction& effective,
+                       std::string_view subject) {
+  std::vector<const rsl::Relation*> action_relations = set.FindAll("action");
+  if (action_relations.empty()) return true;
+  rsl::Conjunction action_only;
+  for (const rsl::Relation* r : action_relations) action_only.Add(*r);
+  return PolicyEvaluator::SetSatisfied(action_only, effective, subject);
+}
+
+}  // namespace
+
+Decision PolicyEvaluator::Evaluate(const AuthorizationRequest& request) const {
+  const rsl::Conjunction effective = request.ToEffectiveRsl();
+  const std::vector<const PolicyStatement*> applicable =
+      document_.ApplicableTo(request.subject);
+  if (applicable.empty()) {
+    return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
+                          "no policy statement applies to " + request.subject);
+  }
+
+  // Requirements first: a violated requirement denies regardless of
+  // permissions (deny-overrides within the document).
+  for (const PolicyStatement* statement : applicable) {
+    if (statement->kind != StatementKind::kRequirement) continue;
+    for (const rsl::Conjunction& set : statement->assertion_sets) {
+      if (!ActionPartMatches(set, effective, request.subject)) continue;
+      std::string failed;
+      if (!SetSatisfied(set, effective, request.subject, &failed)) {
+        return Decision::Deny(
+            DecisionCode::kDenyRequirementViolated,
+            "requirement for '" + statement->subject_prefix +
+                "' violated at relation " + failed);
+      }
+    }
+  }
+
+  // Then permissions: at least one assertion set must cover the request.
+  bool saw_permission_statement = false;
+  for (const PolicyStatement* statement : applicable) {
+    if (statement->kind != StatementKind::kPermission) continue;
+    saw_permission_statement = true;
+    int set_index = 0;
+    for (const rsl::Conjunction& set : statement->assertion_sets) {
+      ++set_index;
+      if (options_.strict_attributes) {
+        bool all_mentioned = true;
+        for (const rsl::Relation& r : effective.relations()) {
+          if (!IsOperationalAttribute(r.attribute) && !set.Has(r.attribute)) {
+            all_mentioned = false;
+            break;
+          }
+        }
+        if (!all_mentioned) continue;
+      }
+      if (SetSatisfied(set, effective, request.subject)) {
+        return Decision::Permit("permitted by statement for '" +
+                                statement->subject_prefix + "', assertion set " +
+                                std::to_string(set_index));
+      }
+    }
+  }
+
+  if (!saw_permission_statement) {
+    return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
+                          "no permission statement applies to " +
+                              request.subject);
+  }
+  return Decision::Deny(DecisionCode::kDenyNoPermission,
+                        "no assertion set covers action '" + request.action +
+                            "' for " + request.subject);
+}
+
+}  // namespace gridauthz::core

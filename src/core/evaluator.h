@@ -1,0 +1,64 @@
+// The policy decision point: evaluates an AuthorizationRequest against a
+// PolicyDocument with the paper's semantics (section 5.1):
+//
+//  * default deny — no applicable permission means the action is denied;
+//  * a PERMISSION assertion set covers a request when every relation in
+//    the set is satisfied by the request's effective RSL;
+//  * a REQUIREMENT assertion set constrains a request when its `action`
+//    relations match the request's action; all its other relations must
+//    then hold ("the job request is required to contain a jobtag");
+//  * relation semantics:
+//      (a = v)       request contains `a` and its value is among the
+//                    `v`s asserted for `a` in this set ("permitted to
+//                    contain a particular value or set of values");
+//                    (a = NULL) means `a` must be absent; a value ending
+//                    in '*' is a prefix pattern ("(path=/volumes/nfc/*)"
+//                    governs a subtree);
+//      (a != NULL)   request must contain `a` with a non-empty value;
+//      (a != v)      request must not carry value `v` for `a` ("required
+//                    not to contain ... with a particular value");
+//      (a < n) etc.  numeric comparison; the request must contain a
+//                    numeric value satisfying the bound;
+//      value `self`  replaced by the requesting user's Grid identity, so
+//                    "(jobowner = self)" expresses GT2's stock
+//                    only-the-initiator-manages rule in the new language.
+#pragma once
+
+#include <string>
+
+#include "core/policy.h"
+#include "core/request.h"
+
+namespace gridauthz::core {
+
+struct EvaluatorOptions {
+  // When true, a permission set only covers a request if it mentions every
+  // attribute the request carries (other than operational attributes such
+  // as stdout/stderr/arguments and the synthesized action/jobowner).
+  // Ablation A1 in DESIGN.md compares open vs strict matching.
+  bool strict_attributes = false;
+};
+
+class PolicyEvaluator {
+ public:
+  explicit PolicyEvaluator(PolicyDocument document,
+                           EvaluatorOptions options = {});
+
+  const PolicyDocument& document() const { return document_; }
+
+  // Evaluates with full default-deny semantics and explanatory reasons.
+  Decision Evaluate(const AuthorizationRequest& request) const;
+
+  // True if `set`'s relations are all satisfied by `effective` for
+  // `subject` (used for permission sets and by the backends).
+  static bool SetSatisfied(const rsl::Conjunction& set,
+                           const rsl::Conjunction& effective,
+                           std::string_view subject,
+                           std::string* failed_relation = nullptr);
+
+ private:
+  PolicyDocument document_;
+  EvaluatorOptions options_;
+};
+
+}  // namespace gridauthz::core

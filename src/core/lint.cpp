@@ -1,0 +1,143 @@
+#include "core/lint.h"
+
+#include <charconv>
+#include <set>
+
+#include "core/request.h"
+
+namespace gridauthz::core {
+
+std::string_view to_string(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "ERROR" : "WARNING";
+}
+
+std::string LintFinding::ToLine() const {
+  std::string out{to_string(severity)};
+  out += " statement " + std::to_string(statement_index);
+  if (set_index > 0) out += ", set " + std::to_string(set_index);
+  out += ": " + message;
+  return out;
+}
+
+namespace {
+
+bool IsInteger(const std::string& s) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool IsTextualAttribute(const std::string& attribute) {
+  static const std::set<std::string> kTextual = {
+      "executable", "directory", "jobtag", "jobowner", "queue",
+      "stdout",     "stderr",    "stdin",  "action"};
+  return kTextual.contains(attribute);
+}
+
+void LintSet(const rsl::Conjunction& set, int statement_index, int set_index,
+             StatementKind kind, std::vector<LintFinding>& findings) {
+  auto add = [&](LintSeverity severity, std::string message) {
+    findings.push_back(
+        LintFinding{severity, statement_index, set_index, std::move(message)});
+  };
+
+  bool has_action = false;
+  for (const rsl::Relation& relation : set.relations()) {
+    const bool numeric_op =
+        relation.op == rsl::RelOp::kLt || relation.op == rsl::RelOp::kGt ||
+        relation.op == rsl::RelOp::kLe || relation.op == rsl::RelOp::kGe;
+
+    if (relation.attribute == "action") {
+      has_action = true;
+      if (relation.op == rsl::RelOp::kEq) {
+        for (const std::string& value : relation.values) {
+          if (value == kNullValue) {
+            add(LintSeverity::kError,
+                "(action = NULL) can never match: every request carries an "
+                "action");
+          } else if (!IsKnownAction(value)) {
+            add(LintSeverity::kWarning,
+                "unknown action '" + value +
+                    "' (expected start, cancel, information, or signal)");
+          }
+        }
+      }
+    }
+
+    if (numeric_op) {
+      auto bound = relation.single_value();
+      if (!bound || !IsInteger(*bound)) {
+        add(LintSeverity::kError,
+            "relation " + relation.ToString() +
+                " has a non-integer bound and is never satisfiable");
+      } else if (IsTextualAttribute(relation.attribute)) {
+        add(LintSeverity::kWarning,
+            "numeric comparison on textual attribute '" + relation.attribute +
+                "'");
+      } else if (relation.attribute == "count") {
+        std::int64_t value = std::stoll(*bound);
+        bool unsatisfiable =
+            (relation.op == rsl::RelOp::kLt && value <= 1) ||
+            (relation.op == rsl::RelOp::kLe && value < 1);
+        if (unsatisfiable) {
+          add(LintSeverity::kError,
+              "relation " + relation.ToString() +
+                  " is unsatisfiable: count is at least 1");
+        }
+      }
+    }
+
+    for (const std::string& value : relation.values) {
+      if (value == kSelfValue && relation.attribute != "jobowner") {
+        add(LintSeverity::kWarning,
+            "'self' on attribute '" + relation.attribute +
+                "' compares against the requester's identity; did you mean "
+                "(jobowner = self)?");
+      }
+    }
+  }
+
+  if (!has_action && kind == StatementKind::kPermission) {
+    add(LintSeverity::kWarning,
+        "permission set has no action relation, so it grants EVERY action "
+        "(start, cancel, information, signal)");
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintPolicy(const PolicyDocument& document) {
+  std::vector<LintFinding> findings;
+
+  bool any_permission = false;
+  int statement_index = 0;
+  for (const PolicyStatement& statement : document.statements()) {
+    ++statement_index;
+    if (statement.kind == StatementKind::kPermission) any_permission = true;
+    int set_index = 0;
+    for (const rsl::Conjunction& set : statement.assertion_sets) {
+      ++set_index;
+      LintSet(set, statement_index, set_index, statement.kind, findings);
+    }
+  }
+
+  if (!document.empty() && !any_permission) {
+    findings.push_back(LintFinding{
+        LintSeverity::kError, 0, 0,
+        "document contains only requirement statements; with default deny, "
+        "no request can ever be permitted"});
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<LintFinding>& findings) {
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += finding.ToLine();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,52 @@
+// Policy linting. Section 6.3 reports that "expressing policies in
+// [RSL] terms is not natural to this community" and that the syntax "is
+// not supported by standard policy tools" — administrators write policy
+// files by hand and get no feedback until requests start failing. The
+// linter statically checks a parsed PolicyDocument for the mistakes the
+// evaluation semantics make easy: unsatisfiable relations, misspelled
+// actions, statements that can never grant anything.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace gridauthz::core {
+
+enum class LintSeverity {
+  kWarning,  // legal but probably not what the author meant
+  kError,    // the statement (or a set) can never take effect as written
+};
+
+std::string_view to_string(LintSeverity severity);
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  // 1-based indexes locating the finding; set_index 0 = whole statement.
+  int statement_index = 0;
+  int set_index = 0;
+  std::string message;
+
+  std::string ToLine() const;
+};
+
+// Checks performed:
+//  * unknown `action` values (not start/cancel/information/signal);
+//  * numeric relations (< > <= >=) with non-integer bounds — never
+//    satisfiable;
+//  * numeric relations on inherently textual attributes (executable,
+//    directory, jobtag, jobowner, queue);
+//  * "(action = NULL)" — the effective request always carries an action;
+//  * "(count < 1)" and friends — unsatisfiable for valid jobs;
+//  * `self` used on attributes other than jobowner;
+//  * permission sets with no `action` relation (they grant EVERY action —
+//    legal, but flagged because default-deny authors rarely mean it);
+//  * requirement statements in a document with no permission statement at
+//    all (nothing can ever be granted).
+std::vector<LintFinding> LintPolicy(const PolicyDocument& document);
+
+// Renders findings one per line; empty string when clean.
+std::string FormatFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace gridauthz::core

@@ -1,0 +1,146 @@
+#include "core/policy.h"
+
+#include "common/strings.h"
+#include "gsi/dn.h"
+
+namespace gridauthz::core {
+
+bool PolicyStatement::AppliesTo(std::string_view identity) const {
+  return gsi::DnStringPrefixMatch(subject_prefix, identity);
+}
+
+namespace {
+
+// True if `line` opens a new statement: optional '&', then a '/'-rooted
+// DN prefix, then ':'. Assertion continuation lines instead start with
+// '&(' or '('.
+bool IsSubjectLine(std::string_view line) {
+  if (line.empty()) return false;
+  std::string_view rest = line;
+  if (rest.front() == '&') rest.remove_prefix(1);
+  rest = strings::Trim(rest);
+  if (rest.empty() || rest.front() != '/') return false;
+  return rest.find(':') != std::string_view::npos;
+}
+
+struct RawStatement {
+  StatementKind kind;
+  std::string subject;
+  std::vector<std::string> set_texts;
+  int line_number;
+};
+
+}  // namespace
+
+Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
+  std::vector<RawStatement> raw_statements;
+  RawStatement* current = nullptr;
+  int line_number = 0;
+
+  for (const std::string& raw_line : strings::Lines(text)) {
+    ++line_number;
+    std::string_view line = strings::Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (IsSubjectLine(line)) {
+      RawStatement statement;
+      statement.line_number = line_number;
+      statement.kind = StatementKind::kPermission;
+      std::string_view rest = line;
+      if (rest.front() == '&') {
+        statement.kind = StatementKind::kRequirement;
+        rest.remove_prefix(1);
+        rest = strings::Trim(rest);
+      }
+      std::size_t colon = rest.find(':');
+      statement.subject = std::string{strings::Trim(rest.substr(0, colon))};
+      if (statement.subject.empty() || statement.subject.front() != '/') {
+        return Error{ErrCode::kParseError,
+                     "policy line " + std::to_string(line_number) +
+                         ": subject must be a '/'-rooted DN prefix"};
+      }
+      raw_statements.push_back(std::move(statement));
+      current = &raw_statements.back();
+
+      // Inline assertions after the colon form the first assertion set.
+      std::string_view inline_text = strings::Trim(rest.substr(colon + 1));
+      if (!inline_text.empty()) {
+        current->set_texts.emplace_back(inline_text);
+      }
+      continue;
+    }
+
+    if (current == nullptr) {
+      return Error{ErrCode::kParseError,
+                   "policy line " + std::to_string(line_number) +
+                       ": assertions before any subject"};
+    }
+    if (line.front() == '&') {
+      // A new assertion set.
+      current->set_texts.emplace_back(line);
+    } else if (line.front() == '(') {
+      // Continuation of the current assertion set.
+      if (current->set_texts.empty()) {
+        current->set_texts.emplace_back(line);
+      } else {
+        current->set_texts.back() += ' ';
+        current->set_texts.back() += line;
+      }
+    } else {
+      return Error{ErrCode::kParseError,
+                   "policy line " + std::to_string(line_number) +
+                       ": expected an assertion set ('&(...)' or '(...)')"};
+    }
+  }
+
+  std::vector<PolicyStatement> statements;
+  statements.reserve(raw_statements.size());
+  for (RawStatement& raw : raw_statements) {
+    PolicyStatement statement;
+    statement.kind = raw.kind;
+    statement.subject_prefix = std::move(raw.subject);
+    if (raw.set_texts.empty()) {
+      return Error{ErrCode::kParseError,
+                   "policy line " + std::to_string(raw.line_number) +
+                       ": statement for " + statement.subject_prefix +
+                       " has no assertions"};
+    }
+    for (const std::string& set_text : raw.set_texts) {
+      auto parsed = rsl::ParseConjunction(set_text);
+      if (!parsed.ok()) {
+        return Error{ErrCode::kParseError,
+                     "policy statement for " + statement.subject_prefix +
+                         ": " + parsed.error().message()};
+      }
+      statement.assertion_sets.push_back(std::move(parsed).value());
+    }
+    statements.push_back(std::move(statement));
+  }
+  return PolicyDocument{std::move(statements)};
+}
+
+std::vector<const PolicyStatement*> PolicyDocument::ApplicableTo(
+    std::string_view identity) const {
+  std::vector<const PolicyStatement*> out;
+  for (const PolicyStatement& statement : statements_) {
+    if (statement.AppliesTo(identity)) out.push_back(&statement);
+  }
+  return out;
+}
+
+std::string PolicyDocument::ToString() const {
+  std::string out;
+  for (const PolicyStatement& statement : statements_) {
+    if (statement.kind == StatementKind::kRequirement) out += '&';
+    out += statement.subject_prefix;
+    out += ":\n";
+    for (const rsl::Conjunction& set : statement.assertion_sets) {
+      out += set.ToString();
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,79 @@
+// The paper's policy language (section 5.1): a policy is a sequence of
+// statements relating a user or DN-prefix group to sets of action-based
+// assertions written in RSL syntax. Default deny — "unless a specific
+// stipulation has been made, an action will not be allowed".
+//
+// Concrete file syntax, reproduced from Figure 3:
+//
+//   &/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+//
+//   /O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+//   &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+//   &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+//
+// A statement subject is a string prefix of the user's Grid DN, ended by
+// ':'. A leading '&' before the subject marks a REQUIREMENT statement:
+// every applicable assertion set must hold for the request to proceed.
+// Statements without the marker are PERMISSIONS: the request must be
+// covered by at least one assertion set of some applicable permission.
+// Each subsequent line starting with '&' opens a new assertion set
+// (an RSL conjunction); lines starting with '(' continue the current set.
+// '#' begins a comment line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "rsl/rsl.h"
+
+namespace gridauthz::core {
+
+// Special policy values from the paper's RSL extensions.
+inline constexpr std::string_view kNullValue = "NULL";  // "a non-empty value"
+inline constexpr std::string_view kSelfValue = "self";  // the requester's DN
+
+enum class StatementKind {
+  kPermission,   // grants: some assertion set must cover the request
+  kRequirement,  // constrains: every applicable assertion set must hold
+};
+
+struct PolicyStatement {
+  StatementKind kind = StatementKind::kPermission;
+  // String prefix matched against the requester's Grid DN.
+  std::string subject_prefix;
+  // Each conjunction is one assertion set.
+  std::vector<rsl::Conjunction> assertion_sets;
+
+  bool AppliesTo(std::string_view identity) const;
+};
+
+class PolicyDocument {
+ public:
+  PolicyDocument() = default;
+  explicit PolicyDocument(std::vector<PolicyStatement> statements)
+      : statements_(std::move(statements)) {}
+
+  // Parses the Figure 3 file format described above.
+  static Expected<PolicyDocument> Parse(std::string_view text);
+
+  const std::vector<PolicyStatement>& statements() const { return statements_; }
+  bool empty() const { return statements_.empty(); }
+  std::size_t size() const { return statements_.size(); }
+
+  void Add(PolicyStatement statement) {
+    statements_.push_back(std::move(statement));
+  }
+
+  // Statements applying to `identity`, in document order.
+  std::vector<const PolicyStatement*> ApplicableTo(
+      std::string_view identity) const;
+
+  // Serializes back to the file format (round-trips through Parse).
+  std::string ToString() const;
+
+ private:
+  std::vector<PolicyStatement> statements_;
+};
+
+}  // namespace gridauthz::core

@@ -1,0 +1,80 @@
+// The authorization request/decision types exchanged between GRAM's
+// policy enforcement points and the policy evaluators (PDPs). The fields
+// mirror what the paper's callout API passes (section 5.2): the credential
+// of the requesting user, the credential of the user who started the job,
+// the action, a unique job identifier, and the RSL job description.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rsl/rsl.h"
+
+namespace gridauthz::core {
+
+// GRAM actions from the paper's policy language: the `action` attribute
+// "currently can take on values of start, cancel, information, or signal".
+inline constexpr std::string_view kActionStart = "start";
+inline constexpr std::string_view kActionCancel = "cancel";
+inline constexpr std::string_view kActionInformation = "information";
+inline constexpr std::string_view kActionSignal = "signal";
+
+bool IsKnownAction(std::string_view action);
+
+struct AuthorizationRequest {
+  // Grid identity (DN string) of the user making this request.
+  std::string subject;
+  // VO attributes of the subject (roles/groups from attribute
+  // credentials); consumed by attribute-based evaluators such as Akenti.
+  std::vector<std::string> attributes;
+  // Restriction policy embedded in the subject's restricted-proxy
+  // credential, if any; consumed by the CAS evaluator.
+  std::optional<std::string> restriction_policy;
+  // One of start / cancel / information / signal.
+  std::string action;
+  // Grid identity of the user who initiated the job. Equal to `subject`
+  // for start requests; potentially different for management requests —
+  // enabling VO-wide management is the point of the paper's extension.
+  std::string job_owner;
+  // Unique job identifier (the GRAM job contact); empty for start.
+  std::string job_id;
+  // The job description. For management actions this is the RSL the job
+  // was started with (the JM keeps it and passes it to the callout).
+  rsl::Conjunction job_rsl;
+
+  // Renders the request as the single RSL conjunction policies are
+  // matched against: job RSL plus synthesized `action` and `jobowner`
+  // relations (the paper's extended attributes).
+  rsl::Conjunction ToEffectiveRsl() const;
+};
+
+enum class DecisionCode {
+  kPermit,
+  // No statement in the policy applies to this subject at all.
+  kDenyNoApplicableStatement,
+  // Statements apply but no permission assertion set covers the request.
+  kDenyNoPermission,
+  // A requirement statement is violated.
+  kDenyRequirementViolated,
+};
+
+struct Decision {
+  DecisionCode code = DecisionCode::kDenyNoApplicableStatement;
+  // Human-readable explanation (which statement matched / was violated);
+  // propagated through the extended GRAM protocol errors.
+  std::string reason;
+
+  bool permitted() const { return code == DecisionCode::kPermit; }
+
+  static Decision Permit(std::string reason) {
+    return Decision{DecisionCode::kPermit, std::move(reason)};
+  }
+  static Decision Deny(DecisionCode code, std::string reason) {
+    return Decision{code, std::move(reason)};
+  }
+};
+
+std::string_view to_string(DecisionCode code);
+
+}  // namespace gridauthz::core

@@ -1,0 +1,101 @@
+#include "core/source.h"
+
+#include "common/config.h"
+#include "common/logging.h"
+
+namespace gridauthz::core {
+
+StaticPolicySource::StaticPolicySource(std::string name,
+                                       PolicyDocument document,
+                                       EvaluatorOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      evaluator_(std::move(document), options) {}
+
+Expected<Decision> StaticPolicySource::Authorize(
+    const AuthorizationRequest& request) {
+  return evaluator_.Evaluate(request);
+}
+
+void StaticPolicySource::Replace(PolicyDocument document) {
+  evaluator_ = PolicyEvaluator{std::move(document), options_};
+  GA_LOG(kInfo, "policy") << "source '" << name_ << "' policy replaced";
+}
+
+FilePolicySource::FilePolicySource(std::string name, std::string path,
+                                   EvaluatorOptions options)
+    : name_(std::move(name)), path_(std::move(path)), options_(options) {
+  if (auto loaded = Reload(); !loaded.ok()) {
+    GA_LOG(kWarn, "policy") << "source '" << name_
+                            << "' failed to load: " << loaded.error();
+  }
+}
+
+Expected<void> FilePolicySource::Reload() {
+  auto text = ReadFile(path_);
+  if (!text.ok()) {
+    evaluator_.reset();
+    load_error_ = text.error().to_string();
+    return text.error();
+  }
+  auto document = PolicyDocument::Parse(*text);
+  if (!document.ok()) {
+    evaluator_.reset();
+    load_error_ = document.error().to_string();
+    return document.error();
+  }
+  evaluator_ = std::make_unique<PolicyEvaluator>(std::move(document).value(),
+                                                 options_);
+  load_error_.clear();
+  return Ok();
+}
+
+Expected<Decision> FilePolicySource::Authorize(
+    const AuthorizationRequest& request) {
+  if (evaluator_ == nullptr) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "policy source '" + name_ + "' has no loaded policy (" +
+                     load_error_ + ")"};
+  }
+  return evaluator_->Evaluate(request);
+}
+
+CombiningPdp::CombiningPdp(std::string name) : name_(std::move(name)) {}
+
+void CombiningPdp::AddSource(std::shared_ptr<PolicySource> source) {
+  sources_.push_back(std::move(source));
+}
+
+Expected<Decision> CombiningPdp::Authorize(
+    const AuthorizationRequest& request) {
+  if (sources_.empty()) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "combining PDP '" + name_ + "' has no policy sources"};
+  }
+  for (const auto& source : sources_) {
+    GA_TRY(Decision decision, source->Authorize(request));
+    if (!decision.permitted()) {
+      decision.reason =
+          "source '" + source->name() + "': " + decision.reason;
+      return decision;
+    }
+  }
+  return Decision::Permit("permitted by all " +
+                          std::to_string(sources_.size()) + " sources");
+}
+
+PolicyDocument MakeGt2DefaultDocument() {
+  // "/" prefixes every DN, so these statements apply to all users.
+  const char* text = R"(
+/:
+&(action = start)
+&(action = cancel)(jobowner = self)
+&(action = information)(jobowner = self)
+&(action = signal)(jobowner = self)
+)";
+  auto document = PolicyDocument::Parse(text);
+  // The text is a compile-time constant; parsing cannot fail.
+  return std::move(document).value();
+}
+
+}  // namespace gridauthz::core

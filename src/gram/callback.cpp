@@ -1,0 +1,30 @@
+#include "gram/callback.h"
+
+#include "common/logging.h"
+
+namespace gridauthz::gram {
+
+std::string CallbackRouter::Register(Listener listener) {
+  std::string url =
+      "https://client.example:7512/callback/" + std::to_string(next_id_++);
+  listeners_[url] = std::move(listener);
+  return url;
+}
+
+void CallbackRouter::Unregister(const std::string& url) {
+  listeners_.erase(url);
+}
+
+void CallbackRouter::Post(const std::string& url,
+                          const JobStatusReply& update) {
+  auto it = listeners_.find(url);
+  if (it == listeners_.end()) {
+    GA_LOG(kDebug, "callback") << "dropping update for unknown contact "
+                               << url;
+    return;
+  }
+  ++delivered_;
+  it->second(update);
+}
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,39 @@
+// GRAM job-state callbacks: GT2 clients pass a callback contact with the
+// job request and the Job Manager sends status-update messages to it as
+// the job progresses ("During the job's execution the JMI monitors its
+// progress"). The CallbackRouter stands in for the client-side listener
+// ports: clients register a listener and get a callback contact URL; the
+// JMI posts JobStatusReply updates to that URL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "gram/protocol.h"
+
+namespace gridauthz::gram {
+
+class CallbackRouter {
+ public:
+  using Listener = std::function<void(const JobStatusReply&)>;
+
+  // Registers a listener; returns its callback contact URL.
+  std::string Register(Listener listener);
+  void Unregister(const std::string& url);
+
+  // Delivers an update; unknown URLs are dropped (the client went away),
+  // matching GT2's fire-and-forget callbacks.
+  void Post(const std::string& url, const JobStatusReply& update);
+
+  std::size_t listener_count() const { return listeners_.size(); }
+  std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  std::map<std::string, Listener> listeners_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,103 @@
+#include "gram/callout.h"
+
+#include "common/config.h"
+#include "common/logging.h"
+
+namespace gridauthz::gram {
+
+CalloutLibraryRegistry& CalloutLibraryRegistry::Instance() {
+  static CalloutLibraryRegistry instance;
+  return instance;
+}
+
+void CalloutLibraryRegistry::Register(const std::string& library,
+                                      const std::string& symbol,
+                                      CalloutFactory factory) {
+  std::lock_guard lock(mu_);
+  factories_[{library, symbol}] = std::move(factory);
+}
+
+void CalloutLibraryRegistry::Unregister(const std::string& library,
+                                        const std::string& symbol) {
+  std::lock_guard lock(mu_);
+  factories_.erase({library, symbol});
+}
+
+Expected<AuthorizationCallout> CalloutLibraryRegistry::Resolve(
+    const std::string& library, const std::string& symbol) const {
+  std::lock_guard lock(mu_);
+  auto it = factories_.find({library, symbol});
+  if (it == factories_.end()) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "cannot load callout: library '" + library + "' symbol '" +
+                     symbol + "' not found"};
+  }
+  return it->second();
+}
+
+void CalloutDispatcher::Bind(CalloutBinding binding) {
+  Slot slot;
+  slot.binding = std::move(binding);
+  slots_[slot.binding.abstract_type] = std::move(slot);
+}
+
+void CalloutDispatcher::BindDirect(std::string abstract_type,
+                                   AuthorizationCallout callout) {
+  Slot slot;
+  slot.binding.abstract_type = abstract_type;
+  slot.binding.library = "<direct>";
+  slot.binding.symbol = "<direct>";
+  slot.resolved = std::move(callout);
+  slots_[std::move(abstract_type)] = std::move(slot);
+}
+
+Expected<void> CalloutDispatcher::ParseAndBind(std::string_view config_text) {
+  GA_TRY(std::vector<ConfigEntry> entries, ParseConfig(config_text, 3));
+  for (const ConfigEntry& entry : entries) {
+    if (entry.tokens.size() != 3) {
+      return Error{ErrCode::kParseError,
+                   "callout config line " + std::to_string(entry.line_number) +
+                       ": expected 'abstract_type library symbol'"};
+    }
+    Bind(CalloutBinding{entry.tokens[0], entry.tokens[1], entry.tokens[2]});
+  }
+  return Ok();
+}
+
+bool CalloutDispatcher::HasBinding(std::string_view abstract_type) const {
+  return slots_.find(abstract_type) != slots_.end();
+}
+
+Expected<void> CalloutDispatcher::Invoke(std::string_view abstract_type,
+                                         const CalloutData& data) {
+  auto it = slots_.find(abstract_type);
+  if (it == slots_.end()) {
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "no callout configured for abstract type '" +
+                     std::string{abstract_type} + "'"};
+  }
+  Slot& slot = it->second;
+  if (!slot.resolved) {
+    auto resolved = CalloutLibraryRegistry::Instance().Resolve(
+        slot.binding.library, slot.binding.symbol);
+    if (!resolved.ok()) return resolved.error();
+    slot.resolved = std::move(resolved).value();
+  }
+  ++invocations_;
+  Expected<void> result = (*slot.resolved)(data);
+  if (!result.ok() && result.error().code() != ErrCode::kAuthorizationDenied &&
+      result.error().code() != ErrCode::kAuthorizationSystemFailure) {
+    // Callout failures that are not explicit denials are authorization
+    // system failures by definition.
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "callout '" + std::string{abstract_type} +
+                     "' failed: " + result.error().to_string()};
+  }
+  if (!result.ok()) {
+    GA_LOG(kDebug, "pep") << "callout '" << abstract_type
+                          << "' result: " << result.error();
+  }
+  return result;
+}
+
+}  // namespace gridauthz::gram

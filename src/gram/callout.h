@@ -1,0 +1,131 @@
+// The GRAM authorization callout API (section 5.2).
+//
+// The paper inserts a policy evaluation point into the Job Manager via a
+// callout invoked "before creating a job manager request, and before
+// calls to cancel, query, and signal a running job". The callout receives
+// the credential of the requesting user, the credential of the user who
+// originally started the job, the action, a unique job identifier, and
+// the RSL job description; it answers success or a typed authorization
+// error.
+//
+// GT2 loads callouts at runtime with GNU Libtool's dlopen; configuration
+// names an abstract callout type, the dynamic library implementing it,
+// and the symbol inside the library. We reproduce the same configuration
+// surface — including its failure modes — with a process-wide registry of
+// (library, symbol) -> callout factories standing in for shared objects
+// (see DESIGN.md, substitutions).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::gram {
+
+// Abstract callout type names (what GT2 calls the "abstract callout
+// name"). The Job Manager uses kJobManagerAuthz; a PEP in the Gatekeeper
+// uses kGatekeeperAuthz.
+inline constexpr std::string_view kJobManagerAuthzType =
+    "globus_gram_jobmanager_authz";
+inline constexpr std::string_view kGatekeeperAuthzType =
+    "globus_gatekeeper_authz";
+
+// Everything the Job Manager passes to the authorization module.
+struct CalloutData {
+  // Verified Grid identity of the user making this request.
+  std::string requester_identity;
+  // VO attributes carried by the requester's credentials.
+  std::vector<std::string> requester_attributes;
+  // The restriction policy embedded in the requester's restricted proxy,
+  // if any (CAS credentials).
+  std::optional<std::string> requester_restriction_policy;
+  // Verified Grid identity of the user who started the job (equals
+  // requester_identity for start requests).
+  std::string job_owner_identity;
+  // start | cancel | information | signal.
+  std::string action;
+  // Unique job identifier (the job contact); empty for start.
+  std::string job_id;
+  // The job description in RSL.
+  std::string rsl;
+};
+
+// A callout returns Ok() to authorize. Denials use kAuthorizationDenied;
+// any other error (and kAuthorizationSystemFailure itself) is reported to
+// the client as an authorization system failure.
+using AuthorizationCallout = std::function<Expected<void>(const CalloutData&)>;
+
+// Builds a configured callout instance; registered per (library, symbol).
+using CalloutFactory = std::function<AuthorizationCallout()>;
+
+// Stand-in for the dynamic loader: maps (library, symbol) to factories.
+// Unknown library/symbol resolves to the same error a failed dlopen
+// produces: an authorization system failure.
+class CalloutLibraryRegistry {
+ public:
+  static CalloutLibraryRegistry& Instance();
+
+  void Register(const std::string& library, const std::string& symbol,
+                CalloutFactory factory);
+  void Unregister(const std::string& library, const std::string& symbol);
+
+  Expected<AuthorizationCallout> Resolve(const std::string& library,
+                                         const std::string& symbol) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, CalloutFactory> factories_;
+};
+
+// One configured callout point: abstract type -> (library, symbol).
+struct CalloutBinding {
+  std::string abstract_type;
+  std::string library;
+  std::string symbol;
+};
+
+// Dispatches authorization callouts by abstract type. Configured either
+// from a configuration file (ParseAndBind) or programmatically (Bind) —
+// the two configuration paths the paper describes.
+class CalloutDispatcher {
+ public:
+  // Binds an abstract type to a registered (library, symbol). Resolution
+  // happens at first invocation (matching dlopen-on-demand).
+  void Bind(CalloutBinding binding);
+
+  // Binds an abstract type directly to a callout (the "API call"
+  // configuration path).
+  void BindDirect(std::string abstract_type, AuthorizationCallout callout);
+
+  // Parses callout configuration text: one binding per line,
+  //   abstract_type  library  symbol
+  // with '#' comments, and installs every binding.
+  Expected<void> ParseAndBind(std::string_view config_text);
+
+  bool HasBinding(std::string_view abstract_type) const;
+
+  // Invokes the callout bound to `abstract_type`. Missing binding,
+  // unresolvable library/symbol, or a callout failure other than an
+  // explicit denial surface as kAuthorizationSystemFailure; denials pass
+  // through as kAuthorizationDenied.
+  Expected<void> Invoke(std::string_view abstract_type,
+                        const CalloutData& data);
+
+  // Number of callout invocations performed (benchmarks read this).
+  std::uint64_t invocation_count() const { return invocations_; }
+
+ private:
+  struct Slot {
+    CalloutBinding binding;
+    std::optional<AuthorizationCallout> resolved;
+  };
+  std::map<std::string, Slot, std::less<>> slots_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,91 @@
+#include "gram/client.h"
+
+#include "common/logging.h"
+
+namespace gridauthz::gram {
+
+GramClient::GramClient(gsi::Credential credential,
+                       const gsi::TrustRegistry* trust, const Clock* clock)
+    : credential_(std::move(credential)), trust_(trust), clock_(clock) {}
+
+Expected<std::string> GramClient::Submit(Gatekeeper& gatekeeper,
+                                         const std::string& rsl_text,
+                                         const std::string& callback_url) {
+  return gatekeeper.SubmitJob(credential_, rsl_text, callback_url);
+}
+
+Expected<std::vector<std::string>> GramClient::SubmitMulti(
+    Gatekeeper& gatekeeper, const JobManagerRegistry& registry,
+    const std::string& rsl_text) {
+  GA_TRY(rsl::Specification spec, rsl::Parse(rsl_text));
+  std::vector<std::string> contacts;
+  contacts.reserve(spec.requests.size());
+  for (const rsl::Conjunction& request : spec.requests) {
+    auto contact = gatekeeper.SubmitJob(credential_, request.ToString());
+    if (!contact.ok()) {
+      // All-or-nothing: roll back the sub-jobs already started.
+      for (const std::string& started : contacts) {
+        (void)Cancel(registry, started);
+      }
+      return Error{contact.error().code(),
+                   "multi-request sub-request " +
+                       std::to_string(contacts.size() + 1) + " of " +
+                       std::to_string(spec.requests.size()) +
+                       " failed: " + contact.error().message()};
+    }
+    contacts.push_back(std::move(contact).value());
+  }
+  return contacts;
+}
+
+Expected<std::pair<std::shared_ptr<JobManagerInstance>, RequesterInfo>>
+GramClient::Connect(const JobManagerRegistry& registry,
+                    const std::string& contact,
+                    const ManagementOptions& options) {
+  GA_TRY(std::shared_ptr<JobManagerInstance> jmi, registry.Lookup(contact));
+
+  // Mutual authentication with the JMI, which runs under the job
+  // initiator's delegated credential (trust model, section 6.2).
+  GA_TRY(gsi::HandshakeResult handshake,
+         gsi::EstablishSecurityContext(credential_, jmi->credential(),
+                                       *trust_, clock_->Now()));
+
+  // Client-side identity verification. Stock GT2 expects the JMI to be
+  // "us"; the extension accepts the known job originator instead.
+  const std::string jmi_identity =
+      handshake.initiator_view.peer_identity.str();
+  const std::string expected =
+      options.expected_job_owner.value_or(identity());
+  if (jmi_identity != expected) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "job manager identity '" + jmi_identity +
+                     "' does not match expected identity '" + expected + "'"};
+  }
+
+  RequesterInfo requester = MakeRequesterInfo(handshake.acceptor_view);
+  return std::make_pair(std::move(jmi), std::move(requester));
+}
+
+Expected<JobStatusReply> GramClient::Status(const JobManagerRegistry& registry,
+                                            const std::string& contact,
+                                            const ManagementOptions& options) {
+  GA_TRY(auto connection, Connect(registry, contact, options));
+  return connection.first->Status(connection.second);
+}
+
+Expected<void> GramClient::Cancel(const JobManagerRegistry& registry,
+                                  const std::string& contact,
+                                  const ManagementOptions& options) {
+  GA_TRY(auto connection, Connect(registry, contact, options));
+  return connection.first->Cancel(connection.second);
+}
+
+Expected<void> GramClient::Signal(const JobManagerRegistry& registry,
+                                  const std::string& contact,
+                                  const SignalRequest& signal,
+                                  const ManagementOptions& options) {
+  GA_TRY(auto connection, Connect(registry, contact, options));
+  return connection.first->Signal(connection.second, signal);
+}
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,74 @@
+// The GRAM client library. Submits jobs through a Gatekeeper and sends
+// management requests to Job Manager Instances.
+//
+// Paper extension (section 5.2): stock GT2 clients verify that the JMI
+// they contact is running as *their own* identity (the JMI runs with the
+// job initiator's delegated credential). To let VO members manage each
+// other's jobs, the extended client can "process other identities than
+// that of the client — specifically, allowing it to recognize the
+// identity of the job originator".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gram/gatekeeper.h"
+#include "gram/protocol.h"
+
+namespace gridauthz::gram {
+
+struct ManagementOptions {
+  // The job-originator identity the client expects the JMI to present.
+  // Unset reproduces stock GT2: the JMI must present the client's own
+  // identity, so managing someone else's job fails client-side.
+  std::optional<std::string> expected_job_owner;
+};
+
+class GramClient {
+ public:
+  GramClient(gsi::Credential credential, const gsi::TrustRegistry* trust,
+             const Clock* clock);
+
+  const gsi::Credential& credential() const { return credential_; }
+  std::string identity() const { return credential_.identity().str(); }
+
+  // Submits a job; returns the job contact. A non-empty `callback_url`
+  // (from CallbackRouter::Register) subscribes to job-state updates.
+  Expected<std::string> Submit(Gatekeeper& gatekeeper,
+                               const std::string& rsl_text,
+                               const std::string& callback_url = "");
+
+  // Submits a '+' multi-request atomically (the DUROC-style co-allocation
+  // GT2 layered over GRAM): every sub-request must be authorized and
+  // placed, or every already-started sub-job is cancelled and the first
+  // error is returned. A single conjunction is accepted too.
+  Expected<std::vector<std::string>> SubmitMulti(
+      Gatekeeper& gatekeeper, const JobManagerRegistry& registry,
+      const std::string& rsl_text);
+
+  // Management requests against a running job.
+  Expected<JobStatusReply> Status(const JobManagerRegistry& registry,
+                                  const std::string& contact,
+                                  const ManagementOptions& options = {});
+  Expected<void> Cancel(const JobManagerRegistry& registry,
+                        const std::string& contact,
+                        const ManagementOptions& options = {});
+  Expected<void> Signal(const JobManagerRegistry& registry,
+                        const std::string& contact,
+                        const SignalRequest& signal,
+                        const ManagementOptions& options = {});
+
+ private:
+  // Authenticates to the JMI and applies the client-side identity check.
+  Expected<std::pair<std::shared_ptr<JobManagerInstance>, RequesterInfo>>
+  Connect(const JobManagerRegistry& registry, const std::string& contact,
+          const ManagementOptions& options);
+
+  gsi::Credential credential_;
+  const gsi::TrustRegistry* trust_;
+  const Clock* clock_;
+};
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,119 @@
+#include "gram/gatekeeper.h"
+
+#include "common/logging.h"
+#include "core/request.h"
+
+namespace gridauthz::gram {
+
+std::string JobManagerRegistry::NewContact(const std::string& host) {
+  return "https://" + host + ":2119/jobmanager/" +
+         std::to_string(next_job_number_++);
+}
+
+void JobManagerRegistry::Register(std::shared_ptr<JobManagerInstance> jmi) {
+  jmis_[jmi->contact()] = std::move(jmi);
+}
+
+Expected<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::Lookup(
+    const std::string& contact) const {
+  auto it = jmis_.find(contact);
+  if (it == jmis_.end()) {
+    return Error{ErrCode::kNotFound, "no such job contact: " + contact};
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::All()
+    const {
+  std::vector<std::shared_ptr<JobManagerInstance>> out;
+  out.reserve(jmis_.size());
+  for (const auto& [contact, jmi] : jmis_) out.push_back(jmi);
+  return out;
+}
+
+std::vector<std::shared_ptr<JobManagerInstance>>
+JobManagerRegistry::FindByJobtag(std::string_view tag) const {
+  std::vector<std::shared_ptr<JobManagerInstance>> out;
+  for (const auto& [contact, jmi] : jmis_) {
+    auto jobtag = jmi->jobtag();
+    if (jobtag && *jobtag == tag) out.push_back(jmi);
+  }
+  return out;
+}
+
+RequesterInfo MakeRequesterInfo(const gsi::SecurityContext& context) {
+  RequesterInfo info;
+  info.identity = context.peer_identity.str();
+  info.restriction_policy = context.peer_restriction_policy();
+  info.limited_proxy = context.peer_is_limited_proxy();
+  return info;
+}
+
+Gatekeeper::Gatekeeper(Params params) : params_(std::move(params)) {}
+
+Expected<std::string> Gatekeeper::SubmitJob(const gsi::Credential& client,
+                                            const std::string& rsl_text,
+                                            const std::string& callback_url) {
+  // 1. Mutual authentication (GSI); the client delegates a credential the
+  //    JMI will run with.
+  GA_TRY(gsi::HandshakeResult handshake,
+         gsi::EstablishSecurityContext(client, params_.host_credential,
+                                       *params_.trust, params_.clock->Now(),
+                                       /*delegate=*/true));
+  const gsi::SecurityContext& context = handshake.acceptor_view;
+  RequesterInfo requester = MakeRequesterInfo(context);
+  GA_LOG(kInfo, "gatekeeper") << "authenticated " << requester.identity;
+
+  // 2. GT2 rejects job startup under a limited proxy.
+  if (requester.limited_proxy) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "limited proxy may not be used to start a job"};
+  }
+
+  // 3. Optional identity-level PEP at the Gatekeeper.
+  if (params_.enable_gatekeeper_callout && params_.callouts != nullptr &&
+      params_.callouts->HasBinding(kGatekeeperAuthzType)) {
+    CalloutData data;
+    data.requester_identity = requester.identity;
+    data.requester_attributes = requester.attributes;
+    data.requester_restriction_policy = requester.restriction_policy;
+    data.job_owner_identity = requester.identity;
+    data.action = core::kActionStart;
+    data.rsl = rsl_text;
+    GA_TRY_VOID(params_.callouts->Invoke(kGatekeeperAuthzType, data));
+  }
+
+  // 4. Grid-mapfile: authorization and local account mapping. "Mapping
+  //    from the Grid identity to a local account is also done with the
+  //    policy in the grid-mapfile."
+  GA_TRY(gsi::DistinguishedName subject_dn,
+         gsi::DistinguishedName::Parse(requester.identity));
+  GA_TRY(std::string account, params_.gridmap->DefaultAccount(subject_dn));
+  GA_LOG(kInfo, "gatekeeper") << requester.identity << " mapped to local account '"
+                              << account << "'";
+
+  // 5. Create the JMI, executing with the user's delegated credential.
+  if (!context.delegated_credential) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "client did not delegate a credential"};
+  }
+  JobManagerInstance::Params jmi_params;
+  jmi_params.contact = params_.jmi_registry->NewContact(params_.host);
+  jmi_params.delegated_credential = *context.delegated_credential;
+  jmi_params.owner_identity = requester.identity;
+  jmi_params.local_account = account;
+  jmi_params.scheduler = params_.scheduler;
+  jmi_params.clock = params_.clock;
+  jmi_params.callouts = params_.callouts;
+  jmi_params.callback_router = params_.callback_router;
+  jmi_params.callback_url = callback_url;
+  auto jmi = std::make_shared<JobManagerInstance>(std::move(jmi_params));
+  GA_LOG(kInfo, "gatekeeper") << "created JMI " << jmi->contact();
+
+  // 6. Start the job (the JMI PEP authorizes the start when configured).
+  GA_TRY_VOID(jmi->Start(rsl_text, requester));
+  params_.jmi_registry->Register(jmi);
+  return jmi->contact();
+}
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,90 @@
+// The Gatekeeper (section 4.1): authenticates the requesting Grid user,
+// authorizes the job invocation, maps the Grid identity to a local
+// account, and creates a Job Manager Instance for the request.
+//
+// Stock GT2 authorization here is the grid-mapfile lookup. The paper's
+// architecture optionally adds a PEP callout at the Gatekeeper too
+// ("a PEP placed in the Gatekeeper can allow or disallow access based on
+// the user's Grid identity"); the fine-grain, RSL-aware PEP lives in the
+// Job Manager.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gram/callout.h"
+#include "gram/jobmanager.h"
+#include "gridmap/gridmap.h"
+#include "gsi/security_context.h"
+#include "os/scheduler.h"
+
+namespace gridauthz::gram {
+
+// Holds live Job Manager Instances keyed by their job contact; stands in
+// for the per-job network endpoints GT2 JMIs listen on.
+class JobManagerRegistry {
+ public:
+  std::string NewContact(const std::string& host);
+  void Register(std::shared_ptr<JobManagerInstance> jmi);
+  Expected<std::shared_ptr<JobManagerInstance>> Lookup(
+      const std::string& contact) const;
+  std::size_t size() const { return jmis_.size(); }
+
+  // Jobs carrying the given jobtag — "a jobtag indicates the job
+  // membership in a group of jobs for which policy can be defined"; a VO
+  // administrator uses this to manage the whole group at once.
+  std::vector<std::shared_ptr<JobManagerInstance>> FindByJobtag(
+      std::string_view tag) const;
+
+  // Every live JMI (used by state persistence).
+  std::vector<std::shared_ptr<JobManagerInstance>> All() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<JobManagerInstance>> jmis_;
+  std::uint64_t next_job_number_ = 1;
+};
+
+class Gatekeeper {
+ public:
+  struct Params {
+    std::string host;  // e.g. "fusion.anl.gov"
+    gsi::Credential host_credential;
+    const gsi::TrustRegistry* trust = nullptr;
+    const gridmap::GridMap* gridmap = nullptr;
+    os::SimScheduler* scheduler = nullptr;
+    const Clock* clock = nullptr;
+    JobManagerRegistry* jmi_registry = nullptr;
+    // Callout dispatcher handed to every JMI (the Job Manager PEP);
+    // nullptr reproduces stock GT2.
+    CalloutDispatcher* callouts = nullptr;
+    // When true and a kGatekeeperAuthzType binding exists, the Gatekeeper
+    // also runs its own identity-level callout before the gridmap lookup.
+    bool enable_gatekeeper_callout = false;
+    // Router for client job-state callbacks, handed to every JMI.
+    CallbackRouter* callback_router = nullptr;
+  };
+
+  explicit Gatekeeper(Params params);
+
+  // Full job submission path: mutual authentication with delegation,
+  // limited-proxy rejection, (optional) gatekeeper PEP, grid-mapfile
+  // authorization and account mapping, JMI creation, job start.
+  // Returns the job contact. A non-empty `callback_url` subscribes that
+  // contact to the job's state transitions.
+  Expected<std::string> SubmitJob(const gsi::Credential& client,
+                                  const std::string& rsl_text,
+                                  const std::string& callback_url = "");
+
+  const std::string& host() const { return params_.host; }
+
+ private:
+  Params params_;
+};
+
+// Builds RequesterInfo from the acceptor's view of a security context.
+RequesterInfo MakeRequesterInfo(const gsi::SecurityContext& context);
+
+}  // namespace gridauthz::gram

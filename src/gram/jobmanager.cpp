@@ -1,0 +1,253 @@
+#include "gram/jobmanager.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+#include "core/request.h"
+
+namespace gridauthz::gram {
+
+namespace {
+
+Expected<std::int64_t> ParseIntValue(const std::string& value,
+                                     std::string_view attribute) {
+  std::int64_t out = 0;
+  auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    return Error{ErrCode::kParseError, "RSL attribute '" +
+                                           std::string{attribute} +
+                                           "' is not an integer: " + value};
+  }
+  return out;
+}
+
+}  // namespace
+
+JobManagerInstance::JobManagerInstance(Params params)
+    : params_(std::move(params)) {}
+
+std::shared_ptr<JobManagerInstance> JobManagerInstance::Restore(
+    Params params, rsl::Conjunction job_rsl, os::LocalJobId local_job_id) {
+  auto jmi = std::make_shared<JobManagerInstance>(std::move(params));
+  jmi->job_rsl_ = std::move(job_rsl);
+  jmi->local_job_id_ = local_job_id;
+  return jmi;
+}
+
+Expected<void> JobManagerInstance::Authorize(const RequesterInfo& requester,
+                                             std::string_view action) {
+  if (params_.callouts != nullptr &&
+      params_.callouts->HasBinding(kJobManagerAuthzType)) {
+    CalloutData data;
+    data.requester_identity = requester.identity;
+    data.requester_attributes = requester.attributes;
+    data.requester_restriction_policy = requester.restriction_policy;
+    data.job_owner_identity = params_.owner_identity;
+    data.action = action;
+    data.job_id = params_.contact;
+    data.rsl = job_rsl_.empty() ? "" : job_rsl_.ToString();
+    GA_LOG(kDebug, "job-manager")
+        << "PEP callout for action '" << action << "' by "
+        << requester.identity << " on job " << params_.contact;
+    return params_.callouts->Invoke(kJobManagerAuthzType, data);
+  }
+
+  // Stock GT2: no start-time authorization in the JM (the Gatekeeper
+  // already authorized via the grid-mapfile); management is restricted to
+  // the job initiator — "the Grid identity of the user making the request
+  // must match the Grid identity of the user who initiated the job".
+  if (action == core::kActionStart) return Ok();
+  if (requester.identity != params_.owner_identity) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "stock GT2 policy: only the job initiator (" +
+                     params_.owner_identity + ") may '" + std::string{action} +
+                     "' this job; requester is " + requester.identity};
+  }
+  return Ok();
+}
+
+Expected<os::JobSpec> JobManagerInstance::BuildJobSpec() const {
+  os::JobSpec spec;
+  auto executable = job_rsl_.GetValue("executable");
+  if (!executable) {
+    return Error{ErrCode::kParseError, "RSL must specify an executable"};
+  }
+  spec.executable = *executable;
+  spec.directory = job_rsl_.GetValue("directory").value_or("");
+  if (auto count = job_rsl_.GetValue("count")) {
+    GA_TRY(std::int64_t n, ParseIntValue(*count, "count"));
+    if (n < 1) {
+      return Error{ErrCode::kInvalidArgument, "count must be >= 1"};
+    }
+    spec.count = static_cast<int>(n);
+  }
+  if (auto memory = job_rsl_.GetValue("maxmemory")) {
+    GA_TRY(std::int64_t mb, ParseIntValue(*memory, "maxmemory"));
+    spec.memory_mb = mb;
+  }
+  if (auto max_time = job_rsl_.GetValue("maxtime")) {
+    GA_TRY(std::int64_t seconds, ParseIntValue(*max_time, "maxtime"));
+    spec.max_wall_time = seconds;
+  }
+  // `simduration` is a simulator knob: how long the job actually runs.
+  if (auto duration = job_rsl_.GetValue("simduration")) {
+    GA_TRY(std::int64_t seconds, ParseIntValue(*duration, "simduration"));
+    spec.wall_duration = seconds;
+  }
+  if (auto queue = job_rsl_.GetValue("queue")) {
+    spec.queue = *queue;
+  }
+  for (const rsl::Relation* r : job_rsl_.FindAll("arguments")) {
+    spec.arguments.insert(spec.arguments.end(), r->values.begin(),
+                          r->values.end());
+  }
+  return spec;
+}
+
+Expected<void> JobManagerInstance::Start(const std::string& rsl_text,
+                                         const RequesterInfo& requester) {
+  if (local_job_id_) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "job already started: " + params_.contact};
+  }
+  auto parsed = rsl::ParseConjunction(rsl_text);
+  if (!parsed.ok()) return parsed.error();
+  job_rsl_ = std::move(parsed).value();
+
+  // Normalize: GT2 defaults count to 1; policies such as "(count < 4)"
+  // must see the effective value.
+  if (!job_rsl_.GetValue("count")) {
+    job_rsl_.Add("count", rsl::RelOp::kEq, "1");
+  }
+
+  // RSL variable substitution with the Job-Manager-provided variables for
+  // the local account; the PEP sees the substituted values, so a policy
+  // on "(directory = /home/boliu)" matches "$(HOME)" requests.
+  GA_TRY(job_rsl_, rsl::SubstituteVariables(
+                       job_rsl_,
+                       {{"HOME", "/home/" + params_.local_account},
+                        {"LOGNAME", params_.local_account}}));
+
+  GA_TRY_VOID(Authorize(requester, core::kActionStart));
+  GA_TRY(os::JobSpec spec, BuildJobSpec());
+  auto submitted = params_.scheduler->Submit(params_.local_account, spec);
+  if (!submitted.ok()) {
+    failure_reason_ = submitted.error().to_string();
+    return submitted.error();
+  }
+  local_job_id_ = *submitted;
+
+  // Status callbacks: monitor the job and push updates to the client's
+  // callback contact. The listener captures values only (no `this`): the
+  // scheduler outlives any individual JMI.
+  if (params_.callback_router != nullptr && !params_.callback_url.empty()) {
+    CallbackRouter* router = params_.callback_router;
+    const std::string url = params_.callback_url;
+    const std::string contact = params_.contact;
+    const std::string owner = params_.owner_identity;
+    const std::optional<std::string> tag = jobtag();
+    const os::LocalJobId id = *local_job_id_;
+    params_.scheduler->AddStateListener(
+        [router, url, contact, owner, tag, id](const os::JobRecord& job,
+                                               os::JobState) {
+          if (job.id != id) return;
+          JobStatusReply update;
+          update.status = FromLrmState(job.state);
+          update.job_contact = contact;
+          update.job_owner = owner;
+          update.jobtag = tag;
+          update.failure_reason = job.failure_reason;
+          router->Post(url, update);
+        });
+    // Initial status callback (the job may already have dispatched during
+    // Submit, before the listener existed).
+    if (auto record = params_.scheduler->Status(id); record.ok()) {
+      JobStatusReply initial;
+      initial.status = FromLrmState(record->state);
+      initial.job_contact = contact;
+      initial.job_owner = owner;
+      initial.jobtag = tag;
+      initial.failure_reason = record->failure_reason;
+      router->Post(url, initial);
+    }
+  }
+
+  GA_LOG(kInfo, "job-manager")
+      << "job " << params_.contact << " started for " << params_.owner_identity
+      << " on account " << params_.local_account << " (local id "
+      << *local_job_id_ << ")";
+  return Ok();
+}
+
+JobStatus JobManagerInstance::CurrentStatus() const {
+  if (!local_job_id_) return JobStatus::kUnsubmitted;
+  auto record = params_.scheduler->Status(*local_job_id_);
+  if (!record.ok()) return JobStatus::kFailed;
+  return FromLrmState(record->state);
+}
+
+Expected<JobStatusReply> JobManagerInstance::Status(
+    const RequesterInfo& requester) {
+  GA_TRY_VOID(Authorize(requester, core::kActionInformation));
+  JobStatusReply reply;
+  reply.status = CurrentStatus();
+  reply.job_contact = params_.contact;
+  reply.job_owner = params_.owner_identity;
+  reply.jobtag = jobtag();
+  if (local_job_id_) {
+    auto record = params_.scheduler->Status(*local_job_id_);
+    if (record.ok()) reply.failure_reason = record->failure_reason;
+  } else {
+    reply.failure_reason = failure_reason_;
+  }
+  return reply;
+}
+
+Expected<void> JobManagerInstance::Cancel(const RequesterInfo& requester) {
+  GA_TRY_VOID(Authorize(requester, core::kActionCancel));
+  if (!local_job_id_) {
+    return Error{ErrCode::kFailedPrecondition, "job was never started"};
+  }
+  GA_LOG(kInfo, "job-manager") << "job " << params_.contact << " cancelled by "
+                               << requester.identity;
+  return params_.scheduler->Cancel(*local_job_id_);
+}
+
+Expected<void> JobManagerInstance::Signal(const RequesterInfo& requester,
+                                          const SignalRequest& signal) {
+  GA_TRY_VOID(Authorize(requester, core::kActionSignal));
+  if (!local_job_id_) {
+    return Error{ErrCode::kFailedPrecondition, "job was never started"};
+  }
+  GA_LOG(kInfo, "job-manager")
+      << "signal '" << to_string(signal.kind) << "' on job " << params_.contact
+      << " by " << requester.identity;
+  switch (signal.kind) {
+    case SignalKind::kSuspend:
+      return params_.scheduler->Suspend(*local_job_id_);
+    case SignalKind::kResume:
+      return params_.scheduler->Resume(*local_job_id_);
+    case SignalKind::kPriority: {
+      // Trust-model limitation (section 6.2): the JMI acts with the job
+      // initiator's LOCAL credential, so the priority it can set is
+      // bounded by the initiator's account rights — even when the
+      // requester was authorized by VO policy and holds higher rights.
+      auto account =
+          params_.scheduler->accounts()->Lookup(params_.local_account);
+      if (account.ok() && (*account)->limits.max_priority >= 0 &&
+          signal.priority > (*account)->limits.max_priority) {
+        return Error{ErrCode::kPermissionDenied,
+                     "job manager runs with the initiator's local credential; "
+                     "priority " + std::to_string(signal.priority) +
+                         " exceeds account '" + params_.local_account +
+                         "' limit " +
+                         std::to_string((*account)->limits.max_priority)};
+      }
+      return params_.scheduler->SetPriority(*local_job_id_, signal.priority);
+    }
+  }
+  return Error{ErrCode::kInvalidArgument, "unknown signal"};
+}
+
+}  // namespace gridauthz::gram

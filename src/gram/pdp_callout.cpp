@@ -1,0 +1,46 @@
+#include "gram/pdp_callout.h"
+
+namespace gridauthz::gram {
+
+Expected<core::AuthorizationRequest> ToAuthorizationRequest(
+    const CalloutData& data) {
+  core::AuthorizationRequest request;
+  request.subject = data.requester_identity;
+  request.attributes = data.requester_attributes;
+  request.restriction_policy = data.requester_restriction_policy;
+  request.action = data.action;
+  request.job_owner = data.job_owner_identity;
+  request.job_id = data.job_id;
+  if (!data.rsl.empty()) {
+    auto parsed = rsl::ParseConjunction(data.rsl);
+    if (!parsed.ok()) {
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   "callout could not parse job RSL: " +
+                       parsed.error().message()};
+    }
+    request.job_rsl = std::move(parsed).value();
+  }
+  return request;
+}
+
+AuthorizationCallout MakePdpCallout(
+    std::shared_ptr<core::PolicySource> source) {
+  return [source = std::move(source)](const CalloutData& data) -> Expected<void> {
+    GA_TRY(core::AuthorizationRequest request, ToAuthorizationRequest(data));
+    GA_TRY(core::Decision decision, source->Authorize(request));
+    if (!decision.permitted()) {
+      return Error{ErrCode::kAuthorizationDenied, decision.reason};
+    }
+    return Ok();
+  };
+}
+
+void RegisterPdpCalloutLibrary(const std::string& library,
+                               const std::string& symbol,
+                               std::shared_ptr<core::PolicySource> source) {
+  CalloutLibraryRegistry::Instance().Register(
+      library, symbol,
+      [source]() { return MakePdpCallout(source); });
+}
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,33 @@
+// Bridges the GRAM callout API to a core::PolicySource: the callout
+// parses the RSL it was handed, rebuilds the AuthorizationRequest, asks
+// the PDP, and maps the Decision to the callout's success / authorization
+// error contract. This is the "PEP authorization module" of section 5.2
+// when the policy comes from the paper's plain-text files; the Akenti and
+// CAS adapters plug in behind the same PolicySource interface.
+#pragma once
+
+#include <memory>
+
+#include "core/source.h"
+#include "gram/callout.h"
+
+namespace gridauthz::gram {
+
+// Builds a callout evaluating requests against `source`. The returned
+// callout denies with the PDP's reason, and converts PDP system errors to
+// authorization system failures.
+AuthorizationCallout MakePdpCallout(std::shared_ptr<core::PolicySource> source);
+
+// Registers a (library, symbol) entry in the global callout registry that
+// resolves to MakePdpCallout(source) — this is how examples and tests
+// exercise the paper's file-configured runtime loading path.
+void RegisterPdpCalloutLibrary(const std::string& library,
+                               const std::string& symbol,
+                               std::shared_ptr<core::PolicySource> source);
+
+// Converts CalloutData into the core AuthorizationRequest (parsing the
+// RSL text); exposed for the backend adapters.
+Expected<core::AuthorizationRequest> ToAuthorizationRequest(
+    const CalloutData& data);
+
+}  // namespace gridauthz::gram

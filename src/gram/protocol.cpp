@@ -1,0 +1,106 @@
+#include "gram/protocol.h"
+
+namespace gridauthz::gram {
+
+std::string_view to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kUnsubmitted:
+      return "UNSUBMITTED";
+    case JobStatus::kPending:
+      return "PENDING";
+    case JobStatus::kActive:
+      return "ACTIVE";
+    case JobStatus::kSuspended:
+      return "SUSPENDED";
+    case JobStatus::kDone:
+      return "DONE";
+    case JobStatus::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+JobStatus FromLrmState(os::JobState state) {
+  switch (state) {
+    case os::JobState::kPending:
+      return JobStatus::kPending;
+    case os::JobState::kActive:
+      return JobStatus::kActive;
+    case os::JobState::kSuspended:
+      return JobStatus::kSuspended;
+    case os::JobState::kDone:
+      return JobStatus::kDone;
+    case os::JobState::kFailed:
+    case os::JobState::kCancelled:
+      return JobStatus::kFailed;
+  }
+  return JobStatus::kFailed;
+}
+
+std::string_view to_string(GramErrorCode code) {
+  switch (code) {
+    case GramErrorCode::kNone:
+      return "GRAM_SUCCESS";
+    case GramErrorCode::kAuthenticationFailed:
+      return "GRAM_ERROR_AUTHENTICATION_FAILED";
+    case GramErrorCode::kUserNotMapped:
+      return "GRAM_ERROR_USER_NOT_MAPPED";
+    case GramErrorCode::kBadRsl:
+      return "GRAM_ERROR_BAD_RSL";
+    case GramErrorCode::kInvalidRequest:
+      return "GRAM_ERROR_INVALID_REQUEST";
+    case GramErrorCode::kJobNotFound:
+      return "GRAM_ERROR_JOB_CONTACT_NOT_FOUND";
+    case GramErrorCode::kSchedulerError:
+      return "GRAM_ERROR_JOB_EXECUTION_FAILED";
+    case GramErrorCode::kLimitedProxyRejected:
+      return "GRAM_ERROR_LIMITED_PROXY_REJECTED";
+    case GramErrorCode::kAuthorizationDenied:
+      return "GRAM_ERROR_AUTHORIZATION_DENIED";
+    case GramErrorCode::kAuthorizationSystemFailure:
+      return "GRAM_ERROR_AUTHORIZATION_SYSTEM_FAILURE";
+  }
+  return "?";
+}
+
+GramErrorCode ToProtocolCode(const Error& error) {
+  switch (error.code()) {
+    case ErrCode::kAuthenticationFailed:
+      return GramErrorCode::kAuthenticationFailed;
+    case ErrCode::kAuthorizationDenied:
+      return GramErrorCode::kAuthorizationDenied;
+    case ErrCode::kAuthorizationSystemFailure:
+      return GramErrorCode::kAuthorizationSystemFailure;
+    case ErrCode::kParseError:
+      return GramErrorCode::kBadRsl;
+    case ErrCode::kNotFound:
+      return GramErrorCode::kJobNotFound;
+    case ErrCode::kPermissionDenied:
+      // Local-credential enforcement failures (account rights, sandbox):
+      // the job-execution layer rejected the operation.
+      return GramErrorCode::kSchedulerError;
+    case ErrCode::kResourceExhausted:
+    case ErrCode::kUnavailable:
+      return GramErrorCode::kSchedulerError;
+    case ErrCode::kInvalidArgument:
+    case ErrCode::kFailedPrecondition:
+    case ErrCode::kOutOfRange:
+      return GramErrorCode::kInvalidRequest;
+    default:
+      return GramErrorCode::kSchedulerError;
+  }
+}
+
+std::string_view to_string(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kSuspend:
+      return "suspend";
+    case SignalKind::kResume:
+      return "resume";
+    case SignalKind::kPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+}  // namespace gridauthz::gram

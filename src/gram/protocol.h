@@ -1,0 +1,72 @@
+// GRAM protocol-level types: job states as reported to clients, the error
+// codes of the GT2 GRAM protocol, and the paper's extensions to it —
+// distinct codes for authorization denial and authorization system
+// failure, with a reason string describing why authorization was denied
+// (section 5.2, "Errors").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "os/scheduler.h"
+
+namespace gridauthz::gram {
+
+// Job states as surfaced through the GRAM protocol.
+enum class JobStatus {
+  kUnsubmitted,
+  kPending,
+  kActive,
+  kSuspended,
+  kDone,
+  kFailed,
+};
+
+std::string_view to_string(JobStatus status);
+JobStatus FromLrmState(os::JobState state);
+
+// GRAM protocol error codes. The first group exists in stock GT2; the
+// last two are the paper's protocol extension.
+enum class GramErrorCode {
+  kNone = 0,
+  kAuthenticationFailed,
+  kUserNotMapped,        // not in the grid-mapfile
+  kBadRsl,
+  kInvalidRequest,
+  kJobNotFound,
+  kSchedulerError,
+  kLimitedProxyRejected,
+  // --- extensions (section 5.2) ---
+  kAuthorizationDenied,
+  kAuthorizationSystemFailure,
+};
+
+std::string_view to_string(GramErrorCode code);
+
+// Maps an internal error to the GRAM protocol code a client would see.
+GramErrorCode ToProtocolCode(const Error& error);
+
+// Reply to a status ("information") request.
+struct JobStatusReply {
+  JobStatus status = JobStatus::kUnsubmitted;
+  std::string job_contact;
+  std::string job_owner;              // Grid identity of the initiator
+  std::optional<std::string> jobtag;  // the paper's job-group attribute
+  std::string failure_reason;
+};
+
+// Management signals carried by the GRAM "signal" action. The paper
+// groups "a variety of job management actions such as changing priority"
+// under signal.
+enum class SignalKind { kSuspend, kResume, kPriority };
+
+std::string_view to_string(SignalKind kind);
+
+struct SignalRequest {
+  SignalKind kind = SignalKind::kSuspend;
+  int priority = 0;  // used by kPriority
+};
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,183 @@
+#include "gram/recovery.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "gram/wire.h"
+
+namespace gridauthz::gram {
+
+namespace {
+
+constexpr std::string_view kFrameSeparator = "%%";
+
+Expected<gsi::CertType> CertTypeFromString(std::string_view text) {
+  for (gsi::CertType type :
+       {gsi::CertType::kCa, gsi::CertType::kEndEntity,
+        gsi::CertType::kImpersonationProxy, gsi::CertType::kLimitedProxy,
+        gsi::CertType::kRestrictedProxy}) {
+    if (to_string(type) == text) return type;
+  }
+  return Error{ErrCode::kParseError,
+               "unknown certificate type: " + std::string{text}};
+}
+
+}  // namespace
+
+namespace {
+
+void EncodeChainInto(wire::Message& message,
+                     const std::vector<gsi::Certificate>& chain) {
+  message.SetInt("cert-count", static_cast<std::int64_t>(chain.size()));
+  int index = 0;
+  for (const gsi::Certificate& cert : chain) {
+    std::string prefix = "cert" + std::to_string(index++) + "-";
+    message.SetInt(prefix + "serial", static_cast<std::int64_t>(cert.serial));
+    message.Set(prefix + "type", to_string(cert.type));
+    message.Set(prefix + "subject", cert.subject.str());
+    message.Set(prefix + "issuer", cert.issuer.str());
+    message.Set(prefix + "pubkey", cert.subject_key.fingerprint);
+    message.SetInt(prefix + "not-before", cert.not_before);
+    message.SetInt(prefix + "not-after", cert.not_after);
+    if (!cert.restriction_policy.empty()) {
+      message.Set(prefix + "policy", cert.restriction_policy);
+    }
+    message.Set(prefix + "signature", cert.signature);
+  }
+}
+
+Expected<std::vector<gsi::Certificate>> DecodeChainFrom(
+    const wire::Message& message) {
+  GA_TRY(std::int64_t count, message.RequireInt("cert-count"));
+  if (count < 1) {
+    return Error{ErrCode::kParseError, "chain without certificates"};
+  }
+  std::vector<gsi::Certificate> chain;
+  chain.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::string prefix = "cert" + std::to_string(i) + "-";
+    gsi::Certificate cert;
+    GA_TRY(std::int64_t serial, message.RequireInt(prefix + "serial"));
+    cert.serial = static_cast<std::uint64_t>(serial);
+    GA_TRY(std::string type_text, message.Require(prefix + "type"));
+    GA_TRY(cert.type, CertTypeFromString(type_text));
+    GA_TRY(std::string subject_text, message.Require(prefix + "subject"));
+    GA_TRY(cert.subject, gsi::DistinguishedName::Parse(subject_text));
+    GA_TRY(std::string issuer_text, message.Require(prefix + "issuer"));
+    GA_TRY(cert.issuer, gsi::DistinguishedName::Parse(issuer_text));
+    GA_TRY(cert.subject_key.fingerprint, message.Require(prefix + "pubkey"));
+    GA_TRY(cert.not_before, message.RequireInt(prefix + "not-before"));
+    GA_TRY(cert.not_after, message.RequireInt(prefix + "not-after"));
+    cert.restriction_policy = message.Get(prefix + "policy").value_or("");
+    GA_TRY(cert.signature, message.Require(prefix + "signature"));
+    chain.push_back(std::move(cert));
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string EncodeCertificateChain(
+    const std::vector<gsi::Certificate>& chain) {
+  wire::Message message;
+  EncodeChainInto(message, chain);
+  return message.Serialize();
+}
+
+Expected<std::vector<gsi::Certificate>> DecodeCertificateChain(
+    std::string_view text) {
+  GA_TRY(wire::Message message, wire::Message::Parse(text));
+  return DecodeChainFrom(message);
+}
+
+std::string EncodeCredential(const gsi::Credential& credential) {
+  wire::Message message;
+  message.Set("key-bytes", credential.key().bytes());
+  EncodeChainInto(message, credential.chain());
+  return message.Serialize();
+}
+
+Expected<gsi::Credential> DecodeCredential(std::string_view text) {
+  GA_TRY(wire::Message message, wire::Message::Parse(text));
+  GA_TRY(std::string key_bytes, message.Require("key-bytes"));
+  GA_TRY(std::vector<gsi::Certificate> chain, DecodeChainFrom(message));
+  // Re-register the key so signatures verify after the "restart".
+  gsi::PrivateKey key{std::move(key_bytes)};
+  gsi::KeyStore::Instance().Register(key);
+  return gsi::Credential{std::move(chain), std::move(key)};
+}
+
+std::string SaveJobManagerState(const JobManagerRegistry& registry) {
+  std::string out;
+  for (const auto& jmi : registry.All()) {
+    if (!jmi->started()) continue;  // nothing to resume
+    wire::Message message;
+    message.Set("contact", jmi->contact());
+    message.Set("owner", jmi->owner_identity());
+    message.Set("account", jmi->local_account());
+    message.SetInt("local-job-id",
+                   static_cast<std::int64_t>(jmi->local_job_id()));
+    message.Set("rsl", jmi->job_rsl().ToString());
+    message.Set("credential", EncodeCredential(jmi->credential()));
+    out += message.Serialize();
+    out += kFrameSeparator;
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<int> RestoreJobManagerState(std::string_view state_text,
+                                     JobManagerRegistry& registry,
+                                     const RestoreEnvironment& environment) {
+  int restored = 0;
+  std::string current_frame;
+  auto flush = [&]() -> Expected<void> {
+    if (strings::Trim(current_frame).empty()) return Ok();
+    GA_TRY(wire::Message message, wire::Message::Parse(current_frame));
+    current_frame.clear();
+
+    JobManagerInstance::Params params;
+    GA_TRY(params.contact, message.Require("contact"));
+    GA_TRY(params.owner_identity, message.Require("owner"));
+    GA_TRY(params.local_account, message.Require("account"));
+    GA_TRY(std::string credential_text, message.Require("credential"));
+    GA_TRY(params.delegated_credential, DecodeCredential(credential_text));
+    params.scheduler = environment.scheduler;
+    params.clock = environment.clock;
+    params.callouts = environment.callouts;
+
+    GA_TRY(std::string rsl_text, message.Require("rsl"));
+    GA_TRY(rsl::Conjunction job_rsl, rsl::ParseConjunction(rsl_text));
+    GA_TRY(std::int64_t local_job_id, message.RequireInt("local-job-id"));
+
+    // The job must still exist in the scheduler for management to work.
+    auto record = environment.scheduler->Status(
+        static_cast<os::LocalJobId>(local_job_id));
+    if (!record.ok()) {
+      return Error{ErrCode::kFailedPrecondition,
+                   "persisted job " + params.contact +
+                       " references unknown local job " +
+                       std::to_string(local_job_id)};
+    }
+
+    registry.Register(JobManagerInstance::Restore(
+        std::move(params), std::move(job_rsl),
+        static_cast<os::LocalJobId>(local_job_id)));
+    ++restored;
+    return Ok();
+  };
+
+  for (const std::string& line : strings::Lines(state_text)) {
+    if (strings::Trim(line) == kFrameSeparator) {
+      GA_TRY_VOID(flush());
+    } else {
+      current_frame += line;
+      current_frame += '\n';
+    }
+  }
+  GA_TRY_VOID(flush());
+  GA_LOG(kInfo, "recovery") << "restored " << restored
+                            << " job manager instances";
+  return restored;
+}
+
+}  // namespace gridauthz::gram

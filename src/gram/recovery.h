@@ -1,0 +1,42 @@
+// Job Manager state persistence: GT2 Job Managers wrote their state
+// (including the delegated proxy credential) to disk so that a restarted
+// JM could resume managing a job that survived it. SaveJobManagerState
+// serializes every live JMI — contact, owner, account, job RSL, local job
+// id, and the delegated credential — and RestoreJobManagerState rebuilds
+// the registry against the still-running scheduler.
+#pragma once
+
+#include <string>
+
+#include "gram/gatekeeper.h"
+
+namespace gridauthz::gram {
+
+// Serializes a certificate chain (public material only) to text.
+std::string EncodeCertificateChain(const std::vector<gsi::Certificate>& chain);
+Expected<std::vector<gsi::Certificate>> DecodeCertificateChain(
+    std::string_view text);
+
+// Serializes a credential (certificate chain + private key) to text.
+std::string EncodeCredential(const gsi::Credential& credential);
+// Rebuilds a credential; the private key is re-registered for signature
+// verification.
+Expected<gsi::Credential> DecodeCredential(std::string_view text);
+
+// Serializes every JMI in `registry` (only started jobs are persisted).
+std::string SaveJobManagerState(const JobManagerRegistry& registry);
+
+// Parameters shared by every restored JMI (the per-job fields come from
+// the persisted state).
+struct RestoreEnvironment {
+  os::SimScheduler* scheduler = nullptr;
+  const Clock* clock = nullptr;
+  CalloutDispatcher* callouts = nullptr;
+};
+
+// Rebuilds JMIs into `registry`; returns how many were restored.
+Expected<int> RestoreJobManagerState(std::string_view state_text,
+                                     JobManagerRegistry& registry,
+                                     const RestoreEnvironment& environment);
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,68 @@
+#include "gram/secure_frame.h"
+
+#include "gram/recovery.h"
+#include "gram/wire.h"
+
+namespace gridauthz::gram {
+
+namespace {
+
+std::string SignedContent(std::string_view frame, TimePoint signed_at) {
+  return "gram-secure-frame;t=" + std::to_string(signed_at) + ";payload=" +
+         std::string{frame};
+}
+
+}  // namespace
+
+std::string SignFrame(const gsi::Credential& sender, std::string_view frame,
+                      TimePoint now) {
+  wire::Message envelope;
+  envelope.Set("envelope-type", "gram-secure-frame");
+  envelope.Set("payload", frame);
+  envelope.SetInt("signed-at", now);
+  envelope.Set("signature", sender.Sign(SignedContent(frame, now)));
+  envelope.Set("signer-chain", EncodeCertificateChain(sender.chain()));
+  return envelope.Serialize();
+}
+
+Expected<VerifiedFrame> VerifyFrame(std::string_view envelope_text,
+                                    const gsi::TrustRegistry& trust,
+                                    TimePoint now, Duration max_age_seconds) {
+  GA_TRY(wire::Message envelope, wire::Message::Parse(envelope_text));
+  GA_TRY(std::string type, envelope.Require("envelope-type"));
+  if (type != "gram-secure-frame") {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "not a secure frame envelope: " + type};
+  }
+  GA_TRY(std::string payload, envelope.Require("payload"));
+  GA_TRY(TimePoint signed_at, envelope.RequireInt("signed-at"));
+  GA_TRY(std::string signature, envelope.Require("signature"));
+  GA_TRY(std::string chain_text, envelope.Require("signer-chain"));
+  GA_TRY(std::vector<gsi::Certificate> chain,
+         DecodeCertificateChain(chain_text));
+
+  if (signed_at > now + max_age_seconds ||
+      signed_at < now - max_age_seconds) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "secure frame outside the freshness window (signed at " +
+                     std::to_string(signed_at) + ", now " +
+                     std::to_string(now) + ")"};
+  }
+
+  GA_TRY(gsi::DistinguishedName sender, trust.ValidateChain(chain, now));
+  if (!gsi::VerifySignature(chain.front().subject_key,
+                            SignedContent(payload, signed_at), signature)) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "secure frame signature verification failed for " +
+                     sender.str()};
+  }
+
+  VerifiedFrame verified;
+  verified.frame = std::move(payload);
+  verified.sender = std::move(sender);
+  verified.chain = std::move(chain);
+  verified.signed_at = signed_at;
+  return verified;
+}
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,41 @@
+// GSI message-level protection for wire frames: the sender wraps a frame
+// in a signed envelope (payload + signature + its certificate chain); the
+// receiver validates the chain against the trust registry, verifies the
+// signature with the leaf key, and obtains the authenticated sender
+// identity. This is the per-message integrity layer GSI offers alongside
+// the connection handshake; GRAM endpoints use it to bind a frame to the
+// identity that authenticated the channel.
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gsi/certificate.h"
+#include "gsi/credential.h"
+
+namespace gridauthz::gram {
+
+// Wraps `frame` in a signed envelope from `sender` at time `now` (the
+// timestamp is covered by the signature; receivers reject envelopes
+// outside the freshness window).
+std::string SignFrame(const gsi::Credential& sender, std::string_view frame,
+                      TimePoint now);
+
+struct VerifiedFrame {
+  std::string frame;                  // the protected payload
+  gsi::DistinguishedName sender;      // authenticated Grid identity
+  std::vector<gsi::Certificate> chain;
+  TimePoint signed_at = 0;
+};
+
+// Verifies an envelope: chain validity (against `trust` at `now`),
+// signature over payload+timestamp with the leaf key, and freshness
+// (|now - signed_at| <= max_age_seconds). Tampering, untrusted or expired
+// chains, and stale envelopes all fail with kAuthenticationFailed.
+Expected<VerifiedFrame> VerifyFrame(std::string_view envelope_text,
+                                    const gsi::TrustRegistry& trust,
+                                    TimePoint now,
+                                    Duration max_age_seconds = 300);
+
+}  // namespace gridauthz::gram

@@ -1,0 +1,84 @@
+#include "gram/site.h"
+
+#include <stdexcept>
+
+namespace gridauthz::gram {
+
+namespace {
+
+gsi::DistinguishedName MustParseDn(const std::string& text) {
+  auto dn = gsi::DistinguishedName::Parse(text);
+  // Site options are programmer-supplied constants; fail loudly.
+  if (!dn.ok()) {
+    throw std::invalid_argument("bad DN in site options: " + text + " (" +
+                                dn.error().to_string() + ")");
+  }
+  return std::move(dn).value();
+}
+
+}  // namespace
+
+SimulatedSite::SimulatedSite(SiteOptions options)
+    : options_(std::move(options)),
+      clock_(options_.start_time),
+      ca_(MustParseDn(options_.ca_name), clock_.Now()),
+      scheduler_(os::SchedulerConfig{options_.cpu_slots, options_.queues},
+                 &accounts_, clock_.Now()),
+      host_credential_(IssueCredential(
+          ca_,
+          MustParseDn("/O=Grid/OU=services/CN=" + options_.host),
+          clock_.Now())),
+      gatekeeper_(Gatekeeper::Params{}) {
+  trust_.AddTrustedCa(ca_.certificate());
+  Gatekeeper::Params params;
+  params.host = options_.host;
+  params.host_credential = host_credential_;
+  params.trust = &trust_;
+  params.gridmap = &gridmap_;
+  params.scheduler = &scheduler_;
+  params.clock = &clock_;
+  params.jmi_registry = &jmi_registry_;
+  params.callouts = &callouts_;
+  params.callback_router = &callback_router_;
+  params.enable_gatekeeper_callout = options_.enable_gatekeeper_callout;
+  gatekeeper_ = Gatekeeper{std::move(params)};
+}
+
+Expected<gsi::Credential> SimulatedSite::CreateUser(const std::string& dn_text) {
+  GA_TRY(gsi::DistinguishedName dn, gsi::DistinguishedName::Parse(dn_text));
+  return IssueCredential(ca_, dn, clock_.Now());
+}
+
+Expected<void> SimulatedSite::AddAccount(const std::string& name,
+                                         std::vector<std::string> groups,
+                                         os::ResourceLimits limits) {
+  return accounts_.Add(name, std::move(groups), limits);
+}
+
+Expected<void> SimulatedSite::MapUser(const gsi::Credential& user,
+                                      const std::string& account) {
+  return gridmap_.Add(user.identity(), {account});
+}
+
+GramClient SimulatedSite::MakeClient(const gsi::Credential& credential) {
+  return GramClient{credential, &trust_, &clock_};
+}
+
+void SimulatedSite::UseJobManagerPep(
+    std::shared_ptr<core::PolicySource> source) {
+  callouts_.BindDirect(std::string{kJobManagerAuthzType},
+                       MakePdpCallout(std::move(source)));
+}
+
+void SimulatedSite::UseJobManagerPepFromConfig(const std::string& library,
+                                               const std::string& symbol) {
+  callouts_.Bind(CalloutBinding{std::string{kJobManagerAuthzType}, library,
+                                symbol});
+}
+
+void SimulatedSite::Advance(Duration seconds) {
+  clock_.Advance(seconds);
+  scheduler_.Advance(seconds);
+}
+
+}  // namespace gridauthz::gram

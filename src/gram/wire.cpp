@@ -1,0 +1,295 @@
+#include "gram/wire.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace gridauthz::gram::wire {
+
+namespace {
+
+std::string EscapeValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Expected<std::string> UnescapeValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\') {
+      out.push_back(value[i]);
+      continue;
+    }
+    if (i + 1 >= value.size()) {
+      return Error{ErrCode::kParseError, "dangling escape in wire value"};
+    }
+    ++i;
+    switch (value[i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        return Error{ErrCode::kParseError,
+                     std::string{"bad escape '\\"} + value[i] + "'"};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Message::Set(std::string_view key, std::string_view value) {
+  fields_[std::string{key}] = std::string{value};
+}
+
+void Message::SetInt(std::string_view key, std::int64_t value) {
+  Set(key, std::to_string(value));
+}
+
+std::optional<std::string> Message::Get(std::string_view key) const {
+  auto it = fields_.find(std::string{key});
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+Expected<std::string> Message::Require(std::string_view key) const {
+  auto value = Get(key);
+  if (!value) {
+    return Error{ErrCode::kParseError,
+                 "missing required field '" + std::string{key} + "'"};
+  }
+  return *value;
+}
+
+Expected<std::int64_t> Message::RequireInt(std::string_view key) const {
+  GA_TRY(std::string text, Require(key));
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError,
+                 "field '" + std::string{key} + "' is not an integer: " + text};
+  }
+  return value;
+}
+
+std::string Message::Serialize() const {
+  std::string out = "protocol-version: ";
+  out += kProtocolVersion;
+  out += "\r\n";
+  for (const auto& [key, value] : fields_) {
+    out += key;
+    out += ": ";
+    out += EscapeValue(value);
+    out += "\r\n";
+  }
+  return out;
+}
+
+Expected<Message> Message::Parse(std::string_view text) {
+  Message message;
+  bool saw_version = false;
+  int line_number = 0;
+  for (const std::string& raw : strings::Lines(text)) {
+    ++line_number;
+    std::string_view line = strings::Trim(raw);
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Error{ErrCode::kParseError,
+                   "wire line " + std::to_string(line_number) +
+                       ": missing ':' separator"};
+    }
+    std::string key{strings::Trim(line.substr(0, colon))};
+    GA_TRY(std::string value,
+           UnescapeValue(strings::Trim(line.substr(colon + 1))));
+    if (key == "protocol-version") {
+      if (value != kProtocolVersion) {
+        return Error{ErrCode::kParseError,
+                     "unsupported protocol version: " + value};
+      }
+      saw_version = true;
+      continue;
+    }
+    if (message.fields_.contains(key)) {
+      return Error{ErrCode::kParseError, "duplicate wire field '" + key + "'"};
+    }
+    message.fields_[std::move(key)] = std::move(value);
+  }
+  if (!saw_version) {
+    return Error{ErrCode::kParseError, "missing protocol-version"};
+  }
+  return message;
+}
+
+// ---- error code / status rendering -------------------------------------
+
+std::string_view ErrorCodeToWire(GramErrorCode code) { return to_string(code); }
+
+Expected<GramErrorCode> ErrorCodeFromWire(std::string_view text) {
+  for (GramErrorCode code :
+       {GramErrorCode::kNone, GramErrorCode::kAuthenticationFailed,
+        GramErrorCode::kUserNotMapped, GramErrorCode::kBadRsl,
+        GramErrorCode::kInvalidRequest, GramErrorCode::kJobNotFound,
+        GramErrorCode::kSchedulerError, GramErrorCode::kLimitedProxyRejected,
+        GramErrorCode::kAuthorizationDenied,
+        GramErrorCode::kAuthorizationSystemFailure}) {
+    if (to_string(code) == text) return code;
+  }
+  return Error{ErrCode::kParseError,
+               "unknown GRAM error code: " + std::string{text}};
+}
+
+std::string_view StatusToWire(JobStatus status) { return to_string(status); }
+
+Expected<JobStatus> StatusFromWire(std::string_view text) {
+  for (JobStatus status :
+       {JobStatus::kUnsubmitted, JobStatus::kPending, JobStatus::kActive,
+        JobStatus::kSuspended, JobStatus::kDone, JobStatus::kFailed}) {
+    if (to_string(status) == text) return status;
+  }
+  return Error{ErrCode::kParseError,
+               "unknown job status: " + std::string{text}};
+}
+
+// ---- typed messages ------------------------------------------------------
+
+Message JobRequest::Encode() const {
+  Message message;
+  message.Set("message-type", "job-request");
+  message.Set("rsl", rsl);
+  if (callback_url) message.Set("callback-url", *callback_url);
+  return message;
+}
+
+Expected<JobRequest> JobRequest::Decode(const Message& message) {
+  GA_TRY(std::string type, message.Require("message-type"));
+  if (type != "job-request") {
+    return Error{ErrCode::kParseError, "not a job-request: " + type};
+  }
+  JobRequest request;
+  GA_TRY(request.rsl, message.Require("rsl"));
+  request.callback_url = message.Get("callback-url");
+  return request;
+}
+
+Message JobRequestReply::Encode() const {
+  Message message;
+  message.Set("message-type", "job-request-reply");
+  message.Set("error-code", ErrorCodeToWire(code));
+  if (!job_contact.empty()) message.Set("job-contact", job_contact);
+  if (!reason.empty()) message.Set("reason", reason);
+  return message;
+}
+
+Expected<JobRequestReply> JobRequestReply::Decode(const Message& message) {
+  GA_TRY(std::string type, message.Require("message-type"));
+  if (type != "job-request-reply") {
+    return Error{ErrCode::kParseError, "not a job-request-reply: " + type};
+  }
+  JobRequestReply reply;
+  GA_TRY(std::string code_text, message.Require("error-code"));
+  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
+  reply.job_contact = message.Get("job-contact").value_or("");
+  reply.reason = message.Get("reason").value_or("");
+  if (reply.code == GramErrorCode::kNone && reply.job_contact.empty()) {
+    return Error{ErrCode::kParseError,
+                 "successful job-request-reply without a job contact"};
+  }
+  return reply;
+}
+
+Message ManagementRequest::Encode() const {
+  Message message;
+  message.Set("message-type", "management-request");
+  message.Set("action", action);
+  message.Set("job-contact", job_contact);
+  if (signal) {
+    message.Set("signal", to_string(signal->kind));
+    if (signal->kind == SignalKind::kPriority) {
+      message.SetInt("priority", signal->priority);
+    }
+  }
+  return message;
+}
+
+Expected<ManagementRequest> ManagementRequest::Decode(const Message& message) {
+  GA_TRY(std::string type, message.Require("message-type"));
+  if (type != "management-request") {
+    return Error{ErrCode::kParseError, "not a management-request: " + type};
+  }
+  ManagementRequest request;
+  GA_TRY(request.action, message.Require("action"));
+  GA_TRY(request.job_contact, message.Require("job-contact"));
+  if (request.action != "cancel" && request.action != "information" &&
+      request.action != "signal") {
+    return Error{ErrCode::kParseError,
+                 "unknown management action: " + request.action};
+  }
+  if (request.action == "signal") {
+    GA_TRY(std::string kind_text, message.Require("signal"));
+    SignalRequest signal;
+    if (kind_text == "suspend") signal.kind = SignalKind::kSuspend;
+    else if (kind_text == "resume") signal.kind = SignalKind::kResume;
+    else if (kind_text == "priority") {
+      signal.kind = SignalKind::kPriority;
+      GA_TRY(std::int64_t priority, message.RequireInt("priority"));
+      signal.priority = static_cast<int>(priority);
+    } else {
+      return Error{ErrCode::kParseError, "unknown signal: " + kind_text};
+    }
+    request.signal = signal;
+  }
+  return request;
+}
+
+Message ManagementReply::Encode() const {
+  Message message;
+  message.Set("message-type", "management-reply");
+  message.Set("error-code", ErrorCodeToWire(code));
+  message.Set("status", StatusToWire(status));
+  if (!job_owner.empty()) message.Set("job-owner", job_owner);
+  if (jobtag) message.Set("jobtag", *jobtag);
+  if (!reason.empty()) message.Set("reason", reason);
+  return message;
+}
+
+Expected<ManagementReply> ManagementReply::Decode(const Message& message) {
+  GA_TRY(std::string type, message.Require("message-type"));
+  if (type != "management-reply") {
+    return Error{ErrCode::kParseError, "not a management-reply: " + type};
+  }
+  ManagementReply reply;
+  GA_TRY(std::string code_text, message.Require("error-code"));
+  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
+  GA_TRY(std::string status_text, message.Require("status"));
+  GA_TRY(reply.status, StatusFromWire(status_text));
+  reply.job_owner = message.Get("job-owner").value_or("");
+  reply.jobtag = message.Get("jobtag");
+  reply.reason = message.Get("reason").value_or("");
+  return reply;
+}
+
+}  // namespace gridauthz::gram::wire

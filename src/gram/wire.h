@@ -1,0 +1,93 @@
+// The GRAM wire protocol: framed key/value messages in the style of
+// GT2's application/x-globus-gram HTTP encoding, with typed encoders and
+// decoders for job requests, management requests, and their replies.
+//
+// The paper's protocol extension lives here concretely: replies carry an
+// explicit error code distinguishing AUTHORIZATION_DENIED from
+// AUTHORIZATION_SYSTEM_FAILURE plus a free-text `reason` "describing
+// reasons for authorization denial" (section 5.2), and management
+// replies carry the job owner identity so the extended client can
+// recognize job originators other than itself.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/error.h"
+#include "gram/protocol.h"
+
+namespace gridauthz::gram::wire {
+
+// A protocol frame: ordered "key: value" lines, CRLF-terminated, with
+// backslash escaping for embedded newlines and backslashes. Unknown keys
+// are preserved (forward compatibility).
+class Message {
+ public:
+  static constexpr std::string_view kProtocolVersion = "2";
+
+  void Set(std::string_view key, std::string_view value);
+  void SetInt(std::string_view key, std::int64_t value);
+  std::optional<std::string> Get(std::string_view key) const;
+  Expected<std::string> Require(std::string_view key) const;
+  Expected<std::int64_t> RequireInt(std::string_view key) const;
+
+  std::size_t size() const { return fields_.size(); }
+
+  // Serializes as "protocol-version: 2\r\nkey: value\r\n...".
+  std::string Serialize() const;
+  // Parses a frame; fails on missing/unsupported protocol-version,
+  // malformed lines, or duplicate keys.
+  static Expected<Message> Parse(std::string_view text);
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+// ---- typed messages --------------------------------------------------
+
+struct JobRequest {
+  std::string rsl;
+  std::optional<std::string> callback_url;
+
+  Message Encode() const;
+  static Expected<JobRequest> Decode(const Message& message);
+};
+
+struct JobRequestReply {
+  GramErrorCode code = GramErrorCode::kNone;
+  std::string job_contact;  // set on success
+  std::string reason;       // extension: why authorization failed
+
+  Message Encode() const;
+  static Expected<JobRequestReply> Decode(const Message& message);
+};
+
+struct ManagementRequest {
+  std::string action;  // cancel | information | signal
+  std::string job_contact;
+  std::optional<SignalRequest> signal;  // for action == signal
+
+  Message Encode() const;
+  static Expected<ManagementRequest> Decode(const Message& message);
+};
+
+struct ManagementReply {
+  GramErrorCode code = GramErrorCode::kNone;
+  JobStatus status = JobStatus::kUnsubmitted;
+  std::string job_owner;              // extension: originator identity
+  std::optional<std::string> jobtag;  // extension
+  std::string reason;
+
+  Message Encode() const;
+  static Expected<ManagementReply> Decode(const Message& message);
+};
+
+// Error-code <-> wire rendering (uses the GRAM protocol error names).
+std::string_view ErrorCodeToWire(GramErrorCode code);
+Expected<GramErrorCode> ErrorCodeFromWire(std::string_view text);
+
+std::string_view StatusToWire(JobStatus status);
+Expected<JobStatus> StatusFromWire(std::string_view text);
+
+}  // namespace gridauthz::gram::wire

@@ -1,0 +1,178 @@
+#include "gram/wire_service.h"
+
+#include "core/request.h"
+
+namespace gridauthz::gram::wire {
+
+WireEndpoint::WireEndpoint(Gatekeeper* gatekeeper,
+                           const JobManagerRegistry* registry,
+                           const gsi::TrustRegistry* trust, const Clock* clock)
+    : gatekeeper_(gatekeeper),
+      registry_(registry),
+      trust_(trust),
+      clock_(clock) {}
+
+std::string WireEndpoint::Handle(const gsi::Credential& peer,
+                                 std::string_view frame) {
+  auto message = Message::Parse(frame);
+  if (!message.ok()) {
+    JobRequestReply reply;
+    reply.code = GramErrorCode::kInvalidRequest;
+    reply.reason = message.error().to_string();
+    return reply.Encode().Serialize();
+  }
+  auto type = message->Get("message-type").value_or("");
+  if (type == "job-request") {
+    return HandleJobRequest(peer, *message);
+  }
+  if (type == "management-request") {
+    return HandleManagement(peer, *message);
+  }
+  JobRequestReply reply;
+  reply.code = GramErrorCode::kInvalidRequest;
+  reply.reason = "unknown message-type '" + type + "'";
+  return reply.Encode().Serialize();
+}
+
+std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
+                                           const Message& message) {
+  JobRequestReply reply;
+  auto request = JobRequest::Decode(message);
+  if (!request.ok()) {
+    reply.code = GramErrorCode::kInvalidRequest;
+    reply.reason = request.error().to_string();
+    return reply.Encode().Serialize();
+  }
+  auto contact = gatekeeper_->SubmitJob(peer, request->rsl,
+                                        request->callback_url.value_or(""));
+  if (!contact.ok()) {
+    reply.code = ToProtocolCode(contact.error());
+    reply.reason = contact.error().message();
+  } else {
+    reply.code = GramErrorCode::kNone;
+    reply.job_contact = *contact;
+  }
+  return reply.Encode().Serialize();
+}
+
+std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
+                                           const Message& message) {
+  ManagementReply reply;
+  auto fail = [&reply](const Error& error) {
+    reply.code = ToProtocolCode(error);
+    reply.reason = error.message();
+    return reply.Encode().Serialize();
+  };
+
+  auto request = ManagementRequest::Decode(message);
+  if (!request.ok()) {
+    reply.code = GramErrorCode::kInvalidRequest;
+    reply.reason = request.error().to_string();
+    return reply.Encode().Serialize();
+  }
+  auto jmi = registry_->Lookup(request->job_contact);
+  if (!jmi.ok()) return fail(jmi.error());
+
+  // Authenticate the peer against the JMI's credential (the delegated
+  // user credential in GT2) to obtain the verified RequesterInfo.
+  auto handshake = gsi::EstablishSecurityContext(peer, (*jmi)->credential(),
+                                                 *trust_, clock_->Now());
+  if (!handshake.ok()) return fail(handshake.error());
+  RequesterInfo requester = MakeRequesterInfo(handshake->acceptor_view);
+
+  if (request->action == core::kActionInformation) {
+    auto status = (*jmi)->Status(requester);
+    if (!status.ok()) return fail(status.error());
+    reply.code = GramErrorCode::kNone;
+    reply.status = status->status;
+    reply.job_owner = status->job_owner;
+    reply.jobtag = status->jobtag;
+    reply.reason = status->failure_reason;
+    return reply.Encode().Serialize();
+  }
+  if (request->action == core::kActionCancel) {
+    auto cancelled = (*jmi)->Cancel(requester);
+    if (!cancelled.ok()) return fail(cancelled.error());
+  } else {  // signal (validated by Decode)
+    auto signalled = (*jmi)->Signal(requester, *request->signal);
+    if (!signalled.ok()) return fail(signalled.error());
+  }
+  reply.code = GramErrorCode::kNone;
+  auto status = (*jmi)->Status(requester);
+  if (status.ok()) {
+    reply.status = status->status;
+    reply.job_owner = status->job_owner;
+    reply.jobtag = status->jobtag;
+  } else {
+    // The action succeeded but this requester may not query status (e.g.
+    // cancel-only rights). Report the owner from the JMI directly.
+    reply.job_owner = (*jmi)->owner_identity();
+  }
+  return reply.Encode().Serialize();
+}
+
+WireClient::WireClient(gsi::Credential credential, WireEndpoint* endpoint)
+    : credential_(std::move(credential)), endpoint_(endpoint) {}
+
+Expected<std::string> WireClient::Submit(const std::string& rsl) {
+  JobRequest request;
+  request.rsl = rsl;
+  std::string reply_frame =
+      endpoint_->Handle(credential_, request.Encode().Serialize());
+  GA_TRY(Message message, Message::Parse(reply_frame));
+  GA_TRY(JobRequestReply reply, JobRequestReply::Decode(message));
+  if (reply.code != GramErrorCode::kNone) {
+    ErrCode code = reply.code == GramErrorCode::kAuthorizationDenied
+                       ? ErrCode::kAuthorizationDenied
+                   : reply.code == GramErrorCode::kAuthorizationSystemFailure
+                       ? ErrCode::kAuthorizationSystemFailure
+                       : ErrCode::kUnavailable;
+    return Error{code, std::string{to_string(reply.code)} +
+                           (reply.reason.empty() ? "" : ": " + reply.reason)};
+  }
+  return reply.job_contact;
+}
+
+Expected<ManagementReply> WireClient::Manage(
+    const std::string& action, const std::string& contact,
+    const std::optional<SignalRequest>& signal) {
+  ManagementRequest request;
+  request.action = action;
+  request.job_contact = contact;
+  request.signal = signal;
+  std::string reply_frame =
+      endpoint_->Handle(credential_, request.Encode().Serialize());
+  GA_TRY(Message message, Message::Parse(reply_frame));
+  GA_TRY(ManagementReply reply, ManagementReply::Decode(message));
+  if (reply.code != GramErrorCode::kNone) {
+    ErrCode code = reply.code == GramErrorCode::kAuthorizationDenied
+                       ? ErrCode::kAuthorizationDenied
+                   : reply.code == GramErrorCode::kAuthorizationSystemFailure
+                       ? ErrCode::kAuthorizationSystemFailure
+                       : ErrCode::kUnavailable;
+    return Error{code, std::string{to_string(reply.code)} +
+                           (reply.reason.empty() ? "" : ": " + reply.reason)};
+  }
+  return reply;
+}
+
+Expected<ManagementReply> WireClient::Status(const std::string& contact) {
+  return Manage(std::string{core::kActionInformation}, contact, std::nullopt);
+}
+
+Expected<void> WireClient::Cancel(const std::string& contact) {
+  GA_TRY(ManagementReply reply,
+         Manage(std::string{core::kActionCancel}, contact, std::nullopt));
+  (void)reply;
+  return Ok();
+}
+
+Expected<void> WireClient::Signal(const std::string& contact,
+                                  const SignalRequest& signal) {
+  GA_TRY(ManagementReply reply,
+         Manage(std::string{core::kActionSignal}, contact, signal));
+  (void)reply;
+  return Ok();
+}
+
+}  // namespace gridauthz::gram::wire

@@ -1,0 +1,61 @@
+// Frame-level GRAM service endpoint and client: the wire protocol
+// (wire.h) made load-bearing. WireEndpoint stands in for the listening
+// Gatekeeper/JMI network ports: it takes a serialized request frame from
+// an authenticated peer and returns a serialized reply frame — every
+// outcome, including authorization denials and authorization system
+// failures, travels as protocol error codes plus the paper's `reason`
+// extension, never as C++ errors.
+#pragma once
+
+#include <string>
+
+#include "gram/gatekeeper.h"
+#include "gram/wire.h"
+
+namespace gridauthz::gram::wire {
+
+class WireEndpoint {
+ public:
+  WireEndpoint(Gatekeeper* gatekeeper, const JobManagerRegistry* registry,
+               const gsi::TrustRegistry* trust, const Clock* clock);
+
+  // Handles one request frame from `peer` (the authenticated client
+  // credential — the stand-in for the connection's security context).
+  // Always returns a reply frame; malformed requests produce error
+  // replies rather than failures.
+  std::string Handle(const gsi::Credential& peer, std::string_view frame);
+
+ private:
+  std::string HandleJobRequest(const gsi::Credential& peer,
+                               const Message& message);
+  std::string HandleManagement(const gsi::Credential& peer,
+                               const Message& message);
+
+  Gatekeeper* gatekeeper_;
+  const JobManagerRegistry* registry_;
+  const gsi::TrustRegistry* trust_;
+  const Clock* clock_;
+};
+
+// A client that talks frames to a WireEndpoint. Functionally equivalent
+// to GramClient but exercising the full encode → wire → decode path.
+class WireClient {
+ public:
+  WireClient(gsi::Credential credential, WireEndpoint* endpoint);
+
+  Expected<std::string> Submit(const std::string& rsl);
+  Expected<ManagementReply> Status(const std::string& contact);
+  Expected<void> Cancel(const std::string& contact);
+  Expected<void> Signal(const std::string& contact,
+                        const SignalRequest& signal);
+
+ private:
+  Expected<ManagementReply> Manage(const std::string& action,
+                                   const std::string& contact,
+                                   const std::optional<SignalRequest>& signal);
+
+  gsi::Credential credential_;
+  WireEndpoint* endpoint_;
+};
+
+}  // namespace gridauthz::gram::wire

@@ -1,0 +1,247 @@
+#include "gram3/managed_job_service.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+#include "core/request.h"
+
+namespace gridauthz::gram3 {
+
+ManagedJobService::ManagedJobService(Params params)
+    : params_(std::move(params)) {}
+
+Expected<ManagedJobService::AuthenticatedClient>
+ManagedJobService::Authenticate(const gsi::Credential& client, bool delegate) {
+  GA_TRY(gsi::HandshakeResult handshake,
+         gsi::EstablishSecurityContext(client, params_.service_credential,
+                                       *params_.trust, params_.clock->Now(),
+                                       delegate));
+  AuthenticatedClient out;
+  out.requester = gram::MakeRequesterInfo(handshake.acceptor_view);
+  out.delegated = handshake.acceptor_view.delegated_credential;
+  return out;
+}
+
+Expected<void> ManagedJobService::Authorize(
+    const gram::RequesterInfo& requester, std::string_view action,
+    const ManagedJob* job, const rsl::Conjunction& rsl) {
+  if (params_.callouts == nullptr ||
+      !params_.callouts->HasBinding(gram::kJobManagerAuthzType)) {
+    // The GT3 design has no pre-PEP fallback: fail closed.
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 "managed job service has no authorization callout bound"};
+  }
+  gram::CalloutData data;
+  data.requester_identity = requester.identity;
+  data.requester_attributes = requester.attributes;
+  data.requester_restriction_policy = requester.restriction_policy;
+  data.job_owner_identity =
+      job == nullptr ? requester.identity : job->owner_identity;
+  data.action = action;
+  data.job_id = job == nullptr ? "" : job->handle;
+  data.rsl = rsl.empty() ? "" : rsl.ToString();
+  return params_.callouts->Invoke(gram::kJobManagerAuthzType, data);
+}
+
+Expected<std::string> ManagedJobService::PlaceAccount(
+    const std::string& owner_identity, const rsl::Conjunction& job_rsl,
+    bool* leased) {
+  *leased = false;
+  // Static mapping first.
+  if (params_.gridmap != nullptr) {
+    auto dn = gsi::DistinguishedName::Parse(owner_identity);
+    if (dn.ok()) {
+      if (auto account = params_.gridmap->DefaultAccount(*dn); account.ok()) {
+        return *account;
+      }
+    }
+  }
+  // Otherwise lease a dynamic account, configured from the job
+  // description the trusted service already holds.
+  if (params_.account_pool == nullptr) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "no local account for " + owner_identity +
+                     " and no dynamic account pool configured"};
+  }
+  os::ResourceLimits limits;
+  sandbox::SandboxPolicy derived = sandbox::SandboxFromAssertions(job_rsl);
+  if (derived.max_count) limits.max_cpus_per_job = *derived.max_count;
+  if (derived.max_memory_mb) limits.max_memory_mb = *derived.max_memory_mb;
+  GA_TRY(std::string account,
+         params_.account_pool->Lease(owner_identity, {"vo-dynamic"}, limits));
+  *leased = true;
+  GA_LOG(kInfo, "mjs") << "leased dynamic account '" << account << "' for "
+                       << owner_identity;
+  return account;
+}
+
+namespace {
+
+Expected<os::JobSpec> BuildJobSpec(const rsl::Conjunction& job_rsl) {
+  os::JobSpec spec;
+  auto executable = job_rsl.GetValue("executable");
+  if (!executable) {
+    return Error{ErrCode::kParseError, "RSL must specify an executable"};
+  }
+  spec.executable = *executable;
+  spec.directory = job_rsl.GetValue("directory").value_or("");
+  auto parse_int = [&](std::string_view attr) -> std::optional<std::int64_t> {
+    auto value = job_rsl.GetValue(attr);
+    if (!value) return std::nullopt;
+    std::int64_t out = 0;
+    auto [ptr, ec] =
+        std::from_chars(value->data(), value->data() + value->size(), out);
+    if (ec != std::errc{} || ptr != value->data() + value->size()) {
+      return std::nullopt;
+    }
+    return out;
+  };
+  if (auto count = parse_int("count")) spec.count = static_cast<int>(*count);
+  if (auto memory = parse_int("maxmemory")) spec.memory_mb = *memory;
+  if (auto max_time = parse_int("maxtime")) spec.max_wall_time = *max_time;
+  if (auto duration = parse_int("simduration")) spec.wall_duration = *duration;
+  if (auto queue = job_rsl.GetValue("queue")) spec.queue = *queue;
+  return spec;
+}
+
+}  // namespace
+
+Expected<std::string> ManagedJobService::CreateJob(
+    const gsi::Credential& client, const std::string& rsl_text) {
+  GA_TRY(AuthenticatedClient authenticated,
+         Authenticate(client, /*delegate=*/true));
+  if (authenticated.requester.limited_proxy) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "limited proxy may not be used to create a job"};
+  }
+
+  auto parsed = rsl::ParseConjunction(rsl_text);
+  if (!parsed.ok()) return parsed.error();
+  rsl::Conjunction job_rsl = std::move(parsed).value();
+  if (!job_rsl.GetValue("count")) {
+    job_rsl.Add("count", rsl::RelOp::kEq, "1");
+  }
+
+  // The PEP sees the full job description at creation time.
+  GA_TRY_VOID(Authorize(authenticated.requester, core::kActionStart,
+                        /*job=*/nullptr, job_rsl));
+
+  bool leased = false;
+  GA_TRY(std::string account,
+         PlaceAccount(authenticated.requester.identity, job_rsl, &leased));
+
+  GA_TRY(os::JobSpec spec, BuildJobSpec(job_rsl));
+  if (params_.derive_sandbox) {
+    sandbox::Sandbox box{sandbox::SandboxFromAssertions(job_rsl)};
+    auto tightened = box.Apply(spec);
+    if (!tightened.ok()) {
+      if (leased) (void)params_.account_pool->Release(account);
+      return tightened.error();
+    }
+    spec = std::move(tightened).value();
+  }
+
+  auto submitted = params_.scheduler->Submit(account, spec);
+  if (!submitted.ok()) {
+    if (leased) (void)params_.account_pool->Release(account);
+    return submitted.error();
+  }
+
+  ManagedJob job;
+  job.handle = "https://" + params_.service_name + "/job/" +
+               std::to_string(next_handle_++);
+  job.owner_identity = authenticated.requester.identity;
+  job.local_account = account;
+  job.account_leased = leased;
+  job.job_rsl = std::move(job_rsl);
+  job.local_job_id = *submitted;
+  std::string handle = job.handle;
+  jobs_.emplace(handle, std::move(job));
+  GA_LOG(kInfo, "mjs") << "created job " << handle << " for "
+                       << authenticated.requester.identity << " on account '"
+                       << account << "'";
+  return handle;
+}
+
+Expected<ManagedJob*> ManagedJobService::FindJob(const std::string& handle) {
+  auto it = jobs_.find(handle);
+  if (it == jobs_.end()) {
+    return Error{ErrCode::kNotFound, "no such job handle: " + handle};
+  }
+  return &it->second;
+}
+
+Expected<gram::JobStatusReply> ManagedJobService::Status(
+    const gsi::Credential& client, const std::string& handle) {
+  GA_TRY(AuthenticatedClient authenticated,
+         Authenticate(client, /*delegate=*/false));
+  GA_TRY(ManagedJob * job, FindJob(handle));
+  GA_TRY_VOID(Authorize(authenticated.requester, core::kActionInformation,
+                        job, job->job_rsl));
+  GA_TRY(os::JobRecord record, params_.scheduler->Status(job->local_job_id));
+  gram::JobStatusReply reply;
+  reply.status = gram::FromLrmState(record.state);
+  reply.job_contact = job->handle;
+  reply.job_owner = job->owner_identity;
+  reply.jobtag = job->job_rsl.GetValue("jobtag");
+  reply.failure_reason = record.failure_reason;
+  ReclaimAccounts();
+  return reply;
+}
+
+Expected<void> ManagedJobService::Cancel(const gsi::Credential& client,
+                                         const std::string& handle) {
+  GA_TRY(AuthenticatedClient authenticated,
+         Authenticate(client, /*delegate=*/false));
+  GA_TRY(ManagedJob * job, FindJob(handle));
+  GA_TRY_VOID(
+      Authorize(authenticated.requester, core::kActionCancel, job,
+                job->job_rsl));
+  GA_TRY_VOID(params_.scheduler->Cancel(job->local_job_id));
+  ReclaimAccounts();
+  return Ok();
+}
+
+Expected<void> ManagedJobService::Signal(const gsi::Credential& client,
+                                         const std::string& handle,
+                                         const gram::SignalRequest& signal) {
+  GA_TRY(AuthenticatedClient authenticated,
+         Authenticate(client, /*delegate=*/false));
+  GA_TRY(ManagedJob * job, FindJob(handle));
+  GA_TRY_VOID(
+      Authorize(authenticated.requester, core::kActionSignal, job,
+                job->job_rsl));
+  switch (signal.kind) {
+    case gram::SignalKind::kSuspend:
+      return params_.scheduler->Suspend(job->local_job_id);
+    case gram::SignalKind::kResume:
+      return params_.scheduler->Resume(job->local_job_id);
+    case gram::SignalKind::kPriority:
+      // The trusted service acts with ITS OWN privileges: a VO-authorized
+      // priority change is applied even beyond the initiator's account
+      // rights — the capability the GT2 JMI cannot provide (section 6.2).
+      return params_.scheduler->SetPriority(job->local_job_id,
+                                            signal.priority);
+  }
+  return Error{ErrCode::kInvalidArgument, "unknown signal"};
+}
+
+int ManagedJobService::ReclaimAccounts() {
+  if (params_.account_pool == nullptr) return 0;
+  int reclaimed = 0;
+  for (auto& [handle, job] : jobs_) {
+    if (!job.account_leased) continue;
+    auto record = params_.scheduler->Status(job.local_job_id);
+    if (record.ok() && os::IsTerminal(record->state)) {
+      if (params_.account_pool->Release(job.local_account).ok()) {
+        job.account_leased = false;
+        ++reclaimed;
+        GA_LOG(kInfo, "mjs") << "recycled account '" << job.local_account
+                             << "' from finished job " << handle;
+      }
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace gridauthz::gram3

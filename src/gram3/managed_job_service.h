@@ -1,0 +1,123 @@
+// A GT3-style Managed Job Service — the architecture the paper's
+// conclusion points to: "a new version of GRAM ... as part of GT3 ...
+// offers some enhancements that we see benefiting our work. For example,
+// the job description is available to a trusted service as part of job
+// creation, which allows it to configure the local account, and creates
+// potential for better integration with dynamic accounts."
+//
+// Differences from the GT2 path (src/gram), each fixing an analysis-
+// section problem:
+//
+//  * TRUST MODEL (section 6.2): the service runs with its own host
+//    credential, not the job initiator's delegated credential. Clients
+//    authenticate the *service*; management actions authorized by VO
+//    policy execute with service privileges, so a VO administrator CAN
+//    raise a job's priority beyond the initiator's account rights —
+//    impossible through the GT2 JMI.
+//  * ACCOUNT CONFIGURATION: because the trusted service sees the job
+//    description before the account is chosen, it can lease a dynamic
+//    account and configure it for this request, and derive a sandbox from
+//    the job description for continuous enforcement (section 6.1).
+//  * The PEP is mandatory, not an add-on: every create/management request
+//    goes through the authorization callout.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gram/callout.h"
+#include "gram/gatekeeper.h"
+#include "gram/jobmanager.h"
+#include "gram/protocol.h"
+#include "gridmap/gridmap.h"
+#include "gsi/security_context.h"
+#include "os/scheduler.h"
+#include "sandbox/sandbox.h"
+
+namespace gridauthz::gram3 {
+
+// One managed job's server-side state.
+struct ManagedJob {
+  std::string handle;          // service-scoped job handle
+  std::string owner_identity;  // Grid identity of the creator
+  std::string local_account;
+  bool account_leased = false;  // true if from the dynamic pool
+  rsl::Conjunction job_rsl;
+  os::LocalJobId local_job_id = 0;
+};
+
+class ManagedJobService {
+ public:
+  struct Params {
+    std::string service_name = "managed-job-service";
+    gsi::Credential service_credential;  // the TRUSTED identity
+    const gsi::TrustRegistry* trust = nullptr;
+    os::SimScheduler* scheduler = nullptr;
+    os::AccountRegistry* accounts = nullptr;
+    const Clock* clock = nullptr;
+    // Mandatory PEP: the kJobManagerAuthzType binding decides everything.
+    gram::CalloutDispatcher* callouts = nullptr;
+    // Static mappings still work; users absent from the gridmap get a
+    // dynamic account when a pool is configured.
+    const gridmap::GridMap* gridmap = nullptr;
+    sandbox::DynamicAccountPool* account_pool = nullptr;
+    // When true, a sandbox derived from the job's own RSL caps the job at
+    // submission (maxtime/maxmemory/count become enforced limits).
+    bool derive_sandbox = true;
+  };
+
+  explicit ManagedJobService(Params params);
+
+  // Creates (authorizes, places, and starts) a job for the authenticated
+  // client. Returns the job handle.
+  Expected<std::string> CreateJob(const gsi::Credential& client,
+                                  const std::string& rsl_text);
+
+  // Management requests; every one is PEP-authorized for the caller.
+  Expected<gram::JobStatusReply> Status(const gsi::Credential& client,
+                                        const std::string& handle);
+  Expected<void> Cancel(const gsi::Credential& client,
+                        const std::string& handle);
+  Expected<void> Signal(const gsi::Credential& client,
+                        const std::string& handle,
+                        const gram::SignalRequest& signal);
+
+  // The identity clients see when they authenticate the service — the
+  // service's own, NOT the job owner's (the GT3 trust-model shift).
+  const gsi::DistinguishedName& service_identity() const {
+    return params_.service_credential.identity();
+  }
+
+  // Releases dynamic accounts of terminal jobs back to the pool;
+  // returns how many were recycled. (Called internally after state
+  // changes; exposed for housekeeping and tests.)
+  int ReclaimAccounts();
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+ private:
+  struct AuthenticatedClient {
+    gram::RequesterInfo requester;
+    std::optional<gsi::Credential> delegated;
+  };
+
+  Expected<AuthenticatedClient> Authenticate(const gsi::Credential& client,
+                                             bool delegate);
+  Expected<void> Authorize(const gram::RequesterInfo& requester,
+                           std::string_view action, const ManagedJob* job,
+                           const rsl::Conjunction& rsl);
+  Expected<std::string> PlaceAccount(const std::string& owner_identity,
+                                     const rsl::Conjunction& job_rsl,
+                                     bool* leased);
+  Expected<ManagedJob*> FindJob(const std::string& handle);
+
+  Params params_;
+  std::map<std::string, ManagedJob> jobs_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace gridauthz::gram3

@@ -1,0 +1,99 @@
+#include "gridftp/storage.h"
+
+#include "common/strings.h"
+
+namespace gridauthz::gridftp {
+
+SimStorage::SimStorage(std::int64_t capacity_mb, const Clock* clock)
+    : capacity_mb_(capacity_mb), clock_(clock) {}
+
+Expected<void> SimStorage::Put(const std::string& path, std::int64_t size_mb,
+                               const std::string& account) {
+  if (path.empty() || path.front() != '/') {
+    return Error{ErrCode::kInvalidArgument, "path must be absolute: " + path};
+  }
+  if (size_mb < 0) {
+    return Error{ErrCode::kInvalidArgument, "negative file size"};
+  }
+  std::int64_t replaced_mb = 0;
+  auto existing = files_.find(path);
+  if (existing != files_.end()) {
+    if (existing->second.owner_account != account) {
+      return Error{ErrCode::kPermissionDenied,
+                   "file " + path + " is owned by account '" +
+                       existing->second.owner_account + "'"};
+    }
+    replaced_mb = existing->second.size_mb;
+  }
+  std::int64_t new_used = used_mb_ - replaced_mb + size_mb;
+  if (new_used > capacity_mb_) {
+    return Error{ErrCode::kResourceExhausted,
+                 "storage full: " + std::to_string(new_used) + " of " +
+                     std::to_string(capacity_mb_) + " MB"};
+  }
+  auto quota_it = quotas_.find(account);
+  if (quota_it != quotas_.end() && quota_it->second >= 0) {
+    std::int64_t account_used = usage_[account] - replaced_mb + size_mb;
+    if (account_used > quota_it->second) {
+      return Error{ErrCode::kResourceExhausted,
+                   "account '" + account + "' over quota (" +
+                       std::to_string(account_used) + " of " +
+                       std::to_string(quota_it->second) + " MB)"};
+    }
+  }
+
+  FileInfo info;
+  info.path = path;
+  info.size_mb = size_mb;
+  info.owner_account = account;
+  info.created = clock_->Now();
+  used_mb_ = new_used;
+  usage_[account] += size_mb - replaced_mb;
+  files_[path] = std::move(info);
+  return Ok();
+}
+
+Expected<FileInfo> SimStorage::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Error{ErrCode::kNotFound, "no such file: " + path};
+  }
+  return it->second;
+}
+
+Expected<void> SimStorage::Delete(const std::string& path,
+                                  const std::string& account) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Error{ErrCode::kNotFound, "no such file: " + path};
+  }
+  if (it->second.owner_account != account) {
+    return Error{ErrCode::kPermissionDenied,
+                 "file " + path + " is owned by account '" +
+                     it->second.owner_account + "'"};
+  }
+  used_mb_ -= it->second.size_mb;
+  usage_[account] -= it->second.size_mb;
+  files_.erase(it);
+  return Ok();
+}
+
+std::vector<FileInfo> SimStorage::List(const std::string& prefix) const {
+  std::vector<FileInfo> out;
+  for (const auto& [path, info] : files_) {
+    if (strings::StartsWith(path, prefix)) out.push_back(info);
+  }
+  return out;
+}
+
+void SimStorage::SetAccountQuota(const std::string& account,
+                                 std::int64_t quota_mb) {
+  quotas_[account] = quota_mb;
+}
+
+std::int64_t SimStorage::account_usage_mb(const std::string& account) const {
+  auto it = usage_.find(account);
+  return it == usage_.end() ? 0 : it->second;
+}
+
+}  // namespace gridauthz::gridftp

@@ -1,0 +1,57 @@
+// A simulated storage resource (the "storage" of the paper's
+// introduction: VOs share "hardware resources (e.g. CPUs and storage)").
+// Files are owned by local accounts; capacity and per-account quotas are
+// the local, account-granularity enforcement the paper contrasts with
+// fine-grain policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace gridauthz::gridftp {
+
+struct FileInfo {
+  std::string path;
+  std::int64_t size_mb = 0;
+  std::string owner_account;
+  TimePoint created = 0;
+};
+
+class SimStorage {
+ public:
+  explicit SimStorage(std::int64_t capacity_mb, const Clock* clock);
+
+  // Creates or replaces a file. Enforces total capacity and the owner
+  // account's quota; replacing requires the same owner account (the
+  // unix-permission model — local enforcement is account-granular).
+  Expected<void> Put(const std::string& path, std::int64_t size_mb,
+                     const std::string& account);
+  Expected<FileInfo> Stat(const std::string& path) const;
+  // Deletes a file; only the owning account may (account-level rights).
+  Expected<void> Delete(const std::string& path, const std::string& account);
+  // Files whose path starts with `prefix`.
+  std::vector<FileInfo> List(const std::string& prefix) const;
+
+  // Per-account byte quota; -1 (default) = unlimited.
+  void SetAccountQuota(const std::string& account, std::int64_t quota_mb);
+
+  std::int64_t used_mb() const { return used_mb_; }
+  std::int64_t capacity_mb() const { return capacity_mb_; }
+  std::int64_t account_usage_mb(const std::string& account) const;
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  std::int64_t capacity_mb_;
+  const Clock* clock_;
+  std::int64_t used_mb_ = 0;
+  std::map<std::string, FileInfo> files_;
+  std::map<std::string, std::int64_t> quotas_;
+  std::map<std::string, std::int64_t> usage_;
+};
+
+}  // namespace gridauthz::gridftp

@@ -1,0 +1,96 @@
+#include "gridftp/transfer_service.h"
+
+#include "common/logging.h"
+
+namespace gridauthz::gridftp {
+
+core::AuthorizationRequest MakeTransferRequest(const std::string& subject,
+                                               std::string_view action,
+                                               const std::string& path,
+                                               std::int64_t size_mb) {
+  core::AuthorizationRequest request;
+  request.subject = subject;
+  request.action = std::string{action};
+  request.job_owner = subject;
+  rsl::Conjunction description;
+  description.Add("path", rsl::RelOp::kEq, path);
+  if (size_mb >= 0) {
+    description.Add("size", rsl::RelOp::kEq, std::to_string(size_mb));
+  }
+  request.job_rsl = std::move(description);
+  return request;
+}
+
+FileTransferService::FileTransferService(Params params)
+    : params_(std::move(params)) {}
+
+Expected<FileTransferService::Session> FileTransferService::Authenticate(
+    const gsi::Credential& client) {
+  GA_TRY(gsi::HandshakeResult handshake,
+         gsi::EstablishSecurityContext(client, params_.host_credential,
+                                       *params_.trust, params_.clock->Now()));
+  const gsi::SecurityContext& context = handshake.acceptor_view;
+  Session session;
+  session.identity = context.peer_identity.str();
+  session.restriction_policy = context.peer_restriction_policy();
+  GA_TRY(gsi::DistinguishedName dn,
+         gsi::DistinguishedName::Parse(session.identity));
+  GA_TRY(session.account, params_.gridmap->DefaultAccount(dn));
+  return session;
+}
+
+Expected<void> FileTransferService::Authorize(const Session& session,
+                                              std::string_view action,
+                                              const std::string& path,
+                                              std::int64_t size_mb) {
+  if (params_.callouts == nullptr ||
+      !params_.callouts->HasBinding(kGridFtpAuthzType)) {
+    return Ok();  // stock: gridmap + account enforcement only
+  }
+  core::AuthorizationRequest request =
+      MakeTransferRequest(session.identity, action, path, size_mb);
+  gram::CalloutData data;
+  data.requester_identity = session.identity;
+  data.requester_restriction_policy = session.restriction_policy;
+  data.job_owner_identity = session.identity;
+  data.action = request.action;
+  data.rsl = request.job_rsl.ToString();
+  GA_LOG(kDebug, "gridftp") << "PEP callout for '" << action << "' on "
+                            << path << " by " << session.identity;
+  return params_.callouts->Invoke(kGridFtpAuthzType, data);
+}
+
+Expected<void> FileTransferService::Put(const gsi::Credential& client,
+                                        const std::string& path,
+                                        std::int64_t size_mb) {
+  GA_TRY(Session session, Authenticate(client));
+  GA_TRY_VOID(Authorize(session, kActionPut, path, size_mb));
+  GA_TRY_VOID(params_.storage->Put(path, size_mb, session.account));
+  GA_LOG(kInfo, "gridftp") << session.identity << " stored " << path << " ("
+                           << size_mb << " MB) as account '" << session.account
+                           << "'";
+  return Ok();
+}
+
+Expected<FileInfo> FileTransferService::Get(const gsi::Credential& client,
+                                            const std::string& path) {
+  GA_TRY(Session session, Authenticate(client));
+  GA_TRY_VOID(Authorize(session, kActionGet, path, -1));
+  return params_.storage->Stat(path);
+}
+
+Expected<void> FileTransferService::Delete(const gsi::Credential& client,
+                                           const std::string& path) {
+  GA_TRY(Session session, Authenticate(client));
+  GA_TRY_VOID(Authorize(session, kActionDelete, path, -1));
+  return params_.storage->Delete(path, session.account);
+}
+
+Expected<std::vector<FileInfo>> FileTransferService::List(
+    const gsi::Credential& client, const std::string& prefix) {
+  GA_TRY(Session session, Authenticate(client));
+  GA_TRY_VOID(Authorize(session, kActionList, prefix, -1));
+  return params_.storage->List(prefix);
+}
+
+}  // namespace gridauthz::gridftp

@@ -1,0 +1,89 @@
+// A GridFTP-style file transfer service with pluggable authorization —
+// the paper's conclusion in code: "We are planning to use the same
+// mechanism to provide pluggable authorization in other components of
+// the Globus Toolkit." The service reuses the GRAM authorization callout
+// machinery verbatim (abstract type kGridFtpAuthzType) so the same VO
+// policy engines — file PDP, Akenti, CAS, XACML — gate storage
+// operations.
+//
+// Transfer requests are expressed to the PDP as RSL over the attributes
+//   action ∈ {put, get, delete, list},  path,  size  (MB, for put).
+// Policies govern subtrees with the evaluator's trailing-'*' prefix
+// patterns: "(path = /volumes/nfc/*)".
+//
+// Local enforcement stays account-granular (ownership, quotas, capacity)
+// exactly as the paper describes for compute resources; the PEP adds the
+// fine grain on top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "core/request.h"
+#include "gram/callout.h"
+#include "gridftp/storage.h"
+#include "gridmap/gridmap.h"
+#include "gsi/security_context.h"
+
+namespace gridauthz::gridftp {
+
+inline constexpr std::string_view kGridFtpAuthzType = "globus_gridftp_authz";
+
+inline constexpr std::string_view kActionPut = "put";
+inline constexpr std::string_view kActionGet = "get";
+inline constexpr std::string_view kActionDelete = "delete";
+inline constexpr std::string_view kActionList = "list";
+
+// Builds the authorization request the PEP evaluates for one transfer
+// operation (exposed for tests and for policy authors to preview).
+core::AuthorizationRequest MakeTransferRequest(const std::string& subject,
+                                               std::string_view action,
+                                               const std::string& path,
+                                               std::int64_t size_mb = -1);
+
+class FileTransferService {
+ public:
+  struct Params {
+    std::string host;
+    gsi::Credential host_credential;
+    const gsi::TrustRegistry* trust = nullptr;
+    const gridmap::GridMap* gridmap = nullptr;
+    SimStorage* storage = nullptr;
+    const Clock* clock = nullptr;
+    // PEP; nullptr or no binding = stock behaviour (gridmap + local
+    // account enforcement only).
+    gram::CalloutDispatcher* callouts = nullptr;
+  };
+
+  explicit FileTransferService(Params params);
+
+  // Uploads `size_mb` to `path` as the authenticated client.
+  Expected<void> Put(const gsi::Credential& client, const std::string& path,
+                     std::int64_t size_mb);
+  // Fetch: returns the file info (the simulated download).
+  Expected<FileInfo> Get(const gsi::Credential& client,
+                         const std::string& path);
+  Expected<void> Delete(const gsi::Credential& client,
+                        const std::string& path);
+  Expected<std::vector<FileInfo>> List(const gsi::Credential& client,
+                                       const std::string& prefix);
+
+ private:
+  struct Session {
+    std::string identity;
+    std::string account;
+    std::optional<std::string> restriction_policy;
+  };
+  // Authenticates and maps the client. Unlike GRAM job startup, LIMITED
+  // proxies are accepted: enabling file transfer from delegated
+  // credentials is exactly what limited proxies exist for in GT2.
+  Expected<Session> Authenticate(const gsi::Credential& client);
+  Expected<void> Authorize(const Session& session, std::string_view action,
+                           const std::string& path, std::int64_t size_mb);
+
+  Params params_;
+};
+
+}  // namespace gridauthz::gridftp

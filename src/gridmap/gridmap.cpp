@@ -1,0 +1,100 @@
+#include "gridmap/gridmap.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gridauthz::gridmap {
+
+Expected<GridMap> GridMap::Parse(std::string_view text) {
+  GridMap map;
+  int line_number = 0;
+  for (const std::string& raw : strings::Lines(text)) {
+    ++line_number;
+    std::string_view line = strings::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() != '"') {
+      return Error{ErrCode::kParseError,
+                   "grid-mapfile line " + std::to_string(line_number) +
+                       ": subject DN must be quoted"};
+    }
+    std::size_t close = line.find('"', 1);
+    if (close == std::string_view::npos) {
+      return Error{ErrCode::kParseError,
+                   "grid-mapfile line " + std::to_string(line_number) +
+                       ": unterminated quoted DN"};
+    }
+    std::string_view dn_text = line.substr(1, close - 1);
+    GA_TRY(gsi::DistinguishedName subject, gsi::DistinguishedName::Parse(dn_text));
+    std::vector<std::string> accounts =
+        strings::Split(line.substr(close + 1), ',');
+    if (accounts.empty()) {
+      return Error{ErrCode::kParseError,
+                   "grid-mapfile line " + std::to_string(line_number) +
+                       ": no local accounts for " + subject.str()};
+    }
+    GA_TRY_VOID(map.Add(subject, std::move(accounts)));
+  }
+  return map;
+}
+
+Expected<void> GridMap::Add(const gsi::DistinguishedName& subject,
+                            std::vector<std::string> accounts) {
+  if (accounts.empty()) {
+    return Error{ErrCode::kInvalidArgument,
+                 "no accounts for subject " + subject.str()};
+  }
+  auto [it, inserted] =
+      entries_.emplace(subject.str(), MapEntry{subject, std::move(accounts)});
+  if (!inserted) {
+    return Error{ErrCode::kAlreadyExists,
+                 "duplicate grid-mapfile subject: " + subject.str()};
+  }
+  return Ok();
+}
+
+bool GridMap::Contains(const gsi::DistinguishedName& subject) const {
+  return entries_.contains(subject.str());
+}
+
+Expected<std::string> GridMap::DefaultAccount(
+    const gsi::DistinguishedName& subject) const {
+  auto it = entries_.find(subject.str());
+  if (it == entries_.end()) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "subject not in grid-mapfile: " + subject.str()};
+  }
+  return it->second.accounts.front();
+}
+
+Expected<std::vector<std::string>> GridMap::Accounts(
+    const gsi::DistinguishedName& subject) const {
+  auto it = entries_.find(subject.str());
+  if (it == entries_.end()) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "subject not in grid-mapfile: " + subject.str()};
+  }
+  return it->second.accounts;
+}
+
+bool GridMap::Allows(const gsi::DistinguishedName& subject,
+                     const std::string& account) const {
+  auto it = entries_.find(subject.str());
+  if (it == entries_.end()) return false;
+  const auto& accounts = it->second.accounts;
+  return std::find(accounts.begin(), accounts.end(), account) != accounts.end();
+}
+
+std::string GridMap::ToString() const {
+  std::string out;
+  for (const auto& [key, entry] : entries_) {
+    out += '"';
+    out += key;
+    out += "\" ";
+    out += strings::Join(entry.accounts, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gridauthz::gridmap

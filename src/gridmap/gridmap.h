@@ -1,0 +1,59 @@
+// The grid-mapfile: GT2's access-control list and identity-mapping policy
+// (section 4.1). Each line maps a quoted Grid DN to one or more local
+// accounts; presence in the file is what authorizes a user at the
+// Gatekeeper in stock GT2 (the "coarse-grained" authorization the paper
+// extends).
+//
+//   "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu" boliu,guest
+//   "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey" keahey
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "gsi/dn.h"
+
+namespace gridauthz::gridmap {
+
+struct MapEntry {
+  gsi::DistinguishedName subject;
+  std::vector<std::string> accounts;  // first account is the default
+};
+
+class GridMap {
+ public:
+  // Parses grid-mapfile text. Lines are `"DN" account[,account...]`;
+  // '#' starts a comment. Duplicate subjects are rejected.
+  static Expected<GridMap> Parse(std::string_view text);
+
+  // Builds programmatically.
+  Expected<void> Add(const gsi::DistinguishedName& subject,
+                     std::vector<std::string> accounts);
+
+  bool Contains(const gsi::DistinguishedName& subject) const;
+
+  // The default (first) local account for `subject`;
+  // kAuthorizationDenied if the subject is not listed — this is exactly
+  // the stock GT2 Gatekeeper authorization failure.
+  Expected<std::string> DefaultAccount(const gsi::DistinguishedName& subject) const;
+
+  // All accounts the subject may map to.
+  Expected<std::vector<std::string>> Accounts(
+      const gsi::DistinguishedName& subject) const;
+
+  // True if `subject` may map to `account`.
+  bool Allows(const gsi::DistinguishedName& subject,
+              const std::string& account) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  // Serializes back to grid-mapfile text.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, MapEntry> entries_;  // keyed by subject DN string
+};
+
+}  // namespace gridauthz::gridmap

@@ -1,0 +1,188 @@
+#include "gsi/certificate.h"
+
+#include <atomic>
+
+namespace gridauthz::gsi {
+
+std::string_view to_string(CertType type) {
+  switch (type) {
+    case CertType::kCa:
+      return "ca";
+    case CertType::kEndEntity:
+      return "end-entity";
+    case CertType::kImpersonationProxy:
+      return "proxy";
+    case CertType::kLimitedProxy:
+      return "limited proxy";
+    case CertType::kRestrictedProxy:
+      return "restricted proxy";
+  }
+  return "?";
+}
+
+bool IsProxyType(CertType type) {
+  return type == CertType::kImpersonationProxy ||
+         type == CertType::kLimitedProxy || type == CertType::kRestrictedProxy;
+}
+
+std::string Certificate::CanonicalEncoding() const {
+  std::string out;
+  out += "serial=" + std::to_string(serial);
+  out += ";type=" + std::string{to_string(type)};
+  out += ";subject=" + subject.str();
+  out += ";issuer=" + issuer.str();
+  out += ";key=" + subject_key.fingerprint;
+  out += ";nb=" + std::to_string(not_before);
+  out += ";na=" + std::to_string(not_after);
+  out += ";policy=" + restriction_policy;
+  return out;
+}
+
+std::uint64_t NextCertificateSerial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+CertificateAuthority::CertificateAuthority(DistinguishedName name,
+                                           TimePoint now, Duration lifetime)
+    : key_(GenerateKey("ca:" + name.str())) {
+  cert_.serial = NextCertificateSerial();
+  cert_.type = CertType::kCa;
+  cert_.subject = name;
+  cert_.issuer = std::move(name);
+  cert_.subject_key = key_.public_key();
+  cert_.not_before = now;
+  cert_.not_after = now + lifetime;
+  cert_.signature = key_.Sign(cert_.CanonicalEncoding());
+}
+
+Certificate CertificateAuthority::IssueCertificate(
+    const DistinguishedName& subject, const PublicKey& subject_key,
+    TimePoint not_before, TimePoint not_after) const {
+  Certificate cert;
+  cert.serial = NextCertificateSerial();
+  cert.type = CertType::kEndEntity;
+  cert.subject = subject;
+  cert.issuer = cert_.subject;
+  cert.subject_key = subject_key;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.signature = key_.Sign(cert.CanonicalEncoding());
+  return cert;
+}
+
+void TrustRegistry::AddTrustedCa(Certificate ca_cert) {
+  cas_by_name_[ca_cert.subject.str()] = std::move(ca_cert);
+}
+
+namespace {
+
+// Checks that a proxy certificate's subject is its issuer's subject plus
+// the conventional CN component for its type.
+Expected<void> CheckProxyNaming(const Certificate& proxy) {
+  const DnComponent* last = proxy.subject.last();
+  if (last == nullptr || last->type != "CN") {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "proxy subject missing CN component: " + proxy.subject.str()};
+  }
+  std::string expected_cn;
+  switch (proxy.type) {
+    case CertType::kImpersonationProxy:
+      expected_cn = "proxy";
+      break;
+    case CertType::kLimitedProxy:
+      expected_cn = "limited proxy";
+      break;
+    case CertType::kRestrictedProxy:
+      expected_cn = "restricted proxy";
+      break;
+    default:
+      return Error{ErrCode::kInternal, "not a proxy certificate"};
+  }
+  if (last->value != expected_cn) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "proxy CN '" + last->value + "' does not match type '" +
+                     std::string{to_string(proxy.type)} + "'"};
+  }
+  DistinguishedName expected =
+      proxy.issuer.WithComponent("CN", last->value);
+  if (!(expected == proxy.subject)) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "proxy subject " + proxy.subject.str() +
+                     " is not issuer subject plus CN=" + last->value};
+  }
+  return Ok();
+}
+
+}  // namespace
+
+Expected<DistinguishedName> TrustRegistry::ValidateChain(
+    const std::vector<Certificate>& chain, TimePoint now) const {
+  if (chain.empty()) {
+    return Error{ErrCode::kAuthenticationFailed, "empty certificate chain"};
+  }
+
+  // Every certificate must be within its validity window.
+  for (const Certificate& cert : chain) {
+    if (!cert.ValidAt(now)) {
+      return Error{ErrCode::kAuthenticationFailed,
+                   "certificate expired or not yet valid: " +
+                       cert.subject.str()};
+    }
+  }
+
+  // Walk leaf-first: each proxy must be signed by the next certificate's
+  // key and follow proxy naming; exactly one end-entity certificate ends
+  // the proxy run.
+  std::size_t i = 0;
+  for (; i < chain.size() && IsProxyType(chain[i].type); ++i) {
+    if (i + 1 >= chain.size()) {
+      return Error{ErrCode::kAuthenticationFailed,
+                   "proxy certificate without parent in chain: " +
+                       chain[i].subject.str()};
+    }
+    const Certificate& proxy = chain[i];
+    const Certificate& parent = chain[i + 1];
+    GA_TRY_VOID(CheckProxyNaming(proxy));
+    if (!(proxy.issuer == parent.subject)) {
+      return Error{ErrCode::kAuthenticationFailed,
+                   "proxy issuer " + proxy.issuer.str() +
+                       " does not match parent subject " + parent.subject.str()};
+    }
+    if (!VerifySignature(parent.subject_key, proxy.CanonicalEncoding(),
+                         proxy.signature)) {
+      return Error{ErrCode::kAuthenticationFailed,
+                   "bad signature on proxy: " + proxy.subject.str()};
+    }
+  }
+
+  if (i >= chain.size() || chain[i].type != CertType::kEndEntity) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "chain has no end-entity certificate"};
+  }
+  const Certificate& eec = chain[i];
+  if (i + 1 != chain.size()) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "unexpected certificates after end-entity certificate"};
+  }
+
+  auto ca_it = cas_by_name_.find(eec.issuer.str());
+  if (ca_it == cas_by_name_.end()) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "issuer not a trusted CA: " + eec.issuer.str()};
+  }
+  const Certificate& ca = ca_it->second;
+  if (!ca.ValidAt(now)) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "trusted CA certificate expired: " + ca.subject.str()};
+  }
+  if (!VerifySignature(ca.subject_key, eec.CanonicalEncoding(),
+                       eec.signature)) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "bad CA signature on certificate: " + eec.subject.str()};
+  }
+
+  return eec.subject;
+}
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,103 @@
+// Simulated X.509 certificates, certificate authorities, and the trust
+// registry that validates certificate chains (the stand-in for GSI's PKI
+// path validation).
+//
+// Proxy certificates follow the GSI conventions: an impersonation proxy's
+// subject is its issuer's subject plus "/CN=proxy"; a limited proxy uses
+// "/CN=limited proxy"; a restricted proxy ("/CN=restricted proxy") carries
+// an opaque policy payload — CAS credentials are restricted proxies whose
+// payload is the VO policy the CAS server granted (section 5, CAS
+// integration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gsi/dn.h"
+#include "gsi/keys.h"
+
+namespace gridauthz::gsi {
+
+enum class CertType {
+  kCa,
+  kEndEntity,
+  kImpersonationProxy,
+  kLimitedProxy,
+  kRestrictedProxy,
+};
+
+std::string_view to_string(CertType type);
+bool IsProxyType(CertType type);
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  CertType type = CertType::kEndEntity;
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  PublicKey subject_key;
+  TimePoint not_before = 0;
+  TimePoint not_after = 0;
+  // Opaque policy payload; only meaningful for kRestrictedProxy.
+  std::string restriction_policy;
+  std::string signature;  // issuer's signature over CanonicalEncoding()
+
+  // Deterministic byte string covering every signed field.
+  std::string CanonicalEncoding() const;
+
+  bool ValidAt(TimePoint now) const {
+    return now >= not_before && now <= not_after;
+  }
+};
+
+// A certificate authority: a self-signed CA certificate plus the key used
+// to issue end-entity certificates.
+class CertificateAuthority {
+ public:
+  // Creates a CA with a self-signed certificate valid for `lifetime`
+  // seconds from `now`.
+  CertificateAuthority(DistinguishedName name, TimePoint now,
+                       Duration lifetime = 10L * 365 * 24 * 3600);
+
+  const Certificate& certificate() const { return cert_; }
+  const DistinguishedName& name() const { return cert_.subject; }
+
+  // Issues an end-entity certificate binding `subject` to `subject_key`.
+  Certificate IssueCertificate(const DistinguishedName& subject,
+                               const PublicKey& subject_key,
+                               TimePoint not_before, TimePoint not_after) const;
+
+ private:
+  PrivateKey key_;
+  Certificate cert_;
+};
+
+// Holds trusted CA certificates and validates chains.
+class TrustRegistry {
+ public:
+  void AddTrustedCa(Certificate ca_cert);
+
+  // Validates a leaf-first certificate chain at time `now`:
+  //   * every certificate's validity window contains `now`,
+  //   * every signature verifies against the next certificate's key
+  //     (proxies are signed by their parent, the end-entity certificate by
+  //     a trusted CA),
+  //   * proxy subject names follow the GSI naming convention,
+  //   * the end-entity certificate chains to a trusted CA.
+  // On success returns the effective Grid identity: the subject of the
+  // end-entity certificate, with all proxy components stripped.
+  Expected<DistinguishedName> ValidateChain(
+      const std::vector<Certificate>& chain, TimePoint now) const;
+
+ private:
+  std::map<std::string, Certificate> cas_by_name_;
+};
+
+// Issues the next certificate serial number (process-wide).
+std::uint64_t NextCertificateSerial();
+
+}  // namespace gridauthz::gsi

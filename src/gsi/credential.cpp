@@ -1,0 +1,90 @@
+#include "gsi/credential.h"
+
+namespace gridauthz::gsi {
+
+namespace {
+DistinguishedName EffectiveIdentity(const std::vector<Certificate>& chain) {
+  for (const Certificate& cert : chain) {
+    if (!IsProxyType(cert.type)) return cert.subject;
+  }
+  return chain.empty() ? DistinguishedName{} : chain.back().subject;
+}
+}  // namespace
+
+Credential::Credential(std::vector<Certificate> chain, PrivateKey key)
+    : chain_(std::move(chain)),
+      key_(std::move(key)),
+      identity_(EffectiveIdentity(chain_)) {}
+
+bool Credential::IsLimited() const {
+  for (const Certificate& cert : chain_) {
+    if (cert.type == CertType::kLimitedProxy) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Credential::RestrictionPolicy() const {
+  if (!chain_.empty() && chain_.front().type == CertType::kRestrictedProxy) {
+    return chain_.front().restriction_policy;
+  }
+  return std::nullopt;
+}
+
+Expected<Credential> Credential::GenerateProxy(
+    TimePoint now, Duration lifetime, CertType type,
+    std::string restriction_policy) const {
+  if (empty()) {
+    return Error{ErrCode::kFailedPrecondition, "empty credential"};
+  }
+  if (!IsProxyType(type)) {
+    return Error{ErrCode::kInvalidArgument, "proxy type required"};
+  }
+  if (type != CertType::kRestrictedProxy && !restriction_policy.empty()) {
+    return Error{ErrCode::kInvalidArgument,
+                 "restriction policy only valid on restricted proxies"};
+  }
+
+  std::string cn;
+  switch (type) {
+    case CertType::kImpersonationProxy:
+      cn = "proxy";
+      break;
+    case CertType::kLimitedProxy:
+      cn = "limited proxy";
+      break;
+    case CertType::kRestrictedProxy:
+      cn = "restricted proxy";
+      break;
+    default:
+      return Error{ErrCode::kInternal, "unreachable"};
+  }
+
+  PrivateKey proxy_key = GenerateKey("proxy:" + identity_.str());
+  Certificate proxy;
+  proxy.serial = NextCertificateSerial();
+  proxy.type = type;
+  proxy.issuer = leaf().subject;
+  proxy.subject = leaf().subject.WithComponent("CN", cn);
+  proxy.subject_key = proxy_key.public_key();
+  proxy.not_before = now;
+  proxy.not_after = now + lifetime;
+  proxy.restriction_policy = std::move(restriction_policy);
+  proxy.signature = key_.Sign(proxy.CanonicalEncoding());
+
+  std::vector<Certificate> new_chain;
+  new_chain.reserve(chain_.size() + 1);
+  new_chain.push_back(std::move(proxy));
+  new_chain.insert(new_chain.end(), chain_.begin(), chain_.end());
+  return Credential{std::move(new_chain), std::move(proxy_key)};
+}
+
+Credential IssueCredential(const CertificateAuthority& ca,
+                           const DistinguishedName& subject, TimePoint now,
+                           Duration lifetime) {
+  PrivateKey key = GenerateKey("eec:" + subject.str());
+  Certificate cert =
+      ca.IssueCertificate(subject, key.public_key(), now, now + lifetime);
+  return Credential{{std::move(cert)}, std::move(key)};
+}
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,60 @@
+// A credential bundles a leaf-first certificate chain with the private key
+// for the leaf certificate — what GSI calls a "proxy credential" when the
+// leaf is a proxy. Users sign job requests with it; services authenticate
+// with their own host credentials.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gsi/certificate.h"
+
+namespace gridauthz::gsi {
+
+class Credential {
+ public:
+  Credential() = default;
+  Credential(std::vector<Certificate> chain, PrivateKey key);
+
+  bool empty() const { return chain_.empty(); }
+  const std::vector<Certificate>& chain() const { return chain_; }
+  const Certificate& leaf() const { return chain_.front(); }
+  const PrivateKey& key() const { return key_; }
+
+  // The Grid identity: subject of the end-entity certificate (all proxy
+  // components stripped). This is what policies are written against.
+  const DistinguishedName& identity() const { return identity_; }
+
+  // Signs a message with the leaf key.
+  std::string Sign(std::string_view message) const { return key_.Sign(message); }
+
+  // True if any certificate in the chain is a limited proxy (limited
+  // proxies may not be used to start jobs in GT2).
+  bool IsLimited() const;
+
+  // The restriction policy carried by the leaf, if it is a restricted
+  // proxy (CAS credentials).
+  std::optional<std::string> RestrictionPolicy() const;
+
+  // Derives a new proxy credential of `type`, valid for `lifetime` seconds
+  // from `now`; for restricted proxies, `restriction_policy` is embedded.
+  Expected<Credential> GenerateProxy(TimePoint now, Duration lifetime,
+                                     CertType type = CertType::kImpersonationProxy,
+                                     std::string restriction_policy = "") const;
+
+ private:
+  std::vector<Certificate> chain_;  // leaf first
+  PrivateKey key_;
+  DistinguishedName identity_;
+};
+
+// Creates a user or host credential: generates a key pair and has `ca`
+// issue an end-entity certificate for `subject`.
+Credential IssueCredential(const CertificateAuthority& ca,
+                           const DistinguishedName& subject, TimePoint now,
+                           Duration lifetime = 365L * 24 * 3600);
+
+}  // namespace gridauthz::gsi

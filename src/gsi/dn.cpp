@@ -1,0 +1,92 @@
+#include "gsi/dn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace gridauthz::gsi {
+
+namespace {
+std::string Render(const std::vector<DnComponent>& components) {
+  std::string out;
+  for (const auto& c : components) {
+    out += '/';
+    out += c.type;
+    out += '=';
+    out += c.value;
+  }
+  return out;
+}
+}  // namespace
+
+DistinguishedName::DistinguishedName(std::vector<DnComponent> components)
+    : components_(std::move(components)), text_(Render(components_)) {}
+
+Expected<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
+  std::string_view trimmed = strings::Trim(text);
+  if (trimmed.empty()) {
+    return Error{ErrCode::kParseError, "empty distinguished name"};
+  }
+  if (trimmed.front() != '/') {
+    return Error{ErrCode::kParseError,
+                 "distinguished name must start with '/': " + std::string{trimmed}};
+  }
+  std::vector<DnComponent> components;
+  std::size_t pos = 1;
+  while (pos < trimmed.size()) {
+    std::size_t next = trimmed.find('/', pos);
+    if (next == std::string_view::npos) next = trimmed.size();
+    std::string_view piece = trimmed.substr(pos, next - pos);
+    std::size_t eq = piece.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Error{ErrCode::kParseError,
+                   "malformed DN component: " + std::string{piece}};
+    }
+    DnComponent component;
+    component.type = std::string{strings::Trim(piece.substr(0, eq))};
+    std::transform(component.type.begin(), component.type.end(),
+                   component.type.begin(), [](unsigned char c) {
+                     return static_cast<char>(std::toupper(c));
+                   });
+    component.value = std::string{strings::Trim(piece.substr(eq + 1))};
+    if (component.value.empty()) {
+      return Error{ErrCode::kParseError,
+                   "empty DN component value: " + std::string{piece}};
+    }
+    components.push_back(std::move(component));
+    pos = next + 1;
+  }
+  if (components.empty()) {
+    return Error{ErrCode::kParseError, "distinguished name has no components"};
+  }
+  return DistinguishedName{std::move(components)};
+}
+
+bool DistinguishedName::IsPrefixOf(const DistinguishedName& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+DistinguishedName DistinguishedName::WithComponent(std::string type,
+                                                   std::string value) const {
+  std::vector<DnComponent> extended = components_;
+  extended.push_back(DnComponent{std::move(type), std::move(value)});
+  return DistinguishedName{std::move(extended)};
+}
+
+std::ostream& operator<<(std::ostream& os, const DistinguishedName& dn) {
+  return os << dn.str();
+}
+
+bool DnStringPrefixMatch(std::string_view policy_subject,
+                         std::string_view identity) {
+  policy_subject = strings::Trim(policy_subject);
+  identity = strings::Trim(identity);
+  if (policy_subject.empty()) return false;
+  return strings::StartsWith(identity, policy_subject);
+}
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,78 @@
+// X.500-style distinguished names in the slash-separated rendering GT2
+// uses, e.g. "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey".
+//
+// DN prefix matching is part of the paper's policy language: a policy
+// statement whose subject is "/O=Grid/O=Globus/OU=mcs.anl.gov" applies to
+// every user whose Grid identity starts with that string (Figure 3, first
+// statement).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::gsi {
+
+struct DnComponent {
+  std::string type;   // e.g. "O", "OU", "CN"
+  std::string value;  // e.g. "Grid", "mcs.anl.gov"
+
+  friend bool operator==(const DnComponent&, const DnComponent&) = default;
+};
+
+class DistinguishedName {
+ public:
+  DistinguishedName() = default;
+
+  // Parses "/T=v/T=v/..." form. Component types are uppercased; values keep
+  // their case. Fails on empty input, missing leading '/', or components
+  // without '='.
+  static Expected<DistinguishedName> Parse(std::string_view text);
+
+  // Builds from components directly.
+  explicit DistinguishedName(std::vector<DnComponent> components);
+
+  const std::vector<DnComponent>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+
+  // Canonical "/T=v/..." rendering.
+  const std::string& str() const { return text_; }
+
+  // True if this DN's components are a leading subsequence of `other`'s.
+  // "/O=Grid/O=Globus" is a prefix of "/O=Grid/O=Globus/CN=Bo Liu".
+  bool IsPrefixOf(const DistinguishedName& other) const;
+
+  // Returns this DN extended with one component (used to derive proxy
+  // subject names: subject + "/CN=proxy").
+  DistinguishedName WithComponent(std::string type, std::string value) const;
+
+  // The last component, if any, e.g. CN=proxy for a proxy certificate.
+  const DnComponent* last() const {
+    return components_.empty() ? nullptr : &components_.back();
+  }
+
+  friend bool operator==(const DistinguishedName& a,
+                         const DistinguishedName& b) {
+    return a.text_ == b.text_;
+  }
+  friend auto operator<=>(const DistinguishedName& a,
+                          const DistinguishedName& b) {
+    return a.text_ <=> b.text_;
+  }
+
+ private:
+  std::vector<DnComponent> components_;
+  std::string text_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DistinguishedName& dn);
+
+// String-prefix matching as the paper's policy files use it: the policy
+// subject is an arbitrary string prefix of the rendered DN (not
+// necessarily component-aligned).
+bool DnStringPrefixMatch(std::string_view policy_subject,
+                         std::string_view identity);
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,53 @@
+#include "gsi/keys.h"
+
+#include <atomic>
+
+namespace gridauthz::gsi {
+
+PrivateKey::PrivateKey(std::string bytes) : bytes_(std::move(bytes)) {
+  public_key_.fingerprint = ToHex(Sha256(bytes_));
+}
+
+std::string PrivateKey::Sign(std::string_view message) const {
+  return ToHex(HmacSha256(bytes_, message));
+}
+
+PrivateKey GenerateKey(std::string_view label) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::string seed = "gridauthz-key/";
+  seed += label;
+  seed += '/';
+  seed += std::to_string(n);
+  PrivateKey key{ToHex(Sha256(seed))};
+  KeyStore::Instance().Register(key);
+  return key;
+}
+
+bool VerifySignature(const PublicKey& key, std::string_view message,
+                     std::string_view signature) {
+  auto bytes = KeyStore::Instance().PrivateBytes(key);
+  if (!bytes.ok()) return false;
+  return ToHex(HmacSha256(*bytes, message)) == signature;
+}
+
+KeyStore& KeyStore::Instance() {
+  static KeyStore instance;
+  return instance;
+}
+
+void KeyStore::Register(const PrivateKey& key) {
+  std::lock_guard lock(mu_);
+  bytes_by_fingerprint_[key.public_key().fingerprint] = key.bytes_;
+}
+
+Expected<std::string> KeyStore::PrivateBytes(const PublicKey& key) const {
+  std::lock_guard lock(mu_);
+  auto it = bytes_by_fingerprint_.find(key.fingerprint);
+  if (it == bytes_by_fingerprint_.end()) {
+    return Error{ErrCode::kNotFound, "unknown key: " + key.fingerprint};
+  }
+  return it->second;
+}
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,74 @@
+// Simulated public-key cryptography.
+//
+// Substitution note (see DESIGN.md): real GSI uses RSA keys under X.509.
+// Offline we simulate asymmetry deterministically: a private key is a
+// random byte string; the public key is its SHA-256 fingerprint; a
+// signature is HMAC-SHA-256(private, message). Verification resolves the
+// fingerprint to the private bytes through a process-wide KeyStore that
+// stands in for "the math works". Code outside this file only ever handles
+// PublicKey material plus signatures, so every authorization code path is
+// shaped exactly as it would be with real crypto.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "gsi/sha256.h"
+
+namespace gridauthz::gsi {
+
+struct PublicKey {
+  std::string fingerprint;  // hex SHA-256 of the private bytes
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+  explicit PrivateKey(std::string bytes);
+
+  const PublicKey& public_key() const { return public_key_; }
+  bool empty() const { return bytes_.empty(); }
+
+  // The raw key material, for credential persistence. GT2 likewise wrote
+  // delegated proxy keys to disk so a restarted Job Manager could resume
+  // managing its job; treat persisted state accordingly.
+  const std::string& bytes() const { return bytes_; }
+
+  // HMAC signature over `message`.
+  std::string Sign(std::string_view message) const;
+
+ private:
+  friend class KeyStore;
+  std::string bytes_;
+  PublicKey public_key_;
+};
+
+// Generates a fresh key pair from a deterministic counter + seed; suitable
+// for reproducible tests and benches.
+PrivateKey GenerateKey(std::string_view label = "");
+
+// Verifies `signature` over `message` against `key`. Implemented by
+// resolving the fingerprint in the global KeyStore; returns false for
+// unknown keys or mismatched signatures.
+bool VerifySignature(const PublicKey& key, std::string_view message,
+                     std::string_view signature);
+
+// Registry of generated keys (the simulation of asymmetric verification).
+class KeyStore {
+ public:
+  static KeyStore& Instance();
+
+  void Register(const PrivateKey& key);
+  Expected<std::string> PrivateBytes(const PublicKey& key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> bytes_by_fingerprint_;
+};
+
+}  // namespace gridauthz::gsi

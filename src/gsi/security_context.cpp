@@ -1,0 +1,65 @@
+#include "gsi/security_context.h"
+
+#include "common/logging.h"
+
+namespace gridauthz::gsi {
+
+namespace {
+
+// One direction of the handshake: `prover` signs a challenge, `trust`
+// validates the chain, and the signature is checked against the leaf key.
+Expected<DistinguishedName> AuthenticateOneSide(const Credential& prover,
+                                                const TrustRegistry& trust,
+                                                TimePoint now,
+                                                std::string_view challenge) {
+  if (prover.empty()) {
+    return Error{ErrCode::kAuthenticationFailed, "no credential presented"};
+  }
+  GA_TRY(DistinguishedName identity,
+         trust.ValidateChain(prover.chain(), now));
+  // Proof of possession: signature over the challenge must verify against
+  // the leaf certificate's public key.
+  std::string signature = prover.Sign(challenge);
+  if (!VerifySignature(prover.leaf().subject_key, challenge, signature)) {
+    return Error{ErrCode::kAuthenticationFailed,
+                 "proof of possession failed for " + identity.str()};
+  }
+  return identity;
+}
+
+}  // namespace
+
+Expected<HandshakeResult> EstablishSecurityContext(
+    const Credential& initiator, const Credential& acceptor,
+    const TrustRegistry& trust, TimePoint now, bool delegate,
+    Duration delegation_lifetime) {
+  const std::string challenge =
+      "gsi-handshake/" + std::to_string(now) + "/" +
+      (initiator.empty() ? "?" : initiator.leaf().subject.str()) + "->" +
+      (acceptor.empty() ? "?" : acceptor.leaf().subject.str());
+
+  GA_TRY(DistinguishedName initiator_identity,
+         AuthenticateOneSide(initiator, trust, now, challenge));
+  GA_TRY(DistinguishedName acceptor_identity,
+         AuthenticateOneSide(acceptor, trust, now, challenge));
+
+  HandshakeResult result;
+  result.initiator_view.peer_identity = acceptor_identity;
+  result.initiator_view.peer_chain = acceptor.chain();
+  result.acceptor_view.peer_identity = initiator_identity;
+  result.acceptor_view.peer_chain = initiator.chain();
+
+  if (delegate) {
+    GA_TRY(Credential delegated,
+           initiator.GenerateProxy(now, delegation_lifetime));
+    result.acceptor_view.delegated_credential = std::move(delegated);
+  }
+
+  GA_LOG(kDebug, "gsi") << "security context established: "
+                        << initiator_identity.str() << " <-> "
+                        << acceptor_identity.str()
+                        << (delegate ? " (with delegation)" : "");
+  return result;
+}
+
+}  // namespace gridauthz::gsi

@@ -1,0 +1,60 @@
+// Mutual authentication between a client and a service, modelled on the
+// GSI handshake: each side presents its certificate chain, proves
+// possession of the leaf key by signing a challenge, and validates the
+// peer's chain against the trust registry. The established context carries
+// the verified peer identity (what the Gatekeeper authorizes against) and,
+// optionally, a credential the client delegates to the service (what the
+// Job Manager Instance runs with).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "gsi/credential.h"
+
+namespace gridauthz::gsi {
+
+struct SecurityContext {
+  // Verified Grid identity of the peer (proxy components stripped).
+  DistinguishedName peer_identity;
+  // The peer's full chain, kept for restricted-proxy policy extraction
+  // (CAS) and limited-proxy checks.
+  std::vector<Certificate> peer_chain;
+  // Credential delegated by the initiator, if requested.
+  std::optional<Credential> delegated_credential;
+
+  bool peer_is_limited_proxy() const {
+    for (const Certificate& c : peer_chain) {
+      if (c.type == CertType::kLimitedProxy) return true;
+    }
+    return false;
+  }
+
+  // The restriction policy on the peer's leaf certificate, if any.
+  std::optional<std::string> peer_restriction_policy() const {
+    if (!peer_chain.empty() &&
+        peer_chain.front().type == CertType::kRestrictedProxy) {
+      return peer_chain.front().restriction_policy;
+    }
+    return std::nullopt;
+  }
+};
+
+struct HandshakeResult {
+  SecurityContext initiator_view;  // peer = acceptor
+  SecurityContext acceptor_view;   // peer = initiator
+};
+
+// Performs mutual authentication at time `now`. If `delegate` is true the
+// initiator additionally delegates an impersonation proxy (lifetime
+// `delegation_lifetime`) to the acceptor, as GRAM clients do so the JMI can
+// act on the user's behalf. Fails with kAuthenticationFailed on any chain
+// or proof-of-possession problem.
+Expected<HandshakeResult> EstablishSecurityContext(
+    const Credential& initiator, const Credential& acceptor,
+    const TrustRegistry& trust, TimePoint now, bool delegate = false,
+    Duration delegation_lifetime = 12 * 3600);
+
+}  // namespace gridauthz::gsi

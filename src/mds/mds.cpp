@@ -1,0 +1,274 @@
+#include "mds/mds.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace gridauthz::mds {
+
+void Entry::Add(std::string_view name, std::string value) {
+  attributes[strings::ToLower(name)].push_back(std::move(value));
+}
+
+const std::vector<std::string>* Entry::Get(std::string_view name) const {
+  auto it = attributes.find(strings::ToLower(name));
+  return it == attributes.end() ? nullptr : &it->second;
+}
+
+std::string Entry::GetFirst(std::string_view name,
+                            std::string_view fallback) const {
+  const std::vector<std::string>* values = Get(name);
+  if (values == nullptr || values->empty()) return std::string{fallback};
+  return values->front();
+}
+
+// ----- filter ----------------------------------------------------------
+
+struct Filter::Node {
+  enum class Kind { kAnd, kOr, kNot, kEquals, kPrefix, kPresent, kGe, kLe };
+  Kind kind = Kind::kPresent;
+  std::vector<std::shared_ptr<const Node>> children;  // kAnd/kOr/kNot
+  std::string attribute;
+  std::string value;
+};
+
+namespace {
+
+using Node = Filter::Node;
+
+std::optional<std::int64_t> ToInt(std::string_view s) {
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+class FilterParser {
+ public:
+  explicit FilterParser(std::string_view text) : text_(text) {}
+
+  Expected<std::shared_ptr<const Node>> ParseTop() {
+    GA_TRY(std::shared_ptr<const Node> node, ParseFilter());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after filter");
+    }
+    return node;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Error Err(std::string message) const {
+    return Error{ErrCode::kParseError,
+                 "MDS filter at offset " + std::to_string(pos_) + ": " +
+                     std::move(message)};
+  }
+
+  Expected<std::shared_ptr<const Node>> ParseFilter() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Err("expected '('");
+    }
+    ++pos_;
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Err("unterminated filter");
+
+    auto node = std::make_shared<Node>();
+    char c = text_[pos_];
+    if (c == '&' || c == '|') {
+      node->kind = c == '&' ? Node::Kind::kAnd : Node::Kind::kOr;
+      ++pos_;
+      SkipWhitespace();
+      while (pos_ < text_.size() && text_[pos_] == '(') {
+        GA_TRY(std::shared_ptr<const Node> child, ParseFilter());
+        node->children.push_back(std::move(child));
+        SkipWhitespace();
+      }
+      if (node->children.empty()) {
+        return Err("'&'/'|' needs at least one subfilter");
+      }
+    } else if (c == '!') {
+      node->kind = Node::Kind::kNot;
+      ++pos_;
+      GA_TRY(std::shared_ptr<const Node> child, ParseFilter());
+      node->children.push_back(std::move(child));
+      SkipWhitespace();
+    } else {
+      GA_TRY_VOID(ParseItem(*node));
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Err("expected ')'");
+    }
+    ++pos_;
+    return std::shared_ptr<const Node>{std::move(node)};
+  }
+
+  Expected<void> ParseItem(Node& node) {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '=' && text_[pos_] != '>' &&
+           text_[pos_] != '<' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    node.attribute = strings::ToLower(
+        strings::Trim(text_.substr(start, pos_ - start)));
+    if (node.attribute.empty()) return Err("empty attribute name");
+    if (pos_ >= text_.size()) return Err("unterminated item");
+    char op = text_[pos_];
+    if (op == '>' || op == '<') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Err("expected '>=' or '<='");
+      }
+      node.kind = op == '>' ? Node::Kind::kGe : Node::Kind::kLe;
+      ++pos_;
+    } else if (op == '=') {
+      node.kind = Node::Kind::kEquals;
+      ++pos_;
+    } else {
+      return Err("expected comparison operator");
+    }
+    start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ')') ++pos_;
+    node.value = std::string{strings::Trim(text_.substr(start, pos_ - start))};
+    if (node.kind == Node::Kind::kEquals) {
+      if (node.value == "*") {
+        node.kind = Node::Kind::kPresent;
+        node.value.clear();
+      } else if (!node.value.empty() && node.value.back() == '*') {
+        node.kind = Node::Kind::kPrefix;
+        node.value.pop_back();
+      }
+    }
+    return Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool NodeMatches(const Node& node, const Entry& entry) {
+  switch (node.kind) {
+    case Node::Kind::kAnd:
+      for (const auto& child : node.children) {
+        if (!NodeMatches(*child, entry)) return false;
+      }
+      return true;
+    case Node::Kind::kOr:
+      for (const auto& child : node.children) {
+        if (NodeMatches(*child, entry)) return true;
+      }
+      return false;
+    case Node::Kind::kNot:
+      return !NodeMatches(*node.children.front(), entry);
+    default:
+      break;
+  }
+  const std::vector<std::string>* values = entry.Get(node.attribute);
+  if (values == nullptr || values->empty()) return false;
+  switch (node.kind) {
+    case Node::Kind::kPresent:
+      return true;
+    case Node::Kind::kEquals:
+      for (const std::string& v : *values) {
+        if (v == node.value) return true;
+      }
+      return false;
+    case Node::Kind::kPrefix:
+      for (const std::string& v : *values) {
+        if (strings::StartsWith(v, node.value)) return true;
+      }
+      return false;
+    case Node::Kind::kGe:
+    case Node::Kind::kLe: {
+      auto bound = ToInt(node.value);
+      for (const std::string& v : *values) {
+        if (bound) {
+          auto actual = ToInt(v);
+          if (!actual) continue;
+          if (node.kind == Node::Kind::kGe ? *actual >= *bound
+                                           : *actual <= *bound) {
+            return true;
+          }
+        } else {
+          if (node.kind == Node::Kind::kGe ? v >= node.value
+                                           : v <= node.value) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Expected<Filter> Filter::Parse(std::string_view text) {
+  FilterParser parser{text};
+  GA_TRY(std::shared_ptr<const Node> root, parser.ParseTop());
+  Filter filter;
+  filter.root_ = std::move(root);
+  filter.text_ = std::string{text};
+  return filter;
+}
+
+bool Filter::Matches(const Entry& entry) const {
+  return root_ != nullptr && NodeMatches(*root_, entry);
+}
+
+// ----- directory service -------------------------------------------------
+
+DirectoryService::DirectoryService(std::string name) : name_(std::move(name)) {}
+
+void DirectoryService::RegisterProvider(const std::string& source_name,
+                                        Provider provider) {
+  providers_[source_name] = std::move(provider);
+}
+
+void DirectoryService::UnregisterProvider(const std::string& source_name) {
+  providers_.erase(source_name);
+}
+
+void DirectoryService::RegisterChild(DirectoryService* child) {
+  children_.push_back(child);
+}
+
+void DirectoryService::Collect(std::vector<Entry>& out) const {
+  for (const auto& [source_name, provider] : providers_) {
+    std::vector<Entry> entries = provider();
+    out.insert(out.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+  for (const DirectoryService* child : children_) {
+    child->Collect(out);
+  }
+}
+
+Expected<std::vector<Entry>> DirectoryService::Search(
+    const Filter& filter) const {
+  std::vector<Entry> all;
+  Collect(all);
+  std::vector<Entry> matched;
+  for (Entry& entry : all) {
+    if (filter.Matches(entry)) matched.push_back(std::move(entry));
+  }
+  return matched;
+}
+
+Expected<std::vector<Entry>> DirectoryService::Search(
+    std::string_view filter_text) const {
+  GA_TRY(Filter filter, Filter::Parse(filter_text));
+  return Search(filter);
+}
+
+}  // namespace gridauthz::mds

@@ -1,0 +1,89 @@
+// MDS — the Monitoring and Discovery Service of the Globus Toolkit
+// ("mechanisms for security, data management and movement, resource
+// monitoring and discovery (MDS) and resource acquisition and
+// management", section 4). Modelled on the GT2 design: per-resource
+// information providers (GRIS) publish LDAP-style entries, index
+// services (GIIS) aggregate providers hierarchically, and clients search
+// with RFC 1960-style filters — how a VO member finds a resource with
+// free capacity before handing the job to GRAM.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::mds {
+
+// An LDAP-ish directory entry: a distinguished name plus multi-valued
+// attributes (attribute names are stored lowercase).
+struct Entry {
+  std::string dn;  // e.g. "mds-host-hn=fusion.anl.gov,o=grid"
+  std::map<std::string, std::vector<std::string>> attributes;
+
+  void Add(std::string_view name, std::string value);
+  const std::vector<std::string>* Get(std::string_view name) const;
+  // First value of the attribute, if present.
+  std::string GetFirst(std::string_view name,
+                       std::string_view fallback = "") const;
+};
+
+// RFC 1960 search-filter subset:
+//   (&(f)(f)...)   conjunction          (|(f)(f)...)  disjunction
+//   (!(f))         negation
+//   (attr=value)   equality             (attr=prefix*) prefix match
+//   (attr=*)       presence             (attr>=n) (attr<=n) numeric/string
+class Filter {
+ public:
+  static Expected<Filter> Parse(std::string_view text);
+
+  bool Matches(const Entry& entry) const;
+
+  const std::string& text() const { return text_; }
+
+  struct Node;  // exposed for the implementation; not part of the API
+
+ private:
+  std::shared_ptr<const Node> root_;
+  std::string text_;
+};
+
+// A GRIS-style information provider: invoked at query time so search
+// results reflect live resource state.
+using Provider = std::function<std::vector<Entry>()>;
+
+// A GIIS-style index service: aggregates providers and child index
+// services; Search() pulls fresh entries and applies the filter.
+class DirectoryService {
+ public:
+  explicit DirectoryService(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Registers a provider under `source_name` (replaces any previous
+  // registration under the same name).
+  void RegisterProvider(const std::string& source_name, Provider provider);
+  void UnregisterProvider(const std::string& source_name);
+
+  // Registers a child index service (hierarchical MDS). The child is not
+  // owned; cycles are the caller's responsibility to avoid.
+  void RegisterChild(DirectoryService* child);
+
+  // All entries from every provider and child, filtered.
+  Expected<std::vector<Entry>> Search(const Filter& filter) const;
+  Expected<std::vector<Entry>> Search(std::string_view filter_text) const;
+
+  std::size_t provider_count() const { return providers_.size(); }
+
+ private:
+  void Collect(std::vector<Entry>& out) const;
+
+  std::string name_;
+  std::map<std::string, Provider> providers_;
+  std::vector<DirectoryService*> children_;
+};
+
+}  // namespace gridauthz::mds

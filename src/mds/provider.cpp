@@ -1,0 +1,42 @@
+#include "mds/provider.h"
+
+namespace gridauthz::mds {
+
+Provider MakeHostProvider(std::string host, const os::SimScheduler* scheduler,
+                          const os::SchedulerConfig& config) {
+  return [host = std::move(host), scheduler, config]() {
+    std::vector<Entry> entries;
+
+    int running = 0;
+    int pending = 0;
+    for (const os::JobRecord& job : scheduler->Jobs()) {
+      if (job.state == os::JobState::kActive) ++running;
+      if (job.state == os::JobState::kPending) ++pending;
+    }
+
+    Entry host_entry;
+    host_entry.dn = "mds-host-hn=" + host + ",o=grid";
+    host_entry.Add("objectclass", "mds-host");
+    host_entry.Add("mds-host-hn", host);
+    host_entry.Add("mds-cpu-total", std::to_string(config.total_cpu_slots));
+    host_entry.Add("mds-cpu-free", std::to_string(scheduler->free_slots()));
+    host_entry.Add("mds-jobs-running", std::to_string(running));
+    host_entry.Add("mds-jobs-pending", std::to_string(pending));
+    entries.push_back(std::move(host_entry));
+
+    for (const os::QueueConfig& queue : config.queues) {
+      Entry queue_entry;
+      queue_entry.dn =
+          "mds-queue-name=" + queue.name + ",mds-host-hn=" + host + ",o=grid";
+      queue_entry.Add("objectclass", "mds-queue");
+      queue_entry.Add("mds-host-hn", host);
+      queue_entry.Add("mds-queue-name", queue.name);
+      queue_entry.Add("mds-queue-priority-boost",
+                      std::to_string(queue.priority_boost));
+      entries.push_back(std::move(queue_entry));
+    }
+    return entries;
+  };
+}
+
+}  // namespace gridauthz::mds

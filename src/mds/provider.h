@@ -1,0 +1,22 @@
+// A GRIS information provider for the simulated local resource: publishes
+// a host entry (capacity, load, queues) and per-queue entries, read live
+// from the scheduler each time the index service is searched.
+#pragma once
+
+#include <string>
+
+#include "mds/mds.h"
+#include "os/scheduler.h"
+
+namespace gridauthz::mds {
+
+// Builds a provider for `host` backed by `scheduler`. The scheduler must
+// outlive the provider. Published attributes:
+//   host entry:  objectclass=mds-host, mds-host-hn, mds-cpu-total,
+//                mds-cpu-free, mds-jobs-running, mds-jobs-pending
+//   queue entry: objectclass=mds-queue, mds-host-hn, mds-queue-name,
+//                mds-queue-priority-boost
+Provider MakeHostProvider(std::string host, const os::SimScheduler* scheduler,
+                          const os::SchedulerConfig& config);
+
+}  // namespace gridauthz::mds

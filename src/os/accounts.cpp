@@ -1,0 +1,77 @@
+#include "os/accounts.h"
+
+#include <algorithm>
+
+namespace gridauthz::os {
+
+Expected<void> AccountRegistry::Add(const std::string& name,
+                                    std::vector<std::string> groups,
+                                    ResourceLimits limits) {
+  return AddImpl(name, std::move(groups), limits, /*dynamic=*/false);
+}
+
+Expected<void> AccountRegistry::AddDynamic(const std::string& name,
+                                           std::vector<std::string> groups,
+                                           ResourceLimits limits) {
+  return AddImpl(name, std::move(groups), limits, /*dynamic=*/true);
+}
+
+Expected<void> AccountRegistry::AddImpl(const std::string& name,
+                                        std::vector<std::string> groups,
+                                        ResourceLimits limits, bool dynamic) {
+  if (name.empty()) {
+    return Error{ErrCode::kInvalidArgument, "empty account name"};
+  }
+  if (accounts_.contains(name)) {
+    return Error{ErrCode::kAlreadyExists, "account exists: " + name};
+  }
+  LocalAccount account;
+  account.name = name;
+  account.uid = next_uid_++;
+  account.groups = std::move(groups);
+  account.limits = limits;
+  account.dynamic = dynamic;
+  accounts_.emplace(name, std::move(account));
+  return Ok();
+}
+
+Expected<void> AccountRegistry::Remove(const std::string& name) {
+  if (accounts_.erase(name) == 0) {
+    return Error{ErrCode::kNotFound, "no such account: " + name};
+  }
+  return Ok();
+}
+
+bool AccountRegistry::Exists(const std::string& name) const {
+  return accounts_.contains(name);
+}
+
+Expected<const LocalAccount*> AccountRegistry::Lookup(
+    const std::string& name) const {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    return Error{ErrCode::kNotFound, "no such account: " + name};
+  }
+  return &it->second;
+}
+
+Expected<void> AccountRegistry::Configure(const std::string& name,
+                                          std::vector<std::string> groups,
+                                          ResourceLimits limits) {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    return Error{ErrCode::kNotFound, "no such account: " + name};
+  }
+  it->second.groups = std::move(groups);
+  it->second.limits = limits;
+  return Ok();
+}
+
+std::vector<std::string> AccountRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(accounts_.size());
+  for (const auto& [name, account] : accounts_) out.push_back(name);
+  return out;
+}
+
+}  // namespace gridauthz::os

@@ -1,0 +1,85 @@
+// Local Unix-style accounts: the enforcement vehicle stock GT2 relies on
+// ("enforcement is implemented chiefly through the medium of privileges
+// tied to a statically configured local account", section 4.3). Accounts
+// carry group membership and static resource limits; the scheduler
+// enforces the limits, reproducing the paper's point that account-based
+// enforcement is coarse-grained.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::os {
+
+// -1 means unlimited.
+struct ResourceLimits {
+  int max_concurrent_jobs = -1;
+  int max_cpus_per_job = -1;
+  std::int64_t max_memory_mb = -1;
+  // Aggregate cpu-second quota across ALL of the account's jobs — the
+  // coarse, account-level enforcement granularity of section 4.3.
+  std::int64_t max_cpu_seconds = -1;
+  // Highest scheduler priority this account may request. The GT2 Job
+  // Manager runs with the job initiator's local credential, so even a
+  // VO-authorized manager "may not apply their higher resource rights to,
+  // for example, raise the job's priority" (section 6.2) — this field is
+  // what caps them. -1 = unlimited.
+  int max_priority = -1;
+
+  friend bool operator==(const ResourceLimits&, const ResourceLimits&) = default;
+};
+
+struct LocalAccount {
+  std::string name;
+  int uid = 0;
+  std::vector<std::string> groups;
+  ResourceLimits limits;
+  // Dynamic accounts (section 6.1) are created on the fly by the resource
+  // management facility and recycled afterwards.
+  bool dynamic = false;
+
+  bool InGroup(const std::string& group) const {
+    return std::find(groups.begin(), groups.end(), group) != groups.end();
+  }
+};
+
+class AccountRegistry {
+ public:
+  // Adds a static account; uid assigned automatically.
+  Expected<void> Add(const std::string& name,
+                     std::vector<std::string> groups = {},
+                     ResourceLimits limits = {});
+  // Adds a dynamic account (marks it recyclable).
+  Expected<void> AddDynamic(const std::string& name,
+                            std::vector<std::string> groups,
+                            ResourceLimits limits);
+  Expected<void> Remove(const std::string& name);
+
+  bool Exists(const std::string& name) const;
+  Expected<const LocalAccount*> Lookup(const std::string& name) const;
+
+  // Reconfigures an account in place (dynamic-account configuration:
+  // group membership and limits tailored to one request).
+  Expected<void> Configure(const std::string& name,
+                           std::vector<std::string> groups,
+                           ResourceLimits limits);
+
+  std::size_t size() const { return accounts_.size(); }
+  std::vector<std::string> names() const;
+
+ private:
+  Expected<void> AddImpl(const std::string& name,
+                         std::vector<std::string> groups,
+                         ResourceLimits limits, bool dynamic);
+
+  std::map<std::string, LocalAccount> accounts_;
+  int next_uid_ = 1000;
+};
+
+}  // namespace gridauthz::os

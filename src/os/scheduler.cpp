@@ -1,0 +1,355 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gridauthz::os {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kActive:
+      return "ACTIVE";
+    case JobState::kSuspended:
+      return "SUSPENDED";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "?";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+SimScheduler::SimScheduler(SchedulerConfig config,
+                           const AccountRegistry* accounts,
+                           TimePoint start_time)
+    : config_(std::move(config)), accounts_(accounts), now_(start_time) {
+  if (config_.queues.empty()) {
+    config_.queues.push_back(QueueConfig{"default", 0});
+  }
+}
+
+bool SimScheduler::HasQueue(const std::string& name) const {
+  if (name.empty()) return true;
+  return std::any_of(config_.queues.begin(), config_.queues.end(),
+                     [&](const QueueConfig& q) { return q.name == name; });
+}
+
+Expected<LocalJobId> SimScheduler::Submit(const std::string& account,
+                                          JobSpec spec) {
+  GA_TRY(const LocalAccount* acct, accounts_->Lookup(account));
+  if (spec.count < 1) {
+    return Error{ErrCode::kInvalidArgument, "job count must be >= 1"};
+  }
+  if (spec.count > config_.total_cpu_slots) {
+    return Error{ErrCode::kResourceExhausted,
+                 "job requests " + std::to_string(spec.count) +
+                     " cpus but the machine has " +
+                     std::to_string(config_.total_cpu_slots)};
+  }
+  if (!HasQueue(spec.queue)) {
+    return Error{ErrCode::kInvalidArgument, "no such queue: " + spec.queue};
+  }
+  const ResourceLimits& limits = acct->limits;
+  if (limits.max_cpus_per_job >= 0 && spec.count > limits.max_cpus_per_job) {
+    return Error{ErrCode::kResourceExhausted,
+                 "account " + account + " limited to " +
+                     std::to_string(limits.max_cpus_per_job) + " cpus per job"};
+  }
+  if (limits.max_memory_mb >= 0 && spec.memory_mb > limits.max_memory_mb) {
+    return Error{ErrCode::kResourceExhausted,
+                 "account " + account + " limited to " +
+                     std::to_string(limits.max_memory_mb) + " MB"};
+  }
+  if (limits.max_concurrent_jobs >= 0) {
+    int live = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (job.account == account && !IsTerminal(job.state)) ++live;
+    }
+    if (live >= limits.max_concurrent_jobs) {
+      return Error{ErrCode::kResourceExhausted,
+                   "account " + account + " at its concurrent-job limit (" +
+                       std::to_string(limits.max_concurrent_jobs) + ")"};
+    }
+  }
+
+  JobRecord job;
+  job.id = next_id_++;
+  job.account = account;
+  job.spec = std::move(spec);
+  job.state = JobState::kPending;
+  job.submit_time = now_;
+  job.remaining = job.spec.wall_duration;
+  LocalJobId id = job.id;
+  pending_order_.push_back(id);
+  usage_[account].jobs_submitted++;
+  jobs_.emplace(id, std::move(job));
+  GA_LOG(kDebug, "lrm") << "job " << id << " submitted by account " << account;
+  DispatchPending();
+  return id;
+}
+
+JobRecord* SimScheduler::FindJob(LocalJobId id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const JobRecord* SimScheduler::FindJob(LocalJobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void SimScheduler::Transition(JobRecord& job, JobState next,
+                              std::string reason) {
+  JobState previous = job.state;
+  if (previous == next) return;
+  job.state = next;
+  if (!reason.empty()) job.failure_reason = std::move(reason);
+  if (next == JobState::kActive && !job.start_time) job.start_time = now_;
+  if (IsTerminal(next)) {
+    job.end_time = now_;
+    if (next == JobState::kDone) usage_[job.account].jobs_completed++;
+    if (next == JobState::kFailed) usage_[job.account].jobs_failed++;
+  }
+  GA_LOG(kDebug, "lrm") << "job " << job.id << ": " << to_string(previous)
+                        << " -> " << to_string(next)
+                        << (job.failure_reason.empty()
+                                ? ""
+                                : " (" + job.failure_reason + ")");
+  for (const auto& listener : listeners_) listener(job, previous);
+}
+
+void SimScheduler::ReleaseSlots(const JobRecord& job) {
+  used_slots_ -= job.spec.count;
+}
+
+Expected<void> SimScheduler::Cancel(LocalJobId id) {
+  JobRecord* job = FindJob(id);
+  if (job == nullptr) {
+    return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
+  }
+  if (IsTerminal(job->state)) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "job " + std::to_string(id) + " already terminal"};
+  }
+  if (job->state == JobState::kActive) ReleaseSlots(*job);
+  std::erase(pending_order_, id);
+  Transition(*job, JobState::kCancelled);
+  DispatchPending();
+  return Ok();
+}
+
+Expected<void> SimScheduler::Suspend(LocalJobId id) {
+  JobRecord* job = FindJob(id);
+  if (job == nullptr) {
+    return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
+  }
+  if (job->state != JobState::kActive) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "job " + std::to_string(id) + " is not active"};
+  }
+  ReleaseSlots(*job);
+  Transition(*job, JobState::kSuspended);
+  DispatchPending();
+  return Ok();
+}
+
+Expected<void> SimScheduler::Resume(LocalJobId id) {
+  JobRecord* job = FindJob(id);
+  if (job == nullptr) {
+    return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
+  }
+  if (job->state != JobState::kSuspended) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "job " + std::to_string(id) + " is not suspended"};
+  }
+  // Back to the queue; it resumes when slots free up.
+  Transition(*job, JobState::kPending);
+  pending_order_.push_back(id);
+  DispatchPending();
+  return Ok();
+}
+
+Expected<void> SimScheduler::SetPriority(LocalJobId id, int priority) {
+  JobRecord* job = FindJob(id);
+  if (job == nullptr) {
+    return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
+  }
+  if (IsTerminal(job->state)) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "job " + std::to_string(id) + " already terminal"};
+  }
+  job->spec.priority = priority;
+  return Ok();
+}
+
+Expected<JobRecord> SimScheduler::Status(LocalJobId id) const {
+  const JobRecord* job = FindJob(id);
+  if (job == nullptr) {
+    return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
+  }
+  return *job;
+}
+
+std::vector<JobRecord> SimScheduler::Jobs() const {
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+int SimScheduler::EffectivePriority(const JobRecord& job) const {
+  int boost = 0;
+  for (const QueueConfig& q : config_.queues) {
+    if (q.name == job.spec.queue) {
+      boost = q.priority_boost;
+      break;
+    }
+  }
+  return job.spec.priority + boost;
+}
+
+void SimScheduler::DispatchPending() {
+  // Highest effective priority first; FIFO within a priority level.
+  std::stable_sort(pending_order_.begin(), pending_order_.end(),
+                   [this](LocalJobId a, LocalJobId b) {
+                     const JobRecord* ja = FindJob(a);
+                     const JobRecord* jb = FindJob(b);
+                     return EffectivePriority(*ja) > EffectivePriority(*jb);
+                   });
+  std::vector<LocalJobId> still_pending;
+  for (LocalJobId id : pending_order_) {
+    JobRecord* job = FindJob(id);
+    if (job == nullptr || job->state != JobState::kPending) continue;
+    if (job->spec.count <= free_slots()) {
+      used_slots_ += job->spec.count;
+      Transition(*job, JobState::kActive);
+    } else {
+      still_pending.push_back(id);
+    }
+  }
+  pending_order_ = std::move(still_pending);
+}
+
+Duration SimScheduler::NextEventDelta(Duration cap) const {
+  Duration next = cap;
+  // Aggregate cpu-second accrual rate per account (for quota events).
+  std::map<std::string, std::int64_t> account_rate;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kActive) continue;
+    account_rate[job.account] += job.spec.count;
+    next = std::min(next, job.remaining);
+    if (job.spec.max_wall_time) {
+      Duration until_limit = *job.spec.max_wall_time - job.consumed_wall;
+      next = std::min(next, std::max<Duration>(until_limit, 1));
+    }
+  }
+  for (const auto& [account, rate] : account_rate) {
+    const auto acct = accounts_->Lookup(account);
+    if (!acct.ok() || (*acct)->limits.max_cpu_seconds < 0 || rate <= 0) {
+      continue;
+    }
+    auto usage_it = usage_.find(account);
+    std::int64_t used =
+        usage_it == usage_.end() ? 0 : usage_it->second.cpu_seconds;
+    std::int64_t until_cpu =
+        ((*acct)->limits.max_cpu_seconds - used + rate - 1) / rate;
+    next = std::min(next, std::max<Duration>(until_cpu, 1));
+  }
+  return std::max<Duration>(next, 1);
+}
+
+void SimScheduler::AccrueWork(Duration seconds) {
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kActive) continue;
+    job.remaining -= seconds;
+    job.consumed_wall += seconds;
+    job.consumed_cpu_seconds += seconds * job.spec.count;
+    usage_[job.account].cpu_seconds += seconds * job.spec.count;
+  }
+  // Completion and limit enforcement after accrual. Account cpu-second
+  // quotas are COARSE: they aggregate across every job of the account, so
+  // exceeding the quota kills jobs regardless of their individual
+  // behaviour — exactly the account-level enforcement granularity the
+  // paper criticizes (section 4.3, shortcoming 3).
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kActive) continue;
+    const auto acct = accounts_->Lookup(job.account);
+    bool over_wall = job.spec.max_wall_time &&
+                     job.consumed_wall >= *job.spec.max_wall_time &&
+                     job.remaining > 0;
+    bool over_cpu = acct.ok() && (*acct)->limits.max_cpu_seconds >= 0 &&
+                    usage_[job.account].cpu_seconds >=
+                        (*acct)->limits.max_cpu_seconds &&
+                    job.remaining > 0;
+    if (over_wall) {
+      ReleaseSlots(job);
+      Transition(job, JobState::kFailed, "wall-time limit exceeded");
+    } else if (over_cpu) {
+      ReleaseSlots(job);
+      Transition(job, JobState::kFailed, "account cpu-second limit exceeded");
+    } else if (job.remaining <= 0) {
+      ReleaseSlots(job);
+      Transition(job, JobState::kDone);
+    }
+  }
+}
+
+void SimScheduler::Advance(Duration seconds) {
+  Duration left = seconds;
+  while (left > 0) {
+    DispatchPending();
+    Duration step = NextEventDelta(left);
+    step = std::min(step, left);
+    now_ += step;
+    AccrueWork(step);
+    left -= step;
+  }
+  DispatchPending();
+}
+
+bool SimScheduler::AllTerminal() const {
+  return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& entry) {
+    return IsTerminal(entry.second.state);
+  });
+}
+
+Duration SimScheduler::DrainAll(Duration max_seconds) {
+  Duration consumed = 0;
+  while (consumed < max_seconds && !AllTerminal()) {
+    // Suspended jobs never finish on their own; they do not count as
+    // drainable work.
+    bool progressing = false;
+    for (const auto& [id, job] : jobs_) {
+      if (job.state == JobState::kActive || job.state == JobState::kPending) {
+        progressing = true;
+        break;
+      }
+    }
+    if (!progressing) break;
+    Duration step = NextEventDelta(max_seconds - consumed);
+    Advance(step);
+    consumed += step;
+  }
+  return consumed;
+}
+
+AccountUsage SimScheduler::Usage(const std::string& account) const {
+  auto it = usage_.find(account);
+  return it == usage_.end() ? AccountUsage{} : it->second;
+}
+
+void SimScheduler::AddStateListener(StateListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace gridauthz::os

@@ -1,0 +1,155 @@
+// SimScheduler: the local resource manager (the "LSF, PBS" of section 4.2)
+// as a deterministic discrete-time simulator. The Job Manager Instance
+// submits jobs here, monitors their state transitions, and relays
+// management requests (cancel / suspend / resume / priority signals).
+//
+// The scheduler enforces exactly what a local job-control system can
+// enforce: per-account limits and per-job wall/cpu limits tied to the
+// *local account* the job runs under — not to the Grid credential — which
+// is the enforcement gap the paper analyzes (section 6.1).
+//
+// Time model: the scheduler owns a simulated clock starting at
+// `start_time`; Advance(seconds) dispatches pending jobs, accrues work on
+// active jobs, completes finished jobs, and enforces limits, stepping
+// event-to-event for efficiency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "os/accounts.h"
+
+namespace gridauthz::os {
+
+using LocalJobId = std::uint64_t;
+
+enum class JobState {
+  kPending,    // queued, waiting for CPU slots
+  kActive,     // running
+  kSuspended,  // suspended by a management request
+  kDone,       // completed normally
+  kFailed,     // killed by limit enforcement or failed at dispatch
+  kCancelled,  // cancelled by a management request
+};
+
+std::string_view to_string(JobState state);
+bool IsTerminal(JobState state);
+
+// What the submitter asks for; mirrors the RSL attributes GRAM forwards.
+struct JobSpec {
+  std::string executable;
+  std::string directory;
+  std::vector<std::string> arguments;
+  int count = 1;                 // CPUs
+  Duration wall_duration = 10;   // simulated run length, seconds
+  std::int64_t memory_mb = 64;
+  int priority = 0;              // larger runs first
+  std::string queue;             // empty = default queue
+  std::optional<Duration> max_wall_time;  // enforcement limit, seconds
+};
+
+struct JobRecord {
+  LocalJobId id = 0;
+  std::string account;
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  TimePoint submit_time = 0;
+  std::optional<TimePoint> start_time;
+  std::optional<TimePoint> end_time;
+  Duration remaining = 0;        // wall seconds of work left
+  Duration consumed_wall = 0;    // wall seconds spent active
+  std::int64_t consumed_cpu_seconds = 0;  // wall * count
+  std::string failure_reason;
+};
+
+struct QueueConfig {
+  std::string name;
+  int priority_boost = 0;  // added to job priority while queued
+};
+
+struct SchedulerConfig {
+  int total_cpu_slots = 16;
+  std::vector<QueueConfig> queues = {{"default", 0}};
+};
+
+// Per-account accounting, the basis for VO allocation reporting.
+struct AccountUsage {
+  std::int64_t cpu_seconds = 0;
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int jobs_failed = 0;
+};
+
+class SimScheduler {
+ public:
+  using StateListener =
+      std::function<void(const JobRecord&, JobState previous)>;
+
+  SimScheduler(SchedulerConfig config, const AccountRegistry* accounts,
+               TimePoint start_time = 0);
+
+  // Submits a job under `account`. Validates the account exists, the queue
+  // is configured, and static per-account limits (max cpus per job,
+  // memory, max concurrent jobs) are respected. Dispatch happens on
+  // Advance().
+  Expected<LocalJobId> Submit(const std::string& account, JobSpec spec);
+
+  Expected<void> Cancel(LocalJobId id);
+  Expected<void> Suspend(LocalJobId id);
+  Expected<void> Resume(LocalJobId id);
+  Expected<void> SetPriority(LocalJobId id, int priority);
+
+  Expected<JobRecord> Status(LocalJobId id) const;
+  std::vector<JobRecord> Jobs() const;
+
+  // Advances simulated time by `seconds`.
+  void Advance(Duration seconds);
+
+  // Advances until every job is terminal or `max_seconds` elapses;
+  // returns the simulated seconds consumed.
+  Duration DrainAll(Duration max_seconds = 1'000'000);
+
+  TimePoint now() const { return now_; }
+  const AccountRegistry* accounts() const { return accounts_; }
+  int free_slots() const { return config_.total_cpu_slots - used_slots_; }
+  int used_slots() const { return used_slots_; }
+  bool AllTerminal() const;
+
+  AccountUsage Usage(const std::string& account) const;
+
+  // Registers a listener invoked on every job state transition.
+  void AddStateListener(StateListener listener);
+
+  bool HasQueue(const std::string& name) const;
+
+ private:
+  JobRecord* FindJob(LocalJobId id);
+  const JobRecord* FindJob(LocalJobId id) const;
+  void Transition(JobRecord& job, JobState next, std::string reason = "");
+  void ReleaseSlots(const JobRecord& job);
+  void DispatchPending();
+  int EffectivePriority(const JobRecord& job) const;
+  // Seconds until the next completion or limit event among active jobs,
+  // capped at `cap`; `cap` if there is none sooner.
+  Duration NextEventDelta(Duration cap) const;
+  void AccrueWork(Duration seconds);
+
+  SchedulerConfig config_;
+  const AccountRegistry* accounts_;
+  std::map<LocalJobId, JobRecord> jobs_;
+  std::vector<LocalJobId> pending_order_;
+  LocalJobId next_id_ = 1;
+  int used_slots_ = 0;
+  TimePoint now_;
+  std::map<std::string, AccountUsage> usage_;
+  std::vector<StateListener> listeners_;
+};
+
+}  // namespace gridauthz::os

@@ -1,0 +1,428 @@
+#include "rsl/rsl.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace gridauthz::rsl {
+
+std::string_view to_string(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNeq:
+      return "!=";
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string CanonicalAttribute(std::string_view attribute) {
+  std::string out;
+  out.reserve(attribute.size());
+  for (char c : attribute) {
+    if (c == '_') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string QuoteValue(std::string_view value) {
+  bool needs_quotes = value.empty();
+  for (char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '(' ||
+        c == ')' || c == '=' || c == '!' || c == '<' || c == '>' ||
+        c == '&' || c == '+' || c == '"') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string{value};
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";  // doubled-quote escape
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "(" + attribute + " " + std::string{to_string(op)};
+  for (const std::string& v : values) {
+    out += ' ';
+    out += QuoteValue(v);
+  }
+  out += ')';
+  return out;
+}
+
+const Relation* Conjunction::Find(std::string_view attribute) const {
+  std::string canon = CanonicalAttribute(attribute);
+  for (const Relation& r : relations_) {
+    if (r.attribute == canon) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<const Relation*> Conjunction::FindAll(
+    std::string_view attribute) const {
+  std::string canon = CanonicalAttribute(attribute);
+  std::vector<const Relation*> out;
+  for (const Relation& r : relations_) {
+    if (r.attribute == canon) out.push_back(&r);
+  }
+  return out;
+}
+
+std::optional<std::string> Conjunction::GetValue(
+    std::string_view attribute) const {
+  std::string canon = CanonicalAttribute(attribute);
+  for (const Relation& r : relations_) {
+    if (r.attribute == canon && r.op == RelOp::kEq && r.values.size() == 1) {
+      return r.values.front();
+    }
+  }
+  return std::nullopt;
+}
+
+void Conjunction::Add(std::string_view attribute, RelOp op, std::string value) {
+  Relation r;
+  r.attribute = CanonicalAttribute(attribute);
+  r.op = op;
+  r.values.push_back(std::move(value));
+  relations_.push_back(std::move(r));
+}
+
+void Conjunction::Add(Relation relation) {
+  relation.attribute = CanonicalAttribute(relation.attribute);
+  relations_.push_back(std::move(relation));
+}
+
+std::size_t Conjunction::Remove(std::string_view attribute) {
+  std::string canon = CanonicalAttribute(attribute);
+  return std::erase_if(relations_,
+                       [&](const Relation& r) { return r.attribute == canon; });
+}
+
+std::string Conjunction::ToString() const {
+  std::string out = "&";
+  for (const Relation& r : relations_) out += r.ToString();
+  return out;
+}
+
+std::string Specification::ToString() const {
+  if (requests.size() == 1) return requests.front().ToString();
+  std::string out = "+";
+  for (const Conjunction& c : requests) {
+    out += '(';
+    out += c.ToString();
+    out += ')';
+  }
+  return out;
+}
+
+namespace {
+
+enum class TokKind { kAmp, kPlus, kLParen, kRParen, kOp, kLiteral, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // literal text, or the operator
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Expected<Token> Next() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, "", pos_};
+    std::size_t start = pos_;
+    char c = text_[pos_];
+    switch (c) {
+      case '&':
+        ++pos_;
+        return Token{TokKind::kAmp, "&", start};
+      case '+':
+        ++pos_;
+        return Token{TokKind::kPlus, "+", start};
+      case '(':
+        ++pos_;
+        return Token{TokKind::kLParen, "(", start};
+      case ')':
+        ++pos_;
+        return Token{TokKind::kRParen, ")", start};
+      case '=':
+        ++pos_;
+        return Token{TokKind::kOp, "=", start};
+      case '!':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return Token{TokKind::kOp, "!=", start};
+        }
+        return Err(start, "'!' must be followed by '='");
+      case '<':
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          return Token{TokKind::kOp, "<=", start};
+        }
+        return Token{TokKind::kOp, "<", start};
+      case '>':
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          return Token{TokKind::kOp, ">=", start};
+        }
+        return Token{TokKind::kOp, ">", start};
+      case '"':
+        return LexQuoted(start);
+      default:
+        return LexUnquoted(start);
+    }
+  }
+
+ private:
+  Expected<Token> LexQuoted(std::size_t start) {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+          value.push_back('"');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return Token{TokKind::kLiteral, std::move(value), start};
+      }
+      value.push_back(c);
+      ++pos_;
+    }
+    return Err(start, "unterminated quoted value");
+  }
+
+  Expected<Token> LexUnquoted(std::size_t start) {
+    std::string value;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      // "$(NAME)" is a variable reference (resolved later by
+      // SubstituteVariables); its parentheses belong to the literal.
+      if (c == '$' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '(') {
+        std::size_t close = text_.find(')', pos_ + 2);
+        if (close == std::string_view::npos) {
+          return Err(pos_, "unterminated variable reference");
+        }
+        value.append(text_.substr(pos_, close - pos_ + 1));
+        pos_ = close + 1;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '(' ||
+          c == ')' || c == '=' || c == '!' || c == '<' || c == '>' ||
+          c == '&' || c == '+' || c == '"') {
+        break;
+      }
+      value.push_back(c);
+      ++pos_;
+    }
+    if (value.empty()) {
+      return Err(start, std::string{"unexpected character '"} + text_[pos_] + "'");
+    }
+    return Token{TokKind::kLiteral, std::move(value), start};
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Error Err(std::size_t pos, std::string message) const {
+    return Error{ErrCode::kParseError,
+                 "RSL at offset " + std::to_string(pos) + ": " + std::move(message)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {}
+
+  Expected<Specification> ParseSpecification() {
+    GA_TRY_VOID(Advance());
+    Specification spec;
+    if (current_.kind == TokKind::kPlus) {
+      GA_TRY_VOID(Advance());
+      // Multi-request: one or more parenthesized conjunctions.
+      while (current_.kind == TokKind::kLParen) {
+        GA_TRY_VOID(Advance());
+        GA_TRY(Conjunction conj, ParseConjunctionBody());
+        GA_TRY_VOID(Expect(TokKind::kRParen, "')' closing multi-request item"));
+        spec.requests.push_back(std::move(conj));
+      }
+      if (spec.requests.empty()) {
+        return ErrHere("multi-request '+' needs at least one '(...)' item");
+      }
+    } else {
+      GA_TRY(Conjunction conj, ParseConjunctionBody());
+      spec.requests.push_back(std::move(conj));
+    }
+    if (current_.kind != TokKind::kEnd) {
+      return ErrHere("trailing input after specification");
+    }
+    return spec;
+  }
+
+ private:
+  // conjunction := '&'? ( '(' relation ')' )+
+  Expected<Conjunction> ParseConjunctionBody() {
+    if (current_.kind == TokKind::kAmp) {
+      GA_TRY_VOID(Advance());
+    }
+    std::vector<Relation> relations;
+    while (current_.kind == TokKind::kLParen) {
+      GA_TRY_VOID(Advance());
+      GA_TRY(Relation relation, ParseRelation());
+      GA_TRY_VOID(Expect(TokKind::kRParen, "')' closing relation"));
+      relations.push_back(std::move(relation));
+    }
+    if (relations.empty()) {
+      return ErrHere("expected at least one '(attribute op value)' relation");
+    }
+    return Conjunction{std::move(relations)};
+  }
+
+  Expected<Relation> ParseRelation() {
+    if (current_.kind != TokKind::kLiteral) {
+      return ErrHere("expected attribute name");
+    }
+    Relation relation;
+    relation.attribute = CanonicalAttribute(current_.text);
+    GA_TRY_VOID(Advance());
+    if (current_.kind != TokKind::kOp) {
+      return ErrHere("expected relational operator after attribute '" +
+                     relation.attribute + "'");
+    }
+    if (current_.text == "=") relation.op = RelOp::kEq;
+    else if (current_.text == "!=") relation.op = RelOp::kNeq;
+    else if (current_.text == "<") relation.op = RelOp::kLt;
+    else if (current_.text == ">") relation.op = RelOp::kGt;
+    else if (current_.text == "<=") relation.op = RelOp::kLe;
+    else relation.op = RelOp::kGe;
+    GA_TRY_VOID(Advance());
+    while (current_.kind == TokKind::kLiteral) {
+      relation.values.push_back(current_.text);
+      GA_TRY_VOID(Advance());
+    }
+    if (relation.values.empty()) {
+      return ErrHere("relation on '" + relation.attribute + "' has no value");
+    }
+    return relation;
+  }
+
+  Expected<void> Advance() {
+    GA_TRY(Token token, lexer_.Next());
+    current_ = std::move(token);
+    return Ok();
+  }
+
+  Expected<void> Expect(TokKind kind, std::string_view what) {
+    if (current_.kind != kind) {
+      return Error{ErrCode::kParseError,
+                   "RSL at offset " + std::to_string(current_.pos) +
+                       ": expected " + std::string{what}};
+    }
+    return Advance();
+  }
+
+  Error ErrHere(std::string message) const {
+    return Error{ErrCode::kParseError,
+                 "RSL at offset " + std::to_string(current_.pos) + ": " +
+                     std::move(message)};
+  }
+
+  Lexer lexer_;
+  Token current_{TokKind::kEnd, "", 0};
+};
+
+}  // namespace
+
+Expected<Specification> Parse(std::string_view text) {
+  if (strings::Trim(text).empty()) {
+    return Error{ErrCode::kParseError, "empty RSL specification"};
+  }
+  return Parser{text}.ParseSpecification();
+}
+
+Expected<Conjunction> ParseConjunction(std::string_view text) {
+  GA_TRY(Specification spec, Parse(text));
+  if (spec.requests.size() != 1) {
+    return Error{ErrCode::kParseError,
+                 "expected a single conjunction, got a multi-request"};
+  }
+  return std::move(spec.requests.front());
+}
+
+namespace {
+
+Expected<std::string> SubstituteValue(
+    const std::string& value,
+    const std::map<std::string, std::string>& variables) {
+  std::string out;
+  out.reserve(value.size());
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    std::size_t ref = value.find("$(", pos);
+    if (ref == std::string::npos) {
+      out += value.substr(pos);
+      break;
+    }
+    out += value.substr(pos, ref - pos);
+    std::size_t close = value.find(')', ref + 2);
+    if (close == std::string::npos) {
+      return Error{ErrCode::kParseError,
+                   "unterminated variable reference in RSL value: " + value};
+    }
+    std::string name = value.substr(ref + 2, close - ref - 2);
+    auto it = variables.find(name);
+    if (it == variables.end()) {
+      return Error{ErrCode::kNotFound,
+                   "undefined RSL variable $(" + name + ")"};
+    }
+    out += it->second;
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<Conjunction> SubstituteVariables(
+    const Conjunction& conjunction,
+    const std::map<std::string, std::string>& variables) {
+  std::vector<Relation> relations;
+  relations.reserve(conjunction.relations().size());
+  for (const Relation& relation : conjunction.relations()) {
+    Relation substituted = relation;
+    for (std::string& value : substituted.values) {
+      GA_TRY(value, SubstituteValue(value, variables));
+    }
+    relations.push_back(std::move(substituted));
+  }
+  return Conjunction{std::move(relations)};
+}
+
+}  // namespace gridauthz::rsl

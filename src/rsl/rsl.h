@@ -1,0 +1,113 @@
+// The Resource Specification Language (RSL) of GT2 GRAM: attribute-value
+// relations combined into conjunctions ("&(executable=test1)(count=4)") and
+// multi-requests ("+(&(...))(&(...))"). Job descriptions are conjunctions;
+// the paper's policy language expresses assertions in the same syntax
+// (section 5.1), extended with the relational operators != < > <= >= and
+// the attributes action/jobowner/jobtag plus the values NULL and self.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::rsl {
+
+enum class RelOp { kEq, kNeq, kLt, kGt, kLe, kGe };
+
+std::string_view to_string(RelOp op);
+
+// Canonical attribute form: lowercase with underscores removed, matching
+// GT2's RSL attribute canonicalization ("Max_Time" == "maxtime").
+std::string CanonicalAttribute(std::string_view attribute);
+
+// One relation: attribute op value-sequence. Most relations carry a single
+// value; GT2 permits sequences (e.g. "(arguments= a b c)").
+struct Relation {
+  std::string attribute;  // canonical form
+  RelOp op = RelOp::kEq;
+  std::vector<std::string> values;
+
+  // The single value, if there is exactly one.
+  std::optional<std::string> single_value() const {
+    if (values.size() == 1) return values.front();
+    return std::nullopt;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Relation&, const Relation&) = default;
+};
+
+// A conjunction of relations: "&(a=1)(b=2)". Job descriptions and policy
+// assertion sets are conjunctions.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Relation> relations)
+      : relations_(std::move(relations)) {}
+
+  const std::vector<Relation>& relations() const { return relations_; }
+  bool empty() const { return relations_.empty(); }
+
+  // First relation with the given attribute (canonicalized), or nullptr.
+  const Relation* Find(std::string_view attribute) const;
+  // All relations with the given attribute.
+  std::vector<const Relation*> FindAll(std::string_view attribute) const;
+  // True if any relation names the attribute.
+  bool Has(std::string_view attribute) const { return Find(attribute) != nullptr; }
+  // The single value of the first '=' relation for the attribute, if any.
+  std::optional<std::string> GetValue(std::string_view attribute) const;
+
+  // Appends a relation (attribute canonicalized).
+  void Add(std::string_view attribute, RelOp op, std::string value);
+  void Add(Relation relation);
+  // Removes every relation naming the attribute; returns count removed.
+  std::size_t Remove(std::string_view attribute);
+
+  // Canonical "&(a = v)(b = v)" rendering; values are quoted when needed.
+  std::string ToString() const;
+
+  friend bool operator==(const Conjunction&, const Conjunction&) = default;
+
+ private:
+  std::vector<Relation> relations_;
+};
+
+// A full RSL specification: either one conjunction (the common case for a
+// job request) or a multi-request of several.
+struct Specification {
+  std::vector<Conjunction> requests;  // size 1 unless a '+' multi-request
+
+  bool is_multi() const { return requests.size() > 1; }
+  std::string ToString() const;
+};
+
+// Parses an RSL specification. Accepts:
+//   &(a=v)(b<4)          conjunction
+//   (a=v)(b=w)           conjunction with the leading '&' omitted
+//   +(&(a=v))(&(b=w))    multi-request
+// Values may be unquoted tokens, or quoted with '"' (doubled quotes
+// escape). Returns kParseError with position information on bad input.
+Expected<Specification> Parse(std::string_view text);
+
+// Convenience: parse a specification that must be a single conjunction.
+Expected<Conjunction> ParseConjunction(std::string_view text);
+
+// Quotes `value` if it contains characters that would not survive
+// re-parsing unquoted.
+std::string QuoteValue(std::string_view value);
+
+// GT2 RSL variable substitution: replaces "$(NAME)" references inside
+// every value with entries from `variables` (the Job Manager supplies
+// standard ones such as HOME and LOGNAME for the local account).
+// Fails with kParseError on unterminated references and with kNotFound
+// on variables absent from the table.
+Expected<Conjunction> SubstituteVariables(
+    const Conjunction& conjunction,
+    const std::map<std::string, std::string>& variables);
+
+}  // namespace gridauthz::rsl

@@ -1,0 +1,162 @@
+#include "sandbox/sandbox.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gridauthz::sandbox {
+
+DynamicAccountPool::DynamicAccountPool(os::AccountRegistry* registry,
+                                       std::string prefix, int pool_size)
+    : registry_(registry) {
+  for (int i = 0; i < pool_size; ++i) {
+    std::string name = prefix + std::to_string(100 + i);
+    // Pool creation is setup code; collisions indicate a configuration
+    // bug and are logged rather than silently ignored.
+    if (auto added = registry_->AddDynamic(name, {}, {}); added.ok()) {
+      free_accounts_.push_back(std::move(name));
+    } else {
+      GA_LOG(kWarn, "dynamic-accounts")
+          << "could not create pool account: " << added.error();
+    }
+  }
+}
+
+Expected<std::string> DynamicAccountPool::Lease(
+    const std::string& grid_identity, std::vector<std::string> groups,
+    os::ResourceLimits limits) {
+  if (free_accounts_.empty()) {
+    return Error{ErrCode::kResourceExhausted, "dynamic account pool empty"};
+  }
+  std::string account = std::move(free_accounts_.back());
+  free_accounts_.pop_back();
+  GA_TRY_VOID(registry_->Configure(account, std::move(groups), limits));
+  leases_.emplace(account, grid_identity);
+  ++total_leases_;
+  GA_LOG(kInfo, "dynamic-accounts")
+      << "leased account '" << account << "' to " << grid_identity;
+  return account;
+}
+
+Expected<void> DynamicAccountPool::Release(const std::string& account) {
+  auto it = leases_.find(account);
+  if (it == leases_.end()) {
+    return Error{ErrCode::kNotFound, "account not leased: " + account};
+  }
+  leases_.erase(it);
+  // Reset configuration before recycling.
+  GA_TRY_VOID(registry_->Configure(account, {}, {}));
+  free_accounts_.push_back(account);
+  return Ok();
+}
+
+std::optional<std::string> DynamicAccountPool::Holder(
+    const std::string& account) const {
+  auto it = leases_.find(account);
+  if (it == leases_.end()) return std::nullopt;
+  return it->second;
+}
+
+int DynamicAccountPool::available() const {
+  return static_cast<int>(free_accounts_.size());
+}
+
+namespace {
+std::optional<std::int64_t> ToInt(const std::string& s) {
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+}  // namespace
+
+SandboxPolicy SandboxFromAssertions(const rsl::Conjunction& assertions) {
+  SandboxPolicy policy;
+  for (const rsl::Relation& r : assertions.relations()) {
+    if (r.attribute == "executable" && r.op == rsl::RelOp::kEq) {
+      for (const std::string& v : r.values) policy.allowed_executables.insert(v);
+    } else if (r.attribute == "directory" && r.op == rsl::RelOp::kEq) {
+      for (const std::string& v : r.values) {
+        policy.allowed_directory_prefixes.insert(v);
+      }
+    } else if (r.attribute == "count") {
+      auto v = r.single_value();
+      auto n = v ? ToInt(*v) : std::nullopt;
+      if (!n) continue;
+      switch (r.op) {
+        case rsl::RelOp::kLt:
+          policy.max_count = static_cast<int>(*n - 1);
+          break;
+        case rsl::RelOp::kLe:
+        case rsl::RelOp::kEq:
+          policy.max_count = static_cast<int>(*n);
+          break;
+        default:
+          break;
+      }
+    } else if (r.attribute == "maxtime") {
+      auto v = r.single_value();
+      auto n = v ? ToInt(*v) : std::nullopt;
+      if (!n) continue;
+      if (r.op == rsl::RelOp::kLt) policy.max_wall_time = *n - 1;
+      if (r.op == rsl::RelOp::kLe || r.op == rsl::RelOp::kEq) {
+        policy.max_wall_time = *n;
+      }
+    } else if (r.attribute == "maxmemory") {
+      auto v = r.single_value();
+      auto n = v ? ToInt(*v) : std::nullopt;
+      if (!n) continue;
+      if (r.op == rsl::RelOp::kLt) policy.max_memory_mb = *n - 1;
+      if (r.op == rsl::RelOp::kLe || r.op == rsl::RelOp::kEq) {
+        policy.max_memory_mb = *n;
+      }
+    }
+  }
+  return policy;
+}
+
+Sandbox::Sandbox(SandboxPolicy policy) : policy_(std::move(policy)) {}
+
+Expected<os::JobSpec> Sandbox::Apply(const os::JobSpec& spec) const {
+  if (!policy_.allowed_executables.empty() &&
+      !policy_.allowed_executables.contains(spec.executable)) {
+    return Error{ErrCode::kPermissionDenied,
+                 "sandbox: executable '" + spec.executable + "' not allowed"};
+  }
+  if (!policy_.allowed_directory_prefixes.empty()) {
+    bool allowed = false;
+    for (const std::string& prefix : policy_.allowed_directory_prefixes) {
+      if (strings::StartsWith(spec.directory, prefix)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      return Error{ErrCode::kPermissionDenied,
+                   "sandbox: directory '" + spec.directory + "' not allowed"};
+    }
+  }
+  if (policy_.max_count && spec.count > *policy_.max_count) {
+    return Error{ErrCode::kPermissionDenied,
+                 "sandbox: count " + std::to_string(spec.count) +
+                     " exceeds sandbox cap " + std::to_string(*policy_.max_count)};
+  }
+  os::JobSpec tightened = spec;
+  if (policy_.max_memory_mb && spec.memory_mb > *policy_.max_memory_mb) {
+    return Error{ErrCode::kPermissionDenied,
+                 "sandbox: memory " + std::to_string(spec.memory_mb) +
+                     " MB exceeds sandbox cap"};
+  }
+  if (policy_.max_wall_time) {
+    // Continuous enforcement: the scheduler kills the job at the cap even
+    // if the request claimed a shorter duration.
+    if (!tightened.max_wall_time ||
+        *tightened.max_wall_time > *policy_.max_wall_time) {
+      tightened.max_wall_time = *policy_.max_wall_time;
+    }
+  }
+  return tightened;
+}
+
+}  // namespace gridauthz::sandbox

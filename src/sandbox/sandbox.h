@@ -1,0 +1,92 @@
+// Enforcement mechanisms from the paper's analysis (section 6.1):
+//
+//  * DYNAMIC ACCOUNTS — "accounts created and configured on the fly by a
+//    resource management facility", enabling jobs for users with no static
+//    account and per-request account configuration (group membership,
+//    limits) instead of a static user configuration.
+//  * SANDBOXES — "an environment that imposes restrictions on resource
+//    usage"; here, per-job restrictions derived from the fine-grain policy
+//    and enforced continuously by the (simulated) operating system,
+//    complementing the gateway PEP which only decides at request time.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "os/accounts.h"
+#include "os/scheduler.h"
+#include "rsl/rsl.h"
+
+namespace gridauthz::sandbox {
+
+// A pool of recyclable local accounts leased to Grid identities on
+// demand and configured per-request.
+class DynamicAccountPool {
+ public:
+  // Creates `pool_size` dynamic accounts named `<prefix>NNN` in
+  // `registry`.
+  DynamicAccountPool(os::AccountRegistry* registry, std::string prefix,
+                     int pool_size);
+
+  // Leases an account for `grid_identity`, configured with the given
+  // groups and limits. kResourceExhausted when the pool is empty.
+  Expected<std::string> Lease(const std::string& grid_identity,
+                              std::vector<std::string> groups,
+                              os::ResourceLimits limits);
+
+  // Returns the account to the pool (resetting its configuration).
+  Expected<void> Release(const std::string& account);
+
+  // The Grid identity currently holding `account`, if leased.
+  std::optional<std::string> Holder(const std::string& account) const;
+
+  int available() const;
+  int in_use() const { return static_cast<int>(leases_.size()); }
+  std::uint64_t total_leases() const { return total_leases_; }
+
+ private:
+  os::AccountRegistry* registry_;
+  std::vector<std::string> free_accounts_;
+  std::map<std::string, std::string> leases_;  // account -> grid identity
+  std::uint64_t total_leases_ = 0;
+};
+
+// Restrictions a sandbox imposes on one job.
+struct SandboxPolicy {
+  std::optional<Duration> max_wall_time;
+  std::optional<std::int64_t> max_memory_mb;
+  std::optional<int> max_count;
+  // Empty set = any executable / directory allowed.
+  std::set<std::string> allowed_executables;
+  std::set<std::string> allowed_directory_prefixes;
+};
+
+// Derives a sandbox from a policy assertion set: "(executable = test1)"
+// whitelists the executable, "(count < 4)" caps CPUs, "(maxtime <= 600)"
+// caps wall time, "(directory = /sandbox/test)" whitelists the directory.
+// This is how the request-time fine-grain decision is carried into
+// continuous enforcement.
+SandboxPolicy SandboxFromAssertions(const rsl::Conjunction& assertions);
+
+class Sandbox {
+ public:
+  explicit Sandbox(SandboxPolicy policy);
+
+  const SandboxPolicy& policy() const { return policy_; }
+
+  // Checks a job spec against the sandbox; returns the (possibly
+  // tightened) spec to submit, or kPermissionDenied naming the violated
+  // restriction. Tightening: wall/memory caps are applied as enforcement
+  // limits so the scheduler kills violators at runtime.
+  Expected<os::JobSpec> Apply(const os::JobSpec& spec) const;
+
+ private:
+  SandboxPolicy policy_;
+};
+
+}  // namespace gridauthz::sandbox

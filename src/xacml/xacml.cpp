@@ -1,0 +1,878 @@
+#include "xacml/xacml.h"
+
+#include <charconv>
+#include <set>
+
+namespace gridauthz::xacml {
+
+std::string_view to_string(Effect effect) {
+  return effect == Effect::kPermit ? "Permit" : "Deny";
+}
+
+std::string_view to_string(XacmlDecision decision) {
+  switch (decision) {
+    case XacmlDecision::kPermit:
+      return "Permit";
+    case XacmlDecision::kDeny:
+      return "Deny";
+    case XacmlDecision::kNotApplicable:
+      return "NotApplicable";
+    case XacmlDecision::kIndeterminate:
+      return "Indeterminate";
+  }
+  return "?";
+}
+
+std::string_view to_string(Combining combining) {
+  switch (combining) {
+    case Combining::kDenyOverrides:
+      return "deny-overrides";
+    case Combining::kPermitOverrides:
+      return "permit-overrides";
+    case Combining::kFirstApplicable:
+      return "first-applicable";
+  }
+  return "?";
+}
+
+Expected<Combining> CombiningFromString(std::string_view text) {
+  if (text == "deny-overrides") return Combining::kDenyOverrides;
+  if (text == "permit-overrides") return Combining::kPermitOverrides;
+  if (text == "first-applicable") return Combining::kFirstApplicable;
+  return Error{ErrCode::kParseError,
+               "unknown combining algorithm: " + std::string{text}};
+}
+
+std::string_view to_string(Category category) {
+  switch (category) {
+    case Category::kSubject:
+      return "Subject";
+    case Category::kResource:
+      return "Resource";
+    case Category::kAction:
+      return "Action";
+  }
+  return "?";
+}
+
+Expected<Category> CategoryFromString(std::string_view text) {
+  if (text == "Subject") return Category::kSubject;
+  if (text == "Resource") return Category::kResource;
+  if (text == "Action") return Category::kAction;
+  return Error{ErrCode::kParseError,
+               "unknown attribute category: " + std::string{text}};
+}
+
+const std::vector<std::string>* RequestContext::Bag(
+    Category category, const std::string& attribute_id) const {
+  const std::map<std::string, std::vector<std::string>>* bags = nullptr;
+  switch (category) {
+    case Category::kSubject:
+      bags = &subject;
+      break;
+    case Category::kResource:
+      bags = &resource;
+      break;
+    case Category::kAction:
+      bags = &action;
+      break;
+  }
+  auto it = bags->find(attribute_id);
+  return it == bags->end() ? nullptr : &it->second;
+}
+
+Expression Expression::Apply(std::string fn, std::vector<Expression> arguments) {
+  Expression e;
+  e.kind = Kind::kApply;
+  e.function = std::move(fn);
+  e.args = std::move(arguments);
+  return e;
+}
+
+Expression Expression::Designator(Category category, std::string attribute_id) {
+  Expression e;
+  e.kind = Kind::kDesignator;
+  e.category = category;
+  e.attribute_id = std::move(attribute_id);
+  return e;
+}
+
+Expression Expression::Literal(std::string value) {
+  Expression e;
+  e.kind = Kind::kLiteral;
+  e.literal = std::move(value);
+  return e;
+}
+
+// ----- condition evaluation -------------------------------------------
+
+namespace {
+
+struct Value {
+  bool is_bool = false;
+  bool boolean = false;
+  std::vector<std::string> bag;
+
+  static Value Bool(bool b) {
+    Value v;
+    v.is_bool = true;
+    v.boolean = b;
+    return v;
+  }
+  static Value Bag(std::vector<std::string> items) {
+    Value v;
+    v.bag = std::move(items);
+    return v;
+  }
+};
+
+std::optional<std::int64_t> ToInt(const std::string& s) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+Expected<Value> Eval(const Expression& expression,
+                     const RequestContext& context);
+
+Expected<bool> EvalBool(const Expression& expression,
+                        const RequestContext& context) {
+  GA_TRY(Value value, Eval(expression, context));
+  if (!value.is_bool) {
+    return Error{ErrCode::kInvalidArgument,
+                 "expected a boolean argument in condition"};
+  }
+  return value.boolean;
+}
+
+Expected<std::vector<std::string>> EvalBag(const Expression& expression,
+                                           const RequestContext& context) {
+  GA_TRY(Value value, Eval(expression, context));
+  if (value.is_bool) {
+    return Error{ErrCode::kInvalidArgument,
+                 "expected a value bag in condition, got a boolean"};
+  }
+  return value.bag;
+}
+
+// Union of every argument's bag from index `from` on.
+Expected<std::set<std::string>> UnionBags(const std::vector<Expression>& args,
+                                          std::size_t from,
+                                          const RequestContext& context) {
+  std::set<std::string> out;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    GA_TRY(std::vector<std::string> bag, EvalBag(args[i], context));
+    out.insert(bag.begin(), bag.end());
+  }
+  return out;
+}
+
+Expected<bool> NumericCompare(const std::string& function,
+                              const std::vector<Expression>& args,
+                              const RequestContext& context) {
+  if (args.size() != 2) {
+    return Error{ErrCode::kInvalidArgument,
+                 function + " needs exactly two arguments"};
+  }
+  GA_TRY(std::vector<std::string> left, EvalBag(args[0], context));
+  GA_TRY(std::vector<std::string> right, EvalBag(args[1], context));
+  if (left.empty()) return false;
+  if (right.size() != 1) {
+    return Error{ErrCode::kInvalidArgument,
+                 function + " needs a single right-hand value"};
+  }
+  auto bound = ToInt(right.front());
+  if (!bound) {
+    return Error{ErrCode::kInvalidArgument,
+                 function + ": non-integer bound '" + right.front() + "'"};
+  }
+  for (const std::string& item : left) {
+    auto value = ToInt(item);
+    if (!value) return false;
+    bool ok = false;
+    if (function == "integer-less-than") ok = *value < *bound;
+    else if (function == "integer-less-than-or-equal") ok = *value <= *bound;
+    else if (function == "integer-greater-than") ok = *value > *bound;
+    else ok = *value >= *bound;  // integer-greater-than-or-equal
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Expected<Value> Eval(const Expression& expression,
+                     const RequestContext& context) {
+  switch (expression.kind) {
+    case Expression::Kind::kLiteral:
+      return Value::Bag({expression.literal});
+    case Expression::Kind::kDesignator: {
+      const std::vector<std::string>* bag =
+          context.Bag(expression.category, expression.attribute_id);
+      return Value::Bag(bag == nullptr ? std::vector<std::string>{} : *bag);
+    }
+    case Expression::Kind::kApply:
+      break;
+  }
+
+  const std::string& fn = expression.function;
+  const std::vector<Expression>& args = expression.args;
+
+  if (fn == "true") return Value::Bool(true);
+  if (fn == "false") return Value::Bool(false);
+  if (fn == "and" || fn == "or") {
+    for (const Expression& arg : args) {
+      GA_TRY(bool value, EvalBool(arg, context));
+      if (fn == "and" && !value) return Value::Bool(false);
+      if (fn == "or" && value) return Value::Bool(true);
+    }
+    return Value::Bool(fn == "and");
+  }
+  if (fn == "not") {
+    if (args.size() != 1) {
+      return Error{ErrCode::kInvalidArgument, "not needs one argument"};
+    }
+    GA_TRY(bool value, EvalBool(args[0], context));
+    return Value::Bool(!value);
+  }
+  if (fn == "present" || fn == "absent") {
+    if (args.size() != 1) {
+      return Error{ErrCode::kInvalidArgument, fn + " needs one argument"};
+    }
+    GA_TRY(std::vector<std::string> bag, EvalBag(args[0], context));
+    return Value::Bool(fn == "present" ? !bag.empty() : bag.empty());
+  }
+  if (fn == "any-equal" || fn == "none-equal") {
+    if (args.size() != 2) {
+      return Error{ErrCode::kInvalidArgument, fn + " needs two arguments"};
+    }
+    GA_TRY(std::vector<std::string> left, EvalBag(args[0], context));
+    GA_TRY(std::vector<std::string> right, EvalBag(args[1], context));
+    bool any = false;
+    for (const std::string& a : left) {
+      for (const std::string& b : right) {
+        if (a == b) {
+          any = true;
+          break;
+        }
+      }
+    }
+    return Value::Bool(fn == "any-equal" ? any : !any);
+  }
+  if (fn == "all-in") {
+    // all-in(A, B...): A non-empty and every element of A matches some
+    // element of B∪... — exactly, or by prefix when the element is a
+    // trailing-'*' pattern (mirroring the RSL evaluator's value
+    // patterns).
+    if (args.empty()) {
+      return Error{ErrCode::kInvalidArgument, "all-in needs arguments"};
+    }
+    GA_TRY(std::vector<std::string> left, EvalBag(args[0], context));
+    if (left.empty()) return Value::Bool(false);
+    GA_TRY(std::set<std::string> allowed, UnionBags(args, 1, context));
+    for (const std::string& item : left) {
+      bool matched = false;
+      for (const std::string& pattern : allowed) {
+        if (!pattern.empty() && pattern.back() == '*'
+                ? item.compare(0, pattern.size() - 1, pattern, 0,
+                               pattern.size() - 1) == 0
+                : item == pattern) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return Value::Bool(false);
+    }
+    return Value::Bool(true);
+  }
+  if (fn == "string-prefix-match") {
+    if (args.size() != 2) {
+      return Error{ErrCode::kInvalidArgument,
+                   "string-prefix-match needs two arguments"};
+    }
+    GA_TRY(std::vector<std::string> bag, EvalBag(args[0], context));
+    GA_TRY(std::vector<std::string> prefixes, EvalBag(args[1], context));
+    for (const std::string& item : bag) {
+      for (const std::string& prefix : prefixes) {
+        if (item.compare(0, prefix.size(), prefix) == 0) {
+          return Value::Bool(true);
+        }
+      }
+    }
+    return Value::Bool(false);
+  }
+  if (fn == "integer-less-than" || fn == "integer-less-than-or-equal" ||
+      fn == "integer-greater-than" || fn == "integer-greater-than-or-equal") {
+    GA_TRY(bool result, NumericCompare(fn, args, context));
+    return Value::Bool(result);
+  }
+  return Error{ErrCode::kInvalidArgument, "unknown function: " + fn};
+}
+
+}  // namespace
+
+Expected<bool> EvaluateCondition(const Expression& expression,
+                                 const RequestContext& context) {
+  return EvalBool(expression, context);
+}
+
+// ----- target matching -------------------------------------------------
+
+namespace {
+
+bool MatchOne(const Match& match, const RequestContext& context) {
+  const std::vector<std::string>* bag =
+      context.Bag(match.category, match.attribute_id);
+  if (bag == nullptr) return false;
+  for (const std::string& item : *bag) {
+    if (match.function == "string-equal") {
+      if (item == match.value) return true;
+    } else if (match.function == "string-prefix-match") {
+      if (item.compare(0, match.value.size(), match.value) == 0) return true;
+    }
+  }
+  return false;
+}
+
+bool MatchSection(const std::vector<std::vector<Match>>& section,
+                  const RequestContext& context) {
+  if (section.empty()) return true;  // any
+  for (const std::vector<Match>& group : section) {
+    bool all = true;
+    for (const Match& match : group) {
+      if (!MatchOne(match, context)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool MatchTarget(const Target& target, const RequestContext& context) {
+  return MatchSection(target.subjects, context) &&
+         MatchSection(target.resources, context) &&
+         MatchSection(target.actions, context);
+}
+
+}  // namespace
+
+XacmlDecision EvaluateRule(const Rule& rule, const RequestContext& context) {
+  if (!rule.target.empty() && !MatchTarget(rule.target, context)) {
+    return XacmlDecision::kNotApplicable;
+  }
+  if (rule.condition) {
+    auto satisfied = EvaluateCondition(*rule.condition, context);
+    if (!satisfied.ok()) return XacmlDecision::kIndeterminate;
+    if (!*satisfied) return XacmlDecision::kNotApplicable;
+  }
+  return rule.effect == Effect::kPermit ? XacmlDecision::kPermit
+                                        : XacmlDecision::kDeny;
+}
+
+namespace {
+
+template <typename Item, typename Evaluate>
+XacmlDecision Combine(Combining combining, const std::vector<Item>& items,
+                      const RequestContext& context, Evaluate evaluate) {
+  bool saw_permit = false;
+  bool saw_deny = false;
+  bool saw_indeterminate = false;
+  for (const Item& item : items) {
+    XacmlDecision decision = evaluate(item, context);
+    switch (combining) {
+      case Combining::kDenyOverrides:
+        if (decision == XacmlDecision::kDeny) return XacmlDecision::kDeny;
+        break;
+      case Combining::kPermitOverrides:
+        if (decision == XacmlDecision::kPermit) return XacmlDecision::kPermit;
+        break;
+      case Combining::kFirstApplicable:
+        if (decision != XacmlDecision::kNotApplicable) return decision;
+        continue;
+    }
+    if (decision == XacmlDecision::kPermit) saw_permit = true;
+    if (decision == XacmlDecision::kDeny) saw_deny = true;
+    if (decision == XacmlDecision::kIndeterminate) saw_indeterminate = true;
+  }
+  if (combining == Combining::kFirstApplicable) {
+    return XacmlDecision::kNotApplicable;
+  }
+  if (saw_indeterminate) return XacmlDecision::kIndeterminate;
+  if (combining == Combining::kDenyOverrides && saw_permit) {
+    return XacmlDecision::kPermit;
+  }
+  if (combining == Combining::kPermitOverrides && saw_deny) {
+    return XacmlDecision::kDeny;
+  }
+  return XacmlDecision::kNotApplicable;
+}
+
+}  // namespace
+
+XacmlDecision EvaluatePolicy(const Policy& policy,
+                             const RequestContext& context) {
+  if (!policy.target.empty() && !MatchTarget(policy.target, context)) {
+    return XacmlDecision::kNotApplicable;
+  }
+  return Combine(policy.combining, policy.rules, context, EvaluateRule);
+}
+
+XacmlDecision EvaluatePolicySet(const PolicySet& policy_set,
+                                const RequestContext& context) {
+  if (!policy_set.target.empty() && !MatchTarget(policy_set.target, context)) {
+    return XacmlDecision::kNotApplicable;
+  }
+  return Combine(policy_set.combining, policy_set.policies, context,
+                 EvaluatePolicy);
+}
+
+// ----- XML serialization ------------------------------------------------
+
+namespace {
+
+std::string DesignatorTag(Category category) {
+  return std::string{to_string(category)} + "AttributeDesignator";
+}
+
+XmlNode ExpressionToXml(const Expression& expression) {
+  XmlNode node;
+  switch (expression.kind) {
+    case Expression::Kind::kLiteral:
+      node.name = "AttributeValue";
+      node.text = expression.literal;
+      return node;
+    case Expression::Kind::kDesignator:
+      node.name = DesignatorTag(expression.category);
+      node.attributes["AttributeId"] = expression.attribute_id;
+      return node;
+    case Expression::Kind::kApply:
+      node.name = "Apply";
+      node.attributes["FunctionId"] = expression.function;
+      for (const Expression& arg : expression.args) {
+        node.children.push_back(ExpressionToXml(arg));
+      }
+      return node;
+  }
+  return node;
+}
+
+XmlNode SectionToXml(const std::vector<std::vector<Match>>& section,
+                     const std::string& plural, const std::string& singular) {
+  XmlNode node;
+  node.name = plural;
+  for (const std::vector<Match>& group : section) {
+    XmlNode group_node;
+    group_node.name = singular;
+    for (const Match& match : group) {
+      XmlNode match_node;
+      match_node.name = singular + "Match";
+      match_node.attributes["MatchId"] = match.function;
+      match_node.attributes["AttributeId"] = match.attribute_id;
+      match_node.text = match.value;
+      group_node.children.push_back(std::move(match_node));
+    }
+    node.children.push_back(std::move(group_node));
+  }
+  return node;
+}
+
+XmlNode TargetToXml(const Target& target) {
+  XmlNode node;
+  node.name = "Target";
+  if (!target.subjects.empty()) {
+    node.children.push_back(SectionToXml(target.subjects, "Subjects", "Subject"));
+  }
+  if (!target.resources.empty()) {
+    node.children.push_back(
+        SectionToXml(target.resources, "Resources", "Resource"));
+  }
+  if (!target.actions.empty()) {
+    node.children.push_back(SectionToXml(target.actions, "Actions", "Action"));
+  }
+  return node;
+}
+
+}  // namespace
+
+XmlNode ToXml(const Policy& policy) {
+  XmlNode node;
+  node.name = "Policy";
+  node.attributes["PolicyId"] = policy.id;
+  node.attributes["RuleCombiningAlgId"] = std::string{to_string(policy.combining)};
+  node.children.push_back(TargetToXml(policy.target));
+  for (const Rule& rule : policy.rules) {
+    XmlNode rule_node;
+    rule_node.name = "Rule";
+    rule_node.attributes["RuleId"] = rule.id;
+    rule_node.attributes["Effect"] = std::string{to_string(rule.effect)};
+    if (!rule.target.empty()) {
+      rule_node.children.push_back(TargetToXml(rule.target));
+    }
+    if (rule.condition) {
+      XmlNode condition_node;
+      condition_node.name = "Condition";
+      condition_node.children.push_back(ExpressionToXml(*rule.condition));
+      rule_node.children.push_back(std::move(condition_node));
+    }
+    node.children.push_back(std::move(rule_node));
+  }
+  return node;
+}
+
+XmlNode ToXml(const PolicySet& policy_set) {
+  XmlNode node;
+  node.name = "PolicySet";
+  node.attributes["PolicySetId"] = policy_set.id;
+  node.attributes["PolicyCombiningAlgId"] =
+      std::string{to_string(policy_set.combining)};
+  node.children.push_back(TargetToXml(policy_set.target));
+  for (const Policy& policy : policy_set.policies) {
+    node.children.push_back(ToXml(policy));
+  }
+  return node;
+}
+
+// ----- XML parsing --------------------------------------------------------
+
+namespace {
+
+Expected<Expression> ExpressionFromXml(const XmlNode& node) {
+  if (node.name == "AttributeValue") {
+    return Expression::Literal(node.text);
+  }
+  if (node.name == "Apply") {
+    Expression expression;
+    expression.kind = Expression::Kind::kApply;
+    expression.function = node.Attr("FunctionId");
+    if (expression.function.empty()) {
+      return Error{ErrCode::kParseError, "Apply without FunctionId"};
+    }
+    for (const XmlNode& child : node.children) {
+      GA_TRY(Expression arg, ExpressionFromXml(child));
+      expression.args.push_back(std::move(arg));
+    }
+    return expression;
+  }
+  for (Category category :
+       {Category::kSubject, Category::kResource, Category::kAction}) {
+    if (node.name == DesignatorTag(category)) {
+      std::string attribute_id = node.Attr("AttributeId");
+      if (attribute_id.empty()) {
+        return Error{ErrCode::kParseError,
+                     node.name + " without AttributeId"};
+      }
+      return Expression::Designator(category, attribute_id);
+    }
+  }
+  return Error{ErrCode::kParseError,
+               "unknown expression element <" + node.name + ">"};
+}
+
+Expected<std::vector<std::vector<Match>>> SectionFromXml(
+    const XmlNode& target, const std::string& plural,
+    const std::string& singular, Category category) {
+  std::vector<std::vector<Match>> out;
+  const XmlNode* section = target.Child(plural);
+  if (section == nullptr) return out;
+  for (const XmlNode* group : section->Children(singular)) {
+    std::vector<Match> matches;
+    for (const XmlNode* match_node : group->Children(singular + "Match")) {
+      Match match;
+      match.function = match_node->Attr("MatchId");
+      match.category = category;
+      match.attribute_id = match_node->Attr("AttributeId");
+      match.value = match_node->text;
+      if (match.function != "string-equal" &&
+          match.function != "string-prefix-match") {
+        return Error{ErrCode::kParseError,
+                     "unknown MatchId: " + match.function};
+      }
+      matches.push_back(std::move(match));
+    }
+    out.push_back(std::move(matches));
+  }
+  return out;
+}
+
+Expected<Target> TargetFromXml(const XmlNode& node) {
+  Target target;
+  GA_TRY(target.subjects,
+         SectionFromXml(node, "Subjects", "Subject", Category::kSubject));
+  GA_TRY(target.resources,
+         SectionFromXml(node, "Resources", "Resource", Category::kResource));
+  GA_TRY(target.actions,
+         SectionFromXml(node, "Actions", "Action", Category::kAction));
+  return target;
+}
+
+}  // namespace
+
+Expected<Policy> PolicyFromXml(const XmlNode& node) {
+  if (node.name != "Policy") {
+    return Error{ErrCode::kParseError,
+                 "expected <Policy>, got <" + node.name + ">"};
+  }
+  Policy policy;
+  policy.id = node.Attr("PolicyId");
+  GA_TRY(policy.combining,
+         CombiningFromString(node.Attr("RuleCombiningAlgId", "deny-overrides")));
+  if (const XmlNode* target = node.Child("Target"); target != nullptr) {
+    GA_TRY(policy.target, TargetFromXml(*target));
+  }
+  for (const XmlNode* rule_node : node.Children("Rule")) {
+    Rule rule;
+    rule.id = rule_node->Attr("RuleId");
+    std::string effect = rule_node->Attr("Effect");
+    if (effect == "Permit") rule.effect = Effect::kPermit;
+    else if (effect == "Deny") rule.effect = Effect::kDeny;
+    else {
+      return Error{ErrCode::kParseError, "bad rule Effect: " + effect};
+    }
+    if (const XmlNode* target = rule_node->Child("Target"); target != nullptr) {
+      GA_TRY(rule.target, TargetFromXml(*target));
+    }
+    if (const XmlNode* condition = rule_node->Child("Condition");
+        condition != nullptr) {
+      if (condition->children.size() != 1) {
+        return Error{ErrCode::kParseError,
+                     "Condition must contain exactly one expression"};
+      }
+      GA_TRY(Expression expr, ExpressionFromXml(condition->children.front()));
+      rule.condition = std::move(expr);
+    }
+    policy.rules.push_back(std::move(rule));
+  }
+  return policy;
+}
+
+Expected<PolicySet> PolicySetFromXml(const XmlNode& node) {
+  if (node.name != "PolicySet") {
+    return Error{ErrCode::kParseError,
+                 "expected <PolicySet>, got <" + node.name + ">"};
+  }
+  PolicySet policy_set;
+  policy_set.id = node.Attr("PolicySetId");
+  GA_TRY(policy_set.combining,
+         CombiningFromString(
+             node.Attr("PolicyCombiningAlgId", "deny-overrides")));
+  if (const XmlNode* target = node.Child("Target"); target != nullptr) {
+    GA_TRY(policy_set.target, TargetFromXml(*target));
+  }
+  for (const XmlNode* policy_node : node.Children("Policy")) {
+    GA_TRY(Policy policy, PolicyFromXml(*policy_node));
+    policy_set.policies.push_back(std::move(policy));
+  }
+  return policy_set;
+}
+
+Expected<Policy> ParsePolicy(std::string_view xml_text) {
+  GA_TRY(XmlNode root, ParseXml(xml_text));
+  return PolicyFromXml(root);
+}
+
+// ----- bridges -------------------------------------------------------------
+
+RequestContext ContextFromRequest(const core::AuthorizationRequest& request) {
+  RequestContext context;
+  context.subject[std::string{kSubjectIdAttr}] = {request.subject};
+  if (!request.attributes.empty()) {
+    context.subject["vo-attribute"] = request.attributes;
+  }
+  context.action[std::string{kActionIdAttr}] = {request.action};
+
+  rsl::Conjunction effective = request.ToEffectiveRsl();
+  for (const rsl::Relation& relation : effective.relations()) {
+    if (relation.op != rsl::RelOp::kEq) continue;
+    if (relation.attribute == "action") continue;  // lives in the action bag
+    auto& bag = context.resource[relation.attribute];
+    for (const std::string& value : relation.values) {
+      if (!value.empty()) bag.push_back(value);
+    }
+  }
+  return context;
+}
+
+namespace {
+
+// Operand for a policy value: `self` becomes the subject-id designator.
+Expression ValueOperand(const std::string& value) {
+  if (value == core::kSelfValue) {
+    return Expression::Designator(Category::kSubject,
+                                  std::string{kSubjectIdAttr});
+  }
+  return Expression::Literal(value);
+}
+
+Expression AttributeDesignator(const std::string& attribute) {
+  if (attribute == "action") {
+    return Expression::Designator(Category::kAction,
+                                  std::string{kActionIdAttr});
+  }
+  return Expression::Designator(Category::kResource, attribute);
+}
+
+Expression MakeAnd(std::vector<Expression> terms) {
+  if (terms.empty()) return Expression::Apply("true", {});
+  if (terms.size() == 1) return std::move(terms.front());
+  return Expression::Apply("and", std::move(terms));
+}
+
+// Compiles one assertion set into a condition expression, mirroring
+// core::PolicyEvaluator::SetSatisfied. `action_only`/`skip_action` select
+// the action part or the remainder (for requirement statements).
+Expression CompileSet(const rsl::Conjunction& set, bool include_action,
+                      bool include_others) {
+  std::vector<Expression> terms;
+
+  // '=' relations grouped per attribute (alternation).
+  std::set<std::string> eq_done;
+  for (const rsl::Relation& relation : set.relations()) {
+    const bool is_action = relation.attribute == "action";
+    if (is_action && !include_action) continue;
+    if (!is_action && !include_others) continue;
+
+    if (relation.op == rsl::RelOp::kEq) {
+      if (eq_done.contains(relation.attribute)) continue;
+      eq_done.insert(relation.attribute);
+      bool allows_absent = false;
+      std::vector<Expression> operands;
+      operands.push_back(AttributeDesignator(relation.attribute));
+      for (const rsl::Relation* r : set.FindAll(relation.attribute)) {
+        if (r->op != rsl::RelOp::kEq) continue;
+        for (const std::string& value : r->values) {
+          if (value == core::kNullValue) {
+            allows_absent = true;
+          } else {
+            operands.push_back(ValueOperand(value));
+          }
+        }
+      }
+      Expression designator = operands.front();
+      if (operands.size() == 1) {
+        // Only NULL was asserted: the attribute must be absent.
+        terms.push_back(Expression::Apply("absent", {designator}));
+      } else {
+        Expression all_in = Expression::Apply("all-in", std::move(operands));
+        if (allows_absent) {
+          terms.push_back(Expression::Apply(
+              "or",
+              {Expression::Apply("absent", {designator}), std::move(all_in)}));
+        } else {
+          terms.push_back(std::move(all_in));
+        }
+      }
+      continue;
+    }
+
+    Expression designator = AttributeDesignator(relation.attribute);
+    switch (relation.op) {
+      case rsl::RelOp::kNeq:
+        for (const std::string& value : relation.values) {
+          if (value == core::kNullValue) {
+            terms.push_back(Expression::Apply("present", {designator}));
+          } else {
+            terms.push_back(Expression::Apply(
+                "none-equal", {designator, ValueOperand(value)}));
+          }
+        }
+        break;
+      case rsl::RelOp::kLt:
+      case rsl::RelOp::kGt:
+      case rsl::RelOp::kLe:
+      case rsl::RelOp::kGe: {
+        const char* fn = relation.op == rsl::RelOp::kLt
+                             ? "integer-less-than"
+                         : relation.op == rsl::RelOp::kLe
+                             ? "integer-less-than-or-equal"
+                         : relation.op == rsl::RelOp::kGt
+                             ? "integer-greater-than"
+                             : "integer-greater-than-or-equal";
+        auto bound = relation.single_value();
+        if (!bound || !ToInt(*bound)) {
+          // The RSL evaluator treats an unusable bound as unsatisfiable;
+          // compile it to a constant false rather than a runtime error.
+          terms.push_back(Expression::Apply("false", {}));
+        } else {
+          terms.push_back(Expression::Apply(
+              fn, {designator, Expression::Literal(*bound)}));
+        }
+        break;
+      }
+      case rsl::RelOp::kEq:
+        break;  // handled above
+    }
+  }
+  return MakeAnd(std::move(terms));
+}
+
+}  // namespace
+
+Expected<Policy> TranslateRslPolicy(const core::PolicyDocument& document) {
+  Policy policy;
+  policy.id = "rsl-translated";
+  policy.combining = Combining::kDenyOverrides;
+
+  int statement_index = 0;
+  for (const core::PolicyStatement& statement : document.statements()) {
+    ++statement_index;
+    int set_index = 0;
+    for (const rsl::Conjunction& set : statement.assertion_sets) {
+      ++set_index;
+      Rule rule;
+      rule.id = "stmt" + std::to_string(statement_index) + "-set" +
+                std::to_string(set_index);
+      rule.target.subjects = {{Match{
+          "string-prefix-match", Category::kSubject,
+          std::string{kSubjectIdAttr}, statement.subject_prefix}}};
+      if (statement.kind == core::StatementKind::kPermission) {
+        rule.effect = Effect::kPermit;
+        rule.condition = CompileSet(set, /*include_action=*/true,
+                                    /*include_others=*/true);
+      } else {
+        // Requirement: deny when the action part matches but the body
+        // does not hold.
+        rule.effect = Effect::kDeny;
+        Expression action_part = CompileSet(set, /*include_action=*/true,
+                                            /*include_others=*/false);
+        Expression body = CompileSet(set, /*include_action=*/false,
+                                     /*include_others=*/true);
+        rule.condition = Expression::Apply(
+            "and", {std::move(action_part),
+                    Expression::Apply("not", {std::move(body)})});
+      }
+      policy.rules.push_back(std::move(rule));
+    }
+  }
+  return policy;
+}
+
+XacmlPolicySource::XacmlPolicySource(std::string name, Policy policy)
+    : name_(std::move(name)), policy_(std::move(policy)) {}
+
+Expected<core::Decision> XacmlPolicySource::Authorize(
+    const core::AuthorizationRequest& request) {
+  RequestContext context = ContextFromRequest(request);
+  XacmlDecision decision = EvaluatePolicy(policy_, context);
+  switch (decision) {
+    case XacmlDecision::kPermit:
+      return core::Decision::Permit("xacml: policy '" + policy_.id +
+                                    "' permits");
+    case XacmlDecision::kDeny:
+      return core::Decision::Deny(
+          core::DecisionCode::kDenyNoPermission,
+          "xacml: policy '" + policy_.id + "' denies '" + request.action +
+              "' for " + request.subject);
+    case XacmlDecision::kNotApplicable:
+      return core::Decision::Deny(
+          core::DecisionCode::kDenyNoApplicableStatement,
+          "xacml: no rule applies to " + request.subject + " (default deny)");
+    case XacmlDecision::kIndeterminate:
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   "xacml: indeterminate result evaluating policy '" +
+                       policy_.id + "'"};
+  }
+  return Error{ErrCode::kInternal, "unreachable"};
+}
+
+}  // namespace gridauthz::xacml

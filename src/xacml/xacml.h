@@ -1,0 +1,183 @@
+// An XACML-style policy engine (a compact subset of OASIS XACML 1.0),
+// implementing the direction the paper's analysis commits to: "our
+// initial experiences show that expressing policies in [RSL] is not
+// natural ... languages based on XML, such as XACML, are being
+// scrutinized by the Grid security community and are viable candidates"
+// (section 6.3).
+//
+// Subset implemented:
+//  * <Policy> with deny-overrides / permit-overrides / first-applicable
+//    rule-combining algorithms, and <PolicySet> combining policies;
+//  * <Target> with Subjects/Resources/Actions match groups (outer OR of
+//    inner AND of matches), matching by string-equal or
+//    string-prefix-match against attribute designators;
+//  * <Rule> with Permit/Deny effects and an optional <Condition>
+//    expression tree (<Apply>, <AttributeDesignator>, <AttributeValue>);
+//  * functions: and, or, not, string-equal, string-not-equal, present,
+//    absent, integer-less-than(-or-equal), integer-greater-than(-or-equal),
+//    string-prefix-match. Bag semantics: comparisons hold when some
+//    element of the left bag relates to the literal (any-of), matching
+//    how the RSL evaluator treats multi-valued request attributes.
+//  * XML serialization and parsing (round-trips through xml.h).
+//
+// TranslateRslPolicy compiles the paper's RSL-based PolicyDocument into
+// this language: permission statements become Permit rules, requirement
+// statements become Deny rules guarding their constraints, combined with
+// deny-overrides — so both engines render identical decisions (tested in
+// tests/xacml_test.cpp), demonstrating the migration path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/source.h"
+#include "xacml/xml.h"
+
+namespace gridauthz::xacml {
+
+enum class Effect { kPermit, kDeny };
+enum class XacmlDecision { kPermit, kDeny, kNotApplicable, kIndeterminate };
+enum class Combining { kDenyOverrides, kPermitOverrides, kFirstApplicable };
+
+std::string_view to_string(Effect effect);
+std::string_view to_string(XacmlDecision decision);
+std::string_view to_string(Combining combining);
+Expected<Combining> CombiningFromString(std::string_view text);
+
+// Attribute categories of the request context.
+enum class Category { kSubject, kResource, kAction };
+
+std::string_view to_string(Category category);
+Expected<Category> CategoryFromString(std::string_view text);
+
+// The request context: bags of attribute values per category.
+struct RequestContext {
+  std::map<std::string, std::vector<std::string>> subject;
+  std::map<std::string, std::vector<std::string>> resource;
+  std::map<std::string, std::vector<std::string>> action;
+
+  const std::vector<std::string>* Bag(Category category,
+                                      const std::string& attribute_id) const;
+};
+
+// Expression tree for <Condition>.
+struct Expression {
+  enum class Kind { kApply, kDesignator, kLiteral };
+
+  Kind kind = Kind::kLiteral;
+  // kApply:
+  std::string function;
+  std::vector<Expression> args;
+  // kDesignator:
+  Category category = Category::kResource;
+  std::string attribute_id;
+  // kLiteral:
+  std::string literal;
+
+  static Expression Apply(std::string fn, std::vector<Expression> arguments);
+  static Expression Designator(Category category, std::string attribute_id);
+  static Expression Literal(std::string value);
+};
+
+// One target match: designator `function`-matches `value`.
+struct Match {
+  std::string function;  // "string-equal" or "string-prefix-match"
+  Category category = Category::kSubject;
+  std::string attribute_id;
+  std::string value;
+};
+
+// A target section: outer vector = OR, inner vector = AND. Empty = any.
+struct Target {
+  std::vector<std::vector<Match>> subjects;
+  std::vector<std::vector<Match>> resources;
+  std::vector<std::vector<Match>> actions;
+
+  bool empty() const {
+    return subjects.empty() && resources.empty() && actions.empty();
+  }
+};
+
+struct Rule {
+  std::string id;
+  Effect effect = Effect::kDeny;
+  Target target;                        // empty = inherit policy target
+  std::optional<Expression> condition;  // absent = always true
+};
+
+struct Policy {
+  std::string id;
+  Combining combining = Combining::kDenyOverrides;
+  Target target;
+  std::vector<Rule> rules;
+};
+
+struct PolicySet {
+  std::string id;
+  Combining combining = Combining::kDenyOverrides;
+  Target target;
+  std::vector<Policy> policies;
+};
+
+// ----- evaluation ----------------------------------------------------
+
+// Evaluates a condition expression to a boolean. Type errors (unknown
+// function, non-numeric integer argument) are kInvalidArgument and
+// surface as Indeterminate at the rule level.
+Expected<bool> EvaluateCondition(const Expression& expression,
+                                 const RequestContext& context);
+
+XacmlDecision EvaluateRule(const Rule& rule, const RequestContext& context);
+XacmlDecision EvaluatePolicy(const Policy& policy,
+                             const RequestContext& context);
+XacmlDecision EvaluatePolicySet(const PolicySet& policy_set,
+                                const RequestContext& context);
+
+// ----- XML -----------------------------------------------------------
+
+XmlNode ToXml(const Policy& policy);
+XmlNode ToXml(const PolicySet& policy_set);
+Expected<Policy> PolicyFromXml(const XmlNode& node);
+Expected<PolicySet> PolicySetFromXml(const XmlNode& node);
+Expected<Policy> ParsePolicy(std::string_view xml_text);
+
+// ----- bridges to the paper's system ----------------------------------
+
+// Standard attribute ids used by the GRAM bridge.
+inline constexpr std::string_view kSubjectIdAttr = "subject-id";
+inline constexpr std::string_view kActionIdAttr = "action-id";
+inline constexpr std::string_view kJobOwnerAttr = "jobowner";
+
+// Builds the request context from a GRAM authorization request: the
+// subject DN, the action, and every '='-relation of the effective RSL as
+// a resource attribute bag.
+RequestContext ContextFromRequest(const core::AuthorizationRequest& request);
+
+// Compiles the RSL-based policy language into an XACML Policy
+// (deny-overrides; see the header comment for the mapping).
+Expected<Policy> TranslateRslPolicy(const core::PolicyDocument& document);
+
+// A core::PolicySource evaluating an XACML policy, so the XACML engine
+// slots behind the GRAM callout like every other backend. NotApplicable
+// maps to deny (default deny); Indeterminate maps to an authorization
+// system failure.
+class XacmlPolicySource final : public core::PolicySource {
+ public:
+  XacmlPolicySource(std::string name, Policy policy);
+
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest& request) override;
+
+  const Policy& policy() const { return policy_; }
+
+ private:
+  std::string name_;
+  Policy policy_;
+};
+
+}  // namespace gridauthz::xacml

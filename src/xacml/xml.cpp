@@ -1,0 +1,311 @@
+#include "xacml/xml.h"
+
+#include <cctype>
+
+namespace gridauthz::xacml {
+
+const XmlNode* XmlNode::Child(std::string_view child_name) const {
+  for (const XmlNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(
+    std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& child : children) {
+    if (child.name == child_name) out.push_back(&child);
+  }
+  return out;
+}
+
+std::string XmlNode::Attr(std::string_view attr_name,
+                          std::string_view fallback) const {
+  auto it = attributes.find(std::string{attr_name});
+  return it == attributes.end() ? std::string{fallback} : it->second;
+}
+
+bool XmlNode::HasAttr(std::string_view attr_name) const {
+  return attributes.contains(std::string{attr_name});
+}
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  Expected<XmlNode> ParseDocument() {
+    SkipProlog();
+    GA_TRY(XmlNode root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Err("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool SkipComment() {
+    if (text_.substr(pos_, 4) == "<!--") {
+      std::size_t end = text_.find("-->", pos_ + 4);
+      pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) break;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (text_.substr(pos_, 5) == "<?xml") {
+      std::size_t end = text_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+    }
+    SkipMisc();
+  }
+
+  Error Err(std::string message) const {
+    return Error{ErrCode::kParseError,
+                 "XML at offset " + std::to_string(pos_) + ": " +
+                     std::move(message)};
+  }
+
+  Expected<std::string> ParseName() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-' || c == ':' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected a name");
+    return std::string{text_.substr(start, pos_ - start)};
+  }
+
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        if (raw.substr(i, 5) == "&amp;") {
+          out += '&';
+          i += 5;
+          continue;
+        }
+        if (raw.substr(i, 4) == "&lt;") {
+          out += '<';
+          i += 4;
+          continue;
+        }
+        if (raw.substr(i, 4) == "&gt;") {
+          out += '>';
+          i += 4;
+          continue;
+        }
+        if (raw.substr(i, 6) == "&quot;") {
+          out += '"';
+          i += 6;
+          continue;
+        }
+        if (raw.substr(i, 6) == "&apos;") {
+          out += '\'';
+          i += 6;
+          continue;
+        }
+      }
+      out += raw[i];
+      ++i;
+    }
+    return out;
+  }
+
+  Expected<void> ParseAttributes(XmlNode& node) {
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Err("unterminated start tag");
+      char c = text_[pos_];
+      if (c == '>' || c == '/' || c == '?') return Ok();
+      GA_TRY(std::string name, ParseName());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Err("expected '=' after attribute name '" + name + "'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = text_[pos_++];
+      std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Err("unterminated attribute value");
+      }
+      node.attributes[name] = DecodeEntities(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+  }
+
+  Expected<XmlNode> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Err("expected '<'");
+    }
+    ++pos_;
+    XmlNode node;
+    GA_TRY(std::string name, ParseName());
+    node.name = std::move(name);
+    GA_TRY_VOID(ParseAttributes(node));
+    if (text_.substr(pos_, 2) == "/>") {
+      pos_ += 2;
+      return node;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return Err("expected '>' to close start tag of <" + node.name + ">");
+    }
+    ++pos_;
+
+    // Content: text, children, comments, until the matching end tag.
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        return Err("unexpected end of input inside <" + node.name + ">");
+      }
+      if (SkipComment()) continue;
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        GA_TRY(std::string end_name, ParseName());
+        if (end_name != node.name) {
+          return Err("mismatched end tag </" + end_name + "> for <" +
+                     node.name + ">");
+        }
+        SkipWhitespace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Err("expected '>' in end tag");
+        }
+        ++pos_;
+        return node;
+      }
+      if (text_[pos_] == '<') {
+        GA_TRY(XmlNode child, ParseElement());
+        node.children.push_back(std::move(child));
+        continue;
+      }
+      std::size_t next = text_.find('<', pos_);
+      if (next == std::string_view::npos) {
+        return Err("unterminated element <" + node.name + ">");
+      }
+      node.text += DecodeEntities(text_.substr(pos_, next - pos_));
+      pos_ = next;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void WriteNode(const XmlNode& node, int depth, std::string& out) {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  out += '<';
+  out += node.name;
+  for (const auto& [name, value] : node.attributes) {
+    out += ' ';
+    out += name;
+    out += "=\"";
+    out += EscapeXml(value);
+    out += '"';
+  }
+  // Trim the stored text for serialization purposes.
+  std::string_view text = node.text;
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  if (node.children.empty() && text.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (node.children.empty()) {
+    out += EscapeXml(text);
+    out += "</";
+    out += node.name;
+    out += ">\n";
+    return;
+  }
+  out += '\n';
+  if (!text.empty()) {
+    out += indent;
+    out += "  ";
+    out += EscapeXml(text);
+    out += '\n';
+  }
+  for (const XmlNode& child : node.children) {
+    WriteNode(child, depth + 1, out);
+  }
+  out += indent;
+  out += "</";
+  out += node.name;
+  out += ">\n";
+}
+
+}  // namespace
+
+Expected<XmlNode> ParseXml(std::string_view text) {
+  return XmlParser{text}.ParseDocument();
+}
+
+std::string WriteXml(const XmlNode& root) {
+  std::string out;
+  WriteNode(root, 0, out);
+  return out;
+}
+
+}  // namespace gridauthz::xacml

@@ -1,0 +1,42 @@
+// A minimal XML document model and parser — just enough for the XACML
+// policy subset (elements, attributes, nested children, text content,
+// comments, XML declarations, the five predefined entities). Built from
+// scratch because no XML library is available offline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gridauthz::xacml {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  // concatenated character data of this element
+
+  // First child element with the given name, or nullptr.
+  const XmlNode* Child(std::string_view child_name) const;
+  // All child elements with the given name.
+  std::vector<const XmlNode*> Children(std::string_view child_name) const;
+  // Attribute value or `fallback`.
+  std::string Attr(std::string_view attr_name,
+                   std::string_view fallback = "") const;
+  bool HasAttr(std::string_view attr_name) const;
+};
+
+// Parses a document with a single root element. Accepts an optional
+// leading XML declaration and comments anywhere between elements.
+Expected<XmlNode> ParseXml(std::string_view text);
+
+// Serializes with 2-space indentation; escapes text and attributes.
+std::string WriteXml(const XmlNode& root);
+
+// Escapes &, <, >, ", ' for use in text or attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace gridauthz::xacml

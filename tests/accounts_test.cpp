@@ -1,0 +1,98 @@
+// Local account registry: static and dynamic accounts, configuration,
+// group membership.
+#include <gtest/gtest.h>
+
+#include "os/accounts.h"
+
+namespace gridauthz::os {
+namespace {
+
+TEST(Accounts, AddAndLookup) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("boliu", {"users", "ads"}).ok());
+  auto account = registry.Lookup("boliu");
+  ASSERT_TRUE(account.ok());
+  EXPECT_EQ((*account)->name, "boliu");
+  EXPECT_TRUE((*account)->InGroup("ads"));
+  EXPECT_FALSE((*account)->InGroup("admins"));
+  EXPECT_FALSE((*account)->dynamic);
+}
+
+TEST(Accounts, UidsAreUnique) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("a").ok());
+  ASSERT_TRUE(registry.Add("b").ok());
+  EXPECT_NE((*registry.Lookup("a"))->uid, (*registry.Lookup("b"))->uid);
+}
+
+TEST(Accounts, DuplicateRejected) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("a").ok());
+  auto dup = registry.Add("a");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code(), ErrCode::kAlreadyExists);
+}
+
+TEST(Accounts, EmptyNameRejected) {
+  AccountRegistry registry;
+  EXPECT_FALSE(registry.Add("").ok());
+}
+
+TEST(Accounts, LookupMissingFails) {
+  AccountRegistry registry;
+  auto account = registry.Lookup("ghost");
+  ASSERT_FALSE(account.ok());
+  EXPECT_EQ(account.error().code(), ErrCode::kNotFound);
+  EXPECT_FALSE(registry.Exists("ghost"));
+}
+
+TEST(Accounts, RemoveWorksOnce) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("a").ok());
+  EXPECT_TRUE(registry.Remove("a").ok());
+  EXPECT_FALSE(registry.Remove("a").ok());
+}
+
+TEST(Accounts, DynamicFlagSet) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.AddDynamic("dyn100", {"vo"}, {}).ok());
+  EXPECT_TRUE((*registry.Lookup("dyn100"))->dynamic);
+}
+
+TEST(Accounts, ConfigureReplacesGroupsAndLimits) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("a", {"old"}, {}).ok());
+  ResourceLimits limits;
+  limits.max_cpus_per_job = 4;
+  limits.max_memory_mb = 512;
+  ASSERT_TRUE(registry.Configure("a", {"new1", "new2"}, limits).ok());
+  auto account = registry.Lookup("a");
+  EXPECT_TRUE((*account)->InGroup("new1"));
+  EXPECT_FALSE((*account)->InGroup("old"));
+  EXPECT_EQ((*account)->limits.max_cpus_per_job, 4);
+  EXPECT_EQ((*account)->limits.max_memory_mb, 512);
+}
+
+TEST(Accounts, ConfigureMissingFails) {
+  AccountRegistry registry;
+  EXPECT_FALSE(registry.Configure("ghost", {}, {}).ok());
+}
+
+TEST(Accounts, NamesListsAll) {
+  AccountRegistry registry;
+  ASSERT_TRUE(registry.Add("a").ok());
+  ASSERT_TRUE(registry.Add("b").ok());
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Accounts, DefaultLimitsUnlimited) {
+  ResourceLimits limits;
+  EXPECT_EQ(limits.max_concurrent_jobs, -1);
+  EXPECT_EQ(limits.max_cpus_per_job, -1);
+  EXPECT_EQ(limits.max_memory_mb, -1);
+  EXPECT_EQ(limits.max_cpu_seconds, -1);
+}
+
+}  // namespace
+}  // namespace gridauthz::os

@@ -1,0 +1,276 @@
+// The Akenti-modelled engine: use conditions, attribute certificates,
+// stakeholder trust, constraint evaluation, expiry, and integration with
+// GRAM through the common callout API (the paper's section 5 claim that
+// the same Figure 3 policies are expressible).
+#include <gtest/gtest.h>
+
+#include "akenti/akenti.h"
+#include "gram/site.h"
+
+namespace gridauthz::akenti {
+namespace {
+
+constexpr const char* kResource = "gram/fusion.anl.gov";
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+gsi::DistinguishedName Dn(const std::string& text) {
+  return gsi::DistinguishedName::Parse(text).value();
+}
+
+core::AuthorizationRequest Request(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& rsl,
+                                   const std::string& owner = "") {
+  core::AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = owner.empty() ? subject : owner;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+class AkentiTest : public ::testing::Test {
+ protected:
+  AkentiTest()
+      : clock_(1'000'000),
+        ca_(Dn("/O=Grid/CN=CA"), clock_.Now()),
+        vo_(IssueCredential(ca_, Dn("/O=Grid/O=NFC/CN=VO Stakeholder"),
+                            clock_.Now())),
+        aa_(IssueCredential(ca_, Dn("/O=Grid/O=NFC/CN=Attribute Authority"),
+                            clock_.Now())),
+        engine_(std::make_shared<AkentiEngine>(kResource, &clock_)) {
+    engine_->TrustStakeholder(vo_.identity());
+  }
+
+  UseCondition SignedCondition(const std::string& action,
+                               AttributeAssertion attribute,
+                               std::optional<std::string> constraints = {}) {
+    UseConditionBuilder builder{kResource, vo_};
+    builder.GrantAction(action)
+        .RequireAttribute(std::move(attribute))
+        .TrustIssuer(aa_.identity());
+    if (constraints) {
+      builder.WithConstraints(rsl::ParseConjunction(*constraints).value());
+    }
+    return builder.Sign();
+  }
+
+  SimClock clock_;
+  gsi::CertificateAuthority ca_;
+  gsi::Credential vo_;
+  gsi::Credential aa_;
+  std::shared_ptr<AkentiEngine> engine_;
+};
+
+TEST_F(AkentiTest, GrantsActionWhenAttributeHeld) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      aa_, Dn(kBoLiu), {"group", "NFC-developers"}, clock_.Now()));
+
+  auto decision = engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"));
+  EXPECT_TRUE(decision.permitted()) << decision.reason;
+}
+
+TEST_F(AkentiTest, DeniesWithoutAttributeCertificate) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  auto decision = engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, core::DecisionCode::kDenyNoPermission);
+}
+
+TEST_F(AkentiTest, DeniesUnknownAction) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  auto decision = engine_->Evaluate(Request(kBoLiu, "cancel", "&(executable=a)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, core::DecisionCode::kDenyNoApplicableStatement);
+}
+
+TEST_F(AkentiTest, AttributeFromUntrustedIssuerIgnored) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  auto rogue = IssueCredential(ca_, Dn("/O=Grid/CN=Rogue AA"), clock_.Now());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      rogue, Dn(kBoLiu), {"group", "NFC-developers"}, clock_.Now()));
+  EXPECT_FALSE(
+      engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+          .permitted());
+}
+
+TEST_F(AkentiTest, ExpiredAttributeCertificateIgnored) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      aa_, Dn(kBoLiu), {"group", "NFC-developers"}, clock_.Now(),
+      /*lifetime=*/100));
+  EXPECT_TRUE(
+      engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+          .permitted());
+  clock_.Advance(200);
+  EXPECT_FALSE(
+      engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+          .permitted());
+}
+
+TEST_F(AkentiTest, TamperedAttributeCertificateIgnored) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition(
+                      "start", {"group", "NFC-developers"}))
+                  .ok());
+  AttributeCertificate cert = IssueAttributeCertificate(
+      aa_, Dn(kKate), {"group", "other"}, clock_.Now());
+  cert.subject = Dn(kBoLiu);  // forge the subject
+  cert.attribute = {"group", "NFC-developers"};
+  engine_->AddAttributeCertificate(cert);
+  EXPECT_FALSE(
+      engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+          .permitted());
+}
+
+TEST_F(AkentiTest, UntrustedStakeholderConditionRejected) {
+  auto impostor = IssueCredential(ca_, Dn("/O=Grid/CN=Impostor"), clock_.Now());
+  UseConditionBuilder builder{kResource, impostor};
+  builder.GrantAction("start")
+      .RequireAttribute({"group", "NFC-developers"})
+      .TrustIssuer(aa_.identity());
+  auto added = engine_->AddUseCondition(builder.Sign());
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code(), ErrCode::kPermissionDenied);
+}
+
+TEST_F(AkentiTest, TamperedUseConditionRejected) {
+  UseCondition condition = SignedCondition("start", {"group", "NFC"});
+  condition.actions.push_back("cancel");  // tamper after signing
+  auto added = engine_->AddUseCondition(condition);
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+TEST_F(AkentiTest, WrongResourceConditionRejected) {
+  UseConditionBuilder builder{"gram/other.host", vo_};
+  builder.GrantAction("start").RequireAttribute({"g", "v"}).TrustIssuer(
+      aa_.identity());
+  UseCondition condition = builder.Sign();
+  EXPECT_FALSE(engine_->AddUseCondition(condition).ok());
+}
+
+TEST_F(AkentiTest, ConstraintsExpressFigure3FineGrainRules) {
+  // The same fine-grain rules as Figure 3, in Akenti's model: developers
+  // may start test1 in the sandbox with fewer than 4 cpus.
+  ASSERT_TRUE(
+      engine_
+          ->AddUseCondition(SignedCondition(
+              "start", {"role", "developer"},
+              "&(executable = test1)(directory = /sandbox/test)(count < 4)"))
+          .ok());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      aa_, Dn(kBoLiu), {"role", "developer"}, clock_.Now()));
+
+  EXPECT_TRUE(engine_
+                  ->Evaluate(Request(
+                      kBoLiu, "start",
+                      "&(executable=test1)(directory=/sandbox/test)(count=2)"))
+                  .permitted());
+  EXPECT_FALSE(engine_
+                   ->Evaluate(Request(
+                       kBoLiu, "start",
+                       "&(executable=test1)(directory=/sandbox/test)(count=8)"))
+                   .permitted());
+  EXPECT_FALSE(engine_
+                   ->Evaluate(Request(
+                       kBoLiu, "start",
+                       "&(executable=evil)(directory=/sandbox/test)(count=1)"))
+                   .permitted());
+}
+
+TEST_F(AkentiTest, JobownerSelfConstraintWorks) {
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition("cancel", {"role", "user"},
+                                                    "&(jobowner = self)"))
+                  .ok());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      aa_, Dn(kBoLiu), {"role", "user"}, clock_.Now()));
+  EXPECT_TRUE(engine_
+                  ->Evaluate(Request(kBoLiu, "cancel", "&(executable=a)"))
+                  .permitted());
+  EXPECT_FALSE(engine_
+                   ->Evaluate(Request(kBoLiu, "cancel", "&(executable=a)",
+                                      /*owner=*/kKate))
+                   .permitted());
+}
+
+TEST_F(AkentiTest, ExpiredUseConditionIgnored) {
+  UseConditionBuilder builder{kResource, vo_};
+  builder.GrantAction("start")
+      .RequireAttribute({"g", "v"})
+      .TrustIssuer(aa_.identity())
+      .Validity(clock_.Now(), clock_.Now() + 100);
+  ASSERT_TRUE(engine_->AddUseCondition(builder.Sign()).ok());
+  engine_->AddAttributeCertificate(
+      IssueAttributeCertificate(aa_, Dn(kBoLiu), {"g", "v"}, clock_.Now()));
+  EXPECT_TRUE(engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+                  .permitted());
+  clock_.Advance(200);
+  EXPECT_FALSE(engine_->Evaluate(Request(kBoLiu, "start", "&(executable=a)"))
+                   .permitted());
+}
+
+TEST_F(AkentiTest, PolicySourceAdapterIntegratesWithGram) {
+  // Full stack: GRAM Job Manager PEP backed by the Akenti engine.
+  ASSERT_TRUE(
+      engine_
+          ->AddUseCondition(SignedCondition(
+              "start", {"group", "NFC"},
+              "&(executable = TRANSP)(jobtag != NULL)"))
+          .ok());
+  ASSERT_TRUE(engine_
+                  ->AddUseCondition(SignedCondition("information",
+                                                    {"group", "NFC"}))
+                  .ok());
+  engine_->AddAttributeCertificate(IssueAttributeCertificate(
+      aa_, Dn(kKate), {"group", "NFC"}, clock_.Now()));
+
+  gram::SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("keahey").ok());
+  auto kate = site.CreateUser(kKate).value();
+  ASSERT_TRUE(site.MapUser(kate, "keahey").ok());
+  // Drive the engine's clock from the site's by pointing the engine at a
+  // fresh clock value; the site starts at the same epoch.
+  site.UseJobManagerPep(std::make_shared<AkentiPolicySource>(engine_));
+
+  gram::GramClient client = site.MakeClient(kate);
+  auto permitted = client.Submit(site.gatekeeper(),
+                                 "&(executable=TRANSP)(jobtag=NFC)");
+  EXPECT_TRUE(permitted.ok()) << permitted.error();
+  auto denied =
+      client.Submit(site.gatekeeper(), "&(executable=other)(jobtag=NFC)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(gram::ToProtocolCode(denied.error()),
+            gram::GramErrorCode::kAuthorizationDenied);
+}
+
+TEST(AkentiSource, NullEngineIsSystemFailure) {
+  AkentiPolicySource source{nullptr};
+  core::AuthorizationRequest request;
+  request.subject = kBoLiu;
+  request.action = "start";
+  auto decision = source.Authorize(request);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+}  // namespace
+}  // namespace gridauthz::akenti

@@ -1,0 +1,140 @@
+// Authorization audit trail: record capture through the decorator,
+// outcome classification, querying, and the shared-account accountability
+// scenario (CAS) where the audit log is the only per-user record.
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+
+namespace gridauthz::core {
+namespace {
+
+AuthorizationRequest Request(const std::string& subject,
+                             const std::string& action,
+                             const std::string& rsl = "&(executable=a)") {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest()
+      : clock_(5000),
+        log_(std::make_shared<AuditLog>()),
+        inner_(std::make_shared<StaticPolicySource>(
+            "vo", PolicyDocument::Parse(
+                      "/:\n&(action = start)(executable = ok)\n")
+                      .value())),
+        audited_(inner_, log_, &clock_) {}
+
+  SimClock clock_;
+  std::shared_ptr<AuditLog> log_;
+  std::shared_ptr<StaticPolicySource> inner_;
+  AuditingPolicySource audited_;
+};
+
+TEST_F(AuditTest, RecordsPermit) {
+  auto decision = audited_.Authorize(Request("/O=Grid/CN=x", "start",
+                                             "&(executable=ok)"));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->permitted());
+  ASSERT_EQ(log_->size(), 1u);
+  const AuditRecord& record = log_->records().front();
+  EXPECT_EQ(record.outcome, AuditOutcome::kPermit);
+  EXPECT_EQ(record.subject, "/O=Grid/CN=x");
+  EXPECT_EQ(record.action, "start");
+  EXPECT_EQ(record.time, 5000);
+  EXPECT_EQ(record.source, "vo");
+  EXPECT_NE(record.rsl.find("executable"), std::string::npos);
+}
+
+TEST_F(AuditTest, RecordsDenyWithReason) {
+  (void)audited_.Authorize(Request("/O=Grid/CN=x", "start",
+                                   "&(executable=bad)"));
+  ASSERT_EQ(log_->size(), 1u);
+  EXPECT_EQ(log_->records().front().outcome, AuditOutcome::kDeny);
+  EXPECT_FALSE(log_->records().front().reason.empty());
+}
+
+TEST_F(AuditTest, RecordsSystemFailure) {
+  auto broken = std::make_shared<FilePolicySource>("broken", "/no/such/file");
+  AuditingPolicySource audited{broken, log_, &clock_};
+  auto decision = audited.Authorize(Request("/O=Grid/CN=x", "start"));
+  ASSERT_FALSE(decision.ok());
+  ASSERT_EQ(log_->size(), 1u);
+  EXPECT_EQ(log_->records().front().outcome, AuditOutcome::kSystemFailure);
+  EXPECT_NE(log_->records().front().reason.find("authorization_system_failure"),
+            std::string::npos);
+}
+
+TEST_F(AuditTest, TimeAdvancesWithClock) {
+  (void)audited_.Authorize(Request("/O=Grid/CN=x", "start"));
+  clock_.Advance(100);
+  (void)audited_.Authorize(Request("/O=Grid/CN=x", "start"));
+  ASSERT_EQ(log_->size(), 2u);
+  EXPECT_EQ(log_->records()[1].time - log_->records()[0].time, 100);
+}
+
+TEST_F(AuditTest, QueryFilters) {
+  (void)audited_.Authorize(Request("/O=Grid/CN=a", "start", "&(executable=ok)"));
+  (void)audited_.Authorize(Request("/O=Grid/CN=a", "cancel"));
+  (void)audited_.Authorize(Request("/O=Grid/CN=b", "start", "&(executable=no)"));
+
+  EXPECT_EQ(log_->Query("/O=Grid/CN=a").size(), 2u);
+  EXPECT_EQ(log_->Query(std::nullopt, "start").size(), 2u);
+  EXPECT_EQ(log_->Query(std::nullopt, std::nullopt, AuditOutcome::kPermit)
+                .size(),
+            1u);
+  EXPECT_EQ(log_->Query("/O=Grid/CN=b", "start", AuditOutcome::kDeny).size(),
+            1u);
+  EXPECT_TRUE(log_->Query("/O=Grid/CN=nobody").empty());
+}
+
+TEST_F(AuditTest, FailuresForCollectsDenialsAndFailures) {
+  (void)audited_.Authorize(Request("/O=Grid/CN=a", "start", "&(executable=ok)"));
+  (void)audited_.Authorize(Request("/O=Grid/CN=a", "cancel"));
+  auto failures = log_->FailuresFor("/O=Grid/CN=a");
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures.front().action, "cancel");
+}
+
+TEST_F(AuditTest, LineRenderingContainsKeyFields) {
+  AuthorizationRequest request = Request("/O=Grid/CN=admin", "cancel");
+  request.job_owner = "/O=Grid/CN=owner";
+  request.job_id = "https://host:2119/jobmanager/7";
+  (void)audited_.Authorize(request);
+  std::string line = log_->records().front().ToLine();
+  EXPECT_NE(line.find("outcome=DENY"), std::string::npos);
+  EXPECT_NE(line.find("subject=\"/O=Grid/CN=admin\""), std::string::npos);
+  EXPECT_NE(line.find("jobowner=\"/O=Grid/CN=owner\""), std::string::npos);
+  EXPECT_NE(line.find("job=https://host:2119/jobmanager/7"),
+            std::string::npos);
+  // ToText ends lines with newlines.
+  EXPECT_EQ(log_->ToText(), line + "\n");
+}
+
+TEST_F(AuditTest, SharedCommunityAccountStaysAttributable) {
+  // The CAS scenario: every bearer authenticates as the community, but
+  // the audit log still distinguishes... nothing, unless the PEP records
+  // the subject it actually saw. Here two "different" community sessions
+  // produce distinct records by job id, demonstrating the log is the
+  // accounting mechanism of last resort.
+  AuthorizationRequest first = Request("/O=Grid/O=NFC/CN=Community", "start",
+                                       "&(executable=ok)");
+  first.job_id = "job-1";
+  AuthorizationRequest second = Request("/O=Grid/O=NFC/CN=Community", "start",
+                                        "&(executable=bad)");
+  second.job_id = "job-2";
+  (void)audited_.Authorize(first);
+  (void)audited_.Authorize(second);
+  auto community = log_->Query("/O=Grid/O=NFC/CN=Community");
+  ASSERT_EQ(community.size(), 2u);
+  EXPECT_NE(community[0].job_id, community[1].job_id);
+  EXPECT_NE(community[0].outcome, community[1].outcome);
+}
+
+}  // namespace
+}  // namespace gridauthz::core

@@ -1,0 +1,145 @@
+// GRAM job-state callbacks: registration, delivery of every state
+// transition, unknown-contact drops, unregistration, and delivery through
+// the wire submission path.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+#include "gram/wire_service.h"
+
+namespace gridauthz::gram {
+namespace {
+
+class CallbackTest : public ::testing::Test {
+ protected:
+  CallbackTest() {
+    EXPECT_TRUE(site_.AddAccount("alice").ok());
+    alice_ = site_.CreateUser("/O=Grid/CN=alice").value();
+    EXPECT_TRUE(site_.MapUser(alice_, "alice").ok());
+  }
+
+  SimulatedSite site_;
+  gsi::Credential alice_;
+};
+
+TEST_F(CallbackTest, DeliversEveryTransition) {
+  std::vector<JobStatus> seen;
+  std::string url = site_.callbacks().Register(
+      [&seen](const JobStatusReply& update) { seen.push_back(update.status); });
+
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=5)(jobtag=T)",
+                               url);
+  ASSERT_TRUE(contact.ok());
+  // Dispatch happened at submit: PENDING->ACTIVE already delivered.
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), JobStatus::kActive);
+
+  site_.Advance(5);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), JobStatus::kDone);
+  EXPECT_EQ(site_.callbacks().delivered_count(), 2u);
+}
+
+TEST_F(CallbackTest, UpdateCarriesContactOwnerAndTag) {
+  std::vector<JobStatusReply> updates;
+  std::string url = site_.callbacks().Register(
+      [&updates](const JobStatusReply& update) { updates.push_back(update); });
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=5)(jobtag=NFC)",
+                               url);
+  ASSERT_TRUE(contact.ok());
+  site_.Advance(5);
+  ASSERT_FALSE(updates.empty());
+  EXPECT_EQ(updates.back().job_contact, *contact);
+  EXPECT_EQ(updates.back().job_owner, "/O=Grid/CN=alice");
+  EXPECT_EQ(updates.back().jobtag, "NFC");
+}
+
+TEST_F(CallbackTest, CancellationAndFailureReported) {
+  std::vector<JobStatusReply> updates;
+  std::string url = site_.callbacks().Register(
+      [&updates](const JobStatusReply& update) { updates.push_back(update); });
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(
+      site_.gatekeeper(), "&(executable=sim)(simduration=100)(maxtime=10)",
+      url);
+  ASSERT_TRUE(contact.ok());
+  site_.Advance(10);  // wall-time limit kills it
+  ASSERT_FALSE(updates.empty());
+  EXPECT_EQ(updates.back().status, JobStatus::kFailed);
+  EXPECT_NE(updates.back().failure_reason.find("wall-time"),
+            std::string::npos);
+}
+
+TEST_F(CallbackTest, NoCallbackUrlMeansNoDelivery) {
+  int calls = 0;
+  (void)site_.callbacks().Register([&calls](const JobStatusReply&) { ++calls; });
+  GramClient client = site_.MakeClient(alice_);
+  ASSERT_TRUE(
+      client.Submit(site_.gatekeeper(), "&(executable=sim)(simduration=5)")
+          .ok());
+  site_.Advance(5);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(CallbackTest, UnregisteredContactDropsSilently) {
+  int calls = 0;
+  std::string url = site_.callbacks().Register(
+      [&calls](const JobStatusReply&) { ++calls; });
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=5)", url);
+  ASSERT_TRUE(contact.ok());
+  int calls_at_start = calls;
+  site_.callbacks().Unregister(url);
+  site_.Advance(5);  // DONE transition posts to a gone listener
+  EXPECT_EQ(calls, calls_at_start);
+  EXPECT_EQ(site_.callbacks().listener_count(), 0u);
+}
+
+TEST_F(CallbackTest, WirePathCarriesCallbackUrl) {
+  std::vector<JobStatus> seen;
+  std::string url = site_.callbacks().Register(
+      [&seen](const JobStatusReply& update) { seen.push_back(update.status); });
+
+  wire::WireEndpoint endpoint{&site_.gatekeeper(), &site_.jmis(),
+                              &site_.trust(), &site_.clock()};
+  wire::JobRequest request;
+  request.rsl = "&(executable=sim)(simduration=5)";
+  request.callback_url = url;
+  std::string reply_frame =
+      endpoint.Handle(alice_, request.Encode().Serialize());
+  auto reply = wire::JobRequestReply::Decode(
+      wire::Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->code, GramErrorCode::kNone);
+
+  site_.Advance(5);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), JobStatus::kDone);
+}
+
+TEST_F(CallbackTest, TwoJobsTwoListenersNoCrosstalk) {
+  std::vector<std::string> a_contacts, b_contacts;
+  std::string url_a = site_.callbacks().Register(
+      [&](const JobStatusReply& u) { a_contacts.push_back(u.job_contact); });
+  std::string url_b = site_.callbacks().Register(
+      [&](const JobStatusReply& u) { b_contacts.push_back(u.job_contact); });
+  GramClient client = site_.MakeClient(alice_);
+  auto job_a = client.Submit(site_.gatekeeper(),
+                             "&(executable=sim)(simduration=5)", url_a);
+  auto job_b = client.Submit(site_.gatekeeper(),
+                             "&(executable=sim)(simduration=7)", url_b);
+  ASSERT_TRUE(job_a.ok());
+  ASSERT_TRUE(job_b.ok());
+  site_.Advance(10);
+  for (const std::string& contact : a_contacts) EXPECT_EQ(contact, *job_a);
+  for (const std::string& contact : b_contacts) EXPECT_EQ(contact, *job_b);
+  EXPECT_FALSE(a_contacts.empty());
+  EXPECT_FALSE(b_contacts.empty());
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

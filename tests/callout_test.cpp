@@ -1,0 +1,207 @@
+// The GRAM authorization callout API: registry resolution (the dlopen
+// stand-in), configuration-file and direct binding, denial vs system
+// failure classification, and the PDP-backed callout bridge.
+#include <gtest/gtest.h>
+
+#include "core/source.h"
+#include "gram/callout.h"
+#include "gram/pdp_callout.h"
+
+namespace gridauthz::gram {
+namespace {
+
+CalloutData StartData(const std::string& subject, const std::string& rsl) {
+  CalloutData data;
+  data.requester_identity = subject;
+  data.job_owner_identity = subject;
+  data.action = "start";
+  data.rsl = rsl;
+  return data;
+}
+
+TEST(CalloutRegistry, ResolveRegisteredFactory) {
+  auto& registry = CalloutLibraryRegistry::Instance();
+  registry.Register("libtest_a", "authz_fn", []() -> AuthorizationCallout {
+    return [](const CalloutData&) { return Ok(); };
+  });
+  auto callout = registry.Resolve("libtest_a", "authz_fn");
+  ASSERT_TRUE(callout.ok());
+  EXPECT_TRUE((*callout)(StartData("/O=Grid/CN=x", "&(executable=a)")).ok());
+  registry.Unregister("libtest_a", "authz_fn");
+}
+
+TEST(CalloutRegistry, UnknownLibraryIsSystemFailure) {
+  auto callout =
+      CalloutLibraryRegistry::Instance().Resolve("no_such_lib", "sym");
+  ASSERT_FALSE(callout.ok());
+  EXPECT_EQ(callout.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST(Dispatcher, ParsesConfigFileFormat) {
+  CalloutDispatcher dispatcher;
+  auto parsed = dispatcher.ParseAndBind(
+      "# GRAM callout configuration\n"
+      "globus_gram_jobmanager_authz  libauthz  authz_entry\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(dispatcher.HasBinding("globus_gram_jobmanager_authz"));
+  EXPECT_FALSE(dispatcher.HasBinding("globus_gatekeeper_authz"));
+}
+
+TEST(Dispatcher, RejectsMalformedConfig) {
+  CalloutDispatcher dispatcher;
+  EXPECT_FALSE(dispatcher.ParseAndBind("only_two tokens\n").ok());
+  EXPECT_FALSE(dispatcher.ParseAndBind("four tokens is too many here\n").ok());
+}
+
+TEST(Dispatcher, InvokeWithoutBindingIsSystemFailure) {
+  CalloutDispatcher dispatcher;
+  auto result = dispatcher.Invoke("globus_gram_jobmanager_authz",
+                                  StartData("/O=Grid/CN=x", ""));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST(Dispatcher, UnresolvableBindingIsSystemFailure) {
+  // Configured, but the "library" does not exist — the dlopen failure
+  // mode of section 5.2.
+  CalloutDispatcher dispatcher;
+  dispatcher.Bind({"globus_gram_jobmanager_authz", "libmissing", "sym"});
+  auto result = dispatcher.Invoke("globus_gram_jobmanager_authz",
+                                  StartData("/O=Grid/CN=x", ""));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_NE(result.error().message().find("libmissing"), std::string::npos);
+}
+
+TEST(Dispatcher, LazyResolutionHappensOnFirstInvoke) {
+  CalloutDispatcher dispatcher;
+  dispatcher.Bind({"globus_gram_jobmanager_authz", "lib_lazy", "sym"});
+  // Registering after Bind but before Invoke works (dlopen-on-demand).
+  CalloutLibraryRegistry::Instance().Register(
+      "lib_lazy", "sym", []() -> AuthorizationCallout {
+        return [](const CalloutData&) { return Ok(); };
+      });
+  EXPECT_TRUE(dispatcher
+                  .Invoke("globus_gram_jobmanager_authz",
+                          StartData("/O=Grid/CN=x", "&(executable=a)"))
+                  .ok());
+  CalloutLibraryRegistry::Instance().Unregister("lib_lazy", "sym");
+}
+
+TEST(Dispatcher, DenialPassesThrough) {
+  CalloutDispatcher dispatcher;
+  dispatcher.BindDirect("globus_gram_jobmanager_authz",
+                        [](const CalloutData&) -> Expected<void> {
+                          return Error{ErrCode::kAuthorizationDenied, "no"};
+                        });
+  auto result = dispatcher.Invoke("globus_gram_jobmanager_authz",
+                                  StartData("/O=Grid/CN=x", ""));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST(Dispatcher, OtherCalloutErrorsBecomeSystemFailures) {
+  CalloutDispatcher dispatcher;
+  dispatcher.BindDirect("globus_gram_jobmanager_authz",
+                        [](const CalloutData&) -> Expected<void> {
+                          return Error{ErrCode::kUnavailable, "backend down"};
+                        });
+  auto result = dispatcher.Invoke("globus_gram_jobmanager_authz",
+                                  StartData("/O=Grid/CN=x", ""));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_NE(result.error().message().find("backend down"), std::string::npos);
+}
+
+TEST(Dispatcher, CountsInvocations) {
+  CalloutDispatcher dispatcher;
+  dispatcher.BindDirect("globus_gram_jobmanager_authz",
+                        [](const CalloutData&) { return Ok(); });
+  EXPECT_EQ(dispatcher.invocation_count(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(dispatcher
+                    .Invoke("globus_gram_jobmanager_authz",
+                            StartData("/O=Grid/CN=x", "&(executable=a)"))
+                    .ok());
+  }
+  EXPECT_EQ(dispatcher.invocation_count(), 3u);
+}
+
+TEST(PdpCallout, BridgesDecisionToCalloutContract) {
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo",
+      core::PolicyDocument::Parse("/:\n&(action = start)(executable = ok)\n")
+          .value());
+  AuthorizationCallout callout = MakePdpCallout(source);
+
+  EXPECT_TRUE(callout(StartData("/O=Grid/CN=x", "&(executable=ok)")).ok());
+
+  auto denied = callout(StartData("/O=Grid/CN=x", "&(executable=bad)"));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST(PdpCallout, BadRslIsSystemFailure) {
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo", core::MakeGt2DefaultDocument());
+  AuthorizationCallout callout = MakePdpCallout(source);
+  auto result = callout(StartData("/O=Grid/CN=x", "&(((broken"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST(PdpCallout, EmptyRslAllowedForManagementActions) {
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo",
+      core::PolicyDocument::Parse("/:\n&(action = cancel)(jobowner = self)\n")
+          .value());
+  AuthorizationCallout callout = MakePdpCallout(source);
+  CalloutData data;
+  data.requester_identity = "/O=Grid/CN=x";
+  data.job_owner_identity = "/O=Grid/CN=x";
+  data.action = "cancel";
+  data.job_id = "contact-1";
+  data.rsl = "";  // management request with no stored RSL
+  EXPECT_TRUE(callout(data).ok());
+}
+
+TEST(PdpCallout, RegisteredLibraryResolvesThroughDispatcher) {
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo", core::MakeGt2DefaultDocument());
+  RegisterPdpCalloutLibrary("libvo_authz", "vo_authz_entry", source);
+
+  CalloutDispatcher dispatcher;
+  ASSERT_TRUE(dispatcher
+                  .ParseAndBind("globus_gram_jobmanager_authz libvo_authz "
+                                "vo_authz_entry\n")
+                  .ok());
+  EXPECT_TRUE(dispatcher
+                  .Invoke("globus_gram_jobmanager_authz",
+                          StartData("/O=Grid/CN=x", "&(executable=a)"))
+                  .ok());
+  CalloutLibraryRegistry::Instance().Unregister("libvo_authz",
+                                                "vo_authz_entry");
+}
+
+TEST(PdpCallout, ToAuthorizationRequestMapsAllFields) {
+  CalloutData data;
+  data.requester_identity = "/O=Grid/CN=admin";
+  data.requester_attributes = {"group=NFC"};
+  data.requester_restriction_policy = "embedded";
+  data.job_owner_identity = "/O=Grid/CN=owner";
+  data.action = "signal";
+  data.job_id = "contact-7";
+  data.rsl = "&(executable=a)(jobtag=NFC)";
+  auto request = ToAuthorizationRequest(data);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->subject, "/O=Grid/CN=admin");
+  EXPECT_EQ(request->attributes, std::vector<std::string>{"group=NFC"});
+  EXPECT_EQ(request->restriction_policy, "embedded");
+  EXPECT_EQ(request->job_owner, "/O=Grid/CN=owner");
+  EXPECT_EQ(request->action, "signal");
+  EXPECT_EQ(request->job_id, "contact-7");
+  EXPECT_EQ(request->job_rsl.GetValue("jobtag"), "NFC");
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

@@ -1,0 +1,228 @@
+// The CAS-modelled community authorization service: membership, grants,
+// restricted-proxy issuance with embedded policy, resource-side
+// enforcement, and the full GRAM integration where the bearer runs under
+// the community account.
+#include <gtest/gtest.h>
+
+#include "cas/cas.h"
+#include "gram/site.h"
+
+namespace gridauthz::cas {
+namespace {
+
+constexpr const char* kResource = "gram/fusion.anl.gov";
+constexpr const char* kCommunity = "/O=Grid/O=NFC/CN=NFC Community";
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+gsi::DistinguishedName Dn(const std::string& text) {
+  return gsi::DistinguishedName::Parse(text).value();
+}
+
+class CasTest : public ::testing::Test {
+ protected:
+  CasTest()
+      : clock_(1'000'000),
+        ca_(Dn("/O=Grid/CN=CA"), clock_.Now()),
+        community_(IssueCredential(ca_, Dn(kCommunity), clock_.Now())),
+        member_(IssueCredential(ca_, Dn(kBoLiu), clock_.Now())),
+        server_(community_, &clock_) {
+    trust_.AddTrustedCa(ca_.certificate());
+  }
+
+  CasGrant Grant(std::vector<std::string> actions,
+                 std::vector<std::string> constraints = {}) {
+    CasGrant grant;
+    grant.subject = kBoLiu;
+    grant.resource = kResource;
+    grant.actions = std::move(actions);
+    for (const std::string& c : constraints) {
+      grant.constraints.push_back(rsl::ParseConjunction(c).value());
+    }
+    return grant;
+  }
+
+  SimClock clock_;
+  gsi::CertificateAuthority ca_;
+  gsi::TrustRegistry trust_;
+  gsi::Credential community_;
+  gsi::Credential member_;
+  CasServer server_;
+};
+
+TEST_F(CasTest, NonMemberDeniedCredential) {
+  server_.AddGrant(Grant({"start"}));
+  auto credential = server_.IssueCredential(member_, kResource);
+  ASSERT_FALSE(credential.ok());
+  EXPECT_EQ(credential.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_NE(credential.error().message().find("not a member"),
+            std::string::npos);
+}
+
+TEST_F(CasTest, MemberWithoutGrantsDenied) {
+  server_.AddMember(kBoLiu);
+  auto credential = server_.IssueCredential(member_, kResource);
+  ASSERT_FALSE(credential.ok());
+  EXPECT_NE(credential.error().message().find("no grants"), std::string::npos);
+}
+
+TEST_F(CasTest, IssuedCredentialIsCommunityRestrictedProxy) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(Grant({"start"}, {"&(executable = TRANSP)"}));
+  auto credential = server_.IssueCredential(member_, kResource);
+  ASSERT_TRUE(credential.ok());
+  // The bearer authenticates as the COMMUNITY, not as themselves.
+  EXPECT_EQ(credential->identity().str(), kCommunity);
+  EXPECT_EQ(credential->leaf().type, gsi::CertType::kRestrictedProxy);
+  ASSERT_TRUE(credential->RestrictionPolicy().has_value());
+  EXPECT_NE(credential->RestrictionPolicy()->find("TRANSP"),
+            std::string::npos);
+  // And the chain validates against the CA.
+  EXPECT_TRUE(trust_.ValidateChain(credential->chain(), clock_.Now()).ok());
+}
+
+TEST_F(CasTest, EmbeddedPolicyIsParsableDocument) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(Grant({"start", "cancel"}, {"&(jobtag = NFC)"}));
+  auto policy = server_.EmbeddedPolicyFor(kBoLiu, kResource);
+  ASSERT_TRUE(policy.ok());
+  auto document = core::PolicyDocument::Parse(*policy);
+  ASSERT_TRUE(document.ok()) << *policy;
+  ASSERT_EQ(document->size(), 1u);
+  // Two actions x one constraint = two assertion sets.
+  EXPECT_EQ(document->statements()[0].assertion_sets.size(), 2u);
+}
+
+TEST_F(CasTest, GrantsAreResourceScoped) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(Grant({"start"}));
+  auto other = server_.IssueCredential(member_, "gram/other.site.gov");
+  EXPECT_FALSE(other.ok());
+}
+
+TEST_F(CasTest, SourceEnforcesEmbeddedPolicy) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(
+      Grant({"start"}, {"&(executable = TRANSP)(count < 4)"}));
+  auto credential = server_.IssueCredential(member_, kResource);
+  ASSERT_TRUE(credential.ok());
+
+  CasPolicySource source;
+  core::AuthorizationRequest request;
+  request.subject = kCommunity;  // bearer authenticates as the community
+  request.action = "start";
+  request.restriction_policy = credential->RestrictionPolicy();
+  request.job_rsl =
+      rsl::ParseConjunction("&(executable=TRANSP)(count=2)").value();
+  auto permitted = source.Authorize(request);
+  ASSERT_TRUE(permitted.ok());
+  EXPECT_TRUE(permitted->permitted()) << permitted->reason;
+
+  request.job_rsl =
+      rsl::ParseConjunction("&(executable=TRANSP)(count=8)").value();
+  EXPECT_FALSE(source.Authorize(request)->permitted());
+
+  request.job_rsl = rsl::ParseConjunction("&(executable=rm)(count=1)").value();
+  EXPECT_FALSE(source.Authorize(request)->permitted());
+}
+
+TEST_F(CasTest, RequestWithoutCasPolicyDenied) {
+  CasPolicySource source;
+  core::AuthorizationRequest request;
+  request.subject = kBoLiu;
+  request.action = "start";
+  auto decision = source.Authorize(request);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->permitted());
+  EXPECT_NE(decision->reason.find("no CAS"), std::string::npos);
+}
+
+TEST_F(CasTest, MalformedEmbeddedPolicyIsSystemFailure) {
+  CasPolicySource source;
+  core::AuthorizationRequest request;
+  request.subject = kBoLiu;
+  request.action = "start";
+  request.restriction_policy = ":::corrupt:::";
+  auto decision = source.Authorize(request);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(CasTest, ActionNotGrantedDenied) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(Grant({"start"}));
+  auto credential = server_.IssueCredential(member_, kResource);
+  ASSERT_TRUE(credential.ok());
+  CasPolicySource source;
+  core::AuthorizationRequest request;
+  request.subject = kCommunity;
+  request.action = "cancel";
+  request.restriction_policy = credential->RestrictionPolicy();
+  request.job_rsl = rsl::ParseConjunction("&(executable=a)").value();
+  EXPECT_FALSE(source.Authorize(request)->permitted());
+}
+
+TEST_F(CasTest, FullGramIntegration) {
+  // The CAS deployment model end-to-end: the resource's grid-mapfile only
+  // lists the community identity; members get capability credentials from
+  // the CAS server; the JMI PEP enforces the embedded policy.
+  gram::SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("nfc_community").ok());
+
+  // Community credential issued by the SITE's CA so the site trusts it.
+  auto community =
+      IssueCredential(site.ca(), Dn(kCommunity), site.clock().Now());
+  ASSERT_TRUE(site.gridmap().Add(Dn(kCommunity), {"nfc_community"}).ok());
+
+  CasServer server{community, &site.clock()};
+  server.AddMember(kBoLiu);
+  CasGrant grant;
+  grant.subject = kBoLiu;
+  grant.resource = kResource;
+  grant.actions = {"start", "information"};
+  grant.constraints.push_back(
+      rsl::ParseConjunction("&(executable = TRANSP)(count < 4)").value());
+  server.AddGrant(grant);
+
+  site.UseJobManagerPep(std::make_shared<CasPolicySource>());
+
+  // Bo Liu gets her CAS credential and submits with it.
+  auto member = IssueCredential(site.ca(), Dn(kBoLiu), site.clock().Now());
+  auto cas_credential = server.IssueCredential(member, kResource);
+  ASSERT_TRUE(cas_credential.ok());
+
+  gram::GramClient client = site.MakeClient(*cas_credential);
+  auto permitted = client.Submit(site.gatekeeper(),
+                                 "&(executable=TRANSP)(count=2)");
+  ASSERT_TRUE(permitted.ok()) << permitted.error();
+
+  // The job runs under the community's mapped account.
+  auto jmi = site.jmis().Lookup(*permitted);
+  ASSERT_TRUE(jmi.ok());
+  EXPECT_EQ((*jmi)->local_account(), "nfc_community");
+  EXPECT_EQ((*jmi)->owner_identity(), kCommunity);
+
+  // Constraint violations are denied at the PEP.
+  auto denied =
+      client.Submit(site.gatekeeper(), "&(executable=TRANSP)(count=8)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(gram::ToProtocolCode(denied.error()),
+            gram::GramErrorCode::kAuthorizationDenied);
+
+  // A member submitting with their personal credential (no CAS policy,
+  // not in the gridmap) is turned away.
+  gram::GramClient personal = site.MakeClient(member);
+  EXPECT_FALSE(personal.Submit(site.gatekeeper(), "&(executable=TRANSP)").ok());
+}
+
+TEST_F(CasTest, CredentialLifetimeHonored) {
+  server_.AddMember(kBoLiu);
+  server_.AddGrant(Grant({"start"}));
+  auto credential = server_.IssueCredential(member_, kResource, /*lifetime=*/60);
+  ASSERT_TRUE(credential.ok());
+  EXPECT_TRUE(trust_.ValidateChain(credential->chain(), clock_.Now()).ok());
+  EXPECT_FALSE(
+      trust_.ValidateChain(credential->chain(), clock_.Now() + 120).ok());
+}
+
+}  // namespace
+}  // namespace gridauthz::cas

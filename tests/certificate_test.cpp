@@ -1,0 +1,189 @@
+// Simulated PKI: key generation and signatures, certificate issuance, and
+// TrustRegistry chain validation including its failure modes.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "gsi/certificate.h"
+#include "gsi/credential.h"
+
+namespace gridauthz::gsi {
+namespace {
+
+DistinguishedName Dn(const std::string& text) {
+  return DistinguishedName::Parse(text).value();
+}
+
+constexpr TimePoint kNow = 1'000'000;
+
+TEST(Keys, SignVerifyRoundTrip) {
+  PrivateKey key = GenerateKey("t");
+  std::string sig = key.Sign("message");
+  EXPECT_TRUE(VerifySignature(key.public_key(), "message", sig));
+  EXPECT_FALSE(VerifySignature(key.public_key(), "other message", sig));
+}
+
+TEST(Keys, DistinctKeysHaveDistinctFingerprints) {
+  PrivateKey a = GenerateKey("t");
+  PrivateKey b = GenerateKey("t");
+  EXPECT_NE(a.public_key().fingerprint, b.public_key().fingerprint);
+}
+
+TEST(Keys, UnknownKeyFailsVerification) {
+  PublicKey bogus{"deadbeef"};
+  EXPECT_FALSE(VerifySignature(bogus, "m", "sig"));
+}
+
+TEST(Keys, CrossKeySignatureRejected) {
+  PrivateKey a = GenerateKey("t");
+  PrivateKey b = GenerateKey("t");
+  std::string sig = a.Sign("m");
+  EXPECT_FALSE(VerifySignature(b.public_key(), "m", sig));
+}
+
+TEST(Ca, SelfSignedCertificateVerifies) {
+  CertificateAuthority ca{Dn("/O=Grid/CN=Test CA"), kNow};
+  const Certificate& cert = ca.certificate();
+  EXPECT_EQ(cert.type, CertType::kCa);
+  EXPECT_EQ(cert.subject, cert.issuer);
+  EXPECT_TRUE(VerifySignature(cert.subject_key, cert.CanonicalEncoding(),
+                              cert.signature));
+}
+
+TEST(Ca, IssuedCertificateChainsToCa) {
+  CertificateAuthority ca{Dn("/O=Grid/CN=Test CA"), kNow};
+  PrivateKey user_key = GenerateKey("user");
+  Certificate cert = ca.IssueCertificate(Dn("/O=Grid/CN=alice"),
+                                         user_key.public_key(), kNow,
+                                         kNow + 3600);
+  EXPECT_EQ(cert.issuer.str(), "/O=Grid/CN=Test CA");
+  EXPECT_TRUE(VerifySignature(ca.certificate().subject_key,
+                              cert.CanonicalEncoding(), cert.signature));
+}
+
+TEST(Ca, SerialsAreUnique) {
+  CertificateAuthority ca{Dn("/O=Grid/CN=Test CA"), kNow};
+  PrivateKey k = GenerateKey("u");
+  auto c1 = ca.IssueCertificate(Dn("/O=Grid/CN=a"), k.public_key(), kNow,
+                                kNow + 10);
+  auto c2 = ca.IssueCertificate(Dn("/O=Grid/CN=a"), k.public_key(), kNow,
+                                kNow + 10);
+  EXPECT_NE(c1.serial, c2.serial);
+}
+
+class ChainValidationTest : public ::testing::Test {
+ protected:
+  ChainValidationTest()
+      : ca_(Dn("/O=Grid/CN=Test CA"), kNow),
+        user_(IssueCredential(ca_, Dn("/O=Grid/CN=alice"), kNow)) {
+    trust_.AddTrustedCa(ca_.certificate());
+  }
+
+  CertificateAuthority ca_;
+  TrustRegistry trust_;
+  Credential user_;
+};
+
+TEST_F(ChainValidationTest, ValidEecChain) {
+  auto identity = trust_.ValidateChain(user_.chain(), kNow);
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity->str(), "/O=Grid/CN=alice");
+}
+
+TEST_F(ChainValidationTest, EmptyChainRejected) {
+  auto identity = trust_.ValidateChain({}, kNow);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_EQ(identity.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+TEST_F(ChainValidationTest, ExpiredCertificateRejected) {
+  auto identity = trust_.ValidateChain(user_.chain(), kNow + 400L * 24 * 3600);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_NE(identity.error().message().find("expired"), std::string::npos);
+}
+
+TEST_F(ChainValidationTest, NotYetValidCertificateRejected) {
+  auto identity = trust_.ValidateChain(user_.chain(), kNow - 10);
+  EXPECT_FALSE(identity.ok());
+}
+
+TEST_F(ChainValidationTest, UntrustedCaRejected) {
+  CertificateAuthority other_ca{Dn("/O=Evil/CN=Other CA"), kNow};
+  Credential mallory = IssueCredential(other_ca, Dn("/O=Evil/CN=mallory"), kNow);
+  auto identity = trust_.ValidateChain(mallory.chain(), kNow);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_NE(identity.error().message().find("not a trusted CA"),
+            std::string::npos);
+}
+
+TEST_F(ChainValidationTest, TamperedCertificateRejected) {
+  std::vector<Certificate> chain = user_.chain();
+  chain[0].subject = Dn("/O=Grid/CN=mallory");  // forge the subject
+  auto identity = trust_.ValidateChain(chain, kNow);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_NE(identity.error().message().find("bad CA signature"),
+            std::string::npos);
+}
+
+TEST_F(ChainValidationTest, ProxyChainYieldsEecIdentity) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  auto identity = trust_.ValidateChain(proxy.chain(), kNow);
+  ASSERT_TRUE(identity.ok());
+  // Proxy CN components are stripped: the Grid identity is the EEC's.
+  EXPECT_EQ(identity->str(), "/O=Grid/CN=alice");
+}
+
+TEST_F(ChainValidationTest, MultiLevelProxyChainValidates) {
+  Credential p1 = user_.GenerateProxy(kNow, 3600).value();
+  Credential p2 = p1.GenerateProxy(kNow, 1800).value();
+  Credential p3 = p2.GenerateProxy(kNow, 900).value();
+  auto identity = trust_.ValidateChain(p3.chain(), kNow);
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity->str(), "/O=Grid/CN=alice");
+  EXPECT_EQ(p3.chain().size(), 4u);
+}
+
+TEST_F(ChainValidationTest, ExpiredProxyRejectedEvenIfEecValid) {
+  Credential proxy = user_.GenerateProxy(kNow, 60).value();
+  auto identity = trust_.ValidateChain(proxy.chain(), kNow + 120);
+  EXPECT_FALSE(identity.ok());
+}
+
+TEST_F(ChainValidationTest, ProxyWithWrongNamingRejected) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  std::vector<Certificate> chain = proxy.chain();
+  // Claim a different CN than the proxy convention requires.
+  chain[0].subject = Dn("/O=Grid/CN=alice/CN=imposter");
+  auto identity = trust_.ValidateChain(chain, kNow);
+  ASSERT_FALSE(identity.ok());
+}
+
+TEST_F(ChainValidationTest, ProxyWithoutParentRejected) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  std::vector<Certificate> chain = {proxy.chain().front()};  // leaf only
+  auto identity = trust_.ValidateChain(chain, kNow);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_NE(identity.error().message().find("without parent"),
+            std::string::npos);
+}
+
+TEST_F(ChainValidationTest, ProxySignedByWrongKeyRejected) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  Credential other = IssueCredential(ca_, Dn("/O=Grid/CN=bob"), kNow);
+  std::vector<Certificate> chain = proxy.chain();
+  chain[0].signature = other.key().Sign(chain[0].CanonicalEncoding());
+  auto identity = trust_.ValidateChain(chain, kNow);
+  ASSERT_FALSE(identity.ok());
+  EXPECT_NE(identity.error().message().find("bad signature on proxy"),
+            std::string::npos);
+}
+
+TEST(CertType, ProxyTypePredicate) {
+  EXPECT_TRUE(IsProxyType(CertType::kImpersonationProxy));
+  EXPECT_TRUE(IsProxyType(CertType::kLimitedProxy));
+  EXPECT_TRUE(IsProxyType(CertType::kRestrictedProxy));
+  EXPECT_FALSE(IsProxyType(CertType::kCa));
+  EXPECT_FALSE(IsProxyType(CertType::kEndEntity));
+}
+
+}  // namespace
+}  // namespace gridauthz::gsi

@@ -1,0 +1,155 @@
+// Unit tests for the common utilities: Expected/Error, string helpers,
+// config parsing, and the logger.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gridauthz {
+namespace {
+
+TEST(Error, RendersCodeAndMessage) {
+  Error e{ErrCode::kAuthorizationDenied, "nope"};
+  EXPECT_EQ(e.to_string(), "authorization_denied: nope");
+  EXPECT_EQ(e.code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST(Error, DistinguishesDenialFromSystemFailure) {
+  // The paper's protocol extension hinges on these being distinct.
+  EXPECT_NE(to_string(ErrCode::kAuthorizationDenied),
+            to_string(ErrCode::kAuthorizationSystemFailure));
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = Error{ErrCode::kNotFound, "missing"};
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().code(), ErrCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, VoidSpecialization) {
+  Expected<void> ok = Ok();
+  EXPECT_TRUE(ok.ok());
+  Expected<void> bad = Error{ErrCode::kInternal, "x"};
+  EXPECT_FALSE(bad.ok());
+}
+
+Expected<int> Inner(bool fail) {
+  if (fail) return Error{ErrCode::kInvalidArgument, "inner"};
+  return 5;
+}
+
+Expected<int> Outer(bool fail) {
+  GA_TRY(int v, Inner(fail));
+  return v * 2;
+}
+
+TEST(Expected, GaTryPropagates) {
+  EXPECT_EQ(*Outer(false), 10);
+  EXPECT_EQ(Outer(true).error().message(), "inner");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::Trim("  abc  "), "abc");
+  EXPECT_EQ(strings::Trim("\t\r\n"), "");
+  EXPECT_EQ(strings::Trim(""), "");
+  EXPECT_EQ(strings::Trim("a"), "a");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(strings::Split("a,b , c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(strings::Split("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(strings::Split("a,,b", ',', true, true),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_TRUE(strings::Split("", ',').empty());
+}
+
+TEST(Strings, Lines) {
+  EXPECT_EQ(strings::Lines("a\nb\r\nc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(strings::Lines("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(strings::ToLower("AbC"), "abc");
+  EXPECT_TRUE(strings::EqualsIgnoreCase("MaxTime", "maxtime"));
+  EXPECT_FALSE(strings::EqualsIgnoreCase("a", "ab"));
+  EXPECT_TRUE(strings::StartsWith("/O=Grid/CN=x", "/O=Grid"));
+  EXPECT_FALSE(strings::StartsWith("/O=G", "/O=Grid"));
+}
+
+TEST(Strings, JoinAndDigits) {
+  EXPECT_EQ(strings::Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(strings::Join({}, ","), "");
+  EXPECT_TRUE(strings::IsAllDigits("0123"));
+  EXPECT_FALSE(strings::IsAllDigits("12a"));
+  EXPECT_FALSE(strings::IsAllDigits(""));
+}
+
+TEST(Config, ParsesEntriesSkippingComments) {
+  auto entries = ParseConfig("# comment\n\ntype lib sym\nother lib2 sym2\n", 3);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].tokens,
+            (std::vector<std::string>{"type", "lib", "sym"}));
+  EXPECT_EQ((*entries)[1].line_number, 4);
+}
+
+TEST(Config, RejectsShortLines) {
+  auto entries = ParseConfig("only_two fields\n", 3);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_EQ(entries.error().code(), ErrCode::kParseError);
+}
+
+TEST(Config, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ga_config_test.txt";
+  ASSERT_TRUE(WriteFile(path, "hello\nworld\n").ok());
+  auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello\nworld\n");
+}
+
+TEST(Config, ReadMissingFileFails) {
+  auto text = ReadFile("/nonexistent/ga/file");
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.error().code(), ErrCode::kNotFound);
+}
+
+TEST(Logging, CaptureSinkSeesRecordsAtLevel) {
+  log::Logger::Instance().set_level(log::Level::kDebug);
+  log::CaptureSink sink;
+  GA_LOG(kInfo, "test-component") << "hello " << 42;
+  EXPECT_TRUE(sink.Contains("test-component", "hello 42"));
+  log::Logger::Instance().set_level(log::Level::kWarn);
+}
+
+TEST(Logging, LevelFiltering) {
+  log::Logger::Instance().set_level(log::Level::kError);
+  log::CaptureSink sink;
+  GA_LOG(kInfo, "quiet") << "should not appear";
+  EXPECT_FALSE(sink.Contains("quiet", "should not appear"));
+  log::Logger::Instance().set_level(log::Level::kWarn);
+}
+
+TEST(Clock, SimClockAdvances) {
+  SimClock sim_clock{100};
+  EXPECT_EQ(sim_clock.Now(), 100);
+  sim_clock.Advance(50);
+  EXPECT_EQ(sim_clock.Now(), 150);
+  sim_clock.Set(10);
+  EXPECT_EQ(sim_clock.Now(), 10);
+}
+
+}  // namespace
+}  // namespace gridauthz

@@ -1,0 +1,128 @@
+// Thread-safety of the process-wide singletons (KeyStore, Logger,
+// CalloutLibraryRegistry) and of concurrent read-side policy evaluation.
+// The simulators (scheduler, site) are documented single-threaded; the
+// shared registries are not, because callouts and credentials are used
+// from wherever the embedding application runs them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/source.h"
+#include "gram/callout.h"
+#include "gsi/keys.h"
+
+namespace gridauthz {
+namespace {
+
+TEST(Concurrency, KeyStoreParallelGenerateAndVerify) {
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&failures, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        gsi::PrivateKey key =
+            gsi::GenerateKey("conc-" + std::to_string(t));
+        std::string message = "m" + std::to_string(i);
+        std::string signature = key.Sign(message);
+        if (!gsi::VerifySignature(key.public_key(), message, signature)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, LoggerParallelSinksAndLogging) {
+  log::Logger::Instance().set_level(log::Level::kDebug);
+  std::atomic<int> received{0};
+  int sink_id = log::Logger::Instance().AddSink(
+      [&received](const log::Record&) {
+        received.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  constexpr int kThreads = 8;
+  constexpr int kLogsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLogsPerThread; ++i) {
+        GA_LOG(kInfo, "concurrency") << "thread " << t << " message " << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  log::Logger::Instance().RemoveSink(sink_id);
+  log::Logger::Instance().set_level(log::Level::kWarn);
+  EXPECT_EQ(received.load(), kThreads * kLogsPerThread);
+}
+
+TEST(Concurrency, CalloutRegistryParallelRegisterResolve) {
+  auto& registry = gram::CalloutLibraryRegistry::Instance();
+  constexpr int kThreads = 8;
+  std::atomic<int> resolve_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &resolve_failures, t] {
+      std::string library = "conc_lib_" + std::to_string(t);
+      for (int i = 0; i < 100; ++i) {
+        std::string symbol = "sym" + std::to_string(i);
+        registry.Register(library, symbol, [] {
+          return [](const gram::CalloutData&) { return Ok(); };
+        });
+        if (!registry.Resolve(library, symbol).ok()) {
+          resolve_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        registry.Unregister(library, symbol);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(resolve_failures.load(), 0);
+}
+
+TEST(Concurrency, ParallelPolicyEvaluationIsConsistent) {
+  // Read-side concurrency: one evaluator, many threads, identical
+  // decisions everywhere.
+  core::PolicyEvaluator evaluator{
+      core::PolicyDocument::Parse(
+          "/O=Grid/CN=alice:\n"
+          "&(action = start)(executable = sim)(count < 4)\n")
+          .value()};
+  core::AuthorizationRequest permitted;
+  permitted.subject = "/O=Grid/CN=alice";
+  permitted.action = "start";
+  permitted.job_owner = permitted.subject;
+  permitted.job_rsl =
+      rsl::ParseConjunction("&(executable=sim)(count=2)").value();
+  core::AuthorizationRequest denied = permitted;
+  denied.job_rsl = rsl::ParseConjunction("&(executable=sim)(count=8)").value();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (!evaluator.Evaluate(permitted).permitted()) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (evaluator.Evaluate(denied).permitted()) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace gridauthz

@@ -1,0 +1,106 @@
+// Credential behaviour: proxy derivation, limited and restricted
+// proxies, identity computation.
+#include <gtest/gtest.h>
+
+#include "gsi/certificate.h"
+#include "gsi/credential.h"
+
+namespace gridauthz::gsi {
+namespace {
+
+DistinguishedName Dn(const std::string& text) {
+  return DistinguishedName::Parse(text).value();
+}
+
+constexpr TimePoint kNow = 1'000'000;
+
+class CredentialTest : public ::testing::Test {
+ protected:
+  CredentialTest()
+      : ca_(Dn("/O=Grid/CN=CA"), kNow),
+        user_(IssueCredential(ca_, Dn("/O=Grid/OU=anl.gov/CN=kate"), kNow)) {}
+
+  CertificateAuthority ca_;
+  Credential user_;
+};
+
+TEST_F(CredentialTest, IdentityIsEecSubject) {
+  EXPECT_EQ(user_.identity().str(), "/O=Grid/OU=anl.gov/CN=kate");
+  EXPECT_FALSE(user_.IsLimited());
+  EXPECT_FALSE(user_.RestrictionPolicy().has_value());
+}
+
+TEST_F(CredentialTest, ImpersonationProxySubjectNaming) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  EXPECT_EQ(proxy.leaf().subject.str(),
+            "/O=Grid/OU=anl.gov/CN=kate/CN=proxy");
+  EXPECT_EQ(proxy.identity().str(), "/O=Grid/OU=anl.gov/CN=kate");
+  EXPECT_EQ(proxy.chain().size(), 2u);
+}
+
+TEST_F(CredentialTest, LimitedProxyDetected) {
+  Credential limited =
+      user_.GenerateProxy(kNow, 3600, CertType::kLimitedProxy).value();
+  EXPECT_TRUE(limited.IsLimited());
+  EXPECT_EQ(limited.leaf().subject.last()->value, "limited proxy");
+  // A further impersonation proxy of a limited proxy stays limited.
+  Credential further = limited.GenerateProxy(kNow, 600).value();
+  EXPECT_TRUE(further.IsLimited());
+}
+
+TEST_F(CredentialTest, RestrictedProxyCarriesPolicy) {
+  Credential restricted =
+      user_.GenerateProxy(kNow, 3600, CertType::kRestrictedProxy,
+                          "policy-payload")
+          .value();
+  ASSERT_TRUE(restricted.RestrictionPolicy().has_value());
+  EXPECT_EQ(*restricted.RestrictionPolicy(), "policy-payload");
+  EXPECT_EQ(restricted.leaf().subject.last()->value, "restricted proxy");
+}
+
+TEST_F(CredentialTest, PolicyOnNonRestrictedProxyRejected) {
+  auto proxy = user_.GenerateProxy(kNow, 3600, CertType::kImpersonationProxy,
+                                   "unexpected");
+  ASSERT_FALSE(proxy.ok());
+  EXPECT_EQ(proxy.error().code(), ErrCode::kInvalidArgument);
+}
+
+TEST_F(CredentialTest, NonProxyTypeRejected) {
+  auto proxy = user_.GenerateProxy(kNow, 3600, CertType::kEndEntity);
+  ASSERT_FALSE(proxy.ok());
+}
+
+TEST_F(CredentialTest, EmptyCredentialCannotProxy) {
+  Credential empty;
+  auto proxy = empty.GenerateProxy(kNow, 3600);
+  ASSERT_FALSE(proxy.ok());
+  EXPECT_EQ(proxy.error().code(), ErrCode::kFailedPrecondition);
+}
+
+TEST_F(CredentialTest, ProxyValidityWindow) {
+  Credential proxy = user_.GenerateProxy(kNow, 100).value();
+  EXPECT_EQ(proxy.leaf().not_before, kNow);
+  EXPECT_EQ(proxy.leaf().not_after, kNow + 100);
+}
+
+TEST_F(CredentialTest, ProxySignsWithItsOwnKey) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  std::string sig = proxy.Sign("hello");
+  EXPECT_TRUE(VerifySignature(proxy.leaf().subject_key, "hello", sig));
+  // And not with the EEC's key.
+  EXPECT_FALSE(VerifySignature(user_.leaf().subject_key, "hello", sig));
+}
+
+TEST_F(CredentialTest, RestrictionPolicyOnlyReadFromLeaf) {
+  Credential restricted =
+      user_.GenerateProxy(kNow, 3600, CertType::kRestrictedProxy, "payload")
+          .value();
+  // A plain proxy derived from the restricted one: the leaf is no longer
+  // restricted, so RestrictionPolicy() is empty (the restricted cert is
+  // still in the chain for the acceptor to inspect).
+  Credential derived = restricted.GenerateProxy(kNow, 600).value();
+  EXPECT_FALSE(derived.RestrictionPolicy().has_value());
+}
+
+}  // namespace
+}  // namespace gridauthz::gsi

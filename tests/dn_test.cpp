@@ -1,0 +1,125 @@
+// Distinguished-name parsing, rendering, and the prefix matching the
+// policy language relies on (Figure 3's group statements name DN string
+// prefixes).
+#include <gtest/gtest.h>
+
+#include "gsi/dn.h"
+
+namespace gridauthz::gsi {
+namespace {
+
+TEST(Dn, ParsesPaperDn) {
+  auto dn = DistinguishedName::Parse(
+      "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey");
+  ASSERT_TRUE(dn.ok());
+  ASSERT_EQ(dn->components().size(), 4u);
+  EXPECT_EQ(dn->components()[0].type, "O");
+  EXPECT_EQ(dn->components()[0].value, "Grid");
+  EXPECT_EQ(dn->components()[2].type, "OU");
+  EXPECT_EQ(dn->components()[2].value, "mcs.anl.gov");
+  EXPECT_EQ(dn->components()[3].value, "Kate Keahey");
+  EXPECT_EQ(dn->str(), "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey");
+}
+
+TEST(Dn, UppercasesComponentTypes) {
+  auto dn = DistinguishedName::Parse("/o=Grid/cn=bob");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->str(), "/O=Grid/CN=bob");
+}
+
+TEST(Dn, TrimsWhitespaceInsideComponents) {
+  auto dn = DistinguishedName::Parse("  /O=Grid/CN=bob  ");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->str(), "/O=Grid/CN=bob");
+}
+
+struct BadDnCase {
+  const char* input;
+  const char* label;
+};
+
+class DnParseErrorTest : public ::testing::TestWithParam<BadDnCase> {};
+
+TEST_P(DnParseErrorTest, Rejects) {
+  auto dn = DistinguishedName::Parse(GetParam().input);
+  ASSERT_FALSE(dn.ok()) << GetParam().label;
+  EXPECT_EQ(dn.error().code(), ErrCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DnParseErrorTest,
+    ::testing::Values(BadDnCase{"", "empty"},
+                      BadDnCase{"O=Grid/CN=x", "missing leading slash"},
+                      BadDnCase{"/", "no components"},
+                      BadDnCase{"/O=Grid/noequals", "component without equals"},
+                      BadDnCase{"/=value", "empty type"},
+                      BadDnCase{"/O=", "empty value"}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(Dn, ComponentPrefixMatching) {
+  auto org = DistinguishedName::Parse("/O=Grid/O=Globus").value();
+  auto user =
+      DistinguishedName::Parse("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")
+          .value();
+  EXPECT_TRUE(org.IsPrefixOf(user));
+  EXPECT_FALSE(user.IsPrefixOf(org));
+  EXPECT_TRUE(user.IsPrefixOf(user));
+}
+
+TEST(Dn, PrefixRequiresComponentEquality) {
+  auto a = DistinguishedName::Parse("/O=Grid/O=Glob").value();
+  auto b = DistinguishedName::Parse("/O=Grid/O=Globus/CN=x").value();
+  // "Glob" is a string prefix of "Globus" but not an equal component.
+  EXPECT_FALSE(a.IsPrefixOf(b));
+}
+
+TEST(Dn, WithComponentExtends) {
+  auto base = DistinguishedName::Parse("/O=Grid/CN=user").value();
+  auto proxy = base.WithComponent("CN", "proxy");
+  EXPECT_EQ(proxy.str(), "/O=Grid/CN=user/CN=proxy");
+  ASSERT_NE(proxy.last(), nullptr);
+  EXPECT_EQ(proxy.last()->value, "proxy");
+}
+
+TEST(Dn, OrderingAndEquality) {
+  auto a = DistinguishedName::Parse("/O=A").value();
+  auto b = DistinguishedName::Parse("/O=B").value();
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a < b);
+}
+
+// The policy files use raw string prefix matching on the rendered DN.
+struct PrefixCase {
+  const char* policy_subject;
+  const char* identity;
+  bool expected;
+};
+
+class DnStringPrefixTest : public ::testing::TestWithParam<PrefixCase> {};
+
+TEST_P(DnStringPrefixTest, Matches) {
+  const auto& p = GetParam();
+  EXPECT_EQ(DnStringPrefixMatch(p.policy_subject, p.identity), p.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DnStringPrefixTest,
+    ::testing::Values(
+        // The Figure 3 group statement.
+        PrefixCase{"/O=Grid/O=Globus/OU=mcs.anl.gov",
+                   "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu", true},
+        PrefixCase{"/O=Grid/O=Globus/OU=mcs.anl.gov",
+                   "/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Someone", false},
+        PrefixCase{"/", "/O=Grid/CN=anyone", true},
+        PrefixCase{"/O=Grid/CN=exact", "/O=Grid/CN=exact", true},
+        PrefixCase{"/O=Grid/CN=exact", "/O=Grid/CN=exac", false},
+        PrefixCase{"", "/O=Grid/CN=x", false}));
+
+}  // namespace
+}  // namespace gridauthz::gsi

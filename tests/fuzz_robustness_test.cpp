@@ -1,0 +1,182 @@
+// Parser robustness: deterministic pseudo-random byte soup and mutated
+// valid inputs must never crash any parser — they either parse or return
+// kParseError. Every parser in the system faces untrusted input (job
+// requests, policy files, wire frames, MDS filters, XML policies).
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "gram/wire.h"
+#include "gridmap/gridmap.h"
+#include "gsi/dn.h"
+#include "mds/mds.h"
+#include "rsl/rsl.h"
+#include "xacml/xacml.h"
+
+namespace gridauthz {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t Below(std::size_t n) { return Next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Characters weighted toward the structural bytes of our grammars.
+std::string RandomSoup(Rng& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "()&|!<>=*\"$/\\\r\n \tabcXYZ019.,:%+-_";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.Below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string Mutate(Rng& rng, std::string input) {
+  int mutations = 1 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < mutations && !input.empty(); ++i) {
+    std::size_t pos = rng.Below(input.size());
+    switch (rng.Below(3)) {
+      case 0:
+        input[pos] = static_cast<char>('!' + rng.Below(90));
+        break;
+      case 1:
+        input.erase(pos, 1);
+        break;
+      case 2:
+        input.insert(pos, 1, static_cast<char>('!' + rng.Below(90)));
+        break;
+    }
+  }
+  return input;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RslParserNeverCrashes) {
+  Rng rng(100 + GetParam());
+  const std::string valid =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count<4)";
+  for (int i = 0; i < 300; ++i) {
+    auto soup = rsl::Parse(RandomSoup(rng, 5 + rng.Below(80)));
+    (void)soup;
+    auto mutated = rsl::Parse(Mutate(rng, valid));
+    (void)mutated;
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, PolicyParserNeverCrashes) {
+  Rng rng(200 + GetParam());
+  const std::string valid =
+      "&/O=Grid: (action = start)(jobtag != NULL)\n"
+      "/O=Grid/CN=a:\n&(action = start)(executable = x)\n";
+  for (int i = 0; i < 200; ++i) {
+    (void)core::PolicyDocument::Parse(RandomSoup(rng, 10 + rng.Below(120)));
+    (void)core::PolicyDocument::Parse(Mutate(rng, valid));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, DnParserNeverCrashes) {
+  Rng rng(300 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    (void)gsi::DistinguishedName::Parse(RandomSoup(rng, 1 + rng.Below(60)));
+    (void)gsi::DistinguishedName::Parse(
+        Mutate(rng, "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, GridmapParserNeverCrashes) {
+  Rng rng(400 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    (void)gridmap::GridMap::Parse(RandomSoup(rng, 10 + rng.Below(100)));
+    (void)gridmap::GridMap::Parse(
+        Mutate(rng, "\"/O=Grid/CN=alice\" alice,guest\n"));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, WireParserNeverCrashes) {
+  Rng rng(500 + GetParam());
+  const std::string valid =
+      "protocol-version: 2\r\nmessage-type: job-request\r\n"
+      "rsl: &(executable=a)\r\n";
+  for (int i = 0; i < 200; ++i) {
+    (void)gram::wire::Message::Parse(RandomSoup(rng, 10 + rng.Below(120)));
+    auto mutated = gram::wire::Message::Parse(Mutate(rng, valid));
+    if (mutated.ok()) {
+      (void)gram::wire::JobRequest::Decode(*mutated);
+      (void)gram::wire::ManagementRequest::Decode(*mutated);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  Rng rng(600 + GetParam());
+  const std::string valid =
+      "<Policy PolicyId=\"p\"><Target/><Rule RuleId=\"r\" "
+      "Effect=\"Permit\"/></Policy>";
+  for (int i = 0; i < 200; ++i) {
+    auto soup = xacml::ParseXml(RandomSoup(rng, 10 + rng.Below(120)));
+    (void)soup;
+    auto mutated = xacml::ParseXml(Mutate(rng, valid));
+    if (mutated.ok()) {
+      (void)xacml::PolicyFromXml(*mutated);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, MdsFilterParserNeverCrashes) {
+  Rng rng(700 + GetParam());
+  const std::string valid = "(&(objectclass=mds-host)(mds-cpu-free>=8))";
+  mds::Entry entry;
+  entry.Add("objectclass", "mds-host");
+  entry.Add("mds-cpu-free", "16");
+  for (int i = 0; i < 300; ++i) {
+    (void)mds::Filter::Parse(RandomSoup(rng, 3 + rng.Below(60)));
+    auto mutated = mds::Filter::Parse(Mutate(rng, valid));
+    if (mutated.ok()) {
+      (void)mutated->Matches(entry);  // matching must not crash either
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, ParsedSoupEvaluatesSafely) {
+  // When random soup DOES parse as a policy, evaluating it must not
+  // crash.
+  Rng rng(800 + GetParam());
+  core::AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=x";
+  request.action = "start";
+  request.job_owner = request.subject;
+  request.job_rsl = rsl::ParseConjunction("&(executable=a)(count=2)").value();
+  for (int i = 0; i < 200; ++i) {
+    auto document =
+        core::PolicyDocument::Parse(RandomSoup(rng, 10 + rng.Below(120)));
+    if (document.ok()) {
+      core::PolicyEvaluator evaluator{std::move(document).value()};
+      (void)evaluator.Evaluate(request);
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace gridauthz

@@ -1,0 +1,274 @@
+// The GT3-style Managed Job Service: trusted-service trust model, the
+// section 6.2 priority example (GT2 JMI capped by the initiator's account
+// vs GT3 service privileges), dynamic account integration at creation
+// time, mandatory PEP, and account recycling.
+#include <gtest/gtest.h>
+
+#include "gram3/managed_job_service.h"
+#include "gram/site.h"
+
+namespace gridauthz::gram3 {
+namespace {
+
+constexpr const char* kOwner = "/O=Grid/O=NFC/OU=science/CN=Owner";
+constexpr const char* kAdmin = "/O=Grid/O=NFC/OU=ops/CN=Admin";
+
+constexpr const char* kVoPolicy = R"(
+/O=Grid/O=NFC/OU=science/CN=Owner:
+&(action = start)(executable = sim TRANSP)(count < 8)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=NFC/OU=ops/CN=Admin:
+&(action = cancel)
+&(action = signal)
+&(action = information)
+)";
+
+// A fixture wiring both the GT2 extended path (SimulatedSite) and a GT3
+// service over the same scheduler and accounts — the migration the
+// paper's conclusion anticipates.
+class Gram3Test : public ::testing::Test {
+ protected:
+  Gram3Test() {
+    // Owner's static account may not raise priority above 0.
+    os::ResourceLimits owner_limits;
+    owner_limits.max_priority = 0;
+    EXPECT_TRUE(site_.AddAccount("owner", {}, owner_limits).ok());
+    owner_ = site_.CreateUser(kOwner).value();
+    admin_ = site_.CreateUser(kAdmin).value();
+    EXPECT_TRUE(site_.MapUser(owner_, "owner").ok());
+
+    source_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kVoPolicy).value());
+    site_.UseJobManagerPep(source_);
+
+    pool_ = std::make_unique<sandbox::DynamicAccountPool>(&site_.accounts(),
+                                                          "dyn", 2);
+    service_credential_ =
+        IssueCredential(site_.ca(),
+                        gsi::DistinguishedName::Parse(
+                            "/O=Grid/OU=services/CN=managed-job-service")
+                            .value(),
+                        site_.clock().Now());
+
+    ManagedJobService::Params params;
+    params.service_credential = service_credential_;
+    params.trust = &site_.trust();
+    params.scheduler = &site_.scheduler();
+    params.accounts = &site_.accounts();
+    params.clock = &site_.clock();
+    params.callouts = &site_.callouts();
+    params.gridmap = &site_.gridmap();
+    params.account_pool = pool_.get();
+    service_ = std::make_unique<ManagedJobService>(std::move(params));
+  }
+
+  gram::SimulatedSite site_;
+  gsi::Credential owner_;
+  gsi::Credential admin_;
+  gsi::Credential service_credential_;
+  std::shared_ptr<core::StaticPolicySource> source_;
+  std::unique_ptr<sandbox::DynamicAccountPool> pool_;
+  std::unique_ptr<ManagedJobService> service_;
+};
+
+TEST_F(Gram3Test, CreateRunsJobOnMappedAccount) {
+  auto handle =
+      service_->CreateJob(owner_, "&(executable=sim)(count=2)(simduration=5)");
+  ASSERT_TRUE(handle.ok()) << handle.error();
+  auto status = service_->Status(owner_, *handle);
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_EQ(status->status, gram::JobStatus::kActive);
+  EXPECT_EQ(status->job_owner, kOwner);
+  site_.Advance(5);
+  EXPECT_EQ(service_->Status(owner_, *handle)->status, gram::JobStatus::kDone);
+  EXPECT_EQ(site_.scheduler().Usage("owner").jobs_completed, 1);
+}
+
+TEST_F(Gram3Test, PepDeniesDisallowedCreate) {
+  auto handle = service_->CreateJob(owner_, "&(executable=forbidden)");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_EQ(service_->job_count(), 0u);
+}
+
+TEST_F(Gram3Test, MissingCalloutFailsClosed) {
+  ManagedJobService::Params params;
+  params.service_credential = service_credential_;
+  params.trust = &site_.trust();
+  params.scheduler = &site_.scheduler();
+  params.accounts = &site_.accounts();
+  params.clock = &site_.clock();
+  gram::CalloutDispatcher empty;
+  params.callouts = &empty;
+  params.gridmap = &site_.gridmap();
+  ManagedJobService bare{std::move(params)};
+  auto handle = bare.CreateJob(owner_, "&(executable=sim)");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(Gram3Test, TrustModelPriorityExample) {
+  // Section 6.2's exact example, both ways.
+  // GT2 path: admin authorized by VO policy, but the JMI runs with the
+  // owner's local credential whose account caps priority at 0.
+  gram::GramClient owner_client = site_.MakeClient(owner_);
+  auto gt2_contact = owner_client.Submit(
+      site_.gatekeeper(), "&(executable=sim)(count=1)(simduration=1000)");
+  ASSERT_TRUE(gt2_contact.ok()) << gt2_contact.error();
+
+  gram::GramClient admin_client = site_.MakeClient(admin_);
+  auto gt2_raise = admin_client.Signal(
+      site_.jmis(), *gt2_contact,
+      gram::SignalRequest{gram::SignalKind::kPriority, 9},
+      {.expected_job_owner = kOwner});
+  ASSERT_FALSE(gt2_raise.ok());
+  EXPECT_EQ(gt2_raise.error().code(), ErrCode::kPermissionDenied);
+  EXPECT_NE(gt2_raise.error().message().find("initiator's local credential"),
+            std::string::npos);
+
+  // GT3 path: same VO policy, but the trusted service applies the change
+  // with its own privileges.
+  auto gt3_handle = service_->CreateJob(
+      owner_, "&(executable=sim)(count=1)(simduration=1000)");
+  ASSERT_TRUE(gt3_handle.ok());
+  auto gt3_raise = service_->Signal(
+      admin_, *gt3_handle, gram::SignalRequest{gram::SignalKind::kPriority, 9});
+  EXPECT_TRUE(gt3_raise.ok()) << gt3_raise.error();
+}
+
+TEST_F(Gram3Test, ServicePresentsItsOwnIdentityNotTheOwners) {
+  // GT2: the JMI's credential is the owner's delegated proxy. GT3: the
+  // service's own. This is what removes the client-side identity
+  // gymnastics for VO management.
+  auto handle = service_->CreateJob(owner_, "&(executable=sim)");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(service_->service_identity().str(),
+            "/O=Grid/OU=services/CN=managed-job-service");
+
+  auto handshake = gsi::EstablishSecurityContext(
+      admin_, service_credential_, site_.trust(), site_.clock().Now());
+  ASSERT_TRUE(handshake.ok());
+  EXPECT_EQ(handshake->initiator_view.peer_identity.str(),
+            "/O=Grid/OU=services/CN=managed-job-service");
+}
+
+TEST_F(Gram3Test, ManagementAuthorizedByPolicyNotOwnership) {
+  auto handle =
+      service_->CreateJob(owner_, "&(executable=sim)(simduration=1000)");
+  ASSERT_TRUE(handle.ok());
+  // The admin never started the job but holds cancel rights by policy.
+  EXPECT_TRUE(service_->Cancel(admin_, *handle).ok());
+  // The owner holds only information rights: cancel denied.
+  auto second =
+      service_->CreateJob(owner_, "&(executable=sim)(simduration=1000)");
+  ASSERT_TRUE(second.ok());
+  auto owner_cancel = service_->Cancel(owner_, *second);
+  ASSERT_FALSE(owner_cancel.ok());
+  EXPECT_EQ(owner_cancel.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST_F(Gram3Test, DynamicAccountConfiguredFromJobDescription) {
+  // A VO member with NO static account: the trusted service leases a
+  // dynamic account and configures it from the job description — the
+  // "better integration with dynamic accounts" of the conclusion.
+  auto visitor =
+      site_.CreateUser("/O=Grid/O=NFC/OU=science/CN=Owner Two").value();
+  // Give the visitor rights via a dynamic policy update.
+  source_->Replace(core::PolicyDocument::Parse(
+                       std::string{kVoPolicy} +
+                       "\n/O=Grid/O=NFC/OU=science/CN=Owner Two:\n"
+                       "&(action = start)(executable = sim)(count < 4)\n"
+                       "&(action = information)(jobowner = self)\n")
+                       .value());
+
+  auto handle = service_->CreateJob(
+      visitor, "&(executable=sim)(count=2)(simduration=5)");
+  ASSERT_TRUE(handle.ok()) << handle.error();
+  EXPECT_EQ(pool_->in_use(), 1);
+
+  // The leased account was configured with the sandbox-derived cpu cap.
+  auto status = service_->Status(visitor, *handle);
+  ASSERT_TRUE(status.ok());
+
+  site_.Advance(5);
+  // Housekeeping on the next request recycles the account.
+  (void)service_->Status(visitor, *handle);
+  EXPECT_EQ(pool_->in_use(), 0);
+  EXPECT_EQ(pool_->available(), 2);
+}
+
+TEST_F(Gram3Test, PoolExhaustionSurfacesAsResourceError) {
+  auto visitor_a =
+      site_.CreateUser("/O=Grid/O=NFC/OU=science/CN=Owner Two").value();
+  source_->Replace(core::PolicyDocument::Parse(
+                       "/O=Grid/O=NFC:\n&(action = start)(executable = sim)\n")
+                       .value());
+  ASSERT_TRUE(service_
+                  ->CreateJob(visitor_a,
+                              "&(executable=sim)(simduration=1000)")
+                  .ok());
+  auto visitor_b =
+      site_.CreateUser("/O=Grid/O=NFC/OU=science/CN=Owner Three").value();
+  ASSERT_TRUE(service_
+                  ->CreateJob(visitor_b,
+                              "&(executable=sim)(simduration=1000)")
+                  .ok());
+  // Pool of 2 is exhausted.
+  auto visitor_c =
+      site_.CreateUser("/O=Grid/O=NFC/OU=science/CN=Owner Four").value();
+  auto third =
+      service_->CreateJob(visitor_c, "&(executable=sim)(simduration=1000)");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST_F(Gram3Test, SandboxDerivedFromRslCapsRuntime) {
+  // The job claims maxtime=10 in its own description; the service turns
+  // that into an enforced limit even though the job "runs" for 100s.
+  auto handle = service_->CreateJob(
+      owner_, "&(executable=sim)(maxtime=10)(simduration=100)");
+  ASSERT_TRUE(handle.ok());
+  site_.Advance(100);
+  auto status = service_->Status(owner_, *handle);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, gram::JobStatus::kFailed);
+  EXPECT_NE(status->failure_reason.find("wall-time"), std::string::npos);
+}
+
+TEST_F(Gram3Test, LimitedProxyRejected) {
+  auto limited = owner_
+                     .GenerateProxy(site_.clock().Now(), 3600,
+                                    gsi::CertType::kLimitedProxy)
+                     .value();
+  auto handle = service_->CreateJob(limited, "&(executable=sim)");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+TEST_F(Gram3Test, UnknownHandleFails) {
+  auto status = service_->Status(owner_, "https://nowhere/job/999");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrCode::kNotFound);
+}
+
+TEST_F(Gram3Test, SuspendResumeThroughService) {
+  auto handle =
+      service_->CreateJob(owner_, "&(executable=sim)(simduration=50)");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(service_
+                  ->Signal(admin_, *handle,
+                           gram::SignalRequest{gram::SignalKind::kSuspend, 0})
+                  .ok());
+  EXPECT_EQ(service_->Status(admin_, *handle)->status,
+            gram::JobStatus::kSuspended);
+  ASSERT_TRUE(service_
+                  ->Signal(admin_, *handle,
+                           gram::SignalRequest{gram::SignalKind::kResume, 0})
+                  .ok());
+  site_.Advance(60);
+  EXPECT_EQ(service_->Status(admin_, *handle)->status, gram::JobStatus::kDone);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram3

@@ -1,0 +1,217 @@
+// End-to-end stock-GT2 behaviour (the Figure 1 architecture): gatekeeper
+// authentication, grid-mapfile authorization and mapping, JMI creation,
+// job execution, and the stock only-the-initiator management rule —
+// including the shortcomings section 4.3 enumerates.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+
+namespace gridauthz::gram {
+namespace {
+
+constexpr const char* kAliceDn = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=alice";
+constexpr const char* kBobDn = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=bob";
+
+class GramBaselineTest : public ::testing::Test {
+ protected:
+  GramBaselineTest() {
+    EXPECT_TRUE(site_.AddAccount("alice").ok());
+    EXPECT_TRUE(site_.AddAccount("bob").ok());
+    alice_ = site_.CreateUser(kAliceDn).value();
+    bob_ = site_.CreateUser(kBobDn).value();
+    EXPECT_TRUE(site_.MapUser(alice_, "alice").ok());
+    EXPECT_TRUE(site_.MapUser(bob_, "bob").ok());
+  }
+
+  SimulatedSite site_;
+  gsi::Credential alice_;
+  gsi::Credential bob_;
+};
+
+TEST_F(GramBaselineTest, SubmitRunsJobUnderMappedAccount) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=5)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  EXPECT_NE(contact->find("https://fusion.anl.gov"), std::string::npos);
+
+  auto status = client.Status(site_.jmis(), *contact,
+                              {.expected_job_owner = kAliceDn});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, JobStatus::kActive);
+  EXPECT_EQ(status->job_owner, kAliceDn);
+
+  site_.Advance(5);
+  status = client.Status(site_.jmis(), *contact,
+                         {.expected_job_owner = kAliceDn});
+  EXPECT_EQ(status->status, JobStatus::kDone);
+  EXPECT_EQ(site_.scheduler().Usage("alice").jobs_completed, 1);
+}
+
+TEST_F(GramBaselineTest, ClientIdentityCheckDefaultsToSelf) {
+  // Without the paper's client extension, the JMI (running as alice)
+  // presents alice's identity, which matches alice's own expectation.
+  GramClient client = site_.MakeClient(alice_);
+  auto contact =
+      client.Submit(site_.gatekeeper(), "&(executable=sim)(simduration=50)");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_TRUE(client.Cancel(site_.jmis(), *contact).ok());
+}
+
+TEST_F(GramBaselineTest, UnmappedUserDeniedAtGatekeeper) {
+  auto mallory = site_.CreateUser("/O=Grid/CN=mallory").value();
+  GramClient client = site_.MakeClient(mallory);
+  auto contact = client.Submit(site_.gatekeeper(), "&(executable=sim)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(contact.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthorizationDenied);
+  EXPECT_NE(contact.error().message().find("grid-mapfile"), std::string::npos);
+}
+
+TEST_F(GramBaselineTest, UntrustedUserFailsAuthentication) {
+  gsi::CertificateAuthority evil{
+      gsi::DistinguishedName::Parse("/O=Evil/CN=CA").value(),
+      site_.clock().Now()};
+  auto mallory = IssueCredential(
+      evil, gsi::DistinguishedName::Parse("/O=Evil/CN=mallory").value(),
+      site_.clock().Now());
+  GramClient client = site_.MakeClient(mallory);
+  auto contact = client.Submit(site_.gatekeeper(), "&(executable=sim)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthenticationFailed);
+}
+
+TEST_F(GramBaselineTest, LimitedProxyCannotStartJobs) {
+  auto limited = alice_
+                     .GenerateProxy(site_.clock().Now(), 3600,
+                                    gsi::CertType::kLimitedProxy)
+                     .value();
+  GramClient client = site_.MakeClient(limited);
+  auto contact = client.Submit(site_.gatekeeper(), "&(executable=sim)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_NE(contact.error().message().find("limited proxy"),
+            std::string::npos);
+}
+
+TEST_F(GramBaselineTest, BadRslRejected) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(), "&((broken");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()), GramErrorCode::kBadRsl);
+}
+
+TEST_F(GramBaselineTest, MissingExecutableRejected) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(), "&(count=2)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_NE(contact.error().message().find("executable"), std::string::npos);
+}
+
+TEST_F(GramBaselineTest, SchedulerRejectionSurfaces) {
+  GramClient client = site_.MakeClient(alice_);
+  // Machine has 16 slots; ask for 64.
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(count=64)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()), GramErrorCode::kSchedulerError);
+}
+
+TEST_F(GramBaselineTest, StockManagementRestrictedToInitiator) {
+  // Shortcoming 2 of section 4.3: "Only the user who initiated a job is
+  // allowed to manage it."
+  GramClient alice_client = site_.MakeClient(alice_);
+  auto contact = alice_client.Submit(site_.gatekeeper(),
+                                     "&(executable=sim)(simduration=100)");
+  ASSERT_TRUE(contact.ok());
+
+  GramClient bob_client = site_.MakeClient(bob_);
+  // Bob must use the extended client option even to pass the client-side
+  // identity check; the JMI then still denies him.
+  auto cancel = bob_client.Cancel(site_.jmis(), *contact,
+                                  {.expected_job_owner = kAliceDn});
+  ASSERT_FALSE(cancel.ok());
+  EXPECT_EQ(cancel.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_NE(cancel.error().message().find("stock GT2 policy"),
+            std::string::npos);
+
+  // The stock client without the extension fails even earlier, at the
+  // client-side identity verification.
+  auto stock_cancel = bob_client.Cancel(site_.jmis(), *contact);
+  ASSERT_FALSE(stock_cancel.ok());
+  EXPECT_EQ(stock_cancel.error().code(), ErrCode::kAuthenticationFailed);
+
+  // Alice herself can manage.
+  EXPECT_TRUE(alice_client.Cancel(site_.jmis(), *contact).ok());
+}
+
+TEST_F(GramBaselineTest, SignalSuspendResumePriority) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=20)");
+  ASSERT_TRUE(contact.ok());
+
+  ASSERT_TRUE(client
+                  .Signal(site_.jmis(), *contact,
+                          SignalRequest{SignalKind::kSuspend, 0})
+                  .ok());
+  auto status = client.Status(site_.jmis(), *contact);
+  EXPECT_EQ(status->status, JobStatus::kSuspended);
+
+  ASSERT_TRUE(client
+                  .Signal(site_.jmis(), *contact,
+                          SignalRequest{SignalKind::kResume, 0})
+                  .ok());
+  ASSERT_TRUE(client
+                  .Signal(site_.jmis(), *contact,
+                          SignalRequest{SignalKind::kPriority, 5})
+                  .ok());
+  site_.Advance(25);
+  status = client.Status(site_.jmis(), *contact);
+  EXPECT_EQ(status->status, JobStatus::kDone);
+}
+
+TEST_F(GramBaselineTest, UnknownContactFails) {
+  GramClient client = site_.MakeClient(alice_);
+  auto status = client.Status(site_.jmis(), "https://nowhere/jobmanager/99");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(ToProtocolCode(status.error()), GramErrorCode::kJobNotFound);
+}
+
+TEST_F(GramBaselineTest, JobContactsAreUnique) {
+  GramClient client = site_.MakeClient(alice_);
+  auto c1 = client.Submit(site_.gatekeeper(), "&(executable=sim)");
+  auto c2 = client.Submit(site_.gatekeeper(), "&(executable=sim)");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  EXPECT_EQ(site_.jmis().size(), 2u);
+}
+
+TEST_F(GramBaselineTest, JobtagCarriedIntoStatusReply) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(jobtag=NFC)");
+  ASSERT_TRUE(contact.ok());
+  auto status = client.Status(site_.jmis(), *contact);
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(status->jobtag.has_value());
+  EXPECT_EQ(*status->jobtag, "NFC");
+}
+
+TEST_F(GramBaselineTest, ExpiredCredentialFailsLater) {
+  GramClient client = site_.MakeClient(alice_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=9999999)");
+  ASSERT_TRUE(contact.ok());
+  // Two years later alice's credential has expired; management requests
+  // fail authentication.
+  site_.Advance(2L * 365 * 24 * 3600);
+  auto status = client.Status(site_.jmis(), *contact);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

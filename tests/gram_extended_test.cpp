@@ -1,0 +1,307 @@
+// End-to-end tests of the paper's GRAM extensions (Figure 2): the PEP
+// callout in the Job Manager evaluating the Figure 3 policy, VO-wide job
+// management via jobtags, policy combination, the extended client, the
+// extended protocol errors, and callout misconfiguration failure modes.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "gram/site.h"
+
+namespace gridauthz::gram {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+&(action=information)(jobtag=NFC)
+)";
+
+class GramExtendedTest : public ::testing::Test {
+ protected:
+  GramExtendedTest() {
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    EXPECT_TRUE(site_.AddAccount("keahey").ok());
+    boliu_ = site_.CreateUser(kBoLiu).value();
+    kate_ = site_.CreateUser(kKate).value();
+    EXPECT_TRUE(site_.MapUser(boliu_, "boliu").ok());
+    EXPECT_TRUE(site_.MapUser(kate_, "keahey").ok());
+    vo_source_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kFigure3).value());
+    site_.UseJobManagerPep(vo_source_);
+  }
+
+  SimulatedSite site_;
+  gsi::Credential boliu_;
+  gsi::Credential kate_;
+  std::shared_ptr<core::StaticPolicySource> vo_source_;
+};
+
+TEST_F(GramExtendedTest, PermittedStartRunsEndToEnd) {
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=5)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  site_.Advance(5);
+  auto status = client.Status(site_.jmis(), *contact);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, JobStatus::kDone);
+}
+
+TEST_F(GramExtendedTest, DisallowedExecutableDeniedAtStart) {
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthorizationDenied);
+  // No job was created.
+  EXPECT_EQ(site_.jmis().size(), 0u);
+  EXPECT_EQ(site_.scheduler().Usage("boliu").jobs_submitted, 0);
+}
+
+TEST_F(GramExtendedTest, CountLimitEnforcedAtStart) {
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthorizationDenied);
+}
+
+TEST_F(GramExtendedTest, DefaultCountOfOneSatisfiesCountPolicy) {
+  // GT2 defaults count to 1; the JM normalizes before the PEP sees it.
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+}
+
+TEST_F(GramExtendedTest, JobtagRequirementEnforced) {
+  GramClient client = site_.MakeClient(kate_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(directory=/sandbox/test)(count=1)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthorizationDenied);
+  EXPECT_NE(contact.error().message().find("jobtag"), std::string::npos);
+}
+
+TEST_F(GramExtendedTest, VoAdminCancelsMembersJobViaJobtag) {
+  // The headline scenario: Kate cancels Bo Liu's NFC job even though she
+  // did not start it — impossible in stock GT2.
+  GramClient boliu_client = site_.MakeClient(boliu_);
+  auto contact = boliu_client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+      "(simduration=1000)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+
+  GramClient kate_client = site_.MakeClient(kate_);
+  auto cancel = kate_client.Cancel(site_.jmis(), *contact,
+                                   {.expected_job_owner = kBoLiu});
+  ASSERT_TRUE(cancel.ok()) << cancel.error();
+
+  auto status = boliu_client.Status(site_.jmis(), *contact);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, JobStatus::kFailed);  // cancelled
+}
+
+TEST_F(GramExtendedTest, VoAdminCannotCancelDifferentTag) {
+  GramClient boliu_client = site_.MakeClient(boliu_);
+  auto contact = boliu_client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"
+      "(simduration=1000)");
+  ASSERT_TRUE(contact.ok());
+
+  GramClient kate_client = site_.MakeClient(kate_);
+  auto cancel = kate_client.Cancel(site_.jmis(), *contact,
+                                   {.expected_job_owner = kBoLiu});
+  ASSERT_FALSE(cancel.ok());
+  EXPECT_EQ(ToProtocolCode(cancel.error()),
+            GramErrorCode::kAuthorizationDenied);
+}
+
+TEST_F(GramExtendedTest, OwnerDeniedWhenPolicyGrantsNothing) {
+  // Under pure VO policy Bo Liu has no cancel permission — not even for
+  // her own job. Fine-grain policy replaces the identity-match rule.
+  GramClient boliu_client = site_.MakeClient(boliu_);
+  auto contact = boliu_client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"
+      "(simduration=1000)");
+  ASSERT_TRUE(contact.ok());
+  auto cancel = boliu_client.Cancel(site_.jmis(), *contact);
+  ASSERT_FALSE(cancel.ok());
+  EXPECT_EQ(ToProtocolCode(cancel.error()),
+            GramErrorCode::kAuthorizationDenied);
+  // But she may query it: (action = information)(jobowner = self).
+  EXPECT_TRUE(boliu_client.Status(site_.jmis(), *contact).ok());
+}
+
+TEST_F(GramExtendedTest, DynamicPolicyUpdateChangesDecisions) {
+  GramClient boliu_client = site_.MakeClient(boliu_);
+  auto contact = boliu_client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=1)"
+      "(simduration=1000)");
+  ASSERT_TRUE(contact.ok());
+  ASSERT_FALSE(boliu_client.Cancel(site_.jmis(), *contact).ok());
+
+  // The VO pushes a policy update granting Bo Liu cancel rights on her
+  // own jobs ("policies may be dynamic and change over time").
+  std::string updated = std::string{kFigure3} +
+                        "\n/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:\n"
+                        "&(action = cancel)(jobowner = self)\n";
+  vo_source_->Replace(core::PolicyDocument::Parse(updated).value());
+  EXPECT_TRUE(boliu_client.Cancel(site_.jmis(), *contact).ok());
+}
+
+TEST_F(GramExtendedTest, CombinedLocalAndVoPolicyBothMustPermit) {
+  // Requirement 1: combining policies from the resource owner and the VO.
+  auto local = std::make_shared<core::StaticPolicySource>(
+      "local",
+      core::PolicyDocument::Parse(
+          "/:\n&(action = start)(count < 3)\n&(action = cancel)\n"
+          "&(action = information)\n")
+          .value());
+  auto combined = std::make_shared<core::CombiningPdp>("combined");
+  combined->AddSource(local);
+  combined->AddSource(vo_source_);
+  site_.UseJobManagerPep(combined);
+
+  GramClient client = site_.MakeClient(boliu_);
+  // VO allows count<4 but the resource owner allows count<3: a count=3
+  // job passes the VO PEP and fails the local one.
+  auto denied = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.error().message().find("source 'local'"),
+            std::string::npos);
+
+  auto permitted = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)");
+  EXPECT_TRUE(permitted.ok()) << permitted.error();
+}
+
+TEST_F(GramExtendedTest, CalloutMisconfigurationIsSystemFailure) {
+  // Bind the abstract type to a library that was never registered: the
+  // dlopen failure mode must surface as AUTHORIZATION_SYSTEM_FAILURE,
+  // distinct from a denial.
+  site_.UseJobManagerPepFromConfig("libnot_installed", "authz_fn");
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(ToProtocolCode(contact.error()),
+            GramErrorCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(GramExtendedTest, ConfigFileDrivenCalloutWorks) {
+  // The full runtime-configuration path: register the "library", write a
+  // callout config file, parse it, and submit.
+  RegisterPdpCalloutLibrary("libvo_pep", "gram_authz", vo_source_);
+  const std::string config_path =
+      ::testing::TempDir() + "/gram_callout.conf";
+  ASSERT_TRUE(WriteFile(config_path,
+                        "# GRAM authorization callout\n"
+                        "globus_gram_jobmanager_authz libvo_pep gram_authz\n")
+                  .ok());
+  auto config_text = ReadFile(config_path);
+  ASSERT_TRUE(config_text.ok());
+  ASSERT_TRUE(site_.callouts().ParseAndBind(*config_text).ok());
+
+  GramClient client = site_.MakeClient(boliu_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+  EXPECT_TRUE(contact.ok()) << contact.error();
+  CalloutLibraryRegistry::Instance().Unregister("libvo_pep", "gram_authz");
+}
+
+TEST_F(GramExtendedTest, CalloutInvokedPerAuthorizedAction) {
+  GramClient client = site_.MakeClient(kate_);
+  std::uint64_t before = site_.callouts().invocation_count();
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+      "(simduration=100)");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_EQ(site_.callouts().invocation_count(), before + 1);  // start
+  ASSERT_TRUE(client.Status(site_.jmis(), *contact).ok());
+  EXPECT_EQ(site_.callouts().invocation_count(), before + 2);  // information
+  ASSERT_TRUE(client.Cancel(site_.jmis(), *contact).ok());
+  EXPECT_EQ(site_.callouts().invocation_count(), before + 3);  // cancel
+}
+
+TEST_F(GramExtendedTest, GatekeeperCalloutScreensIdentities) {
+  // A PEP at the Gatekeeper making identity-only decisions (section 5.2).
+  SiteOptions options;
+  options.enable_gatekeeper_callout = true;
+  SimulatedSite site{options};
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu = site.CreateUser(kBoLiu).value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+
+  site.callouts().BindDirect(
+      std::string{kGatekeeperAuthzType},
+      [](const CalloutData& data) -> Expected<void> {
+        if (data.requester_identity.find("mcs.anl.gov") != std::string::npos) {
+          return Ok();
+        }
+        return Error{ErrCode::kAuthorizationDenied,
+                     "gatekeeper PEP: identity not in the VO"};
+      });
+
+  GramClient client = site.MakeClient(boliu);
+  EXPECT_TRUE(client.Submit(site.gatekeeper(), "&(executable=sim)").ok());
+
+  ASSERT_TRUE(site.AddAccount("outsider").ok());
+  auto outsider = site.CreateUser("/O=Grid/O=Other/CN=outsider").value();
+  ASSERT_TRUE(site.MapUser(outsider, "outsider").ok());
+  GramClient outsider_client = site.MakeClient(outsider);
+  auto contact = outsider_client.Submit(site.gatekeeper(), "&(executable=sim)");
+  ASSERT_FALSE(contact.ok());
+  EXPECT_NE(contact.error().message().find("gatekeeper PEP"),
+            std::string::npos);
+}
+
+TEST_F(GramExtendedTest, StatusReportsOwnerAndTagForVoManagement) {
+  // The client extension needs the owner identity; the JMI supplies it.
+  GramClient boliu_client = site_.MakeClient(boliu_);
+  auto contact = boliu_client.Submit(
+      site_.gatekeeper(),
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=1)"
+      "(simduration=100)");
+  ASSERT_TRUE(contact.ok());
+
+  GramClient kate_client = site_.MakeClient(kate_);
+  auto status = kate_client.Status(site_.jmis(), *contact,
+                                   {.expected_job_owner = kBoLiu});
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_EQ(status->job_owner, kBoLiu);
+  EXPECT_EQ(status->jobtag, "NFC");
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

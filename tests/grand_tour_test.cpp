@@ -1,0 +1,170 @@
+// The grand tour: one scenario exercising every subsystem together.
+//
+//   1. A VO runs a CAS server; a member obtains a capability credential.
+//   2. The VO index (MDS) aggregates two sites; the broker picks the one
+//      with capacity.
+//   3. The job request travels the GRAM wire protocol inside a signed
+//      envelope; the Job Manager PEP — an audited combining PDP over the
+//      local policy and the CAS-embedded policy — authorizes it.
+//   4. Job-state callbacks stream the lifecycle to the client.
+//   5. The Job Manager "restarts": its state is persisted and restored,
+//      and management continues.
+//   6. The audit log attributes every decision.
+#include <gtest/gtest.h>
+
+#include "cas/cas.h"
+#include "core/audit.h"
+#include "gram/recovery.h"
+#include "gram/secure_frame.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "mds/mds.h"
+#include "mds/provider.h"
+
+namespace gridauthz {
+namespace {
+
+constexpr const char* kMember = "/O=Grid/O=NFC/CN=Member";
+constexpr const char* kCommunity = "/O=Grid/O=NFC/CN=NFC Community";
+constexpr const char* kResource = "gram/fusion.anl.gov";
+
+TEST(GrandTour, EveryLayerCooperates) {
+  // --- the site, with a busy sibling for the broker to skip ---
+  gram::SiteOptions small_options;
+  small_options.host = "small.nfc.gov";
+  small_options.cpu_slots = 2;
+  gram::SimulatedSite small_site{small_options};
+
+  gram::SiteOptions options;
+  options.cpu_slots = 16;
+  gram::SimulatedSite site{options};
+  ASSERT_TRUE(site.AddAccount("nfc_community").ok());
+
+  // --- CAS: membership + grants, capability credential ---
+  auto community =
+      IssueCredential(site.ca(),
+                      gsi::DistinguishedName::Parse(kCommunity).value(),
+                      site.clock().Now());
+  ASSERT_TRUE(site.gridmap().Add(community.identity(), {"nfc_community"}).ok());
+  cas::CasServer cas_server{community, &site.clock()};
+  cas_server.AddMember(kMember);
+  cas::CasGrant grant;
+  grant.subject = kMember;
+  grant.resource = kResource;
+  grant.actions = {"start", "cancel", "information"};
+  grant.constraints.push_back(
+      rsl::ParseConjunction("&(executable = TRANSP)(count <= 8)").value());
+  cas_server.AddGrant(grant);
+
+  auto member =
+      IssueCredential(site.ca(), gsi::DistinguishedName::Parse(kMember).value(),
+                      site.clock().Now());
+  auto capability = cas_server.IssueCredential(member, kResource);
+  ASSERT_TRUE(capability.ok());
+
+  // --- the audited, combined PEP: local policy AND the CAS policy ---
+  auto audit_log = std::make_shared<core::AuditLog>();
+  auto combined = std::make_shared<core::CombiningPdp>();
+  combined->AddSource(std::make_shared<core::StaticPolicySource>(
+      "local", core::PolicyDocument::Parse(
+                   "/:\n&(action = start)(count <= 12)\n&(action = cancel)\n"
+                   "&(action = information)\n")
+                   .value()));
+  combined->AddSource(std::make_shared<cas::CasPolicySource>());
+  site.UseJobManagerPep(std::make_shared<core::AuditingPolicySource>(
+      combined, audit_log, &site.clock()));
+
+  // --- MDS: aggregate both sites, broker picks the big one ---
+  mds::DirectoryService giis{"nfc-giis"};
+  os::SchedulerConfig small_config;
+  small_config.total_cpu_slots = 2;
+  giis.RegisterProvider("small", mds::MakeHostProvider(
+                                     "small.nfc.gov",
+                                     &small_site.scheduler(), small_config));
+  os::SchedulerConfig big_config;
+  big_config.total_cpu_slots = 16;
+  giis.RegisterProvider(
+      "big", mds::MakeHostProvider("fusion.anl.gov", &site.scheduler(),
+                                   big_config));
+  auto candidates = giis.Search("(&(objectclass=mds-host)(mds-cpu-free>=8))");
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].GetFirst("mds-host-hn"), "fusion.anl.gov");
+
+  // --- callbacks ---
+  std::vector<gram::JobStatus> lifecycle;
+  std::string callback_url = site.callbacks().Register(
+      [&lifecycle](const gram::JobStatusReply& update) {
+        lifecycle.push_back(update.status);
+      });
+
+  // --- submission: signed frame over the wire ---
+  gram::wire::WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(),
+                                    &site.trust(), &site.clock()};
+  gram::wire::JobRequest request;
+  request.rsl = "&(executable=TRANSP)(count=8)(simduration=600)";
+  request.callback_url = callback_url;
+  std::string envelope = gram::SignFrame(
+      *capability, request.Encode().Serialize(), site.clock().Now());
+  auto verified = gram::VerifyFrame(envelope, site.trust(), site.clock().Now());
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified->sender.str(), kCommunity);  // channel binding target
+
+  std::string reply_frame = endpoint.Handle(*capability, verified->frame);
+  auto reply = gram::wire::JobRequestReply::Decode(
+      gram::wire::Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->code, gram::GramErrorCode::kNone) << reply->reason;
+  const std::string contact = reply->job_contact;
+
+  // An over-limit request is denied by the CAS policy (count <= 8) even
+  // though local policy (count <= 12) would allow it.
+  gram::wire::WireClient wire_client{*capability, &endpoint};
+  auto denied = wire_client.Submit("&(executable=TRANSP)(count=10)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+
+  // --- lifecycle: initial callback arrived; job runs ---
+  ASSERT_FALSE(lifecycle.empty());
+  EXPECT_EQ(lifecycle.front(), gram::JobStatus::kActive);
+
+  // --- the JM "restarts" ---
+  std::string state = gram::SaveJobManagerState(site.jmis());
+  gram::JobManagerRegistry restored;
+  gram::RestoreEnvironment environment;
+  environment.scheduler = &site.scheduler();
+  environment.clock = &site.clock();
+  environment.callouts = &site.callouts();
+  auto restored_count = gram::RestoreJobManagerState(state, restored,
+                                                     environment);
+  ASSERT_TRUE(restored_count.ok());
+  EXPECT_GE(*restored_count, 1);
+
+  // Management continues against the restored registry.
+  gram::GramClient client = site.MakeClient(*capability);
+  auto status = client.Status(restored, contact,
+                              {.expected_job_owner = kCommunity});
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_EQ(status->status, gram::JobStatus::kActive);
+  EXPECT_TRUE(client.Cancel(restored, contact,
+                            {.expected_job_owner = kCommunity})
+                  .ok());
+
+  // --- MDS reflects the cancellation ---
+  auto after = giis.Search("(&(mds-host-hn=fusion.anl.gov))");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0].GetFirst("mds-cpu-free"), "16");
+
+  // --- the audit log attributes everything to the community identity ---
+  auto permits = audit_log->Query(kCommunity, std::nullopt,
+                                  core::AuditOutcome::kPermit);
+  auto denials = audit_log->Query(kCommunity, std::nullopt,
+                                  core::AuditOutcome::kDeny);
+  EXPECT_GE(permits.size(), 3u);  // start + status + cancel
+  EXPECT_GE(denials.size(), 1u);  // the count=10 attempt
+  // The denial names the CAS source through the combining PDP.
+  EXPECT_NE(denials.front().reason.find("cas"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridauthz

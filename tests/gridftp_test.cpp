@@ -1,0 +1,239 @@
+// The GridFTP-style transfer service: storage semantics (ownership,
+// capacity, quotas), the pluggable PEP over transfer operations (path
+// subtrees, size caps, action sets), stock behaviour without a PEP, and
+// limited-proxy acceptance.
+#include <gtest/gtest.h>
+
+#include "gram/pdp_callout.h"
+#include "gram/site.h"
+#include "gridftp/transfer_service.h"
+
+namespace gridauthz::gridftp {
+namespace {
+
+constexpr const char* kAlice = "/O=Grid/O=NFC/CN=alice";
+constexpr const char* kBob = "/O=Grid/O=NFC/CN=bob";
+
+// ----- storage ---------------------------------------------------------
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() : clock_(0), storage_(1000, &clock_) {}
+
+  SimClock clock_;
+  SimStorage storage_;
+};
+
+TEST_F(StorageTest, PutStatDeleteRoundTrip) {
+  ASSERT_TRUE(storage_.Put("/vol/data/run1.dat", 100, "alice").ok());
+  auto info = storage_.Stat("/vol/data/run1.dat");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_mb, 100);
+  EXPECT_EQ(info->owner_account, "alice");
+  EXPECT_EQ(storage_.used_mb(), 100);
+  ASSERT_TRUE(storage_.Delete("/vol/data/run1.dat", "alice").ok());
+  EXPECT_EQ(storage_.used_mb(), 0);
+  EXPECT_FALSE(storage_.Stat("/vol/data/run1.dat").ok());
+}
+
+TEST_F(StorageTest, OwnershipEnforcedAccountLevel) {
+  ASSERT_TRUE(storage_.Put("/vol/a.dat", 10, "alice").ok());
+  auto overwrite = storage_.Put("/vol/a.dat", 20, "bob");
+  ASSERT_FALSE(overwrite.ok());
+  EXPECT_EQ(overwrite.error().code(), ErrCode::kPermissionDenied);
+  EXPECT_FALSE(storage_.Delete("/vol/a.dat", "bob").ok());
+  // Same-account overwrite adjusts accounting.
+  ASSERT_TRUE(storage_.Put("/vol/a.dat", 30, "alice").ok());
+  EXPECT_EQ(storage_.used_mb(), 30);
+  EXPECT_EQ(storage_.account_usage_mb("alice"), 30);
+}
+
+TEST_F(StorageTest, CapacityEnforced) {
+  ASSERT_TRUE(storage_.Put("/vol/big.dat", 900, "alice").ok());
+  auto over = storage_.Put("/vol/more.dat", 200, "alice");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST_F(StorageTest, AccountQuotaEnforced) {
+  storage_.SetAccountQuota("alice", 50);
+  ASSERT_TRUE(storage_.Put("/vol/a.dat", 40, "alice").ok());
+  auto over = storage_.Put("/vol/b.dat", 20, "alice");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.error().message().find("quota"), std::string::npos);
+  // Other accounts are unaffected.
+  EXPECT_TRUE(storage_.Put("/vol/c.dat", 20, "bob").ok());
+}
+
+TEST_F(StorageTest, ListByPrefix) {
+  ASSERT_TRUE(storage_.Put("/vol/nfc/a.dat", 1, "alice").ok());
+  ASSERT_TRUE(storage_.Put("/vol/nfc/b.dat", 1, "alice").ok());
+  ASSERT_TRUE(storage_.Put("/vol/other/c.dat", 1, "alice").ok());
+  EXPECT_EQ(storage_.List("/vol/nfc/").size(), 2u);
+  EXPECT_EQ(storage_.List("/vol/").size(), 3u);
+  EXPECT_TRUE(storage_.List("/elsewhere/").empty());
+}
+
+TEST_F(StorageTest, RejectsBadInput) {
+  EXPECT_FALSE(storage_.Put("relative/path", 1, "alice").ok());
+  EXPECT_FALSE(storage_.Put("/vol/x", -5, "alice").ok());
+  EXPECT_FALSE(storage_.Delete("/missing", "alice").ok());
+}
+
+// ----- transfer request construction -------------------------------------
+
+TEST(TransferRequest, CarriesActionPathAndSize) {
+  auto request =
+      MakeTransferRequest(kAlice, kActionPut, "/volumes/nfc/data/x.dat", 50);
+  EXPECT_EQ(request.action, "put");
+  EXPECT_EQ(request.job_rsl.GetValue("path"), "/volumes/nfc/data/x.dat");
+  EXPECT_EQ(request.job_rsl.GetValue("size"), "50");
+  // Get/list requests omit the size.
+  auto get = MakeTransferRequest(kAlice, kActionGet, "/volumes/a.dat");
+  EXPECT_FALSE(get.job_rsl.GetValue("size").has_value());
+}
+
+// ----- the service ---------------------------------------------------------
+
+class TransferServiceTest : public ::testing::Test {
+ protected:
+  TransferServiceTest() : storage_(1000, &site_.clock()) {
+    EXPECT_TRUE(site_.AddAccount("alice").ok());
+    EXPECT_TRUE(site_.AddAccount("bob").ok());
+    alice_ = site_.CreateUser(kAlice).value();
+    bob_ = site_.CreateUser(kBob).value();
+    EXPECT_TRUE(site_.MapUser(alice_, "alice").ok());
+    EXPECT_TRUE(site_.MapUser(bob_, "bob").ok());
+
+    FileTransferService::Params params;
+    params.host = site_.host();
+    params.host_credential = IssueCredential(
+        site_.ca(),
+        gsi::DistinguishedName::Parse("/O=Grid/OU=services/CN=gridftp")
+            .value(),
+        site_.clock().Now());
+    params.trust = &site_.trust();
+    params.gridmap = &site_.gridmap();
+    params.storage = &storage_;
+    params.clock = &site_.clock();
+    params.callouts = &site_.callouts();
+    service_ = std::make_unique<FileTransferService>(std::move(params));
+  }
+
+  void InstallPolicy(const char* text) {
+    site_.callouts().BindDirect(
+        std::string{kGridFtpAuthzType},
+        gram::MakePdpCallout(std::make_shared<core::StaticPolicySource>(
+            "vo", core::PolicyDocument::Parse(text).value())));
+  }
+
+  gram::SimulatedSite site_;
+  SimStorage storage_;
+  gsi::Credential alice_;
+  gsi::Credential bob_;
+  std::unique_ptr<FileTransferService> service_;
+};
+
+TEST_F(TransferServiceTest, StockBehaviourWithoutPep) {
+  // No callout bound: gridmap + account enforcement only.
+  EXPECT_TRUE(service_->Put(alice_, "/vol/a.dat", 10).ok());
+  EXPECT_TRUE(service_->Get(alice_, "/vol/a.dat").ok());
+  EXPECT_TRUE(service_->Get(bob_, "/vol/a.dat").ok());  // reads open
+  // But local account enforcement still protects ownership.
+  auto steal = service_->Delete(bob_, "/vol/a.dat");
+  ASSERT_FALSE(steal.ok());
+  EXPECT_EQ(steal.error().code(), ErrCode::kPermissionDenied);
+}
+
+TEST_F(TransferServiceTest, UnmappedUserRejected) {
+  auto outsider = site_.CreateUser("/O=Grid/O=Other/CN=x").value();
+  auto denied = service_->Put(outsider, "/vol/a.dat", 1);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST_F(TransferServiceTest, FineGrainPolicyOverSubtreesAndSizes) {
+  InstallPolicy(R"(
+/O=Grid/O=NFC/CN=alice:
+&(action = put)(path = /volumes/nfc/*)(size < 100)
+&(action = get)(path = /volumes/nfc/*)
+&(action = list)(path = /volumes/nfc*)
+&(action = delete)(path = /volumes/nfc/scratch/*)
+)");
+  // Inside the governed subtree, under the size cap: permitted.
+  EXPECT_TRUE(service_->Put(alice_, "/volumes/nfc/data/run.dat", 50).ok());
+  // Size cap enforced.
+  auto too_big = service_->Put(alice_, "/volumes/nfc/data/big.dat", 100);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.error().code(), ErrCode::kAuthorizationDenied);
+  // Outside the subtree: denied.
+  EXPECT_FALSE(service_->Put(alice_, "/volumes/other/x.dat", 1).ok());
+  // Delete only in scratch.
+  ASSERT_TRUE(service_->Put(alice_, "/volumes/nfc/scratch/tmp.dat", 1).ok());
+  EXPECT_TRUE(service_->Delete(alice_, "/volumes/nfc/scratch/tmp.dat").ok());
+  EXPECT_FALSE(service_->Delete(alice_, "/volumes/nfc/data/run.dat").ok());
+  // Reads and listing inside the subtree.
+  EXPECT_TRUE(service_->Get(alice_, "/volumes/nfc/data/run.dat").ok());
+  auto listing = service_->List(alice_, "/volumes/nfc");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 1u);
+  // Bob has no statement at all: default deny.
+  EXPECT_FALSE(service_->Get(bob_, "/volumes/nfc/data/run.dat").ok());
+}
+
+TEST_F(TransferServiceTest, LimitedProxyAcceptedForTransfers) {
+  // Limited proxies exist precisely so delegated jobs can move files;
+  // GRAM rejects them for job startup, GridFTP accepts them.
+  auto limited = alice_
+                     .GenerateProxy(site_.clock().Now(), 3600,
+                                    gsi::CertType::kLimitedProxy)
+                     .value();
+  EXPECT_TRUE(service_->Put(limited, "/vol/from-job.dat", 5).ok());
+
+  gram::GramClient job_client = site_.MakeClient(limited);
+  EXPECT_FALSE(job_client.Submit(site_.gatekeeper(), "&(executable=sim)").ok());
+}
+
+TEST_F(TransferServiceTest, PepSystemFailureFailsClosed) {
+  site_.callouts().Bind(gram::CalloutBinding{
+      std::string{kGridFtpAuthzType}, "lib_gone", "sym"});
+  auto result = service_->Put(alice_, "/vol/a.dat", 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(TransferServiceTest, LocalQuotaStillBindsUnderPermissivePolicy) {
+  InstallPolicy("/:\n&(action = put)\n&(action = get)\n");
+  storage_.SetAccountQuota("alice", 20);
+  EXPECT_TRUE(service_->Put(alice_, "/vol/a.dat", 15).ok());
+  auto over = service_->Put(alice_, "/vol/b.dat", 10);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST_F(TransferServiceTest, SameVoPolicyGovernsComputeAndStorage) {
+  // One policy document drives BOTH the GRAM job PEP and the GridFTP
+  // PEP — the "consistent policy environment" of the introduction.
+  const char* policy = R"(
+/O=Grid/O=NFC/CN=alice:
+&(action = start)(executable = sim)(count < 4)
+&(action = put)(path = /volumes/nfc/*)(size < 100)
+&(action = information)(jobowner = self)
+)";
+  auto source = std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(policy).value());
+  site_.UseJobManagerPep(source);
+  site_.callouts().BindDirect(std::string{kGridFtpAuthzType},
+                              gram::MakePdpCallout(source));
+
+  gram::GramClient client = site_.MakeClient(alice_);
+  EXPECT_TRUE(
+      client.Submit(site_.gatekeeper(), "&(executable=sim)(count=2)").ok());
+  EXPECT_FALSE(
+      client.Submit(site_.gatekeeper(), "&(executable=rm)(count=1)").ok());
+  EXPECT_TRUE(service_->Put(alice_, "/volumes/nfc/out.dat", 10).ok());
+  EXPECT_FALSE(service_->Put(alice_, "/volumes/secret/out.dat", 10).ok());
+}
+
+}  // namespace
+}  // namespace gridauthz::gridftp

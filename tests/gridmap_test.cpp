@@ -1,0 +1,96 @@
+// grid-mapfile parsing and the stock GT2 authorization/mapping semantics.
+#include <gtest/gtest.h>
+
+#include "gridmap/gridmap.h"
+
+namespace gridauthz::gridmap {
+namespace {
+
+gsi::DistinguishedName Dn(const std::string& text) {
+  return gsi::DistinguishedName::Parse(text).value();
+}
+
+constexpr const char* kMapText = R"(
+# National Fusion Collaboratory users
+"/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu" boliu
+"/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey" keahey,fusion
+)";
+
+TEST(GridMap, ParsesEntries) {
+  auto map = GridMap::Parse(kMapText);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 2u);
+  EXPECT_TRUE(map->Contains(Dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")));
+}
+
+TEST(GridMap, DefaultAccountIsFirst) {
+  auto map = GridMap::Parse(kMapText).value();
+  auto account =
+      map.DefaultAccount(Dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"));
+  ASSERT_TRUE(account.ok());
+  EXPECT_EQ(*account, "keahey");
+}
+
+TEST(GridMap, MultipleAccountsListed) {
+  auto map = GridMap::Parse(kMapText).value();
+  auto accounts =
+      map.Accounts(Dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"));
+  ASSERT_TRUE(accounts.ok());
+  EXPECT_EQ(*accounts, (std::vector<std::string>{"keahey", "fusion"}));
+  EXPECT_TRUE(map.Allows(Dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"),
+                         "fusion"));
+  EXPECT_FALSE(map.Allows(Dn("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"),
+                          "boliu"));
+}
+
+TEST(GridMap, UnmappedUserDeniedWithAuthorizationError) {
+  // This is exactly GT2's coarse-grained authorization failure.
+  auto map = GridMap::Parse(kMapText).value();
+  auto account = map.DefaultAccount(Dn("/O=Grid/CN=stranger"));
+  ASSERT_FALSE(account.ok());
+  EXPECT_EQ(account.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST(GridMap, RejectsUnquotedSubject) {
+  auto map = GridMap::Parse("/O=Grid/CN=x account\n");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.error().code(), ErrCode::kParseError);
+}
+
+TEST(GridMap, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(GridMap::Parse("\"/O=Grid/CN=x account\n").ok());
+}
+
+TEST(GridMap, RejectsMissingAccounts) {
+  EXPECT_FALSE(GridMap::Parse("\"/O=Grid/CN=x\"\n").ok());
+}
+
+TEST(GridMap, RejectsBadDn) {
+  EXPECT_FALSE(GridMap::Parse("\"not-a-dn\" account\n").ok());
+}
+
+TEST(GridMap, RejectsDuplicateSubjects) {
+  auto map = GridMap::Parse(
+      "\"/O=Grid/CN=x\" a\n"
+      "\"/O=Grid/CN=x\" b\n");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.error().code(), ErrCode::kAlreadyExists);
+}
+
+TEST(GridMap, ProgrammaticAddValidates) {
+  GridMap map;
+  EXPECT_TRUE(map.Add(Dn("/O=Grid/CN=x"), {"acct"}).ok());
+  EXPECT_FALSE(map.Add(Dn("/O=Grid/CN=x"), {"other"}).ok());
+  EXPECT_FALSE(map.Add(Dn("/O=Grid/CN=y"), {}).ok());
+}
+
+TEST(GridMap, RoundTripsThroughToString) {
+  auto map = GridMap::Parse(kMapText).value();
+  auto again = GridMap::Parse(map.ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), map.size());
+  EXPECT_EQ(again->ToString(), map.ToString());
+}
+
+}  // namespace
+}  // namespace gridauthz::gridmap

@@ -1,0 +1,345 @@
+// Cross-module integration tests reproducing the paper's section 2 use
+// case: a VO with a developer group and an analysis group, resource-owner
+// and VO policies combined, VO-wide job management with short-notice
+// high-priority jobs, dynamic accounts for unmapped members, and
+// sandbox-backed continuous enforcement.
+#include <gtest/gtest.h>
+
+#include "cas/cas.h"
+#include "gram/site.h"
+#include "sandbox/sandbox.h"
+
+namespace gridauthz {
+namespace {
+
+using gram::GramClient;
+using gram::JobStatus;
+using gram::SignalKind;
+using gram::SignalRequest;
+using gram::SimulatedSite;
+
+constexpr const char* kDeveloper =
+    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kAnalyst =
+    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Analyst One";
+constexpr const char* kAdmin =
+    "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+// The VO policy for the section 2 scenario:
+//  * every start needs a jobtag (management groups);
+//  * developers may only run small debug jobs (count < 2, short);
+//  * analysts may run large simulations;
+//  * admins may manage (cancel / signal / query) every NFC job.
+constexpr const char* kVoPolicy = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = compiler debugger)(count < 2)(jobtag = NFC)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Analyst One:
+&(action = start)(executable = TRANSP)(count <= 8)(jobtag = NFC)
+&(action = information)(jobowner = self)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP demo)(jobtag = NFC)
+&(action = cancel)(jobtag = NFC)
+&(action = signal)(jobtag = NFC)
+&(action = information)(jobtag = NFC)
+)";
+
+class NfcScenarioTest : public ::testing::Test {
+ protected:
+  NfcScenarioTest() : site_(MakeOptions()) {
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    EXPECT_TRUE(site_.AddAccount("analyst").ok());
+    EXPECT_TRUE(site_.AddAccount("keahey").ok());
+    developer_ = site_.CreateUser(kDeveloper).value();
+    analyst_ = site_.CreateUser(kAnalyst).value();
+    admin_ = site_.CreateUser(kAdmin).value();
+    EXPECT_TRUE(site_.MapUser(developer_, "boliu").ok());
+    EXPECT_TRUE(site_.MapUser(analyst_, "analyst").ok());
+    EXPECT_TRUE(site_.MapUser(admin_, "keahey").ok());
+
+    vo_source_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kVoPolicy).value());
+    local_source_ = std::make_shared<core::StaticPolicySource>(
+        "local", core::PolicyDocument::Parse(
+                     "/:\n"
+                     "&(action = start)(count <= 8)(queue != express)\n"
+                     "&(action = cancel)\n"
+                     "&(action = signal)\n"
+                     "&(action = information)\n")
+                     .value());
+    auto combined = std::make_shared<core::CombiningPdp>();
+    combined->AddSource(local_source_);
+    combined->AddSource(vo_source_);
+    site_.UseJobManagerPep(combined);
+  }
+
+  static gram::SiteOptions MakeOptions() {
+    gram::SiteOptions options;
+    options.cpu_slots = 8;
+    return options;
+  }
+
+  SimulatedSite site_;
+  gsi::Credential developer_;
+  gsi::Credential analyst_;
+  gsi::Credential admin_;
+  std::shared_ptr<core::StaticPolicySource> vo_source_;
+  std::shared_ptr<core::StaticPolicySource> local_source_;
+};
+
+TEST_F(NfcScenarioTest, GroupsHaveDifferentResourceRights) {
+  GramClient dev = site_.MakeClient(developer_);
+  GramClient analyst = site_.MakeClient(analyst_);
+
+  // Developers: small debug processes only.
+  EXPECT_TRUE(dev.Submit(site_.gatekeeper(),
+                         "&(executable=compiler)(count=1)(jobtag=NFC)")
+                  .ok());
+  EXPECT_FALSE(dev.Submit(site_.gatekeeper(),
+                          "&(executable=compiler)(count=4)(jobtag=NFC)")
+                   .ok());
+  EXPECT_FALSE(dev.Submit(site_.gatekeeper(),
+                          "&(executable=TRANSP)(count=1)(jobtag=NFC)")
+                   .ok());
+
+  // Analysts: large simulations allowed.
+  EXPECT_TRUE(analyst
+                  .Submit(site_.gatekeeper(),
+                          "&(executable=TRANSP)(count=8)(jobtag=NFC)")
+                  .ok());
+}
+
+TEST_F(NfcScenarioTest, ResourceOwnerPolicyBoundsTheVo) {
+  // Local policy forbids the express queue even if the VO is silent.
+  GramClient analyst = site_.MakeClient(analyst_);
+  auto denied = analyst.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(count=2)(jobtag=NFC)(queue=express)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.error().message().find("source 'local'"),
+            std::string::npos);
+}
+
+TEST_F(NfcScenarioTest, HighPriorityDemoDisplacesLongJob) {
+  // Section 2: "users often have long-running computational jobs ... and
+  // the VO often has short-notice high-priority jobs that require
+  // immediate access to resources. This requires suspending existing
+  // jobs; something that normally only the user that submitted the job
+  // has the right to do."
+  GramClient analyst = site_.MakeClient(analyst_);
+  auto long_job = analyst.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(count=8)(jobtag=NFC)(simduration=1000)");
+  ASSERT_TRUE(long_job.ok());
+  site_.Advance(10);
+
+  // The machine is full; the admin suspends the analyst's job.
+  GramClient admin = site_.MakeClient(admin_);
+  ASSERT_TRUE(admin
+                  .Signal(site_.jmis(), *long_job,
+                          SignalRequest{SignalKind::kSuspend, 0},
+                          {.expected_job_owner = kAnalyst})
+                  .ok());
+
+  // The demo runs immediately.
+  auto demo = admin.Submit(
+      site_.gatekeeper(),
+      "&(executable=demo)(count=8)(jobtag=NFC)(simduration=30)");
+  ASSERT_TRUE(demo.ok()) << demo.error();
+  auto demo_status = admin.Status(site_.jmis(), *demo);
+  EXPECT_EQ(demo_status->status, JobStatus::kActive);
+  site_.Advance(30);
+  EXPECT_EQ(admin.Status(site_.jmis(), *demo)->status, JobStatus::kDone);
+
+  // The admin resumes the long job; it finishes the remaining work.
+  ASSERT_TRUE(admin
+                  .Signal(site_.jmis(), *long_job,
+                          SignalRequest{SignalKind::kResume, 0},
+                          {.expected_job_owner = kAnalyst})
+                  .ok());
+  site_.Advance(990);
+  auto final_status = analyst.Status(site_.jmis(), *long_job);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->status, JobStatus::kDone);
+}
+
+TEST_F(NfcScenarioTest, AnalystCannotManageOthersJobs) {
+  GramClient dev = site_.MakeClient(developer_);
+  auto job = dev.Submit(
+      site_.gatekeeper(),
+      "&(executable=compiler)(count=1)(jobtag=NFC)(simduration=100)");
+  ASSERT_TRUE(job.ok());
+  GramClient analyst = site_.MakeClient(analyst_);
+  auto cancel = analyst.Cancel(site_.jmis(), *job,
+                               {.expected_job_owner = kDeveloper});
+  ASSERT_FALSE(cancel.ok());
+  EXPECT_EQ(cancel.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST_F(NfcScenarioTest, DeadlinePolicyChange) {
+  // "These policies may be dynamic and change over time as critical
+  // deadlines approach": the VO tightens developer limits to free
+  // capacity before a deadline.
+  GramClient dev = site_.MakeClient(developer_);
+  EXPECT_TRUE(dev.Submit(site_.gatekeeper(),
+                         "&(executable=compiler)(count=1)(jobtag=NFC)")
+                  .ok());
+
+  std::string crunch_policy = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Analyst One:
+&(action = start)(executable = TRANSP)(count <= 8)(jobtag = NFC)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = cancel)(jobtag = NFC)
+)";
+  vo_source_->Replace(core::PolicyDocument::Parse(crunch_policy).value());
+
+  // Developer submissions are now denied; analysts unaffected.
+  EXPECT_FALSE(dev.Submit(site_.gatekeeper(),
+                          "&(executable=compiler)(count=1)(jobtag=NFC)")
+                   .ok());
+  GramClient analyst = site_.MakeClient(analyst_);
+  EXPECT_TRUE(analyst
+                  .Submit(site_.gatekeeper(),
+                          "&(executable=TRANSP)(count=2)(jobtag=NFC)")
+                  .ok());
+}
+
+TEST_F(NfcScenarioTest, VoUsageIsAccountedPerAccount) {
+  GramClient analyst = site_.MakeClient(analyst_);
+  auto job = analyst.Submit(
+      site_.gatekeeper(),
+      "&(executable=TRANSP)(count=4)(jobtag=NFC)(simduration=10)");
+  ASSERT_TRUE(job.ok());
+  site_.Advance(10);
+  EXPECT_EQ(site_.scheduler().Usage("analyst").cpu_seconds, 40);
+  EXPECT_EQ(site_.scheduler().Usage("boliu").cpu_seconds, 0);
+}
+
+TEST(DynamicAccountIntegration, UnmappedMemberRunsViaLeasedAccount) {
+  // Shortcoming 5 of section 4.3: requiring a static local account per
+  // user "creates an undue burden". Dynamic accounts: the resource leases
+  // an account on demand and maps the member to it.
+  SimulatedSite site;
+  sandbox::DynamicAccountPool pool{&site.accounts(), "dyn", 2};
+
+  auto visitor =
+      site.CreateUser("/O=Grid/O=Collab/CN=Visiting Scientist").value();
+  GramClient client = site.MakeClient(visitor);
+
+  // Without a mapping, the gatekeeper turns the visitor away.
+  EXPECT_FALSE(client.Submit(site.gatekeeper(), "&(executable=sim)").ok());
+
+  // The resource management facility leases and maps a dynamic account.
+  os::ResourceLimits limits;
+  limits.max_cpus_per_job = 2;
+  auto account =
+      pool.Lease(visitor.identity().str(), {"vo-guests"}, limits).value();
+  ASSERT_TRUE(site.gridmap().Add(visitor.identity(), {account}).ok());
+
+  auto contact =
+      client.Submit(site.gatekeeper(), "&(executable=sim)(simduration=5)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  auto jmi = site.jmis().Lookup(*contact);
+  EXPECT_EQ((*jmi)->local_account(), account);
+
+  // The leased account's limits bind the visitor.
+  auto too_big =
+      client.Submit(site.gatekeeper(), "&(executable=sim)(count=4)");
+  EXPECT_FALSE(too_big.ok());
+
+  site.Advance(5);
+  EXPECT_TRUE(pool.Release(account).ok());
+}
+
+TEST(SandboxIntegration, PolicyDerivedSandboxKillsOverrunner) {
+  // Gateway weakness (section 6.1): once authorized, the gateway no
+  // longer enforces. A sandbox derived from the matched policy assertion
+  // carries the limit into execution.
+  SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("user").ok());
+  auto user = site.CreateUser("/O=Grid/CN=user").value();
+  ASSERT_TRUE(site.MapUser(user, "user").ok());
+
+  auto assertion =
+      rsl::ParseConjunction("&(executable = sim)(maxtime <= 20)").value();
+  sandbox::Sandbox box{sandbox::SandboxFromAssertions(assertion)};
+
+  // The job *claims* compliance but would run for 100s.
+  os::JobSpec spec;
+  spec.executable = "sim";
+  spec.wall_duration = 100;
+  auto tightened = box.Apply(spec);
+  ASSERT_TRUE(tightened.ok());
+  auto id = site.scheduler().Submit("user", *tightened).value();
+  site.Advance(100);
+  auto record = site.scheduler().Status(id);
+  EXPECT_EQ(record->state, os::JobState::kFailed);
+  EXPECT_LE(record->consumed_wall, 20);
+}
+
+TEST(MultiBackendIntegration, SamePolicyThroughFileAndCas) {
+  // "In order to show generality of our approach": the same VO rule —
+  // Bo Liu may start TRANSP with fewer than 4 cpus — enforced via the
+  // file-based PDP and via a CAS credential.
+  const char* subject = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+  // File-based.
+  {
+    SimulatedSite site;
+    ASSERT_TRUE(site.AddAccount("boliu").ok());
+    auto user = site.CreateUser(subject).value();
+    ASSERT_TRUE(site.MapUser(user, "boliu").ok());
+    site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(
+                  "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:\n"
+                  "&(action = start)(executable = TRANSP)(count < 4)\n")
+                  .value()));
+    GramClient client = site.MakeClient(user);
+    EXPECT_TRUE(
+        client.Submit(site.gatekeeper(), "&(executable=TRANSP)(count=2)").ok());
+    EXPECT_FALSE(
+        client.Submit(site.gatekeeper(), "&(executable=TRANSP)(count=4)").ok());
+  }
+
+  // CAS-based.
+  {
+    SimulatedSite site;
+    ASSERT_TRUE(site.AddAccount("community").ok());
+    auto community = IssueCredential(
+        site.ca(),
+        gsi::DistinguishedName::Parse("/O=Grid/O=NFC/CN=Community").value(),
+        site.clock().Now());
+    ASSERT_TRUE(site.gridmap().Add(community.identity(), {"community"}).ok());
+    cas::CasServer server{community, &site.clock()};
+    server.AddMember(subject);
+    cas::CasGrant grant;
+    grant.subject = subject;
+    grant.resource = "gram/fusion.anl.gov";
+    grant.actions = {"start"};
+    grant.constraints.push_back(
+        rsl::ParseConjunction("&(executable = TRANSP)(count < 4)").value());
+    server.AddGrant(grant);
+    site.UseJobManagerPep(std::make_shared<cas::CasPolicySource>());
+
+    auto member = IssueCredential(
+        site.ca(), gsi::DistinguishedName::Parse(subject).value(),
+        site.clock().Now());
+    auto credential =
+        server.IssueCredential(member, "gram/fusion.anl.gov").value();
+    GramClient client = site.MakeClient(credential);
+    EXPECT_TRUE(
+        client.Submit(site.gatekeeper(), "&(executable=TRANSP)(count=2)").ok());
+    EXPECT_FALSE(
+        client.Submit(site.gatekeeper(), "&(executable=TRANSP)(count=4)").ok());
+  }
+}
+
+}  // namespace
+}  // namespace gridauthz

@@ -1,0 +1,121 @@
+// Policy linter: each check, clean policies, and the Figure 3 policy.
+#include <gtest/gtest.h>
+
+#include "core/lint.h"
+
+namespace gridauthz::core {
+namespace {
+
+std::vector<LintFinding> Lint(const char* text) {
+  auto document = PolicyDocument::Parse(text);
+  EXPECT_TRUE(document.ok()) << text;
+  return LintPolicy(*document);
+}
+
+bool HasFinding(const std::vector<LintFinding>& findings,
+                LintSeverity severity, std::string_view fragment) {
+  for (const LintFinding& finding : findings) {
+    if (finding.severity == severity &&
+        finding.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Lint, Figure3IsClean) {
+  auto findings = Lint(R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action=cancel)(jobtag=NFC)
+)");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(Lint, UnknownActionWarned) {
+  auto findings = Lint("/:\n&(action = destroy)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kWarning, "unknown action"));
+}
+
+TEST(Lint, ActionNullIsError) {
+  auto findings = Lint("/:\n&(action = NULL)(executable = a)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kError, "action = NULL"));
+}
+
+TEST(Lint, NonIntegerBoundIsError) {
+  auto findings = Lint("/:\n&(action = start)(count < many)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kError, "non-integer bound"));
+}
+
+TEST(Lint, NumericOnTextualAttributeWarned) {
+  auto findings = Lint("/:\n&(action = start)(executable < 4)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kWarning,
+                         "textual attribute 'executable'"));
+}
+
+TEST(Lint, ImpossibleCountBoundIsError) {
+  auto findings = Lint("/:\n&(action = start)(count < 1)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kError, "count is at least"));
+  // count <= 1 is fine.
+  auto ok = Lint("/:\n&(action = start)(count <= 1)\n");
+  EXPECT_FALSE(HasFinding(ok, LintSeverity::kError, "count is at least"));
+}
+
+TEST(Lint, SelfOutsideJobownerWarned) {
+  auto findings = Lint("/:\n&(action = start)(executable = self)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kWarning, "'self'"));
+  auto ok = Lint("/:\n&(action = cancel)(jobowner = self)\n");
+  EXPECT_FALSE(HasFinding(ok, LintSeverity::kWarning, "'self'"));
+}
+
+TEST(Lint, ActionlessPermissionWarned) {
+  auto findings = Lint("/:\n&(executable = a)\n");
+  EXPECT_TRUE(
+      HasFinding(findings, LintSeverity::kWarning, "grants EVERY action"));
+  // Requirements without action apply to all actions by design: no
+  // warning.
+  auto requirement = Lint(
+      "&/O=Grid: (jobtag != NULL)\n"
+      "/:\n&(action = start)\n");
+  EXPECT_FALSE(HasFinding(requirement, LintSeverity::kWarning,
+                          "grants EVERY action"));
+}
+
+TEST(Lint, RequirementOnlyDocumentIsError) {
+  auto findings = Lint("&/O=Grid: (action = start)(jobtag != NULL)\n");
+  EXPECT_TRUE(HasFinding(findings, LintSeverity::kError,
+                         "only requirement statements"));
+}
+
+TEST(Lint, EmptyDocumentIsClean) {
+  auto findings = Lint("# nothing\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, FindingsCarryLocations) {
+  auto findings = Lint(
+      "/O=Grid/CN=a:\n"
+      "&(action = start)\n"
+      "&(action = start)(count < abc)\n");
+  ASSERT_FALSE(findings.empty());
+  const LintFinding& finding = findings.front();
+  EXPECT_EQ(finding.statement_index, 1);
+  EXPECT_EQ(finding.set_index, 2);
+  EXPECT_NE(finding.ToLine().find("statement 1, set 2"), std::string::npos);
+}
+
+TEST(Lint, FormatFindingsRendersOnePerLine) {
+  auto findings = Lint(
+      "/:\n"
+      "&(action = destroy)\n"
+      "&(action = teleport)\n");
+  std::string text = FormatFindings(findings);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace gridauthz::core

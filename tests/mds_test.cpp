@@ -1,0 +1,186 @@
+// MDS: LDAP-style entries, RFC 1960 filter parsing and matching,
+// directory aggregation and hierarchy, and the live scheduler-backed
+// host provider.
+#include <gtest/gtest.h>
+
+#include "mds/mds.h"
+#include "mds/provider.h"
+
+namespace gridauthz::mds {
+namespace {
+
+Entry HostEntry(const std::string& host, int free_cpus) {
+  Entry entry;
+  entry.dn = "mds-host-hn=" + host + ",o=grid";
+  entry.Add("objectclass", "mds-host");
+  entry.Add("Mds-Host-hn", host);  // attribute names are case-folded
+  entry.Add("mds-cpu-free", std::to_string(free_cpus));
+  return entry;
+}
+
+TEST(MdsEntry, AttributesAreCaseInsensitive) {
+  Entry entry = HostEntry("a.example", 4);
+  ASSERT_NE(entry.Get("MDS-HOST-HN"), nullptr);
+  EXPECT_EQ(entry.GetFirst("mds-host-hn"), "a.example");
+  EXPECT_EQ(entry.GetFirst("missing", "fallback"), "fallback");
+}
+
+struct FilterCase {
+  const char* filter;
+  bool matches_a;  // host a.example, 4 free cpus
+  bool matches_b;  // host b.example, 12 free cpus
+  const char* label;
+};
+
+class FilterMatchTest : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterMatchTest, Matches) {
+  const auto& p = GetParam();
+  auto filter = Filter::Parse(p.filter);
+  ASSERT_TRUE(filter.ok()) << p.filter;
+  Entry a = HostEntry("a.example", 4);
+  Entry b = HostEntry("b.example", 12);
+  EXPECT_EQ(filter->Matches(a), p.matches_a) << p.filter;
+  EXPECT_EQ(filter->Matches(b), p.matches_b) << p.filter;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FilterMatchTest,
+    ::testing::Values(
+        FilterCase{"(mds-host-hn=a.example)", true, false, "equality"},
+        FilterCase{"(mds-host-hn=a*)", true, false, "prefix"},
+        FilterCase{"(mds-host-hn=*)", true, true, "presence"},
+        FilterCase{"(mds-cpu-free>=8)", false, true, "numeric ge"},
+        FilterCase{"(mds-cpu-free<=8)", true, false, "numeric le"},
+        FilterCase{"(&(objectclass=mds-host)(mds-cpu-free>=4))", true, true,
+                   "conjunction"},
+        FilterCase{"(|(mds-host-hn=a.example)(mds-cpu-free>=8))", true, true,
+                   "disjunction"},
+        FilterCase{"(!(mds-host-hn=a.example))", false, true, "negation"},
+        FilterCase{"(&(mds-cpu-free>=4)(!(mds-host-hn=b*)))", true, false,
+                   "nested"},
+        FilterCase{"(unknown-attr=x)", false, false, "absent attribute"}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+struct BadFilter {
+  const char* input;
+  const char* label;
+};
+
+class FilterParseErrorTest : public ::testing::TestWithParam<BadFilter> {};
+
+TEST_P(FilterParseErrorTest, Rejects) {
+  auto filter = Filter::Parse(GetParam().input);
+  ASSERT_FALSE(filter.ok()) << GetParam().label;
+  EXPECT_EQ(filter.error().code(), ErrCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FilterParseErrorTest,
+    ::testing::Values(BadFilter{"", "empty"},
+                      BadFilter{"(a=b", "unterminated"},
+                      BadFilter{"a=b", "no parens"},
+                      BadFilter{"(&)", "empty conjunction"},
+                      BadFilter{"(=v)", "empty attribute"},
+                      BadFilter{"(a>b)", "bare greater"},
+                      BadFilter{"(a=b)(c=d)", "two roots"}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(Directory, AggregatesProvidersAndFilters) {
+  DirectoryService giis{"vo-index"};
+  giis.RegisterProvider("site-a", [] {
+    return std::vector<Entry>{HostEntry("a.example", 4)};
+  });
+  giis.RegisterProvider("site-b", [] {
+    return std::vector<Entry>{HostEntry("b.example", 12)};
+  });
+  auto result = giis.Search("(mds-cpu-free>=8)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].GetFirst("mds-host-hn"), "b.example");
+  EXPECT_EQ(giis.provider_count(), 2u);
+}
+
+TEST(Directory, HierarchicalSearchSpansChildren) {
+  DirectoryService top{"grid-index"};
+  DirectoryService site_index{"site-index"};
+  site_index.RegisterProvider("site-c", [] {
+    return std::vector<Entry>{HostEntry("c.example", 6)};
+  });
+  top.RegisterChild(&site_index);
+  top.RegisterProvider("site-a", [] {
+    return std::vector<Entry>{HostEntry("a.example", 4)};
+  });
+  auto result = top.Search("(objectclass=mds-host)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(Directory, UnregisterRemovesEntries) {
+  DirectoryService giis{"index"};
+  giis.RegisterProvider("s", [] {
+    return std::vector<Entry>{HostEntry("a.example", 4)};
+  });
+  ASSERT_EQ(giis.Search("(objectclass=*)")->size(), 1u);
+  giis.UnregisterProvider("s");
+  EXPECT_TRUE(giis.Search("(objectclass=*)")->empty());
+}
+
+TEST(Directory, BadFilterTextPropagates) {
+  DirectoryService giis{"index"};
+  EXPECT_FALSE(giis.Search("(((").ok());
+}
+
+TEST(HostProvider, PublishesLiveSchedulerState) {
+  os::AccountRegistry accounts;
+  ASSERT_TRUE(accounts.Add("u").ok());
+  os::SchedulerConfig config;
+  config.total_cpu_slots = 8;
+  config.queues = {{"default", 0}, {"express", 10}};
+  os::SimScheduler scheduler{config, &accounts, 0};
+
+  DirectoryService giis{"index"};
+  giis.RegisterProvider("site",
+                        MakeHostProvider("fusion.anl.gov", &scheduler, config));
+
+  auto before = giis.Search("(objectclass=mds-host)");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 1u);
+  EXPECT_EQ((*before)[0].GetFirst("mds-cpu-free"), "8");
+
+  os::JobSpec spec;
+  spec.executable = "sim";
+  spec.count = 5;
+  spec.wall_duration = 100;
+  ASSERT_TRUE(scheduler.Submit("u", spec).ok());
+
+  // The provider reads live state: free slots dropped without any
+  // re-registration.
+  auto after = giis.Search("(objectclass=mds-host)");
+  EXPECT_EQ((*after)[0].GetFirst("mds-cpu-free"), "3");
+  EXPECT_EQ((*after)[0].GetFirst("mds-jobs-running"), "1");
+
+  // Queue entries are published too.
+  auto queues = giis.Search("(objectclass=mds-queue)");
+  ASSERT_TRUE(queues.ok());
+  EXPECT_EQ(queues->size(), 2u);
+  auto express =
+      giis.Search("(&(objectclass=mds-queue)(mds-queue-name=express))");
+  ASSERT_EQ(express->size(), 1u);
+  EXPECT_EQ((*express)[0].GetFirst("mds-queue-priority-boost"), "10");
+}
+
+}  // namespace
+}  // namespace gridauthz::mds

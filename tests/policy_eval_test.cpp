@@ -1,0 +1,465 @@
+// Policy-evaluation semantics: default deny, Figure 3's paper cases,
+// every relation kind (= / != / NULL / self / numeric), requirement vs
+// permission interplay, and strict-attribute mode.
+#include <gtest/gtest.h>
+
+#include "core/source.h"
+
+namespace gridauthz::core {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+constexpr const char* kOutsider = "/O=Grid/O=Other/CN=Outsider";
+
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+PolicyEvaluator Figure3Evaluator(EvaluatorOptions options = {}) {
+  return PolicyEvaluator{PolicyDocument::Parse(kFigure3).value(), options};
+}
+
+AuthorizationRequest StartRequest(const std::string& subject,
+                                  const std::string& rsl) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = std::string{kActionStart};
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+AuthorizationRequest ManageRequest(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& owner,
+                                   const std::string& job_rsl) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = owner;
+  request.job_id = "https://fusion.anl.gov:2119/jobmanager/1";
+  request.job_rsl = rsl::ParseConjunction(job_rsl).value();
+  return request;
+}
+
+// ---------------------------------------------------------------------
+// The paper's own cases (section 5.1 discussion of Figure 3).
+// ---------------------------------------------------------------------
+
+TEST(Figure3, BoLiuMayStartTest1InSandbox) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"));
+  EXPECT_TRUE(decision.permitted()) << decision.reason;
+}
+
+TEST(Figure3, BoLiuMayStartTest2WithNfcTag) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)"));
+  EXPECT_TRUE(decision.permitted()) << decision.reason;
+}
+
+TEST(Figure3, BoLiuMayNotStartOtherExecutables) {
+  // "she can only start jobs using the test1 and test2 executables"
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, DecisionCode::kDenyNoPermission);
+}
+
+TEST(Figure3, BoLiuCountConstraintEnforced) {
+  // "a constraint is placed on the number of processors (count < 4)"
+  auto evaluator = Figure3Evaluator();
+  auto at_limit = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)"));
+  EXPECT_FALSE(at_limit.permitted());
+  auto below = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)"));
+  EXPECT_TRUE(below.permitted());
+}
+
+TEST(Figure3, BoLiuWrongDirectoryDenied) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kBoLiu, "&(executable=test1)(directory=/home/boliu)(jobtag=ADS)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+}
+
+TEST(Figure3, BoLiuWrongJobtagForExecutableDenied) {
+  // test1 must carry jobtag ADS, not NFC.
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+}
+
+TEST(Figure3, JobtagRequirementDeniesUntaggedStart) {
+  // First statement: anl.gov users must submit start requests with a
+  // jobtag, so management policies can later refer to it.
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kKate, "&(executable=TRANSP)(directory=/sandbox/test)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, DecisionCode::kDenyRequirementViolated);
+  EXPECT_NE(decision.reason.find("jobtag"), std::string::npos);
+}
+
+TEST(Figure3, KateMayStartTranspWithNfcTag) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kKate, "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)"));
+  EXPECT_TRUE(decision.permitted()) << decision.reason;
+}
+
+TEST(Figure3, KateMayCancelBoLiusNfcJob) {
+  // "It also gives her the right to cancel all the jobs with jobtag NFC;
+  // for example, jobs based on the executable test1 started by Bo Liu."
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(ManageRequest(
+      kKate, std::string{kActionCancel}, kBoLiu,
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"));
+  EXPECT_TRUE(decision.permitted()) << decision.reason;
+}
+
+TEST(Figure3, KateMayNotCancelAdsJobs) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(ManageRequest(
+      kKate, std::string{kActionCancel}, kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"));
+  EXPECT_FALSE(decision.permitted());
+}
+
+TEST(Figure3, BoLiuMayNotCancelAnything) {
+  // No cancel permission appears in Bo Liu's statement: default deny.
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(ManageRequest(
+      kBoLiu, std::string{kActionCancel}, kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+}
+
+TEST(Figure3, OutsiderDeniedWithNoApplicableStatement) {
+  auto evaluator = Figure3Evaluator();
+  auto decision = evaluator.Evaluate(StartRequest(
+      kOutsider, "&(executable=test1)(jobtag=ADS)(count=1)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, DecisionCode::kDenyNoApplicableStatement);
+}
+
+// ---------------------------------------------------------------------
+// Default deny and relation semantics.
+// ---------------------------------------------------------------------
+
+TEST(Semantics, EmptyPolicyDeniesEverything) {
+  PolicyEvaluator evaluator{PolicyDocument{}};
+  auto decision =
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"));
+  EXPECT_FALSE(decision.permitted());
+}
+
+TEST(Semantics, ActionMismatchDenied) {
+  PolicyEvaluator evaluator{
+      PolicyDocument::Parse("/O=Grid/CN=x:\n&(action = start)\n").value()};
+  auto start = StartRequest("/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_TRUE(evaluator.Evaluate(start).permitted());
+  auto cancel = ManageRequest("/O=Grid/CN=x", std::string{kActionCancel},
+                              "/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_FALSE(evaluator.Evaluate(cancel).permitted());
+}
+
+TEST(Semantics, EqAlternativesAcrossRelations) {
+  // Two '=' relations on the same attribute in one set permit either
+  // value ("multiple assertions can be made about the same attribute").
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(executable = a)(executable = b)\n")
+                                .value()};
+  EXPECT_TRUE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+  EXPECT_TRUE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=b)"))
+          .permitted());
+  EXPECT_FALSE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=c)"))
+          .permitted());
+}
+
+TEST(Semantics, EqValueSequencePermitsSet) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(queue = batch debug)\n")
+                                .value()};
+  EXPECT_TRUE(evaluator
+                  .Evaluate(StartRequest("/O=Grid/CN=x",
+                                         "&(executable=a)(queue=debug)"))
+                  .permitted());
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest("/O=Grid/CN=x",
+                                          "&(executable=a)(queue=prod)"))
+                   .permitted());
+}
+
+TEST(Semantics, EqMissingAttributeDenied) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(jobtag = T)\n")
+                                .value()};
+  EXPECT_FALSE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+}
+
+TEST(Semantics, EqNullMeansRequiredAbsent) {
+  // "The job request is required not to contain a particular attribute."
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(queue = NULL)\n")
+                                .value()};
+  EXPECT_TRUE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest("/O=Grid/CN=x",
+                                          "&(executable=a)(queue=batch)"))
+                   .permitted());
+}
+
+TEST(Semantics, NeqNullMeansRequiredPresent) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(jobtag != NULL)\n")
+                                .value()};
+  EXPECT_TRUE(evaluator
+                  .Evaluate(StartRequest("/O=Grid/CN=x",
+                                         "&(executable=a)(jobtag=T)"))
+                  .permitted());
+  EXPECT_FALSE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+}
+
+TEST(Semantics, NeqValueForbidsThatValue) {
+  // "the job request must not specify a particular queue, which is
+  // reserved for certain high-priority users"
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/O=Grid/CN=x:\n&(action = start)(queue != express)\n")
+                                .value()};
+  EXPECT_TRUE(evaluator
+                  .Evaluate(StartRequest("/O=Grid/CN=x",
+                                         "&(executable=a)(queue=batch)"))
+                  .permitted());
+  EXPECT_TRUE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());  // absence is fine
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest("/O=Grid/CN=x",
+                                          "&(executable=a)(queue=express)"))
+                   .permitted());
+}
+
+TEST(Semantics, SelfResolvesToRequester) {
+  // (jobowner = self) is GT2's stock management rule in the new language.
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/:\n&(action = cancel)(jobowner = self)\n")
+                                .value()};
+  auto own = ManageRequest("/O=Grid/CN=x", std::string{kActionCancel},
+                           "/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_TRUE(evaluator.Evaluate(own).permitted());
+  auto other = ManageRequest("/O=Grid/CN=y", std::string{kActionCancel},
+                             "/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_FALSE(evaluator.Evaluate(other).permitted());
+}
+
+TEST(Semantics, NumericBoundsAllOperators) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/:\n"
+      "&(action = start)(count >= 2)(count <= 8)(maxtime < 600)\n")
+                                .value()};
+  EXPECT_TRUE(evaluator
+                  .Evaluate(StartRequest(
+                      "/O=Grid/CN=x", "&(executable=a)(count=4)(maxtime=599)"))
+                  .permitted());
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest(
+                       "/O=Grid/CN=x", "&(executable=a)(count=1)(maxtime=10)"))
+                   .permitted());
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest(
+                       "/O=Grid/CN=x", "&(executable=a)(count=9)(maxtime=10)"))
+                   .permitted());
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest(
+                       "/O=Grid/CN=x", "&(executable=a)(count=4)(maxtime=600)"))
+                   .permitted());
+}
+
+TEST(Semantics, NumericAgainstNonNumericDenied) {
+  PolicyEvaluator evaluator{
+      PolicyDocument::Parse("/:\n&(action = start)(count < 4)\n").value()};
+  EXPECT_FALSE(evaluator
+                   .Evaluate(StartRequest("/O=Grid/CN=x",
+                                          "&(executable=a)(count=many)"))
+                   .permitted());
+}
+
+TEST(Semantics, NumericMissingAttributeDenied) {
+  PolicyEvaluator evaluator{
+      PolicyDocument::Parse("/:\n&(action = start)(count < 4)\n").value()};
+  EXPECT_FALSE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+}
+
+TEST(Semantics, RequirementOnlyAppliesToMatchingAction) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "&/O=Grid: (action = start)(jobtag != NULL)\n"
+      "/O=Grid/CN=x:\n"
+      "&(action = cancel)(jobowner = self)\n")
+                                .value()};
+  // Cancel is not constrained by the start-only requirement.
+  auto cancel = ManageRequest("/O=Grid/CN=x", std::string{kActionCancel},
+                              "/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_TRUE(evaluator.Evaluate(cancel).permitted());
+}
+
+TEST(Semantics, RequirementAloneGrantsNothing) {
+  // A requirement without any permission still denies (default deny).
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "&/O=Grid: (action = start)(jobtag != NULL)\n")
+                                .value()};
+  auto decision = evaluator.Evaluate(
+      StartRequest("/O=Grid/CN=x", "&(executable=a)(jobtag=T)"));
+  EXPECT_FALSE(decision.permitted());
+  EXPECT_EQ(decision.code, DecisionCode::kDenyNoApplicableStatement);
+}
+
+TEST(Semantics, RequirementWithoutActionAppliesToAllActions) {
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "&/O=Grid: (jobtag != NULL)\n"
+      "/O=Grid/CN=x:\n"
+      "&(action = cancel)\n")
+                                .value()};
+  auto cancel = ManageRequest("/O=Grid/CN=x", std::string{kActionCancel},
+                              "/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_FALSE(evaluator.Evaluate(cancel).permitted());  // no jobtag
+  auto tagged = ManageRequest("/O=Grid/CN=x", std::string{kActionCancel},
+                              "/O=Grid/CN=x", "&(executable=a)(jobtag=T)");
+  EXPECT_TRUE(evaluator.Evaluate(tagged).permitted());
+}
+
+TEST(Semantics, EffectiveRslSynthesizesActionAndJobowner) {
+  AuthorizationRequest request = ManageRequest(
+      "/O=Grid/CN=y", std::string{kActionCancel}, "/O=Grid/CN=x",
+      "&(executable=a)(jobtag=T)");
+  rsl::Conjunction effective = request.ToEffectiveRsl();
+  EXPECT_EQ(effective.GetValue("action"), "cancel");
+  EXPECT_EQ(effective.GetValue("jobowner"), "/O=Grid/CN=x");
+  EXPECT_EQ(effective.GetValue("jobtag"), "T");
+}
+
+TEST(Semantics, JobownerDefaultsToSubject) {
+  AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=x";
+  request.action = std::string{kActionStart};
+  rsl::Conjunction effective = request.ToEffectiveRsl();
+  EXPECT_EQ(effective.GetValue("jobowner"), "/O=Grid/CN=x");
+}
+
+TEST(Semantics, StrictAttributesRequiresMention) {
+  EvaluatorOptions strict;
+  strict.strict_attributes = true;
+  // The set does not mention "queue", so in strict mode a request
+  // carrying queue is not covered.
+  const char* policy = "/:\n&(action = start)(executable = a)\n";
+  PolicyEvaluator open{PolicyDocument::Parse(policy).value()};
+  PolicyEvaluator strict_eval{PolicyDocument::Parse(policy).value(), strict};
+
+  auto with_queue =
+      StartRequest("/O=Grid/CN=x", "&(executable=a)(queue=batch)");
+  EXPECT_TRUE(open.Evaluate(with_queue).permitted());
+  EXPECT_FALSE(strict_eval.Evaluate(with_queue).permitted());
+
+  auto plain = StartRequest("/O=Grid/CN=x", "&(executable=a)");
+  EXPECT_TRUE(strict_eval.Evaluate(plain).permitted());
+}
+
+TEST(Semantics, Gt2DefaultDocumentMatchesStockBehaviour) {
+  PolicyEvaluator evaluator{MakeGt2DefaultDocument()};
+  // Anyone may start.
+  EXPECT_TRUE(
+      evaluator.Evaluate(StartRequest("/O=Grid/CN=x", "&(executable=a)"))
+          .permitted());
+  // Owner may manage.
+  for (const char* action : {"cancel", "information", "signal"}) {
+    EXPECT_TRUE(evaluator
+                    .Evaluate(ManageRequest("/O=Grid/CN=x", action,
+                                            "/O=Grid/CN=x", "&(executable=a)"))
+                    .permitted())
+        << action;
+    EXPECT_FALSE(evaluator
+                     .Evaluate(ManageRequest("/O=Grid/CN=y", action,
+                                             "/O=Grid/CN=x", "&(executable=a)"))
+                     .permitted())
+        << action;
+  }
+}
+
+TEST(Semantics, DecisionReasonsNameTheCause) {
+  auto evaluator = Figure3Evaluator();
+  auto denied = evaluator.Evaluate(StartRequest(
+      kBoLiu, "&(executable=evil)(directory=/sandbox/test)(jobtag=ADS)(count=1)"));
+  EXPECT_NE(denied.reason.find("Bo Liu"), std::string::npos)
+      << denied.reason;
+  auto permitted = evaluator.Evaluate(StartRequest(
+      kBoLiu,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"));
+  EXPECT_NE(permitted.reason.find("assertion set 1"), std::string::npos);
+}
+
+TEST(Semantics, TrailingStarIsPrefixPattern) {
+  // "(path = /volumes/nfc/*)" governs the whole subtree; exact values
+  // still match exactly.
+  PolicyEvaluator evaluator{PolicyDocument::Parse(
+      "/:\n&(action = put)(path = /volumes/nfc/* /shared/readme.txt)\n")
+                                .value()};
+  auto request = [](const char* path) {
+    AuthorizationRequest r;
+    r.subject = "/O=Grid/CN=x";
+    r.action = "put";
+    r.job_owner = r.subject;
+    rsl::Conjunction job;
+    job.Add("path", rsl::RelOp::kEq, path);
+    r.job_rsl = std::move(job);
+    return r;
+  };
+  EXPECT_TRUE(evaluator.Evaluate(request("/volumes/nfc/data/x.dat")).permitted());
+  EXPECT_TRUE(evaluator.Evaluate(request("/shared/readme.txt")).permitted());
+  EXPECT_FALSE(evaluator.Evaluate(request("/volumes/other/x.dat")).permitted());
+  EXPECT_FALSE(evaluator.Evaluate(request("/shared/readme.txt.bak")).permitted());
+  // The bare prefix itself (without trailing segment) also matches.
+  EXPECT_TRUE(evaluator.Evaluate(request("/volumes/nfc/")).permitted());
+}
+
+TEST(Semantics, KnownActions) {
+  EXPECT_TRUE(IsKnownAction("start"));
+  EXPECT_TRUE(IsKnownAction("cancel"));
+  EXPECT_TRUE(IsKnownAction("information"));
+  EXPECT_TRUE(IsKnownAction("signal"));
+  EXPECT_FALSE(IsKnownAction("destroy"));
+}
+
+}  // namespace
+}  // namespace gridauthz::core

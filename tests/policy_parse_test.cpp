@@ -1,0 +1,163 @@
+// Policy-file parsing: the exact Figure 3 policy, statement kinds,
+// multi-line assertion sets, round-trips, and malformed input.
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace gridauthz::core {
+namespace {
+
+// Figure 3 of the paper, verbatim (modulo the paper's own typo in Kate
+// Keahey's subject line, reproduced in normalized form).
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+TEST(PolicyParse, Figure3Structure) {
+  auto doc = PolicyDocument::Parse(kFigure3);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 3u);
+
+  const auto& statements = doc->statements();
+  EXPECT_EQ(statements[0].kind, StatementKind::kRequirement);
+  EXPECT_EQ(statements[0].subject_prefix, "/O=Grid/O=Globus/OU=mcs.anl.gov");
+  ASSERT_EQ(statements[0].assertion_sets.size(), 1u);
+  EXPECT_EQ(statements[0].assertion_sets[0].relations().size(), 2u);
+
+  EXPECT_EQ(statements[1].kind, StatementKind::kPermission);
+  EXPECT_EQ(statements[1].subject_prefix,
+            "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+  ASSERT_EQ(statements[1].assertion_sets.size(), 2u);
+  EXPECT_EQ(statements[1].assertion_sets[0].GetValue("executable"), "test1");
+  EXPECT_EQ(statements[1].assertion_sets[1].GetValue("jobtag"), "NFC");
+
+  EXPECT_EQ(statements[2].kind, StatementKind::kPermission);
+  ASSERT_EQ(statements[2].assertion_sets.size(), 2u);
+  EXPECT_EQ(statements[2].assertion_sets[0].GetValue("executable"), "TRANSP");
+  EXPECT_EQ(statements[2].assertion_sets[1].GetValue("action"), "cancel");
+}
+
+TEST(PolicyParse, InlineAssertionsAfterColon) {
+  auto doc = PolicyDocument::Parse("/O=Grid/CN=a: (action = start)\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 1u);
+  EXPECT_EQ(doc->statements()[0].assertion_sets.size(), 1u);
+}
+
+TEST(PolicyParse, ContinuationLinesExtendCurrentSet) {
+  auto doc = PolicyDocument::Parse(
+      "/O=Grid/CN=a:\n"
+      "&(action = start)\n"
+      "(executable = test1)\n"
+      "(count < 4)\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->statements()[0].assertion_sets.size(), 1u);
+  EXPECT_EQ(doc->statements()[0].assertion_sets[0].relations().size(), 3u);
+}
+
+TEST(PolicyParse, MultipleSetsViaAmpersand) {
+  auto doc = PolicyDocument::Parse(
+      "/O=Grid/CN=a:\n"
+      "&(action = start)(executable = x)\n"
+      "&(action = cancel)(jobtag = T)\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->statements()[0].assertion_sets.size(), 2u);
+}
+
+TEST(PolicyParse, CommentsAndBlankLinesIgnored) {
+  auto doc = PolicyDocument::Parse(
+      "# VO policy\n"
+      "\n"
+      "/O=Grid/CN=a:\n"
+      "# permitted actions\n"
+      "&(action = start)\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 1u);
+}
+
+TEST(PolicyParse, EmptyDocumentIsValid) {
+  auto doc = PolicyDocument::Parse("# nothing here\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->empty());
+}
+
+TEST(PolicyParse, AssertionsBeforeSubjectRejected) {
+  auto doc = PolicyDocument::Parse("&(action = start)\n/O=Grid/CN=a:\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.error().code(), ErrCode::kParseError);
+  EXPECT_NE(doc.error().message().find("before any subject"),
+            std::string::npos);
+}
+
+TEST(PolicyParse, StatementWithoutAssertionsRejected) {
+  auto doc = PolicyDocument::Parse("/O=Grid/CN=a:\n\n/O=Grid/CN=b:\n&(action=start)\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message().find("no assertions"), std::string::npos);
+}
+
+TEST(PolicyParse, MalformedAssertionRejectedWithSubjectContext) {
+  auto doc = PolicyDocument::Parse("/O=Grid/CN=a:\n&(action =)\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message().find("/O=Grid/CN=a"), std::string::npos);
+}
+
+TEST(PolicyParse, GarbageLineRejected) {
+  auto doc = PolicyDocument::Parse("/O=Grid/CN=a:\nnot an assertion\n");
+  ASSERT_FALSE(doc.ok());
+}
+
+TEST(PolicyParse, SubjectMustBeSlashRooted) {
+  // A line with a colon but no '/' start is not a subject line, so it is
+  // rejected as a bad assertion.
+  auto doc = PolicyDocument::Parse("alice: (action = start)\n");
+  ASSERT_FALSE(doc.ok());
+}
+
+TEST(PolicyParse, AppliesToUsesStringPrefix) {
+  auto doc = PolicyDocument::Parse(kFigure3).value();
+  const PolicyStatement& group = doc.statements()[0];
+  EXPECT_TRUE(group.AppliesTo("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"));
+  EXPECT_TRUE(group.AppliesTo("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"));
+  EXPECT_FALSE(group.AppliesTo("/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Other"));
+
+  auto applicable =
+      doc.ApplicableTo("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
+  EXPECT_EQ(applicable.size(), 2u);  // requirement + Bo Liu's permission
+}
+
+TEST(PolicyParse, RoundTripsThroughToString) {
+  auto doc = PolicyDocument::Parse(kFigure3).value();
+  auto again = PolicyDocument::Parse(doc.ToString());
+  ASSERT_TRUE(again.ok()) << doc.ToString();
+  ASSERT_EQ(again->size(), doc.size());
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    EXPECT_EQ(again->statements()[i].kind, doc.statements()[i].kind);
+    EXPECT_EQ(again->statements()[i].subject_prefix,
+              doc.statements()[i].subject_prefix);
+    EXPECT_EQ(again->statements()[i].assertion_sets,
+              doc.statements()[i].assertion_sets);
+  }
+}
+
+TEST(PolicyParse, RequirementMarkerDistinguishedFromAssertionSet) {
+  // "&/O=..." is a requirement subject; "&(..." is an assertion set.
+  auto doc = PolicyDocument::Parse(
+      "&/O=Grid: (jobtag != NULL)\n"
+      "/O=Grid/CN=a:\n"
+      "&(action = start)\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 2u);
+  EXPECT_EQ(doc->statements()[0].kind, StatementKind::kRequirement);
+  EXPECT_EQ(doc->statements()[1].kind, StatementKind::kPermission);
+}
+
+}  // namespace
+}  // namespace gridauthz::core

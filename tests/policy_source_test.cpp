@@ -1,0 +1,207 @@
+// Policy sources and combination: file loading/reload, dynamic
+// replacement, deny-overrides combining, and the monotonicity property
+// (adding a source never widens access).
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/source.h"
+
+namespace gridauthz::core {
+namespace {
+
+AuthorizationRequest Request(const std::string& subject,
+                             const std::string& action,
+                             const std::string& rsl) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+constexpr const char* kPermissive = "/:\n&(action = start)\n";
+constexpr const char* kExecRestricted =
+    "/:\n&(action = start)(executable = allowed)\n";
+
+TEST(StaticSource, EvaluatesAndReplaces) {
+  StaticPolicySource source{"vo", PolicyDocument::Parse(kPermissive).value()};
+  auto before = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                         "&(executable=anything)"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->permitted());
+
+  // Dynamic policy update: the VO tightens policy at runtime.
+  source.Replace(PolicyDocument::Parse(kExecRestricted).value());
+  auto after = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                        "&(executable=anything)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->permitted());
+  auto allowed = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                          "&(executable=allowed)"));
+  EXPECT_TRUE(allowed->permitted());
+}
+
+class FileSourceTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(FileSourceTest, LoadsAndAuthorizes) {
+  const std::string path = Path("ok_policy.txt");
+  ASSERT_TRUE(WriteFile(path, kExecRestricted).ok());
+  FilePolicySource source{"local", path};
+  auto decision = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                           "&(executable=allowed)"));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->permitted());
+}
+
+TEST_F(FileSourceTest, MissingFileIsSystemFailure) {
+  FilePolicySource source{"local", Path("missing_policy.txt")};
+  auto decision = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                           "&(executable=a)"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(FileSourceTest, MalformedFileIsSystemFailure) {
+  const std::string path = Path("bad_policy.txt");
+  ASSERT_TRUE(WriteFile(path, "/O=Grid/CN=x:\n&&&garbage\n").ok());
+  FilePolicySource source{"local", path};
+  auto decision = source.Authorize(Request("/O=Grid/CN=x", "start",
+                                           "&(executable=a)"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(FileSourceTest, ReloadPicksUpEdits) {
+  const std::string path = Path("evolving_policy.txt");
+  ASSERT_TRUE(WriteFile(path, kExecRestricted).ok());
+  FilePolicySource source{"local", path};
+  EXPECT_FALSE(source
+                   .Authorize(Request("/O=Grid/CN=x", "start",
+                                      "&(executable=newly_allowed)"))
+                   ->permitted());
+
+  ASSERT_TRUE(
+      WriteFile(path, "/:\n&(action = start)(executable = newly_allowed)\n")
+          .ok());
+  ASSERT_TRUE(source.Reload().ok());
+  EXPECT_TRUE(source
+                  .Authorize(Request("/O=Grid/CN=x", "start",
+                                     "&(executable=newly_allowed)"))
+                  ->permitted());
+}
+
+TEST_F(FileSourceTest, ReloadFailureFailsClosed) {
+  const std::string path = Path("disappearing_policy.txt");
+  ASSERT_TRUE(WriteFile(path, kPermissive).ok());
+  FilePolicySource source{"local", path};
+  EXPECT_TRUE(source.Authorize(Request("/O=Grid/CN=x", "start",
+                                       "&(executable=a)"))
+                  ->permitted());
+  // Corrupt the file and reload: the source must fail closed, not keep
+  // serving the stale permissive policy.
+  ASSERT_TRUE(WriteFile(path, "corrupt ::: policy").ok());
+  EXPECT_FALSE(source.Reload().ok());
+  auto decision =
+      source.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=a)"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST(CombiningPdp, NoSourcesIsSystemFailure) {
+  CombiningPdp pdp;
+  auto decision =
+      pdp.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=a)"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST(CombiningPdp, AllMustPermit) {
+  auto local = std::make_shared<StaticPolicySource>(
+      "local", PolicyDocument::Parse(kPermissive).value());
+  auto vo = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(kExecRestricted).value());
+  CombiningPdp pdp;
+  pdp.AddSource(local);
+  pdp.AddSource(vo);
+  EXPECT_EQ(pdp.source_count(), 2u);
+
+  auto allowed = pdp.Authorize(Request("/O=Grid/CN=x", "start",
+                                       "&(executable=allowed)"));
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_TRUE(allowed->permitted());
+
+  auto denied =
+      pdp.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=other)"));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_FALSE(denied->permitted());
+  // The deny names the denying source.
+  EXPECT_NE(denied->reason.find("source 'vo'"), std::string::npos);
+}
+
+TEST(CombiningPdp, SourceSystemFailurePropagates) {
+  auto local = std::make_shared<StaticPolicySource>(
+      "local", PolicyDocument::Parse(kPermissive).value());
+  auto broken =
+      std::make_shared<FilePolicySource>("vo", "/no/such/policy/file");
+  CombiningPdp pdp;
+  pdp.AddSource(local);
+  pdp.AddSource(broken);
+  auto decision =
+      pdp.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=a)"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+// Monotonicity property: for a fixed request set, adding a source can
+// only shrink the set of permitted requests.
+class CombiningMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombiningMonotonicityTest, AddingSourcesNeverWidensAccess) {
+  const int extra_sources = GetParam();
+  std::vector<AuthorizationRequest> requests;
+  for (int count = 1; count <= 8; ++count) {
+    for (const char* exe : {"allowed", "other", "third"}) {
+      requests.push_back(Request(
+          "/O=Grid/CN=x", "start",
+          "&(executable=" + std::string{exe} +
+              ")(count=" + std::to_string(count) + ")"));
+    }
+  }
+
+  CombiningPdp base;
+  base.AddSource(std::make_shared<StaticPolicySource>(
+      "local", PolicyDocument::Parse(kPermissive).value()));
+
+  CombiningPdp extended;
+  extended.AddSource(std::make_shared<StaticPolicySource>(
+      "local", PolicyDocument::Parse(kPermissive).value()));
+  const char* tighteners[] = {
+      "/:\n&(action = start)(executable = allowed)\n",
+      "/:\n&(action = start)(count < 5)\n",
+      "/:\n&(action = start)(executable = allowed other)\n",
+  };
+  for (int i = 0; i < extra_sources; ++i) {
+    extended.AddSource(std::make_shared<StaticPolicySource>(
+        "vo" + std::to_string(i),
+        PolicyDocument::Parse(tighteners[i % 3]).value()));
+  }
+
+  for (auto& request : requests) {
+    bool base_permit = base.Authorize(request)->permitted();
+    bool extended_permit = extended.Authorize(request)->permitted();
+    // extended ⇒ base: never permit something the smaller stack denied.
+    EXPECT_TRUE(!extended_permit || base_permit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, CombiningMonotonicityTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gridauthz::core

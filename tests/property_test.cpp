@@ -1,0 +1,271 @@
+// Randomized (seeded, deterministic) property suite over the policy
+// engines. A small xorshift generator builds random policies and random
+// requests from a shared vocabulary, and the suite checks system-wide
+// invariants the design promises:
+//
+//   P1  default deny: a subject no statement applies to is always denied;
+//   P2  RSL policy documents round-trip: Parse(ToString(doc)) renders
+//       identical decisions;
+//   P3  RSL→XACML translation is decision-equivalent to the core
+//       evaluator (and never Indeterminate on well-formed policies);
+//   P4  combining monotonicity: adding a policy source never turns a
+//       deny into a permit;
+//   P5  the auditing decorator is decision-transparent and records
+//       exactly one record per evaluation;
+//   P6  evaluation is deterministic (same request, same decision).
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+#include "core/source.h"
+#include "xacml/xacml.h"
+
+namespace gridauthz {
+namespace {
+
+// Deterministic xorshift64* generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b9 : seed) {}
+
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  // Uniform in [0, n).
+  std::size_t Below(std::size_t n) { return Next() % n; }
+  bool Chance(int percent) { return static_cast<int>(Below(100)) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string>& Subjects() {
+  static const std::vector<std::string> v = {
+      "/O=Grid/O=VO/OU=dev/CN=alice",
+      "/O=Grid/O=VO/OU=dev/CN=bob",
+      "/O=Grid/O=VO/OU=ops/CN=carol",
+      "/O=Grid/O=Other/CN=dave",
+  };
+  return v;
+}
+
+const std::vector<std::string>& SubjectPrefixes() {
+  static const std::vector<std::string> v = {
+      "/O=Grid/O=VO",
+      "/O=Grid/O=VO/OU=dev",
+      "/O=Grid/O=VO/OU=ops/CN=carol",
+      "/",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Actions() {
+  static const std::vector<std::string> v = {"start", "cancel", "information",
+                                             "signal"};
+  return v;
+}
+
+const std::vector<std::string>& AttributeNames() {
+  static const std::vector<std::string> v = {"executable", "directory",
+                                             "jobtag", "queue", "count"};
+  return v;
+}
+
+const std::vector<std::string>& AttributeValues() {
+  static const std::vector<std::string> v = {"test1",   "test2", "TRANSP",
+                                             "/sandbox", "NFC",  "ADS",
+                                             "batch",   "1",     "3", "7"};
+  return v;
+}
+
+rsl::Conjunction RandomAssertionSet(Rng& rng) {
+  rsl::Conjunction set;
+  // Most sets constrain the action.
+  if (rng.Chance(80)) {
+    set.Add("action", rsl::RelOp::kEq, Actions()[rng.Below(Actions().size())]);
+  }
+  int relations = 1 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < relations; ++i) {
+    const std::string& attr =
+        AttributeNames()[rng.Below(AttributeNames().size())];
+    if (attr == "count") {
+      rsl::RelOp op = rng.Chance(50) ? rsl::RelOp::kLt : rsl::RelOp::kLe;
+      set.Add(attr, op, std::to_string(1 + rng.Below(9)));
+    } else if (rng.Chance(15)) {
+      set.Add(attr, rsl::RelOp::kNeq,
+              rng.Chance(50)
+                  ? std::string{core::kNullValue}
+                  : AttributeValues()[rng.Below(AttributeValues().size())]);
+    } else {
+      set.Add(attr, rsl::RelOp::kEq,
+              rng.Chance(10)
+                  ? std::string{core::kSelfValue}
+                  : AttributeValues()[rng.Below(AttributeValues().size())]);
+    }
+  }
+  return set;
+}
+
+core::PolicyDocument RandomPolicy(Rng& rng) {
+  core::PolicyDocument document;
+  int statements = 1 + static_cast<int>(rng.Below(6));
+  for (int i = 0; i < statements; ++i) {
+    core::PolicyStatement statement;
+    statement.kind = rng.Chance(25) ? core::StatementKind::kRequirement
+                                    : core::StatementKind::kPermission;
+    statement.subject_prefix =
+        SubjectPrefixes()[rng.Below(SubjectPrefixes().size())];
+    int sets = 1 + static_cast<int>(rng.Below(3));
+    for (int j = 0; j < sets; ++j) {
+      statement.assertion_sets.push_back(RandomAssertionSet(rng));
+    }
+    document.Add(std::move(statement));
+  }
+  return document;
+}
+
+core::AuthorizationRequest RandomRequest(Rng& rng) {
+  core::AuthorizationRequest request;
+  request.subject = Subjects()[rng.Below(Subjects().size())];
+  request.action = Actions()[rng.Below(Actions().size())];
+  request.job_owner = rng.Chance(60)
+                          ? request.subject
+                          : Subjects()[rng.Below(Subjects().size())];
+  rsl::Conjunction job;
+  job.Add("executable", rsl::RelOp::kEq,
+          AttributeValues()[rng.Below(AttributeValues().size())]);
+  job.Add("count", rsl::RelOp::kEq, std::to_string(1 + rng.Below(9)));
+  if (rng.Chance(60)) {
+    job.Add("jobtag", rsl::RelOp::kEq, rng.Chance(50) ? "NFC" : "ADS");
+  }
+  if (rng.Chance(40)) {
+    job.Add("directory", rsl::RelOp::kEq, "/sandbox");
+  }
+  if (rng.Chance(30)) {
+    job.Add("queue", rsl::RelOp::kEq, "batch");
+  }
+  request.job_rsl = std::move(job);
+  return request;
+}
+
+class PolicyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyPropertyTest, DefaultDenyForUncoveredSubjects) {
+  Rng rng(1000 + GetParam());
+  for (int round = 0; round < 40; ++round) {
+    core::PolicyDocument document = RandomPolicy(rng);
+    // Remove the catch-all "/" statements so an outsider exists.
+    std::vector<core::PolicyStatement> filtered;
+    for (const auto& statement : document.statements()) {
+      if (statement.subject_prefix != "/") filtered.push_back(statement);
+    }
+    core::PolicyEvaluator evaluator{core::PolicyDocument{filtered}};
+    core::AuthorizationRequest request = RandomRequest(rng);
+    request.subject = "/O=Nowhere/CN=stranger";
+    EXPECT_FALSE(evaluator.Evaluate(request).permitted());
+  }
+}
+
+TEST_P(PolicyPropertyTest, DocumentRoundTripPreservesDecisions) {
+  Rng rng(2000 + GetParam());
+  for (int round = 0; round < 25; ++round) {
+    core::PolicyDocument document = RandomPolicy(rng);
+    auto reparsed = core::PolicyDocument::Parse(document.ToString());
+    ASSERT_TRUE(reparsed.ok()) << document.ToString();
+    core::PolicyEvaluator original{document};
+    core::PolicyEvaluator round_tripped{std::move(reparsed).value()};
+    for (int i = 0; i < 20; ++i) {
+      core::AuthorizationRequest request = RandomRequest(rng);
+      EXPECT_EQ(original.Evaluate(request).permitted(),
+                round_tripped.Evaluate(request).permitted())
+          << document.ToString();
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, XacmlTranslationEquivalence) {
+  Rng rng(3000 + GetParam());
+  for (int round = 0; round < 25; ++round) {
+    core::PolicyDocument document = RandomPolicy(rng);
+    core::PolicyEvaluator evaluator{document};
+    auto policy = xacml::TranslateRslPolicy(document);
+    ASSERT_TRUE(policy.ok());
+    for (int i = 0; i < 20; ++i) {
+      core::AuthorizationRequest request = RandomRequest(rng);
+      xacml::XacmlDecision xacml_decision =
+          EvaluatePolicy(*policy, xacml::ContextFromRequest(request));
+      ASSERT_NE(xacml_decision, xacml::XacmlDecision::kIndeterminate)
+          << document.ToString();
+      EXPECT_EQ(evaluator.Evaluate(request).permitted(),
+                xacml_decision == xacml::XacmlDecision::kPermit)
+          << document.ToString() << "\nsubject=" << request.subject
+          << " action=" << request.action
+          << " rsl=" << request.job_rsl.ToString();
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, CombiningMonotonicity) {
+  Rng rng(4000 + GetParam());
+  for (int round = 0; round < 25; ++round) {
+    auto base_doc = RandomPolicy(rng);
+    auto extra_doc = RandomPolicy(rng);
+    core::CombiningPdp base;
+    base.AddSource(
+        std::make_shared<core::StaticPolicySource>("base", base_doc));
+    core::CombiningPdp extended;
+    extended.AddSource(
+        std::make_shared<core::StaticPolicySource>("base", base_doc));
+    extended.AddSource(
+        std::make_shared<core::StaticPolicySource>("extra", extra_doc));
+    for (int i = 0; i < 20; ++i) {
+      core::AuthorizationRequest request = RandomRequest(rng);
+      bool base_permit = base.Authorize(request)->permitted();
+      bool extended_permit = extended.Authorize(request)->permitted();
+      EXPECT_TRUE(!extended_permit || base_permit);
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, AuditDecoratorIsTransparent) {
+  Rng rng(5000 + GetParam());
+  SimClock clock;
+  for (int round = 0; round < 25; ++round) {
+    auto document = RandomPolicy(rng);
+    auto inner =
+        std::make_shared<core::StaticPolicySource>("inner", document);
+    auto log = std::make_shared<core::AuditLog>();
+    core::AuditingPolicySource audited{inner, log, &clock};
+    core::PolicyEvaluator reference{document};
+    for (int i = 0; i < 10; ++i) {
+      core::AuthorizationRequest request = RandomRequest(rng);
+      auto decision = audited.Authorize(request);
+      ASSERT_TRUE(decision.ok());
+      EXPECT_EQ(decision->permitted(),
+                reference.Evaluate(request).permitted());
+    }
+    EXPECT_EQ(log->size(), 10u);
+  }
+}
+
+TEST_P(PolicyPropertyTest, EvaluationIsDeterministic) {
+  Rng rng(6000 + GetParam());
+  core::PolicyDocument document = RandomPolicy(rng);
+  core::PolicyEvaluator evaluator{document};
+  for (int i = 0; i < 50; ++i) {
+    core::AuthorizationRequest request = RandomRequest(rng);
+    core::Decision first = evaluator.Evaluate(request);
+    core::Decision second = evaluator.Evaluate(request);
+    EXPECT_EQ(first.permitted(), second.permitted());
+    EXPECT_EQ(first.code, second.code);
+    EXPECT_EQ(first.reason, second.reason);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gridauthz

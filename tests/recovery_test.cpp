@@ -1,0 +1,179 @@
+// Job Manager state persistence and restart recovery: credential
+// round-trips (including restricted proxies), registry save/restore
+// against the live scheduler, management continuity after "restart",
+// and corrupted-state failure modes.
+#include <gtest/gtest.h>
+
+#include "gram/recovery.h"
+#include "gram/site.h"
+
+namespace gridauthz::gram {
+namespace {
+
+constexpr const char* kOwner = "/O=Grid/O=NFC/CN=Owner";
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    EXPECT_TRUE(site_.AddAccount("owner").ok());
+    owner_ = site_.CreateUser(kOwner).value();
+    EXPECT_TRUE(site_.MapUser(owner_, "owner").ok());
+  }
+
+  SimulatedSite site_;
+  gsi::Credential owner_;
+};
+
+TEST_F(RecoveryTest, CredentialRoundTrip) {
+  auto proxy = owner_.GenerateProxy(site_.clock().Now(), 3600).value();
+  auto decoded = DecodeCredential(EncodeCredential(proxy));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->identity().str(), kOwner);
+  EXPECT_EQ(decoded->chain().size(), proxy.chain().size());
+  // The restored credential still validates and still signs correctly.
+  EXPECT_TRUE(
+      site_.trust().ValidateChain(decoded->chain(), site_.clock().Now()).ok());
+  std::string signature = decoded->Sign("message");
+  EXPECT_TRUE(gsi::VerifySignature(decoded->leaf().subject_key, "message",
+                                   signature));
+}
+
+TEST_F(RecoveryTest, RestrictedProxyPolicySurvives) {
+  auto restricted = owner_
+                        .GenerateProxy(site_.clock().Now(), 3600,
+                                       gsi::CertType::kRestrictedProxy,
+                                       "line one\nline two")
+                        .value();
+  auto decoded = DecodeCredential(EncodeCredential(restricted));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->RestrictionPolicy().has_value());
+  EXPECT_EQ(*decoded->RestrictionPolicy(), "line one\nline two");
+}
+
+TEST_F(RecoveryTest, CorruptCredentialRejected) {
+  EXPECT_FALSE(DecodeCredential("not a credential").ok());
+  EXPECT_FALSE(DecodeCredential("protocol-version: 2\r\ncert-count: 0\r\n"
+                                "key-bytes: abc\r\n")
+                   .ok());
+}
+
+TEST_F(RecoveryTest, SaveRestoreKeepsManagementWorking) {
+  GramClient client = site_.MakeClient(owner_);
+  auto contact = client.Submit(
+      site_.gatekeeper(),
+      "&(executable=sim)(jobtag=NFC)(count=2)(simduration=1000)");
+  ASSERT_TRUE(contact.ok());
+
+  // "Restart": persist, drop the registry, restore into a fresh one.
+  std::string state = SaveJobManagerState(site_.jmis());
+  EXPECT_FALSE(state.empty());
+
+  JobManagerRegistry restored_registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &site_.scheduler();
+  environment.clock = &site_.clock();
+  environment.callouts = &site_.callouts();
+  auto restored = RestoreJobManagerState(state, restored_registry, environment);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  EXPECT_EQ(*restored, 1);
+
+  // The restored JMI answers management requests as before.
+  auto jmi = restored_registry.Lookup(*contact);
+  ASSERT_TRUE(jmi.ok());
+  EXPECT_EQ((*jmi)->owner_identity(), kOwner);
+  EXPECT_EQ((*jmi)->jobtag(), "NFC");
+
+  auto status = client.Status(restored_registry, *contact);
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_EQ(status->status, JobStatus::kActive);
+  EXPECT_TRUE(client.Cancel(restored_registry, *contact).ok());
+}
+
+TEST_F(RecoveryTest, RestoredJmiStillEnforcesAuthorization) {
+  GramClient client = site_.MakeClient(owner_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=1000)");
+  ASSERT_TRUE(contact.ok());
+  std::string state = SaveJobManagerState(site_.jmis());
+
+  JobManagerRegistry restored_registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &site_.scheduler();
+  environment.clock = &site_.clock();
+  environment.callouts = &site_.callouts();
+  ASSERT_TRUE(
+      RestoreJobManagerState(state, restored_registry, environment).ok());
+
+  // Another user is still rejected by the stock identity-match rule.
+  ASSERT_TRUE(site_.AddAccount("other").ok());
+  auto other = site_.CreateUser("/O=Grid/O=NFC/CN=Other").value();
+  GramClient other_client = site_.MakeClient(other);
+  auto denied = other_client.Cancel(restored_registry, *contact,
+                                    {.expected_job_owner = kOwner});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST_F(RecoveryTest, MultipleJobsRestored) {
+  GramClient client = site_.MakeClient(owner_);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client.Submit(site_.gatekeeper(), "&(executable=sim)(simduration=500)")
+            .ok());
+  }
+  std::string state = SaveJobManagerState(site_.jmis());
+  JobManagerRegistry restored_registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &site_.scheduler();
+  environment.clock = &site_.clock();
+  environment.callouts = &site_.callouts();
+  auto restored = RestoreJobManagerState(state, restored_registry, environment);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, 3);
+  EXPECT_EQ(restored_registry.size(), 3u);
+}
+
+TEST_F(RecoveryTest, StateReferencingUnknownJobFails) {
+  GramClient client = site_.MakeClient(owner_);
+  auto contact = client.Submit(site_.gatekeeper(),
+                               "&(executable=sim)(simduration=10)");
+  ASSERT_TRUE(contact.ok());
+  std::string state = SaveJobManagerState(site_.jmis());
+
+  // Restore against a DIFFERENT scheduler that never saw the job.
+  os::AccountRegistry other_accounts;
+  ASSERT_TRUE(other_accounts.Add("owner").ok());
+  os::SimScheduler other_scheduler{os::SchedulerConfig{}, &other_accounts, 0};
+  JobManagerRegistry restored_registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &other_scheduler;
+  environment.clock = &site_.clock();
+  environment.callouts = &site_.callouts();
+  auto restored = RestoreJobManagerState(state, restored_registry, environment);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code(), ErrCode::kFailedPrecondition);
+}
+
+TEST_F(RecoveryTest, EmptyStateRestoresNothing) {
+  JobManagerRegistry registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &site_.scheduler();
+  environment.clock = &site_.clock();
+  auto restored = RestoreJobManagerState("", registry, environment);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, 0);
+}
+
+TEST_F(RecoveryTest, CorruptStateFails) {
+  JobManagerRegistry registry;
+  RestoreEnvironment environment;
+  environment.scheduler = &site_.scheduler();
+  environment.clock = &site_.clock();
+  EXPECT_FALSE(
+      RestoreJobManagerState("garbage without version\n%%\n", registry,
+                             environment)
+          .ok());
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

@@ -1,0 +1,141 @@
+// RSL variable substitution and DUROC-style multi-request submission.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+#include "rsl/rsl.h"
+
+namespace gridauthz {
+namespace {
+
+TEST(RslSubstitution, ReplacesVariables) {
+  auto conj =
+      rsl::ParseConjunction("&(directory=$(HOME)/run)(stdout=$(HOME)/out)"
+                            "(executable=sim)")
+          .value();
+  auto substituted =
+      rsl::SubstituteVariables(conj, {{"HOME", "/home/boliu"}});
+  ASSERT_TRUE(substituted.ok());
+  EXPECT_EQ(substituted->GetValue("directory"), "/home/boliu/run");
+  EXPECT_EQ(substituted->GetValue("stdout"), "/home/boliu/out");
+  EXPECT_EQ(substituted->GetValue("executable"), "sim");
+}
+
+TEST(RslSubstitution, MultipleReferencesInOneValue) {
+  auto conj = rsl::ParseConjunction("&(arguments=$(A)-$(B)-$(A))").value();
+  auto substituted =
+      rsl::SubstituteVariables(conj, {{"A", "x"}, {"B", "y"}});
+  ASSERT_TRUE(substituted.ok());
+  EXPECT_EQ(substituted->GetValue("arguments"), "x-y-x");
+}
+
+TEST(RslSubstitution, UndefinedVariableFails) {
+  auto conj = rsl::ParseConjunction("&(directory=$(NOPE)/x)").value();
+  auto substituted = rsl::SubstituteVariables(conj, {{"HOME", "/h"}});
+  ASSERT_FALSE(substituted.ok());
+  EXPECT_EQ(substituted.error().code(), ErrCode::kNotFound);
+  EXPECT_NE(substituted.error().message().find("NOPE"), std::string::npos);
+}
+
+TEST(RslSubstitution, UnterminatedReferenceFails) {
+  auto conj = rsl::ParseConjunction(R"rsl(&(directory="$(HOME"))rsl").value();
+  auto substituted = rsl::SubstituteVariables(conj, {{"HOME", "/h"}});
+  ASSERT_FALSE(substituted.ok());
+  EXPECT_EQ(substituted.error().code(), ErrCode::kParseError);
+}
+
+TEST(RslSubstitution, NoReferencesIsIdentity) {
+  auto conj = rsl::ParseConjunction("&(executable=sim)(count=2)").value();
+  auto substituted = rsl::SubstituteVariables(conj, {});
+  ASSERT_TRUE(substituted.ok());
+  EXPECT_EQ(*substituted, conj);
+}
+
+class GramRslExtensionsTest : public ::testing::Test {
+ protected:
+  GramRslExtensionsTest() {
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    user_ = site_.CreateUser("/O=Grid/CN=boliu").value();
+    EXPECT_TRUE(site_.MapUser(user_, "boliu").ok());
+  }
+
+  gram::SimulatedSite site_;
+  gsi::Credential user_;
+};
+
+TEST_F(GramRslExtensionsTest, JobManagerSubstitutesHomeBeforePolicy) {
+  // Policy names the concrete home directory; the request uses $(HOME).
+  site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                "/O=Grid/CN=boliu:\n"
+                "&(action = start)(executable = sim)"
+                "(directory = /home/boliu/run)\n")
+                .value()));
+  gram::GramClient client = site_.MakeClient(user_);
+  auto permitted = client.Submit(
+      site_.gatekeeper(),
+      R"rsl(&(executable=sim)(directory="$(HOME)/run"))rsl");
+  EXPECT_TRUE(permitted.ok()) << permitted.error();
+
+  auto denied = client.Submit(
+      site_.gatekeeper(),
+      R"rsl(&(executable=sim)(directory="$(HOME)/elsewhere"))rsl");
+  EXPECT_FALSE(denied.ok());
+}
+
+TEST_F(GramRslExtensionsTest, UndefinedVariableIsBadRsl) {
+  gram::GramClient client = site_.MakeClient(user_);
+  auto result = client.Submit(
+      site_.gatekeeper(),
+      R"rsl(&(executable=sim)(directory="$(TYPO)"))rsl");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(gram::ToProtocolCode(result.error()),
+            gram::GramErrorCode::kJobNotFound);  // kNotFound mapping
+}
+
+TEST_F(GramRslExtensionsTest, MultiRequestSubmitsAll) {
+  gram::GramClient client = site_.MakeClient(user_);
+  auto contacts = client.SubmitMulti(
+      site_.gatekeeper(), site_.jmis(),
+      "+(&(executable=sim)(count=2)(simduration=5))"
+      "(&(executable=sim)(count=3)(simduration=5))");
+  ASSERT_TRUE(contacts.ok()) << contacts.error();
+  ASSERT_EQ(contacts->size(), 2u);
+  EXPECT_EQ(site_.scheduler().used_slots(), 5);
+  site_.Advance(5);
+  for (const std::string& contact : *contacts) {
+    EXPECT_EQ(client.Status(site_.jmis(), contact)->status,
+              gram::JobStatus::kDone);
+  }
+}
+
+TEST_F(GramRslExtensionsTest, MultiRequestRollsBackOnFailure) {
+  // Second sub-request violates policy: the first must be cancelled.
+  site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                "/O=Grid/CN=boliu:\n"
+                "&(action = start)(executable = sim)(count < 3)\n"
+                "&(action = cancel)(jobowner = self)\n"
+                "&(action = information)(jobowner = self)\n")
+                .value()));
+  gram::GramClient client = site_.MakeClient(user_);
+  auto contacts = client.SubmitMulti(
+      site_.gatekeeper(), site_.jmis(),
+      "+(&(executable=sim)(count=1)(simduration=1000))"
+      "(&(executable=sim)(count=8)(simduration=1000))");
+  ASSERT_FALSE(contacts.ok());
+  EXPECT_NE(contacts.error().message().find("sub-request 2 of 2"),
+            std::string::npos);
+  // The rolled-back first job holds no slots.
+  EXPECT_EQ(site_.scheduler().used_slots(), 0);
+}
+
+TEST_F(GramRslExtensionsTest, SingleConjunctionThroughSubmitMulti) {
+  gram::GramClient client = site_.MakeClient(user_);
+  auto contacts = client.SubmitMulti(site_.gatekeeper(), site_.jmis(),
+                                     "&(executable=sim)(simduration=1)");
+  ASSERT_TRUE(contacts.ok());
+  EXPECT_EQ(contacts->size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridauthz

@@ -1,0 +1,203 @@
+// RSL lexer/parser/AST tests: the Figure 3 syntax, GT2 canonicalization,
+// quoting, multi-requests, error positions, and a parse/unparse
+// round-trip property sweep.
+#include <gtest/gtest.h>
+
+#include "rsl/rsl.h"
+
+namespace gridauthz::rsl {
+namespace {
+
+TEST(RslParse, SimpleConjunction) {
+  auto conj = ParseConjunction("&(executable=test1)(count=4)");
+  ASSERT_TRUE(conj.ok());
+  ASSERT_EQ(conj->relations().size(), 2u);
+  EXPECT_EQ(conj->relations()[0].attribute, "executable");
+  EXPECT_EQ(conj->relations()[0].op, RelOp::kEq);
+  EXPECT_EQ(conj->relations()[0].values, std::vector<std::string>{"test1"});
+  EXPECT_EQ(conj->GetValue("count"), "4");
+}
+
+TEST(RslParse, LeadingAmpersandOptional) {
+  auto a = ParseConjunction("&(x=1)");
+  auto b = ParseConjunction("(x=1)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RslParse, PaperFigure3Assertions) {
+  // The exact text of Bo Liu's first assertion set in Figure 3.
+  auto conj = ParseConjunction(
+      "&(action = start)(executable = test1)(directory = "
+      "/sandbox/test)(jobtag = ADS)(count<4)");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj->GetValue("action"), "start");
+  EXPECT_EQ(conj->GetValue("executable"), "test1");
+  EXPECT_EQ(conj->GetValue("directory"), "/sandbox/test");
+  EXPECT_EQ(conj->GetValue("jobtag"), "ADS");
+  const Relation* count = conj->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->op, RelOp::kLt);
+  EXPECT_EQ(count->values, std::vector<std::string>{"4"});
+}
+
+TEST(RslParse, AllRelationalOperators) {
+  auto conj = ParseConjunction("&(a=1)(b!=2)(c<3)(d>4)(e<=5)(f>=6)");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj->relations()[0].op, RelOp::kEq);
+  EXPECT_EQ(conj->relations()[1].op, RelOp::kNeq);
+  EXPECT_EQ(conj->relations()[2].op, RelOp::kLt);
+  EXPECT_EQ(conj->relations()[3].op, RelOp::kGt);
+  EXPECT_EQ(conj->relations()[4].op, RelOp::kLe);
+  EXPECT_EQ(conj->relations()[5].op, RelOp::kGe);
+}
+
+TEST(RslParse, AttributeCanonicalization) {
+  // GT2 canonicalizes attribute names: case-insensitive, underscores
+  // stripped.
+  auto conj = ParseConjunction("&(Max_Time=60)");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_TRUE(conj->Has("maxtime"));
+  EXPECT_TRUE(conj->Has("MAXTIME"));
+  EXPECT_TRUE(conj->Has("max_time"));
+  EXPECT_EQ(CanonicalAttribute("Job_Tag"), "jobtag");
+}
+
+TEST(RslParse, QuotedValuesWithSpacesAndSpecials) {
+  auto conj = ParseConjunction(R"(&(jobowner="/O=Grid/CN=Bo Liu"))");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj->GetValue("jobowner"), "/O=Grid/CN=Bo Liu");
+}
+
+TEST(RslParse, DoubledQuoteEscape) {
+  auto conj = ParseConjunction(R"(&(arg="say ""hi"""))");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj->GetValue("arg"), "say \"hi\"");
+}
+
+TEST(RslParse, ValueSequences) {
+  auto conj = ParseConjunction("&(arguments= alpha beta gamma)");
+  ASSERT_TRUE(conj.ok());
+  const Relation* args = conj->Find("arguments");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->values, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_FALSE(args->single_value().has_value());
+}
+
+TEST(RslParse, MultiRequest) {
+  auto spec = Parse("+(&(executable=a))(&(executable=b)(count=2))");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->is_multi());
+  ASSERT_EQ(spec->requests.size(), 2u);
+  EXPECT_EQ(spec->requests[1].GetValue("count"), "2");
+}
+
+TEST(RslParse, WhitespaceInsensitive) {
+  auto a = ParseConjunction("&(  executable  =  test1 ) ( count < 4 )");
+  auto b = ParseConjunction("&(executable=test1)(count<4)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+struct BadRsl {
+  const char* input;
+  const char* label;
+};
+
+class RslParseErrorTest : public ::testing::TestWithParam<BadRsl> {};
+
+TEST_P(RslParseErrorTest, Rejects) {
+  auto spec = Parse(GetParam().input);
+  ASSERT_FALSE(spec.ok()) << GetParam().label;
+  EXPECT_EQ(spec.error().code(), ErrCode::kParseError);
+  // Error message carries the offset for diagnostics.
+  EXPECT_NE(spec.error().message().find("offset"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RslParseErrorTest,
+    ::testing::Values(BadRsl{"&", "no relations"},
+                      BadRsl{"&(a=1", "unterminated relation"},
+                      BadRsl{"&(=1)", "missing attribute"},
+                      BadRsl{"&(a 1)", "missing operator"},
+                      BadRsl{"&(a=)", "missing value"},
+                      BadRsl{"&(a!1)", "bang without equals"},
+                      BadRsl{"&(a=\"unterminated)", "unterminated quote"},
+                      BadRsl{"&(a=1)trailing", "trailing junk"},
+                      BadRsl{"+", "empty multirequest"}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(RslParse, EmptyInputRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   \n ").ok());
+}
+
+TEST(RslParse, MultiRequestRejectedWhereConjunctionRequired) {
+  auto conj = ParseConjunction("+(&(a=1))(&(b=2))");
+  ASSERT_FALSE(conj.ok());
+}
+
+TEST(RslAst, AddRemoveFind) {
+  Conjunction conj;
+  conj.Add("Executable", RelOp::kEq, "test1");
+  conj.Add("count", RelOp::kLt, "4");
+  EXPECT_TRUE(conj.Has("executable"));
+  EXPECT_EQ(conj.FindAll("count").size(), 1u);
+  EXPECT_EQ(conj.Remove("count"), 1u);
+  EXPECT_FALSE(conj.Has("count"));
+  EXPECT_EQ(conj.Remove("count"), 0u);
+}
+
+TEST(RslAst, GetValueIgnoresNonEqRelations) {
+  auto conj = ParseConjunction("&(count<4)").value();
+  EXPECT_FALSE(conj.GetValue("count").has_value());
+}
+
+TEST(RslAst, QuoteValueOnlyWhenNeeded) {
+  EXPECT_EQ(QuoteValue("plain"), "plain");
+  EXPECT_EQ(QuoteValue("has space"), "\"has space\"");
+  EXPECT_EQ(QuoteValue("a=b"), "\"a=b\"");
+  EXPECT_EQ(QuoteValue(""), "\"\"");
+  EXPECT_EQ(QuoteValue("quote\"inside"), "\"quote\"\"inside\"");
+}
+
+// Round-trip property: ToString() output reparses to an equal AST.
+class RslRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RslRoundTripTest, ParseUnparseParse) {
+  auto first = ParseConjunction(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  auto second = ParseConjunction(first->ToString());
+  ASSERT_TRUE(second.ok()) << first->ToString();
+  EXPECT_EQ(*first, *second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, RslRoundTripTest,
+    ::testing::Values(
+        "&(executable=test1)",
+        "&(executable=test1)(count<4)(jobtag!=NULL)",
+        R"(&(jobowner="/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"))",
+        "&(arguments= a b c)(maxtime<=600)",
+        "&(directory=/sandbox/test)(queue=batch)(count>=2)",
+        R"(&(x="weird ""quoted"" value")(y=plain))",
+        "&(action=start)(jobtag=NFC)(count<4)(maxmemory<1024)"));
+
+TEST(RslRoundTrip, MultiRequestToString) {
+  auto spec = Parse("+(&(a=1))(&(b=2))").value();
+  auto again = Parse(spec.ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->requests.size(), 2u);
+  EXPECT_EQ(spec.ToString(), again->ToString());
+}
+
+}  // namespace
+}  // namespace gridauthz::rsl

@@ -1,0 +1,202 @@
+// Dynamic accounts and sandboxes (section 6.1): pool lease/release and
+// per-request configuration; sandbox derivation from policy assertions
+// and enforcement at submit time and runtime.
+#include <gtest/gtest.h>
+
+#include "sandbox/sandbox.h"
+
+namespace gridauthz::sandbox {
+namespace {
+
+TEST(DynamicAccounts, PoolCreatesRecyclableAccounts) {
+  os::AccountRegistry registry;
+  DynamicAccountPool pool{&registry, "dyn", 3};
+  EXPECT_EQ(pool.available(), 3);
+  EXPECT_EQ(registry.size(), 3u);
+  for (const std::string& name : registry.names()) {
+    EXPECT_TRUE((*registry.Lookup(name))->dynamic) << name;
+  }
+}
+
+TEST(DynamicAccounts, LeaseConfiguresAccountForRequest) {
+  os::AccountRegistry registry;
+  DynamicAccountPool pool{&registry, "dyn", 2};
+  os::ResourceLimits limits;
+  limits.max_cpus_per_job = 4;
+  auto account = pool.Lease("/O=Grid/CN=visitor", {"vo-users"}, limits);
+  ASSERT_TRUE(account.ok());
+  EXPECT_EQ(pool.in_use(), 1);
+  EXPECT_EQ(pool.available(), 1);
+  EXPECT_EQ(pool.Holder(*account), "/O=Grid/CN=visitor");
+
+  auto record = registry.Lookup(*account);
+  EXPECT_TRUE((*record)->InGroup("vo-users"));
+  EXPECT_EQ((*record)->limits.max_cpus_per_job, 4);
+}
+
+TEST(DynamicAccounts, PoolExhaustion) {
+  os::AccountRegistry registry;
+  DynamicAccountPool pool{&registry, "dyn", 1};
+  ASSERT_TRUE(pool.Lease("/O=Grid/CN=a", {}, {}).ok());
+  auto second = pool.Lease("/O=Grid/CN=b", {}, {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST(DynamicAccounts, ReleaseRecyclesAndResets) {
+  os::AccountRegistry registry;
+  DynamicAccountPool pool{&registry, "dyn", 1};
+  os::ResourceLimits limits;
+  limits.max_memory_mb = 64;
+  auto account = pool.Lease("/O=Grid/CN=a", {"g"}, limits).value();
+  ASSERT_TRUE(pool.Release(account).ok());
+  EXPECT_EQ(pool.available(), 1);
+  EXPECT_FALSE(pool.Holder(account).has_value());
+  // Configuration was reset on release.
+  EXPECT_FALSE((*registry.Lookup(account))->InGroup("g"));
+  EXPECT_EQ((*registry.Lookup(account))->limits.max_memory_mb, -1);
+  // And it can be leased again.
+  EXPECT_TRUE(pool.Lease("/O=Grid/CN=b", {}, {}).ok());
+  EXPECT_EQ(pool.total_leases(), 2u);
+}
+
+TEST(DynamicAccounts, ReleaseUnleasedFails) {
+  os::AccountRegistry registry;
+  DynamicAccountPool pool{&registry, "dyn", 1};
+  EXPECT_FALSE(pool.Release("dyn100").ok());
+  EXPECT_FALSE(pool.Release("nonexistent").ok());
+}
+
+TEST(SandboxDerivation, FromFigure3Assertions) {
+  auto assertions = rsl::ParseConjunction(
+                        "&(action = start)(executable = test1)"
+                        "(directory = /sandbox/test)(count < 4)")
+                        .value();
+  SandboxPolicy policy = SandboxFromAssertions(assertions);
+  EXPECT_EQ(policy.allowed_executables,
+            (std::set<std::string>{"test1"}));
+  EXPECT_EQ(policy.allowed_directory_prefixes,
+            (std::set<std::string>{"/sandbox/test"}));
+  ASSERT_TRUE(policy.max_count.has_value());
+  EXPECT_EQ(*policy.max_count, 3);  // count < 4
+  EXPECT_FALSE(policy.max_wall_time.has_value());
+}
+
+TEST(SandboxDerivation, TimeAndMemoryCaps) {
+  auto assertions =
+      rsl::ParseConjunction("&(maxtime <= 600)(maxmemory < 1024)").value();
+  SandboxPolicy policy = SandboxFromAssertions(assertions);
+  EXPECT_EQ(policy.max_wall_time, 600);
+  EXPECT_EQ(policy.max_memory_mb, 1023);
+}
+
+TEST(SandboxDerivation, MultipleExecutablesUnion) {
+  auto assertions =
+      rsl::ParseConjunction("&(executable = test1)(executable = test2)")
+          .value();
+  SandboxPolicy policy = SandboxFromAssertions(assertions);
+  EXPECT_EQ(policy.allowed_executables,
+            (std::set<std::string>{"test1", "test2"}));
+}
+
+class SandboxApplyTest : public ::testing::Test {
+ protected:
+  SandboxApplyTest()
+      : sandbox_(SandboxFromAssertions(
+            rsl::ParseConjunction("&(executable = test1)"
+                                  "(directory = /sandbox/test)(count < 4)"
+                                  "(maxtime <= 50)")
+                .value())) {}
+
+  os::JobSpec Spec() {
+    os::JobSpec spec;
+    spec.executable = "test1";
+    spec.directory = "/sandbox/test/run1";
+    spec.count = 2;
+    spec.wall_duration = 10;
+    return spec;
+  }
+
+  Sandbox sandbox_;
+};
+
+TEST_F(SandboxApplyTest, CompliantSpecPassesWithTightenedLimits) {
+  auto result = sandbox_.Apply(Spec());
+  ASSERT_TRUE(result.ok());
+  // The wall cap is attached for continuous enforcement.
+  ASSERT_TRUE(result->max_wall_time.has_value());
+  EXPECT_EQ(*result->max_wall_time, 50);
+}
+
+TEST_F(SandboxApplyTest, DisallowedExecutableRejected) {
+  os::JobSpec spec = Spec();
+  spec.executable = "rogue";
+  auto result = sandbox_.Apply(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrCode::kPermissionDenied);
+}
+
+TEST_F(SandboxApplyTest, DirectoryPrefixEnforced) {
+  os::JobSpec spec = Spec();
+  spec.directory = "/home/elsewhere";
+  EXPECT_FALSE(sandbox_.Apply(spec).ok());
+}
+
+TEST_F(SandboxApplyTest, CountCapEnforced) {
+  os::JobSpec spec = Spec();
+  spec.count = 4;
+  EXPECT_FALSE(sandbox_.Apply(spec).ok());
+}
+
+TEST_F(SandboxApplyTest, ShorterRequestedLimitKept) {
+  os::JobSpec spec = Spec();
+  spec.max_wall_time = 20;  // tighter than the sandbox's 50
+  auto result = sandbox_.Apply(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->max_wall_time, 20);
+}
+
+TEST_F(SandboxApplyTest, EmptySandboxAllowsEverything) {
+  Sandbox permissive{SandboxPolicy{}};
+  os::JobSpec spec = Spec();
+  spec.executable = "anything";
+  spec.directory = "/anywhere";
+  spec.count = 64;
+  EXPECT_TRUE(permissive.Apply(spec).ok());
+}
+
+TEST(SandboxRuntime, WallCapKillsOverrunningJob) {
+  // Continuous enforcement: the job claims a short duration but actually
+  // runs longer; the sandbox-derived cap kills it.
+  os::AccountRegistry accounts;
+  ASSERT_TRUE(accounts.Add("dyn").ok());
+  os::SimScheduler scheduler{os::SchedulerConfig{}, &accounts, 0};
+
+  Sandbox sandbox{SandboxFromAssertions(
+      rsl::ParseConjunction("&(maxtime <= 30)").value())};
+  os::JobSpec spec;
+  spec.executable = "overrun";
+  spec.wall_duration = 100;  // actual behaviour exceeds the cap
+  auto tightened = sandbox.Apply(spec);
+  ASSERT_TRUE(tightened.ok());
+  auto id = scheduler.Submit("dyn", *tightened).value();
+  scheduler.DrainAll();
+  auto record = scheduler.Status(id);
+  EXPECT_EQ(record->state, os::JobState::kFailed);
+  EXPECT_NE(record->failure_reason.find("wall-time"), std::string::npos);
+  EXPECT_LE(record->consumed_wall, 30);
+}
+
+TEST(SandboxRuntime, MemoryCapRejectsAtSubmit) {
+  Sandbox sandbox{SandboxFromAssertions(
+      rsl::ParseConjunction("&(maxmemory <= 128)").value())};
+  os::JobSpec spec;
+  spec.executable = "big";
+  spec.memory_mb = 512;
+  auto result = sandbox.Apply(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("memory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridauthz::sandbox

@@ -1,0 +1,309 @@
+// The simulated local resource manager: dispatch, state machine,
+// priorities, management operations, limit enforcement, accounting, and
+// state-machine invariants under parameterized load.
+#include <gtest/gtest.h>
+
+#include "os/scheduler.h"
+
+namespace gridauthz::os {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : scheduler_(MakeConfig(), &accounts_, /*start_time=*/0) {
+    EXPECT_TRUE(accounts_.Add("alice").ok());
+    EXPECT_TRUE(accounts_.Add("bob").ok());
+  }
+
+  static SchedulerConfig MakeConfig() {
+    SchedulerConfig config;
+    config.total_cpu_slots = 4;
+    config.queues = {{"default", 0}, {"express", 10}};
+    return config;
+  }
+
+  JobSpec Spec(Duration duration = 10, int count = 1) {
+    JobSpec spec;
+    spec.executable = "job";
+    spec.wall_duration = duration;
+    spec.count = count;
+    return spec;
+  }
+
+  AccountRegistry accounts_;
+  SimScheduler scheduler_;
+};
+
+TEST_F(SchedulerTest, JobRunsToCompletion) {
+  auto id = scheduler_.Submit("alice", Spec(5));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(scheduler_.Status(*id)->state, JobState::kActive);
+  scheduler_.Advance(5);
+  auto record = scheduler_.Status(*id);
+  EXPECT_EQ(record->state, JobState::kDone);
+  EXPECT_EQ(record->consumed_wall, 5);
+  ASSERT_TRUE(record->start_time.has_value());
+  ASSERT_TRUE(record->end_time.has_value());
+  EXPECT_EQ(*record->end_time - *record->start_time, 5);
+}
+
+TEST_F(SchedulerTest, UnknownAccountRejected) {
+  EXPECT_FALSE(scheduler_.Submit("ghost", Spec()).ok());
+}
+
+TEST_F(SchedulerTest, OversizedJobRejected) {
+  auto id = scheduler_.Submit("alice", Spec(10, 8));  // machine has 4 slots
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST_F(SchedulerTest, InvalidCountRejected) {
+  EXPECT_FALSE(scheduler_.Submit("alice", Spec(10, 0)).ok());
+}
+
+TEST_F(SchedulerTest, UnknownQueueRejected) {
+  JobSpec spec = Spec();
+  spec.queue = "no-such-queue";
+  auto id = scheduler_.Submit("alice", spec);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code(), ErrCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, JobsQueueWhenSlotsBusy) {
+  auto a = scheduler_.Submit("alice", Spec(10, 3)).value();
+  auto b = scheduler_.Submit("bob", Spec(10, 3)).value();
+  EXPECT_EQ(scheduler_.Status(a)->state, JobState::kActive);
+  EXPECT_EQ(scheduler_.Status(b)->state, JobState::kPending);
+  EXPECT_EQ(scheduler_.free_slots(), 1);
+  scheduler_.Advance(10);  // a finishes, b dispatches
+  EXPECT_EQ(scheduler_.Status(a)->state, JobState::kDone);
+  EXPECT_EQ(scheduler_.Status(b)->state, JobState::kActive);
+  scheduler_.Advance(10);
+  EXPECT_EQ(scheduler_.Status(b)->state, JobState::kDone);
+}
+
+TEST_F(SchedulerTest, PriorityOrdersDispatch) {
+  auto blocker = scheduler_.Submit("alice", Spec(5, 4)).value();
+  JobSpec low = Spec(5);
+  low.priority = 1;
+  JobSpec high = Spec(5);
+  high.priority = 9;
+  auto low_id = scheduler_.Submit("alice", low).value();
+  auto high_id = scheduler_.Submit("bob", high).value();
+  scheduler_.Advance(5);  // blocker done; both dispatch (2 slots of 4)
+  EXPECT_EQ(scheduler_.Status(blocker)->state, JobState::kDone);
+  EXPECT_EQ(scheduler_.Status(high_id)->state, JobState::kActive);
+  EXPECT_EQ(scheduler_.Status(low_id)->state, JobState::kActive);
+  // With contention, the high-priority job would have gone first; verify
+  // via start_time when only one slot frees at a time.
+}
+
+TEST_F(SchedulerTest, QueueBoostAffectsPriority) {
+  auto blocker = scheduler_.Submit("alice", Spec(5, 4)).value();
+  JobSpec normal = Spec(20, 4);
+  JobSpec express = Spec(5, 4);
+  express.queue = "express";  // +10 boost
+  auto normal_id = scheduler_.Submit("alice", normal).value();
+  auto express_id = scheduler_.Submit("bob", express).value();
+  scheduler_.Advance(5);
+  // Express job dispatched first despite being submitted later.
+  EXPECT_EQ(scheduler_.Status(express_id)->state, JobState::kActive);
+  EXPECT_EQ(scheduler_.Status(normal_id)->state, JobState::kPending);
+  (void)blocker;
+}
+
+TEST_F(SchedulerTest, CancelPendingAndActive) {
+  auto active = scheduler_.Submit("alice", Spec(10, 4)).value();
+  auto pending = scheduler_.Submit("bob", Spec(10, 4)).value();
+  EXPECT_TRUE(scheduler_.Cancel(pending).ok());
+  EXPECT_EQ(scheduler_.Status(pending)->state, JobState::kCancelled);
+  EXPECT_TRUE(scheduler_.Cancel(active).ok());
+  EXPECT_EQ(scheduler_.Status(active)->state, JobState::kCancelled);
+  EXPECT_EQ(scheduler_.free_slots(), 4);
+}
+
+TEST_F(SchedulerTest, CancelTerminalFails) {
+  auto id = scheduler_.Submit("alice", Spec(5)).value();
+  scheduler_.Advance(5);
+  auto cancelled = scheduler_.Cancel(id);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.error().code(), ErrCode::kFailedPrecondition);
+}
+
+TEST_F(SchedulerTest, CancelUnknownFails) {
+  EXPECT_FALSE(scheduler_.Cancel(999).ok());
+}
+
+TEST_F(SchedulerTest, SuspendFreesSlotsAndResumeRequeues) {
+  auto big = scheduler_.Submit("alice", Spec(20, 4)).value();
+  auto waiting = scheduler_.Submit("bob", Spec(5, 4)).value();
+  EXPECT_EQ(scheduler_.Status(waiting)->state, JobState::kPending);
+
+  // The VO scenario: suspend the long job to free resources for the
+  // short-notice one.
+  ASSERT_TRUE(scheduler_.Suspend(big).ok());
+  EXPECT_EQ(scheduler_.Status(big)->state, JobState::kSuspended);
+  EXPECT_EQ(scheduler_.Status(waiting)->state, JobState::kActive);
+
+  scheduler_.Advance(5);
+  EXPECT_EQ(scheduler_.Status(waiting)->state, JobState::kDone);
+
+  ASSERT_TRUE(scheduler_.Resume(big).ok());
+  scheduler_.Advance(1);
+  EXPECT_EQ(scheduler_.Status(big)->state, JobState::kActive);
+  // Work done before suspension counts: 20 total, advance the rest.
+  scheduler_.Advance(100);
+  EXPECT_EQ(scheduler_.Status(big)->state, JobState::kDone);
+}
+
+TEST_F(SchedulerTest, SuspendRequiresActive) {
+  auto a = scheduler_.Submit("alice", Spec(10, 4)).value();
+  auto pending = scheduler_.Submit("bob", Spec(10)).value();
+  EXPECT_FALSE(scheduler_.Suspend(pending).ok());
+  EXPECT_TRUE(scheduler_.Suspend(a).ok());
+  EXPECT_FALSE(scheduler_.Suspend(a).ok());  // already suspended
+  EXPECT_FALSE(scheduler_.Resume(pending).ok());
+}
+
+TEST_F(SchedulerTest, SetPriorityOnLiveJobOnly) {
+  auto id = scheduler_.Submit("alice", Spec(5)).value();
+  EXPECT_TRUE(scheduler_.SetPriority(id, 7).ok());
+  EXPECT_EQ(scheduler_.Status(id)->spec.priority, 7);
+  scheduler_.Advance(5);
+  EXPECT_FALSE(scheduler_.SetPriority(id, 9).ok());
+}
+
+TEST_F(SchedulerTest, WallTimeLimitKillsJob) {
+  JobSpec spec = Spec(100);
+  spec.max_wall_time = 10;
+  auto id = scheduler_.Submit("alice", spec).value();
+  scheduler_.Advance(10);
+  auto record = scheduler_.Status(id);
+  EXPECT_EQ(record->state, JobState::kFailed);
+  EXPECT_NE(record->failure_reason.find("wall-time"), std::string::npos);
+  EXPECT_EQ(scheduler_.free_slots(), 4);
+}
+
+TEST_F(SchedulerTest, AccountCpuSecondLimitEnforced) {
+  ResourceLimits limits;
+  limits.max_cpu_seconds = 6;
+  ASSERT_TRUE(accounts_.Add("capped", {}, limits).ok());
+  auto id = scheduler_.Submit("capped", Spec(100, 2)).value();  // 2 cpus
+  scheduler_.Advance(3);  // 6 cpu-seconds consumed
+  auto record = scheduler_.Status(id);
+  EXPECT_EQ(record->state, JobState::kFailed);
+  EXPECT_NE(record->failure_reason.find("cpu-second"), std::string::npos);
+}
+
+TEST_F(SchedulerTest, AccountCpuQuotaIsAggregateAcrossJobs) {
+  // The quota is account-level, not per job: two individually modest jobs
+  // jointly exhaust it and BOTH are killed — the coarse enforcement
+  // granularity the paper criticizes.
+  ResourceLimits limits;
+  limits.max_cpu_seconds = 4;
+  ASSERT_TRUE(accounts_.Add("shared", {}, limits).ok());
+  auto a = scheduler_.Submit("shared", Spec(100, 1)).value();
+  auto b = scheduler_.Submit("shared", Spec(100, 1)).value();
+  scheduler_.Advance(2);  // 2s x 2 jobs = 4 cpu-seconds aggregate
+  EXPECT_EQ(scheduler_.Status(a)->state, JobState::kFailed);
+  EXPECT_EQ(scheduler_.Status(b)->state, JobState::kFailed);
+}
+
+TEST_F(SchedulerTest, PerAccountStaticLimitsAtSubmit) {
+  ResourceLimits limits;
+  limits.max_cpus_per_job = 2;
+  limits.max_memory_mb = 128;
+  limits.max_concurrent_jobs = 1;
+  ASSERT_TRUE(accounts_.Add("small", {}, limits).ok());
+
+  EXPECT_FALSE(scheduler_.Submit("small", Spec(5, 3)).ok());
+  JobSpec fat = Spec(5);
+  fat.memory_mb = 4096;
+  EXPECT_FALSE(scheduler_.Submit("small", fat).ok());
+
+  ASSERT_TRUE(scheduler_.Submit("small", Spec(50)).ok());
+  auto second = scheduler_.Submit("small", Spec(5));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrCode::kResourceExhausted);
+}
+
+TEST_F(SchedulerTest, UsageAccounting) {
+  auto a = scheduler_.Submit("alice", Spec(5, 2)).value();
+  auto b = scheduler_.Submit("alice", Spec(3, 1)).value();
+  scheduler_.Advance(5);
+  AccountUsage usage = scheduler_.Usage("alice");
+  EXPECT_EQ(usage.jobs_submitted, 2);
+  EXPECT_EQ(usage.jobs_completed, 2);
+  EXPECT_EQ(usage.cpu_seconds, 5 * 2 + 3 * 1);
+  (void)a;
+  (void)b;
+}
+
+TEST_F(SchedulerTest, StateListenerSeesTransitions) {
+  std::vector<std::pair<JobState, JobState>> transitions;
+  scheduler_.AddStateListener([&](const JobRecord& job, JobState previous) {
+    transitions.emplace_back(previous, job.state);
+  });
+  auto id = scheduler_.Submit("alice", Spec(5)).value();
+  scheduler_.Advance(5);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0],
+            std::make_pair(JobState::kPending, JobState::kActive));
+  EXPECT_EQ(transitions[1], std::make_pair(JobState::kActive, JobState::kDone));
+  (void)id;
+}
+
+TEST_F(SchedulerTest, DrainAllCompletesEverything) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(scheduler_.Submit(i % 2 ? "alice" : "bob", Spec(7, 2)).ok());
+  }
+  Duration consumed = scheduler_.DrainAll();
+  EXPECT_TRUE(scheduler_.AllTerminal());
+  // 10 jobs x 7s x 2 cpus on 4 slots: at least 35s of wall time.
+  EXPECT_GE(consumed, 35);
+}
+
+TEST_F(SchedulerTest, DrainAllStopsWhenOnlySuspendedRemain) {
+  auto id = scheduler_.Submit("alice", Spec(50)).value();
+  ASSERT_TRUE(scheduler_.Suspend(id).ok());
+  Duration consumed = scheduler_.DrainAll(1000);
+  EXPECT_FALSE(scheduler_.AllTerminal());
+  EXPECT_LT(consumed, 1000);
+}
+
+// Invariant sweep: whatever the load, slots never go negative or exceed
+// the machine, and every job ends terminal after draining.
+class SchedulerLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerLoadTest, InvariantsHoldUnderLoad) {
+  const int jobs = GetParam();
+  AccountRegistry accounts;
+  ASSERT_TRUE(accounts.Add("u").ok());
+  SchedulerConfig config;
+  config.total_cpu_slots = 8;
+  SimScheduler scheduler{config, &accounts, 0};
+
+  scheduler.AddStateListener([&](const JobRecord&, JobState) {
+    EXPECT_GE(scheduler.free_slots(), 0);
+    EXPECT_LE(scheduler.used_slots(), 8);
+  });
+
+  for (int i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.executable = "load";
+    spec.count = 1 + (i % 4);
+    spec.wall_duration = 1 + (i * 7) % 13;
+    spec.priority = i % 3;
+    ASSERT_TRUE(scheduler.Submit("u", spec).ok());
+  }
+  scheduler.DrainAll(100'000);
+  EXPECT_TRUE(scheduler.AllTerminal());
+  EXPECT_EQ(scheduler.used_slots(), 0);
+  EXPECT_EQ(scheduler.Usage("u").jobs_completed, jobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Load, SchedulerLoadTest,
+                         ::testing::Values(1, 5, 25, 100));
+
+}  // namespace
+}  // namespace gridauthz::os

@@ -1,0 +1,111 @@
+// Mutual authentication and delegation (the simulated GSI handshake).
+#include <gtest/gtest.h>
+
+#include "gsi/security_context.h"
+
+namespace gridauthz::gsi {
+namespace {
+
+DistinguishedName Dn(const std::string& text) {
+  return DistinguishedName::Parse(text).value();
+}
+
+constexpr TimePoint kNow = 1'000'000;
+
+class SecurityContextTest : public ::testing::Test {
+ protected:
+  SecurityContextTest()
+      : ca_(Dn("/O=Grid/CN=CA"), kNow),
+        user_(IssueCredential(ca_, Dn("/O=Grid/CN=alice"), kNow)),
+        host_(IssueCredential(ca_, Dn("/O=Grid/OU=services/CN=gatekeeper"), kNow)) {
+    trust_.AddTrustedCa(ca_.certificate());
+  }
+
+  CertificateAuthority ca_;
+  TrustRegistry trust_;
+  Credential user_;
+  Credential host_;
+};
+
+TEST_F(SecurityContextTest, MutualAuthenticationYieldsPeerIdentities) {
+  auto handshake = EstablishSecurityContext(user_, host_, trust_, kNow);
+  ASSERT_TRUE(handshake.ok());
+  EXPECT_EQ(handshake->initiator_view.peer_identity.str(),
+            "/O=Grid/OU=services/CN=gatekeeper");
+  EXPECT_EQ(handshake->acceptor_view.peer_identity.str(), "/O=Grid/CN=alice");
+  EXPECT_FALSE(handshake->acceptor_view.delegated_credential.has_value());
+}
+
+TEST_F(SecurityContextTest, ProxyInitiatorAuthenticatesAsEec) {
+  Credential proxy = user_.GenerateProxy(kNow, 3600).value();
+  auto handshake = EstablishSecurityContext(proxy, host_, trust_, kNow);
+  ASSERT_TRUE(handshake.ok());
+  EXPECT_EQ(handshake->acceptor_view.peer_identity.str(), "/O=Grid/CN=alice");
+}
+
+TEST_F(SecurityContextTest, DelegationHandsAcceptorAProxy) {
+  auto handshake =
+      EstablishSecurityContext(user_, host_, trust_, kNow, /*delegate=*/true);
+  ASSERT_TRUE(handshake.ok());
+  ASSERT_TRUE(handshake->acceptor_view.delegated_credential.has_value());
+  const Credential& delegated = *handshake->acceptor_view.delegated_credential;
+  EXPECT_EQ(delegated.identity().str(), "/O=Grid/CN=alice");
+  EXPECT_EQ(delegated.leaf().type, CertType::kImpersonationProxy);
+  // Delegated credential itself validates.
+  EXPECT_TRUE(trust_.ValidateChain(delegated.chain(), kNow).ok());
+}
+
+TEST_F(SecurityContextTest, UntrustedPeerFailsHandshake) {
+  CertificateAuthority evil_ca{Dn("/O=Evil/CN=CA"), kNow};
+  Credential mallory = IssueCredential(evil_ca, Dn("/O=Evil/CN=mallory"), kNow);
+  auto handshake = EstablishSecurityContext(mallory, host_, trust_, kNow);
+  ASSERT_FALSE(handshake.ok());
+  EXPECT_EQ(handshake.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+TEST_F(SecurityContextTest, ExpiredInitiatorFailsHandshake) {
+  auto handshake =
+      EstablishSecurityContext(user_, host_, trust_, kNow + 400L * 24 * 3600);
+  ASSERT_FALSE(handshake.ok());
+  EXPECT_EQ(handshake.error().code(), ErrCode::kAuthenticationFailed);
+}
+
+TEST_F(SecurityContextTest, EmptyCredentialFailsHandshake) {
+  Credential empty;
+  auto handshake = EstablishSecurityContext(empty, host_, trust_, kNow);
+  ASSERT_FALSE(handshake.ok());
+  EXPECT_NE(handshake.error().message().find("no credential"),
+            std::string::npos);
+}
+
+TEST_F(SecurityContextTest, LimitedProxyFlagSurfaces) {
+  Credential limited =
+      user_.GenerateProxy(kNow, 3600, CertType::kLimitedProxy).value();
+  auto handshake = EstablishSecurityContext(limited, host_, trust_, kNow);
+  ASSERT_TRUE(handshake.ok());
+  EXPECT_TRUE(handshake->acceptor_view.peer_is_limited_proxy());
+  EXPECT_FALSE(handshake->initiator_view.peer_is_limited_proxy());
+}
+
+TEST_F(SecurityContextTest, RestrictionPolicySurfaces) {
+  Credential restricted =
+      user_.GenerateProxy(kNow, 3600, CertType::kRestrictedProxy, "cas-policy")
+          .value();
+  auto handshake = EstablishSecurityContext(restricted, host_, trust_, kNow);
+  ASSERT_TRUE(handshake.ok());
+  auto policy = handshake->acceptor_view.peer_restriction_policy();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(*policy, "cas-policy");
+}
+
+TEST_F(SecurityContextTest, DelegatedLifetimeHonored) {
+  auto handshake = EstablishSecurityContext(user_, host_, trust_, kNow,
+                                            /*delegate=*/true,
+                                            /*delegation_lifetime=*/60);
+  ASSERT_TRUE(handshake.ok());
+  const Credential& delegated = *handshake->acceptor_view.delegated_credential;
+  EXPECT_FALSE(trust_.ValidateChain(delegated.chain(), kNow + 120).ok());
+}
+
+}  // namespace
+}  // namespace gridauthz::gsi

@@ -1,0 +1,112 @@
+// SHA-256 / HMAC-SHA-256 against published test vectors (FIPS 180-4,
+// RFC 4231), plus incremental-update equivalence and collision-resistance
+// smoke properties.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gsi/sha256.h"
+
+namespace gridauthz::gsi {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(ToHex(Sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(ToHex(Sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string input(1'000'000, 'a');
+  EXPECT_EQ(ToHex(Sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes cross the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string input(n, 'x');
+    Sha256Stream stream;
+    stream.Update(input);
+    EXPECT_EQ(ToHex(stream.Finish()), ToHex(Sha256(input))) << "n=" << n;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at length";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256Stream stream;
+    stream.Update(data.substr(0, split));
+    stream.Update(data.substr(split));
+    EXPECT_EQ(ToHex(stream.Finish()), ToHex(Sha256(data))) << "split=" << split;
+  }
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(ToHex(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(ToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  std::string key(20, '\xaa');
+  std::string data(50, '\xdd');
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  std::string key(131, '\xaa');
+  EXPECT_EQ(ToHex(HmacSha256(key,
+                             "Test Using Larger Than Block-Size Key - Hash "
+                             "Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+  EXPECT_NE(ToHex(HmacSha256("key1", "msg")), ToHex(HmacSha256("key2", "msg")));
+}
+
+TEST(ToHex, Is64LowercaseHexChars) {
+  std::string hex = ToHex(Sha256("x"));
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+// Property sweep: distinct short inputs produce distinct digests.
+class Sha256DistinctTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256DistinctTest, NoCollisionsAcrossPrefixSet) {
+  const int n = GetParam();
+  std::set<std::string> digests;
+  for (int i = 0; i < n; ++i) {
+    digests.insert(ToHex(Sha256("input-" + std::to_string(i))));
+  }
+  EXPECT_EQ(static_cast<int>(digests.size()), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Sha256DistinctTest,
+                         ::testing::Values(10, 100, 1000));
+
+}  // namespace
+}  // namespace gridauthz::gsi

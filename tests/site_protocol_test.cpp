@@ -1,0 +1,99 @@
+// The SimulatedSite facade and the GRAM protocol-code mapping tables.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+
+namespace gridauthz::gram {
+namespace {
+
+TEST(Site, CreateUserRejectsBadDn) {
+  SimulatedSite site;
+  auto user = site.CreateUser("not-a-dn");
+  ASSERT_FALSE(user.ok());
+  EXPECT_EQ(user.error().code(), ErrCode::kParseError);
+}
+
+TEST(Site, MapUserTwiceFails) {
+  SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("a").ok());
+  auto user = site.CreateUser("/O=Grid/CN=u").value();
+  ASSERT_TRUE(site.MapUser(user, "a").ok());
+  auto again = site.MapUser(user, "a");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), ErrCode::kAlreadyExists);
+}
+
+TEST(Site, AdvanceMovesClockAndScheduler) {
+  SimulatedSite site;
+  TimePoint clock_before = site.clock().Now();
+  TimePoint scheduler_before = site.scheduler().now();
+  site.Advance(123);
+  EXPECT_EQ(site.clock().Now() - clock_before, 123);
+  EXPECT_EQ(site.scheduler().now() - scheduler_before, 123);
+}
+
+TEST(Site, StartTimeOptionRespected) {
+  SiteOptions options;
+  options.start_time = 42;
+  SimulatedSite site{options};
+  EXPECT_EQ(site.clock().Now(), 42);
+  EXPECT_EQ(site.scheduler().now(), 42);
+}
+
+TEST(Site, HostCredentialTrustedByOwnCa) {
+  SimulatedSite site;
+  auto user = site.CreateUser("/O=Grid/CN=u").value();
+  auto handshake = gsi::EstablishSecurityContext(
+      user, user, site.trust(), site.clock().Now());
+  EXPECT_TRUE(handshake.ok());
+}
+
+struct CodeCase {
+  ErrCode internal;
+  GramErrorCode wire;
+};
+
+class ProtocolCodeTest : public ::testing::TestWithParam<CodeCase> {};
+
+TEST_P(ProtocolCodeTest, MapsInternalToProtocol) {
+  Error error{GetParam().internal, "x"};
+  EXPECT_EQ(ToProtocolCode(error), GetParam().wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mappings, ProtocolCodeTest,
+    ::testing::Values(
+        CodeCase{ErrCode::kAuthenticationFailed,
+                 GramErrorCode::kAuthenticationFailed},
+        CodeCase{ErrCode::kAuthorizationDenied,
+                 GramErrorCode::kAuthorizationDenied},
+        CodeCase{ErrCode::kAuthorizationSystemFailure,
+                 GramErrorCode::kAuthorizationSystemFailure},
+        CodeCase{ErrCode::kParseError, GramErrorCode::kBadRsl},
+        CodeCase{ErrCode::kNotFound, GramErrorCode::kJobNotFound},
+        CodeCase{ErrCode::kPermissionDenied, GramErrorCode::kSchedulerError},
+        CodeCase{ErrCode::kResourceExhausted, GramErrorCode::kSchedulerError},
+        CodeCase{ErrCode::kInvalidArgument, GramErrorCode::kInvalidRequest},
+        CodeCase{ErrCode::kFailedPrecondition,
+                 GramErrorCode::kInvalidRequest}));
+
+TEST(ProtocolStrings, ExtendedCodesAreDistinctOnTheWire) {
+  // The heart of the section 5.2 protocol extension.
+  EXPECT_EQ(to_string(GramErrorCode::kAuthorizationDenied),
+            "GRAM_ERROR_AUTHORIZATION_DENIED");
+  EXPECT_EQ(to_string(GramErrorCode::kAuthorizationSystemFailure),
+            "GRAM_ERROR_AUTHORIZATION_SYSTEM_FAILURE");
+}
+
+TEST(ProtocolStrings, LrmStatesMapToGramStates) {
+  EXPECT_EQ(FromLrmState(os::JobState::kPending), JobStatus::kPending);
+  EXPECT_EQ(FromLrmState(os::JobState::kActive), JobStatus::kActive);
+  EXPECT_EQ(FromLrmState(os::JobState::kSuspended), JobStatus::kSuspended);
+  EXPECT_EQ(FromLrmState(os::JobState::kDone), JobStatus::kDone);
+  EXPECT_EQ(FromLrmState(os::JobState::kFailed), JobStatus::kFailed);
+  // GRAM has no separate "cancelled": cancelled jobs report FAILED.
+  EXPECT_EQ(FromLrmState(os::JobState::kCancelled), JobStatus::kFailed);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram

@@ -1,0 +1,174 @@
+// Frame-level GRAM end-to-end: the WireEndpoint/WireClient pair driving
+// the extended GRAM purely through serialized protocol frames — submit,
+// status, cancel, signal, VO-wide management, and every error class as a
+// wire error code.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+#include "gram/wire_service.h"
+
+namespace gridauthz::gram::wire {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+constexpr const char* kFigure3Plus = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+&(action = information)(jobowner = self)
+&(action = signal)(jobowner = self)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action=cancel)(jobtag=NFC)
+&(action=information)(jobtag=NFC)
+)";
+
+class WireServiceTest : public ::testing::Test {
+ protected:
+  WireServiceTest()
+      : endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
+                  &site_.clock()) {
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    EXPECT_TRUE(site_.AddAccount("keahey").ok());
+    boliu_ = site_.CreateUser(kBoLiu).value();
+    kate_ = site_.CreateUser(kKate).value();
+    EXPECT_TRUE(site_.MapUser(boliu_, "boliu").ok());
+    EXPECT_TRUE(site_.MapUser(kate_, "keahey").ok());
+    site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kFigure3Plus).value()));
+  }
+
+  SimulatedSite site_;
+  gsi::Credential boliu_;
+  gsi::Credential kate_;
+  WireEndpoint endpoint_;
+};
+
+TEST_F(WireServiceTest, SubmitStatusCancelOverFrames) {
+  WireClient boliu{boliu_, &endpoint_};
+  auto contact = boliu.Submit(
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+      "(simduration=50)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+
+  auto status = boliu.Status(*contact);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, JobStatus::kActive);
+  EXPECT_EQ(status->job_owner, kBoLiu);
+  EXPECT_EQ(status->jobtag, "NFC");
+
+  // Kate cancels over the wire — the VO-management path, frame-encoded.
+  WireClient kate{kate_, &endpoint_};
+  EXPECT_TRUE(kate.Cancel(*contact).ok());
+  auto after = kate.Status(*contact);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, JobStatus::kFailed);
+}
+
+TEST_F(WireServiceTest, DenialCodesTravelTheWire) {
+  WireClient boliu{boliu_, &endpoint_};
+  auto denied = boliu.Submit(
+      "&(executable=evil)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_NE(denied.error().message().find("GRAM_ERROR_AUTHORIZATION_DENIED"),
+            std::string::npos);
+  EXPECT_NE(denied.error().message().find("no assertion set"),
+            std::string::npos);
+}
+
+TEST_F(WireServiceTest, SystemFailureCodeTravelsTheWire) {
+  site_.UseJobManagerPepFromConfig("lib_not_registered", "fn");
+  WireClient boliu{boliu_, &endpoint_};
+  auto failed = boliu.Submit(
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+TEST_F(WireServiceTest, SignalOverFrames) {
+  WireClient boliu{boliu_, &endpoint_};
+  auto contact = boliu.Submit(
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"
+      "(simduration=100)");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_TRUE(
+      boliu.Signal(*contact, SignalRequest{SignalKind::kSuspend, 0}).ok());
+  auto status = boliu.Status(*contact);
+  EXPECT_EQ(status->status, JobStatus::kSuspended);
+  EXPECT_TRUE(
+      boliu.Signal(*contact, SignalRequest{SignalKind::kResume, 0}).ok());
+}
+
+TEST_F(WireServiceTest, UnknownContactOverFrames) {
+  WireClient boliu{boliu_, &endpoint_};
+  auto status = boliu.Status("https://nowhere/jobmanager/42");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("GRAM_ERROR_JOB_CONTACT_NOT_FOUND"),
+            std::string::npos);
+}
+
+TEST_F(WireServiceTest, GarbageFrameGetsErrorReply) {
+  std::string reply_frame = endpoint_.Handle(boliu_, "not a frame at all");
+  auto message = Message::Parse(reply_frame);
+  ASSERT_TRUE(message.ok());
+  auto reply = JobRequestReply::Decode(*message);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kInvalidRequest);
+}
+
+TEST_F(WireServiceTest, UnknownMessageTypeGetsErrorReply) {
+  Message message;
+  message.Set("message-type", "teleport-request");
+  std::string reply_frame =
+      endpoint_.Handle(boliu_, message.Serialize());
+  auto parsed = Message::Parse(reply_frame);
+  ASSERT_TRUE(parsed.ok());
+  auto reply = JobRequestReply::Decode(*parsed);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kInvalidRequest);
+  EXPECT_NE(reply->reason.find("teleport-request"), std::string::npos);
+}
+
+TEST_F(WireServiceTest, CancelOnlyRightsStillGetOwnerInReply) {
+  // Kate holds cancel+information for NFC; restrict her to cancel only
+  // and verify the reply still identifies the owner (the client-side
+  // extension needs it).
+  site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                std::string{kFigure3Plus} +
+                "\n# tighten: Kate loses information\n")
+                .value()));
+  WireClient boliu{boliu_, &endpoint_};
+  auto contact = boliu.Submit(
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=1)"
+      "(simduration=100)");
+  ASSERT_TRUE(contact.ok());
+
+  // Replace policy: Kate can cancel NFC but not query it.
+  site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:\n"
+                "&(action=cancel)(jobtag=NFC)\n")
+                .value()));
+  WireClient kate{kate_, &endpoint_};
+  auto status = kate.Status(*contact);
+  EXPECT_FALSE(status.ok());  // information denied
+  // But cancel succeeds and the reply still names the owner.
+  ManagementRequest request;
+  request.action = "cancel";
+  request.job_contact = *contact;
+  std::string reply_frame =
+      endpoint_.Handle(kate_, request.Encode().Serialize());
+  auto reply = ManagementReply::Decode(Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kNone);
+  EXPECT_EQ(reply->job_owner, kBoLiu);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram::wire

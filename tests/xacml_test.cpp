@@ -1,0 +1,389 @@
+// The XACML-subset engine: expression evaluation, target matching,
+// combining algorithms, XML round-trips, the RSL→XACML translation with a
+// decision-equivalence property sweep against the core evaluator, and
+// GRAM integration through XacmlPolicySource.
+#include <gtest/gtest.h>
+
+#include "gram/site.h"
+#include "xacml/xacml.h"
+
+namespace gridauthz::xacml {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+constexpr const char* kKate = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey";
+
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+RequestContext Ctx(const std::string& subject, const std::string& action,
+                   std::map<std::string, std::vector<std::string>> resource) {
+  RequestContext context;
+  context.subject[std::string{kSubjectIdAttr}] = {subject};
+  context.action[std::string{kActionIdAttr}] = {action};
+  context.resource = std::move(resource);
+  return context;
+}
+
+// ----- expression evaluation -------------------------------------------
+
+TEST(XacmlExpr, BooleanConnectives) {
+  RequestContext ctx;
+  auto t = Expression::Apply("true", {});
+  auto f = Expression::Apply("false", {});
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("and", {t, t}), ctx));
+  EXPECT_FALSE(*EvaluateCondition(Expression::Apply("and", {t, f}), ctx));
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("or", {f, t}), ctx));
+  EXPECT_FALSE(*EvaluateCondition(Expression::Apply("or", {f, f}), ctx));
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("not", {f}), ctx));
+  // Empty and/or identities.
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("and", {}), ctx));
+  EXPECT_FALSE(*EvaluateCondition(Expression::Apply("or", {}), ctx));
+}
+
+TEST(XacmlExpr, PresenceAndMembership) {
+  RequestContext ctx = Ctx("/O=Grid/CN=x", "start",
+                           {{"executable", {"test1"}}, {"queue", {}}});
+  auto exe = Expression::Designator(Category::kResource, "executable");
+  auto missing = Expression::Designator(Category::kResource, "jobtag");
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("present", {exe}), ctx));
+  EXPECT_FALSE(*EvaluateCondition(Expression::Apply("present", {missing}), ctx));
+  EXPECT_TRUE(*EvaluateCondition(Expression::Apply("absent", {missing}), ctx));
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("all-in", {exe, Expression::Literal("test1"),
+                                   Expression::Literal("test2")}),
+      ctx));
+  EXPECT_FALSE(*EvaluateCondition(
+      Expression::Apply("all-in", {exe, Expression::Literal("test2")}), ctx));
+  // all-in on an empty bag is false (the attribute must be present).
+  EXPECT_FALSE(*EvaluateCondition(
+      Expression::Apply("all-in", {missing, Expression::Literal("x")}), ctx));
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("any-equal", {exe, Expression::Literal("test1")}),
+      ctx));
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("none-equal", {exe, Expression::Literal("other")}),
+      ctx));
+}
+
+TEST(XacmlExpr, NumericComparisons) {
+  RequestContext ctx =
+      Ctx("/O=Grid/CN=x", "start", {{"count", {"3"}}, {"bad", {"abc"}}});
+  auto count = Expression::Designator(Category::kResource, "count");
+  auto bad = Expression::Designator(Category::kResource, "bad");
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("integer-less-than", {count, Expression::Literal("4")}),
+      ctx));
+  EXPECT_FALSE(*EvaluateCondition(
+      Expression::Apply("integer-less-than", {count, Expression::Literal("3")}),
+      ctx));
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("integer-less-than-or-equal",
+                        {count, Expression::Literal("3")}),
+      ctx));
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("integer-greater-than-or-equal",
+                        {count, Expression::Literal("3")}),
+      ctx));
+  // Non-numeric request value compares false; non-numeric bound errors.
+  EXPECT_FALSE(*EvaluateCondition(
+      Expression::Apply("integer-less-than", {bad, Expression::Literal("4")}),
+      ctx));
+  EXPECT_FALSE(EvaluateCondition(Expression::Apply("integer-less-than",
+                                                   {count, bad}),
+                                 ctx)
+                   .ok());
+}
+
+TEST(XacmlExpr, SelfViaSubjectDesignator) {
+  RequestContext ctx = Ctx("/O=Grid/CN=me", "cancel",
+                           {{"jobowner", {"/O=Grid/CN=me"}}});
+  auto owner = Expression::Designator(Category::kResource, "jobowner");
+  auto subject =
+      Expression::Designator(Category::kSubject, std::string{kSubjectIdAttr});
+  EXPECT_TRUE(*EvaluateCondition(
+      Expression::Apply("any-equal", {owner, subject}), ctx));
+  ctx.resource["jobowner"] = {"/O=Grid/CN=someone-else"};
+  EXPECT_FALSE(*EvaluateCondition(
+      Expression::Apply("any-equal", {owner, subject}), ctx));
+}
+
+TEST(XacmlExpr, UnknownFunctionErrors) {
+  RequestContext ctx;
+  EXPECT_FALSE(
+      EvaluateCondition(Expression::Apply("no-such-fn", {}), ctx).ok());
+}
+
+// ----- rule / policy evaluation ------------------------------------------
+
+Policy OneRulePolicy(Effect effect, std::optional<Expression> condition,
+                     Combining combining = Combining::kDenyOverrides) {
+  Policy policy;
+  policy.id = "p";
+  policy.combining = combining;
+  Rule rule;
+  rule.id = "r";
+  rule.effect = effect;
+  rule.condition = std::move(condition);
+  policy.rules.push_back(std::move(rule));
+  return policy;
+}
+
+TEST(XacmlEval, RuleTargetGating) {
+  Policy policy = OneRulePolicy(Effect::kPermit, std::nullopt);
+  policy.rules[0].target.subjects = {{Match{
+      "string-prefix-match", Category::kSubject, std::string{kSubjectIdAttr},
+      "/O=Grid/O=Globus"}}};
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=Grid/O=Globus/CN=x", "start", {})),
+            XacmlDecision::kPermit);
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=Other/CN=y", "start", {})),
+            XacmlDecision::kNotApplicable);
+}
+
+TEST(XacmlEval, ConditionFalseIsNotApplicable) {
+  Policy policy =
+      OneRulePolicy(Effect::kPermit, Expression::Apply("false", {}));
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kNotApplicable);
+}
+
+TEST(XacmlEval, ConditionErrorIsIndeterminate) {
+  Policy policy =
+      OneRulePolicy(Effect::kPermit, Expression::Apply("no-such-fn", {}));
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kIndeterminate);
+}
+
+TEST(XacmlEval, DenyOverrides) {
+  Policy policy;
+  policy.combining = Combining::kDenyOverrides;
+  Rule permit;
+  permit.id = "permit";
+  permit.effect = Effect::kPermit;
+  Rule deny;
+  deny.id = "deny";
+  deny.effect = Effect::kDeny;
+  policy.rules = {permit, deny};
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kDeny);
+  policy.combining = Combining::kPermitOverrides;
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kPermit);
+  policy.combining = Combining::kFirstApplicable;
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kPermit);
+}
+
+TEST(XacmlEval, EmptyPolicyIsNotApplicable) {
+  Policy policy;
+  EXPECT_EQ(EvaluatePolicy(policy, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kNotApplicable);
+}
+
+TEST(XacmlEval, PolicySetCombinesPolicies) {
+  PolicySet set;
+  set.combining = Combining::kDenyOverrides;
+  set.policies.push_back(OneRulePolicy(Effect::kPermit, std::nullopt));
+  set.policies.push_back(OneRulePolicy(Effect::kDeny, std::nullopt));
+  EXPECT_EQ(EvaluatePolicySet(set, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kDeny);
+  set.combining = Combining::kPermitOverrides;
+  EXPECT_EQ(EvaluatePolicySet(set, Ctx("/O=G/CN=x", "start", {})),
+            XacmlDecision::kPermit);
+}
+
+// ----- XML round trip -----------------------------------------------------
+
+TEST(XacmlXml, PolicyRoundTrip) {
+  auto document = core::PolicyDocument::Parse(kFigure3).value();
+  Policy policy = TranslateRslPolicy(document).value();
+  std::string xml_text = WriteXml(ToXml(policy));
+  auto reparsed = ParsePolicy(xml_text);
+  ASSERT_TRUE(reparsed.ok()) << xml_text;
+  EXPECT_EQ(reparsed->rules.size(), policy.rules.size());
+
+  // The round-tripped policy renders the same decisions.
+  RequestContext ctx = Ctx(
+      kBoLiu, "start",
+      {{"executable", {"test1"}}, {"directory", {"/sandbox/test"}},
+       {"jobtag", {"ADS"}}, {"count", {"2"}}, {"jobowner", {kBoLiu}}});
+  EXPECT_EQ(EvaluatePolicy(policy, ctx), EvaluatePolicy(*reparsed, ctx));
+  EXPECT_EQ(EvaluatePolicy(*reparsed, ctx), XacmlDecision::kPermit);
+}
+
+TEST(XacmlXml, BadPolicyXmlRejected) {
+  EXPECT_FALSE(ParsePolicy("<NotAPolicy/>").ok());
+  EXPECT_FALSE(ParsePolicy("<Policy><Rule Effect=\"Maybe\"/></Policy>").ok());
+  EXPECT_FALSE(
+      ParsePolicy(
+          "<Policy RuleCombiningAlgId=\"nonsense\"><Target/></Policy>")
+          .ok());
+}
+
+// ----- RSL → XACML translation equivalence ---------------------------------
+
+struct SweepCase {
+  std::string subject;
+  std::string action;
+  std::string rsl;
+};
+
+class TranslationEquivalenceTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslationEquivalenceTest, DecisionsMatchCoreEvaluator) {
+  auto document = core::PolicyDocument::Parse(kFigure3).value();
+  core::PolicyEvaluator core_evaluator{document};
+  Policy xacml_policy = TranslateRslPolicy(document).value();
+
+  // Enumerate a request grid: subjects x actions x executables x tags x
+  // counts x directories. GetParam() selects a slice to keep names short.
+  const std::vector<std::string> subjects = {
+      kBoLiu, kKate, "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Third User",
+      "/O=Elsewhere/CN=Outsider"};
+  const std::vector<std::string> actions = {"start", "cancel", "information"};
+  const std::vector<std::string> executables = {"test1", "test2", "TRANSP"};
+  const std::vector<std::string> tags = {"ADS", "NFC", ""};
+  const std::vector<std::string> counts = {"1", "3", "4", "16"};
+  const std::vector<std::string> dirs = {"/sandbox/test", "/home/other"};
+
+  const std::string& subject = subjects[GetParam() % subjects.size()];
+  int checked = 0;
+  for (const auto& action : actions) {
+    for (const auto& exe : executables) {
+      for (const auto& tag : tags) {
+        for (const auto& count : counts) {
+          for (const auto& dir : dirs) {
+            std::string rsl = "&(executable=" + exe + ")(directory=" + dir +
+                              ")(count=" + count + ")";
+            if (!tag.empty()) rsl += "(jobtag=" + tag + ")";
+            core::AuthorizationRequest request;
+            request.subject = subject;
+            request.action = action;
+            request.job_owner =
+                action == "start" ? subject : std::string{kBoLiu};
+            request.job_rsl = rsl::ParseConjunction(rsl).value();
+
+            bool core_permit = core_evaluator.Evaluate(request).permitted();
+            XacmlDecision xacml_decision = EvaluatePolicy(
+                xacml_policy, ContextFromRequest(request));
+            bool xacml_permit = xacml_decision == XacmlDecision::kPermit;
+            ASSERT_NE(xacml_decision, XacmlDecision::kIndeterminate)
+                << subject << " " << action << " " << rsl;
+            ASSERT_EQ(core_permit, xacml_permit)
+                << subject << " " << action << " " << rsl;
+            ++checked;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 3 * 3 * 3 * 4 * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subjects, TranslationEquivalenceTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Translation, PrefixPatternsStayEquivalent) {
+  auto document = core::PolicyDocument::Parse(
+                      "/:\n&(action = put)(path = /volumes/nfc/*)(size < 100)\n")
+                      .value();
+  core::PolicyEvaluator core_evaluator{document};
+  Policy policy = TranslateRslPolicy(document).value();
+  struct Case {
+    const char* path;
+    const char* size;
+  };
+  for (const Case& c : {Case{"/volumes/nfc/a.dat", "50"},
+                        Case{"/volumes/nfc/a.dat", "100"},
+                        Case{"/elsewhere/a.dat", "50"}}) {
+    core::AuthorizationRequest request;
+    request.subject = "/O=Grid/CN=x";
+    request.action = "put";
+    request.job_owner = request.subject;
+    rsl::Conjunction job;
+    job.Add("path", rsl::RelOp::kEq, c.path);
+    job.Add("size", rsl::RelOp::kEq, c.size);
+    request.job_rsl = std::move(job);
+    bool core_permit = core_evaluator.Evaluate(request).permitted();
+    bool xacml_permit = EvaluatePolicy(policy, ContextFromRequest(request)) ==
+                        XacmlDecision::kPermit;
+    EXPECT_EQ(core_permit, xacml_permit) << c.path << " " << c.size;
+  }
+}
+
+TEST(Translation, SelfBecomesSubjectDesignator) {
+  auto document = core::PolicyDocument::Parse(
+                      "/:\n&(action = cancel)(jobowner = self)\n")
+                      .value();
+  Policy policy = TranslateRslPolicy(document).value();
+  core::PolicyEvaluator core_evaluator{document};
+
+  for (const char* owner : {"/O=Grid/CN=me", "/O=Grid/CN=other"}) {
+    core::AuthorizationRequest request;
+    request.subject = "/O=Grid/CN=me";
+    request.action = "cancel";
+    request.job_owner = owner;
+    request.job_rsl = rsl::ParseConjunction("&(executable=a)").value();
+    bool core_permit = core_evaluator.Evaluate(request).permitted();
+    bool xacml_permit = EvaluatePolicy(policy, ContextFromRequest(request)) ==
+                        XacmlDecision::kPermit;
+    EXPECT_EQ(core_permit, xacml_permit) << owner;
+  }
+}
+
+// ----- GRAM integration -----------------------------------------------------
+
+TEST(XacmlGram, PolicySourceBehindTheCallout) {
+  gram::SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu = site.CreateUser(kBoLiu).value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+
+  auto document = core::PolicyDocument::Parse(kFigure3).value();
+  Policy policy = TranslateRslPolicy(document).value();
+  site.UseJobManagerPep(
+      std::make_shared<XacmlPolicySource>("xacml-vo", std::move(policy)));
+
+  gram::GramClient client = site.MakeClient(boliu);
+  auto permitted = client.Submit(
+      site.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)");
+  EXPECT_TRUE(permitted.ok()) << permitted.error();
+
+  auto denied = client.Submit(
+      site.gatekeeper(),
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(gram::ToProtocolCode(denied.error()),
+            gram::GramErrorCode::kAuthorizationDenied);
+}
+
+TEST(XacmlGram, IndeterminateIsSystemFailure) {
+  Policy policy;
+  policy.id = "broken";
+  Rule rule;
+  rule.effect = Effect::kPermit;
+  rule.condition = Expression::Apply("no-such-fn", {});
+  policy.rules.push_back(rule);
+  XacmlPolicySource source{"broken", policy};
+
+  core::AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=x";
+  request.action = "start";
+  auto decision = source.Authorize(request);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+}  // namespace
+}  // namespace gridauthz::xacml

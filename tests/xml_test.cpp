@@ -1,0 +1,109 @@
+// The minimal XML layer under the XACML engine: parsing, entities,
+// comments, attributes, round-trips, and malformed input.
+#include <gtest/gtest.h>
+
+#include "xacml/xml.h"
+
+namespace gridauthz::xacml {
+namespace {
+
+TEST(Xml, ParsesNestedElements) {
+  auto doc = ParseXml(R"(<a x="1"><b>text</b><b y="2"/></a>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->name, "a");
+  EXPECT_EQ(doc->Attr("x"), "1");
+  ASSERT_EQ(doc->children.size(), 2u);
+  EXPECT_EQ(doc->children[0].text, "text");
+  EXPECT_EQ(doc->children[1].Attr("y"), "2");
+  EXPECT_EQ(doc->Children("b").size(), 2u);
+  EXPECT_EQ(doc->Child("c"), nullptr);
+}
+
+TEST(Xml, XmlDeclarationAndCommentsSkipped) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- policy file -->\n"
+      "<root><!-- inner --><child/></root>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children.size(), 1u);
+}
+
+TEST(Xml, EntityDecoding) {
+  auto doc = ParseXml(R"(<v a="&lt;&amp;&gt;">x &quot;y&quot; &apos;z&apos;</v>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Attr("a"), "<&>");
+  EXPECT_EQ(doc->text, "x \"y\" 'z'");
+}
+
+TEST(Xml, SingleQuotedAttributes) {
+  auto doc = ParseXml("<v a='hello world'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Attr("a"), "hello world");
+}
+
+TEST(Xml, AttrFallback) {
+  auto doc = ParseXml("<v/>").value();
+  EXPECT_EQ(doc.Attr("missing", "fallback"), "fallback");
+  EXPECT_FALSE(doc.HasAttr("missing"));
+}
+
+struct BadXml {
+  const char* input;
+  const char* label;
+};
+
+class XmlErrorTest : public ::testing::TestWithParam<BadXml> {};
+
+TEST_P(XmlErrorTest, Rejects) {
+  auto doc = ParseXml(GetParam().input);
+  ASSERT_FALSE(doc.ok()) << GetParam().label;
+  EXPECT_EQ(doc.error().code(), ErrCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, XmlErrorTest,
+    ::testing::Values(BadXml{"", "empty"},
+                      BadXml{"<a>", "unterminated element"},
+                      BadXml{"<a></b>", "mismatched end tag"},
+                      BadXml{"<a x=1/>", "unquoted attribute"},
+                      BadXml{"<a x=\"1/>", "unterminated attribute"},
+                      BadXml{"<a/><b/>", "two roots"},
+                      BadXml{"just text", "no element"}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(Xml, WriteParseRoundTrip) {
+  XmlNode root;
+  root.name = "Policy";
+  root.attributes["PolicyId"] = "p<1>";
+  XmlNode child;
+  child.name = "AttributeValue";
+  child.text = "value & more";
+  root.children.push_back(child);
+
+  std::string text = WriteXml(root);
+  auto again = ParseXml(text);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ(again->Attr("PolicyId"), "p<1>");
+  ASSERT_EQ(again->children.size(), 1u);
+  EXPECT_EQ(again->children[0].text, "value & more");
+}
+
+TEST(Xml, WhitespaceBetweenElementsTolerated) {
+  auto doc = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridauthz::xacml
