@@ -5,8 +5,11 @@
 // statements and near-flat cost in non-matching sets.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_util.h"
 #include "core/source.h"
+#include "obs/metrics.h"
 
 using namespace gridauthz;
 
@@ -105,6 +108,58 @@ void BM_RslParse(benchmark::State& state) {
 }
 BENCHMARK(BM_RslParse);
 
+// Runs the authorize path through an instrumented PolicySource and reads
+// p50/p95/p99 straight from the obs histogram — the same numbers an
+// operator scraping the registry would see — then writes them to
+// BENCH_authz_latency.json.
+void EmitAuthzLatencyJson() {
+  obs::Metrics().Reset();
+  const std::string target = "/O=Grid/O=Synth/CN=target";
+  core::StaticPolicySource source{"bench",
+                                  bench::SyntheticPolicy(100, 2, target)};
+  auto request = bench::StartRequest(target, "&(executable=exe0)(count=2)");
+  constexpr int kIterations = 50000;
+  for (int i = 0; i < kIterations; ++i) {
+    auto decision = source.Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  const obs::Histogram* histogram = obs::Metrics().FindHistogram(
+      "authz_latency_us", {{"source", "bench"}});
+  if (histogram == nullptr) {
+    std::fprintf(stderr, "authz_latency_us{source=bench} not recorded\n");
+    return;
+  }
+  std::vector<std::pair<std::string, double>> fields = {
+      {"iterations", static_cast<double>(histogram->count())},
+      {"p50_us", histogram->p50()},
+      {"p95_us", histogram->p95()},
+      {"p99_us", histogram->p99()},
+      {"mean_us", histogram->count() == 0
+                      ? 0.0
+                      : static_cast<double>(histogram->sum()) /
+                            static_cast<double>(histogram->count())},
+      {"permits", static_cast<double>(obs::Metrics().CounterValue(
+           "authz_decisions_total",
+           {{"source", "bench"}, {"outcome", "permit"}}))},
+  };
+  const std::string path = "BENCH_authz_latency.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("BENCH_authz_latency: n=%llu p50=%.1fus p95=%.1fus p99=%.1fus -> %s\n",
+              static_cast<unsigned long long>(histogram->count()),
+              histogram->p50(), histogram->p95(), histogram->p99(),
+              path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitAuthzLatencyJson();
+  return 0;
+}

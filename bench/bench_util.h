@@ -3,12 +3,32 @@
 // scaling sweeps.
 #pragma once
 
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gram/site.h"
 
 namespace gridauthz::bench {
+
+// Writes a flat JSON object of numeric fields to `path` (machine-readable
+// bench output, e.g. BENCH_authz_latency.json). Returns false on I/O
+// failure.
+inline bool WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n  \"" << fields[i].first << "\": " << fields[i].second;
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
+}
 
 inline constexpr const char* kBoLiu =
     "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";

@@ -75,7 +75,7 @@ BENCHMARK(BM_InProcessSubmitForComparison)->Iterations(2000);
 void BM_SignFrame(benchmark::State& state) {
   BenchSite env;
   const std::string frame =
-      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt}
+      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt, std::nullopt}
           .Encode()
           .Serialize();
   for (auto _ : state) {
@@ -90,7 +90,7 @@ BENCHMARK(BM_SignFrame);
 void BM_VerifyFrame(benchmark::State& state) {
   BenchSite env;
   const std::string frame =
-      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt}
+      gram::wire::JobRequest{"&(executable=test1)(count=2)", std::nullopt, std::nullopt}
           .Encode()
           .Serialize();
   std::string envelope =

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/evaluator.h"
+#include "core/source.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::akenti {
 
@@ -202,11 +204,14 @@ AkentiPolicySource::AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
 
 Expected<core::Decision> AkentiPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
-  if (engine_ == nullptr) {
-    return Error{ErrCode::kAuthorizationSystemFailure,
-                 "akenti engine not configured"};
-  }
-  return engine_->Evaluate(request);
+  obs::AuthzCallObservation observation{name_};
+  Expected<core::Decision> result =
+      engine_ == nullptr
+          ? Expected<core::Decision>{Error{ErrCode::kAuthorizationSystemFailure,
+                                           "akenti engine not configured"}}
+          : engine_->Evaluate(request);
+  observation.set_outcome(core::MetricOutcome(result));
+  return result;
 }
 
 }  // namespace gridauthz::akenti

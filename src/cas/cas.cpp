@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "core/policy.h"
+#include "core/source.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::cas {
 
@@ -73,21 +75,26 @@ CasPolicySource::CasPolicySource(std::string name) : name_(std::move(name)) {}
 
 Expected<core::Decision> CasPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
-  if (!request.restriction_policy) {
-    return core::Decision::Deny(
-        core::DecisionCode::kDenyNoApplicableStatement,
-        "cas: request carries no CAS restricted-proxy policy");
-  }
-  auto document = core::PolicyDocument::Parse(*request.restriction_policy);
-  if (!document.ok()) {
-    return Error{ErrCode::kAuthorizationSystemFailure,
-                 "cas: embedded policy unparsable: " +
-                     document.error().message()};
-  }
-  core::PolicyEvaluator evaluator{std::move(document).value()};
-  core::Decision decision = evaluator.Evaluate(request);
-  decision.reason = "cas: " + decision.reason;
-  return decision;
+  obs::AuthzCallObservation observation{name_};
+  Expected<core::Decision> result = [&]() -> Expected<core::Decision> {
+    if (!request.restriction_policy) {
+      return core::Decision::Deny(
+          core::DecisionCode::kDenyNoApplicableStatement,
+          "cas: request carries no CAS restricted-proxy policy");
+    }
+    auto document = core::PolicyDocument::Parse(*request.restriction_policy);
+    if (!document.ok()) {
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   "cas: embedded policy unparsable: " +
+                       document.error().message()};
+    }
+    core::PolicyEvaluator evaluator{std::move(document).value()};
+    core::Decision decision = evaluator.Evaluate(request);
+    decision.reason = "cas: " + decision.reason;
+    return decision;
+  }();
+  observation.set_outcome(core::MetricOutcome(result));
+  return result;
 }
 
 }  // namespace gridauthz::cas

@@ -19,12 +19,22 @@ class Clock {
  public:
   virtual ~Clock() = default;
   virtual TimePoint Now() const = 0;
+
+  // Microsecond-resolution reading for latency measurement (the obs
+  // subsystem). Defaults to second resolution so existing clocks remain
+  // valid implementations.
+  virtual std::int64_t NowMicros() const { return Now() * 1'000'000; }
 };
 
 class SystemClock final : public Clock {
  public:
   TimePoint Now() const override {
     return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  std::int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::system_clock::now().time_since_epoch())
         .count();
   }
@@ -36,11 +46,24 @@ class SimClock final : public Clock {
   explicit SimClock(TimePoint start = 1'000'000) : now_(start) {}
 
   TimePoint Now() const override { return now_; }
+  std::int64_t NowMicros() const override {
+    return now_ * 1'000'000 + micros_;
+  }
   void Advance(Duration seconds) { now_ += seconds; }
-  void Set(TimePoint t) { now_ = t; }
+  // Sub-second advancement for deterministic latency/span tests.
+  void AdvanceMicros(std::int64_t micros) {
+    micros_ += micros;
+    now_ += micros_ / 1'000'000;
+    micros_ %= 1'000'000;
+  }
+  void Set(TimePoint t) {
+    now_ = t;
+    micros_ = 0;
+  }
 
  private:
   TimePoint now_;
+  std::int64_t micros_ = 0;
 };
 
 }  // namespace gridauthz

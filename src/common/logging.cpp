@@ -55,15 +55,36 @@ void Logger::ClearSinks() {
 void Logger::UseStderr() {
   AddSink([](const Record& r) {
     std::cerr << "[" << to_string(r.level) << "] " << r.component << ": "
-              << r.message << "\n";
+              << r.message;
+    for (const auto& [key, value] : r.fields) {
+      std::cerr << " " << key << "=" << value;
+    }
+    if (!r.trace_id.empty()) std::cerr << " trace=" << r.trace_id;
+    std::cerr << "\n";
   });
 }
 
 void Logger::Log(Level level, std::string_view component, std::string message) {
+  Record record;
+  record.level = level;
+  record.component = std::string{component};
+  record.message = std::move(message);
+  Log(std::move(record));
+}
+
+void Logger::Log(Record record) {
   std::lock_guard lock(mu_);
-  if (level < level_) return;
-  Record record{level, std::string{component}, std::move(message)};
+  if (record.level < level_) return;
+  if (record.trace_id.empty() && trace_id_provider_) {
+    record.trace_id = trace_id_provider_();
+  }
   for (auto& [id, sink] : sinks_) sink(record);
+}
+
+void SetTraceIdProvider(TraceIdProvider provider) {
+  Logger& logger = Logger::Instance();
+  std::lock_guard lock(logger.mu_);
+  logger.trace_id_provider_ = std::move(provider);
 }
 
 CaptureSink::CaptureSink() {

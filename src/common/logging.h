@@ -19,10 +19,21 @@ struct Record {
   Level level;
   std::string component;  // e.g. "gatekeeper", "job-manager", "pep"
   std::string message;
+  // Active trace id at emission ("" outside a trace); stamped by the
+  // provider installed by the obs subsystem, so log lines, audit
+  // records, and spans join on one key.
+  std::string trace_id;
+  // Structured key=value fields attached via GA_LOG(...).Field(k, v).
+  std::vector<std::pair<std::string, std::string>> fields;
 };
 
 // A sink receives every record at or above the configured level.
 using Sink = std::function<void(const Record&)>;
+
+// Installs the callable the logger uses to stamp Record::trace_id.
+// Installed once by the obs tracer; "" (or no provider) means untraced.
+using TraceIdProvider = std::function<std::string()>;
+void SetTraceIdProvider(TraceIdProvider provider);
 
 // Process-wide logger. Thread-safe; sinks are invoked under the lock, so
 // they must not log recursively.
@@ -42,14 +53,20 @@ class Logger {
   void UseStderr();
 
   void Log(Level level, std::string_view component, std::string message);
+  // Full-record form: the record's trace_id is stamped from the installed
+  // provider when empty.
+  void Log(Record record);
 
  private:
+  friend void SetTraceIdProvider(TraceIdProvider provider);
+
   Logger();
 
   mutable std::mutex mu_;
   Level level_ = Level::kWarn;
   int next_id_ = 0;
   std::vector<std::pair<int, Sink>> sinks_;
+  TraceIdProvider trace_id_provider_;
 };
 
 // Collects records for test assertions; registers on construction and
@@ -76,11 +93,22 @@ class Message {
   Message(Level level, std::string_view component)
       : level_(level), component_(component) {}
   ~Message() {
-    Logger::Instance().Log(level_, component_, stream_.str());
+    Record record;
+    record.level = level_;
+    record.component = std::move(component_);
+    record.message = stream_.str();
+    record.fields = std::move(fields_);
+    Logger::Instance().Log(std::move(record));
   }
   template <typename T>
   Message& operator<<(const T& value) {
     stream_ << value;
+    return *this;
+  }
+  // Structured key=value field, e.g. GA_LOG(kInfo, "gk").Field("job", id)
+  // << "started".
+  Message& Field(std::string key, std::string value) {
+    fields_.emplace_back(std::move(key), std::move(value));
     return *this;
   }
 
@@ -88,6 +116,7 @@ class Message {
   Level level_;
   std::string component_;
   std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 }  // namespace detail
 

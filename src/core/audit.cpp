@@ -1,5 +1,8 @@
 #include "core/audit.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gridauthz::core {
 
 std::string_view to_string(AuditOutcome outcome) {
@@ -25,11 +28,48 @@ std::string AuditRecord::ToLine() const {
   }
   if (!job_id.empty()) out += " job=" + job_id;
   if (!reason.empty()) out += " reason=\"" + reason + "\"";
+  if (!trace_id.empty()) out += " trace=" + trace_id;
   return out;
 }
 
+AuditLog::AuditLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
 void AuditLog::Append(AuditRecord record) {
-  records_.push_back(std::move(record));
+  obs::Metrics().GetCounter("audit_records_total").Increment();
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  obs::Metrics().GetCounter("audit_records_dropped_total").Increment();
+}
+
+std::size_t AuditLog::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t AuditLog::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+template <typename Fn>
+void AuditLog::ForEach(Fn&& fn) const {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    fn(ring_[(head_ + i) % ring_.size()]);
+  }
+}
+
+std::vector<AuditRecord> AuditLog::records() const {
+  std::vector<AuditRecord> out;
+  ForEach([&out](const AuditRecord& record) { out.push_back(record); });
+  return out;
 }
 
 std::vector<AuditRecord> AuditLog::Query(
@@ -37,32 +77,32 @@ std::vector<AuditRecord> AuditLog::Query(
     const std::optional<std::string>& action,
     const std::optional<AuditOutcome>& outcome) const {
   std::vector<AuditRecord> out;
-  for (const AuditRecord& record : records_) {
-    if (subject && record.subject != *subject) continue;
-    if (action && record.action != *action) continue;
-    if (outcome && record.outcome != *outcome) continue;
+  ForEach([&](const AuditRecord& record) {
+    if (subject && record.subject != *subject) return;
+    if (action && record.action != *action) return;
+    if (outcome && record.outcome != *outcome) return;
     out.push_back(record);
-  }
+  });
   return out;
 }
 
 std::vector<AuditRecord> AuditLog::FailuresFor(
     const std::string& subject) const {
   std::vector<AuditRecord> out;
-  for (const AuditRecord& record : records_) {
+  ForEach([&](const AuditRecord& record) {
     if (record.subject == subject && record.outcome != AuditOutcome::kPermit) {
       out.push_back(record);
     }
-  }
+  });
   return out;
 }
 
 std::string AuditLog::ToText() const {
   std::string out;
-  for (const AuditRecord& record : records_) {
+  ForEach([&out](const AuditRecord& record) {
     out += record.ToLine();
     out += '\n';
-  }
+  });
   return out;
 }
 
@@ -81,6 +121,7 @@ Expected<Decision> AuditingPolicySource::Authorize(
   record.job_owner = request.job_owner;
   record.job_id = request.job_id;
   record.rsl = request.job_rsl.empty() ? "" : request.job_rsl.ToString();
+  record.trace_id = obs::CurrentTraceId();
 
   Expected<Decision> decision = inner_->Authorize(request);
   if (!decision.ok()) {

@@ -7,8 +7,10 @@
 // survives even when jobs share a community account (CAS).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,18 +34,35 @@ struct AuditRecord {
   std::string rsl;
   AuditOutcome outcome = AuditOutcome::kDeny;
   std::string reason;
+  // Trace id of the wire request that caused this decision ("" when the
+  // decision was made outside a trace); joins the record to its spans
+  // and log lines.
+  std::string trace_id;
 
   // One-line rendering, suitable for an append-only log file.
   std::string ToLine() const;
 };
 
-// Append-only in-memory audit log with simple filtering.
+// Bounded in-memory audit log with simple filtering. Thread-safe: one
+// log is shared across every PEP of a site. When full, the oldest record
+// is overwritten and the loss is counted (size() stays at capacity) —
+// also exported as the audit_records_dropped_total metric so operators
+// see the log wrap before relying on it for an incident review.
 class AuditLog {
  public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit AuditLog(std::size_t capacity = kDefaultCapacity);
+
   void Append(AuditRecord record);
 
-  std::size_t size() const { return records_.size(); }
-  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // Records overwritten because the ring was full.
+  std::uint64_t dropped() const;
+
+  // Snapshot of the retained records, oldest first.
+  std::vector<AuditRecord> records() const;
 
   // Records matching every provided filter (unset = wildcard).
   std::vector<AuditRecord> Query(
@@ -59,7 +78,15 @@ class AuditLog {
   std::string ToText() const;
 
  private:
-  std::vector<AuditRecord> records_;
+  // Calls `fn` on each retained record, oldest first, under the lock.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<AuditRecord> ring_;
+  std::size_t head_ = 0;  // oldest element once the ring is full
+  std::uint64_t dropped_ = 0;
 };
 
 // Decorator: forwards to `inner` and records the outcome.

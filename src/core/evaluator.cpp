@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::core {
 
@@ -220,6 +222,17 @@ bool ActionPartMatches(const rsl::Conjunction& set,
 }  // namespace
 
 Decision PolicyEvaluator::Evaluate(const AuthorizationRequest& request) const {
+  obs::ScopedSpan span("pdp/evaluate");
+  Decision decision = EvaluateImpl(request);
+  obs::Metrics()
+      .GetCounter("pdp_evaluations_total",
+                  {{"outcome", decision.permitted() ? "permit" : "deny"}})
+      .Increment();
+  return decision;
+}
+
+Decision PolicyEvaluator::EvaluateImpl(
+    const AuthorizationRequest& request) const {
   const rsl::Conjunction effective = request.ToEffectiveRsl();
   const std::vector<const PolicyStatement*> applicable =
       document_.ApplicableTo(request.subject);

@@ -57,6 +57,8 @@ class PolicyEvaluator {
                            std::string* failed_relation = nullptr);
 
  private:
+  Decision EvaluateImpl(const AuthorizationRequest& request) const;
+
   PolicyDocument document_;
   EvaluatorOptions options_;
 };

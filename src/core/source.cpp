@@ -2,8 +2,14 @@
 
 #include "common/config.h"
 #include "common/logging.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::core {
+
+std::string_view MetricOutcome(const Expected<Decision>& decision) {
+  if (!decision.ok()) return obs::kOutcomeError;
+  return decision->permitted() ? obs::kOutcomePermit : obs::kOutcomeDeny;
+}
 
 StaticPolicySource::StaticPolicySource(std::string name,
                                        PolicyDocument document,
@@ -14,7 +20,10 @@ StaticPolicySource::StaticPolicySource(std::string name,
 
 Expected<Decision> StaticPolicySource::Authorize(
     const AuthorizationRequest& request) {
-  return evaluator_.Evaluate(request);
+  obs::AuthzCallObservation observation{name_};
+  Expected<Decision> decision = evaluator_.Evaluate(request);
+  observation.set_outcome(MetricOutcome(decision));
+  return decision;
 }
 
 void StaticPolicySource::Replace(PolicyDocument document) {
@@ -52,12 +61,16 @@ Expected<void> FilePolicySource::Reload() {
 
 Expected<Decision> FilePolicySource::Authorize(
     const AuthorizationRequest& request) {
-  if (evaluator_ == nullptr) {
-    return Error{ErrCode::kAuthorizationSystemFailure,
-                 "policy source '" + name_ + "' has no loaded policy (" +
-                     load_error_ + ")"};
-  }
-  return evaluator_->Evaluate(request);
+  obs::AuthzCallObservation observation{name_};
+  Expected<Decision> decision =
+      evaluator_ == nullptr
+          ? Expected<Decision>{Error{
+                ErrCode::kAuthorizationSystemFailure,
+                "policy source '" + name_ + "' has no loaded policy (" +
+                    load_error_ + ")"}}
+          : evaluator_->Evaluate(request);
+  observation.set_outcome(MetricOutcome(decision));
+  return decision;
 }
 
 CombiningPdp::CombiningPdp(std::string name) : name_(std::move(name)) {}
@@ -68,20 +81,25 @@ void CombiningPdp::AddSource(std::shared_ptr<PolicySource> source) {
 
 Expected<Decision> CombiningPdp::Authorize(
     const AuthorizationRequest& request) {
-  if (sources_.empty()) {
-    return Error{ErrCode::kAuthorizationSystemFailure,
-                 "combining PDP '" + name_ + "' has no policy sources"};
-  }
-  for (const auto& source : sources_) {
-    GA_TRY(Decision decision, source->Authorize(request));
-    if (!decision.permitted()) {
-      decision.reason =
-          "source '" + source->name() + "': " + decision.reason;
-      return decision;
+  obs::AuthzCallObservation observation{name_};
+  Expected<Decision> combined = [&]() -> Expected<Decision> {
+    if (sources_.empty()) {
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   "combining PDP '" + name_ + "' has no policy sources"};
     }
-  }
-  return Decision::Permit("permitted by all " +
-                          std::to_string(sources_.size()) + " sources");
+    for (const auto& source : sources_) {
+      GA_TRY(Decision decision, source->Authorize(request));
+      if (!decision.permitted()) {
+        decision.reason =
+            "source '" + source->name() + "': " + decision.reason;
+        return decision;
+      }
+    }
+    return Decision::Permit("permitted by all " +
+                            std::to_string(sources_.size()) + " sources");
+  }();
+  observation.set_outcome(MetricOutcome(combined));
+  return combined;
 }
 
 PolicyDocument MakeGt2DefaultDocument() {

@@ -97,6 +97,10 @@ class CombiningPdp final : public PolicySource {
   std::vector<std::shared_ptr<PolicySource>> sources_;
 };
 
+// Outcome label for the obs decision counters: "permit", "deny", or
+// "error" (authorization system failure).
+std::string_view MetricOutcome(const Expected<Decision>& decision);
+
 // The stock GT2 authorization model expressed in the paper's language:
 // any mapped user may start jobs, and only the job owner may manage them
 // ("the Grid identity of the user making the request must match the Grid

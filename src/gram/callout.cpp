@@ -1,7 +1,11 @@
 #include "gram/callout.h"
 
+#include <optional>
+
 #include "common/config.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gram {
 
@@ -68,8 +72,36 @@ bool CalloutDispatcher::HasBinding(std::string_view abstract_type) const {
   return slots_.find(abstract_type) != slots_.end();
 }
 
+namespace {
+
+std::string_view CalloutOutcome(const Expected<void>& result) {
+  if (result.ok()) return "permit";
+  if (result.error().code() == ErrCode::kAuthorizationDenied) return "deny";
+  return "error";
+}
+
+}  // namespace
+
 Expected<void> CalloutDispatcher::Invoke(std::string_view abstract_type,
                                          const CalloutData& data) {
+  // Join the caller's trace if it arrived only via CalloutData (e.g. the
+  // callout runs on a thread with no active trace context).
+  std::optional<obs::TraceScope> adopted;
+  if (!data.trace_id.empty() && !obs::CurrentTrace().active()) {
+    adopted.emplace(data.trace_id);
+  }
+  obs::ScopedSpan span("callout/" + std::string{abstract_type});
+  Expected<void> result = InvokeImpl(abstract_type, data);
+  obs::Metrics()
+      .GetCounter("callout_invocations_total",
+                  {{"type", std::string{abstract_type}},
+                   {"outcome", std::string{CalloutOutcome(result)}}})
+      .Increment();
+  return result;
+}
+
+Expected<void> CalloutDispatcher::InvokeImpl(std::string_view abstract_type,
+                                             const CalloutData& data) {
   auto it = slots_.find(abstract_type);
   if (it == slots_.end()) {
     return Error{ErrCode::kAuthorizationSystemFailure,

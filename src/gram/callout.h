@@ -53,6 +53,10 @@ struct CalloutData {
   std::string job_id;
   // The job description in RSL.
   std::string rsl;
+  // Observability: trace id of the wire request that triggered this
+  // callout, so callout spans and audit records join to the request.
+  // Empty when the caller has no active trace.
+  std::string trace_id;
 };
 
 // A callout returns Ok() to authorize. Denials use kAuthorizationDenied;
@@ -120,6 +124,9 @@ class CalloutDispatcher {
   std::uint64_t invocation_count() const { return invocations_; }
 
  private:
+  Expected<void> InvokeImpl(std::string_view abstract_type,
+                            const CalloutData& data);
+
   struct Slot {
     CalloutBinding binding;
     std::optional<AuthorizationCallout> resolved;

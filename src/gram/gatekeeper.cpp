@@ -1,7 +1,12 @@
 #include "gram/gatekeeper.h"
 
+#include <optional>
+
 #include "common/logging.h"
 #include "core/request.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gram {
 
@@ -54,6 +59,31 @@ Gatekeeper::Gatekeeper(Params params) : params_(std::move(params)) {}
 Expected<std::string> Gatekeeper::SubmitJob(const gsi::Credential& client,
                                             const std::string& rsl_text,
                                             const std::string& callback_url) {
+  // Direct API callers (tests, benches) arrive without a trace; open a
+  // fresh root so the whole submission is spanned. Wire callers already
+  // carry the client's trace and keep it.
+  std::optional<obs::TraceScope> root;
+  if (!obs::CurrentTrace().active()) root.emplace(obs::GenerateTraceId());
+  const std::int64_t start_us = obs::ObsClock()->NowMicros();
+  Expected<std::string> result = [&]() -> Expected<std::string> {
+    obs::ScopedSpan span("gatekeeper/submit");
+    return DoSubmitJob(client, rsl_text, callback_url);
+  }();
+  obs::Metrics()
+      .GetCounter("gram_requests_total",
+                  {{"action", "submit"},
+                   {"outcome", result.ok() ? "ok" : "error"}})
+      .Increment();
+  obs::Metrics()
+      .GetHistogram("gram_request_latency_us", {{"action", "submit"}},
+                    obs::DefaultLatencyBucketsUs())
+      .Observe(obs::ObsClock()->NowMicros() - start_us);
+  return result;
+}
+
+Expected<std::string> Gatekeeper::DoSubmitJob(const gsi::Credential& client,
+                                              const std::string& rsl_text,
+                                              const std::string& callback_url) {
   // 1. Mutual authentication (GSI); the client delegates a credential the
   //    JMI will run with.
   GA_TRY(gsi::HandshakeResult handshake,
@@ -80,6 +110,7 @@ Expected<std::string> Gatekeeper::SubmitJob(const gsi::Credential& client,
     data.job_owner_identity = requester.identity;
     data.action = core::kActionStart;
     data.rsl = rsl_text;
+    data.trace_id = obs::CurrentTraceId();
     GA_TRY_VOID(params_.callouts->Invoke(kGatekeeperAuthzType, data));
   }
 

@@ -81,6 +81,10 @@ class Gatekeeper {
   const std::string& host() const { return params_.host; }
 
  private:
+  Expected<std::string> DoSubmitJob(const gsi::Credential& client,
+                                    const std::string& rsl_text,
+                                    const std::string& callback_url);
+
   Params params_;
 };
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "core/request.h"
+#include "obs/instrument.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gram {
 
@@ -37,34 +39,45 @@ std::shared_ptr<JobManagerInstance> JobManagerInstance::Restore(
 
 Expected<void> JobManagerInstance::Authorize(const RequesterInfo& requester,
                                              std::string_view action) {
-  if (params_.callouts != nullptr &&
-      params_.callouts->HasBinding(kJobManagerAuthzType)) {
-    CalloutData data;
-    data.requester_identity = requester.identity;
-    data.requester_attributes = requester.attributes;
-    data.requester_restriction_policy = requester.restriction_policy;
-    data.job_owner_identity = params_.owner_identity;
-    data.action = action;
-    data.job_id = params_.contact;
-    data.rsl = job_rsl_.empty() ? "" : job_rsl_.ToString();
-    GA_LOG(kDebug, "job-manager")
-        << "PEP callout for action '" << action << "' by "
-        << requester.identity << " on job " << params_.contact;
-    return params_.callouts->Invoke(kJobManagerAuthzType, data);
-  }
+  obs::AuthzCallObservation observation{"pep-jm"};
+  Expected<void> result = [&]() -> Expected<void> {
+    if (params_.callouts != nullptr &&
+        params_.callouts->HasBinding(kJobManagerAuthzType)) {
+      CalloutData data;
+      data.requester_identity = requester.identity;
+      data.requester_attributes = requester.attributes;
+      data.requester_restriction_policy = requester.restriction_policy;
+      data.job_owner_identity = params_.owner_identity;
+      data.action = action;
+      data.job_id = params_.contact;
+      data.rsl = job_rsl_.empty() ? "" : job_rsl_.ToString();
+      data.trace_id = obs::CurrentTraceId();
+      GA_LOG(kDebug, "job-manager")
+          << "PEP callout for action '" << action << "' by "
+          << requester.identity << " on job " << params_.contact;
+      return params_.callouts->Invoke(kJobManagerAuthzType, data);
+    }
 
-  // Stock GT2: no start-time authorization in the JM (the Gatekeeper
-  // already authorized via the grid-mapfile); management is restricted to
-  // the job initiator — "the Grid identity of the user making the request
-  // must match the Grid identity of the user who initiated the job".
-  if (action == core::kActionStart) return Ok();
-  if (requester.identity != params_.owner_identity) {
-    return Error{ErrCode::kAuthorizationDenied,
-                 "stock GT2 policy: only the job initiator (" +
-                     params_.owner_identity + ") may '" + std::string{action} +
-                     "' this job; requester is " + requester.identity};
+    // Stock GT2: no start-time authorization in the JM (the Gatekeeper
+    // already authorized via the grid-mapfile); management is restricted to
+    // the job initiator — "the Grid identity of the user making the request
+    // must match the Grid identity of the user who initiated the job".
+    if (action == core::kActionStart) return Ok();
+    if (requester.identity != params_.owner_identity) {
+      return Error{ErrCode::kAuthorizationDenied,
+                   "stock GT2 policy: only the job initiator (" +
+                       params_.owner_identity + ") may '" +
+                       std::string{action} + "' this job; requester is " +
+                       requester.identity};
+    }
+    return Ok();
+  }();
+  if (result.ok()) {
+    observation.set_outcome(obs::kOutcomePermit);
+  } else if (result.error().code() == ErrCode::kAuthorizationDenied) {
+    observation.set_outcome(obs::kOutcomeDeny);
   }
-  return Ok();
+  return result;
 }
 
 Expected<os::JobSpec> JobManagerInstance::BuildJobSpec() const {
@@ -107,6 +120,7 @@ Expected<os::JobSpec> JobManagerInstance::BuildJobSpec() const {
 
 Expected<void> JobManagerInstance::Start(const std::string& rsl_text,
                                          const RequesterInfo& requester) {
+  obs::ScopedSpan span("jmi/start");
   if (local_job_id_) {
     return Error{ErrCode::kFailedPrecondition,
                  "job already started: " + params_.contact};
@@ -189,6 +203,7 @@ JobStatus JobManagerInstance::CurrentStatus() const {
 
 Expected<JobStatusReply> JobManagerInstance::Status(
     const RequesterInfo& requester) {
+  obs::ScopedSpan span("jmi/information");
   GA_TRY_VOID(Authorize(requester, core::kActionInformation));
   JobStatusReply reply;
   reply.status = CurrentStatus();
@@ -205,6 +220,7 @@ Expected<JobStatusReply> JobManagerInstance::Status(
 }
 
 Expected<void> JobManagerInstance::Cancel(const RequesterInfo& requester) {
+  obs::ScopedSpan span("jmi/cancel");
   GA_TRY_VOID(Authorize(requester, core::kActionCancel));
   if (!local_job_id_) {
     return Error{ErrCode::kFailedPrecondition, "job was never started"};
@@ -216,6 +232,7 @@ Expected<void> JobManagerInstance::Cancel(const RequesterInfo& requester) {
 
 Expected<void> JobManagerInstance::Signal(const RequesterInfo& requester,
                                           const SignalRequest& signal) {
+  obs::ScopedSpan span("jmi/signal");
   GA_TRY_VOID(Authorize(requester, core::kActionSignal));
   if (!local_job_id_) {
     return Error{ErrCode::kFailedPrecondition, "job was never started"};

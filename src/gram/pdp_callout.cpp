@@ -1,5 +1,7 @@
 #include "gram/pdp_callout.h"
 
+#include "obs/trace.h"
+
 namespace gridauthz::gram {
 
 Expected<core::AuthorizationRequest> ToAuthorizationRequest(
@@ -26,6 +28,7 @@ Expected<core::AuthorizationRequest> ToAuthorizationRequest(
 AuthorizationCallout MakePdpCallout(
     std::shared_ptr<core::PolicySource> source) {
   return [source = std::move(source)](const CalloutData& data) -> Expected<void> {
+    obs::ScopedSpan span("pdp_callout");
     GA_TRY(core::AuthorizationRequest request, ToAuthorizationRequest(data));
     GA_TRY(core::Decision decision, source->Authorize(request));
     if (!decision.permitted()) {

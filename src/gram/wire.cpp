@@ -181,6 +181,7 @@ Message JobRequest::Encode() const {
   message.Set("message-type", "job-request");
   message.Set("rsl", rsl);
   if (callback_url) message.Set("callback-url", *callback_url);
+  if (trace_id) message.Set("trace-id", *trace_id);
   return message;
 }
 
@@ -192,6 +193,7 @@ Expected<JobRequest> JobRequest::Decode(const Message& message) {
   JobRequest request;
   GA_TRY(request.rsl, message.Require("rsl"));
   request.callback_url = message.Get("callback-url");
+  request.trace_id = message.Get("trace-id");
   return request;
 }
 
@@ -232,6 +234,7 @@ Message ManagementRequest::Encode() const {
       message.SetInt("priority", signal->priority);
     }
   }
+  if (trace_id) message.Set("trace-id", *trace_id);
   return message;
 }
 
@@ -262,6 +265,7 @@ Expected<ManagementRequest> ManagementRequest::Decode(const Message& message) {
     }
     request.signal = signal;
   }
+  request.trace_id = message.Get("trace-id");
   return request;
 }
 

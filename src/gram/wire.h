@@ -49,6 +49,11 @@ class Message {
 struct JobRequest {
   std::string rsl;
   std::optional<std::string> callback_url;
+  // Observability extension: the client's trace context, carried as the
+  // `trace-id` attribute so server-side spans, audit records, and log
+  // lines join to the originating wire request. Optional — stock peers
+  // simply omit it.
+  std::optional<std::string> trace_id;
 
   Message Encode() const;
   static Expected<JobRequest> Decode(const Message& message);
@@ -67,6 +72,8 @@ struct ManagementRequest {
   std::string action;  // cancel | information | signal
   std::string job_contact;
   std::optional<SignalRequest> signal;  // for action == signal
+  // Observability extension, as on JobRequest.
+  std::optional<std::string> trace_id;
 
   Message Encode() const;
   static Expected<ManagementRequest> Decode(const Message& message);

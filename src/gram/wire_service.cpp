@@ -1,6 +1,8 @@
 #include "gram/wire_service.h"
 
 #include "core/request.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gram::wire {
 
@@ -16,22 +18,45 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
                                  std::string_view frame) {
   auto message = Message::Parse(frame);
   if (!message.ok()) {
+    obs::Metrics()
+        .GetCounter("wire_requests_total",
+                    {{"type", "malformed"}, {"outcome", "error"}})
+        .Increment();
     JobRequestReply reply;
     reply.code = GramErrorCode::kInvalidRequest;
     reply.reason = message.error().to_string();
     return reply.Encode().Serialize();
   }
+  // Server-side trace root: adopt the client's `trace-id` extension
+  // attribute, or mint one for stock clients that omit it. Every span,
+  // audit record, and log line below here joins on this id.
+  obs::TraceScope trace(message->Get("trace-id").value_or(""));
+  obs::ScopedSpan span("wire/handle");
+  const std::int64_t start_us = obs::ObsClock()->NowMicros();
+
   auto type = message->Get("message-type").value_or("");
+  std::string reply_frame;
   if (type == "job-request") {
-    return HandleJobRequest(peer, *message);
+    reply_frame = HandleJobRequest(peer, *message);
+  } else if (type == "management-request") {
+    reply_frame = HandleManagement(peer, *message);
+  } else {
+    obs::Metrics()
+        .GetCounter("wire_requests_total",
+                    {{"type", "unknown"}, {"outcome", "error"}})
+        .Increment();
+    JobRequestReply reply;
+    reply.code = GramErrorCode::kInvalidRequest;
+    reply.reason = "unknown message-type '" + type + "'";
+    return reply.Encode().Serialize();
   }
-  if (type == "management-request") {
-    return HandleManagement(peer, *message);
-  }
-  JobRequestReply reply;
-  reply.code = GramErrorCode::kInvalidRequest;
-  reply.reason = "unknown message-type '" + type + "'";
-  return reply.Encode().Serialize();
+  obs::Metrics()
+      .GetCounter("wire_requests_total", {{"type", type}, {"outcome", "ok"}})
+      .Increment();
+  obs::Metrics()
+      .GetHistogram("wire_request_latency_us", {{"type", type}})
+      .Observe(obs::ObsClock()->NowMicros() - start_us);
+  return reply_frame;
 }
 
 std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
@@ -117,6 +142,8 @@ WireClient::WireClient(gsi::Credential credential, WireEndpoint* endpoint)
 Expected<std::string> WireClient::Submit(const std::string& rsl) {
   JobRequest request;
   request.rsl = rsl;
+  last_trace_id_ = obs::GenerateTraceId();
+  request.trace_id = last_trace_id_;
   std::string reply_frame =
       endpoint_->Handle(credential_, request.Encode().Serialize());
   GA_TRY(Message message, Message::Parse(reply_frame));
@@ -140,6 +167,8 @@ Expected<ManagementReply> WireClient::Manage(
   request.action = action;
   request.job_contact = contact;
   request.signal = signal;
+  last_trace_id_ = obs::GenerateTraceId();
+  request.trace_id = last_trace_id_;
   std::string reply_frame =
       endpoint_->Handle(credential_, request.Encode().Serialize());
   GA_TRY(Message message, Message::Parse(reply_frame));

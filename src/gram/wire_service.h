@@ -49,6 +49,10 @@ class WireClient {
   Expected<void> Signal(const std::string& contact,
                         const SignalRequest& signal);
 
+  // Trace id sent with the most recent request (empty before the first).
+  // Tests assert server-side audit records carry this id.
+  const std::string& last_trace_id() const { return last_trace_id_; }
+
  private:
   Expected<ManagementReply> Manage(const std::string& action,
                                    const std::string& contact,
@@ -56,6 +60,7 @@ class WireClient {
 
   gsi::Credential credential_;
   WireEndpoint* endpoint_;
+  std::string last_trace_id_;
 };
 
 }  // namespace gridauthz::gram::wire

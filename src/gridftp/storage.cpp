@@ -1,14 +1,42 @@
 #include "gridftp/storage.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gridftp {
+
+namespace {
+
+std::string_view StorageOutcome(const Expected<void>& result) {
+  if (result.ok()) return "ok";
+  if (result.error().code() == ErrCode::kPermissionDenied) return "denied";
+  return "error";
+}
+
+void CountStorageOp(std::string_view op, const Expected<void>& result) {
+  obs::Metrics()
+      .GetCounter("storage_ops_total", {{"op", std::string{op}},
+                                        {"outcome",
+                                         std::string{StorageOutcome(result)}}})
+      .Increment();
+}
+
+}  // namespace
 
 SimStorage::SimStorage(std::int64_t capacity_mb, const Clock* clock)
     : capacity_mb_(capacity_mb), clock_(clock) {}
 
 Expected<void> SimStorage::Put(const std::string& path, std::int64_t size_mb,
                                const std::string& account) {
+  obs::ScopedSpan span("storage/put");
+  Expected<void> result = DoPut(path, size_mb, account);
+  CountStorageOp("put", result);
+  return result;
+}
+
+Expected<void> SimStorage::DoPut(const std::string& path, std::int64_t size_mb,
+                                 const std::string& account) {
   if (path.empty() || path.front() != '/') {
     return Error{ErrCode::kInvalidArgument, "path must be absolute: " + path};
   }
@@ -63,6 +91,14 @@ Expected<FileInfo> SimStorage::Stat(const std::string& path) const {
 
 Expected<void> SimStorage::Delete(const std::string& path,
                                   const std::string& account) {
+  obs::ScopedSpan span("storage/delete");
+  Expected<void> result = DoDelete(path, account);
+  CountStorageOp("delete", result);
+  return result;
+}
+
+Expected<void> SimStorage::DoDelete(const std::string& path,
+                                    const std::string& account) {
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Error{ErrCode::kNotFound, "no such file: " + path};

@@ -46,6 +46,10 @@ class SimStorage {
   std::size_t file_count() const { return files_.size(); }
 
  private:
+  Expected<void> DoPut(const std::string& path, std::int64_t size_mb,
+                       const std::string& account);
+  Expected<void> DoDelete(const std::string& path, const std::string& account);
+
   std::int64_t capacity_mb_;
   const Clock* clock_;
   std::int64_t used_mb_ = 0;

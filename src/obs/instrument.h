@@ -1,0 +1,59 @@
+// Observability: shared instrumentation hooks for the authorization path.
+//
+// Every PEP and PDP layer measures the same way so the series compose:
+//   authz_decisions_total{source,outcome}   outcome: permit | deny | error
+//   authz_latency_us{source}                fixed-bucket histogram
+// plus a timed span named "authorize/<source>" under the active trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::obs {
+
+inline constexpr std::string_view kOutcomePermit = "permit";
+inline constexpr std::string_view kOutcomeDeny = "deny";
+inline constexpr std::string_view kOutcomeError = "error";
+
+// RAII observation of one authorize call: construct at entry, call
+// set_outcome() on the way out. Destruction increments the decision
+// counter, records the latency sample, and closes the span. An
+// observation that never learns its outcome reports "error" — an
+// authorize path that vanished is a system problem, not a permit.
+class AuthzCallObservation {
+ public:
+  explicit AuthzCallObservation(std::string source)
+      : source_(std::move(source)),
+        span_("authorize/" + source_),
+        start_us_(ObsClock()->NowMicros()) {}
+
+  AuthzCallObservation(const AuthzCallObservation&) = delete;
+  AuthzCallObservation& operator=(const AuthzCallObservation&) = delete;
+
+  void set_outcome(std::string_view outcome) {
+    outcome_ = std::string{outcome};
+  }
+
+  ~AuthzCallObservation() {
+    const std::int64_t elapsed_us = ObsClock()->NowMicros() - start_us_;
+    Metrics()
+        .GetCounter("authz_decisions_total",
+                    {{"source", source_}, {"outcome", outcome_}})
+        .Increment();
+    Metrics()
+        .GetHistogram("authz_latency_us", {{"source", source_}})
+        .Observe(elapsed_us);
+  }
+
+ private:
+  std::string source_;
+  std::string outcome_ = std::string{kOutcomeError};
+  ScopedSpan span_;
+  std::int64_t start_us_;
+};
+
+}  // namespace gridauthz::obs

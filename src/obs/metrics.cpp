@@ -1,0 +1,368 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gridauthz::obs {
+
+namespace {
+
+// Real-time default for the obs clock: steady (monotonic) microseconds,
+// so latency deltas never go backwards under wall-clock adjustment.
+class SteadyMicrosClock final : public Clock {
+ public:
+  TimePoint Now() const override { return NowMicros() / 1'000'000; }
+  std::int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+std::atomic<const Clock*> g_obs_clock{nullptr};
+
+LabelSet SortedLabels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// {key="value",key2="value2"} — empty string for no labels.
+std::string RenderLabels(const LabelSet& sorted) {
+  if (sorted.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same but with an extra label appended (histogram `le`).
+std::string RenderLabelsWith(const LabelSet& sorted, std::string_view key,
+                             std::string_view value) {
+  LabelSet extended = sorted;
+  extended.emplace_back(std::string{key}, std::string{value});
+  std::sort(extended.begin(), extended.end());
+  return RenderLabels(extended);
+}
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const LabelSet& sorted) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Fixed-precision rendering without trailing-zero noise.
+std::string RenderDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(std::int64_t value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bounds_.empty() ? 0.0
+                               : static_cast<double>(bounds_.back());
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      const double upper = static_cast<double>(bounds_[i]);
+      const double into = std::max(0.0, rank - static_cast<double>(cumulative));
+      return lower + (upper - lower) * into / static_cast<double>(in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : static_cast<double>(bounds_.back());
+}
+
+const std::vector<std::int64_t>& DefaultLatencyBucketsUs() {
+  static const std::vector<std::int64_t> kBuckets = {
+      1,    2,    5,     10,    20,     50,     100,     200,      500,
+      1000, 2000, 5000,  10000, 20000,  50000,  100000,  200000,   500000,
+      1000000};
+  return kBuckets;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(
+    std::string_view name, const LabelSet& labels, Kind kind,
+    const std::vector<std::int64_t>* bounds) {
+  LabelSet sorted = SortedLabels(labels);
+  std::string label_key = RenderLabels(sorted);
+  std::lock_guard lock(mu_);
+  Family& family = families_[std::string{name}];
+  if (family.series.empty()) family.kind = kind;
+  if (family.kind != kind) {
+    throw std::logic_error("metric '" + std::string{name} +
+                           "' registered with a different type");
+  }
+  auto [it, inserted] = family.series.try_emplace(std::move(label_key));
+  Series& series = it->second;
+  if (inserted) {
+    series.name = std::string{name};
+    series.labels = std::move(sorted);
+    switch (kind) {
+      case Kind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        series.histogram = std::make_unique<Histogram>(*bounds);
+        break;
+    }
+  }
+  return series;
+}
+
+const MetricsRegistry::Series* MetricsRegistry::FindSeries(
+    std::string_view name, const LabelSet& labels, Kind kind) const {
+  std::string label_key = RenderLabels(SortedLabels(labels));
+  std::lock_guard lock(mu_);
+  auto family = families_.find(std::string{name});
+  if (family == families_.end() || family->second.kind != kind) return nullptr;
+  auto it = family->second.series.find(label_key);
+  return it == family->second.series.end() ? nullptr : &it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     const LabelSet& labels) {
+  return *GetSeries(name, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 const LabelSet& labels) {
+  return *GetSeries(name, labels, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, const LabelSet& labels,
+    const std::vector<std::int64_t>& bounds) {
+  return *GetSeries(name, labels, Kind::kHistogram, &bounds).histogram;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name,
+                                            const LabelSet& labels) const {
+  const Series* series = FindSeries(name, labels, Kind::kCounter);
+  return series == nullptr ? 0 : series->counter->value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name,
+                                                const LabelSet& labels) const {
+  const Series* series = FindSeries(name, labels, Kind::kHistogram);
+  return series == nullptr ? nullptr : series->histogram.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [label_key, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + label_key + " " +
+                 std::to_string(series.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + label_key + " " +
+                 std::to_string(series.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            out += name + "_bucket" +
+                   RenderLabelsWith(series.labels, "le",
+                                    std::to_string(h.bounds()[i])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += h.bucket_count(h.bounds().size());
+          out += name + "_bucket" +
+                 RenderLabelsWith(series.labels, "le", "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + label_key + " " + std::to_string(h.sum()) +
+                 "\n";
+          out += name + "_count" + label_key + " " +
+                 std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [label_key, series] : family.series) {
+      std::string entry = "{\"name\":\"" + JsonEscape(name) +
+                          "\",\"labels\":" + JsonLabels(series.labels);
+      switch (family.kind) {
+        case Kind::kCounter:
+          entry += ",\"value\":" + std::to_string(series.counter->value()) +
+                   "}";
+          if (!counters.empty()) counters += ",";
+          counters += entry;
+          break;
+        case Kind::kGauge:
+          entry +=
+              ",\"value\":" + std::to_string(series.gauge->value()) + "}";
+          if (!gauges.empty()) gauges += ",";
+          gauges += entry;
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          entry += ",\"count\":" + std::to_string(h.count());
+          entry += ",\"sum\":" + std::to_string(h.sum());
+          entry += ",\"p50\":" + RenderDouble(h.p50());
+          entry += ",\"p95\":" + RenderDouble(h.p95());
+          entry += ",\"p99\":" + RenderDouble(h.p99());
+          entry += "}";
+          if (!histograms.empty()) histograms += ",";
+          histograms += entry;
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mu_);
+  families_.clear();
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+const Clock* ObsClock() {
+  const Clock* clock = g_obs_clock.load(std::memory_order_acquire);
+  if (clock != nullptr) return clock;
+  static SteadyMicrosClock* fallback = new SteadyMicrosClock();
+  return fallback;
+}
+
+void SetObsClock(const Clock* clock) {
+  g_obs_clock.store(clock, std::memory_order_release);
+}
+
+}  // namespace gridauthz::obs

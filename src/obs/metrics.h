@@ -1,0 +1,153 @@
+// Observability: process-wide metrics registry.
+//
+// The paper's accountability argument (section 4.3) needs more than an
+// audit trail at production scale: operators must see decision rates,
+// outcome mixes, and authorization latency per policy source without
+// grepping logs. This registry provides thread-safe counters, gauges,
+// and fixed-bucket latency histograms with label support
+// (e.g. authz_decisions_total{source,outcome}), a Prometheus-style text
+// exposition, and a JSON snapshot. All timing flows through the obs
+// clock (SetObsClock) so tests and benches stay deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace gridauthz::obs {
+
+// Ordered key/value labels; canonicalized (sorted by key) on lookup, so
+// {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same series.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: strictly increasing upper bounds plus an
+// implicit +Inf overflow bucket. Observe() is lock-free; percentile
+// accessors estimate by linear interpolation inside the owning bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void Observe(std::int64_t value);
+
+  std::uint64_t count() const;
+  std::int64_t sum() const;
+  // p in [0, 100]. Values in the overflow bucket report the last finite
+  // bound (the histogram cannot resolve beyond it). Empty histogram -> 0.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> sum_{0};
+};
+
+// Microsecond latency buckets: 1us .. 1s, roughly logarithmic.
+const std::vector<std::int64_t>& DefaultLatencyBucketsUs();
+
+// Thread-safe registry of named, labelled metrics. Get* creates the
+// series on first use and returns a stable reference (valid until
+// Reset()). Lookups take a mutex; increments on the returned objects are
+// lock-free.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name, const LabelSet& labels = {});
+  Gauge& GetGauge(std::string_view name, const LabelSet& labels = {});
+  Histogram& GetHistogram(std::string_view name, const LabelSet& labels = {},
+                          const std::vector<std::int64_t>& bounds =
+                              DefaultLatencyBucketsUs());
+
+  // Read-side conveniences for tests: 0 / nullptr when the series does
+  // not exist.
+  std::uint64_t CounterValue(std::string_view name,
+                             const LabelSet& labels = {}) const;
+  const Histogram* FindHistogram(std::string_view name,
+                                 const LabelSet& labels = {}) const;
+
+  // Prometheus-style text exposition:
+  //   # TYPE authz_decisions_total counter
+  //   authz_decisions_total{outcome="permit",source="vo"} 3
+  // Histograms render _bucket{le=...}, _sum, and _count series.
+  std::string RenderText() const;
+
+  // One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}
+  // with p50/p95/p99 precomputed per histogram.
+  std::string RenderJson() const;
+
+  // Drops every series. References returned earlier become invalid;
+  // intended for test isolation only.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::string name;
+    LabelSet labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    // Keyed by the rendered label string for deterministic exposition.
+    std::map<std::string, Series> series;
+  };
+
+  Series& GetSeries(std::string_view name, const LabelSet& labels, Kind kind,
+                    const std::vector<std::int64_t>* bounds);
+  const Series* FindSeries(std::string_view name, const LabelSet& labels,
+                           Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// The process-wide registry every instrumentation point records into.
+MetricsRegistry& Metrics();
+
+// Clock used by scoped timers and spans. Defaults to a real
+// steady-clock-backed microsecond source; tests and benches inject a
+// SimClock for deterministic timing. Passing nullptr restores the default.
+const Clock* ObsClock();
+void SetObsClock(const Clock* clock);
+
+}  // namespace gridauthz::obs

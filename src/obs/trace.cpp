@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::obs {
+
+namespace {
+
+thread_local TraceContext g_current;
+
+std::atomic<std::uint64_t> g_next_trace{1};
+std::atomic<std::uint64_t> g_next_span{1};
+
+// Log lines emitted inside a trace carry its id; the logger lives below
+// obs in the layer order, so the hookup happens here, once, when tracing
+// is first used.
+void EnsureLogTraceHook() {
+  static const bool installed = [] {
+    log::SetTraceIdProvider([] { return CurrentTraceId(); });
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
+
+std::string GenerateTraceId() {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "t-%016llx",
+                static_cast<unsigned long long>(
+                    g_next_trace.fetch_add(1, std::memory_order_relaxed)));
+  return buffer;
+}
+
+TraceContext CurrentTrace() { return g_current; }
+
+std::string CurrentTraceId() { return g_current.trace_id; }
+
+TraceScope::TraceScope(std::string trace_id) : previous_(g_current) {
+  EnsureLogTraceHook();
+  trace_id_ = trace_id.empty() ? GenerateTraceId() : std::move(trace_id);
+  g_current = TraceContext{trace_id_, 0};
+}
+
+TraceScope::~TraceScope() { g_current = previous_; }
+
+SpanStore::SpanStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanStore::Record(Span span) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Span> SpanStore::ForTrace(const std::string& trace_id) const {
+  std::lock_guard lock(mu_);
+  std::vector<Span> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Span& span = ring_[(head_ + i) % ring_.size()];
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+std::size_t SpanStore::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::size_t SpanStore::capacity() const { return capacity_; }
+
+std::uint64_t SpanStore::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void SpanStore::Clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+SpanStore& Tracer() {
+  static SpanStore* store = new SpanStore();
+  return *store;
+}
+
+ScopedSpan::ScopedSpan(std::string name) : previous_(g_current) {
+  EnsureLogTraceHook();
+  if (previous_.active()) {
+    span_.trace_id = previous_.trace_id;
+    span_.parent_span_id = previous_.span_id;
+  } else {
+    span_.trace_id = GenerateTraceId();
+    span_.parent_span_id = 0;
+  }
+  span_.span_id = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  span_.name = std::move(name);
+  span_.start_us = ObsClock()->NowMicros();
+  g_current = TraceContext{span_.trace_id, span_.span_id};
+}
+
+ScopedSpan::~ScopedSpan() {
+  span_.end_us = ObsClock()->NowMicros();
+  Tracer().Record(std::move(span_));
+  g_current = previous_;
+}
+
+}  // namespace gridauthz::obs

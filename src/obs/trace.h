@@ -1,0 +1,109 @@
+// Observability: span-based request tracing.
+//
+// A TraceContext is born at the edge (WireClient / Gatekeeper), travels
+// as the `trace-id` extension attribute of the GRAM wire protocol, and is
+// re-established server-side so every layer of the request path — wire
+// endpoint, gatekeeper, JMI, callout chain, PDP, backend adapters — opens
+// a timed child span under it. Finished spans land in a bounded in-memory
+// SpanStore queryable by trace id; audit records and log lines carry the
+// same id, so the three observability signals join on one key.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gridauthz::obs {
+
+struct TraceContext {
+  std::string trace_id;  // empty = no active trace
+  std::uint64_t span_id = 0;
+
+  bool active() const { return !trace_id.empty(); }
+};
+
+// Process-unique trace id, e.g. "t-000000000000002a".
+std::string GenerateTraceId();
+
+// The context active on this thread (empty TraceContext when none).
+TraceContext CurrentTrace();
+// Shorthand: the active trace id or "" — what audit records and log
+// lines stamp.
+std::string CurrentTraceId();
+
+// RAII: installs `trace_id` as this thread's root context (span_id 0) and
+// restores the previous context on destruction. An empty id generates a
+// fresh one. Used by the wire endpoint to adopt a client-sent id and by
+// entry points creating a new trace.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string trace_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  const std::string& trace_id() const { return trace_id_; }
+
+ private:
+  std::string trace_id_;
+  TraceContext previous_;
+};
+
+struct Span {
+  std::string trace_id;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root span of its trace
+  std::string name;                  // e.g. "gatekeeper/submit"
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+
+  std::int64_t duration_us() const { return end_us - start_us; }
+};
+
+// Bounded in-memory store of finished spans (ring; oldest dropped).
+class SpanStore {
+ public:
+  explicit SpanStore(std::size_t capacity = 4096);
+
+  void Record(Span span);
+
+  // Spans of one trace, in completion order (children close before
+  // parents, so the root span is last).
+  std::vector<Span> ForTrace(const std::string& trace_id) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::uint64_t dropped() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Span> ring_;
+  std::size_t head_ = 0;  // oldest element once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+// The process-wide span store instrumentation records into.
+SpanStore& Tracer();
+
+// RAII timed span. Opens as a child of the thread's active span; with no
+// active trace it starts a new one (so direct API entry points are traced
+// too). Timing reads ObsClock()->NowMicros(); the finished span is
+// recorded into Tracer() on destruction and the parent context restored.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  const std::string& trace_id() const { return span_.trace_id; }
+
+ private:
+  Span span_;
+  TraceContext previous_;
+};
+
+}  // namespace gridauthz::obs

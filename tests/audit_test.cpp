@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/audit.h"
+#include "obs/trace.h"
 
 namespace gridauthz::core {
 namespace {
@@ -42,7 +43,7 @@ TEST_F(AuditTest, RecordsPermit) {
   ASSERT_TRUE(decision.ok());
   EXPECT_TRUE(decision->permitted());
   ASSERT_EQ(log_->size(), 1u);
-  const AuditRecord& record = log_->records().front();
+  const AuditRecord record = log_->records().front();
   EXPECT_EQ(record.outcome, AuditOutcome::kPermit);
   EXPECT_EQ(record.subject, "/O=Grid/CN=x");
   EXPECT_EQ(record.action, "start");
@@ -114,6 +115,55 @@ TEST_F(AuditTest, LineRenderingContainsKeyFields) {
             std::string::npos);
   // ToText ends lines with newlines.
   EXPECT_EQ(log_->ToText(), line + "\n");
+}
+
+TEST_F(AuditTest, BoundedLogDropsOldestAndCountsDrops) {
+  AuditLog bounded{4};
+  EXPECT_EQ(bounded.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    AuditRecord record;
+    record.subject = "/O=Grid/CN=u" + std::to_string(i);
+    bounded.Append(std::move(record));
+  }
+  EXPECT_EQ(bounded.size(), 4u);
+  EXPECT_EQ(bounded.dropped(), 6u);
+  // Oldest-first snapshot: the four most recent records survive.
+  auto records = bounded.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().subject, "/O=Grid/CN=u6");
+  EXPECT_EQ(records.back().subject, "/O=Grid/CN=u9");
+}
+
+TEST_F(AuditTest, UnfilledRingKeepsInsertionOrder) {
+  AuditLog bounded{8};
+  for (int i = 0; i < 3; ++i) {
+    AuditRecord record;
+    record.subject = "s" + std::to_string(i);
+    bounded.Append(std::move(record));
+  }
+  EXPECT_EQ(bounded.dropped(), 0u);
+  auto records = bounded.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].subject, "s0");
+  EXPECT_EQ(records[2].subject, "s2");
+}
+
+TEST_F(AuditTest, RecordCarriesActiveTraceId) {
+  obs::TraceScope trace{"t-test"};
+  (void)audited_.Authorize(Request("/O=Grid/CN=x", "start",
+                                   "&(executable=ok)"));
+  ASSERT_EQ(log_->size(), 1u);
+  const AuditRecord record = log_->records().front();
+  EXPECT_EQ(record.trace_id, "t-test");
+  EXPECT_NE(record.ToLine().find("trace=t-test"), std::string::npos);
+}
+
+TEST_F(AuditTest, NoActiveTraceLeavesRecordUntraced) {
+  (void)audited_.Authorize(Request("/O=Grid/CN=x", "start",
+                                   "&(executable=ok)"));
+  const AuditRecord record = log_->records().front();
+  EXPECT_TRUE(record.trace_id.empty());
+  EXPECT_EQ(record.ToLine().find("trace="), std::string::npos);
 }
 
 TEST_F(AuditTest, SharedCommunityAccountStaysAttributable) {

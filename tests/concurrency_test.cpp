@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/audit.h"
 #include "core/source.h"
 #include "gram/callout.h"
 #include "gsi/keys.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz {
 namespace {
@@ -122,6 +125,84 @@ TEST(Concurrency, ParallelPolicyEvaluationIsConsistent) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(Concurrency, MetricsRegistryParallelSeriesCreationAndIncrement) {
+  obs::Metrics().Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Every thread hits a shared series and its own series — both the
+        // registry map (mutex) and the counters (atomics) race here.
+        obs::Metrics().GetCounter("conc_shared_total").Increment();
+        obs::Metrics()
+            .GetCounter("conc_per_thread_total",
+                        {{"thread", std::to_string(t)}})
+            .Increment();
+        obs::Metrics()
+            .GetHistogram("conc_latency_us")
+            .Observe(i % 1000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(obs::Metrics().CounterValue("conc_shared_total"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(obs::Metrics().CounterValue(
+                  "conc_per_thread_total", {{"thread", std::to_string(t)}}),
+              static_cast<std::uint64_t>(kPerThread));
+  }
+  const obs::Histogram* h = obs::Metrics().FindHistogram("conc_latency_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Concurrency, BoundedAuditLogParallelAppends) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  constexpr std::size_t kCapacity = 256;
+  core::AuditLog log{kCapacity};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        core::AuditRecord record;
+        record.subject = "/O=Grid/CN=t" + std::to_string(t);
+        record.action = "start";
+        log.Append(std::move(record));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.size(), kCapacity);
+  EXPECT_EQ(log.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - kCapacity);
+  EXPECT_EQ(log.records().size(), kCapacity);
+}
+
+TEST(Concurrency, ParallelTracedSpansStayOnTheirOwnTrace) {
+  obs::Tracer().Clear();
+  constexpr int kThreads = 8;
+  std::vector<std::string> trace_ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace_ids, t] {
+      obs::TraceScope scope{"t-conc-" + std::to_string(t)};
+      trace_ids[t] = scope.trace_id();
+      for (int i = 0; i < 50; ++i) {
+        obs::ScopedSpan span{"work"};
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Thread-local contexts: every span landed under its own thread's trace.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(obs::Tracer().ForTrace(trace_ids[t]).size(), 50u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Observability subsystem: metrics registry semantics (counters, gauges,
+// labelled series, histogram percentiles), Prometheus-style exposition,
+// JSON snapshots, span-based tracing with parent/child structure, trace
+// propagation into log records, and the shared instrumentation helper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  ObsTest() {
+    Metrics().Reset();
+    Tracer().Clear();
+  }
+  ~ObsTest() override { SetObsClock(nullptr); }
+};
+
+// ---- counters and gauges ------------------------------------------------
+
+TEST_F(ObsTest, CounterIncrementsAndReads) {
+  Counter& counter = Metrics().GetCounter("requests_total");
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), 5u);
+  EXPECT_EQ(Metrics().CounterValue("requests_total"), 5u);
+}
+
+TEST_F(ObsTest, LabelledSeriesAreDistinct) {
+  Metrics().GetCounter("d_total", {{"outcome", "permit"}}).Increment();
+  Metrics().GetCounter("d_total", {{"outcome", "deny"}}).Increment(2);
+  EXPECT_EQ(Metrics().CounterValue("d_total", {{"outcome", "permit"}}), 1u);
+  EXPECT_EQ(Metrics().CounterValue("d_total", {{"outcome", "deny"}}), 2u);
+  EXPECT_EQ(Metrics().CounterValue("d_total", {{"outcome", "other"}}), 0u);
+}
+
+TEST_F(ObsTest, LabelOrderIsCanonicalized) {
+  Counter& a =
+      Metrics().GetCounter("c_total", {{"a", "1"}, {"b", "2"}});
+  Counter& b =
+      Metrics().GetCounter("c_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(ObsTest, GetReturnsStableReference) {
+  Counter& first = Metrics().GetCounter("stable_total");
+  Metrics().GetCounter("other_total").Increment();
+  Counter& second = Metrics().GetCounter("stable_total");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  Gauge& gauge = Metrics().GetGauge("queue_depth");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+// ---- histograms ---------------------------------------------------------
+
+TEST_F(ObsTest, HistogramCountSumAndBuckets) {
+  Histogram& h =
+      Metrics().GetHistogram("lat_us", {}, {10, 100, 1000});
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(500);
+  h.Observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5555);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST_F(ObsTest, PercentileInterpolatesWithinBucket) {
+  Histogram& h = Metrics().GetHistogram("p_us", {}, {100});
+  for (int i = 0; i < 100; ++i) h.Observe(50);
+  // All mass in [0, 100): the median interpolates to mid-bucket.
+  EXPECT_NEAR(h.p50(), 50.0, 1.0);
+  EXPECT_NEAR(h.Percentile(100.0), 100.0, 1.0);
+}
+
+TEST_F(ObsTest, PercentileEdgeCases) {
+  Histogram& h = Metrics().GetHistogram("e_us", {}, {10, 100});
+  EXPECT_EQ(h.p50(), 0.0);  // empty histogram
+  h.Observe(100000);        // only the overflow bucket
+  // Beyond the last finite bound the histogram cannot resolve; it reports
+  // that bound.
+  EXPECT_EQ(h.p99(), 100.0);
+}
+
+TEST_F(ObsTest, PercentileOrderingOnSpreadData) {
+  Histogram& h = Metrics().GetHistogram(
+      "s_us", {}, DefaultLatencyBucketsUs());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_GT(h.p50(), 0.0);
+}
+
+// ---- exposition ---------------------------------------------------------
+
+TEST_F(ObsTest, RenderTextExposesSortedLabelsAndTypes) {
+  Metrics()
+      .GetCounter("authz_decisions_total",
+                  {{"source", "vo"}, {"outcome", "permit"}})
+      .Increment(3);
+  Metrics().GetGauge("depth").Set(2);
+  std::string text = Metrics().RenderText();
+  EXPECT_NE(text.find("# TYPE authz_decisions_total counter"),
+            std::string::npos);
+  // Labels render sorted by key regardless of insertion order.
+  EXPECT_NE(
+      text.find("authz_decisions_total{outcome=\"permit\",source=\"vo\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderTextExposesHistogramSeries) {
+  Metrics().GetHistogram("h_us", {{"source", "vo"}}, {10, 100}).Observe(50);
+  std::string text = Metrics().RenderText();
+  EXPECT_NE(text.find("# TYPE h_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"10\",source=\"vo\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"100\",source=\"vo\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"+Inf\",source=\"vo\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_us_sum{source=\"vo\"} 50"), std::string::npos);
+  EXPECT_NE(text.find("h_us_count{source=\"vo\"} 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderJsonCarriesPercentiles) {
+  Metrics().GetCounter("c_total").Increment();
+  Metrics().GetHistogram("j_us", {}, {10, 100}).Observe(5);
+  std::string json = Metrics().RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetDropsEverySeries) {
+  Metrics().GetCounter("gone_total").Increment();
+  Metrics().Reset();
+  EXPECT_EQ(Metrics().CounterValue("gone_total"), 0u);
+  EXPECT_EQ(Metrics().FindHistogram("authz_latency_us"), nullptr);
+}
+
+// ---- concurrency --------------------------------------------------------
+
+TEST_F(ObsTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter& counter = Metrics().GetCounter("parallel_total");
+  Histogram& h = Metrics().GetHistogram("parallel_us", {}, {100, 10000});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        h.Observe(i % 200);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- tracing ------------------------------------------------------------
+
+TEST_F(ObsTest, GenerateTraceIdIsUnique) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 100; ++i) ids.insert(GenerateTraceId());
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST_F(ObsTest, TraceScopeInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTrace().active());
+  {
+    TraceScope scope{"t-outer"};
+    EXPECT_EQ(CurrentTraceId(), "t-outer");
+    {
+      TraceScope inner{""};  // empty id generates a fresh trace
+      EXPECT_NE(inner.trace_id(), "t-outer");
+      EXPECT_EQ(CurrentTraceId(), inner.trace_id());
+    }
+    EXPECT_EQ(CurrentTraceId(), "t-outer");
+  }
+  EXPECT_FALSE(CurrentTrace().active());
+}
+
+TEST_F(ObsTest, NestedSpansShareTraceAndLinkParents) {
+  {
+    TraceScope scope{"t-nest"};
+    ScopedSpan outer{"outer"};
+    { ScopedSpan inner{"inner"}; }
+  }
+  auto spans = Tracer().ForTrace("t-nest");
+  ASSERT_EQ(spans.size(), 2u);
+  // Children close first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_EQ(spans[1].parent_span_id, 0u);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+}
+
+TEST_F(ObsTest, SpanWithoutTraceStartsItsOwn) {
+  std::string trace_id;
+  {
+    ScopedSpan span{"lonely"};
+    trace_id = span.trace_id();
+    EXPECT_FALSE(trace_id.empty());
+  }
+  EXPECT_FALSE(CurrentTrace().active());
+  auto spans = Tracer().ForTrace(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "lonely");
+}
+
+TEST_F(ObsTest, SpanDurationsAreDeterministicUnderSimClock) {
+  SimClock sim{100};
+  SetObsClock(&sim);
+  {
+    TraceScope scope{"t-timed"};
+    ScopedSpan outer{"outer"};
+    sim.AdvanceMicros(100);
+    {
+      ScopedSpan inner{"inner"};
+      sim.AdvanceMicros(250);
+    }
+    sim.AdvanceMicros(50);
+  }
+  SetObsClock(nullptr);
+  auto spans = Tracer().ForTrace("t-timed");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].duration_us(), 250);  // inner
+  EXPECT_EQ(spans[1].duration_us(), 400);  // outer: 100 + 250 + 50
+}
+
+TEST_F(ObsTest, SpanStoreIsBounded) {
+  SpanStore store{4};
+  for (int i = 0; i < 10; ++i) {
+    Span span;
+    span.trace_id = "t-ring";
+    span.span_id = static_cast<std::uint64_t>(i + 1);
+    store.Record(std::move(span));
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.dropped(), 6u);
+  auto spans = store.ForTrace("t-ring");
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().span_id, 7u);
+  EXPECT_EQ(spans.back().span_id, 10u);
+}
+
+// ---- log correlation ----------------------------------------------------
+
+TEST_F(ObsTest, LogRecordsCarryActiveTraceIdAndFields) {
+  log::Logger::Instance().ClearSinks();
+  log::CaptureSink sink;
+  log::Level old_level = log::Logger::Instance().level();
+  log::Logger::Instance().set_level(log::Level::kDebug);
+  {
+    TraceScope scope{"t-log"};
+    GA_LOG(kInfo, "obs-test").Field("job", "j-1") << "traced message";
+  }
+  GA_LOG(kInfo, "obs-test") << "untraced message";
+  log::Logger::Instance().set_level(old_level);
+  log::Logger::Instance().UseStderr();
+
+  auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, "t-log");
+  ASSERT_EQ(records[0].fields.size(), 1u);
+  EXPECT_EQ(records[0].fields[0].first, "job");
+  EXPECT_EQ(records[0].fields[0].second, "j-1");
+  EXPECT_TRUE(records[1].trace_id.empty());
+}
+
+// ---- instrumentation helper ---------------------------------------------
+
+TEST_F(ObsTest, AuthzCallObservationRecordsCounterSpanAndLatency) {
+  SimClock sim{100};
+  SetObsClock(&sim);
+  {
+    TraceScope scope{"t-authz"};
+    AuthzCallObservation observation{"vo"};
+    sim.AdvanceMicros(40);
+    observation.set_outcome(kOutcomePermit);
+  }
+  SetObsClock(nullptr);
+  EXPECT_EQ(Metrics().CounterValue("authz_decisions_total",
+                                   {{"source", "vo"}, {"outcome", "permit"}}),
+            1u);
+  const Histogram* h =
+      Metrics().FindHistogram("authz_latency_us", {{"source", "vo"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum(), 40);
+  auto spans = Tracer().ForTrace("t-authz");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "authorize/vo");
+  EXPECT_EQ(spans[0].duration_us(), 40);
+}
+
+TEST_F(ObsTest, AuthzCallObservationDefaultsToError) {
+  { AuthzCallObservation observation{"vo"}; }  // outcome never set
+  EXPECT_EQ(Metrics().CounterValue("authz_decisions_total",
+                                   {{"source", "vo"}, {"outcome", "error"}}),
+            1u);
+}
+
+}  // namespace
+}  // namespace gridauthz::obs

@@ -4,8 +4,11 @@
 // wire error code.
 #include <gtest/gtest.h>
 
+#include "core/audit.h"
 #include "gram/site.h"
 #include "gram/wire_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gridauthz::gram::wire {
 namespace {
@@ -168,6 +171,56 @@ TEST_F(WireServiceTest, CancelOnlyRightsStillGetOwnerInReply) {
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->code, GramErrorCode::kNone);
   EXPECT_EQ(reply->job_owner, kBoLiu);
+}
+
+TEST_F(WireServiceTest, TraceIdPropagatesFromClientToAuditRecord) {
+  obs::Metrics().Reset();
+  // Wrap the VO PEP with the auditing decorator so every decision lands
+  // in an audit log we can inspect.
+  auto log = std::make_shared<core::AuditLog>();
+  auto inner = std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(kFigure3Plus).value());
+  site_.UseJobManagerPep(std::make_shared<core::AuditingPolicySource>(
+      inner, log, &site_.clock()));
+
+  WireClient boliu{boliu_, &endpoint_};
+  auto contact = boliu.Submit(
+      "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+      "(simduration=50)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  ASSERT_FALSE(boliu.last_trace_id().empty());
+
+  // The client-side trace id crossed the wire as the `trace-id` attribute
+  // and was stamped into the server-side audit record.
+  ASSERT_EQ(log->size(), 1u);
+  auto records = log->records();
+  EXPECT_EQ(records.front().trace_id, boliu.last_trace_id());
+  EXPECT_EQ(records.front().outcome, core::AuditOutcome::kPermit);
+
+  // A second client's management request carries its own trace id.
+  WireClient kate{kate_, &endpoint_};
+  ASSERT_TRUE(kate.Cancel(*contact).ok());
+  EXPECT_NE(kate.last_trace_id(), boliu.last_trace_id());
+  auto cancel_records = log->Query(kKate, "cancel");
+  ASSERT_EQ(cancel_records.size(), 1u);
+  EXPECT_EQ(cancel_records.front().trace_id, kate.last_trace_id());
+
+  // The span store holds the request's server-side spans under that id.
+  auto spans = obs::Tracer().ForTrace(boliu.last_trace_id());
+  EXPECT_FALSE(spans.empty());
+  bool saw_wire_handle = false;
+  for (const auto& span : spans) {
+    if (span.name == "wire/handle") saw_wire_handle = true;
+  }
+  EXPECT_TRUE(saw_wire_handle);
+
+  // And the decision counters/latency histogram saw the calls.
+  std::string text = obs::Metrics().RenderText();
+  EXPECT_NE(text.find(
+                "authz_decisions_total{outcome=\"permit\",source=\"vo\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("authz_latency_us_count{source=\"vo\"}"),
+            std::string::npos);
 }
 
 }  // namespace
