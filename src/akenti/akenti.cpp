@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/evaluator.h"
 #include "core/source.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 
 namespace gridauthz::akenti {
 
@@ -205,11 +207,23 @@ AkentiPolicySource::AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
 Expected<core::Decision> AkentiPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
-  Expected<core::Decision> result =
-      engine_ == nullptr
-          ? Expected<core::Decision>{Error{ErrCode::kAuthorizationSystemFailure,
-                                           "akenti engine not configured"}}
-          : engine_->Evaluate(request);
+  Expected<core::Decision> result = [&]() -> Expected<core::Decision> {
+    // Certificate gathering is the expensive part of Akenti evaluation;
+    // don't even start it once the caller's budget is spent.
+    if (DeadlineExpiredAt(obs::ObsClock()->NowMicros())) {
+      obs::Metrics()
+          .GetCounter("authz_deadline_exceeded_total", {{"source", name_}})
+          .Increment();
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   std::string{kReasonDeadlineExceeded} + " akenti source '" +
+                       name_ + "' ran out of deadline budget"};
+    }
+    if (engine_ == nullptr) {
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   "akenti engine not configured"};
+    }
+    return engine_->Evaluate(request);
+  }();
   observation.set_outcome(core::MetricOutcome(result));
   return result;
 }

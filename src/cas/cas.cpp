@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "core/policy.h"
 #include "core/source.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 
 namespace gridauthz::cas {
 
@@ -77,6 +79,14 @@ Expected<core::Decision> CasPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
   Expected<core::Decision> result = [&]() -> Expected<core::Decision> {
+    if (DeadlineExpiredAt(obs::ObsClock()->NowMicros())) {
+      obs::Metrics()
+          .GetCounter("authz_deadline_exceeded_total", {{"source", name_}})
+          .Increment();
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   std::string{kReasonDeadlineExceeded} + " cas source '" +
+                       name_ + "' ran out of deadline budget"};
+    }
     if (!request.restriction_policy) {
       return core::Decision::Deny(
           core::DecisionCode::kDenyNoApplicableStatement,

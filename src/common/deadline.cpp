@@ -1,0 +1,36 @@
+#include "common/deadline.h"
+
+#include <algorithm>
+
+namespace gridauthz {
+
+namespace {
+thread_local std::optional<std::int64_t> g_deadline_micros;
+}  // namespace
+
+std::optional<std::int64_t> CurrentDeadlineMicros() { return g_deadline_micros; }
+
+bool DeadlineExpiredAt(std::int64_t now_micros) {
+  return g_deadline_micros.has_value() && now_micros >= *g_deadline_micros;
+}
+
+std::optional<std::int64_t> RemainingDeadlineMicros(std::int64_t now_micros) {
+  if (!g_deadline_micros) return std::nullopt;
+  return std::max<std::int64_t>(0, *g_deadline_micros - now_micros);
+}
+
+DeadlineScope::DeadlineScope(std::optional<std::int64_t> deadline_micros)
+    : previous_(g_deadline_micros) {
+  if (deadline_micros && previous_) {
+    effective_ = std::min(*deadline_micros, *previous_);
+  } else if (deadline_micros) {
+    effective_ = deadline_micros;
+  } else {
+    effective_ = previous_;
+  }
+  g_deadline_micros = effective_;
+}
+
+DeadlineScope::~DeadlineScope() { g_deadline_micros = previous_; }
+
+}  // namespace gridauthz

@@ -1,0 +1,48 @@
+// Ambient request deadlines. A client's latency budget travels with the
+// request — as the `deadline-micros` wire attribute between processes and
+// as a thread-local scope within one — so every layer of the
+// authorization path (wire endpoint, Job Manager, combining PDP, backend
+// adapters) can stop evaluating once the budget is spent. Mirrors the
+// trace-id propagation in obs/trace.h: RAII scope at the entry point,
+// free-function reads everywhere below.
+//
+// Deadlines are absolute microseconds on whatever clock the process
+// measures with (obs::ObsClock() on the authorization path), so SimClock
+// tests control expiry deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace gridauthz {
+
+// The deadline active on this thread; nullopt when none is set.
+std::optional<std::int64_t> CurrentDeadlineMicros();
+
+// True when a deadline is active and `now_micros` has reached it.
+bool DeadlineExpiredAt(std::int64_t now_micros);
+
+// Remaining budget at `now_micros`: nullopt without a deadline, clamped
+// to 0 once expired.
+std::optional<std::int64_t> RemainingDeadlineMicros(std::int64_t now_micros);
+
+// RAII: installs `deadline_micros` as this thread's deadline and restores
+// the previous one on destruction. Nested scopes only tighten — the
+// effective deadline is the minimum of the new and inherited values, so
+// an inner layer can never extend the caller's budget. Passing nullopt
+// leaves any inherited deadline in force.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(std::optional<std::int64_t> deadline_micros);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+  std::optional<std::int64_t> deadline_micros() const { return effective_; }
+
+ private:
+  std::optional<std::int64_t> effective_;
+  std::optional<std::int64_t> previous_;
+};
+
+}  // namespace gridauthz

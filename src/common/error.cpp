@@ -45,4 +45,12 @@ std::ostream& operator<<(std::ostream& os, const Error& e) {
   return os << e.to_string();
 }
 
+std::string_view FailureReasonTag(const Error& error) {
+  const std::string& message = error.message();
+  if (message.empty() || message.front() != '[') return {};
+  std::size_t close = message.find(']');
+  if (close == std::string::npos) return {};
+  return std::string_view{message}.substr(0, close + 1);
+}
+
 }  // namespace gridauthz

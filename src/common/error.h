@@ -126,6 +126,22 @@ class [[nodiscard]] Expected<void> {
 
 inline Expected<void> Ok() { return Expected<void>{}; }
 
+// Typed degradation reasons. When the resilience layer converts a
+// backend problem into kAuthorizationSystemFailure, the message starts
+// with one of these bracketed tags so clients and tests can distinguish
+// WHY the authorization system failed (a breaker rejected the call, the
+// budget ran out, retries were exhausted, a reply arrived too late)
+// without parsing prose. FailureReasonTag() extracts the tag.
+inline constexpr std::string_view kReasonCircuitOpen = "[circuit-open]";
+inline constexpr std::string_view kReasonDeadlineExceeded =
+    "[deadline-exceeded]";
+inline constexpr std::string_view kReasonRetriesExhausted =
+    "[retries-exhausted]";
+inline constexpr std::string_view kReasonAttemptTimeout = "[attempt-timeout]";
+
+// The leading "[...]" tag of `error`'s message, or "" when untagged.
+std::string_view FailureReasonTag(const Error& error);
+
 // Propagates the error from a fallible expression, binding the value
 // otherwise. Usage: GA_TRY(auto cert, registry.Lookup(name));
 #define GA_CONCAT_INNER(a, b) a##b

@@ -1,8 +1,10 @@
 #include "core/source.h"
 
 #include "common/config.h"
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 
 namespace gridauthz::core {
 
@@ -41,16 +43,28 @@ FilePolicySource::FilePolicySource(std::string name, std::string path,
 }
 
 Expected<void> FilePolicySource::Reload() {
+  // A failed re-read keeps the last-good evaluator serving: replacing a
+  // working policy with "no policy" would convert every request into an
+  // authorization system failure because of one bad edit or a transient
+  // I/O error. The failure is recorded and counted instead.
+  auto record_failure = [this](const Error& error) {
+    load_error_ = error.to_string();
+    obs::Metrics()
+        .GetCounter("policy_reload_failures_total", {{"source", name_}})
+        .Increment();
+    GA_LOG(kWarn, "policy") << "source '" << name_ << "' reload failed"
+                            << (evaluator_ ? " (keeping last-good policy): "
+                                           : " (no policy loaded): ")
+                            << error;
+  };
   auto text = ReadFile(path_);
   if (!text.ok()) {
-    evaluator_.reset();
-    load_error_ = text.error().to_string();
+    record_failure(text.error());
     return text.error();
   }
   auto document = PolicyDocument::Parse(*text);
   if (!document.ok()) {
-    evaluator_.reset();
-    load_error_ = document.error().to_string();
+    record_failure(document.error());
     return document.error();
   }
   evaluator_ = std::make_unique<PolicyEvaluator>(std::move(document).value(),
@@ -88,6 +102,18 @@ Expected<Decision> CombiningPdp::Authorize(
                    "combining PDP '" + name_ + "' has no policy sources"};
     }
     for (const auto& source : sources_) {
+      // Deadline check between sources: a permit requires every source's
+      // answer, so running out of budget mid-evaluation must fail the
+      // request (closed), not permit on the prefix evaluated so far.
+      if (DeadlineExpiredAt(obs::ObsClock()->NowMicros())) {
+        obs::Metrics()
+            .GetCounter("authz_deadline_exceeded_total", {{"source", name_}})
+            .Increment();
+        return Error{ErrCode::kAuthorizationSystemFailure,
+                     std::string{kReasonDeadlineExceeded} + " combining PDP '" +
+                         name_ + "' ran out of deadline budget before source '" +
+                         source->name() + "'"};
+      }
       GA_TRY(Decision decision, source->Authorize(request));
       if (!decision.permitted()) {
         decision.reason =

@@ -62,11 +62,17 @@ class FilePolicySource final : public PolicySource {
 
   const std::string& name() const override { return name_; }
 
-  // Loads (or reloads) the file. Parse or I/O failures are remembered and
-  // surface from Authorize() as authorization system failures.
+  // Loads (or reloads) the file. A failed reload keeps the last
+  // successfully loaded policy in force (a half-written policy edit must
+  // not take the source down); the failure is remembered, logged, and
+  // counted as policy_reload_failures_total{source}. Only when no load
+  // has ever succeeded does Authorize() fail closed.
   Expected<void> Reload();
 
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
+
+  // The most recent reload failure; empty after a successful (re)load.
+  const std::string& last_reload_error() const { return load_error_; }
 
  private:
   std::string name_;
@@ -89,7 +95,11 @@ class CombiningPdp final : public PolicySource {
   const std::string& name() const override { return name_; }
 
   // Permit iff every source permits. A deny reports which source denied;
-  // no sources configured is a system failure (fail closed).
+  // no sources configured is a system failure (fail closed). Honors the
+  // ambient deadline (common/deadline.h): once the budget is spent the
+  // remaining sources are not consulted and the result is an
+  // authorization system failure tagged [deadline-exceeded] — a partial
+  // evaluation never yields a permit.
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
 
  private:

@@ -1,0 +1,137 @@
+#include "fault/breaker.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::fault {
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string backend,
+                               CircuitBreakerOptions options,
+                               const Clock* clock)
+    : backend_(std::move(backend)), options_(options), clock_(clock) {
+  obs::Metrics()
+      .GetGauge("breaker_state", {{"backend", backend_}})
+      .Set(static_cast<std::int64_t>(state_));
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  if (state_ == to) return;
+  state_ = to;
+  obs::Metrics()
+      .GetGauge("breaker_state", {{"backend", backend_}})
+      .Set(static_cast<std::int64_t>(to));
+  obs::Metrics()
+      .GetCounter("breaker_transitions_total",
+                  {{"backend", backend_}, {"to", std::string{to_string(to)}}})
+      .Increment();
+  GA_LOG(kInfo, "fault") << "breaker '" << backend_ << "' -> "
+                         << to_string(to);
+  if (to == BreakerState::kOpen) {
+    opened_at_us_ = clock_->NowMicros();
+    window_.clear();
+  } else if (to == BreakerState::kHalfOpen) {
+    half_open_inflight_ = 0;
+    half_open_successes_ = 0;
+  } else {  // closed
+    window_.clear();
+  }
+}
+
+void CircuitBreaker::PruneLocked(std::int64_t now_us) {
+  while (!window_.empty() && window_.front().at_us < now_us - options_.window_us) {
+    window_.pop_front();
+  }
+}
+
+double CircuitBreaker::FailureRateLocked() const {
+  if (window_.empty()) return 0.0;
+  std::size_t failures = 0;
+  for (const Sample& sample : window_) {
+    if (!sample.ok) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(window_.size());
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard lock(mu_);
+  const std::int64_t now = clock_->NowMicros();
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_us_ >= options_.open_cooldown_us) {
+        TransitionLocked(BreakerState::kHalfOpen);
+        ++half_open_inflight_;
+        return true;
+      }
+      obs::Metrics()
+          .GetCounter("breaker_rejected_total", {{"backend", backend_}})
+          .Increment();
+      return false;
+    case BreakerState::kHalfOpen:
+      if (half_open_inflight_ < options_.half_open_probes) {
+        ++half_open_inflight_;
+        return true;
+      }
+      obs::Metrics()
+          .GetCounter("breaker_rejected_total", {{"backend", backend_}})
+          .Increment();
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard lock(mu_);
+  const std::int64_t now = clock_->NowMicros();
+  if (state_ == BreakerState::kHalfOpen) {
+    if (half_open_inflight_ > 0) --half_open_inflight_;
+    if (++half_open_successes_ >= options_.half_open_successes) {
+      TransitionLocked(BreakerState::kClosed);
+    }
+    return;
+  }
+  window_.push_back({now, true});
+  PruneLocked(now);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard lock(mu_);
+  const std::int64_t now = clock_->NowMicros();
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: the backend is still sick.
+    TransitionLocked(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;
+  window_.push_back({now, false});
+  PruneLocked(now);
+  if (static_cast<int>(window_.size()) >= options_.min_calls &&
+      FailureRateLocked() >= options_.failure_rate_threshold) {
+    TransitionLocked(BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+void CircuitBreaker::ForceOpen() {
+  std::lock_guard lock(mu_);
+  TransitionLocked(BreakerState::kOpen);
+}
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,81 @@
+// Per-backend circuit breaker: closed -> open -> half-open, driven by a
+// failure-rate threshold over a sliding time window on an injectable
+// Clock. A dead Akenti or CAS must stop consuming the latency budget of
+// every request: once the breaker opens, calls are rejected immediately
+// (and fail closed) until a cooldown passes, after which a bounded
+// number of half-open probes decide whether the backend recovered.
+//
+// State is exported through obs:
+//   breaker_state{backend}            gauge: 0 closed, 1 open, 2 half-open
+//   breaker_transitions_total{backend,to}
+//   breaker_rejected_total{backend}
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+
+namespace gridauthz::fault {
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view to_string(BreakerState state);
+
+struct CircuitBreakerOptions {
+  std::int64_t window_us = 10'000'000;     // failure-rate sliding window
+  int min_calls = 5;                       // samples before the rate counts
+  double failure_rate_threshold = 0.5;     // open at >= this rate
+  std::int64_t open_cooldown_us = 30'000'000;  // open -> half-open delay
+  int half_open_probes = 1;                // probes admitted half-open
+  int half_open_successes = 1;             // successes needed to close
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(std::string backend, CircuitBreakerOptions options,
+                 const Clock* clock);
+
+  // Admission check for one call. In the open state this is where the
+  // cooldown expiry transitions to half-open. Returns false when the
+  // call must be rejected (caller fails closed).
+  bool Allow();
+
+  // Report the fate of an admitted call. A deny counts as success — the
+  // backend answered; only system failures push the breaker open.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  const std::string& backend() const { return backend_; }
+
+  // Forces the breaker open immediately (operator kill switch; also used
+  // by tests to pin the degraded path).
+  void ForceOpen();
+
+ private:
+  struct Sample {
+    std::int64_t at_us;
+    bool ok;
+  };
+
+  void TransitionLocked(BreakerState to);
+  void PruneLocked(std::int64_t now_us);
+  double FailureRateLocked() const;
+
+  std::string backend_;
+  CircuitBreakerOptions options_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<Sample> window_;
+  std::int64_t opened_at_us_ = 0;
+  int half_open_inflight_ = 0;
+  int half_open_successes_ = 0;
+};
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,62 @@
+#include "fault/degrade.h"
+
+#include "obs/metrics.h"
+
+namespace gridauthz::fault {
+
+bool IsManagementAction(std::string_view action) {
+  return action == core::kActionCancel ||
+         action == core::kActionInformation || action == core::kActionSignal;
+}
+
+LastGoodCache::LastGoodCache(LastGoodCacheOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {}
+
+std::string LastGoodCache::Key(const core::AuthorizationRequest& request) {
+  // Subject, action, and job are what management policies key on; the
+  // job RSL is fixed for a running job.
+  return request.subject + '\n' + request.action + '\n' + request.job_id +
+         '\n' + request.job_owner;
+}
+
+void LastGoodCache::Record(const core::AuthorizationRequest& request,
+                           const core::Decision& decision) {
+  if (!IsManagementAction(request.action)) return;
+  std::lock_guard lock(mu_);
+  const std::string key = Key(request);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.decision = decision;
+    it->second.stored_at_us = clock_->NowMicros();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (entries_.size() >= options_.capacity && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{decision, clock_->NowMicros(), lru_.begin()};
+}
+
+std::optional<core::Decision> LastGoodCache::Lookup(
+    const core::AuthorizationRequest& request) const {
+  if (!IsManagementAction(request.action)) return std::nullopt;
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(Key(request));
+  if (it == entries_.end()) return std::nullopt;
+  if (clock_->NowMicros() - it->second.stored_at_us > options_.ttl_us) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.decision;
+}
+
+std::size_t LastGoodCache::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,65 @@
+// Fail-closed degradation: a bounded, TTL'd cache of last-good
+// authorization decisions. When a policy source is open-circuit or out
+// of deadline budget, the pipeline answers kAuthorizationSystemFailure —
+// never a fresh permit. The one sanctioned softening is for MANAGEMENT
+// actions (cancel / information / signal): an operator who could cancel
+// a job two minutes ago may still cancel it while Akenti is down,
+// because the cached decision was computed by the real policy. `start`
+// is never served from cache — admitting new work on stale policy is
+// exactly the fail-open the paper's default-deny stance forbids.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "core/evaluator.h"
+#include "core/request.h"
+
+namespace gridauthz::fault {
+
+// True for the actions the degradation cache may serve.
+bool IsManagementAction(std::string_view action);
+
+struct LastGoodCacheOptions {
+  std::size_t capacity = 1024;       // entries; LRU beyond this
+  std::int64_t ttl_us = 60'000'000;  // entry lifetime
+};
+
+class LastGoodCache {
+ public:
+  LastGoodCache(LastGoodCacheOptions options, const Clock* clock);
+
+  // Records the decision for a management request. Start requests and
+  // non-management actions are ignored.
+  void Record(const core::AuthorizationRequest& request,
+              const core::Decision& decision);
+
+  // A fresh cached decision for the request, or nullopt (miss, expired,
+  // or a non-management action).
+  std::optional<core::Decision> Lookup(
+      const core::AuthorizationRequest& request) const;
+
+  std::size_t size() const;
+
+ private:
+  static std::string Key(const core::AuthorizationRequest& request);
+
+  LastGoodCacheOptions options_;
+  const Clock* clock_;
+
+  struct Entry {
+    core::Decision decision;
+    std::int64_t stored_at_us = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+  mutable std::mutex mu_;
+  mutable std::map<std::string, Entry> entries_;
+  mutable std::list<std::string> lru_;  // front = most recent
+};
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,192 @@
+#include "fault/fault.h"
+
+#include <charconv>
+
+#include "common/config.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::fault {
+
+namespace {
+
+Expected<std::int64_t> ParseInt(const std::string& text,
+                                std::string_view what) {
+  std::int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError, "fault plan: " + std::string{what} +
+                                           " is not an integer: " + text};
+  }
+  return value;
+}
+
+Expected<double> ParseRate(const std::string& text, std::string_view what) {
+  double value = 0.0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError, "fault plan: " + std::string{what} +
+                                           " is not a number: " + text};
+  }
+  if (value < 0.0 || value > 1.0) {
+    return Error{ErrCode::kParseError, "fault plan: " + std::string{what} +
+                                           " must be in [0, 1]: " + text};
+  }
+  return value;
+}
+
+std::uint64_t HashName(std::string_view name) {
+  // FNV-1a, for deriving per-target RNG streams from the plan seed.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void CountInjected(const std::string& target, std::string_view kind) {
+  obs::Metrics()
+      .GetCounter("fault_injected_total",
+                  {{"target", target}, {"kind", std::string{kind}}})
+      .Increment();
+}
+
+}  // namespace
+
+Expected<FaultPlan> FaultPlan::Parse(std::string_view config_text) {
+  GA_TRY(std::vector<ConfigEntry> entries, ParseConfig(config_text, 2));
+  FaultPlan plan;
+  for (const ConfigEntry& entry : entries) {
+    const std::string line = " (line " + std::to_string(entry.line_number) + ")";
+    if (entry.tokens.size() == 2 && entry.tokens[0] == "seed") {
+      GA_TRY(std::int64_t seed, ParseInt(entry.tokens[1], "seed" + line));
+      plan.seed = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    if (entry.tokens.size() != 3) {
+      return Error{ErrCode::kParseError,
+                   "fault plan: expected '<target> <directive> <value>'" +
+                       line};
+    }
+    FaultSpec& spec = plan.targets[entry.tokens[0]];
+    const std::string& directive = entry.tokens[1];
+    const std::string& value = entry.tokens[2];
+    if (directive == "latency-us") {
+      GA_TRY(spec.latency_us, ParseInt(value, "latency-us" + line));
+      if (spec.latency_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "fault plan: latency-us must be >= 0" + line};
+      }
+    } else if (directive == "latency-jitter-us") {
+      GA_TRY(spec.latency_jitter_us,
+             ParseInt(value, "latency-jitter-us" + line));
+      if (spec.latency_jitter_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "fault plan: latency-jitter-us must be >= 0" + line};
+      }
+    } else if (directive == "transient-rate") {
+      GA_TRY(spec.transient_rate, ParseRate(value, "transient-rate" + line));
+    } else if (directive == "transient-code") {
+      if (value == "unavailable") {
+        spec.transient_code = ErrCode::kUnavailable;
+      } else if (value == "internal") {
+        spec.transient_code = ErrCode::kInternal;
+      } else if (value == "system-failure") {
+        spec.transient_code = ErrCode::kAuthorizationSystemFailure;
+      } else {
+        return Error{ErrCode::kParseError,
+                     "fault plan: unknown transient-code '" + value + "'" +
+                         line};
+      }
+    } else if (directive == "corrupt-rate") {
+      GA_TRY(spec.corrupt_rate, ParseRate(value, "corrupt-rate" + line));
+    } else if (directive == "outage-after") {
+      GA_TRY(spec.outage_after, ParseInt(value, "outage-after" + line));
+      if (spec.outage_after < 0) {
+        return Error{ErrCode::kParseError,
+                     "fault plan: outage-after must be >= 0" + line};
+      }
+    } else {
+      return Error{ErrCode::kParseError,
+                   "fault plan: unknown directive '" + directive + "'" + line};
+    }
+  }
+  return plan;
+}
+
+const FaultSpec* FaultPlan::FindTarget(std::string_view name) const {
+  auto it = targets.find(std::string{name});
+  return it == targets.end() ? nullptr : &it->second;
+}
+
+FaultInjector::FaultInjector(std::string target, FaultSpec spec,
+                             std::uint64_t plan_seed, SimClock* sim)
+    : target_(std::move(target)),
+      spec_(spec),
+      sim_(sim),
+      rng_(plan_seed ^ HashName(target_)) {}
+
+FaultInjector::Outcome FaultInjector::NextCall() {
+  std::lock_guard lock(mu_);
+  ++calls_;
+  Outcome outcome;
+
+  outcome.latency_us = spec_.latency_us;
+  if (spec_.latency_jitter_us > 0) {
+    outcome.latency_us += rng_.NextBelow(spec_.latency_jitter_us);
+  }
+  if (outcome.latency_us > 0) {
+    if (sim_ != nullptr) sim_->AdvanceMicros(outcome.latency_us);
+    CountInjected(target_, "latency");
+  }
+
+  if (spec_.outage_after >= 0 &&
+      calls_ > static_cast<std::uint64_t>(spec_.outage_after)) {
+    CountInjected(target_, "outage");
+    outcome.error = Error{ErrCode::kUnavailable,
+                          "fault: target '" + target_ + "' is down (outage)"};
+    return outcome;
+  }
+  if (spec_.transient_rate > 0.0 && rng_.NextUnit() < spec_.transient_rate) {
+    CountInjected(target_, "transient");
+    outcome.error =
+        Error{spec_.transient_code,
+              "fault: transient failure from target '" + target_ + "'"};
+    return outcome;
+  }
+  if (spec_.corrupt_rate > 0.0 && rng_.NextUnit() < spec_.corrupt_rate) {
+    CountInjected(target_, "corrupt");
+    outcome.corrupt = true;
+  }
+  return outcome;
+}
+
+std::uint64_t FaultInjector::calls() const {
+  std::lock_guard lock(mu_);
+  return calls_;
+}
+
+std::shared_ptr<FaultInjector> MakeInjector(const FaultPlan& plan,
+                                            const std::string& target,
+                                            SimClock* sim) {
+  const FaultSpec* spec = plan.FindTarget(target);
+  return std::make_shared<FaultInjector>(target, spec ? *spec : FaultSpec{},
+                                         plan.seed, sim);
+}
+
+std::string CorruptFrame(std::string_view frame, FaultRng& rng) {
+  // Drop the protocol-version line and splice random bytes: guaranteed
+  // unparseable, deterministically shaped.
+  std::string out = "x-corrupt ";
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>('!' + rng.NextBelow(90)));
+  }
+  if (!frame.empty()) {
+    out.append(frame.substr(frame.size() / 2));
+  }
+  return out;
+}
+
+}  // namespace gridauthz::fault

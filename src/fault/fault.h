@@ -1,0 +1,127 @@
+// Deterministic fault injection for the authorization path.
+//
+// The paper's PDP chain leans on remote services (Akenti certificate
+// gathering, CAS credential issuance); the companion Akenti integration
+// work reports their latency and availability as the dominant
+// operational risk. To reproduce and test that regime without a network,
+// a FaultPlan describes — per named target ("akenti", "cas", "wire") —
+// injected latency, transient errors, a permanent outage, and corrupt
+// replies. Plans parse from config text (same line-oriented surface as
+// the callout configuration), drive a seeded PRNG, and advance a
+// SimClock for injected latency, so every fault sequence is exactly
+// reproducible from (plan text, seed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace gridauthz::fault {
+
+// splitmix64: tiny, seedable, and identical on every platform — fault
+// schedules must not depend on libstdc++'s distribution implementations.
+class FaultRng {
+ public:
+  explicit FaultRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [0, 1).
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+  std::int64_t NextBelow(std::int64_t n) {
+    return n <= 0 ? 0 : static_cast<std::int64_t>(Next() % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// What one target injects. Faults are checked in severity order:
+// outage, then transient, then corrupt; latency applies to every call
+// that reaches the backend (including failing ones — a slow failure is
+// the expensive kind).
+struct FaultSpec {
+  std::int64_t latency_us = 0;         // fixed injected latency per call
+  std::int64_t latency_jitter_us = 0;  // plus uniform [0, jitter)
+  double transient_rate = 0.0;         // P(call fails with transient_code)
+  ErrCode transient_code = ErrCode::kUnavailable;
+  double corrupt_rate = 0.0;           // P(reply is corrupted)
+  std::int64_t outage_after = -1;      // calls served before the target
+                                       // dies permanently; -1 = never
+};
+
+// A parsed fault plan: a PRNG seed plus per-target specs.
+//
+// Config grammar (line-oriented, '#' comments, like the callout config):
+//   seed <uint>
+//   <target> latency-us <n>
+//   <target> latency-jitter-us <n>
+//   <target> transient-rate <0..1>
+//   <target> transient-code unavailable|internal|system-failure
+//   <target> corrupt-rate <0..1>
+//   <target> outage-after <n>
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::map<std::string, FaultSpec> targets;
+
+  // Parses config text; anything malformed (unknown directive, rate
+  // outside [0,1], non-numeric value) is kParseError, never a crash.
+  static Expected<FaultPlan> Parse(std::string_view config_text);
+
+  const FaultSpec* FindTarget(std::string_view name) const;
+};
+
+// Stateful per-target injector. Thread-safe; the per-target RNG stream
+// is derived from (plan seed, target name) so targets fail independently
+// but reproducibly. When `sim` is set, injected latency advances it —
+// the simulation's way of making a slow backend consume the caller's
+// deadline budget.
+class FaultInjector {
+ public:
+  FaultInjector(std::string target, FaultSpec spec, std::uint64_t plan_seed,
+                SimClock* sim = nullptr);
+
+  // The fate of one backend call.
+  struct Outcome {
+    std::int64_t latency_us = 0;        // already applied to the SimClock
+    std::optional<Error> error;         // transient or outage failure
+    bool corrupt = false;               // deliver a mangled reply instead
+  };
+  Outcome NextCall();
+
+  const std::string& target() const { return target_; }
+  std::uint64_t calls() const;
+
+ private:
+  std::string target_;
+  FaultSpec spec_;
+  SimClock* sim_;
+  mutable std::mutex mu_;
+  FaultRng rng_;
+  std::uint64_t calls_ = 0;
+};
+
+// Builds the injector for `target` out of `plan` (an empty spec — no
+// faults — when the plan does not mention the target).
+std::shared_ptr<FaultInjector> MakeInjector(const FaultPlan& plan,
+                                            const std::string& target,
+                                            SimClock* sim = nullptr);
+
+// Deterministically mangles `frame` (used for corrupt wire replies): the
+// result is never a parseable wire frame.
+std::string CorruptFrame(std::string_view frame, FaultRng& rng);
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,55 @@
+#include "fault/inject.h"
+
+namespace gridauthz::fault {
+
+FaultyPolicySource::FaultyPolicySource(
+    std::shared_ptr<core::PolicySource> inner,
+    std::shared_ptr<FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+Expected<core::Decision> FaultyPolicySource::Authorize(
+    const core::AuthorizationRequest& request) {
+  FaultInjector::Outcome outcome = injector_->NextCall();
+  if (outcome.error) return *outcome.error;
+  if (outcome.corrupt) {
+    return Error{ErrCode::kInternal, "fault: corrupt reply from target '" +
+                                         injector_->target() + "'"};
+  }
+  return inner_->Authorize(request);
+}
+
+gram::AuthorizationCallout MakeFaultyCallout(
+    gram::AuthorizationCallout inner,
+    std::shared_ptr<FaultInjector> injector) {
+  return [inner = std::move(inner),
+          injector = std::move(injector)](
+             const gram::CalloutData& data) -> Expected<void> {
+    FaultInjector::Outcome outcome = injector->NextCall();
+    if (outcome.error) return *outcome.error;
+    if (outcome.corrupt) {
+      return Error{ErrCode::kInternal, "fault: corrupt reply from target '" +
+                                           injector->target() + "'"};
+    }
+    return inner(data);
+  };
+}
+
+FaultyTransport::FaultyTransport(gram::wire::WireTransport* inner,
+                                 std::shared_ptr<FaultInjector> injector)
+    : inner_(inner),
+      injector_(std::move(injector)),
+      corrupt_rng_(0xC0FFEE ^ injector_->calls()) {}
+
+std::string FaultyTransport::Handle(const gsi::Credential& peer,
+                                    std::string_view frame) {
+  FaultInjector::Outcome outcome = injector_->NextCall();
+  if (outcome.error) return "";  // the peer never answered
+  std::string reply = inner_->Handle(peer, frame);
+  if (outcome.corrupt) {
+    std::lock_guard lock(corrupt_mu_);
+    return CorruptFrame(reply, corrupt_rng_);
+  }
+  return reply;
+}
+
+}  // namespace gridauthz::fault

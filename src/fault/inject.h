@@ -1,0 +1,62 @@
+// Fault-plan-driven decorators: wrap any PolicySource, authorization
+// callout, or wire transport with a FaultInjector so tests and benches
+// exercise the pipeline against slow, flaky, dead, or lying backends —
+// deterministically.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/source.h"
+#include "fault/fault.h"
+#include "gram/callout.h"
+#include "gram/wire_service.h"
+
+namespace gridauthz::fault {
+
+// PolicySource whose backend suffers the injector's faults. Transient
+// faults and outages surface with the injector's error code; a corrupt
+// reply surfaces as kInternal (an undecodable answer — NOT a decision),
+// which the resilient layer treats as retryable and an undecorated
+// pipeline reports as an authorization system failure.
+class FaultyPolicySource final : public core::PolicySource {
+ public:
+  FaultyPolicySource(std::shared_ptr<core::PolicySource> inner,
+                     std::shared_ptr<FaultInjector> injector);
+
+  const std::string& name() const override { return inner_->name(); }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest& request) override;
+
+  const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  std::shared_ptr<core::PolicySource> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+// Same over the GRAM callout contract.
+gram::AuthorizationCallout MakeFaultyCallout(
+    gram::AuthorizationCallout inner, std::shared_ptr<FaultInjector> injector);
+
+// Wire transport whose link suffers the injector's faults: transient
+// faults and outages swallow the reply (the caller receives an
+// unparseable empty frame, as a dead peer yields), corruption mangles
+// the real reply bytes deterministically.
+class FaultyTransport final : public gram::wire::WireTransport {
+ public:
+  FaultyTransport(gram::wire::WireTransport* inner,
+                  std::shared_ptr<FaultInjector> injector);
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
+
+ private:
+  gram::wire::WireTransport* inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::mutex corrupt_mu_;
+  FaultRng corrupt_rng_;
+};
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,92 @@
+#include "fault/resilient.h"
+
+#include "gram/pdp_callout.h"
+#include "obs/instrument.h"
+
+namespace gridauthz::fault {
+
+bool IsDegradedFailure(const Error& error) {
+  if (error.code() != ErrCode::kAuthorizationSystemFailure) return false;
+  const std::string_view tag = FailureReasonTag(error);
+  return tag == kReasonCircuitOpen || tag == kReasonDeadlineExceeded ||
+         tag == kReasonRetriesExhausted || tag == kReasonAttemptTimeout;
+}
+
+namespace {
+
+void CountDegradedServe(const std::string& source, const std::string& action) {
+  obs::Metrics()
+      .GetCounter("authz_degraded_served_total",
+                  {{"source", source}, {"action", action}})
+      .Increment();
+}
+
+}  // namespace
+
+ResilientPolicySource::ResilientPolicySource(
+    std::shared_ptr<core::PolicySource> inner, ResilienceOptions options,
+    std::string name)
+    : inner_(std::move(inner)),
+      options_(options),
+      name_(name.empty() ? inner_->name() + "-resilient" : std::move(name)),
+      jitter_(options.retry.jitter_seed) {}
+
+Expected<core::Decision> ResilientPolicySource::Authorize(
+    const core::AuthorizationRequest& request) {
+  obs::AuthzCallObservation observation{name_};
+  Expected<core::Decision> result = detail::Execute<core::Decision>(
+      name_, options_, jitter_,
+      [&]() { return inner_->Authorize(request); });
+  if (result.ok()) {
+    if (options_.last_good != nullptr) {
+      options_.last_good->Record(request, *result);
+    }
+  } else if (options_.last_good != nullptr &&
+             IsDegradedFailure(result.error())) {
+    if (auto cached = options_.last_good->Lookup(request)) {
+      CountDegradedServe(name_, request.action);
+      core::Decision decision = *cached;
+      decision.reason += " [degraded: last-good cache after " +
+                         std::string{FailureReasonTag(result.error())} + "]";
+      observation.set_outcome(decision.permitted() ? obs::kOutcomePermit
+                                                   : obs::kOutcomeDeny);
+      return decision;
+    }
+  }
+  observation.set_outcome(core::MetricOutcome(result));
+  return result;
+}
+
+gram::AuthorizationCallout MakeResilientCallout(
+    gram::AuthorizationCallout inner, ResilienceOptions options,
+    std::string name) {
+  auto jitter = std::make_shared<JitterStream>(options.retry.jitter_seed);
+  return [inner = std::move(inner), options, name = std::move(name),
+          jitter](const gram::CalloutData& data) -> Expected<void> {
+    Expected<void> result = detail::Execute<void>(
+        name, options, *jitter, [&]() { return inner(data); });
+    if (options.last_good == nullptr) return result;
+    // The cache speaks AuthorizationRequest; rebuild it from the callout
+    // data (same translation the PDP callout itself performs).
+    auto request = gram::ToAuthorizationRequest(data);
+    if (!request.ok()) return result;
+    if (result.ok()) {
+      options.last_good->Record(
+          *request, core::Decision::Permit("callout '" + name + "' permitted"));
+    } else if (result.error().code() == ErrCode::kAuthorizationDenied) {
+      options.last_good->Record(
+          *request, core::Decision::Deny(core::DecisionCode::kDenyNoPermission,
+                                         result.error().message()));
+    } else if (IsDegradedFailure(result.error())) {
+      if (auto cached = options.last_good->Lookup(*request)) {
+        CountDegradedServe(name, data.action);
+        if (cached->permitted()) return Ok();
+        return Error{ErrCode::kAuthorizationDenied,
+                     cached->reason + " [degraded: last-good cache]"};
+      }
+    }
+    return result;
+  };
+}
+
+}  // namespace gridauthz::fault

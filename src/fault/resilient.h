@@ -1,0 +1,176 @@
+// Resilient decorators for the authorization path: RetryPolicy-driven
+// attempts with deterministic backoff, circuit-breaker admission, ambient
+// deadline enforcement, and fail-closed degradation via the last-good
+// cache. ResilientPolicySource wraps any core::PolicySource (local file,
+// Akenti, CAS, a whole CombiningPdp); MakeResilientCallout wraps a GRAM
+// authorization callout. Both answer every degraded path with
+// kAuthorizationSystemFailure carrying a typed reason tag — never a
+// fabricated permit.
+//
+// Metrics (obs):
+//   authz_retries_total{source}
+//   authz_retry_exhausted_total{source}
+//   authz_deadline_exceeded_total{source}
+//   authz_degraded_served_total{source,action}
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/deadline.h"
+#include "core/source.h"
+#include "fault/breaker.h"
+#include "fault/degrade.h"
+#include "fault/retry.h"
+#include "gram/callout.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::fault {
+
+struct ResilienceOptions {
+  RetryPolicy retry;
+  // Shared per-backend breaker; nullptr disables admission control.
+  CircuitBreaker* breaker = nullptr;
+  // Degradation cache; nullptr means degraded calls always fail closed.
+  LastGoodCache* last_good = nullptr;
+  // Clock for deadlines and attempt timing; nullptr = obs::ObsClock().
+  const Clock* clock = nullptr;
+  // Waits between attempts; nullptr = no waiting (attempts back-to-back).
+  Sleeper* sleeper = nullptr;
+};
+
+// Thread-safe deterministic jitter stream for one decorator instance.
+class JitterStream {
+ public:
+  explicit JitterStream(std::uint64_t seed) : rng_(seed) {}
+  std::int64_t BackoffUs(const RetryPolicy& policy, int next_attempt) {
+    std::lock_guard lock(mu_);
+    return policy.BackoffUs(next_attempt, rng_);
+  }
+
+ private:
+  std::mutex mu_;
+  FaultRng rng_;
+};
+
+namespace detail {
+
+// One resilient execution: admission, attempts, backoff, deadline.
+// `attempt` runs the underlying operation; `classify` maps its result to
+// ok / authoritative-failure / retryable-failure. Returns the final
+// result, or the typed system failure for every degraded path.
+template <typename T>
+Expected<T> Execute(const std::string& op, const ResilienceOptions& options,
+                    JitterStream& jitter,
+                    const std::function<Expected<T>()>& attempt) {
+  const Clock* clock = options.clock ? options.clock : obs::ObsClock();
+  NullSleeper null_sleeper;
+  Sleeper* sleeper = options.sleeper ? options.sleeper : &null_sleeper;
+  const RetryPolicy& retry = options.retry;
+
+  // Effective deadline: the tighter of the ambient (wire-propagated)
+  // deadline and this policy's own overall budget.
+  std::optional<std::int64_t> deadline = CurrentDeadlineMicros();
+  if (retry.overall_budget_us > 0) {
+    const std::int64_t budget = clock->NowMicros() + retry.overall_budget_us;
+    deadline = deadline ? std::min(*deadline, budget) : budget;
+  }
+  auto deadline_failure = [&]() -> Error {
+    obs::Metrics()
+        .GetCounter("authz_deadline_exceeded_total", {{"source", op}})
+        .Increment();
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 std::string{kReasonDeadlineExceeded} + " '" + op +
+                     "' ran out of deadline budget"};
+  };
+
+  Error last{ErrCode::kAuthorizationSystemFailure, "no attempt ran"};
+  for (int attempt_no = 1; attempt_no <= retry.max_attempts; ++attempt_no) {
+    if (deadline && clock->NowMicros() >= *deadline) return deadline_failure();
+    if (options.breaker != nullptr && !options.breaker->Allow()) {
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   std::string{kReasonCircuitOpen} + " backend '" +
+                       options.breaker->backend() + "' circuit is open"};
+    }
+
+    const std::int64_t started = clock->NowMicros();
+    Expected<T> result = attempt();
+    const std::int64_t elapsed = clock->NowMicros() - started;
+    const bool timed_out = retry.per_attempt_timeout_us > 0 &&
+                           elapsed > retry.per_attempt_timeout_us;
+
+    if (!timed_out &&
+        (result.ok() || !IsRetryableError(result.error()))) {
+      // The backend answered (a deny is an answer). Only record breaker
+      // health for authoritative outcomes.
+      if (options.breaker != nullptr) options.breaker->RecordSuccess();
+      return result;
+    }
+
+    if (options.breaker != nullptr) options.breaker->RecordFailure();
+    last = timed_out
+               ? Error{ErrCode::kAuthorizationSystemFailure,
+                       std::string{kReasonAttemptTimeout} + " '" + op +
+                           "' attempt " + std::to_string(attempt_no) +
+                           " took " + std::to_string(elapsed) + "us (limit " +
+                           std::to_string(retry.per_attempt_timeout_us) +
+                           "us)"}
+               : result.error();
+    if (attempt_no == retry.max_attempts) break;
+
+    const std::int64_t backoff = jitter.BackoffUs(retry, attempt_no + 1);
+    if (deadline && clock->NowMicros() + backoff >= *deadline) {
+      return deadline_failure();
+    }
+    if (backoff > 0) sleeper->SleepMicros(backoff);
+    obs::Metrics()
+        .GetCounter("authz_retries_total", {{"source", op}})
+        .Increment();
+  }
+
+  obs::Metrics()
+      .GetCounter("authz_retry_exhausted_total", {{"source", op}})
+      .Increment();
+  return Error{ErrCode::kAuthorizationSystemFailure,
+               std::string{kReasonRetriesExhausted} + " '" + op +
+                   "' failed after " + std::to_string(retry.max_attempts) +
+                   " attempt(s); last: " + last.to_string()};
+}
+
+}  // namespace detail
+
+// True when `error` is a typed degraded outcome the last-good cache may
+// soften (for management actions only).
+bool IsDegradedFailure(const Error& error);
+
+// PolicySource decorator. Shares breaker / cache / clock via options;
+// the decorator itself is thread-safe if the inner source is.
+class ResilientPolicySource final : public core::PolicySource {
+ public:
+  ResilientPolicySource(std::shared_ptr<core::PolicySource> inner,
+                        ResilienceOptions options, std::string name = "");
+
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest& request) override;
+
+ private:
+  std::shared_ptr<core::PolicySource> inner_;
+  ResilienceOptions options_;
+  std::string name_;
+  JitterStream jitter_;
+};
+
+// Callout decorator: same machinery over the GRAM callout contract.
+// `options` members with shared state (breaker, cache, clock, sleeper)
+// must outlive the returned callout.
+gram::AuthorizationCallout MakeResilientCallout(gram::AuthorizationCallout inner,
+                                                ResilienceOptions options,
+                                                std::string name);
+
+}  // namespace gridauthz::fault

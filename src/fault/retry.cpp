@@ -1,0 +1,134 @@
+#include "fault/retry.h"
+
+#include <charconv>
+
+#include "common/config.h"
+
+namespace gridauthz::fault {
+
+std::int64_t RetryPolicy::BackoffUs(int next_attempt, FaultRng& rng) const {
+  if (next_attempt <= 1 || initial_backoff_us <= 0) return 0;
+  double base = static_cast<double>(initial_backoff_us);
+  for (int i = 2; i < next_attempt; ++i) base *= backoff_multiplier;
+  std::int64_t backoff = static_cast<std::int64_t>(base);
+  if (max_backoff_us > 0 && backoff > max_backoff_us) backoff = max_backoff_us;
+  if (jitter > 0.0 && backoff > 0) {
+    const auto spread = static_cast<std::int64_t>(jitter * static_cast<double>(backoff));
+    backoff -= rng.NextBelow(spread);
+  }
+  return backoff;
+}
+
+namespace {
+
+Expected<std::int64_t> ParseInt(const std::string& text,
+                                std::string_view what) {
+  std::int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError, "retry policy: " + std::string{what} +
+                                           " is not an integer: " + text};
+  }
+  return value;
+}
+
+Expected<double> ParseDouble(const std::string& text, std::string_view what) {
+  double value = 0.0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError, "retry policy: " + std::string{what} +
+                                           " is not a number: " + text};
+  }
+  return value;
+}
+
+}  // namespace
+
+Expected<RetryPolicy> RetryPolicy::Parse(std::string_view config_text) {
+  GA_TRY(std::vector<ConfigEntry> entries, ParseConfig(config_text, 2));
+  RetryPolicy policy;
+  for (const ConfigEntry& entry : entries) {
+    const std::string line =
+        " (line " + std::to_string(entry.line_number) + ")";
+    if (entry.tokens.size() != 2) {
+      return Error{ErrCode::kParseError,
+                   "retry policy: expected '<key> <value>'" + line};
+    }
+    const std::string& key = entry.tokens[0];
+    const std::string& value = entry.tokens[1];
+    if (key == "max-attempts") {
+      GA_TRY(std::int64_t n, ParseInt(value, key + line));
+      if (n < 1 || n > 1000) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: max-attempts must be in [1, 1000]" + line};
+      }
+      policy.max_attempts = static_cast<int>(n);
+    } else if (key == "initial-backoff-us") {
+      GA_TRY(policy.initial_backoff_us, ParseInt(value, key + line));
+      if (policy.initial_backoff_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: initial-backoff-us must be >= 0" + line};
+      }
+    } else if (key == "backoff-multiplier") {
+      GA_TRY(policy.backoff_multiplier, ParseDouble(value, key + line));
+      if (policy.backoff_multiplier < 1.0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: backoff-multiplier must be >= 1" + line};
+      }
+    } else if (key == "max-backoff-us") {
+      GA_TRY(policy.max_backoff_us, ParseInt(value, key + line));
+      if (policy.max_backoff_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: max-backoff-us must be >= 0" + line};
+      }
+    } else if (key == "jitter") {
+      GA_TRY(policy.jitter, ParseDouble(value, key + line));
+      if (policy.jitter < 0.0 || policy.jitter > 1.0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: jitter must be in [0, 1]" + line};
+      }
+    } else if (key == "jitter-seed") {
+      GA_TRY(std::int64_t seed, ParseInt(value, key + line));
+      policy.jitter_seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "per-attempt-timeout-us") {
+      GA_TRY(policy.per_attempt_timeout_us, ParseInt(value, key + line));
+      if (policy.per_attempt_timeout_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: per-attempt-timeout-us must be >= 0" +
+                         line};
+      }
+    } else if (key == "overall-budget-us") {
+      GA_TRY(policy.overall_budget_us, ParseInt(value, key + line));
+      if (policy.overall_budget_us < 0) {
+        return Error{ErrCode::kParseError,
+                     "retry policy: overall-budget-us must be >= 0" + line};
+      }
+    } else {
+      return Error{ErrCode::kParseError,
+                   "retry policy: unknown key '" + key + "'" + line};
+    }
+  }
+  return policy;
+}
+
+bool IsRetryableError(const Error& error) {
+  // A failure a lower resilience layer already classified as terminal —
+  // its breaker is open or the request's budget is gone — will not get
+  // better on the next attempt.
+  const std::string_view tag = FailureReasonTag(error);
+  if (tag == kReasonCircuitOpen || tag == kReasonDeadlineExceeded) {
+    return false;
+  }
+  switch (error.code()) {
+    case ErrCode::kUnavailable:
+    case ErrCode::kInternal:
+    case ErrCode::kAuthorizationSystemFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gridauthz::fault

@@ -1,0 +1,79 @@
+// Retry policy: bounded attempts with exponential backoff, deterministic
+// jitter, a per-attempt timeout, and an overall budget. A deny is an
+// answer and is never retried; only authorization *system* failures
+// (backend unreachable, internal error, corrupt reply) are — exactly the
+// deny-vs-failure distinction the paper's extended GRAM error codes draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "fault/fault.h"
+
+namespace gridauthz::fault {
+
+struct RetryPolicy {
+  int max_attempts = 1;                   // 1 = no retries
+  std::int64_t initial_backoff_us = 0;    // before attempt 2
+  double backoff_multiplier = 2.0;        // geometric growth
+  std::int64_t max_backoff_us = 0;        // 0 = uncapped
+  double jitter = 0.0;                    // fraction of backoff randomized
+  std::uint64_t jitter_seed = 1;          // deterministic jitter stream
+  std::int64_t per_attempt_timeout_us = 0;  // 0 = none; a reply slower
+                                            // than this is discarded
+  std::int64_t overall_budget_us = 0;       // 0 = none; relative deadline
+                                            // applied per Authorize call
+
+  // Backoff before attempt `next_attempt` (2-based: the wait after the
+  // first failure precedes attempt 2). Jitter subtracts a deterministic
+  // uniform share in [0, jitter * base) drawn from `rng`.
+  std::int64_t BackoffUs(int next_attempt, FaultRng& rng) const;
+
+  // Parses "key value" config lines:
+  //   max-attempts 4
+  //   initial-backoff-us 100
+  //   backoff-multiplier 2.0
+  //   max-backoff-us 5000
+  //   jitter 0.5
+  //   jitter-seed 7
+  //   per-attempt-timeout-us 2000
+  //   overall-budget-us 100000
+  // Malformed input is kParseError, never a crash.
+  static Expected<RetryPolicy> Parse(std::string_view config_text);
+};
+
+// True for errors worth retrying: the backend may answer differently
+// next time. Denials and client errors are authoritative.
+bool IsRetryableError(const Error& error);
+
+// Sleeping between attempts. The simulation never blocks a real thread:
+// SimSleeper advances the SimClock (so backoff consumes deadline budget
+// deterministically); NullSleeper only counts. A wall-clock sleeper is
+// deliberately absent — nothing in this codebase may stall the test
+// suite.
+class Sleeper {
+ public:
+  virtual ~Sleeper() = default;
+  virtual void SleepMicros(std::int64_t micros) = 0;
+};
+
+class NullSleeper final : public Sleeper {
+ public:
+  void SleepMicros(std::int64_t) override {}
+};
+
+class SimSleeper final : public Sleeper {
+ public:
+  explicit SimSleeper(SimClock* clock) : clock_(clock) {}
+  void SleepMicros(std::int64_t micros) override {
+    clock_->AdvanceMicros(micros);
+  }
+
+ private:
+  SimClock* clock_;
+};
+
+}  // namespace gridauthz::fault

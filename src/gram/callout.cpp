@@ -42,6 +42,7 @@ Expected<AuthorizationCallout> CalloutLibraryRegistry::Resolve(
 void CalloutDispatcher::Bind(CalloutBinding binding) {
   Slot slot;
   slot.binding = std::move(binding);
+  std::lock_guard lock(mu_);
   slots_[slot.binding.abstract_type] = std::move(slot);
 }
 
@@ -52,6 +53,7 @@ void CalloutDispatcher::BindDirect(std::string abstract_type,
   slot.binding.library = "<direct>";
   slot.binding.symbol = "<direct>";
   slot.resolved = std::move(callout);
+  std::lock_guard lock(mu_);
   slots_[std::move(abstract_type)] = std::move(slot);
 }
 
@@ -69,6 +71,7 @@ Expected<void> CalloutDispatcher::ParseAndBind(std::string_view config_text) {
 }
 
 bool CalloutDispatcher::HasBinding(std::string_view abstract_type) const {
+  std::lock_guard lock(mu_);
   return slots_.find(abstract_type) != slots_.end();
 }
 
@@ -100,8 +103,13 @@ Expected<void> CalloutDispatcher::Invoke(std::string_view abstract_type,
   return result;
 }
 
-Expected<void> CalloutDispatcher::InvokeImpl(std::string_view abstract_type,
-                                             const CalloutData& data) {
+Expected<AuthorizationCallout> CalloutDispatcher::ResolveSlot(
+    std::string_view abstract_type) {
+  // Resolution may call a registry factory while holding the dispatcher
+  // lock; factories must not call back into this dispatcher. The resolved
+  // callout is cached (dlopen-on-demand happens once) and a copy is
+  // returned so the caller invokes it unlocked.
+  std::lock_guard lock(mu_);
   auto it = slots_.find(abstract_type);
   if (it == slots_.end()) {
     return Error{ErrCode::kAuthorizationSystemFailure,
@@ -115,8 +123,14 @@ Expected<void> CalloutDispatcher::InvokeImpl(std::string_view abstract_type,
     if (!resolved.ok()) return resolved.error();
     slot.resolved = std::move(resolved).value();
   }
-  ++invocations_;
-  Expected<void> result = (*slot.resolved)(data);
+  return *slot.resolved;
+}
+
+Expected<void> CalloutDispatcher::InvokeImpl(std::string_view abstract_type,
+                                             const CalloutData& data) {
+  GA_TRY(AuthorizationCallout callout, ResolveSlot(abstract_type));
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  Expected<void> result = callout(data);
   if (!result.ok() && result.error().code() != ErrCode::kAuthorizationDenied &&
       result.error().code() != ErrCode::kAuthorizationSystemFailure) {
     // Callout failures that are not explicit denials are authorization

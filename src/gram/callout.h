@@ -16,6 +16,7 @@
 // (see DESIGN.md, substitutions).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -95,7 +96,10 @@ struct CalloutBinding {
 
 // Dispatches authorization callouts by abstract type. Configured either
 // from a configuration file (ParseAndBind) or programmatically (Bind) —
-// the two configuration paths the paper describes.
+// the two configuration paths the paper describes. Thread-safe: the Job
+// Manager invokes callouts from concurrent request threads while
+// reconfiguration may rebind types; the callout itself runs outside the
+// dispatcher lock, so a slow callout never blocks binding lookups.
 class CalloutDispatcher {
  public:
   // Binds an abstract type to a registered (library, symbol). Resolution
@@ -121,18 +125,24 @@ class CalloutDispatcher {
                         const CalloutData& data);
 
   // Number of callout invocations performed (benchmarks read this).
-  std::uint64_t invocation_count() const { return invocations_; }
+  std::uint64_t invocation_count() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
 
  private:
   Expected<void> InvokeImpl(std::string_view abstract_type,
                             const CalloutData& data);
+  // Looks up (resolving on demand) the callout for `abstract_type` and
+  // returns a copy, so invocation happens outside the lock.
+  Expected<AuthorizationCallout> ResolveSlot(std::string_view abstract_type);
 
   struct Slot {
     CalloutBinding binding;
     std::optional<AuthorizationCallout> resolved;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Slot, std::less<>> slots_;
-  std::uint64_t invocations_ = 0;
+  std::atomic<std::uint64_t> invocations_{0};
 };
 
 }  // namespace gridauthz::gram

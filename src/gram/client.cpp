@@ -1,5 +1,6 @@
 #include "gram/client.h"
 
+#include "common/deadline.h"
 #include "common/logging.h"
 
 namespace gridauthz::gram {
@@ -8,9 +9,15 @@ GramClient::GramClient(gsi::Credential credential,
                        const gsi::TrustRegistry* trust, const Clock* clock)
     : credential_(std::move(credential)), trust_(trust), clock_(clock) {}
 
+std::optional<std::int64_t> GramClient::BudgetDeadline() const {
+  if (deadline_budget_us_ <= 0) return std::nullopt;
+  return clock_->NowMicros() + deadline_budget_us_;
+}
+
 Expected<std::string> GramClient::Submit(Gatekeeper& gatekeeper,
                                          const std::string& rsl_text,
                                          const std::string& callback_url) {
+  DeadlineScope deadline(BudgetDeadline());
   return gatekeeper.SubmitJob(credential_, rsl_text, callback_url);
 }
 
@@ -69,6 +76,7 @@ GramClient::Connect(const JobManagerRegistry& registry,
 Expected<JobStatusReply> GramClient::Status(const JobManagerRegistry& registry,
                                             const std::string& contact,
                                             const ManagementOptions& options) {
+  DeadlineScope deadline(BudgetDeadline());
   GA_TRY(auto connection, Connect(registry, contact, options));
   return connection.first->Status(connection.second);
 }
@@ -76,6 +84,7 @@ Expected<JobStatusReply> GramClient::Status(const JobManagerRegistry& registry,
 Expected<void> GramClient::Cancel(const JobManagerRegistry& registry,
                                   const std::string& contact,
                                   const ManagementOptions& options) {
+  DeadlineScope deadline(BudgetDeadline());
   GA_TRY(auto connection, Connect(registry, contact, options));
   return connection.first->Cancel(connection.second);
 }
@@ -84,6 +93,7 @@ Expected<void> GramClient::Signal(const JobManagerRegistry& registry,
                                   const std::string& contact,
                                   const SignalRequest& signal,
                                   const ManagementOptions& options) {
+  DeadlineScope deadline(BudgetDeadline());
   GA_TRY(auto connection, Connect(registry, contact, options));
   return connection.first->Signal(connection.second, signal);
 }

@@ -9,6 +9,7 @@
 // identity of the job originator".
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -60,15 +61,28 @@ class GramClient {
                         const SignalRequest& signal,
                         const ManagementOptions& options = {});
 
+  // Per-request latency budget, in microseconds on the client's clock;
+  // 0 disables. Each Submit/Status/Cancel/Signal installs an ambient
+  // DeadlineScope of now + budget, which the whole in-process
+  // authorization path (Gatekeeper, JMI PEP, policy sources) honors.
+  void set_deadline_budget_us(std::int64_t budget_us) {
+    deadline_budget_us_ = budget_us;
+  }
+
  private:
   // Authenticates to the JMI and applies the client-side identity check.
   Expected<std::pair<std::shared_ptr<JobManagerInstance>, RequesterInfo>>
   Connect(const JobManagerRegistry& registry, const std::string& contact,
           const ManagementOptions& options);
 
+  // The deadline for one request under the configured budget (nullopt
+  // when disabled).
+  std::optional<std::int64_t> BudgetDeadline() const;
+
   gsi::Credential credential_;
   const gsi::TrustRegistry* trust_;
   const Clock* clock_;
+  std::int64_t deadline_budget_us_ = 0;
 };
 
 }  // namespace gridauthz::gram

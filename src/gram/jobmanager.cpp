@@ -2,9 +2,11 @@
 
 #include <charconv>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "core/request.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace gridauthz::gram {
@@ -41,6 +43,19 @@ Expected<void> JobManagerInstance::Authorize(const RequesterInfo& requester,
                                              std::string_view action) {
   obs::AuthzCallObservation observation{"pep-jm"};
   Expected<void> result = [&]() -> Expected<void> {
+    // The ambient deadline arrived with the wire request (or a test's
+    // DeadlineScope). Out of budget means we cannot obtain a decision —
+    // an authorization system failure, never an implicit permit.
+    if (DeadlineExpiredAt(obs::ObsClock()->NowMicros())) {
+      obs::Metrics()
+          .GetCounter("authz_deadline_exceeded_total", {{"source", "pep-jm"}})
+          .Increment();
+      return Error{ErrCode::kAuthorizationSystemFailure,
+                   std::string{kReasonDeadlineExceeded} +
+                       " job manager PEP ran out of deadline budget before "
+                       "evaluating '" +
+                       std::string{action} + "'"};
+    }
     if (params_.callouts != nullptr &&
         params_.callouts->HasBinding(kJobManagerAuthzType)) {
       CalloutData data;

@@ -59,6 +59,32 @@ Expected<std::string> UnescapeValue(std::string_view value) {
   return out;
 }
 
+// Decodes the optional resilience attributes shared by both request
+// types. Present-but-invalid values are protocol errors: a negative
+// deadline or a zero/negative attempt ordinal can only come from a
+// broken (or hostile) peer.
+Expected<void> DecodeResilienceFields(const Message& message,
+                                      std::optional<std::int64_t>& deadline,
+                                      std::optional<std::int64_t>& attempt) {
+  if (message.Get("deadline-micros")) {
+    GA_TRY(std::int64_t value, message.RequireInt("deadline-micros"));
+    if (value < 0) {
+      return Error{ErrCode::kParseError,
+                   "deadline-micros must be >= 0: " + std::to_string(value)};
+    }
+    deadline = value;
+  }
+  if (message.Get("retry-attempt")) {
+    GA_TRY(std::int64_t value, message.RequireInt("retry-attempt"));
+    if (value < 1) {
+      return Error{ErrCode::kParseError,
+                   "retry-attempt must be >= 1: " + std::to_string(value)};
+    }
+    attempt = value;
+  }
+  return Ok();
+}
+
 }  // namespace
 
 void Message::Set(std::string_view key, std::string_view value) {
@@ -182,6 +208,8 @@ Message JobRequest::Encode() const {
   message.Set("rsl", rsl);
   if (callback_url) message.Set("callback-url", *callback_url);
   if (trace_id) message.Set("trace-id", *trace_id);
+  if (deadline_micros) message.SetInt("deadline-micros", *deadline_micros);
+  if (attempt) message.SetInt("retry-attempt", *attempt);
   return message;
 }
 
@@ -194,6 +222,8 @@ Expected<JobRequest> JobRequest::Decode(const Message& message) {
   GA_TRY(request.rsl, message.Require("rsl"));
   request.callback_url = message.Get("callback-url");
   request.trace_id = message.Get("trace-id");
+  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
+                                     request.attempt));
   return request;
 }
 
@@ -235,6 +265,8 @@ Message ManagementRequest::Encode() const {
     }
   }
   if (trace_id) message.Set("trace-id", *trace_id);
+  if (deadline_micros) message.SetInt("deadline-micros", *deadline_micros);
+  if (attempt) message.SetInt("retry-attempt", *attempt);
   return message;
 }
 
@@ -266,6 +298,8 @@ Expected<ManagementRequest> ManagementRequest::Decode(const Message& message) {
     request.signal = signal;
   }
   request.trace_id = message.Get("trace-id");
+  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
+                                     request.attempt));
   return request;
 }
 

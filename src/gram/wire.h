@@ -54,6 +54,13 @@ struct JobRequest {
   // lines join to the originating wire request. Optional — stock peers
   // simply omit it.
   std::optional<std::string> trace_id;
+  // Resilience extension: the client's absolute deadline (microseconds
+  // on the shared clock) carried as `deadline-micros`, so the server
+  // stops evaluating once the caller's budget is spent, and the retry
+  // ordinal carried as `retry-attempt` (1-based) so server logs can
+  // distinguish fresh requests from retransmissions. Both optional.
+  std::optional<std::int64_t> deadline_micros;
+  std::optional<std::int64_t> attempt;
 
   Message Encode() const;
   static Expected<JobRequest> Decode(const Message& message);
@@ -74,6 +81,9 @@ struct ManagementRequest {
   std::optional<SignalRequest> signal;  // for action == signal
   // Observability extension, as on JobRequest.
   std::optional<std::string> trace_id;
+  // Resilience extensions, as on JobRequest.
+  std::optional<std::int64_t> deadline_micros;
+  std::optional<std::int64_t> attempt;
 
   Message Encode() const;
   static Expected<ManagementRequest> Decode(const Message& message);

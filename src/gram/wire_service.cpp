@@ -1,5 +1,8 @@
 #include "gram/wire_service.h"
 
+#include <algorithm>
+
+#include "common/deadline.h"
 #include "core/request.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,6 +16,26 @@ WireEndpoint::WireEndpoint(Gatekeeper* gatekeeper,
       registry_(registry),
       trust_(trust),
       clock_(clock) {}
+
+namespace {
+
+// True when the request arrived already out of budget; counts the
+// rejection. The caller still owes the peer a reply frame.
+bool RejectExpired(const std::optional<std::int64_t>& deadline_micros,
+                   const Clock* clock, std::string_view type,
+                   std::string* reason) {
+  if (!deadline_micros) return false;
+  if (clock->NowMicros() < *deadline_micros) return false;
+  obs::Metrics()
+      .GetCounter("wire_deadline_rejected_total",
+                  {{"type", std::string{type}}})
+      .Increment();
+  *reason = std::string{kReasonDeadlineExceeded} +
+            " request deadline expired before evaluation";
+  return true;
+}
+
+}  // namespace
 
 std::string WireEndpoint::Handle(const gsi::Credential& peer,
                                  std::string_view frame) {
@@ -68,6 +91,12 @@ std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
     reply.reason = request.error().to_string();
     return reply.Encode().Serialize();
   }
+  if (RejectExpired(request->deadline_micros, clock_, "job-request",
+                    &reply.reason)) {
+    reply.code = GramErrorCode::kAuthorizationSystemFailure;
+    return reply.Encode().Serialize();
+  }
+  DeadlineScope deadline(request->deadline_micros);
   auto contact = gatekeeper_->SubmitJob(peer, request->rsl,
                                         request->callback_url.value_or(""));
   if (!contact.ok()) {
@@ -95,6 +124,12 @@ std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
     reply.reason = request.error().to_string();
     return reply.Encode().Serialize();
   }
+  if (RejectExpired(request->deadline_micros, clock_, "management-request",
+                    &reply.reason)) {
+    reply.code = GramErrorCode::kAuthorizationSystemFailure;
+    return reply.Encode().Serialize();
+  }
+  DeadlineScope deadline(request->deadline_micros);
   auto jmi = registry_->Lookup(request->job_contact);
   if (!jmi.ok()) return fail(jmi.error());
 
@@ -136,18 +171,46 @@ std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
   return reply.Encode().Serialize();
 }
 
-WireClient::WireClient(gsi::Credential credential, WireEndpoint* endpoint)
-    : credential_(std::move(credential)), endpoint_(endpoint) {}
+WireClient::WireClient(gsi::Credential credential, WireTransport* transport)
+    : credential_(std::move(credential)), transport_(transport) {}
+
+std::optional<std::int64_t> WireClient::OutgoingDeadline() const {
+  std::optional<std::int64_t> deadline = CurrentDeadlineMicros();
+  if (deadline_budget_us_ > 0) {
+    const std::int64_t budget =
+        obs::ObsClock()->NowMicros() + deadline_budget_us_;
+    deadline = deadline ? std::min(*deadline, budget) : budget;
+  }
+  return deadline;
+}
+
+namespace {
+
+// A reply that cannot be decoded is indistinguishable from no reply at
+// all — classify it as kUnavailable (retryable), not kParseError, so
+// the resilient layer treats a corrupted or truncated frame exactly
+// like a dropped connection.
+Error UndecodableReply(const Error& error) {
+  return Error{ErrCode::kUnavailable,
+               "undecodable reply frame: " + error.to_string()};
+}
+
+}  // namespace
 
 Expected<std::string> WireClient::Submit(const std::string& rsl) {
   JobRequest request;
   request.rsl = rsl;
   last_trace_id_ = obs::GenerateTraceId();
   request.trace_id = last_trace_id_;
+  request.deadline_micros = OutgoingDeadline();
+  if (retry_attempt_ > 0) request.attempt = retry_attempt_;
   std::string reply_frame =
-      endpoint_->Handle(credential_, request.Encode().Serialize());
-  GA_TRY(Message message, Message::Parse(reply_frame));
-  GA_TRY(JobRequestReply reply, JobRequestReply::Decode(message));
+      transport_->Handle(credential_, request.Encode().Serialize());
+  auto message = Message::Parse(reply_frame);
+  if (!message.ok()) return UndecodableReply(message.error());
+  auto decoded = JobRequestReply::Decode(*message);
+  if (!decoded.ok()) return UndecodableReply(decoded.error());
+  const JobRequestReply& reply = *decoded;
   if (reply.code != GramErrorCode::kNone) {
     ErrCode code = reply.code == GramErrorCode::kAuthorizationDenied
                        ? ErrCode::kAuthorizationDenied
@@ -169,10 +232,15 @@ Expected<ManagementReply> WireClient::Manage(
   request.signal = signal;
   last_trace_id_ = obs::GenerateTraceId();
   request.trace_id = last_trace_id_;
+  request.deadline_micros = OutgoingDeadline();
+  if (retry_attempt_ > 0) request.attempt = retry_attempt_;
   std::string reply_frame =
-      endpoint_->Handle(credential_, request.Encode().Serialize());
-  GA_TRY(Message message, Message::Parse(reply_frame));
-  GA_TRY(ManagementReply reply, ManagementReply::Decode(message));
+      transport_->Handle(credential_, request.Encode().Serialize());
+  auto message = Message::Parse(reply_frame);
+  if (!message.ok()) return UndecodableReply(message.error());
+  auto decoded = ManagementReply::Decode(*message);
+  if (!decoded.ok()) return UndecodableReply(decoded.error());
+  ManagementReply reply = *decoded;
   if (reply.code != GramErrorCode::kNone) {
     ErrCode code = reply.code == GramErrorCode::kAuthorizationDenied
                        ? ErrCode::kAuthorizationDenied

@@ -7,6 +7,7 @@
 // extension, never as C++ errors.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "gram/gatekeeper.h"
@@ -14,7 +15,18 @@
 
 namespace gridauthz::gram::wire {
 
-class WireEndpoint {
+// What a client holds: anything that turns a request frame into a reply
+// frame. WireEndpoint is the real service; decorators (e.g. the fault
+// layer's FaultyTransport) interpose on this seam to delay, drop, or
+// corrupt frames without either side knowing.
+class WireTransport {
+ public:
+  virtual ~WireTransport() = default;
+  virtual std::string Handle(const gsi::Credential& peer,
+                             std::string_view frame) = 0;
+};
+
+class WireEndpoint final : public WireTransport {
  public:
   WireEndpoint(Gatekeeper* gatekeeper, const JobManagerRegistry* registry,
                const gsi::TrustRegistry* trust, const Clock* clock);
@@ -22,8 +34,12 @@ class WireEndpoint {
   // Handles one request frame from `peer` (the authenticated client
   // credential — the stand-in for the connection's security context).
   // Always returns a reply frame; malformed requests produce error
-  // replies rather than failures.
-  std::string Handle(const gsi::Credential& peer, std::string_view frame);
+  // replies rather than failures. A request whose `deadline-micros` has
+  // already passed is rejected with AUTHORIZATION_SYSTEM_FAILURE before
+  // any policy is consulted; an unexpired deadline is installed as the
+  // ambient deadline for the whole evaluation below.
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
 
  private:
   std::string HandleJobRequest(const gsi::Credential& peer,
@@ -37,11 +53,11 @@ class WireEndpoint {
   const Clock* clock_;
 };
 
-// A client that talks frames to a WireEndpoint. Functionally equivalent
+// A client that talks frames to a WireTransport. Functionally equivalent
 // to GramClient but exercising the full encode → wire → decode path.
 class WireClient {
  public:
-  WireClient(gsi::Credential credential, WireEndpoint* endpoint);
+  WireClient(gsi::Credential credential, WireTransport* transport);
 
   Expected<std::string> Submit(const std::string& rsl);
   Expected<ManagementReply> Status(const std::string& contact);
@@ -53,14 +69,30 @@ class WireClient {
   // Tests assert server-side audit records carry this id.
   const std::string& last_trace_id() const { return last_trace_id_; }
 
+  // Deadline budget per request, in microseconds on the obs clock;
+  // 0 = send no deadline. When an ambient DeadlineScope is tighter than
+  // the budget, the ambient deadline is sent instead — a client inside a
+  // resilient retry loop must not promise the server more time than its
+  // own caller granted.
+  void set_deadline_budget_us(std::int64_t budget_us) {
+    deadline_budget_us_ = budget_us;
+  }
+  // Retry ordinal (1-based) stamped on the next requests as
+  // `retry-attempt`; 0 = omit the attribute.
+  void set_retry_attempt(std::int64_t attempt) { retry_attempt_ = attempt; }
+
  private:
   Expected<ManagementReply> Manage(const std::string& action,
                                    const std::string& contact,
                                    const std::optional<SignalRequest>& signal);
+  // Computes the absolute `deadline-micros` to send, if any.
+  std::optional<std::int64_t> OutgoingDeadline() const;
 
   gsi::Credential credential_;
-  WireEndpoint* endpoint_;
+  WireTransport* transport_;
   std::string last_trace_id_;
+  std::int64_t deadline_budget_us_ = 0;
+  std::int64_t retry_attempt_ = 0;
 };
 
 }  // namespace gridauthz::gram::wire

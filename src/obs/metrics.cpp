@@ -247,6 +247,12 @@ std::uint64_t MetricsRegistry::CounterValue(std::string_view name,
   return series == nullptr ? 0 : series->counter->value();
 }
 
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name,
+                                         const LabelSet& labels) const {
+  const Series* series = FindSeries(name, labels, Kind::kGauge);
+  return series == nullptr ? 0 : series->gauge->value();
+}
+
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name,
                                                 const LabelSet& labels) const {
   const Series* series = FindSeries(name, labels, Kind::kHistogram);

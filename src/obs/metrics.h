@@ -100,6 +100,8 @@ class MetricsRegistry {
   // not exist.
   std::uint64_t CounterValue(std::string_view name,
                              const LabelSet& labels = {}) const;
+  std::int64_t GaugeValue(std::string_view name,
+                          const LabelSet& labels = {}) const;
   const Histogram* FindHistogram(std::string_view name,
                                  const LabelSet& labels = {}) const;
 

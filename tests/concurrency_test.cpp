@@ -9,9 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "core/audit.h"
 #include "core/source.h"
+#include "fault/breaker.h"
 #include "gram/callout.h"
 #include "gsi/keys.h"
 #include "obs/metrics.h"
@@ -182,6 +184,98 @@ TEST(Concurrency, BoundedAuditLogParallelAppends) {
   EXPECT_EQ(log.dropped(),
             static_cast<std::uint64_t>(kThreads) * kPerThread - kCapacity);
   EXPECT_EQ(log.records().size(), kCapacity);
+}
+
+TEST(Concurrency, CalloutDispatcherParallelInvokeBindResolve) {
+  // The dispatcher races three ways at once: invocations that lazily
+  // resolve (library, symbol) bindings, fresh Bind/BindDirect calls, and
+  // HasBinding probes. The invocation counter must not drop updates and
+  // lazily resolved slots must serve every thread.
+  auto& registry = gram::CalloutLibraryRegistry::Instance();
+  registry.Register("conc_dispatch_lib", "permit", [] {
+    return [](const gram::CalloutData&) { return Ok(); };
+  });
+  gram::CalloutDispatcher dispatcher;
+  dispatcher.Bind({"lazy-authz", "conc_dispatch_lib", "permit"});
+  dispatcher.BindDirect("direct-authz",
+                        [](const gram::CalloutData&) { return Ok(); });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  gram::CalloutData data;
+  data.requester_identity = "/O=Grid/CN=conc";
+  data.job_owner_identity = data.requester_identity;
+  data.action = "start";
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Lazy resolution races with everything else on iteration 0.
+        if (!dispatcher.Invoke("lazy-authz", data).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!dispatcher.Invoke("direct-authz", data).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!dispatcher.HasBinding("lazy-authz")) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Each thread also churns its own binding.
+        dispatcher.BindDirect(
+            "mine-" + std::to_string(t),
+            [](const gram::CalloutData&) { return Ok(); });
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  registry.Unregister("conc_dispatch_lib", "permit");
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dispatcher.invocation_count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 2);
+}
+
+TEST(Concurrency, CircuitBreakerParallelAllowAndRecord) {
+  // Many threads drive the breaker through its whole state machine at
+  // once; the invariants that matter under race are "no crash, no
+  // torn state" — the final state must be one of the three legal ones
+  // and Allow() must keep answering.
+  SimClock sim;
+  fault::CircuitBreakerOptions options;
+  options.min_calls = 10;
+  options.failure_rate_threshold = 0.5;
+  // Zero cooldown: an open breaker is immediately eligible for its
+  // half-open probe, so states keep cycling without advancing the
+  // (single-threaded) SimClock from worker threads.
+  options.open_cooldown_us = 0;
+  fault::CircuitBreaker breaker{"conc-backend", options, &sim};
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<std::uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (breaker.Allow()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          // Alternate success/failure so the rate hovers at the
+          // threshold and transitions keep happening.
+          if ((t + i) % 2 == 0) {
+            breaker.RecordSuccess();
+          } else {
+            breaker.RecordFailure();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(admitted.load(), 0u);
+  fault::BreakerState state = breaker.state();
+  EXPECT_TRUE(state == fault::BreakerState::kClosed ||
+              state == fault::BreakerState::kOpen ||
+              state == fault::BreakerState::kHalfOpen);
 }
 
 TEST(Concurrency, ParallelTracedSpansStayOnTheirOwnTrace) {

@@ -1,0 +1,263 @@
+// End-to-end fault tolerance over the wire: deadline propagation from
+// WireClient through WireEndpoint into the Job Manager PEP, faulty
+// transports that drop or corrupt reply frames, and the resilient layer
+// wrapped around real pipeline pieces. The invariant under test: no
+// degradation mode ever widens access — every failure is a protocol
+// error code, never a permit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/deadline.h"
+#include "fault/fault.h"
+#include "fault/inject.h"
+#include "fault/resilient.h"
+#include "fault/retry.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::gram::wire {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+constexpr const char* kFigure3Plus = R"(
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = information)(jobowner = self)
+&(action = cancel)(jobowner = self)
+)";
+
+class FaultPipelineTest : public ::testing::Test {
+ protected:
+  FaultPipelineTest()
+      : endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
+                  &site_.clock()) {
+    obs::Metrics().Reset();
+    obs::Tracer().Clear();
+    // Client-side deadline stamping and server-side expiry checks must
+    // read the same clock.
+    obs::SetObsClock(&site_.clock());
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    boliu_ = site_.CreateUser(kBoLiu).value();
+    EXPECT_TRUE(site_.MapUser(boliu_, "boliu").ok());
+    site_.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kFigure3Plus).value()));
+  }
+  ~FaultPipelineTest() override { obs::SetObsClock(nullptr); }
+
+  static constexpr const char* kGoodRsl =
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"
+      "(simduration=100)";
+
+  SimulatedSite site_;
+  gsi::Credential boliu_;
+  WireEndpoint endpoint_;
+};
+
+TEST_F(FaultPipelineTest, DeadlineBudgetTravelsAndUnexpiredRequestsPass) {
+  WireClient client{boliu_, &endpoint_};
+  client.set_deadline_budget_us(5'000'000);  // generous: must not interfere
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  EXPECT_TRUE(client.Status(*contact).ok());
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_deadline_rejected_total",
+                                        {{"type", "job-request"}}),
+            0u);
+}
+
+TEST_F(FaultPipelineTest, ExpiredDeadlineIsRejectedBeforePolicyEvaluation) {
+  // Encode a job request whose deadline is already in the past — as a
+  // retrying client would produce after its budget ran out in flight.
+  JobRequest request;
+  request.rsl = kGoodRsl;
+  request.callback_url = "https://client/callback";
+  request.deadline_micros = site_.clock().NowMicros() - 1;
+  std::string reply_frame =
+      endpoint_.Handle(boliu_, request.Encode().Serialize());
+  auto reply = JobRequestReply::Decode(Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_NE(reply->reason.find("[deadline-exceeded]"), std::string::npos);
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_deadline_rejected_total",
+                                        {{"type", "job-request"}}),
+            1u);
+  // Nothing was submitted: the job manager never saw the request.
+  WireClient client{boliu_, &endpoint_};
+  auto status = client.Status("https://site/jobmanager/1");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(FaultPipelineTest, ExpiredDeadlineRejectsManagementToo) {
+  WireClient client{boliu_, &endpoint_};
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_TRUE(contact.ok());
+
+  ManagementRequest request;
+  request.action = "cancel";
+  request.job_contact = *contact;
+  request.deadline_micros = site_.clock().NowMicros() - 1;
+  std::string reply_frame =
+      endpoint_.Handle(boliu_, request.Encode().Serialize());
+  auto reply = ManagementReply::Decode(Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_deadline_rejected_total",
+                                        {{"type", "management-request"}}),
+            1u);
+  // The job is untouched: a stale cancel must not kill it.
+  auto status = client.Status(*contact);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, JobStatus::kActive);
+}
+
+TEST_F(FaultPipelineTest, AmbientScopeTightensTheWireDeadline) {
+  // The client's own budget is generous, but an ambient scope from an
+  // enclosing retry loop has already expired — the tighter one is sent.
+  WireClient client{boliu_, &endpoint_};
+  client.set_deadline_budget_us(5'000'000);
+  DeadlineScope expired(site_.clock().NowMicros());
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(contact.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_deadline_rejected_total",
+                                        {{"type", "job-request"}}),
+            1u);
+}
+
+TEST_F(FaultPipelineTest, RetryAttemptAttributeRoundTrips) {
+  WireClient client{boliu_, &endpoint_};
+  client.set_retry_attempt(3);
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_TRUE(contact.ok()) << contact.error();
+
+  // Malformed ordinals are a parse error, not a crash or a permit.
+  Message message;
+  message.Set("message-type", "job-request");
+  message.Set("rsl", kGoodRsl);
+  message.SetInt("retry-attempt", 0);
+  std::string reply_frame = endpoint_.Handle(boliu_, message.Serialize());
+  auto reply = JobRequestReply::Decode(Message::Parse(reply_frame).value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, GramErrorCode::kInvalidRequest);
+}
+
+TEST_F(FaultPipelineTest, OutageTransportSurfacesAsUnavailableNotPermit) {
+  auto plan = fault::FaultPlan::Parse("wire outage-after 0").value();
+  fault::FaultyTransport dead{&endpoint_,
+                              fault::MakeInjector(plan, "wire")};
+  WireClient client{boliu_, &dead};
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_FALSE(contact.ok());
+  EXPECT_EQ(contact.error().code(), ErrCode::kUnavailable);
+}
+
+TEST_F(FaultPipelineTest, CorruptRepliesSurfaceAsUnavailableNotPermit) {
+  auto plan = fault::FaultPlan::Parse("wire corrupt-rate 1.0").value();
+  fault::FaultyTransport lying{&endpoint_,
+                               fault::MakeInjector(plan, "wire")};
+  WireClient client{boliu_, &lying};
+  auto contact = client.Submit(kGoodRsl);
+  ASSERT_FALSE(contact.ok());
+  // An undecodable reply is indistinguishable from a dropped connection:
+  // retryable, never treated as a decision.
+  EXPECT_EQ(contact.error().code(), ErrCode::kUnavailable);
+}
+
+TEST_F(FaultPipelineTest, ResilientClientRetriesThroughFlakyTransport) {
+  // Transient faults at 50%: a bare client fails often, a retry wrapper
+  // around the same transport converges on every call.
+  auto plan =
+      fault::FaultPlan::Parse("seed 3\nwire transient-rate 0.5").value();
+  fault::FaultyTransport flaky{&endpoint_,
+                               fault::MakeInjector(plan, "wire", nullptr)};
+  WireClient client{boliu_, &flaky};
+
+  fault::RetryPolicy retry;
+  retry.max_attempts = 12;
+  fault::JitterStream jitter{retry.jitter_seed};
+  fault::NullSleeper sleeper;
+
+  auto submit_with_retries = [&]() -> Expected<std::string> {
+    for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+      client.set_retry_attempt(attempt);
+      auto contact = client.Submit(kGoodRsl);
+      if (contact.ok() || !fault::IsRetryableError(contact.error())) {
+        return contact;
+      }
+    }
+    return Error{ErrCode::kAuthorizationSystemFailure,
+                 std::string{kReasonRetriesExhausted} +
+                     " submit retries exhausted"};
+  };
+  auto contact = submit_with_retries();
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  auto status = client.Status(*contact);
+  // Status also rides the flaky transport; retry until it lands.
+  for (int attempt = 0; !status.ok() && attempt < 12; ++attempt) {
+    ASSERT_TRUE(fault::IsRetryableError(status.error()));
+    status = client.Status(*contact);
+  }
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->job_owner, kBoLiu);
+}
+
+TEST_F(FaultPipelineTest, DenialsAreNotRetryableEvenOverFaultyTransport) {
+  auto plan =
+      fault::FaultPlan::Parse("seed 5\nwire transient-rate 0.3").value();
+  fault::FaultyTransport flaky{&endpoint_,
+                               fault::MakeInjector(plan, "wire", nullptr)};
+  WireClient client{boliu_, &flaky};
+  // `evil` is outside Bo Liu's policy: once a reply gets through it is a
+  // denial, and the denial is authoritative.
+  auto denied = [&]() -> Expected<std::string> {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto contact = client.Submit(
+          "&(executable=evil)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+      if (contact.ok() || !fault::IsRetryableError(contact.error())) {
+        return contact;
+      }
+    }
+    return Error{ErrCode::kUnavailable, "never landed"};
+  }();
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_FALSE(fault::IsRetryableError(denied.error()));
+}
+
+TEST_F(FaultPipelineTest, ResilientSourceWrapsTheRealJobManagerPep) {
+  // The VO PEP itself goes flaky; wrapping it in the resilient decorator
+  // keeps submissions flowing without loosening a single decision.
+  auto plan = fault::FaultPlan::Parse(
+                  "seed 9\nvo transient-rate 0.4")
+                  .value();
+  auto vo = std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(kFigure3Plus).value());
+  auto faulty = std::make_shared<fault::FaultyPolicySource>(
+      vo, fault::MakeInjector(plan, "vo", &site_.clock()));
+  fault::ResilienceOptions options;
+  options.retry.max_attempts = 6;
+  options.clock = &site_.clock();
+  site_.UseJobManagerPep(
+      std::make_shared<fault::ResilientPolicySource>(faulty, options));
+
+  WireClient client{boliu_, &endpoint_};
+  for (int i = 0; i < 3; ++i) {
+    auto contact = client.Submit(kGoodRsl);
+    ASSERT_TRUE(contact.ok()) << "submit " << i << ": " << contact.error();
+  }
+  // Denials still deny through the same flaky-but-resilient PEP.
+  auto denied = client.Submit(
+      "&(executable=evil)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_GT(obs::Metrics().CounterValue("authz_retries_total",
+                                        {{"source", "vo-resilient"}}),
+            0u);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram::wire

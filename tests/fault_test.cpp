@@ -1,0 +1,789 @@
+// Fault-tolerance layer: fault-plan parsing and injector determinism,
+// retry/backoff schedules asserted to the exact microsecond under
+// SimClock, circuit-breaker state transitions, ambient deadlines, and
+// fail-closed degradation through the last-good cache. Every degraded
+// path must answer deny or kAuthorizationSystemFailure — never permit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/deadline.h"
+#include "common/error.h"
+#include "core/request.h"
+#include "core/source.h"
+#include "fault/breaker.h"
+#include "fault/degrade.h"
+#include "fault/fault.h"
+#include "fault/inject.h"
+#include "fault/resilient.h"
+#include "fault/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::fault {
+namespace {
+
+core::AuthorizationRequest Request(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& job_id = "") {
+  core::AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = subject;
+  request.job_id = job_id;
+  return request;
+}
+
+// Inner source scripted to fail `failures` times (with `code`) before
+// permitting; each call advances the SimClock by `call_cost_us`.
+class ScriptedSource final : public core::PolicySource {
+ public:
+  ScriptedSource(std::string name, int failures, ErrCode code,
+                 SimClock* clock = nullptr, std::int64_t call_cost_us = 0)
+      : name_(std::move(name)),
+        failures_(failures),
+        code_(code),
+        clock_(clock),
+        call_cost_us_(call_cost_us) {}
+
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest&) override {
+    ++calls_;
+    if (clock_ != nullptr && call_cost_us_ > 0) {
+      clock_->AdvanceMicros(call_cost_us_);
+    }
+    if (calls_ <= failures_) {
+      return Error{code_, "scripted failure " + std::to_string(calls_)};
+    }
+    return core::Decision::Permit("scripted permit");
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  std::string name_;
+  int failures_;
+  ErrCode code_;
+  SimClock* clock_;
+  std::int64_t call_cost_us_;
+  int calls_ = 0;
+};
+
+class DenySource final : public core::PolicySource {
+ public:
+  const std::string& name() const override { return name_; }
+  Expected<core::Decision> Authorize(
+      const core::AuthorizationRequest&) override {
+    ++calls_;
+    return core::Decision::Deny(core::DecisionCode::kDenyNoPermission,
+                                "scripted deny");
+  }
+  int calls() const { return calls_; }
+
+ private:
+  std::string name_ = "denier";
+  int calls_ = 0;
+};
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() {
+    obs::Metrics().Reset();
+    obs::Tracer().Clear();
+  }
+  ~FaultTest() override { obs::SetObsClock(nullptr); }
+};
+
+// ---- fault plan parsing -------------------------------------------------
+
+TEST_F(FaultTest, FaultPlanParsesFullGrammar) {
+  auto plan = FaultPlan::Parse(R"(# deterministic chaos for the akenti path
+seed 42
+akenti latency-us 1500
+akenti latency-jitter-us 500
+akenti transient-rate 0.25
+akenti transient-code internal
+wire corrupt-rate 0.1
+cas outage-after 3
+)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_NE(plan->FindTarget("akenti"), nullptr);
+  EXPECT_EQ(plan->FindTarget("akenti")->latency_us, 1500);
+  EXPECT_EQ(plan->FindTarget("akenti")->latency_jitter_us, 500);
+  EXPECT_DOUBLE_EQ(plan->FindTarget("akenti")->transient_rate, 0.25);
+  EXPECT_EQ(plan->FindTarget("akenti")->transient_code, ErrCode::kInternal);
+  EXPECT_DOUBLE_EQ(plan->FindTarget("wire")->corrupt_rate, 0.1);
+  EXPECT_EQ(plan->FindTarget("cas")->outage_after, 3);
+  EXPECT_EQ(plan->FindTarget("nonexistent"), nullptr);
+}
+
+TEST_F(FaultTest, FaultPlanRejectsMalformedInput) {
+  const char* bad[] = {
+      "akenti latency-us minustwo",      // non-numeric
+      "akenti latency-us -5",            // negative latency
+      "akenti transient-rate 1.5",       // rate out of range
+      "akenti transient-rate -0.1",      // rate out of range
+      "akenti transient-code sometimes", // unknown code
+      "akenti frobnicate 3",             // unknown directive
+      "akenti latency-us",               // missing value
+      "seed notanumber",                 // bad seed
+      "akenti outage-after -1",          // negative outage
+  };
+  for (const char* text : bad) {
+    auto plan = FaultPlan::Parse(text);
+    ASSERT_FALSE(plan.ok()) << "should reject: " << text;
+    EXPECT_EQ(plan.error().code(), ErrCode::kParseError) << text;
+  }
+}
+
+TEST_F(FaultTest, RetryPolicyParsesAndValidates) {
+  auto policy = RetryPolicy::Parse(R"(
+max-attempts 4
+initial-backoff-us 100
+backoff-multiplier 3.0
+max-backoff-us 5000
+jitter 0.5
+jitter-seed 7
+per-attempt-timeout-us 2000
+overall-budget-us 100000
+)");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->max_attempts, 4);
+  EXPECT_EQ(policy->initial_backoff_us, 100);
+  EXPECT_DOUBLE_EQ(policy->backoff_multiplier, 3.0);
+  EXPECT_EQ(policy->max_backoff_us, 5000);
+  EXPECT_EQ(policy->per_attempt_timeout_us, 2000);
+  EXPECT_EQ(policy->overall_budget_us, 100000);
+
+  const char* bad[] = {
+      "max-attempts 0",         "max-attempts 1001",
+      "jitter 2.0",             "backoff-multiplier 0.5",
+      "initial-backoff-us -1",  "unknown-key 3",
+      "max-attempts",           "max-attempts four",
+  };
+  for (const char* text : bad) {
+    auto parsed = RetryPolicy::Parse(text);
+    ASSERT_FALSE(parsed.ok()) << "should reject: " << text;
+    EXPECT_EQ(parsed.error().code(), ErrCode::kParseError) << text;
+  }
+}
+
+// ---- injector determinism ----------------------------------------------
+
+TEST_F(FaultTest, InjectorIsDeterministicPerSeedAndTarget) {
+  auto plan = FaultPlan::Parse(
+                  "seed 7\nakenti transient-rate 0.5\nakenti corrupt-rate 0.2")
+                  .value();
+  auto a = MakeInjector(plan, "akenti");
+  auto b = MakeInjector(plan, "akenti");
+  for (int i = 0; i < 200; ++i) {
+    FaultInjector::Outcome oa = a->NextCall();
+    FaultInjector::Outcome ob = b->NextCall();
+    EXPECT_EQ(oa.error.has_value(), ob.error.has_value()) << "call " << i;
+    EXPECT_EQ(oa.corrupt, ob.corrupt) << "call " << i;
+  }
+  // A different target draws an independent stream from the same seed.
+  auto plan2 =
+      FaultPlan::Parse("seed 7\ncas transient-rate 0.5\ncas corrupt-rate 0.2")
+          .value();
+  auto c = MakeInjector(plan2, "cas");
+  int diverged = 0;
+  auto a2 = MakeInjector(plan, "akenti");
+  for (int i = 0; i < 200; ++i) {
+    if (a2->NextCall().error.has_value() != c->NextCall().error.has_value()) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST_F(FaultTest, InjectorLatencyAdvancesSimClockAndOutageIsPermanent) {
+  SimClock sim;
+  auto plan =
+      FaultPlan::Parse("akenti latency-us 250\nakenti outage-after 2").value();
+  auto injector = MakeInjector(plan, "akenti", &sim);
+  const std::int64_t start = sim.NowMicros();
+  EXPECT_FALSE(injector->NextCall().error.has_value());
+  EXPECT_FALSE(injector->NextCall().error.has_value());
+  EXPECT_EQ(sim.NowMicros() - start, 500);
+  for (int i = 0; i < 5; ++i) {
+    auto outcome = injector->NextCall();
+    ASSERT_TRUE(outcome.error.has_value()) << "outage call " << i;
+    EXPECT_EQ(outcome.error->code(), ErrCode::kUnavailable);
+  }
+  EXPECT_EQ(obs::Metrics().CounterValue(
+                "fault_injected_total",
+                {{"target", "akenti"}, {"kind", "outage"}}),
+            5u);
+}
+
+TEST_F(FaultTest, CorruptFrameIsNeverParseable) {
+  FaultRng rng{99};
+  gram::wire::Message message;
+  message.Set("message-type", "job-request-reply");
+  message.Set("error-code", "none");
+  message.Set("job-contact", "https://site/1");
+  const std::string frame = message.Serialize();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(gram::wire::Message::Parse(CorruptFrame(frame, rng)).ok());
+  }
+}
+
+// ---- backoff and retry schedules ---------------------------------------
+
+TEST_F(FaultTest, BackoffScheduleIsExactWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 500;
+  FaultRng rng{1};
+  EXPECT_EQ(policy.BackoffUs(1, rng), 0);    // no wait before attempt 1
+  EXPECT_EQ(policy.BackoffUs(2, rng), 100);  // after first failure
+  EXPECT_EQ(policy.BackoffUs(3, rng), 200);
+  EXPECT_EQ(policy.BackoffUs(4, rng), 400);
+  EXPECT_EQ(policy.BackoffUs(5, rng), 500);  // capped
+  EXPECT_EQ(policy.BackoffUs(6, rng), 500);  // stays capped
+}
+
+TEST_F(FaultTest, JitterOnlyShortensBackoffDeterministically) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.jitter = 0.5;
+  FaultRng rng_a{42};
+  FaultRng rng_b{42};
+  for (int attempt = 2; attempt < 6; ++attempt) {
+    const std::int64_t a = policy.BackoffUs(attempt, rng_a);
+    EXPECT_EQ(a, policy.BackoffUs(attempt, rng_b));  // same seed, same draw
+    EXPECT_GT(a, 0);
+    // Jitter subtracts at most jitter * base.
+    RetryPolicy no_jitter = policy;
+    no_jitter.jitter = 0.0;
+    FaultRng unused{1};
+    const std::int64_t base = no_jitter.BackoffUs(attempt, unused);
+    EXPECT_LE(a, base);
+    EXPECT_GE(a, base - static_cast<std::int64_t>(0.5 * base));
+  }
+}
+
+TEST_F(FaultTest, ResilientSourceRetriesOnExactSchedule) {
+  SimClock sim;
+  SimSleeper sleeper{&sim};
+  auto inner = std::make_shared<ScriptedSource>("flaky", 2,
+                                                ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_us = 100;
+  options.retry.backoff_multiplier = 2.0;
+  options.clock = &sim;
+  options.sleeper = &sleeper;
+  ResilientPolicySource source{inner, options};
+
+  const std::int64_t start = sim.NowMicros();
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->permitted());
+  EXPECT_EQ(inner->calls(), 3);  // fail, fail, permit
+  // Exact schedule: backoff 100us before attempt 2, 200us before 3.
+  EXPECT_EQ(sim.NowMicros() - start, 300);
+  EXPECT_EQ(obs::Metrics().CounterValue("authz_retries_total",
+                                        {{"source", "flaky-resilient"}}),
+            2u);
+}
+
+TEST_F(FaultTest, DenyIsAuthoritativeAndNeverRetried) {
+  auto inner = std::make_shared<DenySource>();
+  ResilienceOptions options;
+  options.retry.max_attempts = 5;
+  ResilientPolicySource source{inner, options};
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->permitted());
+  EXPECT_EQ(inner->calls(), 1);
+  EXPECT_EQ(obs::Metrics().CounterValue("authz_retries_total",
+                                        {{"source", "denier-resilient"}}),
+            0u);
+}
+
+TEST_F(FaultTest, ExhaustedRetriesFailClosedWithTypedReason) {
+  auto inner = std::make_shared<ScriptedSource>("dead", 1000,
+                                                ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.retry.max_attempts = 3;
+  ResilientPolicySource source{inner, options};
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonRetriesExhausted);
+  EXPECT_EQ(inner->calls(), 3);
+  EXPECT_EQ(obs::Metrics().CounterValue("authz_retry_exhausted_total",
+                                        {{"source", "dead-resilient"}}),
+            1u);
+}
+
+TEST_F(FaultTest, SlowAttemptIsDiscardedByPerAttemptTimeout) {
+  SimClock sim;
+  // Each inner call takes 5ms; the per-attempt limit is 1ms, so even a
+  // "successful" reply arrives too late to trust.
+  auto inner = std::make_shared<ScriptedSource>("slow", 0, ErrCode::kUnavailable,
+                                                &sim, 5000);
+  ResilienceOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.per_attempt_timeout_us = 1000;
+  options.clock = &sim;
+  ResilientPolicySource source{inner, options};
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonRetriesExhausted);
+  EXPECT_NE(decision.error().message().find("[attempt-timeout]"),
+            std::string::npos);
+  EXPECT_EQ(inner->calls(), 2);
+}
+
+// ---- deadlines ----------------------------------------------------------
+
+TEST_F(FaultTest, AmbientDeadlineStopsRetryLoopBeforeSleeping) {
+  SimClock sim;
+  SimSleeper sleeper{&sim};
+  auto inner =
+      std::make_shared<ScriptedSource>("dead", 1000, ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff_us = 1000;
+  options.clock = &sim;
+  options.sleeper = &sleeper;
+  ResilientPolicySource source{inner, options};
+
+  // Budget covers one backoff (1000us) but not the second (2000us).
+  DeadlineScope deadline(sim.NowMicros() + 2500);
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonDeadlineExceeded);
+  EXPECT_EQ(inner->calls(), 2);  // attempt, sleep 1000, attempt, stop
+  EXPECT_EQ(obs::Metrics().CounterValue("authz_deadline_exceeded_total",
+                                        {{"source", "dead-resilient"}}),
+            1u);
+}
+
+TEST_F(FaultTest, OverallBudgetActsAsDeadlineWithoutAmbientScope) {
+  SimClock sim;
+  SimSleeper sleeper{&sim};
+  auto inner =
+      std::make_shared<ScriptedSource>("dead", 1000, ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff_us = 400;
+  options.retry.backoff_multiplier = 1.0;
+  options.retry.overall_budget_us = 1000;
+  options.clock = &sim;
+  options.sleeper = &sleeper;
+  ResilientPolicySource source{inner, options};
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonDeadlineExceeded);
+  // 0us attempt 1, sleep 400, attempt 2, sleep 400 (=800), attempt 3,
+  // next sleep would land on 1200 >= 1000 -> stop.
+  EXPECT_EQ(inner->calls(), 3);
+}
+
+TEST_F(FaultTest, NestedDeadlineScopesOnlyTighten) {
+  {
+    DeadlineScope outer(5000);
+    EXPECT_EQ(CurrentDeadlineMicros(), 5000);
+    {
+      DeadlineScope wider(9000);  // cannot extend
+      EXPECT_EQ(CurrentDeadlineMicros(), 5000);
+      {
+        DeadlineScope tighter(3000);
+        EXPECT_EQ(CurrentDeadlineMicros(), 3000);
+        DeadlineScope none(std::nullopt);  // leaves inherited in force
+        EXPECT_EQ(CurrentDeadlineMicros(), 3000);
+      }
+      EXPECT_EQ(CurrentDeadlineMicros(), 5000);
+    }
+    EXPECT_TRUE(DeadlineExpiredAt(5000));
+    EXPECT_FALSE(DeadlineExpiredAt(4999));
+    EXPECT_EQ(RemainingDeadlineMicros(4000), 1000);
+    EXPECT_EQ(RemainingDeadlineMicros(6000), 0);
+  }
+  EXPECT_FALSE(CurrentDeadlineMicros().has_value());
+  EXPECT_FALSE(DeadlineExpiredAt(1) && true);
+}
+
+TEST_F(FaultTest, CombiningPdpStopsMidEvaluationOnDeadline) {
+  SimClock sim;
+  obs::SetObsClock(&sim);
+  // Source 1 eats 2ms of the 1ms budget; source 2 must not be consulted.
+  auto slow = std::make_shared<ScriptedSource>("slow", 0, ErrCode::kUnavailable,
+                                               &sim, 2000);
+  auto second =
+      std::make_shared<ScriptedSource>("second", 0, ErrCode::kUnavailable);
+  core::CombiningPdp pdp;
+  pdp.AddSource(slow);
+  pdp.AddSource(second);
+
+  DeadlineScope deadline(sim.NowMicros() + 1000);
+  auto decision = pdp.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonDeadlineExceeded);
+  EXPECT_EQ(slow->calls(), 1);
+  EXPECT_EQ(second->calls(), 0);  // partial evaluation never permits
+  EXPECT_EQ(obs::Metrics().CounterValue("authz_deadline_exceeded_total",
+                                        {{"source", "combined"}}),
+            1u);
+}
+
+// ---- circuit breaker ----------------------------------------------------
+
+TEST_F(FaultTest, BreakerTransitionsClosedOpenHalfOpenClosed) {
+  SimClock sim;
+  CircuitBreakerOptions options;
+  options.min_calls = 4;
+  options.failure_rate_threshold = 0.5;
+  options.open_cooldown_us = 10'000;
+  CircuitBreaker breaker{"akenti", options, &sim};
+  auto gauge = [] {
+    return obs::Metrics().GaugeValue("breaker_state", {{"backend", "akenti"}});
+  };
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(gauge(), 0);
+
+  // 2 successes + 2 failures = 50% over 4 calls: trips exactly at the
+  // 4th sample, not before.
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // only 3 samples
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(gauge(), 1);
+  EXPECT_EQ(obs::Metrics().CounterValue("breaker_transitions_total",
+                                        {{"backend", "akenti"}, {"to", "open"}}),
+            1u);
+
+  // Open: rejected until the cooldown elapses.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(obs::Metrics().CounterValue("breaker_rejected_total",
+                                        {{"backend", "akenti"}}),
+            2u);
+  sim.AdvanceMicros(10'000);
+  EXPECT_TRUE(breaker.Allow());  // admitted as the half-open probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(gauge(), 2);
+  EXPECT_FALSE(breaker.Allow());  // only one probe allowed
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(gauge(), 0);
+}
+
+TEST_F(FaultTest, FailedHalfOpenProbeReopensBreaker) {
+  SimClock sim;
+  CircuitBreakerOptions options;
+  options.min_calls = 1;
+  options.failure_rate_threshold = 0.5;
+  options.open_cooldown_us = 1000;
+  CircuitBreaker breaker{"cas", options, &sim};
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  sim.AdvanceMicros(1000);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // probe fails: straight back to open
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(obs::Metrics().CounterValue("breaker_transitions_total",
+                                        {{"backend", "cas"}, {"to", "open"}}),
+            2u);
+}
+
+TEST_F(FaultTest, OpenBreakerFailsClosedWithoutCallingBackend) {
+  SimClock sim;
+  CircuitBreakerOptions boptions;
+  CircuitBreaker breaker{"akenti", boptions, &sim};
+  breaker.ForceOpen();
+
+  auto inner = std::make_shared<ScriptedSource>("akenti", 0, ErrCode::kInternal);
+  ResilienceOptions options;
+  options.retry.max_attempts = 3;
+  options.breaker = &breaker;
+  options.clock = &sim;
+  ResilientPolicySource source{inner, options};
+  auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(decision.error()), kReasonCircuitOpen);
+  EXPECT_EQ(inner->calls(), 0);
+}
+
+TEST_F(FaultTest, BreakerSeesDenyAsSuccess) {
+  SimClock sim;
+  CircuitBreakerOptions boptions;
+  boptions.min_calls = 2;
+  boptions.failure_rate_threshold = 0.5;
+  CircuitBreaker breaker{"pdp", boptions, &sim};
+  auto inner = std::make_shared<DenySource>();
+  ResilienceOptions options;
+  options.breaker = &breaker;
+  options.clock = &sim;
+  ResilientPolicySource source{inner, options};
+  for (int i = 0; i < 10; ++i) {
+    auto decision = source.Authorize(Request("/O=Grid/CN=a", "start"));
+    ASSERT_TRUE(decision.ok());
+    EXPECT_FALSE(decision->permitted());
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+// ---- fail-closed degradation -------------------------------------------
+
+TEST_F(FaultTest, LastGoodCacheServesManagementActionsOnly) {
+  SimClock sim;
+  LastGoodCache cache{{}, &sim};
+  cache.Record(Request("/O=Grid/CN=a", "cancel", "job-1"),
+               core::Decision::Permit("cached"));
+  cache.Record(Request("/O=Grid/CN=a", "start"),
+               core::Decision::Permit("cached"));  // ignored
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup(Request("/O=Grid/CN=a", "cancel", "job-1"))
+                  .has_value());
+  EXPECT_FALSE(cache.Lookup(Request("/O=Grid/CN=a", "start")).has_value());
+  EXPECT_FALSE(
+      cache.Lookup(Request("/O=Grid/CN=b", "cancel", "job-1")).has_value());
+
+  // TTL: entries expire on the injected clock.
+  sim.AdvanceMicros(60'000'001);
+  EXPECT_FALSE(
+      cache.Lookup(Request("/O=Grid/CN=a", "cancel", "job-1")).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(FaultTest, LastGoodCacheEvictsLeastRecentlyUsed) {
+  SimClock sim;
+  LastGoodCacheOptions options;
+  options.capacity = 2;
+  LastGoodCache cache{options, &sim};
+  cache.Record(Request("/O=Grid/CN=a", "cancel", "j1"),
+               core::Decision::Permit("1"));
+  cache.Record(Request("/O=Grid/CN=a", "cancel", "j2"),
+               core::Decision::Permit("2"));
+  // Touch j1 so j2 is the LRU victim.
+  EXPECT_TRUE(cache.Lookup(Request("/O=Grid/CN=a", "cancel", "j1")).has_value());
+  cache.Record(Request("/O=Grid/CN=a", "cancel", "j3"),
+               core::Decision::Permit("3"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(Request("/O=Grid/CN=a", "cancel", "j1")).has_value());
+  EXPECT_FALSE(
+      cache.Lookup(Request("/O=Grid/CN=a", "cancel", "j2")).has_value());
+  EXPECT_TRUE(cache.Lookup(Request("/O=Grid/CN=a", "cancel", "j3")).has_value());
+}
+
+TEST_F(FaultTest, DegradedManagementServedFromLastGoodNeverStart) {
+  SimClock sim;
+  CircuitBreakerOptions boptions;
+  CircuitBreaker breaker{"akenti", boptions, &sim};
+  LastGoodCache cache{{}, &sim};
+  auto inner =
+      std::make_shared<ScriptedSource>("akenti", 0, ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.breaker = &breaker;
+  options.last_good = &cache;
+  options.clock = &sim;
+  ResilientPolicySource source{inner, options};
+
+  // Healthy pass populates the cache for the management action.
+  auto cancel = Request("/O=Grid/CN=a", "cancel", "job-1");
+  ASSERT_TRUE(source.Authorize(cancel).ok());
+  ASSERT_TRUE(source.Authorize(Request("/O=Grid/CN=a", "start")).ok());
+
+  breaker.ForceOpen();
+  // Management: served from the last-good decision, flagged as degraded.
+  auto degraded = source.Authorize(cancel);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->permitted());
+  EXPECT_NE(degraded->reason.find("degraded"), std::string::npos);
+  EXPECT_EQ(obs::Metrics().CounterValue(
+                "authz_degraded_served_total",
+                {{"source", "akenti-resilient"}, {"action", "cancel"}}),
+            1u);
+  // Start: never served from cache — fails closed even though a fresh
+  // start permit was recorded... which it was not, by design.
+  auto start = source.Authorize(Request("/O=Grid/CN=a", "start"));
+  ASSERT_FALSE(start.ok());
+  EXPECT_EQ(start.error().code(), ErrCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(FailureReasonTag(start.error()), kReasonCircuitOpen);
+}
+
+TEST_F(FaultTest, CachedDenyStaysDenyWhileDegraded) {
+  SimClock sim;
+  CircuitBreakerOptions boptions;
+  CircuitBreaker breaker{"pdp", boptions, &sim};
+  LastGoodCache cache{{}, &sim};
+  auto request = Request("/O=Grid/CN=b", "cancel", "job-9");
+  cache.Record(request, core::Decision::Deny(
+                            core::DecisionCode::kDenyNoPermission, "no"));
+  auto inner =
+      std::make_shared<ScriptedSource>("pdp", 0, ErrCode::kUnavailable);
+  ResilienceOptions options;
+  options.breaker = &breaker;
+  options.last_good = &cache;
+  options.clock = &sim;
+  ResilientPolicySource source{inner, options};
+  breaker.ForceOpen();
+  auto decision = source.Authorize(request);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->permitted());
+}
+
+// The acceptance property, stated directly: across every degraded
+// scenario, with no cache, the pipeline answers kAuthorizationSystemFailure
+// with a typed reason — never a permit.
+TEST_F(FaultTest, EveryDegradedPathFailsClosed) {
+  SimClock sim;
+  struct Scenario {
+    std::string name;
+    std::string_view expected_tag;
+  };
+  const Scenario scenarios[] = {
+      {"circuit-open", kReasonCircuitOpen},
+      {"retries-exhausted", kReasonRetriesExhausted},
+      {"deadline-exceeded", kReasonDeadlineExceeded},
+  };
+  for (const Scenario& scenario : scenarios) {
+    auto inner = std::make_shared<ScriptedSource>(scenario.name, 1000,
+                                                  ErrCode::kUnavailable);
+    CircuitBreakerOptions boptions;
+    CircuitBreaker breaker{scenario.name, boptions, &sim};
+    ResilienceOptions options;
+    options.retry.max_attempts = 2;
+    options.clock = &sim;
+    std::optional<DeadlineScope> deadline;
+    if (scenario.expected_tag == kReasonCircuitOpen) {
+      options.breaker = &breaker;
+      breaker.ForceOpen();
+    }
+    ResilientPolicySource source{inner, options};
+    if (scenario.expected_tag == kReasonDeadlineExceeded) {
+      deadline.emplace(sim.NowMicros());  // already expired
+    }
+    for (const char* action : {"start", "cancel", "information", "signal"}) {
+      auto decision = source.Authorize(Request("/O=Grid/CN=x", action, "j"));
+      ASSERT_FALSE(decision.ok())
+          << scenario.name << "/" << action << " must not permit";
+      EXPECT_EQ(decision.error().code(),
+                ErrCode::kAuthorizationSystemFailure)
+          << scenario.name << "/" << action;
+      EXPECT_EQ(FailureReasonTag(decision.error()), scenario.expected_tag)
+          << scenario.name << "/" << action;
+      EXPECT_TRUE(IsDegradedFailure(decision.error()));
+    }
+  }
+}
+
+TEST_F(FaultTest, FailureReasonTagExtraction) {
+  EXPECT_EQ(FailureReasonTag(Error{ErrCode::kUnavailable,
+                                   "[circuit-open] backend down"}),
+            kReasonCircuitOpen);
+  EXPECT_EQ(FailureReasonTag(Error{ErrCode::kUnavailable, "no tag here"}),
+            std::string_view{});
+  EXPECT_EQ(FailureReasonTag(Error{ErrCode::kUnavailable, "[unclosed"}),
+            std::string_view{});
+  EXPECT_FALSE(IsDegradedFailure(
+      Error{ErrCode::kAuthorizationDenied, "[circuit-open] odd"}));
+}
+
+// ---- faulty decorators over real pipeline pieces ------------------------
+
+TEST_F(FaultTest, FaultyPolicySourceInjectsAndResilientLayerAbsorbs) {
+  SimClock sim;
+  auto plan =
+      FaultPlan::Parse("seed 11\nlocal transient-rate 0.3").value();
+  auto healthy =
+      std::make_shared<ScriptedSource>("local", 0, ErrCode::kUnavailable);
+  auto faulty = std::make_shared<FaultyPolicySource>(
+      healthy, MakeInjector(plan, "local", &sim));
+
+  // Bare: some calls fail.
+  int bare_failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!faulty->Authorize(Request("/O=Grid/CN=a", "start")).ok()) {
+      ++bare_failures;
+    }
+  }
+  EXPECT_GT(bare_failures, 10);
+
+  // Resilient over the same fault rate: retries absorb the transients.
+  auto healthy2 =
+      std::make_shared<ScriptedSource>("local", 0, ErrCode::kUnavailable);
+  auto faulty2 = std::make_shared<FaultyPolicySource>(
+      healthy2, MakeInjector(plan, "local", &sim));
+  ResilienceOptions options;
+  options.retry.max_attempts = 8;
+  options.clock = &sim;
+  ResilientPolicySource resilient{faulty2, options};
+  for (int i = 0; i < 100; ++i) {
+    auto decision = resilient.Authorize(Request("/O=Grid/CN=a", "start"));
+    ASSERT_TRUE(decision.ok()) << "call " << i;
+    EXPECT_TRUE(decision->permitted());
+  }
+}
+
+TEST_F(FaultTest, ResilientCalloutRetriesAndServesDegradedManagement) {
+  SimClock sim;
+  CircuitBreakerOptions boptions;
+  CircuitBreaker breaker{"callout", boptions, &sim};
+  LastGoodCache cache{{}, &sim};
+
+  int calls = 0;
+  bool healthy = true;
+  gram::AuthorizationCallout flaky =
+      [&](const gram::CalloutData&) -> Expected<void> {
+    ++calls;
+    if (!healthy) return Error{ErrCode::kUnavailable, "backend down"};
+    if (calls % 2 == 1) return Error{ErrCode::kUnavailable, "hiccup"};
+    return Ok();
+  };
+  ResilienceOptions options;
+  options.retry.max_attempts = 3;
+  options.breaker = &breaker;
+  options.last_good = &cache;
+  options.clock = &sim;
+  gram::AuthorizationCallout resilient =
+      MakeResilientCallout(flaky, options, "jm-authz");
+
+  gram::CalloutData data;
+  data.requester_identity = "/O=Grid/CN=a";
+  data.job_owner_identity = "/O=Grid/CN=a";
+  data.action = "cancel";
+  data.job_id = "job-1";
+  ASSERT_TRUE(resilient(data).ok());  // hiccup then success
+
+  healthy = false;
+  breaker.ForceOpen();
+  ASSERT_TRUE(resilient(data).ok());  // degraded: last-good cancel permit
+  EXPECT_EQ(obs::Metrics().CounterValue(
+                "authz_degraded_served_total",
+                {{"source", "jm-authz"}, {"action", "cancel"}}),
+            1u);
+
+  gram::CalloutData start = data;
+  start.action = "start";
+  start.job_id = "";
+  auto denied = resilient(start);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+}  // namespace
+}  // namespace gridauthz::fault

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/policy.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
 #include "gram/wire.h"
 #include "gridmap/gridmap.h"
 #include "gsi/dn.h"
@@ -152,6 +154,85 @@ TEST_P(FuzzTest, MdsFilterParserNeverCrashes) {
     if (mutated.ok()) {
       (void)mutated->Matches(entry);  // matching must not crash either
     }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, FaultPlanParserNeverCrashes) {
+  Rng rng(900 + GetParam());
+  const std::string valid =
+      "seed 42\n"
+      "akenti latency-us 1500\n"
+      "akenti transient-rate 0.25\n"
+      "akenti transient-code unavailable\n"
+      "wire corrupt-rate 0.1\n"
+      "cas outage-after 3\n";
+  for (int i = 0; i < 200; ++i) {
+    auto soup = fault::FaultPlan::Parse(RandomSoup(rng, 10 + rng.Below(120)));
+    if (!soup.ok()) {
+      EXPECT_EQ(soup.error().code(), ErrCode::kParseError);
+    }
+    auto mutated = fault::FaultPlan::Parse(Mutate(rng, valid));
+    if (mutated.ok()) {
+      // A plan that parses must also drive an injector without crashing.
+      auto injector = fault::MakeInjector(*mutated, "akenti");
+      for (int call = 0; call < 5; ++call) (void)injector->NextCall();
+    } else {
+      EXPECT_EQ(mutated.error().code(), ErrCode::kParseError);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, RetryPolicyParserNeverCrashes) {
+  Rng rng(1000 + GetParam());
+  const std::string valid =
+      "max-attempts 4\n"
+      "initial-backoff-us 100\n"
+      "backoff-multiplier 2.0\n"
+      "max-backoff-us 5000\n"
+      "jitter 0.25\n"
+      "per-attempt-timeout-us 2000\n"
+      "overall-budget-us 100000\n";
+  for (int i = 0; i < 200; ++i) {
+    auto soup = fault::RetryPolicy::Parse(RandomSoup(rng, 10 + rng.Below(120)));
+    if (!soup.ok()) {
+      EXPECT_EQ(soup.error().code(), ErrCode::kParseError);
+    }
+    auto mutated = fault::RetryPolicy::Parse(Mutate(rng, valid));
+    if (mutated.ok()) {
+      // A policy that parses must compute backoffs without crashing.
+      fault::FaultRng backoff_rng{7};
+      for (int attempt = 1; attempt <= 6; ++attempt) {
+        EXPECT_GE(mutated->BackoffUs(attempt, backoff_rng), 0);
+      }
+    } else {
+      EXPECT_EQ(mutated.error().code(), ErrCode::kParseError);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzTest, WireResilienceAttributesNeverCrash) {
+  // The deadline/retry attributes are attacker-controlled wire input:
+  // mutated values must either decode or fail with kParseError — never
+  // crash, never decode to nonsense like a negative deadline.
+  Rng rng(1100 + GetParam());
+  const std::string valid =
+      "protocol-version: 2\r\nmessage-type: job-request\r\n"
+      "rsl: &(executable=a)\r\n"
+      "deadline-micros: 123456789\r\nretry-attempt: 2\r\n";
+  for (int i = 0; i < 300; ++i) {
+    auto mutated = gram::wire::Message::Parse(Mutate(rng, valid));
+    if (!mutated.ok()) continue;
+    auto request = gram::wire::JobRequest::Decode(*mutated);
+    if (request.ok()) {
+      if (request->deadline_micros) EXPECT_GE(*request->deadline_micros, 0);
+      if (request->attempt) EXPECT_GE(*request->attempt, 1);
+    } else {
+      EXPECT_EQ(request.error().code(), ErrCode::kParseError);
+    }
+    (void)gram::wire::ManagementRequest::Decode(*mutated);
   }
   SUCCEED();
 }

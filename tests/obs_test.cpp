@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/logging.h"
+#include "fault/breaker.h"
+#include "fault/resilient.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -152,6 +155,62 @@ TEST_F(ObsTest, RenderJsonCarriesPercentiles) {
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderTextExposesFaultToleranceMetrics) {
+  // Drive the real resilience machinery (not hand-set counters) and
+  // assert its whole metric surface shows up in the exposition: breaker
+  // state gauge, retry and deadline counters.
+  SimClock sim;
+  fault::CircuitBreakerOptions boptions;
+  boptions.min_calls = 1;
+  fault::CircuitBreaker breaker{"akenti", boptions, &sim};
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // trips: breaker_state gauge -> 1 (open)
+  ASSERT_FALSE(breaker.Allow());  // rejected while open
+
+  class AlwaysDown final : public core::PolicySource {
+   public:
+    const std::string& name() const override { return name_; }
+    Expected<core::Decision> Authorize(
+        const core::AuthorizationRequest&) override {
+      return Error{ErrCode::kUnavailable, "down"};
+    }
+
+   private:
+    std::string name_ = "down";
+  };
+  fault::ResilienceOptions options;
+  options.retry.max_attempts = 3;
+  options.clock = &sim;
+  fault::ResilientPolicySource source{std::make_shared<AlwaysDown>(), options};
+  core::AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=x";
+  request.action = "start";
+  request.job_owner = request.subject;
+  EXPECT_FALSE(source.Authorize(request).ok());  // 2 retries, then exhausted
+  {
+    DeadlineScope expired{sim.NowMicros()};
+    EXPECT_FALSE(source.Authorize(request).ok());  // deadline-exceeded
+  }
+
+  std::string text = Metrics().RenderText();
+  EXPECT_NE(text.find("# TYPE breaker_state gauge"), std::string::npos);
+  EXPECT_NE(text.find("breaker_state{backend=\"akenti\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("breaker_transitions_total{backend=\"akenti\","
+                      "to=\"open\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("breaker_rejected_total{backend=\"akenti\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("authz_retries_total{source=\"down-resilient\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("authz_retry_exhausted_total{source=\"down-resilient\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("authz_deadline_exceeded_total{source=\"down-resilient\"} 1"),
+      std::string::npos);
 }
 
 TEST_F(ObsTest, ResetDropsEverySeries) {

@@ -5,6 +5,7 @@
 
 #include "common/config.h"
 #include "core/source.h"
+#include "obs/metrics.h"
 
 namespace gridauthz::core {
 namespace {
@@ -96,16 +97,49 @@ TEST_F(FileSourceTest, ReloadPicksUpEdits) {
                   ->permitted());
 }
 
-TEST_F(FileSourceTest, ReloadFailureFailsClosed) {
+TEST_F(FileSourceTest, ReloadFailureKeepsLastGoodPolicy) {
   const std::string path = Path("disappearing_policy.txt");
-  ASSERT_TRUE(WriteFile(path, kPermissive).ok());
+  ASSERT_TRUE(WriteFile(path, kExecRestricted).ok());
   FilePolicySource source{"local", path};
-  EXPECT_TRUE(source.Authorize(Request("/O=Grid/CN=x", "start",
-                                       "&(executable=a)"))
-                  ->permitted());
-  // Corrupt the file and reload: the source must fail closed, not keep
-  // serving the stale permissive policy.
+  const std::uint64_t failures_before = obs::Metrics().CounterValue(
+      "policy_reload_failures_total", {{"source", "local"}});
+
+  // Corrupt the file and reload: the reload fails, but the last
+  // successfully loaded policy keeps serving — one bad edit must not
+  // turn every request into a system failure.
   ASSERT_TRUE(WriteFile(path, "corrupt ::: policy").ok());
+  EXPECT_FALSE(source.Reload().ok());
+  EXPECT_FALSE(source.last_reload_error().empty());
+  EXPECT_EQ(obs::Metrics().CounterValue("policy_reload_failures_total",
+                                        {{"source", "local"}}),
+            failures_before + 1);
+
+  auto allowed = source.Authorize(
+      Request("/O=Grid/CN=x", "start", "&(executable=allowed)"));
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_TRUE(allowed->permitted());
+  // The last-good policy still applies its restrictions — stale serving
+  // is not an open gate.
+  auto restricted = source.Authorize(
+      Request("/O=Grid/CN=x", "start", "&(executable=other)"));
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_FALSE(restricted->permitted());
+
+  // A good edit recovers and clears the recorded error.
+  ASSERT_TRUE(WriteFile(path, kPermissive).ok());
+  ASSERT_TRUE(source.Reload().ok());
+  EXPECT_TRUE(source.last_reload_error().empty());
+  EXPECT_TRUE(
+      source.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=other)"))
+          ->permitted());
+}
+
+TEST_F(FileSourceTest, ReloadFailureWithoutInitialLoadStaysClosed) {
+  // When no load ever succeeded there is no last-good policy to keep:
+  // the source fails closed, exactly as before.
+  const std::string path = Path("never_good_policy.txt");
+  ASSERT_TRUE(WriteFile(path, "corrupt ::: policy").ok());
+  FilePolicySource source{"local", path};
   EXPECT_FALSE(source.Reload().ok());
   auto decision =
       source.Authorize(Request("/O=Grid/CN=x", "start", "&(executable=a)"));
