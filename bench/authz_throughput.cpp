@@ -1,0 +1,217 @@
+// Experiment T2: end-to-end authorization throughput of the evaluation
+// fast path. A 1k-statement synthetic policy is served three ways —
+// the naive linear-scan PolicyEvaluator, the compiled (trie + snapshot)
+// StaticPolicySource, and the same source behind the sharded decision
+// cache — under a mixed start/management workload at 1, 4, and 16
+// threads. Emits BENCH_authz_throughput.json with requests/sec and p99
+// per configuration plus the single-thread compiled-vs-naive speedup.
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 (the `perf` ctest does) to shrink the
+// iteration counts to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/compiled.h"
+#include "core/decision_cache.h"
+#include "core/source.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kTarget = "/O=Grid/O=Synth/CN=target";
+constexpr int kUsers = 1000;
+
+// SyntheticPolicy plus one management statement so the mixed workload
+// exercises cacheable permits as well as cacheable denials.
+core::PolicyDocument ThroughputPolicy() {
+  core::PolicyDocument document = bench::SyntheticPolicy(kUsers, 2, kTarget);
+  core::PolicyStatement manage;
+  manage.kind = core::StatementKind::kPermission;
+  manage.subject_prefix = kTarget;
+  rsl::Conjunction set;
+  set.Add("action", rsl::RelOp::kEq, "cancel");
+  set.Add("jobowner", rsl::RelOp::kEq, std::string{core::kSelfValue});
+  manage.assertion_sets.push_back(std::move(set));
+  document.Add(std::move(manage));
+  return document;
+}
+
+// The mixed workload: job starts (always re-evaluated, per the
+// fail-closed rule) interleaved with repeated management requests
+// (the cacheable slice).
+std::vector<core::AuthorizationRequest> Workload() {
+  std::vector<core::AuthorizationRequest> requests;
+  requests.push_back(bench::StartRequest(kTarget, "&(executable=exe0)(count=2)"));
+  requests.push_back(bench::StartRequest(kTarget, "&(executable=exe1)(count=2)"));
+  requests.push_back(
+      bench::StartRequest("/O=Grid/O=Synth/CN=user500", "&(executable=exe0)(count=2)"));
+  for (int job = 0; job < 3; ++job) {
+    core::AuthorizationRequest cancel;
+    cancel.subject = kTarget;
+    cancel.action = "cancel";
+    cancel.job_owner = kTarget;
+    cancel.job_id = "https://synth.example:2119/jobmanager/" + std::to_string(job);
+    cancel.job_rsl = rsl::ParseConjunction("&(executable=exe0)").value();
+    requests.push_back(std::move(cancel));
+  }
+  return requests;
+}
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+struct RunResult {
+  double rps = 0;
+  double p99_us = 0;
+};
+
+// Drives `threads` workers, each issuing `iters` requests round-robin
+// over the workload (staggered start offsets so threads do not march in
+// lockstep), timing every call.
+RunResult RunThreaded(core::PolicySource& source, int threads, int iters) {
+  const std::vector<core::AuthorizationRequest> workload = Workload();
+  std::vector<std::vector<double>> latencies(threads);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<double>& mine = latencies[t];
+      mine.reserve(iters);
+      for (int i = 0; i < iters; ++i) {
+        const auto& request = workload[(i + t) % workload.size()];
+        const auto begin = std::chrono::steady_clock::now();
+        auto decision = source.Authorize(request);
+        benchmark::DoNotOptimize(decision);
+        const auto end = std::chrono::steady_clock::now();
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(end - begin).count());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::vector<double> all;
+  for (auto& part : latencies) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  RunResult result;
+  result.rps = wall_s > 0 ? static_cast<double>(threads) * iters / wall_s : 0;
+  if (!all.empty()) {
+    const std::size_t idx =
+        std::min(all.size() - 1,
+                 static_cast<std::size_t>(0.99 * static_cast<double>(all.size())));
+    std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(idx),
+                     all.end());
+    result.p99_us = all[idx];
+  }
+  return result;
+}
+
+// Single-thread bare-evaluator comparison on the same 1k-statement
+// document: the naive linear scan versus the compiled trie. This is the
+// headline number — the fast path must win by a wide margin before the
+// threading and caching results mean anything.
+double MeasureRps(const std::function<void()>& op, int iters) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return s > 0 ? iters / s : 0;
+}
+
+void BM_NaiveEvaluate1k(benchmark::State& state) {
+  core::PolicyEvaluator evaluator{ThroughputPolicy()};
+  auto request = bench::StartRequest(kTarget, "&(executable=exe0)(count=2)");
+  for (auto _ : state) {
+    auto decision = evaluator.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveEvaluate1k);
+
+void BM_CompiledEvaluate1k(benchmark::State& state) {
+  core::CompiledPolicyDocument compiled{ThroughputPolicy()};
+  auto request = bench::StartRequest(kTarget, "&(executable=exe0)(count=2)");
+  for (auto _ : state) {
+    auto decision = compiled.Evaluate(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledEvaluate1k);
+
+void EmitAuthzThroughputJson() {
+  const bool quick = QuickMode();
+  const int single_iters = quick ? 500 : 5000;
+  const int thread_iters = quick ? 1000 : 20000;
+
+  core::PolicyDocument document = ThroughputPolicy();
+  core::PolicyEvaluator naive{document};
+  core::CompiledPolicyDocument compiled{document};
+  auto start = bench::StartRequest(kTarget, "&(executable=exe0)(count=2)");
+  const double naive_rps = MeasureRps(
+      [&] {
+        auto d = naive.Evaluate(start);
+        benchmark::DoNotOptimize(d);
+      },
+      single_iters);
+  const double compiled_rps = MeasureRps(
+      [&] {
+        auto d = compiled.Evaluate(start);
+        benchmark::DoNotOptimize(d);
+      },
+      single_iters * 4);
+
+  auto bare = std::make_shared<core::StaticPolicySource>("bench", document);
+  core::CachingPolicySource cached{bare};
+
+  std::vector<std::pair<std::string, double>> fields = {
+      {"statements", static_cast<double>(document.size())},
+      {"naive_rps_1t", naive_rps},
+      {"compiled_rps_1t", compiled_rps},
+      {"speedup_1t", naive_rps > 0 ? compiled_rps / naive_rps : 0},
+  };
+  for (int threads : {1, 4, 16}) {
+    RunResult b = RunThreaded(*bare, threads, thread_iters);
+    RunResult c = RunThreaded(cached, threads, thread_iters);
+    const std::string t = std::to_string(threads);
+    fields.emplace_back("rps_" + t + "t_bare", b.rps);
+    fields.emplace_back("p99_us_" + t + "t_bare", b.p99_us);
+    fields.emplace_back("rps_" + t + "t_cached", c.rps);
+    fields.emplace_back("p99_us_" + t + "t_cached", c.p99_us);
+  }
+
+  const std::string path = "BENCH_authz_throughput.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_authz_throughput: naive=%.0f/s compiled=%.0f/s (%.1fx) -> %s\n",
+      naive_rps, compiled_rps,
+      naive_rps > 0 ? compiled_rps / naive_rps : 0, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitAuthzThroughputJson();
+  return 0;
+}

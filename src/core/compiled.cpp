@@ -1,0 +1,420 @@
+#include "core/compiled.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/strings.h"
+#include "gsi/dn.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::core {
+
+namespace {
+
+// These mirror the helpers in evaluator.cpp; the property test pins the
+// two paths to identical decisions.
+std::optional<std::int64_t> ParseInt(std::string_view s) {
+  std::int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+bool ValueMatchesPattern(std::string_view actual, std::string_view pattern) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::size_t n = pattern.size() - 1;
+    return actual.size() >= n && actual.substr(0, n) == pattern.substr(0, n);
+  }
+  return actual == pattern;
+}
+
+bool NumericSatisfied(rsl::RelOp op, std::int64_t request_value,
+                      std::int64_t bound) {
+  switch (op) {
+    case rsl::RelOp::kLt:
+      return request_value < bound;
+    case rsl::RelOp::kGt:
+      return request_value > bound;
+    case rsl::RelOp::kLe:
+      return request_value <= bound;
+    case rsl::RelOp::kGe:
+      return request_value >= bound;
+    default:
+      return false;
+  }
+}
+
+// `self` resolves to the requesting identity (evaluator.cpp's
+// ResolveValue), applied lazily so compiled tables stay request-free.
+std::string_view Resolve(const std::string& value, std::string_view subject) {
+  if (value == kSelfValue) return subject;
+  return value;
+}
+
+}  // namespace
+
+// The '=' values the request's effective RSL carries, indexed by
+// attribute: one flat (attribute, value) table sorted by attribute,
+// built once per Evaluate and shared by every assertion set. Views
+// point into the effective conjunction, which outlives the index.
+class CompiledPolicyDocument::RequestIndex {
+ public:
+  explicit RequestIndex(const rsl::Conjunction& effective) {
+    for (const rsl::Relation& r : effective.relations()) {
+      if (r.op != rsl::RelOp::kEq) continue;
+      for (const std::string& v : r.values) {
+        if (!v.empty()) pairs_.emplace_back(r.attribute, v);
+      }
+    }
+    std::stable_sort(pairs_.begin(), pairs_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
+
+  using Iter =
+      std::vector<std::pair<std::string_view, std::string_view>>::const_iterator;
+
+  // The half-open run of values for `attribute` (empty when absent —
+  // RequestValues' "attribute not present" case).
+  std::pair<Iter, Iter> Values(std::string_view attribute) const {
+    return std::equal_range(
+        pairs_.begin(), pairs_.end(),
+        std::pair<std::string_view, std::string_view>{attribute, {}},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  bool Empty(std::string_view attribute) const {
+    auto [lo, hi] = Values(attribute);
+    return lo == hi;
+  }
+
+ private:
+  std::vector<std::pair<std::string_view, std::string_view>> pairs_;
+};
+
+CompiledPolicyDocument::SetBody CompiledPolicyDocument::CompileBody(
+    const std::vector<const rsl::Relation*>& relations) {
+  SetBody body;
+  // Gather '=' alternatives per attribute, sorted — the same order the
+  // naive path gets from its std::set of attribute names. The
+  // representative (for failure messages) is the LAST '=' relation
+  // naming the attribute, as in SetSatisfied's gather loop.
+  for (const rsl::Relation* r : relations) {
+    if (r->op != rsl::RelOp::kEq) continue;
+    auto it = std::find_if(body.eq.begin(), body.eq.end(),
+                           [&](const EqEntry& e) {
+                             return e.attribute == r->attribute;
+                           });
+    if (it == body.eq.end()) {
+      body.eq.push_back(EqEntry{r->attribute, false, {}, {}});
+      it = std::prev(body.eq.end());
+    }
+    it->representative_text = r->ToString();
+    for (const std::string& v : r->values) {
+      if (v == kNullValue) {
+        it->allows_absent = true;
+      } else {
+        it->allowed.push_back(v);
+      }
+    }
+  }
+  std::sort(body.eq.begin(), body.eq.end(),
+            [](const EqEntry& a, const EqEntry& b) {
+              return a.attribute < b.attribute;
+            });
+
+  for (const rsl::Relation* r : relations) {
+    if (r->op == rsl::RelOp::kEq) continue;
+    CompiledRelation compiled;
+    compiled.attribute = r->attribute;
+    compiled.op = r->op;
+    compiled.values = r->values;
+    compiled.text = r->ToString();
+    if (r->op != rsl::RelOp::kNeq) {
+      if (auto bound_value = r->single_value()) {
+        compiled.bound = ParseInt(*bound_value);
+      }
+    }
+    body.others.push_back(std::move(compiled));
+  }
+  return body;
+}
+
+CompiledPolicyDocument::CompiledSet CompiledPolicyDocument::CompileSet(
+    const rsl::Conjunction& set) {
+  CompiledSet compiled;
+  std::vector<const rsl::Relation*> all;
+  all.reserve(set.relations().size());
+  for (const rsl::Relation& r : set.relations()) all.push_back(&r);
+  compiled.body = CompileBody(all);
+
+  for (const rsl::Relation& r : set.relations()) {
+    if (std::find(compiled.mentioned.begin(), compiled.mentioned.end(),
+                  r.attribute) == compiled.mentioned.end()) {
+      compiled.mentioned.push_back(r.attribute);
+    }
+  }
+  std::sort(compiled.mentioned.begin(), compiled.mentioned.end());
+
+  std::vector<const rsl::Relation*> action_relations = set.FindAll("action");
+  compiled.applies_to_all_actions = action_relations.empty();
+  if (!compiled.applies_to_all_actions) {
+    compiled.action_part = CompileBody(action_relations);
+  }
+  return compiled;
+}
+
+CompiledPolicyDocument::TrieNode* CompiledPolicyDocument::Child(
+    TrieNode* node, const std::string& key) {
+  for (auto& [k, child] : node->children) {
+    if (k == key) return child.get();
+  }
+  node->children.emplace_back(key, std::make_unique<TrieNode>());
+  return node->children.back().second.get();
+}
+
+const CompiledPolicyDocument::TrieNode* CompiledPolicyDocument::FindChild(
+    const TrieNode* node, std::string_view key) const {
+  auto it = std::lower_bound(
+      node->children.begin(), node->children.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it == node->children.end() || it->first != key) return nullptr;
+  return it->second.get();
+}
+
+CompiledPolicyDocument::CompiledPolicyDocument(PolicyDocument document,
+                                               EvaluatorOptions options)
+    : document_(std::move(document)), options_(options) {
+  compiled_.reserve(document_.size());
+  for (std::size_t i = 0; i < document_.size(); ++i) {
+    const PolicyStatement& statement = document_.statements()[i];
+    CompiledStatement compiled;
+    compiled.statement = &statement;
+    compiled.sets.reserve(statement.assertion_sets.size());
+    for (const rsl::Conjunction& set : statement.assertion_sets) {
+      compiled.sets.push_back(CompileSet(set));
+    }
+    compiled_.push_back(std::move(compiled));
+
+    // Index by parsed subject components. An unparseable subject matches
+    // nothing (same as AppliesTo) and simply stays out of the trie.
+    const gsi::DnPrefix* prefix = nullptr;
+    std::optional<gsi::DnPrefix> local;
+    if (statement.parsed_subject.has_value()) {
+      prefix = &*statement.parsed_subject;
+    } else if (auto parsed = gsi::DnPrefix::Parse(statement.subject_prefix);
+               parsed.ok()) {
+      local = std::move(parsed).value();
+      prefix = &*local;
+    }
+    if (prefix == nullptr) continue;
+    TrieNode* node = &root_;
+    for (const gsi::DnComponent& c : prefix->components()) {
+      node = Child(node, c.type + '=' + c.value);
+    }
+    node->statements.push_back(i);
+  }
+
+  // Sort children so lookups can binary-search.
+  std::vector<TrieNode*> pending{&root_};
+  while (!pending.empty()) {
+    TrieNode* node = pending.back();
+    pending.pop_back();
+    std::sort(node->children.begin(), node->children.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [k, child] : node->children) pending.push_back(child.get());
+  }
+
+  obs::Metrics().GetCounter(obs::kMetricPolicyCompiles).Increment();
+  obs::Metrics()
+      .GetGauge(obs::kMetricCompiledStatements)
+      .Set(static_cast<std::int64_t>(document_.size()));
+}
+
+std::vector<std::size_t> CompiledPolicyDocument::Lookup(
+    std::string_view identity) const {
+  std::vector<std::size_t> out;
+  const std::string_view trimmed = strings::Trim(identity);
+  const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
+  // Root "/" statements apply to any '/'-rooted identity, parseable or
+  // not (DnPrefix::MatchesText) — the paper's catch-all statement.
+  if (slash_rooted) {
+    out.insert(out.end(), root_.statements.begin(), root_.statements.end());
+  }
+  auto parsed = gsi::DistinguishedName::Parse(trimmed);
+  if (parsed.ok()) {
+    const TrieNode* node = &root_;
+    std::string key;
+    for (const gsi::DnComponent& c : parsed->components()) {
+      key.assign(c.type);
+      key += '=';
+      key += c.value;
+      node = FindChild(node, key);
+      if (node == nullptr) break;
+      out.insert(out.end(), node->statements.begin(), node->statements.end());
+    }
+  }
+  std::sort(out.begin(), out.end());  // restore document order
+  return out;
+}
+
+std::vector<const PolicyStatement*> CompiledPolicyDocument::ApplicableTo(
+    std::string_view identity) const {
+  std::vector<const PolicyStatement*> out;
+  for (std::size_t i : Lookup(identity)) {
+    out.push_back(compiled_[i].statement);
+  }
+  return out;
+}
+
+bool CompiledPolicyDocument::BodySatisfied(const SetBody& body,
+                                           const RequestIndex& index,
+                                           std::string_view subject,
+                                           std::string* failed_relation) {
+  auto fail = [&](const std::string& text) {
+    if (failed_relation != nullptr) *failed_relation = text;
+    return false;
+  };
+
+  for (const EqEntry& entry : body.eq) {
+    auto [lo, hi] = index.Values(entry.attribute);
+    if (lo == hi) {
+      if (!entry.allows_absent) return fail(entry.representative_text);
+      continue;
+    }
+    for (auto it = lo; it != hi; ++it) {
+      bool matched = false;
+      for (const std::string& raw : entry.allowed) {
+        if (ValueMatchesPattern(it->second, Resolve(raw, subject))) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return fail(entry.representative_text);
+    }
+  }
+
+  for (const CompiledRelation& r : body.others) {
+    auto [lo, hi] = index.Values(r.attribute);
+    switch (r.op) {
+      case rsl::RelOp::kEq:
+        break;  // merged into eq entries above
+      case rsl::RelOp::kNeq: {
+        for (const std::string& raw : r.values) {
+          if (raw == kNullValue) {
+            if (lo == hi) return fail(r.text);
+          } else {
+            const std::string_view forbidden = Resolve(raw, subject);
+            for (auto it = lo; it != hi; ++it) {
+              if (it->second == forbidden) return fail(r.text);
+            }
+          }
+        }
+        break;
+      }
+      case rsl::RelOp::kLt:
+      case rsl::RelOp::kGt:
+      case rsl::RelOp::kLe:
+      case rsl::RelOp::kGe: {
+        if (lo == hi) return fail(r.text);
+        if (!r.bound) return fail(r.text);
+        for (auto it = lo; it != hi; ++it) {
+          auto request_value = ParseInt(it->second);
+          if (!request_value ||
+              !NumericSatisfied(r.op, *request_value, *r.bound)) {
+            return fail(r.text);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Decision CompiledPolicyDocument::Evaluate(
+    const AuthorizationRequest& request) const {
+  obs::ScopedSpan span("pdp/evaluate");
+  Decision decision = EvaluateImpl(request);
+  obs::Metrics()
+      .GetCounter("pdp_evaluations_total",
+                  {{"outcome", decision.permitted() ? "permit" : "deny"}})
+      .Increment();
+  return decision;
+}
+
+Decision CompiledPolicyDocument::EvaluateImpl(
+    const AuthorizationRequest& request) const {
+  const rsl::Conjunction effective = request.ToEffectiveRsl();
+  const std::vector<std::size_t> applicable = Lookup(request.subject);
+  if (applicable.empty()) {
+    return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
+                          "no policy statement applies to " + request.subject);
+  }
+  const RequestIndex index(effective);
+
+  // Requirements first (deny-overrides), then permissions — the naive
+  // evaluator's order, with identical reason strings.
+  for (std::size_t i : applicable) {
+    const CompiledStatement& compiled = compiled_[i];
+    if (compiled.statement->kind != StatementKind::kRequirement) continue;
+    for (const CompiledSet& set : compiled.sets) {
+      if (!set.applies_to_all_actions &&
+          !BodySatisfied(set.action_part, index, request.subject)) {
+        continue;
+      }
+      std::string failed;
+      if (!BodySatisfied(set.body, index, request.subject, &failed)) {
+        return Decision::Deny(
+            DecisionCode::kDenyRequirementViolated,
+            "requirement for '" + compiled.statement->subject_prefix +
+                "' violated at relation " + failed);
+      }
+    }
+  }
+
+  bool saw_permission_statement = false;
+  for (std::size_t i : applicable) {
+    const CompiledStatement& compiled = compiled_[i];
+    if (compiled.statement->kind != StatementKind::kPermission) continue;
+    saw_permission_statement = true;
+    int set_index = 0;
+    for (const CompiledSet& set : compiled.sets) {
+      ++set_index;
+      if (options_.strict_attributes) {
+        bool all_mentioned = true;
+        for (const rsl::Relation& r : effective.relations()) {
+          if (!IsOperationalAttribute(r.attribute) &&
+              !std::binary_search(set.mentioned.begin(), set.mentioned.end(),
+                                  r.attribute)) {
+            all_mentioned = false;
+            break;
+          }
+        }
+        if (!all_mentioned) continue;
+      }
+      if (BodySatisfied(set.body, index, request.subject)) {
+        return Decision::Permit("permitted by statement for '" +
+                                compiled.statement->subject_prefix +
+                                "', assertion set " +
+                                std::to_string(set_index));
+      }
+    }
+  }
+
+  if (!saw_permission_statement) {
+    return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
+                          "no permission statement applies to " +
+                              request.subject);
+  }
+  return Decision::Deny(DecisionCode::kDenyNoPermission,
+                        "no assertion set covers action '" + request.action +
+                            "' for " + request.subject);
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,119 @@
+// The indexed evaluation fast path (DESIGN.md §9).
+//
+// A CompiledPolicyDocument is a PolicyDocument lowered into read-only
+// lookup structures at load time so the per-request path allocates
+// almost nothing:
+//
+//  * subject trie — statements are indexed by their parsed subject
+//    components ("O=Grid" → "O=Globus" → ...). ApplicableTo walks the
+//    requester's DN once instead of matching every statement, so lookup
+//    cost scales with DN depth, not statement count.
+//  * compiled assertion sets — the per-set work PolicyEvaluator::
+//    SetSatisfied redoes on every call (gathering '=' alternatives into
+//    a std::set, re-rendering failure strings, re-parsing numeric
+//    bounds) is done once here. Evaluation walks precomputed tables
+//    against a per-request attribute index built once per Evaluate.
+//
+// Decisions are bit-identical to PolicyEvaluator — same DecisionCode
+// AND the same reason strings — which the compiled-vs-naive property
+// test enforces. Instances are immutable after construction and safe to
+// share across threads; the snapshot sources in source.h publish them
+// behind std::shared_ptr<const ...>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "core/request.h"
+
+namespace gridauthz::core {
+
+class CompiledPolicyDocument {
+ public:
+  explicit CompiledPolicyDocument(PolicyDocument document,
+                                  EvaluatorOptions options = {});
+
+  const PolicyDocument& document() const { return document_; }
+  const EvaluatorOptions& options() const { return options_; }
+  std::size_t size() const { return document_.size(); }
+
+  // Same contract as PolicyDocument::ApplicableTo: statements applying
+  // to `identity`, in document order — served from the subject trie.
+  std::vector<const PolicyStatement*> ApplicableTo(
+      std::string_view identity) const;
+
+  // Same decisions (codes and reason strings) as
+  // PolicyEvaluator::Evaluate over the same document and options.
+  Decision Evaluate(const AuthorizationRequest& request) const;
+
+ private:
+  // One precompiled non-'=' relation, evaluated in original set order.
+  struct CompiledRelation {
+    std::string attribute;
+    rsl::RelOp op = rsl::RelOp::kNeq;
+    std::vector<std::string> values;        // raw; `self` resolved per request
+    std::optional<std::int64_t> bound;      // numeric ops; nullopt = unusable
+    std::string text;                       // Relation::ToString for failures
+  };
+
+  // '=' relations for one attribute, merged: the values are
+  // alternatives, NULL lifted out as allows_absent.
+  struct EqEntry {
+    std::string attribute;
+    bool allows_absent = false;
+    std::vector<std::string> allowed;  // raw; `self` resolved per request
+    std::string representative_text;   // last '=' relation, for failures
+  };
+
+  // The evaluatable core of a conjunction.
+  struct SetBody {
+    std::vector<EqEntry> eq;               // sorted by attribute
+    std::vector<CompiledRelation> others;  // non-'=' in set order
+  };
+
+  struct CompiledSet {
+    SetBody body;
+    std::vector<std::string> mentioned;  // sorted attributes, strict mode
+    bool applies_to_all_actions = true;  // no `action` relation in the set
+    SetBody action_part;                 // just the `action` relations
+  };
+
+  struct CompiledStatement {
+    const PolicyStatement* statement = nullptr;
+    std::vector<CompiledSet> sets;
+  };
+
+  struct TrieNode {
+    // Keyed by "TYPE=value" (types uppercased at parse time).
+    std::vector<std::pair<std::string, std::unique_ptr<TrieNode>>> children;
+    std::vector<std::size_t> statements;  // doc-order indices ending here
+  };
+
+  class RequestIndex;
+
+  static SetBody CompileBody(const std::vector<const rsl::Relation*>& relations);
+  static CompiledSet CompileSet(const rsl::Conjunction& set);
+  TrieNode* Child(TrieNode* node, const std::string& key);
+  const TrieNode* FindChild(const TrieNode* node, std::string_view key) const;
+
+  // Doc-order indices of statements whose subject covers `identity`.
+  std::vector<std::size_t> Lookup(std::string_view identity) const;
+
+  static bool BodySatisfied(const SetBody& body, const RequestIndex& index,
+                            std::string_view subject,
+                            std::string* failed_relation = nullptr);
+
+  Decision EvaluateImpl(const AuthorizationRequest& request) const;
+
+  PolicyDocument document_;
+  EvaluatorOptions options_;
+  std::vector<CompiledStatement> compiled_;  // parallel to statements()
+  TrieNode root_;
+};
+
+}  // namespace gridauthz::core

@@ -1,0 +1,140 @@
+#include "core/decision_cache.h"
+
+#include <functional>
+
+#include "common/strings.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::core {
+
+ShardedDecisionCache::ShardedDecisionCache(DecisionCacheOptions options)
+    : options_(options) {
+  if (options_.shard_count == 0) options_.shard_count = 1;
+  shards_.reserve(options_.shard_count);
+  for (std::size_t i = 0; i < options_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedDecisionCache::Shard& ShardedDecisionCache::ShardFor(
+    const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<Decision> ShardedDecisionCache::Lookup(const std::string& key,
+                                                     std::uint64_t generation,
+                                                     std::int64_t now_us) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  // A generation mismatch means the policy changed since this entry was
+  // recorded; the entry is dead regardless of TTL.
+  if (it->second.generation != generation ||
+      now_us - it->second.stored_at_us > options_.ttl_us) {
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.decision;
+}
+
+void ShardedDecisionCache::Record(const std::string& key,
+                                  std::uint64_t generation,
+                                  std::int64_t now_us,
+                                  const Decision& decision) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.decision = decision;
+    it->second.generation = generation;
+    it->second.stored_at_us = now_us;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  if (shard.entries.size() >= options_.capacity_per_shard &&
+      !shard.lru.empty()) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(key);
+  shard.entries[key] = Entry{decision, generation, now_us, shard.lru.begin()};
+}
+
+void ShardedDecisionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+std::size_t ShardedDecisionCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+CachingPolicySource::CachingPolicySource(std::shared_ptr<PolicySource> inner,
+                                         DecisionCacheOptions options,
+                                         const Clock* clock)
+    : inner_(std::move(inner)), clock_(clock), cache_(options) {}
+
+std::string CachingPolicySource::Key(const AuthorizationRequest& request) {
+  // Everything the evaluators can read: identity, action, job binding,
+  // the job RSL, VO attributes, and any restriction policy. Fields are
+  // newline-joined; the RSL's canonical rendering quotes embedded
+  // newlines, so fields cannot bleed into each other.
+  std::string key = request.subject + '\n' + request.action + '\n' +
+                    request.job_id + '\n' + request.job_owner + '\n' +
+                    request.job_rsl.ToString() + '\n' +
+                    strings::Join(request.attributes, "\x1f");
+  if (request.restriction_policy.has_value()) {
+    key += '\n';
+    key += *request.restriction_policy;
+  }
+  return key;
+}
+
+Expected<Decision> CachingPolicySource::Authorize(
+    const AuthorizationRequest& request) {
+  // Fail-closed rule: job starts always re-evaluate. Sources that do not
+  // report policy generations (remote backends) are never cached — their
+  // policy can change without any local signal.
+  const std::uint64_t generation_before = inner_->policy_generation();
+  if (!IsManagementAction(request.action) || generation_before == 0) {
+    return inner_->Authorize(request);
+  }
+
+  const Clock* clock = clock_ != nullptr ? clock_ : obs::ObsClock();
+  const std::string key = Key(request);
+  if (auto cached = cache_.Lookup(key, generation_before,
+                                  clock->NowMicros())) {
+    obs::Metrics()
+        .GetCounter(obs::kMetricCacheHits, {{"source", inner_->name()}})
+        .Increment();
+    return *cached;
+  }
+  obs::Metrics()
+      .GetCounter(obs::kMetricCacheMisses, {{"source", inner_->name()}})
+      .Increment();
+
+  Expected<Decision> decision = inner_->Authorize(request);
+  if (decision.ok()) {
+    // Only record if the policy did not change while we evaluated —
+    // otherwise the decision's provenance is ambiguous and caching it
+    // could resurrect pre-reload policy.
+    if (inner_->policy_generation() == generation_before) {
+      cache_.Record(key, generation_before, clock->NowMicros(), *decision);
+    }
+  }
+  return decision;
+}
+
+}  // namespace gridauthz::core

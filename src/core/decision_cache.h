@@ -1,0 +1,109 @@
+// The decision cache on top of the snapshot fast path (DESIGN.md §9).
+//
+// Management actions (cancel / information / signal) on a long-running
+// job ask the same question over and over: same subject, same job, same
+// policy. ShardedDecisionCache memoizes those answers; shards bound lock
+// contention under the job manager's concurrent callouts. Three rules
+// keep it honest:
+//
+//  * `start` is NEVER cached — admitting new work must always consult
+//    live policy (the same fail-closed stance the fault layer's
+//    LastGoodCache takes, and the paper's default-deny);
+//  * every entry is stamped with the source's policy generation; a
+//    reload or Replace bumps the generation and orphans every older
+//    entry, so no decision outlives the policy that produced it;
+//  * entries expire after a TTL and are evicted LRU beyond capacity.
+//
+// CachingPolicySource wires the cache in front of any PolicySource that
+// reports policy generations. It differs from fault::LastGoodCache in
+// intent: that cache serves stale answers while the backend is DOWN;
+// this one skips re-evaluating while policy is provably UNCHANGED.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/request.h"
+#include "core/source.h"
+
+namespace gridauthz::core {
+
+struct DecisionCacheOptions {
+  std::size_t shard_count = 8;
+  std::size_t capacity_per_shard = 256;  // entries; LRU beyond this
+  std::int64_t ttl_us = 60'000'000;      // entry lifetime
+};
+
+class ShardedDecisionCache {
+ public:
+  explicit ShardedDecisionCache(DecisionCacheOptions options = {});
+
+  // A fresh decision cached for `key` at `generation`, or nullopt.
+  // Entries from other generations (and expired ones) are dropped on
+  // contact.
+  std::optional<Decision> Lookup(const std::string& key,
+                                 std::uint64_t generation,
+                                 std::int64_t now_us);
+
+  void Record(const std::string& key, std::uint64_t generation,
+              std::int64_t now_us, const Decision& decision);
+
+  void Clear();
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    Decision decision;
+    std::uint64_t generation = 0;
+    std::int64_t stored_at_us = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = most recent
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  DecisionCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Wraps a PolicySource with the decision cache. Only management actions
+// with a non-zero inner policy generation are served from cache; start
+// requests and generation-less sources pass straight through. Hits and
+// misses are counted as authz_cache_hits_total / authz_cache_misses_total
+// {source}.
+class CachingPolicySource final : public PolicySource {
+ public:
+  CachingPolicySource(std::shared_ptr<PolicySource> inner,
+                      DecisionCacheOptions options = {},
+                      const Clock* clock = nullptr);  // null = obs clock
+
+  const std::string& name() const override { return inner_->name(); }
+  Expected<Decision> Authorize(const AuthorizationRequest& request) override;
+  std::uint64_t policy_generation() const override {
+    return inner_->policy_generation();
+  }
+
+  std::size_t cache_size() const { return cache_.size(); }
+
+  // The cache key: everything a decision can depend on. Exposed for
+  // tests.
+  static std::string Key(const AuthorizationRequest& request);
+
+ private:
+  std::shared_ptr<PolicySource> inner_;
+  const Clock* clock_;  // null = obs::ObsClock() at call time
+  ShardedDecisionCache cache_;
+};
+
+}  // namespace gridauthz::core

@@ -15,6 +15,11 @@ bool IsKnownAction(std::string_view action) {
          action == kActionInformation || action == kActionSignal;
 }
 
+bool IsManagementAction(std::string_view action) {
+  return action == kActionCancel || action == kActionInformation ||
+         action == kActionSignal;
+}
+
 std::string_view to_string(DecisionCode code) {
   switch (code) {
     case DecisionCode::kPermit:
@@ -195,17 +200,15 @@ PolicyEvaluator::PolicyEvaluator(PolicyDocument document,
                                  EvaluatorOptions options)
     : document_(std::move(document)), options_(options) {}
 
-namespace {
-
-// Attributes a strict-mode permission set need not mention: operational
-// job attributes plus the synthesized ones.
-bool IsOperationalAttribute(const std::string& attribute) {
-  static const std::set<std::string> kOperational = {
+bool IsOperationalAttribute(std::string_view attribute) {
+  static const std::set<std::string, std::less<>> kOperational = {
       "action",  "jobowner", "stdout",      "stderr",   "stdin",
       "arguments", "environment", "jobtype", "grammyjob", "savestate",
   };
   return kOperational.contains(attribute);
 }
+
+namespace {
 
 // True when the set's `action` relations accept the request (requirement
 // applicability). A set with no action relation applies to every action.

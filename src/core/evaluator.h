@@ -31,6 +31,10 @@
 
 namespace gridauthz::core {
 
+// Attributes a strict-mode permission set need not mention: operational
+// job attributes plus the synthesized action/jobowner.
+bool IsOperationalAttribute(std::string_view attribute);
+
 struct EvaluatorOptions {
   // When true, a permission set only covers a request if it mentions every
   // attribute the request carries (other than operational attributes such

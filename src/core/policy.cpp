@@ -6,10 +6,54 @@
 namespace gridauthz::core {
 
 bool PolicyStatement::AppliesTo(std::string_view identity) const {
+  if (parsed_subject.has_value()) {
+    return parsed_subject->MatchesText(identity);
+  }
   return gsi::DnStringPrefixMatch(subject_prefix, identity);
 }
 
+bool PolicyStatement::AppliesTo(const gsi::DistinguishedName* identity,
+                                bool slash_rooted) const {
+  std::optional<gsi::DnPrefix> local;
+  const gsi::DnPrefix* prefix = nullptr;
+  if (parsed_subject.has_value()) {
+    prefix = &*parsed_subject;
+  } else {
+    auto parsed = gsi::DnPrefix::Parse(subject_prefix);
+    if (!parsed.ok()) return false;
+    local = std::move(parsed).value();
+    prefix = &*local;
+  }
+  if (prefix->is_root()) return slash_rooted;
+  return identity != nullptr && prefix->Matches(*identity);
+}
+
 namespace {
+
+// Position of the ':' that terminates a subject on a subject line: the
+// LAST colon outside double quotes and outside parenthesized assertion
+// text, so a DN component value containing ':' does not silently
+// truncate the subject. npos when the line has no such colon.
+std::size_t SubjectColon(std::string_view line) {
+  std::size_t found = std::string_view::npos;
+  int paren_depth = 0;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') in_quotes = false;
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '(') {
+      ++paren_depth;
+    } else if (c == ')') {
+      if (paren_depth > 0) --paren_depth;
+    } else if (c == ':' && paren_depth == 0) {
+      found = i;
+    }
+  }
+  return found;
+}
 
 // True if `line` opens a new statement: optional '&', then a '/'-rooted
 // DN prefix, then ':'. Assertion continuation lines instead start with
@@ -20,7 +64,7 @@ bool IsSubjectLine(std::string_view line) {
   if (rest.front() == '&') rest.remove_prefix(1);
   rest = strings::Trim(rest);
   if (rest.empty() || rest.front() != '/') return false;
-  return rest.find(':') != std::string_view::npos;
+  return SubjectColon(rest) != std::string_view::npos;
 }
 
 struct RawStatement {
@@ -52,18 +96,31 @@ Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
         rest.remove_prefix(1);
         rest = strings::Trim(rest);
       }
-      std::size_t colon = rest.find(':');
+      std::size_t colon = SubjectColon(rest);
       statement.subject = std::string{strings::Trim(rest.substr(0, colon))};
       if (statement.subject.empty() || statement.subject.front() != '/') {
         return Error{ErrCode::kParseError,
                      "policy line " + std::to_string(line_number) +
                          ": subject must be a '/'-rooted DN prefix"};
       }
-      raw_statements.push_back(std::move(statement));
-      current = &raw_statements.back();
 
       // Inline assertions after the colon form the first assertion set.
+      // Anything else after the separator means the line is ambiguous —
+      // typically a subject whose DN contains ':' but is missing its own
+      // terminating ':' (e.g. "/O=Grid/CN=a:b" instead of
+      // "/O=Grid/CN=a:b:").
       std::string_view inline_text = strings::Trim(rest.substr(colon + 1));
+      if (!inline_text.empty() && inline_text.front() != '(' &&
+          inline_text.front() != '&') {
+        return Error{ErrCode::kParseError,
+                     "policy line " + std::to_string(line_number) +
+                         ": ambiguous subject line: text after the "
+                         "subject-terminating ':' must be assertion sets; a "
+                         "subject DN containing ':' needs its own trailing "
+                         "':'"};
+      }
+      raw_statements.push_back(std::move(statement));
+      current = &raw_statements.back();
       if (!inline_text.empty()) {
         current->set_texts.emplace_back(inline_text);
       }
@@ -99,6 +156,14 @@ Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
     PolicyStatement statement;
     statement.kind = raw.kind;
     statement.subject_prefix = std::move(raw.subject);
+    auto parsed_subject = gsi::DnPrefix::Parse(statement.subject_prefix);
+    if (!parsed_subject.ok()) {
+      return Error{ErrCode::kParseError,
+                   "policy line " + std::to_string(raw.line_number) +
+                       ": subject is not a valid DN prefix: " +
+                       parsed_subject.error().message()};
+    }
+    statement.parsed_subject = std::move(parsed_subject).value();
     if (raw.set_texts.empty()) {
       return Error{ErrCode::kParseError,
                    "policy line " + std::to_string(raw.line_number) +
@@ -121,9 +186,17 @@ Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
 
 std::vector<const PolicyStatement*> PolicyDocument::ApplicableTo(
     std::string_view identity) const {
+  // Parse the identity once; every statement then matches by component
+  // comparison.
+  const std::string_view trimmed = strings::Trim(identity);
+  const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
+  auto parsed = gsi::DistinguishedName::Parse(trimmed);
+  const gsi::DistinguishedName* identity_dn = parsed.ok() ? &*parsed : nullptr;
   std::vector<const PolicyStatement*> out;
   for (const PolicyStatement& statement : statements_) {
-    if (statement.AppliesTo(identity)) out.push_back(&statement);
+    if (statement.AppliesTo(identity_dn, slash_rooted)) {
+      out.push_back(&statement);
+    }
   }
   return out;
 }

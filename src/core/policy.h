@@ -11,8 +11,12 @@
 //   &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
 //   &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
 //
-// A statement subject is a string prefix of the user's Grid DN, ended by
-// ':'. A leading '&' before the subject marks a REQUIREMENT statement:
+// A statement subject is a DN prefix of the user's Grid DN, ended by
+// ':' (the last ':' outside quotes and parentheses, so DN component
+// values may themselves contain colons). Subjects match at component
+// boundaries: "/O=Grid/CN=John" covers "/O=Grid/CN=John" and its proxy
+// "/O=Grid/CN=John/CN=proxy" but not "/O=Grid/CN=Johnson".
+// A leading '&' before the subject marks a REQUIREMENT statement:
 // every applicable assertion set must hold for the request to proceed.
 // Statements without the marker are PERMISSIONS: the request must be
 // covered by at least one assertion set of some applicable permission.
@@ -21,10 +25,12 @@
 // '#' begins a comment line.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "gsi/dn.h"
 #include "rsl/rsl.h"
 
 namespace gridauthz::core {
@@ -40,12 +46,23 @@ enum class StatementKind {
 
 struct PolicyStatement {
   StatementKind kind = StatementKind::kPermission;
-  // String prefix matched against the requester's Grid DN.
+  // DN prefix matched (component-wise) against the requester's Grid DN.
   std::string subject_prefix;
+  // The parsed form of subject_prefix. PolicyDocument::Parse fills it;
+  // directly-constructed statements may leave it empty, in which case
+  // AppliesTo parses subject_prefix on each call.
+  std::optional<gsi::DnPrefix> parsed_subject;
   // Each conjunction is one assertion set.
   std::vector<rsl::Conjunction> assertion_sets;
 
   bool AppliesTo(std::string_view identity) const;
+
+  // Pre-parsed-identity form used by ApplicableTo: `identity` is null
+  // when the identity string did not parse as a DN; `slash_rooted` says
+  // whether the trimmed identity text starts with '/' (all the root
+  // subject "/" requires).
+  bool AppliesTo(const gsi::DistinguishedName* identity,
+                 bool slash_rooted) const;
 };
 
 class PolicyDocument {

@@ -22,6 +22,11 @@ inline constexpr std::string_view kActionSignal = "signal";
 
 bool IsKnownAction(std::string_view action);
 
+// True for the job-management actions (cancel / information / signal) —
+// the only actions decision caches may serve; `start` always
+// re-evaluates against live policy (fail closed).
+bool IsManagementAction(std::string_view action);
+
 struct AuthorizationRequest {
   // Grid identity (DN string) of the user making this request.
   std::string subject;

@@ -16,26 +16,34 @@ std::string_view MetricOutcome(const Expected<Decision>& decision) {
 StaticPolicySource::StaticPolicySource(std::string name,
                                        PolicyDocument document,
                                        EvaluatorOptions options)
-    : name_(std::move(name)),
-      options_(options),
-      evaluator_(std::move(document), options) {}
+    : name_(std::move(name)), options_(options) {
+  snapshot_.store(std::make_shared<const CompiledPolicyDocument>(
+      std::move(document), options));
+}
 
 Expected<Decision> StaticPolicySource::Authorize(
     const AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
-  Expected<Decision> decision = evaluator_.Evaluate(request);
+  // One pointer copy pins the snapshot for this request; a concurrent
+  // Replace() cannot pull it out from under us.
+  const std::shared_ptr<const CompiledPolicyDocument> snapshot =
+      snapshot_.load();
+  Expected<Decision> decision = snapshot->Evaluate(request);
   observation.set_outcome(MetricOutcome(decision));
   return decision;
 }
 
 void StaticPolicySource::Replace(PolicyDocument document) {
-  evaluator_ = PolicyEvaluator{std::move(document), options_};
+  snapshot_.store(std::make_shared<const CompiledPolicyDocument>(
+      std::move(document), options_));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   GA_LOG(kInfo, "policy") << "source '" << name_ << "' policy replaced";
 }
 
 FilePolicySource::FilePolicySource(std::string name, std::string path,
                                    EvaluatorOptions options)
     : name_(std::move(name)), path_(std::move(path)), options_(options) {
+  state_.store(std::make_shared<const State>());
   if (auto loaded = Reload(); !loaded.ok()) {
     GA_LOG(kWarn, "policy") << "source '" << name_
                             << "' failed to load: " << loaded.error();
@@ -43,18 +51,26 @@ FilePolicySource::FilePolicySource(std::string name, std::string path,
 }
 
 Expected<void> FilePolicySource::Reload() {
-  // A failed re-read keeps the last-good evaluator serving: replacing a
+  // Serialize reloaders; Authorize() never takes this lock.
+  const std::lock_guard<std::mutex> lock(reload_mu_);
+  const std::shared_ptr<const State> previous = state_.load();
+
+  // A failed re-read keeps the last-good policy serving: replacing a
   // working policy with "no policy" would convert every request into an
   // authorization system failure because of one bad edit or a transient
   // I/O error. The failure is recorded and counted instead.
-  auto record_failure = [this](const Error& error) {
-    load_error_ = error.to_string();
+  auto record_failure = [&](const Error& error) {
+    auto next = std::make_shared<State>();
+    next->compiled = previous->compiled;
+    next->load_error = error.to_string();
+    state_.store(std::move(next));
     obs::Metrics()
         .GetCounter("policy_reload_failures_total", {{"source", name_}})
         .Increment();
     GA_LOG(kWarn, "policy") << "source '" << name_ << "' reload failed"
-                            << (evaluator_ ? " (keeping last-good policy): "
-                                           : " (no policy loaded): ")
+                            << (previous->compiled != nullptr
+                                    ? " (keeping last-good policy): "
+                                    : " (no policy loaded): ")
                             << error;
   };
   auto text = ReadFile(path_);
@@ -67,22 +83,25 @@ Expected<void> FilePolicySource::Reload() {
     record_failure(document.error());
     return document.error();
   }
-  evaluator_ = std::make_unique<PolicyEvaluator>(std::move(document).value(),
-                                                 options_);
-  load_error_.clear();
+  auto next = std::make_shared<State>();
+  next->compiled = std::make_shared<const CompiledPolicyDocument>(
+      std::move(document).value(), options_);
+  state_.store(std::move(next));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return Ok();
 }
 
 Expected<Decision> FilePolicySource::Authorize(
     const AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
+  const std::shared_ptr<const State> state = state_.load();
   Expected<Decision> decision =
-      evaluator_ == nullptr
+      state->compiled == nullptr
           ? Expected<Decision>{Error{
                 ErrCode::kAuthorizationSystemFailure,
                 "policy source '" + name_ + "' has no loaded policy (" +
-                    load_error_ + ")"}}
-          : evaluator_->Evaluate(request);
+                    state->load_error + ")"}}
+          : state->compiled->Evaluate(request);
   observation.set_outcome(MetricOutcome(decision));
   return decision;
 }
@@ -91,6 +110,12 @@ CombiningPdp::CombiningPdp(std::string name) : name_(std::move(name)) {}
 
 void CombiningPdp::AddSource(std::shared_ptr<PolicySource> source) {
   sources_.push_back(std::move(source));
+}
+
+std::uint64_t CombiningPdp::policy_generation() const {
+  std::uint64_t sum = 0;
+  for (const auto& source : sources_) sum += source->policy_generation();
+  return sum;
 }
 
 Expected<Decision> CombiningPdp::Authorize(

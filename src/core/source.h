@@ -7,16 +7,58 @@
 // CombiningPdp requires every configured source to permit (deny
 // overrides), mirroring the prototype's evaluation against "both local
 // and VO policies by different policy evaluation points".
+//
+// Concurrency: Authorize() runs on request threads while Replace() /
+// Reload() run on update threads. The in-memory and file-backed sources
+// publish an immutable CompiledPolicyDocument snapshot through a
+// SnapshotPtr: readers pin the current snapshot with one pointer copy
+// and then work on a document no writer will ever mutate; updaters
+// build the replacement off to the side and swap it in. Each successful
+// swap bumps the source's policy generation, which decision caches use
+// for invalidation (DESIGN.md §9).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "core/compiled.h"
 #include "core/evaluator.h"
 
 namespace gridauthz::core {
+
+// Publishes an immutable snapshot to concurrent readers. A mutex guards
+// a single shared_ptr copy, so readers hold it only for the refcount
+// bump and writers only for the pointer swap; the snapshot itself is
+// never mutated, and a replaced snapshot is destroyed outside the lock.
+// (Not std::atomic<std::shared_ptr>: libstdc++'s reader path unlocks
+// its internal spinlock with a relaxed operation, which ThreadSanitizer
+// cannot pair with the next writer — a plain mutex keeps the
+// GRIDAUTHZ_SANITIZE=thread suite clean and is just as correct.)
+template <typename T>
+class SnapshotPtr {
+ public:
+  std::shared_ptr<const T> load() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+
+  void store(std::shared_ptr<const T> next) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ptr_.swap(next);
+    }
+    // `next` (the previous snapshot) releases here, after unlocking.
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const T> ptr_;
+};
 
 class PolicySource {
  public:
@@ -29,6 +71,13 @@ class PolicySource {
   // *system* failed (unreadable policy, backend unreachable) — distinct
   // from a deny, per the paper's extended GRAM error codes.
   virtual Expected<Decision> Authorize(const AuthorizationRequest& request) = 0;
+
+  // Monotonic counter bumped on every successful policy change. Decision
+  // caches key entries on it so a reload invalidates them (a cached
+  // decision must never outlive the policy that produced it). Sources
+  // whose policy can change invisibly (remote backends) keep the default
+  // 0, which CachingPolicySource treats as "not cacheable".
+  virtual std::uint64_t policy_generation() const { return 0; }
 };
 
 // Policy held in memory; supports atomic replacement, which is how a VO
@@ -42,14 +91,28 @@ class StaticPolicySource final : public PolicySource {
   const std::string& name() const override { return name_; }
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
 
-  // Replaces the policy document (dynamic policy update).
+  // Replaces the policy document (dynamic policy update). Safe to call
+  // while other threads Authorize(): in-flight requests finish on the
+  // snapshot they loaded; later requests see the new policy.
   void Replace(PolicyDocument document);
-  const PolicyDocument& document() const { return evaluator_.document(); }
+
+  // The current compiled policy snapshot (never null).
+  std::shared_ptr<const CompiledPolicyDocument> snapshot() const {
+    return snapshot_.load();
+  }
+  // Copy of the current document (the live one may be swapped out at any
+  // moment, so no reference is returned).
+  PolicyDocument document() const { return snapshot()->document(); }
+
+  std::uint64_t policy_generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
 
  private:
   std::string name_;
   EvaluatorOptions options_;
-  PolicyEvaluator evaluator_;
+  SnapshotPtr<CompiledPolicyDocument> snapshot_;
+  std::atomic<std::uint64_t> generation_{1};
 };
 
 // Policy loaded from a plain text file, as in the paper's prototype
@@ -66,20 +129,35 @@ class FilePolicySource final : public PolicySource {
   // successfully loaded policy in force (a half-written policy edit must
   // not take the source down); the failure is remembered, logged, and
   // counted as policy_reload_failures_total{source}. Only when no load
-  // has ever succeeded does Authorize() fail closed.
+  // has ever succeeded does Authorize() fail closed. Concurrent Reload()
+  // calls are serialized; Authorize() never blocks on a reload.
   Expected<void> Reload();
 
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
 
   // The most recent reload failure; empty after a successful (re)load.
-  const std::string& last_reload_error() const { return load_error_; }
+  // By value: the state it reads from may be swapped by a concurrent
+  // Reload().
+  std::string last_reload_error() const { return state_.load()->load_error; }
+
+  std::uint64_t policy_generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
 
  private:
+  // One immutable published state: the compiled policy in force (null
+  // until the first successful load) and the most recent load error.
+  struct State {
+    std::shared_ptr<const CompiledPolicyDocument> compiled;
+    std::string load_error;
+  };
+
   std::string name_;
   std::string path_;
   EvaluatorOptions options_;
-  std::unique_ptr<PolicyEvaluator> evaluator_;  // null until loaded
-  std::string load_error_;
+  std::mutex reload_mu_;  // serializes Reload(); readers never take it
+  SnapshotPtr<State> state_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 // Requires a permit from every source; the first deny (or system failure)
@@ -101,6 +179,10 @@ class CombiningPdp final : public PolicySource {
   // authorization system failure tagged [deadline-exceeded] — a partial
   // evaluation never yields a permit.
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
+
+  // Sum of the member sources' generations: any member's policy change
+  // changes the combined generation.
+  std::uint64_t policy_generation() const override;
 
  private:
   std::string name_;

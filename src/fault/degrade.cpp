@@ -5,8 +5,7 @@
 namespace gridauthz::fault {
 
 bool IsManagementAction(std::string_view action) {
-  return action == core::kActionCancel ||
-         action == core::kActionInformation || action == core::kActionSignal;
+  return core::IsManagementAction(action);
 }
 
 LastGoodCache::LastGoodCache(LastGoodCacheOptions options, const Clock* clock)

@@ -28,6 +28,12 @@ class FaultyPolicySource final : public core::PolicySource {
   const std::string& name() const override { return inner_->name(); }
   Expected<core::Decision> Authorize(
       const core::AuthorizationRequest& request) override;
+  // Faults do not change the policy itself; forward the generation so a
+  // decision cache layered outside the faulty link still invalidates on
+  // real policy changes.
+  std::uint64_t policy_generation() const override {
+    return inner_->policy_generation();
+  }
 
   const FaultInjector& injector() const { return *injector_; }
 

@@ -158,6 +158,11 @@ class ResilientPolicySource final : public core::PolicySource {
   const std::string& name() const override { return name_; }
   Expected<core::Decision> Authorize(
       const core::AuthorizationRequest& request) override;
+  // Resilience does not change which policy answers, so the inner
+  // source's generation flows through for cache invalidation.
+  std::uint64_t policy_generation() const override {
+    return inner_->policy_generation();
+  }
 
  private:
   std::shared_ptr<core::PolicySource> inner_;

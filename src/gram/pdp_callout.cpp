@@ -38,6 +38,13 @@ AuthorizationCallout MakePdpCallout(
   };
 }
 
+AuthorizationCallout MakeCachedPdpCallout(
+    std::shared_ptr<core::PolicySource> source,
+    core::DecisionCacheOptions options) {
+  return MakePdpCallout(
+      std::make_shared<core::CachingPolicySource>(std::move(source), options));
+}
+
 void RegisterPdpCalloutLibrary(const std::string& library,
                                const std::string& symbol,
                                std::shared_ptr<core::PolicySource> source) {

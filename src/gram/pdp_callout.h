@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/decision_cache.h"
 #include "core/source.h"
 #include "gram/callout.h"
 
@@ -17,6 +18,13 @@ namespace gridauthz::gram {
 // callout denies with the PDP's reason, and converts PDP system errors to
 // authorization system failures.
 AuthorizationCallout MakePdpCallout(std::shared_ptr<core::PolicySource> source);
+
+// Same, with the sharded decision cache in front: repeated management
+// callouts (cancel / information / signal) for an unchanged policy
+// generation are served from cache; start callouts always re-evaluate.
+AuthorizationCallout MakeCachedPdpCallout(
+    std::shared_ptr<core::PolicySource> source,
+    core::DecisionCacheOptions options = {});
 
 // Registers a (library, symbol) entry in the global callout registry that
 // resolves to MakePdpCallout(source) — this is how examples and tests

@@ -19,26 +19,22 @@ std::string Render(const std::vector<DnComponent>& components) {
   }
   return out;
 }
-}  // namespace
 
-DistinguishedName::DistinguishedName(std::vector<DnComponent> components)
-    : components_(std::move(components)), text_(Render(components_)) {}
-
-Expected<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
-  std::string_view trimmed = strings::Trim(text);
-  if (trimmed.empty()) {
-    return Error{ErrCode::kParseError, "empty distinguished name"};
-  }
-  if (trimmed.front() != '/') {
-    return Error{ErrCode::kParseError,
-                 "distinguished name must start with '/': " + std::string{trimmed}};
-  }
+// Parses the component list of a '/'-rooted name. `trimmed` must start
+// with '/'. When `allow_empty` is true a bare "/" (or trailing '/')
+// yields an empty component list (the root prefix); otherwise at least
+// one component is required.
+Expected<std::vector<DnComponent>> ParseComponents(std::string_view trimmed,
+                                                   bool allow_empty) {
   std::vector<DnComponent> components;
   std::size_t pos = 1;
   while (pos < trimmed.size()) {
     std::size_t next = trimmed.find('/', pos);
     if (next == std::string_view::npos) next = trimmed.size();
     std::string_view piece = trimmed.substr(pos, next - pos);
+    if (allow_empty && strings::Trim(piece).empty() && next == trimmed.size()) {
+      break;  // trailing '/' on a prefix
+    }
     std::size_t eq = piece.find('=');
     if (eq == std::string_view::npos || eq == 0) {
       return Error{ErrCode::kParseError,
@@ -58,9 +54,34 @@ Expected<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
     components.push_back(std::move(component));
     pos = next + 1;
   }
-  if (components.empty()) {
+  if (components.empty() && !allow_empty) {
     return Error{ErrCode::kParseError, "distinguished name has no components"};
   }
+  return components;
+}
+
+// True if `prefix` is a leading run of `identity`'s components.
+bool ComponentsArePrefix(const std::vector<DnComponent>& prefix,
+                         const std::vector<DnComponent>& identity) {
+  if (prefix.size() > identity.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), identity.begin());
+}
+}  // namespace
+
+DistinguishedName::DistinguishedName(std::vector<DnComponent> components)
+    : components_(std::move(components)), text_(Render(components_)) {}
+
+Expected<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
+  std::string_view trimmed = strings::Trim(text);
+  if (trimmed.empty()) {
+    return Error{ErrCode::kParseError, "empty distinguished name"};
+  }
+  if (trimmed.front() != '/') {
+    return Error{ErrCode::kParseError,
+                 "distinguished name must start with '/': " + std::string{trimmed}};
+  }
+  GA_TRY(std::vector<DnComponent> components,
+         ParseComponents(trimmed, /*allow_empty=*/false));
   return DistinguishedName{std::move(components)};
 }
 
@@ -81,12 +102,47 @@ std::ostream& operator<<(std::ostream& os, const DistinguishedName& dn) {
   return os << dn.str();
 }
 
+DnPrefix::DnPrefix(std::vector<DnComponent> components)
+    : components_(std::move(components)) {}
+
+Expected<DnPrefix> DnPrefix::Parse(std::string_view text) {
+  std::string_view trimmed = strings::Trim(text);
+  if (trimmed.empty()) {
+    return Error{ErrCode::kParseError, "empty DN prefix"};
+  }
+  if (trimmed.front() != '/') {
+    return Error{ErrCode::kParseError,
+                 "DN prefix must start with '/': " + std::string{trimmed}};
+  }
+  GA_TRY(std::vector<DnComponent> components,
+         ParseComponents(trimmed, /*allow_empty=*/true));
+  return DnPrefix{std::move(components)};
+}
+
+std::string DnPrefix::str() const {
+  if (components_.empty()) return "/";
+  return Render(components_);
+}
+
+bool DnPrefix::Matches(const DistinguishedName& identity) const {
+  if (is_root()) return !identity.empty();
+  return ComponentsArePrefix(components_, identity.components());
+}
+
+bool DnPrefix::MatchesText(std::string_view identity) const {
+  std::string_view trimmed = strings::Trim(identity);
+  if (trimmed.empty() || trimmed.front() != '/') return false;
+  if (is_root()) return true;
+  auto parsed = DistinguishedName::Parse(trimmed);
+  if (!parsed.ok()) return false;  // fail closed on unparseable identities
+  return Matches(*parsed);
+}
+
 bool DnStringPrefixMatch(std::string_view policy_subject,
                          std::string_view identity) {
-  policy_subject = strings::Trim(policy_subject);
-  identity = strings::Trim(identity);
-  if (policy_subject.empty()) return false;
-  return strings::StartsWith(identity, policy_subject);
+  auto prefix = DnPrefix::Parse(policy_subject);
+  if (!prefix.ok()) return false;
+  return prefix->MatchesText(identity);
 }
 
 }  // namespace gridauthz::gsi

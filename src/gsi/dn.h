@@ -3,8 +3,12 @@
 //
 // DN prefix matching is part of the paper's policy language: a policy
 // statement whose subject is "/O=Grid/O=Globus/OU=mcs.anl.gov" applies to
-// every user whose Grid identity starts with that string (Figure 3, first
-// statement).
+// every user whose Grid identity extends that name (Figure 3, first
+// statement). Matching is COMPONENT-boundary, not raw string-prefix: the
+// subject's components must each equal the identity's leading components.
+// "/O=Grid/CN=John" therefore covers "/O=Grid/CN=John" and the proxy
+// identity "/O=Grid/CN=John/CN=proxy", but never "/O=Grid/CN=Johnson" —
+// the raw string test would, which is an authorization bypass.
 #pragma once
 
 #include <string>
@@ -69,9 +73,48 @@ class DistinguishedName {
 
 std::ostream& operator<<(std::ostream& os, const DistinguishedName& dn);
 
-// String-prefix matching as the paper's policy files use it: the policy
-// subject is an arbitrary string prefix of the rendered DN (not
-// necessarily component-aligned).
+// A policy subject: a DN prefix in the "/T=v/..." rendering, or the root
+// "/" that covers every identity. Parsed once (at policy-document load
+// time in the compiled fast path) so matching is a pure component
+// comparison. Accepts an optional trailing '/' ("/O=Grid/CN=John/" names
+// the same prefix) and the bare root "/".
+class DnPrefix {
+ public:
+  DnPrefix() = default;  // root prefix
+
+  static Expected<DnPrefix> Parse(std::string_view text);
+
+  // Builds from components directly (empty = root).
+  explicit DnPrefix(std::vector<DnComponent> components);
+
+  const std::vector<DnComponent>& components() const { return components_; }
+  // The root prefix "/" has no components and matches every identity.
+  bool is_root() const { return components_.empty(); }
+
+  // Canonical rendering; "/" for the root prefix.
+  std::string str() const;
+
+  // True if this prefix's components are a leading run of `identity`'s,
+  // compared component-wise (types case-insensitive via parse-time
+  // uppercasing; values exact).
+  bool Matches(const DistinguishedName& identity) const;
+
+  // Parses `identity` and matches. The root prefix matches any
+  // '/'-rooted identity string, parseable or not (the paper's catch-all
+  // "/" statement applies to every Grid identity); non-root prefixes
+  // never match an unparseable identity (fail closed).
+  bool MatchesText(std::string_view identity) const;
+
+ private:
+  std::vector<DnComponent> components_;
+};
+
+// Component-boundary subject matching for the paper's policy files: true
+// when `policy_subject` parses as a DN prefix whose components are a
+// leading run of `identity`'s components. An unparseable subject or
+// identity matches nothing (except the root subject "/", which matches
+// any '/'-rooted identity). This replaces the raw string-prefix test that
+// let "/O=Grid/CN=John" authorize "/O=Grid/CN=Johnson".
 bool DnStringPrefixMatch(std::string_view policy_subject,
                          std::string_view identity);
 

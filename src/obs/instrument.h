@@ -19,6 +19,17 @@ inline constexpr std::string_view kOutcomePermit = "permit";
 inline constexpr std::string_view kOutcomeDeny = "deny";
 inline constexpr std::string_view kOutcomeError = "error";
 
+// Series emitted by the evaluation fast path (core/compiled.h,
+// core/decision_cache.h); named here so dashboards and tests share one
+// spelling.
+inline constexpr std::string_view kMetricCacheHits = "authz_cache_hits_total";
+inline constexpr std::string_view kMetricCacheMisses =
+    "authz_cache_misses_total";
+inline constexpr std::string_view kMetricPolicyCompiles =
+    "policy_compiles_total";
+inline constexpr std::string_view kMetricCompiledStatements =
+    "policy_compiled_statements";
+
 // RAII observation of one authorize call: construct at entry, call
 // set_outcome() on the way out. Destruction increments the decision
 // counter, records the latency sample, and closes the span. An

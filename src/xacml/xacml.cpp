@@ -3,6 +3,8 @@
 #include <charconv>
 #include <set>
 
+#include "gsi/dn.h"
+
 namespace gridauthz::xacml {
 
 std::string_view to_string(Effect effect) {
@@ -300,6 +302,25 @@ Expected<Value> Eval(const Expression& expression,
     }
     return Value::Bool(false);
   }
+  if (fn == "dn-prefix-match") {
+    // Component-boundary DN matching (gsi/dn.h): the policy-language
+    // subject semantics, immune to the "/CN=John" vs "/CN=Johnson" raw
+    // string-prefix bypass.
+    if (args.size() != 2) {
+      return Error{ErrCode::kInvalidArgument,
+                   "dn-prefix-match needs two arguments"};
+    }
+    GA_TRY(std::vector<std::string> bag, EvalBag(args[0], context));
+    GA_TRY(std::vector<std::string> prefixes, EvalBag(args[1], context));
+    for (const std::string& item : bag) {
+      for (const std::string& prefix : prefixes) {
+        if (gsi::DnStringPrefixMatch(prefix, item)) {
+          return Value::Bool(true);
+        }
+      }
+    }
+    return Value::Bool(false);
+  }
   if (fn == "integer-less-than" || fn == "integer-less-than-or-equal" ||
       fn == "integer-greater-than" || fn == "integer-greater-than-or-equal") {
     GA_TRY(bool result, NumericCompare(fn, args, context));
@@ -328,6 +349,8 @@ bool MatchOne(const Match& match, const RequestContext& context) {
       if (item == match.value) return true;
     } else if (match.function == "string-prefix-match") {
       if (item.compare(0, match.value.size(), match.value) == 0) return true;
+    } else if (match.function == "dn-prefix-match") {
+      if (gsi::DnStringPrefixMatch(match.value, item)) return true;
     }
   }
   return false;
@@ -584,7 +607,8 @@ Expected<std::vector<std::vector<Match>>> SectionFromXml(
       match.attribute_id = match_node->Attr("AttributeId");
       match.value = match_node->text;
       if (match.function != "string-equal" &&
-          match.function != "string-prefix-match") {
+          match.function != "string-prefix-match" &&
+          match.function != "dn-prefix-match") {
         return Error{ErrCode::kParseError,
                      "unknown MatchId: " + match.function};
       }
@@ -823,7 +847,7 @@ Expected<Policy> TranslateRslPolicy(const core::PolicyDocument& document) {
       rule.id = "stmt" + std::to_string(statement_index) + "-set" +
                 std::to_string(set_index);
       rule.target.subjects = {{Match{
-          "string-prefix-match", Category::kSubject,
+          "dn-prefix-match", Category::kSubject,
           std::string{kSubjectIdAttr}, statement.subject_prefix}}};
       if (statement.kind == core::StatementKind::kPermission) {
         rule.effect = Effect::kPermit;

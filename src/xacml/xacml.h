@@ -9,13 +9,15 @@
 //  * <Policy> with deny-overrides / permit-overrides / first-applicable
 //    rule-combining algorithms, and <PolicySet> combining policies;
 //  * <Target> with Subjects/Resources/Actions match groups (outer OR of
-//    inner AND of matches), matching by string-equal or
-//    string-prefix-match against attribute designators;
+//    inner AND of matches), matching by string-equal,
+//    string-prefix-match, or dn-prefix-match (component-boundary DN
+//    semantics, gsi/dn.h) against attribute designators;
 //  * <Rule> with Permit/Deny effects and an optional <Condition>
 //    expression tree (<Apply>, <AttributeDesignator>, <AttributeValue>);
 //  * functions: and, or, not, string-equal, string-not-equal, present,
 //    absent, integer-less-than(-or-equal), integer-greater-than(-or-equal),
-//    string-prefix-match. Bag semantics: comparisons hold when some
+//    string-prefix-match, dn-prefix-match. Bag semantics: comparisons
+//    hold when some
 //    element of the left bag relates to the literal (any-of), matching
 //    how the RSL evaluator treats multi-valued request attributes.
 //  * XML serialization and parsing (round-trips through xml.h).
@@ -85,7 +87,8 @@ struct Expression {
 
 // One target match: designator `function`-matches `value`.
 struct Match {
-  std::string function;  // "string-equal" or "string-prefix-match"
+  std::string function;  // "string-equal", "string-prefix-match", or
+                         // "dn-prefix-match"
   Category category = Category::kSubject;
   std::string attribute_id;
   std::string value;

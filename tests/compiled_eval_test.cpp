@@ -1,0 +1,295 @@
+// The evaluation fast path: CompiledPolicyDocument's trie-backed
+// ApplicableTo and precompiled assertion sets must produce the same
+// decisions — codes AND reason strings — as the naive PolicyEvaluator;
+// the snapshot sources must bump generations on policy changes; and the
+// decision cache must serve only management actions for unchanged
+// generations.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/compiled.h"
+#include "core/decision_cache.h"
+#include "core/source.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::core {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+&(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+&(action=cancel)(jobtag=NFC)
+)";
+
+AuthorizationRequest StartRequest(const std::string& subject,
+                                  const std::string& rsl) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = std::string{kActionStart};
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+AuthorizationRequest ManageRequest(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& owner) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = owner;
+  request.job_id = "https://fusion.anl.gov:2119/jobmanager/1";
+  request.job_rsl = rsl::ParseConjunction("&(executable=test1)").value();
+  return request;
+}
+
+// Both evaluators over the same document must agree exactly.
+void ExpectSameDecision(const PolicyDocument& document,
+                        const AuthorizationRequest& request,
+                        EvaluatorOptions options = {}) {
+  const PolicyEvaluator naive{document, options};
+  const CompiledPolicyDocument compiled{document, options};
+  const Decision a = naive.Evaluate(request);
+  const Decision b = compiled.Evaluate(request);
+  EXPECT_EQ(a.code, b.code) << "subject=" << request.subject
+                            << " action=" << request.action;
+  EXPECT_EQ(a.reason, b.reason) << "subject=" << request.subject
+                                << " action=" << request.action;
+}
+
+TEST(CompiledDoc, ApplicableToMatchesNaiveInDocumentOrder) {
+  const CompiledPolicyDocument compiled{
+      PolicyDocument::Parse(kFigure3).value()};
+  // Compare against the naive scan over the compiled object's own copy of
+  // the document, so the statement pointers are comparable.
+  const PolicyDocument& document = compiled.document();
+  for (const char* identity :
+       {kBoLiu, "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey",
+        "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu/CN=proxy",
+        "/O=Grid/O=Other/CN=Outsider", "/O=Grid/O=Globus/OU=mcs.anl.gov",
+        "/", "", "not-a-dn", "/O=Grid/garbage"}) {
+    auto naive = document.ApplicableTo(identity);
+    auto fast = compiled.ApplicableTo(identity);
+    ASSERT_EQ(naive.size(), fast.size()) << identity;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i], fast[i]) << identity << " statement " << i;
+    }
+  }
+}
+
+TEST(CompiledDoc, JohnDoesNotAuthorizeJohnson) {
+  auto document = PolicyDocument::Parse(
+      "/O=Grid/CN=John:\n"
+      "&(action = start)\n").value();
+  const CompiledPolicyDocument compiled{document};
+  EXPECT_TRUE(compiled.Evaluate(StartRequest("/O=Grid/CN=John", "&(a=b)"))
+                  .permitted());
+  const Decision johnson =
+      compiled.Evaluate(StartRequest("/O=Grid/CN=Johnson", "&(a=b)"));
+  EXPECT_EQ(johnson.code, DecisionCode::kDenyNoApplicableStatement);
+  EXPECT_TRUE(compiled
+                  .Evaluate(StartRequest("/O=Grid/CN=John/CN=proxy", "&(a=b)"))
+                  .permitted());
+}
+
+TEST(CompiledDoc, DecisionsAndReasonsMatchNaive) {
+  auto document = PolicyDocument::Parse(kFigure3).value();
+  // Permit, deny-no-permission, requirement violation, no statement.
+  ExpectSameDecision(
+      document,
+      StartRequest(kBoLiu,
+                   "&(executable=test1)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)"));
+  ExpectSameDecision(
+      document,
+      StartRequest(kBoLiu,
+                   "&(executable=test3)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)"));
+  ExpectSameDecision(document,
+                     StartRequest(kBoLiu, "&(executable=test1)(count=2)"));
+  ExpectSameDecision(document,
+                     StartRequest("/O=Grid/O=Other/CN=Outsider", "&(a=b)"));
+  ExpectSameDecision(document, ManageRequest(kBoLiu, "cancel", kBoLiu));
+}
+
+TEST(CompiledDoc, StrictAttributesMatchesNaive) {
+  auto document = PolicyDocument::Parse(kFigure3).value();
+  const EvaluatorOptions strict{.strict_attributes = true};
+  ExpectSameDecision(
+      document,
+      StartRequest(kBoLiu,
+                   "&(executable=test1)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)(unmentioned=x)"),
+      strict);
+  ExpectSameDecision(
+      document,
+      StartRequest(kBoLiu,
+                   "&(executable=test1)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)(stdout=/dev/null)"),
+      strict);
+}
+
+TEST(CompiledDoc, DirectlyConstructedStatementsWork) {
+  // CAS and tests build PolicyStatement without parsed_subject; the
+  // compiled index must still place them correctly.
+  PolicyStatement statement;
+  statement.subject_prefix = "/O=Grid/CN=John";
+  statement.assertion_sets.push_back(
+      rsl::ParseConjunction("&(action=start)").value());
+  PolicyDocument document;
+  document.Add(statement);
+  const CompiledPolicyDocument compiled{document};
+  EXPECT_TRUE(compiled.Evaluate(StartRequest("/O=Grid/CN=John", "&(a=b)"))
+                  .permitted());
+  EXPECT_FALSE(compiled.Evaluate(StartRequest("/O=Grid/CN=Johnson", "&(a=b)"))
+                   .permitted());
+}
+
+TEST(SnapshotSources, ReplaceBumpsGeneration) {
+  StaticPolicySource source{"vo",
+                            PolicyDocument::Parse("/:\n&(action=start)\n")
+                                .value()};
+  const std::uint64_t before = source.policy_generation();
+  EXPECT_GT(before, 0u);
+  source.Replace(PolicyDocument::Parse("/:\n&(action=cancel)\n").value());
+  EXPECT_EQ(source.policy_generation(), before + 1);
+}
+
+TEST(SnapshotSources, FileReloadBumpsGenerationOnlyOnSuccess) {
+  const std::string path = ::testing::TempDir() + "/gen_policy.txt";
+  ASSERT_TRUE(WriteFile(path, "/:\n&(action = start)\n").ok());
+  FilePolicySource source{"local", path};
+  const std::uint64_t loaded = source.policy_generation();
+  EXPECT_EQ(loaded, 1u);
+
+  // A bad edit keeps the last-good policy AND the old generation: cached
+  // decisions computed under it stay valid.
+  ASSERT_TRUE(WriteFile(path, "garbage without subject\n").ok());
+  EXPECT_FALSE(source.Reload().ok());
+  EXPECT_EQ(source.policy_generation(), loaded);
+  EXPECT_FALSE(source.last_reload_error().empty());
+  EXPECT_TRUE(
+      source.Authorize(StartRequest("/O=Grid/CN=x", "&(a=b)"))->permitted());
+
+  ASSERT_TRUE(WriteFile(path, "/:\n&(action = cancel)(jobowner = self)\n").ok());
+  ASSERT_TRUE(source.Reload().ok());
+  EXPECT_EQ(source.policy_generation(), loaded + 1);
+  EXPECT_TRUE(source.last_reload_error().empty());
+}
+
+TEST(DecisionCache, GenerationAndTtlInvalidate) {
+  ShardedDecisionCache cache{
+      DecisionCacheOptions{.shard_count = 2, .capacity_per_shard = 4,
+                           .ttl_us = 100}};
+  const Decision permit = Decision::Permit("ok");
+  cache.Record("k", /*generation=*/1, /*now_us=*/0, permit);
+  ASSERT_TRUE(cache.Lookup("k", 1, 50).has_value());
+  // Wrong generation: dead regardless of TTL.
+  EXPECT_FALSE(cache.Lookup("k", 2, 50).has_value());
+  cache.Record("k", 1, 0, permit);
+  // Expired.
+  EXPECT_FALSE(cache.Lookup("k", 1, 200).has_value());
+}
+
+TEST(DecisionCache, EvictsLeastRecentlyUsedPerShard) {
+  ShardedDecisionCache cache{
+      DecisionCacheOptions{.shard_count = 1, .capacity_per_shard = 2,
+                           .ttl_us = 1'000'000}};
+  const Decision permit = Decision::Permit("ok");
+  cache.Record("a", 1, 0, permit);
+  cache.Record("b", 1, 0, permit);
+  ASSERT_TRUE(cache.Lookup("a", 1, 1).has_value());  // refresh a
+  cache.Record("c", 1, 2, permit);                   // evicts b
+  EXPECT_TRUE(cache.Lookup("a", 1, 3).has_value());
+  EXPECT_FALSE(cache.Lookup("b", 1, 3).has_value());
+  EXPECT_TRUE(cache.Lookup("c", 1, 3).has_value());
+}
+
+class CachingSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Metrics().Reset(); }
+  void TearDown() override { obs::Metrics().Reset(); }
+
+  std::uint64_t Hits(const std::string& source) {
+    return obs::Metrics().CounterValue(obs::kMetricCacheHits,
+                                       {{"source", source}});
+  }
+  std::uint64_t Misses(const std::string& source) {
+    return obs::Metrics().CounterValue(obs::kMetricCacheMisses,
+                                       {{"source", source}});
+  }
+};
+
+TEST_F(CachingSourceTest, ManagementDecisionsAreCachedUntilPolicyChanges) {
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", MakeGt2DefaultDocument());
+  CachingPolicySource cached{inner};
+
+  const AuthorizationRequest cancel =
+      ManageRequest("/O=Grid/CN=owner", "cancel", "/O=Grid/CN=owner");
+  EXPECT_TRUE(cached.Authorize(cancel)->permitted());
+  EXPECT_EQ(Hits("vo"), 0u);
+  EXPECT_EQ(Misses("vo"), 1u);
+
+  EXPECT_TRUE(cached.Authorize(cancel)->permitted());
+  EXPECT_EQ(Hits("vo"), 1u);
+  EXPECT_EQ(Misses("vo"), 1u);
+
+  // A policy change orphans the entry: next call re-evaluates under the
+  // new policy (and now denies — cancel is no longer permitted).
+  inner->Replace(PolicyDocument::Parse("/:\n&(action = start)\n").value());
+  EXPECT_FALSE(cached.Authorize(cancel)->permitted());
+  EXPECT_EQ(Hits("vo"), 1u);
+  EXPECT_EQ(Misses("vo"), 2u);
+}
+
+TEST_F(CachingSourceTest, StartIsNeverCached) {
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", MakeGt2DefaultDocument());
+  CachingPolicySource cached{inner};
+  const AuthorizationRequest start =
+      StartRequest("/O=Grid/CN=someone", "&(executable=x)");
+  EXPECT_TRUE(cached.Authorize(start)->permitted());
+  EXPECT_TRUE(cached.Authorize(start)->permitted());
+  EXPECT_EQ(Hits("vo"), 0u);
+  EXPECT_EQ(Misses("vo"), 0u);  // bypassed entirely
+  EXPECT_EQ(cached.cache_size(), 0u);
+}
+
+TEST_F(CachingSourceTest, DifferentSubjectsDoNotShareEntries) {
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", MakeGt2DefaultDocument());
+  CachingPolicySource cached{inner};
+  // Owner may cancel; a stranger may not — and must not inherit the
+  // owner's cached permit.
+  EXPECT_TRUE(cached
+                  .Authorize(ManageRequest("/O=Grid/CN=owner", "cancel",
+                                           "/O=Grid/CN=owner"))
+                  ->permitted());
+  EXPECT_FALSE(cached
+                   .Authorize(ManageRequest("/O=Grid/CN=stranger", "cancel",
+                                            "/O=Grid/CN=owner"))
+                   ->permitted());
+  EXPECT_EQ(Hits("vo"), 0u);
+  EXPECT_EQ(Misses("vo"), 2u);
+}
+
+TEST(CompiledDoc, CompileEmitsMetrics) {
+  obs::Metrics().Reset();
+  const CompiledPolicyDocument compiled{MakeGt2DefaultDocument()};
+  EXPECT_GE(obs::Metrics().CounterValue(obs::kMetricPolicyCompiles), 1u);
+  EXPECT_EQ(obs::Metrics().GaugeValue(obs::kMetricCompiledStatements), 1);
+  obs::Metrics().Reset();
+}
+
+}  // namespace
+}  // namespace gridauthz::core

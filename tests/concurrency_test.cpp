@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/config.h"
 #include "common/logging.h"
 #include "core/audit.h"
 #include "core/source.h"
@@ -127,6 +128,104 @@ TEST(Concurrency, ParallelPolicyEvaluationIsConsistent) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(Concurrency, FilePolicySourceReloadVsAuthorize) {
+  // The PR-3 race fix: one thread hammers Reload() (including bad edits
+  // that must keep the last-good snapshot) while N threads Authorize().
+  // Every answer must be a clean decision from one of the two valid
+  // policies — never an error, never torn state. Run under
+  // GRIDAUTHZ_SANITIZE=thread to prove the snapshot swap is race-free.
+  const std::string path = ::testing::TempDir() + "/reload_race_policy.txt";
+  const char* kOpen = "/:\n&(action = start)\n";
+  const char* kRestricted = "/:\n&(action = start)(executable = allowed)\n";
+  ASSERT_TRUE(WriteFile(path, kOpen).ok());
+  core::FilePolicySource source{"race", path};
+
+  core::AuthorizationRequest always;
+  always.subject = "/O=Grid/CN=racer";
+  always.action = "start";
+  always.job_owner = always.subject;
+  always.job_rsl = rsl::ParseConjunction("&(executable=allowed)").value();
+  core::AuthorizationRequest sometimes = always;
+  sometimes.job_rsl = rsl::ParseConjunction("&(executable=other)").value();
+
+  constexpr int kReaders = 4;
+  constexpr int kAuthorizesPerReader = 800;
+  constexpr int kReloads = 200;
+  std::atomic<int> errors{0};
+  std::atomic<int> torn{0};
+  std::atomic<bool> stop{false};
+
+  std::thread reloader([&] {
+    const char* policies[] = {kOpen, kRestricted,
+                              "garbage line that fails to parse\n"};
+    for (int i = 0; i < kReloads && !stop.load(std::memory_order_relaxed);
+         ++i) {
+      ASSERT_TRUE(WriteFile(path, policies[i % 3]).ok());
+      (void)source.Reload();  // the garbage round keeps last-good
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kAuthorizesPerReader; ++i) {
+        auto a = source.Authorize(always);
+        if (!a.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else if (!a->permitted()) {
+          // "allowed" passes under both valid policies.
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto b = source.Authorize(sometimes);
+        if (!b.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        // b permits under kOpen, denies under kRestricted — both fine.
+      }
+    });
+  }
+  for (std::thread& thread : readers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reloader.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(Concurrency, StaticPolicySourceReplaceVsAuthorize) {
+  core::StaticPolicySource source{
+      "race", core::PolicyDocument::Parse("/:\n&(action = start)\n").value()};
+  core::AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=racer";
+  request.action = "start";
+  request.job_owner = request.subject;
+  request.job_rsl = rsl::ParseConjunction("&(executable=allowed)").value();
+
+  constexpr int kReaders = 4;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::thread replacer([&] {
+    const char* policies[] = {"/:\n&(action = start)\n",
+                              "/:\n&(action = start)(executable = allowed)\n"};
+    for (int i = 0; i < 400; ++i) {
+      source.Replace(core::PolicyDocument::Parse(policies[i % 2]).value());
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      do {
+        auto decision = source.Authorize(request);
+        if (!decision.ok() || !decision->permitted()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        // The generation a reader observes never decreases.
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (std::thread& thread : readers) thread.join();
+  replacer.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GE(source.policy_generation(), 401u);
 }
 
 TEST(Concurrency, MetricsRegistryParallelSeriesCreationAndIncrement) {

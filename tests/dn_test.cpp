@@ -1,6 +1,6 @@
-// Distinguished-name parsing, rendering, and the prefix matching the
-// policy language relies on (Figure 3's group statements name DN string
-// prefixes).
+// Distinguished-name parsing, rendering, and the component-boundary
+// prefix matching the policy language relies on (Figure 3's group
+// statements name DN prefixes).
 #include <gtest/gtest.h>
 
 #include "gsi/dn.h"
@@ -94,7 +94,8 @@ TEST(Dn, OrderingAndEquality) {
   EXPECT_TRUE(a < b);
 }
 
-// The policy files use raw string prefix matching on the rendered DN.
+// Policy subjects match at DN component boundaries, not raw string
+// prefixes — "/O=Grid/CN=John" must not cover "/O=Grid/CN=Johnson".
 struct PrefixCase {
   const char* policy_subject;
   const char* identity;
@@ -105,7 +106,8 @@ class DnStringPrefixTest : public ::testing::TestWithParam<PrefixCase> {};
 
 TEST_P(DnStringPrefixTest, Matches) {
   const auto& p = GetParam();
-  EXPECT_EQ(DnStringPrefixMatch(p.policy_subject, p.identity), p.expected);
+  EXPECT_EQ(DnStringPrefixMatch(p.policy_subject, p.identity), p.expected)
+      << "subject=" << p.policy_subject << " identity=" << p.identity;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -120,6 +122,64 @@ INSTANTIATE_TEST_SUITE_P(
         PrefixCase{"/O=Grid/CN=exact", "/O=Grid/CN=exact", true},
         PrefixCase{"/O=Grid/CN=exact", "/O=Grid/CN=exac", false},
         PrefixCase{"", "/O=Grid/CN=x", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversarial, DnStringPrefixTest,
+    ::testing::Values(
+        // The headline bypass: a raw string-prefix test accepts Johnson.
+        PrefixCase{"/O=Grid/CN=John", "/O=Grid/CN=Johnson", false},
+        PrefixCase{"/O=Grid/CN=John", "/O=Grid/CN=John", true},
+        // Proxy-suffix identities stay covered (GSI proxies extend the
+        // issuer's DN with /CN=proxy).
+        PrefixCase{"/O=Grid/CN=John", "/O=Grid/CN=John/CN=proxy", true},
+        PrefixCase{"/O=Grid/CN=John",
+                   "/O=Grid/CN=John/CN=proxy/CN=limited proxy", true},
+        // A trailing '/' on the subject names the same prefix.
+        PrefixCase{"/O=Grid/CN=John/", "/O=Grid/CN=John/CN=proxy", true},
+        PrefixCase{"/O=Grid/CN=John/", "/O=Grid/CN=Johnson", false},
+        // Component types compare case-insensitively; values exactly.
+        PrefixCase{"/o=Grid/cn=John", "/O=Grid/CN=John", true},
+        PrefixCase{"/O=Grid/CN=john", "/O=Grid/CN=John", false},
+        // Surrounding whitespace is trimmed on both sides.
+        PrefixCase{"  /O=Grid/CN=John  ", "  /O=Grid/CN=John/CN=proxy ", true},
+        // Value-boundary attacks in the identity.
+        PrefixCase{"/O=Grid/OU=dev", "/O=Grid/OU=devops/CN=eve", false},
+        PrefixCase{"/O=Grid/OU=dev", "/O=Grid/OU=dev/CN=carol", true},
+        // Non-root subjects never match unparseable identities
+        // (fail closed), while root keeps its catch-all role.
+        PrefixCase{"/O=Grid/CN=John", "/O=Grid/garbage", false},
+        PrefixCase{"/", "/O=Grid/garbage", true},
+        PrefixCase{"/", "not-a-dn", false},
+        PrefixCase{"/O=Grid/CN=John", "", false}));
+
+TEST(DnPrefix, ParsesRootAndTrailingSlash) {
+  auto root = DnPrefix::Parse("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->str(), "/");
+
+  auto trailing = DnPrefix::Parse("/O=Grid/CN=John/");
+  ASSERT_TRUE(trailing.ok());
+  ASSERT_EQ(trailing->components().size(), 2u);
+  EXPECT_EQ(trailing->str(), "/O=Grid/CN=John");
+}
+
+TEST(DnPrefix, RejectsMalformedPrefixes) {
+  EXPECT_FALSE(DnPrefix::Parse("").ok());
+  EXPECT_FALSE(DnPrefix::Parse("O=Grid").ok());
+  EXPECT_FALSE(DnPrefix::Parse("/O=Grid/noequals").ok());
+  EXPECT_FALSE(DnPrefix::Parse("/O=").ok());
+}
+
+TEST(DnPrefix, MatchesParsedIdentities) {
+  auto prefix = DnPrefix::Parse("/O=Grid/CN=John").value();
+  auto john = DistinguishedName::Parse("/O=Grid/CN=John/CN=proxy").value();
+  auto johnson = DistinguishedName::Parse("/O=Grid/CN=Johnson").value();
+  EXPECT_TRUE(prefix.Matches(john));
+  EXPECT_FALSE(prefix.Matches(johnson));
+  EXPECT_TRUE(DnPrefix{}.is_root());
+  EXPECT_TRUE(DnPrefix{}.Matches(john));
+}
 
 }  // namespace
 }  // namespace gridauthz::gsi

@@ -121,7 +121,7 @@ TEST(PolicyParse, SubjectMustBeSlashRooted) {
   ASSERT_FALSE(doc.ok());
 }
 
-TEST(PolicyParse, AppliesToUsesStringPrefix) {
+TEST(PolicyParse, AppliesToUsesComponentPrefix) {
   auto doc = PolicyDocument::Parse(kFigure3).value();
   const PolicyStatement& group = doc.statements()[0];
   EXPECT_TRUE(group.AppliesTo("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"));
@@ -131,6 +131,65 @@ TEST(PolicyParse, AppliesToUsesStringPrefix) {
   auto applicable =
       doc.ApplicableTo("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu");
   EXPECT_EQ(applicable.size(), 2u);  // requirement + Bo Liu's permission
+}
+
+TEST(PolicyParse, SubjectsMatchAtComponentBoundaries) {
+  // The regression the tentpole exists for: a statement for John must
+  // not cover Johnson, while John's proxy stays covered.
+  auto doc = PolicyDocument::Parse(
+      "/O=Grid/CN=John:\n"
+      "&(action = start)\n").value();
+  const PolicyStatement& john = doc.statements()[0];
+  ASSERT_TRUE(john.parsed_subject.has_value());
+  EXPECT_TRUE(john.AppliesTo("/O=Grid/CN=John"));
+  EXPECT_TRUE(john.AppliesTo("/O=Grid/CN=John/CN=proxy"));
+  EXPECT_FALSE(john.AppliesTo("/O=Grid/CN=Johnson"));
+  EXPECT_TRUE(doc.ApplicableTo("/O=Grid/CN=Johnson").empty());
+}
+
+TEST(PolicyParse, InvalidSubjectDnRejectedAtParse) {
+  auto doc = PolicyDocument::Parse("/O=Grid/bogus:\n&(action = start)\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.error().code(), ErrCode::kParseError);
+  EXPECT_NE(doc.error().message().find("not a valid DN prefix"),
+            std::string::npos);
+}
+
+TEST(PolicyParse, SubjectSplitsAtLastColonOutsideQuotesAndParens) {
+  // A DN component value containing ':' must not truncate the subject:
+  // the subject-terminating colon is the LAST one outside quotes/parens.
+  auto doc = PolicyDocument::Parse(
+      "/O=Grid/CN=host:8443/CN=service:\n"
+      "&(action = start)\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 1u);
+  EXPECT_EQ(doc->statements()[0].subject_prefix,
+            "/O=Grid/CN=host:8443/CN=service");
+  EXPECT_TRUE(doc->statements()[0].AppliesTo(
+      "/O=Grid/CN=host:8443/CN=service/CN=proxy"));
+}
+
+TEST(PolicyParse, ColonInsideInlineAssertionValueDoesNotMoveSubjectSplit) {
+  // The ':' inside the quoted assertion value sits inside parens, so the
+  // subject still ends at its own colon.
+  auto doc = PolicyDocument::Parse(
+      "/O=Grid/CN=a: (action = start)(directory = \"/data:scratch\")\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 1u);
+  EXPECT_EQ(doc->statements()[0].subject_prefix, "/O=Grid/CN=a");
+  EXPECT_EQ(doc->statements()[0].assertion_sets[0].GetValue("directory"),
+            "/data:scratch");
+}
+
+TEST(PolicyParse, AmbiguousColonSubjectLineRejected) {
+  // "/O=Grid/CN=a:b" followed by text that is not an assertion set is
+  // ambiguous: the author probably meant a colon-bearing DN but forgot
+  // its terminating ':'. Reject with a pointed error instead of silently
+  // truncating the subject at the first colon.
+  auto doc = PolicyDocument::Parse("/O=Grid/CN=host:8443 something\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message().find("ambiguous subject line"),
+            std::string::npos);
 }
 
 TEST(PolicyParse, RoundTripsThroughToString) {

@@ -12,10 +12,17 @@
 //       deny into a permit;
 //   P5  the auditing decorator is decision-transparent and records
 //       exactly one record per evaluation;
-//   P6  evaluation is deterministic (same request, same decision).
+//   P6  evaluation is deterministic (same request, same decision);
+//   P7  the compiled fast path is a perfect stand-in for the naive
+//       evaluator: identical decision codes AND reason strings, open and
+//       strict matching, including adversarial subjects;
+//   P8  Conjunction::ToString output reparses to an equal conjunction
+//       even for values carrying quotes, '#', ':', whitespace, and
+//       '$(VAR)' references.
 #include <gtest/gtest.h>
 
 #include "core/audit.h"
+#include "core/compiled.h"
 #include "core/source.h"
 #include "xacml/xacml.h"
 
@@ -47,6 +54,10 @@ const std::vector<std::string>& Subjects() {
       "/O=Grid/O=VO/OU=dev/CN=bob",
       "/O=Grid/O=VO/OU=ops/CN=carol",
       "/O=Grid/O=Other/CN=dave",
+      // Adversarial: "OU=devops" is a raw string extension of "OU=dev",
+      // and proxies extend a covered identity at a component boundary.
+      "/O=Grid/O=VO/OU=devops/CN=eve",
+      "/O=Grid/O=VO/OU=dev/CN=alice/CN=proxy",
   };
   return v;
 }
@@ -261,6 +272,76 @@ TEST_P(PolicyPropertyTest, EvaluationIsDeterministic) {
     EXPECT_EQ(first.permitted(), second.permitted());
     EXPECT_EQ(first.code, second.code);
     EXPECT_EQ(first.reason, second.reason);
+  }
+}
+
+TEST_P(PolicyPropertyTest, CompiledEvaluatorMatchesNaive) {
+  Rng rng(7000 + GetParam());
+  for (int round = 0; round < 25; ++round) {
+    core::PolicyDocument document = RandomPolicy(rng);
+    core::EvaluatorOptions options;
+    options.strict_attributes = rng.Chance(30);
+    core::PolicyEvaluator naive{document, options};
+    core::CompiledPolicyDocument compiled{document, options};
+    for (int i = 0; i < 20; ++i) {
+      core::AuthorizationRequest request = RandomRequest(rng);
+      if (rng.Chance(15)) {
+        // Identities the trie must fail closed on (or, for "/" subjects,
+        // catch) exactly like the naive scan does.
+        static const std::vector<std::string> weird = {
+            "/O=Grid/garbage", "not-a-dn", "", "/",
+            "/O=Grid/O=VO/OU=de"};
+        request.subject = weird[rng.Below(weird.size())];
+      }
+      core::Decision a = naive.Evaluate(request);
+      core::Decision b = compiled.Evaluate(request);
+      EXPECT_EQ(a.code, b.code)
+          << document.ToString() << "\nsubject=" << request.subject
+          << " action=" << request.action;
+      EXPECT_EQ(a.reason, b.reason)
+          << document.ToString() << "\nsubject=" << request.subject
+          << " action=" << request.action;
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, ConjunctionToStringReparsesEqual) {
+  Rng rng(8000 + GetParam());
+  static const std::vector<std::string> nasty = {
+      "plain",
+      "has space",
+      "\ttab\tseparated\t",
+      "quo\"ted",
+      "\"\"",
+      "a#b#c",
+      "host:8443",
+      "/data:scratch/run",
+      "$(HOME)",
+      "$(GLOBUS_USER)/subdir",
+      "pre $(VAR) post",
+      "(parens)",
+      "a=b!c<d>e",
+      "&amp+plus",
+      "  leading and trailing  ",
+  };
+  for (int round = 0; round < 50; ++round) {
+    rsl::Conjunction original;
+    int relations = 1 + static_cast<int>(rng.Below(5));
+    for (int i = 0; i < relations; ++i) {
+      rsl::Relation relation;
+      relation.attribute =
+          AttributeNames()[rng.Below(AttributeNames().size())];
+      relation.op = rng.Chance(80) ? rsl::RelOp::kEq : rsl::RelOp::kNeq;
+      int values = 1 + static_cast<int>(rng.Below(3));
+      for (int j = 0; j < values; ++j) {
+        relation.values.push_back(nasty[rng.Below(nasty.size())]);
+      }
+      original.Add(std::move(relation));
+    }
+    auto reparsed = rsl::ParseConjunction(original.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << original.ToString() << "\n" << reparsed.error().message();
+    EXPECT_EQ(*reparsed, original) << original.ToString();
   }
 }
 
