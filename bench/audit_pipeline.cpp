@@ -1,0 +1,338 @@
+// Experiment T3: cost of the durable audit pipeline on the
+// management-action hot path. The headline measurement drives the full
+// wire PEP path — client frame, gatekeeper, job-manager PEP, policy
+// evaluation, audit — with status-your-own-job requests, three ways:
+// ring log only (sink off, provenance off), JSONL FileAuditSink on, and
+// sink plus full decision provenance. A second sweep isolates the bare
+// AuditingPolicySource layer at 1 and 4 threads, and a burst experiment
+// with a deliberately tiny producer queue measures the drop rate the
+// non-blocking Submit path trades for PEP latency. Emits
+// BENCH_audit_pipeline.json; the acceptance bar is sink-on overhead
+// <= 15% versus sink-off at one thread on the management hot path.
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 (the `perf` ctest does) to shrink the
+// iteration counts to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/audit.h"
+#include "core/audit_sink.h"
+#include "core/source.h"
+#include "gram/wire_service.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kTarget = "/O=Grid/O=Synth/CN=target";
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+// Synthetic policy with a management statement so the hot path is a
+// cancel permit (the cacheable, high-rate slice of real GRAM traffic).
+core::PolicyDocument PipelinePolicy() {
+  core::PolicyDocument document = bench::SyntheticPolicy(200, 2, kTarget);
+  core::PolicyStatement manage;
+  manage.kind = core::StatementKind::kPermission;
+  manage.subject_prefix = kTarget;
+  rsl::Conjunction set;
+  set.Add("action", rsl::RelOp::kEq, "cancel");
+  set.Add("jobowner", rsl::RelOp::kEq, std::string{core::kSelfValue});
+  manage.assertion_sets.push_back(std::move(set));
+  document.Add(std::move(manage));
+  return document;
+}
+
+core::AuthorizationRequest CancelRequest() {
+  core::AuthorizationRequest request;
+  request.subject = kTarget;
+  request.action = "cancel";
+  request.job_owner = kTarget;
+  request.job_id = "https://synth.example:2119/jobmanager/42";
+  request.job_rsl = rsl::ParseConjunction("&(executable=exe0)").value();
+  return request;
+}
+
+std::string ScratchPath(const std::string& leaf) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ga_bench_audit_pipeline";
+  std::filesystem::create_directories(dir);
+  return (dir / leaf).string();
+}
+
+// One pipeline configuration: auditing decorator over the compiled
+// source, optionally with a durable sink and provenance collection.
+struct Pipeline {
+  std::shared_ptr<core::AuditLog> log;
+  std::shared_ptr<core::FileAuditSink> sink;
+  std::shared_ptr<core::AuditingPolicySource> source;
+};
+
+Pipeline MakePipeline(const core::PolicyDocument& document, bool with_sink,
+                      bool with_provenance, const std::string& leaf) {
+  static SystemClock clock;
+  Pipeline pipeline;
+  pipeline.log = std::make_shared<core::AuditLog>();
+  core::AuditingOptions options;
+  options.collect_provenance = with_provenance;
+  if (with_sink) {
+    const std::string path = ScratchPath(leaf);
+    std::filesystem::remove(path);
+    core::FileAuditSinkOptions sink_options;
+    sink_options.path = path;
+    sink_options.max_file_bytes = 8u << 20;
+    sink_options.queue_capacity = 4096;
+    pipeline.sink = std::make_shared<core::FileAuditSink>(sink_options);
+    options.sink = pipeline.sink;
+  }
+  auto inner = std::make_shared<core::StaticPolicySource>("bench", document);
+  pipeline.source = std::make_shared<core::AuditingPolicySource>(
+      inner, pipeline.log, &clock, options);
+  return pipeline;
+}
+
+// Wire policy for the end-to-end path: Bo Liu may start test1 and query
+// jobs he owns — the paper's self-management idiom.
+constexpr const char* kWirePolicy = R"(
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)
+&(action = information)(jobowner = self)
+)";
+
+// Full PEP stack: simulated site with the audited policy source as the
+// job-manager PEP, talked to over the wire seam.
+struct WirePipeline {
+  bench::BenchSite env;
+  std::shared_ptr<core::AuditLog> log;
+  std::shared_ptr<core::FileAuditSink> sink;
+  std::unique_ptr<gram::wire::WireEndpoint> endpoint;
+  std::unique_ptr<gram::wire::WireClient> client;
+  std::string contact;
+
+  WirePipeline(bool with_sink, bool with_provenance, const std::string& leaf) {
+    log = std::make_shared<core::AuditLog>();
+    core::AuditingOptions options;
+    options.collect_provenance = with_provenance;
+    if (with_sink) {
+      const std::string path = ScratchPath(leaf);
+      std::filesystem::remove(path);
+      core::FileAuditSinkOptions sink_options;
+      sink_options.path = path;
+      sink_options.max_file_bytes = 32u << 20;
+      sink_options.queue_capacity = 4096;
+      sink = std::make_shared<core::FileAuditSink>(sink_options);
+      options.sink = sink;
+    }
+    auto policy = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kWirePolicy).value());
+    env.site.UseJobManagerPep(std::make_shared<core::AuditingPolicySource>(
+        policy, log, &env.site.clock(), options));
+    endpoint = std::make_unique<gram::wire::WireEndpoint>(
+        &env.site.gatekeeper(), &env.site.jmis(), &env.site.trust(),
+        &env.site.clock());
+    client = std::make_unique<gram::wire::WireClient>(env.boliu,
+                                                      endpoint.get());
+    contact = client->Submit("&(executable=test1)(simduration=100000)")
+                  .value();
+  }
+
+  double MeasureStatusRps(int iters) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      auto reply = client->Status(contact);
+      benchmark::DoNotOptimize(reply);
+    }
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    return s > 0 ? iters / s : 0;
+  }
+};
+
+double MeasureRps(core::PolicySource& source, int threads, int iters) {
+  const core::AuthorizationRequest request = CancelRequest();
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        auto decision = source.Authorize(request);
+        benchmark::DoNotOptimize(decision);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return s > 0 ? static_cast<double>(threads) * iters / s : 0;
+}
+
+void BM_AuditRingOnly(benchmark::State& state) {
+  Pipeline pipeline = MakePipeline(PipelinePolicy(), false, false, "");
+  const core::AuthorizationRequest request = CancelRequest();
+  for (auto _ : state) {
+    auto decision = pipeline.source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditRingOnly);
+
+void BM_AuditJsonlSink(benchmark::State& state) {
+  Pipeline pipeline =
+      MakePipeline(PipelinePolicy(), true, false, "bm_sink.jsonl");
+  const core::AuthorizationRequest request = CancelRequest();
+  for (auto _ : state) {
+    auto decision = pipeline.source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditJsonlSink);
+
+void BM_AuditSinkPlusProvenance(benchmark::State& state) {
+  Pipeline pipeline =
+      MakePipeline(PipelinePolicy(), true, true, "bm_prov.jsonl");
+  const core::AuthorizationRequest request = CancelRequest();
+  for (auto _ : state) {
+    auto decision = pipeline.source->Authorize(request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditSinkPlusProvenance);
+
+void EmitAuditPipelineJson() {
+  const bool quick = QuickMode();
+  const int iters = quick ? 1000 : 20000;
+  const int burst = quick ? 2000 : 50000;
+
+  const core::PolicyDocument document = PipelinePolicy();
+  std::vector<std::pair<std::string, double>> fields;
+
+  // Headline: the end-to-end wire management path, best-of-N with the
+  // configurations interleaved per trial — on a loaded (or single-core)
+  // machine a single run is dominated by scheduler noise, and
+  // interleaving decorrelates slow phases from any one configuration.
+  const int trials = 3;
+  const int wire_iters = quick ? 500 : 5000;
+  double wire_off = 0, wire_sink = 0, wire_prov = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::string leaf = "wire_trial" + std::to_string(trial);
+    WirePipeline off{false, false, ""};
+    wire_off = std::max(wire_off, off.MeasureStatusRps(wire_iters));
+    WirePipeline sink{true, false, leaf + "_sink.jsonl"};
+    wire_sink = std::max(wire_sink, sink.MeasureStatusRps(wire_iters));
+    WirePipeline prov{true, true, leaf + "_prov.jsonl"};
+    wire_prov = std::max(wire_prov, prov.MeasureStatusRps(wire_iters));
+  }
+  const double overhead_1t =
+      wire_off > 0 && wire_sink > 0 ? wire_off / wire_sink - 1.0 : 0;
+  fields.emplace_back("wire_rps_1t_sink_off", wire_off);
+  fields.emplace_back("wire_rps_1t_jsonl_sink", wire_sink);
+  fields.emplace_back("wire_rps_1t_sink_provenance", wire_prov);
+  fields.emplace_back("sink_overhead_1t", overhead_1t);
+
+  // Secondary: the bare AuditingPolicySource layer, the harshest possible
+  // denominator (no wire framing, no gatekeeper) — useful for tracking
+  // the absolute per-record pipeline cost over time.
+  double rps_off_1t = 0;
+  double rps_sink_1t = 0;
+  for (int threads : {1, 4}) {
+    const std::string t = std::to_string(threads);
+    double rps_off = 0, rps_sink = 0, rps_prov = 0, drop_rate = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::string leaf = t + "t_trial" + std::to_string(trial);
+      Pipeline off = MakePipeline(document, false, false, "");
+      rps_off = std::max(rps_off, MeasureRps(*off.source, threads, iters));
+      Pipeline sink =
+          MakePipeline(document, true, false, "emit_sink_" + leaf + ".jsonl");
+      rps_sink = std::max(rps_sink, MeasureRps(*sink.source, threads, iters));
+      Pipeline prov =
+          MakePipeline(document, true, true, "emit_prov_" + leaf + ".jsonl");
+      rps_prov = std::max(rps_prov, MeasureRps(*prov.source, threads, iters));
+      drop_rate = std::max(
+          drop_rate, sink.sink->written() + sink.sink->dropped() > 0
+                         ? static_cast<double>(sink.sink->dropped()) /
+                               static_cast<double>(sink.sink->written() +
+                                                   sink.sink->dropped())
+                         : 0);
+    }
+    fields.emplace_back("layer_rps_" + t + "t_sink_off", rps_off);
+    fields.emplace_back("layer_rps_" + t + "t_jsonl_sink", rps_sink);
+    fields.emplace_back("layer_rps_" + t + "t_sink_provenance", rps_prov);
+    fields.emplace_back("layer_drop_rate_" + t + "t_jsonl_sink", drop_rate);
+    if (threads == 1) {
+      rps_off_1t = rps_off;
+      rps_sink_1t = rps_sink;
+    }
+  }
+  fields.emplace_back(
+      "layer_sink_overhead_1t",
+      rps_off_1t > 0 && rps_sink_1t > 0 ? rps_off_1t / rps_sink_1t - 1.0 : 0);
+
+  // Burst a tiny queue: Submit must never block; the pressure shows up
+  // as a counted drop rate instead of PEP latency.
+  {
+    core::FileAuditSinkOptions tiny_options;
+    tiny_options.path = ScratchPath("burst_tiny.jsonl");
+    std::filesystem::remove(tiny_options.path);
+    tiny_options.queue_capacity = 64;
+    core::FileAuditSink small{tiny_options};
+    core::AuditRecord record;
+    record.source = "bench";
+    record.subject = kTarget;
+    record.action = "cancel";
+    record.outcome = core::AuditOutcome::kPermit;
+    record.reason = "management permit";
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < burst; ++i) small.Submit(record);
+    const double burst_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    small.Flush();
+    const double total =
+        static_cast<double>(small.written() + small.dropped());
+    fields.emplace_back("burst_submits_per_sec",
+                        burst_s > 0 ? burst / burst_s : 0);
+    fields.emplace_back(
+        "burst_drop_rate",
+        total > 0 ? static_cast<double>(small.dropped()) / total : 0);
+  }
+
+  const std::string path = "BENCH_audit_pipeline.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_audit_pipeline: wire sink-off=%.0f/s jsonl=%.0f/s "
+      "overhead=%.1f%% (layer: %.0f/s vs %.0f/s) -> %s\n",
+      wire_off, wire_sink, overhead_1t * 100, rps_off_1t, rps_sink_1t,
+      path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitAuditPipelineJson();
+  return 0;
+}

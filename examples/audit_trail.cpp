@@ -4,9 +4,16 @@
 // (section 4.3). A VO operator then reviews the log after an "incident":
 // which identities were denied, what did the community account actually
 // do, and bulk-cancels a job group by jobtag.
+//
+// This version runs the full durable pipeline (DESIGN.md §10): decisions
+// flow into the in-memory ring AND a JSONL FileAuditSink, each carrying
+// its DecisionProvenance — so the review below works from the on-disk
+// file, exactly as it would after a restart.
+#include <filesystem>
 #include <iostream>
 
 #include "core/audit.h"
+#include "core/audit_sink.h"
 #include "gram/site.h"
 
 using namespace gridauthz;
@@ -40,12 +47,22 @@ int main() {
   (void)site.MapUser(admin, "voadmin");
   (void)site.MapUser(outsider, "member1");  // mapped, but no VO rights
 
-  // Wrap the VO policy source in the auditing decorator.
+  // Durable sink: one flat JSON object per line, rotated by size, written
+  // by a background flusher so the PEP never blocks on disk.
+  const std::filesystem::path audit_dir =
+      std::filesystem::temp_directory_path() / "ga_example_audit_trail";
+  std::filesystem::remove_all(audit_dir);
+  std::filesystem::create_directories(audit_dir);
+  auto sink = std::make_shared<core::FileAuditSink>(core::FileAuditSinkOptions{
+      .path = (audit_dir / "audit.jsonl").string()});
+
+  // Wrap the VO policy source in the auditing decorator: ring + sink,
+  // with decision provenance collected for every call.
   auto log = std::make_shared<core::AuditLog>();
   auto vo_source = std::make_shared<core::StaticPolicySource>(
       "vo", core::PolicyDocument::Parse(kVoPolicy).value());
   site.UseJobManagerPep(std::make_shared<core::AuditingPolicySource>(
-      vo_source, log, &site.clock()));
+      vo_source, log, &site.clock(), core::AuditingOptions{.sink = sink}));
 
   // A day of traffic.
   gram::GramClient member_client = site.MakeClient(member);
@@ -88,18 +105,50 @@ int main() {
   std::cout << "\n--- full audit log (" << log->size() << " decisions) ---\n";
   std::cout << log->ToText();
 
-  std::cout << "--- denials for the prober ---\n";
-  for (const auto& record :
-       log->FailuresFor("/O=Grid/O=Elsewhere/CN=Prober")) {
+  // The durable review runs against the JSONL file, not the in-memory
+  // ring: this is what survives a restart of the authorization service.
+  std::cout << "--- denials for the prober (from " << sink->options().path
+            << ") ---\n";
+  core::AuditQuery prober_query;
+  prober_query.subject = "/O=Grid/O=Elsewhere/CN=Prober";
+  prober_query.outcome = core::AuditOutcome::kDeny;
+  auto prober_denials = sink->Query(prober_query);
+  if (!prober_denials.ok()) {
+    std::cerr << "query failed: " << prober_denials.error().to_string()
+              << "\n";
+    return 1;
+  }
+  for (const auto& record : *prober_denials) {
     std::cout << "  " << record.ToLine() << "\n";
   }
 
-  auto permits = log->Query(std::nullopt, std::nullopt,
-                            core::AuditOutcome::kPermit);
-  auto denies =
-      log->Query(std::nullopt, std::nullopt, core::AuditOutcome::kDeny);
-  std::cout << "\nsummary: " << permits.size() << " permits, "
-            << denies.size() << " denials, every one attributable to a Grid "
-            << "identity.\n";
+  // Each durable record carries the structured "why" — the provenance an
+  // operator replays instead of re-deriving the decision from the policy.
+  if (!prober_denials->empty()) {
+    const auto& denial = prober_denials->back();
+    std::cout << "\n--- provenance of the last denial ---\n";
+    if (denial.has_provenance) {
+      std::cout << denial.provenance.ToText();
+    } else {
+      std::cout << "(no provenance attached)\n";
+    }
+  }
+
+  core::AuditQuery permit_query;
+  permit_query.outcome = core::AuditOutcome::kPermit;
+  core::AuditQuery deny_query;
+  deny_query.outcome = core::AuditOutcome::kDeny;
+  auto permits = sink->Query(permit_query);
+  auto denies = sink->Query(deny_query);
+  if (!permits.ok() || !denies.ok()) {
+    std::cerr << "query failed\n";
+    return 1;
+  }
+  std::cout << "\nsummary: " << permits->size() << " permits, "
+            << denies->size() << " denials durably on disk ("
+            << sink->written() << " written, " << sink->dropped()
+            << " dropped), every one attributable to a Grid identity.\n";
+
+  std::filesystem::remove_all(audit_dir);
   return 0;
 }

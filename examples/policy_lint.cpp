@@ -3,13 +3,24 @@
 // easy (section 6.3 reports that hand-writing RSL policies "is not
 // natural to this community" — this is the feedback loop).
 //
-// Usage: policy_lint [policy-file]
-// Without an argument, lints two built-in samples (one clean, one full
-// of mistakes) as a demonstration.
+// Usage:
+//   policy_lint [policy-file]
+//     Lints the file; without an argument, lints two built-in samples
+//     (one clean, one full of mistakes) as a demonstration.
+//   policy_lint explain <policy-file> <subject> <action> [rsl] [jobowner]
+//     Replays one authorization request against the policy under a
+//     ProvenanceScope and prints the decision plus its provenance —
+//     which statement matched, which evaluator ran, why it denied.
+//     With no arguments after `explain`, replays a built-in request
+//     against the built-in clean sample.
 #include <iostream>
+#include <string>
 
 #include "common/config.h"
 #include "core/lint.h"
+#include "core/provenance.h"
+#include "core/source.h"
+#include "rsl/rsl.h"
 
 using namespace gridauthz;
 
@@ -66,9 +77,92 @@ int LintOne(const std::string& label, const std::string& text) {
   return 0;
 }
 
+// Replays one request against the policy under a ProvenanceScope and
+// prints the structured "why" — the same record the audit pipeline
+// attaches to every decision (DESIGN.md §10).
+int ExplainOne(const std::string& label, const std::string& policy_text,
+               const std::string& subject, const std::string& action,
+               const std::string& rsl_text, const std::string& job_owner) {
+  std::cout << "=== explain: " << label << " ===\n";
+  auto document = core::PolicyDocument::Parse(policy_text);
+  if (!document.ok()) {
+    std::cout << "PARSE ERROR: " << document.error().message() << "\n";
+    return 1;
+  }
+
+  core::AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = job_owner.empty() ? subject : job_owner;
+  if (!rsl_text.empty()) {
+    auto conjunction = rsl::ParseConjunction(rsl_text);
+    if (!conjunction.ok()) {
+      std::cout << "RSL PARSE ERROR: " << conjunction.error().message()
+                << "\n";
+      return 1;
+    }
+    request.job_rsl = *std::move(conjunction);
+  }
+
+  std::cout << "subject:  " << request.subject << "\n";
+  std::cout << "action:   " << request.action << "\n";
+  if (!rsl_text.empty()) std::cout << "rsl:      " << rsl_text << "\n";
+  if (request.job_owner != request.subject) {
+    std::cout << "jobowner: " << request.job_owner << "\n";
+  }
+
+  core::StaticPolicySource source("policy", *std::move(document));
+  core::ProvenanceScope scope;
+  auto decision = source.Authorize(request);
+  if (!decision.ok()) {
+    std::cout << "decision: SYSTEM-FAILURE (" << decision.error().to_string()
+              << ")\n";
+  } else {
+    std::cout << "decision: " << (decision->permitted() ? "PERMIT" : "DENY")
+              << " — " << decision->reason << "\n";
+  }
+  std::cout << "\n" << scope.record().ToText();
+  return decision.ok() ? 0 : 1;
+}
+
+int RunExplain(int argc, char** argv) {
+  if (argc == 2) {
+    // Built-in demonstration: one permit with a matched statement, one
+    // denial showing default-deny provenance.
+    int permit = ExplainOne(
+        "built-in sample, permitted start", kCleanSample,
+        "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu", "start",
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+        "");
+    std::cout << "\n";
+    int deny = ExplainOne(
+        "built-in sample, denied cancel", kCleanSample,
+        "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu", "cancel",
+        "&(jobtag=ADS)", "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey");
+    std::cout << "\n(run: policy_lint explain <policy-file> <subject> "
+              << "<action> [rsl] [jobowner] to explain your own)\n";
+    return permit == 0 && deny == 0 ? 0 : 1;
+  }
+  if (argc < 5) {
+    std::cerr << "usage: policy_lint explain <policy-file> <subject> "
+              << "<action> [rsl] [jobowner]\n";
+    return 2;
+  }
+  auto text = ReadFile(argv[2]);
+  if (!text.ok()) {
+    std::cerr << "cannot read " << argv[2] << ": " << text.error() << "\n";
+    return 2;
+  }
+  return ExplainOne(argv[2], *text, argv[3], argv[4],
+                    argc > 5 ? argv[5] : "", argc > 6 ? argv[6] : "");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string{argv[1]} == "explain") {
+    return RunExplain(argc, argv);
+  }
   if (argc > 1) {
     auto text = ReadFile(argv[1]);
     if (!text.ok()) {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/evaluator.h"
+#include "core/provenance.h"
 #include "core/source.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
@@ -207,6 +208,10 @@ AkentiPolicySource::AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
 Expected<core::Decision> AkentiPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
+  // Certificate gathering and chain verification dominate Akenti latency;
+  // the stage timer makes that visible in decision provenance.
+  core::ProvenanceStageTimer stage("akenti/authorize");
+  if (auto* prov = core::CurrentProvenance()) prov->policy_source = name_;
   Expected<core::Decision> result = [&]() -> Expected<core::Decision> {
     // Certificate gathering is the expensive part of Akenti evaluation;
     // don't even start it once the caller's budget is spent.

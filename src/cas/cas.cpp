@@ -5,6 +5,7 @@
 #include "common/deadline.h"
 #include "common/logging.h"
 #include "core/policy.h"
+#include "core/provenance.h"
 #include "core/source.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
@@ -78,6 +79,10 @@ CasPolicySource::CasPolicySource(std::string name) : name_(std::move(name)) {}
 Expected<core::Decision> CasPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
+  // Parsing the embedded restricted-proxy policy is CAS's per-request
+  // cost; the stage timer surfaces it in decision provenance.
+  core::ProvenanceStageTimer stage("cas/authorize");
+  if (auto* prov = core::CurrentProvenance()) prov->policy_source = name_;
   Expected<core::Decision> result = [&]() -> Expected<core::Decision> {
     if (DeadlineExpiredAt(obs::ObsClock()->NowMicros())) {
       obs::Metrics()

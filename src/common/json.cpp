@@ -1,0 +1,259 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gridauthz::json {
+
+void EscapeTo(std::string_view value, std::string& out) {
+  // Append clean runs in one go; the common all-clean value costs a
+  // single append. The audit flusher serializes every decision, so this
+  // path is hot on small machines.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (c != '\\' && c != '"' && static_cast<unsigned char>(c) >= 0x20) {
+      continue;
+    }
+    out.append(value.substr(start, i - start));
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default: {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buffer;
+      }
+    }
+    start = i + 1;
+  }
+  out.append(value.substr(start));
+}
+
+std::string Escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  EscapeTo(value, out);
+  return out;
+}
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Error ParseError(const std::string& what) {
+  return Error{ErrCode::kParseError, "json: " + what};
+}
+
+}  // namespace
+
+Expected<std::string> Unescape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    char c = value[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= value.size()) return ParseError("truncated escape");
+    switch (value[i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case '"':
+        out.push_back('"');
+        break;
+      case '/':
+        out.push_back('/');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case 'u': {
+        if (i + 4 >= value.size()) return ParseError("truncated \\u escape");
+        int code = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const int digit = HexValue(value[i + static_cast<std::size_t>(k)]);
+          if (digit < 0) return ParseError("bad \\u escape digit");
+          code = code * 16 + digit;
+        }
+        i += 4;
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else {
+          // Escape() never emits these; decode to UTF-8 for completeness.
+          if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          }
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return ParseError(std::string{"unknown escape '\\"} + value[i] + "'");
+    }
+  }
+  return out;
+}
+
+void ObjectWriter::Key(std::string_view key) {
+  if (body_.empty()) {
+    body_.reserve(320);
+    body_ += '{';
+  } else {
+    body_ += ',';
+  }
+  body_ += '"';
+  EscapeTo(key, body_);
+  body_ += "\":";
+}
+
+void ObjectWriter::String(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += '"';
+  EscapeTo(value, body_);
+  body_ += '"';
+}
+
+void ObjectWriter::Int(std::string_view key, std::int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+}
+
+void ObjectWriter::UInt(std::string_view key, std::uint64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+}
+
+void ObjectWriter::Bool(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+}
+
+void ObjectWriter::Raw(std::string_view key, std::string_view raw) {
+  Key(key);
+  body_ += raw;
+}
+
+std::string ObjectWriter::Take() {
+  if (body_.empty()) return "{}";
+  body_ += '}';
+  return std::move(body_);
+}
+
+Expected<std::map<std::string, std::string>> ParseFlatObject(
+    std::string_view text) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  // One JSON string literal starting at the opening quote; leaves `i`
+  // just past the closing quote and returns the raw (still escaped) body.
+  auto read_string = [&]() -> Expected<std::string> {
+    if (i >= text.size() || text[i] != '"') {
+      return ParseError("expected string");
+    }
+    const std::size_t begin = ++i;
+    while (i < text.size()) {
+      if (text[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (text[i] == '"') {
+        auto decoded = Unescape(text.substr(begin, i - begin));
+        ++i;
+        return decoded;
+      }
+      ++i;
+    }
+    return ParseError("unterminated string");
+  };
+
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return ParseError("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return out;  // empty object
+  while (true) {
+    skip_ws();
+    GA_TRY(std::string key, read_string());
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return ParseError("expected ':'");
+    ++i;
+    skip_ws();
+    if (i >= text.size()) return ParseError("truncated value");
+    if (text[i] == '"') {
+      GA_TRY(std::string value, read_string());
+      out[key] = std::move(value);
+    } else if (text[i] == '{' || text[i] == '[') {
+      return ParseError("nested values are not supported");
+    } else {
+      // Number or literal: everything up to the next ',' or '}'.
+      const std::size_t begin = i;
+      while (i < text.size() && text[i] != ',' && text[i] != '}') ++i;
+      std::size_t end = i;
+      while (end > begin &&
+             std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+      }
+      if (end == begin) return ParseError("empty value");
+      out[key] = std::string{text.substr(begin, end - begin)};
+    }
+    skip_ws();
+    if (i >= text.size()) return ParseError("truncated object");
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') break;
+    return ParseError("expected ',' or '}'");
+  }
+  return out;
+}
+
+}  // namespace gridauthz::json

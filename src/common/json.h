@@ -1,0 +1,58 @@
+// Minimal flat-JSON support for the audit sink and the exposition
+// service. The repo deliberately carries no external JSON dependency;
+// the audit JSONL format (DESIGN.md §10) restricts itself to one flat
+// object per line with string / integer / boolean values, which this
+// writer and parser handle completely — including full control-character
+// escaping, so arbitrary Grid identities and error reasons round-trip
+// byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace gridauthz::json {
+
+// Escapes `value` for inclusion inside a JSON string literal: quotes,
+// backslashes, and every control character (U+0000..U+001F, as \uXXXX
+// or the short forms \n \r \t \b \f).
+std::string Escape(std::string_view value);
+// Allocation-free variant: appends the escaped form onto `out`.
+void EscapeTo(std::string_view value, std::string& out);
+
+// Inverse of Escape: decodes backslash escapes, including \uXXXX for
+// code points below U+0080 (the only ones Escape emits; others are
+// copied through verbatim as their UTF-8 bytes were never escaped).
+// Fails on truncated or unknown escapes.
+Expected<std::string> Unescape(std::string_view value);
+
+// Builds one flat JSON object incrementally: {"k":"v","n":42,...}.
+class ObjectWriter {
+ public:
+  void String(std::string_view key, std::string_view value);
+  void Int(std::string_view key, std::int64_t value);
+  void UInt(std::string_view key, std::uint64_t value);
+  void Bool(std::string_view key, bool value);
+  // Pre-rendered JSON (nested object/array built elsewhere).
+  void Raw(std::string_view key, std::string_view json);
+
+  // The finished object. The writer is spent afterwards.
+  std::string Take();
+
+ private:
+  void Key(std::string_view key);
+  std::string body_;
+};
+
+// Parses one flat JSON object into key -> decoded value. Values may be
+// strings, integers, or the literals true/false/null (stored as their
+// literal text: "true", "false", "null"); nested objects and arrays are
+// rejected — the audit formats never produce them. Duplicate keys keep
+// the last value.
+Expected<std::map<std::string, std::string>> ParseFlatObject(
+    std::string_view text);
+
+}  // namespace gridauthz::json

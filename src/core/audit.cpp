@@ -1,5 +1,6 @@
 #include "core/audit.h"
 
+#include "core/audit_sink.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +18,14 @@ std::string_view to_string(AuditOutcome outcome) {
   return "?";
 }
 
+Expected<AuditOutcome> AuditOutcomeFromString(std::string_view text) {
+  if (text == "PERMIT") return AuditOutcome::kPermit;
+  if (text == "DENY") return AuditOutcome::kDeny;
+  if (text == "SYSTEM-FAILURE") return AuditOutcome::kSystemFailure;
+  return Error{ErrCode::kParseError,
+               "unknown audit outcome '" + std::string{text} + "'"};
+}
+
 std::string AuditRecord::ToLine() const {
   std::string out = "t=" + std::to_string(time);
   out += " outcome=" + std::string{to_string(outcome)};
@@ -29,6 +38,7 @@ std::string AuditRecord::ToLine() const {
   if (!job_id.empty()) out += " job=" + job_id;
   if (!reason.empty()) out += " reason=\"" + reason + "\"";
   if (!trace_id.empty()) out += " trace=" + trace_id;
+  if (retry_attempt > 0) out += " retry-attempt=" + std::to_string(retry_attempt);
   return out;
 }
 
@@ -108,11 +118,40 @@ std::string AuditLog::ToText() const {
 
 AuditingPolicySource::AuditingPolicySource(std::shared_ptr<PolicySource> inner,
                                            std::shared_ptr<AuditLog> log,
-                                           const Clock* clock)
-    : inner_(std::move(inner)), log_(std::move(log)), clock_(clock) {}
+                                           const Clock* clock,
+                                           AuditingOptions options)
+    : inner_(std::move(inner)),
+      log_(std::move(log)),
+      clock_(clock),
+      options_(std::move(options)) {}
+
+void AuditingPolicySource::Emit(AuditRecord record) {
+  // Ring log takes the copy, the sink takes the moved original: the
+  // sink's queue then carries the record's existing allocations instead
+  // of fresh ones — this path is on the PEP's critical section.
+  if (options_.sink != nullptr) {
+    log_->Append(record);
+    options_.sink->Submit(std::move(record));
+    return;
+  }
+  log_->Append(std::move(record));
+}
 
 Expected<Decision> AuditingPolicySource::Authorize(
     const AuthorizationRequest& request) {
+  // Collect provenance for this call: reuse the caller's scope (a PEP or
+  // explain tool may have opened one) or install our own.
+  std::optional<ProvenanceScope> scope;
+  if (options_.collect_provenance && CurrentProvenance() == nullptr) {
+    scope.emplace();
+  }
+  DecisionProvenance* prov =
+      options_.collect_provenance ? CurrentProvenance() : nullptr;
+  // Failed attempts already present belong to an earlier call audited
+  // under the same shared scope; only attempts added below are ours.
+  const std::size_t attempts_before =
+      prov != nullptr ? prov->failed_attempts.size() : 0;
+
   AuditRecord record;
   record.time = clock_->Now();
   record.source = inner_->name();
@@ -134,7 +173,26 @@ Expected<Decision> AuditingPolicySource::Authorize(
     record.outcome = AuditOutcome::kDeny;
     record.reason = decision->reason;
   }
-  log_->Append(std::move(record));
+
+  if (prov != nullptr) {
+    // One record per failed attempt of a retried call, emitted before
+    // the final record (the order they happened). Incident review must
+    // see the transient failures, not just the eventual outcome.
+    if (options_.per_attempt_records) {
+      for (std::size_t i = attempts_before;
+           i < prov->failed_attempts.size(); ++i) {
+        const FailedAttempt& failed = prov->failed_attempts[i];
+        AuditRecord attempt = record;
+        attempt.outcome = AuditOutcome::kSystemFailure;
+        attempt.reason = failed.error;
+        attempt.retry_attempt = failed.attempt;
+        Emit(std::move(attempt));
+      }
+    }
+    record.provenance = *prov;
+    record.has_provenance = true;
+  }
+  Emit(std::move(record));
   return decision;
 }
 

@@ -16,13 +16,18 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "core/provenance.h"
 #include "core/source.h"
 
 namespace gridauthz::core {
 
+class AuditSink;  // audit_sink.h — durable JSONL persistence
+
 enum class AuditOutcome { kPermit, kDeny, kSystemFailure };
 
 std::string_view to_string(AuditOutcome outcome);
+// Inverse of to_string; fails on unknown text.
+Expected<AuditOutcome> AuditOutcomeFromString(std::string_view text);
 
 struct AuditRecord {
   TimePoint time = 0;
@@ -38,6 +43,15 @@ struct AuditRecord {
   // decision was made outside a trace); joins the record to its spans
   // and log lines.
   std::string trace_id;
+  // >0 marks a per-attempt record: the Nth attempt of a retried call
+  // failed transiently before the final outcome. The final record of the
+  // same call keeps 0, so incident review sees every transient failure
+  // without double-counting decisions.
+  int retry_attempt = 0;
+  // Structured "why" collected during evaluation (DESIGN.md §10);
+  // meaningful only when has_provenance is true.
+  DecisionProvenance provenance;
+  bool has_provenance = false;
 
   // One-line rendering, suitable for an append-only log file.
   std::string ToLine() const;
@@ -89,19 +103,39 @@ class AuditLog {
   std::uint64_t dropped_ = 0;
 };
 
-// Decorator: forwards to `inner` and records the outcome.
+struct AuditingOptions {
+  // Durable sink every record is also submitted to (nullptr = ring only).
+  std::shared_ptr<AuditSink> sink;
+  // Collect decision provenance for each audited call (installing a
+  // ProvenanceScope when the caller has not). Off = PR-1 behavior.
+  bool collect_provenance = true;
+  // Emit one kSystemFailure record per failed attempt of a retried call
+  // (tagged retry_attempt), in addition to the final record.
+  bool per_attempt_records = true;
+};
+
+// Decorator: forwards to `inner` and records the outcome — with decision
+// provenance attached and, when the inner chain retried, one record per
+// failed attempt so transient failures survive into incident review.
 class AuditingPolicySource final : public PolicySource {
  public:
   AuditingPolicySource(std::shared_ptr<PolicySource> inner,
-                       std::shared_ptr<AuditLog> log, const Clock* clock);
+                       std::shared_ptr<AuditLog> log, const Clock* clock,
+                       AuditingOptions options = {});
 
   const std::string& name() const override { return inner_->name(); }
   Expected<Decision> Authorize(const AuthorizationRequest& request) override;
+  std::uint64_t policy_generation() const override {
+    return inner_->policy_generation();
+  }
 
  private:
+  void Emit(AuditRecord record);
+
   std::shared_ptr<PolicySource> inner_;
   std::shared_ptr<AuditLog> log_;
   const Clock* clock_;
+  AuditingOptions options_;
 };
 
 }  // namespace gridauthz::core

@@ -1,0 +1,342 @@
+#include "core/audit_sink.h"
+
+#include <charconv>
+#include <chrono>
+#include <filesystem>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::core {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+std::int64_t IntField(const std::map<std::string, std::string>& fields,
+                      const std::string& key, std::int64_t fallback = 0) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  std::int64_t value = 0;
+  const char* begin = it->second.data();
+  const char* end = begin + it->second.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return fallback;
+  return value;
+}
+
+std::string StringField(const std::map<std::string, std::string>& fields,
+                        const std::string& key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? std::string{} : it->second;
+}
+
+}  // namespace
+
+std::string AuditRecordToJsonLine(const AuditRecord& record) {
+  json::ObjectWriter out;
+  out.Int("v", kSchemaVersion);
+  out.Int("t", record.time);
+  out.String("outcome", to_string(record.outcome));
+  out.String("source", record.source);
+  out.String("subject", record.subject);
+  out.String("action", record.action);
+  if (!record.job_owner.empty()) out.String("jobowner", record.job_owner);
+  if (!record.job_id.empty()) out.String("job", record.job_id);
+  if (!record.rsl.empty()) out.String("rsl", record.rsl);
+  if (!record.reason.empty()) out.String("reason", record.reason);
+  if (!record.trace_id.empty()) out.String("trace", record.trace_id);
+  if (record.retry_attempt > 0) out.Int("attempt", record.retry_attempt);
+  if (record.has_provenance) {
+    // Provenance flattened with prov_ prefixes: one schema, one parser.
+    out.Bool("prov", true);
+    const DecisionProvenance& p = record.provenance;
+    if (!p.evaluator.empty()) out.String("prov_evaluator", p.evaluator);
+    if (!p.matched_statement.empty()) {
+      out.String("prov_statement", p.matched_statement);
+    }
+    if (p.matched_set > 0) out.Int("prov_set", p.matched_set);
+    if (!p.decision_kind.empty()) out.String("prov_kind", p.decision_kind);
+    if (!p.failed_relation.empty()) {
+      out.String("prov_failed_relation", p.failed_relation);
+    }
+    if (p.policy_generation > 0) out.UInt("prov_generation", p.policy_generation);
+    if (!p.policy_source.empty()) out.String("prov_source", p.policy_source);
+    if (p.cache_checked) {
+      out.String("prov_cache", p.cache_hit ? "hit" : "miss");
+      if (p.cache_generation > 0) {
+        out.UInt("prov_cache_generation", p.cache_generation);
+      }
+    }
+    if (p.attempts > 0) out.Int("prov_attempts", p.attempts);
+    if (!p.failed_attempts.empty()) {
+      out.String("prov_failed_attempts", p.FailedAttemptsToString());
+    }
+    if (!p.breaker_state.empty()) out.String("prov_breaker", p.breaker_state);
+    if (!p.degrade_tag.empty()) out.String("prov_degraded", p.degrade_tag);
+    if (!p.pep_action.empty()) out.String("prov_pep_action", p.pep_action);
+    if (!p.pep_job_id.empty()) out.String("prov_pep_job", p.pep_job_id);
+    if (!p.peer_trace_id.empty()) {
+      out.String("prov_peer_trace", p.peer_trace_id);
+    }
+    if (!p.stages.empty()) out.String("prov_stages", p.StagesToString());
+  }
+  return out.Take();
+}
+
+Expected<AuditRecord> AuditRecordFromJsonLine(std::string_view line) {
+  GA_TRY(auto fields, json::ParseFlatObject(line));
+  const std::int64_t version = IntField(fields, "v", -1);
+  if (version != kSchemaVersion) {
+    return Error{ErrCode::kParseError,
+                 "audit line has unsupported schema version " +
+                     std::to_string(version)};
+  }
+  AuditRecord record;
+  record.time = IntField(fields, "t");
+  GA_TRY(record.outcome, AuditOutcomeFromString(StringField(fields, "outcome")));
+  record.source = StringField(fields, "source");
+  record.subject = StringField(fields, "subject");
+  record.action = StringField(fields, "action");
+  record.job_owner = StringField(fields, "jobowner");
+  record.job_id = StringField(fields, "job");
+  record.rsl = StringField(fields, "rsl");
+  record.reason = StringField(fields, "reason");
+  record.trace_id = StringField(fields, "trace");
+  record.retry_attempt = static_cast<int>(IntField(fields, "attempt"));
+  if (fields.count("prov") != 0) {
+    record.has_provenance = true;
+    DecisionProvenance& p = record.provenance;
+    p.evaluator = StringField(fields, "prov_evaluator");
+    p.matched_statement = StringField(fields, "prov_statement");
+    p.matched_set = static_cast<int>(IntField(fields, "prov_set"));
+    p.decision_kind = StringField(fields, "prov_kind");
+    p.failed_relation = StringField(fields, "prov_failed_relation");
+    p.policy_generation =
+        static_cast<std::uint64_t>(IntField(fields, "prov_generation"));
+    p.policy_source = StringField(fields, "prov_source");
+    const std::string cache = StringField(fields, "prov_cache");
+    p.cache_checked = !cache.empty();
+    p.cache_hit = cache == "hit";
+    p.cache_generation =
+        static_cast<std::uint64_t>(IntField(fields, "prov_cache_generation"));
+    p.attempts = static_cast<int>(IntField(fields, "prov_attempts"));
+    p.failed_attempts = DecisionProvenance::FailedAttemptsFromString(
+        StringField(fields, "prov_failed_attempts"));
+    p.breaker_state = StringField(fields, "prov_breaker");
+    p.degrade_tag = StringField(fields, "prov_degraded");
+    p.pep_action = StringField(fields, "prov_pep_action");
+    p.pep_job_id = StringField(fields, "prov_pep_job");
+    p.peer_trace_id = StringField(fields, "prov_peer_trace");
+    p.stages =
+        DecisionProvenance::StagesFromString(StringField(fields, "prov_stages"));
+  }
+  return record;
+}
+
+FileAuditSink::FileAuditSink(FileAuditSinkOptions options)
+    : options_(std::move(options)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+FileAuditSink::~FileAuditSink() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();  // drains remaining records
+  std::lock_guard file_lock(file_mu_);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+void FileAuditSink::Submit(AuditRecord record) {
+  bool queued = false;
+  bool wake = false;
+  {
+    std::lock_guard lock(mu_);
+    if (!stop_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(std::move(record));
+      queued = true;
+      // The flusher polls on a short period, so the hot path normally
+      // skips the condition-variable signal (a futex wake would cost
+      // more than the rest of Submit combined). Signal only when the
+      // queue is filling faster than the poll drains it.
+      wake = queue_.size() * 2 >= options_.queue_capacity;
+    }
+  }
+  if (queued) {
+    if (wake) cv_.notify_one();
+    return;
+  }
+  // Never block the PEP on a slow disk: count the loss and move on. The
+  // ObsService /healthz surfaces the counter so operators see it.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  obs::Metrics().GetCounter("audit_sink_dropped_total").Increment();
+}
+
+void FileAuditSink::Flush() {
+  {
+    std::unique_lock lock(mu_);
+    cv_.notify_one();  // wake the poll loop immediately
+    drained_cv_.wait(lock, [this] { return queue_.empty() && !writing_; });
+  }
+  std::lock_guard file_lock(file_mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+void FileAuditSink::FlusherLoop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    // Timed wait: producers do not signal on every Submit (see there),
+    // so the flusher polls. Flush(), shutdown, and a half-full queue
+    // still signal for prompt draining.
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::deque<AuditRecord> batch;
+    batch.swap(queue_);
+    writing_ = true;
+    lock.unlock();
+    std::size_t wrote = 0;
+    {
+      std::lock_guard file_lock(file_mu_);
+      wrote = WriteBatchLocked(batch);
+    }
+    // One registry lookup per batch, not per record: the flusher shares
+    // a core with the PEP on small machines, so its per-record cost is
+    // part of the authorization hot path.
+    if (wrote > 0) {
+      obs::Metrics()
+          .GetCounter("audit_sink_written_total")
+          .Increment(static_cast<std::int64_t>(wrote));
+    }
+    if (wrote < batch.size()) {
+      obs::Metrics()
+          .GetCounter("audit_sink_dropped_total")
+          .Increment(static_cast<std::int64_t>(batch.size() - wrote));
+    }
+    lock.lock();
+    writing_ = false;
+    drained_cv_.notify_all();
+  }
+}
+
+std::string FileAuditSink::RotatedPath(std::size_t index) const {
+  return options_.path + "." + std::to_string(index);
+}
+
+void FileAuditSink::OpenLocked() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const auto existing = fs::file_size(options_.path, ec);
+  current_bytes_ = ec ? 0 : static_cast<std::size_t>(existing);
+  out_.open(options_.path, std::ios::app | std::ios::binary);
+}
+
+void FileAuditSink::RotateLocked() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  out_.flush();
+  out_.close();
+  if (options_.max_rotated_files == 0) {
+    fs::remove(options_.path, ec);
+  } else {
+    fs::remove(RotatedPath(options_.max_rotated_files), ec);
+    for (std::size_t k = options_.max_rotated_files; k >= 2; --k) {
+      fs::rename(RotatedPath(k - 1), RotatedPath(k), ec);
+    }
+    fs::rename(options_.path, RotatedPath(1), ec);
+  }
+  current_bytes_ = 0;
+  out_.open(options_.path, std::ios::app | std::ios::binary);
+}
+
+std::size_t FileAuditSink::WriteBatchLocked(
+    const std::deque<AuditRecord>& batch) {
+  if (!out_.is_open()) OpenLocked();
+  if (!out_.is_open()) {
+    dropped_.fetch_add(batch.size(), std::memory_order_relaxed);
+    return 0;
+  }
+  // Serialize the whole batch into one reused buffer and issue a single
+  // write per file: per-record stream writes measurably tax the PEP on
+  // machines where flusher and PEP share a core.
+  buffer_.clear();
+  auto flush_buffer = [this] {
+    if (buffer_.empty()) return;
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    current_bytes_ += buffer_.size();
+    buffer_.clear();
+  };
+  for (const AuditRecord& record : batch) {
+    std::string line = AuditRecordToJsonLine(record);
+    line.push_back('\n');
+    // Rotate *before* the write that would overflow, so no single file
+    // exceeds max_file_bytes (a record larger than the cap still gets
+    // its own file — losing it would be worse than the overage).
+    if (current_bytes_ + buffer_.size() > 0 &&
+        current_bytes_ + buffer_.size() + line.size() >
+            options_.max_file_bytes) {
+      flush_buffer();
+      RotateLocked();
+    }
+    buffer_ += line;
+  }
+  flush_buffer();
+  out_.flush();
+  written_.fetch_add(batch.size(), std::memory_order_relaxed);
+  return batch.size();
+}
+
+Expected<std::vector<AuditRecord>> FileAuditSink::Query(
+    const AuditQuery& query) {
+  Flush();
+  std::lock_guard file_lock(file_mu_);
+  if (out_.is_open()) out_.flush();
+
+  auto matches = [&query](const AuditRecord& record) {
+    if (query.subject && record.subject != *query.subject) return false;
+    if (query.action && record.action != *query.action) return false;
+    if (query.outcome && record.outcome != *query.outcome) return false;
+    if (query.time_min && record.time < *query.time_min) return false;
+    if (query.time_max && record.time > *query.time_max) return false;
+    return true;
+  };
+
+  std::vector<AuditRecord> out;
+  auto read_file = [&](const std::string& path) -> Expected<void> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return Ok();  // rotated slot not (yet) present
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      auto record = AuditRecordFromJsonLine(line);
+      if (!record.ok()) {
+        return Error{ErrCode::kParseError,
+                     path + ":" + std::to_string(line_no) + ": " +
+                         record.error().to_string()};
+      }
+      if (matches(*record)) out.push_back(std::move(*record));
+    }
+    return Ok();
+  };
+
+  // Oldest first: highest rotation index down to the active file.
+  for (std::size_t k = options_.max_rotated_files; k >= 1; --k) {
+    GA_TRY_VOID(read_file(RotatedPath(k)));
+  }
+  GA_TRY_VOID(read_file(options_.path));
+  return out;
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,125 @@
+// Durable audit persistence (DESIGN.md §10). The in-memory AuditLog ring
+// answers "what happened recently"; a production authorization service
+// must answer it across restarts. AuditSink is the abstraction; the
+// JSONL FileAuditSink is the implementation:
+//
+//  * one schema-versioned flat JSON object per line ("v":1), so the file
+//    is greppable, tail-able, and parseable with nothing but this repo;
+//  * a bounded producer queue drained by a background flusher thread —
+//    Submit() never blocks the PEP and never does I/O; when the queue is
+//    full the record is dropped and counted (audit_sink_dropped_total),
+//    because stalling authorization on a slow disk is the worse failure;
+//  * size-based rotation: when the active file would exceed
+//    max_file_bytes it becomes <path>.1 (older files shift up, the
+//    oldest beyond max_rotated_files is deleted), bounding total disk;
+//  * crash-safe shutdown: the destructor drains the queue, flushes, and
+//    joins the flusher before returning;
+//  * a reader/query API (subject / action / outcome / time-range) that
+//    re-parses the files — the operator's incident-review entry point.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/audit.h"
+
+namespace gridauthz::core {
+
+// Serializes one record as a flat JSON object (no trailing newline).
+// Every field — including the attached DecisionProvenance — round-trips
+// byte-identically through AuditRecordFromJsonLine.
+std::string AuditRecordToJsonLine(const AuditRecord& record);
+Expected<AuditRecord> AuditRecordFromJsonLine(std::string_view line);
+
+// Destination for audit records. Implementations must be thread-safe and
+// must never block the submitting (PEP) thread on I/O.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void Submit(AuditRecord record) = 0;
+  // Blocks until every record submitted so far is durably written.
+  virtual void Flush() {}
+};
+
+struct FileAuditSinkOptions {
+  std::string path;                      // active JSONL file
+  std::size_t max_file_bytes = 1 << 20;  // rotate beyond this
+  std::size_t max_rotated_files = 3;     // <path>.1 .. <path>.N kept
+  std::size_t queue_capacity = 1024;     // producer queue; full = drop
+};
+
+struct AuditQuery {
+  std::optional<std::string> subject;
+  std::optional<std::string> action;
+  std::optional<AuditOutcome> outcome;
+  std::optional<TimePoint> time_min;  // inclusive
+  std::optional<TimePoint> time_max;  // inclusive
+};
+
+class FileAuditSink final : public AuditSink {
+ public:
+  explicit FileAuditSink(FileAuditSinkOptions options);
+  ~FileAuditSink() override;
+  FileAuditSink(const FileAuditSink&) = delete;
+  FileAuditSink& operator=(const FileAuditSink&) = delete;
+
+  void Submit(AuditRecord record) override;
+  void Flush() override;
+
+  // Flushes, then re-reads the rotated files (oldest first) and the
+  // active file, returning records matching every set filter. Fails on
+  // unreadable or corrupt lines rather than silently skipping them.
+  Expected<std::vector<AuditRecord>> Query(const AuditQuery& query);
+
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  const FileAuditSinkOptions& options() const { return options_; }
+
+ private:
+  void FlusherLoop();
+  // file_mu_ held by all three:
+  void OpenLocked();
+  void RotateLocked();
+  // Serializes and writes a whole drained batch (single write per file,
+  // rotating between writes as the size cap requires). Returns how many
+  // records were written; the caller owns the metrics increments.
+  std::size_t WriteBatchLocked(const std::deque<AuditRecord>& batch);
+
+  std::string RotatedPath(std::size_t index) const;
+
+  FileAuditSinkOptions options_;
+
+  // Producer queue state.
+  std::mutex mu_;
+  std::condition_variable cv_;          // producers -> flusher
+  std::condition_variable drained_cv_;  // flusher -> Flush()
+  std::deque<AuditRecord> queue_;
+  bool stop_ = false;
+  bool writing_ = false;  // flusher mid-batch (queue already swapped out)
+
+  // File state: flusher writes, Query reads; never under mu_.
+  std::mutex file_mu_;
+  std::ofstream out_;
+  std::size_t current_bytes_ = 0;
+  std::string buffer_;  // batch serialization buffer, reused across batches
+
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::thread flusher_;
+};
+
+}  // namespace gridauthz::core

@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "common/strings.h"
+#include "core/provenance.h"
 #include "gsi/dn.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
@@ -340,6 +341,7 @@ bool CompiledPolicyDocument::BodySatisfied(const SetBody& body,
 Decision CompiledPolicyDocument::Evaluate(
     const AuthorizationRequest& request) const {
   obs::ScopedSpan span("pdp/evaluate");
+  ProvenanceStageTimer stage("pdp/evaluate");
   Decision decision = EvaluateImpl(request);
   obs::Metrics()
       .GetCounter("pdp_evaluations_total",
@@ -351,8 +353,22 @@ Decision CompiledPolicyDocument::Evaluate(
 Decision CompiledPolicyDocument::EvaluateImpl(
     const AuthorizationRequest& request) const {
   const rsl::Conjunction effective = request.ToEffectiveRsl();
+  // Provenance annotations at the same return points as the naive
+  // evaluator, with identical values apart from the evaluator name — the
+  // provenance_test pins the two paths together just like the decisions.
+  DecisionProvenance* prov = CurrentProvenance();
+  auto note = [prov](std::string_view kind, std::string_view statement,
+                     int set, std::string_view failed = {}) {
+    if (prov == nullptr) return;
+    prov->evaluator = "compiled";
+    prov->decision_kind = std::string{kind};
+    prov->matched_statement = std::string{statement};
+    prov->matched_set = set;
+    prov->failed_relation = std::string{failed};
+  };
   const std::vector<std::size_t> applicable = Lookup(request.subject);
   if (applicable.empty()) {
+    note("deny-no-applicable", "default-deny", 0);
     return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
                           "no policy statement applies to " + request.subject);
   }
@@ -370,6 +386,8 @@ Decision CompiledPolicyDocument::EvaluateImpl(
       }
       std::string failed;
       if (!BodySatisfied(set.body, index, request.subject, &failed)) {
+        note("deny-requirement", compiled.statement->subject_prefix, 0,
+             failed);
         return Decision::Deny(
             DecisionCode::kDenyRequirementViolated,
             "requirement for '" + compiled.statement->subject_prefix +
@@ -399,6 +417,7 @@ Decision CompiledPolicyDocument::EvaluateImpl(
         if (!all_mentioned) continue;
       }
       if (BodySatisfied(set.body, index, request.subject)) {
+        note("permit", compiled.statement->subject_prefix, set_index);
         return Decision::Permit("permitted by statement for '" +
                                 compiled.statement->subject_prefix +
                                 "', assertion set " +
@@ -408,10 +427,12 @@ Decision CompiledPolicyDocument::EvaluateImpl(
   }
 
   if (!saw_permission_statement) {
+    note("deny-no-applicable", "default-deny", 0);
     return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
                           "no permission statement applies to " +
                               request.subject);
   }
+  note("deny-no-permission", "default-deny", 0);
   return Decision::Deny(DecisionCode::kDenyNoPermission,
                         "no assertion set covers action '" + request.action +
                             "' for " + request.subject);

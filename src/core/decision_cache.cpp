@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/strings.h"
+#include "core/provenance.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
 
@@ -38,6 +39,18 @@ std::optional<Decision> ShardedDecisionCache::Lookup(const std::string& key,
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  // A hit bypasses the evaluator entirely, so the evaluator will never
+  // annotate provenance — restore what Record captured instead.
+  if (DecisionProvenance* prov = CurrentProvenance()) {
+    const CachedProvenance& cached = it->second.provenance;
+    prov->evaluator = cached.evaluator;
+    prov->matched_statement = cached.matched_statement;
+    prov->matched_set = cached.matched_set;
+    prov->decision_kind = cached.decision_kind;
+    prov->failed_relation = cached.failed_relation;
+    prov->policy_source = cached.policy_source;
+    prov->policy_generation = it->second.generation;
+  }
   return it->second.decision;
 }
 
@@ -45,6 +58,18 @@ void ShardedDecisionCache::Record(const std::string& key,
                                   std::uint64_t generation,
                                   std::int64_t now_us,
                                   const Decision& decision) {
+  // Capture the evaluation provenance alongside the decision so a later
+  // hit can restore it (the statement a cached answer came from must not
+  // be forgotten just because the evaluator was skipped).
+  CachedProvenance captured;
+  if (const DecisionProvenance* prov = CurrentProvenance()) {
+    captured.evaluator = prov->evaluator;
+    captured.matched_statement = prov->matched_statement;
+    captured.matched_set = prov->matched_set;
+    captured.decision_kind = prov->decision_kind;
+    captured.failed_relation = prov->failed_relation;
+    captured.policy_source = prov->policy_source;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard lock(shard.mu);
   auto it = shard.entries.find(key);
@@ -52,6 +77,7 @@ void ShardedDecisionCache::Record(const std::string& key,
     it->second.decision = decision;
     it->second.generation = generation;
     it->second.stored_at_us = now_us;
+    it->second.provenance = std::move(captured);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     return;
   }
@@ -61,7 +87,8 @@ void ShardedDecisionCache::Record(const std::string& key,
     shard.lru.pop_back();
   }
   shard.lru.push_front(key);
-  shard.entries[key] = Entry{decision, generation, now_us, shard.lru.begin()};
+  shard.entries[key] = Entry{decision, generation, now_us,
+                             std::move(captured), shard.lru.begin()};
 }
 
 void ShardedDecisionCache::Clear() {
@@ -113,12 +140,18 @@ Expected<Decision> CachingPolicySource::Authorize(
   }
 
   const Clock* clock = clock_ != nullptr ? clock_ : obs::ObsClock();
+  DecisionProvenance* prov = CurrentProvenance();
+  if (prov != nullptr) {
+    prov->cache_checked = true;
+    prov->cache_generation = generation_before;
+  }
   const std::string key = Key(request);
   if (auto cached = cache_.Lookup(key, generation_before,
                                   clock->NowMicros())) {
     obs::Metrics()
         .GetCounter(obs::kMetricCacheHits, {{"source", inner_->name()}})
         .Increment();
+    if (prov != nullptr) prov->cache_hit = true;
     return *cached;
   }
   obs::Metrics()

@@ -59,10 +59,23 @@ class ShardedDecisionCache {
   std::size_t size() const;
 
  private:
+  // Provenance captured when the entry was recorded: enough to let a
+  // cache hit still name the statement that produced the decision
+  // (DESIGN.md §10). Populated from / restored into the ambient
+  // DecisionProvenance; empty when no collection scope was active.
+  struct CachedProvenance {
+    std::string evaluator;
+    std::string matched_statement;
+    int matched_set = 0;
+    std::string decision_kind;
+    std::string failed_relation;
+    std::string policy_source;
+  };
   struct Entry {
     Decision decision;
     std::uint64_t generation = 0;
     std::int64_t stored_at_us = 0;
+    CachedProvenance provenance;
     std::list<std::string>::iterator lru_it;
   };
   struct Shard {

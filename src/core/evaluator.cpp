@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "core/provenance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -226,6 +227,7 @@ bool ActionPartMatches(const rsl::Conjunction& set,
 
 Decision PolicyEvaluator::Evaluate(const AuthorizationRequest& request) const {
   obs::ScopedSpan span("pdp/evaluate");
+  ProvenanceStageTimer stage("pdp/evaluate");
   Decision decision = EvaluateImpl(request);
   obs::Metrics()
       .GetCounter("pdp_evaluations_total",
@@ -237,9 +239,22 @@ Decision PolicyEvaluator::Evaluate(const AuthorizationRequest& request) const {
 Decision PolicyEvaluator::EvaluateImpl(
     const AuthorizationRequest& request) const {
   const rsl::Conjunction effective = request.ToEffectiveRsl();
+  // Provenance: name the statement (or default-deny) behind the outcome.
+  // Annotation only — decisions and reason strings are unchanged.
+  DecisionProvenance* prov = CurrentProvenance();
+  auto note = [prov](std::string_view kind, std::string_view statement,
+                     int set, std::string_view failed = {}) {
+    if (prov == nullptr) return;
+    prov->evaluator = "naive";
+    prov->decision_kind = std::string{kind};
+    prov->matched_statement = std::string{statement};
+    prov->matched_set = set;
+    prov->failed_relation = std::string{failed};
+  };
   const std::vector<const PolicyStatement*> applicable =
       document_.ApplicableTo(request.subject);
   if (applicable.empty()) {
+    note("deny-no-applicable", "default-deny", 0);
     return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
                           "no policy statement applies to " + request.subject);
   }
@@ -252,6 +267,7 @@ Decision PolicyEvaluator::EvaluateImpl(
       if (!ActionPartMatches(set, effective, request.subject)) continue;
       std::string failed;
       if (!SetSatisfied(set, effective, request.subject, &failed)) {
+        note("deny-requirement", statement->subject_prefix, 0, failed);
         return Decision::Deny(
             DecisionCode::kDenyRequirementViolated,
             "requirement for '" + statement->subject_prefix +
@@ -279,6 +295,7 @@ Decision PolicyEvaluator::EvaluateImpl(
         if (!all_mentioned) continue;
       }
       if (SetSatisfied(set, effective, request.subject)) {
+        note("permit", statement->subject_prefix, set_index);
         return Decision::Permit("permitted by statement for '" +
                                 statement->subject_prefix + "', assertion set " +
                                 std::to_string(set_index));
@@ -287,10 +304,12 @@ Decision PolicyEvaluator::EvaluateImpl(
   }
 
   if (!saw_permission_statement) {
+    note("deny-no-applicable", "default-deny", 0);
     return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
                           "no permission statement applies to " +
                               request.subject);
   }
+  note("deny-no-permission", "default-deny", 0);
   return Decision::Deny(DecisionCode::kDenyNoPermission,
                         "no assertion set covers action '" + request.action +
                             "' for " + request.subject);

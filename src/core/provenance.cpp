@@ -1,0 +1,148 @@
+#include "core/provenance.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::core {
+
+namespace {
+
+thread_local DecisionProvenance* g_current = nullptr;
+
+std::int64_t ParseIntOr(std::string_view s, std::int64_t fallback) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return fallback;
+  return value;
+}
+
+}  // namespace
+
+bool DecisionProvenance::empty() const {
+  return evaluator.empty() && matched_statement.empty() &&
+         decision_kind.empty() && policy_source.empty() && !cache_checked &&
+         attempts == 0 && failed_attempts.empty() && breaker_state.empty() &&
+         degrade_tag.empty() && pep_action.empty() && pep_job_id.empty() &&
+         peer_trace_id.empty() && stages.empty();
+}
+
+std::string DecisionProvenance::ToText() const {
+  std::string out;
+  auto line = [&out](std::string_view key, const std::string& value) {
+    if (value.empty()) return;
+    out += "  ";
+    out += key;
+    out += ": ";
+    out += value;
+    out += '\n';
+  };
+  line("decision", decision_kind);
+  line("matched statement", matched_statement);
+  if (matched_set > 0) line("assertion set", std::to_string(matched_set));
+  line("failed relation", failed_relation);
+  line("evaluator", evaluator);
+  line("policy source", policy_source);
+  if (policy_generation > 0) {
+    line("policy generation", std::to_string(policy_generation));
+  }
+  if (cache_checked) {
+    line("decision cache", cache_hit ? "hit" : "miss");
+    if (cache_generation > 0) {
+      line("cache generation", std::to_string(cache_generation));
+    }
+  }
+  if (attempts > 0) line("attempts", std::to_string(attempts));
+  for (const FailedAttempt& failed : failed_attempts) {
+    line("attempt " + std::to_string(failed.attempt) + " failed",
+         failed.error);
+  }
+  line("breaker state", breaker_state);
+  line("degraded", degrade_tag);
+  line("pep action", pep_action);
+  line("pep job", pep_job_id);
+  line("peer trace", peer_trace_id);
+  for (const ProvenanceStage& stage : stages) {
+    line("stage " + stage.name, std::to_string(stage.duration_us) + "us");
+  }
+  if (out.empty()) out = "  (no provenance collected)\n";
+  return out;
+}
+
+std::string DecisionProvenance::StagesToString() const {
+  std::string out;
+  for (const ProvenanceStage& stage : stages) {
+    if (!out.empty()) out += ',';
+    out += stage.name;
+    out += ':';
+    out += std::to_string(stage.duration_us);
+  }
+  return out;
+}
+
+std::vector<ProvenanceStage> DecisionProvenance::StagesFromString(
+    std::string_view text) {
+  std::vector<ProvenanceStage> out;
+  for (std::string_view part : strings::Split(text, ',')) {
+    if (part.empty()) continue;
+    const std::size_t colon = part.rfind(':');
+    if (colon == std::string_view::npos) continue;
+    ProvenanceStage stage;
+    stage.name = std::string{part.substr(0, colon)};
+    stage.duration_us = ParseIntOr(part.substr(colon + 1), 0);
+    out.push_back(std::move(stage));
+  }
+  return out;
+}
+
+std::string DecisionProvenance::FailedAttemptsToString() const {
+  std::string out;
+  for (const FailedAttempt& failed : failed_attempts) {
+    if (!out.empty()) out += '\x1f';
+    out += std::to_string(failed.attempt);
+    out += ':';
+    out += failed.error;
+  }
+  return out;
+}
+
+std::vector<FailedAttempt> DecisionProvenance::FailedAttemptsFromString(
+    std::string_view text) {
+  std::vector<FailedAttempt> out;
+  for (std::string_view part :
+       strings::Split(text, '\x1f', /*trim=*/false)) {
+    if (part.empty()) continue;
+    const std::size_t colon = part.find(':');
+    if (colon == std::string_view::npos) continue;
+    FailedAttempt failed;
+    failed.attempt =
+        static_cast<int>(ParseIntOr(part.substr(0, colon), 0));
+    failed.error = std::string{part.substr(colon + 1)};
+    out.push_back(std::move(failed));
+  }
+  return out;
+}
+
+DecisionProvenance* CurrentProvenance() { return g_current; }
+
+ProvenanceScope::ProvenanceScope() : previous_(g_current) {
+  g_current = &record_;
+}
+
+ProvenanceScope::~ProvenanceScope() { g_current = previous_; }
+
+ProvenanceStageTimer::ProvenanceStageTimer(std::string_view name)
+    : target_(g_current), name_(name) {
+  if (target_ != nullptr) start_us_ = obs::ObsClock()->NowMicros();
+}
+
+ProvenanceStageTimer::~ProvenanceStageTimer() {
+  if (target_ == nullptr) return;
+  // Annotate the record captured at construction, not g_current: an
+  // inner scope opened meanwhile must not receive this stage.
+  target_->stages.push_back(ProvenanceStage{
+      std::string{name_}, obs::ObsClock()->NowMicros() - start_us_});
+}
+
+}  // namespace gridauthz::core

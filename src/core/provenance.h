@@ -1,0 +1,134 @@
+// Decision provenance: the structured "why" behind every authorization
+// answer (DESIGN.md §10). A DecisionProvenance records which policy
+// statement produced the outcome, which evaluator ran, whether the
+// decision cache or the fault layer's degraded path answered instead,
+// how many attempts the resilient decorators spent, and per-stage
+// timings — everything an operator needs to replay an incident without
+// re-deriving it from log archaeology.
+//
+// Collection is ambient and strictly optional, mirroring the tracing
+// TraceContext idiom: a ProvenanceScope installs a thread-local record,
+// instrumentation points annotate it through CurrentProvenance() (a
+// nullptr check when no scope is active), and the scope owner reads the
+// finished record. The evaluation path never branches on provenance —
+// decisions and reason strings are byte-identical with and without a
+// scope installed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridauthz::core {
+
+// One timed stage of the decision path, e.g. {"pdp/evaluate", 240}.
+struct ProvenanceStage {
+  std::string name;
+  std::int64_t duration_us = 0;
+};
+
+// One failed attempt inside the resilient retry loop.
+struct FailedAttempt {
+  int attempt = 0;  // 1-based ordinal
+  std::string error;
+};
+
+struct DecisionProvenance {
+  // ---- core evaluation -------------------------------------------------
+  // Which evaluator produced the outcome: "naive" | "compiled" | "".
+  std::string evaluator;
+  // Subject prefix of the statement that decided, or "default-deny" when
+  // no statement covered the request (the paper's default-deny stance).
+  std::string matched_statement;
+  // 1-based assertion set index for permits; 0 when not applicable.
+  int matched_set = 0;
+  // "permit" | "deny-requirement" | "deny-no-applicable" |
+  // "deny-no-permission" | "" (system failure / not evaluated).
+  std::string decision_kind;
+  // Relation text of a violated requirement ("" otherwise).
+  std::string failed_relation;
+  // Generation of the policy snapshot that answered (0 = generation-less).
+  std::uint64_t policy_generation = 0;
+  // Name of the PolicySource that answered ("" outside a source).
+  std::string policy_source;
+
+  // ---- decision cache --------------------------------------------------
+  bool cache_checked = false;  // the caching layer considered this request
+  bool cache_hit = false;
+  std::uint64_t cache_generation = 0;  // generation the lookup keyed on
+
+  // ---- fault layer -----------------------------------------------------
+  int attempts = 0;  // attempts the resilient executor ran (0 = no layer)
+  std::vector<FailedAttempt> failed_attempts;
+  // Breaker state observed at execution ("" = no breaker configured).
+  std::string breaker_state;
+  // Typed reason tag when the last-good cache served a degraded answer
+  // (e.g. "[circuit-open]"); empty on the healthy path.
+  std::string degrade_tag;
+
+  // ---- PEP callout -----------------------------------------------------
+  std::string pep_action;
+  std::string pep_job_id;
+  std::string peer_trace_id;  // trace id the requesting peer sent
+
+  // ---- timings ---------------------------------------------------------
+  std::vector<ProvenanceStage> stages;
+
+  // True when nothing was annotated (no instrumented layer ran).
+  bool empty() const;
+
+  // Multi-line operator-facing rendering (the `explain` output).
+  std::string ToText() const;
+
+  // Stages as "name:us,name:us" — the flat encoding the audit JSONL
+  // format uses; parsed back by StagesFromString.
+  std::string StagesToString() const;
+  static std::vector<ProvenanceStage> StagesFromString(std::string_view text);
+
+  // Failed attempts as "1:error\x1f2:error" (unit-separator joined).
+  std::string FailedAttemptsToString() const;
+  static std::vector<FailedAttempt> FailedAttemptsFromString(
+      std::string_view text);
+};
+
+// The record installed by the innermost active ProvenanceScope on this
+// thread, or nullptr when collection is off. Annotation sites must
+// null-check; the check is the entire cost of disabled provenance.
+DecisionProvenance* CurrentProvenance();
+
+// RAII: installs a fresh DecisionProvenance as this thread's collection
+// target and restores the previous target (if any) on destruction.
+// Scopes nest; the innermost wins, so a decorator that wants to reuse an
+// outer scope simply checks CurrentProvenance() first.
+class ProvenanceScope {
+ public:
+  ProvenanceScope();
+  ~ProvenanceScope();
+  ProvenanceScope(const ProvenanceScope&) = delete;
+  ProvenanceScope& operator=(const ProvenanceScope&) = delete;
+
+  DecisionProvenance& record() { return record_; }
+  const DecisionProvenance& record() const { return record_; }
+
+ private:
+  DecisionProvenance record_;
+  DecisionProvenance* previous_;
+};
+
+// RAII stage timer: appends {name, elapsed} to the current provenance on
+// destruction. Free (two branch instructions) when no scope is active.
+class ProvenanceStageTimer {
+ public:
+  explicit ProvenanceStageTimer(std::string_view name);
+  ~ProvenanceStageTimer();
+  ProvenanceStageTimer(const ProvenanceStageTimer&) = delete;
+  ProvenanceStageTimer& operator=(const ProvenanceStageTimer&) = delete;
+
+ private:
+  DecisionProvenance* target_;  // captured at construction
+  std::string_view name_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace gridauthz::core

@@ -3,6 +3,7 @@
 #include "common/config.h"
 #include "common/deadline.h"
 #include "common/logging.h"
+#include "core/provenance.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
 
@@ -28,6 +29,10 @@ Expected<Decision> StaticPolicySource::Authorize(
   // Replace() cannot pull it out from under us.
   const std::shared_ptr<const CompiledPolicyDocument> snapshot =
       snapshot_.load();
+  if (DecisionProvenance* prov = CurrentProvenance()) {
+    prov->policy_source = name_;
+    prov->policy_generation = policy_generation();
+  }
   Expected<Decision> decision = snapshot->Evaluate(request);
   observation.set_outcome(MetricOutcome(decision));
   return decision;
@@ -95,6 +100,10 @@ Expected<Decision> FilePolicySource::Authorize(
     const AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{name_};
   const std::shared_ptr<const State> state = state_.load();
+  if (DecisionProvenance* prov = CurrentProvenance()) {
+    prov->policy_source = name_;
+    prov->policy_generation = policy_generation();
+  }
   Expected<Decision> decision =
       state->compiled == nullptr
           ? Expected<Decision>{Error{

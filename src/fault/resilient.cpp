@@ -46,6 +46,9 @@ Expected<core::Decision> ResilientPolicySource::Authorize(
     if (auto cached = options_.last_good->Lookup(request)) {
       CountDegradedServe(name_, request.action);
       core::Decision decision = *cached;
+      if (auto* prov = core::CurrentProvenance()) {
+        prov->degrade_tag = std::string{FailureReasonTag(result.error())};
+      }
       decision.reason += " [degraded: last-good cache after " +
                          std::string{FailureReasonTag(result.error())} + "]";
       observation.set_outcome(decision.permitted() ? obs::kOutcomePermit
@@ -80,6 +83,9 @@ gram::AuthorizationCallout MakeResilientCallout(
     } else if (IsDegradedFailure(result.error())) {
       if (auto cached = options.last_good->Lookup(*request)) {
         CountDegradedServe(name, data.action);
+        if (auto* prov = core::CurrentProvenance()) {
+          prov->degrade_tag = std::string{FailureReasonTag(result.error())};
+        }
         if (cached->permitted()) return Ok();
         return Error{ErrCode::kAuthorizationDenied,
                      cached->reason + " [degraded: last-good cache]"};

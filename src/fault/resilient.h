@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/deadline.h"
+#include "core/provenance.h"
 #include "core/source.h"
 #include "fault/breaker.h"
 #include "fault/degrade.h"
@@ -89,18 +90,29 @@ Expected<T> Execute(const std::string& op, const ResilienceOptions& options,
                      "' ran out of deadline budget"};
   };
 
+  // Provenance: the record (if a collection scope is active) learns the
+  // attempt count, every failed attempt's error, and the breaker state —
+  // annotation only, no control-flow change.
+  core::DecisionProvenance* prov = core::CurrentProvenance();
   Error last{ErrCode::kAuthorizationSystemFailure, "no attempt ran"};
   for (int attempt_no = 1; attempt_no <= retry.max_attempts; ++attempt_no) {
     if (deadline && clock->NowMicros() >= *deadline) return deadline_failure();
-    if (options.breaker != nullptr && !options.breaker->Allow()) {
-      return Error{ErrCode::kAuthorizationSystemFailure,
-                   std::string{kReasonCircuitOpen} + " backend '" +
-                       options.breaker->backend() + "' circuit is open"};
+    if (options.breaker != nullptr) {
+      const bool admitted = options.breaker->Allow();
+      if (prov != nullptr) {
+        prov->breaker_state = std::string{to_string(options.breaker->state())};
+      }
+      if (!admitted) {
+        return Error{ErrCode::kAuthorizationSystemFailure,
+                     std::string{kReasonCircuitOpen} + " backend '" +
+                         options.breaker->backend() + "' circuit is open"};
+      }
     }
 
     const std::int64_t started = clock->NowMicros();
     Expected<T> result = attempt();
     const std::int64_t elapsed = clock->NowMicros() - started;
+    if (prov != nullptr) prov->attempts = attempt_no;
     const bool timed_out = retry.per_attempt_timeout_us > 0 &&
                            elapsed > retry.per_attempt_timeout_us;
 
@@ -121,6 +133,10 @@ Expected<T> Execute(const std::string& op, const ResilienceOptions& options,
                            std::to_string(retry.per_attempt_timeout_us) +
                            "us)"}
                : result.error();
+    if (prov != nullptr) {
+      prov->failed_attempts.push_back(
+          core::FailedAttempt{attempt_no, last.to_string()});
+    }
     if (attempt_no == retry.max_attempts) break;
 
     const std::int64_t backoff = jitter.BackoffUs(retry, attempt_no + 1);

@@ -1,0 +1,223 @@
+#include "gram/obs_service.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace gridauthz::gram::wire {
+
+namespace {
+
+constexpr std::string_view kTracePrefix = "/trace/";
+
+std::string RenderDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+ObsReply TextReply(int status, std::string body) {
+  return ObsReply{status, "text/plain", std::move(body)};
+}
+
+ObsReply JsonReply(int status, std::string body) {
+  return ObsReply{status, "application/json", std::move(body)};
+}
+
+std::string EncodeReply(const ObsReply& reply) {
+  Message message;
+  message.Set("message-type", "obs-reply");
+  message.SetInt("status", reply.status);
+  message.Set("content-type", reply.content_type);
+  message.Set("body", reply.body);
+  return message.Serialize();
+}
+
+}  // namespace
+
+ObsService::ObsService(ObsServiceOptions options)
+    : options_(std::move(options)) {}
+
+std::string ObsService::Handle(const gsi::Credential& peer,
+                               std::string_view frame) {
+  auto message = Message::Parse(frame);
+  if (!message.ok()) {
+    return EncodeReply(
+        TextReply(400, "malformed frame: " + message.error().to_string()));
+  }
+  const std::string type = message->Get("message-type").value_or("");
+  if (type != "obs-request") {
+    // Data-plane traffic: one listener serves jobs and operations.
+    if (options_.inner != nullptr) return options_.inner->Handle(peer, frame);
+    return EncodeReply(TextReply(
+        400, "unexpected message-type '" + type + "' on obs endpoint"));
+  }
+  ObsReply reply = Dispatch(*message);
+  obs::Metrics()
+      .GetCounter("obs_requests_total",
+                  {{"path", message->Get("path").value_or("")},
+                   {"status", std::to_string(reply.status)}})
+      .Increment();
+  return EncodeReply(reply);
+}
+
+ObsReply ObsService::Dispatch(const Message& message) {
+  auto path = message.Require("path");
+  if (!path.ok()) return TextReply(400, path.error().to_string());
+  if (*path == "/metrics") {
+    return TextReply(200, obs::Metrics().RenderText());
+  }
+  if (*path == "/metrics.json") {
+    return JsonReply(200, obs::Metrics().RenderJson());
+  }
+  if (path->rfind(kTracePrefix, 0) == 0 &&
+      path->size() > kTracePrefix.size()) {
+    return HandleTrace(path->substr(kTracePrefix.size()));
+  }
+  if (*path == "/audit/query") return HandleAuditQuery(message);
+  if (*path == "/healthz") return HandleHealth();
+  return TextReply(404, "unknown path '" + *path + "'");
+}
+
+ObsReply ObsService::HandleTrace(const std::string& trace_id) const {
+  const std::vector<obs::Span> spans = obs::Tracer().ForTrace(trace_id);
+  if (spans.empty()) {
+    return TextReply(404, "no spans for trace '" + trace_id + "'");
+  }
+  std::string body = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::Span& span = spans[i];
+    if (i > 0) body += ",";
+    json::ObjectWriter entry;
+    entry.String("trace", span.trace_id);
+    entry.UInt("span", span.span_id);
+    entry.UInt("parent", span.parent_span_id);
+    entry.String("name", span.name);
+    entry.Int("start_us", span.start_us);
+    entry.Int("end_us", span.end_us);
+    entry.Int("duration_us", span.duration_us());
+    body += entry.Take();
+  }
+  body += "]";
+  return JsonReply(200, std::move(body));
+}
+
+ObsReply ObsService::HandleAuditQuery(const Message& message) const {
+  if (options_.audit_sink == nullptr) {
+    return TextReply(503, "no durable audit sink configured");
+  }
+  core::AuditQuery query;
+  if (auto subject = message.Get("subject")) query.subject = *subject;
+  if (auto action = message.Get("action")) query.action = *action;
+  if (auto outcome = message.Get("outcome")) {
+    auto parsed = core::AuditOutcomeFromString(*outcome);
+    if (!parsed.ok()) return TextReply(400, parsed.error().to_string());
+    query.outcome = *parsed;
+  }
+  if (message.Get("time-min")) {
+    auto value = message.RequireInt("time-min");
+    if (!value.ok()) return TextReply(400, value.error().to_string());
+    query.time_min = *value;
+  }
+  if (message.Get("time-max")) {
+    auto value = message.RequireInt("time-max");
+    if (!value.ok()) return TextReply(400, value.error().to_string());
+    query.time_max = *value;
+  }
+  auto records = options_.audit_sink->Query(query);
+  if (!records.ok()) return TextReply(500, records.error().to_string());
+  std::string body = "[";
+  for (std::size_t i = 0; i < records->size(); ++i) {
+    if (i > 0) body += ",";
+    body += core::AuditRecordToJsonLine((*records)[i]);
+  }
+  body += "]";
+  return JsonReply(200, std::move(body));
+}
+
+ObsReply ObsService::HandleHealth() const {
+  bool degraded = false;
+  json::ObjectWriter out;
+
+  std::string breakers = "[";
+  bool first = true;
+  for (const auto& [labels, value] :
+       obs::Metrics().GaugeSeries("breaker_state")) {
+    std::string backend;
+    for (const auto& [key, label_value] : labels) {
+      if (key == "backend") backend = label_value;
+    }
+    // Gauge encoding from fault/breaker.h: 0 closed, 1 open, 2 half-open.
+    const std::string state =
+        value == 0 ? "closed" : value == 1 ? "open" : "half-open";
+    if (value == 1) degraded = true;
+    if (!first) breakers += ",";
+    first = false;
+    json::ObjectWriter entry;
+    entry.String("backend", backend);
+    entry.String("state", state);
+    breakers += entry.Take();
+  }
+  breakers += "]";
+
+  const obs::SloTracker::Snapshot slo = obs::AuthzSlo().Window();
+  if (slo.burn_rate > 1.0) degraded = true;
+  json::ObjectWriter slo_out;
+  slo_out.UInt("total", slo.total);
+  slo_out.UInt("errors", slo.errors);
+  slo_out.Raw("error_rate", RenderDouble(slo.error_rate));
+  slo_out.Raw("objective", RenderDouble(slo.objective));
+  slo_out.Raw("burn_rate", RenderDouble(slo.burn_rate));
+
+  std::string reload_error;
+  if (options_.last_reload_error) {
+    reload_error = options_.last_reload_error();
+    if (!reload_error.empty()) degraded = true;
+  }
+
+  out.String("status", degraded ? "degraded" : "ok");
+  out.UInt("policy_generation",
+           options_.policy ? options_.policy->policy_generation() : 0);
+  if (options_.last_reload_error) {
+    out.Bool("last_reload_ok", reload_error.empty());
+    if (!reload_error.empty()) out.String("last_reload_error", reload_error);
+  }
+  out.Raw("breakers", breakers);
+  out.Raw("slo", slo_out.Take());
+  if (options_.audit_sink != nullptr) {
+    json::ObjectWriter sink_out;
+    sink_out.UInt("written", options_.audit_sink->written());
+    sink_out.UInt("dropped", options_.audit_sink->dropped());
+    out.Raw("audit_sink", sink_out.Take());
+  }
+  return JsonReply(200, out.Take());
+}
+
+Expected<ObsReply> ObsRequest(
+    WireTransport& transport, const gsi::Credential& peer,
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& filters) {
+  Message request;
+  request.Set("message-type", "obs-request");
+  request.Set("path", path);
+  for (const auto& [key, value] : filters) request.Set(key, value);
+  const std::string reply_frame =
+      transport.Handle(peer, request.Serialize());
+  GA_TRY(Message message, Message::Parse(reply_frame));
+  if (message.Get("message-type").value_or("") != "obs-reply") {
+    return Error{ErrCode::kParseError,
+                 "expected obs-reply, got message-type '" +
+                     message.Get("message-type").value_or("") + "'"};
+  }
+  ObsReply reply;
+  GA_TRY(auto status, message.RequireInt("status"));
+  reply.status = static_cast<int>(status);
+  reply.content_type = message.Get("content-type").value_or("");
+  reply.body = message.Get("body").value_or("");
+  return reply;
+}
+
+}  // namespace gridauthz::gram::wire

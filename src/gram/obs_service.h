@@ -1,0 +1,78 @@
+// Live ops/exposition service over the GRAM wire seam (DESIGN.md §10).
+//
+// Operators need the three observability signals — metrics, traces,
+// durable audit — plus a health summary, without linking against the
+// service. ObsService is a WireTransport: it answers `obs-request`
+// frames addressed to one of five paths and (optionally) delegates every
+// other frame to the real endpoint, so one listener serves both jobs and
+// operations:
+//
+//   /metrics        Prometheus text exposition of the whole registry
+//   /metrics.json   JSON snapshot (p50/p95/p99 precomputed)
+//   /trace/<id>     finished spans of one trace, completion order
+//   /audit/query    durable audit records matching subject / action /
+//                   outcome / time-min / time-max filters
+//   /healthz        per-backend breaker states, policy generation, last
+//                   reload status, SLO burn rate, audit sink counters
+//
+// Because it sits on the WireTransport seam, the fault layer's
+// FaultyTransport can interpose on it too — the ops plane is testable
+// under the same failure injection as the data plane.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/audit_sink.h"
+#include "core/source.h"
+#include "gram/wire_service.h"
+
+namespace gridauthz::gram::wire {
+
+struct ObsServiceOptions {
+  // Durable audit pipeline backing /audit/query (nullptr = 503).
+  std::shared_ptr<core::FileAuditSink> audit_sink;
+  // Policy source whose generation /healthz reports (nullptr = 0).
+  std::shared_ptr<core::PolicySource> policy;
+  // Most recent policy reload failure, "" when the last reload
+  // succeeded (e.g. FilePolicySource::last_reload_error). Unset =
+  // reload status not reported.
+  std::function<std::string()> last_reload_error;
+  // Transport non-obs frames are forwarded to (nullptr = error reply).
+  WireTransport* inner = nullptr;
+};
+
+// Decoded `obs-reply` frame.
+struct ObsReply {
+  int status = 0;  // HTTP-style: 200, 400, 404, 500, 503
+  std::string content_type;
+  std::string body;
+};
+
+class ObsService final : public WireTransport {
+ public:
+  explicit ObsService(ObsServiceOptions options);
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
+
+ private:
+  ObsReply Dispatch(const Message& message);
+  ObsReply HandleTrace(const std::string& trace_id) const;
+  ObsReply HandleAuditQuery(const Message& message) const;
+  ObsReply HandleHealth() const;
+
+  ObsServiceOptions options_;
+};
+
+// Client-side helper: encodes an obs-request for `path` (filters are
+// extra attributes, e.g. {"subject", dn}), round-trips it through
+// `transport`, and decodes the reply. Fails only on transport/frame
+// corruption — an error status (404, 503, ...) is a valid ObsReply.
+Expected<ObsReply> ObsRequest(
+    WireTransport& transport, const gsi::Credential& peer,
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& filters = {});
+
+}  // namespace gridauthz::gram::wire

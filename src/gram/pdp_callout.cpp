@@ -1,5 +1,8 @@
 #include "gram/pdp_callout.h"
 
+#include <optional>
+
+#include "core/provenance.h"
 #include "obs/trace.h"
 
 namespace gridauthz::gram {
@@ -29,6 +32,17 @@ AuthorizationCallout MakePdpCallout(
     std::shared_ptr<core::PolicySource> source) {
   return [source = std::move(source)](const CalloutData& data) -> Expected<void> {
     obs::ScopedSpan span("pdp_callout");
+    // The PEP is where provenance collection begins: open a scope unless
+    // a caller (e.g. an explain tool) already installed one, and stamp
+    // the enforcement context every layer below will extend.
+    std::optional<core::ProvenanceScope> scope;
+    if (core::CurrentProvenance() == nullptr) scope.emplace();
+    if (auto* prov = core::CurrentProvenance()) {
+      prov->pep_action = data.action;
+      prov->pep_job_id = data.job_id;
+      prov->peer_trace_id = data.trace_id;
+    }
+    core::ProvenanceStageTimer stage("pep/callout");
     GA_TRY(core::AuthorizationRequest request, ToAuthorizationRequest(data));
     GA_TRY(core::Decision decision, source->Authorize(request));
     if (!decision.permitted()) {

@@ -5,6 +5,7 @@
 #include "common/deadline.h"
 #include "core/request.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace gridauthz::gram::wire {
@@ -59,10 +60,11 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
 
   auto type = message->Get("message-type").value_or("");
   std::string reply_frame;
+  bool slo_ok = true;
   if (type == "job-request") {
-    reply_frame = HandleJobRequest(peer, *message);
+    reply_frame = HandleJobRequest(peer, *message, &slo_ok);
   } else if (type == "management-request") {
-    reply_frame = HandleManagement(peer, *message);
+    reply_frame = HandleManagement(peer, *message, &slo_ok);
   } else {
     obs::Metrics()
         .GetCounter("wire_requests_total",
@@ -79,22 +81,28 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
   obs::Metrics()
       .GetHistogram("wire_request_latency_us", {{"type", type}})
       .Observe(obs::ObsClock()->NowMicros() - start_us);
+  obs::AuthzSlo().Record(slo_ok);
   return reply_frame;
 }
 
 std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
-                                           const Message& message) {
+                                           const Message& message,
+                                           bool* slo_ok) {
   JobRequestReply reply;
+  auto finish = [&reply, slo_ok] {
+    *slo_ok = reply.code != GramErrorCode::kAuthorizationSystemFailure;
+    return reply.Encode().Serialize();
+  };
   auto request = JobRequest::Decode(message);
   if (!request.ok()) {
     reply.code = GramErrorCode::kInvalidRequest;
     reply.reason = request.error().to_string();
-    return reply.Encode().Serialize();
+    return finish();
   }
   if (RejectExpired(request->deadline_micros, clock_, "job-request",
                     &reply.reason)) {
     reply.code = GramErrorCode::kAuthorizationSystemFailure;
-    return reply.Encode().Serialize();
+    return finish();
   }
   DeadlineScope deadline(request->deadline_micros);
   auto contact = gatekeeper_->SubmitJob(peer, request->rsl,
@@ -106,28 +114,33 @@ std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
     reply.code = GramErrorCode::kNone;
     reply.job_contact = *contact;
   }
-  return reply.Encode().Serialize();
+  return finish();
 }
 
 std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
-                                           const Message& message) {
+                                           const Message& message,
+                                           bool* slo_ok) {
   ManagementReply reply;
-  auto fail = [&reply](const Error& error) {
+  auto finish = [&reply, slo_ok] {
+    *slo_ok = reply.code != GramErrorCode::kAuthorizationSystemFailure;
+    return reply.Encode().Serialize();
+  };
+  auto fail = [&reply, &finish](const Error& error) {
     reply.code = ToProtocolCode(error);
     reply.reason = error.message();
-    return reply.Encode().Serialize();
+    return finish();
   };
 
   auto request = ManagementRequest::Decode(message);
   if (!request.ok()) {
     reply.code = GramErrorCode::kInvalidRequest;
     reply.reason = request.error().to_string();
-    return reply.Encode().Serialize();
+    return finish();
   }
   if (RejectExpired(request->deadline_micros, clock_, "management-request",
                     &reply.reason)) {
     reply.code = GramErrorCode::kAuthorizationSystemFailure;
-    return reply.Encode().Serialize();
+    return finish();
   }
   DeadlineScope deadline(request->deadline_micros);
   auto jmi = registry_->Lookup(request->job_contact);
@@ -148,7 +161,7 @@ std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
     reply.job_owner = status->job_owner;
     reply.jobtag = status->jobtag;
     reply.reason = status->failure_reason;
-    return reply.Encode().Serialize();
+    return finish();
   }
   if (request->action == core::kActionCancel) {
     auto cancelled = (*jmi)->Cancel(requester);
@@ -168,7 +181,7 @@ std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
     // cancel-only rights). Report the owner from the JMI directly.
     reply.job_owner = (*jmi)->owner_identity();
   }
-  return reply.Encode().Serialize();
+  return finish();
 }
 
 WireClient::WireClient(gsi::Credential credential, WireTransport* transport)

@@ -42,10 +42,13 @@ class WireEndpoint final : public WireTransport {
                      std::string_view frame) override;
 
  private:
+  // `slo_ok` reports whether the decision machinery worked: permits,
+  // denials, and client errors are all successes; only authorization
+  // system failures spend SLO error budget.
   std::string HandleJobRequest(const gsi::Credential& peer,
-                               const Message& message);
+                               const Message& message, bool* slo_ok);
   std::string HandleManagement(const gsi::Credential& peer,
-                               const Message& message);
+                               const Message& message, bool* slo_ok);
 
   Gatekeeper* gatekeeper_;
   const JobManagerRegistry* registry_;

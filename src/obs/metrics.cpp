@@ -259,6 +259,20 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name,
   return series == nullptr ? nullptr : series->histogram.get();
 }
 
+std::vector<std::pair<LabelSet, std::int64_t>> MetricsRegistry::GaugeSeries(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<LabelSet, std::int64_t>> out;
+  auto family = families_.find(std::string{name});
+  if (family == families_.end() || family->second.kind != Kind::kGauge) {
+    return out;
+  }
+  for (const auto& [label_key, series] : family->second.series) {
+    out.emplace_back(series.labels, series.gauge->value());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard lock(mu_);
   std::string out;

@@ -105,6 +105,13 @@ class MetricsRegistry {
   const Histogram* FindHistogram(std::string_view name,
                                  const LabelSet& labels = {}) const;
 
+  // Every series of one gauge family as (sorted labels, current value);
+  // empty when the family does not exist or is not a gauge family. Lets
+  // health endpoints enumerate per-backend gauges (e.g. breaker_state)
+  // without knowing the backend names up front.
+  std::vector<std::pair<LabelSet, std::int64_t>> GaugeSeries(
+      std::string_view name) const;
+
   // Prometheus-style text exposition:
   //   # TYPE authz_decisions_total counter
   //   authz_decisions_total{outcome="permit",source="vo"} 3

@@ -1,0 +1,64 @@
+#include "obs/slo.h"
+
+#include "obs/metrics.h"
+
+namespace gridauthz::obs {
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {
+  if (options_.buckets == 0) options_.buckets = 1;
+  if (options_.window_us <= 0) options_.window_us = 1;
+  ring_.resize(options_.buckets);
+}
+
+std::int64_t SloTracker::BucketWidthUs() const {
+  const auto width =
+      options_.window_us / static_cast<std::int64_t>(options_.buckets);
+  return width <= 0 ? 1 : width;
+}
+
+void SloTracker::Record(bool ok) {
+  const std::int64_t epoch = ObsClock()->NowMicros() / BucketWidthUs();
+  std::lock_guard lock(mu_);
+  Bucket& bucket = ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  if (bucket.epoch != epoch) {
+    bucket.epoch = epoch;
+    bucket.total = 0;
+    bucket.errors = 0;
+  }
+  ++bucket.total;
+  if (!ok) ++bucket.errors;
+}
+
+SloTracker::Snapshot SloTracker::Window() const {
+  const std::int64_t now_epoch = ObsClock()->NowMicros() / BucketWidthUs();
+  const std::int64_t oldest =
+      now_epoch - static_cast<std::int64_t>(ring_.size()) + 1;
+  Snapshot snapshot;
+  snapshot.objective = options_.objective;
+  snapshot.error_budget = 1.0 - options_.objective;
+  std::lock_guard lock(mu_);
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch < oldest || bucket.epoch > now_epoch) continue;
+    snapshot.total += bucket.total;
+    snapshot.errors += bucket.errors;
+  }
+  if (snapshot.total > 0) {
+    snapshot.error_rate = static_cast<double>(snapshot.errors) /
+                          static_cast<double>(snapshot.total);
+  }
+  if (snapshot.error_budget > 0.0) {
+    snapshot.burn_rate = snapshot.error_rate / snapshot.error_budget;
+  } else if (snapshot.errors > 0) {
+    // A 100% objective has no budget; any error burns infinitely fast.
+    // Report a large finite rate so JSON consumers never see "inf".
+    snapshot.burn_rate = 1e9;
+  }
+  return snapshot;
+}
+
+SloTracker& AuthzSlo() {
+  static SloTracker* tracker = new SloTracker();
+  return *tracker;
+}
+
+}  // namespace gridauthz::obs

@@ -1,0 +1,66 @@
+// Rolling-window SLO tracking for the authorization service.
+//
+// /healthz must answer "are we eating the error budget?" — not just the
+// instantaneous breaker states. SloTracker keeps a fixed number of
+// time buckets covering a sliding window; each authorization outcome
+// lands in the bucket owning the current instant (ObsClock), expired
+// buckets are lazily reset, and the burn rate is the observed error
+// rate divided by the budget the objective leaves (1 - objective). A
+// burn rate of 1.0 means the budget is being spent exactly as fast as
+// the window replenishes it; above 1.0 the service is on course to
+// violate the objective.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gridauthz::obs {
+
+struct SloOptions {
+  double objective = 0.999;                  // target success ratio
+  std::int64_t window_us = 300'000'000;      // 5-minute sliding window
+  std::size_t buckets = 30;                  // 10-second buckets
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  // Records one authorization outcome at the obs clock's current time.
+  // ok = the decision machinery worked (PERMIT and DENY both count as
+  // success; only system failures spend error budget).
+  void Record(bool ok);
+
+  struct Snapshot {
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    double error_rate = 0.0;    // errors / total; 0 when idle
+    double objective = 0.0;
+    double error_budget = 0.0;  // 1 - objective
+    double burn_rate = 0.0;     // error_rate / error_budget
+  };
+  // State of the current sliding window.
+  Snapshot Window() const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::int64_t epoch = -1;  // bucket index since time 0; -1 = unused
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+  };
+
+  std::int64_t BucketWidthUs() const;
+
+  SloOptions options_;
+  mutable std::mutex mu_;
+  mutable std::vector<Bucket> ring_;
+};
+
+// The process-wide tracker the wire service records every handled
+// authorization request into.
+SloTracker& AuthzSlo();
+
+}  // namespace gridauthz::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 
@@ -53,24 +54,46 @@ SpanStore::SpanStore(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
+void SpanStore::EraseIndexLocked(const std::string& trace_id,
+                                 std::size_t slot) {
+  auto it = by_trace_.find(trace_id);
+  if (it == by_trace_.end()) return;
+  std::vector<std::size_t>& slots = it->second;
+  slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+  if (slots.empty()) by_trace_.erase(it);
+}
+
 void SpanStore::Record(Span span) {
   std::lock_guard lock(mu_);
+  std::size_t slot;
   if (ring_.size() < capacity_) {
+    slot = ring_.size();
     ring_.push_back(std::move(span));
-    return;
+    seq_.push_back(next_seq_++);
+  } else {
+    slot = head_;
+    EraseIndexLocked(ring_[slot].trace_id, slot);
+    ring_[slot] = std::move(span);
+    seq_[slot] = next_seq_++;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
   }
-  ring_[head_] = std::move(span);
-  head_ = (head_ + 1) % capacity_;
-  ++dropped_;
+  by_trace_[ring_[slot].trace_id].push_back(slot);
 }
 
 std::vector<Span> SpanStore::ForTrace(const std::string& trace_id) const {
   std::lock_guard lock(mu_);
+  auto it = by_trace_.find(trace_id);
+  if (it == by_trace_.end()) return {};
+  // The index lists ring slots; sort by insertion sequence to restore
+  // completion order after ring wrap-around.
+  std::vector<std::size_t> slots = it->second;
+  std::sort(slots.begin(), slots.end(), [this](std::size_t a, std::size_t b) {
+    return seq_[a] < seq_[b];
+  });
   std::vector<Span> out;
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    const Span& span = ring_[(head_ + i) % ring_.size()];
-    if (span.trace_id == trace_id) out.push_back(span);
-  }
+  out.reserve(slots.size());
+  for (std::size_t slot : slots) out.push_back(ring_[slot]);
   return out;
 }
 
@@ -89,7 +112,10 @@ std::uint64_t SpanStore::dropped() const {
 void SpanStore::Clear() {
   std::lock_guard lock(mu_);
   ring_.clear();
+  seq_.clear();
+  by_trace_.clear();
   head_ = 0;
+  next_seq_ = 0;
   dropped_ = 0;
 }
 

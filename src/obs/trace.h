@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace gridauthz::obs {
@@ -62,6 +63,10 @@ struct Span {
 };
 
 // Bounded in-memory store of finished spans (ring; oldest dropped).
+// ForTrace is served from a trace-id index maintained alongside the
+// ring, so lookup cost scales with the trace's own span count rather
+// than the store capacity — /trace/<id> queries a 4096-slot store
+// without scanning it.
 class SpanStore {
  public:
   explicit SpanStore(std::size_t capacity = 4096);
@@ -78,11 +83,18 @@ class SpanStore {
   void Clear();
 
  private:
+  // Removes `slot` from by_trace_[trace_id]; caller holds mu_.
+  void EraseIndexLocked(const std::string& trace_id, std::size_t slot);
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<Span> ring_;
+  std::vector<std::uint64_t> seq_;  // insertion sequence, parallel to ring_
   std::size_t head_ = 0;  // oldest element once the ring is full
+  std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
+  // trace id -> ring slots currently holding that trace's spans.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_trace_;
 };
 
 // The process-wide span store instrumentation records into.

@@ -1,0 +1,322 @@
+// Durable audit pipeline: JSONL round-trip fidelity (every field,
+// including provenance and hostile control characters), size-based
+// rotation under the configured cap, non-blocking drops when the
+// producer queue is full, crash-safe shutdown, the reader/query API, and
+// corruption-free concurrent submission.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/json.h"
+#include "core/audit_sink.h"
+
+namespace gridauthz::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/audit_sink_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+AuditRecord SampleRecord() {
+  AuditRecord record;
+  record.time = 1234;
+  record.source = "vo";
+  record.subject = "/O=Grid/CN=Bo Liu";
+  record.action = "start";
+  record.job_owner = "/O=Grid/CN=Owner";
+  record.job_id = "https://fusion.anl.gov:2119/jobmanager/1";
+  record.rsl = "&(executable=test1)";
+  record.outcome = AuditOutcome::kPermit;
+  record.reason = "permitted by statement";
+  record.trace_id = "t-00000000000000aa";
+  return record;
+}
+
+void ExpectSameRecord(const AuditRecord& a, const AuditRecord& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.subject, b.subject);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.job_owner, b.job_owner);
+  EXPECT_EQ(a.job_id, b.job_id);
+  EXPECT_EQ(a.rsl, b.rsl);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.retry_attempt, b.retry_attempt);
+  EXPECT_EQ(a.has_provenance, b.has_provenance);
+}
+
+TEST(AuditJsonl, RoundTripsEveryField) {
+  AuditRecord record = SampleRecord();
+  record.retry_attempt = 2;
+  record.has_provenance = true;
+  record.provenance.evaluator = "compiled";
+  record.provenance.matched_statement = "/O=Grid/CN=Bo Liu";
+  record.provenance.matched_set = 2;
+  record.provenance.decision_kind = "permit";
+  record.provenance.failed_relation = "count < 4";
+  record.provenance.policy_generation = 7;
+  record.provenance.policy_source = "vo";
+  record.provenance.cache_checked = true;
+  record.provenance.cache_hit = true;
+  record.provenance.cache_generation = 7;
+  record.provenance.attempts = 3;
+  record.provenance.failed_attempts = {{1, "first: failure"},
+                                       {2, "[unavailable] second"}};
+  record.provenance.breaker_state = "half-open";
+  record.provenance.degrade_tag = "[circuit-open]";
+  record.provenance.pep_action = "start";
+  record.provenance.pep_job_id = "job-1";
+  record.provenance.peer_trace_id = "t-00000000000000bb";
+  record.provenance.stages = {{"pep/callout", 100}, {"pdp/evaluate", 40}};
+
+  const std::string line = AuditRecordToJsonLine(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto parsed = AuditRecordFromJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ExpectSameRecord(record, *parsed);
+  const DecisionProvenance& p = parsed->provenance;
+  EXPECT_EQ(p.evaluator, "compiled");
+  EXPECT_EQ(p.matched_statement, "/O=Grid/CN=Bo Liu");
+  EXPECT_EQ(p.matched_set, 2);
+  EXPECT_EQ(p.decision_kind, "permit");
+  EXPECT_EQ(p.failed_relation, "count < 4");
+  EXPECT_EQ(p.policy_generation, 7u);
+  EXPECT_EQ(p.policy_source, "vo");
+  EXPECT_TRUE(p.cache_checked);
+  EXPECT_TRUE(p.cache_hit);
+  EXPECT_EQ(p.cache_generation, 7u);
+  EXPECT_EQ(p.attempts, 3);
+  ASSERT_EQ(p.failed_attempts.size(), 2u);
+  EXPECT_EQ(p.failed_attempts[0].error, "first: failure");
+  EXPECT_EQ(p.failed_attempts[1].error, "[unavailable] second");
+  EXPECT_EQ(p.breaker_state, "half-open");
+  EXPECT_EQ(p.degrade_tag, "[circuit-open]");
+  EXPECT_EQ(p.pep_action, "start");
+  EXPECT_EQ(p.pep_job_id, "job-1");
+  EXPECT_EQ(p.peer_trace_id, "t-00000000000000bb");
+  ASSERT_EQ(p.stages.size(), 2u);
+  EXPECT_EQ(p.stages[0].name, "pep/callout");
+  EXPECT_EQ(p.stages[1].duration_us, 40);
+}
+
+TEST(AuditJsonl, HostileStringsStayOnOneLineAndRoundTrip) {
+  AuditRecord record = SampleRecord();
+  record.subject = "/O=Grid/CN=evil\"quote\\backslash";
+  record.reason = "line one\nline two\ttabbed\r\x01control";
+  const std::string line = AuditRecordToJsonLine(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  auto parsed = AuditRecordFromJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->subject, record.subject);
+  EXPECT_EQ(parsed->reason, record.reason);
+}
+
+TEST(AuditJsonl, RejectsUnknownSchemaVersionAndGarbage) {
+  EXPECT_FALSE(AuditRecordFromJsonLine("not json at all").ok());
+  EXPECT_FALSE(
+      AuditRecordFromJsonLine(R"({"v":99,"t":1,"outcome":"PERMIT"})").ok());
+  EXPECT_FALSE(
+      AuditRecordFromJsonLine(R"({"v":1,"t":1,"outcome":"MAYBE"})").ok());
+}
+
+TEST(FileAuditSink, WritesSubmittedRecordsDurably) {
+  const std::string dir = TestDir("basic");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  {
+    FileAuditSink sink{options};
+    for (int i = 0; i < 10; ++i) {
+      AuditRecord record = SampleRecord();
+      record.time = i;
+      sink.Submit(std::move(record));
+    }
+    sink.Flush();
+    EXPECT_EQ(sink.written(), 10u);
+    EXPECT_EQ(sink.dropped(), 0u);
+  }  // destructor drains and closes
+  std::ifstream in(options.path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = AuditRecordFromJsonLine(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    EXPECT_EQ(parsed->time, lines);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 10);
+}
+
+TEST(FileAuditSink, RotatesUnderTheConfiguredCap) {
+  const std::string dir = TestDir("rotate");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  options.max_file_bytes = 512;  // a few records per file
+  options.max_rotated_files = 2;
+  FileAuditSink sink{options};
+  for (int i = 0; i < 200; ++i) {
+    AuditRecord record = SampleRecord();
+    record.time = i;
+    sink.Submit(std::move(record));
+    if (i % 50 == 0) sink.Flush();  // keep the queue from overflowing
+  }
+  sink.Flush();
+  EXPECT_EQ(sink.written(), 200u);
+
+  // Active file plus at most max_rotated_files, each within the size cap.
+  EXPECT_TRUE(fs::exists(options.path));
+  EXPECT_TRUE(fs::exists(options.path + ".1"));
+  EXPECT_TRUE(fs::exists(options.path + ".2"));
+  EXPECT_FALSE(fs::exists(options.path + ".3"));
+  for (const std::string& path :
+       {options.path, options.path + ".1", options.path + ".2"}) {
+    EXPECT_LE(fs::file_size(path), options.max_file_bytes) << path;
+  }
+
+  // Rotation deleted the oldest files; what remains is the newest tail,
+  // contiguous and readable oldest-first through Query.
+  auto records = sink.Query({});
+  ASSERT_TRUE(records.ok()) << records.error().to_string();
+  ASSERT_FALSE(records->empty());
+  EXPECT_LT(records->size(), 200u);  // oldest files were deleted
+  EXPECT_EQ(records->back().time, 199);
+  for (std::size_t i = 1; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].time, (*records)[i - 1].time + 1);
+  }
+}
+
+TEST(FileAuditSink, FullQueueDropsWithoutBlocking) {
+  const std::string dir = TestDir("drops");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  options.queue_capacity = 4;
+  FileAuditSink sink{options};
+  // Burst far beyond the queue: Submit must return (never block) and the
+  // overflow must be counted, not silently lost.
+  for (int i = 0; i < 1000; ++i) sink.Submit(SampleRecord());
+  sink.Flush();
+  EXPECT_EQ(sink.written() + sink.dropped(), 1000u);
+  EXPECT_GT(sink.written(), 0u);
+}
+
+TEST(FileAuditSink, QueryFiltersBySubjectActionOutcomeAndTime) {
+  const std::string dir = TestDir("query");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  FileAuditSink sink{options};
+  for (int i = 0; i < 6; ++i) {
+    AuditRecord record = SampleRecord();
+    record.time = i;
+    record.subject = i % 2 == 0 ? "/O=Grid/CN=alpha" : "/O=Grid/CN=beta";
+    record.action = i < 3 ? "start" : "cancel";
+    record.outcome = i == 5 ? AuditOutcome::kDeny : AuditOutcome::kPermit;
+    sink.Submit(std::move(record));
+  }
+
+  AuditQuery by_subject;
+  by_subject.subject = "/O=Grid/CN=alpha";
+  auto result = sink.Query(by_subject);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+
+  AuditQuery by_action_and_outcome;
+  by_action_and_outcome.action = "cancel";
+  by_action_and_outcome.outcome = AuditOutcome::kDeny;
+  result = sink.Query(by_action_and_outcome);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->front().time, 5);
+
+  AuditQuery by_time;
+  by_time.time_min = 1;
+  by_time.time_max = 3;
+  result = sink.Query(by_time);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->front().time, 1);
+  EXPECT_EQ(result->back().time, 3);
+}
+
+TEST(FileAuditSink, QueryFailsLoudlyOnCorruptLines) {
+  const std::string dir = TestDir("corrupt");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  FileAuditSink sink{options};
+  sink.Submit(SampleRecord());
+  sink.Flush();
+  {
+    std::ofstream out(options.path, std::ios::app);
+    out << "{\"v\":1,truncated garbage\n";
+  }
+  auto result = sink.Query({});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().to_string().find("audit.jsonl:2"),
+            std::string::npos);
+}
+
+TEST(FileAuditSink, ConcurrentSubmittersProduceNoCorruption) {
+  const std::string dir = TestDir("concurrent");
+  FileAuditSinkOptions options;
+  options.path = dir + "/audit.jsonl";
+  options.queue_capacity = 64;  // force drop-path interleaving too
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::uint64_t written = 0, dropped = 0;
+  {
+    FileAuditSink sink{options};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          AuditRecord record = SampleRecord();
+          record.time = t * kPerThread + i;
+          record.reason = "thread " + std::to_string(t) + " record \"" +
+                          std::to_string(i) + "\"\nsecond line";
+          sink.Submit(std::move(record));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    sink.Flush();
+    written = sink.written();
+    dropped = sink.dropped();
+  }
+  EXPECT_EQ(written + dropped, kThreads * kPerThread);
+
+  // Every surviving line must parse — a torn or interleaved write would
+  // corrupt at least one.
+  std::ifstream in(options.path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::uint64_t parsed_lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = AuditRecordFromJsonLine(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    ++parsed_lines;
+  }
+  EXPECT_EQ(parsed_lines, written);
+}
+
+TEST(JsonFlatObject, EscapeUnescapeRoundTripsControlCharacters) {
+  std::string hostile;
+  for (int c = 1; c < 0x20; ++c) hostile.push_back(static_cast<char>(c));
+  hostile += "\"quoted\" and \\slashed\\";
+  const std::string escaped = json::Escape(hostile);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  auto back = json::Unescape(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, hostile);
+}
+
+}  // namespace
+}  // namespace gridauthz::core

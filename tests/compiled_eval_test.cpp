@@ -9,6 +9,7 @@
 #include "common/config.h"
 #include "core/compiled.h"
 #include "core/decision_cache.h"
+#include "core/provenance.h"
 #include "core/source.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
@@ -52,7 +53,9 @@ AuthorizationRequest ManageRequest(const std::string& subject,
   return request;
 }
 
-// Both evaluators over the same document must agree exactly.
+// Both evaluators over the same document must agree exactly — with and
+// without provenance collection, which must never perturb a decision
+// and must annotate identically (modulo the evaluator's own name).
 void ExpectSameDecision(const PolicyDocument& document,
                         const AuthorizationRequest& request,
                         EvaluatorOptions options = {}) {
@@ -64,6 +67,30 @@ void ExpectSameDecision(const PolicyDocument& document,
                             << " action=" << request.action;
   EXPECT_EQ(a.reason, b.reason) << "subject=" << request.subject
                                 << " action=" << request.action;
+
+  DecisionProvenance naive_prov;
+  {
+    ProvenanceScope scope;
+    const Decision traced = naive.Evaluate(request);
+    EXPECT_EQ(traced.code, a.code);
+    EXPECT_EQ(traced.reason, a.reason);
+    naive_prov = scope.record();
+  }
+  DecisionProvenance compiled_prov;
+  {
+    ProvenanceScope scope;
+    const Decision traced = compiled.Evaluate(request);
+    EXPECT_EQ(traced.code, b.code);
+    EXPECT_EQ(traced.reason, b.reason);
+    compiled_prov = scope.record();
+  }
+  EXPECT_EQ(naive_prov.evaluator, "naive");
+  EXPECT_EQ(compiled_prov.evaluator, "compiled");
+  EXPECT_EQ(naive_prov.matched_statement, compiled_prov.matched_statement)
+      << "subject=" << request.subject;
+  EXPECT_EQ(naive_prov.matched_set, compiled_prov.matched_set);
+  EXPECT_EQ(naive_prov.decision_kind, compiled_prov.decision_kind);
+  EXPECT_EQ(naive_prov.failed_relation, compiled_prov.failed_relation);
 }
 
 TEST(CompiledDoc, ApplicableToMatchesNaiveInDocumentOrder) {

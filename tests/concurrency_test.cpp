@@ -398,5 +398,53 @@ TEST(Concurrency, ParallelTracedSpansStayOnTheirOwnTrace) {
   }
 }
 
+TEST(Concurrency, SpanStoreRecordAndForTraceRaceCleanly) {
+  // Writers push spans through a wrapping ring while readers walk the
+  // per-trace index; under TSan this proves Record and ForTrace share
+  // one lock discipline. Readers must only ever see a prefix-consistent
+  // snapshot: spans of the requested trace, in completion order.
+  obs::SpanStore store{64};
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kSpansPerWriter = 400;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      const std::string trace = "t-race-" + std::to_string(w);
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        obs::Span span;
+        span.trace_id = trace;
+        span.span_id = static_cast<std::uint64_t>(i + 1);
+        store.Record(std::move(span));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&store, &done, r] {
+      const std::string trace = "t-race-" + std::to_string(r % kWriters);
+      while (!done.load(std::memory_order_acquire)) {
+        auto spans = store.ForTrace(trace);
+        // Completion order within a trace is monotone in span_id here.
+        for (std::size_t i = 1; i < spans.size(); ++i) {
+          EXPECT_LT(spans[i - 1].span_id, spans[i].span_id);
+          EXPECT_EQ(spans[i].trace_id, trace);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  // After the dust settles the ring holds exactly its capacity and every
+  // indexed span is reachable.
+  std::size_t indexed = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    indexed += store.ForTrace("t-race-" + std::to_string(w)).size();
+  }
+  EXPECT_EQ(indexed, store.size());
+  EXPECT_EQ(store.size(), 64u);
+}
+
 }  // namespace
 }  // namespace gridauthz

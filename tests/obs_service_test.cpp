@@ -1,0 +1,221 @@
+// The ops/exposition service over the wire seam: all five endpoints
+// answered through obs-request frames, data-plane delegation through the
+// same listener, error statuses for unknown paths and missing backends,
+// and behavior under the fault layer's transport injection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/audit.h"
+#include "core/audit_sink.h"
+#include "fault/breaker.h"
+#include "fault/inject.h"
+#include "gram/obs_service.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::gram::wire {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+constexpr const char* kPolicy = R"(
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = information)(jobowner = self)
+)";
+
+class ObsServiceTest : public ::testing::Test {
+ protected:
+  ObsServiceTest()
+      : endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
+                  &site_.clock()) {
+    obs::Metrics().Reset();
+    EXPECT_TRUE(site_.AddAccount("boliu").ok());
+    boliu_ = site_.CreateUser(kBoLiu).value();
+    EXPECT_TRUE(site_.MapUser(boliu_, "boliu").ok());
+
+    const std::string dir =
+        ::testing::TempDir() + "/obs_service_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    core::FileAuditSinkOptions sink_options;
+    sink_options.path = dir + "/audit.jsonl";
+    sink_ = std::make_shared<core::FileAuditSink>(sink_options);
+
+    policy_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(kPolicy).value());
+    audit_log_ = std::make_shared<core::AuditLog>();
+    auto audited = std::make_shared<core::AuditingPolicySource>(
+        policy_, audit_log_, &site_.clock(),
+        core::AuditingOptions{.sink = sink_});
+    site_.UseJobManagerPep(audited);
+
+    ObsServiceOptions options;
+    options.audit_sink = sink_;
+    options.policy = policy_;
+    options.inner = &endpoint_;
+    service_ = std::make_unique<ObsService>(std::move(options));
+  }
+
+  void TearDown() override { obs::Metrics().Reset(); }
+
+  // One permitted submission through the ObsService (delegated to the
+  // real endpoint); returns the client's trace id.
+  std::string SubmitOnce() {
+    WireClient client{boliu_, service_.get()};
+    auto contact = client.Submit(
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)");
+    EXPECT_TRUE(contact.ok()) << contact.error();
+    return client.last_trace_id();
+  }
+
+  SimulatedSite site_;
+  gsi::Credential boliu_;
+  WireEndpoint endpoint_;
+  std::shared_ptr<core::FileAuditSink> sink_;
+  std::shared_ptr<core::StaticPolicySource> policy_;
+  std::shared_ptr<core::AuditLog> audit_log_;
+  std::unique_ptr<ObsService> service_;
+};
+
+TEST_F(ObsServiceTest, MetricsEndpointExposesPrometheusText) {
+  SubmitOnce();
+  auto reply = ObsRequest(*service_, boliu_, "/metrics");
+  ASSERT_TRUE(reply.ok()) << reply.error();
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_EQ(reply->content_type, "text/plain");
+  EXPECT_NE(reply->body.find("# TYPE wire_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(reply->body.find("wire_requests_total{outcome=\"ok\","
+                             "type=\"job-request\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsServiceTest, MetricsJsonEndpointExposesSnapshot) {
+  SubmitOnce();
+  auto reply = ObsRequest(*service_, boliu_, "/metrics.json");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_EQ(reply->content_type, "application/json");
+  EXPECT_EQ(reply->body.front(), '{');
+  EXPECT_NE(reply->body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(reply->body.find("wire_request_latency_us"), std::string::npos);
+}
+
+TEST_F(ObsServiceTest, TraceEndpointReturnsSpansOfOneTrace) {
+  const std::string trace_id = SubmitOnce();
+  ASSERT_FALSE(trace_id.empty());
+  auto reply = ObsRequest(*service_, boliu_, "/trace/" + trace_id);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_NE(reply->body.find("wire/handle"), std::string::npos);
+  EXPECT_NE(reply->body.find("\"trace\":\"" + trace_id + "\""),
+            std::string::npos);
+
+  auto missing = ObsRequest(*service_, boliu_, "/trace/t-ffffffffffffffff");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST_F(ObsServiceTest, AuditQueryEndpointFiltersDurableRecords) {
+  SubmitOnce();
+  auto reply = ObsRequest(*service_, boliu_, "/audit/query",
+                          {{"subject", kBoLiu}, {"outcome", "PERMIT"}});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_NE(reply->body.find("\"outcome\":\"PERMIT\""), std::string::npos);
+  EXPECT_NE(reply->body.find("\"prov\":true"), std::string::npos);
+
+  auto none = ObsRequest(*service_, boliu_, "/audit/query",
+                         {{"subject", "/O=Grid/CN=nobody"}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->status, 200);
+  EXPECT_EQ(none->body, "[]");
+
+  auto bad = ObsRequest(*service_, boliu_, "/audit/query",
+                        {{"outcome", "MAYBE"}});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+}
+
+TEST_F(ObsServiceTest, AuditQueryWithoutSinkIs503) {
+  ObsService bare{ObsServiceOptions{}};
+  auto reply = ObsRequest(bare, boliu_, "/audit/query");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 503);
+}
+
+TEST_F(ObsServiceTest, HealthzReportsBreakersGenerationSloAndSink) {
+  // A breaker registered with obs shows up by backend name.
+  fault::CircuitBreaker breaker{"akenti", {}, &site_.clock()};
+  SubmitOnce();
+  auto reply = ObsRequest(*service_, boliu_, "/healthz");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_NE(reply->body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(reply->body.find("\"policy_generation\":" + std::to_string(
+                                 policy_->policy_generation())),
+            std::string::npos);
+  EXPECT_NE(
+      reply->body.find("{\"backend\":\"akenti\",\"state\":\"closed\"}"),
+      std::string::npos);
+  EXPECT_NE(reply->body.find("\"slo\":{\"total\":"), std::string::npos);
+  EXPECT_NE(reply->body.find("\"burn_rate\":"), std::string::npos);
+  EXPECT_NE(reply->body.find("\"audit_sink\":{\"written\":"),
+            std::string::npos);
+}
+
+TEST_F(ObsServiceTest, HealthzDegradesOnReloadFailure) {
+  ObsServiceOptions options;
+  options.policy = policy_;
+  options.last_reload_error = [] {
+    return std::string{"policy.txt:3: parse error"};
+  };
+  ObsService degraded{std::move(options)};
+  auto reply = ObsRequest(degraded, boliu_, "/healthz");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_NE(reply->body.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(reply->body.find("\"last_reload_ok\":false"), std::string::npos);
+  EXPECT_NE(reply->body.find("parse error"), std::string::npos);
+}
+
+TEST_F(ObsServiceTest, UnknownPathIs404AndNonObsFrameWithoutInnerIs400) {
+  auto reply = ObsRequest(*service_, boliu_, "/nope");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 404);
+
+  ObsService bare{ObsServiceOptions{}};
+  Message job;
+  job.Set("message-type", "job-request");
+  auto frame = Message::Parse(bare.Handle(boliu_, job.Serialize()));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->Get("message-type").value_or(""), "obs-reply");
+  EXPECT_EQ(frame->Get("status").value_or(""), "400");
+}
+
+TEST_F(ObsServiceTest, SurvivesFaultInjectedTransport) {
+  auto plan = fault::FaultPlan::Parse("seed 7\nobs transient-rate 1\n");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultyTransport faulty{service_.get(),
+                               fault::MakeInjector(*plan, "obs")};
+  // The link eats every reply: the client sees an undecodable frame, a
+  // transport-level failure — never a fabricated obs-reply.
+  auto reply = ObsRequest(faulty, boliu_, "/metrics");
+  EXPECT_FALSE(reply.ok());
+
+  // A healthy link through the same decorator type works unchanged.
+  auto clean_plan = fault::FaultPlan::Parse("seed 7\n");
+  ASSERT_TRUE(clean_plan.ok());
+  fault::FaultyTransport clean{service_.get(),
+                              fault::MakeInjector(*clean_plan, "obs")};
+  auto ok_reply = ObsRequest(clean, boliu_, "/metrics");
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->status, 200);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram::wire

@@ -16,6 +16,7 @@
 #include "fault/resilient.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace gridauthz::obs {
@@ -113,6 +114,43 @@ TEST_F(ObsTest, PercentileOrderingOnSpreadData) {
   EXPECT_GT(h.p50(), 0.0);
 }
 
+TEST_F(ObsTest, PercentileEmptyHistogramIsZeroAtEveryRank) {
+  Histogram& h = Metrics().GetHistogram("empty_us", {}, {10, 100});
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, PercentileSingleBucketHistogram) {
+  Histogram& h = Metrics().GetHistogram("single_us", {}, {100});
+  h.Observe(10);
+  h.Observe(20);
+  // All mass inside the one finite bucket: every rank interpolates
+  // within [0, 100] and stays ordered.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(100.0), 100.0);
+  EXPECT_LE(h.p50(), h.p99());
+}
+
+TEST_F(ObsTest, PercentileExtremeRanksAndOverflow) {
+  Histogram& h = Metrics().GetHistogram("extreme_us", {}, {10, 100});
+  h.Observe(5);
+  h.Observe(50);
+  // p=0 degenerates to the low edge of the first occupied bucket; p=100
+  // to the upper edge of the last occupied one. Out-of-range ranks clamp.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 100.0);
+  EXPECT_EQ(h.Percentile(-5.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(150.0), h.Percentile(100.0));
+  // A value above every finite bound reports the last bound — the
+  // histogram cannot resolve beyond it, and must not invent a number.
+  h.Observe(1'000'000);
+  h.Observe(1'000'000);
+  h.Observe(1'000'000);
+  EXPECT_EQ(h.Percentile(99.0), 100.0);
+}
+
 // ---- exposition ---------------------------------------------------------
 
 TEST_F(ObsTest, RenderTextExposesSortedLabelsAndTypes) {
@@ -155,6 +193,89 @@ TEST_F(ObsTest, RenderJsonCarriesPercentiles) {
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderTextEscapesHostileLabelValues) {
+  // Prometheus label values must escape backslash, quote, and newline —
+  // a subject DN or reason string containing any of them must not be
+  // able to break the exposition format or smuggle in a fake series.
+  Metrics()
+      .GetCounter("hostile_total",
+                  {{"subject", "/CN=Bo \"Liu\"\\evil\ninjected 99"}})
+      .Increment();
+  std::string text = Metrics().RenderText();
+  EXPECT_NE(
+      text.find(
+          "hostile_total{subject=\"/CN=Bo \\\"Liu\\\"\\\\evil\\ninjected"
+          " 99\"} 1"),
+      std::string::npos);
+  // The raw newline never appears inside the rendered value: every line
+  // of the exposition is either a comment or a complete sample.
+  for (std::size_t pos = 0; (pos = text.find('\n', pos)) != std::string::npos;
+       ++pos) {
+    // No line starts mid-label (i.e. with the injected continuation).
+    EXPECT_NE(text.compare(pos + 1, 8, "injected"), 0);
+  }
+}
+
+TEST_F(ObsTest, GaugeSeriesEnumeratesEveryLabelledGauge) {
+  Metrics().GetGauge("breaker_state", {{"backend", "akenti"}}).Set(1);
+  Metrics().GetGauge("breaker_state", {{"backend", "cas"}}).Set(0);
+  auto series = Metrics().GaugeSeries("breaker_state");
+  ASSERT_EQ(series.size(), 2u);
+  std::int64_t akenti = -1, cas = -1;
+  for (const auto& [labels, value] : series) {
+    ASSERT_EQ(labels.size(), 1u);
+    if (labels[0].second == "akenti") akenti = value;
+    if (labels[0].second == "cas") cas = value;
+  }
+  EXPECT_EQ(akenti, 1);
+  EXPECT_EQ(cas, 0);
+  // Missing family and non-gauge family both enumerate as empty.
+  EXPECT_TRUE(Metrics().GaugeSeries("no_such_gauge").empty());
+  Metrics().GetCounter("a_counter_total").Increment();
+  EXPECT_TRUE(Metrics().GaugeSeries("a_counter_total").empty());
+}
+
+TEST_F(ObsTest, SloTrackerComputesBurnRateOverWindow) {
+  SimClock sim;
+  SetObsClock(&sim);
+  SloOptions options;
+  options.objective = 0.999;
+  options.window_us = 60'000'000;
+  options.buckets = 6;
+  SloTracker slo{options};
+  // 999 successes + 1 error = exactly the objective: burn rate 1.0.
+  for (int i = 0; i < 999; ++i) slo.Record(true);
+  slo.Record(false);
+  auto snap = slo.Window();
+  EXPECT_EQ(snap.total, 1000u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_NEAR(snap.error_rate, 0.001, 1e-9);
+  EXPECT_NEAR(snap.burn_rate, 1.0, 1e-6);
+  // Another error doubles the burn rate (2x budget spend).
+  slo.Record(false);
+  EXPECT_GT(slo.Window().burn_rate, 1.5);
+  // Events age out once the window slides past them.
+  sim.Advance(120);  // seconds — two full windows later
+  auto aged = slo.Window();
+  EXPECT_EQ(aged.total, 0u);
+  EXPECT_EQ(aged.errors, 0u);
+  EXPECT_EQ(aged.burn_rate, 0.0);
+  SetObsClock(nullptr);
+}
+
+TEST_F(ObsTest, SloTrackerWithPerfectObjectiveCapsBurnRate) {
+  SimClock sim;
+  SetObsClock(&sim);
+  SloOptions options;
+  options.objective = 1.0;  // zero error budget
+  SloTracker slo{options};
+  slo.Record(false);
+  // No budget to burn: the rate is capped, never infinite.
+  EXPECT_GT(slo.Window().burn_rate, 1.0);
+  EXPECT_LE(slo.Window().burn_rate, 1e9);
+  SetObsClock(nullptr);
 }
 
 TEST_F(ObsTest, RenderTextExposesFaultToleranceMetrics) {
@@ -328,6 +449,29 @@ TEST_F(ObsTest, SpanStoreIsBounded) {
   ASSERT_EQ(spans.size(), 4u);
   EXPECT_EQ(spans.front().span_id, 7u);
   EXPECT_EQ(spans.back().span_id, 10u);
+}
+
+TEST_F(ObsTest, ForTraceIndexSurvivesInterleavingAndEviction) {
+  // Two traces interleave through a ring small enough to wrap; the
+  // per-trace index must drop evicted spans and keep completion order.
+  SpanStore store{4};
+  for (int i = 0; i < 8; ++i) {
+    Span span;
+    span.trace_id = (i % 2 == 0) ? "t-even" : "t-odd";
+    span.span_id = static_cast<std::uint64_t>(i + 1);
+    store.Record(std::move(span));
+  }
+  // Ring holds spans 5..8: t-even has {5, 7}, t-odd has {6, 8}.
+  auto even = store.ForTrace("t-even");
+  ASSERT_EQ(even.size(), 2u);
+  EXPECT_EQ(even[0].span_id, 5u);
+  EXPECT_EQ(even[1].span_id, 7u);
+  auto odd = store.ForTrace("t-odd");
+  ASSERT_EQ(odd.size(), 2u);
+  EXPECT_EQ(odd[0].span_id, 6u);
+  EXPECT_EQ(odd[1].span_id, 8u);
+  // A trace fully evicted from the ring is fully gone from the index.
+  EXPECT_TRUE(store.ForTrace("t-missing").empty());
 }
 
 // ---- log correlation ----------------------------------------------------

@@ -23,6 +23,7 @@
 
 #include "core/audit.h"
 #include "core/compiled.h"
+#include "core/provenance.h"
 #include "core/source.h"
 #include "xacml/xacml.h"
 
@@ -301,6 +302,25 @@ TEST_P(PolicyPropertyTest, CompiledEvaluatorMatchesNaive) {
       EXPECT_EQ(a.reason, b.reason)
           << document.ToString() << "\nsubject=" << request.subject
           << " action=" << request.action;
+      // Provenance collection must not perturb either evaluator, and
+      // both must name the same deciding statement (or default-deny).
+      if (rng.Chance(25)) {
+        core::ProvenanceScope naive_scope;
+        core::Decision traced = naive.Evaluate(request);
+        EXPECT_EQ(traced.code, a.code);
+        EXPECT_EQ(traced.reason, a.reason);
+        core::DecisionProvenance naive_prov = naive_scope.record();
+        core::ProvenanceScope compiled_scope;
+        traced = compiled.Evaluate(request);
+        EXPECT_EQ(traced.code, b.code);
+        EXPECT_EQ(traced.reason, b.reason);
+        EXPECT_EQ(naive_prov.matched_statement,
+                  compiled_scope.record().matched_statement)
+            << document.ToString() << "\nsubject=" << request.subject;
+        EXPECT_EQ(naive_prov.decision_kind,
+                  compiled_scope.record().decision_kind);
+        EXPECT_FALSE(naive_prov.matched_statement.empty());
+      }
     }
   }
 }

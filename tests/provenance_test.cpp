@@ -1,0 +1,340 @@
+// Decision provenance (DESIGN.md §10): collection is ambient and
+// decision-neutral — the same codes and reason strings with or without a
+// ProvenanceScope, the compiled evaluator annotating exactly what the
+// naive one does — and every permit or deny names the statement that
+// decided it (or the default-deny stance). The cache restores statement
+// provenance on hits; the fault layer records attempts and degraded
+// serves; AuditingPolicySource emits one retry-attempt record per
+// transient failure.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/audit.h"
+#include "core/compiled.h"
+#include "core/decision_cache.h"
+#include "core/provenance.h"
+#include "core/source.h"
+#include "fault/resilient.h"
+
+namespace gridauthz::core {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+constexpr const char* kFigure3 = R"(
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+&(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+)";
+
+AuthorizationRequest StartRequest(const std::string& subject,
+                                  const std::string& rsl) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = std::string{kActionStart};
+  request.job_owner = subject;
+  request.job_rsl = rsl::ParseConjunction(rsl).value();
+  return request;
+}
+
+AuthorizationRequest ManageRequest(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& owner) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = owner;
+  request.job_id = "https://fusion.anl.gov:2119/jobmanager/1";
+  request.job_rsl = rsl::ParseConjunction("&(executable=test1)").value();
+  return request;
+}
+
+// The requests exercising all four decision kinds against kFigure3.
+std::vector<AuthorizationRequest> KindRequests() {
+  return {
+      // permit (Bo Liu's first assertion set)
+      StartRequest(kBoLiu,
+                   "&(executable=test1)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)"),
+      // deny-no-permission (no set matches)
+      StartRequest(kBoLiu,
+                   "&(executable=test3)(directory=/sandbox/test)"
+                   "(jobtag=ADS)(count=2)"),
+      // deny-requirement (OU-wide requirement: jobtag != NULL)
+      StartRequest(kBoLiu, "&(executable=test1)(count=2)"),
+      // deny-no-applicable (outsider)
+      StartRequest("/O=Grid/O=Other/CN=Outsider", "&(a=b)"),
+  };
+}
+
+TEST(ProvenanceNeutrality, ScopeDoesNotChangeDecisionsOrReasons) {
+  const auto document = PolicyDocument::Parse(kFigure3).value();
+  const PolicyEvaluator naive{document};
+  const CompiledPolicyDocument compiled{document};
+  for (const AuthorizationRequest& request : KindRequests()) {
+    const Decision bare_naive = naive.Evaluate(request);
+    const Decision bare_compiled = compiled.Evaluate(request);
+    ProvenanceScope scope;
+    const Decision scoped_naive = naive.Evaluate(request);
+    const Decision scoped_compiled = compiled.Evaluate(request);
+    EXPECT_EQ(bare_naive.code, scoped_naive.code);
+    EXPECT_EQ(bare_naive.reason, scoped_naive.reason);
+    EXPECT_EQ(bare_compiled.code, scoped_compiled.code);
+    EXPECT_EQ(bare_compiled.reason, scoped_compiled.reason);
+  }
+}
+
+TEST(ProvenanceNeutrality, CompiledAnnotatesSameProvenanceAsNaive) {
+  const auto document = PolicyDocument::Parse(kFigure3).value();
+  const PolicyEvaluator naive{document};
+  const CompiledPolicyDocument compiled{document};
+  for (const AuthorizationRequest& request : KindRequests()) {
+    DecisionProvenance from_naive, from_compiled;
+    {
+      ProvenanceScope scope;
+      (void)naive.Evaluate(request);
+      from_naive = scope.record();
+    }
+    {
+      ProvenanceScope scope;
+      (void)compiled.Evaluate(request);
+      from_compiled = scope.record();
+    }
+    EXPECT_EQ(from_naive.evaluator, "naive");
+    EXPECT_EQ(from_compiled.evaluator, "compiled");
+    EXPECT_EQ(from_naive.matched_statement, from_compiled.matched_statement)
+        << request.subject;
+    EXPECT_EQ(from_naive.matched_set, from_compiled.matched_set)
+        << request.subject;
+    EXPECT_EQ(from_naive.decision_kind, from_compiled.decision_kind)
+        << request.subject;
+    EXPECT_EQ(from_naive.failed_relation, from_compiled.failed_relation)
+        << request.subject;
+  }
+}
+
+TEST(ProvenanceContent, EveryOutcomeNamesAStatementOrDefaultDeny) {
+  const auto document = PolicyDocument::Parse(kFigure3).value();
+  const CompiledPolicyDocument compiled{document};
+  for (const AuthorizationRequest& request : KindRequests()) {
+    ProvenanceScope scope;
+    const Decision decision = compiled.Evaluate(request);
+    const DecisionProvenance& prov = scope.record();
+    ASSERT_FALSE(prov.matched_statement.empty()) << request.subject;
+    if (decision.permitted()) {
+      EXPECT_EQ(prov.decision_kind, "permit");
+      EXPECT_GT(prov.matched_set, 0);
+      // A permit names the statement it came from, never the default.
+      EXPECT_NE(prov.matched_statement, "default-deny");
+      EXPECT_EQ(request.subject.rfind(prov.matched_statement, 0), 0u)
+          << "statement prefix should cover the subject";
+    } else if (prov.decision_kind == "deny-requirement") {
+      EXPECT_NE(prov.matched_statement, "default-deny");
+      EXPECT_FALSE(prov.failed_relation.empty());
+    } else {
+      // Nothing applied or nothing permitted: the default-deny stance.
+      EXPECT_EQ(prov.matched_statement, "default-deny");
+    }
+  }
+}
+
+TEST(ProvenanceContent, PermitTimingStagesAreRecorded) {
+  const auto document = PolicyDocument::Parse(kFigure3).value();
+  const PolicyEvaluator naive{document};
+  ProvenanceScope scope;
+  (void)naive.Evaluate(KindRequests().front());
+  ASSERT_FALSE(scope.record().stages.empty());
+  EXPECT_EQ(scope.record().stages.front().name, "pdp/evaluate");
+}
+
+TEST(ProvenanceContent, PolicySourceStampsNameAndGeneration) {
+  StaticPolicySource source{"vo", PolicyDocument::Parse(kFigure3).value()};
+  ProvenanceScope scope;
+  (void)source.Authorize(KindRequests().front());
+  EXPECT_EQ(scope.record().policy_source, "vo");
+  EXPECT_EQ(scope.record().policy_generation, source.policy_generation());
+}
+
+TEST(ProvenanceCache, HitRestoresStatementProvenance) {
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(
+                "/O=Grid/CN=owner:\n&(action = cancel)(jobowner = self)\n")
+                .value());
+  CachingPolicySource cached{inner};
+  const AuthorizationRequest cancel =
+      ManageRequest("/O=Grid/CN=owner", "cancel", "/O=Grid/CN=owner");
+
+  DecisionProvenance miss, hit;
+  {
+    ProvenanceScope scope;
+    ASSERT_TRUE(cached.Authorize(cancel)->permitted());
+    miss = scope.record();
+  }
+  {
+    ProvenanceScope scope;
+    ASSERT_TRUE(cached.Authorize(cancel)->permitted());
+    hit = scope.record();
+  }
+  EXPECT_TRUE(miss.cache_checked);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(hit.cache_checked);
+  EXPECT_TRUE(hit.cache_hit);
+  // The hit re-reports what the evaluator recorded at fill time.
+  EXPECT_EQ(hit.evaluator, miss.evaluator);
+  EXPECT_EQ(hit.matched_statement, "/O=Grid/CN=owner");
+  EXPECT_EQ(hit.matched_set, miss.matched_set);
+  EXPECT_EQ(hit.decision_kind, "permit");
+  EXPECT_EQ(hit.cache_generation, inner->policy_generation());
+}
+
+// Fails with a retryable error `failures` times, then delegates.
+class FlakySource final : public PolicySource {
+ public:
+  FlakySource(std::shared_ptr<PolicySource> inner, int failures)
+      : inner_(std::move(inner)), remaining_(failures) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  Expected<Decision> Authorize(const AuthorizationRequest& request) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      return Error{ErrCode::kUnavailable, "backend connection refused"};
+    }
+    return inner_->Authorize(request);
+  }
+
+ private:
+  std::shared_ptr<PolicySource> inner_;
+  int remaining_;
+};
+
+TEST(ProvenanceFault, RetriesAndFailedAttemptsAreRecorded) {
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(kFigure3).value());
+  auto flaky = std::make_shared<FlakySource>(inner, 2);
+  fault::ResilienceOptions options;
+  options.retry.max_attempts = 5;
+  fault::ResilientPolicySource resilient{flaky, options};
+
+  ProvenanceScope scope;
+  auto decision = resilient.Authorize(KindRequests().front());
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->permitted());
+  EXPECT_EQ(scope.record().attempts, 3);
+  ASSERT_EQ(scope.record().failed_attempts.size(), 2u);
+  EXPECT_EQ(scope.record().failed_attempts[0].attempt, 1);
+  EXPECT_NE(scope.record().failed_attempts[0].error.find("connection refused"),
+            std::string::npos);
+  // The succeeding attempt still reports the deciding statement.
+  EXPECT_EQ(scope.record().decision_kind, "permit");
+}
+
+TEST(ProvenanceAudit, PerAttemptRecordsTaggedRetryAttempt) {
+  SimClock clock{1000};
+  auto log = std::make_shared<AuditLog>();
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(kFigure3).value());
+  auto flaky = std::make_shared<FlakySource>(inner, 2);
+  fault::ResilienceOptions options;
+  options.retry.max_attempts = 5;
+  options.clock = &clock;
+  auto resilient =
+      std::make_shared<fault::ResilientPolicySource>(flaky, options);
+  AuditingPolicySource audited{resilient, log, &clock};
+
+  auto decision = audited.Authorize(KindRequests().front());
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->permitted());
+
+  // Two transient failures, then the final permit — three records, the
+  // failures first (the order they happened), each naming its ordinal.
+  const auto records = log->records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].outcome, AuditOutcome::kSystemFailure);
+  EXPECT_EQ(records[0].retry_attempt, 1);
+  EXPECT_EQ(records[1].retry_attempt, 2);
+  EXPECT_NE(records[0].ToLine().find("retry-attempt=1"), std::string::npos);
+  EXPECT_EQ(records[2].outcome, AuditOutcome::kPermit);
+  EXPECT_EQ(records[2].retry_attempt, 0);
+  ASSERT_TRUE(records[2].has_provenance);
+  EXPECT_EQ(records[2].provenance.attempts, 3);
+  EXPECT_EQ(records[2].provenance.decision_kind, "permit");
+}
+
+TEST(ProvenanceAudit, CollectionCanBeDisabled) {
+  SimClock clock{1000};
+  auto log = std::make_shared<AuditLog>();
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(kFigure3).value());
+  AuditingPolicySource audited{inner, log, &clock,
+                               AuditingOptions{.sink = nullptr, .collect_provenance = false}};
+  ASSERT_TRUE(audited.Authorize(KindRequests().front())->permitted());
+  ASSERT_EQ(log->size(), 1u);
+  EXPECT_FALSE(log->records().front().has_provenance);
+}
+
+TEST(ProvenanceAudit, ReusesCallerScopeInsteadOfNesting) {
+  SimClock clock{1000};
+  auto log = std::make_shared<AuditLog>();
+  auto inner = std::make_shared<StaticPolicySource>(
+      "vo", PolicyDocument::Parse(kFigure3).value());
+  AuditingPolicySource audited{inner, log, &clock};
+  ProvenanceScope outer;
+  ASSERT_TRUE(audited.Authorize(KindRequests().front())->permitted());
+  // The caller's record was annotated, and the audit record carries it.
+  EXPECT_EQ(outer.record().decision_kind, "permit");
+  ASSERT_EQ(log->size(), 1u);
+  EXPECT_TRUE(log->records().front().has_provenance);
+  EXPECT_EQ(log->records().front().provenance.decision_kind, "permit");
+}
+
+TEST(ProvenanceEncoding, StagesAndFailedAttemptsRoundTrip) {
+  DecisionProvenance prov;
+  prov.stages = {{"pep/callout", 120}, {"pdp/evaluate", 45}};
+  prov.failed_attempts = {{1, "err: with, punctuation:inside"},
+                          {2, "[unavailable] timed out"}};
+  const auto stages =
+      DecisionProvenance::StagesFromString(prov.StagesToString());
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "pep/callout");
+  EXPECT_EQ(stages[0].duration_us, 120);
+  EXPECT_EQ(stages[1].name, "pdp/evaluate");
+  EXPECT_EQ(stages[1].duration_us, 45);
+  const auto attempts = DecisionProvenance::FailedAttemptsFromString(
+      prov.FailedAttemptsToString());
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0].attempt, 1);
+  EXPECT_EQ(attempts[0].error, "err: with, punctuation:inside");
+  EXPECT_EQ(attempts[1].error, "[unavailable] timed out");
+}
+
+TEST(ProvenanceEncoding, ToTextMentionsTheDecidingStatement) {
+  const CompiledPolicyDocument compiled{
+      PolicyDocument::Parse(kFigure3).value()};
+  ProvenanceScope scope;
+  (void)compiled.Evaluate(KindRequests().front());
+  const std::string text = scope.record().ToText();
+  EXPECT_NE(text.find(kBoLiu), std::string::npos);
+  EXPECT_NE(text.find("permit"), std::string::npos);
+  DecisionProvenance blank;
+  EXPECT_TRUE(blank.empty());
+  EXPECT_NE(blank.ToText().find("no provenance"), std::string::npos);
+}
+
+TEST(ProvenanceScopes, NestRestoringThePreviousTarget) {
+  EXPECT_EQ(CurrentProvenance(), nullptr);
+  ProvenanceScope outer;
+  DecisionProvenance* outer_record = CurrentProvenance();
+  ASSERT_NE(outer_record, nullptr);
+  {
+    ProvenanceScope nested;
+    EXPECT_NE(CurrentProvenance(), outer_record);
+    CurrentProvenance()->evaluator = "inner";
+  }
+  EXPECT_EQ(CurrentProvenance(), outer_record);
+  EXPECT_TRUE(outer.record().evaluator.empty());
+}
+
+}  // namespace
+}  // namespace gridauthz::core
