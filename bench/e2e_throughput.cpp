@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "gram/wire_service.h"
 
 using namespace gridauthz;
 using bench::BenchSite;
@@ -154,6 +155,31 @@ void BM_StatusWithPep(benchmark::State& state) {
   ManagementBench(state, true);
 }
 BENCHMARK(BM_StatusWithPep)->Iterations(5000);
+
+void BM_WireSubmitMany(benchmark::State& state) {
+  // The full frame path (encode -> wire -> decode) through the pipelined
+  // client: SubmitMany reuses one frame buffer and request scaffold, so
+  // this measures the transport and endpoint, not per-call encoding.
+  BenchSite env;
+  env.site.UseJobManagerPep(VoSource());
+  gram::wire::WireEndpoint endpoint{&env.site.gatekeeper(), &env.site.jmis(),
+                                    &env.site.trust(), &env.site.clock()};
+  gram::wire::WireClient client{env.boliu, &endpoint};
+  const std::vector<std::string> batch(
+      64,
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+      "(simduration=1)");
+  for (auto _ : state) {
+    auto results = client.SubmitMany(batch);
+    for (const auto& result : results) {
+      if (!result.ok()) state.SkipWithError("wire submit failed");
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_WireSubmitMany)->Iterations(30);
 
 void BM_SchedulerDrainThroughput(benchmark::State& state) {
   // How fast the simulated LRM chews through work, independent of GRAM.

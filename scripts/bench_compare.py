@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Usage: bench_compare.py BASELINE FRESH [--tolerance 0.25] [--abs-epsilon 10]
+
+Both files are the flat {"metric": number} objects WriteBenchJson emits.
+Comparison is direction-aware: throughput-like metrics (rps, speedup,
+scaling) may only regress downward, cost-like metrics (latency,
+ns_per_frame) only upward, and anything else is bounded both ways. A
+metric fails when it crosses the tolerance band AND the absolute change
+exceeds --abs-epsilon, so microsecond-scale numbers near zero do not
+flap on machine noise. Metrics named via --informational are printed but
+never gated — use it for absolute wall-clock numbers that swing with
+host contention when a ratio metric (speedup, scaling) carries the
+gated signal. Metrics present in only one file are reported but do not
+fail the run (benches grow fields over time).
+
+Exit status: 0 when every shared metric is inside its band, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("latency", "ns_per_frame", "p99", "p50")
+HIGHER_IS_BETTER = ("rps", "speedup", "scaling", "per_sec")
+
+
+def direction(name: str) -> str:
+    lowered = name.lower()
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return "lower"
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return "higher"
+    return "both"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional band around the baseline")
+    parser.add_argument("--abs-epsilon", type=float, default=10.0,
+                        help="absolute change below which nothing fails")
+    parser.add_argument("--informational", action="append", default=[],
+                        metavar="NAME",
+                        help="metric to report but never gate (repeatable)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    failures = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline or name not in fresh:
+            where = "baseline" if name in baseline else "fresh"
+            print(f"  note: {name} only in {where}; skipped")
+            continue
+        base, new = float(baseline[name]), float(fresh[name])
+        band = args.tolerance * abs(base)
+        delta = new - base
+        if name in args.informational:
+            verdict = "informational (not gated)"
+        elif abs(delta) <= args.abs_epsilon:
+            verdict = "ok (within absolute epsilon)"
+        else:
+            kind = direction(name)
+            regressed = (
+                (kind == "lower" and delta > band)
+                or (kind == "higher" and delta < -band)
+                or (kind == "both" and abs(delta) > band)
+            )
+            verdict = "REGRESSED" if regressed else "ok"
+            if regressed:
+                failures.append(name)
+        rel = f"{100.0 * delta / base:+.1f}%" if base else "n/a"
+        print(f"  {name}: {base:g} -> {new:g} ({rel}) {verdict}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print("PASS: all shared metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

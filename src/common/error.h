@@ -138,6 +138,10 @@ inline constexpr std::string_view kReasonDeadlineExceeded =
 inline constexpr std::string_view kReasonRetriesExhausted =
     "[retries-exhausted]";
 inline constexpr std::string_view kReasonAttemptTimeout = "[attempt-timeout]";
+// Admission control at the serving edge shed the request before any
+// evaluation ran: the server queue was full, the frame's deadline could
+// not be met, or the server was shutting down (DESIGN.md §11).
+inline constexpr std::string_view kReasonOverload = "[overload]";
 
 // The leading "[...]" tag of `error`'s message, or "" when untagged.
 std::string_view FailureReasonTag(const Error& error);

@@ -9,7 +9,8 @@ bool IsDegradedFailure(const Error& error) {
   if (error.code() != ErrCode::kAuthorizationSystemFailure) return false;
   const std::string_view tag = FailureReasonTag(error);
   return tag == kReasonCircuitOpen || tag == kReasonDeadlineExceeded ||
-         tag == kReasonRetriesExhausted || tag == kReasonAttemptTimeout;
+         tag == kReasonRetriesExhausted || tag == kReasonAttemptTimeout ||
+         tag == kReasonOverload;
 }
 
 namespace {

@@ -5,6 +5,7 @@
 namespace gridauthz::gram {
 
 std::string CallbackRouter::Register(Listener listener) {
+  std::lock_guard lock(mu_);
   std::string url =
       "https://client.example:7512/callback/" + std::to_string(next_id_++);
   listeners_[url] = std::move(listener);
@@ -12,19 +13,25 @@ std::string CallbackRouter::Register(Listener listener) {
 }
 
 void CallbackRouter::Unregister(const std::string& url) {
+  std::lock_guard lock(mu_);
   listeners_.erase(url);
 }
 
 void CallbackRouter::Post(const std::string& url,
                           const JobStatusReply& update) {
-  auto it = listeners_.find(url);
-  if (it == listeners_.end()) {
-    GA_LOG(kDebug, "callback") << "dropping update for unknown contact "
-                               << url;
-    return;
+  Listener listener;
+  {
+    std::lock_guard lock(mu_);
+    auto it = listeners_.find(url);
+    if (it == listeners_.end()) {
+      GA_LOG(kDebug, "callback") << "dropping update for unknown contact "
+                                 << url;
+      return;
+    }
+    listener = it->second;
   }
-  ++delivered_;
-  it->second(update);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  listener(update);
 }
 
 }  // namespace gridauthz::gram

@@ -6,15 +6,23 @@
 // JMI posts JobStatusReply updates to that URL.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "gram/protocol.h"
 
 namespace gridauthz::gram {
 
+// Thread-safe: JMIs post state updates from whichever server worker
+// thread drove the transition, while clients register and unregister
+// listeners concurrently. Post invokes the listener on a copy taken
+// outside the lock, so a slow listener never blocks registration — the
+// flip side is that a listener may still be invoked once after its
+// Unregister returns, and listeners must not call back into the router.
 class CallbackRouter {
  public:
   using Listener = std::function<void(const JobStatusReply&)>;
@@ -27,13 +35,19 @@ class CallbackRouter {
   // matching GT2's fire-and-forget callbacks.
   void Post(const std::string& url, const JobStatusReply& update);
 
-  std::size_t listener_count() const { return listeners_.size(); }
-  std::uint64_t delivered_count() const { return delivered_; }
+  std::size_t listener_count() const {
+    std::lock_guard lock(mu_);
+    return listeners_.size();
+  }
+  std::uint64_t delivered_count() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Listener> listeners_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t delivered_ = 0;
+  std::atomic<std::uint64_t> delivered_{0};
 };
 
 }  // namespace gridauthz::gram

@@ -12,15 +12,17 @@ namespace gridauthz::gram {
 
 std::string JobManagerRegistry::NewContact(const std::string& host) {
   return "https://" + host + ":2119/jobmanager/" +
-         std::to_string(next_job_number_++);
+         std::to_string(next_job_number_.fetch_add(1));
 }
 
 void JobManagerRegistry::Register(std::shared_ptr<JobManagerInstance> jmi) {
+  std::unique_lock lock(mu_);
   jmis_[jmi->contact()] = std::move(jmi);
 }
 
 Expected<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::Lookup(
     const std::string& contact) const {
+  std::shared_lock lock(mu_);
   auto it = jmis_.find(contact);
   if (it == jmis_.end()) {
     return Error{ErrCode::kNotFound, "no such job contact: " + contact};
@@ -30,6 +32,7 @@ Expected<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::Lookup(
 
 std::vector<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::All()
     const {
+  std::shared_lock lock(mu_);
   std::vector<std::shared_ptr<JobManagerInstance>> out;
   out.reserve(jmis_.size());
   for (const auto& [contact, jmi] : jmis_) out.push_back(jmi);
@@ -38,6 +41,7 @@ std::vector<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::All()
 
 std::vector<std::shared_ptr<JobManagerInstance>>
 JobManagerRegistry::FindByJobtag(std::string_view tag) const {
+  std::shared_lock lock(mu_);
   std::vector<std::shared_ptr<JobManagerInstance>> out;
   for (const auto& [contact, jmi] : jmis_) {
     auto jobtag = jmi->jobtag();

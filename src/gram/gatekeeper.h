@@ -9,9 +9,13 @@
 // Job Manager.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/error.h"
@@ -25,13 +29,24 @@ namespace gridauthz::gram {
 
 // Holds live Job Manager Instances keyed by their job contact; stands in
 // for the per-job network endpoints GT2 JMIs listen on.
+//
+// Thread-safe: the server front end (gram/server.h) submits and manages
+// jobs from many worker threads at once, so the contact map is guarded
+// by a reader/writer lock — lookups and scans (the management hot path)
+// take shared locks and only Register takes the exclusive lock — and
+// contact numbering is a lone atomic so NewContact never blocks.
+// Register happens-before any Lookup that returns the JMI, which is what
+// makes the JMI's Start-time writes safe to read on other threads.
 class JobManagerRegistry {
  public:
   std::string NewContact(const std::string& host);
   void Register(std::shared_ptr<JobManagerInstance> jmi);
   Expected<std::shared_ptr<JobManagerInstance>> Lookup(
       const std::string& contact) const;
-  std::size_t size() const { return jmis_.size(); }
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return jmis_.size();
+  }
 
   // Jobs carrying the given jobtag — "a jobtag indicates the job
   // membership in a group of jobs for which policy can be defined"; a VO
@@ -43,8 +58,9 @@ class JobManagerRegistry {
   std::vector<std::shared_ptr<JobManagerInstance>> All() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::shared_ptr<JobManagerInstance>> jmis_;
-  std::uint64_t next_job_number_ = 1;
+  std::atomic<std::uint64_t> next_job_number_{1};
 };
 
 class Gatekeeper {

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/json.h"
+#include "gram/server.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -28,12 +29,15 @@ ObsReply JsonReply(int status, std::string body) {
 }
 
 std::string EncodeReply(const ObsReply& reply) {
-  Message message;
-  message.Set("message-type", "obs-reply");
-  message.SetInt("status", reply.status);
-  message.Set("content-type", reply.content_type);
-  message.Set("body", reply.body);
-  return message.Serialize();
+  std::string frame;
+  FrameWriter writer(&frame);
+  // Sorted key order: byte-identical to the Message encoding this
+  // replaced.
+  writer.Add("body", reply.body);
+  writer.Add("content-type", reply.content_type);
+  writer.Add("message-type", "obs-reply");
+  writer.AddInt("status", reply.status);
+  return frame;
 }
 
 }  // namespace
@@ -43,12 +47,12 @@ ObsService::ObsService(ObsServiceOptions options)
 
 std::string ObsService::Handle(const gsi::Credential& peer,
                                std::string_view frame) {
-  auto message = Message::Parse(frame);
+  auto message = MessageView::Parse(frame);
   if (!message.ok()) {
     return EncodeReply(
         TextReply(400, "malformed frame: " + message.error().to_string()));
   }
-  const std::string type = message->Get("message-type").value_or("");
+  const std::string type{message->Get("message-type").value_or("")};
   if (type != "obs-request") {
     // Data-plane traffic: one listener serves jobs and operations.
     if (options_.inner != nullptr) return options_.inner->Handle(peer, frame);
@@ -58,13 +62,13 @@ std::string ObsService::Handle(const gsi::Credential& peer,
   ObsReply reply = Dispatch(*message);
   obs::Metrics()
       .GetCounter("obs_requests_total",
-                  {{"path", message->Get("path").value_or("")},
+                  {{"path", std::string{message->Get("path").value_or("")}},
                    {"status", std::to_string(reply.status)}})
       .Increment();
   return EncodeReply(reply);
 }
 
-ObsReply ObsService::Dispatch(const Message& message) {
+ObsReply ObsService::Dispatch(const MessageView& message) {
   auto path = message.Require("path");
   if (!path.ok()) return TextReply(400, path.error().to_string());
   if (*path == "/metrics") {
@@ -73,13 +77,13 @@ ObsReply ObsService::Dispatch(const Message& message) {
   if (*path == "/metrics.json") {
     return JsonReply(200, obs::Metrics().RenderJson());
   }
-  if (path->rfind(kTracePrefix, 0) == 0 &&
+  if (path->substr(0, kTracePrefix.size()) == kTracePrefix &&
       path->size() > kTracePrefix.size()) {
-    return HandleTrace(path->substr(kTracePrefix.size()));
+    return HandleTrace(std::string{path->substr(kTracePrefix.size())});
   }
   if (*path == "/audit/query") return HandleAuditQuery(message);
   if (*path == "/healthz") return HandleHealth();
-  return TextReply(404, "unknown path '" + *path + "'");
+  return TextReply(404, "unknown path '" + std::string{*path} + "'");
 }
 
 ObsReply ObsService::HandleTrace(const std::string& trace_id) const {
@@ -105,7 +109,7 @@ ObsReply ObsService::HandleTrace(const std::string& trace_id) const {
   return JsonReply(200, std::move(body));
 }
 
-ObsReply ObsService::HandleAuditQuery(const Message& message) const {
+ObsReply ObsService::HandleAuditQuery(const MessageView& message) const {
   if (options_.audit_sink == nullptr) {
     return TextReply(503, "no durable audit sink configured");
   }
@@ -192,6 +196,27 @@ ObsReply ObsService::HandleHealth() const {
     sink_out.UInt("written", options_.audit_sink->written());
     sink_out.UInt("dropped", options_.audit_sink->dropped());
     out.Raw("audit_sink", sink_out.Take());
+  }
+  if (options_.server != nullptr) {
+    const ServerStats stats = options_.server->Snapshot();
+    json::ObjectWriter server_out;
+    server_out.Int("workers", stats.workers);
+    server_out.UInt("queue_capacity", stats.queue_capacity);
+    server_out.UInt("queue_depth", stats.queue_depth);
+    server_out.UInt("accepted", stats.accepted_total);
+    server_out.UInt("completed", stats.completed_total);
+    server_out.UInt("shed_queue_full", stats.shed_queue_full);
+    server_out.UInt("shed_deadline", stats.shed_deadline);
+    server_out.UInt("shed_shutdown", stats.shed_shutdown);
+    server_out.Int("estimated_service_us", stats.estimated_service_us);
+    std::string busy = "[";
+    for (std::size_t i = 0; i < stats.worker_busy_us.size(); ++i) {
+      if (i > 0) busy += ",";
+      busy += std::to_string(stats.worker_busy_us[i]);
+    }
+    busy += "]";
+    server_out.Raw("worker_busy_us", busy);
+    out.Raw("server", server_out.Take());
   }
   return JsonReply(200, out.Take());
 }

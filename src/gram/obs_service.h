@@ -30,6 +30,8 @@
 
 namespace gridauthz::gram::wire {
 
+class ServerTransport;
+
 struct ObsServiceOptions {
   // Durable audit pipeline backing /audit/query (nullptr = 503).
   std::shared_ptr<core::FileAuditSink> audit_sink;
@@ -41,6 +43,11 @@ struct ObsServiceOptions {
   std::function<std::string()> last_reload_error;
   // Transport non-obs frames are forwarded to (nullptr = error reply).
   WireTransport* inner = nullptr;
+  // Worker-pool front end whose queue/shed stats /healthz reports
+  // (nullptr = section omitted). Layer ObsService OUTSIDE the server
+  // (ObsService -> ServerTransport -> WireEndpoint) so health checks
+  // bypass the request queue and stay responsive under overload.
+  const ServerTransport* server = nullptr;
 };
 
 // Decoded `obs-reply` frame.
@@ -58,9 +65,9 @@ class ObsService final : public WireTransport {
                      std::string_view frame) override;
 
  private:
-  ObsReply Dispatch(const Message& message);
+  ObsReply Dispatch(const MessageView& message);
   ObsReply HandleTrace(const std::string& trace_id) const;
-  ObsReply HandleAuditQuery(const Message& message) const;
+  ObsReply HandleAuditQuery(const MessageView& message) const;
   ObsReply HandleHealth() const;
 
   ObsServiceOptions options_;

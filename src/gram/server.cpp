@@ -1,0 +1,223 @@
+#include "gram/server.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace gridauthz::gram::wire {
+
+namespace {
+
+// Cheap admission peek: message type and deadline, tolerating frames the
+// inner endpoint will reject anyway (those are admitted and answered
+// with the endpoint's own error reply).
+struct AdmissionInfo {
+  bool is_management = false;
+  std::optional<std::int64_t> deadline_micros;
+};
+
+AdmissionInfo Peek(std::string_view frame) {
+  AdmissionInfo info;
+  auto message = MessageView::Parse(frame);
+  if (!message.ok()) return info;
+  info.is_management =
+      message->Get("message-type").value_or("") == "management-request";
+  auto deadline = message->Get("deadline-micros");
+  if (deadline) {
+    auto value = message->RequireInt("deadline-micros");
+    if (value.ok() && *value >= 0) info.deadline_micros = *value;
+  }
+  return info;
+}
+
+}  // namespace
+
+ServerTransport::ServerTransport(WireTransport* inner, ServerOptions options)
+    : inner_(inner), options_(options) {
+  options_.workers = std::max(options_.workers, 1);
+  options_.queue_capacity = std::max<std::size_t>(options_.queue_capacity, 1);
+  ewma_service_us_.store(std::max<std::int64_t>(
+      options_.initial_service_estimate_us, 1));
+  busy_us_ = std::make_unique<std::atomic<std::int64_t>[]>(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) busy_us_[i].store(0);
+  threads_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ServerTransport::~ServerTransport() { Shutdown(); }
+
+std::string ServerTransport::Shed(bool is_management,
+                                  std::string_view reason_label,
+                                  const std::string& detail) {
+  obs::Metrics()
+      .GetCounter("wire_server_shed_total",
+                  {{"reason", std::string{reason_label}}})
+      .Increment();
+  // A shed is the authorization system failing to serve, not the client
+  // misbehaving: it spends error budget like every other system failure.
+  obs::AuthzSlo().Record(false);
+  const std::string reason = std::string{kReasonOverload} + " " + detail;
+  std::string buffer;
+  FrameWriter writer(&buffer);
+  if (is_management) {
+    ManagementReply reply;
+    reply.code = GramErrorCode::kAuthorizationSystemFailure;
+    reply.status = JobStatus::kUnsubmitted;
+    reply.reason = reason;
+    reply.EncodeTo(writer);
+  } else {
+    JobRequestReply reply;
+    reply.code = GramErrorCode::kAuthorizationSystemFailure;
+    reply.reason = reason;
+    reply.EncodeTo(writer);
+  }
+  return buffer;
+}
+
+std::string ServerTransport::Handle(const gsi::Credential& peer,
+                                    std::string_view frame) {
+  const AdmissionInfo info = Peek(frame);
+  const std::int64_t now_us = obs::ObsClock()->NowMicros();
+
+  Work work;
+  work.peer = &peer;
+  work.frame = frame;
+  work.is_management = info.is_management;
+  {
+    std::unique_lock lock(qmu_);
+    if (stopping_) {
+      lock.unlock();
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      return Shed(info.is_management, "shutdown", "server shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return Shed(info.is_management, "queue-full",
+                  "request queue full (" +
+                      std::to_string(options_.queue_capacity) + " deep)");
+    }
+    if (info.deadline_micros) {
+      // Estimated completion: queue ahead of us spread across the pool,
+      // plus our own service time. If that already busts the frame's
+      // deadline, queueing is doomed work — shed now, in bounded time.
+      const std::int64_t estimate =
+          ewma_service_us_.load(std::memory_order_relaxed);
+      const std::int64_t wait_us =
+          estimate * (static_cast<std::int64_t>(queue_.size()) /
+                          options_.workers +
+                      1);
+      if (now_us >= *info.deadline_micros ||
+          now_us + wait_us > *info.deadline_micros) {
+        lock.unlock();
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        return Shed(info.is_management, "deadline",
+                    "deadline cannot be met (estimated wait " +
+                        std::to_string(wait_us) + "us)");
+      }
+    }
+    queue_.push_back(&work);
+    obs::Metrics()
+        .GetGauge("wire_server_queue_depth")
+        .Set(static_cast<std::int64_t>(queue_.size()));
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Metrics().GetCounter("wire_server_accepted_total").Increment();
+  not_empty_.notify_one();
+
+  std::unique_lock wait_lock(work.mu);
+  work.cv.wait(wait_lock, [&work] { return work.done; });
+  return std::move(work.reply);
+}
+
+void ServerTransport::WorkerLoop(int index) {
+  obs::Counter& busy_counter = obs::Metrics().GetCounter(
+      "wire_server_worker_busy_us", {{"worker", std::to_string(index)}});
+  for (;;) {
+    Work* work = nullptr;
+    bool drain_shed = false;
+    {
+      std::unique_lock lock(qmu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      work = queue_.front();
+      queue_.pop_front();
+      drain_shed = stopping_;
+      obs::Metrics()
+          .GetGauge("wire_server_queue_depth")
+          .Set(static_cast<std::int64_t>(queue_.size()));
+    }
+    const std::int64_t start_us = obs::ObsClock()->NowMicros();
+    std::string reply;
+    if (drain_shed) {
+      // Shutdown drain: admitted but never started. The caller still
+      // gets a well-formed reply, so shutdown can never deadlock on a
+      // blocked Handle().
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      reply = Shed(work->is_management, "shutdown", "server shutting down");
+    } else {
+      reply = inner_->Handle(*work->peer, work->frame);
+      const std::int64_t elapsed =
+          obs::ObsClock()->NowMicros() - start_us;
+      busy_us_[index].fetch_add(elapsed, std::memory_order_relaxed);
+      busy_counter.Increment(static_cast<std::uint64_t>(
+          std::max<std::int64_t>(elapsed, 0)));
+      // EWMA with 1/8 gain; racy read-modify-write between workers is
+      // fine — it is a smoothed estimate, not an account.
+      const std::int64_t previous =
+          ewma_service_us_.load(std::memory_order_relaxed);
+      ewma_service_us_.store(
+          std::max<std::int64_t>((previous * 7 + elapsed) / 8, 1),
+          std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      // Notify while still holding the lock: the Work lives on the
+      // caller's stack, and the caller may return (destroying it) the
+      // moment it can observe done == true.
+      std::lock_guard done_lock(work->mu);
+      work->reply = std::move(reply);
+      work->done = true;
+      work->cv.notify_one();
+    }
+  }
+}
+
+void ServerTransport::Shutdown() {
+  {
+    std::lock_guard lock(qmu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+ServerStats ServerTransport::Snapshot() const {
+  ServerStats stats;
+  stats.workers = options_.workers;
+  stats.queue_capacity = options_.queue_capacity;
+  {
+    std::lock_guard lock(qmu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.accepted_total = accepted_.load(std::memory_order_relaxed);
+  stats.completed_total = completed_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  stats.estimated_service_us =
+      ewma_service_us_.load(std::memory_order_relaxed);
+  stats.worker_busy_us.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    stats.worker_busy_us.push_back(
+        busy_us_[i].load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+}  // namespace gridauthz::gram::wire

@@ -1,0 +1,112 @@
+// Concurrent wire front end (DESIGN.md §11): a worker-pool transport in
+// front of the single-threaded request handlers, the serving-stack shape
+// GT2 approximated by forking the gatekeeper per connection. N worker
+// threads consume a bounded MPMC queue of in-flight frames; admission
+// control sheds work the server cannot finish in time — queue full,
+// `deadline-micros` that cannot possibly be met, or shutdown — with an
+// AUTHORIZATION_SYSTEM_FAILURE reply carrying the typed [overload]
+// reason instead of queueing doomed requests. Shed replies arrive in
+// bounded time (no queue wait) and spend SLO error budget like any
+// other authorization system failure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "gram/wire_service.h"
+
+namespace gridauthz::gram::wire {
+
+struct ServerOptions {
+  // Worker threads consuming the request queue.
+  int workers = 4;
+  // Bounded queue of requests admitted but not yet picked up by a
+  // worker. Arrivals beyond capacity are shed immediately.
+  std::size_t queue_capacity = 64;
+  // Seed for the per-request service-time EWMA that drives deadline
+  // admission before the first completions calibrate it.
+  std::int64_t initial_service_estimate_us = 1000;
+};
+
+// Point-in-time view of the server, exported by ObsService at /healthz.
+struct ServerStats {
+  int workers = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;
+  std::uint64_t accepted_total = 0;
+  std::uint64_t completed_total = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::int64_t estimated_service_us = 0;
+  std::vector<std::int64_t> worker_busy_us;  // one entry per worker
+};
+
+// Decorator over any WireTransport (normally the WireEndpoint, itself
+// wrapped by ObsService so /healthz stays responsive under overload).
+// Handle() may be called from any number of client threads: the calling
+// thread blocks until a worker finishes its frame or admission control
+// sheds it. All timing uses the obs clock, matching WireClient's
+// deadline arithmetic.
+//
+// Metrics: wire_server_queue_depth (gauge), wire_server_shed_total
+// {reason=queue-full|deadline|shutdown}, wire_server_accepted_total,
+// wire_server_worker_busy_us{worker=i}.
+class ServerTransport final : public WireTransport {
+ public:
+  explicit ServerTransport(WireTransport* inner, ServerOptions options = {});
+  ~ServerTransport() override;
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
+
+  // Stops accepting work, sheds everything still queued (callers get
+  // [overload] shutdown replies, never a hang), joins the workers.
+  // Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServerStats Snapshot() const;
+
+ private:
+  struct Work {
+    const gsi::Credential* peer = nullptr;
+    std::string_view frame;
+    bool is_management = false;
+    std::string reply;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void WorkerLoop(int index);
+  // Builds the typed shed reply and records the shed in metrics + SLO.
+  std::string Shed(bool is_management, std::string_view reason_label,
+                   const std::string& detail);
+
+  WireTransport* inner_;
+  ServerOptions options_;
+
+  mutable std::mutex qmu_;
+  std::condition_variable not_empty_;
+  std::deque<Work*> queue_;
+  bool stopping_ = false;  // guarded by qmu_
+
+  std::atomic<std::int64_t> ewma_service_us_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> shed_shutdown_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> busy_us_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gridauthz::gram::wire

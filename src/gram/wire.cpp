@@ -8,9 +8,7 @@ namespace gridauthz::gram::wire {
 
 namespace {
 
-std::string EscapeValue(std::string_view value) {
-  std::string out;
-  out.reserve(value.size());
+void EscapeValueTo(std::string_view value, std::string& out) {
   for (char c : value) {
     switch (c) {
       case '\\':
@@ -26,12 +24,16 @@ std::string EscapeValue(std::string_view value) {
         out.push_back(c);
     }
   }
+}
+
+std::string EscapeValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  EscapeValueTo(value, out);
   return out;
 }
 
-Expected<std::string> UnescapeValue(std::string_view value) {
-  std::string out;
-  out.reserve(value.size());
+Expected<void> UnescapeAppend(std::string_view value, std::string& out) {
   for (std::size_t i = 0; i < value.size(); ++i) {
     if (value[i] != '\\') {
       out.push_back(value[i]);
@@ -56,14 +58,35 @@ Expected<std::string> UnescapeValue(std::string_view value) {
                      std::string{"bad escape '\\"} + value[i] + "'"};
     }
   }
+  return Ok();
+}
+
+Expected<std::string> UnescapeValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  GA_TRY_VOID(UnescapeAppend(value, out));
   return out;
+}
+
+// Adapts Get()'s return (optional<string> for Message, optional<
+// string_view> for MessageView) to the owning optional the typed
+// structs store. std::string's string_view constructor is explicit, so
+// the optionals don't convert implicitly.
+std::optional<std::string> ToOwned(std::optional<std::string> value) {
+  return value;
+}
+std::optional<std::string> ToOwned(std::optional<std::string_view> value) {
+  if (!value) return std::nullopt;
+  return std::string{*value};
 }
 
 // Decodes the optional resilience attributes shared by both request
 // types. Present-but-invalid values are protocol errors: a negative
 // deadline or a zero/negative attempt ordinal can only come from a
-// broken (or hostile) peer.
-Expected<void> DecodeResilienceFields(const Message& message,
+// broken (or hostile) peer. Templated over the frame representation so
+// Message and MessageView share one definition.
+template <typename M>
+Expected<void> DecodeResilienceFields(const M& message,
                                       std::optional<std::int64_t>& deadline,
                                       std::optional<std::int64_t>& attempt) {
   if (message.Get("deadline-micros")) {
@@ -170,6 +193,149 @@ Expected<Message> Message::Parse(std::string_view text) {
   return message;
 }
 
+// ---- zero-copy codec -----------------------------------------------------
+
+// Mirrors Message::Parse exactly — same line splitting (one trailing
+// '\r' stripped per line, trailing empty line ignored), same error
+// strings, same check order (escape errors before duplicate errors) —
+// but in a single pass with no per-line or per-field allocation unless
+// a value actually contains an escape sequence.
+Expected<MessageView> MessageView::Parse(std::string_view text) {
+  MessageView view;
+  bool saw_version = false;
+  int line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    const bool last_segment = end == text.size();
+    start = end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_number;
+    line = strings::Trim(line);
+    if (line.empty()) {
+      if (last_segment) break;
+      continue;
+    }
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Error{ErrCode::kParseError,
+                   "wire line " + std::to_string(line_number) +
+                       ": missing ':' separator"};
+    }
+    std::string_view key = strings::Trim(line.substr(0, colon));
+    std::string_view raw_value = strings::Trim(line.substr(colon + 1));
+    if (key == "protocol-version") {
+      std::string_view value = raw_value;
+      const std::size_t mark = view.arena_.size();
+      if (raw_value.find('\\') != std::string_view::npos) {
+        GA_TRY_VOID(UnescapeAppend(raw_value, view.arena_));
+        value = std::string_view{view.arena_}.substr(mark);
+      }
+      if (value != Message::kProtocolVersion) {
+        return Error{ErrCode::kParseError,
+                     "unsupported protocol version: " + std::string{value}};
+      }
+      view.arena_.resize(mark);
+      saw_version = true;
+    } else {
+      GA_TRY_VOID(view.Append(key, raw_value));
+    }
+    if (last_segment) break;
+  }
+  if (!saw_version) {
+    return Error{ErrCode::kParseError, "missing protocol-version"};
+  }
+  return view;
+}
+
+Expected<void> MessageView::Append(std::string_view key,
+                                   std::string_view raw_value) {
+  Field field;
+  field.key = key;
+  if (raw_value.find('\\') == std::string_view::npos) {
+    field.value = raw_value;
+  } else {
+    field.in_arena = true;
+    field.arena_offset = static_cast<std::uint32_t>(arena_.size());
+    GA_TRY_VOID(UnescapeAppend(raw_value, arena_));
+    field.arena_length =
+        static_cast<std::uint32_t>(arena_.size()) - field.arena_offset;
+  }
+  // Duplicate scan after unescaping so escape errors win, as in
+  // Message::Parse. Linear scan: frames carry a handful of fields, and
+  // the map lookup this replaces is what the hot path is shedding.
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (at(i).key == key) {
+      return Error{ErrCode::kParseError,
+                   "duplicate wire field '" + std::string{key} + "'"};
+    }
+  }
+  if (count_ < kInlineFields) {
+    inline_[count_] = field;
+  } else {
+    overflow_.push_back(field);
+  }
+  ++count_;
+  return Ok();
+}
+
+std::optional<std::string_view> MessageView::Get(std::string_view key) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Field& field = at(i);
+    if (field.key == key) return ValueOf(field);
+  }
+  return std::nullopt;
+}
+
+Expected<std::string_view> MessageView::Require(std::string_view key) const {
+  auto value = Get(key);
+  if (!value) {
+    return Error{ErrCode::kParseError,
+                 "missing required field '" + std::string{key} + "'"};
+  }
+  return *value;
+}
+
+Expected<std::int64_t> MessageView::RequireInt(std::string_view key) const {
+  GA_TRY(std::string_view text, Require(key));
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Error{ErrCode::kParseError, "field '" + std::string{key} +
+                                           "' is not an integer: " +
+                                           std::string{text}};
+  }
+  return value;
+}
+
+std::pair<std::string_view, std::string_view> MessageView::field(
+    std::size_t i) const {
+  const Field& entry = at(i);
+  return {entry.key, ValueOf(entry)};
+}
+
+void FrameWriter::Reset() {
+  out_->clear();
+  *out_ += "protocol-version: ";
+  *out_ += Message::kProtocolVersion;
+  *out_ += "\r\n";
+}
+
+void FrameWriter::Add(std::string_view key, std::string_view value) {
+  *out_ += key;
+  *out_ += ": ";
+  EscapeValueTo(value, *out_);
+  *out_ += "\r\n";
+}
+
+void FrameWriter::AddInt(std::string_view key, std::int64_t value) {
+  char buffer[24];
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  Add(key, std::string_view{buffer, static_cast<std::size_t>(ptr - buffer)});
+}
+
 // ---- error code / status rendering -------------------------------------
 
 std::string_view ErrorCodeToWire(GramErrorCode code) { return to_string(code); }
@@ -202,6 +368,33 @@ Expected<JobStatus> StatusFromWire(std::string_view text) {
 
 // ---- typed messages ------------------------------------------------------
 
+// The typed decoders are templated over the frame representation so the
+// reference Message codec and the zero-copy MessageView stay
+// decode-equivalent by construction; both public overloads instantiate
+// the same body. The EncodeTo methods emit fields in sorted key order,
+// matching Message's std::map iteration, so EncodeTo output is
+// byte-identical to Encode().Serialize().
+
+namespace {
+
+template <typename M>
+Expected<JobRequest> DecodeJobRequest(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "job-request") {
+    return Error{ErrCode::kParseError,
+                 "not a job-request: " + std::string{type}};
+  }
+  JobRequest request;
+  GA_TRY(request.rsl, message.Require("rsl"));
+  request.callback_url = ToOwned(message.Get("callback-url"));
+  request.trace_id = ToOwned(message.Get("trace-id"));
+  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
+                                     request.attempt));
+  return request;
+}
+
+}  // namespace
+
 Message JobRequest::Encode() const {
   Message message;
   message.Set("message-type", "job-request");
@@ -213,19 +406,46 @@ Message JobRequest::Encode() const {
   return message;
 }
 
-Expected<JobRequest> JobRequest::Decode(const Message& message) {
-  GA_TRY(std::string type, message.Require("message-type"));
-  if (type != "job-request") {
-    return Error{ErrCode::kParseError, "not a job-request: " + type};
-  }
-  JobRequest request;
-  GA_TRY(request.rsl, message.Require("rsl"));
-  request.callback_url = message.Get("callback-url");
-  request.trace_id = message.Get("trace-id");
-  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
-                                     request.attempt));
-  return request;
+void JobRequest::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  if (callback_url) writer.Add("callback-url", *callback_url);
+  if (deadline_micros) writer.AddInt("deadline-micros", *deadline_micros);
+  writer.Add("message-type", "job-request");
+  if (attempt) writer.AddInt("retry-attempt", *attempt);
+  writer.Add("rsl", rsl);
+  if (trace_id) writer.Add("trace-id", *trace_id);
 }
+
+Expected<JobRequest> JobRequest::Decode(const Message& message) {
+  return DecodeJobRequest(message);
+}
+
+Expected<JobRequest> JobRequest::Decode(const MessageView& message) {
+  return DecodeJobRequest(message);
+}
+
+namespace {
+
+template <typename M>
+Expected<JobRequestReply> DecodeJobRequestReply(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "job-request-reply") {
+    return Error{ErrCode::kParseError,
+                 "not a job-request-reply: " + std::string{type}};
+  }
+  JobRequestReply reply;
+  GA_TRY(auto code_text, message.Require("error-code"));
+  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
+  reply.job_contact = message.Get("job-contact").value_or("");
+  reply.reason = message.Get("reason").value_or("");
+  if (reply.code == GramErrorCode::kNone && reply.job_contact.empty()) {
+    return Error{ErrCode::kParseError,
+                 "successful job-request-reply without a job contact"};
+  }
+  return reply;
+}
+
+}  // namespace
 
 Message JobRequestReply::Encode() const {
   Message message;
@@ -236,22 +456,61 @@ Message JobRequestReply::Encode() const {
   return message;
 }
 
-Expected<JobRequestReply> JobRequestReply::Decode(const Message& message) {
-  GA_TRY(std::string type, message.Require("message-type"));
-  if (type != "job-request-reply") {
-    return Error{ErrCode::kParseError, "not a job-request-reply: " + type};
-  }
-  JobRequestReply reply;
-  GA_TRY(std::string code_text, message.Require("error-code"));
-  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
-  reply.job_contact = message.Get("job-contact").value_or("");
-  reply.reason = message.Get("reason").value_or("");
-  if (reply.code == GramErrorCode::kNone && reply.job_contact.empty()) {
-    return Error{ErrCode::kParseError,
-                 "successful job-request-reply without a job contact"};
-  }
-  return reply;
+void JobRequestReply::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  writer.Add("error-code", ErrorCodeToWire(code));
+  if (!job_contact.empty()) writer.Add("job-contact", job_contact);
+  writer.Add("message-type", "job-request-reply");
+  if (!reason.empty()) writer.Add("reason", reason);
 }
+
+Expected<JobRequestReply> JobRequestReply::Decode(const Message& message) {
+  return DecodeJobRequestReply(message);
+}
+
+Expected<JobRequestReply> JobRequestReply::Decode(const MessageView& message) {
+  return DecodeJobRequestReply(message);
+}
+
+namespace {
+
+template <typename M>
+Expected<ManagementRequest> DecodeManagementRequest(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "management-request") {
+    return Error{ErrCode::kParseError,
+                 "not a management-request: " + std::string{type}};
+  }
+  ManagementRequest request;
+  GA_TRY(request.action, message.Require("action"));
+  GA_TRY(request.job_contact, message.Require("job-contact"));
+  if (request.action != "cancel" && request.action != "information" &&
+      request.action != "signal") {
+    return Error{ErrCode::kParseError,
+                 "unknown management action: " + request.action};
+  }
+  if (request.action == "signal") {
+    GA_TRY(auto kind_text, message.Require("signal"));
+    SignalRequest signal;
+    if (kind_text == "suspend") signal.kind = SignalKind::kSuspend;
+    else if (kind_text == "resume") signal.kind = SignalKind::kResume;
+    else if (kind_text == "priority") {
+      signal.kind = SignalKind::kPriority;
+      GA_TRY(std::int64_t priority, message.RequireInt("priority"));
+      signal.priority = static_cast<int>(priority);
+    } else {
+      return Error{ErrCode::kParseError,
+                   "unknown signal: " + std::string{kind_text}};
+    }
+    request.signal = signal;
+  }
+  request.trace_id = ToOwned(message.Get("trace-id"));
+  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
+                                     request.attempt));
+  return request;
+}
+
+}  // namespace
 
 Message ManagementRequest::Encode() const {
   Message message;
@@ -270,38 +529,50 @@ Message ManagementRequest::Encode() const {
   return message;
 }
 
-Expected<ManagementRequest> ManagementRequest::Decode(const Message& message) {
-  GA_TRY(std::string type, message.Require("message-type"));
-  if (type != "management-request") {
-    return Error{ErrCode::kParseError, "not a management-request: " + type};
+void ManagementRequest::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  writer.Add("action", action);
+  if (deadline_micros) writer.AddInt("deadline-micros", *deadline_micros);
+  writer.Add("job-contact", job_contact);
+  writer.Add("message-type", "management-request");
+  if (signal && signal->kind == SignalKind::kPriority) {
+    writer.AddInt("priority", signal->priority);
   }
-  ManagementRequest request;
-  GA_TRY(request.action, message.Require("action"));
-  GA_TRY(request.job_contact, message.Require("job-contact"));
-  if (request.action != "cancel" && request.action != "information" &&
-      request.action != "signal") {
-    return Error{ErrCode::kParseError,
-                 "unknown management action: " + request.action};
-  }
-  if (request.action == "signal") {
-    GA_TRY(std::string kind_text, message.Require("signal"));
-    SignalRequest signal;
-    if (kind_text == "suspend") signal.kind = SignalKind::kSuspend;
-    else if (kind_text == "resume") signal.kind = SignalKind::kResume;
-    else if (kind_text == "priority") {
-      signal.kind = SignalKind::kPriority;
-      GA_TRY(std::int64_t priority, message.RequireInt("priority"));
-      signal.priority = static_cast<int>(priority);
-    } else {
-      return Error{ErrCode::kParseError, "unknown signal: " + kind_text};
-    }
-    request.signal = signal;
-  }
-  request.trace_id = message.Get("trace-id");
-  GA_TRY_VOID(DecodeResilienceFields(message, request.deadline_micros,
-                                     request.attempt));
-  return request;
+  if (attempt) writer.AddInt("retry-attempt", *attempt);
+  if (signal) writer.Add("signal", to_string(signal->kind));
+  if (trace_id) writer.Add("trace-id", *trace_id);
 }
+
+Expected<ManagementRequest> ManagementRequest::Decode(const Message& message) {
+  return DecodeManagementRequest(message);
+}
+
+Expected<ManagementRequest> ManagementRequest::Decode(
+    const MessageView& message) {
+  return DecodeManagementRequest(message);
+}
+
+namespace {
+
+template <typename M>
+Expected<ManagementReply> DecodeManagementReply(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "management-reply") {
+    return Error{ErrCode::kParseError,
+                 "not a management-reply: " + std::string{type}};
+  }
+  ManagementReply reply;
+  GA_TRY(auto code_text, message.Require("error-code"));
+  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
+  GA_TRY(auto status_text, message.Require("status"));
+  GA_TRY(reply.status, StatusFromWire(status_text));
+  reply.job_owner = message.Get("job-owner").value_or("");
+  reply.jobtag = ToOwned(message.Get("jobtag"));
+  reply.reason = message.Get("reason").value_or("");
+  return reply;
+}
+
+}  // namespace
 
 Message ManagementReply::Encode() const {
   Message message;
@@ -314,20 +585,22 @@ Message ManagementReply::Encode() const {
   return message;
 }
 
+void ManagementReply::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  writer.Add("error-code", ErrorCodeToWire(code));
+  if (!job_owner.empty()) writer.Add("job-owner", job_owner);
+  if (jobtag) writer.Add("jobtag", *jobtag);
+  writer.Add("message-type", "management-reply");
+  if (!reason.empty()) writer.Add("reason", reason);
+  writer.Add("status", StatusToWire(status));
+}
+
 Expected<ManagementReply> ManagementReply::Decode(const Message& message) {
-  GA_TRY(std::string type, message.Require("message-type"));
-  if (type != "management-reply") {
-    return Error{ErrCode::kParseError, "not a management-reply: " + type};
-  }
-  ManagementReply reply;
-  GA_TRY(std::string code_text, message.Require("error-code"));
-  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
-  GA_TRY(std::string status_text, message.Require("status"));
-  GA_TRY(reply.status, StatusFromWire(status_text));
-  reply.job_owner = message.Get("job-owner").value_or("");
-  reply.jobtag = message.Get("jobtag");
-  reply.reason = message.Get("reason").value_or("");
-  return reply;
+  return DecodeManagementReply(message);
+}
+
+Expected<ManagementReply> ManagementReply::Decode(const MessageView& message) {
+  return DecodeManagementReply(message);
 }
 
 }  // namespace gridauthz::gram::wire

@@ -10,14 +10,20 @@
 // recognize job originators other than itself.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "gram/protocol.h"
 
 namespace gridauthz::gram::wire {
+
+class MessageView;
+class FrameWriter;
 
 // A protocol frame: ordered "key: value" lines, CRLF-terminated, with
 // backslash escaping for embedded newlines and backslashes. Unknown keys
@@ -44,6 +50,76 @@ class Message {
   std::map<std::string, std::string> fields_;
 };
 
+// Zero-copy frame parser for the hot path (DESIGN.md §11): a single pass
+// over the frame, fields stored as string_views into the input buffer —
+// no per-field heap nodes, no std::map. Values containing escape
+// sequences are unescaped into a small internal arena (kept as offsets,
+// so moving the view never dangles). The first 16 fields live inline;
+// larger frames spill to a vector. Decode-equivalent to Message::Parse:
+// both accept and reject exactly the same frames with the same decoded
+// fields (enforced by the parity fuzz test); Message stays the
+// allocating reference codec for tests and compatibility.
+//
+// The view borrows `text` — the frame buffer must outlive it.
+class MessageView {
+ public:
+  static Expected<MessageView> Parse(std::string_view text);
+
+  std::optional<std::string_view> Get(std::string_view key) const;
+  Expected<std::string_view> Require(std::string_view key) const;
+  Expected<std::int64_t> RequireInt(std::string_view key) const;
+
+  std::size_t size() const { return count_; }
+  // Field i in frame order (0 <= i < size()).
+  std::pair<std::string_view, std::string_view> field(std::size_t i) const;
+
+ private:
+  struct Field {
+    std::string_view key;
+    std::string_view value;  // empty and unused when in_arena
+    bool in_arena = false;
+    std::uint32_t arena_offset = 0;
+    std::uint32_t arena_length = 0;
+  };
+
+  Expected<void> Append(std::string_view key, std::string_view raw_value);
+  const Field& at(std::size_t i) const {
+    return i < kInlineFields ? inline_[i] : overflow_[i - kInlineFields];
+  }
+  std::string_view ValueOf(const Field& field) const {
+    return field.in_arena ? std::string_view{arena_}.substr(
+                                field.arena_offset, field.arena_length)
+                          : field.value;
+  }
+
+  static constexpr std::size_t kInlineFields = 16;
+  std::array<Field, kInlineFields> inline_{};
+  std::vector<Field> overflow_;
+  std::size_t count_ = 0;
+  std::string arena_;  // unescaped bytes of escaped values
+};
+
+// Write side of the zero-copy codec: serializes a frame straight into a
+// caller-owned, reusable buffer. Reset() stamps the protocol-version
+// line; Add() escapes the value directly into the buffer with no
+// intermediate Message map or temporary strings. Fields are emitted in
+// call order — callers that want byte-identity with Message::Serialize
+// (which emits sorted keys) add fields in sorted order, as the typed
+// EncodeTo methods below do.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::string* out) : out_(out) { Reset(); }
+
+  void Reset();
+  void Add(std::string_view key, std::string_view value);
+  void AddInt(std::string_view key, std::int64_t value);
+
+  const std::string& str() const { return *out_; }
+
+ private:
+  std::string* out_;
+};
+
 // ---- typed messages --------------------------------------------------
 
 struct JobRequest {
@@ -63,7 +139,10 @@ struct JobRequest {
   std::optional<std::int64_t> attempt;
 
   Message Encode() const;
+  // Byte-identical to Encode().Serialize(), into the writer's buffer.
+  void EncodeTo(FrameWriter& writer) const;
   static Expected<JobRequest> Decode(const Message& message);
+  static Expected<JobRequest> Decode(const MessageView& message);
 };
 
 struct JobRequestReply {
@@ -72,7 +151,9 @@ struct JobRequestReply {
   std::string reason;       // extension: why authorization failed
 
   Message Encode() const;
+  void EncodeTo(FrameWriter& writer) const;
   static Expected<JobRequestReply> Decode(const Message& message);
+  static Expected<JobRequestReply> Decode(const MessageView& message);
 };
 
 struct ManagementRequest {
@@ -86,7 +167,9 @@ struct ManagementRequest {
   std::optional<std::int64_t> attempt;
 
   Message Encode() const;
+  void EncodeTo(FrameWriter& writer) const;
   static Expected<ManagementRequest> Decode(const Message& message);
+  static Expected<ManagementRequest> Decode(const MessageView& message);
 };
 
 struct ManagementReply {
@@ -97,7 +180,9 @@ struct ManagementReply {
   std::string reason;
 
   Message Encode() const;
+  void EncodeTo(FrameWriter& writer) const;
   static Expected<ManagementReply> Decode(const Message& message);
+  static Expected<ManagementReply> Decode(const MessageView& message);
 };
 
 // Error-code <-> wire rendering (uses the GRAM protocol error names).

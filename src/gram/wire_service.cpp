@@ -40,7 +40,8 @@ bool RejectExpired(const std::optional<std::int64_t>& deadline_micros,
 
 std::string WireEndpoint::Handle(const gsi::Credential& peer,
                                  std::string_view frame) {
-  auto message = Message::Parse(frame);
+  // Zero-copy parse: the view borrows `frame`, which outlives this call.
+  auto message = MessageView::Parse(frame);
   if (!message.ok()) {
     obs::Metrics()
         .GetCounter("wire_requests_total",
@@ -49,16 +50,19 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
     JobRequestReply reply;
     reply.code = GramErrorCode::kInvalidRequest;
     reply.reason = message.error().to_string();
-    return reply.Encode().Serialize();
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
   }
   // Server-side trace root: adopt the client's `trace-id` extension
   // attribute, or mint one for stock clients that omit it. Every span,
   // audit record, and log line below here joins on this id.
-  obs::TraceScope trace(message->Get("trace-id").value_or(""));
+  obs::TraceScope trace(std::string{message->Get("trace-id").value_or("")});
   obs::ScopedSpan span("wire/handle");
   const std::int64_t start_us = obs::ObsClock()->NowMicros();
 
-  auto type = message->Get("message-type").value_or("");
+  const std::string type{message->Get("message-type").value_or("")};
   std::string reply_frame;
   bool slo_ok = true;
   if (type == "job-request") {
@@ -73,7 +77,10 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
     JobRequestReply reply;
     reply.code = GramErrorCode::kInvalidRequest;
     reply.reason = "unknown message-type '" + type + "'";
-    return reply.Encode().Serialize();
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
   }
   obs::Metrics()
       .GetCounter("wire_requests_total", {{"type", type}, {"outcome", "ok"}})
@@ -86,12 +93,15 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
 }
 
 std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
-                                           const Message& message,
+                                           const MessageView& message,
                                            bool* slo_ok) {
   JobRequestReply reply;
   auto finish = [&reply, slo_ok] {
     *slo_ok = reply.code != GramErrorCode::kAuthorizationSystemFailure;
-    return reply.Encode().Serialize();
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
   };
   auto request = JobRequest::Decode(message);
   if (!request.ok()) {
@@ -118,12 +128,15 @@ std::string WireEndpoint::HandleJobRequest(const gsi::Credential& peer,
 }
 
 std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
-                                           const Message& message,
+                                           const MessageView& message,
                                            bool* slo_ok) {
   ManagementReply reply;
   auto finish = [&reply, slo_ok] {
     *slo_ok = reply.code != GramErrorCode::kAuthorizationSystemFailure;
-    return reply.Encode().Serialize();
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
   };
   auto fail = [&reply, &finish](const Error& error) {
     reply.code = ToProtocolCode(error);
@@ -210,16 +223,9 @@ Error UndecodableReply(const Error& error) {
 
 }  // namespace
 
-Expected<std::string> WireClient::Submit(const std::string& rsl) {
-  JobRequest request;
-  request.rsl = rsl;
-  last_trace_id_ = obs::GenerateTraceId();
-  request.trace_id = last_trace_id_;
-  request.deadline_micros = OutgoingDeadline();
-  if (retry_attempt_ > 0) request.attempt = retry_attempt_;
-  std::string reply_frame =
-      transport_->Handle(credential_, request.Encode().Serialize());
-  auto message = Message::Parse(reply_frame);
+Expected<std::string> WireClient::SubmitFrame(const std::string& frame) {
+  std::string reply_frame = transport_->Handle(credential_, frame);
+  auto message = MessageView::Parse(reply_frame);
   if (!message.ok()) return UndecodableReply(message.error());
   auto decoded = JobRequestReply::Decode(*message);
   if (!decoded.ok()) return UndecodableReply(decoded.error());
@@ -236,6 +242,40 @@ Expected<std::string> WireClient::Submit(const std::string& rsl) {
   return reply.job_contact;
 }
 
+Expected<std::string> WireClient::Submit(const std::string& rsl) {
+  JobRequest request;
+  request.rsl = rsl;
+  last_trace_id_ = obs::GenerateTraceId();
+  request.trace_id = last_trace_id_;
+  request.deadline_micros = OutgoingDeadline();
+  if (retry_attempt_ > 0) request.attempt = retry_attempt_;
+  std::string frame;
+  FrameWriter writer(&frame);
+  request.EncodeTo(writer);
+  return SubmitFrame(frame);
+}
+
+std::vector<Expected<std::string>> WireClient::SubmitMany(
+    std::span<const std::string> rsls) {
+  std::vector<Expected<std::string>> results;
+  results.reserve(rsls.size());
+  // One scaffold, one buffer: per call only the rsl and trace-id fields
+  // change, and EncodeTo re-renders into the same reused allocation.
+  JobRequest request;
+  request.deadline_micros = OutgoingDeadline();
+  if (retry_attempt_ > 0) request.attempt = retry_attempt_;
+  std::string frame;
+  FrameWriter writer(&frame);
+  for (const std::string& rsl : rsls) {
+    request.rsl = rsl;
+    last_trace_id_ = obs::GenerateTraceId();
+    request.trace_id = last_trace_id_;
+    request.EncodeTo(writer);
+    results.push_back(SubmitFrame(frame));
+  }
+  return results;
+}
+
 Expected<ManagementReply> WireClient::Manage(
     const std::string& action, const std::string& contact,
     const std::optional<SignalRequest>& signal) {
@@ -247,9 +287,11 @@ Expected<ManagementReply> WireClient::Manage(
   request.trace_id = last_trace_id_;
   request.deadline_micros = OutgoingDeadline();
   if (retry_attempt_ > 0) request.attempt = retry_attempt_;
-  std::string reply_frame =
-      transport_->Handle(credential_, request.Encode().Serialize());
-  auto message = Message::Parse(reply_frame);
+  std::string frame;
+  FrameWriter writer(&frame);
+  request.EncodeTo(writer);
+  std::string reply_frame = transport_->Handle(credential_, frame);
+  auto message = MessageView::Parse(reply_frame);
   if (!message.ok()) return UndecodableReply(message.error());
   auto decoded = ManagementReply::Decode(*message);
   if (!decoded.ok()) return UndecodableReply(decoded.error());

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "gram/gatekeeper.h"
 #include "gram/wire.h"
@@ -44,11 +46,13 @@ class WireEndpoint final : public WireTransport {
  private:
   // `slo_ok` reports whether the decision machinery worked: permits,
   // denials, and client errors are all successes; only authorization
-  // system failures spend SLO error budget.
+  // system failures spend SLO error budget. Requests arrive as zero-copy
+  // MessageViews (DESIGN.md §11); the view borrows the frame buffer,
+  // which Handle keeps alive for the call.
   std::string HandleJobRequest(const gsi::Credential& peer,
-                               const Message& message, bool* slo_ok);
+                               const MessageView& message, bool* slo_ok);
   std::string HandleManagement(const gsi::Credential& peer,
-                               const Message& message, bool* slo_ok);
+                               const MessageView& message, bool* slo_ok);
 
   Gatekeeper* gatekeeper_;
   const JobManagerRegistry* registry_;
@@ -63,6 +67,12 @@ class WireClient {
   WireClient(gsi::Credential credential, WireTransport* transport);
 
   Expected<std::string> Submit(const std::string& rsl);
+  // Pipelines one job request per RSL through the transport, reusing a
+  // single frame buffer and request scaffold instead of re-encoding the
+  // shared attributes per call; result i corresponds to rsls[i]. Used by
+  // the throughput benches to measure the transport, not the encoder.
+  std::vector<Expected<std::string>> SubmitMany(
+      std::span<const std::string> rsls);
   Expected<ManagementReply> Status(const std::string& contact);
   Expected<void> Cancel(const std::string& contact);
   Expected<void> Signal(const std::string& contact,
@@ -88,6 +98,9 @@ class WireClient {
   Expected<ManagementReply> Manage(const std::string& action,
                                    const std::string& contact,
                                    const std::optional<SignalRequest>& signal);
+  // Sends one encoded job request already in `frame` and decodes the
+  // reply; shared by Submit and SubmitMany.
+  Expected<std::string> SubmitFrame(const std::string& frame);
   // Computes the absolute `deadline-micros` to send, if any.
   std::optional<std::int64_t> OutgoingDeadline() const;
 

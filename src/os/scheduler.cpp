@@ -46,6 +46,7 @@ bool SimScheduler::HasQueue(const std::string& name) const {
 
 Expected<LocalJobId> SimScheduler::Submit(const std::string& account,
                                           JobSpec spec) {
+  std::lock_guard lock(mu_);
   GA_TRY(const LocalAccount* acct, accounts_->Lookup(account));
   if (spec.count < 1) {
     return Error{ErrCode::kInvalidArgument, "job count must be >= 1"};
@@ -129,10 +130,11 @@ void SimScheduler::Transition(JobRecord& job, JobState next,
 }
 
 void SimScheduler::ReleaseSlots(const JobRecord& job) {
-  used_slots_ -= job.spec.count;
+  used_slots_.fetch_sub(job.spec.count, std::memory_order_relaxed);
 }
 
 Expected<void> SimScheduler::Cancel(LocalJobId id) {
+  std::lock_guard lock(mu_);
   JobRecord* job = FindJob(id);
   if (job == nullptr) {
     return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
@@ -149,6 +151,7 @@ Expected<void> SimScheduler::Cancel(LocalJobId id) {
 }
 
 Expected<void> SimScheduler::Suspend(LocalJobId id) {
+  std::lock_guard lock(mu_);
   JobRecord* job = FindJob(id);
   if (job == nullptr) {
     return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
@@ -164,6 +167,7 @@ Expected<void> SimScheduler::Suspend(LocalJobId id) {
 }
 
 Expected<void> SimScheduler::Resume(LocalJobId id) {
+  std::lock_guard lock(mu_);
   JobRecord* job = FindJob(id);
   if (job == nullptr) {
     return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
@@ -180,6 +184,7 @@ Expected<void> SimScheduler::Resume(LocalJobId id) {
 }
 
 Expected<void> SimScheduler::SetPriority(LocalJobId id, int priority) {
+  std::lock_guard lock(mu_);
   JobRecord* job = FindJob(id);
   if (job == nullptr) {
     return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
@@ -193,6 +198,7 @@ Expected<void> SimScheduler::SetPriority(LocalJobId id, int priority) {
 }
 
 Expected<JobRecord> SimScheduler::Status(LocalJobId id) const {
+  std::lock_guard lock(mu_);
   const JobRecord* job = FindJob(id);
   if (job == nullptr) {
     return Error{ErrCode::kNotFound, "no such job: " + std::to_string(id)};
@@ -201,6 +207,7 @@ Expected<JobRecord> SimScheduler::Status(LocalJobId id) const {
 }
 
 std::vector<JobRecord> SimScheduler::Jobs() const {
+  std::lock_guard lock(mu_);
   std::vector<JobRecord> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(job);
@@ -231,7 +238,7 @@ void SimScheduler::DispatchPending() {
     JobRecord* job = FindJob(id);
     if (job == nullptr || job->state != JobState::kPending) continue;
     if (job->spec.count <= free_slots()) {
-      used_slots_ += job->spec.count;
+      used_slots_.fetch_add(job->spec.count, std::memory_order_relaxed);
       Transition(*job, JobState::kActive);
     } else {
       still_pending.push_back(id);
@@ -304,28 +311,39 @@ void SimScheduler::AccrueWork(Duration seconds) {
   }
 }
 
-void SimScheduler::Advance(Duration seconds) {
+void SimScheduler::AdvanceLocked(Duration seconds) {
   Duration left = seconds;
   while (left > 0) {
     DispatchPending();
     Duration step = NextEventDelta(left);
     step = std::min(step, left);
-    now_ += step;
+    now_.fetch_add(step, std::memory_order_relaxed);
     AccrueWork(step);
     left -= step;
   }
   DispatchPending();
 }
 
-bool SimScheduler::AllTerminal() const {
+void SimScheduler::Advance(Duration seconds) {
+  std::lock_guard lock(mu_);
+  AdvanceLocked(seconds);
+}
+
+bool SimScheduler::AllTerminalLocked() const {
   return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& entry) {
     return IsTerminal(entry.second.state);
   });
 }
 
+bool SimScheduler::AllTerminal() const {
+  std::lock_guard lock(mu_);
+  return AllTerminalLocked();
+}
+
 Duration SimScheduler::DrainAll(Duration max_seconds) {
+  std::lock_guard lock(mu_);
   Duration consumed = 0;
-  while (consumed < max_seconds && !AllTerminal()) {
+  while (consumed < max_seconds && !AllTerminalLocked()) {
     // Suspended jobs never finish on their own; they do not count as
     // drainable work.
     bool progressing = false;
@@ -337,18 +355,20 @@ Duration SimScheduler::DrainAll(Duration max_seconds) {
     }
     if (!progressing) break;
     Duration step = NextEventDelta(max_seconds - consumed);
-    Advance(step);
+    AdvanceLocked(step);
     consumed += step;
   }
   return consumed;
 }
 
 AccountUsage SimScheduler::Usage(const std::string& account) const {
+  std::lock_guard lock(mu_);
   auto it = usage_.find(account);
   return it == usage_.end() ? AccountUsage{} : it->second;
 }
 
 void SimScheduler::AddStateListener(StateListener listener) {
+  std::lock_guard lock(mu_);
   listeners_.push_back(std::move(listener));
 }
 

@@ -14,9 +14,11 @@
 // event-to-event for efficiency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -87,6 +89,14 @@ struct AccountUsage {
   int jobs_failed = 0;
 };
 
+// Thread-safe: every mutating or reading entry point takes one coarse
+// recursive lock, so the server front end (gram/server.h) can drive
+// Submit/Status/Cancel/Suspend/Resume from concurrent worker threads
+// while tests advance simulated time. The mutex is recursive because
+// state listeners run with the lock held (they fire mid-transition,
+// inside Advance/Cancel loops) and client callbacks occasionally call
+// straight back into the scheduler on the same thread. Listeners must
+// not block on other threads that touch the scheduler.
 class SimScheduler {
  public:
   using StateListener =
@@ -116,10 +126,14 @@ class SimScheduler {
   // returns the simulated seconds consumed.
   Duration DrainAll(Duration max_seconds = 1'000'000);
 
-  TimePoint now() const { return now_; }
+  TimePoint now() const { return now_.load(std::memory_order_relaxed); }
   const AccountRegistry* accounts() const { return accounts_; }
-  int free_slots() const { return config_.total_cpu_slots - used_slots_; }
-  int used_slots() const { return used_slots_; }
+  int free_slots() const {
+    return config_.total_cpu_slots - used_slots();
+  }
+  int used_slots() const {
+    return used_slots_.load(std::memory_order_relaxed);
+  }
   bool AllTerminal() const;
 
   AccountUsage Usage(const std::string& account) const;
@@ -130,6 +144,7 @@ class SimScheduler {
   bool HasQueue(const std::string& name) const;
 
  private:
+  // The *Locked helpers assume mu_ is held by the caller.
   JobRecord* FindJob(LocalJobId id);
   const JobRecord* FindJob(LocalJobId id) const;
   void Transition(JobRecord& job, JobState next, std::string reason = "");
@@ -140,14 +155,19 @@ class SimScheduler {
   // capped at `cap`; `cap` if there is none sooner.
   Duration NextEventDelta(Duration cap) const;
   void AccrueWork(Duration seconds);
+  void AdvanceLocked(Duration seconds);
+  bool AllTerminalLocked() const;
 
+  mutable std::recursive_mutex mu_;
   SchedulerConfig config_;
   const AccountRegistry* accounts_;
   std::map<LocalJobId, JobRecord> jobs_;
   std::vector<LocalJobId> pending_order_;
   LocalJobId next_id_ = 1;
-  int used_slots_ = 0;
-  TimePoint now_;
+  // Atomic so the inline accessors stay lock-free for observers; all
+  // writes happen under mu_.
+  std::atomic<int> used_slots_{0};
+  std::atomic<TimePoint> now_;
   std::map<std::string, AccountUsage> usage_;
   std::vector<StateListener> listeners_;
 };

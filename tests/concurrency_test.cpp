@@ -16,6 +16,9 @@
 #include "core/source.h"
 #include "fault/breaker.h"
 #include "gram/callout.h"
+#include "gram/server.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
 #include "gsi/keys.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -444,6 +447,136 @@ TEST(Concurrency, SpanStoreRecordAndForTraceRaceCleanly) {
   }
   EXPECT_EQ(indexed, store.size());
   EXPECT_EQ(store.size(), 64u);
+}
+
+TEST(Concurrency, JobManagerRegistryParallelRegisterVsScan) {
+  // Regression for the PR-5 race: Register (exclusive) vs the management
+  // read paths size/Lookup/FindByJobtag/All (shared). Submitting threads
+  // grow the contact map while scanner threads walk it; under
+  // GRIDAUTHZ_SANITIZE=thread this proves the reader/writer locking, and
+  // the invariants below prove scans see only fully published JMIs.
+  gram::SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu =
+      site.CreateUser("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu").value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsPerSubmitter = 60;
+  constexpr int kScanners = 4;
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kJobsPerSubmitter; ++i) {
+        auto contact = site.gatekeeper().SubmitJob(
+            boliu, "&(executable=test1)(jobtag=CONC)");
+        if (!contact.ok() || !site.jmis().Lookup(*contact).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kScanners; ++t) {
+    threads.emplace_back([&] {
+      std::size_t last_size = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t size = site.jmis().size();
+        if (size < last_size) failures.fetch_add(1, std::memory_order_relaxed);
+        last_size = size;
+        for (const auto& jmi : site.jmis().FindByJobtag("CONC")) {
+          // A scan must only see registered (hence started) jobs whose
+          // contact resolves back to the same instance.
+          if (!site.jmis().Lookup(jmi->contact()).ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Registrations only grow the map, so a tag scan taken first can
+        // never exceed a full scan taken after it.
+        const std::size_t tagged = site.jmis().FindByJobtag("CONC").size();
+        if (site.jmis().All().size() < tagged) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kSubmitters; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kSubmitters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(site.jmis().size(),
+            static_cast<std::size_t>(kSubmitters) * kJobsPerSubmitter);
+  EXPECT_EQ(site.jmis().FindByJobtag("CONC").size(), site.jmis().size());
+}
+
+TEST(Concurrency, ServerTransportParallelSubmitAndManage) {
+  // The full concurrent front end: many client threads drive the worker
+  // pool through submit + status + signal + cancel at once. Every reply
+  // must decode and no request may be shed — the queue is deeper than
+  // the client count, so admission control has no reason to fire.
+  gram::SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu =
+      site.CreateUser("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu").value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+  gram::wire::WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(),
+                                    &site.trust(), &site.clock()};
+  gram::wire::ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  gram::wire::ServerTransport server{&endpoint, options};
+
+  constexpr int kClients = 6;
+  constexpr int kJobsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      gram::wire::WireClient client{boliu, &server};
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        auto contact = client.Submit("&(executable=test1)(jobtag=POOL)");
+        if (!contact.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto status = client.Status(*contact);
+        if (!status.ok() || status->code != gram::GramErrorCode::kNone) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!client
+                 .Signal(*contact, gram::SignalRequest{
+                                       gram::SignalKind::kPriority, 3})
+                 .ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!client.Cancel(*contact).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const gram::wire::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.accepted_total,
+            static_cast<std::uint64_t>(kClients) * kJobsPerClient * 4);
+  EXPECT_EQ(stats.completed_total, stats.accepted_total);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  server.Shutdown();  // joins workers; second call must be a no-op
+  server.Shutdown();
+  // Post-shutdown requests shed in bounded time with the typed reason.
+  gram::wire::WireClient late{boliu, &server};
+  auto shed = late.Submit("&(executable=test1)");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrCode::kAuthorizationSystemFailure);
+  // The server-side reason leads with the typed tag; the client prefixes
+  // it with the protocol code name.
+  EXPECT_NE(shed.error().message().find(kReasonOverload), std::string::npos);
 }
 
 }  // namespace

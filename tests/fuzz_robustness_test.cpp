@@ -126,6 +126,39 @@ TEST_P(FuzzTest, WireParserNeverCrashes) {
   SUCCEED();
 }
 
+TEST_P(FuzzTest, WireCodecsStayInParity) {
+  // MessageView is the zero-copy fast path for the same grammar
+  // Message::Parse implements. On every input — soup or mutated valid
+  // frame — the two must agree on accept/reject, on the error text when
+  // rejecting, and on every decoded field when accepting.
+  Rng rng(1200 + GetParam());
+  const std::string valid =
+      "protocol-version: 2\r\nmessage-type: job-request\r\n"
+      "rsl: &(executable=a)(dir=\\\\scratch)\r\n"
+      "callback-url: https://client:7777/cb\r\n"
+      "note: line one\\nline two\r\n";
+  for (int i = 0; i < 300; ++i) {
+    const std::string frame = i % 2 == 0
+                                  ? RandomSoup(rng, 10 + rng.Below(120))
+                                  : Mutate(rng, valid);
+    auto reference = gram::wire::Message::Parse(frame);
+    auto view = gram::wire::MessageView::Parse(frame);
+    ASSERT_EQ(view.ok(), reference.ok()) << frame;
+    if (!view.ok()) {
+      EXPECT_EQ(view.error().message(), reference.error().message()) << frame;
+      continue;
+    }
+    EXPECT_EQ(view->size(), reference->size()) << frame;
+    for (std::size_t field = 0; field < view->size(); ++field) {
+      const auto [key, value] = view->field(field);
+      auto expected = reference->Get(std::string{key});
+      ASSERT_TRUE(expected.has_value()) << frame;
+      EXPECT_EQ(value, *expected) << frame;
+    }
+  }
+  SUCCEED();
+}
+
 TEST_P(FuzzTest, XmlParserNeverCrashes) {
   Rng rng(600 + GetParam());
   const std::string valid =

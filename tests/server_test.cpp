@@ -1,0 +1,313 @@
+// The concurrent wire front end (gram/server.h): pass-through
+// correctness, admission control (queue-full and unmeetable-deadline
+// sheds with the typed [overload] reason, in bounded time), shutdown
+// drain without deadlock, SLO accounting on shed, the /healthz server
+// section, and the SubmitMany pipelining path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gram/obs_service.h"
+#include "gram/server.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace gridauthz::gram::wire {
+namespace {
+
+constexpr const char* kBoLiu = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu";
+
+// Inner transport whose Handle blocks until released: lets tests pin
+// every worker and fill the queue deterministically.
+class BlockingTransport final : public WireTransport {
+ public:
+  std::string Handle(const gsi::Credential&, std::string_view) override {
+    std::unique_lock lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    JobRequestReply reply;
+    reply.job_contact = "https://blocked.example/ok";
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
+  }
+
+  void WaitForEntered(int n) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+
+  void Release() {
+    std::lock_guard lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+std::string JobFrame(std::optional<std::int64_t> deadline_micros = {}) {
+  JobRequest request;
+  request.rsl = "&(executable=test1)";
+  request.deadline_micros = deadline_micros;
+  std::string buffer;
+  FrameWriter writer(&buffer);
+  request.EncodeTo(writer);
+  return buffer;
+}
+
+Expected<JobRequestReply> DecodeJobReply(const std::string& frame) {
+  GA_TRY(auto view, MessageView::Parse(frame));
+  return JobRequestReply::Decode(view);
+}
+
+void SpinUntilQueueDepth(const ServerTransport& server, std::size_t depth) {
+  while (server.Snapshot().queue_depth < depth) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ServerTransport, PassesRequestsThroughToTheEndpoint) {
+  obs::Metrics().Reset();
+  SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu = site.CreateUser(kBoLiu).value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+  WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(), &site.trust(),
+                        &site.clock()};
+  ServerOptions options;
+  options.workers = 2;
+  ServerTransport server{&endpoint, options};
+
+  WireClient client{boliu, &server};
+  auto contact = client.Submit("&(executable=test1)(jobtag=POOL)");
+  ASSERT_TRUE(contact.ok()) << contact.error();
+  auto status = client.Status(*contact);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->code, GramErrorCode::kNone);
+  EXPECT_EQ(status->jobtag, "POOL");
+  ASSERT_TRUE(client.Cancel(*contact).ok());
+
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.accepted_total, 3u);
+  EXPECT_EQ(stats.completed_total, 3u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_deadline + stats.shed_shutdown,
+            0u);
+  ASSERT_EQ(stats.worker_busy_us.size(), 2u);
+
+  // The instrumentation surface exists even while counters read zero.
+  const std::string exposition = obs::Metrics().RenderText();
+  EXPECT_NE(exposition.find("wire_server_queue_depth"), std::string::npos);
+  EXPECT_NE(exposition.find("wire_server_accepted_total"), std::string::npos);
+  EXPECT_NE(exposition.find("wire_server_worker_busy_us"), std::string::npos);
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_server_accepted_total"), 3u);
+}
+
+TEST(ServerTransport, ShedsImmediatelyWhenQueueIsFull) {
+  obs::Metrics().Reset();
+  BlockingTransport inner;
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  ServerTransport server{&inner, options};
+  gsi::Credential peer;
+
+  const std::string frame = JobFrame();
+  std::string first_reply;
+  std::thread first([&] { first_reply = server.Handle(peer, frame); });
+  inner.WaitForEntered(1);  // the lone worker is now pinned
+
+  std::string second_reply;
+  std::thread second([&] { second_reply = server.Handle(peer, frame); });
+  SpinUntilQueueDepth(server, 1);  // and the queue is now full
+
+  // Third arrival: shed synchronously, while worker and queue stay stuck.
+  auto shed = DecodeJobReply(server.Handle(peer, frame));
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(shed->reason.substr(0, kReasonOverload.size()), kReasonOverload);
+  EXPECT_NE(shed->reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(obs::Metrics().CounterValue("wire_server_shed_total",
+                                        {{"reason", "queue-full"}}),
+            1u);
+  EXPECT_EQ(obs::Metrics().GaugeValue("wire_server_queue_depth"), 1);
+  EXPECT_EQ(server.Snapshot().shed_queue_full, 1u);
+
+  inner.Release();
+  first.join();
+  second.join();
+  EXPECT_TRUE(DecodeJobReply(first_reply).ok());
+  EXPECT_TRUE(DecodeJobReply(second_reply).ok());
+  EXPECT_EQ(server.Snapshot().completed_total, 2u);
+}
+
+TEST(ServerTransport, ShedsUnmeetableDeadlinesAndSpendsSloBudget) {
+  obs::Metrics().Reset();
+  SimClock sim;
+  obs::SetObsClock(&sim);
+  SimulatedSite site;
+  WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(), &site.trust(),
+                        &site.clock()};
+  ServerTransport server{&endpoint};
+  gsi::Credential peer;
+
+  const std::uint64_t errors_before = obs::AuthzSlo().Window().errors;
+
+  // An already-expired deadline is doomed no matter how idle the pool is.
+  auto shed = DecodeJobReply(
+      server.Handle(peer, JobFrame(sim.NowMicros() - 10)));
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(shed->reason.substr(0, kReasonOverload.size()), kReasonOverload);
+  EXPECT_NE(shed->reason.find("deadline"), std::string::npos);
+
+  // A deadline inside the service-time estimate is equally unmeetable.
+  auto too_tight = DecodeJobReply(
+      server.Handle(peer, JobFrame(sim.NowMicros() + 1)));
+  ASSERT_TRUE(too_tight.ok());
+  EXPECT_EQ(too_tight->code, GramErrorCode::kAuthorizationSystemFailure);
+
+  // Management requests shed as typed management replies.
+  ManagementRequest management;
+  management.action = "status";
+  management.job_contact = "https://h:2119/jobmanager/1";
+  management.deadline_micros = sim.NowMicros() - 10;
+  std::string buffer;
+  FrameWriter writer(&buffer);
+  management.EncodeTo(writer);
+  const std::string management_frame = server.Handle(peer, buffer);
+  auto view = MessageView::Parse(management_frame);
+  ASSERT_TRUE(view.ok());
+  auto management_shed = ManagementReply::Decode(*view);
+  ASSERT_TRUE(management_shed.ok());
+  EXPECT_EQ(management_shed->code,
+            GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(management_shed->status, JobStatus::kUnsubmitted);
+  EXPECT_EQ(management_shed->reason.substr(0, kReasonOverload.size()),
+            kReasonOverload);
+
+  EXPECT_EQ(server.Snapshot().shed_deadline, 3u);
+  EXPECT_EQ(server.Snapshot().accepted_total, 0u);
+  // Every shed spent error budget: it is the system failing, not the
+  // client.
+  EXPECT_EQ(obs::AuthzSlo().Window().errors, errors_before + 3);
+  obs::SetObsClock(nullptr);
+}
+
+TEST(ServerTransport, ShutdownShedsQueuedWorkWithoutDeadlock) {
+  obs::Metrics().Reset();
+  BlockingTransport inner;
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  ServerTransport server{&inner, options};
+  gsi::Credential peer;
+
+  const std::string frame = JobFrame();
+  std::string in_flight_reply;
+  std::thread in_flight([&] { in_flight_reply = server.Handle(peer, frame); });
+  inner.WaitForEntered(1);
+  std::string queued_reply;
+  std::thread queued([&] { queued_reply = server.Handle(peer, frame); });
+  SpinUntilQueueDepth(server, 1);
+
+  std::thread stopper([&] { server.Shutdown(); });
+  inner.Release();  // lets the pinned worker finish, then drain
+  stopper.join();
+  in_flight.join();
+  queued.join();
+
+  // The in-flight frame completed; the queued one was shed on drain.
+  auto completed = DecodeJobReply(in_flight_reply);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(completed->code, GramErrorCode::kNone);
+  auto drained = DecodeJobReply(queued_reply);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->code, GramErrorCode::kAuthorizationSystemFailure);
+  EXPECT_EQ(drained->reason.substr(0, kReasonOverload.size()),
+            kReasonOverload);
+
+  // Arrivals after shutdown shed the same way, and Shutdown stays
+  // idempotent.
+  auto late = DecodeJobReply(server.Handle(peer, frame));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->code, GramErrorCode::kAuthorizationSystemFailure);
+  server.Shutdown();
+  EXPECT_EQ(server.Snapshot().shed_shutdown, 2u);
+}
+
+TEST(ServerTransport, HealthzReportsTheServerSectionWithoutQueueing) {
+  obs::Metrics().Reset();
+  SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu = site.CreateUser(kBoLiu).value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+  WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(), &site.trust(),
+                        &site.clock()};
+  ServerOptions server_options;
+  server_options.workers = 2;
+  server_options.queue_capacity = 8;
+  ServerTransport server{&endpoint, server_options};
+  ObsServiceOptions obs_options;
+  obs_options.inner = &server;
+  obs_options.server = &server;
+  ObsService service{std::move(obs_options)};
+
+  // Data plane delegates through the pool; one submission lands.
+  WireClient client{boliu, &service};
+  ASSERT_TRUE(client.Submit("&(executable=test1)").ok());
+
+  auto health = ObsRequest(service, boliu, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"server\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(health->body.find("\"queue_capacity\":8"), std::string::npos);
+  EXPECT_NE(health->body.find("\"accepted\":1"), std::string::npos);
+  EXPECT_NE(health->body.find("\"shed_queue_full\":0"), std::string::npos);
+  EXPECT_NE(health->body.find("\"worker_busy_us\":["), std::string::npos);
+}
+
+TEST(ServerTransport, SubmitManyPipelinesEveryRslThroughThePool) {
+  obs::Metrics().Reset();
+  SimulatedSite site;
+  ASSERT_TRUE(site.AddAccount("boliu").ok());
+  auto boliu = site.CreateUser(kBoLiu).value();
+  ASSERT_TRUE(site.MapUser(boliu, "boliu").ok());
+  site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
+      "vo", core::PolicyDocument::Parse(
+                "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:\n"
+                "&(action = start)(executable = test1)\n")
+                .value()));
+  WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(), &site.trust(),
+                        &site.clock()};
+  ServerTransport server{&endpoint};
+
+  WireClient client{boliu, &server};
+  const std::vector<std::string> rsls = {
+      "&(executable=test1)", "&(executable=forbidden)", "&(executable=test1)"};
+  auto results = client.SubmitMany(rsls);
+  ASSERT_EQ(results.size(), rsls.size());
+  EXPECT_TRUE(results[0].ok()) << results[0].error();
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_TRUE(results[2].ok());
+  // Each accepted submission produced a distinct live JMI.
+  EXPECT_EQ(site.jmis().size(), 2u);
+  EXPECT_NE(*results[0], *results[2]);
+}
+
+}  // namespace
+}  // namespace gridauthz::gram::wire

@@ -202,5 +202,176 @@ TEST(WireIntegration, SubmitDenialTravelsTheWire) {
             std::string::npos);
 }
 
+// ---- zero-copy codec (MessageView / FrameWriter) -----------------------
+
+TEST(MessageViewTest, ParsesPlainAndEscapedFields) {
+  Message message;
+  message.Set("rsl", "&(executable=test1)");
+  message.Set("note", "line one\nline two\\with backslash");
+  const std::string frame = message.Serialize();
+  auto view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+  EXPECT_EQ(view->Get("rsl"), "&(executable=test1)");
+  EXPECT_EQ(view->Get("note"), "line one\nline two\\with backslash");
+  EXPECT_FALSE(view->Get("missing").has_value());
+  // Unescaped values are views straight into the frame buffer.
+  const char* rsl_data = view->Get("rsl")->data();
+  EXPECT_GE(rsl_data, frame.data());
+  EXPECT_LT(rsl_data, frame.data() + frame.size());
+}
+
+TEST(MessageViewTest, MoveKeepsArenaValuesValid) {
+  // Escaped values live in an internal arena addressed by offset, so a
+  // moved-from view (whose arena string may change address) stays valid.
+  const std::string frame = "protocol-version: 2\r\n"
+      "a: first\\nvalue that is long enough to defeat SSO padding pad\r\n"
+      "b: plain\r\n";
+  auto parsed = MessageView::Parse(frame);
+  ASSERT_TRUE(parsed.ok());
+  MessageView moved = *std::move(parsed);
+  EXPECT_EQ(moved.Get("a"),
+            "first\nvalue that is long enough to defeat SSO padding pad");
+  EXPECT_EQ(moved.Get("b"), "plain");
+}
+
+TEST(MessageViewTest, RejectsSameFramesAsMessageParse) {
+  const std::string_view frames[] = {
+      "message-type: job-request\r\n",             // missing version
+      "protocol-version: 9\r\n",                   // unsupported version
+      "protocol-version: 2\r\nno separator\r\n",   // missing ':'
+      "protocol-version: 2\r\nx: a\r\nx: b\r\n",   // duplicate key
+      "protocol-version: 2\r\nx: bad\\q\r\n",      // bad escape
+      "protocol-version: 2\r\nx: dangling\\\r\n",  // dangling escape
+      "",
+  };
+  for (std::string_view frame : frames) {
+    auto reference = Message::Parse(frame);
+    auto view = MessageView::Parse(frame);
+    ASSERT_FALSE(reference.ok()) << frame;
+    ASSERT_FALSE(view.ok()) << frame;
+    // Same error text, not merely the same verdict.
+    EXPECT_EQ(view.error().message(), reference.error().message()) << frame;
+  }
+}
+
+TEST(MessageViewTest, AcceptsTruncatedCrlfLikeMessageParse) {
+  // A final line missing its CRLF terminator parses in both codecs.
+  const std::string frame = "protocol-version: 2\r\nrsl: &(executable=a)";
+  auto reference = Message::Parse(frame);
+  auto view = MessageView::Parse(frame);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->Get("rsl"), *reference->Get("rsl"));
+}
+
+TEST(MessageViewTest, RepeatedProtocolVersionTolerated) {
+  const std::string frame =
+      "protocol-version: 2\r\nprotocol-version: 2\r\nx: 1\r\n";
+  EXPECT_TRUE(Message::Parse(frame).ok());
+  EXPECT_TRUE(MessageView::Parse(frame).ok());
+}
+
+TEST(MessageViewTest, SpillsPastInlineFieldCount) {
+  Message message;
+  for (int i = 0; i < 40; ++i) {
+    message.Set("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  const std::string frame = message.Serialize();
+  auto view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(view->Get("key-" + std::to_string(i)),
+              "value-" + std::to_string(i));
+  }
+}
+
+TEST(MessageViewTest, RequireIntMatchesMessage) {
+  const std::string frame = "protocol-version: 2\r\npriority: 7\r\nt: x\r\n";
+  auto view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view->RequireInt("priority"), 7);
+  EXPECT_FALSE(view->RequireInt("t").ok());
+  EXPECT_FALSE(view->Require("missing").ok());
+}
+
+TEST(FrameWriterTest, ByteIdenticalWithMessageSerialize) {
+  JobRequest request;
+  request.rsl = "&(executable=test1)(jobtag=NFC)";
+  request.callback_url = "https://client:7777/cb";
+  request.trace_id = "trace-1";
+  request.deadline_micros = 123456;
+  request.attempt = 2;
+
+  JobRequestReply job_reply;
+  job_reply.code = GramErrorCode::kAuthorizationSystemFailure;
+  job_reply.reason = "[overload] queue full\nsecond line";
+
+  ManagementRequest management;
+  management.action = "signal";
+  management.job_contact = "https://h:2119/jobmanager/1";
+  management.signal = SignalRequest{SignalKind::kPriority, 9};
+  management.trace_id = "trace-2";
+  management.deadline_micros = 99;
+  management.attempt = 1;
+
+  ManagementReply management_reply;
+  management_reply.code = GramErrorCode::kNone;
+  management_reply.status = JobStatus::kActive;
+  management_reply.job_owner = "/O=Grid/CN=owner";
+  management_reply.jobtag = "NFC";
+  management_reply.reason = "with\\backslash";
+
+  std::string buffer;
+  FrameWriter writer(&buffer);
+  request.EncodeTo(writer);
+  EXPECT_EQ(buffer, request.Encode().Serialize());
+  job_reply.EncodeTo(writer);
+  EXPECT_EQ(buffer, job_reply.Encode().Serialize());
+  management.EncodeTo(writer);
+  EXPECT_EQ(buffer, management.Encode().Serialize());
+  management_reply.EncodeTo(writer);
+  EXPECT_EQ(buffer, management_reply.Encode().Serialize());
+}
+
+TEST(FrameWriterTest, ReusedBufferResetsPerFrame) {
+  std::string buffer;
+  FrameWriter writer(&buffer);
+  JobRequest first;
+  first.rsl = "&(executable=a-very-long-executable-name-to-grow-the-buffer)";
+  first.EncodeTo(writer);
+  const std::string first_frame = buffer;
+  JobRequest second;
+  second.rsl = "&(executable=b)";
+  second.EncodeTo(writer);
+  EXPECT_NE(buffer, first_frame);
+  auto view = MessageView::Parse(buffer);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->Get("rsl"), "&(executable=b)");
+  EXPECT_EQ(view->Get("message-type"), "job-request");
+  EXPECT_EQ(view->size(), 2u);
+}
+
+TEST(MessageViewTest, TypedDecodersMatchMessagePath) {
+  ManagementRequest request;
+  request.action = "signal";
+  request.job_contact = "https://h:2119/jobmanager/7";
+  request.signal = SignalRequest{SignalKind::kSuspend, 0};
+  request.trace_id = "t-9";
+  const std::string frame = request.Encode().Serialize();
+
+  auto view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  auto from_view = ManagementRequest::Decode(*view);
+  auto from_message = ManagementRequest::Decode(*Message::Parse(frame));
+  ASSERT_TRUE(from_view.ok());
+  ASSERT_TRUE(from_message.ok());
+  EXPECT_EQ(from_view->action, from_message->action);
+  EXPECT_EQ(from_view->job_contact, from_message->job_contact);
+  EXPECT_EQ(from_view->signal->kind, from_message->signal->kind);
+  EXPECT_EQ(from_view->trace_id, from_message->trace_id);
+}
+
 }  // namespace
 }  // namespace gridauthz::gram::wire
