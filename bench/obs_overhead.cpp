@@ -1,0 +1,208 @@
+// Experiment O1: cost of the observability layer itself. The pre-PR
+// instrumentation resolved every metric series through the registry
+// mutex per call; the pre-resolved-handle path (obs/instrument.h) pays
+// an epoch check plus striped relaxed atomics. This bench measures one
+// AuthzCallObservation (span + decision counter + latency histogram)
+// both ways at 1 and 16 threads, the bare metric-record cost both ways,
+// and — via the contention registry — how much lock wait the legacy
+// path induces on "metrics/registry" and a cached decision sweep
+// induces on "decision_cache/shard" at 16 threads. Emits
+// BENCH_obs_overhead.json; the gated signals are the speedup ratios
+// (resolved vs legacy), which host contention moves together.
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 to shrink the sweeps to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/decision_cache.h"
+#include "core/source.h"
+#include "obs/contention.h"
+#include "obs/instrument.h"
+#include "obs/metrics.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kTarget = "/O=Grid/O=Synth/CN=target";
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+// Wall-clock ns per op of `op` run from `threads` threads, `iters` each.
+double MeasureNsPerOp(const std::function<void()>& op, int threads,
+                      int iters) {
+  const auto begin = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    for (int i = 0; i < iters; ++i) op();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < iters; ++i) op();
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  return ns / (static_cast<double>(threads) * iters);
+}
+
+// One full observation, legacy path: both registry lookups per call.
+void LegacyObservation() {
+  obs::AuthzCallObservation observation{std::string{"bench-legacy"}};
+  observation.set_outcome(obs::kOutcomePermit);
+}
+
+// Same observation through pre-resolved instruments.
+const obs::AuthzInstruments& ResolvedInstruments() {
+  static const obs::AuthzInstruments& instruments =
+      *new obs::AuthzInstruments{"bench-resolved"};
+  return instruments;
+}
+void ResolvedObservation() {
+  obs::AuthzCallObservation observation{ResolvedInstruments()};
+  observation.set_outcome(obs::kOutcomePermit);
+}
+
+void BM_LegacyObservation(benchmark::State& state) {
+  for (auto _ : state) LegacyObservation();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyObservation);
+
+void BM_ResolvedObservation(benchmark::State& state) {
+  for (auto _ : state) ResolvedObservation();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolvedObservation);
+
+void EmitObsOverheadJson() {
+  const bool quick = QuickMode();
+  const int iters_1t = quick ? 5000 : 100000;
+  const int iters_16t = quick ? 500 : 10000;  // per thread
+  const int cache_iters = quick ? 500 : 5000;  // per thread
+
+  // --- full observation, 1 and 16 threads, both paths ---------------
+  const double legacy_1t = MeasureNsPerOp(LegacyObservation, 1, iters_1t);
+  const double resolved_1t = MeasureNsPerOp(ResolvedObservation, 1, iters_1t);
+
+  obs::Contention().ResetForTest();
+  const double legacy_16t = MeasureNsPerOp(LegacyObservation, 16, iters_16t);
+  std::int64_t registry_wait_us = 0;
+  for (const auto& site : obs::Contention().Snapshot()) {
+    if (site.name == "metrics/registry") registry_wait_us = site.total_wait_us;
+  }
+  const double resolved_16t =
+      MeasureNsPerOp(ResolvedObservation, 16, iters_16t);
+
+  // --- bare metric record (counter + histogram), both paths ---------
+  const double record_legacy_1t = MeasureNsPerOp(
+      [] {
+        obs::Metrics()
+            .GetCounter("bench_record_total", {{"path", "legacy"}})
+            .Increment();
+        obs::Metrics()
+            .GetHistogram("bench_record_us", {{"path", "legacy"}})
+            .Observe(42);
+      },
+      1, iters_1t);
+  static const obs::CounterHandle record_counter{
+      "bench_record_total", {{"path", "resolved"}}};
+  static const obs::HistogramHandle record_histogram{
+      "bench_record_us", {{"path", "resolved"}}};
+  const double record_resolved_1t = MeasureNsPerOp(
+      [] {
+        record_counter.Increment();
+        record_histogram.Observe(42);
+      },
+      1, iters_1t);
+
+  // --- decision-cache contention under a cached 16-thread sweep -----
+  core::PolicyDocument document = bench::SyntheticPolicy(100, 2, kTarget);
+  core::PolicyStatement manage;
+  manage.kind = core::StatementKind::kPermission;
+  manage.subject_prefix = kTarget;
+  rsl::Conjunction set;
+  set.Add("action", rsl::RelOp::kEq, "cancel");
+  set.Add("jobowner", rsl::RelOp::kEq, std::string{core::kSelfValue});
+  manage.assertion_sets.push_back(std::move(set));
+  document.Add(std::move(manage));
+  auto bare = std::make_shared<core::StaticPolicySource>("bench", document);
+  core::CachingPolicySource cached{bare};
+  core::AuthorizationRequest cancel;
+  cancel.subject = kTarget;
+  cancel.action = "cancel";
+  cancel.job_owner = kTarget;
+  cancel.job_id = "https://synth.example:2119/jobmanager/1";
+  cancel.job_rsl = rsl::ParseConjunction("&(executable=exe0)").value();
+
+  obs::Contention().ResetForTest();
+  MeasureNsPerOp(
+      [&] {
+        auto decision = cached.Authorize(cancel);
+        benchmark::DoNotOptimize(decision);
+      },
+      16, cache_iters);
+  std::int64_t cache_wait_us = 0;
+  std::int64_t cache_acquisitions = 0;
+  for (const auto& site : obs::Contention().Snapshot()) {
+    if (site.name == "decision_cache/shard") {
+      cache_wait_us = site.total_wait_us;
+      cache_acquisitions = static_cast<std::int64_t>(site.acquisitions);
+    }
+  }
+
+  const std::vector<std::pair<std::string, double>> fields = {
+      {"legacy_observation_ns_1t", legacy_1t},
+      {"resolved_observation_ns_1t", resolved_1t},
+      {"observation_speedup_1t",
+       resolved_1t > 0 ? legacy_1t / resolved_1t : 0},
+      {"legacy_observation_ns_16t", legacy_16t},
+      {"resolved_observation_ns_16t", resolved_16t},
+      {"observation_speedup_16t",
+       resolved_16t > 0 ? legacy_16t / resolved_16t : 0},
+      {"record_legacy_ns_1t", record_legacy_1t},
+      {"record_resolved_ns_1t", record_resolved_1t},
+      {"record_speedup_1t",
+       record_resolved_1t > 0 ? record_legacy_1t / record_resolved_1t : 0},
+      {"registry_lock_wait_us_legacy_16t",
+       static_cast<double>(registry_wait_us)},
+      {"cache_shard_lock_wait_us_16t", static_cast<double>(cache_wait_us)},
+      {"cache_shard_lock_acquisitions_16t",
+       static_cast<double>(cache_acquisitions)},
+  };
+
+  const std::string path = "BENCH_obs_overhead.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_obs_overhead: observation legacy=%.0fns resolved=%.0fns "
+      "(%.1fx 1t, %.1fx 16t) -> %s\n",
+      legacy_1t, resolved_1t, resolved_1t > 0 ? legacy_1t / resolved_1t : 0,
+      resolved_16t > 0 ? legacy_16t / resolved_16t : 0, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitObsOverheadJson();
+  return 0;
+}

@@ -48,10 +48,22 @@ def main() -> int:
                         help="metric to report but never gate (repeatable)")
     args = parser.parse_args()
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.fresh) as handle:
-        fresh = json.load(handle)
+    def load(path: str, role: str) -> dict:
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            print(f"ERROR: {role} file not found: {path}")
+            if role == "baseline":
+                print("  Run the bench binary once and commit the JSON it "
+                      "emits to the repo root to establish a baseline.")
+            raise SystemExit(1)
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"ERROR: cannot read {role} file {path}: {exc}")
+            raise SystemExit(1)
+
+    baseline = load(args.baseline, "baseline")
+    fresh = load(args.fresh, "fresh")
 
     failures = []
     for name in sorted(set(baseline) | set(fresh)):

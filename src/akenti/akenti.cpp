@@ -207,7 +207,7 @@ AkentiPolicySource::AkentiPolicySource(std::shared_ptr<AkentiEngine> engine,
 
 Expected<core::Decision> AkentiPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   // Certificate gathering and chain verification dominate Akenti latency;
   // the stage timer makes that visible in decision provenance.
   core::ProvenanceStageTimer stage("akenti/authorize");

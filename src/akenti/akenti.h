@@ -155,6 +155,7 @@ class AkentiPolicySource final : public core::PolicySource {
  private:
   std::shared_ptr<AkentiEngine> engine_;
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
 };
 
 }  // namespace gridauthz::akenti

@@ -78,7 +78,7 @@ CasPolicySource::CasPolicySource(std::string name) : name_(std::move(name)) {}
 
 Expected<core::Decision> CasPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   // Parsing the embedded restricted-proxy policy is CAS's per-request
   // cost; the stage timer surfaces it in decision provenance.
   core::ProvenanceStageTimer stage("cas/authorize");

@@ -85,6 +85,7 @@ class CasPolicySource final : public core::PolicySource {
 
  private:
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
 };
 
 }  // namespace gridauthz::cas

@@ -148,15 +148,11 @@ Expected<Decision> CachingPolicySource::Authorize(
   const std::string key = Key(request);
   if (auto cached = cache_.Lookup(key, generation_before,
                                   clock->NowMicros())) {
-    obs::Metrics()
-        .GetCounter(obs::kMetricCacheHits, {{"source", inner_->name()}})
-        .Increment();
+    hits_.Increment();
     if (prov != nullptr) prov->cache_hit = true;
     return *cached;
   }
-  obs::Metrics()
-      .GetCounter(obs::kMetricCacheMisses, {{"source", inner_->name()}})
-      .Increment();
+  misses_.Increment();
 
   Expected<Decision> decision = inner_->Authorize(request);
   if (decision.ok()) {

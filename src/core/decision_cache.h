@@ -32,6 +32,8 @@
 #include "common/clock.h"
 #include "core/request.h"
 #include "core/source.h"
+#include "obs/contention.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::core {
 
@@ -79,7 +81,9 @@ class ShardedDecisionCache {
     std::list<std::string>::iterator lru_it;
   };
   struct Shard {
-    std::mutex mu;
+    // All shards charge one contention site: the interesting question
+    // is "does the cache lock hurt", not which of 8 shards.
+    obs::ProfiledMutex mu{"decision_cache/shard"};
     std::map<std::string, Entry> entries;
     std::list<std::string> lru;  // front = most recent
   };
@@ -115,6 +119,11 @@ class CachingPolicySource final : public PolicySource {
 
  private:
   std::shared_ptr<PolicySource> inner_;
+  // Hit/miss land on every cached-path call; resolved once, not per call.
+  obs::CounterHandle hits_{std::string{obs::kMetricCacheHits},
+                           {{"source", inner_->name()}}};
+  obs::CounterHandle misses_{std::string{obs::kMetricCacheMisses},
+                             {{"source", inner_->name()}}};
   const Clock* clock_;  // null = obs::ObsClock() at call time
   ShardedDecisionCache cache_;
 };

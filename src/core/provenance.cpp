@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace gridauthz::core {
 
@@ -134,15 +135,25 @@ ProvenanceScope::~ProvenanceScope() { g_current = previous_; }
 
 ProvenanceStageTimer::ProvenanceStageTimer(std::string_view name)
     : target_(g_current), name_(name) {
-  if (target_ != nullptr) start_us_ = obs::ObsClock()->NowMicros();
+  profiled_ = obs::Profiler().Enter(name);
+  if (target_ != nullptr || profiled_) {
+    start_us_ = obs::ObsClock()->NowMicros();
+  }
 }
 
 ProvenanceStageTimer::~ProvenanceStageTimer() {
+  if (target_ == nullptr && !profiled_) {
+    // Still exits the profiler's depth tracking (an unsampled stage
+    // must not shift which stage counts as a root).
+    obs::Profiler().Leave(false, 0);
+    return;
+  }
+  const std::int64_t elapsed_us = obs::ObsClock()->NowMicros() - start_us_;
+  obs::Profiler().Leave(profiled_, elapsed_us);
   if (target_ == nullptr) return;
   // Annotate the record captured at construction, not g_current: an
   // inner scope opened meanwhile must not receive this stage.
-  target_->stages.push_back(ProvenanceStage{
-      std::string{name_}, obs::ObsClock()->NowMicros() - start_us_});
+  target_->stages.push_back(ProvenanceStage{std::string{name_}, elapsed_us});
 }
 
 }  // namespace gridauthz::core

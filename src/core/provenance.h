@@ -117,7 +117,11 @@ class ProvenanceScope {
 };
 
 // RAII stage timer: appends {name, elapsed} to the current provenance on
-// destruction. Free (two branch instructions) when no scope is active.
+// destruction, and doubles as the stage profiler's instrumentation point
+// (obs/profile.h) — a sampled stage also folds its self-time into the
+// /profile flamegraph. Near-free when no scope is active and the stage
+// is unsampled: a null check plus a thread-local depth bump, no clock
+// read.
 class ProvenanceStageTimer {
  public:
   explicit ProvenanceStageTimer(std::string_view name);
@@ -128,6 +132,7 @@ class ProvenanceStageTimer {
  private:
   DecisionProvenance* target_;  // captured at construction
   std::string_view name_;
+  bool profiled_ = false;  // this stage was sampled by the profiler
   std::int64_t start_us_ = 0;
 };
 

@@ -24,7 +24,7 @@ StaticPolicySource::StaticPolicySource(std::string name,
 
 Expected<Decision> StaticPolicySource::Authorize(
     const AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   // One pointer copy pins the snapshot for this request; a concurrent
   // Replace() cannot pull it out from under us.
   const std::shared_ptr<const CompiledPolicyDocument> snapshot =
@@ -98,7 +98,7 @@ Expected<void> FilePolicySource::Reload() {
 
 Expected<Decision> FilePolicySource::Authorize(
     const AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   const std::shared_ptr<const State> state = state_.load();
   if (DecisionProvenance* prov = CurrentProvenance()) {
     prov->policy_source = name_;
@@ -129,7 +129,7 @@ std::uint64_t CombiningPdp::policy_generation() const {
 
 Expected<Decision> CombiningPdp::Authorize(
     const AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   Expected<Decision> combined = [&]() -> Expected<Decision> {
     if (sources_.empty()) {
       return Error{ErrCode::kAuthorizationSystemFailure,

@@ -28,6 +28,7 @@
 #include "common/error.h"
 #include "core/compiled.h"
 #include "core/evaluator.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::core {
 
@@ -110,6 +111,7 @@ class StaticPolicySource final : public PolicySource {
 
  private:
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
   EvaluatorOptions options_;
   SnapshotPtr<CompiledPolicyDocument> snapshot_;
   std::atomic<std::uint64_t> generation_{1};
@@ -153,6 +155,7 @@ class FilePolicySource final : public PolicySource {
   };
 
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
   std::string path_;
   EvaluatorOptions options_;
   std::mutex reload_mu_;  // serializes Reload(); readers never take it
@@ -186,6 +189,7 @@ class CombiningPdp final : public PolicySource {
 
  private:
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
   std::vector<std::shared_ptr<PolicySource>> sources_;
 };
 

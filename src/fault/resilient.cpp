@@ -34,7 +34,7 @@ ResilientPolicySource::ResilientPolicySource(
 
 Expected<core::Decision> ResilientPolicySource::Authorize(
     const core::AuthorizationRequest& request) {
-  obs::AuthzCallObservation observation{name_};
+  obs::AuthzCallObservation observation{instruments_};
   Expected<core::Decision> result = detail::Execute<core::Decision>(
       name_, options_, jitter_,
       [&]() { return inner_->Authorize(request); });

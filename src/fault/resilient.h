@@ -184,6 +184,7 @@ class ResilientPolicySource final : public core::PolicySource {
   std::shared_ptr<core::PolicySource> inner_;
   ResilienceOptions options_;
   std::string name_;
+  obs::AuthzInstruments instruments_{name_};  // after name_: init order
   JitterStream jitter_;
 };
 

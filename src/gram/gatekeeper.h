@@ -23,6 +23,7 @@
 #include "gram/jobmanager.h"
 #include "gridmap/gridmap.h"
 #include "gsi/security_context.h"
+#include "obs/contention.h"
 #include "os/scheduler.h"
 
 namespace gridauthz::gram {
@@ -58,7 +59,7 @@ class JobManagerRegistry {
   std::vector<std::shared_ptr<JobManagerInstance>> All() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable obs::ProfiledSharedMutex mu_{"jmi_registry"};
   std::map<std::string, std::shared_ptr<JobManagerInstance>> jmis_;
   std::atomic<std::uint64_t> next_job_number_{1};
 };

@@ -41,7 +41,11 @@ std::shared_ptr<JobManagerInstance> JobManagerInstance::Restore(
 
 Expected<void> JobManagerInstance::Authorize(const RequesterInfo& requester,
                                              std::string_view action) {
-  obs::AuthzCallObservation observation{"pep-jm"};
+  // One process-wide instrument set: every JMI shares the "pep-jm"
+  // source label, so the handles resolve once per process.
+  static const obs::AuthzInstruments& instruments =
+      *new obs::AuthzInstruments{"pep-jm"};
+  obs::AuthzCallObservation observation{instruments};
   Expected<void> result = [&]() -> Expected<void> {
     // The ambient deadline arrived with the wire request (or a test's
     // DeadlineScope). Out of budget means we cannot obtain a decision —

@@ -4,7 +4,9 @@
 
 #include "common/json.h"
 #include "gram/server.h"
+#include "obs/contention.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
 
@@ -72,10 +74,22 @@ ObsReply ObsService::Dispatch(const MessageView& message) {
   auto path = message.Require("path");
   if (!path.ok()) return TextReply(400, path.error().to_string());
   if (*path == "/metrics") {
-    return TextReply(200, obs::Metrics().RenderText());
+    // The registry's own series plus the contention registry's —
+    // lock_wait_us{site} and friends live outside MetricsRegistry so
+    // profiling the registry mutex cannot recurse.
+    return TextReply(200,
+                     obs::Metrics().RenderText() +
+                         obs::Contention().RenderText());
   }
   if (*path == "/metrics.json") {
     return JsonReply(200, obs::Metrics().RenderJson());
+  }
+  if (*path == "/contention") {
+    return JsonReply(200, obs::Contention().RenderJson());
+  }
+  if (*path == "/profile") {
+    // Collapsed-stack stage profile; pipe straight to flamegraph.pl.
+    return TextReply(200, obs::Profiler().RenderCollapsed());
   }
   if (path->substr(0, kTracePrefix.size()) == kTracePrefix &&
       path->size() > kTracePrefix.size()) {

@@ -7,8 +7,12 @@
 // other frame to the real endpoint, so one listener serves both jobs and
 // operations:
 //
-//   /metrics        Prometheus text exposition of the whole registry
+//   /metrics        Prometheus text exposition of the whole registry,
+//                   with lock_wait_us{site} contention series appended
 //   /metrics.json   JSON snapshot (p50/p95/p99 precomputed)
+//   /contention     lock sites ranked by total wait (JSON)
+//   /profile        sampled stage profile, collapsed-stack text
+//                   (flamegraph.pl-compatible)
 //   /trace/<id>     finished spans of one trace, completion order
 //   /audit/query    durable audit records matching subject / action /
 //                   outcome / time-min / time-max filters

@@ -120,12 +120,10 @@ std::string ServerTransport::Handle(const gsi::Credential& peer,
       }
     }
     queue_.push_back(&work);
-    obs::Metrics()
-        .GetGauge("wire_server_queue_depth")
-        .Set(static_cast<std::int64_t>(queue_.size()));
+    queue_depth_gauge_.Set(static_cast<std::int64_t>(queue_.size()));
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  obs::Metrics().GetCounter("wire_server_accepted_total").Increment();
+  accepted_counter_.Increment();
   not_empty_.notify_one();
 
   std::unique_lock wait_lock(work.mu);
@@ -146,9 +144,7 @@ void ServerTransport::WorkerLoop(int index) {
       work = queue_.front();
       queue_.pop_front();
       drain_shed = stopping_;
-      obs::Metrics()
-          .GetGauge("wire_server_queue_depth")
-          .Set(static_cast<std::int64_t>(queue_.size()));
+      queue_depth_gauge_.Set(static_cast<std::int64_t>(queue_.size()));
     }
     const std::int64_t start_us = obs::ObsClock()->NowMicros();
     std::string reply;

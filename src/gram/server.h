@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "gram/wire_service.h"
+#include "obs/contention.h"
+#include "obs/instrument.h"
 
 namespace gridauthz::gram::wire {
 
@@ -94,10 +96,19 @@ class ServerTransport final : public WireTransport {
   WireTransport* inner_;
   ServerOptions options_;
 
-  mutable std::mutex qmu_;
-  std::condition_variable not_empty_;
+  // Profiled ("server/queue") so /contention can indict the queue lock;
+  // condition_variable_any because the profiled mutex is not std::mutex.
+  // CV-blocked time (waiting for work to ARRIVE) is not lock wait and is
+  // not charged to the site — only the reacquire after wakeup is.
+  mutable obs::ProfiledMutex qmu_{"server/queue"};
+  std::condition_variable_any not_empty_;
   std::deque<Work*> queue_;
   bool stopping_ = false;  // guarded by qmu_
+
+  // Touched on every admitted frame (twice for the gauge: producer and
+  // worker); resolved once, not per call.
+  obs::GaugeHandle queue_depth_gauge_{"wire_server_queue_depth"};
+  obs::CounterHandle accepted_counter_{"wire_server_accepted_total", {}};
 
   std::atomic<std::int64_t> ewma_service_us_;
   std::atomic<std::uint64_t> accepted_{0};

@@ -1,0 +1,190 @@
+#include "obs/contention.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace gridauthz::obs {
+
+const std::vector<std::int64_t>& ContentionWaitBucketsUs() {
+  static const std::vector<std::int64_t> kBuckets = {
+      1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000};
+  return kBuckets;
+}
+
+ContentionSite::ContentionSite(std::string name)
+    : name_(std::move(name)),
+      wait_buckets_(ContentionWaitBucketsUs().size() + 1) {}
+
+void ContentionSite::RecordWait(std::int64_t wait_us) {
+  if (wait_us < 0) wait_us = 0;
+  acquisitions_.Add(1);
+  contended_.Add(1);
+  total_wait_us_.Add(wait_us);
+  max_wait_us_.Max(wait_us);
+  const auto& bounds = ContentionWaitBucketsUs();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), wait_us);
+  wait_buckets_[static_cast<std::size_t>(it - bounds.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t ContentionSite::wait_bucket(std::size_t i) const {
+  return wait_buckets_[i].load(std::memory_order_relaxed);
+}
+
+void ContentionSite::ResetForTest() {
+  acquisitions_.ResetForTest();
+  contended_.ResetForTest();
+  total_wait_us_.ResetForTest();
+  max_wait_us_.ResetForTest();
+  for (auto& bucket : wait_buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+ContentionSite& ContentionRegistry::Site(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_
+             .emplace(std::string{name},
+                      std::make_unique<ContentionSite>(std::string{name}))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<ContentionRegistry::SiteSnapshot> ContentionRegistry::Snapshot()
+    const {
+  std::vector<SiteSnapshot> out;
+  {
+    std::lock_guard lock(mu_);
+    out.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
+      out.push_back({name, site->acquisitions(), site->contended(),
+                     site->total_wait_us(), site->max_wait_us()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.total_wait_us != b.total_wait_us) {
+      return a.total_wait_us > b.total_wait_us;
+    }
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string ContentionRegistry::RenderText() const {
+  // Site names are operator-chosen literals (no escaping hazards), and
+  // map order keeps the exposition stable across scrapes.
+  std::lock_guard lock(mu_);
+  if (sites_.empty()) return "";
+  std::string out;
+  out += "# TYPE lock_acquisitions_total counter\n";
+  for (const auto& [name, site] : sites_) {
+    out += "lock_acquisitions_total{site=\"" + name + "\"} " +
+           std::to_string(site->acquisitions()) + "\n";
+  }
+  out += "# TYPE lock_contended_total counter\n";
+  for (const auto& [name, site] : sites_) {
+    out += "lock_contended_total{site=\"" + name + "\"} " +
+           std::to_string(site->contended()) + "\n";
+  }
+  out += "# TYPE lock_wait_us histogram\n";
+  const auto& bounds = ContentionWaitBucketsUs();
+  for (const auto& [name, site] : sites_) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += site->wait_bucket(i);
+      out += "lock_wait_us_bucket{le=\"" + std::to_string(bounds[i]) +
+             "\",site=\"" + name + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += site->wait_bucket(bounds.size());
+    out += "lock_wait_us_bucket{le=\"+Inf\",site=\"" + name + "\"} " +
+           std::to_string(cumulative) + "\n";
+    out += "lock_wait_us_sum{site=\"" + name + "\"} " +
+           std::to_string(site->total_wait_us()) + "\n";
+    out += "lock_wait_us_count{site=\"" + name + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+std::string ContentionRegistry::RenderJson() const {
+  std::string out = "{\"sites\":[";
+  bool first = true;
+  for (const auto& site : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"site\":\"" + site.name + "\"";
+    out += ",\"acquisitions\":" + std::to_string(site.acquisitions);
+    out += ",\"contended\":" + std::to_string(site.contended);
+    out += ",\"total_wait_us\":" + std::to_string(site.total_wait_us);
+    out += ",\"max_wait_us\":" + std::to_string(site.max_wait_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ContentionRegistry::ResetForTest() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, site] : sites_) site->ResetForTest();
+}
+
+ContentionRegistry& Contention() {
+  static ContentionRegistry* registry = new ContentionRegistry();
+  return *registry;
+}
+
+// The uncontended path must stay near-free: one try_lock plus one
+// striped increment, no clock read. Only a blocked acquisition pays for
+// timing, and by then the thread is waiting anyway.
+void ProfiledMutex::lock() {
+  if (mu_.try_lock()) {
+    site_->RecordUncontended();
+    return;
+  }
+  const std::int64_t start_us = ObsClock()->NowMicros();
+  mu_.lock();
+  site_->RecordWait(ObsClock()->NowMicros() - start_us);
+}
+
+bool ProfiledMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  site_->RecordUncontended();
+  return true;
+}
+
+void ProfiledSharedMutex::lock() {
+  if (mu_.try_lock()) {
+    site_->RecordUncontended();
+    return;
+  }
+  const std::int64_t start_us = ObsClock()->NowMicros();
+  mu_.lock();
+  site_->RecordWait(ObsClock()->NowMicros() - start_us);
+}
+
+bool ProfiledSharedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  site_->RecordUncontended();
+  return true;
+}
+
+void ProfiledSharedMutex::lock_shared() {
+  if (mu_.try_lock_shared()) {
+    site_->RecordUncontended();
+    return;
+  }
+  const std::int64_t start_us = ObsClock()->NowMicros();
+  mu_.lock_shared();
+  site_->RecordWait(ObsClock()->NowMicros() - start_us);
+}
+
+bool ProfiledSharedMutex::try_lock_shared() {
+  if (!mu_.try_lock_shared()) return false;
+  site_->RecordUncontended();
+  return true;
+}
+
+}  // namespace gridauthz::obs

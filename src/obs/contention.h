@@ -1,0 +1,147 @@
+// Lock and queue contention profiling.
+//
+// ROADMAP item 2 calls the cached read path "contention-bound, not
+// CPU-bound", but nothing in the process could say *which* lock eats
+// the wait. ProfiledMutex / ProfiledSharedMutex wrap the standard
+// primitives and charge every blocked acquisition to a named
+// ContentionSite: a try_lock that succeeds (the overwhelmingly common
+// case) records one striped increment and never reads the clock; only
+// a blocked acquisition pays two clock reads to measure its wait.
+//
+// Sites live in their own ContentionRegistry, deliberately outside
+// MetricsRegistry: the metrics registry's own mutex is itself a
+// profiled site, so contention bookkeeping must not recurse into it.
+// /metrics appends the registry's Prometheus rendering
+// (lock_wait_us{site}, lock_acquisitions_total{site},
+// lock_contended_total{site}); /contention serves a JSON ranking of
+// sites by total wait.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stripe.h"
+
+namespace gridauthz::obs {
+
+// Wait-time histogram bounds, microseconds. Coarser than the latency
+// buckets: lock waits either vanish (<10us) or matter (>100us).
+const std::vector<std::int64_t>& ContentionWaitBucketsUs();
+
+// Statistics for one named lock site. All mutators are a few relaxed
+// striped atomics; safe from any thread. One site may be shared by many
+// lock instances (e.g. every decision-cache shard charges
+// "decision_cache/shard"), which aggregates them into one line.
+class ContentionSite {
+ public:
+  explicit ContentionSite(std::string name);
+
+  void RecordUncontended() { acquisitions_.Add(1); }
+  void RecordWait(std::int64_t wait_us);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t acquisitions() const { return acquisitions_.Sum(); }
+  std::uint64_t contended() const { return contended_.Sum(); }
+  std::int64_t total_wait_us() const { return total_wait_us_.Sum(); }
+  std::int64_t max_wait_us() const { return max_wait_us_.MaxValue(); }
+  // Count of contended waits <= ContentionWaitBucketsUs()[i]; index
+  // size() is the +Inf overflow bucket.
+  std::uint64_t wait_bucket(std::size_t i) const;
+
+  void ResetForTest();
+
+ private:
+  std::string name_;
+  StripedValue<std::uint64_t> acquisitions_;
+  StripedValue<std::uint64_t> contended_;
+  StripedValue<std::int64_t> total_wait_us_;
+  StripedValue<std::int64_t> max_wait_us_;
+  std::vector<std::atomic<std::uint64_t>> wait_buckets_;
+};
+
+// Name -> site map. Site() interns on first use and returns a stable
+// reference (sites are never destroyed, so ProfiledMutex can cache the
+// pointer for the process lifetime).
+class ContentionRegistry {
+ public:
+  ContentionSite& Site(std::string_view name);
+
+  struct SiteSnapshot {
+    std::string name;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    std::int64_t total_wait_us = 0;
+    std::int64_t max_wait_us = 0;
+  };
+  // Ranked by total wait descending, then name ascending (deterministic
+  // for equal waits).
+  std::vector<SiteSnapshot> Snapshot() const;
+
+  // Prometheus text appended to MetricsRegistry::RenderText() output.
+  std::string RenderText() const;
+  // /contention body: {"sites":[{...most-waited first...}]}.
+  std::string RenderJson() const;
+
+  // Zeroes every site's statistics (sites themselves stay interned so
+  // cached pointers remain valid). Test isolation only.
+  void ResetForTest();
+
+ private:
+  // Guards the site map only — never held while recording statistics,
+  // and a plain std::mutex precisely because this registry must not
+  // profile itself.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ContentionSite>, std::less<>> sites_;
+};
+
+ContentionRegistry& Contention();
+
+// Drop-in std::mutex replacement charging waits to a named site.
+// Satisfies Lockable, so std::lock_guard / std::unique_lock /
+// std::condition_variable_any work unchanged.
+class ProfiledMutex {
+ public:
+  explicit ProfiledMutex(std::string_view site)
+      : site_(&Contention().Site(site)) {}
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock() { mu_.unlock(); }
+
+ private:
+  ContentionSite* site_;
+  std::mutex mu_;
+};
+
+// Same for std::shared_mutex. Shared and exclusive acquisitions charge
+// the one site: the ranking cares about total time threads spend
+// blocked at the site, whichever mode blocked them.
+class ProfiledSharedMutex {
+ public:
+  explicit ProfiledSharedMutex(std::string_view site)
+      : site_(&Contention().Site(site)) {}
+  ProfiledSharedMutex(const ProfiledSharedMutex&) = delete;
+  ProfiledSharedMutex& operator=(const ProfiledSharedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock() { mu_.unlock(); }
+
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  ContentionSite* site_;
+  std::shared_mutex mu_;
+};
+
+}  // namespace gridauthz::obs

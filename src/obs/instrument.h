@@ -4,9 +4,23 @@
 //   authz_decisions_total{source,outcome}   outcome: permit | deny | error
 //   authz_latency_us{source}                fixed-bucket histogram
 // plus a timed span named "authorize/<source>" under the active trace.
+//
+// Two tiers, same series:
+//
+//   - CounterHandle / HistogramHandle / AuthzInstruments resolve the
+//     registry series ONCE and cache the pointer; the per-call cost is
+//     an epoch check plus striped relaxed atomics. Sources construct
+//     their AuthzInstruments next to their name and hand it to each
+//     AuthzCallObservation. This is the hot path.
+//   - The legacy AuthzCallObservation(std::string source) constructor
+//     resolves through the registry mutex on every destruction. It is
+//     kept as the pre-resolution baseline that bench/obs_overhead
+//     measures against — new call sites should not use it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -30,13 +44,166 @@ inline constexpr std::string_view kMetricPolicyCompiles =
 inline constexpr std::string_view kMetricCompiledStatements =
     "policy_compiled_statements";
 
+// A counter series resolved once and then incremented without touching
+// the registry. Valid across MetricsRegistry::Reset(): the cached
+// pointer carries the reset epoch it was resolved under and lazily
+// re-resolves when the epoch moves (Reset is a test-isolation affair
+// between traffic phases, not something that races live increments).
+class CounterHandle {
+ public:
+  CounterHandle(std::string name, LabelSet labels)
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+  CounterHandle(const CounterHandle&) = delete;
+  CounterHandle& operator=(const CounterHandle&) = delete;
+
+  void Increment(std::uint64_t delta = 1) const { Resolve().Increment(delta); }
+
+ private:
+  Counter& Resolve() const {
+    const std::uint64_t epoch = Metrics().reset_epoch();
+    Counter* counter = counter_.load(std::memory_order_acquire);
+    if (counter != nullptr && epoch_.load(std::memory_order_relaxed) == epoch) {
+      return *counter;
+    }
+    std::lock_guard lock(resolve_mu_);
+    counter = &Metrics().GetCounter(name_, labels_);
+    epoch_.store(epoch, std::memory_order_relaxed);
+    counter_.store(counter, std::memory_order_release);
+    return *counter;
+  }
+
+  std::string name_;
+  LabelSet labels_;
+  mutable std::mutex resolve_mu_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<Counter*> counter_{nullptr};
+};
+
+// Same for a gauge series.
+class GaugeHandle {
+ public:
+  GaugeHandle(std::string name, LabelSet labels = {})
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+  GaugeHandle(const GaugeHandle&) = delete;
+  GaugeHandle& operator=(const GaugeHandle&) = delete;
+
+  void Set(std::int64_t value) const { Resolve().Set(value); }
+  void Add(std::int64_t delta) const { Resolve().Add(delta); }
+
+ private:
+  Gauge& Resolve() const {
+    const std::uint64_t epoch = Metrics().reset_epoch();
+    Gauge* gauge = gauge_.load(std::memory_order_acquire);
+    if (gauge != nullptr && epoch_.load(std::memory_order_relaxed) == epoch) {
+      return *gauge;
+    }
+    std::lock_guard lock(resolve_mu_);
+    gauge = &Metrics().GetGauge(name_, labels_);
+    epoch_.store(epoch, std::memory_order_relaxed);
+    gauge_.store(gauge, std::memory_order_release);
+    return *gauge;
+  }
+
+  std::string name_;
+  LabelSet labels_;
+  mutable std::mutex resolve_mu_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<Gauge*> gauge_{nullptr};
+};
+
+// Same for a histogram series.
+class HistogramHandle {
+ public:
+  HistogramHandle(std::string name, LabelSet labels,
+                  std::vector<std::int64_t> bounds = DefaultLatencyBucketsUs())
+      : name_(std::move(name)),
+        labels_(std::move(labels)),
+        bounds_(std::move(bounds)) {}
+  HistogramHandle(const HistogramHandle&) = delete;
+  HistogramHandle& operator=(const HistogramHandle&) = delete;
+
+  void Observe(std::int64_t value) const { Resolve().Observe(value); }
+  void ObserveWithExemplar(std::int64_t value,
+                           std::string_view trace_id) const {
+    Resolve().ObserveWithExemplar(value, trace_id);
+  }
+
+ private:
+  Histogram& Resolve() const {
+    const std::uint64_t epoch = Metrics().reset_epoch();
+    Histogram* histogram = histogram_.load(std::memory_order_acquire);
+    if (histogram != nullptr &&
+        epoch_.load(std::memory_order_relaxed) == epoch) {
+      return *histogram;
+    }
+    std::lock_guard lock(resolve_mu_);
+    histogram = &Metrics().GetHistogram(name_, labels_, bounds_);
+    epoch_.store(epoch, std::memory_order_relaxed);
+    histogram_.store(histogram, std::memory_order_release);
+    return *histogram;
+  }
+
+  std::string name_;
+  LabelSet labels_;
+  std::vector<std::int64_t> bounds_;
+  mutable std::mutex resolve_mu_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<Histogram*> histogram_{nullptr};
+};
+
+// The full per-source instrument set — one outcome counter per label
+// value plus the latency histogram, and the span name pre-concatenated.
+// A policy source constructs this once beside its name and passes it to
+// every AuthzCallObservation.
+class AuthzInstruments {
+ public:
+  explicit AuthzInstruments(std::string_view source)
+      : span_name_("authorize/" + std::string{source}),
+        permit_("authz_decisions_total",
+                {{"source", std::string{source}},
+                 {"outcome", std::string{kOutcomePermit}}}),
+        deny_("authz_decisions_total",
+              {{"source", std::string{source}},
+               {"outcome", std::string{kOutcomeDeny}}}),
+        error_("authz_decisions_total",
+               {{"source", std::string{source}},
+                {"outcome", std::string{kOutcomeError}}}),
+        latency_("authz_latency_us", {{"source", std::string{source}}}) {}
+
+  AuthzInstruments(const AuthzInstruments&) = delete;
+  AuthzInstruments& operator=(const AuthzInstruments&) = delete;
+
+  const CounterHandle& outcome(std::string_view outcome) const {
+    if (outcome == kOutcomePermit) return permit_;
+    if (outcome == kOutcomeDeny) return deny_;
+    return error_;
+  }
+  const HistogramHandle& latency() const { return latency_; }
+  const std::string& span_name() const { return span_name_; }
+
+ private:
+  std::string span_name_;
+  CounterHandle permit_;
+  CounterHandle deny_;
+  CounterHandle error_;
+  HistogramHandle latency_;
+};
+
 // RAII observation of one authorize call: construct at entry, call
 // set_outcome() on the way out. Destruction increments the decision
-// counter, records the latency sample, and closes the span. An
-// observation that never learns its outcome reports "error" — an
-// authorize path that vanished is a system problem, not a permit.
+// counter, records the latency sample (stamping the bucket's exemplar
+// with this call's trace id), and closes the span. An observation that
+// never learns its outcome reports "error" — an authorize path that
+// vanished is a system problem, not a permit.
 class AuthzCallObservation {
  public:
+  // Hot path: pre-resolved instruments, no registry lookup.
+  explicit AuthzCallObservation(const AuthzInstruments& instruments)
+      : instruments_(&instruments),
+        span_(instruments.span_name()),
+        start_us_(ObsClock()->NowMicros()) {}
+
+  // Legacy per-call resolution; kept as the bench baseline.
   explicit AuthzCallObservation(std::string source)
       : source_(std::move(source)),
         span_("authorize/" + source_),
@@ -51,6 +218,12 @@ class AuthzCallObservation {
 
   ~AuthzCallObservation() {
     const std::int64_t elapsed_us = ObsClock()->NowMicros() - start_us_;
+    if (instruments_ != nullptr) {
+      instruments_->outcome(outcome_).Increment();
+      instruments_->latency().ObserveWithExemplar(elapsed_us,
+                                                  span_.trace_id());
+      return;
+    }
     Metrics()
         .GetCounter("authz_decisions_total",
                     {{"source", source_}, {"outcome", outcome_}})
@@ -61,6 +234,7 @@ class AuthzCallObservation {
   }
 
  private:
+  const AuthzInstruments* instruments_ = nullptr;
   std::string source_;
   std::string outcome_ = std::string{kOutcomeError};
   ScopedSpan span_;

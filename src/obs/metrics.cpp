@@ -122,57 +122,135 @@ std::string RenderDouble(double value) {
   return buffer;
 }
 
+// Percentile estimate over one bucket-count snapshot (index
+// bounds.size() = +Inf). Shared by Percentile and the renderers so all
+// derive from the same counts.
+Histogram::PercentileEstimate PercentileFromCounts(
+    const std::vector<std::int64_t>& bounds,
+    const std::vector<std::uint64_t>& counts, double p) {
+  Histogram::PercentileEstimate out;
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return out;
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        out.value = bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+        out.overflow = true;
+        return out;
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double into = std::max(0.0, rank - static_cast<double>(cumulative));
+      out.value = lower + (upper - lower) * into / static_cast<double>(in_bucket);
+      return out;
+    }
+    cumulative += in_bucket;
+  }
+  out.value = bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+  out.overflow = !bounds.empty();
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<std::int64_t> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
       std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
     throw std::invalid_argument("histogram bounds must be strictly increasing");
   }
+  // Round each stripe's bucket row up to whole cache lines (8 atomics)
+  // so two stripes never share a line.
+  const std::size_t row = bounds_.size() + 1;
+  stride_ = (row + 7) / 8 * 8;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(kStripes * stride_);
+  exemplars_ = std::make_unique<ExemplarSlot[]>(row);
+}
+
+std::size_t Histogram::BucketIndex(std::int64_t value) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
 }
 
 void Histogram::Observe(std::int64_t value) {
-  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+  const std::size_t bucket = BucketIndex(value);
+  counts_[detail::ThreadStripeSlot() * stride_ + bucket].fetch_add(
       1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+void Histogram::ObserveWithExemplar(std::int64_t value,
+                                    std::string_view trace_id) {
+  Observe(value);
+  if (trace_id.empty()) return;
+  ExemplarSlot& slot = exemplars_[BucketIndex(value)];
+  // Try once; a lost race just keeps the other writer's exemplar, which
+  // is as good — "a recent trace that landed in this bucket".
+  if (slot.busy.test_and_set(std::memory_order_acquire)) return;
+  slot.value = value;
+  slot.trace_id.assign(trace_id);
+  slot.set = true;
+  slot.busy.clear(std::memory_order_release);
+}
+
+std::optional<Histogram::Exemplar> Histogram::bucket_exemplar(
+    std::size_t i) const {
+  ExemplarSlot& slot = exemplars_[i];
+  while (slot.busy.test_and_set(std::memory_order_acquire)) {
+    // Writers hold the slot for two scalar stores and a short string
+    // copy; spinning is bounded and brief.
+  }
+  std::optional<Exemplar> out;
+  if (slot.set) out = Exemplar{slot.value, slot.trace_id};
+  slot.busy.clear(std::memory_order_release);
+  return out;
+}
+
+std::vector<std::uint64_t> Histogram::SnapshotCounts() const {
+  const std::size_t row = bounds_.size() + 1;
+  std::vector<std::uint64_t> out(row, 0);
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    for (std::size_t i = 0; i < row; ++i) {
+      out[i] += counts_[s * stride_ + i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    total += counts_[s * stride_ + i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::overflow_count() const {
+  return bucket_count(bounds_.size());
 }
 
 std::uint64_t Histogram::count() const {
   std::uint64_t total = 0;
-  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  for (std::uint64_t c : SnapshotCounts()) total += c;
   return total;
 }
 
-std::int64_t Histogram::sum() const {
-  return sum_.load(std::memory_order_relaxed);
-}
+std::int64_t Histogram::sum() const { return sum_.Sum(); }
 
 double Histogram::Percentile(double p) const {
-  const std::uint64_t total = count();
-  if (total == 0) return 0.0;
-  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
-                      static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const std::uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      if (i >= bounds_.size()) {
-        // Overflow bucket: no finite upper edge to interpolate toward.
-        return bounds_.empty() ? 0.0
-                               : static_cast<double>(bounds_.back());
-      }
-      const double lower =
-          i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
-      const double upper = static_cast<double>(bounds_[i]);
-      const double into = std::max(0.0, rank - static_cast<double>(cumulative));
-      return lower + (upper - lower) * into / static_cast<double>(in_bucket);
-    }
-    cumulative += in_bucket;
-  }
-  return bounds_.empty() ? 0.0 : static_cast<double>(bounds_.back());
+  return PercentileWithOverflow(p).value;
+}
+
+Histogram::PercentileEstimate Histogram::PercentileWithOverflow(
+    double p) const {
+  return PercentileFromCounts(bounds_, SnapshotCounts(), p);
 }
 
 const std::vector<std::int64_t>& DefaultLatencyBucketsUs() {
@@ -301,22 +379,30 @@ std::string MetricsRegistry::RenderText() const {
           break;
         case Kind::kHistogram: {
           const Histogram& h = *series.histogram;
+          // One snapshot feeds _bucket AND _count: with writers striped
+          // and concurrent, two separate summations could render a
+          // _count that disagrees with the +Inf cumulative.
+          const std::vector<std::uint64_t> counts = h.SnapshotCounts();
           std::uint64_t cumulative = 0;
-          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
-            cumulative += h.bucket_count(i);
+          for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            const bool overflow = i == h.bounds().size();
             out += name + "_bucket" +
                    RenderLabelsWith(series.labels, "le",
-                                    std::to_string(h.bounds()[i])) +
-                   " " + std::to_string(cumulative) + "\n";
+                                    overflow
+                                        ? std::string{"+Inf"}
+                                        : std::to_string(h.bounds()[i])) +
+                   " " + std::to_string(cumulative);
+            if (const auto exemplar = h.bucket_exemplar(i)) {
+              out += " # {trace_id=\"" + EscapeLabelValue(exemplar->trace_id) +
+                     "\"} " + std::to_string(exemplar->value);
+            }
+            out += "\n";
           }
-          cumulative += h.bucket_count(h.bounds().size());
-          out += name + "_bucket" +
-                 RenderLabelsWith(series.labels, "le", "+Inf") + " " +
-                 std::to_string(cumulative) + "\n";
           out += name + "_sum" + label_key + " " + std::to_string(h.sum()) +
                  "\n";
           out += name + "_count" + label_key + " " +
-                 std::to_string(h.count()) + "\n";
+                 std::to_string(cumulative) + "\n";
           break;
         }
       }
@@ -347,11 +433,26 @@ std::string MetricsRegistry::RenderJson() const {
           break;
         case Kind::kHistogram: {
           const Histogram& h = *series.histogram;
-          entry += ",\"count\":" + std::to_string(h.count());
+          const std::vector<std::uint64_t> counts = h.SnapshotCounts();
+          std::uint64_t total = 0;
+          for (std::uint64_t c : counts) total += c;
+          entry += ",\"count\":" + std::to_string(total);
           entry += ",\"sum\":" + std::to_string(h.sum());
-          entry += ",\"p50\":" + RenderDouble(h.p50());
-          entry += ",\"p95\":" + RenderDouble(h.p95());
-          entry += ",\"p99\":" + RenderDouble(h.p99());
+          entry += ",\"overflow_count\":" + std::to_string(counts.back());
+          std::string saturated;
+          for (const auto& [label, p] :
+               {std::pair{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
+            const auto estimate = PercentileFromCounts(h.bounds(), counts, p);
+            entry += ",\"" + std::string{label} +
+                     "\":" + RenderDouble(estimate.value);
+            if (estimate.overflow) {
+              if (!saturated.empty()) saturated += ",";
+              saturated += "\"" + std::string{label} + "\"";
+            }
+          }
+          if (!saturated.empty()) {
+            entry += ",\"saturated\":[" + saturated + "]";
+          }
           entry += "}";
           if (!histograms.empty()) histograms += ",";
           histograms += entry;
@@ -367,6 +468,7 @@ std::string MetricsRegistry::RenderJson() const {
 void MetricsRegistry::Reset() {
   std::lock_guard lock(mu_);
   families_.clear();
+  reset_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 MetricsRegistry& Metrics() {

@@ -8,6 +8,15 @@
 // (e.g. authz_decisions_total{source,outcome}), a Prometheus-style text
 // exposition, and a JSON snapshot. All timing flows through the obs
 // clock (SetObsClock) so tests and benches stay deterministic.
+//
+// Hot-path cost model: Get* lookups take the registry mutex and build a
+// label string — fine at startup, ruinous per decision. Request paths
+// resolve each series once (obs/instrument.h handles) and then touch
+// only the returned Counter/Histogram, whose mutators are per-thread
+// striped relaxed atomics (obs/stripe.h) so 16 threads don't bounce one
+// cache line per observation. The registry's own mutex is a profiled
+// contention site ("metrics/registry", obs/contention.h): if scrapes or
+// stray per-call lookups ever contend, /contention says so.
 #pragma once
 
 #include <atomic>
@@ -15,11 +24,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/contention.h"
+#include "obs/stripe.h"
 
 namespace gridauthz::obs {
 
@@ -29,13 +41,11 @@ using LabelSet = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void Increment(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Increment(std::uint64_t delta = 1) { value_.Add(delta); }
+  std::uint64_t value() const { return value_.Sum(); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  StripedValue<std::uint64_t> value_;
 };
 
 class Gauge {
@@ -53,32 +63,77 @@ class Gauge {
 };
 
 // Fixed-bucket histogram: strictly increasing upper bounds plus an
-// implicit +Inf overflow bucket. Observe() is lock-free; percentile
-// accessors estimate by linear interpolation inside the owning bucket.
+// implicit +Inf overflow bucket. Observe() is lock-free over per-thread
+// stripes; percentile accessors estimate by linear interpolation inside
+// the owning bucket. Each bucket can carry an exemplar — the most
+// recent trace id observed into it — rendered OpenMetrics-style so a
+// tail bucket links straight to /trace/<id>.
 class Histogram {
  public:
   explicit Histogram(std::vector<std::int64_t> bounds);
 
   void Observe(std::int64_t value);
+  // Observe and stamp the owning bucket's exemplar with this trace id
+  // (skipped, never blocked on, if another writer holds the slot).
+  void ObserveWithExemplar(std::int64_t value, std::string_view trace_id);
 
   std::uint64_t count() const;
   std::int64_t sum() const;
+  // Per-bucket counts summed across stripes in one pass; index
+  // bounds().size() is the +Inf overflow bucket. Renderers derive
+  // _bucket and _count from ONE snapshot so the exposition stays
+  // internally consistent under concurrent Observe().
+  std::vector<std::uint64_t> SnapshotCounts() const;
+  // Observations beyond the last finite bound.
+  std::uint64_t overflow_count() const;
+
   // p in [0, 100]. Values in the overflow bucket report the last finite
   // bound (the histogram cannot resolve beyond it). Empty histogram -> 0.
   double Percentile(double p) const;
+  // Same estimate plus whether the rank landed in the +Inf bucket — in
+  // which case `value` is a floor, not an estimate, and dashboards
+  // should flag the tail as saturated rather than under-report it.
+  struct PercentileEstimate {
+    double value = 0.0;
+    bool overflow = false;
+  };
+  PercentileEstimate PercentileWithOverflow(double p) const;
   double p50() const { return Percentile(50.0); }
   double p95() const { return Percentile(95.0); }
   double p99() const { return Percentile(99.0); }
 
   const std::vector<std::int64_t>& bounds() const { return bounds_; }
-  std::uint64_t bucket_count(std::size_t i) const {
-    return counts_[i].load(std::memory_order_relaxed);
-  }
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  struct Exemplar {
+    std::int64_t value = 0;
+    std::string trace_id;
+  };
+  // The most recent exemplar observed into bucket i (index
+  // bounds().size() = overflow), if any.
+  std::optional<Exemplar> bucket_exemplar(std::size_t i) const;
 
  private:
+  // One exemplar slot per bucket, guarded by a tiny spinlock. Writers
+  // try once and skip on contention (losing an exemplar is fine;
+  // stalling an Observe is not). Readers spin briefly.
+  struct ExemplarSlot {
+    mutable std::atomic_flag busy;  // default-initialized clear (C++20)
+    bool set = false;
+    std::int64_t value = 0;
+    std::string trace_id;
+  };
+
+  std::size_t BucketIndex(std::int64_t value) const;
+
   std::vector<std::int64_t> bounds_;
-  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
-  std::atomic<std::int64_t> sum_{0};
+  // Stripe-major: stripe s owns counts_[s * stride_ .. s * stride_ +
+  // bounds_.size()]; stride_ rounds the bucket row up to whole cache
+  // lines so stripes never share one.
+  std::size_t stride_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  StripedValue<std::int64_t> sum_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  // bounds_.size() + 1
 };
 
 // Microsecond latency buckets: 1us .. 1s, roughly logarithmic.
@@ -86,8 +141,8 @@ const std::vector<std::int64_t>& DefaultLatencyBucketsUs();
 
 // Thread-safe registry of named, labelled metrics. Get* creates the
 // series on first use and returns a stable reference (valid until
-// Reset()). Lookups take a mutex; increments on the returned objects are
-// lock-free.
+// Reset()). Lookups take a mutex; increments on the returned objects
+// are lock-free.
 class MetricsRegistry {
  public:
   Counter& GetCounter(std::string_view name, const LabelSet& labels = {});
@@ -115,16 +170,29 @@ class MetricsRegistry {
   // Prometheus-style text exposition:
   //   # TYPE authz_decisions_total counter
   //   authz_decisions_total{outcome="permit",source="vo"} 3
-  // Histograms render _bucket{le=...}, _sum, and _count series.
+  // Histograms render _bucket{le=...}, _sum, and _count series from one
+  // bucket snapshot (so _count always equals the +Inf cumulative), with
+  // OpenMetrics-style exemplars on buckets that have one:
+  //   authz_latency_us_bucket{le="50",source="vo"} 3 # {trace_id="t-1f"} 40
   std::string RenderText() const;
 
   // One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}
-  // with p50/p95/p99 precomputed per histogram.
+  // with count/sum/overflow_count and p50/p95/p99 precomputed per
+  // histogram; percentile ranks that landed in the +Inf bucket are
+  // listed in a "saturated" array.
   std::string RenderJson() const;
 
-  // Drops every series. References returned earlier become invalid;
-  // intended for test isolation only.
+  // Drops every series. References returned earlier become invalid and
+  // the reset epoch advances, which tells obs/instrument.h handles to
+  // re-resolve. Intended for test isolation only, between traffic
+  // phases — not concurrently with writers.
   void Reset();
+
+  // Bumped by Reset(); never 0. Handles compare it to decide whether a
+  // cached Counter*/Histogram* still points into the live registry.
+  std::uint64_t reset_epoch() const {
+    return reset_epoch_.load(std::memory_order_acquire);
+  }
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -146,8 +214,9 @@ class MetricsRegistry {
   const Series* FindSeries(std::string_view name, const LabelSet& labels,
                            Kind kind) const;
 
-  mutable std::mutex mu_;
+  mutable ProfiledMutex mu_{"metrics/registry"};
   std::map<std::string, Family> families_;
+  std::atomic<std::uint64_t> reset_epoch_{1};
 };
 
 // The process-wide registry every instrumentation point records into.

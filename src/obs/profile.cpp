@@ -1,0 +1,85 @@
+#include "obs/profile.h"
+
+#include <vector>
+
+namespace gridauthz::obs {
+
+namespace {
+
+struct Frame {
+  std::string name;
+  std::int64_t child_us = 0;  // time attributed to nested stages
+};
+
+// Per-thread profiling state. `depth` tracks stage nesting even while
+// not sampling, so the every-Nth decision only ever fires at a true
+// root stage (a nested stage must never masquerade as a root just
+// because its enclosing stage went unsampled).
+struct TlsState {
+  std::vector<Frame> stack;
+  std::uint64_t depth = 0;
+  std::uint64_t tick = 0;
+  bool sampling = false;
+};
+
+TlsState& Tls() {
+  thread_local TlsState state;
+  return state;
+}
+
+}  // namespace
+
+bool StageProfiler::Enter(std::string_view name) {
+  TlsState& tls = Tls();
+  if (tls.depth++ == 0) {
+    const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+    tls.sampling = every != 0 && tls.tick++ % every == 0;
+    if (tls.sampling) samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!tls.sampling) return false;
+  tls.stack.push_back(Frame{std::string{name}, 0});
+  return true;
+}
+
+void StageProfiler::Leave(bool recorded, std::int64_t elapsed_us) {
+  TlsState& tls = Tls();
+  if (tls.depth > 0) --tls.depth;
+  if (tls.depth == 0) tls.sampling = false;
+  if (!recorded || tls.stack.empty()) return;
+  if (elapsed_us < 0) elapsed_us = 0;
+
+  std::string path;
+  for (const Frame& frame : tls.stack) {
+    if (!path.empty()) path += ';';
+    path += frame.name;
+  }
+  const std::int64_t self_us =
+      std::max<std::int64_t>(0, elapsed_us - tls.stack.back().child_us);
+  tls.stack.pop_back();
+  if (!tls.stack.empty()) tls.stack.back().child_us += elapsed_us;
+
+  std::lock_guard lock(mu_);
+  weights_[path] += self_us;
+}
+
+std::string StageProfiler::RenderCollapsed() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [path, weight] : weights_) {
+    out += path + " " + std::to_string(weight) + "\n";
+  }
+  return out;
+}
+
+void StageProfiler::Clear() {
+  std::lock_guard lock(mu_);
+  weights_.clear();
+  samples_.store(0, std::memory_order_relaxed);
+}
+
+StageProfiler& Profiler() {
+  static StageProfiler* profiler = new StageProfiler();
+  return *profiler;
+}
+
+}  // namespace gridauthz::obs

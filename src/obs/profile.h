@@ -1,0 +1,68 @@
+// Sampling stage profiler with flamegraph output.
+//
+// The decision path is already annotated: every ProvenanceStageTimer
+// (pep/callout, pdp/evaluate, cas/authorize, akenti/authorize, ...)
+// brackets one stage. This profiler aggregates those brackets into a
+// weighted stage tree — self-time per ";"-joined stack path — and
+// renders the collapsed-stack format flamegraph.pl consumes, so
+// "where does authorize time go" is answered by the service itself
+// (GET /profile | flamegraph.pl) with no external tooling attached.
+//
+// Cost model: sampling is decided once per root stage per thread
+// (sample_every, default every 64th); an unsampled request pays one
+// thread-local depth bump per stage and never reads the clock on the
+// profiler's behalf. A sampled request pushes stack frames and, on each
+// stage exit, folds self-time into the shared weight map under a
+// profiled mutex ("obs/profiler" — the profiler profiles itself).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/contention.h"
+
+namespace gridauthz::obs {
+
+class StageProfiler {
+ public:
+  // Sample every Nth root stage per thread. 1 = every request
+  // (deterministic tests), 0 = disabled. Default 64.
+  void set_sample_every(std::uint32_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  std::uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  // Stage entry; called by every ProvenanceStageTimer. Returns whether
+  // this stage is being recorded — the caller must pass the same flag
+  // (and, when true, the stage's elapsed microseconds) to Leave.
+  bool Enter(std::string_view name);
+  void Leave(bool recorded, std::int64_t elapsed_us);
+
+  // Collapsed-stack rendering, one "path;leaf weight_us" line per
+  // stack, sorted by path for deterministic output. Feed directly to
+  // flamegraph.pl.
+  std::string RenderCollapsed() const;
+
+  // Total sampled root stages (profile coverage indicator).
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+ private:
+  std::atomic<std::uint32_t> sample_every_{64};
+  std::atomic<std::uint64_t> samples_{0};
+  mutable ProfiledMutex mu_{"obs/profiler"};
+  // ";"-joined stage path -> accumulated self-time, microseconds.
+  std::map<std::string, std::int64_t> weights_;
+};
+
+StageProfiler& Profiler();
+
+}  // namespace gridauthz::obs

@@ -1,5 +1,8 @@
 #include "obs/slo.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/metrics.h"
 
 namespace gridauthz::obs {
@@ -7,6 +10,8 @@ namespace gridauthz::obs {
 SloTracker::SloTracker(SloOptions options) : options_(options) {
   if (options_.buckets == 0) options_.buckets = 1;
   if (options_.window_us <= 0) options_.window_us = 1;
+  if (!(options_.objective >= 0.0)) options_.objective = 0.0;  // also NaN
+  if (options_.objective > 1.0) options_.objective = 1.0;
   ring_.resize(options_.buckets);
 }
 
@@ -50,9 +55,13 @@ SloTracker::Snapshot SloTracker::Window() const {
     snapshot.burn_rate = snapshot.error_rate / snapshot.error_budget;
   } else if (snapshot.errors > 0) {
     // A 100% objective has no budget; any error burns infinitely fast.
-    // Report a large finite rate so JSON consumers never see "inf".
-    snapshot.burn_rate = 1e9;
+    snapshot.burn_rate = kBurnRateCap;
   }
+  // A near-1.0 objective leaves a budget so small the quotient can
+  // exceed any sensible scale (or, with pathological inputs, stop being
+  // a number at all); the sentinel cap keeps /healthz JSON finite.
+  if (std::isnan(snapshot.burn_rate)) snapshot.burn_rate = 0.0;
+  snapshot.burn_rate = std::clamp(snapshot.burn_rate, 0.0, kBurnRateCap);
   return snapshot;
 }
 

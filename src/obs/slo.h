@@ -15,6 +15,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/contention.h"
+
 namespace gridauthz::obs {
 
 struct SloOptions {
@@ -23,8 +25,19 @@ struct SloOptions {
   std::size_t buckets = 30;                  // 10-second buckets
 };
 
+// Sentinel burn rate reported when the error budget cannot absorb the
+// observed errors (objective 1.0 leaves no budget; a near-1.0 objective
+// can leave one too small to divide into meaningfully). Finite by
+// design: /healthz renders burn_rate with %f, and "inf"/"nan" would
+// poison every JSON consumer downstream. Burn rates are clamped to
+// [0, kBurnRateCap] in every branch.
+inline constexpr double kBurnRateCap = 1e9;
+
 class SloTracker {
  public:
+  // An objective outside [0, 1] is meaningless (a >1 target would make
+  // the budget negative and the burn rate negative); it is clamped into
+  // range at construction.
   explicit SloTracker(SloOptions options = {});
 
   // Records one authorization outcome at the obs clock's current time.
@@ -38,7 +51,9 @@ class SloTracker {
     double error_rate = 0.0;    // errors / total; 0 when idle
     double objective = 0.0;
     double error_budget = 0.0;  // 1 - objective
-    double burn_rate = 0.0;     // error_rate / error_budget
+    // error_rate / error_budget, clamped to [0, kBurnRateCap]; exactly
+    // kBurnRateCap when errors arrive with no (or too little) budget.
+    double burn_rate = 0.0;
   };
   // State of the current sliding window.
   Snapshot Window() const;
@@ -55,7 +70,7 @@ class SloTracker {
   std::int64_t BucketWidthUs() const;
 
   SloOptions options_;
-  mutable std::mutex mu_;
+  mutable ProfiledMutex mu_{"slo/tracker"};
   mutable std::vector<Bucket> ring_;
 };
 

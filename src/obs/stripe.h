@@ -1,0 +1,94 @@
+// Per-thread striped atomics for hot-path instrumentation.
+//
+// A single shared std::atomic counter incremented from 16 request
+// threads bounces one cache line between every core on every decision;
+// at the rates ROADMAP.md targets that bounce *is* the instrumentation
+// cost. A StripedValue spreads the increments over a small set of
+// cache-line-padded stripes, one picked per thread, so the write path
+// is a relaxed fetch_add on a line the thread usually owns. Reads sum
+// the stripes: exact once writers are quiescent (joined), and at worst
+// a momentarily stale-but-consistent total while they run — the same
+// guarantee a relaxed single atomic gives a concurrent reader.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace gridauthz::obs {
+
+// Number of stripes per value. More stripes cost read-time summation
+// and memory (64 bytes each); 16 covers the thread counts the server
+// runs (threads beyond 16 share stripes round-robin, which only brings
+// back a fraction of the bouncing).
+inline constexpr std::size_t kStripes = 16;
+
+namespace detail {
+
+// Stable stripe slot for the calling thread, assigned round-robin on
+// first use. All StripedValues share the assignment, so one thread
+// touches the same stripe index of every metric it updates.
+inline std::size_t ThreadStripeSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return slot;
+}
+
+}  // namespace detail
+
+// T is a 64-bit integral type (std::uint64_t / std::int64_t).
+template <typename T>
+class StripedValue {
+ public:
+  StripedValue() : stripes_(new Stripe[kStripes]) {}
+
+  void Add(T delta) {
+    stripes_[detail::ThreadStripeSlot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  // Tracks a maximum instead of a sum (used for max-wait gauges).
+  void Max(T candidate) {
+    std::atomic<T>& slot = stripes_[detail::ThreadStripeSlot()].value;
+    T seen = slot.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !slot.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  T Sum() const {
+    T total = 0;
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      total += stripes_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  T MaxValue() const {
+    T best = 0;
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      const T v = stripes_[i].value.load(std::memory_order_relaxed);
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  // Zeroes every stripe. Only meaningful while writers are quiescent;
+  // intended for test isolation.
+  void ResetForTest() {
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      stripes_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<T> value{0};
+  };
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace gridauthz::obs

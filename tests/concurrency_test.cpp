@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "gram/site.h"
 #include "gram/wire_service.h"
 #include "gsi/keys.h"
+#include "obs/contention.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -577,6 +579,104 @@ TEST(Concurrency, ServerTransportParallelSubmitAndManage) {
   // The server-side reason leads with the typed tag; the client prefixes
   // it with the protocol code name.
   EXPECT_NE(shed.error().message().find(kReasonOverload), std::string::npos);
+}
+
+TEST(Concurrency, ProfiledMutexParallelLockKeepsExactBookkeeping) {
+  obs::Contention().ResetForTest();
+  obs::ProfiledMutex mu{"test/profiled"};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::int64_t guarded = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &guarded] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::lock_guard lock(mu);
+        ++guarded;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The wrapper is a real mutex (the guarded counter is exact) AND an
+  // exact accountant: every lock() is one acquisition, contended or not.
+  EXPECT_EQ(guarded, static_cast<std::int64_t>(kThreads) * kPerThread);
+  const obs::ContentionSite& site = obs::Contention().Site("test/profiled");
+  EXPECT_EQ(site.acquisitions(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(site.contended(), site.acquisitions());
+  EXPECT_GE(site.total_wait_us(), 0);
+  obs::Contention().ResetForTest();
+}
+
+TEST(Concurrency, ProfiledSharedMutexReadersAndWritersRaceCleanly) {
+  obs::Contention().ResetForTest();
+  obs::ProfiledSharedMutex mu{"test/shared"};
+  std::int64_t value = 0;
+  std::atomic<bool> torn{false};
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 6;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&mu, &value] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::lock_guard lock(mu);
+        value += 2;  // always even under the write lock
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&mu, &value, &torn] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::shared_lock lock(mu);
+        if (value % 2 != 0) torn.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(value, static_cast<std::int64_t>(kWriters) * kPerThread * 2);
+  const obs::ContentionSite& site = obs::Contention().Site("test/shared");
+  // Shared and exclusive acquisitions charge the one site.
+  EXPECT_EQ(site.acquisitions(),
+            static_cast<std::uint64_t>(kWriters + kReaders) * kPerThread);
+  obs::Contention().ResetForTest();
+}
+
+TEST(Concurrency, HistogramExemplarWritesRaceRendersCleanly) {
+  obs::Metrics().Reset();
+  obs::Histogram& h =
+      obs::Metrics().GetHistogram("race_us", {}, {10, 100, 1000});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 3000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&h, &stop] {
+    // Concurrent scrapes: exemplar reads and full renders race the
+    // writers without tearing a trace id or deadlocking on the slots.
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (auto exemplar = h.bucket_exemplar(i)) {
+          EXPECT_EQ(exemplar->trace_id.substr(0, 2), "t-");
+        }
+      }
+      (void)obs::Metrics().RenderText();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      const std::string trace = "t-" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.ObserveWithExemplar(i % 2000, trace);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  obs::Metrics().Reset();
 }
 
 }  // namespace

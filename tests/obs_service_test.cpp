@@ -8,12 +8,15 @@
 
 #include "core/audit.h"
 #include "core/audit_sink.h"
+#include "core/provenance.h"
 #include "fault/breaker.h"
 #include "fault/inject.h"
 #include "gram/obs_service.h"
 #include "gram/site.h"
 #include "gram/wire_service.h"
+#include "obs/contention.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace gridauthz::gram::wire {
 namespace {
@@ -195,6 +198,103 @@ TEST_F(ObsServiceTest, UnknownPathIs404AndNonObsFrameWithoutInnerIs400) {
   ASSERT_TRUE(frame.ok());
   EXPECT_EQ(frame->Get("message-type").value_or(""), "obs-reply");
   EXPECT_EQ(frame->Get("status").value_or(""), "400");
+}
+
+TEST_F(ObsServiceTest, MetricsEndpointAppendsContentionSeries) {
+  obs::Contention().ResetForTest();
+  obs::Contention().Site("test/hot").RecordWait(120);
+  auto reply = ObsRequest(*service_, boliu_, "/metrics");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  // The contention registry's series ride along in the one scrape.
+  EXPECT_NE(reply->body.find("# TYPE lock_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(reply->body.find("lock_wait_us_sum{site=\"test/hot\"} 120"),
+            std::string::npos);
+  EXPECT_NE(reply->body.find("lock_contended_total{site=\"test/hot\"} 1"),
+            std::string::npos);
+  // The hot-path sites wired across the codebase are interned and
+  // therefore visible in the ranking even before they ever block.
+  EXPECT_NE(reply->body.find("site=\"metrics/registry\""), std::string::npos);
+  obs::Contention().ResetForTest();
+}
+
+TEST_F(ObsServiceTest, ContentionEndpointRanksSitesByTotalWait) {
+  obs::Contention().ResetForTest();
+  // Statistics are injected directly: a real blocked acquisition depends
+  // on scheduler timing, and this endpoint must render deterministically.
+  obs::ContentionSite& alpha = obs::Contention().Site("test/alpha");
+  alpha.RecordUncontended();
+  alpha.RecordWait(120);
+  obs::Contention().Site("test/beta").RecordWait(3500);
+
+  auto reply = ObsRequest(*service_, boliu_, "/contention");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_EQ(reply->content_type, "application/json");
+  // Ranked by total wait: beta (3500us) leads the array with exact
+  // bookkeeping — RecordWait counts as both an acquisition and a
+  // contended acquisition.
+  EXPECT_EQ(reply->body.find(
+                "{\"sites\":[{\"site\":\"test/beta\",\"acquisitions\":1,"
+                "\"contended\":1,\"total_wait_us\":3500,\"max_wait_us\":"
+                "3500}"),
+            0u);
+  const auto alpha_pos = reply->body.find(
+      "{\"site\":\"test/alpha\",\"acquisitions\":2,\"contended\":1,"
+      "\"total_wait_us\":120,\"max_wait_us\":120}");
+  ASSERT_NE(alpha_pos, std::string::npos);
+  EXPECT_GT(alpha_pos, reply->body.find("test/beta"));
+  obs::Contention().ResetForTest();
+}
+
+TEST_F(ObsServiceTest, ProfileEndpointRendersCollapsedStacks) {
+  obs::Profiler().Clear();
+  obs::Profiler().set_sample_every(1);  // deterministic: sample everything
+  SimClock sim{1000};
+  obs::SetObsClock(&sim);
+  {
+    core::ProvenanceStageTimer outer{"pep/callout"};
+    sim.AdvanceMicros(100);
+    {
+      core::ProvenanceStageTimer inner{"pdp/evaluate"};
+      sim.AdvanceMicros(250);
+    }
+    sim.AdvanceMicros(50);
+  }
+  obs::SetObsClock(nullptr);
+  auto reply = ObsRequest(*service_, boliu_, "/profile");
+  obs::Profiler().set_sample_every(64);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 200);
+  EXPECT_EQ(reply->content_type, "text/plain");
+  // Collapsed-stack format, SELF time per path: the outer stage keeps
+  // 150us (100 before + 50 after the child), the child its full 250us.
+  EXPECT_EQ(reply->body,
+            "pep/callout 150\n"
+            "pep/callout;pdp/evaluate 250\n");
+  EXPECT_EQ(obs::Profiler().samples(), 1u);  // one sampled root stage
+  obs::Profiler().Clear();
+}
+
+TEST_F(ObsServiceTest, MetricsExemplarLinksToServedTrace) {
+  const std::string trace_id = SubmitOnce();
+  ASSERT_FALSE(trace_id.empty());
+  auto metrics = ObsRequest(*service_, boliu_, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  // The submission's latency sample stamped its trace id on the owning
+  // bucket, OpenMetrics-style...
+  const std::string marker = "# {trace_id=\"" + trace_id + "\"}";
+  const auto pos = metrics->body.find(marker);
+  ASSERT_NE(pos, std::string::npos) << metrics->body;
+  const auto line_start = metrics->body.rfind('\n', pos) + 1;
+  EXPECT_EQ(metrics->body.compare(line_start, 23, "authz_latency_us_bucket"),
+            0);
+  // ...and that id dereferences through /trace to the live spans.
+  auto trace = ObsRequest(*service_, boliu_, "/trace/" + trace_id);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->status, 200);
+  EXPECT_NE(trace->body.find("authorize/"), std::string::npos);
 }
 
 TEST_F(ObsServiceTest, SurvivesFaultInjectedTransport) {

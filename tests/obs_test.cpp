@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 #include <vector>
@@ -529,6 +531,239 @@ TEST_F(ObsTest, AuthzCallObservationDefaultsToError) {
   EXPECT_EQ(Metrics().CounterValue("authz_decisions_total",
                                    {{"source", "vo"}, {"outcome", "error"}}),
             1u);
+}
+
+// ---- histogram exemplars ------------------------------------------------
+
+TEST_F(ObsTest, HistogramStoresMostRecentExemplarPerBucket) {
+  Histogram& h = Metrics().GetHistogram("x_us", {}, {10, 100});
+  h.ObserveWithExemplar(5, "t-first");
+  h.ObserveWithExemplar(50, "t-mid");
+  h.ObserveWithExemplar(5000, "t-tail");
+  h.Observe(7);  // plain Observe never touches the exemplar slot
+  auto first = h.bucket_exemplar(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->value, 5);
+  EXPECT_EQ(first->trace_id, "t-first");
+  h.ObserveWithExemplar(6, "t-newer");  // most recent writer wins
+  EXPECT_EQ(h.bucket_exemplar(0)->trace_id, "t-newer");
+  auto tail = h.bucket_exemplar(2);  // index bounds().size() = +Inf bucket
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->trace_id, "t-tail");
+  EXPECT_EQ(tail->value, 5000);
+  // A bucket nothing was exemplar-observed into reports none; an empty
+  // trace id never claims a slot.
+  Histogram& bare = Metrics().GetHistogram("x2_us", {}, {10});
+  bare.ObserveWithExemplar(5, "");
+  EXPECT_FALSE(bare.bucket_exemplar(0).has_value());
+  EXPECT_EQ(bare.count(), 1u);
+}
+
+TEST_F(ObsTest, RenderTextAppendsExemplarsOpenMetricsStyle) {
+  Histogram& h =
+      Metrics().GetHistogram("ex_us", {{"source", "vo"}}, {10, 100});
+  h.ObserveWithExemplar(40, "t-ex");
+  h.Observe(5);
+  std::string text = Metrics().RenderText();
+  // The bucket owning the exemplar links to its trace, OpenMetrics-style.
+  EXPECT_NE(text.find("ex_us_bucket{le=\"100\",source=\"vo\"} 2"
+                      " # {trace_id=\"t-ex\"} 40"),
+            std::string::npos);
+  // Buckets without an exemplar render exactly as before — no suffix.
+  EXPECT_NE(text.find("ex_us_bucket{le=\"10\",source=\"vo\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ex_us_bucket{le=\"+Inf\",source=\"vo\"} 2\n"),
+            std::string::npos);
+}
+
+// ---- overflow visibility (S2) -------------------------------------------
+
+TEST_F(ObsTest, PercentileWithOverflowFlagsSaturatedTail) {
+  Histogram& h = Metrics().GetHistogram("sat_us", {}, {10, 100});
+  h.Observe(5);
+  auto median = h.PercentileWithOverflow(50.0);
+  EXPECT_FALSE(median.overflow);
+  for (int i = 0; i < 10; ++i) h.Observe(1'000'000);
+  auto tail = h.PercentileWithOverflow(99.0);
+  EXPECT_TRUE(tail.overflow);
+  // The reported value is a floor (the last finite bound), not an
+  // estimate — the overflow flag is what tells dashboards so.
+  EXPECT_EQ(tail.value, 100.0);
+  EXPECT_EQ(h.overflow_count(), 10u);
+}
+
+TEST_F(ObsTest, RenderJsonExposesOverflowCountAndSaturatedRanks) {
+  Histogram& h = Metrics().GetHistogram("ov_us", {}, {10, 100});
+  h.Observe(5);
+  for (int i = 0; i < 99; ++i) h.Observe(100000);
+  std::string json = Metrics().RenderJson();
+  EXPECT_NE(json.find("\"overflow_count\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"saturated\":[\"p50\",\"p95\",\"p99\"]"),
+            std::string::npos);
+  // A histogram whose tail fits inside the bounds reports overflow 0 and
+  // no saturated array at all.
+  Metrics().Reset();
+  Metrics().GetHistogram("ok_us", {}, {10}).Observe(5);
+  json = Metrics().RenderJson();
+  EXPECT_NE(json.find("\"overflow_count\":0"), std::string::npos);
+  EXPECT_EQ(json.find("\"saturated\""), std::string::npos);
+}
+
+// ---- SLO clamping (S1) --------------------------------------------------
+
+TEST_F(ObsTest, SloTrackerReportsExactSentinelWithZeroBudget) {
+  SimClock sim;
+  SetObsClock(&sim);
+  SloOptions options;
+  options.objective = 1.0;  // no error budget at all
+  SloTracker slo{options};
+  slo.Record(false);
+  // Finite sentinel, never inf/nan: /healthz renders burn_rate with %f.
+  EXPECT_EQ(slo.Window().burn_rate, kBurnRateCap);
+  EXPECT_TRUE(std::isfinite(slo.Window().burn_rate));
+  // All-success traffic with zero budget burns nothing.
+  SloTracker clean{options};
+  clean.Record(true);
+  EXPECT_EQ(clean.Window().burn_rate, 0.0);
+  SetObsClock(nullptr);
+}
+
+TEST_F(ObsTest, SloTrackerClampsPathologicalObjectives) {
+  SloOptions high;
+  high.objective = 1.5;  // would make the budget negative
+  EXPECT_EQ(SloTracker{high}.options().objective, 1.0);
+  SloOptions negative;
+  negative.objective = -0.25;
+  EXPECT_EQ(SloTracker{negative}.options().objective, 0.0);
+  SloOptions not_a_number;
+  not_a_number.objective = std::nan("");
+  EXPECT_EQ(SloTracker{not_a_number}.options().objective, 0.0);
+}
+
+// ---- pre-resolved handles ------------------------------------------------
+
+TEST_F(ObsTest, CounterHandleReResolvesAcrossRegistryReset) {
+  CounterHandle handle{"handle_total", {}};
+  handle.Increment();
+  EXPECT_EQ(Metrics().CounterValue("handle_total"), 1u);
+  Metrics().Reset();  // cached pointer is now stale; the epoch moved
+  handle.Increment(2);
+  EXPECT_EQ(Metrics().CounterValue("handle_total"), 2u);
+}
+
+TEST_F(ObsTest, HistogramHandleKeepsBoundsAndExemplarsAcrossReset) {
+  HistogramHandle handle{"hh_us", {}, {10, 100}};
+  handle.Observe(50);
+  Metrics().Reset();
+  handle.ObserveWithExemplar(5, "t-hh");
+  const Histogram* h = Metrics().FindHistogram("hh_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);  // pre-reset sample is gone with the registry
+  ASSERT_EQ(h->bounds().size(), 2u);
+  EXPECT_EQ(h->bounds()[0], 10);  // re-resolution kept the custom bounds
+  ASSERT_TRUE(h->bucket_exemplar(0).has_value());
+  EXPECT_EQ(h->bucket_exemplar(0)->trace_id, "t-hh");
+}
+
+TEST_F(ObsTest, ResolvedObservationMatchesLegacySeriesExactly) {
+  SimClock sim{100};
+  SetObsClock(&sim);
+  AuthzInstruments instruments{"vo"};
+  {
+    TraceScope scope{"t-resolved"};
+    AuthzCallObservation observation{instruments};
+    sim.AdvanceMicros(40);
+    observation.set_outcome(kOutcomePermit);
+  }
+  {
+    TraceScope scope{"t-legacy"};
+    AuthzCallObservation observation{std::string{"vo"}};
+    sim.AdvanceMicros(40);
+    observation.set_outcome(kOutcomePermit);
+  }
+  SetObsClock(nullptr);
+  // Both tiers land in the SAME series — pre-resolution changes the
+  // per-call cost, never the metric names, labels, or span shape.
+  EXPECT_EQ(Metrics().CounterValue("authz_decisions_total",
+                                   {{"source", "vo"}, {"outcome", "permit"}}),
+            2u);
+  const Histogram* h =
+      Metrics().FindHistogram("authz_latency_us", {{"source", "vo"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->sum(), 80);
+  for (const std::string trace : {"t-resolved", "t-legacy"}) {
+    auto spans = Tracer().ForTrace(trace);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "authorize/vo");
+    EXPECT_EQ(spans[0].duration_us(), 40);
+  }
+  // Only the resolved tier stamps exemplars; its trace id sits on the
+  // bucket owning the 40us sample.
+  bool found = false;
+  for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+    if (auto exemplar = h->bucket_exemplar(i)) {
+      EXPECT_EQ(exemplar->trace_id, "t-resolved");
+      EXPECT_EQ(exemplar->value, 40);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- exposition conformance (S3) ----------------------------------------
+
+TEST_F(ObsTest, RenderTextIsStableAcrossRendersAndInsertOrder) {
+  Metrics().GetCounter("z_total", {{"k", "2"}}).Increment();
+  Metrics().GetCounter("a_total").Increment();
+  Metrics().GetCounter("z_total", {{"k", "1"}}).Increment();
+  Metrics().GetGauge("m_depth").Set(3);
+  const std::string first = Metrics().RenderText();
+  const std::string second = Metrics().RenderText();
+  EXPECT_EQ(first, second);  // byte-stable across renders
+  // Families render in name order, series within a family in label order,
+  // regardless of registration order.
+  EXPECT_LT(first.find("a_total"), first.find("m_depth"));
+  EXPECT_LT(first.find("m_depth"), first.find("z_total"));
+  EXPECT_LT(first.find("z_total{k=\"1\"}"), first.find("z_total{k=\"2\"}"));
+}
+
+TEST_F(ObsTest, RenderTextHistogramConsistentUnderConcurrentObserve) {
+  Histogram& h = Metrics().GetHistogram("cons_us", {}, {8, 64});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      std::int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) h.Observe(i++ % 100);
+    });
+  }
+  auto value_after = [](const std::string& text, const std::string& prefix) {
+    const auto pos = text.find(prefix);
+    EXPECT_NE(pos, std::string::npos) << prefix;
+    return std::stoull(text.substr(pos + prefix.size()));
+  };
+  for (int render = 0; render < 50; ++render) {
+    const std::string text = Metrics().RenderText();
+    const std::uint64_t b8 = value_after(text, "cons_us_bucket{le=\"8\"} ");
+    const std::uint64_t b64 = value_after(text, "cons_us_bucket{le=\"64\"} ");
+    const std::uint64_t inf = value_after(text, "cons_us_bucket{le=\"+Inf\"} ");
+    const std::uint64_t count = value_after(text, "cons_us_count ");
+    // Cumulative buckets are monotone and _count equals the +Inf bucket
+    // in the SAME render: both come from one striped snapshot, so a
+    // scrape mid-burst never shows a count that disagrees with its own
+    // bucket series.
+    EXPECT_LE(b8, b64);
+    EXPECT_LE(b64, inf);
+    EXPECT_EQ(inf, count);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  // Quiescent: every derived view agrees exactly.
+  const auto counts = h.SnapshotCounts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  EXPECT_EQ(total, h.count());
 }
 
 }  // namespace
