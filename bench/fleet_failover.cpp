@@ -1,0 +1,250 @@
+// Experiment F1: the federated gatekeeper fleet under failure. Four
+// measurements land in BENCH_fleet_failover.json:
+//
+//   1. Node scaling: broker-fronted submission throughput over 1/2/4
+//      gatekeeper nodes (informational — the single-threaded driver
+//      measures broker overhead staying flat, not parallel speedup).
+//   2. Failover latency: p99 of per-submission wall time for owners
+//      whose rendezvous node is dead, against the healthy-fleet p99.
+//      Wall-clock percentiles over microsecond-scale samples jump an
+//      order of magnitude when the host deschedules one batch, so they
+//      are informational; the gated signal for routing overhead is
+//      failover_extra_attempts — the count of wasted data-plane
+//      attempts the kill causes, which is deterministic (exactly the
+//      passive failure threshold: after that many misses the broker
+//      marks the node down and stops paying for it) and only moves
+//      when routing itself regresses (extra serial attempts, lost
+//      down-marking).
+//   3. Success under kill: the fraction of submissions that still land
+//      (on a sibling) with one of four nodes dead. Gated at 100.
+//   4. Management under kill: jobs owned by survivors stay manageable
+//      (gated at 100) and jobs owned by the victim fail closed with a
+//      typed bracketed reason, never silently (gated at 100).
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 (the `perf` ctest does) to shrink the
+// sweeps to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/policy.h"
+#include "fleet/chaos.h"
+#include "fleet/node.h"
+#include "gram/protocol.h"
+#include "gram/wire_service.h"
+#include "obs/metrics.h"
+
+using namespace gridauthz;
+
+namespace {
+
+namespace wire = gram::wire;
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+constexpr const char* kFleetPolicy = R"(
+/O=Grid:
+&(action = start)(executable = test1)(jobtag = FLT)
+&(action = information)(jobowner = self)
+&(action = cancel)(jobowner = self)
+)";
+
+constexpr const char* kRsl =
+    "&(executable=test1)(jobtag=FLT)(count=1)(simduration=1000000000)";
+
+struct FleetBench {
+  SimClock clock;
+  std::unique_ptr<fleet::Fleet> grid;
+  std::vector<gsi::Credential> users;
+};
+
+std::unique_ptr<FleetBench> MakeFleet(int nodes, int users) {
+  auto out = std::make_unique<FleetBench>();
+  fleet::FleetOptions options;
+  options.nodes = nodes;
+  options.cpu_slots = 1 << 20;  // submissions never queue on slots
+  out->grid = std::make_unique<fleet::Fleet>(
+      options, &out->clock, core::PolicyDocument::Parse(kFleetPolicy).value());
+  (void)out->grid->AddAccount("member");
+  for (int u = 0; u < users; ++u) {
+    auto user = out->grid->CreateUser("/O=Grid/CN=Member " + std::to_string(u));
+    (void)out->grid->MapUser(*user, "member");
+    out->users.push_back(std::move(*user));
+  }
+  return out;
+}
+
+double PercentileUs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  return samples[index];
+}
+
+double ElapsedUs(const std::chrono::steady_clock::time_point& begin) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
+std::size_t NodeOfContact(fleet::Fleet& grid, const std::string& contact) {
+  const std::string_view host = gram::ContactHost(contact);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid.node(i).host() == host) return i;
+  }
+  return grid.size();
+}
+
+void EmitFleetFailoverJson() {
+  const bool quick = QuickMode();
+  const int fleet_users = 8;
+  const int scaling_iters = quick ? 40 : 400;
+  const int kill_iters_per_user = quick ? 8 : 50;
+
+  std::vector<std::pair<std::string, double>> fields;
+
+  // 1. Submission throughput across fleet sizes.
+  for (int nodes : {1, 2, 4}) {
+    auto bench = MakeFleet(nodes, fleet_users);
+    std::vector<wire::WireClient> clients;
+    clients.reserve(bench->users.size());
+    for (auto& user : bench->users) {
+      clients.emplace_back(user, &bench->grid->broker());
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    int ok = 0;
+    for (int i = 0; i < scaling_iters; ++i) {
+      auto contact = clients[i % clients.size()].Submit(kRsl);
+      benchmark::DoNotOptimize(contact);
+      if (contact.ok()) ++ok;
+    }
+    const double seconds = ElapsedUs(begin) / 1e6;
+    fields.emplace_back(
+        "submit_rps_" + std::to_string(nodes) + "n",
+        seconds > 0 ? static_cast<double>(ok) / seconds : 0);
+  }
+
+  // 2-4. Node-kill sweep over a 4-node fleet.
+  auto bench = MakeFleet(4, fleet_users);
+  fleet::Fleet& grid = *bench->grid;
+  std::vector<wire::WireClient> clients;
+  std::vector<std::string> probe_contacts;  // one pre-kill job per user
+  std::vector<std::size_t> owner_of;
+  for (auto& user : bench->users) {
+    clients.emplace_back(user, &grid.broker());
+    auto contact = clients.back().Submit(kRsl);
+    probe_contacts.push_back(contact.value());
+    owner_of.push_back(NodeOfContact(grid, probe_contacts.back()));
+  }
+
+  // Healthy baseline p99 across every owner.
+  std::vector<double> healthy_us;
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    for (int i = 0; i < kill_iters_per_user; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      auto contact = clients[u].Submit(kRsl);
+      benchmark::DoNotOptimize(contact);
+      healthy_us.push_back(ElapsedUs(begin));
+    }
+  }
+  const double healthy_p99 = PercentileUs(healthy_us, 0.99);
+  const double healthy_p50 = PercentileUs(healthy_us, 0.5);
+
+  // Kill the node owning users[0]; their submissions now fail over.
+  const std::size_t victim = owner_of[0];
+  grid.chaos(victim).SetMode(fleet::ChaosMode::kDead);
+  const std::uint64_t failover_attempts_before = obs::Metrics().CounterValue(
+      "fleet_failover_total", {{"node", grid.node(victim).name()}});
+  std::vector<double> failover_us;
+  int kill_ok = 0;
+  int kill_total = 0;
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    for (int i = 0; i < kill_iters_per_user; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      auto contact = clients[u].Submit(kRsl);
+      benchmark::DoNotOptimize(contact);
+      const double us = ElapsedUs(begin);
+      if (owner_of[u] == victim) failover_us.push_back(us);
+      ++kill_total;
+      if (contact.ok()) ++kill_ok;
+    }
+  }
+  const double failover_p99 = PercentileUs(failover_us, 0.99);
+  const double failover_p50 = PercentileUs(failover_us, 0.5);
+  const double failover_extra_attempts = static_cast<double>(
+      obs::Metrics().CounterValue(
+          "fleet_failover_total", {{"node", grid.node(victim).name()}}) -
+      failover_attempts_before);
+
+  // Management during the kill: survivors answer, the victim's jobs
+  // fail closed with a typed reason — never silently.
+  int live_ok = 0;
+  int live_total = 0;
+  int dead_typed = 0;
+  int dead_total = 0;
+  for (std::size_t u = 0; u < clients.size(); ++u) {
+    auto status = clients[u].Status(probe_contacts[u]);
+    if (owner_of[u] == victim) {
+      ++dead_total;
+      const bool typed =
+          !status.ok() &&
+          status.error().message().find('[') != std::string::npos &&
+          status.error().message().find(']') != std::string::npos;
+      if (typed) ++dead_typed;
+    } else {
+      ++live_total;
+      if (status.ok()) ++live_ok;
+    }
+  }
+
+  fields.emplace_back("healthy_submit_p99_us", healthy_p99);
+  fields.emplace_back("healthy_submit_p50_us", healthy_p50);
+  fields.emplace_back("failover_latency_p99_us", failover_p99);
+  fields.emplace_back("failover_latency_p50_us", failover_p50);
+  fields.emplace_back("failover_extra_attempts", failover_extra_attempts);
+  fields.emplace_back(
+      "submit_success_pct_under_kill",
+      kill_total > 0 ? 100.0 * kill_ok / kill_total : 0);
+  fields.emplace_back(
+      "mgmt_live_success_pct_under_kill",
+      live_total > 0 ? 100.0 * live_ok / live_total : 0);
+  fields.emplace_back(
+      "mgmt_dead_typed_pct_under_kill",
+      dead_total > 0 ? 100.0 * dead_typed / dead_total : 0);
+
+  const std::string path = "BENCH_fleet_failover.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_fleet_failover: healthy p99=%.0fus failover p99=%.0fus "
+      "(%.0f extra attempts), submit-under-kill %.0f%%, mgmt live %.0f%% "
+      "dead-typed %.0f%% -> %s\n",
+      healthy_p99, failover_p99, failover_extra_attempts,
+      kill_total > 0 ? 100.0 * kill_ok / kill_total : 0,
+      live_total > 0 ? 100.0 * live_ok / live_total : 0,
+      dead_total > 0 ? 100.0 * dead_typed / dead_total : 0, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitFleetFailoverJson();
+  return 0;
+}

@@ -1,136 +1,161 @@
-// Resource brokering across two sites: a VO index service (MDS GIIS)
-// aggregates live host information from both simulated resources; the
-// client queries for capacity, picks the least-loaded host, and submits
-// through GRAM — with each site enforcing the same VO policy via its Job
-// Manager PEP. Shows the full Globus triad the paper builds on: MDS for
-// discovery, GSI for security, GRAM for execution.
+// Resource brokering over a federated gatekeeper fleet: a FleetBroker
+// fronts four gatekeeper nodes, places each owner's jobs by rendezvous
+// hash, routes management back to the owning node by contact host, and
+// — when a node is killed — fails submissions over to a sibling while
+// management for the dead node's jobs fails closed with a typed
+// [fleet] reason. The MDS GIIS aggregates per-node health that the
+// broker's routing consumes, and a policy push shows the
+// generation-numbered rollout converging across the fleet (including a
+// crashed node resyncing on rejoin). Shows the full Globus triad the
+// paper builds on: MDS for discovery, GSI for security, GRAM for
+// execution — now one fleet instead of one gatekeeper.
 #include <iostream>
 
-#include "gram/site.h"
-#include "mds/mds.h"
-#include "mds/provider.h"
+#include "common/clock.h"
+#include "core/policy.h"
+#include "fleet/chaos.h"
+#include "fleet/node.h"
+#include "gram/protocol.h"
+#include "gram/wire_service.h"
 
 using namespace gridauthz;
 
 namespace {
 
-constexpr const char* kUser = "/O=Grid/O=NFC/CN=Analyst";
 constexpr const char* kVoPolicy =
-    "/O=Grid/O=NFC/CN=Analyst:\n"
+    "/O=Grid:\n"
     "&(action = start)(executable = TRANSP)(count <= 8)\n"
-    "&(action = information)(jobowner = self)\n";
+    "&(action = information)(jobowner = self)\n"
+    "&(action = cancel)(jobowner = self)\n";
 
-struct Site {
-  explicit Site(const std::string& host, int cpus)
-      : options(MakeOptions(host, cpus)), site(options) {
-    (void)site.AddAccount("analyst");
-    site.UseJobManagerPep(std::make_shared<core::StaticPolicySource>(
-        "vo", core::PolicyDocument::Parse(kVoPolicy).value()));
+// The rollout: the VO tightens the cpu ceiling fleet-wide.
+constexpr const char* kTightenedPolicy =
+    "/O=Grid:\n"
+    "&(action = start)(executable = TRANSP)(count <= 4)\n"
+    "&(action = information)(jobowner = self)\n"
+    "&(action = cancel)(jobowner = self)\n";
+
+void ShowFleetIndex(fleet::Fleet& grid) {
+  grid.broker().RefreshHealth();
+  auto entries = grid.directory().Search("(objectclass=mds-gatekeeper)");
+  for (const auto& entry : *entries) {
+    std::cout << "  " << entry.GetFirst("mds-gatekeeper-node") << " ("
+              << entry.GetFirst("mds-host-hn")
+              << "): " << entry.GetFirst("mds-health-status")
+              << ", policy gen " << entry.GetFirst("mds-policy-generation", "?")
+              << "\n";
   }
+}
 
-  static gram::SiteOptions MakeOptions(const std::string& host, int cpus) {
-    gram::SiteOptions options;
-    options.host = host;
-    options.cpu_slots = cpus;
-    return options;
+std::string NodeOf(fleet::Fleet& grid, const std::string& contact) {
+  const std::string_view host = gram::ContactHost(contact);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid.node(i).host() == host) return grid.node(i).name();
   }
-
-  os::SchedulerConfig SchedulerConfig() const {
-    os::SchedulerConfig config;
-    config.total_cpu_slots = options.cpu_slots;
-    return config;
-  }
-
-  gram::SiteOptions options;
-  gram::SimulatedSite site;
-};
-
-void ShowIndex(mds::DirectoryService& giis) {
-  auto hosts = giis.Search("(objectclass=mds-host)");
-  for (const auto& entry : *hosts) {
-    std::cout << "  " << entry.GetFirst("mds-host-hn") << ": "
-              << entry.GetFirst("mds-cpu-free") << "/"
-              << entry.GetFirst("mds-cpu-total") << " cpus free, "
-              << entry.GetFirst("mds-jobs-running") << " running\n";
-  }
+  return "?";
 }
 
 }  // namespace
 
 int main() {
-  std::cout << "=== MDS-brokered submission across two sites ===\n\n";
+  std::cout << "=== Brokered submission over a 4-node gatekeeper fleet ===\n\n";
 
-  Site alpha{"alpha.nfc.gov", 8};
-  Site beta{"beta.nfc.gov", 32};
+  SimClock clock;
+  fleet::FleetOptions options;
+  options.nodes = 4;
+  fleet::Fleet grid{options, &clock,
+                    core::PolicyDocument::Parse(kVoPolicy).value()};
+  (void)grid.AddAccount("analyst");
 
-  // Each site needs the user credential from ITS OWN CA, and both map
-  // the analyst.
-  auto alpha_cred = alpha.site.CreateUser(kUser).value();
-  auto beta_cred = beta.site.CreateUser(kUser).value();
-  (void)alpha.site.MapUser(alpha_cred, "analyst");
-  (void)beta.site.MapUser(beta_cred, "analyst");
-
-  // The VO index aggregates both sites' live providers.
-  mds::DirectoryService giis{"nfc-giis"};
-  giis.RegisterProvider("alpha", mds::MakeHostProvider(
-                                     "alpha.nfc.gov", &alpha.site.scheduler(),
-                                     alpha.SchedulerConfig()));
-  giis.RegisterProvider("beta", mds::MakeHostProvider(
-                                    "beta.nfc.gov", &beta.site.scheduler(),
-                                    beta.SchedulerConfig()));
-
-  std::cout << "initial index:\n";
-  ShowIndex(giis);
-
-  // Pre-load alpha so the broker has a real choice.
-  gram::GramClient alpha_client = alpha.site.MakeClient(alpha_cred);
-  (void)alpha_client.Submit(
-      alpha.site.gatekeeper(),
-      "&(executable=TRANSP)(count=6)(simduration=100000)");
-  std::cout << "\nafter alpha takes a 6-cpu job:\n";
-  ShowIndex(giis);
-
-  // The broker query: a host with at least 8 free cpus.
-  std::cout << "\nbroker query: (&(objectclass=mds-host)(mds-cpu-free>=8))\n";
-  auto candidates = giis.Search("(&(objectclass=mds-host)(mds-cpu-free>=8))");
-  if (!candidates.ok() || candidates->empty()) {
-    std::cerr << "no candidate host found\n";
-    return 1;
+  // Three analysts; the broker spreads them by rendezvous hash of the
+  // owner DN, so each analyst's jobs stay on one node.
+  std::vector<gsi::Credential> analysts;
+  for (const char* dn : {"/O=Grid/O=NFC/CN=Analyst A",
+                         "/O=Grid/O=NFC/CN=Analyst B",
+                         "/O=Grid/O=NFC/CN=Analyst C"}) {
+    auto credential = grid.CreateUser(dn).value();
+    (void)grid.MapUser(credential, "analyst");
+    analysts.push_back(credential);
   }
-  // Pick the freest candidate.
-  const mds::Entry* best = &candidates->front();
-  for (const auto& entry : *candidates) {
-    if (std::stoi(entry.GetFirst("mds-cpu-free", "0")) >
-        std::stoi(best->GetFirst("mds-cpu-free", "0"))) {
-      best = &entry;
+
+  std::cout << "fleet index (via MDS GIIS):\n";
+  ShowFleetIndex(grid);
+
+  std::cout << "\nplacement by owner hash:\n";
+  std::vector<std::string> contacts;
+  for (std::size_t a = 0; a < analysts.size(); ++a) {
+    gram::wire::WireClient client{analysts[a], &grid.broker()};
+    auto contact =
+        client.Submit("&(executable=TRANSP)(count=6)(simduration=3600)");
+    if (!contact.ok()) {
+      std::cerr << "submission failed: " << contact.error() << "\n";
+      return 1;
+    }
+    contacts.push_back(*contact);
+    std::cout << "  analyst " << static_cast<char>('A' + a) << " -> "
+              << NodeOf(grid, *contact) << "\n";
+  }
+
+  // Kill analyst A's node. Submissions fail over to a sibling; the
+  // in-flight job's management fails closed with the typed reason.
+  std::string victim = NodeOf(grid, contacts[0]);
+  std::cout << "\nkilling " << victim << "...\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid.node(i).name() == victim) {
+      grid.chaos(i).SetMode(fleet::ChaosMode::kDead);
     }
   }
-  std::string chosen = best->GetFirst("mds-host-hn");
-  std::cout << "broker selects: " << chosen << "\n";
 
-  Site& target = chosen == "alpha.nfc.gov" ? alpha : beta;
-  gsi::Credential& credential =
-      chosen == "alpha.nfc.gov" ? alpha_cred : beta_cred;
-  gram::GramClient client = target.site.MakeClient(credential);
-  auto contact = client.Submit(
-      target.site.gatekeeper(),
-      "&(executable=TRANSP)(count=8)(simduration=3600)");
-  if (!contact.ok()) {
-    std::cerr << "submission failed: " << contact.error() << "\n";
+  gram::wire::WireClient analyst_a{analysts[0], &grid.broker()};
+  auto failed_over =
+      analyst_a.Submit("&(executable=TRANSP)(count=2)(simduration=3600)");
+  if (!failed_over.ok()) {
+    std::cerr << "failover submission failed: " << failed_over.error() << "\n";
     return 1;
   }
-  std::cout << "submitted: " << *contact << "\n\nindex after placement:\n";
-  ShowIndex(giis);
+  std::cout << "  new submission lands on: " << NodeOf(grid, *failed_over)
+            << " (failover)\n";
+  auto status = analyst_a.Status(contacts[0]);
+  std::cout << "  status of pre-kill job: "
+            << (status.ok() ? "OK (bug!)" : status.error().message()) << "\n";
 
-  // The same policy still gates the brokered submission.
-  auto denied = client.Submit(target.site.gatekeeper(),
-                              "&(executable=TRANSP)(count=16)");
-  std::cout << "\noversized brokered request: "
+  std::cout << "\nfleet index during the outage:\n";
+  ShowFleetIndex(grid);
+
+  // Roll out the tightened policy: the dead node cannot take it, so
+  // the push skips it (convergence is judged over live nodes only) and
+  // the broker re-syncs it on reattach.
+  std::cout << "\npushing tightened policy (count <= 4)...\n";
+  grid.PushPolicy(core::PolicyDocument::Parse(kTightenedPolicy).value());
+  std::cout << "  converged over live nodes: "
+            << (grid.broker().PolicyConverged() ? "yes" : "no")
+            << " (victim skipped, re-syncs on reattach)\n";
+
+  auto denied =
+      analyst_a.Submit("&(executable=TRANSP)(count=6)(simduration=3600)");
+  std::cout << "  6-cpu request under new policy: "
             << (denied.ok() ? "PERMITTED (bug!)"
                             : std::string{gram::to_string(
                                   gram::ToProtocolCode(denied.error()))})
             << "\n";
 
-  std::cout << "\nbroker scenario complete.\n";
+  // Heal and rejoin: the broker re-pushes the latest document so the
+  // restarted node catches up, and the pre-kill job answers again.
+  std::cout << "\nhealing " << victim << " and reattaching...\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid.node(i).name() == victim) {
+      grid.chaos(i).SetMode(fleet::ChaosMode::kHealthy);
+    }
+  }
+  grid.broker().ReattachNode(victim);
+  std::cout << "  converged: "
+            << (grid.broker().PolicyConverged() ? "yes" : "no") << "\n";
+  auto after = analyst_a.Status(contacts[0]);
+  std::cout << "  status of pre-kill job: "
+            << (after.ok() ? gram::to_string(after->status) : "FAILED (bug!)")
+            << "\n\nfleet index after recovery:\n";
+  ShowFleetIndex(grid);
+
+  std::cout << "\nfleet broker scenario complete.\n";
   return 0;
 }

@@ -142,6 +142,14 @@ inline constexpr std::string_view kReasonAttemptTimeout = "[attempt-timeout]";
 // evaluation ran: the server queue was full, the frame's deadline could
 // not be met, or the server was shutting down (DESIGN.md §11).
 inline constexpr std::string_view kReasonOverload = "[overload]";
+// The transport link itself failed: the peer never answered or the
+// reply frame did not decode. Indistinguishable outcomes on the wire,
+// so they share a tag; retryable.
+inline constexpr std::string_view kReasonTransport = "[transport]";
+// The fleet broker exhausted its routing options: every candidate node
+// for the request was down, hung, or answered with a transport failure
+// (DESIGN.md §13). Always a fail-closed system failure, never a permit.
+inline constexpr std::string_view kReasonFleet = "[fleet]";
 
 // The leading "[...]" tag of `error`'s message, or "" when untagged.
 std::string_view FailureReasonTag(const Error& error);

@@ -42,7 +42,7 @@ void CircuitBreaker::TransitionLocked(BreakerState to) {
     opened_at_us_ = clock_->NowMicros();
     window_.clear();
   } else if (to == BreakerState::kHalfOpen) {
-    half_open_inflight_ = 0;
+    probe_in_flight_ = false;
     half_open_successes_ = 0;
   } else {  // closed
     window_.clear();
@@ -73,7 +73,7 @@ bool CircuitBreaker::Allow() {
     case BreakerState::kOpen:
       if (now - opened_at_us_ >= options_.open_cooldown_us) {
         TransitionLocked(BreakerState::kHalfOpen);
-        ++half_open_inflight_;
+        probe_in_flight_ = true;
         return true;
       }
       obs::Metrics()
@@ -81,8 +81,11 @@ bool CircuitBreaker::Allow() {
           .Increment();
       return false;
     case BreakerState::kHalfOpen:
-      if (half_open_inflight_ < options_.half_open_probes) {
-        ++half_open_inflight_;
+      // Compare-and-set on the probe token under the state lock: the
+      // first caller takes it, everyone else is rejected until the
+      // probe's fate is recorded.
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
         return true;
       }
       obs::Metrics()
@@ -97,7 +100,7 @@ void CircuitBreaker::RecordSuccess() {
   std::lock_guard lock(mu_);
   const std::int64_t now = clock_->NowMicros();
   if (state_ == BreakerState::kHalfOpen) {
-    if (half_open_inflight_ > 0) --half_open_inflight_;
+    probe_in_flight_ = false;  // release the token: next probe may go
     if (++half_open_successes_ >= options_.half_open_successes) {
       TransitionLocked(BreakerState::kClosed);
     }

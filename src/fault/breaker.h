@@ -30,8 +30,11 @@ struct CircuitBreakerOptions {
   int min_calls = 5;                       // samples before the rate counts
   double failure_rate_threshold = 0.5;     // open at >= this rate
   std::int64_t open_cooldown_us = 30'000'000;  // open -> half-open delay
-  int half_open_probes = 1;                // probes admitted half-open
-  int half_open_successes = 1;             // successes needed to close
+  // Consecutive probe successes needed to close from half-open. Probes
+  // are strictly serialized: exactly one is in flight at a time, however
+  // many callers race Allow() — a backend recovering from an outage must
+  // not be thundering-herded by every blocked caller at once.
+  int half_open_successes = 1;
 };
 
 class CircuitBreaker {
@@ -41,7 +44,10 @@ class CircuitBreaker {
 
   // Admission check for one call. In the open state this is where the
   // cooldown expiry transitions to half-open. Returns false when the
-  // call must be rejected (caller fails closed).
+  // call must be rejected (caller fails closed). Half-open admits via a
+  // single probe token taken here and released by the next
+  // RecordSuccess/RecordFailure, so concurrent callers racing the
+  // cooldown expiry admit exactly one probe.
   bool Allow();
 
   // Report the fate of an admitted call. A deny counts as success — the
@@ -74,7 +80,11 @@ class CircuitBreaker {
   BreakerState state_ = BreakerState::kClosed;
   std::deque<Sample> window_;
   std::int64_t opened_at_us_ = 0;
-  int half_open_inflight_ = 0;
+  // The half-open probe token: true while the one admitted probe is in
+  // flight. A straggler RecordSuccess from a call admitted before the
+  // breaker opened can release it early — harmless, the next probe is
+  // still admitted one at a time.
+  bool probe_in_flight_ = false;
   int half_open_successes_ = 0;
 };
 

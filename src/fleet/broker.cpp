@@ -1,0 +1,325 @@
+#include "fleet/broker.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "fleet/hash.h"
+#include "gram/obs_service.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::fleet {
+
+namespace wire = gram::wire;
+
+namespace {
+
+// A decodable frame is an answer; an empty or undecodable one is the
+// dead-peer signal (exactly what WireClient treats as a transport
+// failure, and what FaultyTransport/chaos produce for outages).
+bool IsAnswer(std::string_view reply) {
+  return wire::MessageView::Parse(reply).ok();
+}
+
+std::string EncodeJobFailure(const std::string& reason) {
+  wire::JobRequestReply reply;
+  reply.code = gram::GramErrorCode::kAuthorizationSystemFailure;
+  reply.reason = reason;
+  return reply.Encode().Serialize();
+}
+
+std::string EncodeManagementFailure(const std::string& reason) {
+  wire::ManagementReply reply;
+  reply.code = gram::GramErrorCode::kAuthorizationSystemFailure;
+  reply.reason = reason;
+  return reply.Encode().Serialize();
+}
+
+std::string EncodeObsReply(int status, const std::string& content_type,
+                           const std::string& body) {
+  std::string frame;
+  wire::FrameWriter writer(&frame);
+  writer.Add("body", body);
+  writer.Add("content-type", content_type);
+  writer.Add("message-type", "obs-reply");
+  writer.AddInt("status", status);
+  return frame;
+}
+
+}  // namespace
+
+FleetBroker::FleetBroker(std::vector<FleetNodeHandle> nodes,
+                         mds::DirectoryService* directory,
+                         FleetBrokerOptions options)
+    : nodes_(std::move(nodes)),
+      directory_(directory),
+      options_(options),
+      tracker_(options.failure_threshold) {
+  names_.reserve(nodes_.size());
+  for (const FleetNodeHandle& node : nodes_) names_.push_back(node.name);
+}
+
+std::string FleetBroker::Handle(const gsi::Credential& peer,
+                                std::string_view frame) {
+  auto message = wire::MessageView::Parse(frame);
+  if (!message.ok()) {
+    wire::JobRequestReply reply;
+    reply.code = gram::GramErrorCode::kInvalidRequest;
+    reply.reason = std::string{kReasonFleet} + " malformed frame: " +
+                   message.error().to_string();
+    return reply.Encode().Serialize();
+  }
+  const std::string type{message->Get("message-type").value_or("")};
+  obs::Metrics()
+      .GetCounter("fleet_requests_total", {{"type", type}})
+      .Increment();
+  if (type == "job-request") return RouteJobRequest(peer, frame);
+  if (type == "management-request") {
+    return RouteManagement(peer, *message, frame);
+  }
+  if (type == "obs-request") return HandleObs(peer, *message, frame);
+  wire::JobRequestReply reply;
+  reply.code = gram::GramErrorCode::kInvalidRequest;
+  reply.reason = std::string{kReasonFleet} + " unsupported message-type '" +
+                 type + "'";
+  return reply.Encode().Serialize();
+}
+
+std::vector<std::size_t> FleetBroker::Candidates(std::string_view key) const {
+  const std::vector<std::size_t> ranked = RankNodes(key, names_);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(ranked.size());
+  for (const std::size_t i : ranked) {
+    if (tracker_.HealthOf(names_[i]) == NodeHealth::kUp) {
+      candidates.push_back(i);
+    }
+  }
+  for (const std::size_t i : ranked) {
+    if (tracker_.HealthOf(names_[i]) == NodeHealth::kDegraded) {
+      candidates.push_back(i);
+    }
+  }
+  return candidates;
+}
+
+std::optional<std::size_t> FleetBroker::NodeByHost(
+    std::string_view host) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].host == host) return i;
+  }
+  return std::nullopt;
+}
+
+std::string FleetBroker::Attempt(std::size_t index,
+                                 const gsi::Credential& peer,
+                                 std::string_view frame) {
+  const FleetNodeHandle& node = nodes_[index];
+  std::string reply = node.transport->Handle(peer, frame);
+  if (IsAnswer(reply)) {
+    tracker_.RecordSuccess(node.name);
+    obs::Metrics()
+        .GetCounter("fleet_routed_total", {{"node", node.name}})
+        .Increment();
+    return reply;
+  }
+  tracker_.RecordFailure(node.name);
+  obs::Metrics()
+      .GetCounter("fleet_failover_total", {{"node", node.name}})
+      .Increment();
+  GA_LOG(kWarn, "fleet") << "node '" << node.name
+                         << "' failed to answer; failing over";
+  return {};
+}
+
+std::string FleetBroker::RouteJobRequest(const gsi::Credential& peer,
+                                         std::string_view frame) {
+  const std::string owner = peer.empty() ? "" : peer.identity().str();
+  const std::vector<std::size_t> candidates = Candidates(owner);
+  int attempts = 0;
+  for (const std::size_t index : candidates) {
+    if (attempts >= options_.max_route_attempts) break;
+    ++attempts;
+    std::string reply = Attempt(index, peer, frame);
+    if (!reply.empty()) return reply;
+  }
+  obs::Metrics().GetCounter("fleet_exhausted_total", {}).Increment();
+  return EncodeJobFailure(std::string{kReasonFleet} +
+                          " no live gatekeeper for owner '" + owner +
+                          "' after " + std::to_string(attempts) +
+                          " attempt(s); fleet fails closed");
+}
+
+std::string FleetBroker::RouteManagement(const gsi::Credential& peer,
+                                         const wire::MessageView& message,
+                                         std::string_view frame) {
+  const std::string contact{message.Get("job-contact").value_or("")};
+  const std::string_view host = gram::ContactHost(contact);
+  const std::optional<std::size_t> owner = NodeByHost(host);
+
+  // Owner first (when alive), then rendezvous-ranked siblings as hedges.
+  std::vector<std::size_t> order;
+  if (owner && tracker_.HealthOf(names_[*owner]) != NodeHealth::kDown) {
+    order.push_back(*owner);
+  }
+  for (const std::size_t index : Candidates(contact)) {
+    if (owner && index == *owner) continue;
+    order.push_back(index);
+  }
+
+  int attempts = 0;
+  for (const std::size_t index : order) {
+    if (attempts >= options_.max_route_attempts) break;
+    ++attempts;
+    std::string reply = Attempt(index, peer, frame);
+    if (reply.empty()) continue;
+    // A sibling that does not know the contact has not answered the
+    // question "what happened to this job" — only the owner's (or an
+    // ownerless fleet's) not-found is authoritative.
+    if (owner && index != *owner) {
+      auto decoded =
+          wire::ManagementReply::Decode(wire::Message::Parse(reply).value());
+      if (decoded.ok() &&
+          decoded->code == gram::GramErrorCode::kJobNotFound) {
+        continue;
+      }
+    }
+    return reply;
+  }
+  obs::Metrics().GetCounter("fleet_exhausted_total", {}).Increment();
+  const std::string owner_label =
+      owner ? nodes_[*owner].name : std::string{host};
+  return EncodeManagementFailure(
+      std::string{kReasonFleet} + " owning gatekeeper '" + owner_label +
+      "' unreachable for contact '" + contact + "' after " +
+      std::to_string(attempts) + " attempt(s); management fails closed");
+}
+
+std::string FleetBroker::HandleObs(const gsi::Credential& peer,
+                                   const wire::MessageView& message,
+                                   std::string_view frame) {
+  const std::string path{message.Get("path").value_or("")};
+  if (path == "/healthz") {
+    return EncodeObsReply(200, "application/json", FleetHealthz());
+  }
+  int attempts = 0;
+  for (const std::size_t index : Candidates(path)) {
+    if (attempts >= options_.max_route_attempts) break;
+    ++attempts;
+    std::string reply = Attempt(index, peer, frame);
+    if (!reply.empty()) return reply;
+  }
+  return EncodeObsReply(503, "text/plain",
+                        std::string{kReasonFleet} +
+                            " no live gatekeeper for obs path '" + path +
+                            "'");
+}
+
+void FleetBroker::RefreshHealth() {
+  if (directory_ == nullptr) return;
+  auto entries = directory_->Search("(objectclass=mds-gatekeeper)");
+  if (!entries.ok()) {
+    GA_LOG(kWarn, "fleet") << "health refresh failed: "
+                           << entries.error().to_string();
+    return;
+  }
+  for (const mds::Entry& entry : *entries) {
+    tracker_.Update(ScoreGatekeeperEntry(entry));
+  }
+}
+
+NodeHealth FleetBroker::HealthOf(const std::string& node) const {
+  return tracker_.HealthOf(node);
+}
+
+void FleetBroker::MarkNodeDown(const std::string& node) {
+  tracker_.ForceDown(node);
+}
+
+void FleetBroker::ReattachNode(const std::string& node) {
+  tracker_.RecordSuccess(node);  // clear the passive down-mark
+  std::optional<core::PolicyDocument> to_push;
+  {
+    std::lock_guard lock(policy_mu_);
+    if (last_policy_) to_push = *last_policy_;
+  }
+  if (to_push) {
+    for (const FleetNodeHandle& handle : nodes_) {
+      if (handle.name == node && handle.install_policy) {
+        handle.install_policy(*to_push);
+      }
+    }
+  }
+  RefreshHealth();
+}
+
+void FleetBroker::PushPolicy(const core::PolicyDocument& document) {
+  {
+    std::lock_guard lock(policy_mu_);
+    ++pushes_;
+    last_policy_ = document;
+  }
+  for (const FleetNodeHandle& handle : nodes_) {
+    if (!handle.install_policy) continue;
+    if (tracker_.HealthOf(handle.name) == NodeHealth::kDown) {
+      GA_LOG(kWarn, "fleet") << "policy push skipped down node '"
+                             << handle.name << "'; will re-sync on reattach";
+      continue;
+    }
+    handle.install_policy(document);
+  }
+  RefreshHealth();
+}
+
+std::uint64_t FleetBroker::expected_policy_generation() const {
+  std::lock_guard lock(policy_mu_);
+  // StaticPolicySource generations start at 1; each push bumps by one on
+  // every node that received it.
+  return 1 + pushes_;
+}
+
+bool FleetBroker::PolicyConverged() const {
+  const std::uint64_t expected = expected_policy_generation();
+  for (const std::string& name : names_) {
+    if (tracker_.HealthOf(name) == NodeHealth::kDown) continue;
+    if (tracker_.ReportOf(name).policy_generation != expected) return false;
+  }
+  return true;
+}
+
+std::string FleetBroker::FleetHealthz() {
+  RefreshHealth();
+  std::size_t up = 0, degraded = 0, down = 0;
+  std::string nodes_json = "[";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::string& name = names_[i];
+    const NodeHealth health = tracker_.HealthOf(name);
+    if (health == NodeHealth::kUp) ++up;
+    if (health == NodeHealth::kDegraded) ++degraded;
+    if (health == NodeHealth::kDown) ++down;
+    const NodeHealthReport report = tracker_.ReportOf(name);
+    if (i > 0) nodes_json += ",";
+    json::ObjectWriter entry;
+    entry.String("node", name);
+    entry.String("host", nodes_[i].host);
+    entry.String("health", std::string{to_string(health)});
+    entry.Int("queue_depth", report.queue_depth);
+    entry.Int("breakers_open", report.breakers_open);
+    entry.UInt("policy_generation", report.policy_generation);
+    nodes_json += entry.Take();
+  }
+  nodes_json += "]";
+
+  const bool converged = PolicyConverged();
+  json::ObjectWriter out;
+  out.String("node", "fleet-broker");
+  out.String("status",
+             (down == 0 && degraded == 0 && converged) ? "ok" : "degraded");
+  out.UInt("fleet_size", nodes_.size());
+  out.UInt("up", up);
+  out.UInt("degraded", degraded);
+  out.UInt("down", down);
+  out.UInt("policy_generation", expected_policy_generation());
+  out.Bool("policy_converged", converged);
+  out.Raw("nodes", nodes_json);
+  return out.Take();
+}
+
+}  // namespace gridauthz::fleet

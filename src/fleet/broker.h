@@ -1,0 +1,142 @@
+// FleetBroker: one WireTransport fronting N gatekeeper nodes (DESIGN.md
+// §13). The broker is itself a transport, so everything that stacks on
+// that seam — ServerTransport worker pools, ObsService, the fault
+// layer's FaultyTransport, the chaos harness — composes with it on
+// either side.
+//
+// Routing rules:
+//   * job-request: placed by rendezvous hash of the submitting owner's
+//     DN over the non-down nodes, Up nodes preferred over Degraded. A
+//     transport failure (empty or undecodable reply — the dead-peer
+//     signal) marks the node and fails over to the next candidate, up
+//     to max_route_attempts. A decodable reply is authoritative: an
+//     authorization denial is an answer, never a reason to fail over.
+//   * management-request: routed to the owning node, identified by the
+//     host embedded in the job contact (contacts are minted by the node
+//     that owns the job). When the owner is dead the broker hedges to
+//     rendezvous-ranked siblings — a restored or stand-in node that
+//     re-registered the contact serves it; a sibling's JOB_CONTACT_NOT
+//     _FOUND is only authoritative when it IS the owner (or the fleet
+//     has no owner for that host), so a dead owner surfaces as a typed
+//     [fleet] failure, never a misleading not-found.
+//   * exhausted routes fail CLOSED: a synthesized reply with
+//     AUTHORIZATION_SYSTEM_FAILURE and a [fleet]-tagged reason. No
+//     request is ever silently lost.
+//   * obs-request /healthz: answered by the broker itself with the
+//     fleet view (per-node health + policy convergence); other obs
+//     paths forward to a live node.
+//
+// Policy rollout: PushPolicy() replaces the document on every non-down
+// node; each node's StaticPolicySource bumps its generation, and since
+// every node sees the same push sequence the fleet converges on
+// 1 + pushes. A node that was down during a push lags behind — the
+// broker /healthz reports policy_converged=false until ReattachNode()
+// re-pushes the latest document.
+//
+// Metrics: fleet_requests_total{type}, fleet_routed_total{node},
+// fleet_failover_total{node} (departures), fleet_exhausted_total,
+// fleet_node_health{node} (via HealthTracker).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "fleet/health.h"
+#include "gram/wire_service.h"
+#include "mds/mds.h"
+
+namespace gridauthz::fleet {
+
+// One gatekeeper node as the broker sees it. `transport` is the node's
+// whole serving stack (ObsService -> [ServerTransport] -> WireEndpoint,
+// possibly wrapped by fault/chaos decorators) and must outlive the
+// broker. `install_policy` applies a pushed policy document (unset =
+// node opts out of rollout).
+struct FleetNodeHandle {
+  std::string name;
+  std::string host;
+  gram::wire::WireTransport* transport = nullptr;
+  std::function<void(const core::PolicyDocument&)> install_policy;
+};
+
+struct FleetBrokerOptions {
+  // Distinct nodes tried per request: the owner plus hedged siblings.
+  int max_route_attempts = 2;
+  // Consecutive transport failures before passive detection marks a
+  // node down (HealthTracker).
+  int failure_threshold = 3;
+};
+
+class FleetBroker final : public gram::wire::WireTransport {
+ public:
+  // `directory` is the MDS index aggregating the nodes' mds-gatekeeper
+  // providers; RefreshHealth() searches it. May be nullptr (passive
+  // detection only). Both it and the node transports must outlive the
+  // broker.
+  FleetBroker(std::vector<FleetNodeHandle> nodes,
+              mds::DirectoryService* directory,
+              FleetBrokerOptions options = {});
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
+
+  // Active health scan: searches the directory for mds-gatekeeper
+  // entries and installs their scores.
+  void RefreshHealth();
+
+  NodeHealth HealthOf(const std::string& node) const;
+
+  // Chaos/operator lifecycle. MarkNodeDown forces the node out of every
+  // candidate list; ReattachNode clears the mark, re-pushes the latest
+  // policy document so the rejoining node converges, and refreshes.
+  void MarkNodeDown(const std::string& node);
+  void ReattachNode(const std::string& node);
+
+  // Generation-numbered fleet-wide rollout (see file comment).
+  void PushPolicy(const core::PolicyDocument& document);
+  std::uint64_t expected_policy_generation() const;
+  // True when every non-down node's last health report carries the
+  // expected generation (call RefreshHealth() first for a live answer).
+  bool PolicyConverged() const;
+
+  std::size_t size() const { return nodes_.size(); }
+  const FleetNodeHandle& node(std::size_t i) const { return nodes_[i]; }
+
+ private:
+  std::string RouteJobRequest(const gsi::Credential& peer,
+                              std::string_view frame);
+  std::string RouteManagement(const gsi::Credential& peer,
+                              const gram::wire::MessageView& message,
+                              std::string_view frame);
+  std::string HandleObs(const gsi::Credential& peer,
+                        const gram::wire::MessageView& message,
+                        std::string_view frame);
+  std::string FleetHealthz();
+
+  // Candidate indices for `key`: rendezvous-ranked Up nodes, then
+  // rendezvous-ranked Degraded nodes; Down nodes excluded.
+  std::vector<std::size_t> Candidates(std::string_view key) const;
+  std::optional<std::size_t> NodeByHost(std::string_view host) const;
+
+  // One routed attempt. A decodable reply records success and is
+  // returned; "" means transport failure (already recorded).
+  std::string Attempt(std::size_t index, const gsi::Credential& peer,
+                      std::string_view frame);
+
+  const std::vector<FleetNodeHandle> nodes_;
+  std::vector<std::string> names_;  // parallel to nodes_, for RankNodes
+  mds::DirectoryService* directory_;
+  const FleetBrokerOptions options_;
+  HealthTracker tracker_;
+
+  mutable std::mutex policy_mu_;
+  std::uint64_t pushes_ = 0;                          // guarded by policy_mu_
+  std::optional<core::PolicyDocument> last_policy_;   // guarded by policy_mu_
+};
+
+}  // namespace gridauthz::fleet

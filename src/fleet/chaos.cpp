@@ -1,0 +1,234 @@
+#include "fleet/chaos.h"
+
+#include "common/error.h"
+#include "fleet/node.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::fleet {
+
+namespace wire = gram::wire;
+
+ChaosTransport::ChaosTransport(wire::WireTransport* inner, SimClock* clock)
+    : inner_(inner), clock_(clock) {}
+
+std::string ChaosTransport::Handle(const gsi::Credential& peer,
+                                   std::string_view frame) {
+  ChaosMode mode;
+  std::int64_t hang_us, slow_us;
+  {
+    std::lock_guard lock(mu_);
+    ++calls_;
+    mode = mode_;
+    hang_us = hang_us_;
+    slow_us = slow_us_;
+    if (mode == ChaosMode::kDead || mode == ChaosMode::kHang) ++dropped_;
+  }
+  switch (mode) {
+    case ChaosMode::kHealthy:
+      return inner_->Handle(peer, frame);
+    case ChaosMode::kDead:
+      return {};  // the peer never answers
+    case ChaosMode::kHang:
+      // Accept-but-never-reply: the node holds the connection until the
+      // caller's patience (modelled as hang_us of shared clock) runs
+      // out, then yields nothing.
+      clock_->AdvanceMicros(hang_us);
+      return {};
+    case ChaosMode::kSlow:
+      clock_->AdvanceMicros(slow_us);
+      return inner_->Handle(peer, frame);
+  }
+  return {};
+}
+
+void ChaosTransport::SetMode(ChaosMode mode) {
+  std::lock_guard lock(mu_);
+  mode_ = mode;
+}
+
+ChaosMode ChaosTransport::mode() const {
+  std::lock_guard lock(mu_);
+  return mode_;
+}
+
+void ChaosTransport::set_hang_us(std::int64_t us) {
+  std::lock_guard lock(mu_);
+  hang_us_ = us;
+}
+
+void ChaosTransport::set_slow_us(std::int64_t us) {
+  std::lock_guard lock(mu_);
+  slow_us_ = us;
+}
+
+std::uint64_t ChaosTransport::calls() const {
+  std::lock_guard lock(mu_);
+  return calls_;
+}
+
+std::uint64_t ChaosTransport::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::string_view to_string(ChaosScenarioKind kind) {
+  switch (kind) {
+    case ChaosScenarioKind::kNodeKill:
+      return "node-kill";
+    case ChaosScenarioKind::kNodeHang:
+      return "node-hang";
+    case ChaosScenarioKind::kPartition:
+      return "partition";
+    case ChaosScenarioKind::kSlowNode:
+      return "slow-node";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Draws `count` distinct victim indices from the seeded stream — the
+// whole scenario's nondeterminism lives in this one RNG.
+std::vector<std::size_t> DrawVictims(fault::FaultRng& rng, std::size_t fleet,
+                                     std::size_t count) {
+  std::vector<std::size_t> victims;
+  while (victims.size() < count && victims.size() < fleet) {
+    const auto pick = static_cast<std::size_t>(
+        rng.NextBelow(static_cast<std::int64_t>(fleet)));
+    bool seen = false;
+    for (const std::size_t v : victims) seen = seen || v == pick;
+    if (!seen) victims.push_back(pick);
+  }
+  return victims;
+}
+
+// Classifies one management outcome. Success and denial are answers; a
+// failure is acceptable only when it carries a typed bracketed reason —
+// anything else is a silently-lost request, the invariant violation.
+enum class Outcome { kOk, kDenied, kTyped, kLost };
+
+Outcome Classify(const Expected<wire::ManagementReply>& reply) {
+  if (reply.ok()) return Outcome::kOk;
+  const Error& error = reply.error();
+  if (error.code() == ErrCode::kAuthorizationDenied) return Outcome::kDenied;
+  if (!FailureReasonTag(error).empty()) return Outcome::kTyped;
+  // WireClient surfaces GRAM protocol failures with the wire error name
+  // followed by the reply's reason field; the broker's typed reasons
+  // travel there.
+  if (error.message().find("[") != std::string::npos &&
+      error.message().find("]") != std::string::npos) {
+    return Outcome::kTyped;
+  }
+  return Outcome::kLost;
+}
+
+}  // namespace
+
+ChaosReport RunChaosScenario(Fleet& fleet,
+                             const std::vector<gsi::Credential>& users,
+                             const std::vector<std::string>& rsls,
+                             const ChaosScenarioOptions& options) {
+  ChaosReport report;
+  fault::FaultRng rng(options.seed);
+
+  // Phase 1: a healthy fleet accepts every submission through the
+  // broker; remember who owns what.
+  struct SubmittedJob {
+    std::size_t user;
+    std::string contact;
+  };
+  std::vector<SubmittedJob> jobs;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    wire::WireClient client{users[u], &fleet.broker()};
+    for (const std::string& rsl : rsls) {
+      auto contact = client.Submit(rsl);
+      if (contact.ok()) {
+        ++report.jobs_submitted;
+        jobs.push_back({u, *contact});
+      }
+    }
+  }
+  fleet.broker().RefreshHealth();
+
+  // Phase 2: the seeded stream picks the victims; the scenario kind
+  // picks the failure mode.
+  const std::size_t victim_count =
+      options.kind == ChaosScenarioKind::kPartition
+          ? static_cast<std::size_t>(options.partition_size)
+          : 1;
+  const std::vector<std::size_t> victims =
+      DrawVictims(rng, fleet.size(), victim_count);
+  for (const std::size_t v : victims) {
+    report.victims.push_back(fleet.node(v).name());
+    ChaosTransport& link = fleet.chaos(v);
+    switch (options.kind) {
+      case ChaosScenarioKind::kNodeKill:
+      case ChaosScenarioKind::kPartition:
+        link.SetMode(ChaosMode::kDead);
+        break;
+      case ChaosScenarioKind::kNodeHang:
+        link.set_hang_us(options.hang_us);
+        link.SetMode(ChaosMode::kHang);
+        break;
+      case ChaosScenarioKind::kSlowNode:
+        link.set_slow_us(options.slow_us);
+        link.SetMode(ChaosMode::kSlow);
+        break;
+    }
+  }
+
+  // Phase 3: every job's management is driven through the broker while
+  // the fault is live, and every outcome is classified. Nothing may be
+  // silently lost.
+  for (const SubmittedJob& job : jobs) {
+    wire::WireClient client{users[job.user], &fleet.broker()};
+    switch (Classify(client.Status(job.contact))) {
+      case Outcome::kOk:
+        ++report.management_ok;
+        break;
+      case Outcome::kDenied:
+        ++report.management_denied;
+        break;
+      case Outcome::kTyped:
+        ++report.management_typed_failures;
+        break;
+      case Outcome::kLost:
+        ++report.management_lost;
+        break;
+    }
+  }
+
+  // Phase 4: the fault heals; victims reattach and the fleet must serve
+  // every pre-fault job again within the recovery budget.
+  for (const std::size_t v : victims) {
+    fleet.chaos(v).SetMode(ChaosMode::kHealthy);
+    fleet.broker().ReattachNode(fleet.node(v).name());
+  }
+  std::int64_t elapsed = 0;
+  while (elapsed <= options.recovery_budget_us) {
+    fleet.broker().RefreshHealth();
+    bool all_ok = true;
+    for (const SubmittedJob& job : jobs) {
+      wire::WireClient client{users[job.user], &fleet.broker()};
+      if (!client.Status(job.contact).ok()) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) {
+      report.recovered = true;
+      report.recovery_us = elapsed;
+      break;
+    }
+    fleet.clock().AdvanceMicros(options.recovery_step_us);
+    elapsed += options.recovery_step_us;
+  }
+  obs::Metrics()
+      .GetCounter("fleet_chaos_runs_total",
+                  {{"scenario", std::string{to_string(options.kind)}},
+                   {"recovered", report.recovered ? "true" : "false"}})
+      .Increment();
+  return report;
+}
+
+}  // namespace gridauthz::fleet

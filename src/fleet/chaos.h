@@ -1,0 +1,110 @@
+// Fleet chaos harness: deterministic node-level failure modes on the
+// WireTransport seam, plus a scripted scenario driver that asserts the
+// fleet's robustness invariants —
+//   * decisions fail CLOSED (never a permit out of a broken path),
+//   * no management request is silently lost (every outcome is a
+//     success, a denial, or a typed bracketed reason),
+//   * the fleet recovers within a deadline budget after the fault heals.
+//
+// ChaosTransport wraps one node's serving stack with a switchable mode:
+//   kHealthy      forward untouched
+//   kDead         node killed: the peer never answers (empty reply)
+//   kHang         accept-but-never-reply: burns `hang_us` of the shared
+//                 SimClock (the caller's patience), then no answer
+//   kSlow         adds `slow_us` latency, then forwards
+// A network partition is kDead applied to a subset of nodes.
+//
+// Scenarios draw their victims from a seeded FaultRng, so every run of
+// (scenario kind, seed, fleet size) injects the same faults at the same
+// points — reproducible under ASan, TSan, and in CI.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "fault/fault.h"
+#include "gram/wire_service.h"
+#include "gsi/credential.h"
+
+namespace gridauthz::fleet {
+
+class Fleet;
+
+enum class ChaosMode { kHealthy, kDead, kHang, kSlow };
+
+class ChaosTransport final : public gram::wire::WireTransport {
+ public:
+  // `clock` is the fleet's shared SimClock; kHang/kSlow advance it.
+  ChaosTransport(gram::wire::WireTransport* inner, SimClock* clock);
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override;
+
+  void SetMode(ChaosMode mode);
+  ChaosMode mode() const;
+  void set_hang_us(std::int64_t us);
+  void set_slow_us(std::int64_t us);
+
+  std::uint64_t calls() const;
+  std::uint64_t dropped() const;  // calls swallowed by kDead/kHang
+
+ private:
+  gram::wire::WireTransport* inner_;
+  SimClock* clock_;
+  mutable std::mutex mu_;
+  ChaosMode mode_ = ChaosMode::kHealthy;
+  std::int64_t hang_us_ = 200'000;
+  std::int64_t slow_us_ = 50'000;
+  std::uint64_t calls_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+enum class ChaosScenarioKind { kNodeKill, kNodeHang, kPartition, kSlowNode };
+
+std::string_view to_string(ChaosScenarioKind kind);
+
+struct ChaosScenarioOptions {
+  ChaosScenarioKind kind = ChaosScenarioKind::kNodeKill;
+  std::uint64_t seed = 1;     // FaultRng stream choosing the victims
+  int partition_size = 2;     // victims for kPartition
+  std::int64_t hang_us = 200'000;
+  std::int64_t slow_us = 50'000;
+  // Recovery probing after the fault heals: the fleet must serve every
+  // pre-fault job's management again within this budget of simulated
+  // time, probed every step.
+  std::int64_t recovery_budget_us = 5'000'000;
+  std::int64_t recovery_step_us = 250'000;
+};
+
+// What happened, classified. `lost` counts management outcomes that
+// were neither success, denial, nor typed (bracketed) failure — the
+// invariant every scenario asserts to be zero.
+struct ChaosReport {
+  std::vector<std::string> victims;
+  int jobs_submitted = 0;
+  int management_ok = 0;
+  int management_denied = 0;
+  int management_typed_failures = 0;
+  int management_lost = 0;
+  bool recovered = false;
+  std::int64_t recovery_us = -1;
+};
+
+// Runs one scenario against `fleet` through its broker:
+//   1. each credential in `users` submits one job per RSL in `rsls`
+//      (all must succeed — the fleet starts healthy);
+//   2. victims drawn from FaultRng(seed) get the scenario's mode;
+//   3. every job's status is queried through the broker and classified;
+//   4. the fault heals, victims reattach, and recovery is probed until
+//      every job answers again or the budget is spent.
+// The caller owns policy/accounts: `users` must be permitted to submit
+// the `rsls` and query their own jobs.
+ChaosReport RunChaosScenario(Fleet& fleet,
+                             const std::vector<gsi::Credential>& users,
+                             const std::vector<std::string>& rsls,
+                             const ChaosScenarioOptions& options);
+
+}  // namespace gridauthz::fleet

@@ -1,0 +1,55 @@
+// Rendezvous (highest-random-weight) hashing for fleet placement: every
+// broker computes the same owner node for a key with nothing shared but
+// the node list, and removing one node remaps only that node's keys —
+// the property that makes node-kill failover cheap. The weight function
+// is FNV-1a over key and node name fed through the splitmix64 finalizer,
+// fixed and platform-independent for the same reason the fault layer's
+// FaultRng is: placement must be byte-for-byte reproducible in tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridauthz::fleet {
+
+inline std::uint64_t Fnv1a64(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// The rendezvous weight of (key, node): higher wins ownership.
+inline std::uint64_t RendezvousWeight(std::string_view key,
+                                      std::string_view node) {
+  std::uint64_t z = Fnv1a64(key) ^ (Fnv1a64(node) * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Indices into `nodes` ordered by descending weight for `key`: element 0
+// is the owner, the rest are the deterministic failover order. Ties (only
+// possible with duplicate names) break toward the lower index.
+inline std::vector<std::size_t> RankNodes(
+    std::string_view key, const std::vector<std::string>& nodes) {
+  std::vector<std::size_t> order(nodes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> weights(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    weights[i] = RendezvousWeight(key, nodes[i]);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace gridauthz::fleet

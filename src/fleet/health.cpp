@@ -1,0 +1,115 @@
+#include "fleet/health.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace gridauthz::fleet {
+
+std::string_view to_string(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kUp:
+      return "up";
+    case NodeHealth::kDegraded:
+      return "degraded";
+    case NodeHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::int64_t AttrInt(const mds::Entry& entry, std::string_view name) {
+  return std::strtoll(entry.GetFirst(name, "0").c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+NodeHealthReport ScoreGatekeeperEntry(const mds::Entry& entry) {
+  NodeHealthReport report;
+  report.node = entry.GetFirst("mds-gatekeeper-node");
+  const std::string status = entry.GetFirst("mds-health-status", "unreachable");
+  if (status == "unreachable") {
+    report.health = NodeHealth::kDown;
+    return report;
+  }
+  report.queue_depth = AttrInt(entry, "mds-queue-depth");
+  report.breakers_open = AttrInt(entry, "mds-breakers-open");
+  report.slo_burn_milli = AttrInt(entry, "mds-slo-burn-milli");
+  report.policy_generation =
+      static_cast<std::uint64_t>(AttrInt(entry, "mds-policy-generation"));
+  if (status != "ok" || report.breakers_open > 0 ||
+      report.slo_burn_milli > 1000) {
+    report.health = NodeHealth::kDegraded;
+  } else {
+    report.health = NodeHealth::kUp;
+  }
+  return report;
+}
+
+HealthTracker::HealthTracker(int failure_threshold)
+    : failure_threshold_(failure_threshold) {}
+
+NodeHealth HealthTracker::CombinedLocked(const State& state) const {
+  if (state.consecutive_failures >= failure_threshold_) {
+    return NodeHealth::kDown;
+  }
+  if (!state.refreshed) return NodeHealth::kUp;
+  return state.report.health;
+}
+
+void HealthTracker::ExportGaugeLocked(const std::string& node,
+                                      const State& state) const {
+  obs::Metrics()
+      .GetGauge("fleet_node_health", {{"node", node}})
+      .Set(static_cast<std::int64_t>(CombinedLocked(state)));
+}
+
+void HealthTracker::Update(NodeHealthReport report) {
+  std::lock_guard lock(mu_);
+  State& state = states_[report.node];
+  const std::string node = report.node;
+  const bool reachable = report.health != NodeHealth::kDown;
+  state.report = std::move(report);
+  state.refreshed = true;
+  if (reachable) state.consecutive_failures = 0;
+  ExportGaugeLocked(node, state);
+}
+
+void HealthTracker::RecordFailure(const std::string& node) {
+  std::lock_guard lock(mu_);
+  State& state = states_[node];
+  ++state.consecutive_failures;
+  ExportGaugeLocked(node, state);
+}
+
+void HealthTracker::RecordSuccess(const std::string& node) {
+  std::lock_guard lock(mu_);
+  State& state = states_[node];
+  state.consecutive_failures = 0;
+  ExportGaugeLocked(node, state);
+}
+
+void HealthTracker::ForceDown(const std::string& node) {
+  std::lock_guard lock(mu_);
+  State& state = states_[node];
+  state.consecutive_failures = failure_threshold_;
+  ExportGaugeLocked(node, state);
+}
+
+NodeHealth HealthTracker::HealthOf(const std::string& node) const {
+  std::lock_guard lock(mu_);
+  const auto it = states_.find(node);
+  if (it == states_.end()) return NodeHealth::kUp;
+  return CombinedLocked(it->second);
+}
+
+NodeHealthReport HealthTracker::ReportOf(const std::string& node) const {
+  std::lock_guard lock(mu_);
+  const auto it = states_.find(node);
+  if (it == states_.end()) return NodeHealthReport{};
+  return it->second.report;
+}
+
+}  // namespace gridauthz::fleet

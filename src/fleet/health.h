@@ -1,0 +1,88 @@
+// Fleet node health: one up/degraded/down score per gatekeeper, fed by
+// two independent signals —
+//   * active: MDS-published mds-gatekeeper entries (provider.h), each a
+//     scrape of the node's /healthz (status, queue depth, open breakers,
+//     SLO burn, policy generation);
+//   * passive: transport failures observed by the broker while routing
+//     (a node that stops answering is down long before the next MDS
+//     refresh says so).
+// Passive evidence can only worsen the score (consecutive failures force
+// kDown); a successful call clears it. The score drives routing: Up
+// nodes are preferred, Degraded nodes are failover-only, Down nodes are
+// never tried.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "mds/mds.h"
+
+namespace gridauthz::fleet {
+
+enum class NodeHealth { kUp = 0, kDegraded = 1, kDown = 2 };
+
+std::string_view to_string(NodeHealth health);
+
+// One node's scored health, parsed from its mds-gatekeeper entry.
+struct NodeHealthReport {
+  std::string node;
+  NodeHealth health = NodeHealth::kDown;
+  std::int64_t queue_depth = 0;
+  std::int64_t breakers_open = 0;
+  std::int64_t slo_burn_milli = 0;  // burn rate x1000
+  std::uint64_t policy_generation = 0;
+};
+
+// Scores one mds-gatekeeper entry (provider.h attribute names):
+//   unreachable                         -> kDown
+//   status degraded, any breaker open,
+//   or SLO burn rate > 1.0              -> kDegraded
+//   otherwise                           -> kUp
+NodeHealthReport ScoreGatekeeperEntry(const mds::Entry& entry);
+
+// Thread-safe per-node health state. Exported as the gauge
+// fleet_node_health{node} (0 up, 1 degraded, 2 down).
+class HealthTracker {
+ public:
+  // `failure_threshold` consecutive transport failures force kDown.
+  explicit HealthTracker(int failure_threshold = 3);
+
+  // Active refresh: installs the scored report. A reachable report
+  // clears accumulated passive failures (the node answered its probe).
+  void Update(NodeHealthReport report);
+
+  // Passive signals from the routing path.
+  void RecordFailure(const std::string& node);
+  void RecordSuccess(const std::string& node);
+
+  // Operator/chaos override: force kDown until the next reachable
+  // Update() or RecordSuccess().
+  void ForceDown(const std::string& node);
+
+  // Combined score. A node never seen is kUp — a fresh fleet must route
+  // before its first refresh.
+  NodeHealth HealthOf(const std::string& node) const;
+
+  // Last active report (default-constructed, health kDown, if the node
+  // was never refreshed).
+  NodeHealthReport ReportOf(const std::string& node) const;
+
+ private:
+  struct State {
+    NodeHealthReport report;
+    bool refreshed = false;
+    int consecutive_failures = 0;
+  };
+
+  void ExportGaugeLocked(const std::string& node, const State& state) const;
+  NodeHealth CombinedLocked(const State& state) const;
+
+  const int failure_threshold_;
+  mutable std::mutex mu_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace gridauthz::fleet

@@ -1,0 +1,137 @@
+#include "fleet/node.h"
+
+#include "mds/provider.h"
+
+namespace gridauthz::fleet {
+
+namespace wire = gram::wire;
+
+namespace {
+
+gram::SiteOptions SiteOptionsFor(const NodeOptions& options) {
+  gram::SiteOptions site;
+  site.host = options.host;
+  site.ca_name = "/O=Grid/CN=" + options.name + " CA";
+  site.cpu_slots = options.cpu_slots;
+  site.shared_clock = options.clock;
+  return site;
+}
+
+wire::ObsServiceOptions ObsOptionsFor(
+    const NodeOptions& options,
+    const std::shared_ptr<core::StaticPolicySource>& policy,
+    wire::WireTransport* inner, const wire::ServerTransport* server) {
+  wire::ObsServiceOptions obs;
+  obs.node_name = options.name;
+  obs.policy = policy;
+  obs.inner = inner;
+  obs.server = server;
+  return obs;
+}
+
+}  // namespace
+
+GatekeeperNode::GatekeeperNode(NodeOptions options,
+                               const core::PolicyDocument& policy)
+    : options_(std::move(options)),
+      site_(SiteOptionsFor(options_)),
+      policy_(std::make_shared<core::StaticPolicySource>(options_.name + "-pep",
+                                                         policy)),
+      endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
+                &site_.clock()),
+      server_(options_.use_server
+                  ? std::make_unique<wire::ServerTransport>(&endpoint_,
+                                                            options_.server)
+                  : nullptr),
+      obs_(ObsOptionsFor(options_, policy_,
+                         server_ ? static_cast<wire::WireTransport*>(
+                                       server_.get())
+                                 : &endpoint_,
+                         server_.get())) {
+  site_.UseJobManagerPep(policy_);
+}
+
+void GatekeeperNode::InstallPolicy(const core::PolicyDocument& document) {
+  policy_->Replace(document);
+}
+
+Fleet::Fleet(FleetOptions options, SimClock* clock,
+             const core::PolicyDocument& initial_policy)
+    : options_(std::move(options)), clock_(clock) {
+  for (int i = 0; i < options_.nodes; ++i) {
+    NodeOptions node;
+    node.name = options_.name_prefix + std::to_string(i);
+    node.host = node.name + options_.host_suffix;
+    node.clock = clock_;
+    node.cpu_slots = options_.cpu_slots;
+    node.use_server = options_.use_server;
+    node.server = options_.server;
+    nodes_.push_back(std::make_unique<GatekeeperNode>(node, initial_policy));
+  }
+
+  // Cross-trust: a credential issued by any node's CA is accepted
+  // everywhere — one federation, N certificate authorities.
+  for (auto& issuing : nodes_) {
+    for (auto& trusting : nodes_) {
+      if (issuing.get() == trusting.get()) continue;
+      trusting->site().trust().AddTrustedCa(
+          issuing->site().ca().certificate());
+    }
+  }
+
+  std::vector<FleetNodeHandle> handles;
+  for (auto& node : nodes_) {
+    chaos_.push_back(
+        std::make_unique<ChaosTransport>(&node->transport(), clock_));
+    ChaosTransport* link = chaos_.back().get();
+
+    // Discovery probes the node THROUGH its chaos link: a killed node is
+    // as unreachable to MDS as it is to traffic.
+    directory_.RegisterProvider(
+        node->name(),
+        mds::MakeGatekeeperProvider(
+            node->name(), node->host(), [link]() -> Expected<std::string> {
+              GA_TRY(wire::ObsReply reply,
+                     wire::ObsRequest(*link, gsi::Credential{}, "/healthz"));
+              if (reply.status != 200) {
+                return Error{ErrCode::kUnavailable,
+                             "healthz status " + std::to_string(reply.status)};
+              }
+              return reply.body;
+            }));
+
+    FleetNodeHandle handle;
+    handle.name = node->name();
+    handle.host = node->host();
+    handle.transport = link;
+    handle.install_policy =
+        [raw = node.get()](const core::PolicyDocument& document) {
+          raw->InstallPolicy(document);
+        };
+    handles.push_back(std::move(handle));
+  }
+  broker_ = std::make_unique<FleetBroker>(std::move(handles), &directory_,
+                                          options_.broker);
+  broker_->RefreshHealth();
+}
+
+Expected<gsi::Credential> Fleet::CreateUser(const std::string& dn) {
+  return nodes_.front()->site().CreateUser(dn);
+}
+
+Expected<void> Fleet::AddAccount(const std::string& account) {
+  for (auto& node : nodes_) {
+    GA_TRY_VOID(node->site().AddAccount(account));
+  }
+  return {};
+}
+
+Expected<void> Fleet::MapUser(const gsi::Credential& user,
+                              const std::string& account) {
+  for (auto& node : nodes_) {
+    GA_TRY_VOID(node->site().MapUser(user, account));
+  }
+  return {};
+}
+
+}  // namespace gridauthz::fleet

@@ -1,0 +1,121 @@
+// GatekeeperNode: one fleet member's full serving stack — a
+// SimulatedSite (own CA, accounts, scheduler, gatekeeper) on the
+// fleet's shared clock, a StaticPolicySource as its job-manager PEP
+// (the rollout target), and the wire stack layered per DESIGN.md §11:
+// ObsService -> [ServerTransport] -> WireEndpoint, so /healthz stays
+// responsive under overload.
+//
+// Fleet: the assembled federation — N nodes cross-trusting each other's
+// CAs, one ChaosTransport per node (pass-through until a scenario flips
+// it), an MDS directory aggregating per-node mds-gatekeeper providers
+// probed through those same chaos transports (a killed node is
+// unreachable to discovery exactly like to traffic), and a FleetBroker
+// over the lot. User management (accounts, mappings) replicates
+// fleet-wide: any node must be able to serve any member.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/source.h"
+#include "fleet/broker.h"
+#include "fleet/chaos.h"
+#include "gram/obs_service.h"
+#include "gram/server.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "mds/mds.h"
+
+namespace gridauthz::fleet {
+
+struct NodeOptions {
+  std::string name;            // e.g. "gk-0"
+  std::string host;            // e.g. "gk-0.anl.gov" — the contact key
+  SimClock* clock = nullptr;   // required: the fleet's shared clock
+  int cpu_slots = 16;
+  // When true a ServerTransport worker pool fronts the endpoint
+  // (concurrent serving); when false calls run on the caller's thread
+  // (deterministic single-threaded chaos runs).
+  bool use_server = false;
+  gram::wire::ServerOptions server;
+};
+
+class GatekeeperNode {
+ public:
+  GatekeeperNode(NodeOptions options, const core::PolicyDocument& policy);
+
+  const std::string& name() const { return options_.name; }
+  const std::string& host() const { return options_.host; }
+  gram::SimulatedSite& site() { return site_; }
+
+  // The node's serving stack top (ObsService). Everything — jobs,
+  // management, obs — enters here.
+  gram::wire::WireTransport& transport() { return obs_; }
+
+  // Policy rollout target: replaces the document, bumping the
+  // generation /healthz reports.
+  void InstallPolicy(const core::PolicyDocument& document);
+  std::uint64_t policy_generation() const {
+    return policy_->policy_generation();
+  }
+  const std::shared_ptr<core::StaticPolicySource>& policy() const {
+    return policy_;
+  }
+
+ private:
+  NodeOptions options_;
+  gram::SimulatedSite site_;
+  std::shared_ptr<core::StaticPolicySource> policy_;
+  gram::wire::WireEndpoint endpoint_;
+  std::unique_ptr<gram::wire::ServerTransport> server_;
+  gram::wire::ObsService obs_;
+};
+
+struct FleetOptions {
+  int nodes = 4;
+  std::string name_prefix = "gk-";
+  std::string host_suffix = ".anl.gov";  // host = name + suffix
+  int cpu_slots = 16;
+  bool use_server = false;
+  gram::wire::ServerOptions server;
+  FleetBrokerOptions broker;
+};
+
+class Fleet {
+ public:
+  // `clock` must outlive the fleet; `initial_policy` is installed on
+  // every node (generation 1).
+  Fleet(FleetOptions options, SimClock* clock,
+        const core::PolicyDocument& initial_policy);
+
+  std::size_t size() const { return nodes_.size(); }
+  GatekeeperNode& node(std::size_t i) { return *nodes_[i]; }
+  ChaosTransport& chaos(std::size_t i) { return *chaos_[i]; }
+  FleetBroker& broker() { return *broker_; }
+  mds::DirectoryService& directory() { return directory_; }
+  SimClock& clock() { return *clock_; }
+
+  // Replicated user management: the credential is issued by node 0's CA
+  // (trusted fleet-wide); accounts and mappings land on every node.
+  Expected<gsi::Credential> CreateUser(const std::string& dn);
+  Expected<void> AddAccount(const std::string& account);
+  Expected<void> MapUser(const gsi::Credential& user,
+                         const std::string& account);
+
+  // Fleet-wide rollout through the broker.
+  void PushPolicy(const core::PolicyDocument& document) {
+    broker_->PushPolicy(document);
+  }
+
+ private:
+  FleetOptions options_;
+  SimClock* clock_;
+  std::vector<std::unique_ptr<GatekeeperNode>> nodes_;
+  std::vector<std::unique_ptr<ChaosTransport>> chaos_;
+  mds::DirectoryService directory_{"fleet-giis"};
+  std::unique_ptr<FleetBroker> broker_;
+};
+
+}  // namespace gridauthz::fleet

@@ -196,6 +196,7 @@ ObsReply ObsService::HandleHealth() const {
     if (!reload_error.empty()) degraded = true;
   }
 
+  if (!options_.node_name.empty()) out.String("node", options_.node_name);
   out.String("status", degraded ? "degraded" : "ok");
   out.UInt("policy_generation",
            options_.policy ? options_.policy->policy_generation() : 0);

@@ -37,6 +37,10 @@ namespace gridauthz::gram::wire {
 class ServerTransport;
 
 struct ObsServiceOptions {
+  // Name this service reports as "node" in /healthz. Fleet health probes
+  // use it to confirm they reached the gatekeeper they meant to probe
+  // ("" = field omitted, the single-node default).
+  std::string node_name;
   // Durable audit pipeline backing /audit/query (nullptr = 503).
   std::shared_ptr<core::FileAuditSink> audit_sink;
   // Policy source whose generation /healthz reports (nullptr = 0).

@@ -91,6 +91,16 @@ GramErrorCode ToProtocolCode(const Error& error) {
   }
 }
 
+std::string_view ContactHost(std::string_view contact) {
+  constexpr std::string_view kScheme = "://";
+  const std::size_t scheme = contact.find(kScheme);
+  if (scheme == std::string_view::npos) return {};
+  const std::size_t host_begin = scheme + kScheme.size();
+  const std::size_t host_end = contact.find_first_of(":/", host_begin);
+  if (host_end == std::string_view::npos || host_end == host_begin) return {};
+  return contact.substr(host_begin, host_end - host_begin);
+}
+
 std::string_view to_string(SignalKind kind) {
   switch (kind) {
     case SignalKind::kSuspend:

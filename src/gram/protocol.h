@@ -48,6 +48,12 @@ std::string_view to_string(GramErrorCode code);
 // Maps an internal error to the GRAM protocol code a client would see.
 GramErrorCode ToProtocolCode(const Error& error);
 
+// The host component of a job contact ("https://host:port/jobmanager/N"
+// -> "host"), or "" when the contact does not look like a contact URL.
+// This is the fleet routing key: contacts are minted by the node that
+// owns the job, so the embedded host names the owning gatekeeper.
+std::string_view ContactHost(std::string_view contact);
+
 // Reply to a status ("information") request.
 struct JobStatusReply {
   JobStatus status = JobStatus::kUnsubmitted;

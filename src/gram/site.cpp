@@ -21,13 +21,15 @@ gsi::DistinguishedName MustParseDn(const std::string& text) {
 SimulatedSite::SimulatedSite(SiteOptions options)
     : options_(std::move(options)),
       clock_(options_.start_time),
-      ca_(MustParseDn(options_.ca_name), clock_.Now()),
+      clock_ptr_(options_.shared_clock != nullptr ? options_.shared_clock
+                                                  : &clock_),
+      ca_(MustParseDn(options_.ca_name), clock_ptr_->Now()),
       scheduler_(os::SchedulerConfig{options_.cpu_slots, options_.queues},
-                 &accounts_, clock_.Now()),
+                 &accounts_, clock_ptr_->Now()),
       host_credential_(IssueCredential(
           ca_,
           MustParseDn("/O=Grid/OU=services/CN=" + options_.host),
-          clock_.Now())),
+          clock_ptr_->Now())),
       gatekeeper_(Gatekeeper::Params{}) {
   trust_.AddTrustedCa(ca_.certificate());
   Gatekeeper::Params params;
@@ -36,7 +38,7 @@ SimulatedSite::SimulatedSite(SiteOptions options)
   params.trust = &trust_;
   params.gridmap = &gridmap_;
   params.scheduler = &scheduler_;
-  params.clock = &clock_;
+  params.clock = clock_ptr_;
   params.jmi_registry = &jmi_registry_;
   params.callouts = &callouts_;
   params.callback_router = &callback_router_;
@@ -46,7 +48,7 @@ SimulatedSite::SimulatedSite(SiteOptions options)
 
 Expected<gsi::Credential> SimulatedSite::CreateUser(const std::string& dn_text) {
   GA_TRY(gsi::DistinguishedName dn, gsi::DistinguishedName::Parse(dn_text));
-  return IssueCredential(ca_, dn, clock_.Now());
+  return IssueCredential(ca_, dn, clock_ptr_->Now());
 }
 
 Expected<void> SimulatedSite::AddAccount(const std::string& name,
@@ -61,7 +63,7 @@ Expected<void> SimulatedSite::MapUser(const gsi::Credential& user,
 }
 
 GramClient SimulatedSite::MakeClient(const gsi::Credential& credential) {
-  return GramClient{credential, &trust_, &clock_};
+  return GramClient{credential, &trust_, clock_ptr_};
 }
 
 void SimulatedSite::UseJobManagerPep(
@@ -77,7 +79,7 @@ void SimulatedSite::UseJobManagerPepFromConfig(const std::string& library,
 }
 
 void SimulatedSite::Advance(Duration seconds) {
-  clock_.Advance(seconds);
+  clock_ptr_->Advance(seconds);
   scheduler_.Advance(seconds);
 }
 

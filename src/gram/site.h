@@ -29,13 +29,19 @@ struct SiteOptions {
   // When true, the Gatekeeper runs the kGatekeeperAuthzType callout (if
   // bound) before the gridmap lookup.
   bool enable_gatekeeper_callout = false;
+  // When set, the site keeps no clock of its own and runs on this shared
+  // clock instead (start_time is ignored). A gatekeeper fleet puts every
+  // node on one clock so deadlines, certificate validity, and injected
+  // latency stay coherent across nodes (DESIGN.md §13). The clock must
+  // outlive the site.
+  SimClock* shared_clock = nullptr;
 };
 
 class SimulatedSite {
  public:
   explicit SimulatedSite(SiteOptions options = {});
 
-  SimClock& clock() { return clock_; }
+  SimClock& clock() { return *clock_ptr_; }
   gsi::CertificateAuthority& ca() { return ca_; }
   gsi::TrustRegistry& trust() { return trust_; }
   os::AccountRegistry& accounts() { return accounts_; }
@@ -74,7 +80,8 @@ class SimulatedSite {
 
  private:
   SiteOptions options_;
-  SimClock clock_;
+  SimClock clock_;        // unused when options_.shared_clock is set
+  SimClock* clock_ptr_;   // the clock everything below runs on
   gsi::CertificateAuthority ca_;
   gsi::TrustRegistry trust_;
   os::AccountRegistry accounts_;

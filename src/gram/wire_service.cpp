@@ -215,10 +215,13 @@ namespace {
 // A reply that cannot be decoded is indistinguishable from no reply at
 // all — classify it as kUnavailable (retryable), not kParseError, so
 // the resilient layer treats a corrupted or truncated frame exactly
-// like a dropped connection.
+// like a dropped connection. Tagged [transport] so batch callers and
+// the fleet broker can tell a dead link from a server-side failure
+// without parsing prose.
 Error UndecodableReply(const Error& error) {
   return Error{ErrCode::kUnavailable,
-               "undecodable reply frame: " + error.to_string()};
+               std::string{kReasonTransport} +
+                   " undecodable reply frame: " + error.to_string()};
 }
 
 }  // namespace
@@ -259,15 +262,19 @@ std::vector<Expected<std::string>> WireClient::SubmitMany(
     std::span<const std::string> rsls) {
   std::vector<Expected<std::string>> results;
   results.reserve(rsls.size());
-  // One scaffold, one buffer: per call only the rsl and trace-id fields
-  // change, and EncodeTo re-renders into the same reused allocation.
+  // One scaffold, one buffer: per call only the rsl, trace-id, and
+  // deadline fields change, and EncodeTo re-renders into the same reused
+  // allocation.
   JobRequest request;
-  request.deadline_micros = OutgoingDeadline();
   if (retry_attempt_ > 0) request.attempt = retry_attempt_;
   std::string frame;
   FrameWriter writer(&frame);
   for (const std::string& rsl : rsls) {
     request.rsl = rsl;
+    // Fresh deadline per item, matching Submit(): a slow or dead
+    // transport mid-batch must fail THAT item with a typed reason, not
+    // burn the shared absolute deadline and doom every item after it.
+    request.deadline_micros = OutgoingDeadline();
     last_trace_id_ = obs::GenerateTraceId();
     request.trace_id = last_trace_id_;
     request.EncodeTo(writer);

@@ -71,6 +71,9 @@ class WireClient {
   // single frame buffer and request scaffold instead of re-encoding the
   // shared attributes per call; result i corresponds to rsls[i]. Used by
   // the throughput benches to measure the transport, not the encoder.
+  // Partial-failure semantics: every item is attempted with its own
+  // deadline budget; a transport error mid-batch fails that item with a
+  // typed [transport] reason and the remainder still runs.
   std::vector<Expected<std::string>> SubmitMany(
       std::span<const std::string> rsls);
   Expected<ManagementReply> Status(const std::string& contact);

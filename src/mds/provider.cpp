@@ -1,6 +1,50 @@
 #include "mds/provider.h"
 
+#include <cstdint>
+#include <cstdlib>
+
 namespace gridauthz::mds {
+
+namespace {
+
+// Targeted scans over the /healthz JSON body. The body nests objects
+// (json::ParseFlatObject rejects it), and pulling four known fields out
+// of a document we also wrote does not need a full parser. ObjectWriter
+// emits `"key":value` with no whitespace, which is all these rely on.
+std::string_view ScanValue(std::string_view json, std::string_view key) {
+  const std::string needle = "\"" + std::string{key} + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string_view::npos) return {};
+  std::string_view rest = json.substr(at + needle.size());
+  if (!rest.empty() && rest.front() == '"') {
+    const std::size_t end = rest.find('"', 1);
+    if (end == std::string_view::npos) return {};
+    return rest.substr(1, end - 1);
+  }
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] != ',' && rest[end] != '}' &&
+         rest[end] != ']') {
+    ++end;
+  }
+  return rest.substr(0, end);
+}
+
+std::int64_t ScanInt(std::string_view json, std::string_view key) {
+  const std::string_view token = ScanValue(json, key);
+  if (token.empty()) return 0;
+  return std::strtoll(std::string{token}.c_str(), nullptr, 10);
+}
+
+std::size_t CountOccurrences(std::string_view json, std::string_view needle) {
+  std::size_t count = 0;
+  for (std::size_t at = json.find(needle); at != std::string_view::npos;
+       at = json.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
 
 Provider MakeHostProvider(std::string host, const os::SimScheduler* scheduler,
                           const os::SchedulerConfig& config) {
@@ -35,6 +79,46 @@ Provider MakeHostProvider(std::string host, const os::SimScheduler* scheduler,
                       std::to_string(queue.priority_boost));
       entries.push_back(std::move(queue_entry));
     }
+    return entries;
+  };
+}
+
+Provider MakeGatekeeperProvider(std::string node, std::string host,
+                                HealthzProbe probe) {
+  return [node = std::move(node), host = std::move(host),
+          probe = std::move(probe)]() {
+    Entry entry;
+    entry.dn = "mds-gatekeeper-node=" + node + ",mds-host-hn=" + host +
+               ",o=grid";
+    entry.Add("objectclass", "mds-gatekeeper");
+    entry.Add("mds-gatekeeper-node", node);
+    entry.Add("mds-host-hn", host);
+
+    Expected<std::string> body = probe();
+    if (!body.ok()) {
+      entry.Add("mds-health-status", "unreachable");
+      std::vector<Entry> entries;
+      entries.push_back(std::move(entry));
+      return entries;
+    }
+
+    const std::string status{ScanValue(*body, "status")};
+    entry.Add("mds-health-status", status.empty() ? "unreachable" : status);
+    entry.Add("mds-queue-depth",
+              std::to_string(ScanInt(*body, "queue_depth")));
+    // breakers: [{"backend":...,"state":"open"},...] — count the open
+    // ones; "half-open" does not match the quoted needle.
+    entry.Add("mds-breakers-open",
+              std::to_string(CountOccurrences(*body, "\"state\":\"open\"")));
+    const std::string_view burn = ScanValue(*body, "burn_rate");
+    const double burn_rate =
+        burn.empty() ? 0.0 : std::strtod(std::string{burn}.c_str(), nullptr);
+    entry.Add("mds-slo-burn-milli",
+              std::to_string(static_cast<std::int64_t>(burn_rate * 1000.0)));
+    entry.Add("mds-policy-generation",
+              std::to_string(ScanInt(*body, "policy_generation")));
+    std::vector<Entry> entries;
+    entries.push_back(std::move(entry));
     return entries;
   };
 }

@@ -19,4 +19,24 @@ namespace gridauthz::mds {
 Provider MakeHostProvider(std::string host, const os::SimScheduler* scheduler,
                           const os::SchedulerConfig& config);
 
+// Fetches a gatekeeper node's /healthz JSON body. Kept as a function so
+// mds stays transport-agnostic: the fleet layer supplies a closure over
+// its obs endpoint; tests supply canned bodies. An error return means
+// the node did not answer at all.
+using HealthzProbe = std::function<Expected<std::string>()>;
+
+// A provider publishing one mds-gatekeeper entry per invocation, read
+// live from the node's health endpoint — how the fleet broker discovers
+// node health the MDS way instead of via a private back-channel.
+// Published attributes:
+//   objectclass=mds-gatekeeper, mds-gatekeeper-node, mds-host-hn,
+//   mds-health-status (ok|degraded|unreachable),
+//   mds-queue-depth, mds-breakers-open, mds-slo-burn-milli
+//   (burn rate x1000 — attribute values are integer-comparable strings),
+//   mds-policy-generation
+// When the probe fails, the entry still appears with
+// mds-health-status=unreachable so searches can find dead nodes.
+Provider MakeGatekeeperProvider(std::string node, std::string host,
+                                HealthzProbe probe);
+
 }  // namespace gridauthz::mds

@@ -351,6 +351,20 @@ std::vector<std::pair<LabelSet, std::int64_t>> MetricsRegistry::GaugeSeries(
   return out;
 }
 
+std::vector<std::pair<LabelSet, std::uint64_t>> MetricsRegistry::CounterSeries(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<LabelSet, std::uint64_t>> out;
+  auto family = families_.find(std::string{name});
+  if (family == families_.end() || family->second.kind != Kind::kCounter) {
+    return out;
+  }
+  for (const auto& [label_key, series] : family->second.series) {
+    out.emplace_back(series.labels, series.counter->value());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard lock(mu_);
   std::string out;

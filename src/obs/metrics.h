@@ -167,6 +167,11 @@ class MetricsRegistry {
   std::vector<std::pair<LabelSet, std::int64_t>> GaugeSeries(
       std::string_view name) const;
 
+  // Same for a counter family — the fleet broker's /healthz enumerates
+  // per-node routed/failover counters without knowing the node names.
+  std::vector<std::pair<LabelSet, std::uint64_t>> CounterSeries(
+      std::string_view name) const;
+
   // Prometheus-style text exposition:
   //   # TYPE authz_decisions_total counter
   //   authz_decisions_total{outcome="permit",source="vo"} 3

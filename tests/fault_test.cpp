@@ -5,8 +5,10 @@
 // path must answer deny or kAuthorizationSystemFailure — never permit.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -506,6 +508,66 @@ TEST_F(FaultTest, FailedHalfOpenProbeReopensBreaker) {
   EXPECT_EQ(obs::Metrics().CounterValue("breaker_transitions_total",
                                         {{"backend", "cas"}, {"to", "open"}}),
             2u);
+}
+
+TEST_F(FaultTest, HalfOpenAdmitsExactlyOneProbeAtATime) {
+  SimClock sim;
+  CircuitBreakerOptions options;
+  options.min_calls = 1;
+  options.failure_rate_threshold = 0.5;
+  options.open_cooldown_us = 1000;
+  options.half_open_successes = 2;  // two serialized probes to close
+  CircuitBreaker breaker{"akenti-probe", options, &sim};
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  sim.AdvanceMicros(1000);
+
+  // First probe takes the token; every other caller is rejected until
+  // its fate is recorded — even with multiple successes still required.
+  ASSERT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // 1 of 2 successes
+
+  // Token released: exactly one more probe goes, and its success closes.
+  ASSERT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST_F(FaultTest, ConcurrentCallersRacingCooldownAdmitOneProbe) {
+  SimClock sim;
+  CircuitBreakerOptions options;
+  options.min_calls = 1;
+  options.failure_rate_threshold = 0.5;
+  options.open_cooldown_us = 1000;
+  CircuitBreaker breaker{"cas-race", options, &sim};
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  sim.AdvanceMicros(1000);  // cooldown expired; next Allow goes half-open
+
+  // A thundering herd races Allow() at the instant the cooldown expires.
+  // Exactly one caller may win the probe token.
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      if (breaker.Allow()) admitted.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
 }
 
 TEST_F(FaultTest, OpenBreakerFailsClosedWithoutCallingBackend) {

@@ -4,9 +4,11 @@
 // requests, policy files, wire frames, MDS filters, XML policies).
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "core/policy.h"
 #include "fault/fault.h"
 #include "fault/retry.h"
+#include "fleet/node.h"
 #include "gram/wire.h"
 #include "gridmap/gridmap.h"
 #include "gsi/dn.h"
@@ -288,6 +290,63 @@ TEST_P(FuzzTest, ParsedSoupEvaluatesSafely) {
     }
   }
   SUCCEED();
+}
+
+TEST_P(FuzzTest, FleetBrokerFramesAlwaysGetTypedDecodableReplies) {
+  // The broker is the fleet's front door, so it faces the rawest input
+  // of all. Soup, truncated frames, oversized frames, duplicate keys,
+  // and mutated valid requests must each produce a non-empty reply that
+  // parses back as a wire message — a dead-air reply ("") is how the
+  // broker itself signals a dead NODE, so emitting one here would make
+  // the broker indistinguishable from a crashed fleet.
+  Rng rng(1500 + GetParam());
+  SimClock clock;
+  fleet::FleetOptions options;
+  options.nodes = 2;
+  fleet::Fleet grid{
+      options, &clock,
+      core::PolicyDocument::Parse("/O=Grid:\n&(action = start)\n").value()};
+  ASSERT_TRUE(grid.AddAccount("member").ok());
+  auto user = grid.CreateUser("/O=Grid/CN=Fuzzer");
+  ASSERT_TRUE(user.ok());
+  ASSERT_TRUE(grid.MapUser(*user, "member").ok());
+
+  const std::string valid_job =
+      "protocol-version: 2\r\nmessage-type: job-request\r\n"
+      "rsl: &(executable=a)\r\n";
+  const std::string valid_management =
+      "protocol-version: 2\r\nmessage-type: management-request\r\n"
+      "job-contact: https://gk-0.anl.gov:8443/jobmanager/1\r\n"
+      "operation: status\r\n";
+  for (int i = 0; i < 120; ++i) {
+    std::string frame;
+    switch (rng.Below(5)) {
+      case 0:
+        frame = RandomSoup(rng, 10 + rng.Below(200));
+        break;
+      case 1:  // truncated valid frame
+        frame = valid_job.substr(0, rng.Below(valid_job.size()));
+        break;
+      case 2:  // oversized: a legal prefix dragging a huge tail
+        frame = valid_management + "padding: " +
+                std::string(16 * 1024 + rng.Below(64 * 1024), 'x') + "\r\n";
+        break;
+      case 3:  // duplicate contact keys pointing at different nodes
+        frame = valid_management +
+                "job-contact: https://gk-1.anl.gov:8443/jobmanager/9\r\n";
+        break;
+      default:
+        frame = Mutate(rng, rng.Below(2) ? valid_job : valid_management);
+        break;
+    }
+    const std::string reply = grid.broker().Handle(*user, frame);
+    ASSERT_FALSE(reply.empty()) << "dead-air reply for frame: " << frame;
+    auto parsed = gram::wire::Message::Parse(reply);
+    ASSERT_TRUE(parsed.ok()) << "undecodable reply for frame: " << frame;
+  }
+  // The fleet survived the barrage: a well-formed submission still works.
+  gram::wire::WireClient client{*user, &grid.broker()};
+  EXPECT_TRUE(client.Submit("&(executable=a)").ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4));

@@ -4,8 +4,14 @@
 // and corrupted-state failure modes.
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
+#include "core/policy.h"
+#include "fleet/chaos.h"
+#include "fleet/node.h"
+#include "gram/protocol.h"
 #include "gram/recovery.h"
 #include "gram/site.h"
+#include "gram/wire_service.h"
 
 namespace gridauthz::gram {
 namespace {
@@ -173,6 +179,86 @@ TEST_F(RecoveryTest, CorruptStateFails) {
       RestoreJobManagerState("garbage without version\n%%\n", registry,
                              environment)
           .ok());
+}
+
+// A crashed fleet node restarts from its persisted Job Manager state
+// and rejoins the fleet: while it is dead, management for its jobs
+// fails closed with the typed [fleet] reason; its saved state restores
+// against the still-running scheduler; after ReattachNode the broker
+// routes management for the pre-crash jobs back to it and they answer.
+TEST(FleetRecovery, RestartedNodeRejoinsAndServesPreCrashJobs) {
+  constexpr const char* kFleetPolicy = R"(
+/O=Grid:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = FLT)(count<4)
+&(action = information)(jobowner = self)
+&(action = cancel)(jobowner = self)
+)";
+  SimClock clock;
+  fleet::FleetOptions options;
+  options.nodes = 3;
+  fleet::Fleet grid{options, &clock,
+                    core::PolicyDocument::Parse(kFleetPolicy).value()};
+  ASSERT_TRUE(grid.AddAccount("member").ok());
+  std::vector<gsi::Credential> users;
+  std::vector<std::string> contacts;
+  for (int u = 0; u < 4; ++u) {
+    auto user = grid.CreateUser("/O=Grid/CN=Member " + std::to_string(u));
+    ASSERT_TRUE(user.ok());
+    ASSERT_TRUE(grid.MapUser(*user, "member").ok());
+    users.push_back(*user);
+    wire::WireClient client{*user, &grid.broker()};
+    auto contact = client.Submit(
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=FLT)(count=1)"
+        "(simduration=100000)");
+    ASSERT_TRUE(contact.ok()) << contact.error();
+    contacts.push_back(*contact);
+  }
+
+  // Pick the node owning users[0]'s job as the crash victim.
+  std::size_t victim = grid.size();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid.node(i).host() == ContactHost(contacts[0])) victim = i;
+  }
+  ASSERT_LT(victim, grid.size());
+  fleet::GatekeeperNode& node = grid.node(victim);
+
+  // The state a real Job Manager would have written before dying.
+  const std::string saved = SaveJobManagerState(node.site().jmis());
+  EXPECT_FALSE(saved.empty());
+  grid.chaos(victim).SetMode(fleet::ChaosMode::kDead);
+
+  wire::WireClient client{users[0], &grid.broker()};
+  auto while_dead = client.Status(contacts[0]);
+  ASSERT_FALSE(while_dead.ok());
+  EXPECT_NE(while_dead.error().message().find("[fleet]"), std::string::npos);
+
+  // Restart: the persisted state restores every pre-crash JMI against
+  // the scheduler that kept running through the crash.
+  JobManagerRegistry restored;
+  RestoreEnvironment environment;
+  environment.scheduler = &node.site().scheduler();
+  environment.clock = &clock;
+  environment.callouts = &node.site().callouts();
+  auto count = RestoreJobManagerState(saved, restored, environment);
+  ASSERT_TRUE(count.ok()) << count.error();
+  EXPECT_EQ(static_cast<std::size_t>(*count), restored.size());
+  EXPECT_TRUE(restored.Lookup(contacts[0]).ok());
+
+  // Rejoin: heal the link and reattach; the broker clears the down mark
+  // and the node serves management for its pre-crash jobs again.
+  grid.chaos(victim).SetMode(fleet::ChaosMode::kHealthy);
+  grid.broker().ReattachNode(node.name());
+  grid.broker().RefreshHealth();
+  EXPECT_EQ(grid.broker().HealthOf(node.name()), fleet::NodeHealth::kUp);
+  auto after = client.Status(contacts[0]);
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after->status, JobStatus::kActive);
+  EXPECT_EQ(after->job_owner, users[0].identity().str());
+  // Jobs owned by the survivors were never disturbed.
+  for (std::size_t u = 1; u < users.size(); ++u) {
+    wire::WireClient other{users[u], &grid.broker()};
+    EXPECT_TRUE(other.Status(contacts[u]).ok());
+  }
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 // wire error code.
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "core/audit.h"
+#include "fault/fault.h"
+#include "fault/inject.h"
 #include "gram/site.h"
 #include "gram/wire_service.h"
 #include "obs/metrics.h"
@@ -171,6 +174,62 @@ TEST_F(WireServiceTest, CancelOnlyRightsStillGetOwnerInReply) {
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->code, GramErrorCode::kNone);
   EXPECT_EQ(reply->job_owner, kBoLiu);
+}
+
+TEST_F(WireServiceTest, SubmitManyOutageMidBatchFailsItemsWithTypedReason) {
+  // The transport dies permanently after serving one call. SubmitMany
+  // must fail the dead items with a typed [transport] reason and still
+  // attempt every remaining item — never abandon the rest of the batch.
+  fault::FaultSpec spec;
+  spec.outage_after = 1;
+  auto injector =
+      std::make_shared<fault::FaultInjector>("wire", spec, /*plan_seed=*/7);
+  fault::FaultyTransport flaky{&endpoint_, injector};
+  WireClient boliu{boliu_, &flaky};
+
+  const std::vector<std::string> rsls = {
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)",
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)",
+  };
+  auto results = boliu.SubmitMany(rsls);
+  ASSERT_EQ(results.size(), rsls.size());
+  EXPECT_TRUE(results[0].ok()) << results[0].error();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_FALSE(results[i].ok()) << "item " << i;
+    EXPECT_EQ(results[i].error().code(), ErrCode::kUnavailable);
+    EXPECT_EQ(FailureReasonTag(results[i].error()), kReasonTransport)
+        << results[i].error();
+  }
+  // Every item reached the transport: the batch kept going.
+  EXPECT_EQ(injector->calls(), rsls.size());
+}
+
+TEST_F(WireServiceTest, SubmitManyGivesEachItemItsOwnDeadlineBudget) {
+  // A slow transport must not let early items burn a shared absolute
+  // deadline: each item's deadline is computed at its own send time, so
+  // three 60ms calls under a 100ms per-item budget all succeed.
+  obs::SetObsClock(&site_.clock());
+  fault::FaultSpec spec;
+  spec.latency_us = 60'000;
+  auto injector = std::make_shared<fault::FaultInjector>(
+      "wire", spec, /*plan_seed=*/7, &site_.clock());
+  fault::FaultyTransport slow{&endpoint_, injector};
+  WireClient boliu{boliu_, &slow};
+  boliu.set_deadline_budget_us(100'000);
+
+  const std::vector<std::string> rsls = {
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)",
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+      "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)",
+  };
+  auto results = boliu.SubmitMany(rsls);
+  ASSERT_EQ(results.size(), rsls.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok())
+        << "item " << i << ": " << results[i].error();
+  }
+  obs::SetObsClock(nullptr);
 }
 
 TEST_F(WireServiceTest, TraceIdPropagatesFromClientToAuditRecord) {
