@@ -22,7 +22,8 @@ import argparse
 import json
 import sys
 
-LOWER_IS_BETTER = ("latency", "ns_per_frame", "p99", "p50")
+LOWER_IS_BETTER = ("latency", "ns_per_frame", "p99", "p50", "contended",
+                   "lock_wait")
 HIGHER_IS_BETTER = ("rps", "speedup", "scaling", "per_sec")
 
 

@@ -1,0 +1,70 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gridauthz {
+
+namespace {
+thread_local Arena* t_current_arena = nullptr;
+}  // namespace
+
+void* Arena::AllocateSlow(std::size_t size, std::size_t align) {
+  // Oversized requests get a dedicated chunk so one huge allocation
+  // doesn't force the doubling schedule to balloon.
+  const std::size_t payload = std::max(next_chunk_bytes_, size + align);
+  const std::size_t total = sizeof(Chunk) + payload;
+  auto* chunk = static_cast<Chunk*>(std::malloc(total));
+  chunk->prev = head_;
+  head_ = chunk;
+  bytes_reserved_ += payload;
+  // Geometric growth keeps the chunk count logarithmic in the request's
+  // total allocation volume; capped so a pathological request can't
+  // reserve multi-megabyte chunks forever.
+  next_chunk_bytes_ = std::min<std::size_t>(next_chunk_bytes_ * 2, 1 << 20);
+
+  char* base = reinterpret_cast<char*>(chunk + 1);
+  cursor_ = base;
+  limit_ = base + payload;
+
+  std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cursor_);
+  std::uintptr_t aligned =
+      (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+  cursor_ = reinterpret_cast<char*>(aligned + size);
+  bytes_allocated_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  while (head_ != nullptr) {
+    Chunk* prev = head_->prev;
+    std::free(head_);
+    head_ = prev;
+  }
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+Arena* CurrentArena() { return t_current_arena; }
+
+RequestArenaScope::RequestArenaScope() {
+  if (t_current_arena == nullptr) {
+    owned_ = new Arena();
+    t_current_arena = owned_;
+  }
+}
+
+RequestArenaScope::~RequestArenaScope() {
+  if (owned_ != nullptr) {
+    t_current_arena = nullptr;
+    delete owned_;
+  }
+}
+
+Arena& RequestArenaScope::arena() const {
+  return owned_ != nullptr ? *owned_ : *t_current_arena;
+}
+
+}  // namespace gridauthz

@@ -1,0 +1,140 @@
+// 128-bit non-cryptographic hashing for cache keys.
+//
+// The decision cache indexes entries by a 128-bit hash of the request
+// key (DESIGN.md §14): the wide hash makes accidental bucket collisions
+// between *different* keys vanishingly rare, which lets the hot lookup
+// compare 16 bytes instead of the full multi-hundred-byte key. The full
+// key is still stored and verified on every hit — the hash only has to
+// be well-distributed, never collision-proof, so a seedable
+// MurmurHash3-x64-128-style finalizer is enough and stays dependency
+// free.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace gridauthz {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+};
+
+namespace hash_internal {
+
+inline std::uint64_t Fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline std::uint64_t Rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t LoadU64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace hash_internal
+
+// MurmurHash3 x64 128-bit variant over `data`, seeded. The seed exists
+// so tests can force the table to behave adversarially (two distinct
+// keys landing in one set) without manufacturing real hash collisions.
+inline Hash128 HashBytes128(const void* data, std::size_t len,
+                            std::uint64_t seed = 0) {
+  using hash_internal::Fmix64;
+  using hash_internal::LoadU64;
+  using hash_internal::Rotl64;
+
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  const std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  const std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = LoadU64(bytes + i * 16);
+    std::uint64_t k2 = LoadU64(bytes + i * 16 + 8);
+    k1 *= c1;
+    k1 = Rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+    k2 *= c2;
+    k2 = Rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = bytes + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<std::uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<std::uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<std::uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<std::uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<std::uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<std::uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<std::uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = Rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<std::uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = Rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    default:
+      break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(len);
+  h2 ^= static_cast<std::uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = Fmix64(h1);
+  h2 = Fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+inline Hash128 HashString128(std::string_view s, std::uint64_t seed = 0) {
+  return HashBytes128(s.data(), s.size(), seed);
+}
+
+}  // namespace gridauthz

@@ -61,14 +61,17 @@ std::string_view Resolve(const std::string& value, std::string_view subject) {
 // The '=' values the request's effective RSL carries, indexed by
 // attribute: one flat (attribute, value) table sorted by attribute,
 // built once per Evaluate and shared by every assertion set. Views
-// point into the effective conjunction, which outlives the index.
+// point into the effective relations, which outlive the index; the
+// table itself is bump-allocated from the request arena (DESIGN.md
+// §14), so building it costs no allocator round trip on the serving
+// path.
 class CompiledPolicyDocument::RequestIndex {
  public:
-  explicit RequestIndex(const rsl::Conjunction& effective) {
-    for (const rsl::Relation& r : effective.relations()) {
-      if (r.op != rsl::RelOp::kEq) continue;
-      for (const std::string& v : r.values) {
-        if (!v.empty()) pairs_.emplace_back(r.attribute, v);
+  explicit RequestIndex(const ArenaVector<const rsl::Relation*>& effective) {
+    for (const rsl::Relation* r : effective) {
+      if (r->op != rsl::RelOp::kEq) continue;
+      for (const std::string& v : r->values) {
+        if (!v.empty()) pairs_.emplace_back(r->attribute, v);
       }
     }
     std::stable_sort(pairs_.begin(), pairs_.end(),
@@ -78,7 +81,7 @@ class CompiledPolicyDocument::RequestIndex {
   }
 
   using Iter =
-      std::vector<std::pair<std::string_view, std::string_view>>::const_iterator;
+      ArenaVector<std::pair<std::string_view, std::string_view>>::const_iterator;
 
   // The half-open run of values for `attribute` (empty when absent —
   // RequestValues' "attribute not present" case).
@@ -95,7 +98,7 @@ class CompiledPolicyDocument::RequestIndex {
   }
 
  private:
-  std::vector<std::pair<std::string_view, std::string_view>> pairs_;
+  ArenaVector<std::pair<std::string_view, std::string_view>> pairs_;
 };
 
 CompiledPolicyDocument::SetBody CompiledPolicyDocument::CompileBody(
@@ -237,9 +240,9 @@ CompiledPolicyDocument::CompiledPolicyDocument(PolicyDocument document,
       .Set(static_cast<std::int64_t>(document_.size()));
 }
 
-std::vector<std::size_t> CompiledPolicyDocument::Lookup(
+ArenaVector<std::size_t> CompiledPolicyDocument::Lookup(
     std::string_view identity) const {
-  std::vector<std::size_t> out;
+  ArenaVector<std::size_t> out;
   const std::string_view trimmed = strings::Trim(identity);
   const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
   // Root "/" statements apply to any '/'-rooted identity, parseable or
@@ -340,6 +343,10 @@ bool CompiledPolicyDocument::BodySatisfied(const SetBody& body,
 
 Decision CompiledPolicyDocument::Evaluate(
     const AuthorizationRequest& request) const {
+  // Per-request arena for the evaluation scratch (effective view,
+  // attribute index, applicable-statement list). A no-op when the PEP
+  // already opened one for this request.
+  RequestArenaScope arena_scope;
   obs::ScopedSpan span("pdp/evaluate");
   ProvenanceStageTimer stage("pdp/evaluate");
   Decision decision = EvaluateImpl(request);
@@ -352,7 +359,26 @@ Decision CompiledPolicyDocument::Evaluate(
 
 Decision CompiledPolicyDocument::EvaluateImpl(
     const AuthorizationRequest& request) const {
-  const rsl::Conjunction effective = request.ToEffectiveRsl();
+  // The effective RSL as a view instead of ToEffectiveRsl()'s deep copy:
+  // the job RSL's relations minus action/jobowner (exactly what
+  // Remove() would drop — attributes are stored canonical), then the
+  // two synthesized relations on the stack. Order matches
+  // ToEffectiveRsl (removals keep relative order, Add appends), which
+  // the compiled-vs-naive property test depends on.
+  const rsl::Relation action_relation{
+      "action", rsl::RelOp::kEq, {request.action}};
+  const rsl::Relation jobowner_relation{
+      "jobowner",
+      rsl::RelOp::kEq,
+      {request.job_owner.empty() ? request.subject : request.job_owner}};
+  ArenaVector<const rsl::Relation*> effective;
+  effective.reserve(request.job_rsl.relations().size() + 2);
+  for (const rsl::Relation& r : request.job_rsl.relations()) {
+    if (r.attribute == "action" || r.attribute == "jobowner") continue;
+    effective.push_back(&r);
+  }
+  effective.push_back(&action_relation);
+  effective.push_back(&jobowner_relation);
   // Provenance annotations at the same return points as the naive
   // evaluator, with identical values apart from the evaluator name — the
   // provenance_test pins the two paths together just like the decisions.
@@ -366,7 +392,7 @@ Decision CompiledPolicyDocument::EvaluateImpl(
     prov->matched_set = set;
     prov->failed_relation = std::string{failed};
   };
-  const std::vector<std::size_t> applicable = Lookup(request.subject);
+  const ArenaVector<std::size_t> applicable = Lookup(request.subject);
   if (applicable.empty()) {
     note("deny-no-applicable", "default-deny", 0);
     return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
@@ -406,10 +432,10 @@ Decision CompiledPolicyDocument::EvaluateImpl(
       ++set_index;
       if (options_.strict_attributes) {
         bool all_mentioned = true;
-        for (const rsl::Relation& r : effective.relations()) {
-          if (!IsOperationalAttribute(r.attribute) &&
+        for (const rsl::Relation* r : effective) {
+          if (!IsOperationalAttribute(r->attribute) &&
               !std::binary_search(set.mentioned.begin(), set.mentioned.end(),
-                                  r.attribute)) {
+                                  r->attribute)) {
             all_mentioned = false;
             break;
           }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/evaluator.h"
 #include "core/policy.h"
 #include "core/request.h"
@@ -102,7 +103,10 @@ class CompiledPolicyDocument {
   const TrieNode* FindChild(const TrieNode* node, std::string_view key) const;
 
   // Doc-order indices of statements whose subject covers `identity`.
-  std::vector<std::size_t> Lookup(std::string_view identity) const;
+  // Arena-backed: inside a request scope the result is bump-allocated
+  // and freed wholesale with the request; outside one the allocator
+  // falls back to the heap.
+  ArenaVector<std::size_t> Lookup(std::string_view identity) const;
 
   static bool BodySatisfied(const SetBody& body, const RequestIndex& index,
                             std::string_view subject,

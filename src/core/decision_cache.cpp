@@ -1,63 +1,158 @@
 #include "core/decision_cache.h"
 
-#include <functional>
+#include <atomic>
 
-#include "common/strings.h"
 #include "core/provenance.h"
 #include "obs/instrument.h"
 #include "obs/metrics.h"
 
 namespace gridauthz::core {
 
+namespace {
+
+// Thread-affine shard selection: each thread draws one token at first
+// use and sticks to shards_[token % shard_count] for its lifetime.
+// Threads therefore never contend on each other's shard lock (up to
+// shard_count concurrent threads); the price is that one key may be
+// cached in several shards, which is safe because every entry is
+// verified by full key and invalidated by generation/TTL on contact —
+// nothing relies on a key living in exactly one place.
+std::atomic<std::size_t> g_next_thread_token{0};
+thread_local const std::size_t t_thread_token =
+    g_next_thread_token.fetch_add(1, std::memory_order_relaxed);
+
+std::atomic<std::uint64_t> g_next_cache_instance{1};
+
+constexpr std::size_t kLocalSlots = 256;  // per-thread hit table size
+
+constexpr std::size_t NextPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 ShardedDecisionCache::ShardedDecisionCache(DecisionCacheOptions options)
-    : options_(options) {
+    : options_(options),
+      instance_id_(
+          g_next_cache_instance.fetch_add(1, std::memory_order_relaxed)) {
   if (options_.shard_count == 0) options_.shard_count = 1;
+  // capacity 0 disables the cache outright: an unbounded cache is a
+  // memory leak wearing a perf hat, and "no capacity" must not mean
+  // "infinite capacity".
+  if (options_.capacity_per_shard == 0) return;
+  ways_ = options_.capacity_per_shard < 4 ? options_.capacity_per_shard : 4;
+  const std::size_t sets =
+      NextPow2((options_.capacity_per_shard + ways_ - 1) / ways_);
+  set_mask_ = sets - 1;
   shards_.reserve(options_.shard_count);
   for (std::size_t i = 0; i < options_.shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->slots.resize(sets * ways_);
+    shard->hands.assign(sets, 0);
+    shards_.push_back(std::move(shard));
   }
 }
 
-ShardedDecisionCache::Shard& ShardedDecisionCache::ShardFor(
-    const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+ShardedDecisionCache::~ShardedDecisionCache() = default;
+
+ShardedDecisionCache::Shard& ShardedDecisionCache::ShardFor() {
+  return *shards_[t_thread_token % shards_.size()];
+}
+
+ShardedDecisionCache::LocalEntry* ShardedDecisionCache::LocalSlot(
+    const Hash128& hash) {
+  thread_local std::vector<LocalEntry> table(kLocalSlots);
+  return &table[hash.lo & (kLocalSlots - 1)];
+}
+
+void ShardedDecisionCache::RestoreProvenance(const CachedProvenance& cached,
+                                             std::uint64_t generation) {
+  // A hit bypasses the evaluator entirely, so the evaluator will never
+  // annotate provenance — restore what Record captured instead.
+  DecisionProvenance* prov = CurrentProvenance();
+  if (prov == nullptr) return;
+  prov->evaluator = cached.evaluator;
+  prov->matched_statement = cached.matched_statement;
+  prov->matched_set = cached.matched_set;
+  prov->decision_kind = cached.decision_kind;
+  prov->failed_relation = cached.failed_relation;
+  prov->policy_source = cached.policy_source;
+  if (generation != 0) prov->policy_generation = generation;
 }
 
 std::optional<Decision> ShardedDecisionCache::Lookup(const std::string& key,
                                                      std::uint64_t generation,
-                                                     std::int64_t now_us) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
-  auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) return std::nullopt;
-  // A generation mismatch means the policy changed since this entry was
-  // recorded; the entry is dead regardless of TTL.
-  if (it->second.generation != generation ||
-      now_us - it->second.stored_at_us > options_.ttl_us) {
-    shard.lru.erase(it->second.lru_it);
-    shard.entries.erase(it);
-    return std::nullopt;
+                                                     std::int64_t now_us,
+                                                     CacheMissKind* miss_kind) {
+  if (miss_kind != nullptr) *miss_kind = CacheMissKind::kCold;
+  if (shards_.empty()) return std::nullopt;
+  const Hash128 hash = HashString128(key, options_.hash_seed);
+
+  if (options_.thread_local_fast_path) {
+    // Repeat hit on this thread: no lock, no shard touch. Staleness is
+    // bounded exactly as for shard entries (generation + TTL), plus the
+    // flush sequence so Clear() kills these too.
+    LocalEntry* local = LocalSlot(hash);
+    if (local->cache_instance == instance_id_ &&
+        local->flush_seq == flush_seq_.load(std::memory_order_acquire) &&
+        local->hash == hash && local->generation == generation &&
+        now_us - local->stored_at_us <= options_.ttl_us &&
+        local->key == key) {
+      RestoreProvenance(local->provenance, local->generation);
+      return local->decision;
+    }
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-  // A hit bypasses the evaluator entirely, so the evaluator will never
-  // annotate provenance — restore what Record captured instead.
-  if (DecisionProvenance* prov = CurrentProvenance()) {
-    const CachedProvenance& cached = it->second.provenance;
-    prov->evaluator = cached.evaluator;
-    prov->matched_statement = cached.matched_statement;
-    prov->matched_set = cached.matched_set;
-    prov->decision_kind = cached.decision_kind;
-    prov->failed_relation = cached.failed_relation;
-    prov->policy_source = cached.policy_source;
-    prov->policy_generation = it->second.generation;
+
+  Shard& shard = ShardFor();
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mu);
+  const std::size_t set = static_cast<std::size_t>(hash.hi) & set_mask_;
+  Entry* base = &shard.slots[set * ways_];
+  for (std::size_t i = 0; i < ways_; ++i) {
+    Entry& entry = base[i];
+    if (!entry.occupied || entry.hash != hash || entry.key != key) continue;
+    // A generation mismatch means the policy changed since this entry
+    // was recorded; the entry is dead regardless of TTL.
+    if (entry.generation != generation) {
+      entry.occupied = false;
+      entry.key.clear();
+      --shard.live;
+      invalidated_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (miss_kind != nullptr) *miss_kind = CacheMissKind::kInvalidated;
+      return std::nullopt;
+    }
+    if (now_us - entry.stored_at_us > options_.ttl_us) {
+      entry.occupied = false;
+      entry.key.clear();
+      --shard.live;
+      expired_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (miss_kind != nullptr) *miss_kind = CacheMissKind::kExpired;
+      return std::nullopt;
+    }
+    entry.ref = 1;
+    RestoreProvenance(entry.provenance, entry.generation);
+    if (options_.thread_local_fast_path) {
+      LocalEntry* local = LocalSlot(hash);
+      local->cache_instance = instance_id_;
+      local->flush_seq = flush_seq_.load(std::memory_order_acquire);
+      local->hash = hash;
+      local->key = entry.key;
+      local->decision = entry.decision;
+      local->generation = entry.generation;
+      local->stored_at_us = entry.stored_at_us;
+      local->provenance = entry.provenance;
+    }
+    return entry.decision;
   }
-  return it->second.decision;
+  return std::nullopt;
 }
 
 void ShardedDecisionCache::Record(const std::string& key,
                                   std::uint64_t generation,
                                   std::int64_t now_us,
                                   const Decision& decision) {
+  if (shards_.empty()) return;
   // Capture the evaluation provenance alongside the decision so a later
   // hit can restore it (the statement a cached answer came from must not
   // be forgotten just because the evaluator was skipped).
@@ -70,42 +165,85 @@ void ShardedDecisionCache::Record(const std::string& key,
     captured.failed_relation = prov->failed_relation;
     captured.policy_source = prov->policy_source;
   }
-  Shard& shard = ShardFor(key);
-  std::lock_guard lock(shard.mu);
-  auto it = shard.entries.find(key);
-  if (it != shard.entries.end()) {
-    it->second.decision = decision;
-    it->second.generation = generation;
-    it->second.stored_at_us = now_us;
-    it->second.provenance = std::move(captured);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-    return;
+  const Hash128 hash = HashString128(key, options_.hash_seed);
+  Shard& shard = ShardFor();
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mu);
+  const std::size_t set = static_cast<std::size_t>(hash.hi) & set_mask_;
+  Entry* base = &shard.slots[set * ways_];
+
+  Entry* target = nullptr;
+  for (std::size_t i = 0; i < ways_; ++i) {
+    if (base[i].occupied && base[i].hash == hash && base[i].key == key) {
+      target = &base[i];  // refresh in place
+      target->ref = 1;
+      break;
+    }
   }
-  if (shard.entries.size() >= options_.capacity_per_shard &&
-      !shard.lru.empty()) {
-    shard.entries.erase(shard.lru.back());
-    shard.lru.pop_back();
+  if (target == nullptr) {
+    for (std::size_t i = 0; i < ways_; ++i) {
+      if (!base[i].occupied) {
+        target = &base[i];
+        break;
+      }
+    }
+    if (target == nullptr) {
+      // CLOCK: sweep the set clearing reference bits; the first entry
+      // found unreferenced since its last sweep is the victim. Bounded
+      // by two sweeps — after one full pass every bit is clear.
+      std::uint32_t& hand = shard.hands[set];
+      for (;;) {
+        Entry& candidate = base[hand];
+        hand = static_cast<std::uint32_t>((hand + 1) % ways_);
+        if (candidate.ref != 0) {
+          candidate.ref = 0;
+          continue;
+        }
+        target = &candidate;
+        break;
+      }
+      capacity_evictions_.fetch_add(1, std::memory_order_relaxed);
+      --shard.live;
+    }
+    target->occupied = true;
+    target->ref = 0;
+    ++shard.live;
   }
-  shard.lru.push_front(key);
-  shard.entries[key] = Entry{decision, generation, now_us,
-                             std::move(captured), shard.lru.begin()};
+  target->hash = hash;
+  target->key = key;
+  target->decision = decision;
+  target->generation = generation;
+  target->stored_at_us = now_us;
+  target->provenance = std::move(captured);
 }
 
 void ShardedDecisionCache::Clear() {
+  // Invalidate every per-thread table first so no thread can serve a
+  // pre-Clear entry after observing the cleared shards.
+  flush_seq_.fetch_add(1, std::memory_order_release);
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    shard->entries.clear();
-    shard->lru.clear();
+    const std::lock_guard<obs::ProfiledMutex> lock(shard->mu);
+    for (Entry& entry : shard->slots) {
+      entry.occupied = false;
+      entry.ref = 0;
+      entry.key.clear();
+    }
+    shard->hands.assign(shard->hands.size(), 0);
+    shard->live = 0;
   }
 }
 
 std::size_t ShardedDecisionCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    total += shard->entries.size();
+    const std::lock_guard<obs::ProfiledMutex> lock(shard->mu);
+    total += shard->live;
   }
   return total;
+}
+
+std::size_t ShardedDecisionCache::capacity() const {
+  if (shards_.empty()) return 0;
+  return shards_.size() * (set_mask_ + 1) * ways_;
 }
 
 CachingPolicySource::CachingPolicySource(std::shared_ptr<PolicySource> inner,
@@ -113,19 +251,48 @@ CachingPolicySource::CachingPolicySource(std::shared_ptr<PolicySource> inner,
                                          const Clock* clock)
     : inner_(std::move(inner)), clock_(clock), cache_(options) {}
 
-std::string CachingPolicySource::Key(const AuthorizationRequest& request) {
+namespace {
+
+// <len>:<bytes>; — the length prefix, not the content, decides where a
+// field ends, so no crafted value can impersonate a field boundary.
+void AppendLengthPrefixed(std::string& out, std::string_view field) {
+  out += std::to_string(field.size());
+  out += ':';
+  out.append(field.data(), field.size());
+  out += ';';
+}
+
+}  // namespace
+
+void CachingPolicySource::AppendKey(const AuthorizationRequest& request,
+                                    std::string& out) {
   // Everything the evaluators can read: identity, action, job binding,
-  // the job RSL, VO attributes, and any restriction policy. Fields are
-  // newline-joined; the RSL's canonical rendering quotes embedded
-  // newlines, so fields cannot bleed into each other.
-  std::string key = request.subject + '\n' + request.action + '\n' +
-                    request.job_id + '\n' + request.job_owner + '\n' +
-                    request.job_rsl.ToString() + '\n' +
-                    strings::Join(request.attributes, "\x1f");
-  if (request.restriction_policy.has_value()) {
-    key += '\n';
-    key += *request.restriction_policy;
+  // the job RSL, VO attributes, and any restriction policy. Every field
+  // is length-prefixed and the attribute list is count-prefixed; a
+  // present-but-empty restriction policy is distinct from an absent one.
+  // (The old newline-joined form let ["a\nX"] with no restriction
+  // policy collide with ["a"] plus restriction policy "X".)
+  AppendLengthPrefixed(out, request.subject);
+  AppendLengthPrefixed(out, request.action);
+  AppendLengthPrefixed(out, request.job_id);
+  AppendLengthPrefixed(out, request.job_owner);
+  AppendLengthPrefixed(out, request.job_rsl.ToString());
+  out += std::to_string(request.attributes.size());
+  out += '#';
+  for (const std::string& attribute : request.attributes) {
+    AppendLengthPrefixed(out, attribute);
   }
+  if (request.restriction_policy.has_value()) {
+    out += 'R';
+    AppendLengthPrefixed(out, *request.restriction_policy);
+  } else {
+    out += '-';
+  }
+}
+
+std::string CachingPolicySource::Key(const AuthorizationRequest& request) {
+  std::string key;
+  AppendKey(request, key);
   return key;
 }
 
@@ -145,14 +312,24 @@ Expected<Decision> CachingPolicySource::Authorize(
     prov->cache_checked = true;
     prov->cache_generation = generation_before;
   }
-  const std::string key = Key(request);
-  if (auto cached = cache_.Lookup(key, generation_before,
-                                  clock->NowMicros())) {
+  // One key buffer per thread: key construction is on the hit path, so
+  // it must not pay a fresh allocation per request.
+  thread_local std::string key_buffer;
+  key_buffer.clear();
+  AppendKey(request, key_buffer);
+  CacheMissKind miss_kind = CacheMissKind::kCold;
+  if (auto cached = cache_.Lookup(key_buffer, generation_before,
+                                  clock->NowMicros(), &miss_kind)) {
     hits_.Increment();
     if (prov != nullptr) prov->cache_hit = true;
     return *cached;
   }
   misses_.Increment();
+  if (miss_kind == CacheMissKind::kExpired) {
+    expired_.Increment();
+  } else if (miss_kind == CacheMissKind::kInvalidated) {
+    invalidated_.Increment();
+  }
 
   Expected<Decision> decision = inner_->Authorize(request);
   if (decision.ok()) {
@@ -160,7 +337,8 @@ Expected<Decision> CachingPolicySource::Authorize(
     // otherwise the decision's provenance is ambiguous and caching it
     // could resurrect pre-reload policy.
     if (inner_->policy_generation() == generation_before) {
-      cache_.Record(key, generation_before, clock->NowMicros(), *decision);
+      cache_.Record(key_buffer, generation_before, clock->NowMicros(),
+                    *decision);
     }
   }
   return decision;

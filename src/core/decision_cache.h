@@ -1,10 +1,9 @@
-// The decision cache on top of the snapshot fast path (DESIGN.md §9).
+// The decision cache on top of the snapshot fast path (DESIGN.md §9, §14).
 //
 // Management actions (cancel / information / signal) on a long-running
 // job ask the same question over and over: same subject, same job, same
-// policy. ShardedDecisionCache memoizes those answers; shards bound lock
-// contention under the job manager's concurrent callouts. Three rules
-// keep it honest:
+// policy. ShardedDecisionCache memoizes those answers. Three rules keep
+// it honest:
 //
 //  * `start` is NEVER cached — admitting new work must always consult
 //    live policy (the same fail-closed stance the fault layer's
@@ -12,7 +11,22 @@
 //  * every entry is stamped with the source's policy generation; a
 //    reload or Replace bumps the generation and orphans every older
 //    entry, so no decision outlives the policy that produced it;
-//  * entries expire after a TTL and are evicted LRU beyond capacity.
+//  * entries expire after a TTL and are evicted CLOCK-wise beyond
+//    capacity.
+//
+// Layout (the million-RPS rework): each shard is a set-associative
+// open-addressing table — fixed slots, no per-entry heap nodes, no LRU
+// list to splice on every hit. Entries are indexed by a 128-bit hash of
+// the request key (common/hash128.h); the full key is kept only to
+// verify a hash match, never to place the entry. Shards are selected by
+// a thread-affine index (each thread sticks to "its" shard), so under
+// the job manager's concurrent callouts threads stop colliding on one
+// shard lock; the same key may then live in several shards, which is
+// safe because entries are verified by full key and invalidated by
+// generation/TTL on contact, never by cross-shard delete. On top of
+// that, each thread keeps a small local table of entries it has hit
+// before, revalidated by generation/TTL and a cache flush sequence —
+// repeat hits touch no lock at all.
 //
 // CachingPolicySource wires the cache in front of any PolicySource that
 // reports policy generations. It differs from fault::LastGoodCache in
@@ -20,9 +34,8 @@
 // this one skips re-evaluating while policy is provably UNCHANGED.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,6 +43,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash128.h"
 #include "core/request.h"
 #include "core/source.h"
 #include "obs/contention.h"
@@ -39,26 +53,63 @@ namespace gridauthz::core {
 
 struct DecisionCacheOptions {
   std::size_t shard_count = 8;
-  std::size_t capacity_per_shard = 256;  // entries; LRU beyond this
-  std::int64_t ttl_us = 60'000'000;      // entry lifetime
+  // Entries per shard, CLOCK-evicted beyond this. 0 disables the cache
+  // entirely (every Lookup misses, Record is a no-op) — it must never
+  // mean "unbounded".
+  std::size_t capacity_per_shard = 256;
+  std::int64_t ttl_us = 60'000'000;  // entry lifetime
+  // Per-thread lock-free hit table in front of the shards. Off, every
+  // lookup takes the shard lock — strict shard-only semantics, used by
+  // tests that assert exact eviction order.
+  bool thread_local_fast_path = true;
+  // Hash seed; tests use it to steer keys into colliding table sets.
+  std::uint64_t hash_seed = 0;
+};
+
+// Why a lookup missed — split so /metrics can tell "the policy changed"
+// (invalidated) from "the entry aged out" (expired) from "never seen"
+// (cold). The first two drop the entry on contact.
+enum class CacheMissKind : std::uint8_t {
+  kCold = 0,
+  kExpired,
+  kInvalidated,
 };
 
 class ShardedDecisionCache {
  public:
   explicit ShardedDecisionCache(DecisionCacheOptions options = {});
+  ~ShardedDecisionCache();
+  ShardedDecisionCache(const ShardedDecisionCache&) = delete;
+  ShardedDecisionCache& operator=(const ShardedDecisionCache&) = delete;
 
   // A fresh decision cached for `key` at `generation`, or nullopt.
   // Entries from other generations (and expired ones) are dropped on
-  // contact.
+  // contact; when `miss_kind` is non-null it reports why a miss missed.
   std::optional<Decision> Lookup(const std::string& key,
                                  std::uint64_t generation,
-                                 std::int64_t now_us);
+                                 std::int64_t now_us,
+                                 CacheMissKind* miss_kind = nullptr);
 
   void Record(const std::string& key, std::uint64_t generation,
               std::int64_t now_us, const Decision& decision);
 
   void Clear();
   std::size_t size() const;
+
+  // Total slots the table can ever hold (set count × associativity,
+  // summed over shards); size() never exceeds this. 0 when disabled.
+  std::size_t capacity() const;
+
+  // Drop-on-contact / eviction counters (test + metrics introspection).
+  std::uint64_t expired_drops() const {
+    return expired_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t invalidated_drops() const {
+    return invalidated_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t capacity_evictions() const {
+    return capacity_evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Provenance captured when the entry was recorded: enough to let a
@@ -74,31 +125,67 @@ class ShardedDecisionCache {
     std::string policy_source;
   };
   struct Entry {
+    Hash128 hash;       // placement + first-stage compare
+    std::string key;    // full key: verifies the hash match
     Decision decision;
     std::uint64_t generation = 0;
     std::int64_t stored_at_us = 0;
     CachedProvenance provenance;
-    std::list<std::string>::iterator lru_it;
+    bool occupied = false;
+    std::uint8_t ref = 0;  // CLOCK reference bit: set on hit
   };
   struct Shard {
     // All shards charge one contention site: the interesting question
-    // is "does the cache lock hurt", not which of 8 shards.
+    // is "does the cache lock hurt", not which of N shards.
     obs::ProfiledMutex mu{"decision_cache/shard"};
-    std::map<std::string, Entry> entries;
-    std::list<std::string> lru;  // front = most recent
+    std::vector<Entry> slots;      // num_sets × ways, set-major
+    std::vector<std::uint32_t> hands;  // CLOCK hand per set
+    std::size_t live = 0;
   };
 
-  Shard& ShardFor(const std::string& key);
+  // One slot of the per-thread hit table: a direct-mapped copy of a
+  // shard entry, revalidated on every use by cache instance id (a
+  // global monotonic counter, so a destroyed cache's slots can never be
+  // mistaken for a new cache reusing its address), flush sequence,
+  // hash, full key, generation, and TTL.
+  struct LocalEntry {
+    std::uint64_t cache_instance = 0;
+    std::uint64_t flush_seq = 0;
+    Hash128 hash;
+    std::string key;
+    Decision decision;
+    std::uint64_t generation = 0;
+    std::int64_t stored_at_us = 0;
+    CachedProvenance provenance;
+  };
+
+  Shard& ShardFor();
+  static LocalEntry* LocalSlot(const Hash128& hash);
+  static void RestoreProvenance(const CachedProvenance& provenance,
+                                std::uint64_t generation);
 
   DecisionCacheOptions options_;
+  std::size_t ways_ = 0;
+  std::size_t set_mask_ = 0;  // num_sets - 1 (num_sets is a power of two)
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Distinguishes this cache in the per-thread hit tables; a monotonic
+  // id (never a pointer) so a recycled allocation can't impersonate a
+  // destroyed cache.
+  std::uint64_t instance_id_;
+  // Bumped by Clear(): per-thread entries stamped with an older value
+  // are dead.
+  std::atomic<std::uint64_t> flush_seq_{1};
+  std::atomic<std::uint64_t> expired_drops_{0};
+  std::atomic<std::uint64_t> invalidated_drops_{0};
+  std::atomic<std::uint64_t> capacity_evictions_{0};
 };
 
 // Wraps a PolicySource with the decision cache. Only management actions
 // with a non-zero inner policy generation are served from cache; start
 // requests and generation-less sources pass straight through. Hits and
 // misses are counted as authz_cache_hits_total / authz_cache_misses_total
-// {source}.
+// {source}; misses caused by policy change / TTL are additionally
+// counted as authz_cache_invalidated_total / authz_cache_expired_total.
 class CachingPolicySource final : public PolicySource {
  public:
   CachingPolicySource(std::shared_ptr<PolicySource> inner,
@@ -113,9 +200,13 @@ class CachingPolicySource final : public PolicySource {
 
   std::size_t cache_size() const { return cache_.size(); }
 
-  // The cache key: everything a decision can depend on. Exposed for
-  // tests.
+  // The cache key: everything a decision can depend on, each field
+  // length-prefixed so no value can masquerade as a field boundary.
+  // Exposed for tests.
   static std::string Key(const AuthorizationRequest& request);
+  // Same, appended into a caller-owned buffer (the serving path reuses
+  // a per-thread buffer instead of allocating a string per request).
+  static void AppendKey(const AuthorizationRequest& request, std::string& out);
 
  private:
   std::shared_ptr<PolicySource> inner_;
@@ -124,6 +215,10 @@ class CachingPolicySource final : public PolicySource {
                            {{"source", inner_->name()}}};
   obs::CounterHandle misses_{std::string{obs::kMetricCacheMisses},
                              {{"source", inner_->name()}}};
+  obs::CounterHandle expired_{"authz_cache_expired_total",
+                              {{"source", inner_->name()}}};
+  obs::CounterHandle invalidated_{"authz_cache_invalidated_total",
+                                  {{"source", inner_->name()}}};
   const Clock* clock_;  // null = obs::ObsClock() at call time
   ShardedDecisionCache cache_;
 };

@@ -1,0 +1,104 @@
+#include "core/epoch.h"
+
+namespace gridauthz::core {
+
+// Per-thread reader state: the claimed slot and the pin nesting depth.
+// Claiming touches the shared slot array only on a thread's first read;
+// the slot is released (and its epoch already quiescent) at thread
+// exit so slots recycle across short-lived threads. A thread that found
+// every slot taken stays on the fallback path for its lifetime rather
+// than re-scanning 256 slots per read.
+struct EpochThreadState {
+  EpochDomain::ReaderSlot* slot = nullptr;
+  int depth = 0;
+  bool claim_attempted = false;
+
+  ~EpochThreadState() {
+    if (slot != nullptr) {
+      EpochDomain::Instance().ReleaseSlot(slot);
+      slot = nullptr;
+    }
+  }
+};
+
+namespace {
+thread_local EpochThreadState t_reader;
+}  // namespace
+
+EpochDomain& EpochDomain::Instance() {
+  static EpochDomain* domain = new EpochDomain();  // never destroyed
+  return *domain;
+}
+
+EpochDomain::ReaderSlot* EpochDomain::ClaimSlot() {
+  for (ReaderSlot& slot : slots_) {
+    bool expected = false;
+    if (slot.claimed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+void EpochDomain::ReleaseSlot(ReaderSlot* slot) {
+  slot->pinned.store(0, std::memory_order_release);
+  slot->claimed.store(false, std::memory_order_release);
+}
+
+bool EpochDomain::Pin() {
+  EpochThreadState& state = t_reader;
+  if (state.depth > 0) {
+    // Nested read: the outer pin's epoch already lower-bounds every
+    // retire epoch a writer can assign from here on.
+    ++state.depth;
+    return true;
+  }
+  if (state.slot == nullptr) {
+    if (state.claim_attempted) return false;  // exhausted; don't rescan
+    state.claim_attempted = true;
+    state.slot = Instance().ClaimSlot();
+    if (state.slot == nullptr) return false;
+  }
+  EpochDomain& domain = Instance();
+  std::uint64_t observed = domain.epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    // Publish the pin, then re-validate: if a writer bumped the epoch
+    // between the load and the store it may have scanned our slot
+    // before the store landed, so the pin must be re-issued at the new
+    // epoch before any snapshot pointer is dereferenced.
+    state.slot->pinned.store(observed, std::memory_order_seq_cst);
+    const std::uint64_t check = domain.epoch_.load(std::memory_order_seq_cst);
+    if (check == observed) break;
+    observed = check;
+  }
+  state.depth = 1;
+  return true;
+}
+
+void EpochDomain::Unpin() {
+  EpochThreadState& state = t_reader;
+  if (--state.depth == 0) {
+    // Release: everything this reader did inside the snapshot
+    // happens-before a writer that observes the quiescent slot.
+    state.slot->pinned.store(0, std::memory_order_release);
+  }
+}
+
+bool EpochDomain::SafeToReclaim(std::uint64_t retire_epoch) const {
+  for (const ReaderSlot& slot : slots_) {
+    const std::uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < retire_epoch) return false;
+  }
+  return true;
+}
+
+std::size_t EpochDomain::ClaimedSlotCountForTest() const {
+  std::size_t count = 0;
+  for (const ReaderSlot& slot : slots_) {
+    if (slot.claimed.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,223 @@
+// Epoch-based lock-free snapshot publication (DESIGN.md §14).
+//
+// The mutex-guarded SnapshotPtr made every Authorize() serialize on one
+// lock just to bump a shared_ptr refcount — /contention ranked that
+// mutex (and the refcount cache-line ping-pong behind it) at the top of
+// the serving-path wait profile once the decision cache stopped
+// contending. EpochSnapshotPtr removes both: readers pin the current
+// snapshot by publishing the global epoch into a per-thread slot (one
+// uncontended seq_cst store plus a validation load — no shared mutex,
+// no refcount write), and writers swap the pointer, bump the epoch, and
+// retire the old snapshot until every pinned slot has moved past the
+// retire epoch.
+//
+// Why not std::atomic<std::shared_ptr>: libstdc++ implements it with a
+// spinlock pool whose reader unlock is a relaxed store ThreadSanitizer
+// cannot pair with the next writer, so the TSan matrix would light up
+// on every reload; and even a clean implementation still bounces the
+// control-block refcount line between every reader core. The epoch
+// scheme uses only explicit seq_cst / acquire / release operations on
+// slots TSan models exactly, and readers write only their own
+// cache-line-aligned slot.
+//
+// Memory-ordering contract (the part TSan checks):
+//  * pin:    slot.store(E, seq_cst) then re-validate epoch == E; only
+//            then is current_ loaded (acquire). A writer that bumped the
+//            epoch to E published its swap before the bump, so a pin at
+//            epoch >= retire-epoch can only observe the new pointer.
+//  * unpin:  slot.store(0, release) — everything the reader did with
+//            the snapshot happens-before a writer's acquire scan that
+//            observes the quiescent (or re-pinned) slot, which
+//            happens-before the writer destroys the snapshot.
+//
+// Reads nest (a source calling another source under an active pin is
+// fine: the outer pin's epoch lower-bounds every later retire epoch).
+// Threads claim one of kMaxReaderThreads fixed slots on first read and
+// release it at thread exit; if all slots are claimed by live threads,
+// extra threads fall back to the mutex-guarded shared_ptr path — slower
+// but identical semantics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/contention.h"
+
+namespace gridauthz::core {
+
+// Process-wide epoch domain shared by every EpochSnapshotPtr: one global
+// epoch counter and one fixed array of per-thread reader slots. Sharing
+// a domain means a thread pays one slot store per outermost read no
+// matter how many snapshot sources it consults.
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxReaderThreads = 256;
+
+  struct alignas(64) ReaderSlot {
+    // 0 = quiescent; otherwise the epoch this thread pinned.
+    std::atomic<std::uint64_t> pinned{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  static EpochDomain& Instance();
+
+  // Pins the current epoch for this thread (nestable). Returns false
+  // when no reader slot could be claimed — the caller must fall back to
+  // a refcounted read. Every successful Pin() must be paired with
+  // Unpin().
+  static bool Pin();
+  static void Unpin();
+
+  // Monotonic; bumped by writers after each snapshot swap.
+  std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+  std::uint64_t BumpEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  // True when a snapshot retired at `retire_epoch` can be destroyed:
+  // every claimed slot is quiescent or pinned at >= retire_epoch. The
+  // acquire loads here complete the happens-before edge from each
+  // reader's last slot store to the destruction that follows.
+  bool SafeToReclaim(std::uint64_t retire_epoch) const;
+
+  // Slots currently claimed by live threads (test introspection).
+  std::size_t ClaimedSlotCountForTest() const;
+
+ private:
+  EpochDomain() = default;
+
+  ReaderSlot* ClaimSlot();
+  void ReleaseSlot(ReaderSlot* slot);
+
+  std::atomic<std::uint64_t> epoch_{1};
+  ReaderSlot slots_[kMaxReaderThreads];
+
+  friend struct EpochThreadState;
+};
+
+// Publishes an immutable snapshot to concurrent readers with lock-free
+// epoch-pinned reads. Ownership stays in shared_ptr (so the slow-path
+// load() and external holders keep working); the epoch machinery only
+// defers releasing a replaced snapshot until no reader can still be
+// inside it.
+template <typename T>
+class EpochSnapshotPtr {
+ public:
+  EpochSnapshotPtr() = default;
+  EpochSnapshotPtr(const EpochSnapshotPtr&) = delete;
+  EpochSnapshotPtr& operator=(const EpochSnapshotPtr&) = delete;
+
+  // Pins the current snapshot for this scope. The fast path is two
+  // atomic slot operations; when no reader slot is available the guard
+  // silently degrades to holding a shared_ptr.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : ptr_(other.ptr_), pinned_(other.pinned_),
+          fallback_(std::move(other.fallback_)) {
+      other.pinned_ = false;
+      other.ptr_ = nullptr;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() {
+      if (pinned_) EpochDomain::Unpin();
+    }
+
+    const T* get() const { return ptr_; }
+    const T& operator*() const { return *ptr_; }
+    const T* operator->() const { return ptr_; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+   private:
+    friend class EpochSnapshotPtr;
+    ReadGuard(const T* ptr, bool pinned) : ptr_(ptr), pinned_(pinned) {}
+    explicit ReadGuard(std::shared_ptr<const T> fallback)
+        : ptr_(fallback.get()), pinned_(false),
+          fallback_(std::move(fallback)) {}
+
+    const T* ptr_;
+    bool pinned_;
+    std::shared_ptr<const T> fallback_;
+  };
+
+  ReadGuard Read() const {
+    if (EpochDomain::Pin()) {
+      // The pin is published and validated, so this pointer (old or
+      // new) cannot be reclaimed until the guard unpins.
+      return ReadGuard(current_.load(std::memory_order_acquire), true);
+    }
+    return ReadGuard(load());
+  }
+
+  // Refcounted snapshot copy — the slow path for accessors that hand
+  // the snapshot out of the read scope (never on the per-request path).
+  std::shared_ptr<const T> load() const {
+    const std::lock_guard<obs::ProfiledMutex> lock(mu_);
+    return owner_;
+  }
+
+  // Swaps in `next` and retires the previous snapshot; the previous
+  // snapshot is destroyed only once every pinned reader has moved past
+  // the swap (possibly by a later store/CollectRetired call).
+  void store(std::shared_ptr<const T> next) {
+    const T* raw = next.get();
+    std::vector<std::shared_ptr<const T>> reclaimed;  // destroyed unlocked
+    {
+      const std::lock_guard<obs::ProfiledMutex> lock(mu_);
+      current_.store(raw, std::memory_order_release);
+      if (owner_ != nullptr) {
+        const std::uint64_t retire_epoch = EpochDomain::Instance().BumpEpoch();
+        retired_.push_back(RetiredSnapshot{std::move(owner_), retire_epoch});
+      }
+      owner_ = std::move(next);
+      CollectLocked(reclaimed);
+    }
+  }
+
+  // Drops every retired snapshot no reader can still observe; returns
+  // how many remain deferred. Called by store(); exposed so tests (and
+  // idle maintenance) can bound how long a replaced policy document
+  // stays resident.
+  std::size_t CollectRetired() {
+    std::vector<std::shared_ptr<const T>> reclaimed;
+    const std::lock_guard<obs::ProfiledMutex> lock(mu_);
+    CollectLocked(reclaimed);
+    return retired_.size();
+  }
+
+ private:
+  struct RetiredSnapshot {
+    std::shared_ptr<const T> snapshot;
+    std::uint64_t retire_epoch = 0;
+  };
+
+  void CollectLocked(std::vector<std::shared_ptr<const T>>& reclaimed) {
+    std::size_t kept = 0;
+    for (RetiredSnapshot& r : retired_) {
+      if (EpochDomain::Instance().SafeToReclaim(r.retire_epoch)) {
+        reclaimed.push_back(std::move(r.snapshot));
+      } else {
+        retired_[kept++] = std::move(r);
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  std::atomic<const T*> current_{nullptr};
+  // Writer-side state: rare (policy replace/reload), so one profiled
+  // mutex names it in /contention without touching the read path.
+  mutable obs::ProfiledMutex mu_{"policy_snapshot/writer"};
+  std::shared_ptr<const T> owner_;
+  std::vector<RetiredSnapshot> retired_;
+};
+
+}  // namespace gridauthz::core

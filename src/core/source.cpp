@@ -25,10 +25,10 @@ StaticPolicySource::StaticPolicySource(std::string name,
 Expected<Decision> StaticPolicySource::Authorize(
     const AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{instruments_};
-  // One pointer copy pins the snapshot for this request; a concurrent
-  // Replace() cannot pull it out from under us.
-  const std::shared_ptr<const CompiledPolicyDocument> snapshot =
-      snapshot_.load();
+  // An epoch pin holds the snapshot for this request without touching
+  // any shared mutex or refcount; a concurrent Replace() retires the
+  // old document only after this guard unpins.
+  const auto snapshot = snapshot_.Read();
   if (DecisionProvenance* prov = CurrentProvenance()) {
     prov->policy_source = name_;
     prov->policy_generation = policy_generation();
@@ -99,7 +99,7 @@ Expected<void> FilePolicySource::Reload() {
 Expected<Decision> FilePolicySource::Authorize(
     const AuthorizationRequest& request) {
   obs::AuthzCallObservation observation{instruments_};
-  const std::shared_ptr<const State> state = state_.load();
+  const auto state = state_.Read();
   if (DecisionProvenance* prov = CurrentProvenance()) {
     prov->policy_source = name_;
     prov->policy_generation = policy_generation();

@@ -10,12 +10,14 @@
 //
 // Concurrency: Authorize() runs on request threads while Replace() /
 // Reload() run on update threads. The in-memory and file-backed sources
-// publish an immutable CompiledPolicyDocument snapshot through a
-// SnapshotPtr: readers pin the current snapshot with one pointer copy
-// and then work on a document no writer will ever mutate; updaters
-// build the replacement off to the side and swap it in. Each successful
-// swap bumps the source's policy generation, which decision caches use
-// for invalidation (DESIGN.md §9).
+// publish an immutable CompiledPolicyDocument snapshot through an
+// EpochSnapshotPtr (core/epoch.h): readers pin the current snapshot
+// lock-free via a per-thread epoch slot and then work on a document no
+// writer will ever mutate; updaters build the replacement off to the
+// side, swap it in, and the old snapshot is retired only after every
+// pinned reader has left the epoch. Each successful swap bumps the
+// source's policy generation, which decision caches use for
+// invalidation (DESIGN.md §9, §14).
 #pragma once
 
 #include <atomic>
@@ -27,39 +29,11 @@
 
 #include "common/error.h"
 #include "core/compiled.h"
+#include "core/epoch.h"
 #include "core/evaluator.h"
 #include "obs/instrument.h"
 
 namespace gridauthz::core {
-
-// Publishes an immutable snapshot to concurrent readers. A mutex guards
-// a single shared_ptr copy, so readers hold it only for the refcount
-// bump and writers only for the pointer swap; the snapshot itself is
-// never mutated, and a replaced snapshot is destroyed outside the lock.
-// (Not std::atomic<std::shared_ptr>: libstdc++'s reader path unlocks
-// its internal spinlock with a relaxed operation, which ThreadSanitizer
-// cannot pair with the next writer — a plain mutex keeps the
-// GRIDAUTHZ_SANITIZE=thread suite clean and is just as correct.)
-template <typename T>
-class SnapshotPtr {
- public:
-  std::shared_ptr<const T> load() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return ptr_;
-  }
-
-  void store(std::shared_ptr<const T> next) {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ptr_.swap(next);
-    }
-    // `next` (the previous snapshot) releases here, after unlocking.
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const T> ptr_;
-};
 
 class PolicySource {
  public:
@@ -113,7 +87,7 @@ class StaticPolicySource final : public PolicySource {
   std::string name_;
   obs::AuthzInstruments instruments_{name_};  // after name_: init order
   EvaluatorOptions options_;
-  SnapshotPtr<CompiledPolicyDocument> snapshot_;
+  EpochSnapshotPtr<CompiledPolicyDocument> snapshot_;
   std::atomic<std::uint64_t> generation_{1};
 };
 
@@ -159,7 +133,7 @@ class FilePolicySource final : public PolicySource {
   std::string path_;
   EvaluatorOptions options_;
   std::mutex reload_mu_;  // serializes Reload(); readers never take it
-  SnapshotPtr<State> state_;
+  EpochSnapshotPtr<State> state_;
   std::atomic<std::uint64_t> generation_{0};
 };
 

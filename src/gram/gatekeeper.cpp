@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "core/request.h"
 #include "obs/instrument.h"
@@ -104,9 +105,11 @@ Expected<std::string> Gatekeeper::DoSubmitJob(const gsi::Credential& client,
                  "limited proxy may not be used to start a job"};
   }
 
-  // 3. Optional identity-level PEP at the Gatekeeper.
+  // 3. Optional identity-level PEP at the Gatekeeper. The callout's
+  //    evaluation scratch is arena-scoped to this submission.
   if (params_.enable_gatekeeper_callout && params_.callouts != nullptr &&
       params_.callouts->HasBinding(kGatekeeperAuthzType)) {
+    const RequestArenaScope arena_scope;
     CalloutData data;
     data.requester_identity = requester.identity;
     data.requester_attributes = requester.attributes;

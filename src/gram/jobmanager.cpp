@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "common/logging.h"
 #include "core/request.h"
@@ -45,6 +46,9 @@ Expected<void> JobManagerInstance::Authorize(const RequesterInfo& requester,
   // source label, so the handles resolve once per process.
   static const obs::AuthzInstruments& instruments =
       *new obs::AuthzInstruments{"pep-jm"};
+  // Scratch below (callout → PDP evaluation) lives for exactly this
+  // management request; a no-op if an outer PEP already opened a scope.
+  const RequestArenaScope arena_scope;
   obs::AuthzCallObservation observation{instruments};
   Expected<void> result = [&]() -> Expected<void> {
     // The ambient deadline arrived with the wire request (or a test's

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/arena.h"
 #include "core/provenance.h"
 #include "obs/trace.h"
 
@@ -31,6 +32,10 @@ Expected<core::AuthorizationRequest> ToAuthorizationRequest(
 AuthorizationCallout MakePdpCallout(
     std::shared_ptr<core::PolicySource> source) {
   return [source = std::move(source)](const CalloutData& data) -> Expected<void> {
+    // One arena per enforced request: everything the evaluation chain
+    // below allocates as scratch dies here. Decision/provenance strings
+    // are ordinary heap strings because they escape this scope.
+    const RequestArenaScope arena_scope;
     obs::ScopedSpan span("pdp_callout");
     // The PEP is where provenance collection begins: open a scope unless
     // a caller (e.g. an explain tool) already installed one, and stamp

@@ -200,6 +200,7 @@ ServerStats ServerTransport::Snapshot() const {
   {
     std::lock_guard lock(qmu_);
     stats.queue_depth = queue_.size();
+    stats.stopping = stopping_;
   }
   stats.accepted_total = accepted_.load(std::memory_order_relaxed);
   stats.completed_total = completed_.load(std::memory_order_relaxed);

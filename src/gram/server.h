@@ -48,6 +48,7 @@ struct ServerStats {
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
+  bool stopping = false;  // Shutdown has begun (or finished)
   std::int64_t estimated_service_us = 0;
   std::vector<std::int64_t> worker_busy_us;  // one entry per worker
 };

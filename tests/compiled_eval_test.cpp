@@ -228,9 +228,12 @@ TEST(DecisionCache, GenerationAndTtlInvalidate) {
 }
 
 TEST(DecisionCache, EvictsLeastRecentlyUsedPerShard) {
+  // Shard-only semantics: the per-thread hit table would otherwise be
+  // allowed to keep serving an entry the shard has evicted.
   ShardedDecisionCache cache{
       DecisionCacheOptions{.shard_count = 1, .capacity_per_shard = 2,
-                           .ttl_us = 1'000'000}};
+                           .ttl_us = 1'000'000,
+                           .thread_local_fast_path = false}};
   const Decision permit = Decision::Permit("ok");
   cache.Record("a", 1, 0, permit);
   cache.Record("b", 1, 0, permit);

@@ -1,0 +1,294 @@
+// The rebuilt decision cache (core/decision_cache.h): the
+// length-prefixed key must make field boundaries unforgeable (the old
+// newline-joined key let crafted attribute values collide with other
+// requests' keys), capacity 0 must disable caching rather than grow
+// unbounded, generation-mismatch and TTL misses must be counted apart,
+// and the hash-indexed table must never serve a decision to a
+// non-identical request.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "core/decision_cache.h"
+#include "core/provenance.h"
+#include "core/source.h"
+#include "obs/metrics.h"
+
+namespace gridauthz::core {
+namespace {
+
+AuthorizationRequest ManageRequest(const std::string& subject,
+                                   const std::string& action,
+                                   const std::string& owner) {
+  AuthorizationRequest request;
+  request.subject = subject;
+  request.action = action;
+  request.job_owner = owner;
+  request.job_id = "https://fusion.anl.gov:2119/jobmanager/1";
+  request.job_rsl = rsl::ParseConjunction("&(executable=test1)").value();
+  return request;
+}
+
+// The key scheme this PR replaced: fields newline-joined, attributes
+// joined with \x1f, the restriction policy appended after a newline.
+std::string LegacyKey(const AuthorizationRequest& request) {
+  std::string key = request.subject + '\n' + request.action + '\n' +
+                    request.job_id + '\n' + request.job_owner + '\n' +
+                    request.job_rsl.ToString() + '\n' +
+                    strings::Join(request.attributes, "\x1f");
+  if (request.restriction_policy.has_value()) {
+    key += '\n';
+    key += *request.restriction_policy;
+  }
+  return key;
+}
+
+// The collision the legacy key admitted: an attribute value carrying an
+// embedded newline impersonates the restriction-policy field. Two
+// requests a policy may well decide differently — one carries a
+// restriction policy, the other does not — must never share a key.
+TEST(CacheKey, AttributeCannotImpersonateRestrictionPolicy) {
+  AuthorizationRequest forged =
+      ManageRequest("/O=Grid/CN=a", "cancel", "/O=Grid/CN=a");
+  forged.attributes = {"a\nX"};
+  AuthorizationRequest genuine =
+      ManageRequest("/O=Grid/CN=a", "cancel", "/O=Grid/CN=a");
+  genuine.attributes = {"a"};
+  genuine.restriction_policy = "X";
+
+  // The legacy scheme collapsed the two (this is what made the fix
+  // necessary); the length-prefixed key must not.
+  ASSERT_EQ(LegacyKey(forged), LegacyKey(genuine));
+  EXPECT_NE(CachingPolicySource::Key(forged),
+            CachingPolicySource::Key(genuine));
+}
+
+// Adversarial matrix: requests differing in exactly one structural way —
+// separator characters inside values, values shifted across field
+// boundaries, attribute lists split differently, empty-vs-absent
+// restriction policy — must all have pairwise distinct keys.
+TEST(CacheKey, AdversarialRequestsHaveDistinctKeys) {
+  std::vector<AuthorizationRequest> requests;
+  auto base = [] {
+    return ManageRequest("/O=Grid/CN=a", "cancel", "/O=Grid/CN=a");
+  };
+  requests.push_back(base());
+  {
+    auto r = base();
+    r.attributes = {"a\nX"};
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"a"};
+    r.restriction_policy = "X";
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"a", "X"};
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"aX"};
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"ab"};
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"a", "b"};
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"a;b"};  // the new field terminator
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.attributes = {"2:ab"};  // forged length prefix
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.restriction_policy = "";  // present-but-empty
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    // Value that renders like a neighbouring field's content.
+    r.subject = "/O=Grid/CN=a\ncancel";
+    r.action = "cancel";
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.job_id = "";
+    requests.push_back(r);
+  }
+  {
+    auto r = base();
+    r.job_owner = "";
+    requests.push_back(r);
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      EXPECT_NE(CachingPolicySource::Key(requests[i]),
+                CachingPolicySource::Key(requests[j]))
+          << "requests " << i << " and " << j << " collided";
+    }
+  }
+}
+
+TEST(DecisionCacheTable, CapacityZeroDisablesCachingEntirely) {
+  ShardedDecisionCache cache{
+      DecisionCacheOptions{.shard_count = 4, .capacity_per_shard = 0}};
+  const Decision permit = Decision::Permit("ok");
+  for (int i = 0; i < 1000; ++i) {
+    cache.Record("key-" + std::to_string(i), 1, 0, permit);
+  }
+  // The regression this pins down: capacity 0 used to mean "never
+  // evict", growing without bound.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_FALSE(cache.Lookup("key-1", 1, 0).has_value());
+}
+
+TEST(DecisionCacheTable, GrowthIsBoundedByCapacity) {
+  ShardedDecisionCache cache{DecisionCacheOptions{
+      .shard_count = 1, .capacity_per_shard = 8, .ttl_us = 1'000'000,
+      .thread_local_fast_path = false}};
+  const Decision permit = Decision::Permit("ok");
+  for (int i = 0; i < 5000; ++i) {
+    cache.Record("key-" + std::to_string(i), 1, 0, permit);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.capacity(), 8u);
+  EXPECT_GT(cache.capacity_evictions(), 0u);
+}
+
+TEST(DecisionCacheTable, SplitsExpiredFromInvalidatedMisses) {
+  ShardedDecisionCache cache{DecisionCacheOptions{
+      .shard_count = 1, .capacity_per_shard = 8, .ttl_us = 100,
+      .thread_local_fast_path = false}};
+  const Decision permit = Decision::Permit("ok");
+
+  cache.Record("k", /*generation=*/1, /*now_us=*/0, permit);
+  CacheMissKind kind = CacheMissKind::kCold;
+  // Policy changed: invalidated, regardless of TTL.
+  EXPECT_FALSE(cache.Lookup("k", 2, 10, &kind).has_value());
+  EXPECT_EQ(kind, CacheMissKind::kInvalidated);
+  EXPECT_EQ(cache.invalidated_drops(), 1u);
+  EXPECT_EQ(cache.expired_drops(), 0u);
+
+  cache.Record("k", 1, 0, permit);
+  // Aged out: expired.
+  EXPECT_FALSE(cache.Lookup("k", 1, 200, &kind).has_value());
+  EXPECT_EQ(kind, CacheMissKind::kExpired);
+  EXPECT_EQ(cache.expired_drops(), 1u);
+
+  // Never recorded: cold.
+  EXPECT_FALSE(cache.Lookup("other", 1, 0, &kind).has_value());
+  EXPECT_EQ(kind, CacheMissKind::kCold);
+}
+
+class CachingSourceMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Metrics().Reset(); }
+  void TearDown() override { obs::Metrics().Reset(); }
+
+  std::uint64_t Counter(std::string_view name) {
+    return obs::Metrics().CounterValue(name, {{"source", "vo"}});
+  }
+};
+
+TEST_F(CachingSourceMetricsTest, CountsInvalidatedAndExpiredSeparately) {
+  SimClock clock;
+  auto inner =
+      std::make_shared<StaticPolicySource>("vo", MakeGt2DefaultDocument());
+  CachingPolicySource cached{
+      inner,
+      DecisionCacheOptions{.ttl_us = 1'000'000,
+                           .thread_local_fast_path = false},
+      &clock};
+  const AuthorizationRequest cancel =
+      ManageRequest("/O=Grid/CN=owner", "cancel", "/O=Grid/CN=owner");
+
+  ASSERT_TRUE(cached.Authorize(cancel).ok());  // cold miss, recorded
+  EXPECT_EQ(Counter("authz_cache_misses_total"), 1u);
+  EXPECT_EQ(Counter("authz_cache_expired_total"), 0u);
+  EXPECT_EQ(Counter("authz_cache_invalidated_total"), 0u);
+
+  inner->Replace(MakeGt2DefaultDocument());  // bump generation
+  ASSERT_TRUE(cached.Authorize(cancel).ok());
+  EXPECT_EQ(Counter("authz_cache_misses_total"), 2u);
+  EXPECT_EQ(Counter("authz_cache_invalidated_total"), 1u);
+  EXPECT_EQ(Counter("authz_cache_expired_total"), 0u);
+
+  clock.AdvanceMicros(2'000'000);  // beyond TTL
+  ASSERT_TRUE(cached.Authorize(cancel).ok());
+  EXPECT_EQ(Counter("authz_cache_misses_total"), 3u);
+  EXPECT_EQ(Counter("authz_cache_expired_total"), 1u);
+  EXPECT_EQ(Counter("authz_cache_invalidated_total"), 1u);
+
+  ASSERT_TRUE(cached.Authorize(cancel).ok());  // fresh entry: a hit
+  EXPECT_EQ(Counter("authz_cache_hits_total"), 1u);
+  EXPECT_EQ(Counter("authz_cache_misses_total"), 3u);
+}
+
+TEST(CachingSourceProvenance, HitStampsNonZeroGeneration) {
+  auto inner =
+      std::make_shared<StaticPolicySource>("vo", MakeGt2DefaultDocument());
+  CachingPolicySource cached{inner};
+  const AuthorizationRequest cancel =
+      ManageRequest("/O=Grid/CN=owner", "cancel", "/O=Grid/CN=owner");
+  ASSERT_TRUE(cached.Authorize(cancel).ok());  // populate
+
+  ProvenanceScope scope;
+  ASSERT_TRUE(cached.Authorize(cancel).ok());
+  const DecisionProvenance* prov = CurrentProvenance();
+  ASSERT_NE(prov, nullptr);
+  EXPECT_TRUE(prov->cache_hit);
+  EXPECT_EQ(prov->policy_generation, inner->policy_generation());
+  EXPECT_NE(prov->policy_generation, 0u);
+}
+
+// Property: the hash-indexed table must never return a decision that
+// was recorded for a different key — across both the shard tables and
+// the per-thread fast path, under a seed that stresses set collisions.
+TEST(DecisionCacheTable, NeverServesANonIdenticalRequest) {
+  for (const std::uint64_t seed : {0ull, 1ull, 0xdeadbeefull}) {
+    ShardedDecisionCache cache{DecisionCacheOptions{
+        .shard_count = 2, .capacity_per_shard = 16, .ttl_us = 1'000'000,
+        .thread_local_fast_path = true, .hash_seed = seed}};
+    // Decision reason == key, so any cross-key serving is self-evident.
+    const int kKeys = 400;
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = "request-" + std::to_string(i);
+      cache.Record(key, 1, 0, Decision::Permit(key));
+    }
+    int hits = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "request-" + std::to_string(i);
+        const auto cached = cache.Lookup(key, 1, 1);
+        if (!cached.has_value()) continue;  // evicted: fine
+        ++hits;
+        EXPECT_EQ(cached->reason, key);  // never someone else's decision
+      }
+    }
+    EXPECT_GT(hits, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gridauthz::core

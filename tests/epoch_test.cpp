@@ -1,0 +1,207 @@
+// Epoch-based snapshot publication (core/epoch.h): readers must never
+// observe a torn or reclaimed snapshot, retired snapshots must be freed
+// once every pinned reader leaves, and the policy sources built on top
+// must keep generations monotonic under a reload storm. The heavy
+// concurrent cases double as the TSan matrix's subjects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/source.h"
+
+namespace gridauthz::core {
+namespace {
+
+struct Tracked {
+  explicit Tracked(int v) : value(v) { alive.fetch_add(1); }
+  ~Tracked() { alive.fetch_sub(1); }
+  int value;
+  static std::atomic<int> alive;
+};
+std::atomic<int> Tracked::alive{0};
+
+TEST(EpochSnapshot, ReadSeesStoredValue) {
+  EpochSnapshotPtr<int> ptr;
+  ptr.store(std::make_shared<const int>(7));
+  {
+    const auto guard = ptr.Read();
+    ASSERT_TRUE(static_cast<bool>(guard));
+    EXPECT_EQ(*guard, 7);
+  }
+  ptr.store(std::make_shared<const int>(8));
+  EXPECT_EQ(*ptr.Read(), 8);
+  EXPECT_EQ(*ptr.load(), 8);
+}
+
+TEST(EpochSnapshot, NestedReadsShareOnePin) {
+  EpochSnapshotPtr<int> ptr;
+  ptr.store(std::make_shared<const int>(1));
+  const auto outer = ptr.Read();
+  {
+    const auto inner = ptr.Read();  // nested: must not deadlock or unpin outer
+    EXPECT_EQ(*inner, 1);
+  }
+  EXPECT_EQ(*outer, 1);  // outer pin still valid after inner unpins
+}
+
+TEST(EpochSnapshot, RetiredSnapshotHeldUntilReaderLeaves) {
+  const int alive_before = Tracked::alive.load();
+  EpochSnapshotPtr<Tracked> ptr;
+  ptr.store(std::make_shared<const Tracked>(1));
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    const auto guard = ptr.Read();
+    EXPECT_EQ(guard->value, 1);
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+    // The old snapshot must still be intact right up to unpin.
+    EXPECT_EQ(guard->value, 1);
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  ptr.store(std::make_shared<const Tracked>(2));
+  // The reader pinned an epoch older than the retirement: the writer
+  // must defer destruction.
+  EXPECT_EQ(Tracked::alive.load(), alive_before + 2);
+  EXPECT_GE(ptr.CollectRetired(), 1u);
+
+  release.store(true);
+  reader.join();
+  EXPECT_EQ(ptr.CollectRetired(), 0u);
+  EXPECT_EQ(Tracked::alive.load(), alive_before + 1);
+}
+
+// Writer storm vs. 16 readers: every read must observe one consistent
+// snapshot ({i, ~i} — a torn or reclaimed read breaks the invariant).
+TEST(EpochSnapshot, NoTornReadsUnderWriterStorm) {
+  struct Pair {
+    std::uint64_t a;
+    std::uint64_t b;
+  };
+  EpochSnapshotPtr<Pair> ptr;
+  ptr.store(std::make_shared<const Pair>(Pair{0, ~std::uint64_t{0}}));
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> reads{0};
+  for (int t = 0; t < 16; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto guard = ptr.Read();
+        ASSERT_EQ(guard->b, ~guard->a);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    ptr.store(std::make_shared<const Pair>(Pair{i, ~i}));
+  }
+  // On a single-core host the writer can finish before the readers are
+  // even scheduled; keep storing until they have made real progress so
+  // reads genuinely overlap writes.
+  std::uint64_t extra = 2000;
+  while (reads.load(std::memory_order_relaxed) < 500) {
+    ++extra;
+    ptr.store(std::make_shared<const Pair>(Pair{extra, ~extra}));
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GE(reads.load(), 500u);
+  EXPECT_EQ(ptr.Read()->a, extra);
+  EXPECT_EQ(ptr.CollectRetired(), 0u);  // all readers gone: fully reclaimed
+}
+
+// Policy Replace storm on a live source: generations stay monotonic per
+// observer and every in-flight Authorize completes on a coherent
+// snapshot.
+TEST(EpochSnapshot, ReplaceStormKeepsGenerationsMonotonic) {
+  StaticPolicySource source{"storm", MakeGt2DefaultDocument()};
+  AuthorizationRequest request;
+  request.subject = "/O=Grid/CN=user";
+  request.action = std::string{kActionStart};
+  request.job_owner = request.subject;
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const std::uint64_t before = source.policy_generation();
+        const auto decision = source.Authorize(request);
+        ASSERT_TRUE(decision.ok());
+        const std::uint64_t after = source.policy_generation();
+        ASSERT_LE(before, after);
+        ASSERT_LE(last, after);
+        last = after;
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) source.Replace(MakeGt2DefaultDocument());
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(source.policy_generation(), 1u + 200u);
+}
+
+// Short-lived threads must release their reader slots at exit; the slot
+// pool cannot leak across thread churn.
+TEST(EpochSnapshot, SlotsRecycleAcrossThreadChurn) {
+  EpochSnapshotPtr<int> ptr;
+  ptr.store(std::make_shared<const int>(3));
+  const std::size_t baseline =
+      EpochDomain::Instance().ClaimedSlotCountForTest();
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 32; ++t) {
+      threads.emplace_back([&] { EXPECT_EQ(*ptr.Read(), 3); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  // Every churned thread released its slot; only this thread's (and any
+  // other live test threads') claims remain.
+  EXPECT_LE(EpochDomain::Instance().ClaimedSlotCountForTest(), baseline + 1);
+}
+
+// More live pinning threads than reader slots: the surplus must degrade
+// to the refcounted fallback and still read coherent values.
+TEST(EpochSnapshot, FallbackServesThreadsBeyondSlotCapacity) {
+  EpochSnapshotPtr<int> ptr;
+  ptr.store(std::make_shared<const int>(42));
+  constexpr int kThreads =
+      static_cast<int>(EpochDomain::kMaxReaderThreads) + 24;
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const auto guard = ptr.Read();  // claims a slot or falls back
+      EXPECT_EQ(*guard, 42);
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+      EXPECT_EQ(*ptr.Read(), 42);  // second read on whichever path
+    });
+  }
+  while (started.load() < kThreads) std::this_thread::yield();
+  // With every thread alive at once the slot pool is exhausted.
+  EXPECT_EQ(EpochDomain::Instance().ClaimedSlotCountForTest(),
+            EpochDomain::kMaxReaderThreads);
+  release.store(true);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace gridauthz::core

@@ -224,6 +224,10 @@ TEST(ServerTransport, ShutdownShedsQueuedWorkWithoutDeadlock) {
   SpinUntilQueueDepth(server, 1);
 
   std::thread stopper([&] { server.Shutdown(); });
+  // Shutdown must be underway before the worker is released, or the
+  // worker can dequeue (and complete) the queued frame instead of the
+  // drain shedding it.
+  while (!server.Snapshot().stopping) std::this_thread::yield();
   inner.Release();  // lets the pinned worker finish, then drain
   stopper.join();
   in_flight.join();
