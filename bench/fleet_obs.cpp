@@ -1,0 +1,210 @@
+// Experiment F2: the fleet observability plane (DESIGN.md §15). Four
+// measurements land in BENCH_fleet_obs.json:
+//
+//   1. Federation scrape cost: wall time of one /metrics/fleet request
+//      against 1/2/4-node fleets — the broker scrapes every node's
+//      /metrics.json, validates the schemas, and re-renders the merged
+//      document, so the cost should grow roughly linearly in nodes and
+//      document size, never worse.
+//   2. Stitched-trace query latency: wall time of a federated
+//      /trace/<id> (broker store + every node fanned out, parsed,
+//      stitched, re-rendered) for a live submission's trace.
+//   3. Span-parent propagation overhead: p50 submit latency through the
+//      broker (which re-encodes the frame with parent-span-id/trace-id
+//      appended and opens an attempt span per try) against p50 submit
+//      latency straight to the owning node. The delta upper-bounds what
+//      cross-node stitching costs each request.
+//   4. fleet_trace_span_count: spans in one healthy submission's stitched
+//      trace. Deterministic for a fixed policy and RSL — it only moves
+//      when the instrumented path itself gains or loses spans, so it is
+//      the gate-friendly signal that stitching kept its coverage.
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 (the `perf` ctest does) to shrink the
+// sweeps to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "core/policy.h"
+#include "fleet/node.h"
+#include "gram/obs_service.h"
+#include "gram/wire_service.h"
+
+using namespace gridauthz;
+
+namespace {
+
+namespace wire = gram::wire;
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+constexpr const char* kFleetPolicy = R"(
+/O=Grid:
+&(action = start)(executable = test1)(jobtag = OBS)
+&(action = information)(jobowner = self)
+)";
+
+constexpr const char* kRsl =
+    "&(executable=test1)(jobtag=OBS)(count=1)(simduration=1000000000)";
+
+struct FleetBench {
+  SimClock clock;
+  std::unique_ptr<fleet::Fleet> grid;
+  std::vector<gsi::Credential> users;
+};
+
+std::unique_ptr<FleetBench> MakeFleet(int nodes, int users) {
+  auto out = std::make_unique<FleetBench>();
+  fleet::FleetOptions options;
+  options.nodes = nodes;
+  options.cpu_slots = 1 << 20;  // submissions never queue on slots
+  out->grid = std::make_unique<fleet::Fleet>(
+      options, &out->clock, core::PolicyDocument::Parse(kFleetPolicy).value());
+  (void)out->grid->AddAccount("member");
+  for (int u = 0; u < users; ++u) {
+    auto user = out->grid->CreateUser("/O=Grid/CN=Member " + std::to_string(u));
+    (void)out->grid->MapUser(*user, "member");
+    out->users.push_back(std::move(*user));
+  }
+  return out;
+}
+
+double PercentileUs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  return samples[index];
+}
+
+double ElapsedUs(const std::chrono::steady_clock::time_point& begin) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
+void EmitFleetObsJson() {
+  const bool quick = QuickMode();
+  const int warm_submits = 16;  // populates every node's registries
+  const int scrape_iters = quick ? 20 : 200;
+  const int trace_iters = quick ? 20 : 200;
+  const int submit_iters = quick ? 50 : 500;
+
+  std::vector<std::pair<std::string, double>> fields;
+
+  // 1. Federation scrape cost vs node count.
+  for (const int nodes : {1, 2, 4}) {
+    auto bench = MakeFleet(nodes, 4);
+    std::vector<wire::WireClient> clients;
+    for (auto& user : bench->users) {
+      clients.emplace_back(user, &bench->grid->broker());
+    }
+    for (int i = 0; i < warm_submits; ++i) {
+      (void)clients[i % clients.size()].Submit(kRsl);
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < scrape_iters; ++i) {
+      auto reply = wire::ObsRequest(bench->grid->broker(), bench->users[0],
+                                    "/metrics/fleet");
+      benchmark::DoNotOptimize(reply);
+    }
+    fields.emplace_back("fleet_metrics_scrape_us_" + std::to_string(nodes) +
+                            "n",
+                        ElapsedUs(begin) / scrape_iters);
+  }
+
+  // 2-4 run against one 4-node fleet.
+  auto bench = MakeFleet(4, 4);
+  fleet::Fleet& grid = *bench->grid;
+  std::vector<wire::WireClient> clients;
+  for (auto& user : bench->users) {
+    clients.emplace_back(user, &grid.broker());
+  }
+
+  // 2. Stitched-trace query latency: one trace per iteration, freshly
+  // submitted so the spans are near the head of the bounded stores.
+  std::vector<double> trace_us;
+  for (int i = 0; i < trace_iters; ++i) {
+    wire::WireClient& client = clients[i % clients.size()];
+    if (!client.Submit(kRsl).ok()) continue;
+    const std::string path = "/trace/" + client.last_trace_id();
+    const auto begin = std::chrono::steady_clock::now();
+    auto reply = wire::ObsRequest(grid.broker(), bench->users[0], path);
+    benchmark::DoNotOptimize(reply);
+    trace_us.push_back(ElapsedUs(begin));
+  }
+  fields.emplace_back("stitched_trace_query_p50_us",
+                      PercentileUs(trace_us, 0.5));
+
+  // 3. Span-parent propagation overhead: broker-routed submits pay for
+  // the forwarded-frame re-encode (parent-span-id + trace-id appended)
+  // and the per-try attempt span; direct-to-node submits do not.
+  std::vector<double> broker_us, direct_us;
+  wire::WireClient direct{bench->users[0], &grid.node(0).transport()};
+  for (int i = 0; i < submit_iters; ++i) {
+    auto begin = std::chrono::steady_clock::now();
+    auto routed = clients[0].Submit(kRsl);
+    benchmark::DoNotOptimize(routed);
+    broker_us.push_back(ElapsedUs(begin));
+    begin = std::chrono::steady_clock::now();
+    auto unrouted = direct.Submit(kRsl);
+    benchmark::DoNotOptimize(unrouted);
+    direct_us.push_back(ElapsedUs(begin));
+  }
+  const double broker_p50 = PercentileUs(broker_us, 0.5);
+  const double direct_p50 = PercentileUs(direct_us, 0.5);
+  fields.emplace_back("submit_broker_p50_us", broker_p50);
+  fields.emplace_back("submit_direct_p50_us", direct_p50);
+  fields.emplace_back("span_propagation_overhead_us",
+                      std::max(0.0, broker_p50 - direct_p50));
+
+  // 4. Deterministic stitched coverage of one healthy submission.
+  double stitched_span_count = 0;
+  if (clients[0].Submit(kRsl).ok()) {
+    auto reply = wire::ObsRequest(grid.broker(), bench->users[0],
+                                  "/trace/" + clients[0].last_trace_id());
+    if (reply.ok() && reply->status == 200) {
+      if (auto doc = json::ParseValue(reply->body); doc.ok()) {
+        stitched_span_count =
+            static_cast<double>(doc->FindInt("span_count").value_or(0));
+      }
+    }
+  }
+  // Named without the "stitch"/"scrape" cost tags on purpose: the
+  // compare script gates those lower-is-better, and a span-coverage
+  // LOSS must fail the gate too.
+  fields.emplace_back("fleet_trace_span_count", stitched_span_count);
+
+  const std::string path = "BENCH_fleet_obs.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_fleet_obs: scrape 4n=%.0fus, stitched query p50=%.0fus "
+      "(%.0f spans), propagation overhead=%.0fus -> %s\n",
+      fields[2].second, PercentileUs(trace_us, 0.5), stitched_span_count,
+      std::max(0.0, broker_p50 - direct_p50), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitFleetObsJson();
+  return 0;
+}

@@ -23,7 +23,7 @@ import json
 import sys
 
 LOWER_IS_BETTER = ("latency", "ns_per_frame", "p99", "p50", "contended",
-                   "lock_wait")
+                   "lock_wait", "scrape", "stitch")
 HIGHER_IS_BETTER = ("rps", "speedup", "scaling", "per_sec")
 
 

@@ -150,6 +150,11 @@ inline constexpr std::string_view kReasonTransport = "[transport]";
 // for the request was down, hung, or answered with a transport failure
 // (DESIGN.md §13). Always a fail-closed system failure, never a permit.
 inline constexpr std::string_view kReasonFleet = "[fleet]";
+// The fleet observability plane refused to merge node exports: scraped
+// snapshots disagreed on schema (histogram bucket boundaries, metric
+// kinds) and a lossy merge would silently misreport the fleet
+// (DESIGN.md §15). Federation fails loudly, never approximately.
+inline constexpr std::string_view kReasonFederation = "[federation]";
 
 // The leading "[...]" tag of `error`'s message, or "" when untagged.
 std::string_view FailureReasonTag(const Error& error);

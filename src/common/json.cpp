@@ -256,4 +256,174 @@ Expected<std::map<std::string, std::string>> ParseFlatObject(
   return out;
 }
 
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::int64_t> Value::FindInt(std::string_view key) const {
+  const Value* value = Find(key);
+  if (value == nullptr || value->kind() != Kind::kNumber) return std::nullopt;
+  return value->AsInt();
+}
+
+std::optional<std::string> Value::FindString(std::string_view key) const {
+  const Value* value = Find(key);
+  if (value == nullptr || value->kind() != Kind::kString) return std::nullopt;
+  return value->AsString();
+}
+
+// Recursive-descent parser over the full JSON grammar. Depth-limited:
+// federation consumes documents from other processes, and a corrupt
+// frame must fail with a typed error, not a stack overflow.
+class ValueParser {
+ public:
+  explicit ValueParser(std::string_view text) : text_(text) {}
+
+  Expected<Value> Parse() {
+    GA_TRY(Value value, ParseOne(0));
+    SkipWs();
+    if (i_ != text_.size()) return ParseError("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (i_ < text_.size() && text_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(i_, literal.size()) != literal) return false;
+    i_ += literal.size();
+    return true;
+  }
+
+  // One JSON string literal starting at the opening quote; decoded.
+  Expected<std::string> ParseString() {
+    if (!Consume('"')) return ParseError("expected string");
+    const std::size_t begin = i_;
+    while (i_ < text_.size()) {
+      if (text_[i_] == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (text_[i_] == '"') {
+        auto decoded = Unescape(text_.substr(begin, i_ - begin));
+        ++i_;
+        return decoded;
+      }
+      ++i_;
+    }
+    return ParseError("unterminated string");
+  }
+
+  Expected<Value> ParseNumber() {
+    const std::size_t begin = i_;
+    if (Consume('-')) {
+    }
+    while (i_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[i_])) ||
+            text_[i_] == '.' || text_[i_] == 'e' || text_[i_] == 'E' ||
+            text_[i_] == '+' || text_[i_] == '-')) {
+      ++i_;
+    }
+    const std::string token{text_.substr(begin, i_ - begin)};
+    if (token.empty() || token == "-") return ParseError("bad number");
+    Value out;
+    out.kind_ = Value::Kind::kNumber;
+    char* end = nullptr;
+    out.double_ = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return ParseError("bad number");
+    if (token.find_first_of(".eE") == std::string::npos) {
+      out.int_ = std::strtoll(token.c_str(), nullptr, 10);
+    } else {
+      out.int_ = static_cast<std::int64_t>(out.double_);
+    }
+    return out;
+  }
+
+  Expected<Value> ParseOne(int depth) {
+    if (depth > kMaxDepth) return ParseError("nesting too deep");
+    SkipWs();
+    if (i_ >= text_.size()) return ParseError("truncated value");
+    const char c = text_[i_];
+    if (c == '"') {
+      Value out;
+      out.kind_ = Value::Kind::kString;
+      GA_TRY(out.string_, ParseString());
+      return out;
+    }
+    if (c == '{') {
+      ++i_;
+      Value out;
+      out.kind_ = Value::Kind::kObject;
+      SkipWs();
+      if (Consume('}')) return out;
+      while (true) {
+        SkipWs();
+        GA_TRY(std::string key, ParseString());
+        SkipWs();
+        if (!Consume(':')) return ParseError("expected ':'");
+        GA_TRY(Value member, ParseOne(depth + 1));
+        out.members_.emplace_back(std::move(key), std::move(member));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return out;
+        return ParseError("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      Value out;
+      out.kind_ = Value::Kind::kArray;
+      SkipWs();
+      if (Consume(']')) return out;
+      while (true) {
+        GA_TRY(Value item, ParseOne(depth + 1));
+        out.items_.push_back(std::move(item));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return out;
+        return ParseError("expected ',' or ']'");
+      }
+    }
+    if (ConsumeLiteral("true")) {
+      Value out;
+      out.kind_ = Value::Kind::kBool;
+      out.bool_ = true;
+      return out;
+    }
+    if (ConsumeLiteral("false")) {
+      Value out;
+      out.kind_ = Value::Kind::kBool;
+      return out;
+    }
+    if (ConsumeLiteral("null")) return Value{};
+    return ParseNumber();
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+};
+
+Expected<Value> ParseValue(std::string_view text) {
+  return ValueParser{text}.Parse();
+}
+
 }  // namespace gridauthz::json

@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 
@@ -54,5 +57,53 @@ class ObjectWriter {
 // the last value.
 Expected<std::map<std::string, std::string>> ParseFlatObject(
     std::string_view text);
+
+// A fully parsed JSON value with nesting — what the fleet observability
+// plane uses to consume another node's /metrics.json and /trace
+// documents (obs/federate.h). Numbers are kept both ways: integral
+// literals round-trip exactly through AsInt(); AsDouble() always
+// answers. Object member order is preserved (document order), and
+// duplicate keys keep every occurrence (Find returns the first).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  std::int64_t AsInt() const { return int_; }
+  double AsDouble() const { return double_; }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  // First member named `key`, or nullptr (also for non-objects).
+  const Value* Find(std::string_view key) const;
+  // Typed conveniences over Find: empty when the member is missing or
+  // has the wrong kind.
+  std::optional<std::int64_t> FindInt(std::string_view key) const;
+  std::optional<std::string> FindString(std::string_view key) const;
+
+ private:
+  friend class ValueParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;                            // kArray
+  std::vector<std::pair<std::string, Value>> members_;  // kObject
+};
+
+// Parses `text` as one complete JSON value (trailing non-whitespace is
+// an error). Nesting is bounded (64 levels) so corrupt or hostile
+// documents cannot blow the stack.
+Expected<Value> ParseValue(std::string_view text);
 
 }  // namespace gridauthz::json

@@ -1,10 +1,17 @@
 #include "fleet/broker.h"
 
+#include <cstdio>
+#include <unordered_set>
+
 #include "common/json.h"
 #include "common/logging.h"
 #include "fleet/hash.h"
 #include "gram/obs_service.h"
+#include "obs/contention.h"
+#include "obs/federate.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace gridauthz::fleet {
 
@@ -44,6 +51,32 @@ std::string EncodeObsReply(int status, const std::string& content_type,
   return frame;
 }
 
+std::string RenderDouble3(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+// The frame to forward to a node: the client's frame plus the broker's
+// span id as `parent-span-id` (so node-side spans parent the attempt
+// span, DESIGN.md §15) and, when the client sent no `trace-id`, the one
+// the broker's TraceScope minted (so node spans join the broker's trace
+// instead of starting their own). Frames are "key: value" CRLF lines in
+// any order, so appending is a cheap copy — no re-encode.
+std::string ForwardedFrame(std::string_view frame, bool client_sent_trace,
+                           const std::string& trace_id,
+                           std::uint64_t parent_span_id) {
+  std::string out{frame};
+  if (!out.empty() && out.back() != '\n') out += "\r\n";
+  if (!client_sent_trace && !trace_id.empty()) {
+    out += "trace-id: " + trace_id + "\r\n";
+  }
+  out += "parent-span-id: " + std::to_string(parent_span_id) + "\r\n";
+  return out;
+}
+
+constexpr std::string_view kTracePrefix = "/trace/";
+
 }  // namespace
 
 FleetBroker::FleetBroker(std::vector<FleetNodeHandle> nodes,
@@ -55,6 +88,8 @@ FleetBroker::FleetBroker(std::vector<FleetNodeHandle> nodes,
       tracker_(options.failure_threshold) {
   names_.reserve(nodes_.size());
   for (const FleetNodeHandle& node : nodes_) names_.push_back(node.name);
+  domain_.node = "fleet-broker";
+  domain_.span_seed = SpanSeedFor(domain_.node);
 }
 
 std::string FleetBroker::Handle(const gsi::Credential& peer,
@@ -68,6 +103,12 @@ std::string FleetBroker::Handle(const gsi::Credential& peer,
     return reply.Encode().Serialize();
   }
   const std::string type{message->Get("message-type").value_or("")};
+  // Broker observability identity for everything below: spans carry
+  // node "fleet-broker" and namespaced ids; the client's trace-id is
+  // adopted (or one minted) so routing spans and the node-side spans
+  // they cause share one trace.
+  obs::ObsDomainScope domain_scope(&domain_);
+  obs::TraceScope trace(std::string{message->Get("trace-id").value_or("")});
   obs::Metrics()
       .GetCounter("fleet_requests_total", {{"type", type}})
       .Increment();
@@ -85,10 +126,26 @@ std::string FleetBroker::Handle(const gsi::Credential& peer,
 
 std::vector<std::size_t> FleetBroker::Candidates(std::string_view key) const {
   const std::vector<std::size_t> ranked = RankNodes(key, names_);
+  // Outlier routing penalty: an Up node whose latency or SLO-burn
+  // baseline deviates from the fleet (HealthTracker::Scores) still
+  // serves, but only after every unremarkable Up node has had its
+  // chance — a node drifting toward failure sheds first-choice traffic
+  // before any health probe calls it degraded.
+  std::unordered_set<std::string> outliers;
+  for (const NodeScore& score : tracker_.Scores()) {
+    if (score.outlier) outliers.insert(score.node);
+  }
   std::vector<std::size_t> candidates;
   candidates.reserve(ranked.size());
   for (const std::size_t i : ranked) {
-    if (tracker_.HealthOf(names_[i]) == NodeHealth::kUp) {
+    if (tracker_.HealthOf(names_[i]) == NodeHealth::kUp &&
+        outliers.count(names_[i]) == 0) {
+      candidates.push_back(i);
+    }
+  }
+  for (const std::size_t i : ranked) {
+    if (tracker_.HealthOf(names_[i]) == NodeHealth::kUp &&
+        outliers.count(names_[i]) != 0) {
       candidates.push_back(i);
     }
   }
@@ -112,9 +169,23 @@ std::string FleetBroker::Attempt(std::size_t index,
                                  const gsi::Credential& peer,
                                  std::string_view frame) {
   const FleetNodeHandle& node = nodes_[index];
-  std::string reply = node.transport->Handle(peer, frame);
+  // The attempt span is tagged with the TARGET node: when the node is
+  // dead it records nothing itself, so this span is the only evidence
+  // in the stitched trace that the broker tried it.
+  obs::ScopedSpan span("fleet/attempt");
+  span.set_node(node.name);
+  bool client_sent_trace = true;
+  if (auto parsed = wire::MessageView::Parse(frame); parsed.ok()) {
+    client_sent_trace = parsed->Get("trace-id").has_value();
+  }
+  const std::string forwarded = ForwardedFrame(
+      frame, client_sent_trace, obs::CurrentTraceId(), span.span_id());
+  const std::int64_t start_us = obs::ObsClock()->NowMicros();
+  std::string reply = node.transport->Handle(peer, forwarded);
+  const std::int64_t elapsed_us = obs::ObsClock()->NowMicros() - start_us;
   if (IsAnswer(reply)) {
     tracker_.RecordSuccess(node.name);
+    tracker_.RecordLatency(node.name, elapsed_us);
     obs::Metrics()
         .GetCounter("fleet_routed_total", {{"node", node.name}})
         .Increment();
@@ -124,6 +195,8 @@ std::string FleetBroker::Attempt(std::size_t index,
   obs::Metrics()
       .GetCounter("fleet_failover_total", {{"node", node.name}})
       .Increment();
+  span.set_note(std::string{kReasonFleet} + " dead air from node '" +
+                node.name + "'; failing over");
   GA_LOG(kWarn, "fleet") << "node '" << node.name
                          << "' failed to answer; failing over";
   return {};
@@ -199,6 +272,13 @@ std::string FleetBroker::HandleObs(const gsi::Credential& peer,
   if (path == "/healthz") {
     return EncodeObsReply(200, "application/json", FleetHealthz());
   }
+  if (path == "/metrics/fleet") return FederatedMetrics(peer);
+  if (path.size() > kTracePrefix.size() &&
+      path.compare(0, kTracePrefix.size(), kTracePrefix) == 0) {
+    return FederatedTrace(peer, path.substr(kTracePrefix.size()));
+  }
+  if (path == "/contention") return FederatedContention(peer);
+  if (path == "/profile") return FederatedProfile(peer, message);
   int attempts = 0;
   for (const std::size_t index : Candidates(path)) {
     if (attempts >= options_.max_route_attempts) break;
@@ -284,9 +364,127 @@ bool FleetBroker::PolicyConverged() const {
   return true;
 }
 
+std::string FleetBroker::FederatedMetrics(const gsi::Credential& peer) {
+  obs::MetricsFederator federator;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/metrics.json");
+    if (!reply.ok() || reply->status != 200) {
+      federator.MarkUnreachable(names_[i]);
+      continue;
+    }
+    // Schema disagreement (mismatched histogram bounds, kind conflicts)
+    // is a configuration bug, not an outage: refuse the whole scrape
+    // with the [federation]-tagged error rather than serve a merged
+    // document that silently means nothing.
+    auto added = federator.AddNode(names_[i], reply->body);
+    if (!added.ok()) {
+      return EncodeObsReply(500, "text/plain", added.error().to_string());
+    }
+  }
+  return EncodeObsReply(200, "application/json", federator.RenderJson());
+}
+
+std::string FleetBroker::FederatedTrace(const gsi::Credential& peer,
+                                        const std::string& trace_id) {
+  // The broker's own route/attempt spans live in the process-global
+  // store (domain_.spans is null); each node contributes through its
+  // /trace/<id> endpoint, tagged with its name. A dead node simply has
+  // nothing to say — its failed attempt survives as the broker-side
+  // span noted with the [fleet] dead-air reason.
+  std::vector<obs::Span> spans = obs::Tracer().ForTrace(trace_id);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto reply = wire::ObsRequest(*nodes_[i].transport, peer,
+                                  std::string{kTracePrefix} + trace_id);
+    if (!reply.ok() || reply->status != 200) continue;
+    auto parsed = obs::ParseTraceJson(reply->body, names_[i]);
+    if (!parsed.ok()) {
+      return EncodeObsReply(500, "text/plain", parsed.error().to_string());
+    }
+    spans.insert(spans.end(), parsed->begin(), parsed->end());
+  }
+  if (spans.empty()) {
+    return EncodeObsReply(404, "text/plain",
+                          "no spans recorded for trace '" + trace_id + "'");
+  }
+  return EncodeObsReply(200, "application/json",
+                        obs::RenderStitchedTrace(trace_id, std::move(spans)));
+}
+
+std::string FleetBroker::FederatedContention(const gsi::Credential& peer) {
+  std::string nodes_json = "[";
+  std::string unreachable = "[";
+  bool first_node = true, first_unreachable = true;
+  {
+    json::ObjectWriter entry;
+    entry.String("node", "fleet-broker");
+    entry.Raw("contention", obs::Contention().RenderJson());
+    nodes_json += entry.Take();
+    first_node = false;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/contention");
+    if (!reply.ok() || reply->status != 200) {
+      if (!first_unreachable) unreachable += ",";
+      first_unreachable = false;
+      unreachable += "\"" + json::Escape(names_[i]) + "\"";
+      continue;
+    }
+    if (!first_node) nodes_json += ",";
+    first_node = false;
+    json::ObjectWriter entry;
+    entry.String("node", names_[i]);
+    entry.Raw("contention", reply->body);
+    nodes_json += entry.Take();
+  }
+  nodes_json += "]";
+  unreachable += "]";
+  json::ObjectWriter out;
+  out.Raw("nodes", nodes_json);
+  out.Raw("unreachable", unreachable);
+  return EncodeObsReply(200, "application/json", out.Take());
+}
+
+std::string FleetBroker::FederatedProfile(const gsi::Credential& peer,
+                                          const wire::MessageView& message) {
+  if (auto target = message.Get("node")) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (names_[i] != *target) continue;
+      auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/profile");
+      if (!reply.ok()) {
+        return EncodeObsReply(503, "text/plain",
+                              std::string{kReasonFleet} + " node '" +
+                                  names_[i] + "' unreachable: " +
+                                  reply.error().to_string());
+      }
+      return EncodeObsReply(reply->status, reply->content_type, reply->body);
+    }
+    return EncodeObsReply(404, "text/plain",
+                          "unknown node '" + std::string{*target} + "'");
+  }
+  // Merged mode: the broker's own stage stacks plus every reachable
+  // node's, identical paths summed — one collapsed document feedable to
+  // a flamegraph renderer for the whole fleet.
+  std::vector<std::string> docs;
+  docs.push_back(obs::Profiler().RenderCollapsed());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/profile");
+    if (!reply.ok() || reply->status != 200) continue;
+    docs.push_back(reply->body);
+  }
+  return EncodeObsReply(200, "text/plain",
+                        obs::MergeCollapsedStacks(docs));
+}
+
 std::string FleetBroker::FleetHealthz() {
   RefreshHealth();
-  std::size_t up = 0, degraded = 0, down = 0;
+  const std::vector<NodeScore> scores = tracker_.Scores();
+  const auto score_of = [&scores](const std::string& name) -> const NodeScore* {
+    for (const NodeScore& score : scores) {
+      if (score.node == name) return &score;
+    }
+    return nullptr;
+  };
+  std::size_t up = 0, degraded = 0, down = 0, outliers = 0;
   std::string nodes_json = "[";
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const std::string& name = names_[i];
@@ -303,6 +501,19 @@ std::string FleetBroker::FleetHealthz() {
     entry.Int("queue_depth", report.queue_depth);
     entry.Int("breakers_open", report.breakers_open);
     entry.UInt("policy_generation", report.policy_generation);
+    // Fleet-relative outlier score (HealthTracker::Scores): robust
+    // z-scores of this node's rolling latency / SLO-burn baselines
+    // against the fleet median. Zeros until enough samples accumulate.
+    const NodeScore* score = score_of(name);
+    entry.Bool("outlier", score != nullptr && score->outlier);
+    if (score != nullptr && score->outlier) ++outliers;
+    entry.Int("baseline_latency_us",
+              score != nullptr ? score->baseline_latency_us : 0);
+    entry.Raw("latency_z",
+              RenderDouble3(score != nullptr ? score->latency_z : 0.0));
+    entry.Int("baseline_burn_milli",
+              score != nullptr ? score->baseline_burn_milli : 0);
+    entry.Raw("burn_z", RenderDouble3(score != nullptr ? score->burn_z : 0.0));
     nodes_json += entry.Take();
   }
   nodes_json += "]";
@@ -316,6 +527,7 @@ std::string FleetBroker::FleetHealthz() {
   out.UInt("up", up);
   out.UInt("degraded", degraded);
   out.UInt("down", down);
+  out.UInt("outliers", outliers);
   out.UInt("policy_generation", expected_policy_generation());
   out.Bool("policy_converged", converged);
   out.Raw("nodes", nodes_json);

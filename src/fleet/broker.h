@@ -22,9 +22,24 @@
 //   * exhausted routes fail CLOSED: a synthesized reply with
 //     AUTHORIZATION_SYSTEM_FAILURE and a [fleet]-tagged reason. No
 //     request is ever silently lost.
-//   * obs-request /healthz: answered by the broker itself with the
-//     fleet view (per-node health + policy convergence); other obs
-//     paths forward to a live node.
+//   * obs-request: the broker answers the FEDERATED endpoints itself
+//     (DESIGN.md §15) — /healthz (fleet view: per-node health, policy
+//     convergence, outlier scores), /metrics/fleet (every node's
+//     /metrics.json merged: counters summed, histograms merged
+//     bucket-wise, schema mismatches refused with a [federation]
+//     error), /trace/<id> (spans gathered from every node plus the
+//     broker's own store, stitched into one node-tagged tree),
+//     /contention (per-node passthrough array), /profile (merged
+//     collapsed stacks, or one node's with a `node` attribute); other
+//     obs paths forward to a live node.
+//
+// Tracing: the broker adopts the client's trace-id, opens a route span,
+// and one attempt span per node tried — tagged with the TARGET node and
+// noted with the [fleet] reason when the node answered dead air. The
+// forwarded frame carries `parent-span-id` (and `trace-id` when the
+// client omitted one), so node-side spans parent the attempt span and
+// /trace/<id> renders one stitched tree: failed attempt and sibling
+// success side by side.
 //
 // Policy rollout: PushPolicy() replaces the document on every non-down
 // node; each node's StaticPolicySource bumps its generation, and since
@@ -49,6 +64,7 @@
 #include "fleet/health.h"
 #include "gram/wire_service.h"
 #include "mds/mds.h"
+#include "obs/domain.h"
 
 namespace gridauthz::fleet {
 
@@ -104,6 +120,9 @@ class FleetBroker final : public gram::wire::WireTransport {
   // expected generation (call RefreshHealth() first for a live answer).
   bool PolicyConverged() const;
 
+  // Current fleet-relative node scores (HealthTracker::Scores).
+  std::vector<NodeScore> NodeScores() const { return tracker_.Scores(); }
+
   std::size_t size() const { return nodes_.size(); }
   const FleetNodeHandle& node(std::size_t i) const { return nodes_[i]; }
 
@@ -117,14 +136,26 @@ class FleetBroker final : public gram::wire::WireTransport {
                         const gram::wire::MessageView& message,
                         std::string_view frame);
   std::string FleetHealthz();
+  // Federated observability endpoints (see file comment).
+  std::string FederatedMetrics(const gsi::Credential& peer);
+  std::string FederatedTrace(const gsi::Credential& peer,
+                             const std::string& trace_id);
+  std::string FederatedContention(const gsi::Credential& peer);
+  std::string FederatedProfile(const gsi::Credential& peer,
+                               const gram::wire::MessageView& message);
 
-  // Candidate indices for `key`: rendezvous-ranked Up nodes, then
-  // rendezvous-ranked Degraded nodes; Down nodes excluded.
+  // Candidate indices for `key`: rendezvous-ranked Up non-outlier
+  // nodes, then Up outliers (the routing penalty — a node whose latency
+  // or SLO-burn baseline deviates from the fleet is tried last among
+  // the healthy), then Degraded nodes; Down nodes excluded.
   std::vector<std::size_t> Candidates(std::string_view key) const;
   std::optional<std::size_t> NodeByHost(std::string_view host) const;
 
-  // One routed attempt. A decodable reply records success and is
-  // returned; "" means transport failure (already recorded).
+  // One routed attempt under its own attempt span (tagged with the
+  // target node; parent-span-id and trace-id appended to the forwarded
+  // frame). A decodable reply records success + routed latency and is
+  // returned; "" means transport failure (already recorded, span noted
+  // with the [fleet] dead-air reason).
   std::string Attempt(std::size_t index, const gsi::Credential& peer,
                       std::string_view frame);
 
@@ -133,6 +164,10 @@ class FleetBroker final : public gram::wire::WireTransport {
   mds::DirectoryService* directory_;
   const FleetBrokerOptions options_;
   HealthTracker tracker_;
+  // The broker's observability identity: spans it records (route +
+  // attempt) carry node "fleet-broker" and a namespaced span-id seed;
+  // metrics/spans/slo stay null so they land in the process singletons.
+  obs::ObsDomain domain_;
 
   mutable std::mutex policy_mu_;
   std::uint64_t pushes_ = 0;                          // guarded by policy_mu_

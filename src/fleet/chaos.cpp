@@ -1,7 +1,11 @@
 #include "fleet/chaos.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/json.h"
 #include "fleet/node.h"
+#include "gram/obs_service.h"
 #include "obs/metrics.h"
 
 namespace gridauthz::fleet {
@@ -122,6 +126,38 @@ Outcome Classify(const Expected<wire::ManagementReply>& reply) {
   return Outcome::kLost;
 }
 
+// True when the broker's federated /trace/<id> proves the failover:
+// one stitched document whose flat span list holds both a [fleet]-noted
+// span tagged with a victim node (the dead-air attempt) and a span from
+// a non-victim node (the sibling that actually served).
+bool StitchedFailoverTrace(Fleet& fleet, const gsi::Credential& user,
+                           const std::string& trace_id,
+                           const std::vector<std::string>& victims) {
+  auto reply =
+      wire::ObsRequest(fleet.broker(), user, "/trace/" + trace_id);
+  if (!reply.ok() || reply->status != 200) return false;
+  auto doc = json::ParseValue(reply->body);
+  if (!doc.ok()) return false;
+  const json::Value* spans = doc->Find("spans");
+  if (spans == nullptr) return false;
+  const auto is_victim = [&victims](const std::string& node) {
+    return std::find(victims.begin(), victims.end(), node) != victims.end();
+  };
+  bool victim_attempt = false;
+  bool sibling_answer = false;
+  for (const json::Value& span : spans->items()) {
+    const std::string node = span.FindString("node").value_or("");
+    const std::string note = span.FindString("note").value_or("");
+    if (is_victim(node) && note.find("[fleet]") != std::string::npos) {
+      victim_attempt = true;
+    }
+    if (!node.empty() && node != "fleet-broker" && !is_victim(node)) {
+      sibling_answer = true;
+    }
+  }
+  return victim_attempt && sibling_answer;
+}
+
 }  // namespace
 
 ChaosReport RunChaosScenario(Fleet& fleet,
@@ -174,6 +210,38 @@ ChaosReport RunChaosScenario(Fleet& fleet,
         link.set_slow_us(options.slow_us);
         link.SetMode(ChaosMode::kSlow);
         break;
+    }
+  }
+
+  // Phase 3a: during-fault submissions, the stitched-trace invariant.
+  // Runs before the management sweep so passive detection has not yet
+  // benched the victims — a submission only "fails over" when the
+  // broker actually burned a dead-air attempt on a victim, which the
+  // fleet_failover_total{node} counter records per attempt; once the
+  // failure threshold marks the victim down, routing avoids it and
+  // there is no failover to stitch. Only dropping faults force
+  // failover; a merely slow victim still answers.
+  if (options.kind != ChaosScenarioKind::kSlowNode) {
+    const auto victim_failovers = [&report]() {
+      std::uint64_t total = 0;
+      for (const std::string& victim : report.victims) {
+        total += obs::Metrics().CounterValue("fleet_failover_total",
+                                             {{"node", victim}});
+      }
+      return total;
+    };
+    for (const gsi::Credential& user : users) {
+      wire::WireClient client{user, &fleet.broker()};
+      for (const std::string& rsl : rsls) {
+        const std::uint64_t before = victim_failovers();
+        if (!client.Submit(rsl).ok()) continue;
+        if (victim_failovers() == before) continue;  // routed clean
+        ++report.failover_submissions;
+        if (StitchedFailoverTrace(fleet, user, client.last_trace_id(),
+                                  report.victims)) {
+          ++report.failover_traces_stitched;
+        }
+      }
     }
   }
 

@@ -82,6 +82,19 @@ struct ChaosScenarioOptions {
 // What happened, classified. `lost` counts management outcomes that
 // were neither success, denial, nor typed (bracketed) failure — the
 // invariant every scenario asserts to be zero.
+//
+// The failover_* pair is the observability invariant (DESIGN.md §15):
+// while a dropping fault (kill/hang/partition) is live, a submission
+// counts as failed-over when it succeeded AND the broker burned a
+// dead-air attempt on a victim getting there (observed as a
+// fleet_failover_total{node=victim} increment — once passive detection
+// benches the victim, routing avoids it and there is no failover). For
+// each such submission the broker's federated /trace/<id> must return
+// ONE stitched tree holding both the dead-air attempt on the victim (a
+// [fleet]-noted span tagged with the victim's name) and a span from
+// the sibling that answered. Scenarios assert the two counts are
+// equal — a failover whose trace cannot prove what happened is an
+// observability loss even when no request was.
 struct ChaosReport {
   std::vector<std::string> victims;
   int jobs_submitted = 0;
@@ -89,6 +102,8 @@ struct ChaosReport {
   int management_denied = 0;
   int management_typed_failures = 0;
   int management_lost = 0;
+  int failover_submissions = 0;
+  int failover_traces_stitched = 0;
   bool recovered = false;
   std::int64_t recovery_us = -1;
 };

@@ -25,6 +25,15 @@ inline std::uint64_t Fnv1a64(std::string_view text) {
   return hash;
 }
 
+// Deterministic per-node span-id seed in [1, 0x7FFF] (obs::MintSpanId
+// folds it into the high bits of minted span ids): distinct node names
+// get distinct namespaces, so span ids never collide across the
+// simulated fleet, and the IDs stay below 2^63 for int64 JSON / frame
+// parsing. 0 is excluded — it would mean "no namespacing".
+inline std::uint64_t SpanSeedFor(std::string_view name) {
+  return (Fnv1a64(name) % 0x7FFF) + 1;
+}
+
 // The rendezvous weight of (key, node): higher wins ownership.
 inline std::uint64_t RendezvousWeight(std::string_view key,
                                       std::string_view node) {

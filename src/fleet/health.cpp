@@ -1,6 +1,9 @@
 #include "fleet/health.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <optional>
 
 #include "obs/metrics.h"
 
@@ -22,6 +25,39 @@ namespace {
 
 std::int64_t AttrInt(const mds::Entry& entry, std::string_view name) {
   return std::strtoll(entry.GetFirst(name, "0").c_str(), nullptr, 10);
+}
+
+// Appends to a rolling window, overwriting the oldest sample once full.
+void PushWindow(std::vector<std::int64_t>& window, std::size_t& next,
+                std::size_t capacity, std::int64_t value) {
+  if (window.size() < capacity) {
+    window.push_back(value);
+  } else {
+    window[next] = value;
+    next = (next + 1) % capacity;
+  }
+}
+
+std::int64_t Median(std::vector<std::int64_t> values) {
+  if (values.empty()) return 0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+// One-sided robust modified z: 0.6745 * (value - median) / MAD, zero
+// for values at or below the median. With MAD == 0 (several identical
+// baselines) the denominator degenerates; fall back to 5% of the fleet
+// median (floored at 1) so a genuinely deviant node still scores
+// instead of dividing by zero.
+double OneSidedModifiedZ(std::int64_t value, std::int64_t median,
+                         std::int64_t mad) {
+  const double deviation = static_cast<double>(value - median);
+  if (deviation <= 0.0) return 0.0;
+  if (mad > 0) return 0.6745 * deviation / static_cast<double>(mad);
+  const double scale =
+      std::max(1.0, 0.05 * std::abs(static_cast<double>(median)));
+  return deviation / scale;
 }
 
 }  // namespace
@@ -71,10 +107,95 @@ void HealthTracker::Update(NodeHealthReport report) {
   State& state = states_[report.node];
   const std::string node = report.node;
   const bool reachable = report.health != NodeHealth::kDown;
+  if (reachable) {
+    PushWindow(state.burn_window, state.burn_next, kBurnWindow,
+               report.slo_burn_milli);
+  }
   state.report = std::move(report);
   state.refreshed = true;
   if (reachable) state.consecutive_failures = 0;
   ExportGaugeLocked(node, state);
+}
+
+void HealthTracker::RecordLatency(const std::string& node,
+                                  std::int64_t latency_us) {
+  std::lock_guard lock(mu_);
+  State& state = states_[node];
+  PushWindow(state.latency_window, state.latency_next, kLatencyWindow,
+             latency_us);
+}
+
+std::vector<NodeScore> HealthTracker::Scores() const {
+  std::lock_guard lock(mu_);
+  std::vector<NodeScore> out;
+  out.reserve(states_.size());
+  for (const auto& [node, state] : states_) {
+    NodeScore score;
+    score.node = node;
+    score.latency_samples = state.latency_window.size();
+    if (score.latency_samples >= kMinLatencySamples) {
+      score.baseline_latency_us = Median(state.latency_window);
+    }
+    score.burn_samples = state.burn_window.size();
+    if (score.burn_samples >= kMinBurnSamples) {
+      score.baseline_burn_milli = Median(state.burn_window);
+    }
+    out.push_back(std::move(score));
+  }
+
+  // Fleet-relative scoring per signal: median and MAD over the nodes
+  // that have a baseline for that signal; each such node's one-sided
+  // modified z against them. Fewer than kMinFleetForScoring baselines
+  // is no fleet to deviate from — a 2-node comparison cannot say which
+  // of the two is the odd one out.
+  auto score_signal = [&](auto baseline_of, auto z_of) {
+    std::vector<std::int64_t> baselines;
+    std::vector<NodeScore*> scored;
+    for (NodeScore& score : out) {
+      if (auto baseline = baseline_of(score)) {
+        baselines.push_back(*baseline);
+        scored.push_back(&score);
+      }
+    }
+    if (baselines.size() < kMinFleetForScoring) return;
+    const std::int64_t median = Median(baselines);
+    std::vector<std::int64_t> deviations;
+    deviations.reserve(baselines.size());
+    for (std::int64_t baseline : baselines) {
+      deviations.push_back(std::abs(baseline - median));
+    }
+    const std::int64_t mad = Median(deviations);
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      z_of(*scored[i]) = OneSidedModifiedZ(baselines[i], median, mad);
+    }
+  };
+  score_signal(
+      [](const NodeScore& s) -> std::optional<std::int64_t> {
+        if (s.latency_samples < kMinLatencySamples) return std::nullopt;
+        return s.baseline_latency_us;
+      },
+      [](NodeScore& s) -> double& { return s.latency_z; });
+  score_signal(
+      [](const NodeScore& s) -> std::optional<std::int64_t> {
+        if (s.burn_samples < kMinBurnSamples) return std::nullopt;
+        return s.baseline_burn_milli;
+      },
+      [](NodeScore& s) -> double& { return s.burn_z; });
+
+  for (NodeScore& score : out) {
+    score.outlier = score.latency_z > kOutlierZ || score.burn_z > kOutlierZ;
+    obs::Metrics()
+        .GetGauge("fleet_node_outlier", {{"node", score.node}})
+        .Set(score.outlier ? 1 : 0);
+  }
+  return out;
+}
+
+bool HealthTracker::IsOutlier(const std::string& node) const {
+  for (const NodeScore& score : Scores()) {
+    if (score.node == node) return score.outlier;
+  }
+  return false;
 }
 
 void HealthTracker::RecordFailure(const std::string& node) {

@@ -12,11 +12,13 @@
 // never tried.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "mds/mds.h"
 
@@ -43,12 +45,42 @@ struct NodeHealthReport {
 //   otherwise                           -> kUp
 NodeHealthReport ScoreGatekeeperEntry(const mds::Entry& entry);
 
+// One node's rolling baselines and fleet-relative outlier score
+// (HealthTracker::Scores). Baselines are medians of rolling windows —
+// routing latency observed by the broker, SLO burn from MDS refreshes —
+// so one slow request or one noisy scrape cannot move them. The z
+// fields are one-sided robust modified z-scores against the fleet
+// (0.6745 * (baseline - fleet median) / MAD): only a node SLOWER or
+// BURNING HOTTER than its peers scores, a fast node is never an
+// "outlier". A node is flagged when either z crosses the threshold.
+struct NodeScore {
+  std::string node;
+  std::size_t latency_samples = 0;
+  std::int64_t baseline_latency_us = 0;  // 0 until enough samples
+  std::size_t burn_samples = 0;
+  std::int64_t baseline_burn_milli = 0;
+  double latency_z = 0.0;
+  double burn_z = 0.0;
+  bool outlier = false;
+};
+
 // Thread-safe per-node health state. Exported as the gauge
 // fleet_node_health{node} (0 up, 1 degraded, 2 down).
 class HealthTracker {
  public:
   // `failure_threshold` consecutive transport failures force kDown.
   explicit HealthTracker(int failure_threshold = 3);
+
+  // Rolling-window sizes and scoring thresholds. The latency window is
+  // small enough that a recovered node sheds its slow history within
+  // ~64 routed calls; minimums keep one-sample "baselines" and
+  // two-node "fleets" from producing junk scores.
+  static constexpr std::size_t kLatencyWindow = 64;
+  static constexpr std::size_t kMinLatencySamples = 8;
+  static constexpr std::size_t kBurnWindow = 16;
+  static constexpr std::size_t kMinBurnSamples = 3;
+  static constexpr std::size_t kMinFleetForScoring = 3;
+  static constexpr double kOutlierZ = 3.5;
 
   // Active refresh: installs the scored report. A reachable report
   // clears accumulated passive failures (the node answered its probe).
@@ -57,6 +89,19 @@ class HealthTracker {
   // Passive signals from the routing path.
   void RecordFailure(const std::string& node);
   void RecordSuccess(const std::string& node);
+
+  // Routing-observed latency of one successful call to `node`; feeds
+  // the rolling baseline behind Scores().
+  void RecordLatency(const std::string& node, std::int64_t latency_us);
+
+  // Current per-node baselines and outlier flags, fleet-relative,
+  // recomputed from the rolling windows on every call (fleets here are
+  // small; freshness beats caching). Also exports the gauge
+  // fleet_node_outlier{node} (0/1). Ordered by node name.
+  std::vector<NodeScore> Scores() const;
+
+  // True when Scores() currently flags `node`.
+  bool IsOutlier(const std::string& node) const;
 
   // Operator/chaos override: force kDown until the next reachable
   // Update() or RecordSuccess().
@@ -75,6 +120,11 @@ class HealthTracker {
     NodeHealthReport report;
     bool refreshed = false;
     int consecutive_failures = 0;
+    // Rolling windows (rings once full; *_next is the overwrite slot).
+    std::vector<std::int64_t> latency_window;
+    std::size_t latency_next = 0;
+    std::vector<std::int64_t> burn_window;
+    std::size_t burn_next = 0;
   };
 
   void ExportGaugeLocked(const std::string& node, const State& state) const;

@@ -1,5 +1,6 @@
 #include "fleet/node.h"
 
+#include "fleet/hash.h"
 #include "mds/provider.h"
 
 namespace gridauthz::fleet {
@@ -37,17 +38,21 @@ GatekeeperNode::GatekeeperNode(NodeOptions options,
       site_(SiteOptionsFor(options_)),
       policy_(std::make_shared<core::StaticPolicySource>(options_.name + "-pep",
                                                          policy)),
+      domain_{options_.name, &metrics_, &spans_, &slo_,
+              SpanSeedFor(options_.name)},
       endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
                 &site_.clock()),
+      endpoint_domain_(&endpoint_, &domain_),
       server_(options_.use_server
-                  ? std::make_unique<wire::ServerTransport>(&endpoint_,
+                  ? std::make_unique<wire::ServerTransport>(&endpoint_domain_,
                                                             options_.server)
                   : nullptr),
       obs_(ObsOptionsFor(options_, policy_,
                          server_ ? static_cast<wire::WireTransport*>(
                                        server_.get())
                                  : &endpoint_,
-                         server_.get())) {
+                         server_.get())),
+      outer_(&obs_, &domain_) {
   site_.UseJobManagerPep(policy_);
 }
 

@@ -27,8 +27,38 @@
 #include "gram/site.h"
 #include "gram/wire_service.h"
 #include "mds/mds.h"
+#include "obs/domain.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 
 namespace gridauthz::fleet {
+
+// Installs an observability domain (obs/domain.h) around every frame an
+// inner transport handles, so the metrics, spans, and SLO accounting the
+// frame produces land in that domain's registries instead of the
+// process singletons. A node needs TWO of these: one at the stack top
+// (obs scrapes render the node's own registries, on whatever thread
+// calls in) and — when a ServerTransport is in play — one directly
+// around the WireEndpoint, because the endpoint then runs on worker
+// threads that never pass through the outer wrapper's scope.
+class DomainTransport final : public gram::wire::WireTransport {
+ public:
+  DomainTransport(gram::wire::WireTransport* inner,
+                  const obs::ObsDomain* domain)
+      : inner_(inner), domain_(domain) {}
+
+  std::string Handle(const gsi::Credential& peer,
+                     std::string_view frame) override {
+    obs::ObsDomainScope scope(domain_);
+    return inner_->Handle(peer, frame);
+  }
+
+ private:
+  gram::wire::WireTransport* inner_;
+  const obs::ObsDomain* domain_;
+};
+
 
 struct NodeOptions {
   std::string name;            // e.g. "gk-0"
@@ -50,9 +80,16 @@ class GatekeeperNode {
   const std::string& host() const { return options_.host; }
   gram::SimulatedSite& site() { return site_; }
 
-  // The node's serving stack top (ObsService). Everything — jobs,
-  // management, obs — enters here.
-  gram::wire::WireTransport& transport() { return obs_; }
+  // The node's serving stack top (the outer DomainTransport over
+  // ObsService). Everything — jobs, management, obs — enters here and
+  // runs under this node's observability domain.
+  gram::wire::WireTransport& transport() { return outer_; }
+
+  // This node's private observability plane (what the broker's
+  // federated endpoints scrape and stitch).
+  const obs::ObsDomain& domain() const { return domain_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::SpanStore& spans() { return spans_; }
 
   // Policy rollout target: replaces the document, bumping the
   // generation /healthz reports.
@@ -68,9 +105,21 @@ class GatekeeperNode {
   NodeOptions options_;
   gram::SimulatedSite site_;
   std::shared_ptr<core::StaticPolicySource> policy_;
+  // The node's own observability plane, declared before the transports
+  // whose domain scopes point into it.
+  obs::MetricsRegistry metrics_;
+  obs::SpanStore spans_;
+  obs::SloTracker slo_;
+  obs::ObsDomain domain_;
   gram::wire::WireEndpoint endpoint_;
+  // Inner scope: covers the endpoint when ServerTransport workers call
+  // it from threads the outer wrapper never sees.
+  DomainTransport endpoint_domain_;
   std::unique_ptr<gram::wire::ServerTransport> server_;
   gram::wire::ObsService obs_;
+  // Outer scope: covers ObsService itself, so /metrics.json and
+  // /trace/<id> render THIS node's registries.
+  DomainTransport outer_;
 };
 
 struct FleetOptions {

@@ -114,6 +114,8 @@ ObsReply ObsService::HandleTrace(const std::string& trace_id) const {
     entry.UInt("span", span.span_id);
     entry.UInt("parent", span.parent_span_id);
     entry.String("name", span.name);
+    entry.String("node", span.node);
+    entry.String("note", span.note);
     entry.Int("start_us", span.start_us);
     entry.Int("end_us", span.end_us);
     entry.Int("duration_us", span.duration_us());

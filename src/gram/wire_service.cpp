@@ -1,6 +1,7 @@
 #include "gram/wire_service.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/deadline.h"
 #include "core/request.h"
@@ -57,8 +58,19 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
   }
   // Server-side trace root: adopt the client's `trace-id` extension
   // attribute, or mint one for stock clients that omit it. Every span,
-  // audit record, and log line below here joins on this id.
-  obs::TraceScope trace(std::string{message->Get("trace-id").value_or("")});
+  // audit record, and log line below here joins on this id. A caller on
+  // the far side of the hop (the fleet broker) also sends its span id
+  // as `parent-span-id`, so the spans opened here parent the caller's
+  // attempt span instead of dangling as a second root — this is what
+  // lets the broker stitch one cross-node trace tree (DESIGN.md §15).
+  std::uint64_t parent_span_id = 0;
+  if (auto parent = message->Get("parent-span-id")) {
+    const char* first = parent->data();
+    const char* last = first + parent->size();
+    std::from_chars(first, last, parent_span_id);
+  }
+  obs::TraceScope trace(std::string{message->Get("trace-id").value_or("")},
+                        parent_span_id);
   obs::ScopedSpan span("wire/handle");
   const std::int64_t start_us = obs::ObsClock()->NowMicros();
 

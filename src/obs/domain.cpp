@@ -1,0 +1,20 @@
+#include "obs/domain.h"
+
+namespace gridauthz::obs {
+
+namespace {
+
+thread_local const ObsDomain* g_domain = nullptr;
+
+}  // namespace
+
+const ObsDomain* CurrentObsDomain() { return g_domain; }
+
+ObsDomainScope::ObsDomainScope(const ObsDomain* domain)
+    : previous_(g_domain) {
+  g_domain = domain;
+}
+
+ObsDomainScope::~ObsDomainScope() { g_domain = previous_; }
+
+}  // namespace gridauthz::obs

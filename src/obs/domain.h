@@ -1,0 +1,63 @@
+// Observability domains: per-node metrics/trace isolation inside one
+// process.
+//
+// The fleet harness (DESIGN.md §13) simulates a federation of gatekeeper
+// processes inside one address space. Observability, however, was built
+// process-global — Metrics() and Tracer() are singletons — so every
+// simulated node would write into the same registry and span store,
+// making "federation" a tautology: the broker would scrape N copies of
+// identical data.
+//
+// An ObsDomain restores the process boundary for observability only: it
+// names a node and optionally redirects the metrics registry, the span
+// store, and the span-id seed for whatever runs under its scope.
+// Metrics() and Tracer() consult the thread-local current domain and
+// fall back to the process-global singletons when a field is null, so
+// all existing single-process code is untouched. A node's transport
+// wrapper installs its domain for the duration of each handled frame;
+// everything the frame touches — PDP evaluation, audit, spans, SLO
+// accounting — lands in that node's own registry and store, exactly as
+// it would in a real per-process deployment (DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gridauthz::obs {
+
+class MetricsRegistry;
+class SpanStore;
+class SloTracker;
+
+struct ObsDomain {
+  // Node identity stamped onto spans recorded under this domain ("" =
+  // unnamed; spans keep whatever the store-level default is).
+  std::string node;
+  // Redirection targets; nullptr = fall back to the process singleton.
+  MetricsRegistry* metrics = nullptr;
+  SpanStore* spans = nullptr;
+  SloTracker* slo = nullptr;
+  // Mixed into the high bits of minted span ids so two domains never
+  // collide even though both draw from process-wide counters (see
+  // trace.cpp). 0 = no namespacing (the process-global domain).
+  std::uint64_t span_seed = 0;
+};
+
+// The domain active on this thread, or nullptr outside any scope.
+const ObsDomain* CurrentObsDomain();
+
+// RAII: installs `domain` as this thread's observability domain and
+// restores the previous one on destruction. The domain object must
+// outlive the scope; scopes nest (innermost wins).
+class ObsDomainScope {
+ public:
+  explicit ObsDomainScope(const ObsDomain* domain);
+  ~ObsDomainScope();
+  ObsDomainScope(const ObsDomainScope&) = delete;
+  ObsDomainScope& operator=(const ObsDomainScope&) = delete;
+
+ private:
+  const ObsDomain* previous_;
+};
+
+}  // namespace gridauthz::obs

@@ -1,0 +1,521 @@
+#include "obs/federate.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/json.h"
+
+namespace gridauthz::obs {
+
+namespace {
+
+constexpr int kKindCounter = 0;
+constexpr int kKindGauge = 1;
+constexpr int kKindHistogram = 2;
+
+std::string_view KindName(int kind) {
+  switch (kind) {
+    case kKindCounter:
+      return "counter";
+    case kKindGauge:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+Error FederationError(ErrCode code, const std::string& node,
+                      std::string detail) {
+  return Error{code, std::string{kReasonFederation} + " node '" + node +
+                         "': " + std::move(detail)};
+}
+
+// One node's parsed + validated /metrics.json, staged before any of it
+// touches the fleet registries — validation failure must leave the
+// federator exactly as it was.
+struct StagedCounter {
+  std::string name;
+  LabelSet labels;
+  std::uint64_t value = 0;
+};
+
+struct StagedGauge {
+  std::string name;
+  LabelSet labels;
+  std::int64_t value = 0;
+};
+
+struct StagedHistogram {
+  std::string name;
+  LabelSet labels;
+  std::int64_t sum = 0;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> buckets;  // last entry = +Inf overflow
+};
+
+Expected<LabelSet> ParseLabels(const json::Value& entry,
+                               const std::string& node) {
+  const json::Value* labels = entry.Find("labels");
+  if (labels == nullptr || !labels->is_object()) {
+    return FederationError(ErrCode::kParseError, node,
+                           "series entry has no labels object");
+  }
+  LabelSet out;
+  for (const auto& [key, value] : labels->members()) {
+    if (value.kind() != json::Value::Kind::kString) {
+      return FederationError(ErrCode::kParseError, node,
+                             "label '" + key + "' is not a string");
+    }
+    out.emplace_back(key, value.AsString());
+  }
+  return out;
+}
+
+// `node` appended as a label unless the series already carries one.
+LabelSet WithNodeLabel(LabelSet labels, const std::string& node) {
+  for (const auto& label : labels) {
+    if (label.first == "node") return labels;
+  }
+  labels.emplace_back("node", node);
+  return labels;
+}
+
+std::string SeriesDescription(const std::string& name,
+                              const LabelSet& labels) {
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + value;
+  }
+  out += "}";
+  return out;
+}
+
+std::string RenderStringArray(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json::Escape(values[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+// Flat span entry in the exact key set ObsService::HandleTrace emits,
+// optionally with a nested "children" array (the stitched tree).
+std::string SpanEntry(const Span& span, const std::string* children) {
+  json::ObjectWriter entry;
+  entry.String("trace", span.trace_id);
+  entry.UInt("span", span.span_id);
+  entry.UInt("parent", span.parent_span_id);
+  entry.String("name", span.name);
+  entry.String("node", span.node);
+  entry.String("note", span.note);
+  entry.Int("start_us", span.start_us);
+  entry.Int("end_us", span.end_us);
+  entry.Int("duration_us", span.duration_us());
+  if (children != nullptr) entry.Raw("children", *children);
+  return entry.Take();
+}
+
+// Children lists hold indices in stitch order; each span has one parent,
+// so subtrees reachable from roots are acyclic and recursion terminates.
+std::string RenderSubtree(const std::vector<Span>& spans,
+                          const std::vector<std::vector<std::size_t>>& children,
+                          std::size_t index) {
+  std::string kids = "[";
+  bool first = true;
+  for (std::size_t child : children[index]) {
+    if (!first) kids += ",";
+    first = false;
+    kids += RenderSubtree(spans, children, child);
+  }
+  kids += "]";
+  return SpanEntry(spans[index], &kids);
+}
+
+}  // namespace
+
+struct MetricsFederator::Staged {
+  std::vector<StagedCounter> counters;
+  std::vector<StagedGauge> gauges;
+  std::vector<StagedHistogram> histograms;
+};
+
+MetricsFederator::MetricsFederator()
+    : fleet_(std::make_unique<MetricsRegistry>()) {}
+
+MetricsFederator::~MetricsFederator() = default;
+
+Expected<void> MetricsFederator::AddNode(const std::string& node,
+                                         std::string_view metrics_json) {
+  for (const auto& [existing, registry] : per_node_) {
+    if (existing == node) {
+      return FederationError(ErrCode::kAlreadyExists, node,
+                             "already scraped; a second snapshot would "
+                             "double-count the fleet view");
+    }
+  }
+
+  auto parsed = json::ParseValue(metrics_json);
+  if (!parsed.ok()) {
+    return FederationError(ErrCode::kParseError, node,
+                           "unparseable /metrics.json: " +
+                               parsed.error().to_string());
+  }
+  const json::Value& doc = *parsed;
+  if (!doc.is_object()) {
+    return FederationError(ErrCode::kParseError, node,
+                           "/metrics.json is not an object");
+  }
+
+  // --- Stage: parse every section without touching fleet state. ---
+  Staged staged;
+  // name -> kind within THIS document; also checked against the fleet's
+  // established kinds. Series keys guard against duplicate entries.
+  std::map<std::string, int> doc_kinds;
+  std::unordered_set<std::string> doc_series;
+
+  auto claim = [&](const std::string& name, const LabelSet& labels,
+                   int kind) -> Expected<void> {
+    auto [it, inserted] = doc_kinds.try_emplace(name, kind);
+    if (!inserted && it->second != kind) {
+      return FederationError(
+          ErrCode::kParseError, node,
+          "metric '" + name + "' appears as both " +
+              std::string{KindName(it->second)} + " and " +
+              std::string{KindName(kind)});
+    }
+    for (const auto& [known, known_kind] : kinds_) {
+      if (known == name && known_kind != kind) {
+        return FederationError(
+            ErrCode::kFailedPrecondition, node,
+            "metric '" + name + "' is a " + std::string{KindName(kind)} +
+                " here but the fleet already holds it as a " +
+                std::string{KindName(known_kind)});
+      }
+    }
+    std::string key = std::to_string(kind) + SeriesDescription(name, labels);
+    if (!doc_series.insert(std::move(key)).second) {
+      return FederationError(ErrCode::kParseError, node,
+                             "duplicate series " +
+                                 SeriesDescription(name, labels));
+    }
+    return Ok();
+  };
+
+  auto section = [&](std::string_view key) -> Expected<const json::Value*> {
+    const json::Value* value = doc.Find(key);
+    if (value == nullptr || !value->is_array()) {
+      return FederationError(ErrCode::kParseError, node,
+                             "missing '" + std::string{key} + "' array");
+    }
+    return value;
+  };
+
+  GA_TRY(const json::Value* counters, section("counters"));
+  for (const json::Value& entry : counters->items()) {
+    StagedCounter out;
+    auto name = entry.FindString("name");
+    auto value = entry.FindInt("value");
+    if (!name || !value || *value < 0) {
+      return FederationError(ErrCode::kParseError, node,
+                             "malformed counter entry");
+    }
+    out.name = *name;
+    out.value = static_cast<std::uint64_t>(*value);
+    GA_TRY(out.labels, ParseLabels(entry, node));
+    GA_TRY_VOID(claim(out.name, out.labels, kKindCounter));
+    staged.counters.push_back(std::move(out));
+  }
+
+  GA_TRY(const json::Value* gauges, section("gauges"));
+  for (const json::Value& entry : gauges->items()) {
+    StagedGauge out;
+    auto name = entry.FindString("name");
+    auto value = entry.FindInt("value");
+    if (!name || !value) {
+      return FederationError(ErrCode::kParseError, node,
+                             "malformed gauge entry");
+    }
+    out.name = *name;
+    out.value = *value;
+    GA_TRY(out.labels, ParseLabels(entry, node));
+    GA_TRY_VOID(claim(out.name, out.labels, kKindGauge));
+    staged.gauges.push_back(std::move(out));
+  }
+
+  GA_TRY(const json::Value* histograms, section("histograms"));
+  for (const json::Value& entry : histograms->items()) {
+    StagedHistogram out;
+    auto name = entry.FindString("name");
+    auto count = entry.FindInt("count");
+    auto sum = entry.FindInt("sum");
+    const json::Value* bounds = entry.Find("bounds");
+    const json::Value* buckets = entry.Find("buckets");
+    if (!name || !count || !sum || bounds == nullptr ||
+        !bounds->is_array() || buckets == nullptr || !buckets->is_array()) {
+      return FederationError(ErrCode::kParseError, node,
+                             "malformed histogram entry");
+    }
+    out.name = *name;
+    out.sum = *sum;
+    GA_TRY(out.labels, ParseLabels(entry, node));
+    for (const json::Value& bound : bounds->items()) {
+      if (bound.kind() != json::Value::Kind::kNumber) {
+        return FederationError(ErrCode::kParseError, node,
+                               "non-numeric histogram bound");
+      }
+      out.bounds.push_back(bound.AsInt());
+    }
+    if (!std::is_sorted(out.bounds.begin(), out.bounds.end()) ||
+        std::adjacent_find(out.bounds.begin(), out.bounds.end()) !=
+            out.bounds.end()) {
+      return FederationError(
+          ErrCode::kParseError, node,
+          "histogram '" + out.name + "' bounds are not strictly increasing");
+    }
+    std::uint64_t bucket_total = 0;
+    for (const json::Value& bucket : buckets->items()) {
+      if (bucket.kind() != json::Value::Kind::kNumber ||
+          bucket.AsInt() < 0) {
+        return FederationError(ErrCode::kParseError, node,
+                               "non-numeric histogram bucket count");
+      }
+      out.buckets.push_back(static_cast<std::uint64_t>(bucket.AsInt()));
+      bucket_total += out.buckets.back();
+    }
+    if (out.buckets.size() != out.bounds.size() + 1) {
+      return FederationError(
+          ErrCode::kParseError, node,
+          "histogram '" + out.name + "' has " +
+              std::to_string(out.buckets.size()) + " buckets for " +
+              std::to_string(out.bounds.size()) + " bounds");
+    }
+    if (bucket_total != static_cast<std::uint64_t>(*count)) {
+      return FederationError(
+          ErrCode::kParseError, node,
+          "histogram '" + out.name + "' bucket counts sum to " +
+              std::to_string(bucket_total) + " but count says " +
+              std::to_string(*count));
+    }
+    // Schema agreement with the fleet established so far: a merged
+    // histogram only means something when every node bucketed the same
+    // way. Bounds are compared per series against the fleet registry.
+    if (const Histogram* existing =
+            fleet_->FindHistogram(out.name, out.labels);
+        existing != nullptr && existing->bounds() != out.bounds) {
+      return FederationError(
+          ErrCode::kFailedPrecondition, node,
+          "histogram " + SeriesDescription(out.name, out.labels) +
+              " disagrees on bucket boundaries with the fleet schema; "
+              "refusing a lossy merge");
+    }
+    GA_TRY_VOID(claim(out.name, out.labels, kKindHistogram));
+    staged.histograms.push_back(std::move(out));
+  }
+
+  // --- Apply: the document is internally consistent and agrees with
+  // the fleet schema; fold it in. Nothing below can fail. ---
+  MetricsRegistry& node_registry =
+      *per_node_.emplace_back(node, std::make_unique<MetricsRegistry>())
+           .second;
+  for (const auto& [name, kind] : doc_kinds) {
+    bool known = false;
+    for (const auto& existing : kinds_) {
+      if (existing.first == name) known = true;
+    }
+    if (!known) kinds_.emplace_back(name, kind);
+  }
+  for (const StagedCounter& counter : staged.counters) {
+    fleet_->GetCounter(counter.name, counter.labels)
+        .Increment(counter.value);
+    node_registry.GetCounter(counter.name,
+                             WithNodeLabel(counter.labels, node))
+        .Increment(counter.value);
+  }
+  for (const StagedGauge& gauge : staged.gauges) {
+    fleet_->GetGauge(gauge.name, gauge.labels).Add(gauge.value);
+    node_registry.GetGauge(gauge.name, WithNodeLabel(gauge.labels, node))
+        .Set(gauge.value);
+  }
+  for (const StagedHistogram& histogram : staged.histograms) {
+    auto merged =
+        fleet_->GetHistogram(histogram.name, histogram.labels,
+                             histogram.bounds)
+            .Merge(histogram.bounds, histogram.buckets, histogram.sum);
+    auto labelled =
+        node_registry
+            .GetHistogram(histogram.name,
+                          WithNodeLabel(histogram.labels, node),
+                          histogram.bounds)
+            .Merge(histogram.bounds, histogram.buckets, histogram.sum);
+    // Pre-validated above; Merge cannot refuse here.
+    (void)merged.ok();
+    (void)labelled.ok();
+  }
+  return Ok();
+}
+
+void MetricsFederator::MarkUnreachable(const std::string& node) {
+  unreachable_.push_back(node);
+}
+
+std::string MetricsFederator::RenderJson() const {
+  std::vector<std::string> nodes;
+  nodes.reserve(per_node_.size());
+  for (const auto& [node, registry] : per_node_) nodes.push_back(node);
+  std::string out = "{\"nodes\":" + RenderStringArray(nodes);
+  out += ",\"unreachable\":" + RenderStringArray(unreachable_);
+  out += ",\"fleet\":" + fleet_->RenderJson();
+  out += ",\"per_node\":[";
+  bool first = true;
+  for (const auto& [node, registry] : per_node_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"node\":\"" + json::Escape(node) +
+           "\",\"metrics\":" + registry->RenderJson() + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Expected<std::vector<Span>> ParseTraceJson(std::string_view trace_json,
+                                           const std::string& node) {
+  auto parsed = json::ParseValue(trace_json);
+  if (!parsed.ok()) {
+    return FederationError(ErrCode::kParseError, node,
+                           "unparseable trace document: " +
+                               parsed.error().to_string());
+  }
+  if (!parsed->is_array()) {
+    return FederationError(ErrCode::kParseError, node,
+                           "trace document is not an array");
+  }
+  std::vector<Span> out;
+  out.reserve(parsed->items().size());
+  for (const json::Value& entry : parsed->items()) {
+    auto trace = entry.FindString("trace");
+    auto span_id = entry.FindInt("span");
+    auto parent = entry.FindInt("parent");
+    auto name = entry.FindString("name");
+    auto start_us = entry.FindInt("start_us");
+    auto end_us = entry.FindInt("end_us");
+    if (!trace || !span_id || !parent || !name || !start_us || !end_us) {
+      return FederationError(ErrCode::kParseError, node,
+                             "malformed span entry in trace document");
+    }
+    Span span;
+    span.trace_id = *trace;
+    span.span_id = static_cast<std::uint64_t>(*span_id);
+    span.parent_span_id = static_cast<std::uint64_t>(*parent);
+    span.name = *name;
+    span.node = entry.FindString("node").value_or("");
+    span.note = entry.FindString("note").value_or("");
+    span.start_us = *start_us;
+    span.end_us = *end_us;
+    if (span.node.empty()) span.node = node;
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+void StitchSpans(std::vector<Span>& spans) {
+  // Dedup first (keep the earliest-received copy), then order by start
+  // time with span id as the stable tiebreak — concurrent writers can
+  // share a start microsecond and the stitched order must still be
+  // deterministic.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Span> unique;
+  unique.reserve(spans.size());
+  for (Span& span : spans) {
+    if (seen.insert(span.span_id).second) unique.push_back(std::move(span));
+  }
+  spans = std::move(unique);
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.span_id < b.span_id;
+  });
+}
+
+std::string RenderStitchedTrace(const std::string& trace_id,
+                                std::vector<Span> spans) {
+  StitchSpans(spans);
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    index.emplace(spans[i].span_id, i);
+  }
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::uint64_t parent = spans[i].parent_span_id;
+    auto it = parent == 0 ? index.end() : index.find(parent);
+    // A parent the bounded stores already dropped (or one the scrape
+    // missed) renders its subtree as a root: an orphaned subtree beats
+    // a refused render.
+    if (it == index.end() || it->second == i) {
+      roots.push_back(i);
+    } else {
+      children[it->second].push_back(i);
+    }
+  }
+
+  std::string flat = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) flat += ",";
+    flat += SpanEntry(spans[i], nullptr);
+  }
+  flat += "]";
+
+  std::string tree = "[";
+  bool first = true;
+  for (std::size_t root : roots) {
+    if (!first) tree += ",";
+    first = false;
+    tree += RenderSubtree(spans, children, root);
+  }
+  tree += "]";
+
+  json::ObjectWriter out;
+  out.String("trace", trace_id);
+  out.UInt("span_count", spans.size());
+  out.Raw("spans", flat);
+  out.Raw("tree", tree);
+  return out.Take();
+}
+
+std::string MergeCollapsedStacks(
+    const std::vector<std::string>& collapsed_docs) {
+  std::map<std::string, std::uint64_t> merged;
+  for (const std::string& doc : collapsed_docs) {
+    std::size_t begin = 0;
+    while (begin < doc.size()) {
+      std::size_t end = doc.find('\n', begin);
+      if (end == std::string::npos) end = doc.size();
+      const std::string_view line{doc.data() + begin, end - begin};
+      begin = end + 1;
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string_view::npos || space == 0) continue;
+      std::uint64_t weight = 0;
+      const char* first = line.data() + space + 1;
+      const char* last = line.data() + line.size();
+      auto [ptr, ec] = std::from_chars(first, last, weight);
+      if (ec != std::errc{} || ptr != last) continue;
+      merged[std::string{line.substr(0, space)}] += weight;
+    }
+  }
+  std::string out;
+  for (const auto& [path, weight] : merged) {
+    out += path + " " + std::to_string(weight) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gridauthz::obs

@@ -1,0 +1,118 @@
+// Fleet observability federation: merging per-node exports into one
+// fleet-wide view (DESIGN.md §15).
+//
+// A fleet broker fronts N gatekeeper nodes, each with its own metrics
+// registry, span store, and stage profiler (obs/domain.h). Operators
+// should not have to scrape N endpoints and eyeball-diff them; the
+// broker federates:
+//
+//   - /metrics/fleet   — every node's /metrics.json folded into one
+//     document: counters summed, gauges summed, histograms merged
+//     bucket-wise. The merged section is rendered by a real
+//     MetricsRegistry, so it is byte-identical to what a single
+//     registry fed the union of all observations would produce.
+//     Schema disagreements (histogram bucket bounds, metric kinds)
+//     REFUSE to merge with a kReasonFederation-tagged error — a lossy
+//     merge would silently misreport the fleet.
+//   - /trace/<id>      — spans for one trace gathered from every node
+//     plus the broker's own store, stitched into a single tree ordered
+//     by start time, each span tagged with the node that recorded it.
+//   - /profile         — per-node collapsed stacks summed frame-path-wise.
+//
+// Everything here is pure data-plumbing over strings: no transport,
+// no locking beyond what MetricsRegistry already does. The broker
+// (fleet/broker.h) owns the scrape loop and failure handling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz::obs {
+
+// Accumulates /metrics.json documents scraped from fleet nodes and
+// renders the merged fleet view. Single-writer: the broker builds one
+// federator per scrape, adds every reachable node, then renders.
+class MetricsFederator {
+ public:
+  MetricsFederator();
+  ~MetricsFederator();
+  MetricsFederator(const MetricsFederator&) = delete;
+  MetricsFederator& operator=(const MetricsFederator&) = delete;
+
+  // Parses one node's /metrics.json snapshot and folds it into the
+  // fleet view. Validation is all-or-nothing: a document that fails to
+  // parse, is internally inconsistent (a histogram whose bucket counts
+  // do not add up to its count), or disagrees with the schema already
+  // established by earlier nodes (different histogram bucket bounds,
+  // a name registered as a different metric kind) leaves the federator
+  // untouched and returns an error whose message starts with
+  // kReasonFederation.
+  Expected<void> AddNode(const std::string& node,
+                         std::string_view metrics_json);
+
+  // Records a node the scrape could not reach; surfaces in RenderJson
+  // so a merged document is never mistaken for full fleet coverage.
+  void MarkUnreachable(const std::string& node);
+
+  // {"nodes":[...],"unreachable":[...],"fleet":{...},"per_node":[...]}
+  // where "fleet" is a RenderJson document of the merged registry and
+  // each "per_node" entry re-exports that node's series with a "node"
+  // label added.
+  std::string RenderJson() const;
+
+  // The merged registry backing the "fleet" section (read access for
+  // tests and the broker's health view).
+  const MetricsRegistry& fleet() const { return *fleet_; }
+
+ private:
+  struct Staged;  // one parsed + validated document, pre-application
+
+  std::unique_ptr<MetricsRegistry> fleet_;
+  // (node, registry holding that node's series re-labelled with node=<id>),
+  // in AddNode order.
+  std::vector<std::pair<std::string, std::unique_ptr<MetricsRegistry>>>
+      per_node_;
+  std::vector<std::string> unreachable_;
+  // name -> kind (0 counter, 1 gauge, 2 histogram) established by the
+  // first document that exported it; later documents must agree.
+  std::vector<std::pair<std::string, int>> kinds_;
+};
+
+// Parses one node's /trace/<id> document (the JSON array emitted by
+// ObsService::HandleTrace) into spans. Tags every parsed span that
+// carries no node of its own with `node` — a node that predates domain
+// stamping still attributes correctly in the stitched view.
+Expected<std::vector<Span>> ParseTraceJson(std::string_view trace_json,
+                                           const std::string& node);
+
+// Orders spans for stitching: by start time, then span id as the stable
+// tiebreak (concurrent writers can share a start microsecond; the
+// ordering must still be deterministic). Duplicate span ids keep the
+// first occurrence.
+void StitchSpans(std::vector<Span>& spans);
+
+// Renders the stitched trace:
+//   {"trace":"t-1","span_count":N,
+//    "spans":[ ...flat, stitch-ordered, node-tagged... ],
+//    "tree":[ ...roots with nested "children"... ]}
+// A span whose parent is absent from the set renders as a root — a
+// bounded store may have dropped the parent, and an orphaned subtree is
+// more useful than a refused render.
+std::string RenderStitchedTrace(const std::string& trace_id,
+                                std::vector<Span> spans);
+
+// Sums collapsed-stack profiles ("frame;frame weight\n" lines) from
+// many nodes into one document, weights added per identical frame path,
+// lines sorted by path. Malformed lines are dropped.
+std::string MergeCollapsedStacks(
+    const std::vector<std::string>& collapsed_docs);
+
+}  // namespace gridauthz::obs

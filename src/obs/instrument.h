@@ -44,11 +44,58 @@ inline constexpr std::string_view kMetricPolicyCompiles =
 inline constexpr std::string_view kMetricCompiledStatements =
     "policy_compiled_statements";
 
+namespace detail {
+
+// The handle cache: one resolved series pointer plus the identity it
+// was resolved under — the registry's process-unique uid (obs/domain.h
+// can put a DIFFERENT registry behind Metrics() per thread, and a fresh
+// registry can reuse a destroyed one's address, so the address proves
+// nothing) and its reset epoch (Reset() invalidates series pointers
+// without changing the registry). Published seqlock-style so a reader
+// can never pair a pointer from one Store with the identity of another:
+// writers (serialized by the handle's resolve mutex) bump the sequence
+// odd, write, bump it even; readers reject torn or stale snapshots and
+// fall through to a full re-resolve.
+template <typename T>
+class ResolvedSlot {
+ public:
+  T* Load(std::uint64_t uid, std::uint64_t epoch) const {
+    const std::uint64_t before = seq_.load(std::memory_order_acquire);
+    if ((before & 1) != 0) return nullptr;
+    T* value = value_.load(std::memory_order_relaxed);
+    const std::uint64_t seen_uid = uid_.load(std::memory_order_relaxed);
+    const std::uint64_t seen_epoch = epoch_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != before) return nullptr;
+    if (value == nullptr || seen_uid != uid || seen_epoch != epoch) {
+      return nullptr;
+    }
+    return value;
+  }
+
+  // Callers serialize Stores (the handle resolve mutex).
+  void Store(T* value, std::uint64_t uid, std::uint64_t epoch) {
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+    value_.store(value, std::memory_order_relaxed);
+    uid_.store(uid, std::memory_order_relaxed);
+    epoch_.store(epoch, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> seq_{0};
+  std::atomic<T*> value_{nullptr};
+  std::atomic<std::uint64_t> uid_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace detail
+
 // A counter series resolved once and then incremented without touching
-// the registry. Valid across MetricsRegistry::Reset(): the cached
-// pointer carries the reset epoch it was resolved under and lazily
-// re-resolves when the epoch moves (Reset is a test-isolation affair
-// between traffic phases, not something that races live increments).
+// the registry. Valid across MetricsRegistry::Reset() and across
+// observability-domain switches: the cache keys on the current
+// registry's uid and reset epoch (ResolvedSlot above) and lazily
+// re-resolves whenever either moves.
 class CounterHandle {
  public:
   CounterHandle(std::string name, LabelSet labels)
@@ -60,23 +107,20 @@ class CounterHandle {
 
  private:
   Counter& Resolve() const {
-    const std::uint64_t epoch = Metrics().reset_epoch();
-    Counter* counter = counter_.load(std::memory_order_acquire);
-    if (counter != nullptr && epoch_.load(std::memory_order_relaxed) == epoch) {
-      return *counter;
-    }
+    MetricsRegistry& registry = Metrics();
+    const std::uint64_t uid = registry.uid();
+    const std::uint64_t epoch = registry.reset_epoch();
+    if (Counter* counter = slot_.Load(uid, epoch)) return *counter;
     std::lock_guard lock(resolve_mu_);
-    counter = &Metrics().GetCounter(name_, labels_);
-    epoch_.store(epoch, std::memory_order_relaxed);
-    counter_.store(counter, std::memory_order_release);
+    Counter* counter = &registry.GetCounter(name_, labels_);
+    slot_.Store(counter, uid, epoch);
     return *counter;
   }
 
   std::string name_;
   LabelSet labels_;
   mutable std::mutex resolve_mu_;
-  mutable std::atomic<std::uint64_t> epoch_{0};
-  mutable std::atomic<Counter*> counter_{nullptr};
+  mutable detail::ResolvedSlot<Counter> slot_;
 };
 
 // Same for a gauge series.
@@ -92,23 +136,20 @@ class GaugeHandle {
 
  private:
   Gauge& Resolve() const {
-    const std::uint64_t epoch = Metrics().reset_epoch();
-    Gauge* gauge = gauge_.load(std::memory_order_acquire);
-    if (gauge != nullptr && epoch_.load(std::memory_order_relaxed) == epoch) {
-      return *gauge;
-    }
+    MetricsRegistry& registry = Metrics();
+    const std::uint64_t uid = registry.uid();
+    const std::uint64_t epoch = registry.reset_epoch();
+    if (Gauge* gauge = slot_.Load(uid, epoch)) return *gauge;
     std::lock_guard lock(resolve_mu_);
-    gauge = &Metrics().GetGauge(name_, labels_);
-    epoch_.store(epoch, std::memory_order_relaxed);
-    gauge_.store(gauge, std::memory_order_release);
+    Gauge* gauge = &registry.GetGauge(name_, labels_);
+    slot_.Store(gauge, uid, epoch);
     return *gauge;
   }
 
   std::string name_;
   LabelSet labels_;
   mutable std::mutex resolve_mu_;
-  mutable std::atomic<std::uint64_t> epoch_{0};
-  mutable std::atomic<Gauge*> gauge_{nullptr};
+  mutable detail::ResolvedSlot<Gauge> slot_;
 };
 
 // Same for a histogram series.
@@ -130,16 +171,13 @@ class HistogramHandle {
 
  private:
   Histogram& Resolve() const {
-    const std::uint64_t epoch = Metrics().reset_epoch();
-    Histogram* histogram = histogram_.load(std::memory_order_acquire);
-    if (histogram != nullptr &&
-        epoch_.load(std::memory_order_relaxed) == epoch) {
-      return *histogram;
-    }
+    MetricsRegistry& registry = Metrics();
+    const std::uint64_t uid = registry.uid();
+    const std::uint64_t epoch = registry.reset_epoch();
+    if (Histogram* histogram = slot_.Load(uid, epoch)) return *histogram;
     std::lock_guard lock(resolve_mu_);
-    histogram = &Metrics().GetHistogram(name_, labels_, bounds_);
-    epoch_.store(epoch, std::memory_order_relaxed);
-    histogram_.store(histogram, std::memory_order_release);
+    Histogram* histogram = &registry.GetHistogram(name_, labels_, bounds_);
+    slot_.Store(histogram, uid, epoch);
     return *histogram;
   }
 
@@ -147,8 +185,7 @@ class HistogramHandle {
   LabelSet labels_;
   std::vector<std::int64_t> bounds_;
   mutable std::mutex resolve_mu_;
-  mutable std::atomic<std::uint64_t> epoch_{0};
-  mutable std::atomic<Histogram*> histogram_{nullptr};
+  mutable detail::ResolvedSlot<Histogram> slot_;
 };
 
 // The full per-source instrument set — one outcome counter per label

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/domain.h"
+
 namespace gridauthz::obs {
 
 namespace {
@@ -211,6 +213,28 @@ std::optional<Histogram::Exemplar> Histogram::bucket_exemplar(
   if (slot.set) out = Exemplar{slot.value, slot.trace_id};
   slot.busy.clear(std::memory_order_release);
   return out;
+}
+
+Expected<void> Histogram::Merge(const std::vector<std::int64_t>& bounds,
+                                const std::vector<std::uint64_t>& counts,
+                                std::int64_t sum) {
+  if (bounds != bounds_) {
+    return Error{ErrCode::kInvalidArgument,
+                 "histogram merge: bucket bounds disagree"};
+  }
+  if (counts.size() != bounds_.size() + 1) {
+    return Error{ErrCode::kInvalidArgument,
+                 "histogram merge: expected " +
+                     std::to_string(bounds_.size() + 1) + " buckets, got " +
+                     std::to_string(counts.size())};
+  }
+  // All deltas land in stripe 0; SnapshotCounts sums across stripes, so
+  // placement is invisible to readers.
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts_[i].fetch_add(counts[i], std::memory_order_relaxed);
+  }
+  sum_.Add(sum);
+  return Ok();
 }
 
 std::vector<std::uint64_t> Histogram::SnapshotCounts() const {
@@ -453,6 +477,21 @@ std::string MetricsRegistry::RenderJson() const {
           entry += ",\"count\":" + std::to_string(total);
           entry += ",\"sum\":" + std::to_string(h.sum());
           entry += ",\"overflow_count\":" + std::to_string(counts.back());
+          // Raw schema + per-bucket counts (last entry = +Inf overflow),
+          // all from the ONE snapshot above: the fleet federator merges
+          // scraped documents bucket-wise and must see exact bounds to
+          // refuse mismatched schemas (obs/federate.h, DESIGN.md §15).
+          entry += ",\"bounds\":[";
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            if (i > 0) entry += ",";
+            entry += std::to_string(h.bounds()[i]);
+          }
+          entry += "],\"buckets\":[";
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (i > 0) entry += ",";
+            entry += std::to_string(counts[i]);
+          }
+          entry += "]";
           std::string saturated;
           for (const auto& [label, p] :
                {std::pair{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
@@ -487,6 +526,8 @@ void MetricsRegistry::Reset() {
 
 MetricsRegistry& Metrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
+  const ObsDomain* domain = CurrentObsDomain();
+  if (domain != nullptr && domain->metrics != nullptr) return *domain->metrics;
   return *registry;
 }
 

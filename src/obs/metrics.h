@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/error.h"
 #include "obs/contention.h"
 #include "obs/stripe.h"
 
@@ -76,6 +77,17 @@ class Histogram {
   // Observe and stamp the owning bucket's exemplar with this trace id
   // (skipped, never blocked on, if another writer holds the slot).
   void ObserveWithExemplar(std::int64_t value, std::string_view trace_id);
+
+  // Folds another histogram's snapshot into this one: per-bucket counts
+  // add element-wise (`counts` indexed like SnapshotCounts, last entry =
+  // +Inf overflow) and `sum` joins the running sum. The schemas must
+  // agree exactly — the bucket counts of two differently-bounded
+  // histograms do not compose. This is how the fleet federator
+  // (obs/federate.h) rebuilds a merged histogram that renders
+  // byte-identically to one registry fed the union of observations.
+  Expected<void> Merge(const std::vector<std::int64_t>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::int64_t sum);
 
   std::uint64_t count() const;
   std::int64_t sum() const;
@@ -199,6 +211,13 @@ class MetricsRegistry {
     return reset_epoch_.load(std::memory_order_acquire);
   }
 
+  // Process-unique registry identity, never reused. Handles key their
+  // caches on this rather than the registry's ADDRESS: with per-node
+  // registries (obs/domain.h) coming and going, a fresh registry can be
+  // allocated where a destroyed one lived, and an address+epoch check
+  // would bless a stale series pointer into freed memory.
+  std::uint64_t uid() const { return uid_; }
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Series {
@@ -222,6 +241,9 @@ class MetricsRegistry {
   mutable ProfiledMutex mu_{"metrics/registry"};
   std::map<std::string, Family> families_;
   std::atomic<std::uint64_t> reset_epoch_{1};
+  static inline std::atomic<std::uint64_t> next_uid_{0};
+  const std::uint64_t uid_ =
+      next_uid_.fetch_add(1, std::memory_order_relaxed) + 1;
 };
 
 // The process-wide registry every instrumentation point records into.

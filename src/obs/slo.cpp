@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/domain.h"
 #include "obs/metrics.h"
 
 namespace gridauthz::obs {
@@ -67,6 +68,8 @@ SloTracker::Snapshot SloTracker::Window() const {
 
 SloTracker& AuthzSlo() {
   static SloTracker* tracker = new SloTracker();
+  const ObsDomain* domain = CurrentObsDomain();
+  if (domain != nullptr && domain->slo != nullptr) return *domain->slo;
   return *tracker;
 }
 

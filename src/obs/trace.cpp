@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "obs/domain.h"
 #include "obs/metrics.h"
 
 namespace gridauthz::obs {
@@ -15,6 +16,25 @@ thread_local TraceContext g_current;
 
 std::atomic<std::uint64_t> g_next_trace{1};
 std::atomic<std::uint64_t> g_next_span{1};
+
+// Mints the next span id, namespaced by the current domain's seed. Two
+// real gatekeeper processes each start their span counter at 1, so one
+// trace that crosses both can hold two spans with the same id — the
+// stitched tree would then attach children to the wrong parent. Folding
+// a per-domain seed into the high bits keeps ids unique across the
+// simulated fleet while the low bits stay a cheap relaxed counter. The
+// global domain (seed 0) keeps the historical plain-counter ids. The
+// seed is clipped to 15 bits so every minted id stays below 2^63:
+// span ids cross process boundaries as JSON numbers and frame integers,
+// both of which parse as int64.
+std::uint64_t MintSpanId() {
+  const std::uint64_t counter =
+      g_next_span.fetch_add(1, std::memory_order_relaxed);
+  const ObsDomain* domain = CurrentObsDomain();
+  if (domain == nullptr || domain->span_seed == 0) return counter;
+  return ((domain->span_seed & 0x7FFF) << 48) ^
+         (counter & 0x0000FFFFFFFFFFFF);
+}
 
 // Log lines emitted inside a trace carry its id; the logger lives below
 // obs in the layer order, so the hookup happens here, once, when tracing
@@ -41,10 +61,11 @@ TraceContext CurrentTrace() { return g_current; }
 
 std::string CurrentTraceId() { return g_current.trace_id; }
 
-TraceScope::TraceScope(std::string trace_id) : previous_(g_current) {
+TraceScope::TraceScope(std::string trace_id, std::uint64_t parent_span_id)
+    : previous_(g_current) {
   EnsureLogTraceHook();
   trace_id_ = trace_id.empty() ? GenerateTraceId() : std::move(trace_id);
-  g_current = TraceContext{trace_id_, 0};
+  g_current = TraceContext{trace_id_, parent_span_id};
 }
 
 TraceScope::~TraceScope() { g_current = previous_; }
@@ -121,6 +142,8 @@ void SpanStore::Clear() {
 
 SpanStore& Tracer() {
   static SpanStore* store = new SpanStore();
+  const ObsDomain* domain = CurrentObsDomain();
+  if (domain != nullptr && domain->spans != nullptr) return *domain->spans;
   return *store;
 }
 
@@ -133,8 +156,11 @@ ScopedSpan::ScopedSpan(std::string name) : previous_(g_current) {
     span_.trace_id = GenerateTraceId();
     span_.parent_span_id = 0;
   }
-  span_.span_id = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  span_.span_id = MintSpanId();
   span_.name = std::move(name);
+  if (const ObsDomain* domain = CurrentObsDomain(); domain != nullptr) {
+    span_.node = domain->node;
+  }
   span_.start_us = ObsClock()->NowMicros();
   g_current = TraceContext{span_.trace_id, span_.span_id};
 }

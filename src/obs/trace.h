@@ -33,13 +33,19 @@ TraceContext CurrentTrace();
 // lines stamp.
 std::string CurrentTraceId();
 
-// RAII: installs `trace_id` as this thread's root context (span_id 0) and
-// restores the previous context on destruction. An empty id generates a
-// fresh one. Used by the wire endpoint to adopt a client-sent id and by
-// entry points creating a new trace.
+// RAII: installs `trace_id` as this thread's root context and restores
+// the previous context on destruction. An empty id generates a fresh
+// one. Used by the wire endpoint to adopt a client-sent id and by entry
+// points creating a new trace. `parent_span_id` seeds the context's
+// span id: when the caller on the far side of a wire hop sent its span
+// id along (the `parent-span-id` frame attribute, DESIGN.md §15), spans
+// opened under this scope parent the remote span instead of dangling as
+// roots — this is what stitches a broker attempt to the node-side work
+// it caused.
 class TraceScope {
  public:
-  explicit TraceScope(std::string trace_id);
+  explicit TraceScope(std::string trace_id,
+                      std::uint64_t parent_span_id = 0);
   ~TraceScope();
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -56,6 +62,8 @@ struct Span {
   std::uint64_t span_id = 0;
   std::uint64_t parent_span_id = 0;  // 0 = root span of its trace
   std::string name;                  // e.g. "gatekeeper/submit"
+  std::string node;  // recording node ("" until a domain names it)
+  std::string note;  // free-form annotation, e.g. "[fleet] dead air"
   std::int64_t start_us = 0;
   std::int64_t end_us = 0;
 
@@ -97,7 +105,9 @@ class SpanStore {
   std::unordered_map<std::string, std::vector<std::size_t>> by_trace_;
 };
 
-// The process-wide span store instrumentation records into.
+// The span store instrumentation records into: the current ObsDomain's
+// store when one is installed on this thread (obs/domain.h), otherwise
+// the process-wide singleton.
 SpanStore& Tracer();
 
 // RAII timed span. Opens as a child of the thread's active span; with no
@@ -112,6 +122,13 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   const std::string& trace_id() const { return span_.trace_id; }
+  std::uint64_t span_id() const { return span_.span_id; }
+  // Annotates the finished span, e.g. with a typed failure reason.
+  void set_note(std::string note) { span_.note = std::move(note); }
+  // Overrides the node stamp (normally inherited from the current
+  // ObsDomain) — the broker tags its per-attempt spans with the TARGET
+  // node so a stitched trace shows where each attempt went.
+  void set_node(std::string node) { span_.node = std::move(node); }
 
  private:
   Span span_;

@@ -89,6 +89,11 @@ void AssertInvariants(const ChaosReport& report, ChaosScenarioKind kind,
   EXPECT_TRUE(report.recovered);
   EXPECT_GE(report.recovery_us, 0);
   EXPECT_LE(report.recovery_us, ChaosScenarioOptions{}.recovery_budget_us);
+  // Invariant 4 — failover is observable: every during-fault submission
+  // that succeeded despite a victim owner yielded one stitched trace
+  // through the broker's /trace/<id> showing both the [fleet]-noted
+  // dead-air attempt on the victim and the sibling that answered.
+  EXPECT_EQ(report.failover_traces_stitched, report.failover_submissions);
 }
 
 TEST(FleetChaos, NodeKillSweepAcrossSeeds) {
@@ -101,6 +106,24 @@ TEST(FleetChaos, NodeKillSweepAcrossSeeds) {
     EXPECT_EQ(report.management_ok + report.management_typed_failures,
               report.jobs_submitted);
   }
+}
+
+TEST(FleetChaos, KilledOwnerFailoverYieldsStitchedTraces) {
+  // Sweep seeds until one kills a node that owns at least one of the
+  // five users' submissions (with 5 users on 4 nodes most seeds
+  // qualify), so at least one during-fault submission burns a dead-air
+  // attempt on the victim — then demand the stitched-trace proof for
+  // every one of those failovers.
+  bool exercised = false;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 7ULL, 42ULL}) {
+    const ChaosReport report = RunScenario(ChaosScenarioKind::kNodeKill, seed);
+    if (report.failover_submissions > 0) exercised = true;
+    EXPECT_EQ(report.failover_traces_stitched, report.failover_submissions)
+        << "seed " << seed;
+  }
+  EXPECT_TRUE(exercised)
+      << "no seed produced a failed-over submission; the invariant was "
+         "never exercised";
 }
 
 TEST(FleetChaos, NodeHangBurnsPatienceButLosesNothing) {

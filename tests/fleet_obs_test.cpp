@@ -1,0 +1,683 @@
+// Fleet-wide observability plane (DESIGN.md §15): metrics federation
+// against a single-registry oracle, schema-mismatch refusal, span-id
+// namespacing across per-node domains, stitched-trace ordering under
+// concurrent writers, collapsed-stack merging, outlier-aware node
+// scoring with its routing penalty, and the federated endpoints end to
+// end over a real fleet.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "core/policy.h"
+#include "fleet/broker.h"
+#include "fleet/chaos.h"
+#include "fleet/hash.h"
+#include "fleet/health.h"
+#include "fleet/node.h"
+#include "gram/obs_service.h"
+#include "gram/wire_service.h"
+#include "obs/domain.h"
+#include "obs/federate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gridauthz {
+namespace {
+
+namespace wire = gram::wire;
+
+// ---------------------------------------------------------------------
+// Metrics federation vs the single-registry oracle.
+
+// The byte-consistency contract: merging N scraped documents must
+// produce EXACTLY what one registry fed the union of all observations
+// would render — same counters, same bucket counts, same percentile
+// estimates, same bytes.
+TEST(MetricsFederation, MergedFleetViewByteIdenticalToSingleRegistryOracle) {
+  const std::vector<std::int64_t> bounds = {10, 100, 1000};
+  obs::MetricsRegistry node_a, node_b, oracle;
+  const auto feed = [&bounds](obs::MetricsRegistry& registry,
+                              const std::vector<std::int64_t>& values,
+                              std::uint64_t hits, std::int64_t depth) {
+    for (const std::int64_t value : values) {
+      registry.GetHistogram("authz_latency_us", {{"source", "pep"}}, bounds)
+          .Observe(value);
+    }
+    registry.GetCounter("authz_cache_hits_total", {}).Increment(hits);
+    registry.GetGauge("queue_depth", {}).Add(depth);
+  };
+  feed(node_a, {5, 50, 500, 5000}, 3, 2);  // 5000 lands in +Inf overflow
+  feed(node_b, {7, 70, 700}, 4, 5);
+  feed(oracle, {5, 50, 500, 5000}, 3, 2);
+  feed(oracle, {7, 70, 700}, 4, 5);
+
+  obs::MetricsFederator federator;
+  ASSERT_TRUE(federator.AddNode("gk-0", node_a.RenderJson()).ok());
+  ASSERT_TRUE(federator.AddNode("gk-1", node_b.RenderJson()).ok());
+  EXPECT_EQ(federator.fleet().RenderJson(), oracle.RenderJson());
+}
+
+TEST(MetricsFederation, MismatchedBucketBoundsRefusedWithTypedError) {
+  obs::MetricsRegistry node_a, node_b;
+  node_a.GetHistogram("authz_latency_us", {}, {1, 2, 3}).Observe(1);
+  node_b.GetHistogram("authz_latency_us", {}, {1, 2, 4}).Observe(1);
+
+  obs::MetricsFederator federator;
+  ASSERT_TRUE(federator.AddNode("gk-0", node_a.RenderJson()).ok());
+  const auto refused = federator.AddNode("gk-1", node_b.RenderJson());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message().find(kReasonFederation),
+            std::string::npos)
+      << refused.error().to_string();
+
+  // All-or-nothing: the refused document left the federator untouched.
+  auto doc = json::ParseValue(federator.RenderJson());
+  ASSERT_TRUE(doc.ok());
+  const json::Value* nodes = doc->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_EQ(nodes->items().size(), 1u);
+  EXPECT_EQ(nodes->items()[0].AsString(), "gk-0");
+}
+
+TEST(MetricsFederation, KindConflictRefusedWithTypedError) {
+  obs::MetricsRegistry node_a, node_b;
+  node_a.GetCounter("queue_depth", {}).Increment();
+  node_b.GetGauge("queue_depth", {}).Set(3);
+
+  obs::MetricsFederator federator;
+  ASSERT_TRUE(federator.AddNode("gk-0", node_a.RenderJson()).ok());
+  const auto refused = federator.AddNode("gk-1", node_b.RenderJson());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message().find(kReasonFederation),
+            std::string::npos);
+}
+
+TEST(MetricsFederation, DuplicateNodeRefused) {
+  obs::MetricsRegistry node;
+  node.GetCounter("requests", {}).Increment();
+  obs::MetricsFederator federator;
+  ASSERT_TRUE(federator.AddNode("gk-0", node.RenderJson()).ok());
+  const auto refused = federator.AddNode("gk-0", node.RenderJson());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code(), ErrCode::kAlreadyExists);
+}
+
+TEST(MetricsFederation, InternallyInconsistentHistogramRefused) {
+  // buckets sum to 2 but the document claims count=5: a scrape that
+  // cannot be trusted must not be folded into the fleet view.
+  const std::string doc =
+      R"({"counters":[],"gauges":[],"histograms":[)"
+      R"({"name":"h","labels":{},"count":5,"sum":10,)"
+      R"("bounds":[1],"buckets":[1,1]}]})";
+  obs::MetricsFederator federator;
+  const auto refused = federator.AddNode("gk-0", doc);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message().find(kReasonFederation),
+            std::string::npos);
+}
+
+// Scrapes taken while writers are hammering the histogram must still be
+// internally consistent (RenderJson snapshots bucket counts once), so
+// AddNode always accepts them and the merged view always satisfies
+// sum(buckets) == count. Runs under the tsan label.
+TEST(MetricsFederation, ConcurrentScrapeMergedBucketsSumToCount) {
+  obs::MetricsRegistry node;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&node, &stop, t] {
+      std::int64_t value = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        node.GetHistogram("authz_latency_us", {}).Observe(value % 2000);
+        value += 37;
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 25; ++scrape) {
+    obs::MetricsFederator federator;
+    const auto added = federator.AddNode("gk-0", node.RenderJson());
+    ASSERT_TRUE(added.ok()) << added.error().to_string();
+    auto doc = json::ParseValue(federator.fleet().RenderJson());
+    ASSERT_TRUE(doc.ok());
+    const json::Value* histograms = doc->Find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    ASSERT_FALSE(histograms->items().empty());
+    for (const json::Value& histogram : histograms->items()) {
+      std::int64_t total = 0;
+      const json::Value* buckets = histogram.Find("buckets");
+      ASSERT_NE(buckets, nullptr);
+      for (const json::Value& bucket : buckets->items()) {
+        total += bucket.AsInt();
+      }
+      EXPECT_EQ(total, histogram.FindInt("count").value_or(-1));
+    }
+  }
+  stop = true;
+  for (std::thread& writer : writers) writer.join();
+}
+
+// ---------------------------------------------------------------------
+// Span-id namespacing across observability domains.
+
+// Regression for the cross-node ambiguity: every domain's minted span
+// ids carry the domain's seed in the high bits, so two nodes sharing
+// one process (and one global span counter, or even identical restart
+// counters) can never mint the same id — and ids stay below 2^63, safe
+// for int64 JSON numbers and frame integers.
+TEST(SpanNamespacing, DomainSeedsKeepSpanIdsDisjointAndInt64Safe) {
+  obs::SpanStore store_a, store_b;
+  const obs::ObsDomain domain_a{"gk-0", nullptr, &store_a, nullptr,
+                                fleet::SpanSeedFor("gk-0")};
+  const obs::ObsDomain domain_b{"gk-1", nullptr, &store_b, nullptr,
+                                fleet::SpanSeedFor("gk-1")};
+  ASSERT_NE(domain_a.span_seed, domain_b.span_seed);
+
+  std::set<std::uint64_t> ids;
+  const auto mint = [&ids](const obs::ObsDomain& domain, int count) {
+    obs::ObsDomainScope scope(&domain);
+    obs::TraceScope trace("t-namespacing");
+    for (int i = 0; i < count; ++i) {
+      obs::ScopedSpan span("work");
+      EXPECT_EQ(span.span_id() >> 48, domain.span_seed & 0x7FFF)
+          << "span id does not carry its domain namespace";
+      EXPECT_LT(span.span_id(), std::uint64_t{1} << 63);
+      ids.insert(span.span_id());
+    }
+  };
+  mint(domain_a, 1000);
+  mint(domain_b, 1000);
+  EXPECT_EQ(ids.size(), 2000u) << "span ids collided across domains";
+}
+
+TEST(SpanNamespacing, SeedIsDeterministicNonZeroAnd15Bit) {
+  for (const char* name : {"gk-0", "gk-1", "fleet-broker", "a", ""}) {
+    const std::uint64_t seed = fleet::SpanSeedFor(name);
+    EXPECT_EQ(seed, fleet::SpanSeedFor(name));
+    EXPECT_GE(seed, 1u);
+    EXPECT_LE(seed, 0x7FFFu);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trace stitching.
+
+obs::Span MakeSpan(std::uint64_t id, std::uint64_t parent,
+                   std::int64_t start_us, const std::string& node) {
+  obs::Span span;
+  span.trace_id = "t-stitch";
+  span.span_id = id;
+  span.parent_span_id = parent;
+  span.name = "work";
+  span.node = node;
+  span.start_us = start_us;
+  span.end_us = start_us + 10;
+  return span;
+}
+
+TEST(TraceStitching, OrderedByStartTimeWithSpanIdTiebreakAndDedup) {
+  std::vector<obs::Span> spans = {
+      MakeSpan(7, 0, 200, "gk-1"), MakeSpan(3, 0, 100, "gk-0"),
+      MakeSpan(5, 3, 100, "gk-0"),  // same start as id 3: id breaks the tie
+      MakeSpan(3, 0, 100, "gk-2"),  // duplicate id: first occurrence wins
+      MakeSpan(2, 0, 50, "gk-3"),
+  };
+  obs::StitchSpans(spans);
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].span_id, 2u);
+  EXPECT_EQ(spans[1].span_id, 3u);
+  EXPECT_EQ(spans[1].node, "gk-0");  // the duplicate from gk-2 was dropped
+  EXPECT_EQ(spans[2].span_id, 5u);
+  EXPECT_EQ(spans[3].span_id, 7u);
+}
+
+// Concurrent writers completing spans into one store in arbitrary
+// interleavings must not change the stitched order: (start_us, span_id)
+// is a total order independent of completion order.
+TEST(TraceStitching, ConcurrentWritersYieldDeterministicStitchedOrder) {
+  std::vector<std::vector<obs::Span>> runs;
+  for (int run = 0; run < 2; ++run) {
+    obs::SpanStore store;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&store, t] {
+        for (int i = 0; i < 100; ++i) {
+          // Distinct ids; starts deliberately collide across threads.
+          store.Record(MakeSpan(
+              (static_cast<std::uint64_t>(t) << 32) | (i + 1), 0,
+              i % 7, "gk-" + std::to_string(t)));
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    std::vector<obs::Span> spans = store.ForTrace("t-stitch");
+    obs::StitchSpans(spans);
+    runs.push_back(std::move(spans));
+  }
+  ASSERT_EQ(runs[0].size(), 400u);
+  ASSERT_EQ(runs[1].size(), 400u);
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].span_id, runs[1][i].span_id) << "at index " << i;
+    if (i > 0) {
+      const bool ordered =
+          runs[0][i - 1].start_us < runs[0][i].start_us ||
+          (runs[0][i - 1].start_us == runs[0][i].start_us &&
+           runs[0][i - 1].span_id < runs[0][i].span_id);
+      EXPECT_TRUE(ordered) << "stitched order broken at index " << i;
+    }
+  }
+}
+
+TEST(TraceStitching, MergeCollapsedStacksSumsPathsDropsMalformed) {
+  const std::vector<std::string> docs = {
+      "wire/handle;gatekeeper/submit 3\npdp/evaluate 1\n",
+      "wire/handle;gatekeeper/submit 2\naudit/write 4\n",
+      "not-a-collapsed-line\nbad weight\n",
+  };
+  EXPECT_EQ(obs::MergeCollapsedStacks(docs),
+            "audit/write 4\npdp/evaluate 1\nwire/handle;gatekeeper/submit 5\n");
+}
+
+// ---------------------------------------------------------------------
+// Outlier-aware node scoring.
+
+TEST(OutlierScoring, SlowNodeFlaggedFastNodeNever) {
+  fleet::HealthTracker tracker;
+  for (int i = 0; i < 16; ++i) {
+    tracker.RecordLatency("gk-0", 1000 + (i % 5));
+    tracker.RecordLatency("gk-1", 1100 + (i % 7));
+    tracker.RecordLatency("gk-2", 950 + (i % 3));
+    tracker.RecordLatency("gk-3", 60000 + i);  // an order of magnitude off
+    tracker.RecordLatency("gk-4", 10);         // fast is never an outlier
+  }
+  const std::vector<fleet::NodeScore> scores = tracker.Scores();
+  ASSERT_EQ(scores.size(), 5u);  // ordered by node name
+  EXPECT_FALSE(scores[0].outlier);
+  EXPECT_FALSE(scores[1].outlier);
+  EXPECT_FALSE(scores[2].outlier);
+  EXPECT_TRUE(scores[3].outlier);
+  EXPECT_GT(scores[3].latency_z, fleet::HealthTracker::kOutlierZ);
+  EXPECT_FALSE(scores[4].outlier);
+  EXPECT_EQ(scores[4].latency_z, 0.0);  // one-sided: fast scores zero
+  EXPECT_TRUE(tracker.IsOutlier("gk-3"));
+  EXPECT_FALSE(tracker.IsOutlier("gk-0"));
+  EXPECT_EQ(obs::Metrics().GaugeValue("fleet_node_outlier",
+                                      {{"node", "gk-3"}}),
+            1);
+}
+
+TEST(OutlierScoring, SloBurnBaselineFlagsHotNode) {
+  fleet::HealthTracker tracker;
+  const auto report = [](const std::string& node, std::int64_t burn) {
+    fleet::NodeHealthReport out;
+    out.node = node;
+    out.health = fleet::NodeHealth::kUp;
+    out.slo_burn_milli = burn;
+    return out;
+  };
+  for (int i = 0; i < 4; ++i) {
+    tracker.Update(report("gk-0", 100));
+    tracker.Update(report("gk-1", 100));
+    tracker.Update(report("gk-2", 100));
+    tracker.Update(report("gk-3", 900));  // burning hot but still "up"
+  }
+  const std::vector<fleet::NodeScore> scores = tracker.Scores();
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_FALSE(scores[0].outlier);
+  EXPECT_TRUE(scores[3].outlier);
+  EXPECT_GT(scores[3].burn_z, fleet::HealthTracker::kOutlierZ);
+  EXPECT_EQ(scores[3].baseline_burn_milli, 900);
+}
+
+TEST(OutlierScoring, TooFewNodesOrSamplesNeverFlags) {
+  // Two baselines are no fleet to deviate from.
+  fleet::HealthTracker two_nodes;
+  for (int i = 0; i < 16; ++i) {
+    two_nodes.RecordLatency("gk-0", 1000);
+    two_nodes.RecordLatency("gk-1", 90000);
+  }
+  for (const fleet::NodeScore& score : two_nodes.Scores()) {
+    EXPECT_FALSE(score.outlier) << score.node;
+  }
+  // Below the sample minimum a node has no baseline and is not scored.
+  fleet::HealthTracker few_samples;
+  for (int i = 0; i < 16; ++i) {
+    few_samples.RecordLatency("gk-0", 1000);
+    few_samples.RecordLatency("gk-1", 1000);
+    few_samples.RecordLatency("gk-2", 1000);
+  }
+  for (std::size_t i = 0;
+       i < fleet::HealthTracker::kMinLatencySamples - 1; ++i) {
+    few_samples.RecordLatency("gk-3", 90000);
+  }
+  for (const fleet::NodeScore& score : few_samples.Scores()) {
+    EXPECT_FALSE(score.outlier) << score.node;
+  }
+}
+
+// One fleet node as a latency-controlled stub: answers every frame
+// decodably (naming itself, so tests can see who served) after
+// advancing the shared SimClock by its configured latency — which is
+// exactly what the broker's routed-latency measurement reads.
+class StubNode final : public wire::WireTransport {
+ public:
+  StubNode(std::string name, SimClock* clock)
+      : name_(std::move(name)), clock_(clock) {}
+
+  std::string Handle(const gsi::Credential&, std::string_view) override {
+    clock_->AdvanceMicros(latency_us_.load(std::memory_order_relaxed));
+    std::string frame;
+    wire::FrameWriter writer(&frame);
+    writer.Add("message-type", "stub-reply");
+    writer.Add("node", name_);
+    return frame;
+  }
+
+  void set_latency_us(std::int64_t us) {
+    latency_us_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  SimClock* clock_;
+  std::atomic<std::int64_t> latency_us_{1000};
+};
+
+std::string JobRequestFrame() {
+  std::string frame;
+  wire::FrameWriter writer(&frame);
+  writer.Add("message-type", "job-request");
+  return frame;
+}
+
+std::string ManagementFrame(const std::string& host) {
+  std::string frame;
+  wire::FrameWriter writer(&frame);
+  writer.Add("job-contact", "https://" + host + ":1/jobmanager/1");
+  writer.Add("message-type", "management-request");
+  return frame;
+}
+
+TEST(OutlierRouting, UpOutlierTriedOnlyAfterUnremarkableUpNodes) {
+  SimClock clock;
+  obs::SetObsClock(&clock);
+  const std::vector<std::string> names = {"gk-0", "gk-1", "gk-2", "gk-3"};
+  const std::vector<std::size_t> ranked = fleet::RankNodes("", names);
+
+  std::vector<std::unique_ptr<StubNode>> stubs;
+  std::vector<fleet::FleetNodeHandle> handles;
+  for (const std::string& name : names) {
+    stubs.push_back(std::make_unique<StubNode>(name, &clock));
+    fleet::FleetNodeHandle handle;
+    handle.name = name;
+    handle.host = name + ".host";
+    handle.transport = stubs.back().get();
+    handles.push_back(std::move(handle));
+  }
+  fleet::FleetBroker broker(std::move(handles), nullptr);
+
+  const auto served_by = [](const std::string& reply) {
+    auto message = wire::MessageView::Parse(reply);
+    return message.ok() ? std::string{message->Get("node").value_or("")}
+                        : std::string{};
+  };
+
+  // Healthy and unremarkable: the rendezvous owner serves.
+  EXPECT_EQ(served_by(broker.Handle({}, JobRequestFrame())),
+            names[ranked[0]]);
+
+  // The owner turns slow; owner-routed management traffic feeds every
+  // node's rolling latency baseline.
+  stubs[ranked[0]]->set_latency_us(80000);
+  for (const std::string& name : names) {
+    for (int i = 0; i < 12; ++i) {
+      broker.Handle({}, ManagementFrame(name + ".host"));
+    }
+  }
+  bool owner_flagged = false;
+  for (const fleet::NodeScore& score : broker.NodeScores()) {
+    if (score.node == names[ranked[0]]) owner_flagged = score.outlier;
+  }
+  EXPECT_TRUE(owner_flagged);
+
+  // The routing penalty: the flagged owner is still Up but now serves
+  // only after every unremarkable Up node — the job lands on the next
+  // rendezvous-ranked node instead.
+  EXPECT_EQ(served_by(broker.Handle({}, JobRequestFrame())),
+            names[ranked[1]]);
+
+  obs::SetObsClock(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Federated endpoints end to end over a real fleet.
+
+constexpr const char* kFleetPolicy = R"(
+/O=Grid:
+&(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = OBS)(count<4)
+&(action = information)(jobowner = self)
+)";
+
+constexpr const char* kRsl =
+    "&(executable=test1)(directory=/sandbox/test)(jobtag=OBS)(count=1)"
+    "(simduration=100000)";
+
+struct FleetUnderTest {
+  SimClock clock;
+  std::unique_ptr<fleet::Fleet> fleet;
+  std::vector<gsi::Credential> users;
+};
+
+std::unique_ptr<FleetUnderTest> MakeFleet(int n_users = 5) {
+  auto out = std::make_unique<FleetUnderTest>();
+  fleet::FleetOptions options;
+  options.nodes = 4;
+  out->fleet = std::make_unique<fleet::Fleet>(
+      options, &out->clock, core::PolicyDocument::Parse(kFleetPolicy).value());
+  EXPECT_TRUE(out->fleet->AddAccount("member").ok());
+  for (int u = 0; u < n_users; ++u) {
+    auto credential =
+        out->fleet->CreateUser("/O=Grid/CN=Obs Member " + std::to_string(u));
+    EXPECT_TRUE(credential.ok());
+    EXPECT_TRUE(out->fleet->MapUser(*credential, "member").ok());
+    out->users.push_back(*credential);
+  }
+  return out;
+}
+
+TEST(FleetObsEndToEnd, FederatedMetricsSumNodesAndStayBucketConsistent) {
+  auto under_test = MakeFleet();
+  for (const gsi::Credential& user : under_test->users) {
+    wire::WireClient client{user, &under_test->fleet->broker()};
+    EXPECT_TRUE(client.Submit(kRsl).ok());
+  }
+
+  auto reply = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/metrics/fleet");
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 200);
+  auto doc = json::ParseValue(reply->body);
+  ASSERT_TRUE(doc.ok());
+
+  const json::Value* per_node = doc->Find("per_node");
+  ASSERT_NE(per_node, nullptr);
+  EXPECT_EQ(per_node->items().size(), 4u);
+  const json::Value* unreachable = doc->Find("unreachable");
+  ASSERT_NE(unreachable, nullptr);
+  EXPECT_TRUE(unreachable->items().empty());
+
+  // Every series a node exported reappears under its node label.
+  for (const json::Value& entry : per_node->items()) {
+    EXPECT_FALSE(entry.FindString("node").value_or("").empty());
+    const json::Value* metrics = entry.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const json::Value* counters = metrics->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_FALSE(counters->items().empty());
+    const json::Value* labels = counters->items()[0].Find("labels");
+    ASSERT_NE(labels, nullptr);
+    EXPECT_NE(labels->Find("node"), nullptr)
+        << "per-node series must carry the node label";
+  }
+
+  // The fleet section's decision counters equal the sum over the real
+  // node registries.
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < under_test->fleet->size(); ++i) {
+    for (const auto& [labels, value] :
+         under_test->fleet->node(i).metrics().CounterSeries(
+             "authz_decisions_total")) {
+      expected += value;
+    }
+  }
+  ASSERT_GT(expected, 0u);
+  const json::Value* fleet_section = doc->Find("fleet");
+  ASSERT_NE(fleet_section, nullptr);
+  std::uint64_t merged = 0;
+  for (const json::Value& counter : fleet_section->Find("counters")->items()) {
+    if (counter.FindString("name").value_or("") == "authz_decisions_total") {
+      merged += static_cast<std::uint64_t>(counter.FindInt("value").value_or(0));
+    }
+  }
+  EXPECT_EQ(merged, expected);
+
+  // Merged histograms stay internally consistent: buckets sum to count.
+  const json::Value* histograms = fleet_section->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_FALSE(histograms->items().empty());
+  for (const json::Value& histogram : histograms->items()) {
+    std::int64_t total = 0;
+    for (const json::Value& bucket : histogram.Find("buckets")->items()) {
+      total += bucket.AsInt();
+    }
+    EXPECT_EQ(total, histogram.FindInt("count").value_or(-1));
+  }
+}
+
+TEST(FleetObsEndToEnd, UnreachableNodeSurfacesInFederatedMetrics) {
+  auto under_test = MakeFleet(1);
+  wire::WireClient client{under_test->users[0], &under_test->fleet->broker()};
+  EXPECT_TRUE(client.Submit(kRsl).ok());
+
+  under_test->fleet->chaos(2).SetMode(fleet::ChaosMode::kDead);
+  auto reply = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/metrics/fleet");
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 200);
+  auto doc = json::ParseValue(reply->body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* unreachable = doc->Find("unreachable");
+  ASSERT_NE(unreachable, nullptr);
+  ASSERT_EQ(unreachable->items().size(), 1u);
+  EXPECT_EQ(unreachable->items()[0].AsString(),
+            under_test->fleet->node(2).name());
+  EXPECT_EQ(doc->Find("per_node")->items().size(), 3u);
+}
+
+TEST(FleetObsEndToEnd, StitchedTraceParentsNodeWorkUnderBrokerAttempt) {
+  auto under_test = MakeFleet(1);
+  wire::WireClient client{under_test->users[0], &under_test->fleet->broker()};
+  ASSERT_TRUE(client.Submit(kRsl).ok());
+
+  auto reply =
+      wire::ObsRequest(under_test->fleet->broker(), under_test->users[0],
+                       "/trace/" + client.last_trace_id());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 200);
+  auto doc = json::ParseValue(reply->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->FindString("trace").value_or(""), client.last_trace_id());
+
+  const json::Value* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_FALSE(spans->items().empty());
+
+  // Find the broker's attempt span; the node-side entry span must
+  // parent it — the stitch seam the forwarded parent-span-id creates.
+  std::int64_t attempt_id = 0;
+  std::string attempt_node;
+  for (const json::Value& span : spans->items()) {
+    EXPECT_FALSE(span.FindString("node").value_or("").empty())
+        << "every stitched span is node-tagged";
+    if (span.FindString("name").value_or("") == "fleet/attempt") {
+      attempt_id = span.FindInt("span").value_or(0);
+      attempt_node = span.FindString("node").value_or("");
+    }
+  }
+  ASSERT_NE(attempt_id, 0);
+  bool node_work_parented = false;
+  std::int64_t previous_start = -1;
+  for (const json::Value& span : spans->items()) {
+    if (span.FindInt("parent").value_or(0) == attempt_id) {
+      node_work_parented = true;
+      EXPECT_EQ(span.FindString("node").value_or(""), attempt_node);
+    }
+    const std::int64_t start = span.FindInt("start_us").value_or(0);
+    EXPECT_GE(start, previous_start) << "stitched spans must be start-ordered";
+    previous_start = start;
+  }
+  EXPECT_TRUE(node_work_parented)
+      << "no node-side span parented the broker attempt";
+  EXPECT_NE(doc->Find("tree"), nullptr);
+}
+
+TEST(FleetObsEndToEnd, UnknownTraceReturns404) {
+  auto under_test = MakeFleet(1);
+  auto reply = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/trace/t-no-such");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, 404);
+}
+
+TEST(FleetObsEndToEnd, FederatedProfileMergesAndSelectsNodes) {
+  auto under_test = MakeFleet(1);
+  wire::WireClient client{under_test->users[0], &under_test->fleet->broker()};
+  ASSERT_TRUE(client.Submit(kRsl).ok());
+
+  auto merged = wire::ObsRequest(under_test->fleet->broker(),
+                                 under_test->users[0], "/profile");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->status, 200);
+
+  auto one = wire::ObsRequest(under_test->fleet->broker(),
+                              under_test->users[0], "/profile",
+                              {{"node", under_test->fleet->node(0).name()}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->status, 200);
+
+  auto unknown = wire::ObsRequest(under_test->fleet->broker(),
+                                  under_test->users[0], "/profile",
+                                  {{"node", "gk-nope"}});
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 404);
+}
+
+TEST(FleetObsEndToEnd, BrokerHealthzCarriesOutlierFields) {
+  auto under_test = MakeFleet(1);
+  auto reply = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/healthz");
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->status, 200);
+  auto doc = json::ParseValue(reply->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->FindInt("outliers").has_value());
+  const json::Value* nodes = doc->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  for (const json::Value& node : nodes->items()) {
+    EXPECT_NE(node.Find("outlier"), nullptr);
+    EXPECT_TRUE(node.FindInt("baseline_latency_us").has_value());
+    EXPECT_NE(node.Find("latency_z"), nullptr);
+    EXPECT_TRUE(node.FindInt("baseline_burn_milli").has_value());
+    EXPECT_NE(node.Find("burn_z"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace gridauthz
