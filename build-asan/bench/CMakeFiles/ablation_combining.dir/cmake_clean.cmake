@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combining.dir/ablation_combining.cpp.o"
+  "CMakeFiles/ablation_combining.dir/ablation_combining.cpp.o.d"
+  "ablation_combining"
+  "ablation_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

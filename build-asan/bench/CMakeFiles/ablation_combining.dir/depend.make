@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_combining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_language.dir/ablation_language.cpp.o"
+  "CMakeFiles/ablation_language.dir/ablation_language.cpp.o.d"
+  "ablation_language"
+  "ablation_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trust_model.dir/ablation_trust_model.cpp.o"
+  "CMakeFiles/ablation_trust_model.dir/ablation_trust_model.cpp.o.d"
+  "ablation_trust_model"
+  "ablation_trust_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trust_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_pipeline.dir/audit_pipeline.cpp.o"
+  "CMakeFiles/audit_pipeline.dir/audit_pipeline.cpp.o.d"
+  "audit_pipeline"
+  "audit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

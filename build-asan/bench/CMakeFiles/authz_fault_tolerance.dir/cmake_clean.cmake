@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_fault_tolerance.dir/authz_fault_tolerance.cpp.o"
+  "CMakeFiles/authz_fault_tolerance.dir/authz_fault_tolerance.cpp.o.d"
+  "authz_fault_tolerance"
+  "authz_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

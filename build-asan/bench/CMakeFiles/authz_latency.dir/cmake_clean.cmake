@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_latency.dir/authz_latency.cpp.o"
+  "CMakeFiles/authz_latency.dir/authz_latency.cpp.o.d"
+  "authz_latency"
+  "authz_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

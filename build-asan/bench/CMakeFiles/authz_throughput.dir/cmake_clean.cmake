@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_throughput.dir/authz_throughput.cpp.o"
+  "CMakeFiles/authz_throughput.dir/authz_throughput.cpp.o.d"
+  "authz_throughput"
+  "authz_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

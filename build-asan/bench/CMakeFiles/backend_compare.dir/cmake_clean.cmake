@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_compare.dir/backend_compare.cpp.o"
+  "CMakeFiles/backend_compare.dir/backend_compare.cpp.o.d"
+  "backend_compare"
+  "backend_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

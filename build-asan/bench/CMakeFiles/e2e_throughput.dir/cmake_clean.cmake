@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_throughput.dir/e2e_throughput.cpp.o"
+  "CMakeFiles/e2e_throughput.dir/e2e_throughput.cpp.o.d"
+  "e2e_throughput"
+  "e2e_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

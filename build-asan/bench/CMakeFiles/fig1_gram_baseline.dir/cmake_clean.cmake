@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gram_baseline.dir/fig1_gram_baseline.cpp.o"
+  "CMakeFiles/fig1_gram_baseline.dir/fig1_gram_baseline.cpp.o.d"
+  "fig1_gram_baseline"
+  "fig1_gram_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gram_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_extended_gram.dir/fig2_extended_gram.cpp.o"
+  "CMakeFiles/fig2_extended_gram.dir/fig2_extended_gram.cpp.o.d"
+  "fig2_extended_gram"
+  "fig2_extended_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_extended_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_failover.dir/fleet_failover.cpp.o"
+  "CMakeFiles/fleet_failover.dir/fleet_failover.cpp.o.d"
+  "fleet_failover"
+  "fleet_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_overhead.dir/obs_overhead.cpp.o"
+  "CMakeFiles/obs_overhead.dir/obs_overhead.cpp.o.d"
+  "obs_overhead"
+  "obs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_authz.dir/storage_authz.cpp.o"
+  "CMakeFiles/storage_authz.dir/storage_authz.cpp.o.d"
+  "storage_authz"
+  "storage_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_concurrency.dir/wire_concurrency.cpp.o"
+  "CMakeFiles/wire_concurrency.dir/wire_concurrency.cpp.o.d"
+  "wire_concurrency"
+  "wire_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

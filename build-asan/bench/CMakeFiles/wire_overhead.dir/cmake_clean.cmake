@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_overhead.dir/wire_overhead.cpp.o"
+  "CMakeFiles/wire_overhead.dir/wire_overhead.cpp.o.d"
+  "wire_overhead"
+  "wire_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

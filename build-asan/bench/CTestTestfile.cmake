@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-asan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(perf_authz_throughput "/root/repo/build-asan/bench/authz_throughput" "--benchmark_filter=^\$")
+set_tests_properties(perf_authz_throughput PROPERTIES  ENVIRONMENT "GRIDAUTHZ_BENCH_QUICK=1" FIXTURES_SETUP "authz_throughput_json" LABELS "perf" RUN_SERIAL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_audit_pipeline "/root/repo/build-asan/bench/audit_pipeline" "--benchmark_filter=^\$")
+set_tests_properties(perf_audit_pipeline PROPERTIES  ENVIRONMENT "GRIDAUTHZ_BENCH_QUICK=1" FIXTURES_SETUP "audit_pipeline_json" LABELS "perf" RUN_SERIAL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_wire_concurrency "/root/repo/build-asan/bench/wire_concurrency" "--benchmark_filter=^\$")
+set_tests_properties(perf_wire_concurrency PROPERTIES  FIXTURES_SETUP "wire_concurrency_json" LABELS "perf" RUN_SERIAL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_obs_overhead "/root/repo/build-asan/bench/obs_overhead" "--benchmark_filter=^\$")
+set_tests_properties(perf_obs_overhead PROPERTIES  ENVIRONMENT "GRIDAUTHZ_BENCH_QUICK=1" FIXTURES_SETUP "obs_overhead_json" LABELS "perf;obs" RUN_SERIAL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;62;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_fleet_failover "/root/repo/build-asan/bench/fleet_failover" "--benchmark_filter=^\$")
+set_tests_properties(perf_fleet_failover PROPERTIES  ENVIRONMENT "GRIDAUTHZ_BENCH_QUICK=1" FIXTURES_SETUP "fleet_failover_json" LABELS "perf" RUN_SERIAL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;73;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_wire_concurrency_compare "/root/.pyenv/shims/python3" "/root/repo/scripts/bench_compare.py" "/root/repo/BENCH_wire_concurrency.json" "/root/repo/build-asan/bench/BENCH_wire_concurrency.json" "--tolerance" "0.25" "--abs-epsilon" "1" "--informational" "codec_legacy_ns_per_frame" "--informational" "codec_zero_copy_ns_per_frame" "--informational" "overload_shed_latency_us")
+set_tests_properties(perf_wire_concurrency_compare PROPERTIES  FIXTURES_REQUIRED "wire_concurrency_json" LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;149;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_authz_throughput_compare "/root/.pyenv/shims/python3" "/root/repo/scripts/bench_compare.py" "/root/repo/BENCH_authz_throughput.json" "/root/repo/build-asan/bench/BENCH_authz_throughput.json" "--tolerance" "0.75" "--abs-epsilon" "25" "--informational" "cached_16t_lock_contended")
+set_tests_properties(perf_authz_throughput_compare PROPERTIES  FIXTURES_REQUIRED "authz_throughput_json" LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;149;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_audit_pipeline_compare "/root/.pyenv/shims/python3" "/root/repo/scripts/bench_compare.py" "/root/repo/BENCH_audit_pipeline.json" "/root/repo/build-asan/bench/BENCH_audit_pipeline.json" "--tolerance" "0.75")
+set_tests_properties(perf_audit_pipeline_compare PROPERTIES  FIXTURES_REQUIRED "audit_pipeline_json" LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;149;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_obs_overhead_compare "/root/.pyenv/shims/python3" "/root/repo/scripts/bench_compare.py" "/root/repo/BENCH_obs_overhead.json" "/root/repo/build-asan/bench/BENCH_obs_overhead.json" "--tolerance" "0.75" "--abs-epsilon" "1" "--informational" "legacy_observation_ns_1t" "--informational" "resolved_observation_ns_1t" "--informational" "legacy_observation_ns_16t" "--informational" "resolved_observation_ns_16t" "--informational" "record_legacy_ns_1t" "--informational" "record_resolved_ns_1t" "--informational" "registry_lock_wait_us_legacy_16t" "--informational" "cache_shard_lock_wait_us_16t" "--informational" "cache_shard_lock_acquisitions_16t")
+set_tests_properties(perf_obs_overhead_compare PROPERTIES  FIXTURES_REQUIRED "obs_overhead_json" LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;149;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(perf_fleet_failover_compare "/root/.pyenv/shims/python3" "/root/repo/scripts/bench_compare.py" "/root/repo/BENCH_fleet_failover.json" "/root/repo/build-asan/bench/BENCH_fleet_failover.json" "--tolerance" "0.2" "--abs-epsilon" "1" "--informational" "submit_rps_1n" "--informational" "submit_rps_2n" "--informational" "submit_rps_4n" "--informational" "healthy_submit_p99_us" "--informational" "healthy_submit_p50_us" "--informational" "failover_latency_p99_us" "--informational" "failover_latency_p50_us")
+set_tests_properties(perf_fleet_failover_compare PROPERTIES  FIXTURES_REQUIRED "fleet_failover_json" LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;149;add_test;/root/repo/bench/CMakeLists.txt;0;")

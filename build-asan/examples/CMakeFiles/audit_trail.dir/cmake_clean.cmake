@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_trail.dir/audit_trail.cpp.o"
+  "CMakeFiles/audit_trail.dir/audit_trail.cpp.o.d"
+  "audit_trail"
+  "audit_trail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_trail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

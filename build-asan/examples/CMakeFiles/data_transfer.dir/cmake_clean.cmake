@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transfer.dir/data_transfer.cpp.o"
+  "CMakeFiles/data_transfer.dir/data_transfer.cpp.o.d"
+  "data_transfer"
+  "data_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

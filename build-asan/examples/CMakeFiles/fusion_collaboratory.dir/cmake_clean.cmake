@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_collaboratory.dir/fusion_collaboratory.cpp.o"
+  "CMakeFiles/fusion_collaboratory.dir/fusion_collaboratory.cpp.o.d"
+  "fusion_collaboratory"
+  "fusion_collaboratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_collaboratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

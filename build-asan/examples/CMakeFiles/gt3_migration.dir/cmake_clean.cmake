@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt3_migration.dir/gt3_migration.cpp.o"
+  "CMakeFiles/gt3_migration.dir/gt3_migration.cpp.o.d"
+  "gt3_migration"
+  "gt3_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt3_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_lint.dir/policy_lint.cpp.o"
+  "CMakeFiles/policy_lint.dir/policy_lint.cpp.o.d"
+  "policy_lint"
+  "policy_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

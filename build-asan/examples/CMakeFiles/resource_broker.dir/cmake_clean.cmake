@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_broker.dir/resource_broker.cpp.o"
+  "CMakeFiles/resource_broker.dir/resource_broker.cpp.o.d"
+  "resource_broker"
+  "resource_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

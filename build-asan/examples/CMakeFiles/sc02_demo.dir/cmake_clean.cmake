@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc02_demo.dir/sc02_demo.cpp.o"
+  "CMakeFiles/sc02_demo.dir/sc02_demo.cpp.o.d"
+  "sc02_demo"
+  "sc02_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc02_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vo_priority.dir/vo_priority.cpp.o"
+  "CMakeFiles/vo_priority.dir/vo_priority.cpp.o.d"
+  "vo_priority"
+  "vo_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vo_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

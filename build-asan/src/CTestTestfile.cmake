@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("gsi")
+subdirs("rsl")
+subdirs("gridmap")
+subdirs("os")
+subdirs("core")
+subdirs("gram")
+subdirs("fault")
+subdirs("akenti")
+subdirs("cas")
+subdirs("sandbox")
+subdirs("xacml")
+subdirs("gram3")
+subdirs("mds")
+subdirs("gridftp")
+subdirs("fleet")

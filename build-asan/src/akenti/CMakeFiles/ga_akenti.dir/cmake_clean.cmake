@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_akenti.dir/akenti.cpp.o"
+  "CMakeFiles/ga_akenti.dir/akenti.cpp.o.d"
+  "libga_akenti.a"
+  "libga_akenti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_akenti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

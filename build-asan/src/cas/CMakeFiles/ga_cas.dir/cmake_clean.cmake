@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_cas.dir/cas.cpp.o"
+  "CMakeFiles/ga_cas.dir/cas.cpp.o.d"
+  "libga_cas.a"
+  "libga_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

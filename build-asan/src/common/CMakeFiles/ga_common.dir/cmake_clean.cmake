@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_common.dir/arena.cpp.o"
+  "CMakeFiles/ga_common.dir/arena.cpp.o.d"
+  "CMakeFiles/ga_common.dir/config.cpp.o"
+  "CMakeFiles/ga_common.dir/config.cpp.o.d"
+  "CMakeFiles/ga_common.dir/deadline.cpp.o"
+  "CMakeFiles/ga_common.dir/deadline.cpp.o.d"
+  "CMakeFiles/ga_common.dir/error.cpp.o"
+  "CMakeFiles/ga_common.dir/error.cpp.o.d"
+  "CMakeFiles/ga_common.dir/json.cpp.o"
+  "CMakeFiles/ga_common.dir/json.cpp.o.d"
+  "CMakeFiles/ga_common.dir/logging.cpp.o"
+  "CMakeFiles/ga_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ga_common.dir/strings.cpp.o"
+  "CMakeFiles/ga_common.dir/strings.cpp.o.d"
+  "libga_common.a"
+  "libga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

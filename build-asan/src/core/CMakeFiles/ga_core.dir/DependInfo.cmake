@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/ga_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/audit_sink.cpp" "src/core/CMakeFiles/ga_core.dir/audit_sink.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/audit_sink.cpp.o.d"
+  "/root/repo/src/core/compiled.cpp" "src/core/CMakeFiles/ga_core.dir/compiled.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/compiled.cpp.o.d"
+  "/root/repo/src/core/decision_cache.cpp" "src/core/CMakeFiles/ga_core.dir/decision_cache.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/decision_cache.cpp.o.d"
+  "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/ga_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/epoch.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/ga_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/lint.cpp" "src/core/CMakeFiles/ga_core.dir/lint.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/lint.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/ga_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/provenance.cpp" "src/core/CMakeFiles/ga_core.dir/provenance.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/provenance.cpp.o.d"
+  "/root/repo/src/core/source.cpp" "src/core/CMakeFiles/ga_core.dir/source.cpp.o" "gcc" "src/core/CMakeFiles/ga_core.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

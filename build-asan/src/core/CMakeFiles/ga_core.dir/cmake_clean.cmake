@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_core.dir/audit.cpp.o"
+  "CMakeFiles/ga_core.dir/audit.cpp.o.d"
+  "CMakeFiles/ga_core.dir/audit_sink.cpp.o"
+  "CMakeFiles/ga_core.dir/audit_sink.cpp.o.d"
+  "CMakeFiles/ga_core.dir/compiled.cpp.o"
+  "CMakeFiles/ga_core.dir/compiled.cpp.o.d"
+  "CMakeFiles/ga_core.dir/decision_cache.cpp.o"
+  "CMakeFiles/ga_core.dir/decision_cache.cpp.o.d"
+  "CMakeFiles/ga_core.dir/epoch.cpp.o"
+  "CMakeFiles/ga_core.dir/epoch.cpp.o.d"
+  "CMakeFiles/ga_core.dir/evaluator.cpp.o"
+  "CMakeFiles/ga_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ga_core.dir/lint.cpp.o"
+  "CMakeFiles/ga_core.dir/lint.cpp.o.d"
+  "CMakeFiles/ga_core.dir/policy.cpp.o"
+  "CMakeFiles/ga_core.dir/policy.cpp.o.d"
+  "CMakeFiles/ga_core.dir/provenance.cpp.o"
+  "CMakeFiles/ga_core.dir/provenance.cpp.o.d"
+  "CMakeFiles/ga_core.dir/source.cpp.o"
+  "CMakeFiles/ga_core.dir/source.cpp.o.d"
+  "libga_core.a"
+  "libga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/breaker.cpp" "src/fault/CMakeFiles/ga_fault.dir/breaker.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/breaker.cpp.o.d"
+  "/root/repo/src/fault/degrade.cpp" "src/fault/CMakeFiles/ga_fault.dir/degrade.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/degrade.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/ga_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/inject.cpp" "src/fault/CMakeFiles/ga_fault.dir/inject.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/inject.cpp.o.d"
+  "/root/repo/src/fault/resilient.cpp" "src/fault/CMakeFiles/ga_fault.dir/resilient.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/resilient.cpp.o.d"
+  "/root/repo/src/fault/retry.cpp" "src/fault/CMakeFiles/ga_fault.dir/retry.cpp.o" "gcc" "src/fault/CMakeFiles/ga_fault.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gram/CMakeFiles/ga_gram.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gridmap/CMakeFiles/ga_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

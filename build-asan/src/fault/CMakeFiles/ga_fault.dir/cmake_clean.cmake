@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_fault.dir/breaker.cpp.o"
+  "CMakeFiles/ga_fault.dir/breaker.cpp.o.d"
+  "CMakeFiles/ga_fault.dir/degrade.cpp.o"
+  "CMakeFiles/ga_fault.dir/degrade.cpp.o.d"
+  "CMakeFiles/ga_fault.dir/fault.cpp.o"
+  "CMakeFiles/ga_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/ga_fault.dir/inject.cpp.o"
+  "CMakeFiles/ga_fault.dir/inject.cpp.o.d"
+  "CMakeFiles/ga_fault.dir/resilient.cpp.o"
+  "CMakeFiles/ga_fault.dir/resilient.cpp.o.d"
+  "CMakeFiles/ga_fault.dir/retry.cpp.o"
+  "CMakeFiles/ga_fault.dir/retry.cpp.o.d"
+  "libga_fault.a"
+  "libga_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

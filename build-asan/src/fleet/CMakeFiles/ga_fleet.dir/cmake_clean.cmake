@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_fleet.dir/broker.cpp.o"
+  "CMakeFiles/ga_fleet.dir/broker.cpp.o.d"
+  "CMakeFiles/ga_fleet.dir/chaos.cpp.o"
+  "CMakeFiles/ga_fleet.dir/chaos.cpp.o.d"
+  "CMakeFiles/ga_fleet.dir/health.cpp.o"
+  "CMakeFiles/ga_fleet.dir/health.cpp.o.d"
+  "CMakeFiles/ga_fleet.dir/node.cpp.o"
+  "CMakeFiles/ga_fleet.dir/node.cpp.o.d"
+  "libga_fleet.a"
+  "libga_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

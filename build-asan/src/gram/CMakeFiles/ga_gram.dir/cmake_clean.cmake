@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gram.dir/callback.cpp.o"
+  "CMakeFiles/ga_gram.dir/callback.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/callout.cpp.o"
+  "CMakeFiles/ga_gram.dir/callout.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/client.cpp.o"
+  "CMakeFiles/ga_gram.dir/client.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/gatekeeper.cpp.o"
+  "CMakeFiles/ga_gram.dir/gatekeeper.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/jobmanager.cpp.o"
+  "CMakeFiles/ga_gram.dir/jobmanager.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/obs_service.cpp.o"
+  "CMakeFiles/ga_gram.dir/obs_service.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/pdp_callout.cpp.o"
+  "CMakeFiles/ga_gram.dir/pdp_callout.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/protocol.cpp.o"
+  "CMakeFiles/ga_gram.dir/protocol.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/recovery.cpp.o"
+  "CMakeFiles/ga_gram.dir/recovery.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/secure_frame.cpp.o"
+  "CMakeFiles/ga_gram.dir/secure_frame.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/server.cpp.o"
+  "CMakeFiles/ga_gram.dir/server.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/site.cpp.o"
+  "CMakeFiles/ga_gram.dir/site.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/wire.cpp.o"
+  "CMakeFiles/ga_gram.dir/wire.cpp.o.d"
+  "CMakeFiles/ga_gram.dir/wire_service.cpp.o"
+  "CMakeFiles/ga_gram.dir/wire_service.cpp.o.d"
+  "libga_gram.a"
+  "libga_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

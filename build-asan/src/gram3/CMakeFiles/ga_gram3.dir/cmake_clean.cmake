@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gram3.dir/managed_job_service.cpp.o"
+  "CMakeFiles/ga_gram3.dir/managed_job_service.cpp.o.d"
+  "libga_gram3.a"
+  "libga_gram3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gram3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridftp/storage.cpp" "src/gridftp/CMakeFiles/ga_gridftp.dir/storage.cpp.o" "gcc" "src/gridftp/CMakeFiles/ga_gridftp.dir/storage.cpp.o.d"
+  "/root/repo/src/gridftp/transfer_service.cpp" "src/gridftp/CMakeFiles/ga_gridftp.dir/transfer_service.cpp.o" "gcc" "src/gridftp/CMakeFiles/ga_gridftp.dir/transfer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gridmap/CMakeFiles/ga_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gram/CMakeFiles/ga_gram.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gridftp.dir/storage.cpp.o"
+  "CMakeFiles/ga_gridftp.dir/storage.cpp.o.d"
+  "CMakeFiles/ga_gridftp.dir/transfer_service.cpp.o"
+  "CMakeFiles/ga_gridftp.dir/transfer_service.cpp.o.d"
+  "libga_gridftp.a"
+  "libga_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

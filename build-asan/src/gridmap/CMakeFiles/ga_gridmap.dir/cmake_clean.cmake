@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gridmap.dir/gridmap.cpp.o"
+  "CMakeFiles/ga_gridmap.dir/gridmap.cpp.o.d"
+  "libga_gridmap.a"
+  "libga_gridmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gridmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

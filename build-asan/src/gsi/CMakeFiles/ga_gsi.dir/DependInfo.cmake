@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsi/certificate.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/certificate.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/certificate.cpp.o.d"
+  "/root/repo/src/gsi/credential.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/credential.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/credential.cpp.o.d"
+  "/root/repo/src/gsi/dn.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/dn.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/dn.cpp.o.d"
+  "/root/repo/src/gsi/keys.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/keys.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/keys.cpp.o.d"
+  "/root/repo/src/gsi/security_context.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/security_context.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/security_context.cpp.o.d"
+  "/root/repo/src/gsi/sha256.cpp" "src/gsi/CMakeFiles/ga_gsi.dir/sha256.cpp.o" "gcc" "src/gsi/CMakeFiles/ga_gsi.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

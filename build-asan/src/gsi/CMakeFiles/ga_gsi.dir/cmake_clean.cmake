@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gsi.dir/certificate.cpp.o"
+  "CMakeFiles/ga_gsi.dir/certificate.cpp.o.d"
+  "CMakeFiles/ga_gsi.dir/credential.cpp.o"
+  "CMakeFiles/ga_gsi.dir/credential.cpp.o.d"
+  "CMakeFiles/ga_gsi.dir/dn.cpp.o"
+  "CMakeFiles/ga_gsi.dir/dn.cpp.o.d"
+  "CMakeFiles/ga_gsi.dir/keys.cpp.o"
+  "CMakeFiles/ga_gsi.dir/keys.cpp.o.d"
+  "CMakeFiles/ga_gsi.dir/security_context.cpp.o"
+  "CMakeFiles/ga_gsi.dir/security_context.cpp.o.d"
+  "CMakeFiles/ga_gsi.dir/sha256.cpp.o"
+  "CMakeFiles/ga_gsi.dir/sha256.cpp.o.d"
+  "libga_gsi.a"
+  "libga_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/mds.cpp" "src/mds/CMakeFiles/ga_mds.dir/mds.cpp.o" "gcc" "src/mds/CMakeFiles/ga_mds.dir/mds.cpp.o.d"
+  "/root/repo/src/mds/provider.cpp" "src/mds/CMakeFiles/ga_mds.dir/provider.cpp.o" "gcc" "src/mds/CMakeFiles/ga_mds.dir/provider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

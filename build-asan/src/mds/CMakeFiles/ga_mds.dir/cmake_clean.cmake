@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_mds.dir/mds.cpp.o"
+  "CMakeFiles/ga_mds.dir/mds.cpp.o.d"
+  "CMakeFiles/ga_mds.dir/provider.cpp.o"
+  "CMakeFiles/ga_mds.dir/provider.cpp.o.d"
+  "libga_mds.a"
+  "libga_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

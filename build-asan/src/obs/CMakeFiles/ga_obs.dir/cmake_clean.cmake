@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_obs.dir/contention.cpp.o"
+  "CMakeFiles/ga_obs.dir/contention.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/domain.cpp.o"
+  "CMakeFiles/ga_obs.dir/domain.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/federate.cpp.o"
+  "CMakeFiles/ga_obs.dir/federate.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ga_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/profile.cpp.o"
+  "CMakeFiles/ga_obs.dir/profile.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/slo.cpp.o"
+  "CMakeFiles/ga_obs.dir/slo.cpp.o.d"
+  "CMakeFiles/ga_obs.dir/trace.cpp.o"
+  "CMakeFiles/ga_obs.dir/trace.cpp.o.d"
+  "libga_obs.a"
+  "libga_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_os.dir/accounts.cpp.o"
+  "CMakeFiles/ga_os.dir/accounts.cpp.o.d"
+  "CMakeFiles/ga_os.dir/scheduler.cpp.o"
+  "CMakeFiles/ga_os.dir/scheduler.cpp.o.d"
+  "libga_os.a"
+  "libga_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

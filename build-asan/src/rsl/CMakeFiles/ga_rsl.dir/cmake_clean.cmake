@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_rsl.dir/rsl.cpp.o"
+  "CMakeFiles/ga_rsl.dir/rsl.cpp.o.d"
+  "libga_rsl.a"
+  "libga_rsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_rsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_sandbox.dir/sandbox.cpp.o"
+  "CMakeFiles/ga_sandbox.dir/sandbox.cpp.o.d"
+  "libga_sandbox.a"
+  "libga_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libga_sandbox.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xacml/xacml.cpp" "src/xacml/CMakeFiles/ga_xacml.dir/xacml.cpp.o" "gcc" "src/xacml/CMakeFiles/ga_xacml.dir/xacml.cpp.o.d"
+  "/root/repo/src/xacml/xml.cpp" "src/xacml/CMakeFiles/ga_xacml.dir/xml.cpp.o" "gcc" "src/xacml/CMakeFiles/ga_xacml.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_xacml.dir/xacml.cpp.o"
+  "CMakeFiles/ga_xacml.dir/xacml.cpp.o.d"
+  "CMakeFiles/ga_xacml.dir/xml.cpp.o"
+  "CMakeFiles/ga_xacml.dir/xml.cpp.o.d"
+  "libga_xacml.a"
+  "libga_xacml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_xacml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounts_test.dir/accounts_test.cpp.o"
+  "CMakeFiles/accounts_test.dir/accounts_test.cpp.o.d"
+  "accounts_test"
+  "accounts_test.pdb"
+  "accounts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

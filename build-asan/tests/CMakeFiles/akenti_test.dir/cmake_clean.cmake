@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akenti_test.dir/akenti_test.cpp.o"
+  "CMakeFiles/akenti_test.dir/akenti_test.cpp.o.d"
+  "akenti_test"
+  "akenti_test.pdb"
+  "akenti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akenti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

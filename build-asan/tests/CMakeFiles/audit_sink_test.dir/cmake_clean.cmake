@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_sink_test.dir/audit_sink_test.cpp.o"
+  "CMakeFiles/audit_sink_test.dir/audit_sink_test.cpp.o.d"
+  "audit_sink_test"
+  "audit_sink_test.pdb"
+  "audit_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callback_test.dir/callback_test.cpp.o"
+  "CMakeFiles/callback_test.dir/callback_test.cpp.o.d"
+  "callback_test"
+  "callback_test.pdb"
+  "callback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

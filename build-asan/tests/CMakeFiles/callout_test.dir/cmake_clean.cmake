@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callout_test.dir/callout_test.cpp.o"
+  "CMakeFiles/callout_test.dir/callout_test.cpp.o.d"
+  "callout_test"
+  "callout_test.pdb"
+  "callout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

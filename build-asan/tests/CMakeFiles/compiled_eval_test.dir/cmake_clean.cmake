@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_eval_test.dir/compiled_eval_test.cpp.o"
+  "CMakeFiles/compiled_eval_test.dir/compiled_eval_test.cpp.o.d"
+  "compiled_eval_test"
+  "compiled_eval_test.pdb"
+  "compiled_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

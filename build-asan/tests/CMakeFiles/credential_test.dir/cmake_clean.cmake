@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credential_test.dir/credential_test.cpp.o"
+  "CMakeFiles/credential_test.dir/credential_test.cpp.o.d"
+  "credential_test"
+  "credential_test.pdb"
+  "credential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

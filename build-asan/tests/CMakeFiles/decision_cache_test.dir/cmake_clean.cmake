@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_cache_test.dir/decision_cache_test.cpp.o"
+  "CMakeFiles/decision_cache_test.dir/decision_cache_test.cpp.o.d"
+  "decision_cache_test"
+  "decision_cache_test.pdb"
+  "decision_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dn_test.dir/dn_test.cpp.o"
+  "CMakeFiles/dn_test.dir/dn_test.cpp.o.d"
+  "dn_test"
+  "dn_test.pdb"
+  "dn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

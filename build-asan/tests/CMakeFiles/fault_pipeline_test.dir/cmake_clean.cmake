@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_pipeline_test.dir/fault_pipeline_test.cpp.o"
+  "CMakeFiles/fault_pipeline_test.dir/fault_pipeline_test.cpp.o.d"
+  "fault_pipeline_test"
+  "fault_pipeline_test.pdb"
+  "fault_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

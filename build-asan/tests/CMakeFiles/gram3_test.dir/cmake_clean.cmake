@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram3_test.dir/gram3_test.cpp.o"
+  "CMakeFiles/gram3_test.dir/gram3_test.cpp.o.d"
+  "gram3_test"
+  "gram3_test.pdb"
+  "gram3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

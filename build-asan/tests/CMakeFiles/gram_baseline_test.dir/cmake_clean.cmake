@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_baseline_test.dir/gram_baseline_test.cpp.o"
+  "CMakeFiles/gram_baseline_test.dir/gram_baseline_test.cpp.o.d"
+  "gram_baseline_test"
+  "gram_baseline_test.pdb"
+  "gram_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_extended_test.dir/gram_extended_test.cpp.o"
+  "CMakeFiles/gram_extended_test.dir/gram_extended_test.cpp.o.d"
+  "gram_extended_test"
+  "gram_extended_test.pdb"
+  "gram_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

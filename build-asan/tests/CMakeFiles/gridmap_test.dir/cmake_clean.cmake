@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmap_test.dir/gridmap_test.cpp.o"
+  "CMakeFiles/gridmap_test.dir/gridmap_test.cpp.o.d"
+  "gridmap_test"
+  "gridmap_test.pdb"
+  "gridmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

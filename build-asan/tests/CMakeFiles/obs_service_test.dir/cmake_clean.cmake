@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_service_test.dir/obs_service_test.cpp.o"
+  "CMakeFiles/obs_service_test.dir/obs_service_test.cpp.o.d"
+  "obs_service_test"
+  "obs_service_test.pdb"
+  "obs_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

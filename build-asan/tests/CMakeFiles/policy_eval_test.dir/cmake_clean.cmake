@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_eval_test.dir/policy_eval_test.cpp.o"
+  "CMakeFiles/policy_eval_test.dir/policy_eval_test.cpp.o.d"
+  "policy_eval_test"
+  "policy_eval_test.pdb"
+  "policy_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_source_test.dir/policy_source_test.cpp.o"
+  "CMakeFiles/policy_source_test.dir/policy_source_test.cpp.o.d"
+  "policy_source_test"
+  "policy_source_test.pdb"
+  "policy_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsl_test.dir/rsl_test.cpp.o"
+  "CMakeFiles/rsl_test.dir/rsl_test.cpp.o.d"
+  "rsl_test"
+  "rsl_test.pdb"
+  "rsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

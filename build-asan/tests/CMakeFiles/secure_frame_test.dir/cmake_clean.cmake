@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_frame_test.dir/secure_frame_test.cpp.o"
+  "CMakeFiles/secure_frame_test.dir/secure_frame_test.cpp.o.d"
+  "secure_frame_test"
+  "secure_frame_test.pdb"
+  "secure_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

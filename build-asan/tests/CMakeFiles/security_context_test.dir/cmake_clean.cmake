@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_context_test.dir/security_context_test.cpp.o"
+  "CMakeFiles/security_context_test.dir/security_context_test.cpp.o.d"
+  "security_context_test"
+  "security_context_test.pdb"
+  "security_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_protocol_test.dir/site_protocol_test.cpp.o"
+  "CMakeFiles/site_protocol_test.dir/site_protocol_test.cpp.o.d"
+  "site_protocol_test"
+  "site_protocol_test.pdb"
+  "site_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

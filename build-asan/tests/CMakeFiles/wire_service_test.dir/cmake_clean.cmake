@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_service_test.dir/wire_service_test.cpp.o"
+  "CMakeFiles/wire_service_test.dir/wire_service_test.cpp.o.d"
+  "wire_service_test"
+  "wire_service_test.pdb"
+  "wire_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xacml_test.dir/xacml_test.cpp.o"
+  "CMakeFiles/xacml_test.dir/xacml_test.cpp.o.d"
+  "xacml_test"
+  "xacml_test.pdb"
+  "xacml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xacml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vo_priority.cpp" "examples/CMakeFiles/vo_priority.dir/vo_priority.cpp.o" "gcc" "examples/CMakeFiles/vo_priority.dir/vo_priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gridmap/CMakeFiles/ga_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gram/CMakeFiles/ga_gram.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/akenti/CMakeFiles/ga_akenti.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/cas/CMakeFiles/ga_cas.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sandbox/CMakeFiles/ga_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/xacml/CMakeFiles/ga_xacml.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gram3/CMakeFiles/ga_gram3.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/mds/CMakeFiles/ga_mds.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gridftp/CMakeFiles/ga_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/fleet/CMakeFiles/ga_fleet.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/fault/CMakeFiles/ga_fault.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

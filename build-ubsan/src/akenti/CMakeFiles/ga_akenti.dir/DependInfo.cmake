@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/akenti/akenti.cpp" "src/akenti/CMakeFiles/ga_akenti.dir/akenti.cpp.o" "gcc" "src/akenti/CMakeFiles/ga_akenti.dir/akenti.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

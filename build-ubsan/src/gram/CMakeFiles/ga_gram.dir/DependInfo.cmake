@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gram/callback.cpp" "src/gram/CMakeFiles/ga_gram.dir/callback.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/callback.cpp.o.d"
+  "/root/repo/src/gram/callout.cpp" "src/gram/CMakeFiles/ga_gram.dir/callout.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/callout.cpp.o.d"
+  "/root/repo/src/gram/client.cpp" "src/gram/CMakeFiles/ga_gram.dir/client.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/client.cpp.o.d"
+  "/root/repo/src/gram/gatekeeper.cpp" "src/gram/CMakeFiles/ga_gram.dir/gatekeeper.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/gatekeeper.cpp.o.d"
+  "/root/repo/src/gram/jobmanager.cpp" "src/gram/CMakeFiles/ga_gram.dir/jobmanager.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/jobmanager.cpp.o.d"
+  "/root/repo/src/gram/obs_service.cpp" "src/gram/CMakeFiles/ga_gram.dir/obs_service.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/obs_service.cpp.o.d"
+  "/root/repo/src/gram/pdp_callout.cpp" "src/gram/CMakeFiles/ga_gram.dir/pdp_callout.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/pdp_callout.cpp.o.d"
+  "/root/repo/src/gram/protocol.cpp" "src/gram/CMakeFiles/ga_gram.dir/protocol.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/protocol.cpp.o.d"
+  "/root/repo/src/gram/recovery.cpp" "src/gram/CMakeFiles/ga_gram.dir/recovery.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/recovery.cpp.o.d"
+  "/root/repo/src/gram/secure_frame.cpp" "src/gram/CMakeFiles/ga_gram.dir/secure_frame.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/secure_frame.cpp.o.d"
+  "/root/repo/src/gram/server.cpp" "src/gram/CMakeFiles/ga_gram.dir/server.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/server.cpp.o.d"
+  "/root/repo/src/gram/site.cpp" "src/gram/CMakeFiles/ga_gram.dir/site.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/site.cpp.o.d"
+  "/root/repo/src/gram/wire.cpp" "src/gram/CMakeFiles/ga_gram.dir/wire.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/wire.cpp.o.d"
+  "/root/repo/src/gram/wire_service.cpp" "src/gram/CMakeFiles/ga_gram.dir/wire_service.cpp.o" "gcc" "src/gram/CMakeFiles/ga_gram.dir/wire_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gridmap/CMakeFiles/ga_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

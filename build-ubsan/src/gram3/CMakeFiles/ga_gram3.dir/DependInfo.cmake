@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gram3/managed_job_service.cpp" "src/gram3/CMakeFiles/ga_gram3.dir/managed_job_service.cpp.o" "gcc" "src/gram3/CMakeFiles/ga_gram3.dir/managed_job_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gsi/CMakeFiles/ga_gsi.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/rsl/CMakeFiles/ga_rsl.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gridmap/CMakeFiles/ga_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/os/CMakeFiles/ga_os.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/core/CMakeFiles/ga_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/gram/CMakeFiles/ga_gram.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sandbox/CMakeFiles/ga_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/obs/CMakeFiles/ga_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

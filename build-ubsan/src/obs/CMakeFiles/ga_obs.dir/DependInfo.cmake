@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/contention.cpp" "src/obs/CMakeFiles/ga_obs.dir/contention.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/contention.cpp.o.d"
+  "/root/repo/src/obs/domain.cpp" "src/obs/CMakeFiles/ga_obs.dir/domain.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/domain.cpp.o.d"
+  "/root/repo/src/obs/federate.cpp" "src/obs/CMakeFiles/ga_obs.dir/federate.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/federate.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/ga_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/profile.cpp" "src/obs/CMakeFiles/ga_obs.dir/profile.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/profile.cpp.o.d"
+  "/root/repo/src/obs/slo.cpp" "src/obs/CMakeFiles/ga_obs.dir/slo.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/slo.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/ga_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/ga_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
