@@ -1,0 +1,240 @@
+// Experiment D1: the data-path authorization fast path (DESIGN.md §17).
+// Without capability tokens, every per-file/per-block check on a
+// transfer costs a full path-scope evaluation — a statement scan at
+// session-setup fidelity. With the fast path, session setup pays that
+// evaluation ONCE to mint an HMAC capability token, and each block
+// check is CapabilityTokenCodec::CheckAccess: a MAC verify (memoized
+// per thread) plus expiry/generation/scope/rights checks. This bench
+// measures, against a synthetic policy with ~1k path-scope statements
+// (target subject appended last — worst case for the scan):
+//   - the session-setup full evaluation + mint cost,
+//   - the naive and compiled-trie per-object evaluation costs,
+//   - the per-block token check cost and its p99,
+//   - aggregate check throughput at 1/4/16 threads.
+// Gated signals are the ratios (token_vs_eval_speedup — the headline,
+// ≥10x at 1k statements — and compiled_vs_naive_speedup) plus the p99;
+// absolute wall-clock numbers swing with host contention and are
+// informational. Emits BENCH_dataplane_authz.json.
+//
+// Set GRIDAUTHZ_BENCH_QUICK=1 to shrink the sweeps to smoke-test size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/captoken.h"
+#include "core/compiled.h"
+#include "core/datapath.h"
+#include "core/pathscope.h"
+#include "core/policy.h"
+#include "core/source.h"
+
+using namespace gridauthz;
+
+namespace {
+
+constexpr const char* kTarget = "/O=Grid/O=Synth/CN=target";
+constexpr const char* kOrigin = "gsiftp://bench.example.org";
+constexpr const char* kKey = "dataplane-bench-key-0123456789abcdef";
+
+bool QuickMode() { return std::getenv("GRIDAUTHZ_BENCH_QUICK") != nullptr; }
+
+// A policy with `n` path-scope statements for distinct subjects, plus
+// the target subject appended last — the worst case for the naive
+// statement scan that the compiled trie and the token path both beat.
+core::PolicyDocument ScopePolicy(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    const std::string u = std::to_string(i);
+    text += "scope " + std::string{kOrigin} + "/volumes:\n";
+    text += "subject: /O=Grid/O=Synth/CN=user" + u + "\n";
+    text += "object: /u" + u + " read,write\n";
+    text += "object: /u" + u + "/public read\n";
+    text += "endscope\n\n";
+  }
+  text += "scope " + std::string{kOrigin} + "/volumes:\n";
+  text += "subject: " + std::string{kTarget} + "\n";
+  text += "object: /nfc read,write,list\n";
+  text += "endscope\n";
+  return core::PolicyDocument::Parse(text).value();
+}
+
+// Wall-clock ns per op of `op` run from `threads` threads, `iters` each.
+double MeasureNsPerOp(const std::function<void()>& op, int threads,
+                      int iters) {
+  const auto begin = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    for (int i = 0; i < iters; ++i) op();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < iters; ++i) op();
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  return ns / (static_cast<double>(threads) * iters);
+}
+
+void BM_TokenCheck(benchmark::State& state) {
+  SimClock clock;
+  auto source = std::make_shared<core::StaticPolicySource>("bench",
+                                                           ScopePolicy(64));
+  core::DataPathAuthorizer authorizer{source, kKey, &clock};
+  auto session =
+      authorizer.MintSession(kTarget, std::string{kOrigin} + "/volumes/nfc");
+  const std::string object =
+      core::DataPathAuthorizer::NormalizeObject(std::string{kOrigin} +
+                                                "/volumes/nfc/data/run1.dat")
+          .value();
+  for (auto _ : state) {
+    auto verdict =
+        authorizer.Check(session->token, object, core::kRightRead);
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+BENCHMARK(BM_TokenCheck);
+
+void EmitDataplaneAuthzJson() {
+  const bool quick = QuickMode();
+  const int n_statements = quick ? 256 : 1000;
+  const int eval_iters = quick ? 400 : 4000;
+  const int check_iters = quick ? 20'000 : 400'000;
+  const int p99_samples = quick ? 5'000 : 100'000;
+
+  SimClock clock;
+  const core::PolicyDocument document = ScopePolicy(n_statements);
+  auto source =
+      std::make_shared<core::StaticPolicySource>("bench", document);
+  core::DataPathAuthorizer authorizer{source, kKey, &clock};
+  const std::string base = std::string{kOrigin} + "/volumes/nfc";
+  auto session = authorizer.MintSession(kTarget, base);
+  if (!session.ok()) {
+    std::fprintf(stderr, "mint failed: %s\n",
+                 session.error().message().c_str());
+    return;
+  }
+  const std::string url = base + "/data/run1.dat";
+  const std::string object =
+      core::DataPathAuthorizer::NormalizeObject(url).value();
+  const auto compiled = source->snapshot();
+
+  // Session-setup full evaluation + mint: what every block would pay
+  // without the token path (the policy scan dominates at 1k statements).
+  const double full_eval_mint_ns = MeasureNsPerOp(
+      [&] {
+        auto minted = authorizer.MintSession(kTarget, base);
+        benchmark::DoNotOptimize(minted);
+      },
+      1, eval_iters);
+  // Per-object evaluation, naive statement scan vs compiled trie.
+  const double naive_eval_ns = MeasureNsPerOp(
+      [&] {
+        auto decision = core::EvaluateObjectNaive(document, kTarget, url,
+                                                  core::kRightRead);
+        benchmark::DoNotOptimize(decision);
+      },
+      1, eval_iters);
+  const double compiled_eval_ns = MeasureNsPerOp(
+      [&] {
+        auto decision =
+            compiled->EvaluateObject(kTarget, url, core::kRightRead);
+        benchmark::DoNotOptimize(decision);
+      },
+      1, eval_iters);
+
+  // The per-block fast path: token check against a pre-normalized
+  // object, same token per thread (the steady state of a transfer).
+  const double token_check_ns = MeasureNsPerOp(
+      [&] {
+        auto verdict =
+            authorizer.Check(session->token, object, core::kRightRead);
+        benchmark::DoNotOptimize(verdict);
+      },
+      1, check_iters);
+  std::vector<double> checks_per_sec;
+  for (int threads : {1, 4, 16}) {
+    const double ns = MeasureNsPerOp(
+        [&] {
+          auto verdict =
+              authorizer.Check(session->token, object, core::kRightRead);
+          benchmark::DoNotOptimize(verdict);
+        },
+        threads, check_iters / (threads == 1 ? 1 : threads));
+    // MeasureNsPerOp already normalizes wall time over every op across
+    // all threads, so the aggregate rate is simply 1e9/ns.
+    checks_per_sec.push_back(ns > 0 ? 1e9 / ns : 0);
+  }
+
+  // Per-check latency distribution, single thread.
+  std::vector<double> samples;
+  samples.reserve(p99_samples);
+  for (int i = 0; i < p99_samples; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto verdict =
+        authorizer.Check(session->token, object, core::kRightRead);
+    benchmark::DoNotOptimize(verdict);
+    samples.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const double p99 =
+      samples[static_cast<std::size_t>(samples.size() * 0.99)];
+
+  const std::vector<std::pair<std::string, double>> fields = {
+      {"n_statements", static_cast<double>(n_statements)},
+      {"full_eval_mint_ns", full_eval_mint_ns},
+      {"naive_eval_ns", naive_eval_ns},
+      {"compiled_eval_ns", compiled_eval_ns},
+      {"token_check_ns", token_check_ns},
+      {"token_vs_eval_speedup",
+       token_check_ns > 0 ? full_eval_mint_ns / token_check_ns : 0},
+      {"compiled_vs_naive_speedup",
+       compiled_eval_ns > 0 ? naive_eval_ns / compiled_eval_ns : 0},
+      {"checks_per_sec_1t", checks_per_sec[0]},
+      {"checks_per_sec_4t", checks_per_sec[1]},
+      {"checks_per_sec_16t", checks_per_sec[2]},
+      {"check_p99_us", p99},
+  };
+
+  const std::string path = "BENCH_dataplane_authz.json";
+  if (!bench::WriteBenchJson(path, fields)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf(
+      "BENCH_dataplane_authz: %d statements, eval+mint=%.0fns "
+      "check=%.0fns (%.1fx), trie %.1fx over naive, p99=%.2fus -> %s\n",
+      n_statements, full_eval_mint_ns, token_check_ns,
+      token_check_ns > 0 ? full_eval_mint_ns / token_check_ns : 0,
+      compiled_eval_ns > 0 ? naive_eval_ns / compiled_eval_ns : 0, p99,
+      path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitDataplaneAuthzJson();
+  return 0;
+}

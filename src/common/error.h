@@ -155,6 +155,23 @@ inline constexpr std::string_view kReasonFleet = "[fleet]";
 // kinds) and a lossy merge would silently misreport the fleet
 // (DESIGN.md §15). Federation fails loudly, never approximately.
 inline constexpr std::string_view kReasonFederation = "[federation]";
+// Data-path capability tokens (DESIGN.md §17). Every verify failure is
+// a typed fail-closed deny:
+//   [token-invalid]  — the token does not parse, is truncated, or its
+//                      HMAC does not verify (forgery / corruption).
+//   [token-expired]  — authentic but past its expiry instant.
+//   [token-stale]    — authentic but minted under an older policy
+//                      generation; the session must re-evaluate and
+//                      re-mint.
+//   [token-scope]    — authentic and current, but the checked object
+//                      or right is outside what the token binds.
+//   [path-invalid]   — the object URL itself failed normalization
+//                      (`..` traversal, encoded slash, bad escape).
+inline constexpr std::string_view kReasonTokenInvalid = "[token-invalid]";
+inline constexpr std::string_view kReasonTokenExpired = "[token-expired]";
+inline constexpr std::string_view kReasonTokenStale = "[token-stale]";
+inline constexpr std::string_view kReasonTokenScope = "[token-scope]";
+inline constexpr std::string_view kReasonPathInvalid = "[path-invalid]";
 
 // The leading "[...]" tag of `error`'s message, or "" when untagged.
 std::string_view FailureReasonTag(const Error& error);

@@ -1,0 +1,222 @@
+#include "common/hmac.h"
+
+#include <cstring>
+
+namespace gridauthz::crypto {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+std::uint32_t Rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct PadBlocks {
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+};
+
+PadBlocks DerivePadBlocks(std::string_view key) {
+  std::array<std::uint8_t, 64> key_block{};
+  if (key.size() > 64) {
+    Digest kd = Sha256(key);
+    std::memcpy(key_block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+  PadBlocks pads;
+  for (int i = 0; i < 64; ++i) {
+    pads.ipad[i] = key_block[i] ^ 0x36;
+    pads.opad[i] = key_block[i] ^ 0x5c;
+  }
+  return pads;
+}
+
+std::string_view BytesView(const std::uint8_t* data, std::size_t len) {
+  return std::string_view(reinterpret_cast<const char*>(data), len);
+}
+
+}  // namespace
+
+Sha256Stream::Sha256Stream() : state_(kInitialState), buffer_{} {}
+
+Sha256Stream::Sha256Stream(const Midstate& midstate)
+    : state_(midstate.state), buffer_{}, total_len_(midstate.total_len) {}
+
+Sha256Stream::Midstate Sha256Stream::Save() const {
+  return Midstate{state_, total_len_};
+}
+
+void Sha256Stream::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w;
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    std::uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    std::uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  auto [a, b, c, d, e, f, g, h] = state_;
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    std::uint32_t ch = (e & f) ^ (~e & g);
+    std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256Stream::Update(std::string_view data) {
+  total_len_ += data.size();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(remaining, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    remaining -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (remaining >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    std::memcpy(buffer_.data(), p, remaining);
+    buffer_len_ = remaining;
+  }
+}
+
+Digest Sha256Stream::Finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+  std::uint8_t pad = 0x80;
+  Update(BytesView(&pad, 1));
+  // Update() adjusted total_len_; padding must not count, but since we
+  // captured bit_len first this only affects buffer management.
+  std::array<std::uint8_t, 64> zeros{};
+  while (buffer_len_ != 56) {
+    std::size_t need = buffer_len_ < 56 ? 56 - buffer_len_ : 64 - buffer_len_ + 56;
+    std::size_t take = std::min<std::size_t>(need, 64);
+    Update(BytesView(zeros.data(), take));
+  }
+  std::array<std::uint8_t, 8> len_bytes;
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(BytesView(len_bytes.data(), 8));
+
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Digest Sha256(std::string_view data) {
+  Sha256Stream stream;
+  stream.Update(data);
+  return stream.Finish();
+}
+
+Digest HmacSha256(std::string_view key, std::string_view data) {
+  PadBlocks pads = DerivePadBlocks(key);
+  Sha256Stream inner;
+  inner.Update(BytesView(pads.ipad.data(), 64));
+  inner.Update(data);
+  Digest inner_digest = inner.Finish();
+
+  Sha256Stream outer;
+  outer.Update(BytesView(pads.opad.data(), 64));
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+HmacKey::HmacKey(std::string_view key) {
+  PadBlocks pads = DerivePadBlocks(key);
+  Sha256Stream inner;
+  inner.Update(BytesView(pads.ipad.data(), 64));
+  inner_ = inner.Save();
+  Sha256Stream outer;
+  outer.Update(BytesView(pads.opad.data(), 64));
+  outer_ = outer.Save();
+}
+
+Digest HmacKey::Mac(std::string_view data) const {
+  Sha256Stream inner(inner_);
+  inner.Update(data);
+  Digest inner_digest = inner.Finish();
+  Sha256Stream outer(outer_);
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+std::string ToHex(const Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0f]);
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(a[i]) ^
+               static_cast<unsigned char>(b[i])));
+  }
+  return acc == 0;
+}
+
+}  // namespace gridauthz::crypto

@@ -1,0 +1,79 @@
+// SHA-256 and HMAC-SHA-256, implemented from scratch (FIPS 180-4 /
+// RFC 2104). No external crypto library is available offline; the
+// simulated GSI layer uses these for key fingerprints and signatures,
+// and the data-path capability tokens use the keyed form at
+// transfer-check rates. Lives in the base layer so both `gsi` and the
+// policy core can link it without a dependency cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gridauthz::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+// One-shot SHA-256 of `data`.
+Digest Sha256(std::string_view data);
+
+// HMAC-SHA-256 with arbitrary-length `key`.
+Digest HmacSha256(std::string_view key, std::string_view data);
+
+// Lowercase hex rendering of a digest.
+std::string ToHex(const Digest& digest);
+
+// Timing-safe comparison: examines every byte regardless of where the
+// first mismatch occurs, so a forger cannot binary-search a MAC one
+// byte at a time. Length mismatch still short-circuits — the length of
+// a well-formed MAC is public.
+bool ConstantTimeEqual(std::string_view a, std::string_view b);
+
+// Incremental interface, used for canonical certificate encodings and
+// for HMAC midstate caching.
+class Sha256Stream {
+ public:
+  // Compression-function state at a 64-byte block boundary. Capturing
+  // it after absorbing the HMAC ipad/opad blocks lets a long-lived key
+  // skip those two fixed blocks on every subsequent MAC.
+  struct Midstate {
+    std::array<std::uint32_t, 8> state;
+    std::uint64_t total_len = 0;
+  };
+
+  Sha256Stream();
+  explicit Sha256Stream(const Midstate& midstate);
+
+  void Update(std::string_view data);
+  Digest Finish();
+
+  // Only meaningful at a block boundary (no buffered partial block);
+  // callers feed exact multiples of 64 bytes before saving.
+  Midstate Save() const;
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// A prepared HMAC key: the ipad/opad compression states are computed
+// once at construction, so each Mac() costs two fewer block transforms
+// than HmacSha256(). On the data path that is the difference between
+// four and two SHA-256 blocks per token verify.
+class HmacKey {
+ public:
+  explicit HmacKey(std::string_view key);
+
+  Digest Mac(std::string_view data) const;
+
+ private:
+  Sha256Stream::Midstate inner_;
+  Sha256Stream::Midstate outer_;
+};
+
+}  // namespace gridauthz::crypto

@@ -1,0 +1,98 @@
+// HMAC-signed capability tokens for the data path (DESIGN.md §17).
+//
+// A token is minted once per transfer session after a full path-scope
+// evaluation, and binds everything a per-file/per-block check needs:
+//
+//   gacap1.s24:<subject>o26:<scope>r:3,g:7,e:1700000123456789.<mac-hex>
+//
+// The payload uses netstring-style length prefixes for the two
+// free-text fields (subject DN, normalized scope URL), so no escaping
+// is needed and verification parses with string_views — zero
+// allocation. The MAC is HMAC-SHA-256 over "gacap1." + payload under a
+// service-local key, hex-encoded; verification recomputes it from
+// cached ipad/opad midstates (common/hmac.h) and compares in constant
+// time.
+//
+// Fail-closed contract: every malformed, forged, truncated, expired,
+// stale-generation, or out-of-scope presentation is an Error whose
+// message starts with a typed tag — kReasonTokenInvalid /
+// kReasonTokenExpired / kReasonTokenStale / kReasonTokenScope /
+// kReasonPathInvalid (common/error.h). There is no untyped failure.
+//
+// CheckAccess is the transfer-rate fast path: one MAC + scope/rights
+// check, no evaluator, no cache probe, no allocation. A small
+// per-thread direct-mapped memo of recently verified token bytes skips
+// the MAC recompute when the same session presents the same token for
+// every block of a striped transfer; expiry, generation, scope, and
+// rights are still re-checked on every call (they depend on the check,
+// not the token bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/hmac.h"
+#include "core/pathscope.h"
+
+namespace gridauthz::core {
+
+inline constexpr std::string_view kCapTokenPrefix = "gacap1.";
+
+// What a token binds. `scope` is a normalized origin+path prefix
+// (NormalizeObjectUrl display form); checks pass only for objects at or
+// under it.
+struct CapabilityClaims {
+  std::string subject;
+  std::string scope;
+  RightsMask rights = 0;
+  std::uint64_t generation = 0;  // policy generation at mint time
+  std::int64_t expiry_us = 0;    // absolute, Clock::NowMicros scale
+};
+
+// Mints and verifies tokens under one symmetric key. Immutable after
+// construction; safe to share across threads (the memo is per-thread).
+class CapabilityTokenCodec {
+ public:
+  explicit CapabilityTokenCodec(std::string_view key,
+                                const Clock* clock = nullptr);
+
+  std::string Mint(const CapabilityClaims& claims) const;
+
+  // Full verification: parse, MAC (constant-time compare), expiry
+  // against the codec clock, generation against `current_generation`.
+  // Returns the claims (allocates — session setup / refresh path only).
+  Expected<CapabilityClaims> Verify(std::string_view token,
+                                    std::uint64_t current_generation) const;
+
+  // The data-path check: everything Verify does, plus object coverage
+  // (scope is a segment-boundary prefix of the normalized object) and
+  // rights membership — with no allocation on the success path.
+  // `object` must already be normalized (NormalizedObject::Display
+  // form); the caller normalizes once per file, not once per block.
+  Expected<void> CheckAccess(std::string_view token, std::string_view object,
+                             RightsMask right,
+                             std::uint64_t current_generation) const;
+
+  // Like Verify but skips the generation comparison: used by the
+  // refresh path, which must trust an authentic-but-stale token's
+  // claims to know what to re-evaluate.
+  Expected<CapabilityClaims> VerifyIgnoringGeneration(
+      std::string_view token) const;
+
+ private:
+  Expected<void> VerifyMac(std::string_view token) const;
+  Expected<void> CheckTemporal(std::uint64_t token_generation,
+                               std::int64_t expiry_us,
+                               std::uint64_t current_generation) const;
+
+  crypto::HmacKey key_;
+  std::uint64_t memo_uid_;   // distinguishes codecs in the thread memo
+  std::uint64_t hash_seed_;  // derived from the key, not guessable
+  const Clock* clock_;
+  SystemClock fallback_clock_;
+};
+
+}  // namespace gridauthz::core

@@ -224,14 +224,61 @@ CompiledPolicyDocument::CompiledPolicyDocument(PolicyDocument document,
     node->statements.push_back(i);
   }
 
+  // Path scopes: a second subject trie (scope statement indices) plus
+  // the path-segment trie over every entry's absolute prefix.
+  const auto& scopes = document_.path_scopes();
+  for (std::size_t i = 0; i < scopes.size(); ++i) {
+    const PathScopeStatement& scope = scopes[i];
+    const gsi::DnPrefix* prefix = nullptr;
+    std::optional<gsi::DnPrefix> local;
+    if (scope.parsed_subject.has_value()) {
+      prefix = &*scope.parsed_subject;
+    } else if (auto parsed = gsi::DnPrefix::Parse(scope.subject_prefix);
+               parsed.ok()) {
+      local = std::move(parsed).value();
+      prefix = &*local;
+    }
+    if (prefix != nullptr) {
+      TrieNode* node = &scope_root_;
+      for (const gsi::DnComponent& c : prefix->components()) {
+        node = Child(node, c.type + '=' + c.value);
+      }
+      node->statements.push_back(i);
+    }
+
+    for (const ObjectEntry& entry : scope.entries) {
+      const std::string absolute = scope.base_path + entry.path;
+      PathTrieNode* node = PathChild(&path_root_, scope.origin);
+      std::size_t pos = 0;
+      while (pos < absolute.size()) {
+        std::size_t next = absolute.find('/', pos + 1);
+        if (next == std::string::npos) next = absolute.size();
+        node = PathChild(node, std::string_view{absolute}.substr(pos + 1,
+                                                                 next - pos - 1));
+        pos = next;
+      }
+      node->entries.emplace_back(i, entry.rights);
+    }
+  }
+
   // Sort children so lookups can binary-search.
-  std::vector<TrieNode*> pending{&root_};
+  std::vector<TrieNode*> pending{&root_, &scope_root_};
   while (!pending.empty()) {
     TrieNode* node = pending.back();
     pending.pop_back();
     std::sort(node->children.begin(), node->children.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (auto& [k, child] : node->children) pending.push_back(child.get());
+  }
+  std::vector<PathTrieNode*> path_pending{&path_root_};
+  while (!path_pending.empty()) {
+    PathTrieNode* node = path_pending.back();
+    path_pending.pop_back();
+    std::sort(node->children.begin(), node->children.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Entry lists stay in insertion order == ascending statement index,
+    // so the first element is the doc-order tie-breaker.
+    for (auto& [k, child] : node->children) path_pending.push_back(child.get());
   }
 
   obs::Metrics().GetCounter(obs::kMetricPolicyCompiles).Increment();
@@ -265,6 +312,106 @@ ArenaVector<std::size_t> CompiledPolicyDocument::Lookup(
   }
   std::sort(out.begin(), out.end());  // restore document order
   return out;
+}
+
+CompiledPolicyDocument::PathTrieNode* CompiledPolicyDocument::PathChild(
+    PathTrieNode* node, std::string_view key) {
+  for (auto& [k, child] : node->children) {
+    if (k == key) return child.get();
+  }
+  node->children.emplace_back(std::string{key},
+                              std::make_unique<PathTrieNode>());
+  return node->children.back().second.get();
+}
+
+const CompiledPolicyDocument::PathTrieNode*
+CompiledPolicyDocument::FindPathChild(const PathTrieNode* node,
+                                      std::string_view key) {
+  auto it = std::lower_bound(
+      node->children.begin(), node->children.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it == node->children.end() || it->first != key) return nullptr;
+  return it->second.get();
+}
+
+ArenaVector<std::size_t> CompiledPolicyDocument::LookupScopes(
+    std::string_view identity) const {
+  ArenaVector<std::size_t> out;
+  const std::string_view trimmed = strings::Trim(identity);
+  const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
+  if (slash_rooted) {
+    out.insert(out.end(), scope_root_.statements.begin(),
+               scope_root_.statements.end());
+  }
+  auto parsed = gsi::DistinguishedName::Parse(trimmed);
+  if (parsed.ok()) {
+    const TrieNode* node = &scope_root_;
+    std::string key;
+    for (const gsi::DnComponent& c : parsed->components()) {
+      key.assign(c.type);
+      key += '=';
+      key += c.value;
+      node = FindChild(node, key);
+      if (node == nullptr) break;
+      out.insert(out.end(), node->statements.begin(), node->statements.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Decision CompiledPolicyDocument::EvaluateObject(std::string_view subject,
+                                                std::string_view object_url,
+                                                RightsMask right) const {
+  auto object = NormalizeObjectUrl(object_url);
+  if (!object.ok()) {
+    return Decision::Deny(
+        DecisionCode::kDenyInvalidObject,
+        pathscope_detail::ReasonInvalidObject(object.error()));
+  }
+
+  ObjectResolution resolution;
+  const ArenaVector<std::size_t> applicable = LookupScopes(subject);
+  resolution.any_applicable = !applicable.empty();
+  if (resolution.any_applicable) {
+    auto is_applicable = [&](std::size_t index) {
+      return std::binary_search(applicable.begin(), applicable.end(), index);
+    };
+    // Walk origin + segments, deepest node wins; within a node the
+    // entry list is in ascending statement order, so the first
+    // applicable entry is the doc-order tie-breaker the naive scan
+    // reports.
+    const std::string& path = object.value().path;
+    const PathTrieNode* node = FindPathChild(&path_root_,
+                                             object.value().origin);
+    int depth = 0;        // segments consumed so far
+    std::size_t pos = 0;  // chars of `path` consumed so far
+    while (node != nullptr) {
+      RightsMask rights = 0;
+      bool matched_here = false;
+      for (const auto& [index, entry_rights] : node->entries) {
+        if (!is_applicable(index)) continue;
+        if (!matched_here) {
+          resolution.statement = index;
+          matched_here = true;
+        }
+        rights = static_cast<RightsMask>(rights | entry_rights);
+      }
+      if (matched_here) {
+        resolution.best_depth = depth;
+        resolution.rights = rights;
+      }
+      if (pos >= path.size()) break;
+      std::size_t next = path.find('/', pos + 1);
+      if (next == std::string::npos) next = path.size();
+      node = FindPathChild(node,
+                           std::string_view{path}.substr(pos + 1,
+                                                         next - pos - 1));
+      pos = next;
+      ++depth;
+    }
+  }
+  return DecideObject(resolution, document_, subject, object.value(), right);
 }
 
 std::vector<const PolicyStatement*> CompiledPolicyDocument::ApplicableTo(

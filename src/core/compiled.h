@@ -52,6 +52,17 @@ class CompiledPolicyDocument {
   // PolicyEvaluator::Evaluate over the same document and options.
   Decision Evaluate(const AuthorizationRequest& request) const;
 
+  // Object/path-scope evaluation (data path). Same decisions — codes
+  // AND reason strings — as EvaluateObjectNaive over the same document,
+  // enforced by property P9. Served from a second subject trie over the
+  // scope statements plus a path-segment trie (origin, then segments)
+  // holding the per-entry rights: lookup cost scales with DN depth +
+  // object depth, not statement count.
+  Decision EvaluateObject(std::string_view subject,
+                          std::string_view object_url, RightsMask right) const;
+
+  bool has_path_scopes() const { return !document_.path_scopes().empty(); }
+
  private:
   // One precompiled non-'=' relation, evaluated in original set order.
   struct CompiledRelation {
@@ -95,6 +106,16 @@ class CompiledPolicyDocument {
     std::vector<std::size_t> statements;  // doc-order indices ending here
   };
 
+  // Path trie over scope entries: the first edge is the normalized
+  // origin ("gsiftp://host"), every further edge one path segment.
+  struct PathTrieNode {
+    std::vector<std::pair<std::string, std::unique_ptr<PathTrieNode>>>
+        children;
+    // (scope statement index, entry rights) for entries whose absolute
+    // prefix (base + entry path) terminates at this node.
+    std::vector<std::pair<std::size_t, RightsMask>> entries;
+  };
+
   class RequestIndex;
 
   static SetBody CompileBody(const std::vector<const rsl::Relation*>& relations);
@@ -108,6 +129,13 @@ class CompiledPolicyDocument {
   // falls back to the heap.
   ArenaVector<std::size_t> Lookup(std::string_view identity) const;
 
+  // Same, over the scope-statement subject trie.
+  ArenaVector<std::size_t> LookupScopes(std::string_view identity) const;
+
+  static PathTrieNode* PathChild(PathTrieNode* node, std::string_view key);
+  static const PathTrieNode* FindPathChild(const PathTrieNode* node,
+                                           std::string_view key);
+
   static bool BodySatisfied(const SetBody& body, const RequestIndex& index,
                             std::string_view subject,
                             std::string* failed_relation = nullptr);
@@ -118,6 +146,8 @@ class CompiledPolicyDocument {
   EvaluatorOptions options_;
   std::vector<CompiledStatement> compiled_;  // parallel to statements()
   TrieNode root_;
+  TrieNode scope_root_;   // subject components → path_scopes() indices
+  PathTrieNode path_root_;
 };
 
 }  // namespace gridauthz::core

@@ -1,0 +1,95 @@
+#include "core/datapath.h"
+
+namespace gridauthz::core {
+
+DataPathAuthorizer::DataPathAuthorizer(DataPathParams params)
+    : params_(std::move(params)),
+      clock_(params_.clock != nullptr ? params_.clock : &fallback_clock_),
+      codec_(params_.hmac_key, clock_) {}
+
+DataPathAuthorizer::DataPathAuthorizer(
+    std::shared_ptr<StaticPolicySource> source, std::string hmac_key,
+    const Clock* clock)
+    : DataPathAuthorizer(DataPathParams{
+          [source] { return source->snapshot(); },
+          [source] { return source->policy_generation(); },
+          std::move(hmac_key), clock, 600'000'000}) {}
+
+Expected<SessionToken> DataPathAuthorizer::MintSession(
+    std::string_view subject, std::string_view url_base) {
+  // Generation first: see DataPathParams for the race direction.
+  const std::uint64_t generation = params_.generation();
+  const std::shared_ptr<const CompiledPolicyDocument> snapshot =
+      params_.snapshot();
+  auto grant = ResolveSessionScope(snapshot->document(), subject, url_base);
+  if (!grant.ok()) {
+    mints_denied_.Increment();
+    return grant.error();
+  }
+  SessionToken session;
+  session.claims.subject = std::string{subject};
+  session.claims.scope = std::move(grant.value().scope);
+  session.claims.rights = grant.value().rights;
+  session.claims.generation = generation;
+  session.claims.expiry_us = clock_->NowMicros() + params_.token_ttl_us;
+  session.token = codec_.Mint(session.claims);
+  mints_ok_.Increment();
+  return session;
+}
+
+Expected<SessionToken> DataPathAuthorizer::Refresh(std::string_view token) {
+  auto claims = codec_.VerifyIgnoringGeneration(token);
+  if (!claims.ok()) {
+    refreshes_denied_.Increment();
+    return claims.error();
+  }
+  auto minted = MintSession(claims.value().subject, claims.value().scope);
+  if (!minted.ok()) {
+    refreshes_denied_.Increment();
+    return minted.error();
+  }
+  refreshes_ok_.Increment();
+  return minted;
+}
+
+Expected<DataPathAuthorizer::CheckResult> DataPathAuthorizer::Check(
+    std::string_view token, std::string_view object, RightsMask right) {
+  auto checked = codec_.CheckAccess(token, object, right,
+                                    params_.generation());
+  if (checked.ok()) {
+    checks_ok_.Increment();
+    return CheckResult{};
+  }
+  if (FailureReasonTag(checked.error()) != kReasonTokenStale) {
+    checks_denied_.Increment();
+    return checked.error();
+  }
+
+  // Policy generation moved under the session: re-evaluate + re-mint,
+  // then re-check the object under the fresh token.
+  checks_stale_.Increment();
+  auto refreshed = Refresh(token);
+  if (!refreshed.ok()) {
+    return refreshed.error();
+  }
+  auto recheck = codec_.CheckAccess(refreshed.value().token, object, right,
+                                    refreshed.value().claims.generation);
+  if (!recheck.ok()) {
+    checks_denied_.Increment();
+    return recheck.error();
+  }
+  checks_ok_.Increment();
+  return CheckResult{std::move(refreshed.value().token)};
+}
+
+Expected<std::string> DataPathAuthorizer::NormalizeObject(
+    std::string_view url) {
+  auto normalized = NormalizeObjectUrl(url);
+  if (!normalized.ok()) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 pathscope_detail::ReasonInvalidObject(normalized.error())};
+  }
+  return normalized.value().Display();
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,111 @@
+// The data-plane authorizer (DESIGN.md §17): one full path-scope
+// evaluation at session setup mints a capability token; every
+// subsequent per-file/per-block check is CapabilityTokenCodec::
+// CheckAccess — O(token-verify), no evaluator, no cache probe.
+//
+// Generation fallback: a policy-generation bump invalidates every
+// outstanding token ([token-stale]). Check() then re-evaluates the
+// token's scope against the CURRENT policy and, if the subject still
+// holds rights there, re-mints — the caller swaps in the refreshed
+// token and the transfer continues without re-opening the session. Any
+// other failure stays a typed fail-closed deny.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "core/captoken.h"
+#include "core/compiled.h"
+#include "core/pathscope.h"
+#include "core/source.h"
+#include "obs/instrument.h"
+
+namespace gridauthz::core {
+
+struct DataPathParams {
+  // The current compiled policy and its generation. Generation is read
+  // BEFORE the snapshot when minting, so a racing policy swap can only
+  // produce a token that is stale against the new generation (fails
+  // closed, then refreshes) — never one that outlives the policy it was
+  // minted from.
+  std::function<std::shared_ptr<const CompiledPolicyDocument>()> snapshot;
+  std::function<std::uint64_t()> generation;
+  // Symmetric key for the token MAC; service-local.
+  std::string hmac_key;
+  const Clock* clock = nullptr;  // null = SystemClock
+  std::int64_t token_ttl_us = 600'000'000;  // 10 minutes
+};
+
+struct SessionToken {
+  std::string token;
+  CapabilityClaims claims;
+};
+
+class DataPathAuthorizer {
+ public:
+  explicit DataPathAuthorizer(DataPathParams params);
+
+  // Convenience: serve policy + generation from a StaticPolicySource.
+  DataPathAuthorizer(std::shared_ptr<StaticPolicySource> source,
+                     std::string hmac_key, const Clock* clock = nullptr);
+
+  // Session setup: one full evaluation (ResolveSessionScope — the
+  // subtree-sound rights mask at `url_base`), then mint. A deny is a
+  // typed error; no token is produced.
+  Expected<SessionToken> MintSession(std::string_view subject,
+                                     std::string_view url_base);
+
+  // Re-evaluates an authentic (possibly stale-generation) token's scope
+  // under the current policy and mints a replacement.
+  Expected<SessionToken> Refresh(std::string_view token);
+
+  struct CheckResult {
+    // Set when a stale token was transparently re-minted; the caller
+    // must present this token from now on.
+    std::optional<std::string> refreshed;
+  };
+
+  // The per-file/per-block fast path. `object` is the normalized
+  // object display (NormalizeObject) — normalize once per file, check
+  // once per block. Success allocates nothing unless a refresh ran.
+  Expected<CheckResult> Check(std::string_view token, std::string_view object,
+                              RightsMask right);
+
+  // Normalizes an object URL to the display form Check expects.
+  static Expected<std::string> NormalizeObject(std::string_view url);
+
+  const CapabilityTokenCodec& codec() const { return codec_; }
+  std::uint64_t current_generation() const { return params_.generation(); }
+
+ private:
+  DataPathParams params_;
+  SystemClock fallback_clock_;
+  const Clock* clock_;  // params_.clock or fallback_clock_
+  CapabilityTokenCodec codec_;
+
+  // Token-path series (obs): mints by outcome, checks by outcome
+  // (permit / deny / stale — stale also counts the fallback
+  // re-evaluation), refreshes by outcome.
+  obs::CounterHandle mints_ok_{"datapath_token_mints_total",
+                               {{"outcome", "ok"}}};
+  obs::CounterHandle mints_denied_{"datapath_token_mints_total",
+                                   {{"outcome", "deny"}}};
+  obs::CounterHandle checks_ok_{"datapath_token_checks_total",
+                                {{"outcome", "permit"}}};
+  obs::CounterHandle checks_denied_{"datapath_token_checks_total",
+                                    {{"outcome", "deny"}}};
+  obs::CounterHandle checks_stale_{"datapath_token_checks_total",
+                                   {{"outcome", "stale"}}};
+  obs::CounterHandle refreshes_ok_{"datapath_token_refreshes_total",
+                                   {{"outcome", "ok"}}};
+  obs::CounterHandle refreshes_denied_{"datapath_token_refreshes_total",
+                                       {{"outcome", "deny"}}};
+};
+
+}  // namespace gridauthz::core

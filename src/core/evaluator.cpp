@@ -31,6 +31,8 @@ std::string_view to_string(DecisionCode code) {
       return "deny (no permission covers request)";
     case DecisionCode::kDenyRequirementViolated:
       return "deny (requirement violated)";
+    case DecisionCode::kDenyInvalidObject:
+      return "deny (invalid object url)";
   }
   return "?";
 }

@@ -1,0 +1,456 @@
+#include "core/pathscope.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/policy.h"
+
+namespace gridauthz::core {
+
+namespace {
+
+struct RightName {
+  std::string_view name;
+  RightsMask bit;
+};
+
+constexpr RightName kRightNames[] = {
+    {"read", kRightRead},
+    {"write", kRightWrite},
+    {"delete", kRightDelete},
+    {"list", kRightList},
+};
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Percent-decodes and segment-normalizes `raw` (which may be empty or
+// start with '/'). Returns the canonical "/a/b" form ("" = root).
+Expected<std::string> NormalizePathText(std::string_view raw) {
+  // Decode escapes first; an encoded slash or NUL is rejected rather
+  // than decoded, because either would let a path alias across the
+  // segment boundaries the prefix checks rely on.
+  std::string decoded;
+  decoded.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c != '%') {
+      if (c == '\0') {
+        return Error{ErrCode::kInvalidArgument, "NUL byte in object path"};
+      }
+      decoded.push_back(c);
+      continue;
+    }
+    if (i + 2 >= raw.size()) {
+      return Error{ErrCode::kInvalidArgument,
+                   "truncated percent-escape in object path"};
+    }
+    const int hi = HexNibble(raw[i + 1]);
+    const int lo = HexNibble(raw[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Error{ErrCode::kInvalidArgument,
+                   "malformed percent-escape in object path"};
+    }
+    const char value = static_cast<char>((hi << 4) | lo);
+    if (value == '/') {
+      return Error{ErrCode::kInvalidArgument,
+                   "encoded slash (%2F) in object path"};
+    }
+    if (value == '\0') {
+      return Error{ErrCode::kInvalidArgument,
+                   "encoded NUL (%00) in object path"};
+    }
+    decoded.push_back(value);
+    i += 2;
+  }
+
+  std::string out;
+  out.reserve(decoded.size());
+  std::size_t pos = 0;
+  while (pos < decoded.size()) {
+    while (pos < decoded.size() && decoded[pos] == '/') ++pos;
+    if (pos >= decoded.size()) break;
+    std::size_t end = decoded.find('/', pos);
+    if (end == std::string::npos) end = decoded.size();
+    std::string_view segment(decoded.data() + pos, end - pos);
+    if (segment == "." || segment == "..") {
+      return Error{ErrCode::kInvalidArgument,
+                   "dot segment ('" + std::string{segment} +
+                       "') in object path"};
+    }
+    out.push_back('/');
+    out.append(segment);
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<RightsMask> ParseRightsMask(std::string_view text) {
+  RightsMask mask = 0;
+  for (const std::string& piece : strings::Split(text, ',')) {
+    bool known = false;
+    for (const RightName& rn : kRightNames) {
+      if (piece == rn.name) {
+        if (mask & rn.bit) {
+          return Error{ErrCode::kInvalidArgument,
+                       "duplicate right '" + piece + "'"};
+        }
+        mask = static_cast<RightsMask>(mask | rn.bit);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Error{ErrCode::kInvalidArgument, "unknown right '" + piece + "'"};
+    }
+  }
+  if (mask == 0) {
+    return Error{ErrCode::kInvalidArgument, "empty rights list"};
+  }
+  return mask;
+}
+
+std::string RightsMaskToString(RightsMask mask) {
+  std::string out;
+  for (const RightName& rn : kRightNames) {
+    if (mask & rn.bit) {
+      if (!out.empty()) out.push_back(',');
+      out.append(rn.name);
+    }
+  }
+  return out.empty() ? std::string{"none"} : out;
+}
+
+Expected<RightsMask> RightForAction(std::string_view action) {
+  if (action == "get" || action == "read") return kRightRead;
+  if (action == "put" || action == "write") return kRightWrite;
+  if (action == "delete") return RightsMask{kRightDelete};
+  if (action == "list") return RightsMask{kRightList};
+  return Error{ErrCode::kInvalidArgument,
+               "no object right for action '" + std::string{action} + "'"};
+}
+
+Expected<NormalizedObject> NormalizeObjectUrl(std::string_view url) {
+  const std::string_view trimmed = strings::Trim(url);
+  const std::size_t scheme_end = trimmed.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Error{ErrCode::kInvalidArgument,
+                 "object url must be scheme://authority[/path]"};
+  }
+  for (char c : trimmed.substr(0, scheme_end)) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
+    if (!ok) {
+      return Error{ErrCode::kInvalidArgument, "invalid scheme in object url"};
+    }
+  }
+  std::string_view rest = trimmed.substr(scheme_end + 3);
+  const std::size_t slash = rest.find('/');
+  const std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (authority.empty()) {
+    return Error{ErrCode::kInvalidArgument, "empty authority in object url"};
+  }
+  if (authority.find('%') != std::string_view::npos) {
+    return Error{ErrCode::kInvalidArgument,
+                 "percent-escape in object url authority"};
+  }
+  NormalizedObject out;
+  out.origin.reserve(scheme_end + 3 + authority.size());
+  for (char c : trimmed.substr(0, scheme_end)) out.origin.push_back(AsciiLower(c));
+  out.origin.append("://");
+  for (char c : authority) out.origin.push_back(AsciiLower(c));
+  if (slash != std::string_view::npos) {
+    auto path = NormalizePathText(rest.substr(slash));
+    if (!path.ok()) return path.error();
+    out.path = std::move(path).value();
+  }
+  return out;
+}
+
+Expected<std::string> NormalizeObjectPath(std::string_view path) {
+  const std::string_view trimmed = strings::Trim(path);
+  if (trimmed.empty() || trimmed.front() != '/') {
+    return Error{ErrCode::kInvalidArgument,
+                 "object path must start with '/'"};
+  }
+  return NormalizePathText(trimmed);
+}
+
+bool PathSegmentPrefix(std::string_view prefix, std::string_view path) {
+  if (prefix.empty()) return true;
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+std::size_t PathSegmentCount(std::string_view path) {
+  // Normalized paths are "" or "/a/b/...": one segment per '/'.
+  return static_cast<std::size_t>(std::count(path.begin(), path.end(), '/'));
+}
+
+Expected<PathScopeStatement> PathScopeStatement::Create(
+    std::string subject, std::string_view url_base,
+    std::vector<ObjectEntry> entries) {
+  PathScopeStatement out;
+  out.subject_prefix = std::move(subject);
+  auto parsed_subject = gsi::DnPrefix::Parse(out.subject_prefix);
+  if (!parsed_subject.ok()) {
+    return Error{ErrCode::kParseError,
+                 "scope subject is not a valid DN prefix: " +
+                     parsed_subject.error().message()};
+  }
+  out.parsed_subject = std::move(parsed_subject).value();
+
+  auto base = NormalizeObjectUrl(url_base);
+  if (!base.ok()) {
+    return Error{ErrCode::kParseError,
+                 "scope url-base: " + base.error().message()};
+  }
+  out.origin = std::move(base.value().origin);
+  out.base_path = std::move(base.value().path);
+
+  if (entries.empty()) {
+    return Error{ErrCode::kParseError,
+                 "scope for " + out.subject_prefix + " has no object entries"};
+  }
+  for (ObjectEntry& entry : entries) {
+    auto normalized = NormalizeObjectPath(entry.path);
+    if (!normalized.ok()) {
+      return Error{ErrCode::kParseError,
+                   "scope object '" + entry.path + "': " +
+                       normalized.error().message()};
+    }
+    entry.path = std::move(normalized).value();
+    if (entry.rights == 0) {
+      return Error{ErrCode::kParseError,
+                   "scope object '" + entry.path + "' grants no rights"};
+    }
+  }
+  std::vector<ObjectEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ObjectEntry& a, const ObjectEntry& b) {
+              return a.path < b.path;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].path == sorted[i - 1].path) {
+      return Error{ErrCode::kParseError,
+                   "duplicate scope object path '" +
+                       (sorted[i].path.empty() ? std::string{"/"}
+                                               : sorted[i].path) +
+                       "'"};
+    }
+  }
+  out.entries = std::move(entries);
+  return out;
+}
+
+bool PathScopeStatement::AppliesTo(const gsi::DistinguishedName* identity,
+                                   bool slash_rooted) const {
+  std::optional<gsi::DnPrefix> local;
+  const gsi::DnPrefix* prefix = nullptr;
+  if (parsed_subject.has_value()) {
+    prefix = &*parsed_subject;
+  } else {
+    auto parsed = gsi::DnPrefix::Parse(subject_prefix);
+    if (!parsed.ok()) return false;
+    local = std::move(parsed).value();
+    prefix = &*local;
+  }
+  if (prefix->is_root()) return slash_rooted;
+  return identity != nullptr && prefix->Matches(*identity);
+}
+
+namespace pathscope_detail {
+
+std::string ReasonInvalidObject(const Error& error) {
+  return "[path-invalid] object url rejected: " + error.message();
+}
+
+std::string ReasonNoApplicable(std::string_view subject) {
+  return "no path-scope statement applies to " + std::string{subject};
+}
+
+std::string ReasonNoEntry(const NormalizedObject& object,
+                          std::string_view subject) {
+  return "no object entry covers " + object.Display() + " for " +
+         std::string{subject};
+}
+
+std::string ReasonRightsExcluded(RightsMask resolved, std::string_view matched,
+                                 std::string_view statement_subject,
+                                 RightsMask requested) {
+  return "rights '" + RightsMaskToString(resolved) + "' at '" +
+         std::string{matched} + "' (scope for '" +
+         std::string{statement_subject} + "') do not include '" +
+         RightsMaskToString(requested) + "'";
+}
+
+std::string ReasonGranted(RightsMask requested, std::string_view matched,
+                          std::string_view statement_subject) {
+  return "granted '" + RightsMaskToString(requested) + "' at '" +
+         std::string{matched} + "' by path scope for '" +
+         std::string{statement_subject} + "'";
+}
+
+}  // namespace pathscope_detail
+
+namespace {
+
+ObjectResolution ResolveNaive(const PolicyDocument& document,
+                              std::string_view subject,
+                              const NormalizedObject& object) {
+  const std::string_view trimmed = strings::Trim(subject);
+  const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
+  auto parsed = gsi::DistinguishedName::Parse(trimmed);
+  const gsi::DistinguishedName* identity = parsed.ok() ? &*parsed : nullptr;
+
+  ObjectResolution resolution;
+  const auto& scopes = document.path_scopes();
+  for (std::size_t i = 0; i < scopes.size(); ++i) {
+    const PathScopeStatement& scope = scopes[i];
+    if (!scope.AppliesTo(identity, slash_rooted)) continue;
+    resolution.any_applicable = true;
+    if (scope.origin != object.origin) continue;
+    if (!PathSegmentPrefix(scope.base_path, object.path)) continue;
+    const std::string_view rel =
+        std::string_view{object.path}.substr(scope.base_path.size());
+    const int base_depth =
+        static_cast<int>(PathSegmentCount(scope.base_path));
+    for (const ObjectEntry& entry : scope.entries) {
+      if (!PathSegmentPrefix(entry.path, rel)) continue;
+      const int depth =
+          base_depth + static_cast<int>(PathSegmentCount(entry.path));
+      if (depth > resolution.best_depth) {
+        resolution.best_depth = depth;
+        resolution.rights = entry.rights;
+        resolution.statement = i;
+      } else if (depth == resolution.best_depth) {
+        resolution.rights =
+            static_cast<RightsMask>(resolution.rights | entry.rights);
+      }
+    }
+  }
+  return resolution;
+}
+
+// The absolute matched prefix display: the object's origin plus its
+// first `depth` segments. Identical for every entry matching at that
+// depth, so both evaluators can render it from the object alone.
+std::string MatchedPrefixDisplay(const NormalizedObject& object, int depth) {
+  if (depth <= 0) return object.origin;
+  std::size_t pos = 0;
+  int seen = 0;
+  while (pos < object.path.size()) {
+    std::size_t next = object.path.find('/', pos + 1);
+    if (next == std::string::npos) next = object.path.size();
+    ++seen;
+    if (seen == depth) {
+      return object.origin + object.path.substr(0, next);
+    }
+    pos = next;
+  }
+  return object.origin + object.path;
+}
+
+}  // namespace
+
+Decision DecideObject(const ObjectResolution& resolution,
+                      const PolicyDocument& document,
+                      std::string_view subject, const NormalizedObject& object,
+                      RightsMask right) {
+  namespace detail = pathscope_detail;
+  if (!resolution.any_applicable) {
+    return Decision::Deny(DecisionCode::kDenyNoApplicableStatement,
+                          detail::ReasonNoApplicable(subject));
+  }
+  if (resolution.best_depth < 0) {
+    return Decision::Deny(DecisionCode::kDenyNoPermission,
+                          detail::ReasonNoEntry(object, subject));
+  }
+  const std::string matched =
+      MatchedPrefixDisplay(object, resolution.best_depth);
+  const std::string& statement_subject =
+      document.path_scopes()[resolution.statement].subject_prefix;
+  if ((resolution.rights & right) != right) {
+    return Decision::Deny(
+        DecisionCode::kDenyNoPermission,
+        detail::ReasonRightsExcluded(resolution.rights, matched,
+                                     statement_subject, right));
+  }
+  return Decision::Permit(
+      detail::ReasonGranted(right, matched, statement_subject));
+}
+
+Decision EvaluateObjectNaive(const PolicyDocument& document,
+                             std::string_view subject,
+                             std::string_view object_url, RightsMask right) {
+  auto object = NormalizeObjectUrl(object_url);
+  if (!object.ok()) {
+    return Decision::Deny(DecisionCode::kDenyInvalidObject,
+                          pathscope_detail::ReasonInvalidObject(object.error()));
+  }
+  const ObjectResolution resolution =
+      ResolveNaive(document, subject, object.value());
+  return DecideObject(resolution, document, subject, object.value(), right);
+}
+
+Expected<ScopeGrant> ResolveSessionScope(const PolicyDocument& document,
+                                         std::string_view subject,
+                                         std::string_view url_base) {
+  auto base = NormalizeObjectUrl(url_base);
+  if (!base.ok()) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 pathscope_detail::ReasonInvalidObject(base.error())};
+  }
+  const NormalizedObject& object = base.value();
+  const ObjectResolution at_base = ResolveNaive(document, subject, object);
+  if (!at_base.any_applicable) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 pathscope_detail::ReasonNoApplicable(subject)};
+  }
+  if (at_base.best_depth < 0) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 pathscope_detail::ReasonNoEntry(object, subject)};
+  }
+
+  // Conservative subtree mask: start from the base's longest-prefix
+  // resolution and AND in every applicable entry strictly below the
+  // base. Any object under the base resolves either to the base's own
+  // winning entries or to a deeper entry — whose rights are already
+  // ANDed in — so the grant never exceeds a full evaluation.
+  RightsMask mask = at_base.rights;
+  const std::string_view trimmed = strings::Trim(subject);
+  const bool slash_rooted = !trimmed.empty() && trimmed.front() == '/';
+  auto parsed = gsi::DistinguishedName::Parse(trimmed);
+  const gsi::DistinguishedName* identity = parsed.ok() ? &*parsed : nullptr;
+  for (const PathScopeStatement& scope : document.path_scopes()) {
+    if (!scope.AppliesTo(identity, slash_rooted)) continue;
+    if (scope.origin != object.origin) continue;
+    for (const ObjectEntry& entry : scope.entries) {
+      const std::string absolute = scope.base_path + entry.path;
+      if (absolute.size() > object.path.size() &&
+          PathSegmentPrefix(object.path, absolute)) {
+        mask = static_cast<RightsMask>(mask & entry.rights);
+      }
+    }
+  }
+  if (mask == 0) {
+    return Error{ErrCode::kAuthorizationDenied,
+                 "subtree rights at " + object.Display() + " for " +
+                     std::string{subject} + " are empty"};
+  }
+  return ScopeGrant{object.Display(), mask};
+}
+
+}  // namespace gridauthz::core

@@ -1,0 +1,171 @@
+// Object/path scopes: the data-plane half of the policy language
+// (ROADMAP item 3, the CAS policy-header shape — a url-base plus
+// per-object rights granted to a subject).
+//
+// Concrete file syntax, appended to the Figure 3 statement grammar:
+//
+//   scope gsiftp://fusion.anl.gov/volumes:
+//   subject: /O=Grid/O=NFC/CN=Bo Liu
+//   object: /nfc read,write,list
+//   object: /nfc/public read,list
+//   endscope
+//
+// One block is one PathScopeStatement: a DN-prefix subject (same
+// component-boundary matching as job statements), a url-base every
+// object grant hangs under, and per-object rights entries. Resolution
+// is longest-prefix at path-segment boundaries across ALL applicable
+// statements — a deeper entry overrides a shallower one even when it
+// grants fewer rights, which is how a subtree carve-out is written.
+// Entries matching at the same (deepest) segment depth union their
+// rights. Default deny.
+//
+// Object URLs are normalized before matching — percent-escapes decoded,
+// duplicate and trailing slashes collapsed, scheme/authority
+// lowercased — and anything that could alias past a prefix check
+// (`.`/`..` segments, encoded slashes, truncated escapes) is rejected
+// outright: the request is denied with a typed [path-invalid] reason
+// rather than matched against a guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "core/request.h"
+#include "gsi/dn.h"
+
+namespace gridauthz::core {
+
+// Rights are a bitmask so a capability token can carry the whole grant
+// in one byte and the data path can test membership with an AND.
+using RightsMask = std::uint8_t;
+inline constexpr RightsMask kRightRead = 1u << 0;
+inline constexpr RightsMask kRightWrite = 1u << 1;
+inline constexpr RightsMask kRightDelete = 1u << 2;
+inline constexpr RightsMask kRightList = 1u << 3;
+inline constexpr RightsMask kAllRights =
+    kRightRead | kRightWrite | kRightDelete | kRightList;
+
+// Parses "read,write,list". Unknown or duplicate names are errors.
+Expected<RightsMask> ParseRightsMask(std::string_view text);
+
+// Canonical rendering: fixed read,write,delete,list order, or "none".
+std::string RightsMaskToString(RightsMask mask);
+
+// Maps a transfer action to the right it needs: get→read, put→write,
+// delete→delete, list→list (the right names themselves also accepted).
+Expected<RightsMask> RightForAction(std::string_view action);
+
+// A parsed + normalized object URL: origin is "scheme://authority"
+// lowercased, path is "/seg/seg" with no trailing slash ("" = root).
+struct NormalizedObject {
+  std::string origin;
+  std::string path;
+
+  std::string Display() const { return origin + path; }
+};
+
+// Fails (typed message, no guessing) on missing scheme/authority,
+// `.`/`..` segments, encoded slashes (%2F) or NUL (%00), and truncated
+// or non-hex percent-escapes.
+Expected<NormalizedObject> NormalizeObjectUrl(std::string_view url);
+
+// Same normalization for a '/'-rooted bare path (policy object entries).
+Expected<std::string> NormalizeObjectPath(std::string_view path);
+
+// One per-object grant inside a scope statement. `path` is relative to
+// the statement's url-base, normalized ("" = the url-base itself).
+struct ObjectEntry {
+  std::string path;
+  RightsMask rights = 0;
+};
+
+struct PathScopeStatement {
+  // DN prefix matched component-wise against the requester's Grid DN.
+  std::string subject_prefix;
+  std::optional<gsi::DnPrefix> parsed_subject;
+  // Normalized split of the url-base line.
+  std::string origin;     // "gsiftp://fusion.anl.gov"
+  std::string base_path;  // "/volumes" ("" = authority root)
+  std::vector<ObjectEntry> entries;
+
+  // Validates and normalizes all parts. `entries` paths are given
+  // '/'-rooted; duplicates (post-normalization) are rejected because
+  // they would make the same prefix resolve ambiguously.
+  static Expected<PathScopeStatement> Create(std::string subject,
+                                             std::string_view url_base,
+                                             std::vector<ObjectEntry> entries);
+
+  bool AppliesTo(const gsi::DistinguishedName* identity,
+                 bool slash_rooted) const;
+
+  std::string url_base() const { return origin + base_path; }
+};
+
+class PolicyDocument;
+
+// Reference path evaluator: scans every scope statement. The compiled
+// path-segment trie in CompiledPolicyDocument::EvaluateObject must be
+// decision- AND reason-identical (property P9).
+Decision EvaluateObjectNaive(const PolicyDocument& document,
+                             std::string_view subject,
+                             std::string_view object_url, RightsMask right);
+
+// The session grant a capability token is minted from: the rights a
+// subject holds over the WHOLE subtree at `url_base`. Sound by
+// construction: the base's longest-prefix resolution ANDed with every
+// applicable entry strictly under the base, so a deeper carve-out can
+// only shrink the mask — a token can never authorize a check the full
+// evaluator would deny.
+struct ScopeGrant {
+  std::string scope;  // normalized origin+path display
+  RightsMask rights = 0;
+};
+
+Expected<ScopeGrant> ResolveSessionScope(const PolicyDocument& document,
+                                         std::string_view subject,
+                                         std::string_view url_base);
+
+// Internal helpers shared by the naive and compiled evaluators (and the
+// adversarial tests): segment-boundary prefix match and segment count.
+bool PathSegmentPrefix(std::string_view prefix, std::string_view path);
+std::size_t PathSegmentCount(std::string_view path);
+
+// Longest-prefix resolution outcome, produced independently by the
+// naive scan and the compiled trie walk; the final Decision (code and
+// reason) is rendered by the shared DecideObject so P9 identity is
+// structural for that step and only the resolution itself can diverge.
+struct ObjectResolution {
+  bool any_applicable = false;
+  // -1 = no entry matched; otherwise segment depth of the matched
+  // absolute prefix (origin excluded — it is always equal).
+  int best_depth = -1;
+  RightsMask rights = 0;  // union of entry rights at best_depth
+  // Doc-order index of the first scope statement contributing at
+  // best_depth.
+  std::size_t statement = 0;
+};
+
+Decision DecideObject(const ObjectResolution& resolution,
+                      const PolicyDocument& document,
+                      std::string_view subject,
+                      const NormalizedObject& object, RightsMask right);
+
+// Exact reason-string builders shared by both evaluators so P9 identity
+// is structural, not coincidental.
+namespace pathscope_detail {
+std::string ReasonInvalidObject(const Error& error);
+std::string ReasonNoApplicable(std::string_view subject);
+std::string ReasonNoEntry(const NormalizedObject& object,
+                          std::string_view subject);
+std::string ReasonRightsExcluded(RightsMask resolved, std::string_view matched,
+                                 std::string_view statement_subject,
+                                 RightsMask requested);
+std::string ReasonGranted(RightsMask requested, std::string_view matched,
+                          std::string_view statement_subject);
+}  // namespace pathscope_detail
+
+}  // namespace gridauthz::core

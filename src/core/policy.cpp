@@ -74,17 +74,95 @@ struct RawStatement {
   int line_number;
 };
 
+// An open `scope <url-base>:` block being accumulated.
+struct RawScope {
+  std::string url_base;
+  std::string subject;
+  bool has_subject = false;
+  std::vector<ObjectEntry> entries;
+  int line_number;
+};
+
+Error ScopeError(int line_number, std::string message) {
+  return Error{ErrCode::kParseError, "policy line " +
+                                         std::to_string(line_number) + ": " +
+                                         std::move(message)};
+}
+
 }  // namespace
 
 Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
   std::vector<RawStatement> raw_statements;
+  std::vector<PathScopeStatement> scopes;
   RawStatement* current = nullptr;
+  std::optional<RawScope> scope;
   int line_number = 0;
 
   for (const std::string& raw_line : strings::Lines(text)) {
     ++line_number;
     std::string_view line = strings::Trim(raw_line);
     if (line.empty() || line.front() == '#') continue;
+
+    if (scope.has_value()) {
+      if (line == "endscope") {
+        if (!scope->has_subject) {
+          return ScopeError(line_number, "scope block has no 'subject:' line");
+        }
+        auto built = PathScopeStatement::Create(
+            std::move(scope->subject), scope->url_base,
+            std::move(scope->entries));
+        if (!built.ok()) {
+          return ScopeError(scope->line_number, built.error().message());
+        }
+        scopes.push_back(std::move(built).value());
+        scope.reset();
+        continue;
+      }
+      if (strings::StartsWith(line, "subject:")) {
+        if (scope->has_subject) {
+          return ScopeError(line_number,
+                            "scope block has more than one 'subject:' line");
+        }
+        scope->subject = std::string{strings::Trim(line.substr(8))};
+        scope->has_subject = true;
+        continue;
+      }
+      if (strings::StartsWith(line, "object:")) {
+        const std::string_view body = strings::Trim(line.substr(7));
+        // The rights list is the text after the LAST whitespace run, so
+        // object paths themselves may contain spaces.
+        const std::size_t split = body.find_last_of(" \t");
+        if (split == std::string_view::npos) {
+          return ScopeError(line_number,
+                            "object line must be 'object: <path> <rights>'");
+        }
+        ObjectEntry entry;
+        entry.path = std::string{strings::Trim(body.substr(0, split))};
+        auto rights = ParseRightsMask(strings::Trim(body.substr(split + 1)));
+        if (!rights.ok()) {
+          return ScopeError(line_number, rights.error().message());
+        }
+        entry.rights = rights.value();
+        scope->entries.push_back(std::move(entry));
+        continue;
+      }
+      return ScopeError(line_number,
+                        "expected 'subject:', 'object:', or 'endscope' "
+                        "inside a scope block");
+    }
+
+    if (strings::StartsWith(line, "scope ") || line == "scope") {
+      if (line.back() != ':') {
+        return ScopeError(line_number, "scope line must end with ':'");
+      }
+      std::string_view base = strings::Trim(line.substr(5));
+      base.remove_suffix(1);  // the trailing ':'
+      scope.emplace();
+      scope->url_base = std::string{strings::Trim(base)};
+      scope->line_number = line_number;
+      current = nullptr;  // a scope block ends any open job statement
+      continue;
+    }
 
     if (IsSubjectLine(line)) {
       RawStatement statement;
@@ -150,6 +228,11 @@ Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
     }
   }
 
+  if (scope.has_value()) {
+    return ScopeError(scope->line_number,
+                      "scope block is missing its 'endscope' line");
+  }
+
   std::vector<PolicyStatement> statements;
   statements.reserve(raw_statements.size());
   for (RawStatement& raw : raw_statements) {
@@ -181,7 +264,9 @@ Expected<PolicyDocument> PolicyDocument::Parse(std::string_view text) {
     }
     statements.push_back(std::move(statement));
   }
-  return PolicyDocument{std::move(statements)};
+  PolicyDocument document{std::move(statements)};
+  document.path_scopes_ = std::move(scopes);
+  return document;
 }
 
 std::vector<const PolicyStatement*> PolicyDocument::ApplicableTo(
@@ -212,6 +297,22 @@ std::string PolicyDocument::ToString() const {
       out += '\n';
     }
     out += '\n';
+  }
+  for (const PathScopeStatement& scope : path_scopes_) {
+    out += "scope ";
+    out += scope.url_base();
+    out += ":\n";
+    out += "subject: ";
+    out += scope.subject_prefix;
+    out += '\n';
+    for (const ObjectEntry& entry : scope.entries) {
+      out += "object: ";
+      out += entry.path.empty() ? "/" : entry.path;
+      out += ' ';
+      out += RightsMaskToString(entry.rights);
+      out += '\n';
+    }
+    out += "endscope\n\n";
   }
   return out;
 }

@@ -23,6 +23,10 @@
 // Each subsequent line starting with '&' opens a new assertion set
 // (an RSL conjunction); lines starting with '(' continue the current set.
 // '#' begins a comment line.
+//
+// `scope <url-base>: ... endscope` blocks add object/path-scope
+// statements for the data path (see pathscope.h for grammar and
+// matching semantics).
 #pragma once
 
 #include <optional>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "core/pathscope.h"
 #include "gsi/dn.h"
 #include "rsl/rsl.h"
 
@@ -75,11 +80,21 @@ class PolicyDocument {
   static Expected<PolicyDocument> Parse(std::string_view text);
 
   const std::vector<PolicyStatement>& statements() const { return statements_; }
-  bool empty() const { return statements_.empty(); }
+  bool empty() const { return statements_.empty() && path_scopes_.empty(); }
   std::size_t size() const { return statements_.size(); }
 
   void Add(PolicyStatement statement) {
     statements_.push_back(std::move(statement));
+  }
+
+  // Object/path-scope statements (`scope <url-base>: ... endscope`
+  // blocks — see pathscope.h). Kept separate from the job statements:
+  // they gate the data path, not job management.
+  const std::vector<PathScopeStatement>& path_scopes() const {
+    return path_scopes_;
+  }
+  void AddPathScope(PathScopeStatement scope) {
+    path_scopes_.push_back(std::move(scope));
   }
 
   // Statements applying to `identity`, in document order.
@@ -91,6 +106,7 @@ class PolicyDocument {
 
  private:
   std::vector<PolicyStatement> statements_;
+  std::vector<PathScopeStatement> path_scopes_;
 };
 
 }  // namespace gridauthz::core

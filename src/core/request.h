@@ -62,6 +62,10 @@ enum class DecisionCode {
   kDenyNoPermission,
   // A requirement statement is violated.
   kDenyRequirementViolated,
+  // Data-path object checks only: the object URL failed normalization
+  // (`..` traversal, encoded slash, malformed percent-escape, ...).
+  // Fail closed rather than match a guess.
+  kDenyInvalidObject,
 };
 
 struct Decision {

@@ -367,16 +367,60 @@ bool FleetBroker::PolicyConverged() const {
 std::string FleetBroker::FederatedMetrics(const gsi::Credential& peer) {
   obs::MetricsFederator federator;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/metrics.json");
-    if (!reply.ok() || reply->status != 200) {
+    // Conditional scrape (ROADMAP 1e): offer the node the generation of
+    // our cached parse. An idle node answers 304 — no render on its
+    // side, no re-parse here — and the cached ParsedNodeDoc folds back
+    // in through the same AddParsed path a fresh one would take, so the
+    // merged document is byte-identical either way.
+    CachedNodeDoc cached;
+    {
+      std::lock_guard lock(scrape_mu_);
+      if (auto it = scrape_cache_.find(names_[i]); it != scrape_cache_.end()) {
+        cached = it->second;
+      }
+    }
+    std::vector<std::pair<std::string, std::string>> filters;
+    if (cached.doc != nullptr) {
+      filters.emplace_back("if-generation", cached.generation);
+    }
+    auto reply = wire::ObsRequest(*nodes_[i].transport, peer, "/metrics.json",
+                                  filters);
+    if (!reply.ok() || (reply->status != 200 && reply->status != 304)) {
       federator.MarkUnreachable(names_[i]);
       continue;
+    }
+    std::shared_ptr<const obs::MetricsFederator::ParsedNodeDoc> doc;
+    if (reply->status == 304) {
+      // A 304 we did not solicit is a protocol violation; treat the
+      // node as unreachable rather than merge nothing silently.
+      if (cached.doc == nullptr) {
+        federator.MarkUnreachable(names_[i]);
+        continue;
+      }
+      doc = cached.doc;
+      obs::Metrics()
+          .GetCounter("fleet_scrape_cached_total", {{"node", names_[i]}})
+          .Increment();
+    } else {
+      auto parsed = obs::MetricsFederator::ParseNodeDoc(names_[i],
+                                                        reply->body);
+      if (!parsed.ok()) {
+        return EncodeObsReply(500, "text/plain", parsed.error().to_string());
+      }
+      doc = *parsed;
+      obs::Metrics()
+          .GetCounter("fleet_scrape_full_total", {{"node", names_[i]}})
+          .Increment();
+      if (!reply->generation.empty()) {
+        std::lock_guard lock(scrape_mu_);
+        scrape_cache_[names_[i]] = CachedNodeDoc{reply->generation, doc};
+      }
     }
     // Schema disagreement (mismatched histogram bounds, kind conflicts)
     // is a configuration bug, not an outage: refuse the whole scrape
     // with the [federation]-tagged error rather than serve a merged
     // document that silently means nothing.
-    auto added = federator.AddNode(names_[i], reply->body);
+    auto added = federator.AddParsed(names_[i], *doc);
     if (!added.ok()) {
       return EncodeObsReply(500, "text/plain", added.error().to_string());
     }

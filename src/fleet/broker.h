@@ -55,9 +55,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/policy.h"
@@ -65,6 +67,7 @@
 #include "gram/wire_service.h"
 #include "mds/mds.h"
 #include "obs/domain.h"
+#include "obs/federate.h"
 
 namespace gridauthz::fleet {
 
@@ -172,6 +175,21 @@ class FleetBroker final : public gram::wire::WireTransport {
   mutable std::mutex policy_mu_;
   std::uint64_t pushes_ = 0;                          // guarded by policy_mu_
   std::optional<core::PolicyDocument> last_policy_;   // guarded by policy_mu_
+
+  // Conditional-scrape cache (ROADMAP 1e): each node's last-parsed
+  // /metrics.json keyed on the generation the node advertised (its
+  // registry ActivityFingerprint). The next scrape offers the cached
+  // generation as `if-generation`; an idle node answers 304 and the
+  // broker folds the cached ParsedNodeDoc back in — no render on the
+  // node, no re-parse here. Cross-node schema checks still run in
+  // AddParsed, so a cached document can never bypass them.
+  struct CachedNodeDoc {
+    std::string generation;
+    std::shared_ptr<const obs::MetricsFederator::ParsedNodeDoc> doc;
+  };
+  mutable std::mutex scrape_mu_;
+  std::unordered_map<std::string, CachedNodeDoc>
+      scrape_cache_;  // guarded by scrape_mu_
 };
 
 }  // namespace gridauthz::fleet

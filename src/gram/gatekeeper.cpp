@@ -1,5 +1,6 @@
 #include "gram/gatekeeper.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/arena.h"
@@ -31,23 +32,43 @@ Expected<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::Lookup(
   return it->second;
 }
 
+namespace {
+
+// The contact map is unordered; scans sort by contact so callers see
+// the deterministic order the old std::map container provided for free.
+void SortByContact(std::vector<std::shared_ptr<JobManagerInstance>>& jmis) {
+  std::sort(jmis.begin(), jmis.end(),
+            [](const std::shared_ptr<JobManagerInstance>& a,
+               const std::shared_ptr<JobManagerInstance>& b) {
+              return a->contact() < b->contact();
+            });
+}
+
+}  // namespace
+
 std::vector<std::shared_ptr<JobManagerInstance>> JobManagerRegistry::All()
     const {
-  std::shared_lock lock(mu_);
   std::vector<std::shared_ptr<JobManagerInstance>> out;
-  out.reserve(jmis_.size());
-  for (const auto& [contact, jmi] : jmis_) out.push_back(jmi);
+  {
+    std::shared_lock lock(mu_);
+    out.reserve(jmis_.size());
+    for (const auto& [contact, jmi] : jmis_) out.push_back(jmi);
+  }
+  SortByContact(out);
   return out;
 }
 
 std::vector<std::shared_ptr<JobManagerInstance>>
 JobManagerRegistry::FindByJobtag(std::string_view tag) const {
-  std::shared_lock lock(mu_);
   std::vector<std::shared_ptr<JobManagerInstance>> out;
-  for (const auto& [contact, jmi] : jmis_) {
-    auto jobtag = jmi->jobtag();
-    if (jobtag && *jobtag == tag) out.push_back(jmi);
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [contact, jmi] : jmis_) {
+      auto jobtag = jmi->jobtag();
+      if (jobtag && *jobtag == tag) out.push_back(jmi);
+    }
   }
+  SortByContact(out);
   return out;
 }
 

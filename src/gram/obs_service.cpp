@@ -37,6 +37,7 @@ std::string EncodeReply(const ObsReply& reply) {
   // replaced.
   writer.Add("body", reply.body);
   writer.Add("content-type", reply.content_type);
+  if (!reply.generation.empty()) writer.Add("generation", reply.generation);
   writer.Add("message-type", "obs-reply");
   writer.AddInt("status", reply.status);
   return frame;
@@ -62,11 +63,17 @@ std::string ObsService::Handle(const gsi::Credential& peer,
         400, "unexpected message-type '" + type + "' on obs endpoint"));
   }
   ObsReply reply = Dispatch(*message);
-  obs::Metrics()
-      .GetCounter("obs_requests_total",
-                  {{"path", std::string{message->Get("path").value_or("")}},
-                   {"status", std::to_string(reply.status)}})
-      .Increment();
+  // /metrics.json scrapes are metrics-silent: counting the scrape would
+  // mutate the registry it just fingerprinted, so the advertised
+  // generation would never match the next if-generation and conditional
+  // scraping (ROADMAP 1e) could never converge to a cache hit.
+  const std::string path{message->Get("path").value_or("")};
+  if (path != "/metrics.json") {
+    obs::Metrics()
+        .GetCounter("obs_requests_total",
+                    {{"path", path}, {"status", std::to_string(reply.status)}})
+        .Increment();
+  }
   return EncodeReply(reply);
 }
 
@@ -82,7 +89,26 @@ ObsReply ObsService::Dispatch(const MessageView& message) {
                          obs::Contention().RenderText());
   }
   if (*path == "/metrics.json") {
-    return JsonReply(200, obs::Metrics().RenderJson());
+    ObsReply reply;
+    // Fingerprint BEFORE render: concurrent writers may land between
+    // the two, making the body newer than the advertised generation —
+    // which costs at worst one redundant full scrape later. The other
+    // order could advertise a generation newer than the body and let a
+    // future 304 bless a stale cached document.
+    reply.generation =
+        std::to_string(obs::Metrics().ActivityFingerprint());
+    if (auto want = message.Get("if-generation");
+        want && *want == reply.generation) {
+      // Nothing changed since the caller's cached snapshot: skip the
+      // render entirely and answer 304 with the matching generation.
+      reply.status = 304;
+      reply.content_type = "text/plain";
+      return reply;
+    }
+    reply.status = 200;
+    reply.content_type = "application/json";
+    reply.body = obs::Metrics().RenderJson();
+    return reply;
   }
   if (*path == "/contention") {
     return JsonReply(200, obs::Contention().RenderJson());
@@ -259,6 +285,7 @@ Expected<ObsReply> ObsRequest(
   reply.status = static_cast<int>(status);
   reply.content_type = message.Get("content-type").value_or("");
   reply.body = message.Get("body").value_or("");
+  reply.generation = message.Get("generation").value_or("");
   return reply;
 }
 

@@ -60,9 +60,15 @@ struct ObsServiceOptions {
 
 // Decoded `obs-reply` frame.
 struct ObsReply {
-  int status = 0;  // HTTP-style: 200, 400, 404, 500, 503
+  int status = 0;  // HTTP-style: 200, 304, 400, 404, 500, 503
   std::string content_type;
   std::string body;
+  // Conditional-scrape key for /metrics.json (ROADMAP 1e): the node's
+  // registry ActivityFingerprint rendered as decimal, "" when the path
+  // does not support conditional requests. A request carrying the same
+  // value as `if-generation` is answered 304 with an empty body — the
+  // caller's cached document is still current.
+  std::string generation;
 };
 
 class ObsService final : public WireTransport {

@@ -603,4 +603,117 @@ Expected<ManagementReply> ManagementReply::Decode(const MessageView& message) {
   return DecodeManagementReply(message);
 }
 
+namespace {
+
+template <typename M>
+Expected<TokenRequest> DecodeTokenRequest(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "token-request") {
+    return Error{ErrCode::kParseError,
+                 "not a token-request: " + std::string{type}};
+  }
+  TokenRequest request;
+  request.refresh_token = ToOwned(message.Get("refresh-token"));
+  if (auto base = message.Get("url-base")) {
+    request.url_base = std::string{*base};
+  } else if (!request.refresh_token) {
+    return Error{ErrCode::kParseError,
+                 "token-request carries neither url-base nor refresh-token"};
+  }
+  request.trace_id = ToOwned(message.Get("trace-id"));
+  return request;
+}
+
+template <typename M>
+Expected<TokenReply> DecodeTokenReply(const M& message) {
+  GA_TRY(auto type, message.Require("message-type"));
+  if (type != "token-reply") {
+    return Error{ErrCode::kParseError,
+                 "not a token-reply: " + std::string{type}};
+  }
+  TokenReply reply;
+  GA_TRY(auto code_text, message.Require("error-code"));
+  GA_TRY(reply.code, ErrorCodeFromWire(code_text));
+  reply.token = message.Get("token").value_or("");
+  reply.scope = message.Get("scope").value_or("");
+  reply.rights = message.Get("rights").value_or("");
+  reply.reason = message.Get("reason").value_or("");
+  if (auto expiry = message.Get("expiry-micros")) {
+    GA_TRY(reply.expiry_us, message.RequireInt("expiry-micros"));
+  }
+  if (auto generation = message.Get("generation")) {
+    GA_TRY(std::int64_t value, message.RequireInt("generation"));
+    reply.generation = static_cast<std::uint64_t>(value);
+  }
+  if (reply.code == GramErrorCode::kNone && reply.token.empty()) {
+    return Error{ErrCode::kParseError,
+                 "successful token-reply without a token"};
+  }
+  return reply;
+}
+
+}  // namespace
+
+Message TokenRequest::Encode() const {
+  Message message;
+  message.Set("message-type", "token-request");
+  if (!url_base.empty()) message.Set("url-base", url_base);
+  if (refresh_token) message.Set("refresh-token", *refresh_token);
+  if (trace_id) message.Set("trace-id", *trace_id);
+  return message;
+}
+
+void TokenRequest::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  writer.Add("message-type", "token-request");
+  if (refresh_token) writer.Add("refresh-token", *refresh_token);
+  if (trace_id) writer.Add("trace-id", *trace_id);
+  if (!url_base.empty()) writer.Add("url-base", url_base);
+}
+
+Expected<TokenRequest> TokenRequest::Decode(const Message& message) {
+  return DecodeTokenRequest(message);
+}
+
+Expected<TokenRequest> TokenRequest::Decode(const MessageView& message) {
+  return DecodeTokenRequest(message);
+}
+
+Message TokenReply::Encode() const {
+  Message message;
+  message.Set("message-type", "token-reply");
+  message.Set("error-code", ErrorCodeToWire(code));
+  if (!token.empty()) message.Set("token", token);
+  if (expiry_us != 0) message.SetInt("expiry-micros", expiry_us);
+  if (generation != 0) {
+    message.SetInt("generation", static_cast<std::int64_t>(generation));
+  }
+  if (!scope.empty()) message.Set("scope", scope);
+  if (!rights.empty()) message.Set("rights", rights);
+  if (!reason.empty()) message.Set("reason", reason);
+  return message;
+}
+
+void TokenReply::EncodeTo(FrameWriter& writer) const {
+  writer.Reset();
+  writer.Add("error-code", ErrorCodeToWire(code));
+  if (expiry_us != 0) writer.AddInt("expiry-micros", expiry_us);
+  if (generation != 0) {
+    writer.AddInt("generation", static_cast<std::int64_t>(generation));
+  }
+  writer.Add("message-type", "token-reply");
+  if (!reason.empty()) writer.Add("reason", reason);
+  if (!rights.empty()) writer.Add("rights", rights);
+  if (!scope.empty()) writer.Add("scope", scope);
+  if (!token.empty()) writer.Add("token", token);
+}
+
+Expected<TokenReply> TokenReply::Decode(const Message& message) {
+  return DecodeTokenReply(message);
+}
+
+Expected<TokenReply> TokenReply::Decode(const MessageView& message) {
+  return DecodeTokenReply(message);
+}
+
 }  // namespace gridauthz::gram::wire

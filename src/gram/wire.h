@@ -185,6 +185,38 @@ struct ManagementReply {
   static Expected<ManagementReply> Decode(const MessageView& message);
 };
 
+// Data-path capability token exchange (DESIGN.md §17). A transfer
+// client asks the control channel, once per session, for an HMAC
+// capability token over a URL base; every subsequent per-block check on
+// the data channel is a local token verify. A request carrying
+// `refresh-token` asks the server to re-evaluate an authentic (possibly
+// stale-generation) token under the current policy and re-mint.
+struct TokenRequest {
+  std::string url_base;                      // mint scope; unused on refresh
+  std::optional<std::string> refresh_token;  // present = refresh, not mint
+  std::optional<std::string> trace_id;
+
+  Message Encode() const;
+  void EncodeTo(FrameWriter& writer) const;
+  static Expected<TokenRequest> Decode(const Message& message);
+  static Expected<TokenRequest> Decode(const MessageView& message);
+};
+
+struct TokenReply {
+  GramErrorCode code = GramErrorCode::kNone;
+  std::string token;             // set on success
+  std::int64_t expiry_us = 0;    // absolute, shared clock
+  std::uint64_t generation = 0;  // policy generation the token binds
+  std::string scope;             // normalized granted url base
+  std::string rights;            // canonical rights csv (informational)
+  std::string reason;            // typed [token-*]/[path-invalid] on deny
+
+  Message Encode() const;
+  void EncodeTo(FrameWriter& writer) const;
+  static Expected<TokenReply> Decode(const Message& message);
+  static Expected<TokenReply> Decode(const MessageView& message);
+};
+
 // Error-code <-> wire rendering (uses the GRAM protocol error names).
 std::string_view ErrorCodeToWire(GramErrorCode code);
 Expected<GramErrorCode> ErrorCodeFromWire(std::string_view text);

@@ -81,6 +81,8 @@ std::string WireEndpoint::Handle(const gsi::Credential& peer,
     reply_frame = HandleJobRequest(peer, *message, &slo_ok);
   } else if (type == "management-request") {
     reply_frame = HandleManagement(peer, *message, &slo_ok);
+  } else if (type == "token-request") {
+    reply_frame = HandleToken(peer, *message, &slo_ok);
   } else {
     obs::Metrics()
         .GetCounter("wire_requests_total",
@@ -209,6 +211,72 @@ std::string WireEndpoint::HandleManagement(const gsi::Credential& peer,
   return finish();
 }
 
+std::string WireEndpoint::HandleToken(const gsi::Credential& peer,
+                                      const MessageView& message,
+                                      bool* slo_ok) {
+  TokenReply reply;
+  auto finish = [&reply, slo_ok] {
+    *slo_ok = reply.code != GramErrorCode::kAuthorizationSystemFailure;
+    std::string buffer;
+    FrameWriter writer(&buffer);
+    reply.EncodeTo(writer);
+    return buffer;
+  };
+  auto fail = [&reply, &finish](const Error& error) {
+    reply.code = ToProtocolCode(error);
+    reply.reason = error.message();
+    return finish();
+  };
+
+  auto request = TokenRequest::Decode(message);
+  if (!request.ok()) {
+    reply.code = GramErrorCode::kInvalidRequest;
+    reply.reason = request.error().to_string();
+    return finish();
+  }
+  if (datapath_ == nullptr) {
+    reply.code = GramErrorCode::kAuthorizationSystemFailure;
+    reply.reason = "data-path tokens are not enabled on this endpoint";
+    return finish();
+  }
+
+  // The token binds the authenticated identity, never a claimed one:
+  // run the handshake exactly as job submission would.
+  auto handshake = gsi::EstablishSecurityContext(
+      peer, gatekeeper_->host_credential(), *trust_, clock_->Now());
+  if (!handshake.ok()) return fail(handshake.error());
+  const std::string identity = handshake->acceptor_view.peer_identity.str();
+
+  Expected<core::SessionToken> minted =
+      request->refresh_token
+          ? [&]() -> Expected<core::SessionToken> {
+              // Refresh path: the presented token must be authentic AND
+              // belong to this peer — a stolen token cannot be laundered
+              // into a fresh one under someone else's session.
+              auto claims =
+                  datapath_->codec().VerifyIgnoringGeneration(
+                      *request->refresh_token);
+              if (!claims.ok()) return claims.error();
+              if (claims->subject != identity) {
+                return Error{ErrCode::kAuthorizationDenied,
+                             std::string{kReasonTokenScope} +
+                                 " refresh token subject does not match "
+                                 "the authenticated peer"};
+              }
+              return datapath_->Refresh(*request->refresh_token);
+            }()
+          : datapath_->MintSession(identity, request->url_base);
+  if (!minted.ok()) return fail(minted.error());
+
+  reply.code = GramErrorCode::kNone;
+  reply.token = std::move(minted->token);
+  reply.expiry_us = minted->claims.expiry_us;
+  reply.generation = minted->claims.generation;
+  reply.scope = minted->claims.scope;
+  reply.rights = core::RightsMaskToString(minted->claims.rights);
+  return finish();
+}
+
 WireClient::WireClient(gsi::Credential credential, WireTransport* transport)
     : credential_(std::move(credential)), transport_(transport) {}
 
@@ -325,6 +393,42 @@ Expected<ManagementReply> WireClient::Manage(
                            (reply.reason.empty() ? "" : ": " + reply.reason)};
   }
   return reply;
+}
+
+Expected<TokenReply> WireClient::TokenExchange(TokenRequest request) {
+  last_trace_id_ = obs::GenerateTraceId();
+  request.trace_id = last_trace_id_;
+  std::string frame;
+  FrameWriter writer(&frame);
+  request.EncodeTo(writer);
+  std::string reply_frame = transport_->Handle(credential_, frame);
+  auto message = MessageView::Parse(reply_frame);
+  if (!message.ok()) return UndecodableReply(message.error());
+  auto decoded = TokenReply::Decode(*message);
+  if (!decoded.ok()) return UndecodableReply(decoded.error());
+  TokenReply reply = *decoded;
+  if (reply.code != GramErrorCode::kNone) {
+    ErrCode code = reply.code == GramErrorCode::kAuthorizationDenied
+                       ? ErrCode::kAuthorizationDenied
+                   : reply.code == GramErrorCode::kAuthorizationSystemFailure
+                       ? ErrCode::kAuthorizationSystemFailure
+                       : ErrCode::kUnavailable;
+    return Error{code, std::string{to_string(reply.code)} +
+                           (reply.reason.empty() ? "" : ": " + reply.reason)};
+  }
+  return reply;
+}
+
+Expected<TokenReply> WireClient::RequestDataToken(const std::string& url_base) {
+  TokenRequest request;
+  request.url_base = url_base;
+  return TokenExchange(std::move(request));
+}
+
+Expected<TokenReply> WireClient::RefreshDataToken(const std::string& token) {
+  TokenRequest request;
+  request.refresh_token = token;
+  return TokenExchange(std::move(request));
 }
 
 Expected<ManagementReply> WireClient::Status(const std::string& contact) {

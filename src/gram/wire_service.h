@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/datapath.h"
 #include "gram/gatekeeper.h"
 #include "gram/wire.h"
 
@@ -43,6 +44,14 @@ class WireEndpoint final : public WireTransport {
   std::string Handle(const gsi::Credential& peer,
                      std::string_view frame) override;
 
+  // Enables the `token-request` message type (DESIGN.md §17): the
+  // control channel mints and refreshes data-path capability tokens for
+  // authenticated peers. Without this seam token requests are answered
+  // with AUTHORIZATION_SYSTEM_FAILURE.
+  void set_datapath(core::DataPathAuthorizer* datapath) {
+    datapath_ = datapath;
+  }
+
  private:
   // `slo_ok` reports whether the decision machinery worked: permits,
   // denials, and client errors are all successes; only authorization
@@ -53,11 +62,14 @@ class WireEndpoint final : public WireTransport {
                                const MessageView& message, bool* slo_ok);
   std::string HandleManagement(const gsi::Credential& peer,
                                const MessageView& message, bool* slo_ok);
+  std::string HandleToken(const gsi::Credential& peer,
+                          const MessageView& message, bool* slo_ok);
 
   Gatekeeper* gatekeeper_;
   const JobManagerRegistry* registry_;
   const gsi::TrustRegistry* trust_;
   const Clock* clock_;
+  core::DataPathAuthorizer* datapath_ = nullptr;
 };
 
 // A client that talks frames to a WireTransport. Functionally equivalent
@@ -80,6 +92,13 @@ class WireClient {
   Expected<void> Cancel(const std::string& contact);
   Expected<void> Signal(const std::string& contact,
                         const SignalRequest& signal);
+
+  // Data-path session setup over the control channel: one round-trip
+  // returns the HMAC capability token the data channel then checks
+  // locally per block. RefreshDataToken trades a stale-generation token
+  // for a fresh one without re-opening the session.
+  Expected<TokenReply> RequestDataToken(const std::string& url_base);
+  Expected<TokenReply> RefreshDataToken(const std::string& token);
 
   // Trace id sent with the most recent request (empty before the first).
   // Tests assert server-side audit records carry this id.
@@ -104,6 +123,9 @@ class WireClient {
   // Sends one encoded job request already in `frame` and decodes the
   // reply; shared by Submit and SubmitMany.
   Expected<std::string> SubmitFrame(const std::string& frame);
+  // Sends a token request and decodes the token reply; shared by
+  // RequestDataToken and RefreshDataToken.
+  Expected<TokenReply> TokenExchange(TokenRequest request);
   // Computes the absolute `deadline-micros` to send, if any.
   std::optional<std::int64_t> OutgoingDeadline() const;
 

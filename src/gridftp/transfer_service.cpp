@@ -93,4 +93,64 @@ Expected<std::vector<FileInfo>> FileTransferService::List(
   return params_.storage->List(prefix);
 }
 
+std::string FileTransferService::ObjectUrl(const std::string& path) const {
+  return "gsiftp://" + params_.host + path;
+}
+
+Expected<FileTransferService::DataSession> FileTransferService::OpenDataSession(
+    const gsi::Credential& client, const std::string& path_base) {
+  if (params_.datapath == nullptr) {
+    return Error{ErrCode::kFailedPrecondition,
+                 "data-path authorizer is not configured"};
+  }
+  GA_TRY(Session session, Authenticate(client));
+  GA_TRY(core::SessionToken minted,
+         params_.datapath->MintSession(session.identity,
+                                       ObjectUrl(path_base)));
+  GA_LOG(kInfo, "gridftp") << session.identity
+                           << " opened data session over "
+                           << minted.claims.scope << " rights "
+                           << core::RightsMaskToString(minted.claims.rights);
+  DataSession data;
+  data.identity = std::move(session.identity);
+  data.account = std::move(session.account);
+  data.token = std::move(minted.token);
+  return data;
+}
+
+Expected<std::string> FileTransferService::NormalizeDataObject(
+    const std::string& path) const {
+  return core::DataPathAuthorizer::NormalizeObject(ObjectUrl(path));
+}
+
+Expected<void> FileTransferService::CheckBlock(DataSession* session,
+                                               std::string_view object,
+                                               core::RightsMask right) {
+  auto checked = params_.datapath->Check(session->token, object, right);
+  if (!checked.ok()) {
+    return checked.error();
+  }
+  if (checked.value().refreshed.has_value()) {
+    GA_LOG(kInfo, "gridftp") << session->identity
+                             << " data token refreshed mid-transfer";
+    session->token = std::move(*checked.value().refreshed);
+  }
+  return Ok();
+}
+
+Expected<void> FileTransferService::PutObject(DataSession* session,
+                                              const std::string& path,
+                                              std::int64_t size_mb) {
+  GA_TRY(std::string object, NormalizeDataObject(path));
+  GA_TRY_VOID(CheckBlock(session, object, core::kRightWrite));
+  return params_.storage->Put(path, size_mb, session->account);
+}
+
+Expected<FileInfo> FileTransferService::GetObject(DataSession* session,
+                                                  const std::string& path) {
+  GA_TRY(std::string object, NormalizeDataObject(path));
+  GA_TRY_VOID(CheckBlock(session, object, core::kRightRead));
+  return params_.storage->Stat(path);
+}
+
 }  // namespace gridauthz::gridftp

@@ -21,6 +21,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "core/datapath.h"
 #include "core/request.h"
 #include "gram/callout.h"
 #include "gridftp/storage.h"
@@ -55,6 +56,10 @@ class FileTransferService {
     // PEP; nullptr or no binding = stock behaviour (gridmap + local
     // account enforcement only).
     gram::CalloutDispatcher* callouts = nullptr;
+    // Data-path fast path (DESIGN.md §17); nullptr disables
+    // OpenDataSession/CheckBlock and transfers fall back to the
+    // per-operation callout PEP above.
+    core::DataPathAuthorizer* datapath = nullptr;
   };
 
   explicit FileTransferService(Params params);
@@ -70,6 +75,41 @@ class FileTransferService {
   Expected<std::vector<FileInfo>> List(const gsi::Credential& client,
                                        const std::string& prefix);
 
+  // ----- Data-path fast path (requires Params::datapath) -----
+  //
+  // A data session is opened once per transfer connection: one GSI
+  // handshake, one full path-scope evaluation, one capability token.
+  // Every per-file/per-block check afterwards is a token verify — no
+  // evaluator, no callout round-trip.
+  struct DataSession {
+    std::string identity;
+    std::string account;
+    // The live capability token. CheckBlock swaps in a refreshed token
+    // when a policy-generation bump stales this one mid-transfer.
+    std::string token;
+  };
+
+  // Authenticates the client and mints a capability token scoped to
+  // "gsiftp://<host><path_base>". A policy deny produces a typed error
+  // and no session.
+  Expected<DataSession> OpenDataSession(const gsi::Credential& client,
+                                        const std::string& path_base);
+
+  // Normalizes a storage path into the object form CheckBlock expects.
+  // Call once per file, then CheckBlock once per block.
+  Expected<std::string> NormalizeDataObject(const std::string& path) const;
+
+  // The per-block check: one token verify + scope/rights comparison.
+  // Transparently re-mints into `session->token` on generation skew.
+  Expected<void> CheckBlock(DataSession* session, std::string_view object,
+                            core::RightsMask right);
+
+  // Whole-object conveniences over the fast path; storage enforcement
+  // (ownership, quota) still runs under the session account.
+  Expected<void> PutObject(DataSession* session, const std::string& path,
+                           std::int64_t size_mb);
+  Expected<FileInfo> GetObject(DataSession* session, const std::string& path);
+
  private:
   struct Session {
     std::string identity;
@@ -82,6 +122,9 @@ class FileTransferService {
   Expected<Session> Authenticate(const gsi::Credential& client);
   Expected<void> Authorize(const Session& session, std::string_view action,
                            const std::string& path, std::int64_t size_mb);
+
+  // The object URL for a storage path on this service.
+  std::string ObjectUrl(const std::string& path) const;
 
   Params params_;
 };

@@ -1,41 +1,17 @@
-// SHA-256 and HMAC-SHA-256, implemented from scratch (FIPS 180-4 /
-// RFC 2104). The simulated GSI uses these as the cryptographic primitive
-// for key fingerprints and signatures; no external crypto library is
-// available offline.
+// SHA-256 and HMAC-SHA-256 for the simulated GSI. The implementation
+// moved to `common/hmac.{h,cpp}` so the policy core's data-path tokens
+// can share it without depending on the GSI layer; this header keeps
+// the historical gsi:: names alive for certificate/key code and tests.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <string>
-#include <string_view>
+#include "common/hmac.h"
 
 namespace gridauthz::gsi {
 
-using Digest = std::array<std::uint8_t, 32>;
-
-// One-shot SHA-256 of `data`.
-Digest Sha256(std::string_view data);
-
-// HMAC-SHA-256 with arbitrary-length `key`.
-Digest HmacSha256(std::string_view key, std::string_view data);
-
-// Lowercase hex rendering of a digest.
-std::string ToHex(const Digest& digest);
-
-// Incremental interface, used for canonical certificate encodings.
-class Sha256Stream {
- public:
-  Sha256Stream();
-  void Update(std::string_view data);
-  Digest Finish();
-
- private:
-  void ProcessBlock(const std::uint8_t* block);
-
-  std::array<std::uint32_t, 8> state_;
-  std::array<std::uint8_t, 64> buffer_;
-  std::size_t buffer_len_ = 0;
-  std::uint64_t total_len_ = 0;
-};
+using crypto::Digest;
+using crypto::HmacSha256;
+using crypto::Sha256;
+using crypto::Sha256Stream;
+using crypto::ToHex;
 
 }  // namespace gridauthz::gsi

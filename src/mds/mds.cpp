@@ -232,11 +232,22 @@ DirectoryService::DirectoryService(std::string name) : name_(std::move(name)) {}
 
 void DirectoryService::RegisterProvider(const std::string& source_name,
                                         Provider provider) {
-  providers_[source_name] = std::move(provider);
+  for (auto& [name, existing] : providers_) {
+    if (name == source_name) {
+      existing = std::move(provider);
+      return;
+    }
+  }
+  providers_.emplace_back(source_name, std::move(provider));
 }
 
 void DirectoryService::UnregisterProvider(const std::string& source_name) {
-  providers_.erase(source_name);
+  for (auto it = providers_.begin(); it != providers_.end(); ++it) {
+    if (it->first == source_name) {
+      providers_.erase(it);
+      return;
+    }
+  }
 }
 
 void DirectoryService::RegisterChild(DirectoryService* child) {

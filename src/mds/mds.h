@@ -9,9 +9,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -19,10 +20,15 @@
 namespace gridauthz::mds {
 
 // An LDAP-ish directory entry: a distinguished name plus multi-valued
-// attributes (attribute names are stored lowercase).
+// attributes (attribute names are stored lowercase). The attribute
+// store is hashed (ROADMAP 2c): filter matching performs one Get() per
+// comparison node per entry, which made the ordered-map string
+// comparisons the dominant cost of a GIIS search over a few hundred
+// entries; nothing iterates attributes in order, so the tree bought
+// nothing.
 struct Entry {
   std::string dn;  // e.g. "mds-host-hn=fusion.anl.gov,o=grid"
-  std::map<std::string, std::vector<std::string>> attributes;
+  std::unordered_map<std::string, std::vector<std::string>> attributes;
 
   void Add(std::string_view name, std::string value);
   const std::vector<std::string>* Get(std::string_view name) const;
@@ -82,7 +88,13 @@ class DirectoryService {
   void Collect(std::vector<Entry>& out) const;
 
   std::string name_;
-  std::map<std::string, Provider> providers_;
+  // Registration order, kept explicitly: Collect() used to inherit the
+  // sorted iteration of a std::map keyed by source name, but no caller
+  // relies on alphabetical aggregation — only on a deterministic one.
+  // Registration/unregistration are cold (a handful per service), so a
+  // vector with linear name search beats paying tree rebalancing and
+  // ordered comparisons on a path that never needed ordering.
+  std::vector<std::pair<std::string, Provider>> providers_;
   std::vector<DirectoryService*> children_;
 };
 

@@ -141,10 +141,13 @@ std::string RenderSubtree(const std::vector<Span>& spans,
 
 }  // namespace
 
-struct MetricsFederator::Staged {
+struct MetricsFederator::ParsedNodeDoc {
   std::vector<StagedCounter> counters;
   std::vector<StagedGauge> gauges;
   std::vector<StagedHistogram> histograms;
+  // name -> kind within this document, for cross-node agreement checks
+  // at AddParsed time.
+  std::map<std::string, int> kinds;
 };
 
 MetricsFederator::MetricsFederator()
@@ -152,16 +155,9 @@ MetricsFederator::MetricsFederator()
 
 MetricsFederator::~MetricsFederator() = default;
 
-Expected<void> MetricsFederator::AddNode(const std::string& node,
-                                         std::string_view metrics_json) {
-  for (const auto& [existing, registry] : per_node_) {
-    if (existing == node) {
-      return FederationError(ErrCode::kAlreadyExists, node,
-                             "already scraped; a second snapshot would "
-                             "double-count the fleet view");
-    }
-  }
-
+Expected<std::shared_ptr<const MetricsFederator::ParsedNodeDoc>>
+MetricsFederator::ParseNodeDoc(const std::string& node,
+                               std::string_view metrics_json) {
   auto parsed = json::ParseValue(metrics_json);
   if (!parsed.ok()) {
     return FederationError(ErrCode::kParseError, node,
@@ -174,31 +170,22 @@ Expected<void> MetricsFederator::AddNode(const std::string& node,
                            "/metrics.json is not an object");
   }
 
-  // --- Stage: parse every section without touching fleet state. ---
-  Staged staged;
-  // name -> kind within THIS document; also checked against the fleet's
-  // established kinds. Series keys guard against duplicate entries.
-  std::map<std::string, int> doc_kinds;
+  // --- Stage: parse every section without touching fleet state. Only
+  // document-internal validation runs here; cross-node schema checks
+  // depend on the scrape and live in AddParsed. ---
+  auto staged = std::make_shared<ParsedNodeDoc>();
+  // Series keys guard against duplicate entries within the document.
   std::unordered_set<std::string> doc_series;
 
   auto claim = [&](const std::string& name, const LabelSet& labels,
                    int kind) -> Expected<void> {
-    auto [it, inserted] = doc_kinds.try_emplace(name, kind);
+    auto [it, inserted] = staged->kinds.try_emplace(name, kind);
     if (!inserted && it->second != kind) {
       return FederationError(
           ErrCode::kParseError, node,
           "metric '" + name + "' appears as both " +
               std::string{KindName(it->second)} + " and " +
               std::string{KindName(kind)});
-    }
-    for (const auto& [known, known_kind] : kinds_) {
-      if (known == name && known_kind != kind) {
-        return FederationError(
-            ErrCode::kFailedPrecondition, node,
-            "metric '" + name + "' is a " + std::string{KindName(kind)} +
-                " here but the fleet already holds it as a " +
-                std::string{KindName(known_kind)});
-      }
     }
     std::string key = std::to_string(kind) + SeriesDescription(name, labels);
     if (!doc_series.insert(std::move(key)).second) {
@@ -231,7 +218,7 @@ Expected<void> MetricsFederator::AddNode(const std::string& node,
     out.value = static_cast<std::uint64_t>(*value);
     GA_TRY(out.labels, ParseLabels(entry, node));
     GA_TRY_VOID(claim(out.name, out.labels, kKindCounter));
-    staged.counters.push_back(std::move(out));
+    staged->counters.push_back(std::move(out));
   }
 
   GA_TRY(const json::Value* gauges, section("gauges"));
@@ -247,7 +234,7 @@ Expected<void> MetricsFederator::AddNode(const std::string& node,
     out.value = *value;
     GA_TRY(out.labels, ParseLabels(entry, node));
     GA_TRY_VOID(claim(out.name, out.labels, kKindGauge));
-    staged.gauges.push_back(std::move(out));
+    staged->gauges.push_back(std::move(out));
   }
 
   GA_TRY(const json::Value* histograms, section("histograms"));
@@ -304,47 +291,78 @@ Expected<void> MetricsFederator::AddNode(const std::string& node,
               std::to_string(bucket_total) + " but count says " +
               std::to_string(*count));
     }
-    // Schema agreement with the fleet established so far: a merged
-    // histogram only means something when every node bucketed the same
-    // way. Bounds are compared per series against the fleet registry.
+    GA_TRY_VOID(claim(out.name, out.labels, kKindHistogram));
+    staged->histograms.push_back(std::move(out));
+  }
+
+  return std::shared_ptr<const ParsedNodeDoc>{std::move(staged)};
+}
+
+Expected<void> MetricsFederator::AddParsed(const std::string& node,
+                                           const ParsedNodeDoc& doc) {
+  for (const auto& [existing, registry] : per_node_) {
+    if (existing == node) {
+      return FederationError(ErrCode::kAlreadyExists, node,
+                             "already scraped; a second snapshot would "
+                             "double-count the fleet view");
+    }
+  }
+
+  // --- Cross-node schema agreement: these checks depend on which nodes
+  // joined this scrape before us, so a cached ParsedNodeDoc must pass
+  // them again every time it is folded in. All-or-nothing: nothing
+  // below the checks can fail. ---
+  for (const auto& [name, kind] : doc.kinds) {
+    for (const auto& [known, known_kind] : kinds_) {
+      if (known == name && known_kind != kind) {
+        return FederationError(
+            ErrCode::kFailedPrecondition, node,
+            "metric '" + name + "' is a " + std::string{KindName(kind)} +
+                " here but the fleet already holds it as a " +
+                std::string{KindName(known_kind)});
+      }
+    }
+  }
+  // A merged histogram only means something when every node bucketed
+  // the same way. Bounds are compared per series against the fleet
+  // registry built up by earlier nodes.
+  for (const StagedHistogram& histogram : doc.histograms) {
     if (const Histogram* existing =
-            fleet_->FindHistogram(out.name, out.labels);
-        existing != nullptr && existing->bounds() != out.bounds) {
+            fleet_->FindHistogram(histogram.name, histogram.labels);
+        existing != nullptr && existing->bounds() != histogram.bounds) {
       return FederationError(
           ErrCode::kFailedPrecondition, node,
-          "histogram " + SeriesDescription(out.name, out.labels) +
+          "histogram " + SeriesDescription(histogram.name, histogram.labels) +
               " disagrees on bucket boundaries with the fleet schema; "
               "refusing a lossy merge");
     }
-    GA_TRY_VOID(claim(out.name, out.labels, kKindHistogram));
-    staged.histograms.push_back(std::move(out));
   }
 
   // --- Apply: the document is internally consistent and agrees with
-  // the fleet schema; fold it in. Nothing below can fail. ---
+  // the fleet schema; fold it in. ---
   MetricsRegistry& node_registry =
       *per_node_.emplace_back(node, std::make_unique<MetricsRegistry>())
            .second;
-  for (const auto& [name, kind] : doc_kinds) {
+  for (const auto& [name, kind] : doc.kinds) {
     bool known = false;
     for (const auto& existing : kinds_) {
       if (existing.first == name) known = true;
     }
     if (!known) kinds_.emplace_back(name, kind);
   }
-  for (const StagedCounter& counter : staged.counters) {
+  for (const StagedCounter& counter : doc.counters) {
     fleet_->GetCounter(counter.name, counter.labels)
         .Increment(counter.value);
     node_registry.GetCounter(counter.name,
                              WithNodeLabel(counter.labels, node))
         .Increment(counter.value);
   }
-  for (const StagedGauge& gauge : staged.gauges) {
+  for (const StagedGauge& gauge : doc.gauges) {
     fleet_->GetGauge(gauge.name, gauge.labels).Add(gauge.value);
     node_registry.GetGauge(gauge.name, WithNodeLabel(gauge.labels, node))
         .Set(gauge.value);
   }
-  for (const StagedHistogram& histogram : staged.histograms) {
+  for (const StagedHistogram& histogram : doc.histograms) {
     auto merged =
         fleet_->GetHistogram(histogram.name, histogram.labels,
                              histogram.bounds)
@@ -360,6 +378,12 @@ Expected<void> MetricsFederator::AddNode(const std::string& node,
     (void)labelled.ok();
   }
   return Ok();
+}
+
+Expected<void> MetricsFederator::AddNode(const std::string& node,
+                                         std::string_view metrics_json) {
+  GA_TRY(auto doc, ParseNodeDoc(node, metrics_json));
+  return AddParsed(node, *doc);
 }
 
 void MetricsFederator::MarkUnreachable(const std::string& node) {

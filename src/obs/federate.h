@@ -47,14 +47,32 @@ class MetricsFederator {
   MetricsFederator(const MetricsFederator&) = delete;
   MetricsFederator& operator=(const MetricsFederator&) = delete;
 
-  // Parses one node's /metrics.json snapshot and folds it into the
-  // fleet view. Validation is all-or-nothing: a document that fails to
-  // parse, is internally inconsistent (a histogram whose bucket counts
-  // do not add up to its count), or disagrees with the schema already
-  // established by earlier nodes (different histogram bucket bounds,
-  // a name registered as a different metric kind) leaves the federator
+  // One node's /metrics.json parsed and internally validated, detached
+  // from any federator: the broker caches these across scrapes, keyed
+  // on the node's ActivityFingerprint generation (ROADMAP 1e), so an
+  // idle node costs a 304 round-trip instead of a render + re-parse.
+  // Cross-node schema agreement is NOT checked here — it depends on
+  // which other nodes join a given scrape and is re-checked by
+  // AddParsed every time.
+  struct ParsedNodeDoc;
+
+  // Parses and validates one document in isolation: malformed JSON,
+  // internally inconsistent histograms, duplicate series, and
+  // name-kind conflicts within the document all fail with a
+  // kReasonFederation-tagged error.
+  static Expected<std::shared_ptr<const ParsedNodeDoc>> ParseNodeDoc(
+      const std::string& node, std::string_view metrics_json);
+
+  // Folds a parsed document into the fleet view. Validation is
+  // all-or-nothing: a document that disagrees with the schema already
+  // established by earlier nodes (different histogram bucket bounds, a
+  // name registered as a different metric kind) leaves the federator
   // untouched and returns an error whose message starts with
   // kReasonFederation.
+  Expected<void> AddParsed(const std::string& node,
+                           const ParsedNodeDoc& doc);
+
+  // Parse + fold in one step (the uncached path).
   Expected<void> AddNode(const std::string& node,
                          std::string_view metrics_json);
 
@@ -73,8 +91,6 @@ class MetricsFederator {
   const MetricsRegistry& fleet() const { return *fleet_; }
 
  private:
-  struct Staged;  // one parsed + validated document, pre-application
-
   std::unique_ptr<MetricsRegistry> fleet_;
   // (node, registry holding that node's series re-labelled with node=<id>),
   // in AddNode order.

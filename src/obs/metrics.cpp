@@ -518,6 +518,43 @@ std::string MetricsRegistry::RenderJson() const {
          "],\"histograms\":[" + histograms + "]}";
 }
 
+std::uint64_t MetricsRegistry::ActivityFingerprint() const {
+  std::lock_guard lock(mu_);
+  // FNV-1a over the same family/series walk RenderJson performs. The
+  // histogram fold is count + sum only: every Observe() changes the
+  // count, so bucket rows need not be touched.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;
+  };
+  auto mix_text = [&mix](std::string_view text) {
+    mix(text.size());
+    for (char c : text) mix(static_cast<unsigned char>(c));
+  };
+  mix(reset_epoch_.load(std::memory_order_acquire));
+  for (const auto& [name, family] : families_) {
+    mix_text(name);
+    mix(static_cast<std::uint64_t>(family.kind));
+    for (const auto& [label_key, series] : family.series) {
+      mix_text(label_key);
+      switch (family.kind) {
+        case Kind::kCounter:
+          mix(series.counter->value());
+          break;
+        case Kind::kGauge:
+          mix(static_cast<std::uint64_t>(series.gauge->value()));
+          break;
+        case Kind::kHistogram:
+          mix(series.histogram->count());
+          mix(static_cast<std::uint64_t>(series.histogram->sum()));
+          break;
+      }
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard lock(mu_);
   families_.clear();

@@ -199,6 +199,17 @@ class MetricsRegistry {
   // listed in a "saturated" array.
   std::string RenderJson() const;
 
+  // Content fingerprint of the registry: a 64-bit fold over every
+  // series' name, labels, and current value(s), in the deterministic
+  // order the renderers use. Any change the rendered document would
+  // show — a new series, a counter bump, a gauge move, a histogram
+  // observation — changes the fingerprint, so "fingerprint unchanged"
+  // is a sound cache key for the rendered /metrics.json (modulo 64-bit
+  // collision). Far cheaper than a render: no percentiles, no string
+  // building, no allocation — this is what makes a conditional scrape
+  // (ROADMAP 1e) worth answering. Never returns 0.
+  std::uint64_t ActivityFingerprint() const;
+
   // Drops every series. References returned earlier become invalid and
   // the reset epoch advances, which tells obs/instrument.h handles to
   // re-resolve. Intended for test isolation only, between traffic

@@ -1,0 +1,802 @@
+// Data-path authorization (DESIGN.md §17): object-URL normalization
+// against traversal/aliasing tricks, path-scope resolution semantics
+// (longest-prefix override, same-depth union, default deny), HMAC
+// capability tokens under forgery/truncation/expiry/generation-skew
+// attack, the DataPathAuthorizer mint/check/refresh cycle, concurrent
+// mint+check under policy swaps (tsan label), the gridftp data-session
+// fast path end to end, and the gram wire token mint/refresh frames.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "core/captoken.h"
+#include "core/compiled.h"
+#include "core/datapath.h"
+#include "core/pathscope.h"
+#include "core/policy.h"
+#include "core/source.h"
+#include "gram/site.h"
+#include "gram/wire_service.h"
+#include "gridftp/transfer_service.h"
+
+namespace gridauthz {
+namespace {
+
+constexpr const char* kAlice = "/O=Grid/O=NFC/CN=alice";
+constexpr const char* kBob = "/O=Grid/O=NFC/CN=bob";
+constexpr const char* kOutsider = "/O=Grid/O=Other/CN=mallory";
+
+constexpr const char* kScopePolicy = R"(
+scope gsiftp://fusion.anl.gov/volumes:
+subject: /O=Grid/O=NFC/CN=alice
+object: /nfc read,write,list
+object: /nfc/public read,list
+endscope
+
+scope gsiftp://fusion.anl.gov/volumes:
+subject: /O=Grid/O=NFC
+object: /nfc/shared read
+endscope
+)";
+
+core::PolicyDocument ScopeDocument() {
+  return core::PolicyDocument::Parse(kScopePolicy).value();
+}
+
+// ----- object-URL normalization -----------------------------------------
+
+TEST(ObjectNormalization, CanonicalizesCaseSlashesAndEscapes) {
+  auto object = core::NormalizeObjectUrl(
+      "GsiFTP://Fusion.ANL.gov//volumes///nfc/%64ata/");
+  ASSERT_TRUE(object.ok()) << object.error();
+  EXPECT_EQ(object->origin, "gsiftp://fusion.anl.gov");
+  EXPECT_EQ(object->path, "/volumes/nfc/data");
+  EXPECT_EQ(object->Display(), "gsiftp://fusion.anl.gov/volumes/nfc/data");
+  // Authority root with and without trailing slash normalize equally.
+  EXPECT_EQ(core::NormalizeObjectUrl("gsiftp://h")->path, "");
+  EXPECT_EQ(core::NormalizeObjectUrl("gsiftp://h/")->path, "");
+}
+
+TEST(ObjectNormalization, AdversarialPathsRejectedNotGuessed) {
+  const std::vector<const char*> rejected = {
+      "gsiftp://h/a/../b",      // traversal
+      "gsiftp://h/a/./b",       // dot segment
+      "gsiftp://h/..",          // bare traversal
+      "gsiftp://h/a%2Fb",       // encoded slash aliases a boundary
+      "gsiftp://h/a%2fb",       // lowercase hex too
+      "gsiftp://h/a%00b",       // encoded NUL
+      "gsiftp://h/a%4",         // truncated escape
+      "gsiftp://h/a%zz",        // non-hex escape
+      "no-scheme/path",         // missing scheme
+      "gsiftp:///path",         // empty authority
+      "gsi ftp://h/p",          // invalid scheme character
+      "gsiftp://h%41/p",        // escape in authority
+  };
+  for (const char* url : rejected) {
+    EXPECT_FALSE(core::NormalizeObjectUrl(url).ok()) << url;
+  }
+  // Double-decoding must not happen: %25 decodes to a literal '%', and
+  // the result is accepted as-is rather than decoded again into a slash.
+  auto literal = core::NormalizeObjectUrl("gsiftp://h/a%252Fb");
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ(literal->path, "/a%2Fb");
+}
+
+TEST(ObjectNormalization, SegmentPrefixMatchesOnlyAtBoundaries) {
+  EXPECT_TRUE(core::PathSegmentPrefix("/nfc", "/nfc"));
+  EXPECT_TRUE(core::PathSegmentPrefix("/nfc", "/nfc/data"));
+  EXPECT_FALSE(core::PathSegmentPrefix("/nfc", "/nfcx"));
+  EXPECT_FALSE(core::PathSegmentPrefix("/nfc", "/nf"));
+  EXPECT_TRUE(core::PathSegmentPrefix("", "/anything"));
+}
+
+// ----- path-scope resolution semantics ----------------------------------
+
+TEST(PathScopeResolution, LongestPrefixOverridesEvenWhenItShrinksRights) {
+  const core::PolicyDocument document = ScopeDocument();
+  // Base grant: read,write,list under /volumes/nfc.
+  EXPECT_TRUE(core::EvaluateObjectNaive(
+                  document, kAlice,
+                  "gsiftp://fusion.anl.gov/volumes/nfc/data/run1.dat",
+                  core::kRightWrite)
+                  .permitted());
+  // The deeper /nfc/public entry wins and does NOT include write — the
+  // subtree carve-out pattern.
+  auto carved = core::EvaluateObjectNaive(
+      document, kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/public/img.png",
+      core::kRightWrite);
+  EXPECT_FALSE(carved.permitted());
+  EXPECT_NE(carved.reason.find("do not include"), std::string::npos)
+      << carved.reason;
+  EXPECT_TRUE(core::EvaluateObjectNaive(
+                  document, kAlice,
+                  "gsiftp://fusion.anl.gov/volumes/nfc/public/img.png",
+                  core::kRightRead)
+                  .permitted());
+}
+
+TEST(PathScopeResolution, DeeperEntryFromAnotherStatementOverrides) {
+  const core::PolicyDocument document = ScopeDocument();
+  // /nfc/shared (read-only, granted to the whole /O=Grid/O=NFC prefix)
+  // is deeper than alice's own /nfc entry, so it wins for alice too.
+  EXPECT_TRUE(core::EvaluateObjectNaive(
+                  document, kAlice,
+                  "gsiftp://fusion.anl.gov/volumes/nfc/shared/f.dat",
+                  core::kRightRead)
+                  .permitted());
+  EXPECT_FALSE(core::EvaluateObjectNaive(
+                   document, kAlice,
+                   "gsiftp://fusion.anl.gov/volumes/nfc/shared/f.dat",
+                   core::kRightWrite)
+                   .permitted());
+  // Bob only matches the prefix statement: read in /nfc/shared, nothing
+  // anywhere else under the base.
+  EXPECT_TRUE(core::EvaluateObjectNaive(
+                  document, kBob,
+                  "gsiftp://fusion.anl.gov/volumes/nfc/shared/f.dat",
+                  core::kRightRead)
+                  .permitted());
+  EXPECT_FALSE(core::EvaluateObjectNaive(
+                   document, kBob,
+                   "gsiftp://fusion.anl.gov/volumes/nfc/data/f.dat",
+                   core::kRightRead)
+                   .permitted());
+}
+
+TEST(PathScopeResolution, DefaultDenyAndBoundaryCases) {
+  const core::PolicyDocument document = ScopeDocument();
+  // No applicable statement at all.
+  auto outsider = core::EvaluateObjectNaive(
+      document, kOutsider, "gsiftp://fusion.anl.gov/volumes/nfc/x",
+      core::kRightRead);
+  EXPECT_EQ(outsider.code, core::DecisionCode::kDenyNoApplicableStatement);
+  // Raw-string extension of a granted segment must not match.
+  EXPECT_FALSE(core::EvaluateObjectNaive(
+                   document, kAlice, "gsiftp://fusion.anl.gov/volumes/nfcx/f",
+                   core::kRightRead)
+                   .permitted());
+  // Different origin, same path layout.
+  EXPECT_FALSE(core::EvaluateObjectNaive(
+                   document, kAlice, "gsiftp://evil.example.org/volumes/nfc/f",
+                   core::kRightRead)
+                   .permitted());
+  // Invalid objects fail closed with the typed tag.
+  auto invalid = core::EvaluateObjectNaive(
+      document, kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/../../etc/shadow",
+      core::kRightRead);
+  EXPECT_EQ(invalid.code, core::DecisionCode::kDenyInvalidObject);
+  EXPECT_NE(invalid.reason.find(kReasonPathInvalid), std::string::npos);
+}
+
+TEST(PathScopeResolution, CompiledTrieMatchesNaiveOnAdversarialCases) {
+  const core::PolicyDocument document = ScopeDocument();
+  const core::CompiledPolicyDocument compiled{document};
+  ASSERT_TRUE(compiled.has_path_scopes());
+  const std::vector<const char*> subjects = {kAlice, kBob, kOutsider, "/",
+                                             "not-a-dn", ""};
+  const std::vector<const char*> objects = {
+      "gsiftp://fusion.anl.gov/volumes/nfc",
+      "gsiftp://fusion.anl.gov/volumes/nfc/",
+      "gsiftp://fusion.anl.gov/volumes/nfc/public",
+      "gsiftp://fusion.anl.gov/volumes/nfc/public/deep/er",
+      "gsiftp://fusion.anl.gov/volumes/nfc/shared",
+      "gsiftp://fusion.anl.gov/volumes/nfcx",
+      "gsiftp://fusion.anl.gov/volumes",
+      "gsiftp://fusion.anl.gov/",
+      "gsiftp://FUSION.anl.gov//volumes//nfc//data",
+      "gsiftp://other.host/volumes/nfc",
+      "gsiftp://fusion.anl.gov/volumes/nfc/%2e%2e",
+      "gsiftp://fusion.anl.gov/volumes/nfc/a%2Fb",
+      "garbage",
+  };
+  for (const char* subject : subjects) {
+    for (const char* object : objects) {
+      for (core::RightsMask right :
+           {core::kRightRead, core::kRightWrite, core::kRightDelete,
+            core::kRightList}) {
+        core::Decision naive =
+            core::EvaluateObjectNaive(document, subject, object, right);
+        core::Decision fast = compiled.EvaluateObject(subject, object, right);
+        EXPECT_EQ(naive.code, fast.code)
+            << subject << " " << object << " right " << int{right};
+        EXPECT_EQ(naive.reason, fast.reason)
+            << subject << " " << object << " right " << int{right};
+      }
+    }
+  }
+}
+
+TEST(PathScopeResolution, ScopeBlocksRoundTripThroughToString) {
+  const core::PolicyDocument document = ScopeDocument();
+  auto reparsed = core::PolicyDocument::Parse(document.ToString());
+  ASSERT_TRUE(reparsed.ok()) << document.ToString();
+  EXPECT_EQ(reparsed->ToString(), document.ToString());
+}
+
+TEST(SessionScope, GrantIsTheSubtreeSoundMask) {
+  const core::PolicyDocument document = ScopeDocument();
+  // Alice at /volumes/nfc holds read,write,list at the base, but the
+  // deeper carve-outs (/nfc/public: read,list; /nfc/shared: read) AND
+  // into the session mask: only read survives subtree-wide.
+  auto grant = core::ResolveSessionScope(document, kAlice,
+                                         "gsiftp://fusion.anl.gov/volumes/nfc");
+  ASSERT_TRUE(grant.ok()) << grant.error();
+  EXPECT_EQ(grant->scope, "gsiftp://fusion.anl.gov/volumes/nfc");
+  EXPECT_EQ(grant->rights, core::kRightRead);
+  // A session rooted below the carve-outs keeps the full base rights.
+  auto data = core::ResolveSessionScope(
+      document, kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/data");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rights,
+            core::RightsMask{core::kRightRead | core::kRightWrite |
+                             core::kRightList});
+  // No entry covers the base at all: typed deny, no token.
+  EXPECT_FALSE(core::ResolveSessionScope(
+                   document, kAlice, "gsiftp://fusion.anl.gov/elsewhere")
+                   .ok());
+  EXPECT_FALSE(core::ResolveSessionScope(
+                   document, kOutsider, "gsiftp://fusion.anl.gov/volumes/nfc")
+                   .ok());
+}
+
+// Soundness property: a token minted for any base can never authorize a
+// check the full evaluator would deny.
+TEST(SessionScope, GrantNeverExceedsFullEvaluationUnderTheBase) {
+  const core::PolicyDocument document = ScopeDocument();
+  const std::vector<const char*> bases = {
+      "gsiftp://fusion.anl.gov/volumes/nfc",
+      "gsiftp://fusion.anl.gov/volumes/nfc/public",
+      "gsiftp://fusion.anl.gov/volumes/nfc/shared",
+      "gsiftp://fusion.anl.gov/volumes/nfc/data",
+  };
+  const std::vector<const char*> suffixes = {"", "/f.dat", "/deep/er/x",
+                                             "/public", "/public/y",
+                                             "/shared/z"};
+  for (const char* subject : {kAlice, kBob}) {
+    for (const char* base : bases) {
+      auto grant = core::ResolveSessionScope(document, subject, base);
+      if (!grant.ok()) continue;
+      for (const char* suffix : suffixes) {
+        const std::string object = std::string{base} + suffix;
+        for (core::RightsMask right :
+             {core::kRightRead, core::kRightWrite, core::kRightDelete,
+              core::kRightList}) {
+          if ((grant->rights & right) != right) continue;
+          EXPECT_TRUE(core::EvaluateObjectNaive(document, subject, object,
+                                                right)
+                          .permitted())
+              << subject << " " << object << " right " << int{right};
+        }
+      }
+    }
+  }
+}
+
+// ----- capability tokens -------------------------------------------------
+
+constexpr const char* kKey = "dataplane-test-key-0123456789abcdef";
+
+core::CapabilityClaims TestClaims(std::int64_t expiry_us = 2'000'000'000) {
+  core::CapabilityClaims claims;
+  claims.subject = kAlice;
+  claims.scope = "gsiftp://fusion.anl.gov/volumes/nfc";
+  claims.rights = core::kRightRead | core::kRightWrite;
+  claims.generation = 7;
+  claims.expiry_us = expiry_us;
+  return claims;
+}
+
+TEST(CapabilityToken, MintVerifyRoundTrip) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const core::CapabilityClaims claims = TestClaims();
+  const std::string token = codec.Mint(claims);
+  ASSERT_EQ(token.substr(0, core::kCapTokenPrefix.size()),
+            core::kCapTokenPrefix);
+  auto verified = codec.Verify(token, claims.generation);
+  ASSERT_TRUE(verified.ok()) << verified.error();
+  EXPECT_EQ(verified->subject, claims.subject);
+  EXPECT_EQ(verified->scope, claims.scope);
+  EXPECT_EQ(verified->rights, claims.rights);
+  EXPECT_EQ(verified->generation, claims.generation);
+  EXPECT_EQ(verified->expiry_us, claims.expiry_us);
+}
+
+TEST(CapabilityToken, EverySingleCharacterFlipIsRejected) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    std::string forged = token;
+    forged[i] = forged[i] == 'x' ? 'y' : 'x';
+    if (forged == token) continue;
+    auto verified = codec.Verify(forged, 7);
+    EXPECT_FALSE(verified.ok()) << "flip at " << i << " accepted";
+  }
+}
+
+TEST(CapabilityToken, EveryTruncationIsTypedInvalid) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  for (std::size_t len = 0; len < token.size(); ++len) {
+    auto verified = codec.Verify(std::string_view{token}.substr(0, len), 7);
+    ASSERT_FALSE(verified.ok()) << "truncation to " << len << " accepted";
+    EXPECT_EQ(FailureReasonTag(verified.error()), kReasonTokenInvalid)
+        << verified.error().message();
+  }
+}
+
+TEST(CapabilityToken, WrongKeyAndCrossCodecTokensRejected) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const core::CapabilityTokenCodec other{"a-completely-different-key",
+                                         &clock};
+  const std::string token = other.Mint(TestClaims());
+  auto verified = codec.Verify(token, 7);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(FailureReasonTag(verified.error()), kReasonTokenInvalid);
+}
+
+TEST(CapabilityToken, ExpiryAndGenerationSkewAreTypedAndOrdered) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  // Stale generation.
+  auto stale = codec.Verify(token, 8);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(FailureReasonTag(stale.error()), kReasonTokenStale);
+  // But VerifyIgnoringGeneration (the refresh path) still accepts it.
+  EXPECT_TRUE(codec.VerifyIgnoringGeneration(token).ok());
+  // Expired: checked before generation, and refresh must NOT resurrect
+  // an expired token.
+  clock.AdvanceMicros(3'000'000'000);
+  auto expired = codec.Verify(token, 8);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(FailureReasonTag(expired.error()), kReasonTokenExpired);
+  auto refresh = codec.VerifyIgnoringGeneration(token);
+  ASSERT_FALSE(refresh.ok());
+  EXPECT_EQ(FailureReasonTag(refresh.error()), kReasonTokenExpired);
+}
+
+TEST(CapabilityToken, CheckAccessEnforcesScopeAndRights) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  const auto check = [&](std::string_view object, core::RightsMask right) {
+    return codec.CheckAccess(token, object, right, 7);
+  };
+  EXPECT_TRUE(check("gsiftp://fusion.anl.gov/volumes/nfc/data/x.dat",
+                    core::kRightRead)
+                  .ok());
+  EXPECT_TRUE(
+      check("gsiftp://fusion.anl.gov/volumes/nfc", core::kRightWrite).ok());
+  // Outside the scope: boundary extension and sibling paths.
+  auto outside =
+      check("gsiftp://fusion.anl.gov/volumes/nfcx", core::kRightRead);
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(FailureReasonTag(outside.error()), kReasonTokenScope);
+  EXPECT_FALSE(
+      check("gsiftp://fusion.anl.gov/volumes", core::kRightRead).ok());
+  EXPECT_FALSE(
+      check("gsiftp://other.host/volumes/nfc/x", core::kRightRead).ok());
+  // Right not in the mask.
+  auto no_right = check("gsiftp://fusion.anl.gov/volumes/nfc/x.dat",
+                        core::kRightDelete);
+  ASSERT_FALSE(no_right.ok());
+  EXPECT_EQ(FailureReasonTag(no_right.error()), kReasonTokenScope);
+}
+
+TEST(CapabilityToken, MemoNeverBypassesExpiryGenerationOrScope) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  const char* object = "gsiftp://fusion.anl.gov/volumes/nfc/x.dat";
+  // Warm the per-thread memo with repeated checks of the same bytes.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(codec.CheckAccess(token, object, core::kRightRead, 7).ok());
+  }
+  // A memo-hot token must still fail the dynamic checks.
+  auto stale = codec.CheckAccess(token, object, core::kRightRead, 8);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(FailureReasonTag(stale.error()), kReasonTokenStale);
+  clock.AdvanceMicros(3'000'000'000);
+  auto expired = codec.CheckAccess(token, object, core::kRightRead, 7);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(FailureReasonTag(expired.error()), kReasonTokenExpired);
+}
+
+// Deterministic structural fuzz: random mutations of a valid token must
+// never crash and must always fail with one of the typed reason tags.
+TEST(CapabilityToken, MutationFuzzAlwaysFailsClosedWithTypedReason) {
+  SimClock clock{0};
+  const core::CapabilityTokenCodec codec{kKey, &clock};
+  const std::string token = codec.Mint(TestClaims());
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = token;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      const std::size_t at = next() % mutated.size();
+      switch (next() % 4) {
+        case 0:
+          mutated[at] = static_cast<char>(next() % 256);
+          break;
+        case 1:
+          mutated.erase(at, 1 + next() % 8);
+          break;
+        case 2:
+          mutated.insert(at, 1, static_cast<char>(next() % 256));
+          break;
+        default:
+          mutated.resize(at);
+          break;
+      }
+    }
+    if (mutated == token) continue;
+    auto verified = codec.Verify(mutated, 7);
+    if (verified.ok()) {
+      // Vanishingly unlikely (would require a MAC collision); if a
+      // mutation ever verifies, its claims must equal the original's.
+      EXPECT_EQ(verified->subject, kAlice);
+      continue;
+    }
+    const std::string_view tag = FailureReasonTag(verified.error());
+    EXPECT_TRUE(tag == kReasonTokenInvalid || tag == kReasonTokenExpired ||
+                tag == kReasonTokenStale)
+        << "untyped failure: " << verified.error().message();
+  }
+}
+
+// ----- DataPathAuthorizer ------------------------------------------------
+
+TEST(DataPathAuthorizer, MintCheckRefreshCycle) {
+  SimClock clock;
+  auto source =
+      std::make_shared<core::StaticPolicySource>("vo", ScopeDocument());
+  core::DataPathAuthorizer authorizer{source, kKey, &clock};
+
+  auto session = authorizer.MintSession(
+      kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/data");
+  ASSERT_TRUE(session.ok()) << session.error();
+  EXPECT_EQ(session->claims.scope,
+            "gsiftp://fusion.anl.gov/volumes/nfc/data");
+  EXPECT_EQ(session->claims.generation, source->policy_generation());
+
+  const auto object = core::DataPathAuthorizer::NormalizeObject(
+      "gsiftp://fusion.anl.gov/volumes/nfc/data/run.dat");
+  ASSERT_TRUE(object.ok());
+  auto checked =
+      authorizer.Check(session->token, *object, core::kRightWrite);
+  ASSERT_TRUE(checked.ok()) << checked.error();
+  EXPECT_FALSE(checked->refreshed.has_value());
+
+  // Same policy re-installed: generation bumps, the outstanding token
+  // goes stale, and Check transparently re-mints.
+  source->Replace(ScopeDocument());
+  auto refreshed =
+      authorizer.Check(session->token, *object, core::kRightWrite);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.error();
+  ASSERT_TRUE(refreshed->refreshed.has_value());
+  EXPECT_NE(*refreshed->refreshed, session->token);
+  // The refreshed token is current: no further refresh on re-check.
+  auto again =
+      authorizer.Check(*refreshed->refreshed, *object, core::kRightWrite);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->refreshed.has_value());
+}
+
+TEST(DataPathAuthorizer, RevocationDeniesAfterGenerationBump) {
+  SimClock clock;
+  auto source =
+      std::make_shared<core::StaticPolicySource>("vo", ScopeDocument());
+  core::DataPathAuthorizer authorizer{source, kKey, &clock};
+  auto session = authorizer.MintSession(
+      kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/data");
+  ASSERT_TRUE(session.ok());
+  const auto object = core::DataPathAuthorizer::NormalizeObject(
+      "gsiftp://fusion.anl.gov/volumes/nfc/data/run.dat");
+  ASSERT_TRUE(object.ok());
+
+  // The new policy drops alice entirely: the stale token's refresh
+  // fallback re-evaluates and fails closed.
+  source->Replace(core::PolicyDocument::Parse(R"(
+scope gsiftp://fusion.anl.gov/volumes:
+subject: /O=Grid/O=NFC/CN=bob
+object: /nfc read
+endscope
+)")
+                      .value());
+  auto denied = authorizer.Check(session->token, *object, core::kRightWrite);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+
+  // Denied subjects never get a token in the first place.
+  EXPECT_FALSE(authorizer
+                   .MintSession(kOutsider,
+                                "gsiftp://fusion.anl.gov/volumes/nfc")
+                   .ok());
+}
+
+// Concurrent mint/check/refresh against concurrent policy swaps: every
+// outcome must be a permit or a typed deny, never a crash or a data
+// race (tsan label).
+TEST(DataPathAuthorizer, ConcurrentChecksUnderPolicySwaps) {
+  SimClock clock;
+  auto source =
+      std::make_shared<core::StaticPolicySource>("vo", ScopeDocument());
+  core::DataPathAuthorizer authorizer{source, kKey, &clock};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> permits{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&authorizer, &stop, &permits] {
+      auto session = authorizer.MintSession(
+          kAlice, "gsiftp://fusion.anl.gov/volumes/nfc/data");
+      if (!session.ok()) return;
+      std::string token = session->token;
+      const auto object = core::DataPathAuthorizer::NormalizeObject(
+          "gsiftp://fusion.anl.gov/volumes/nfc/data/block.dat");
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto checked = authorizer.Check(token, *object, core::kRightWrite);
+        if (checked.ok()) {
+          if (checked->refreshed.has_value()) {
+            token = std::move(*checked->refreshed);
+          }
+          permits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread swapper([&source, &stop] {
+    for (int i = 0; i < 50; ++i) {
+      source->Replace(ScopeDocument());
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  swapper.join();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_GT(permits.load(), 0u);
+}
+
+// ----- gridftp data sessions ---------------------------------------------
+
+class DataSessionTest : public ::testing::Test {
+ protected:
+  DataSessionTest() : storage_(1000, &site_.clock()) {
+    EXPECT_TRUE(site_.AddAccount("alice").ok());
+    alice_ = site_.CreateUser(kAlice).value();
+    EXPECT_TRUE(site_.MapUser(alice_, "alice").ok());
+    source_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(SitePolicy()).value());
+    authorizer_ = std::make_unique<core::DataPathAuthorizer>(
+        source_, kKey, &site_.clock());
+
+    gridftp::FileTransferService::Params params;
+    params.host = site_.host();
+    params.host_credential = IssueCredential(
+        site_.ca(),
+        gsi::DistinguishedName::Parse("/O=Grid/OU=services/CN=gridftp")
+            .value(),
+        site_.clock().Now());
+    params.trust = &site_.trust();
+    params.gridmap = &site_.gridmap();
+    params.storage = &storage_;
+    params.clock = &site_.clock();
+    params.callouts = &site_.callouts();
+    params.datapath = authorizer_.get();
+    service_ =
+        std::make_unique<gridftp::FileTransferService>(std::move(params));
+  }
+
+  std::string SitePolicy() const {
+    return "scope gsiftp://" + site_.host() +
+           "/volumes:\n"
+           "subject: /O=Grid/O=NFC/CN=alice\n"
+           "object: /nfc read,write,list\n"
+           "endscope\n";
+  }
+
+  gram::SimulatedSite site_;
+  gridftp::SimStorage storage_;
+  gsi::Credential alice_;
+  std::shared_ptr<core::StaticPolicySource> source_;
+  std::unique_ptr<core::DataPathAuthorizer> authorizer_;
+  std::unique_ptr<gridftp::FileTransferService> service_;
+};
+
+TEST_F(DataSessionTest, SessionMintThenPerObjectChecks) {
+  auto session = service_->OpenDataSession(alice_, "/volumes/nfc");
+  ASSERT_TRUE(session.ok()) << session.error();
+  EXPECT_EQ(session->identity, kAlice);
+  EXPECT_EQ(session->account, "alice");
+  EXPECT_FALSE(session->token.empty());
+
+  ASSERT_TRUE(
+      service_->PutObject(&*session, "/volumes/nfc/data/run.dat", 10).ok());
+  auto info = service_->GetObject(&*session, "/volumes/nfc/data/run.dat");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_mb, 10);
+  // Outside the session scope: typed deny, storage untouched.
+  auto outside = service_->PutObject(&*session, "/volumes/other/x.dat", 1);
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(FailureReasonTag(outside.error()), kReasonTokenScope);
+  EXPECT_FALSE(storage_.Stat("/volumes/other/x.dat").ok());
+  // Traversal through the session scope: rejected at normalization.
+  EXPECT_FALSE(
+      service_->PutObject(&*session, "/volumes/nfc/../other/y.dat", 1).ok());
+}
+
+TEST_F(DataSessionTest, PolicySwapRefreshesTokenMidSession) {
+  auto session = service_->OpenDataSession(alice_, "/volumes/nfc");
+  ASSERT_TRUE(session.ok());
+  const std::string original_token = session->token;
+  source_->Replace(core::PolicyDocument::Parse(SitePolicy()).value());
+  // The stale token is transparently refreshed and the transfer
+  // continues; the session now carries the new token.
+  ASSERT_TRUE(
+      service_->PutObject(&*session, "/volumes/nfc/data/second.dat", 1).ok());
+  EXPECT_NE(session->token, original_token);
+}
+
+TEST_F(DataSessionTest, UnauthorizedSubjectsGetNoSession) {
+  auto outsider = site_.CreateUser(kOutsider).value();
+  EXPECT_TRUE(site_.AddAccount("mallory").ok());
+  EXPECT_TRUE(site_.MapUser(outsider, "mallory").ok());
+  auto denied = service_->OpenDataSession(outsider, "/volumes/nfc");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+// ----- gram wire token frames --------------------------------------------
+
+namespace wire = gram::wire;
+
+TEST(TokenWire, RequestAndReplyRoundTripBothDecoders) {
+  wire::TokenRequest request;
+  request.url_base = "gsiftp://fusion.anl.gov/volumes/nfc";
+  request.trace_id = "t-token-1";
+  const std::string frame = request.Encode().Serialize();
+  auto message = wire::Message::Parse(frame);
+  ASSERT_TRUE(message.ok());
+  auto decoded = wire::TokenRequest::Decode(*message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->url_base, request.url_base);
+  EXPECT_EQ(decoded->trace_id, request.trace_id);
+  EXPECT_FALSE(decoded->refresh_token.has_value());
+  auto view = wire::MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  auto from_view = wire::TokenRequest::Decode(*view);
+  ASSERT_TRUE(from_view.ok());
+  EXPECT_EQ(from_view->url_base, request.url_base);
+
+  wire::TokenReply reply;
+  reply.code = gram::GramErrorCode::kNone;
+  reply.token = "gacap1.s1:ao1:br:1,g:2,e:3.00";
+  reply.expiry_us = 123456;
+  reply.generation = 9;
+  reply.scope = "gsiftp://fusion.anl.gov/volumes/nfc";
+  reply.rights = "read,write";
+  const std::string reply_frame = reply.Encode().Serialize();
+  auto reply_view = wire::MessageView::Parse(reply_frame);
+  ASSERT_TRUE(reply_view.ok());
+  auto reply_decoded = wire::TokenReply::Decode(*reply_view);
+  ASSERT_TRUE(reply_decoded.ok());
+  EXPECT_EQ(reply_decoded->token, reply.token);
+  EXPECT_EQ(reply_decoded->expiry_us, reply.expiry_us);
+  EXPECT_EQ(reply_decoded->generation, reply.generation);
+  EXPECT_EQ(reply_decoded->rights, reply.rights);
+  // A success reply without a token is undecodable, not half-trusted.
+  wire::TokenReply empty;
+  empty.code = gram::GramErrorCode::kNone;
+  // MessageView borrows the frame bytes, so the frame must outlive it.
+  const std::string empty_frame = empty.Encode().Serialize();
+  auto bad = wire::MessageView::Parse(empty_frame);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(wire::TokenReply::Decode(*bad).ok());
+}
+
+class TokenEndpointTest : public ::testing::Test {
+ protected:
+  TokenEndpointTest()
+      : endpoint_(&site_.gatekeeper(), &site_.jmis(), &site_.trust(),
+                  &site_.clock()) {
+    EXPECT_TRUE(site_.AddAccount("alice").ok());
+    alice_ = site_.CreateUser(kAlice).value();
+    EXPECT_TRUE(site_.MapUser(alice_, "alice").ok());
+    bob_ = site_.CreateUser(kBob).value();
+    source_ = std::make_shared<core::StaticPolicySource>(
+        "vo", core::PolicyDocument::Parse(
+                  "scope gsiftp://" + site_.host() +
+                  "/volumes:\n"
+                  "subject: /O=Grid/O=NFC/CN=alice\n"
+                  "object: /nfc read,write\n"
+                  "endscope\n")
+                  .value());
+    authorizer_ = std::make_unique<core::DataPathAuthorizer>(
+        source_, kKey, &site_.clock());
+    endpoint_.set_datapath(authorizer_.get());
+  }
+
+  gram::SimulatedSite site_;
+  gsi::Credential alice_;
+  gsi::Credential bob_;
+  std::shared_ptr<core::StaticPolicySource> source_;
+  std::unique_ptr<core::DataPathAuthorizer> authorizer_;
+  wire::WireEndpoint endpoint_;
+};
+
+TEST_F(TokenEndpointTest, MintRefreshAndDenialOverFrames) {
+  wire::WireClient alice{alice_, &endpoint_};
+  const std::string base = "gsiftp://" + site_.host() + "/volumes/nfc";
+  auto minted = alice.RequestDataToken(base);
+  ASSERT_TRUE(minted.ok()) << minted.error();
+  EXPECT_EQ(minted->code, gram::GramErrorCode::kNone);
+  EXPECT_EQ(minted->scope, base);
+  EXPECT_EQ(minted->rights, "read,write");
+  EXPECT_EQ(minted->generation, source_->policy_generation());
+  // The wire-minted token is a real token: it passes local checks.
+  EXPECT_TRUE(authorizer_
+                  ->Check(minted->token,
+                          *core::DataPathAuthorizer::NormalizeObject(
+                              base + "/x.dat"),
+                          core::kRightRead)
+                  .ok());
+
+  // Refresh after a policy swap.
+  source_->Replace(core::PolicyDocument::Parse(
+                       "scope gsiftp://" + site_.host() +
+                       "/volumes:\n"
+                       "subject: /O=Grid/O=NFC/CN=alice\n"
+                       "object: /nfc read,write\n"
+                       "endscope\n")
+                       .value());
+  auto refreshed = alice.RefreshDataToken(minted->token);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.error();
+  EXPECT_EQ(refreshed->code, gram::GramErrorCode::kNone);
+  EXPECT_EQ(refreshed->generation, source_->policy_generation());
+
+  // A peer cannot refresh (launder) someone else's token: bob presents
+  // alice's token and is refused with the typed reason.
+  wire::WireClient bob{bob_, &endpoint_};
+  auto laundered = bob.RefreshDataToken(refreshed->token);
+  ASSERT_FALSE(laundered.ok());
+  EXPECT_EQ(laundered.error().code(), ErrCode::kAuthorizationDenied);
+  EXPECT_NE(laundered.error().message().find(kReasonTokenScope),
+            std::string::npos)
+      << laundered.error().message();
+
+  // Unauthorized subjects are denied a mint over the wire too.
+  auto denied = bob.RequestDataToken(base);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), ErrCode::kAuthorizationDenied);
+}
+
+TEST(TokenWireNoDatapath, EndpointWithoutAuthorizerFailsClosed) {
+  gram::SimulatedSite site;
+  wire::WireEndpoint endpoint{&site.gatekeeper(), &site.jmis(), &site.trust(),
+                              &site.clock()};
+  auto user = site.CreateUser(kAlice).value();
+  wire::WireClient client{user, &endpoint};
+  auto reply = client.RequestDataToken("gsiftp://" + site.host() + "/v");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code(), ErrCode::kAuthorizationSystemFailure);
+}
+
+}  // namespace
+}  // namespace gridauthz

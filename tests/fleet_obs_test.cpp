@@ -130,6 +130,10 @@ TEST(MetricsFederation, InternallyInconsistentHistogramRefused) {
 // sum(buckets) == count. Runs under the tsan label.
 TEST(MetricsFederation, ConcurrentScrapeMergedBucketsSumToCount) {
   obs::MetricsRegistry node;
+  // Register the series before any writer starts: a scrape racing the
+  // very first Observe could otherwise see an empty registry and fail
+  // the "histograms section is non-empty" assertion below.
+  node.GetHistogram("authz_latency_us", {}).Observe(0);
   std::atomic<bool> stop{false};
   std::vector<std::thread> writers;
   for (int t = 0; t < 4; ++t) {
@@ -162,6 +166,109 @@ TEST(MetricsFederation, ConcurrentScrapeMergedBucketsSumToCount) {
   }
   stop = true;
   for (std::thread& writer : writers) writer.join();
+}
+
+// ---------------------------------------------------------------------
+// Conditional scraping (ROADMAP 1e): ActivityFingerprint, the
+// /metrics.json 304 protocol, and the broker's per-node parse cache.
+
+TEST(ConditionalScrape, ActivityFingerprintTracksEveryMutation) {
+  obs::MetricsRegistry registry;
+  const std::uint64_t empty = registry.ActivityFingerprint();
+  EXPECT_NE(empty, 0u);
+  EXPECT_EQ(empty, registry.ActivityFingerprint()) << "idle must be stable";
+  registry.GetCounter("requests", {{"path", "/x"}}).Increment();
+  const std::uint64_t after_counter = registry.ActivityFingerprint();
+  EXPECT_NE(after_counter, empty);
+  registry.GetGauge("depth", {}).Set(3);
+  const std::uint64_t after_gauge = registry.ActivityFingerprint();
+  EXPECT_NE(after_gauge, after_counter);
+  registry.GetHistogram("latency_us", {}).Observe(40);
+  const std::uint64_t after_histogram = registry.ActivityFingerprint();
+  EXPECT_NE(after_histogram, after_gauge);
+  // Two observations that cancel in sum still change the count fold.
+  registry.GetHistogram("latency_us", {}).Observe(0);
+  EXPECT_NE(registry.ActivityFingerprint(), after_histogram);
+  registry.Reset();
+  EXPECT_NE(registry.ActivityFingerprint(), after_histogram);
+}
+
+TEST(ConditionalScrape, MetricsJsonAnswers304OnlyWhileUnchanged) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("requests", {}).Increment();
+  const obs::ObsDomain domain{"gk-cache", &registry, nullptr, nullptr, 1};
+  obs::ObsDomainScope scope(&domain);
+  wire::ObsService service{wire::ObsServiceOptions{}};
+
+  auto first = wire::ObsRequest(service, {}, "/metrics.json");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, 200);
+  ASSERT_FALSE(first->generation.empty());
+  ASSERT_FALSE(first->body.empty());
+
+  // Unchanged registry: the matching if-generation short-circuits to an
+  // empty 304 — and, critically, the scrape itself did not perturb the
+  // fingerprint (scrapes are metrics-silent), so it keeps converging.
+  auto second = wire::ObsRequest(service, {}, "/metrics.json",
+                                 {{"if-generation", first->generation}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 304);
+  EXPECT_TRUE(second->body.empty());
+  EXPECT_EQ(second->generation, first->generation);
+
+  // Any mutation invalidates the generation and the full body returns.
+  registry.GetCounter("requests", {}).Increment();
+  auto third = wire::ObsRequest(service, {}, "/metrics.json",
+                                {{"if-generation", first->generation}});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->status, 200);
+  EXPECT_NE(third->generation, first->generation);
+  EXPECT_FALSE(third->body.empty());
+
+  // Other paths do not advertise a generation.
+  auto text = wire::ObsRequest(service, {}, "/metrics");
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(text->generation.empty());
+}
+
+TEST(ConditionalScrape, CachedParseFoldsIdenticallyToFreshParse) {
+  obs::MetricsRegistry node_a, node_b;
+  node_a.GetCounter("requests", {}).Increment(3);
+  node_a.GetHistogram("latency_us", {}, {10, 100}).Observe(7);
+  node_b.GetCounter("requests", {}).Increment(4);
+  node_b.GetHistogram("latency_us", {}, {10, 100}).Observe(70);
+
+  auto doc_a = obs::MetricsFederator::ParseNodeDoc("gk-0",
+                                                   node_a.RenderJson());
+  ASSERT_TRUE(doc_a.ok()) << doc_a.error().to_string();
+  auto doc_b = obs::MetricsFederator::ParseNodeDoc("gk-1",
+                                                   node_b.RenderJson());
+  ASSERT_TRUE(doc_b.ok());
+
+  obs::MetricsFederator fresh, cached;
+  ASSERT_TRUE(fresh.AddNode("gk-0", node_a.RenderJson()).ok());
+  ASSERT_TRUE(fresh.AddNode("gk-1", node_b.RenderJson()).ok());
+  // The cached path folds the SAME ParsedNodeDoc twice across two
+  // "scrapes" of independent federators — byte-identical output.
+  ASSERT_TRUE(cached.AddParsed("gk-0", **doc_a).ok());
+  ASSERT_TRUE(cached.AddParsed("gk-1", **doc_b).ok());
+  EXPECT_EQ(fresh.RenderJson(), cached.RenderJson());
+
+  // Cross-node schema checks still run per AddParsed: a cached document
+  // whose histogram bounds disagree with THIS scrape's fleet is refused
+  // even though it parsed cleanly in isolation.
+  obs::MetricsRegistry other_bounds;
+  other_bounds.GetHistogram("latency_us", {}, {1, 2}).Observe(1);
+  auto conflicting = obs::MetricsFederator::ParseNodeDoc(
+      "gk-2", other_bounds.RenderJson());
+  ASSERT_TRUE(conflicting.ok());
+  const auto refused = cached.AddParsed("gk-2", **conflicting);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message().find(kReasonFederation),
+            std::string::npos);
+  // And duplicate nodes stay refused on the cached path.
+  EXPECT_EQ(cached.AddParsed("gk-0", **doc_a).error().code(),
+            ErrCode::kAlreadyExists);
 }
 
 // ---------------------------------------------------------------------
@@ -559,6 +666,56 @@ TEST(FleetObsEndToEnd, FederatedMetricsSumNodesAndStayBucketConsistent) {
     }
     EXPECT_EQ(total, histogram.FindInt("count").value_or(-1));
   }
+}
+
+// The broker-side cache end to end: a second /metrics/fleet scrape over
+// idle nodes is answered from cached per-node parses (nodes reply 304)
+// and renders byte-identically to the first.
+TEST(FleetObsEndToEnd, SecondFederatedScrapeServedFromNodeCaches) {
+  auto under_test = MakeFleet(1);
+  wire::WireClient client{under_test->users[0], &under_test->fleet->broker()};
+  ASSERT_TRUE(client.Submit(kRsl).ok());
+
+  const auto scrape_counter = [](const char* name) {
+    std::uint64_t total = 0;
+    for (const auto& [labels, value] : obs::Metrics().CounterSeries(name)) {
+      total += value;
+    }
+    return total;
+  };
+  const std::uint64_t full_before = scrape_counter("fleet_scrape_full_total");
+  const std::uint64_t cached_before =
+      scrape_counter("fleet_scrape_cached_total");
+
+  auto first = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/metrics/fleet");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, 200);
+  EXPECT_EQ(scrape_counter("fleet_scrape_full_total") - full_before,
+            under_test->fleet->size());
+
+  auto second = wire::ObsRequest(under_test->fleet->broker(),
+                                 under_test->users[0], "/metrics/fleet");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->status, 200);
+  EXPECT_EQ(second->body, first->body)
+      << "idle fleet: cached federation must be byte-identical";
+  EXPECT_EQ(scrape_counter("fleet_scrape_cached_total") - cached_before,
+            under_test->fleet->size());
+  EXPECT_EQ(scrape_counter("fleet_scrape_full_total") - full_before,
+            under_test->fleet->size())
+      << "no re-parse on the cached path";
+
+  // New activity on the nodes invalidates their generations: the next
+  // scrape re-parses and reflects it.
+  ASSERT_TRUE(client.Submit(kRsl).ok());
+  auto third = wire::ObsRequest(under_test->fleet->broker(),
+                                under_test->users[0], "/metrics/fleet");
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(third->status, 200);
+  EXPECT_NE(third->body, first->body);
+  EXPECT_GT(scrape_counter("fleet_scrape_full_total") - full_before,
+            under_test->fleet->size());
 }
 
 TEST(FleetObsEndToEnd, UnreachableNodeSurfacesInFederatedMetrics) {

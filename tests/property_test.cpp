@@ -18,11 +18,16 @@
 //       strict matching, including adversarial subjects;
 //   P8  Conjunction::ToString output reparses to an equal conjunction
 //       even for values carrying quotes, '#', ':', whitespace, and
-//       '$(VAR)' references.
+//       '$(VAR)' references;
+//   P9  the compiled path-segment trie is a perfect stand-in for the
+//       naive object evaluator: identical decision codes AND reason
+//       strings over random scope policies and adversarial object URLs,
+//       and scope documents survive a ToString round trip.
 #include <gtest/gtest.h>
 
 #include "core/audit.h"
 #include "core/compiled.h"
+#include "core/pathscope.h"
 #include "core/provenance.h"
 #include "core/source.h"
 #include "xacml/xacml.h"
@@ -362,6 +367,101 @@ TEST_P(PolicyPropertyTest, ConjunctionToStringReparsesEqual) {
     ASSERT_TRUE(reparsed.ok())
         << original.ToString() << "\n" << reparsed.error().message();
     EXPECT_EQ(*reparsed, original) << original.ToString();
+  }
+}
+
+// --- P9: compiled object evaluation ≡ naive object evaluation ---------
+
+const std::vector<std::string>& Origins() {
+  static const std::vector<std::string> v = {"gsiftp://fusion.anl.gov",
+                                             "gsiftp://data.anl.gov"};
+  return v;
+}
+
+const std::vector<std::string>& BasePaths() {
+  static const std::vector<std::string> v = {"", "/volumes", "/volumes/nfc"};
+  return v;
+}
+
+const std::vector<std::string>& EntryPaths() {
+  static const std::vector<std::string> v = {
+      "/",    "/nfc",        "/nfc/public", "/nfc/public/img",
+      "/ads", "/nfc/shared", "/nfc/data",   "/deep/a/b/c",
+  };
+  return v;
+}
+
+core::PolicyDocument RandomScopePolicy(Rng& rng) {
+  core::PolicyDocument document;
+  const int scopes = 1 + static_cast<int>(rng.Below(4));
+  for (int s = 0; s < scopes; ++s) {
+    std::vector<core::ObjectEntry> entries;
+    const int count = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < count; ++e) {
+      core::ObjectEntry entry;
+      entry.path = EntryPaths()[rng.Below(EntryPaths().size())];
+      entry.rights =
+          static_cast<core::RightsMask>(1 + rng.Below(core::kAllRights));
+      entries.push_back(std::move(entry));
+    }
+    auto statement = core::PathScopeStatement::Create(
+        SubjectPrefixes()[rng.Below(SubjectPrefixes().size())],
+        Origins()[rng.Below(Origins().size())] +
+            BasePaths()[rng.Below(BasePaths().size())],
+        std::move(entries));
+    // Duplicate post-normalization entries are rejected by Create; just
+    // skip that draw — the property quantifies over valid documents.
+    if (statement.ok()) document.AddPathScope(std::move(statement).value());
+  }
+  return document;
+}
+
+std::string RandomObjectUrl(Rng& rng) {
+  static const std::vector<std::string> suffixes = {
+      "",       "/",       "/f.dat",   "/deep/er/x", "x",
+      "/..",    "/%2e",    "/a%2Fb",   "//double//", "/img",
+  };
+  return Origins()[rng.Below(Origins().size())] +
+         BasePaths()[rng.Below(BasePaths().size())] +
+         EntryPaths()[rng.Below(EntryPaths().size())] +
+         suffixes[rng.Below(suffixes.size())];
+}
+
+TEST_P(PolicyPropertyTest, CompiledObjectEvaluatorMatchesNaive) {
+  Rng rng(9000 + GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const core::PolicyDocument document = RandomScopePolicy(rng);
+    const core::CompiledPolicyDocument compiled{document};
+    for (int i = 0; i < 40; ++i) {
+      const std::string subject = Subjects()[rng.Below(Subjects().size())];
+      const std::string object = RandomObjectUrl(rng);
+      const core::RightsMask right =
+          static_cast<core::RightsMask>(1u << rng.Below(4));
+      const core::Decision naive =
+          core::EvaluateObjectNaive(document, subject, object, right);
+      const core::Decision fast =
+          compiled.EvaluateObject(subject, object, right);
+      ASSERT_EQ(naive.code, fast.code)
+          << document.ToString() << "\nsubject=" << subject
+          << " object=" << object << " right=" << int{right};
+      ASSERT_EQ(naive.reason, fast.reason)
+          << document.ToString() << "\nsubject=" << subject
+          << " object=" << object << " right=" << int{right};
+    }
+    // Scope documents round-trip through the text form with decisions
+    // intact (the object half of P2).
+    auto reparsed = core::PolicyDocument::Parse(document.ToString());
+    ASSERT_TRUE(reparsed.ok()) << document.ToString();
+    for (int i = 0; i < 10; ++i) {
+      const std::string subject = Subjects()[rng.Below(Subjects().size())];
+      const std::string object = RandomObjectUrl(rng);
+      const core::RightsMask right =
+          static_cast<core::RightsMask>(1u << rng.Below(4));
+      EXPECT_EQ(
+          core::EvaluateObjectNaive(document, subject, object, right).reason,
+          core::EvaluateObjectNaive(*reparsed, subject, object, right).reason)
+          << document.ToString();
+    }
   }
 }
 
